@@ -1,0 +1,148 @@
+// Ablation C — the Sec. V-A leakage argument quantified. For the Fig. 4
+// score multiset we compare what a curious server sees under three score
+// encodings:
+//   plaintext levels            (no protection: full distribution),
+//   deterministic OPSE          (duplicate structure preserved — the
+//                                keyword-fingerprinting risk of Fig. 4),
+//   one-to-many OPM             (duplicates destroyed; distribution
+//                                re-randomized per key).
+// Reported measures: value-level max duplicates and min-entropy (the
+// quantity eq. 3 bounds), plus the sensitivity of the OPM histogram to
+// the key (re-randomization).
+#include <cmath>
+#include <map>
+#include <cstdio>
+
+#include "analysis/fingerprint.h"
+#include "bench_common.h"
+#include "crypto/csprng.h"
+#include "ir/analyzer.h"
+#include "opse/bclo_opse.h"
+#include "opse/opm.h"
+#include "opse/quantizer.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace rsse;
+  bench::banner("Ablation C — leakage: plaintext vs deterministic OPSE vs OPM");
+
+  const ir::Corpus corpus = ir::generate_corpus(bench::fig4_corpus_options());
+  const auto index = ir::InvertedIndex::build(corpus, ir::Analyzer());
+  const std::vector<double> scores = bench::keyword_scores(index, bench::kKeyword);
+  const auto quantizer = opse::ScoreQuantizer::from_scores(scores, 128);
+
+  const opse::OpeParams params{128, 1ull << 46};
+  const Bytes key = crypto::random_bytes(32);
+  const opse::BcloOpse det(key, params);
+  const opse::OneToManyOpm opm(key, params);
+
+  std::vector<std::uint64_t> plain;
+  std::vector<std::uint64_t> det_values;
+  std::vector<std::uint64_t> opm_values;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const std::uint64_t level = quantizer.quantize(scores[i]);
+    plain.push_back(level);
+    det_values.push_back(det.encrypt(level));
+    opm_values.push_back(opm.map(level, i));
+  }
+
+  const auto report = [&](const char* name, const std::vector<std::uint64_t>& v) {
+    const std::uint64_t dup = max_duplicates(v);
+    const double total = static_cast<double>(v.size());
+    const double min_entropy = -std::log2(static_cast<double>(dup) / total);
+    std::printf("%-30s %14llu %14zu %14.2f\n", name,
+                static_cast<unsigned long long>(dup), distinct_count(v), min_entropy);
+  };
+  std::printf("\n%-30s %14s %14s %14s\n", "encoding", "max dups", "distinct",
+              "min-entropy");
+  report("plaintext levels", plain);
+  report("deterministic OPSE", det_values);
+  report("one-to-many OPM", opm_values);
+  std::printf("(OPM reaches the maximum min-entropy log2(%zu) = %.2f bits: every\n"
+              " posting's encrypted score is unique)\n",
+              scores.size(), std::log2(static_cast<double>(scores.size())));
+
+  // Key sensitivity of the binned OPM output: same scores, 5 random keys.
+  std::printf("\nOPM histogram key-sensitivity (L1 distance between 128-bin\n"
+              "histograms of the same scores under independent keys):\n");
+  const double range_max = static_cast<double>(params.range_size);
+  std::vector<Histogram> histograms;
+  for (int trial = 0; trial < 5; ++trial) {
+    const opse::OneToManyOpm keyed(crypto::random_bytes(32), params);
+    Histogram h(0.0, range_max, 128);
+    for (std::size_t i = 0; i < scores.size(); ++i)
+      h.add(static_cast<double>(keyed.map(quantizer.quantize(scores[i]), i)));
+    histograms.push_back(std::move(h));
+  }
+  for (std::size_t a = 0; a < histograms.size(); ++a) {
+    for (std::size_t b = a + 1; b < histograms.size(); ++b) {
+      std::uint64_t l1 = 0;
+      for (std::size_t bin = 0; bin < 128; ++bin) {
+        const auto ca = histograms[a].count(bin);
+        const auto cb = histograms[b].count(bin);
+        l1 += ca > cb ? ca - cb : cb - ca;
+      }
+      std::printf("  keys %zu vs %zu: L1 = %llu / %zu\n", a, b,
+                  static_cast<unsigned long long>(l1), 2 * scores.size());
+    }
+  }
+
+  // The Fig. 4 attack run end to end: an adversary with the plaintext
+  // level profiles of 3 candidate keywords tries to identify which
+  // posting list it is looking at (analysis/fingerprint.h).
+  std::printf("\nkeyword-fingerprinting attack (frequency analysis over the\n"
+              "encrypted score multiset; 3 candidate keywords, 20 trials each):\n");
+  {
+    ir::CorpusGenOptions atk = bench::fig4_corpus_options();
+    atk.num_documents = 400;
+    atk.injected.clear();
+    atk.injected.push_back(ir::InjectedKeyword{"network", 380, 0.15, 120});
+    atk.injected.push_back(ir::InjectedKeyword{"protocol", 380, 0.55, 40});
+    atk.injected.push_back(ir::InjectedKeyword{"cipher", 380, 0.85, 10});
+    const ir::Corpus atk_corpus = ir::generate_corpus(atk);
+    const auto atk_index = ir::InvertedIndex::build(atk_corpus, ir::Analyzer());
+    std::vector<double> atk_scores;
+    for (const char* kw : {"network", "protocol", "cipher"})
+      for (const auto& p : *atk_index.postings(kw))
+        atk_scores.push_back(
+            ir::score_single_keyword(p.tf, atk_index.doc_length(p.file)));
+    const auto atk_quant = opse::ScoreQuantizer::from_scores(atk_scores, 128);
+
+    std::vector<analysis::KeywordFingerprinter::Candidate> candidates;
+    std::map<std::string, std::vector<std::uint64_t>> level_sets;
+    for (const char* kw : {"network", "protocol", "cipher"}) {
+      analysis::KeywordFingerprinter::Candidate c;
+      c.keyword = kw;
+      for (const auto& p : *atk_index.postings(kw))
+        c.score_values.push_back(atk_quant.quantize(
+            ir::score_single_keyword(p.tf, atk_index.doc_length(p.file))));
+      level_sets[kw] = c.score_values;
+      candidates.push_back(std::move(c));
+    }
+    const analysis::KeywordFingerprinter attacker(std::move(candidates));
+
+    int det_wins = 0;
+    int opm_wins = 0;
+    int trials = 0;
+    for (const auto& [kw, levels] : level_sets) {
+      for (int t = 0; t < 20; ++t) {
+        ++trials;
+        const opse::BcloOpse det_cipher(crypto::random_bytes(32), {128, 1ull << 46});
+        std::vector<std::uint64_t> det_observed;
+        for (std::uint64_t level : levels) det_observed.push_back(det_cipher.encrypt(level));
+        if (attacker.best_match(det_observed) == kw) ++det_wins;
+
+        const opse::OneToManyOpm opm_cipher(crypto::random_bytes(32), {128, 1ull << 46});
+        std::vector<std::uint64_t> opm_observed;
+        for (std::size_t i = 0; i < levels.size(); ++i)
+          opm_observed.push_back(opm_cipher.map(levels[i], i));
+        if (attacker.best_match(opm_observed) == kw) ++opm_wins;
+      }
+    }
+    std::printf("  deterministic OPSE: %d/%d identified (chance: %.0f%%)\n",
+                det_wins, trials, 100.0 / 3.0);
+    std::printf("  one-to-many OPM:    %d/%d identified\n", opm_wins, trials);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation E — the server-side rank cache. The paper observes that once
+// the server holds a keyword's trapdoor it has (by design) learned that
+// row's relevance order; caching it converts every repeat top-k query
+// from O(nu) entry decryptions into O(k) copying. This bench measures
+// repeat-query latency with the cache off and on.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cloud/data_owner.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace rsse;
+  bench::banner("Ablation E — server-side rank cache on repeat queries");
+
+  const ir::Corpus corpus = ir::generate_corpus(bench::fig4_corpus_options());
+  cloud::DataOwner owner;
+  cloud::CloudServer server;
+  std::printf("building index (1000 files)...\n");
+  owner.outsource_rsse(corpus, server);
+  const sse::Trapdoor trapdoor = owner.rsse().trapdoor(bench::kKeyword);
+
+  constexpr int kReps = 200;
+  const auto measure = [&](std::size_t k) {
+    RunningStats stats;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch watch;
+      const auto resp = server.ranked_search(
+          cloud::RankedSearchRequest{trapdoor, static_cast<std::uint64_t>(k)});
+      stats.add(watch.elapsed_ms());
+      if (resp.files.size() != k) std::abort();
+    }
+    return stats.mean();
+  };
+
+  std::printf("\n%-8s %18s %18s %12s\n", "k", "cache off (ms)", "cache on (ms)",
+              "speedup");
+  for (std::size_t k : {10, 50, 100, 300}) {
+    server.set_rank_cache_enabled(false);
+    const double off = measure(k);
+    server.set_rank_cache_enabled(true);
+    (void)server.ranked_search(cloud::RankedSearchRequest{trapdoor, 0});  // warm
+    const double on = measure(k);
+    std::printf("%-8zu %18.3f %18.3f %11.1fx\n", k, off, on, off / on);
+  }
+  std::printf("\ncache hits: %llu, misses: %llu\n",
+              static_cast<unsigned long long>(server.rank_cache_hits()),
+              static_cast<unsigned long long>(server.rank_cache_misses()));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared workloads and printing helpers for the table/figure benches.
+//
+// Every bench regenerates one table or figure of the paper's Sec. VI on
+// the synthetic RFC-like corpus (DESIGN.md documents the substitution).
+// The canonical workload mirrors the paper's Fig. 4 setup: 1000 files all
+// containing the keyword "network" with a skewed TF distribution, scores
+// encoded into M = 128 levels.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "ir/corpus_gen.h"
+#include "ir/inverted_index.h"
+#include "ir/scoring.h"
+
+namespace rsse::bench {
+
+/// The paper's experimental keyword.
+inline constexpr const char* kKeyword = "network";
+
+/// 1000-file corpus with "network" in every file (posting list length
+/// 1000, like the paper's Fig. 4 sample) plus a Zipfian background
+/// vocabulary. `vocabulary_size` trades bench runtime for index width.
+inline ir::CorpusGenOptions fig4_corpus_options(std::size_t vocabulary_size = 200) {
+  ir::CorpusGenOptions opts;
+  opts.num_documents = 1000;
+  opts.vocabulary_size = vocabulary_size;
+  opts.zipf_exponent = 1.05;
+  opts.min_tokens = 200;
+  opts.max_tokens = 3000;
+  // Geometric TF with p = 0.35 over log-uniform |F_d| reproduces the
+  // skewed, duplicate-heavy relevance-score histogram of Fig. 4
+  // (measured max/lambda lands in the ~0.05-0.08 band around the paper's
+  // 0.06).
+  opts.injected.push_back(ir::InjectedKeyword{kKeyword, 1000, 0.35, 200});
+  opts.seed = 20100621;  // ICDCS'10 presentation date
+  return opts;
+}
+
+/// Eq. 2 scores of the keyword's whole posting list.
+inline std::vector<double> keyword_scores(const ir::InvertedIndex& index,
+                                          const std::string& term) {
+  std::vector<double> scores;
+  const auto* postings = index.postings(term);
+  if (!postings) return scores;
+  scores.reserve(postings->size());
+  for (const auto& p : *postings)
+    scores.push_back(ir::score_single_keyword(p.tf, index.doc_length(p.file)));
+  return scores;
+}
+
+/// Section banner in the bench output.
+inline void banner(const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace rsse::bench

@@ -1,0 +1,54 @@
+// Fig. 5 reproduction: size selection of range R. Plots (as a printed
+// series) the LHS and RHS of eq. 4 over the range-size exponent k for
+// max/lambda = 0.06, M = 128, c = 1.1, and reports the chosen |R| for
+// the BCLO bound 5*log2(M)+12 and the two looser O(log M) stand-ins
+// (the paper quotes |R| = 2^46, 2^34 and 2^27 respectively).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "opse/range_select.h"
+
+int main() {
+  using namespace rsse;
+  using opse::RangeSelectParams;
+  using opse::RecursionBound;
+
+  bench::banner("Fig. 5 — size selection of range R (eq. 4 curves)");
+
+  const RangeSelectParams base{.max_duplicates = 60,
+                               .average_list_len = 1000,
+                               .domain_size = 128,
+                               .min_entropy_c = 1.1,
+                               .bound = RecursionBound::kFiveLogMPlus12};
+
+  std::printf("max/lambda = %.2f, M = %llu, c = %.2f\n",
+              base.max_duplicates / base.average_list_len,
+              static_cast<unsigned long long>(base.domain_size), base.min_entropy_c);
+
+  std::printf("\n%-6s %16s %16s %16s %16s\n", "k", "LHS(5logM+12)", "LHS(5logM)",
+              "LHS(4logM)", "RHS=-(log2 k)^c");
+  std::printf("%-6s %16s %16s %16s %16s\n", "", "(log2)", "(log2)", "(log2)", "(log2)");
+  for (std::uint64_t k = 8; k <= 56; k += 2) {
+    RangeSelectParams p5 = base;
+    RangeSelectParams p5l = base;
+    p5l.bound = RecursionBound::kFiveLogM;
+    RangeSelectParams p4l = base;
+    p4l.bound = RecursionBound::kFourLogM;
+    std::printf("%-6llu %16.3f %16.3f %16.3f %16.3f\n",
+                static_cast<unsigned long long>(k), opse::lhs_log2(p5, k),
+                opse::lhs_log2(p5l, k), opse::lhs_log2(p4l, k), opse::rhs_log2(base, k));
+  }
+
+  const auto report = [&](const char* name, RecursionBound bound, const char* paper) {
+    RangeSelectParams p = base;
+    p.bound = bound;
+    const std::uint64_t k = opse::choose_range_bits(p);
+    std::printf("bound %-12s -> |R| = 2^%-3llu (paper: %s)\n", name,
+                static_cast<unsigned long long>(k), paper);
+  };
+  std::printf("\nchosen range sizes (smallest k with LHS <= RHS):\n");
+  report("5logM+12", RecursionBound::kFiveLogMPlus12, "2^46");
+  report("5logM", RecursionBound::kFiveLogM, "2^34");
+  report("4logM", RecursionBound::kFourLogM, "2^27");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 8 reproduction: the time cost of top-k retrieval against k.
+// The paper reports ~0.14 ms at k=10 rising to ~1.4 ms at k=300 on a
+// 1000-file index, and argues the encrypted search is "almost as
+// efficient as on unencrypted data". We time the server-side path
+// (locate row via the trapdoor label, decrypt the 1000-entry posting
+// list, rank by the order-preserved scores, assemble the top-k files)
+// and print the same series next to the plaintext engine.
+#include <cstdio>
+
+#include "baseline/plaintext_search.h"
+#include "bench_common.h"
+#include "cloud/data_owner.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace rsse;
+  bench::banner("Fig. 8 — time cost of top-k retrieval (1000-file index)");
+
+  const ir::Corpus corpus = ir::generate_corpus(bench::fig4_corpus_options());
+
+  std::printf("building RSSE index (1000 files)...\n");
+  cloud::DataOwner owner;
+  cloud::CloudServer server;
+  const auto report = owner.outsource_rsse(corpus, server);
+  std::printf("  keywords: %llu, postings: %llu, build: %.2fs\n",
+              static_cast<unsigned long long>(report.rsse_stats.num_keywords),
+              static_cast<unsigned long long>(report.rsse_stats.num_postings),
+              report.rsse_stats.raw_index_seconds + report.rsse_stats.opm_seconds +
+                  report.rsse_stats.encrypt_seconds);
+
+  const sse::Trapdoor trapdoor = owner.rsse().trapdoor(bench::kKeyword);
+  const baseline::PlaintextSearchEngine plaintext(corpus);
+
+  constexpr int kRepetitions = 50;
+  std::printf("\n%-8s %18s %18s %20s\n", "k", "RSSE search (ms)", "plaintext (ms)",
+              "RSSE + files (ms)");
+  for (std::size_t k : {10, 25, 50, 75, 100, 150, 200, 250, 300}) {
+    RunningStats rsse_ms;
+    RunningStats plain_ms;
+    RunningStats full_ms;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      Stopwatch w1;
+      const auto ranked = sse::RsseScheme::search(server.index(), trapdoor, k);
+      rsse_ms.add(w1.elapsed_ms());
+      if (ranked.size() != k) {
+        std::printf("unexpected result size %zu\n", ranked.size());
+        return 1;
+      }
+
+      Stopwatch w2;
+      const auto plain = plaintext.search(bench::kKeyword, k);
+      plain_ms.add(w2.elapsed_ms());
+
+      Stopwatch w3;
+      const auto full = server.ranked_search(
+          cloud::RankedSearchRequest{trapdoor, static_cast<std::uint64_t>(k)});
+      full_ms.add(w3.elapsed_ms());
+      if (full.files.size() != k) return 1;
+    }
+    std::printf("%-8zu %18.3f %18.3f %20.3f\n", k, rsse_ms.mean(), plain_ms.mean(),
+                full_ms.mean());
+  }
+  std::printf("\n(paper: 0.14 ms at k=10 rising to ~1.4 ms at k=300; the claim under\n"
+              " test is near-plaintext search cost and mild growth in k)\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Related-work comparison (Sec. VII, executable): the searchable-
+// encryption lineage the paper builds on, measured on one corpus.
+//
+//   SWP'00 [6]      boolean, search linear in TOTAL WORDS
+//   Goh'03 [7]      boolean, search linear in FILES
+//   Basic (SSE'06)  boolean+scores, one row lookup, user ranks
+//   RSSE (paper)    ranked,  one row lookup, server ranks top-k
+//   plaintext       ranked,  no protection (lower bound)
+//
+// Reported: index/collection storage, per-search latency, and what the
+// user gets back (matching set vs ranked top-k).
+#include <cstdio>
+
+#include "baseline/curtmola_sse1.h"
+#include "baseline/goh_index.h"
+#include "baseline/plaintext_search.h"
+#include "baseline/swp.h"
+#include "bench_common.h"
+#include "ir/analyzer.h"
+#include "sse/basic_scheme.h"
+#include "sse/rsse_scheme.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace rsse;
+  bench::banner("Related schemes — search cost across the SSE lineage");
+
+  auto opts = bench::fig4_corpus_options(150);
+  opts.num_documents = 400;
+  opts.injected[0].document_count = 250;
+  const ir::Corpus corpus = ir::generate_corpus(opts);
+  const ir::Analyzer analyzer;
+
+  std::printf("corpus: %zu files, %.1f MB\n", corpus.size(),
+              static_cast<double>(corpus.total_bytes()) / (1024.0 * 1024.0));
+
+  // --- build all five -------------------------------------------------
+  std::printf("building all five schemes...\n");
+  const baseline::SwpScheme swp(baseline::SwpScheme::generate_key());
+  std::map<std::uint64_t, std::vector<Bytes>> swp_store;
+  std::uint64_t total_words = 0;
+  std::uint64_t swp_bytes = 0;
+  for (const ir::Document& doc : corpus.documents()) {
+    const auto words = analyzer.analyze(doc.text);
+    total_words += words.size();
+    auto blocks = swp.encrypt_words(doc.id, words);
+    swp_bytes += blocks.size() * baseline::kSwpBlockSize;
+    swp_store.emplace(ir::value(doc.id), std::move(blocks));
+  }
+
+  const baseline::GohScheme goh(Bytes(32, 0x33));
+  const baseline::GohIndex goh_index = goh.build_index(corpus);
+
+  const sse::MasterKey key = sse::keygen();
+  const sse::BasicScheme basic(key);
+  const sse::SecureIndex basic_index = basic.build_index(corpus);
+
+  const baseline::CurtmolaSse1 sse1(key.x, key.y, key.z);
+  const baseline::Sse1Index sse1_index = sse1.build_index(corpus);
+
+  const sse::RsseScheme rsse(key);
+  const auto rsse_built = rsse.build_index(corpus, sse::RsseScheme::BuildOptions{4});
+
+  const baseline::PlaintextSearchEngine plaintext(corpus);
+
+  // --- measure --------------------------------------------------------
+  constexpr int kReps = 20;
+  const auto time_ms = [&](auto&& fn) {
+    RunningStats stats;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch watch;
+      fn();
+      stats.add(watch.elapsed_ms());
+    }
+    return stats.mean();
+  };
+
+  const double swp_ms = time_ms([&] {
+    volatile auto n = baseline::SwpScheme::search(swp_store, swp.token(bench::kKeyword)).size();
+    (void)n;
+  });
+  const double goh_ms = time_ms([&] {
+    volatile auto n = goh_index.search(goh.trapdoor(bench::kKeyword)).size();
+    (void)n;
+  });
+  const auto basic_trapdoor = basic.trapdoor(bench::kKeyword);
+  const double basic_ms = time_ms([&] {
+    volatile auto n = sse::BasicScheme::search(basic_index, basic_trapdoor).size();
+    (void)n;
+  });
+  const auto sse1_trapdoor = sse1.trapdoor(bench::kKeyword);
+  const double sse1_ms = time_ms([&] {
+    volatile auto n = sse1_index.search(sse1_trapdoor).size();
+    (void)n;
+  });
+  const auto rsse_trapdoor = rsse.trapdoor(bench::kKeyword);
+  const double rsse_ms = time_ms([&] {
+    volatile auto n = sse::RsseScheme::search(rsse_built.index, rsse_trapdoor, 10).size();
+    (void)n;
+  });
+  const double plain_ms = time_ms([&] {
+    volatile auto n = plaintext.search(bench::kKeyword, 10).size();
+    (void)n;
+  });
+
+  const auto mb = [](std::uint64_t b) { return static_cast<double>(b) / (1024.0 * 1024.0); };
+  std::printf("\n%-22s %12s %14s %10s %s\n", "scheme", "index MB", "search ms",
+              "ranked?", "search complexity");
+  std::printf("%-22s %12.2f %14.3f %10s %s\n", "SWP'00 [6]", mb(swp_bytes), swp_ms,
+              "no", "O(total words)");
+  std::printf("%-22s %12.2f %14.3f %10s %s\n", "Goh'03 [7]", mb(goh_index.byte_size()),
+              goh_ms, "no", "O(files)");
+  std::printf("%-22s %12.2f %14.3f %10s %s\n", "SSE-1 (CCS'06) [10]",
+              mb(sse1_index.byte_size()), sse1_ms, "user-side", "O(log m + N_i)");
+  std::printf("%-22s %12.2f %14.3f %10s %s\n", "Basic scheme (SSE)",
+              mb(basic_index.byte_size()), basic_ms, "user-side", "O(log m + nu)");
+  std::printf("%-22s %12.2f %14.3f %10s %s\n", "RSSE (this paper)",
+              mb(rsse_built.index.byte_size()), rsse_ms, "server",
+              "O(log m + nu), top-k");
+  std::printf("%-22s %12s %14.3f %10s %s\n", "plaintext", "-", plain_ms, "yes",
+              "O(log m + N_i)");
+  std::printf("\ntotal indexed words: %llu; keyword matches %u files\n",
+              static_cast<unsigned long long>(total_words), 250);
+  std::printf("(who-wins shape from the paper's related work: the SWP scan is\n"
+              " slowest, Goh scales with file count, the index-based schemes are\n"
+              " near-plaintext; SSE-1's linked-chain array stores only the true\n"
+              " postings where the padded schemes store m*nu; only RSSE returns\n"
+              " a server-ranked top-k.)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table I reproduction: index construction overhead for 1000 RFC-like
+// files. The paper reports, per keyword: posting-list size 12.414 KB and
+// build time 5.44 s, with the raw (unencrypted) index taking 2.31 s —
+// i.e. the one-to-many mapping dominates construction. We print the same
+// rows plus the breakdown, and the whole-index totals.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sse/keys.h"
+#include "sse/rsse_scheme.h"
+
+int main() {
+  using namespace rsse;
+  bench::banner("Table I — index construction overhead (1000 files)");
+
+  const ir::Corpus corpus = ir::generate_corpus(bench::fig4_corpus_options());
+  const sse::RsseScheme scheme(sse::keygen());
+  std::printf("building secure index...\n");
+  const auto built = scheme.build_index(corpus);
+  const auto& stats = built.stats;
+
+  const double keywords = static_cast<double>(stats.num_keywords);
+  const double index_kb = static_cast<double>(built.index.byte_size()) / 1024.0;
+  const double build_seconds =
+      stats.raw_index_seconds + stats.opm_seconds + stats.encrypt_seconds;
+
+  std::printf("\n%-38s %15s %15s\n", "", "this repo", "paper");
+  std::printf("%-38s %15zu %15s\n", "Number of files", corpus.size(), "1000");
+  std::printf("%-38s %12.3f KB %12s\n", "Per-keyword list size", index_kb / keywords,
+              "12.414 KB");
+  std::printf("%-38s %13.4f s %13s\n", "Per-keyword list build time",
+              build_seconds / keywords, "5.44 s");
+  std::printf("%-38s %13.4f s %13s\n", "  of which raw index",
+              stats.raw_index_seconds / keywords, "2.31 s");
+  std::printf("%-38s %13.4f s %13s\n", "  of which one-to-many mapping",
+              stats.opm_seconds / keywords, "(dominant)");
+  std::printf("%-38s %13.4f s %13s\n", "  of which entry encryption",
+              stats.encrypt_seconds / keywords, "-");
+
+  std::printf("\nwhole-index totals:\n");
+  std::printf("  keywords m:              %llu\n",
+              static_cast<unsigned long long>(stats.num_keywords));
+  std::printf("  genuine postings:        %llu\n",
+              static_cast<unsigned long long>(stats.num_postings));
+  std::printf("  padded row width nu:     %llu\n",
+              static_cast<unsigned long long>(stats.pad_width));
+  std::printf("  index size:              %.2f MB\n", index_kb / 1024.0);
+  std::printf("  total build time:        %.2f s\n", build_seconds);
+  std::printf("  OPM share of build:      %.1f%%  (paper: (5.44-2.31)/5.44 = 57.5%%)\n",
+              100.0 * stats.opm_seconds / build_seconds);
+  std::printf("\n(absolute times differ — their HGD ran in MATLAB at ~70 ms/mapping;\n"
+              " the reproduced shape is OPM dominating the raw-index cost, and the\n"
+              " per-entry list size within the same order of magnitude: our entries\n"
+              " carry a real 16-byte IV, theirs ~12.4 bytes total.)\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Throughput bench: sustained ranked-search queries per second against
+// one CloudServer, in-process vs real TCP loopback, swept over client
+// concurrency, with and without the rank cache. Quantifies the serving
+// cost of the whole stack (framing + decryption + ranking + file blobs).
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cloud/data_owner.h"
+#include "ir/query_workload.h"
+#include "net/remote_channel.h"
+#include "net/server.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace rsse;
+  bench::banner("Throughput — ranked top-10 search, in-process vs TCP loopback");
+
+  auto opts = bench::fig4_corpus_options(150);
+  opts.num_documents = 400;
+  opts.injected[0].document_count = 300;
+  const ir::Corpus corpus = ir::generate_corpus(opts);
+
+  cloud::DataOwner owner;
+  cloud::CloudServer server;
+  std::printf("building index (400 files)...\n");
+  owner.outsource_rsse(corpus, server);
+  const sse::Trapdoor trapdoor = owner.rsse().trapdoor(bench::kKeyword);
+  const cloud::RankedSearchRequest request{trapdoor, 10};
+  const Bytes request_bytes = request.serialize();
+
+  net::NetworkServer net(server, 0);
+
+  constexpr int kQueriesPerClient = 200;
+  const auto run_clients = [&](int clients, bool remote) {
+    std::atomic<int> failures{0};
+    Stopwatch watch;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        try {
+          if (remote) {
+            net::RemoteChannel channel(net.port());
+            for (int q = 0; q < kQueriesPerClient; ++q)
+              (void)channel.call(cloud::MessageType::kRankedSearch, request_bytes);
+          } else {
+            cloud::Channel channel(server);
+            for (int q = 0; q < kQueriesPerClient; ++q)
+              (void)channel.call(cloud::MessageType::kRankedSearch, request_bytes);
+          }
+        } catch (const std::exception&) {
+          ++failures;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (failures.load() != 0) std::abort();
+    const double seconds = watch.elapsed_seconds();
+    return static_cast<double>(clients) * kQueriesPerClient / seconds;
+  };
+
+  std::printf("\n%-10s %16s %16s %16s\n", "clients", "in-proc QPS", "TCP QPS",
+              "TCP+cache QPS");
+  for (int clients : {1, 2, 4, 8}) {
+    server.set_rank_cache_enabled(false);
+    const double local_qps = run_clients(clients, false);
+    const double tcp_qps = run_clients(clients, true);
+    server.set_rank_cache_enabled(true);
+    const double cached_qps = run_clients(clients, true);
+    std::printf("%-10d %16.0f %16.0f %16.0f\n", clients, local_qps, tcp_qps, cached_qps);
+  }
+  std::printf("\n(each query decrypts a 1000-entry padded row unless the rank cache\n"
+              " short-circuits it; TCP adds framing + loopback syscalls)\n");
+
+  // --- Mixed Zipfian keyword workload -------------------------------
+  // Real traffic spreads over the vocabulary; with the rank cache on,
+  // the hit rate (and so the speedup) depends on the query skew.
+  const auto inverted =
+      ir::InvertedIndex::build(corpus, owner.rsse().analyzer());
+  ir::QueryWorkloadOptions wl;
+  wl.num_queries = 2000;
+  wl.zipf_exponent = 1.1;
+  wl.seed = 9;
+  const ir::QueryWorkload workload(inverted, wl);
+  std::vector<Bytes> requests;
+  requests.reserve(workload.queries().size());
+  for (const std::string& q : workload.queries()) {
+    const sse::Trapdoor t{owner.rsse().row_label(q), owner.rsse().row_key(q)};
+    requests.push_back(cloud::RankedSearchRequest{t, 10}.serialize());
+  }
+  std::printf("\nmixed Zipf workload: %zu queries over %zu distinct keywords\n",
+              workload.queries().size(), workload.distinct_keywords());
+  for (const bool cached : {false, true}) {
+    server.set_rank_cache_enabled(cached);
+    server.clear_rank_cache();
+    cloud::Channel channel(server);
+    Stopwatch watch;
+    for (const Bytes& request : requests)
+      (void)channel.call(cloud::MessageType::kRankedSearch, request);
+    const double qps =
+        static_cast<double>(requests.size()) / watch.elapsed_seconds();
+    std::printf("  rank cache %-3s : %8.0f QPS\n", cached ? "on" : "off", qps);
+  }
+  return 0;
+}

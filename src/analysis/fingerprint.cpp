@@ -1,0 +1,61 @@
+#include "analysis/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/errors.h"
+
+namespace rsse::analysis {
+
+KeywordFingerprinter::KeywordFingerprinter(std::vector<Candidate> candidates,
+                                           std::size_t bins)
+    : candidates_(std::move(candidates)), bins_(bins) {
+  detail::require(!candidates_.empty(), "KeywordFingerprinter: no candidates");
+  detail::require(bins_ >= 2, "KeywordFingerprinter: need at least two bins");
+  candidate_signatures_.reserve(candidates_.size());
+  for (const Candidate& c : candidates_) {
+    detail::require(!c.score_values.empty(),
+                    "KeywordFingerprinter: empty candidate profile");
+    candidate_signatures_.push_back(signature(c.score_values));
+  }
+}
+
+std::vector<double> KeywordFingerprinter::signature(
+    const std::vector<std::uint64_t>& values) const {
+  detail::require(!values.empty(), "KeywordFingerprinter: empty observation");
+  std::unordered_map<std::uint64_t, std::size_t> multiplicities;
+  for (std::uint64_t v : values) ++multiplicities[v];
+  std::vector<double> profile;
+  profile.reserve(multiplicities.size());
+  for (const auto& [value, count] : multiplicities)
+    profile.push_back(static_cast<double>(count) / static_cast<double>(values.size()));
+  std::sort(profile.begin(), profile.end(), std::greater<>());
+  profile.resize(bins_, 0.0);  // truncate the tail / pad with zeros
+  return profile;
+}
+
+std::vector<KeywordFingerprinter::Match> KeywordFingerprinter::rank_candidates(
+    const std::vector<std::uint64_t>& observed_values) const {
+  const std::vector<double> observed = signature(observed_values);
+  std::vector<Match> matches;
+  matches.reserve(candidates_.size());
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    double l1 = 0.0;
+    for (std::size_t b = 0; b < bins_; ++b)
+      l1 += std::abs(observed[b] - candidate_signatures_[c][b]);
+    matches.push_back(Match{candidates_[c].keyword, l1});
+  }
+  std::sort(matches.begin(), matches.end(), [](const Match& a, const Match& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.keyword < b.keyword;
+  });
+  return matches;
+}
+
+std::string KeywordFingerprinter::best_match(
+    const std::vector<std::uint64_t>& observed_values) const {
+  return rank_candidates(observed_values).front().keyword;
+}
+
+}  // namespace rsse::analysis

@@ -1,0 +1,62 @@
+#include "analysis/leakage.h"
+
+#include <cmath>
+
+namespace rsse::analysis {
+
+IndexShape index_shape(const sse::SecureIndex& index) {
+  IndexShape shape;
+  shape.num_rows = index.num_rows();
+  shape.total_bytes = index.byte_size();
+  std::map<std::size_t, std::size_t> width_counts;
+  for (const Bytes& label : index.labels())
+    ++width_counts[index.row(label)->size()];
+  if (!width_counts.empty()) {
+    shape.min_row_width = width_counts.begin()->first;
+    shape.max_row_width = width_counts.rbegin()->first;
+    shape.distinct_widths = width_counts.size();
+    double entropy = 0.0;
+    for (const auto& [width, count] : width_counts) {
+      const double p = static_cast<double>(count) / static_cast<double>(shape.num_rows);
+      entropy -= p * std::log2(p);
+    }
+    shape.width_shannon_entropy = entropy;
+  }
+  return shape;
+}
+
+void LeakageLedger::record(QueryObservation observation) {
+  observations_.push_back(std::move(observation));
+}
+
+std::vector<std::vector<std::size_t>> LeakageLedger::search_pattern() const {
+  std::vector<std::vector<std::size_t>> groups;
+  std::map<Bytes, std::size_t> group_of_label;
+  for (std::size_t q = 0; q < observations_.size(); ++q) {
+    const auto [it, inserted] =
+        group_of_label.emplace(observations_[q].row_label, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(q);
+  }
+  return groups;
+}
+
+std::vector<std::vector<std::uint64_t>> LeakageLedger::access_pattern() const {
+  std::vector<std::vector<std::uint64_t>> out;
+  out.reserve(observations_.size());
+  for (const QueryObservation& o : observations_) out.push_back(o.returned_ids);
+  return out;
+}
+
+std::size_t LeakageLedger::distinct_keywords_queried() const {
+  return search_pattern().size();
+}
+
+std::map<std::uint64_t, std::size_t> LeakageLedger::file_frequencies() const {
+  std::map<std::uint64_t, std::size_t> counts;
+  for (const QueryObservation& o : observations_)
+    for (std::uint64_t id : o.returned_ids) ++counts[id];
+  return counts;
+}
+
+}  // namespace rsse::analysis

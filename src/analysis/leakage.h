@@ -1,0 +1,72 @@
+// Executable leakage profile — the quantities Sec. V says the scheme
+// reveals, computed from what an honest-but-curious server actually
+// observes. Used by the leakage example, the ablation bench, and tests
+// that pin the leakage to exactly the defined profile (nothing more).
+//
+//   * IndexShape: the static view — row count m, row widths, total bytes.
+//   * QueryObservation / LeakageLedger: the dynamic view — for each query
+//     the touched row label and returned file ids, from which the ledger
+//     derives the SEARCH PATTERN (which queries were for the same
+//     keyword) and the ACCESS PATTERN (which files each query returned),
+//     exactly the two objects SSE security definitions condition on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sse/secure_index.h"
+#include "sse/types.h"
+
+namespace rsse::analysis {
+
+/// The static shape a curious server learns from the stored index alone.
+struct IndexShape {
+  std::size_t num_rows = 0;          ///< m
+  std::size_t min_row_width = 0;
+  std::size_t max_row_width = 0;     ///< nu under full padding
+  std::size_t distinct_widths = 0;
+  double width_shannon_entropy = 0;  ///< bits; 0 = widths reveal nothing
+  std::uint64_t total_bytes = 0;
+};
+
+/// Computes the shape of a stored index.
+IndexShape index_shape(const sse::SecureIndex& index);
+
+/// One observed query: the opaque row label it touched and the file ids
+/// it returned (in server-visible order).
+struct QueryObservation {
+  Bytes row_label;
+  std::vector<std::uint64_t> returned_ids;
+};
+
+/// The server's accumulated observations over a session.
+class LeakageLedger {
+ public:
+  /// Records one query's observation.
+  void record(QueryObservation observation);
+
+  /// Number of recorded queries.
+  [[nodiscard]] std::size_t num_queries() const { return observations_.size(); }
+
+  /// SEARCH PATTERN: the partition of query indices by row label — two
+  /// queries land in one group iff they were for the same keyword (the
+  /// equality pattern of Sec. III-A). Groups are in first-seen order.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> search_pattern() const;
+
+  /// ACCESS PATTERN: per query, the set of returned file ids.
+  [[nodiscard]] std::vector<std::vector<std::uint64_t>> access_pattern() const;
+
+  /// Number of distinct keywords queried (search-pattern group count).
+  [[nodiscard]] std::size_t distinct_keywords_queried() const;
+
+  /// File-id co-occurrence: how often each file appeared across all
+  /// queries — the frequency signal an adversary correlates with public
+  /// metadata.
+  [[nodiscard]] std::map<std::uint64_t, std::size_t> file_frequencies() const;
+
+ private:
+  std::vector<QueryObservation> observations_;
+};
+
+}  // namespace rsse::analysis

@@ -1,0 +1,92 @@
+#include "baseline/bloom_filter.h"
+
+#include <bit>
+#include <cmath>
+
+#include "crypto/sha256.h"
+#include "util/errors.h"
+
+namespace rsse::baseline {
+
+BloomFilter::BloomFilter(std::size_t bits, std::size_t hashes) : hashes_(hashes) {
+  detail::require(bits > 0, "BloomFilter: zero bits");
+  detail::require(hashes > 0 && hashes <= 64, "BloomFilter: hashes outside (0,64]");
+  words_.assign((bits + 63) / 64, 0);
+}
+
+BloomFilter BloomFilter::with_capacity(std::size_t expected_items, double target_fp_rate) {
+  detail::require(expected_items > 0, "BloomFilter: zero capacity");
+  detail::require(target_fp_rate > 0.0 && target_fp_rate < 1.0,
+                  "BloomFilter: fp rate outside (0,1)");
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(expected_items) * std::log(target_fp_rate) /
+                   (ln2 * ln2);
+  const double k = m / static_cast<double>(expected_items) * ln2;
+  return BloomFilter(static_cast<std::size_t>(std::ceil(m)),
+                     std::max<std::size_t>(1, static_cast<std::size_t>(std::round(k))));
+}
+
+namespace {
+
+// Two independent 64-bit hashes from one SHA-256.
+std::pair<std::uint64_t, std::uint64_t> item_hashes(BytesView item) {
+  const auto digest = crypto::sha256(item);
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  for (int i = 0; i < 8; ++i) {
+    h1 |= static_cast<std::uint64_t>(digest[i]) << (8 * i);
+    h2 |= static_cast<std::uint64_t>(digest[8 + i]) << (8 * i);
+  }
+  if (h2 == 0) h2 = 0x9e3779b97f4a7c15ull;  // double hashing needs h2 != 0
+  return {h1, h2};
+}
+
+}  // namespace
+
+void BloomFilter::insert(BytesView item) {
+  const auto [h1, h2] = item_hashes(item);
+  const std::size_t bits = num_bits();
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::size_t bit = (h1 + i * h2) % bits;
+    words_[bit / 64] |= 1ull << (bit % 64);
+  }
+}
+
+bool BloomFilter::maybe_contains(BytesView item) const {
+  const auto [h1, h2] = item_hashes(item);
+  const std::size_t bits = num_bits();
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    const std::size_t bit = (h1 + i * h2) % bits;
+    if ((words_[bit / 64] & (1ull << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+std::size_t BloomFilter::popcount() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+Bytes BloomFilter::serialize() const {
+  Bytes out;
+  append_u64(out, hashes_);
+  append_u64(out, words_.size());
+  for (std::uint64_t w : words_) append_u64(out, w);
+  return out;
+}
+
+BloomFilter BloomFilter::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  const std::uint64_t hashes = reader.read_u64();
+  const std::uint64_t num_words = reader.read_u64();
+  if (hashes == 0 || hashes > 64) throw ParseError("BloomFilter: bad hash count");
+  if (num_words == 0) throw ParseError("BloomFilter: empty filter");
+  BloomFilter filter(static_cast<std::size_t>(num_words) * 64,
+                     static_cast<std::size_t>(hashes));
+  for (std::uint64_t i = 0; i < num_words; ++i) filter.words_[i] = reader.read_u64();
+  if (!reader.exhausted()) throw ParseError("BloomFilter: trailing bytes");
+  return filter;
+}
+
+}  // namespace rsse::baseline

@@ -1,0 +1,55 @@
+// A classic Bloom filter with double hashing — the substrate of the Goh
+// secure-index baseline (reference [7]). Kept generic: items are byte
+// strings; the k index functions derive from two 64-bit halves of a
+// SHA-256 of the item (Kirsch-Mitzenmacher double hashing, which
+// preserves the asymptotic false-positive rate).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rsse::baseline {
+
+/// Fixed-size Bloom filter.
+class BloomFilter {
+ public:
+  /// `bits` filter size (rounded up to a multiple of 64), `hashes` the
+  /// number of index functions k. Throws InvalidArgument on zero sizes.
+  BloomFilter(std::size_t bits, std::size_t hashes);
+
+  /// Sizes a filter for `expected_items` at `target_fp_rate` using the
+  /// standard optima m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+  static BloomFilter with_capacity(std::size_t expected_items, double target_fp_rate);
+
+  /// Inserts an item.
+  void insert(BytesView item);
+
+  /// Membership test: false = definitely absent; true = present or a
+  /// false positive.
+  [[nodiscard]] bool maybe_contains(BytesView item) const;
+
+  /// Number of index functions.
+  [[nodiscard]] std::size_t num_hashes() const { return hashes_; }
+
+  /// Filter size in bits.
+  [[nodiscard]] std::size_t num_bits() const { return words_.size() * 64; }
+
+  /// Number of set bits (load diagnostics).
+  [[nodiscard]] std::size_t popcount() const;
+
+  /// Serialized form (size header + raw words).
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Inverse of serialize(). Throws ParseError on malformed input.
+  static BloomFilter deserialize(BytesView blob);
+
+  friend bool operator==(const BloomFilter&, const BloomFilter&) = default;
+
+ private:
+  std::size_t hashes_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rsse::baseline

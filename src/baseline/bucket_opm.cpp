@@ -1,0 +1,53 @@
+#include "baseline/bucket_opm.h"
+
+#include <algorithm>
+
+#include "crypto/tapegen.h"
+#include "util/errors.h"
+
+namespace rsse::baseline {
+
+BucketOpm::BucketOpm(std::vector<double> training_scores, std::size_t num_buckets,
+                     std::uint64_t range_size, Bytes key)
+    : num_buckets_(num_buckets), range_size_(range_size), key_(std::move(key)) {
+  detail::require(num_buckets >= 1, "BucketOpm: need at least one bucket");
+  detail::require(range_size >= num_buckets, "BucketOpm: range smaller than buckets");
+  detail::require(!key_.empty(), "BucketOpm: empty key");
+  refit(std::move(training_scores));
+}
+
+void BucketOpm::refit(std::vector<double> training_scores) {
+  detail::require(!training_scores.empty(), "BucketOpm: empty training sample");
+  std::sort(training_scores.begin(), training_scores.end());
+  boundaries_.clear();
+  boundaries_.reserve(num_buckets_ - 1);
+  // Equi-depth: boundary i sits at the (i+1)/num_buckets quantile.
+  for (std::size_t i = 1; i < num_buckets_; ++i) {
+    const std::size_t pos = i * training_scores.size() / num_buckets_;
+    boundaries_.push_back(training_scores[std::min(pos, training_scores.size() - 1)]);
+  }
+}
+
+std::size_t BucketOpm::bucket_of(double score) const {
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), score);
+  return static_cast<std::size_t>(std::distance(boundaries_.begin(), it));
+}
+
+std::uint64_t BucketOpm::map(double score, std::uint64_t tiebreak) const {
+  const std::size_t bucket = bucket_of(score);
+  const std::uint64_t slice = range_size_ / num_buckets_;
+  const std::uint64_t base = 1 + static_cast<std::uint64_t>(bucket) * slice;
+  // Pseudo-random placement within the slice, seeded by (score, tiebreak),
+  // mirroring the one-to-many idea so equal scores rarely collide.
+  Bytes ctx;
+  append_u64(ctx, static_cast<std::uint64_t>(bucket));
+  append_u64(ctx, tiebreak);
+  crypto::Tape tape(key_, ctx);
+  return base + tape.uniform_below(slice);
+}
+
+std::size_t BucketOpm::metadata_bytes() const {
+  return boundaries_.size() * sizeof(double);
+}
+
+}  // namespace rsse::baseline

@@ -1,0 +1,60 @@
+// Bucket-based order-preserving score transform, after Swaminathan et al.
+// "Confidentiality-preserving rank-ordered search" (StorageSS'07) — the
+// paper's reference [18].
+//
+// The owner fits equi-depth bucket boundaries over the score sample it is
+// about to outsource ("keeps lots of metadata to pre-build many different
+// buckets on the data owner side", Sec. VI-B), then maps each score to a
+// pseudo-random point inside its bucket's slice of the range. Order is
+// preserved across buckets by construction.
+//
+// The property the paper criticizes — no score dynamics — falls out of
+// the fit: boundaries depend on the observed distribution, so when new
+// scores drift, the owner must refit, and refitting moves EXISTING
+// mapped values (bench_ablation_dynamics counts how many). Contrast with
+// opse::OneToManyOpm, whose buckets depend only on the key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rsse::baseline {
+
+/// The [18]-style transform.
+class BucketOpm {
+ public:
+  /// Fits `num_buckets` equi-depth boundaries over `training_scores`
+  /// (must be non-empty) and divides {1..range_size} evenly among the
+  /// buckets. `key` seeds the within-bucket pseudo-random placement.
+  BucketOpm(std::vector<double> training_scores, std::size_t num_buckets,
+            std::uint64_t range_size, Bytes key);
+
+  /// Maps a score to its bucket's slice; `tiebreak` (e.g. the file id)
+  /// varies the placement within the slice, like the one-to-many idea.
+  [[nodiscard]] std::uint64_t map(double score, std::uint64_t tiebreak) const;
+
+  /// Re-fits the boundaries on a new sample (the forced rebuild when the
+  /// score distribution drifts). Previously mapped values are NOT stable
+  /// across refit — that is the point of the ablation.
+  void refit(std::vector<double> training_scores);
+
+  /// The fitted bucket boundaries (ascending upper edges).
+  [[nodiscard]] const std::vector<double>& boundaries() const { return boundaries_; }
+
+  /// Bucket index of a score (0-based).
+  [[nodiscard]] std::size_t bucket_of(double score) const;
+
+  /// Owner-side metadata footprint in bytes (the boundary table the paper
+  /// points at when comparing against [18]).
+  [[nodiscard]] std::size_t metadata_bytes() const;
+
+ private:
+  std::size_t num_buckets_;
+  std::uint64_t range_size_;
+  Bytes key_;
+  std::vector<double> boundaries_;  // ascending upper edges, size num_buckets_-1
+};
+
+}  // namespace rsse::baseline

@@ -1,0 +1,226 @@
+#include "baseline/curtmola_sse1.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "crypto/aes_ctr.h"
+#include "crypto/csprng.h"
+#include "crypto/prf.h"
+#include "ir/inverted_index.h"
+#include "ir/scoring.h"
+#include "util/errors.h"
+
+namespace rsse::baseline {
+
+namespace {
+
+// Node plaintext: 0^8 flag || id(8) || E_z(score)(24) || next addr(8) ||
+// next key(32). Fixed width so every slot is indistinguishable.
+constexpr std::size_t kFlagSize = 8;
+constexpr std::size_t kScoreBlobSize = 16 + 8;  // AES-CTR IV + 8-byte payload
+constexpr std::size_t kNodeKeySize = 32;
+constexpr std::size_t kNodePlainSize =
+    kFlagSize + 8 + kScoreBlobSize + 8 + kNodeKeySize;
+constexpr std::size_t kNodeSlotSize = crypto::kAesIvSize + kNodePlainSize;
+
+/// End-of-chain sentinel address.
+constexpr std::uint64_t kEndOfChain = ~0ull;
+
+Bytes encode_node(ir::FileId id, BytesView score_blob, std::uint64_t next_addr,
+                  BytesView next_key) {
+  Bytes plain(kFlagSize, 0x00);
+  append_u64(plain, ir::value(id));
+  append(plain, score_blob);
+  append_u64(plain, next_addr);
+  append(plain, next_key);
+  return plain;
+}
+
+struct DecodedNode {
+  ir::FileId file{};
+  Bytes score_blob;
+  std::uint64_t next_addr = kEndOfChain;
+  Bytes next_key;
+};
+
+std::optional<DecodedNode> decode_node(BytesView node_key, BytesView slot) {
+  if (slot.size() != kNodeSlotSize) throw ParseError("sse1: bad slot size");
+  const Bytes plain = crypto::aes_ctr_decrypt(node_key, slot);
+  const bool valid = std::all_of(plain.begin(), plain.begin() + kFlagSize,
+                                 [](std::uint8_t b) { return b == 0; });
+  if (!valid) return std::nullopt;
+  ByteReader reader(BytesView(plain).subspan(kFlagSize));
+  DecodedNode node;
+  node.file = ir::file_id(reader.read_u64());
+  node.score_blob = reader.read(kScoreBlobSize);
+  node.next_addr = reader.read_u64();
+  node.next_key = reader.read(kNodeKeySize);
+  return node;
+}
+
+}  // namespace
+
+Sse1Index::Sse1Index(std::vector<Bytes> array, std::map<Bytes, Bytes> lookup)
+    : array_(std::move(array)), lookup_(std::move(lookup)) {
+  for (const Bytes& slot : array_)
+    detail::require(slot.size() == kNodeSlotSize, "Sse1Index: ragged slot");
+}
+
+std::vector<Sse1Posting> Sse1Index::search(const sse::Trapdoor& trapdoor) const {
+  std::vector<Sse1Posting> out;
+  const auto it = lookup_.find(trapdoor.label);
+  if (it == lookup_.end()) return out;
+  // T entry: Enc_{f_y(w)}(first addr || first key).
+  Bytes head;
+  try {
+    head = crypto::aes_ctr_decrypt(trapdoor.list_key, it->second);
+  } catch (const Error&) {
+    return out;  // wrong trapdoor key
+  }
+  if (head.size() != 8 + kNodeKeySize) return out;
+  ByteReader reader(head);
+  std::uint64_t addr = reader.read_u64();
+  Bytes node_key = reader.read(kNodeKeySize);
+
+  // Bounded walk: a genuine chain never exceeds the array size, so a
+  // forged/corrupted chain cannot loop forever.
+  for (std::size_t steps = 0; steps <= array_.size(); ++steps) {
+    if (addr == kEndOfChain) return out;
+    if (addr >= array_.size()) return out;  // corrupted pointer: stop
+    const auto node = decode_node(node_key, array_[addr]);
+    if (!node) return out;  // wrong key or slack slot: stop
+    out.push_back(Sse1Posting{node->file, node->score_blob});
+    addr = node->next_addr;
+    node_key = node->next_key;
+  }
+  return out;
+}
+
+std::uint64_t Sse1Index::byte_size() const {
+  std::uint64_t total = array_.size() * kNodeSlotSize;
+  for (const auto& [label, entry] : lookup_) total += label.size() + entry.size();
+  return total;
+}
+
+Bytes Sse1Index::serialize() const {
+  Bytes out;
+  append_u64(out, array_.size());
+  for (const Bytes& slot : array_) append(out, slot);
+  append_u64(out, lookup_.size());
+  for (const auto& [label, entry] : lookup_) {
+    append_lp(out, label);
+    append_lp(out, entry);
+  }
+  return out;
+}
+
+Sse1Index Sse1Index::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  const std::uint64_t num_slots = reader.read_count(kNodeSlotSize);
+  std::vector<Bytes> array;
+  array.reserve(num_slots);
+  for (std::uint64_t i = 0; i < num_slots; ++i) array.push_back(reader.read(kNodeSlotSize));
+  const std::uint64_t num_entries = reader.read_count(8);
+  std::map<Bytes, Bytes> lookup;
+  for (std::uint64_t i = 0; i < num_entries; ++i) {
+    Bytes label = reader.read_lp();
+    Bytes entry = reader.read_lp();
+    lookup.emplace(std::move(label), std::move(entry));
+  }
+  if (!reader.exhausted()) throw ParseError("Sse1Index: trailing bytes");
+  return Sse1Index(std::move(array), std::move(lookup));
+}
+
+CurtmolaSse1::CurtmolaSse1(Bytes x, Bytes y, Bytes z, std::size_t p_bits,
+                           ir::AnalyzerOptions analyzer_options, double slack_factor)
+    : x_(std::move(x)),
+      y_(std::move(y)),
+      z_(std::move(z)),
+      p_bits_(p_bits),
+      analyzer_(analyzer_options),
+      slack_factor_(slack_factor) {
+  detail::require(!x_.empty() && !y_.empty() && !z_.empty(),
+                  "CurtmolaSse1: empty key component");
+  detail::require(slack_factor >= 1.0, "CurtmolaSse1: slack factor below 1");
+}
+
+sse::Trapdoor CurtmolaSse1::trapdoor(std::string_view keyword) const {
+  const std::string normalized = analyzer_.normalize_keyword(keyword);
+  detail::require(!normalized.empty(),
+                  "CurtmolaSse1::trapdoor: keyword vanishes under normalization");
+  return sse::Trapdoor{crypto::KeyedHash(x_, p_bits_).hash(normalized),
+                       crypto::Prf(y_).derive(normalized)};
+}
+
+double CurtmolaSse1::decrypt_score(BytesView encrypted_score) const {
+  const Bytes plain =
+      crypto::aes_ctr_decrypt(crypto::Prf(z_).derive("score-key"), encrypted_score);
+  if (plain.size() != 8) throw ParseError("CurtmolaSse1: bad score payload");
+  ByteReader reader(plain);
+  return std::bit_cast<double>(reader.read_u64());
+}
+
+Sse1Index CurtmolaSse1::build_index(const ir::Corpus& corpus) const {
+  const auto inverted = ir::InvertedIndex::build(corpus, analyzer_);
+  std::uint64_t total_postings = 0;
+  for (const std::string& term : inverted.terms())
+    total_postings += inverted.postings(term)->size();
+  detail::require(total_postings > 0, "CurtmolaSse1: empty collection");
+
+  const auto array_size = static_cast<std::size_t>(
+      static_cast<double>(total_postings) * slack_factor_);
+
+  // Random distinct placement: a shuffled permutation of the slots, with
+  // the first `total_postings` positions consumed in order. (CSPRNG-
+  // driven Fisher-Yates: placement must be unpredictable to the server.)
+  std::vector<std::uint64_t> positions(array_size);
+  for (std::size_t i = 0; i < array_size; ++i) positions[i] = i;
+  for (std::size_t i = array_size - 1; i > 0; --i) {
+    const std::uint64_t j = crypto::random_u64() % (i + 1);
+    std::swap(positions[i], positions[j]);
+  }
+
+  const Bytes score_key = crypto::Prf(z_).derive("score-key");
+  std::vector<Bytes> array(array_size);
+  std::map<Bytes, Bytes> lookup;
+  std::size_t next_position = 0;
+
+  for (const std::string& term : inverted.terms()) {
+    const auto* postings = inverted.postings(term);
+    const std::size_t n = postings->size();
+    // Per-node keys K_1..K_n and positions for this chain.
+    std::vector<Bytes> node_keys(n);
+    std::vector<std::uint64_t> addresses(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      node_keys[j] = crypto::random_bytes(kNodeKeySize);
+      addresses[j] = positions[next_position++];
+    }
+    // Build back to front so each node knows its successor.
+    for (std::size_t j = n; j-- > 0;) {
+      const ir::Posting& posting = (*postings)[j];
+      const double score =
+          ir::score_single_keyword(posting.tf, inverted.doc_length(posting.file));
+      Bytes score_plain;
+      append_u64(score_plain, std::bit_cast<std::uint64_t>(score));
+      const Bytes score_blob = crypto::aes_ctr_encrypt(score_key, score_plain);
+      const std::uint64_t next_addr = j + 1 < n ? addresses[j + 1] : kEndOfChain;
+      const Bytes next_key =
+          j + 1 < n ? node_keys[j + 1] : Bytes(kNodeKeySize, 0x00);
+      const Bytes plain = encode_node(posting.file, score_blob, next_addr, next_key);
+      array[addresses[j]] = crypto::aes_ctr_encrypt(node_keys[j], plain);
+    }
+    // T entry: head address + head key under f_y(w).
+    Bytes head;
+    append_u64(head, addresses[0]);
+    append(head, node_keys[0]);
+    lookup.emplace(crypto::KeyedHash(x_, p_bits_).hash(term),
+                   crypto::aes_ctr_encrypt(crypto::Prf(y_).derive(term), head));
+  }
+  // Slack slots: random bytes, indistinguishable from nodes.
+  for (Bytes& slot : array) {
+    if (slot.empty()) slot = crypto::random_bytes(kNodeSlotSize);
+  }
+  return Sse1Index(std::move(array), std::move(lookup));
+}
+
+}  // namespace rsse::baseline

@@ -1,0 +1,94 @@
+// Curtmola-Garay-Kamara-Ostrovsky SSE-1 (CCS'06) — reference [10], the
+// construction whose security definition the paper's Basic Scheme
+// inherits ("the most simplified version of searchable symmetric
+// encryption that satisfies the non-adaptive security definition of
+// [10]"). We implement the real SSE-1 structure, not the simplification:
+//
+//  * array A: every posting of every keyword is one fixed-size node,
+//    placed at a RANDOM position of a single global array; a node holds
+//    (file id, score blob, next-node address, next-node key) and is
+//    encrypted under a per-node key carried by its predecessor, so the
+//    lists are encrypted linked chains threaded invisibly through A;
+//  * look-up table T: pi_x(w) -> (address + key of the first node),
+//    encrypted under f_y(w).
+//
+// Compared with the per-row padded index the two main schemes use, SSE-1
+// stores exactly Sigma N_i nodes (plus slack) instead of m * nu entries —
+// the index-size side of the trade-off bench_related_schemes reports.
+// Searching still reveals only the chain of the queried keyword.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "ir/analyzer.h"
+#include "ir/document.h"
+#include "sse/types.h"
+#include "util/bytes.h"
+
+namespace rsse::baseline {
+
+/// One decrypted posting from a chain walk.
+struct Sse1Posting {
+  ir::FileId file{};
+  Bytes encrypted_score;  ///< E_z(S), user-decryptable like the Basic Scheme
+
+  friend bool operator==(const Sse1Posting&, const Sse1Posting&) = default;
+};
+
+/// The outsourced SSE-1 structure: array A plus look-up table T.
+class Sse1Index {
+ public:
+  Sse1Index(std::vector<Bytes> array, std::map<Bytes, Bytes> lookup);
+
+  /// Server-side search: unlock the T entry with the trapdoor, then walk
+  /// and decrypt the chain. Returns empty when the label is unknown.
+  [[nodiscard]] std::vector<Sse1Posting> search(const sse::Trapdoor& trapdoor) const;
+
+  /// Number of array slots (genuine nodes + slack).
+  [[nodiscard]] std::size_t array_size() const { return array_.size(); }
+
+  /// Total bytes (array + table) — the storage comparison number.
+  [[nodiscard]] std::uint64_t byte_size() const;
+
+  [[nodiscard]] Bytes serialize() const;
+  static Sse1Index deserialize(BytesView blob);
+
+ private:
+  std::vector<Bytes> array_;       // fixed-size encrypted nodes
+  std::map<Bytes, Bytes> lookup_;  // pi_x(w) -> Enc_{f_y(w)}(addr || key)
+};
+
+/// Owner/user-side algorithms.
+class CurtmolaSse1 {
+ public:
+  /// Binds to the same master-key components the other schemes use
+  /// (x: labels, y: T-entry keys, z: score encryption) and the shared
+  /// analyzer. `slack_factor` >= 1 scales the array beyond the posting
+  /// count so occupancy doesn't reveal the exact total.
+  CurtmolaSse1(Bytes x, Bytes y, Bytes z, std::size_t p_bits = 160,
+               ir::AnalyzerOptions analyzer_options = {}, double slack_factor = 1.25);
+
+  /// BuildIndex: one array node per (keyword, file) posting, random
+  /// placement, chained per keyword.
+  [[nodiscard]] Sse1Index build_index(const ir::Corpus& corpus) const;
+
+  /// TrapdoorGen — same (pi_x(w), f_y(w)) shape as the main schemes.
+  [[nodiscard]] sse::Trapdoor trapdoor(std::string_view keyword) const;
+
+  /// User side: decrypts a score blob (same E_z as the Basic Scheme).
+  [[nodiscard]] double decrypt_score(BytesView encrypted_score) const;
+
+ private:
+  Bytes x_;
+  Bytes y_;
+  Bytes z_;
+  std::size_t p_bits_;
+  ir::Analyzer analyzer_;
+  double slack_factor_;
+};
+
+}  // namespace rsse::baseline

@@ -1,0 +1,65 @@
+#include "baseline/goh_index.h"
+
+#include <set>
+
+#include "crypto/hmac_sha256.h"
+#include "util/errors.h"
+
+namespace rsse::baseline {
+
+std::vector<ir::FileId> GohIndex::search(BytesView trapdoor) const {
+  std::vector<ir::FileId> hits;
+  for (const Entry& entry : entries_) {
+    if (entry.filter.maybe_contains(GohScheme::codeword(trapdoor, entry.file)))
+      hits.push_back(entry.file);
+  }
+  return hits;
+}
+
+std::uint64_t GohIndex::byte_size() const {
+  std::uint64_t total = 0;
+  for (const Entry& entry : entries_) total += entry.filter.num_bits() / 8;
+  return total;
+}
+
+GohScheme::GohScheme(Bytes key, ir::AnalyzerOptions analyzer_options,
+                     double target_fp_rate)
+    : key_(std::move(key)), analyzer_(analyzer_options), target_fp_rate_(target_fp_rate) {
+  detail::require(!key_.empty(), "GohScheme: empty key");
+  detail::require(target_fp_rate > 0.0 && target_fp_rate < 1.0,
+                  "GohScheme: fp rate outside (0,1)");
+}
+
+Bytes GohScheme::trapdoor(std::string_view keyword) const {
+  const std::string normalized = analyzer_.normalize_keyword(keyword);
+  detail::require(!normalized.empty(),
+                  "GohScheme::trapdoor: keyword vanishes under normalization");
+  const auto tag = crypto::hmac_sha256(key_, to_bytes(normalized));
+  return Bytes(tag.begin(), tag.end());
+}
+
+Bytes GohScheme::codeword(BytesView trapdoor, ir::FileId id) {
+  Bytes label;
+  append_u64(label, ir::value(id));
+  const auto tag = crypto::hmac_sha256(trapdoor, label);
+  return Bytes(tag.begin(), tag.end());
+}
+
+GohIndex GohScheme::build_index(const ir::Corpus& corpus) const {
+  std::vector<GohIndex::Entry> entries;
+  entries.reserve(corpus.size());
+  for (const ir::Document& doc : corpus.documents()) {
+    const std::vector<std::string> terms = analyzer_.analyze(doc.text);
+    const std::set<std::string> distinct(terms.begin(), terms.end());
+    BloomFilter filter = BloomFilter::with_capacity(
+        std::max<std::size_t>(1, distinct.size()), target_fp_rate_);
+    for (const std::string& term : distinct) {
+      const auto tag = crypto::hmac_sha256(key_, to_bytes(term));
+      filter.insert(codeword(BytesView(tag.data(), tag.size()), doc.id));
+    }
+    entries.push_back(GohIndex::Entry{doc.id, std::move(filter)});
+  }
+  return GohIndex(std::move(entries));
+}
+
+}  // namespace rsse::baseline

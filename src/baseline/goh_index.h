@@ -1,0 +1,76 @@
+// Goh's secure index (Z-IDX, ePrint 2003/216) — the paper's reference
+// [7]. One Bloom filter per file; search cost is linear in the NUMBER OF
+// FILES (vs linear in total words for SWP, vs one row lookup for the
+// Curtmola-style index both of our main schemes use). Boolean search
+// only — no ranking — which is exactly the gap the paper's Sec. I/VII
+// argues RSSE fills.
+//
+// Construction per file F with identifier id:
+//   trapdoor(w)  = HMAC(key, w)
+//   codeword     = HMAC(trapdoor, id)      (file-specific, so identical
+//                                           words differ across filters)
+//   insert codeword into F's Bloom filter.
+// Search: the user reveals trapdoor(w); the server derives each file's
+// codeword (ids are public) and tests its filter. Bloom false positives
+// are possible by design; the rate is a build-time parameter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "baseline/bloom_filter.h"
+#include "ir/analyzer.h"
+#include "ir/document.h"
+#include "util/bytes.h"
+
+namespace rsse::baseline {
+
+/// The per-collection Goh index held by the server.
+class GohIndex {
+ public:
+  /// One file's filter.
+  struct Entry {
+    ir::FileId file{};
+    BloomFilter filter;
+  };
+
+  explicit GohIndex(std::vector<Entry> entries) : entries_(std::move(entries)) {}
+
+  /// Server-side search: test every file's filter (O(n files)).
+  [[nodiscard]] std::vector<ir::FileId> search(BytesView trapdoor) const;
+
+  /// Number of indexed files.
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Total filter bytes (index-size comparisons).
+  [[nodiscard]] std::uint64_t byte_size() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Owner/user-side algorithms.
+class GohScheme {
+ public:
+  /// Binds the scheme to a key and the shared analyzer pipeline.
+  GohScheme(Bytes key, ir::AnalyzerOptions analyzer_options = {},
+            double target_fp_rate = 0.01);
+
+  /// Builds the per-file Bloom index for the collection.
+  [[nodiscard]] GohIndex build_index(const ir::Corpus& corpus) const;
+
+  /// Trapdoor(w): what the user reveals to search.
+  [[nodiscard]] Bytes trapdoor(std::string_view keyword) const;
+
+  /// The codeword inserted for (trapdoor, id) — exposed for tests.
+  static Bytes codeword(BytesView trapdoor, ir::FileId id);
+
+ private:
+  Bytes key_;
+  ir::Analyzer analyzer_;
+  double target_fp_rate_;
+};
+
+}  // namespace rsse::baseline

@@ -1,0 +1,18 @@
+#include "baseline/plaintext_search.h"
+
+namespace rsse::baseline {
+
+PlaintextSearchEngine::PlaintextSearchEngine(const ir::Corpus& corpus,
+                                             ir::AnalyzerOptions analyzer_options)
+    : analyzer_(analyzer_options), index_(ir::InvertedIndex::build(corpus, analyzer_)) {}
+
+std::vector<ir::ScoredPosting> PlaintextSearchEngine::search(std::string_view keyword,
+                                                             std::size_t top_k) const {
+  const std::string normalized = analyzer_.normalize_keyword(keyword);
+  if (normalized.empty()) return {};
+  std::vector<ir::ScoredPosting> ranked = index_.ranked_postings(normalized);
+  if (top_k > 0 && ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+}  // namespace rsse::baseline

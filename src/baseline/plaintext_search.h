@@ -1,0 +1,36 @@
+// Plaintext ranked search: the no-crypto reference point. The paper
+// claims RSSE top-k retrieval is "almost as efficient as on unencrypted
+// data" (Sec. VI-C2); bench_fig8_topk_search runs this engine next to the
+// RSSE server to substantiate the claim.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "ir/analyzer.h"
+#include "ir/document.h"
+#include "ir/inverted_index.h"
+
+namespace rsse::baseline {
+
+/// An unencrypted ranked-retrieval engine over a corpus.
+class PlaintextSearchEngine {
+ public:
+  /// Indexes the corpus through `analyzer_options` (same pipeline as the
+  /// encrypted schemes, for a fair comparison).
+  explicit PlaintextSearchEngine(const ir::Corpus& corpus,
+                                 ir::AnalyzerOptions analyzer_options = {});
+
+  /// Top-k ranked retrieval (0 = all), eq. 2 scoring, best first.
+  [[nodiscard]] std::vector<ir::ScoredPosting> search(std::string_view keyword,
+                                                      std::size_t top_k = 0) const;
+
+  /// The underlying index (benches reuse its statistics).
+  [[nodiscard]] const ir::InvertedIndex& index() const { return index_; }
+
+ private:
+  ir::Analyzer analyzer_;
+  ir::InvertedIndex index_;
+};
+
+}  // namespace rsse::baseline

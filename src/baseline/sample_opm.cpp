@@ -1,0 +1,63 @@
+#include "baseline/sample_opm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/tapegen.h"
+#include "util/errors.h"
+
+namespace rsse::baseline {
+
+SampleOpm::SampleOpm(std::vector<double> training_scores, std::size_t knots,
+                     std::uint64_t range_size, Bytes key)
+    : num_knots_(knots), range_size_(range_size), key_(std::move(key)) {
+  detail::require(knots >= 2, "SampleOpm: need at least two knots");
+  detail::require(range_size >= knots, "SampleOpm: range smaller than knot count");
+  detail::require(!key_.empty(), "SampleOpm: empty key");
+  retrain(std::move(training_scores));
+}
+
+void SampleOpm::retrain(std::vector<double> training_scores) {
+  detail::require(!training_scores.empty(), "SampleOpm: empty training sample");
+  std::sort(training_scores.begin(), training_scores.end());
+  knots_.clear();
+  knots_.reserve(num_knots_);
+  for (std::size_t i = 0; i < num_knots_; ++i) {
+    const std::size_t pos = i * (training_scores.size() - 1) / (num_knots_ - 1);
+    knots_.push_back(training_scores[pos]);
+  }
+  // Degenerate training samples can produce equal knots; nudge them apart
+  // so the CDF stays strictly increasing and invertible.
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (knots_[i] <= knots_[i - 1])
+      knots_[i] = std::nextafter(knots_[i - 1], std::numeric_limits<double>::max());
+  }
+}
+
+double SampleOpm::cdf(double score) const {
+  if (score <= knots_.front()) return 0.0;
+  if (score >= knots_.back()) return 1.0;
+  const auto it = std::upper_bound(knots_.begin(), knots_.end(), score);
+  const auto hi = static_cast<std::size_t>(std::distance(knots_.begin(), it));
+  const std::size_t lo = hi - 1;
+  const double cell = 1.0 / static_cast<double>(num_knots_ - 1);
+  const double frac = (score - knots_[lo]) / (knots_[hi] - knots_[lo]);
+  return (static_cast<double>(lo) + frac) * cell;
+}
+
+std::uint64_t SampleOpm::map(double score, std::uint64_t tiebreak) const {
+  const double u = cdf(score);
+  // Deterministic base position plus keyed jitter within half a CDF cell,
+  // keeping the mapping order-preserving at knot granularity.
+  const double cell = 1.0 / static_cast<double>(num_knots_ - 1);
+  const auto base = static_cast<std::uint64_t>(u * static_cast<double>(range_size_ - 1));
+  const auto jitter_span = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(cell * static_cast<double>(range_size_) / 2.0));
+  Bytes ctx;
+  append_u64(ctx, base);
+  append_u64(ctx, tiebreak);
+  crypto::Tape tape(key_, ctx);
+  return 1 + base + tape.uniform_below(jitter_span);
+}
+
+}  // namespace rsse::baseline

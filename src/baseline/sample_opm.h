@@ -1,0 +1,53 @@
+// Sampling/training-based order-preserving transform, after Zerr et al.
+// "Zerber+r: top-k retrieval from a confidential index" (EDBT'09) — the
+// paper's reference [16].
+//
+// The owner pre-samples the relevance scores it will outsource, fits a
+// piecewise-linear empirical CDF, and maps each score s to approximately
+// round(CDF(s) * range): the output is uniformized ("flattened") exactly
+// because the transform encodes the training distribution. As with
+// BucketOpm, that coupling is the weakness the paper exploits: scores
+// from a drifted distribution require re-training, which moves every
+// previously mapped value, whereas the OPM's buckets are distribution-
+// independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rsse::baseline {
+
+/// The [16]-style transform.
+class SampleOpm {
+ public:
+  /// Trains the empirical CDF on `training_scores` (non-empty) with
+  /// `knots` interpolation points, mapping into {1..range_size}. `key`
+  /// seeds the sub-range jitter.
+  SampleOpm(std::vector<double> training_scores, std::size_t knots,
+            std::uint64_t range_size, Bytes key);
+
+  /// Maps a score order-preservingly: CDF position scaled to the range,
+  /// plus keyed jitter within the local CDF cell; `tiebreak` varies the
+  /// jitter per file.
+  [[nodiscard]] std::uint64_t map(double score, std::uint64_t tiebreak) const;
+
+  /// Re-trains on a new sample (forced when the distribution drifts).
+  void retrain(std::vector<double> training_scores);
+
+  /// Empirical CDF value of `score` in [0,1], piecewise-linear between
+  /// the training knots.
+  [[nodiscard]] double cdf(double score) const;
+
+  /// The training knots (score values at equally spaced quantiles).
+  [[nodiscard]] const std::vector<double>& knots() const { return knots_; }
+
+ private:
+  std::size_t num_knots_;
+  std::uint64_t range_size_;
+  Bytes key_;
+  std::vector<double> knots_;  // ascending; knots_[i] ~ quantile i/(K-1)
+};
+
+}  // namespace rsse::baseline

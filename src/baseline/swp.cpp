@@ -1,0 +1,108 @@
+#include "baseline/swp.h"
+
+#include "crypto/csprng.h"
+#include "crypto/hmac_sha256.h"
+#include "crypto/prf.h"
+#include "util/errors.h"
+
+namespace rsse::baseline {
+
+namespace {
+
+constexpr std::size_t kHalf = kSwpBlockSize / 2;
+
+Bytes hmac_bytes(BytesView key, BytesView data) {
+  const auto tag = crypto::hmac_sha256(key, data);
+  return Bytes(tag.begin(), tag.end());
+}
+
+// First 16 bytes of HMAC(key, data): the authenticator half of a pad.
+Bytes hmac_half(BytesView key, BytesView data) {
+  Bytes full = hmac_bytes(key, data);
+  full.resize(kHalf);
+  return full;
+}
+
+}  // namespace
+
+SwpScheme::Key SwpScheme::generate_key() {
+  return Key{crypto::random_bytes(32), crypto::random_bytes(32),
+             crypto::random_bytes(32)};
+}
+
+SwpScheme::SwpScheme(Key key) : key_(std::move(key)) {
+  detail::require(!key_.k_prime.empty() && !key_.k_double_prime.empty() &&
+                      !key_.stream_seed.empty(),
+                  "SwpScheme: empty key component");
+}
+
+Bytes SwpScheme::word_encoding(std::string_view word) const {
+  return hmac_bytes(key_.k_prime, to_bytes(word));
+}
+
+Bytes SwpScheme::check_key_for(BytesView left_half) const {
+  return hmac_bytes(key_.k_double_prime, left_half);
+}
+
+Bytes SwpScheme::stream_half(ir::FileId id, std::uint64_t position) const {
+  Bytes label;
+  append_u64(label, ir::value(id));
+  append_u64(label, position);
+  return hmac_half(key_.stream_seed, label);
+}
+
+std::vector<Bytes> SwpScheme::encrypt_words(ir::FileId id,
+                                            const std::vector<std::string>& words) const {
+  std::vector<Bytes> blocks;
+  blocks.reserve(words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const Bytes x = word_encoding(words[i]);
+    const BytesView left(x.data(), kHalf);
+    const Bytes k_w = check_key_for(left);
+    const Bytes s = stream_half(id, i);
+    Bytes pad = s;
+    append(pad, hmac_half(k_w, s));
+    Bytes block(kSwpBlockSize);
+    for (std::size_t b = 0; b < kSwpBlockSize; ++b) block[b] = x[b] ^ pad[b];
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+SwpToken SwpScheme::token(std::string_view word) const {
+  const Bytes x = word_encoding(word);
+  const BytesView left(x.data(), kHalf);
+  return SwpToken{x, check_key_for(left)};
+}
+
+std::vector<std::uint64_t> SwpScheme::search_document(const std::vector<Bytes>& blocks,
+                                                      const SwpToken& token) {
+  detail::require(token.word_encoding.size() == kSwpBlockSize,
+                  "SwpScheme::search: bad token");
+  std::vector<std::uint64_t> positions;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const Bytes& block = blocks[i];
+    if (block.size() != kSwpBlockSize) throw ParseError("SwpScheme: bad block size");
+    Bytes pad(kSwpBlockSize);
+    for (std::size_t b = 0; b < kSwpBlockSize; ++b)
+      pad[b] = block[b] ^ token.word_encoding[b];
+    const BytesView s(pad.data(), kHalf);
+    const BytesView t(pad.data() + kHalf, kHalf);
+    if (constant_time_equal(hmac_half(token.check_key, s), t))
+      positions.push_back(i);
+  }
+  return positions;
+}
+
+std::vector<SwpMatch> SwpScheme::search(
+    const std::map<std::uint64_t, std::vector<Bytes>>& collection,
+    const SwpToken& token) {
+  std::vector<SwpMatch> matches;
+  for (const auto& [id, blocks] : collection) {
+    for (std::uint64_t pos : search_document(blocks, token))
+      matches.push_back(SwpMatch{ir::file_id(id), pos});
+  }
+  return matches;
+}
+
+}  // namespace rsse::baseline

@@ -1,0 +1,90 @@
+// Song-Wagner-Perrig searchable encryption (S&P 2000) — the paper's
+// reference [6] and the first searchable-encryption construction. Boolean
+// search only, and the search cost is linear in the TOTAL length of the
+// collection: each word position is one ciphertext block the server must
+// test. We implement it as an executable baseline so the related-work
+// bench can show the complexity gap the paper describes (O(total words)
+// for [6] vs O(log m) row lookup for the index-based schemes).
+//
+// Construction (the paper's "final scheme", fixed-width blocks):
+//   X_w       = HMAC(k', w)                   deterministic word encoding
+//   L_w       = first half of X_w
+//   k_w       = HMAC(k'', L_w)                word-specific check key
+//   S_i       = PRF(seed, id || i)            per-position stream half
+//   pad_i     = S_i || HMAC_kw(S_i)
+//   C_i       = X_w XOR pad_i                 stored block for position i
+// Search(w): the user reveals (X_w, k_w); the server XORs each block with
+// X_w and accepts when the right half authenticates the left half under
+// k_w. A non-matching block passes with probability 2^-128.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/document.h"
+#include "util/bytes.h"
+
+namespace rsse::baseline {
+
+/// Size of one SWP ciphertext block (and of X_w) in bytes.
+inline constexpr std::size_t kSwpBlockSize = 32;
+
+/// The search token the user hands the server: (X_w, k_w).
+struct SwpToken {
+  Bytes word_encoding;  ///< X_w
+  Bytes check_key;      ///< k_w
+
+  friend bool operator==(const SwpToken&, const SwpToken&) = default;
+};
+
+/// One match: which position of which file tested positive.
+struct SwpMatch {
+  ir::FileId file{};
+  std::uint64_t position = 0;
+};
+
+/// Owner/user-side algorithms of the SWP scheme.
+class SwpScheme {
+ public:
+  /// Three independent 32-byte keys (k', k'', stream seed).
+  struct Key {
+    Bytes k_prime;
+    Bytes k_double_prime;
+    Bytes stream_seed;
+  };
+
+  /// Draws a fresh key from the CSPRNG.
+  static Key generate_key();
+
+  explicit SwpScheme(Key key);
+
+  /// Encrypts one document's word sequence (already analyzer-normalized)
+  /// into its per-position block sequence.
+  [[nodiscard]] std::vector<Bytes> encrypt_words(ir::FileId id,
+                                                 const std::vector<std::string>& words) const;
+
+  /// Builds the search token for a (normalized) word.
+  [[nodiscard]] SwpToken token(std::string_view word) const;
+
+  /// Server side: scans every block of every file (linear in collection
+  /// length) and returns the matching positions.
+  static std::vector<SwpMatch> search(
+      const std::map<std::uint64_t, std::vector<Bytes>>& collection,
+      const SwpToken& token);
+
+  /// Server side, single document scan.
+  static std::vector<std::uint64_t> search_document(const std::vector<Bytes>& blocks,
+                                                    const SwpToken& token);
+
+ private:
+  [[nodiscard]] Bytes word_encoding(std::string_view word) const;
+  [[nodiscard]] Bytes check_key_for(BytesView left_half) const;
+  [[nodiscard]] Bytes stream_half(ir::FileId id, std::uint64_t position) const;
+
+  Key key_;
+};
+
+}  // namespace rsse::baseline

@@ -1,0 +1,60 @@
+#include "cloud/auth.h"
+
+#include "crypto/aes_gcm.h"
+#include "crypto/prf.h"
+#include "util/errors.h"
+
+namespace rsse::cloud {
+
+Bytes UserCredentials::serialize() const {
+  Bytes out;
+  append_lp(out, x);
+  append_lp(out, y);
+  append_lp(out, score_key);
+  append_lp(out, file_master);
+  append_u64(out, params.key_bits);
+  append_u64(out, params.p_bits);
+  append_u64(out, params.score_levels);
+  append_u64(out, params.range_bits);
+  return out;
+}
+
+UserCredentials UserCredentials::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  UserCredentials c;
+  c.x = reader.read_lp();
+  c.y = reader.read_lp();
+  c.score_key = reader.read_lp();
+  c.file_master = reader.read_lp();
+  c.params.key_bits = reader.read_u64();
+  c.params.p_bits = reader.read_u64();
+  c.params.score_levels = reader.read_u64();
+  c.params.range_bits = reader.read_u64();
+  if (!reader.exhausted()) throw ParseError("UserCredentials: trailing bytes");
+  return c;
+}
+
+UserCredentials AuthorizationService::make_credentials(const sse::MasterKey& key,
+                                                       const Bytes& file_master) {
+  UserCredentials c;
+  c.x = key.x;
+  c.y = key.y;
+  // Mirrors BasicScheme::score_key(): E_z's concrete key, not z itself.
+  c.score_key = crypto::Prf(key.z).derive("score-key");
+  c.file_master = file_master;
+  c.params = key.params;
+  return c;
+}
+
+Bytes AuthorizationService::issue(BytesView user_key, std::string_view user_name,
+                                  const UserCredentials& credentials) {
+  return crypto::aes_gcm_encrypt(user_key, credentials.serialize(), to_bytes(user_name));
+}
+
+UserCredentials AuthorizationService::open(BytesView user_key, std::string_view user_name,
+                                           BytesView sealed) {
+  const Bytes plain = crypto::aes_gcm_decrypt(user_key, sealed, to_bytes(user_name));
+  return UserCredentials::deserialize(plain);
+}
+
+}  // namespace rsse::cloud

@@ -1,0 +1,55 @@
+// User authorization (Sec. II-A: "we assume the authorization between the
+// data owner and users is appropriately done"; Setup: "distribute the
+// necessary secret parameters to a group of authorized users by employing
+// off-the-shelf public key cryptography or ... broadcast encryption").
+//
+// We model the distribution concretely but simply: each enrolled user
+// shares a personal 32-byte key with the owner (standing in for the PKI
+// channel), and the owner seals a credential bundle to that key with
+// AES-GCM. The bundle deliberately contains only what a *user* needs —
+// the trapdoor keys, the Basic-Scheme score key, and the file master —
+// never the OPM key root z, so a user cannot recompute score mappings.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "sse/keys.h"
+#include "util/bytes.h"
+
+namespace rsse::cloud {
+
+/// What an authorized user holds.
+struct UserCredentials {
+  Bytes x;           ///< trapdoor label key
+  Bytes y;           ///< trapdoor list key root
+  Bytes score_key;   ///< Basic Scheme score decryption key (derived from z)
+  Bytes file_master; ///< file decryption root
+  sse::SystemParams params;
+
+  [[nodiscard]] Bytes serialize() const;
+  static UserCredentials deserialize(BytesView blob);
+
+  friend bool operator==(const UserCredentials&, const UserCredentials&) = default;
+};
+
+/// Owner-side enrollment service.
+class AuthorizationService {
+ public:
+  /// Builds the user-facing credential bundle from the owner's master key
+  /// and file master (score_key is derived, z itself never leaves).
+  static UserCredentials make_credentials(const sse::MasterKey& key,
+                                          const Bytes& file_master);
+
+  /// Seals credentials to a user's personal key (AES-GCM, the user name
+  /// as associated data).
+  static Bytes issue(BytesView user_key, std::string_view user_name,
+                     const UserCredentials& credentials);
+
+  /// User side: opens a sealed bundle. Throws CryptoError on tampering or
+  /// a wrong key.
+  static UserCredentials open(BytesView user_key, std::string_view user_name,
+                              BytesView sealed);
+};
+
+}  // namespace rsse::cloud

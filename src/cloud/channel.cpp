@@ -1,0 +1,11 @@
+#include "cloud/channel.h"
+
+namespace rsse::cloud {
+
+Bytes Channel::call(MessageType type, BytesView request) {
+  Bytes response = server_.handle(type, request);
+  account(request.size() + 1, response.size());  // +1: the type byte
+  return response;
+}
+
+}  // namespace rsse::cloud

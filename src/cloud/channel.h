@@ -1,0 +1,69 @@
+// The accounted user<->server channel.
+//
+// Every call crosses the channel as serialized bytes and increments the
+// round-trip counter, so the Basic-vs-RSSE ablation can report exactly
+// the two costs the paper argues about: bandwidth (Sec. I: "unnecessary
+// network traffic ... in today's pay-as-you-use cloud paradigm") and the
+// Basic Scheme's extra round trip (Sec. III-C discussion).
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/cloud_server.h"
+
+namespace rsse::cloud {
+
+/// Cumulative traffic statistics of one channel.
+struct ChannelStats {
+  std::uint64_t round_trips = 0;
+  std::uint64_t bytes_up = 0;    ///< user -> server (requests)
+  std::uint64_t bytes_down = 0;  ///< server -> user (responses)
+
+  /// Total bytes in both directions.
+  [[nodiscard]] std::uint64_t total_bytes() const { return bytes_up + bytes_down; }
+};
+
+/// Abstract user->server transport. DataUser talks through this, so the
+/// same client code runs over the in-process channel (below) or a real
+/// TCP connection (net/remote_channel.h).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Performs one RPC: callers hand in the already-serialized request
+  /// and receive the serialized response. Implementations must count
+  /// the traffic via account().
+  virtual Bytes call(MessageType type, BytesView request) = 0;
+
+  /// Counters since construction or the last reset().
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+
+  /// Zeroes the counters (per-experiment accounting).
+  void reset() { stats_ = {}; }
+
+ protected:
+  /// Records one round trip of `up` request bytes and `down` response
+  /// bytes.
+  void account(std::uint64_t up, std::uint64_t down) {
+    stats_.bytes_up += up;
+    stats_.bytes_down += down;
+    ++stats_.round_trips;
+  }
+
+ private:
+  ChannelStats stats_;
+};
+
+/// The in-process transport: directly invokes a CloudServer instance,
+/// counting every byte that would cross the wire.
+class Channel final : public Transport {
+ public:
+  explicit Channel(const CloudServer& server) : server_(server) {}
+
+  Bytes call(MessageType type, BytesView request) override;
+
+ private:
+  const CloudServer& server_;
+};
+
+}  // namespace rsse::cloud

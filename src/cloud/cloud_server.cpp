@@ -1,0 +1,173 @@
+#include "cloud/cloud_server.h"
+
+#include "ext/disjunctive.h"
+
+#include "util/errors.h"
+
+namespace rsse::cloud {
+
+void CloudServer::store(sse::SecureIndex index, std::map<std::uint64_t, Bytes> files) {
+  {
+    const std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    index_ = std::move(index);
+    files_ = std::move(files);
+  }
+  clear_rank_cache();
+}
+
+void CloudServer::update_index(const std::function<void(sse::SecureIndex&)>& mutate) {
+  {
+    const std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    mutate(index_);
+  }
+  clear_rank_cache();
+}
+
+void CloudServer::set_rank_cache_enabled(bool enabled) {
+  cache_enabled_ = enabled;
+  if (!enabled) clear_rank_cache();
+}
+
+void CloudServer::clear_rank_cache() {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  rank_cache_.clear();
+}
+
+std::vector<sse::RankedSearchEntry> CloudServer::ranked_entries(
+    const sse::Trapdoor& trapdoor, std::size_t top_k) const {
+  if (!cache_enabled_) {
+    const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    return sse::RsseScheme::search(index_, trapdoor, top_k);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = rank_cache_.find(trapdoor.label);
+    if (it != rank_cache_.end()) {
+      ++cache_hits_;
+      std::vector<sse::RankedSearchEntry> out = it->second;
+      if (top_k > 0 && out.size() > top_k) out.resize(top_k);
+      return out;
+    }
+    ++cache_misses_;
+  }
+  // Rank the full row once (top_k = 0), cache it, then truncate.
+  std::vector<sse::RankedSearchEntry> full;
+  {
+    const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    full = sse::RsseScheme::search(index_, trapdoor, 0);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    rank_cache_[trapdoor.label] = full;
+  }
+  if (top_k > 0 && full.size() > top_k) full.resize(top_k);
+  return full;
+}
+
+void CloudServer::store_file(std::uint64_t id, Bytes blob) {
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  files_[id] = std::move(blob);
+}
+
+void CloudServer::erase_file(std::uint64_t id) {
+  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  files_.erase(id);
+}
+
+Bytes CloudServer::blob_of(std::uint64_t id) const {
+  const auto it = files_.find(id);
+  return it == files_.end() ? Bytes{} : it->second;
+}
+
+RankedSearchResponse CloudServer::ranked_search(const RankedSearchRequest& req) const {
+  const auto ranked = ranked_entries(req.trapdoor, static_cast<std::size_t>(req.top_k));
+  RankedSearchResponse resp;
+  resp.files.reserve(ranked.size());
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  for (const sse::RankedSearchEntry& e : ranked)
+    resp.files.push_back(RankedFile{e.file, e.opm_score, blob_of(ir::value(e.file))});
+  return resp;
+}
+
+BasicEntriesResponse CloudServer::basic_entries(const BasicEntriesRequest& req) const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return BasicEntriesResponse{sse::BasicScheme::search(index_, req.trapdoor)};
+}
+
+FetchFilesResponse CloudServer::fetch_files(const FetchFilesRequest& req) const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  FetchFilesResponse resp;
+  resp.files.reserve(req.ids.size());
+  for (sse::FileId id : req.ids)
+    resp.files.push_back(RankedFile{id, 0, blob_of(ir::value(id))});
+  return resp;
+}
+
+BasicFilesResponse CloudServer::basic_files(const BasicEntriesRequest& req) const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  BasicFilesResponse resp;
+  for (const sse::BasicSearchEntry& e : sse::BasicScheme::search(index_, req.trapdoor))
+    resp.files.push_back(BasicFile{e.file, e.encrypted_score, blob_of(ir::value(e.file))});
+  return resp;
+}
+
+RankedSearchResponse CloudServer::multi_search(const MultiSearchRequest& req) const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  RankedSearchResponse resp;
+  const auto k = static_cast<std::size_t>(req.top_k);
+  if (req.mode == MultiSearchMode::kConjunctive) {
+    for (const auto& hit : ext::ConjunctiveRsse::search(index_, req.trapdoor, k))
+      resp.files.push_back(
+          RankedFile{hit.file, hit.aggregate_opm, blob_of(ir::value(hit.file))});
+  } else {
+    for (const auto& hit : ext::DisjunctiveRsse::search(index_, req.trapdoor, k))
+      resp.files.push_back(
+          RankedFile{hit.file, hit.aggregate_opm, blob_of(ir::value(hit.file))});
+  }
+  return resp;
+}
+
+std::uint64_t CloudServer::stored_bytes() const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  std::uint64_t total = index_.byte_size();
+  for (const auto& [id, blob] : files_) total += blob.size();
+  return total;
+}
+
+Bytes CloudServer::handle(MessageType type, BytesView payload) const {
+  switch (type) {
+    case MessageType::kRankedSearch: {
+      const auto resp = ranked_search(RankedSearchRequest::deserialize(payload));
+      Bytes out = resp.serialize();
+      metrics_.record_ranked_search(resp.files.size(), out.size());
+      return out;
+    }
+    case MessageType::kBasicEntries: {
+      const auto resp = basic_entries(BasicEntriesRequest::deserialize(payload));
+      Bytes out = resp.serialize();
+      metrics_.record_basic_entries(out.size());
+      return out;
+    }
+    case MessageType::kFetchFiles: {
+      const auto resp = fetch_files(FetchFilesRequest::deserialize(payload));
+      Bytes out = resp.serialize();
+      metrics_.record_fetch(resp.files.size(), out.size());
+      return out;
+    }
+    case MessageType::kBasicFiles: {
+      const auto resp = basic_files(BasicEntriesRequest::deserialize(payload));
+      Bytes out = resp.serialize();
+      metrics_.record_basic_files(resp.files.size(), out.size());
+      return out;
+    }
+    case MessageType::kMultiSearch: {
+      const auto resp = multi_search(MultiSearchRequest::deserialize(payload));
+      Bytes out = resp.serialize();
+      metrics_.record_ranked_search(resp.files.size(), out.size());
+      return out;
+    }
+  }
+  throw ProtocolError("CloudServer: unknown message type");
+}
+
+}  // namespace rsse::cloud

@@ -1,0 +1,121 @@
+// The honest-but-curious cloud server (Sec. II-A).
+//
+// Holds exactly what the owner outsources — the encrypted index I and the
+// encrypted file collection — and answers the protocol's four request
+// types. It follows the protocol faithfully ("honest") and everything it
+// could observe while doing so is available through observable_state()
+// for the leakage tests ("curious").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+#include "cloud/metrics.h"
+#include "cloud/protocol.h"
+#include "sse/secure_index.h"
+
+namespace rsse::cloud {
+
+/// The cloud service endpoint.
+class CloudServer {
+ public:
+  /// Ingests the owner's outsourced data (Setup upload).
+  void store(sse::SecureIndex index, std::map<std::uint64_t, Bytes> files);
+
+  /// Stores/overwrites one encrypted file (dynamics path).
+  void store_file(std::uint64_t id, Bytes blob);
+
+  /// Deletes one encrypted file (dynamics path).
+  void erase_file(std::uint64_t id);
+
+  /// Owner-side in-place index update (the real deployment would ship
+  /// row deltas; cloud/data_owner models that with this closure). Runs
+  /// `mutate` under the exclusive state lock — concurrent searches from
+  /// the network server wait — and invalidates the rank cache.
+  void update_index(const std::function<void(sse::SecureIndex&)>& mutate);
+
+  /// Enables/disables the per-keyword rank cache. Once the server has
+  /// seen a trapdoor it has, by design, learned that row's ranked order
+  /// (the paper's deliberate leakage); caching it makes repeat top-k
+  /// queries O(k) instead of O(nu) row decryptions. Off by default so
+  /// benches can measure both modes.
+  void set_rank_cache_enabled(bool enabled);
+
+  /// Drops all cached rankings.
+  void clear_rank_cache();
+
+  /// Cache observability for tests/benches.
+  [[nodiscard]] std::uint64_t rank_cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t rank_cache_misses() const { return cache_misses_; }
+
+  /// Request/traffic counters (incremented by handle()).
+  [[nodiscard]] const ServerMetrics& metrics() const { return metrics_; }
+
+  /// Zeroes the request counters.
+  void reset_metrics() { metrics_.reset(); }
+
+  /// Single RPC entry point: parses `payload` according to `type` and
+  /// returns the serialized response. Throws ProtocolError for unknown
+  /// message types and ParseError for malformed payloads.
+  [[nodiscard]] Bytes handle(MessageType type, BytesView payload) const;
+
+  // ----- typed handlers (handle() dispatches to these) -----
+
+  /// RSSE: SearchIndex + rank by encrypted score + fetch top-k files.
+  [[nodiscard]] RankedSearchResponse ranked_search(const RankedSearchRequest& req) const;
+
+  /// Basic two-round, round 1: all valid entries of the matching row.
+  [[nodiscard]] BasicEntriesResponse basic_entries(const BasicEntriesRequest& req) const;
+
+  /// Basic two-round, round 2: the requested files.
+  [[nodiscard]] FetchFilesResponse fetch_files(const FetchFilesRequest& req) const;
+
+  /// Basic one-round: every matching file plus its encrypted score.
+  [[nodiscard]] BasicFilesResponse basic_files(const BasicEntriesRequest& req) const;
+
+  /// Multi-keyword AND/OR search over the RSSE index: intersect or merge
+  /// the per-keyword results, rank by the aggregate encrypted score,
+  /// return the top-k files. The aggregate rides in each RankedFile's
+  /// opm_score field.
+  [[nodiscard]] RankedSearchResponse multi_search(const MultiSearchRequest& req) const;
+
+  // ----- what the curious server can see -----
+
+  /// The stored index (ciphertext rows and labels).
+  [[nodiscard]] const sse::SecureIndex& index() const { return index_; }
+
+  /// Number of stored encrypted files.
+  [[nodiscard]] std::size_t num_files() const { return files_.size(); }
+
+  /// The stored encrypted blobs (persistence layer; all ciphertext).
+  [[nodiscard]] const std::map<std::uint64_t, Bytes>& files() const { return files_; }
+
+  /// Total stored bytes (index + files): the owner's storage footprint.
+  [[nodiscard]] std::uint64_t stored_bytes() const;
+
+ private:
+  [[nodiscard]] Bytes blob_of(std::uint64_t id) const;
+  [[nodiscard]] std::vector<sse::RankedSearchEntry> ranked_entries(
+      const sse::Trapdoor& trapdoor, std::size_t top_k) const;
+
+  // Readers (RPC handlers) take the shared lock; owner updates take the
+  // exclusive lock, so a live network server stays consistent during
+  // dynamics.
+  mutable std::shared_mutex state_mutex_;
+  sse::SecureIndex index_;
+  std::map<std::uint64_t, Bytes> files_;
+
+  // Rank cache: label -> fully ranked row. Mutable + mutex because
+  // lookups happen inside const request handlers.
+  bool cache_enabled_ = false;
+  mutable std::mutex cache_mutex_;
+  mutable std::map<Bytes, std::vector<sse::RankedSearchEntry>> rank_cache_;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
+  mutable ServerMetrics metrics_;
+};
+
+}  // namespace rsse::cloud

@@ -1,0 +1,85 @@
+#include "cloud/data_owner.h"
+
+#include "crypto/csprng.h"
+#include "util/errors.h"
+
+namespace rsse::cloud {
+
+DataOwner::DataOwner(sse::SystemParams params, ir::AnalyzerOptions analyzer_options)
+    : key_(sse::keygen(params)),
+      rsse_(key_, analyzer_options),
+      basic_(key_, analyzer_options),
+      file_master_(crypto::random_bytes(32)),
+      crypter_(file_master_) {}
+
+DataOwner::DataOwner(sse::MasterKey key, Bytes file_master,
+                     std::optional<opse::ScoreQuantizer> quantizer,
+                     ir::AnalyzerOptions analyzer_options)
+    : key_(std::move(key)),
+      rsse_(key_, analyzer_options),
+      basic_(key_, analyzer_options),
+      file_master_(std::move(file_master)),
+      crypter_(file_master_),
+      quantizer_(std::move(quantizer)) {}
+
+DataOwner::OutsourceReport DataOwner::outsource_rsse(const ir::Corpus& corpus,
+                                                     CloudServer& server) {
+  sse::RsseScheme::BuildResult built = rsse_.build_index(corpus);
+  quantizer_ = built.quantizer;
+  auto files = encrypt_corpus(crypter_, corpus);
+
+  OutsourceReport report;
+  report.rsse_stats = built.stats;
+  report.index_bytes = built.index.byte_size();
+  for (const auto& [id, blob] : files) report.file_bytes += blob.size();
+  server.store(std::move(built.index), std::move(files));
+  return report;
+}
+
+DataOwner::OutsourceReport DataOwner::outsource_basic(const ir::Corpus& corpus,
+                                                      CloudServer& server) {
+  OutsourceReport report;
+  sse::SecureIndex index = basic_.build_index(corpus, &report.basic_stats);
+  auto files = encrypt_corpus(crypter_, corpus);
+  report.index_bytes = index.byte_size();
+  for (const auto& [id, blob] : files) report.file_bytes += blob.size();
+  server.store(std::move(index), std::move(files));
+  return report;
+}
+
+Bytes DataOwner::enroll_user(BytesView user_key, std::string_view user_name) const {
+  const UserCredentials credentials =
+      AuthorizationService::make_credentials(key_, file_master_);
+  return AuthorizationService::issue(user_key, user_name, credentials);
+}
+
+sse::IndexUpdater::UpdateStats DataOwner::add_document(CloudServer& server,
+                                                       const ir::Document& doc) const {
+  detail::require(quantizer_.has_value(),
+                  "DataOwner::add_document: outsource_rsse must run first");
+  const sse::IndexUpdater updater(rsse_, *quantizer_);
+  // Ordering invariant against live searches: the blob must exist before
+  // any index entry points at it (removal goes the other way round),
+  // otherwise a concurrent top-k retrieval can return an empty file.
+  server.store_file(ir::value(doc.id), crypter_.encrypt(doc));
+  sse::IndexUpdater::UpdateStats stats;
+  server.update_index([&](sse::SecureIndex& index) {
+    stats = updater.add_document(index, doc);
+  });
+  return stats;
+}
+
+sse::IndexUpdater::UpdateStats DataOwner::remove_document(CloudServer& server,
+                                                          const ir::Document& doc) const {
+  detail::require(quantizer_.has_value(),
+                  "DataOwner::remove_document: outsource_rsse must run first");
+  const sse::IndexUpdater updater(rsse_, *quantizer_);
+  sse::IndexUpdater::UpdateStats stats;
+  server.update_index([&](sse::SecureIndex& index) {
+    stats = updater.remove_document(index, doc);
+  });
+  server.erase_file(ir::value(doc.id));
+  return stats;
+}
+
+}  // namespace rsse::cloud

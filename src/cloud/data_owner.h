@@ -1,0 +1,89 @@
+// The data owner role (Sec. II-A): generates keys, pre-processes and
+// encrypts the collection, outsources index + files, enrolls users, and
+// drives incremental updates. One DataOwner instance manages one
+// collection under one master key; outsource either scheme to a server
+// (one server holds one scheme's index).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "cloud/auth.h"
+#include "cloud/cloud_server.h"
+#include "cloud/file_store.h"
+#include "ir/document.h"
+#include "sse/basic_scheme.h"
+#include "sse/dynamics.h"
+#include "sse/rsse_scheme.h"
+
+namespace rsse::cloud {
+
+/// The owner's end of the system.
+class DataOwner {
+ public:
+  /// Runs KeyGen and prepares both scheme front-ends.
+  explicit DataOwner(sse::SystemParams params = {},
+                     ir::AnalyzerOptions analyzer_options = {});
+
+  /// Restores an owner from persisted secrets (store/owner_state.h). The
+  /// optional quantizer re-arms the dynamics path of a prior deployment.
+  DataOwner(sse::MasterKey key, Bytes file_master,
+            std::optional<opse::ScoreQuantizer> quantizer,
+            ir::AnalyzerOptions analyzer_options = {});
+
+  /// What Setup produced (sizes feed Table I style reporting).
+  struct OutsourceReport {
+    std::uint64_t index_bytes = 0;
+    std::uint64_t file_bytes = 0;
+    sse::RsseScheme::BuildStats rsse_stats;   ///< filled by outsource_rsse
+    sse::BasicScheme::BuildStats basic_stats; ///< filled by outsource_basic
+  };
+
+  /// Setup with the efficient RSSE scheme: builds the OPM index, encrypts
+  /// the files, uploads both. Retains the quantizer for future updates.
+  OutsourceReport outsource_rsse(const ir::Corpus& corpus, CloudServer& server);
+
+  /// Setup with the Basic Scheme (baseline path).
+  OutsourceReport outsource_basic(const ir::Corpus& corpus, CloudServer& server);
+
+  /// Seals a credential bundle for `user_name` under the user's personal
+  /// key (the off-the-shelf PKI stand-in).
+  [[nodiscard]] Bytes enroll_user(BytesView user_key, std::string_view user_name) const;
+
+  /// Incrementally indexes a new document on an RSSE server (requires a
+  /// prior outsource_rsse). Uploads the encrypted file too.
+  sse::IndexUpdater::UpdateStats add_document(CloudServer& server,
+                                              const ir::Document& doc) const;
+
+  /// Removes a document from an RSSE server: entries become padding and
+  /// the encrypted file is deleted.
+  sse::IndexUpdater::UpdateStats remove_document(CloudServer& server,
+                                                 const ir::Document& doc) const;
+
+  /// The owner's RSSE front-end (tests / advanced callers).
+  [[nodiscard]] const sse::RsseScheme& rsse() const { return rsse_; }
+
+  /// The owner's Basic Scheme front-end.
+  [[nodiscard]] const sse::BasicScheme& basic() const { return basic_; }
+
+  /// The master key (owner-side persistence only).
+  [[nodiscard]] const sse::MasterKey& master_key() const { return key_; }
+
+  /// The quantizer fixed by outsource_rsse (nullopt before Setup).
+  [[nodiscard]] const std::optional<opse::ScoreQuantizer>& quantizer() const {
+    return quantizer_;
+  }
+
+  /// The file-encryption root (owner persistence only).
+  [[nodiscard]] const Bytes& file_master() const { return file_master_; }
+
+ private:
+  sse::MasterKey key_;
+  sse::RsseScheme rsse_;
+  sse::BasicScheme basic_;
+  Bytes file_master_;
+  FileCrypter crypter_;
+  std::optional<opse::ScoreQuantizer> quantizer_;
+};
+
+}  // namespace rsse::cloud

@@ -1,0 +1,130 @@
+#include "cloud/data_user.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cloud/protocol.h"
+#include "ext/conjunctive.h"
+#include "sse/basic_scheme.h"
+#include "util/errors.h"
+
+namespace rsse::cloud {
+
+DataUser::DataUser(UserCredentials credentials, Transport& channel,
+                   ir::AnalyzerOptions analyzer_options)
+    : credentials_(std::move(credentials)),
+      trapdoor_gen_(credentials_.x, credentials_.y, credentials_.params.p_bits,
+                    analyzer_options),
+      crypter_(credentials_.file_master),
+      channel_(channel) {}
+
+std::vector<RetrievedFile> DataUser::ranked_search(std::string_view keyword,
+                                                   std::size_t top_k) {
+  RankedSearchRequest req{trapdoor_gen_.generate(keyword), top_k};
+  const Bytes resp_bytes = channel_.call(MessageType::kRankedSearch, req.serialize());
+  const auto resp = RankedSearchResponse::deserialize(resp_bytes);
+  std::vector<RetrievedFile> out;
+  out.reserve(resp.files.size());
+  for (const RankedFile& f : resp.files) {
+    // RSSE keeps scores hidden from everyone, user included: rank only.
+    out.push_back(RetrievedFile{crypter_.decrypt(f.id, f.blob),
+                                std::numeric_limits<double>::quiet_NaN()});
+  }
+  return out;
+}
+
+std::vector<RetrievedFile> DataUser::multi_search(
+    const std::vector<std::string>& keywords, bool conjunctive, std::size_t top_k) {
+  MultiSearchRequest req;
+  req.trapdoor = ext::make_conjunctive_trapdoor(trapdoor_gen_, keywords);
+  req.mode = conjunctive ? MultiSearchMode::kConjunctive : MultiSearchMode::kDisjunctive;
+  req.top_k = top_k;
+  const Bytes resp_bytes = channel_.call(MessageType::kMultiSearch, req.serialize());
+  const auto resp = RankedSearchResponse::deserialize(resp_bytes);
+  std::vector<RetrievedFile> out;
+  out.reserve(resp.files.size());
+  for (const RankedFile& f : resp.files)
+    out.push_back(RetrievedFile{crypter_.decrypt(f.id, f.blob),
+                                std::numeric_limits<double>::quiet_NaN()});
+  return out;
+}
+
+namespace {
+
+// Decrypt + rank basic-mode scored hits, best first, keep k (0 = all).
+template <typename Hit, typename ScoreOf>
+std::vector<std::pair<sse::FileId, double>> rank_hits(const std::vector<Hit>& hits,
+                                                      std::size_t top_k,
+                                                      ScoreOf&& score_of) {
+  std::vector<std::pair<sse::FileId, double>> ranked;
+  ranked.reserve(hits.size());
+  for (const Hit& h : hits) ranked.emplace_back(h.id, score_of(h));
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return ir::value(a.first) < ir::value(b.first);
+  });
+  if (top_k > 0 && ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+}  // namespace
+
+std::vector<RetrievedFile> DataUser::basic_search_one_round(std::string_view keyword,
+                                                            std::size_t top_k) {
+  BasicEntriesRequest req{trapdoor_gen_.generate(keyword)};
+  const Bytes resp_bytes = channel_.call(MessageType::kBasicFiles, req.serialize());
+  const auto resp = BasicFilesResponse::deserialize(resp_bytes);
+
+  const auto ranked = rank_hits(resp.files, top_k, [&](const BasicFile& f) {
+    return sse::decrypt_basic_score(credentials_.score_key, f.encrypted_score);
+  });
+
+  std::vector<RetrievedFile> out;
+  out.reserve(ranked.size());
+  for (const auto& [id, score] : ranked) {
+    const auto it = std::find_if(resp.files.begin(), resp.files.end(),
+                                 [&](const BasicFile& f) { return f.id == id; });
+    out.push_back(RetrievedFile{crypter_.decrypt(id, it->blob), score});
+  }
+  return out;
+}
+
+std::vector<RetrievedFile> DataUser::basic_search_two_round(std::string_view keyword,
+                                                            std::size_t top_k) {
+  // Round 1: entries only.
+  BasicEntriesRequest req{trapdoor_gen_.generate(keyword)};
+  const Bytes entries_bytes = channel_.call(MessageType::kBasicEntries, req.serialize());
+  const auto entries = BasicEntriesResponse::deserialize(entries_bytes);
+
+  struct IdHit {
+    sse::FileId id{};
+    Bytes encrypted_score;
+  };
+  std::vector<IdHit> hits;
+  hits.reserve(entries.entries.size());
+  for (const sse::BasicSearchEntry& e : entries.entries)
+    hits.push_back(IdHit{e.file, e.encrypted_score});
+  const auto ranked = rank_hits(hits, top_k, [&](const IdHit& h) {
+    return sse::decrypt_basic_score(credentials_.score_key, h.encrypted_score);
+  });
+
+  // Round 2: fetch exactly the chosen files.
+  FetchFilesRequest fetch;
+  fetch.ids.reserve(ranked.size());
+  for (const auto& [id, score] : ranked) fetch.ids.push_back(id);
+  const Bytes files_bytes = channel_.call(MessageType::kFetchFiles, fetch.serialize());
+  const auto files = FetchFilesResponse::deserialize(files_bytes);
+  detail::require(files.files.size() == ranked.size(),
+                  "DataUser: server returned wrong file count");
+
+  std::vector<RetrievedFile> out;
+  out.reserve(ranked.size());
+  for (std::size_t i = 0; i < ranked.size(); ++i)
+    out.push_back(
+        RetrievedFile{crypter_.decrypt(ranked[i].first, files.files[i].blob),
+                      ranked[i].second});
+  return out;
+}
+
+}  // namespace rsse::cloud

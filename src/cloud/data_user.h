@@ -1,0 +1,72 @@
+// The authorized data user role (Sec. II-A): generates trapdoors from its
+// credential bundle, talks to the server over an accounted channel, and
+// decrypts returned files. One method per retrieval protocol, so benches
+// and tests can compare the paper's three modes side by side:
+//
+//   ranked_search          RSSE: 1 round, top-k files, server-ranked.
+//   basic_search_one_round Basic: 1 round, ALL matching files, user ranks
+//                          and keeps k (the bandwidth-heavy mode).
+//   basic_search_two_round Basic: 2 rounds — entries, user ranks, then
+//                          fetches exactly k files (latency-heavy mode).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "cloud/auth.h"
+#include "cloud/channel.h"
+#include "cloud/file_store.h"
+#include "ir/document.h"
+#include "sse/trapdoor_gen.h"
+
+namespace rsse::cloud {
+
+/// One retrieved, decrypted file with the score information the user has
+/// in the given mode (the real relevance score in the Basic modes; RSSE
+/// users see ranks only, score is NaN there).
+struct RetrievedFile {
+  ir::Document document;
+  double score = 0.0;
+};
+
+/// The user's end of the system.
+class DataUser {
+ public:
+  /// Binds to an opened credential bundle and a channel to the server.
+  /// `analyzer_options` must match the owner's (part of the public system
+  /// parameters in deployment).
+  DataUser(UserCredentials credentials, Transport& channel,
+           ir::AnalyzerOptions analyzer_options = {});
+
+  /// RSSE retrieval: top-k (0 = all matching), ranked best-first by the
+  /// server. The user never sees relevance scores — `score` is NaN.
+  std::vector<RetrievedFile> ranked_search(std::string_view keyword, std::size_t top_k);
+
+  /// Basic Scheme, one round: server returns every matching file; the
+  /// user decrypts scores, ranks, keeps k (0 = all).
+  std::vector<RetrievedFile> basic_search_one_round(std::string_view keyword,
+                                                    std::size_t top_k);
+
+  /// Basic Scheme, two rounds: entries first, rank locally, fetch the
+  /// chosen k files (0 = all).
+  std::vector<RetrievedFile> basic_search_two_round(std::string_view keyword,
+                                                    std::size_t top_k);
+
+  /// Multi-keyword ranked retrieval (the §VIII extension end to end):
+  /// conjunctive = files matching EVERY keyword, disjunctive = ANY.
+  /// One round; server ranks by the aggregate encrypted score. Throws
+  /// InvalidArgument when no keyword survives normalization.
+  std::vector<RetrievedFile> multi_search(const std::vector<std::string>& keywords,
+                                          bool conjunctive, std::size_t top_k);
+
+  /// The underlying transport (traffic accounting).
+  [[nodiscard]] const Transport& channel() const { return channel_; }
+
+ private:
+  UserCredentials credentials_;
+  sse::TrapdoorGenerator trapdoor_gen_;
+  FileCrypter crypter_;
+  Transport& channel_;
+};
+
+}  // namespace rsse::cloud

@@ -1,0 +1,49 @@
+#include "cloud/file_store.h"
+
+#include "crypto/aes_gcm.h"
+#include "crypto/prf.h"
+#include "util/errors.h"
+
+namespace rsse::cloud {
+
+FileCrypter::FileCrypter(Bytes file_master) : file_master_(std::move(file_master)) {
+  detail::require(file_master_.size() >= 16, "FileCrypter: file master too short");
+}
+
+Bytes FileCrypter::file_key(ir::FileId id) const {
+  Bytes label;
+  append_u64(label, ir::value(id));
+  return crypto::Prf(file_master_).derive(label);
+}
+
+Bytes FileCrypter::encrypt(const ir::Document& doc) const {
+  Bytes plaintext;
+  append_lp(plaintext, to_bytes(doc.name));
+  append_lp(plaintext, to_bytes(doc.text));
+  Bytes aad;
+  append_u64(aad, ir::value(doc.id));
+  return crypto::aes_gcm_encrypt(file_key(doc.id), plaintext, aad);
+}
+
+ir::Document FileCrypter::decrypt(ir::FileId id, BytesView blob) const {
+  Bytes aad;
+  append_u64(aad, ir::value(id));
+  const Bytes plaintext = crypto::aes_gcm_decrypt(file_key(id), blob, aad);
+  ByteReader reader(plaintext);
+  ir::Document doc;
+  doc.id = id;
+  doc.name = to_string(reader.read_lp());
+  doc.text = to_string(reader.read_lp());
+  if (!reader.exhausted()) throw ParseError("FileCrypter: trailing bytes in file blob");
+  return doc;
+}
+
+std::map<std::uint64_t, Bytes> encrypt_corpus(const FileCrypter& crypter,
+                                              const ir::Corpus& corpus) {
+  std::map<std::uint64_t, Bytes> blobs;
+  for (const ir::Document& doc : corpus.documents())
+    blobs.emplace(ir::value(doc.id), crypter.encrypt(doc));
+  return blobs;
+}
+
+}  // namespace rsse::cloud

@@ -1,0 +1,38 @@
+// File-collection encryption: the "encrypted form" in which C is
+// outsourced (Sec. II-A). Each file gets its own AES-256-GCM key derived
+// from a file-master key by PRF(id), so authorized users can decrypt any
+// returned file while compromise of one file key reveals nothing else.
+// The file id doubles as GCM associated data, binding blob to identity.
+#pragma once
+
+#include <map>
+
+#include "ir/document.h"
+#include "util/bytes.h"
+
+namespace rsse::cloud {
+
+/// Encrypts/decrypts documents of the outsourced collection.
+class FileCrypter {
+ public:
+  /// `file_master` is the collection-wide root key (>= 16 bytes).
+  explicit FileCrypter(Bytes file_master);
+
+  /// Encrypts one document (name + text) into an authenticated blob.
+  [[nodiscard]] Bytes encrypt(const ir::Document& doc) const;
+
+  /// Decrypts a blob back into the document with identifier `id`.
+  /// Throws CryptoError when the blob fails authentication for this id.
+  [[nodiscard]] ir::Document decrypt(ir::FileId id, BytesView blob) const;
+
+ private:
+  [[nodiscard]] Bytes file_key(ir::FileId id) const;
+
+  Bytes file_master_;
+};
+
+/// Encrypts a whole corpus: id -> blob, the server-side file map.
+std::map<std::uint64_t, Bytes> encrypt_corpus(const FileCrypter& crypter,
+                                              const ir::Corpus& corpus);
+
+}  // namespace rsse::cloud

@@ -1,0 +1,84 @@
+// Server-side observability: cheap atomic counters the CloudServer
+// increments per request, with a consistent snapshot for operators,
+// benches and tests. Deliberately content-free — counting requests and
+// bytes reveals nothing the honest-but-curious server doesn't already
+// see.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rsse::cloud {
+
+/// A point-in-time copy of the counters.
+struct MetricsSnapshot {
+  std::uint64_t ranked_searches = 0;
+  std::uint64_t basic_entry_searches = 0;
+  std::uint64_t fetch_requests = 0;
+  std::uint64_t basic_file_searches = 0;
+  std::uint64_t files_returned = 0;
+  std::uint64_t result_bytes = 0;
+
+  /// Total requests across all four types.
+  [[nodiscard]] std::uint64_t total_requests() const {
+    return ranked_searches + basic_entry_searches + fetch_requests +
+           basic_file_searches;
+  }
+};
+
+/// The live counters (one instance per CloudServer).
+class ServerMetrics {
+ public:
+  void record_ranked_search(std::uint64_t files, std::uint64_t bytes) {
+    ++ranked_searches_;
+    files_returned_ += files;
+    result_bytes_ += bytes;
+  }
+  void record_basic_entries(std::uint64_t bytes) {
+    ++basic_entry_searches_;
+    result_bytes_ += bytes;
+  }
+  void record_fetch(std::uint64_t files, std::uint64_t bytes) {
+    ++fetch_requests_;
+    files_returned_ += files;
+    result_bytes_ += bytes;
+  }
+  void record_basic_files(std::uint64_t files, std::uint64_t bytes) {
+    ++basic_file_searches_;
+    files_returned_ += files;
+    result_bytes_ += bytes;
+  }
+
+  /// Copies the counters (each read atomically; the snapshot as a whole
+  /// is weakly consistent, which is fine for monitoring).
+  [[nodiscard]] MetricsSnapshot snapshot() const {
+    MetricsSnapshot s;
+    s.ranked_searches = ranked_searches_.load();
+    s.basic_entry_searches = basic_entry_searches_.load();
+    s.fetch_requests = fetch_requests_.load();
+    s.basic_file_searches = basic_file_searches_.load();
+    s.files_returned = files_returned_.load();
+    s.result_bytes = result_bytes_.load();
+    return s;
+  }
+
+  /// Zeroes every counter.
+  void reset() {
+    ranked_searches_ = 0;
+    basic_entry_searches_ = 0;
+    fetch_requests_ = 0;
+    basic_file_searches_ = 0;
+    files_returned_ = 0;
+    result_bytes_ = 0;
+  }
+
+ private:
+  std::atomic<std::uint64_t> ranked_searches_{0};
+  std::atomic<std::uint64_t> basic_entry_searches_{0};
+  std::atomic<std::uint64_t> fetch_requests_{0};
+  std::atomic<std::uint64_t> basic_file_searches_{0};
+  std::atomic<std::uint64_t> files_returned_{0};
+  std::atomic<std::uint64_t> result_bytes_{0};
+};
+
+}  // namespace rsse::cloud

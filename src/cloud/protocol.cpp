@@ -1,0 +1,186 @@
+#include "cloud/protocol.h"
+
+#include "util/errors.h"
+
+namespace rsse::cloud {
+
+namespace {
+
+void expect_exhausted(const ByteReader& reader, const char* what) {
+  if (!reader.exhausted()) throw ParseError(std::string(what) + ": trailing bytes");
+}
+
+}  // namespace
+
+Bytes RankedSearchRequest::serialize() const {
+  Bytes out;
+  append_lp(out, trapdoor.serialize());
+  append_u64(out, top_k);
+  return out;
+}
+
+RankedSearchRequest RankedSearchRequest::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  RankedSearchRequest req;
+  req.trapdoor = sse::Trapdoor::deserialize(reader.read_lp());
+  req.top_k = reader.read_u64();
+  expect_exhausted(reader, "RankedSearchRequest");
+  return req;
+}
+
+Bytes RankedSearchResponse::serialize() const {
+  Bytes out;
+  append_u64(out, files.size());
+  for (const RankedFile& f : files) {
+    append_u64(out, ir::value(f.id));
+    append_u64(out, f.opm_score);
+    append_lp(out, f.blob);
+  }
+  return out;
+}
+
+RankedSearchResponse RankedSearchResponse::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  RankedSearchResponse resp;
+  const std::uint64_t n = reader.read_count(20);  // id + score + LP header
+  resp.files.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RankedFile f;
+    f.id = ir::file_id(reader.read_u64());
+    f.opm_score = reader.read_u64();
+    f.blob = reader.read_lp();
+    resp.files.push_back(std::move(f));
+  }
+  expect_exhausted(reader, "RankedSearchResponse");
+  return resp;
+}
+
+Bytes BasicEntriesRequest::serialize() const {
+  Bytes out;
+  append_lp(out, trapdoor.serialize());
+  return out;
+}
+
+BasicEntriesRequest BasicEntriesRequest::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  BasicEntriesRequest req;
+  req.trapdoor = sse::Trapdoor::deserialize(reader.read_lp());
+  expect_exhausted(reader, "BasicEntriesRequest");
+  return req;
+}
+
+Bytes BasicEntriesResponse::serialize() const {
+  Bytes out;
+  append_u64(out, entries.size());
+  for (const sse::BasicSearchEntry& e : entries) {
+    append_u64(out, ir::value(e.file));
+    append_lp(out, e.encrypted_score);
+  }
+  return out;
+}
+
+BasicEntriesResponse BasicEntriesResponse::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  BasicEntriesResponse resp;
+  const std::uint64_t n = reader.read_count(12);  // id + LP header
+  resp.entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sse::BasicSearchEntry e;
+    e.file = ir::file_id(reader.read_u64());
+    e.encrypted_score = reader.read_lp();
+    resp.entries.push_back(std::move(e));
+  }
+  expect_exhausted(reader, "BasicEntriesResponse");
+  return resp;
+}
+
+Bytes FetchFilesRequest::serialize() const {
+  Bytes out;
+  append_u64(out, ids.size());
+  for (sse::FileId id : ids) append_u64(out, ir::value(id));
+  return out;
+}
+
+FetchFilesRequest FetchFilesRequest::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  FetchFilesRequest req;
+  const std::uint64_t n = reader.read_count(8);  // one id each
+  req.ids.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) req.ids.push_back(ir::file_id(reader.read_u64()));
+  expect_exhausted(reader, "FetchFilesRequest");
+  return req;
+}
+
+Bytes FetchFilesResponse::serialize() const {
+  Bytes out;
+  append_u64(out, files.size());
+  for (const RankedFile& f : files) {
+    append_u64(out, ir::value(f.id));
+    append_lp(out, f.blob);
+  }
+  return out;
+}
+
+FetchFilesResponse FetchFilesResponse::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  FetchFilesResponse resp;
+  const std::uint64_t n = reader.read_count(12);  // id + LP header
+  resp.files.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RankedFile f;
+    f.id = ir::file_id(reader.read_u64());
+    f.blob = reader.read_lp();
+    resp.files.push_back(std::move(f));
+  }
+  expect_exhausted(reader, "FetchFilesResponse");
+  return resp;
+}
+
+Bytes MultiSearchRequest::serialize() const {
+  Bytes out;
+  append_lp(out, trapdoor.serialize());
+  out.push_back(static_cast<std::uint8_t>(mode));
+  append_u64(out, top_k);
+  return out;
+}
+
+MultiSearchRequest MultiSearchRequest::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  MultiSearchRequest req;
+  req.trapdoor = ext::ConjunctiveTrapdoor::deserialize(reader.read_lp());
+  const Bytes mode = reader.read(1);
+  if (mode[0] > 1) throw ParseError("MultiSearchRequest: unknown mode");
+  req.mode = static_cast<MultiSearchMode>(mode[0]);
+  req.top_k = reader.read_u64();
+  expect_exhausted(reader, "MultiSearchRequest");
+  return req;
+}
+
+Bytes BasicFilesResponse::serialize() const {
+  Bytes out;
+  append_u64(out, files.size());
+  for (const BasicFile& f : files) {
+    append_u64(out, ir::value(f.id));
+    append_lp(out, f.encrypted_score);
+    append_lp(out, f.blob);
+  }
+  return out;
+}
+
+BasicFilesResponse BasicFilesResponse::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  BasicFilesResponse resp;
+  const std::uint64_t n = reader.read_count(16);  // id + two LP headers
+  resp.files.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    BasicFile f;
+    f.id = ir::file_id(reader.read_u64());
+    f.encrypted_score = reader.read_lp();
+    f.blob = reader.read_lp();
+    resp.files.push_back(std::move(f));
+  }
+  expect_exhausted(reader, "BasicFilesResponse");
+  return resp;
+}
+
+}  // namespace rsse::cloud

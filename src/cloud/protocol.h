@@ -1,0 +1,127 @@
+// Wire protocol between DataUser and CloudServer.
+//
+// Every retrieval mode of the paper is a concrete message pair here, so
+// the channel's byte counters measure exactly what the paper's bandwidth
+// discussion talks about:
+//   * RankedSearch      — RSSE, one round: trapdoor+k -> top-k files.
+//   * BasicEntries      — Basic Scheme two-round, round 1: trapdoor ->
+//                         all valid (id, E_z(S)) entries.
+//   * FetchFiles        — Basic Scheme two-round, round 2: ids -> files.
+//   * BasicFiles        — Basic Scheme one-round: trapdoor -> ALL matching
+//                         files with their encrypted scores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ext/conjunctive.h"
+#include "sse/basic_scheme.h"
+#include "sse/rsse_scheme.h"
+#include "sse/types.h"
+#include "util/bytes.h"
+
+namespace rsse::cloud {
+
+/// RPC discriminator.
+enum class MessageType : std::uint8_t {
+  kRankedSearch = 1,
+  kBasicEntries = 2,
+  kFetchFiles = 3,
+  kBasicFiles = 4,
+  kMultiSearch = 5,
+};
+
+/// Boolean connective of a multi-keyword search.
+enum class MultiSearchMode : std::uint8_t {
+  kConjunctive = 0,  ///< AND: files matching every keyword (sum-of-OPM rank)
+  kDisjunctive = 1,  ///< OR: files matching any keyword (max-of-OPM rank)
+};
+
+/// A ranked hit with its encrypted file (RSSE response element).
+struct RankedFile {
+  sse::FileId id{};
+  std::uint64_t opm_score = 0;
+  Bytes blob;
+
+  friend bool operator==(const RankedFile&, const RankedFile&) = default;
+};
+
+/// A matching file with its user-decryptable score (Basic one-round).
+struct BasicFile {
+  sse::FileId id{};
+  Bytes encrypted_score;
+  Bytes blob;
+
+  friend bool operator==(const BasicFile&, const BasicFile&) = default;
+};
+
+/// RSSE search request: trapdoor plus the optional top-k (0 = all).
+struct RankedSearchRequest {
+  sse::Trapdoor trapdoor;
+  std::uint64_t top_k = 0;
+
+  [[nodiscard]] Bytes serialize() const;
+  static RankedSearchRequest deserialize(BytesView blob);
+};
+
+/// RSSE response: ranked files, best first.
+struct RankedSearchResponse {
+  std::vector<RankedFile> files;
+
+  [[nodiscard]] Bytes serialize() const;
+  static RankedSearchResponse deserialize(BytesView blob);
+};
+
+/// Basic Scheme round-1 request: just the trapdoor.
+struct BasicEntriesRequest {
+  sse::Trapdoor trapdoor;
+
+  [[nodiscard]] Bytes serialize() const;
+  static BasicEntriesRequest deserialize(BytesView blob);
+};
+
+/// Basic Scheme round-1 response: every valid posting entry.
+struct BasicEntriesResponse {
+  std::vector<sse::BasicSearchEntry> entries;
+
+  [[nodiscard]] Bytes serialize() const;
+  static BasicEntriesResponse deserialize(BytesView blob);
+};
+
+/// Basic Scheme round-2 request: the user's chosen file ids.
+struct FetchFilesRequest {
+  std::vector<sse::FileId> ids;
+
+  [[nodiscard]] Bytes serialize() const;
+  static FetchFilesRequest deserialize(BytesView blob);
+};
+
+/// Basic Scheme round-2 response: the requested encrypted files, in
+/// request order. Unknown ids yield empty blobs.
+struct FetchFilesResponse {
+  std::vector<RankedFile> files;  ///< opm_score unused (0)
+
+  [[nodiscard]] Bytes serialize() const;
+  static FetchFilesResponse deserialize(BytesView blob);
+};
+
+/// Multi-keyword search request: one trapdoor per keyword, the boolean
+/// connective, and the optional top-k.
+struct MultiSearchRequest {
+  ext::ConjunctiveTrapdoor trapdoor;
+  MultiSearchMode mode = MultiSearchMode::kConjunctive;
+  std::uint64_t top_k = 0;
+
+  [[nodiscard]] Bytes serialize() const;
+  static MultiSearchRequest deserialize(BytesView blob);
+};
+
+/// Basic Scheme one-round response: all matching files + encrypted scores.
+struct BasicFilesResponse {
+  std::vector<BasicFile> files;
+
+  [[nodiscard]] Bytes serialize() const;
+  static BasicFilesResponse deserialize(BytesView blob);
+};
+
+}  // namespace rsse::cloud

@@ -1,0 +1,38 @@
+#include "cloud/restricted_user.h"
+
+#include <limits>
+
+#include "cloud/protocol.h"
+#include "util/errors.h"
+
+namespace rsse::cloud {
+
+RestrictedDataUser::RestrictedDataUser(ext::CapabilityBundle bundle, Bytes file_master,
+                                       Transport& channel,
+                                       ir::AnalyzerOptions analyzer_options)
+    : bundle_(std::move(bundle)),
+      analyzer_(analyzer_options),
+      crypter_(std::move(file_master)),
+      channel_(channel) {}
+
+bool RestrictedDataUser::authorized_for(std::string_view keyword) const {
+  return bundle_.trapdoor_for(keyword, analyzer_).has_value();
+}
+
+std::vector<RetrievedFile> RestrictedDataUser::ranked_search(std::string_view keyword,
+                                                             std::size_t top_k) {
+  const auto trapdoor = bundle_.trapdoor_for(keyword, analyzer_);
+  if (!trapdoor)
+    throw ProtocolError("RestrictedDataUser: keyword outside the granted capability");
+  const RankedSearchRequest req{*trapdoor, top_k};
+  const Bytes resp_bytes = channel_.call(MessageType::kRankedSearch, req.serialize());
+  const auto resp = RankedSearchResponse::deserialize(resp_bytes);
+  std::vector<RetrievedFile> out;
+  out.reserve(resp.files.size());
+  for (const RankedFile& f : resp.files)
+    out.push_back(RetrievedFile{crypter_.decrypt(f.id, f.blob),
+                                std::numeric_limits<double>::quiet_NaN()});
+  return out;
+}
+
+}  // namespace rsse::cloud

@@ -1,0 +1,48 @@
+// A keyword-scoped data user: the system-level face of the capability
+// extension (ext/capability.h, the paper's §VIII fine-grained access
+// control). Unlike DataUser, this role holds NO trapdoor key material —
+// only pre-issued per-keyword trapdoors — so its search power is exactly
+// the granted allowlist, with revocation by re-issuance.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "cloud/channel.h"
+#include "cloud/data_user.h"
+#include "cloud/file_store.h"
+#include "ext/capability.h"
+#include "ir/analyzer.h"
+
+namespace rsse::cloud {
+
+/// A user restricted to a capability bundle.
+class RestrictedDataUser {
+ public:
+  /// Binds to an opened bundle, the file-decryption root the owner
+  /// granted alongside it, and a transport. `analyzer_options` must match
+  /// the owner's pipeline.
+  RestrictedDataUser(ext::CapabilityBundle bundle, Bytes file_master,
+                     Transport& channel, ir::AnalyzerOptions analyzer_options = {});
+
+  /// True when the (normalized) keyword is within the grant.
+  [[nodiscard]] bool authorized_for(std::string_view keyword) const;
+
+  /// RSSE top-k retrieval for a granted keyword. Throws ProtocolError
+  /// when the keyword is outside the grant — the user cannot even form
+  /// the request.
+  std::vector<RetrievedFile> ranked_search(std::string_view keyword, std::size_t top_k);
+
+  /// The granted (normalized) keywords.
+  [[nodiscard]] std::vector<std::string> granted_keywords() const {
+    return bundle_.keywords();
+  }
+
+ private:
+  ext::CapabilityBundle bundle_;
+  ir::Analyzer analyzer_;
+  FileCrypter crypter_;
+  Transport& channel_;
+};
+
+}  // namespace rsse::cloud

@@ -1,0 +1,61 @@
+#include "crypto/aes_ctr.h"
+
+#include <openssl/evp.h>
+
+#include <memory>
+
+#include "crypto/csprng.h"
+#include "util/errors.h"
+
+namespace rsse::crypto {
+
+namespace {
+
+struct CipherCtxDeleter {
+  void operator()(EVP_CIPHER_CTX* ctx) const noexcept { EVP_CIPHER_CTX_free(ctx); }
+};
+using CipherCtx = std::unique_ptr<EVP_CIPHER_CTX, CipherCtxDeleter>;
+
+// CTR mode is its own inverse, so one routine serves both directions.
+Bytes ctr_transform(BytesView key, BytesView iv, BytesView input) {
+  detail::require(key.size() == kAesKeySize, "aes_ctr: key must be 32 bytes");
+  detail::require(iv.size() == kAesIvSize, "aes_ctr: iv must be 16 bytes");
+  CipherCtx ctx(EVP_CIPHER_CTX_new());
+  if (!ctx) throw CryptoError("aes_ctr: EVP_CIPHER_CTX_new failed");
+  if (EVP_EncryptInit_ex(ctx.get(), EVP_aes_256_ctr(), nullptr, key.data(), iv.data()) != 1)
+    throw CryptoError("aes_ctr: EncryptInit failed");
+  Bytes out(input.size());
+  int out_len = 0;
+  if (!input.empty() &&
+      EVP_EncryptUpdate(ctx.get(), out.data(), &out_len, input.data(),
+                        static_cast<int>(input.size())) != 1)
+    throw CryptoError("aes_ctr: EncryptUpdate failed");
+  int final_len = 0;
+  if (EVP_EncryptFinal_ex(ctx.get(), out.data() + out_len, &final_len) != 1)
+    throw CryptoError("aes_ctr: EncryptFinal failed");
+  out.resize(static_cast<std::size_t>(out_len + final_len));
+  return out;
+}
+
+}  // namespace
+
+Bytes aes_ctr_encrypt(BytesView key, BytesView plaintext) {
+  const Bytes iv = random_bytes(kAesIvSize);
+  return aes_ctr_encrypt_with_iv(key, iv, plaintext);
+}
+
+Bytes aes_ctr_encrypt_with_iv(BytesView key, BytesView iv, BytesView plaintext) {
+  Bytes blob(iv.begin(), iv.end());
+  const Bytes ct = ctr_transform(key, iv, plaintext);
+  append(blob, ct);
+  return blob;
+}
+
+Bytes aes_ctr_decrypt(BytesView key, BytesView blob) {
+  if (blob.size() < kAesIvSize) throw ParseError("aes_ctr_decrypt: blob shorter than IV");
+  const BytesView iv = blob.subspan(0, kAesIvSize);
+  const BytesView ct = blob.subspan(kAesIvSize);
+  return ctr_transform(key, iv, ct);
+}
+
+}  // namespace rsse::crypto

@@ -1,0 +1,32 @@
+// AES-256-CTR with a random per-message IV: the semantically secure
+// symmetric cipher E of the paper's Basic Scheme (it encrypts relevance
+// scores and posting entries). Ciphertext layout: 16-byte IV || keystream
+// XOR plaintext. CTR keeps length = plaintext length + IV, which matters
+// because posting entries must be fixed-width for padding to hide list
+// lengths.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace rsse::crypto {
+
+/// Key size for AES-256 in bytes.
+inline constexpr std::size_t kAesKeySize = 32;
+/// IV (counter block) size in bytes.
+inline constexpr std::size_t kAesIvSize = 16;
+
+/// Encrypts `plaintext` under `key` with a fresh random IV.
+/// Returns IV || ciphertext. Throws InvalidArgument on a wrong key size.
+Bytes aes_ctr_encrypt(BytesView key, BytesView plaintext);
+
+/// Deterministic variant with a caller-supplied IV (used where the scheme
+/// needs repeatable ciphertexts, e.g. tests). `iv` must be kAesIvSize long.
+Bytes aes_ctr_encrypt_with_iv(BytesView key, BytesView iv, BytesView plaintext);
+
+/// Inverse of aes_ctr_encrypt: expects IV || ciphertext.
+/// Throws ParseError when the buffer is shorter than an IV.
+Bytes aes_ctr_decrypt(BytesView key, BytesView blob);
+
+}  // namespace rsse::crypto

@@ -1,0 +1,90 @@
+#include "crypto/aes_gcm.h"
+
+#include <openssl/evp.h>
+
+#include <memory>
+
+#include "crypto/aes_ctr.h"  // kAesKeySize
+#include "crypto/csprng.h"
+#include "util/errors.h"
+
+namespace rsse::crypto {
+
+namespace {
+
+struct CipherCtxDeleter {
+  void operator()(EVP_CIPHER_CTX* ctx) const noexcept { EVP_CIPHER_CTX_free(ctx); }
+};
+using CipherCtx = std::unique_ptr<EVP_CIPHER_CTX, CipherCtxDeleter>;
+
+CipherCtx make_ctx() {
+  CipherCtx ctx(EVP_CIPHER_CTX_new());
+  if (!ctx) throw CryptoError("aes_gcm: EVP_CIPHER_CTX_new failed");
+  return ctx;
+}
+
+}  // namespace
+
+Bytes aes_gcm_encrypt(BytesView key, BytesView plaintext, BytesView aad) {
+  detail::require(key.size() == kAesKeySize, "aes_gcm: key must be 32 bytes");
+  const Bytes nonce = random_bytes(kGcmNonceSize);
+  CipherCtx ctx = make_ctx();
+  if (EVP_EncryptInit_ex(ctx.get(), EVP_aes_256_gcm(), nullptr, key.data(), nonce.data()) != 1)
+    throw CryptoError("aes_gcm: EncryptInit failed");
+  int len = 0;
+  if (!aad.empty() &&
+      EVP_EncryptUpdate(ctx.get(), nullptr, &len, aad.data(), static_cast<int>(aad.size())) != 1)
+    throw CryptoError("aes_gcm: AAD update failed");
+  Bytes ct(plaintext.size());
+  int ct_len = 0;
+  if (!plaintext.empty() &&
+      EVP_EncryptUpdate(ctx.get(), ct.data(), &ct_len, plaintext.data(),
+                        static_cast<int>(plaintext.size())) != 1)
+    throw CryptoError("aes_gcm: EncryptUpdate failed");
+  int final_len = 0;
+  if (EVP_EncryptFinal_ex(ctx.get(), ct.data() + ct_len, &final_len) != 1)
+    throw CryptoError("aes_gcm: EncryptFinal failed");
+  ct.resize(static_cast<std::size_t>(ct_len + final_len));
+
+  std::uint8_t tag[kGcmTagSize];
+  if (EVP_CIPHER_CTX_ctrl(ctx.get(), EVP_CTRL_GCM_GET_TAG, kGcmTagSize, tag) != 1)
+    throw CryptoError("aes_gcm: GET_TAG failed");
+
+  Bytes blob(nonce.begin(), nonce.end());
+  append(blob, ct);
+  append(blob, BytesView(tag, kGcmTagSize));
+  return blob;
+}
+
+Bytes aes_gcm_decrypt(BytesView key, BytesView blob, BytesView aad) {
+  detail::require(key.size() == kAesKeySize, "aes_gcm: key must be 32 bytes");
+  if (blob.size() < kGcmNonceSize + kGcmTagSize)
+    throw ParseError("aes_gcm_decrypt: blob too short");
+  const BytesView nonce = blob.subspan(0, kGcmNonceSize);
+  const BytesView ct = blob.subspan(kGcmNonceSize, blob.size() - kGcmNonceSize - kGcmTagSize);
+  const BytesView tag = blob.subspan(blob.size() - kGcmTagSize);
+
+  CipherCtx ctx = make_ctx();
+  if (EVP_DecryptInit_ex(ctx.get(), EVP_aes_256_gcm(), nullptr, key.data(), nonce.data()) != 1)
+    throw CryptoError("aes_gcm: DecryptInit failed");
+  int len = 0;
+  if (!aad.empty() &&
+      EVP_DecryptUpdate(ctx.get(), nullptr, &len, aad.data(), static_cast<int>(aad.size())) != 1)
+    throw CryptoError("aes_gcm: AAD update failed");
+  Bytes pt(ct.size());
+  int pt_len = 0;
+  if (!ct.empty() &&
+      EVP_DecryptUpdate(ctx.get(), pt.data(), &pt_len, ct.data(),
+                        static_cast<int>(ct.size())) != 1)
+    throw CryptoError("aes_gcm: DecryptUpdate failed");
+  Bytes tag_copy(tag.begin(), tag.end());
+  if (EVP_CIPHER_CTX_ctrl(ctx.get(), EVP_CTRL_GCM_SET_TAG, kGcmTagSize, tag_copy.data()) != 1)
+    throw CryptoError("aes_gcm: SET_TAG failed");
+  int final_len = 0;
+  if (EVP_DecryptFinal_ex(ctx.get(), pt.data() + pt_len, &final_len) != 1)
+    throw CryptoError("aes_gcm: authentication failed");
+  pt.resize(static_cast<std::size_t>(pt_len + final_len));
+  return pt;
+}
+
+}  // namespace rsse::crypto

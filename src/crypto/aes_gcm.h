@@ -1,0 +1,26 @@
+// AES-256-GCM authenticated encryption: used by the cloud file store for
+// the outsourced file collection C. The honest-but-curious model does not
+// require integrity, but shipping a file store without it would be
+// negligent; GCM costs nothing extra here. Blob layout:
+// 12-byte nonce || ciphertext || 16-byte tag.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace rsse::crypto {
+
+/// GCM nonce size in bytes (96-bit, the recommended size).
+inline constexpr std::size_t kGcmNonceSize = 12;
+/// GCM authentication tag size in bytes.
+inline constexpr std::size_t kGcmTagSize = 16;
+
+/// Encrypts and authenticates `plaintext` under a 32-byte `key`, binding
+/// the optional associated data `aad` (e.g. the file identifier).
+Bytes aes_gcm_encrypt(BytesView key, BytesView plaintext, BytesView aad = {});
+
+/// Decrypts a blob produced by aes_gcm_encrypt, verifying the tag and the
+/// associated data. Throws CryptoError on authentication failure and
+/// ParseError on a malformed blob.
+Bytes aes_gcm_decrypt(BytesView key, BytesView blob, BytesView aad = {});
+
+}  // namespace rsse::crypto

@@ -1,0 +1,29 @@
+#include "crypto/csprng.h"
+
+#include <openssl/rand.h>
+
+#include "util/errors.h"
+
+namespace rsse::crypto {
+
+void random_bytes(std::span<std::uint8_t> out) {
+  if (out.empty()) return;
+  if (RAND_bytes(out.data(), static_cast<int>(out.size())) != 1)
+    throw CryptoError("csprng: RAND_bytes failed");
+}
+
+Bytes random_bytes(std::size_t n) {
+  Bytes out(n);
+  random_bytes(std::span<std::uint8_t>(out));
+  return out;
+}
+
+std::uint64_t random_u64() {
+  std::uint8_t buf[8];
+  random_bytes(std::span<std::uint8_t>(buf, sizeof buf));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace rsse::crypto

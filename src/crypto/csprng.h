@@ -1,0 +1,22 @@
+// Cryptographically secure randomness: a thin wrapper over OpenSSL's
+// RAND_bytes. All key material in the library (KeyGen, IVs) comes from
+// here; workload randomness uses util/rng.h instead.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace rsse::crypto {
+
+/// Fills `out` with cryptographically secure random bytes.
+/// Throws CryptoError when the entropy source fails.
+void random_bytes(std::span<std::uint8_t> out);
+
+/// Returns `n` fresh random bytes.
+Bytes random_bytes(std::size_t n);
+
+/// Returns a uniformly random 64-bit value.
+std::uint64_t random_u64();
+
+}  // namespace rsse::crypto

@@ -1,0 +1,38 @@
+#include "crypto/hmac_sha256.h"
+
+namespace rsse::crypto {
+
+HmacSha256::HmacSha256(BytesView key) {
+  std::array<std::uint8_t, kBlockSize> k{};
+  if (key.size() > kBlockSize) {
+    const Sha256Digest digest = sha256(key);
+    std::copy(digest.begin(), digest.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad_[i] = k[i] ^ 0x36;
+    opad_[i] = k[i] ^ 0x5c;
+  }
+  inner_.update(BytesView(ipad_.data(), ipad_.size()));
+}
+
+void HmacSha256::update(BytesView data) { inner_.update(data); }
+
+Sha256Digest HmacSha256::finish() {
+  const Sha256Digest inner_digest = inner_.finish();  // also resets inner_
+  Sha256 outer;
+  outer.update(BytesView(opad_.data(), opad_.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  // Re-absorb the inner pad so the object is ready for the next message.
+  inner_.update(BytesView(ipad_.data(), ipad_.size()));
+  return outer.finish();
+}
+
+Sha256Digest hmac_sha256(BytesView key, BytesView data) {
+  HmacSha256 mac(key);
+  mac.update(data);
+  return mac.finish();
+}
+
+}  // namespace rsse::crypto

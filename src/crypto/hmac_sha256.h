@@ -1,0 +1,37 @@
+// HMAC-SHA256 (RFC 2104) built on the Sha256 wrapper.
+//
+// Implemented directly over the hash rather than via OpenSSL's deprecated
+// HMAC() entry point; tests pin it to the RFC 4231 vectors. This is the
+// pseudo-random function f of the paper and the expansion step of TapeGen.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace rsse::crypto {
+
+/// One-shot HMAC-SHA256 of `data` under `key` (any key length).
+Sha256Digest hmac_sha256(BytesView key, BytesView data);
+
+/// Incremental HMAC-SHA256 with a fixed key. Construction precomputes the
+/// padded key blocks; update()/finish() mirror the Sha256 interface and
+/// finish() resets the MAC for another message under the same key.
+class HmacSha256 {
+ public:
+  /// Prepares the inner/outer padded keys for `key`.
+  explicit HmacSha256(BytesView key);
+
+  /// Absorbs more message bytes.
+  void update(BytesView data);
+
+  /// Returns the tag and resets for a new message under the same key.
+  Sha256Digest finish();
+
+ private:
+  static constexpr std::size_t kBlockSize = 64;  // SHA-256 block size
+  std::array<std::uint8_t, kBlockSize> ipad_{};
+  std::array<std::uint8_t, kBlockSize> opad_{};
+  Sha256 inner_;
+};
+
+}  // namespace rsse::crypto

@@ -1,0 +1,40 @@
+#include "crypto/pbkdf2.h"
+
+#include "crypto/hmac_sha256.h"
+#include "util/errors.h"
+
+namespace rsse::crypto {
+
+Bytes pbkdf2_hmac_sha256(BytesView password, BytesView salt, std::uint32_t iterations,
+                         std::size_t output_len) {
+  detail::require(iterations > 0, "pbkdf2: iterations must be positive");
+  detail::require(output_len > 0, "pbkdf2: output length must be positive");
+
+  Bytes out;
+  out.reserve(output_len);
+  std::uint32_t block_index = 1;
+  while (out.size() < output_len) {
+    // U_1 = HMAC(P, S || INT_BE(i))
+    HmacSha256 mac(password);
+    mac.update(salt);
+    const std::uint8_t be[4] = {
+        static_cast<std::uint8_t>(block_index >> 24),
+        static_cast<std::uint8_t>(block_index >> 16),
+        static_cast<std::uint8_t>(block_index >> 8),
+        static_cast<std::uint8_t>(block_index),
+    };
+    mac.update(BytesView(be, 4));
+    Sha256Digest u = mac.finish();
+    Sha256Digest t = u;
+    for (std::uint32_t iter = 1; iter < iterations; ++iter) {
+      u = hmac_sha256(password, BytesView(u.data(), u.size()));
+      for (std::size_t b = 0; b < t.size(); ++b) t[b] ^= u[b];
+    }
+    const std::size_t take = std::min(output_len - out.size(), t.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+    ++block_index;
+  }
+  return out;
+}
+
+}  // namespace rsse::crypto

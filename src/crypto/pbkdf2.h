@@ -1,0 +1,19 @@
+// PBKDF2-HMAC-SHA256 (RFC 8018): passphrase-based key derivation for the
+// persistence layer. The owner's master-key file on disk is sealed under
+// a key derived from a passphrase + random salt, so losing the laptop
+// does not lose the collection.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace rsse::crypto {
+
+/// Derives `output_len` bytes from (password, salt) with `iterations`
+/// rounds of PBKDF2-HMAC-SHA256. Throws InvalidArgument on zero
+/// iterations or zero output length.
+Bytes pbkdf2_hmac_sha256(BytesView password, BytesView salt, std::uint32_t iterations,
+                         std::size_t output_len);
+
+}  // namespace rsse::crypto

@@ -1,0 +1,66 @@
+#include "crypto/prf.h"
+
+#include "util/errors.h"
+
+namespace rsse::crypto {
+
+namespace {
+
+// Domain-separation tags keeping Prf and KeyedHash outputs independent.
+constexpr std::uint8_t kPrfTag = 0x01;
+constexpr std::uint8_t kHashTag = 0x02;
+
+Sha256Digest tagged_mac(BytesView key, std::uint8_t tag, BytesView input,
+                        std::uint32_t counter = 0) {
+  HmacSha256 mac(key);
+  const std::uint8_t header[5] = {
+      tag,
+      static_cast<std::uint8_t>(counter),
+      static_cast<std::uint8_t>(counter >> 8),
+      static_cast<std::uint8_t>(counter >> 16),
+      static_cast<std::uint8_t>(counter >> 24),
+  };
+  mac.update(BytesView(header, sizeof header));
+  mac.update(input);
+  return mac.finish();
+}
+
+}  // namespace
+
+Prf::Prf(Bytes key) : key_(std::move(key)) {
+  detail::require(!key_.empty(), "Prf: empty key");
+}
+
+Bytes Prf::derive(BytesView input) const {
+  const Sha256Digest d = tagged_mac(key_, kPrfTag, input);
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes Prf::derive(std::string_view input) const { return derive(to_bytes(input)); }
+
+Bytes Prf::derive_n(BytesView input, std::size_t n) const {
+  Bytes out;
+  out.reserve(n);
+  for (std::uint32_t counter = 0; out.size() < n; ++counter) {
+    const Sha256Digest d = tagged_mac(key_, kPrfTag, input, counter + 1);
+    const std::size_t take = std::min(n - out.size(), d.size());
+    out.insert(out.end(), d.begin(), d.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+KeyedHash::KeyedHash(Bytes key, std::size_t p_bits) : key_(std::move(key)) {
+  detail::require(!key_.empty(), "KeyedHash: empty key");
+  detail::require(p_bits > 0 && p_bits % 8 == 0 && p_bits <= 256,
+                  "KeyedHash: p must be a positive multiple of 8, at most 256");
+  p_bytes_ = p_bits / 8;
+}
+
+Bytes KeyedHash::hash(BytesView input) const {
+  const Sha256Digest d = tagged_mac(key_, kHashTag, input);
+  return Bytes(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(p_bytes_));
+}
+
+Bytes KeyedHash::hash(std::string_view input) const { return hash(to_bytes(input)); }
+
+}  // namespace rsse::crypto

@@ -1,0 +1,68 @@
+// The paper's two keyed primitives over keywords:
+//
+//   f : {0,1}^k x {0,1}* -> {0,1}^l   a pseudo-random function; generates
+//       per-keyword subkeys (the posting-list entry key f_y(w), the OPM
+//       score key f_z(w)) and the second trapdoor component.
+//   pi: {0,1}^k x {0,1}* -> {0,1}^p   a collision-resistant keyed hash with
+//       p > log m; the index row label and first trapdoor component
+//       pi_x(w).
+//
+// Both are instantiated from HMAC-SHA256 (a PRF under standard
+// assumptions, and collision resistant when truncated to p >= 80 bits)
+// with domain separation between the two roles.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/hmac_sha256.h"
+#include "util/bytes.h"
+
+namespace rsse::crypto {
+
+/// Output length of Prf::derive in bytes (l = 256 bits).
+inline constexpr std::size_t kPrfOutputSize = kSha256DigestSize;
+
+/// Keyed PRF f. Copyable value type holding only the key.
+class Prf {
+ public:
+  /// Wraps key material of any non-zero length.
+  explicit Prf(Bytes key);
+
+  /// f_key(input): 32 pseudo-random bytes.
+  [[nodiscard]] Bytes derive(BytesView input) const;
+
+  /// Convenience overload over string labels (keywords).
+  [[nodiscard]] Bytes derive(std::string_view input) const;
+
+  /// f_key(input) truncated/expanded to exactly `n` bytes via counter-mode
+  /// expansion, for callers that need non-default key sizes.
+  [[nodiscard]] Bytes derive_n(BytesView input, std::size_t n) const;
+
+ private:
+  Bytes key_;
+};
+
+/// Keyed collision-resistant hash pi, truncated to p bits. Distinct from
+/// Prf by domain separation so pi_x(w) and f_x(w) are independent even
+/// under key reuse.
+class KeyedHash {
+ public:
+  /// `p_bits` is the paper's parameter p (output bits, must be a positive
+  /// multiple of 8 and at most 256; the paper's SHA-1 example uses 160).
+  KeyedHash(Bytes key, std::size_t p_bits = 160);
+
+  /// pi_key(input): p/8 bytes.
+  [[nodiscard]] Bytes hash(BytesView input) const;
+
+  /// Convenience overload over string labels (keywords).
+  [[nodiscard]] Bytes hash(std::string_view input) const;
+
+  /// Output size in bytes (p / 8).
+  [[nodiscard]] std::size_t output_size() const { return p_bytes_; }
+
+ private:
+  Bytes key_;
+  std::size_t p_bytes_;
+};
+
+}  // namespace rsse::crypto

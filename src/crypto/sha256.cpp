@@ -1,0 +1,54 @@
+#include "crypto/sha256.h"
+
+#include <openssl/evp.h>
+
+#include "util/errors.h"
+
+namespace rsse::crypto {
+
+namespace {
+
+EVP_MD_CTX* as_ctx(void* p) { return static_cast<EVP_MD_CTX*>(p); }
+
+}  // namespace
+
+Sha256Digest sha256(BytesView data) {
+  Sha256 h;
+  h.update(data);
+  return h.finish();
+}
+
+void Sha256::CtxDeleter::operator()(void* ctx) const noexcept {
+  EVP_MD_CTX_free(as_ctx(ctx));
+}
+
+Sha256::Sha256() : ctx_(EVP_MD_CTX_new()) {
+  if (!ctx_) throw CryptoError("SHA-256: EVP_MD_CTX_new failed");
+  init();
+}
+
+Sha256::~Sha256() = default;
+Sha256::Sha256(Sha256&&) noexcept = default;
+Sha256& Sha256::operator=(Sha256&&) noexcept = default;
+
+void Sha256::init() {
+  if (EVP_DigestInit_ex(as_ctx(ctx_.get()), EVP_sha256(), nullptr) != 1)
+    throw CryptoError("SHA-256: DigestInit failed");
+}
+
+void Sha256::update(BytesView data) {
+  if (EVP_DigestUpdate(as_ctx(ctx_.get()), data.data(), data.size()) != 1)
+    throw CryptoError("SHA-256: DigestUpdate failed");
+}
+
+Sha256Digest Sha256::finish() {
+  Sha256Digest out{};
+  unsigned int len = 0;
+  if (EVP_DigestFinal_ex(as_ctx(ctx_.get()), out.data(), &len) != 1 ||
+      len != kSha256DigestSize)
+    throw CryptoError("SHA-256: DigestFinal failed");
+  init();  // reset for reuse
+  return out;
+}
+
+}  // namespace rsse::crypto

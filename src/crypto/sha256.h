@@ -1,0 +1,50 @@
+// SHA-256 over OpenSSL's EVP interface, with both one-shot and incremental
+// APIs. This is the collision-resistant hash underlying the library's
+// keyed hash pi (via HMAC) and the TapeGen coin generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "util/bytes.h"
+
+namespace rsse::crypto {
+
+/// Digest size of SHA-256 in bytes.
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+/// A SHA-256 digest.
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// One-shot SHA-256. Throws CryptoError on backend failure.
+Sha256Digest sha256(BytesView data);
+
+/// Incremental SHA-256 context (RAII over EVP_MD_CTX). Reusable: finish()
+/// resets the context so the object can hash another message.
+class Sha256 {
+ public:
+  Sha256();
+  ~Sha256();
+
+  Sha256(const Sha256&) = delete;
+  Sha256& operator=(const Sha256&) = delete;
+  Sha256(Sha256&&) noexcept;
+  Sha256& operator=(Sha256&&) noexcept;
+
+  /// Absorbs more message bytes.
+  void update(BytesView data);
+
+  /// Produces the digest of everything absorbed since construction or the
+  /// previous finish(), then resets for reuse.
+  Sha256Digest finish();
+
+ private:
+  void init();
+  struct CtxDeleter {
+    void operator()(void* ctx) const noexcept;
+  };
+  std::unique_ptr<void, CtxDeleter> ctx_;
+};
+
+}  // namespace rsse::crypto

@@ -1,0 +1,76 @@
+#include "crypto/tapegen.h"
+
+#include "util/errors.h"
+
+namespace rsse::crypto {
+
+Tape::Tape(BytesView key, BytesView context) {
+  seed_ = hmac_sha256(key, context);
+}
+
+void Tape::refill() {
+  Bytes counter;
+  append_u64(counter, block_index_++);
+  block_ = hmac_sha256(BytesView(seed_.data(), seed_.size()), counter);
+  offset_ = 0;
+}
+
+std::uint8_t Tape::next_byte() {
+  if (offset_ >= block_.size()) refill();
+  return block_[offset_++];
+}
+
+std::uint64_t Tape::next_u64() {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(next_byte()) << (8 * i);
+  return v;
+}
+
+double Tape::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Tape::uniform_below(std::uint64_t bound) {
+  detail::require(bound > 0, "Tape::uniform_below: bound must be positive");
+  if ((bound & (bound - 1)) == 0) return next_u64() & (bound - 1);
+  // Classic rejection: draw from the largest multiple of bound below 2^64.
+  const std::uint64_t limit = ~0ull - (~0ull % bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+void Tape::fill(std::span<std::uint8_t> out) {
+  for (auto& b : out) b = next_byte();
+}
+
+Bytes encode_split_context(std::uint64_t domain_lo, std::uint64_t domain_hi,
+                           std::uint64_t range_lo, std::uint64_t range_hi,
+                           std::uint64_t midpoint) {
+  Bytes ctx;
+  ctx.push_back(0x00);  // the paper's tag 0||y
+  append_u64(ctx, domain_lo);
+  append_u64(ctx, domain_hi);
+  append_u64(ctx, range_lo);
+  append_u64(ctx, range_hi);
+  append_u64(ctx, midpoint);
+  return ctx;
+}
+
+Bytes encode_draw_context(std::uint64_t domain_lo, std::uint64_t domain_hi,
+                          std::uint64_t range_lo, std::uint64_t range_hi,
+                          std::uint64_t plaintext, bool has_file_id,
+                          std::uint64_t file_id) {
+  Bytes ctx;
+  ctx.push_back(0x01);  // the paper's tag 1||m
+  append_u64(ctx, domain_lo);
+  append_u64(ctx, domain_hi);
+  append_u64(ctx, range_lo);
+  append_u64(ctx, range_hi);
+  append_u64(ctx, plaintext);
+  ctx.push_back(has_file_id ? 0x01 : 0x00);
+  if (has_file_id) append_u64(ctx, file_id);
+  return ctx;
+}
+
+}  // namespace rsse::crypto

@@ -1,0 +1,71 @@
+// TapeGen: the deterministic random-coin tape of the BCLO order-preserving
+// encryption construction (Algorithm 1 of the paper calls it directly).
+//
+// Given the OPE key and an encoding of the call context — the current
+// (domain, range) window plus either the binary-search midpoint (tag 0||y)
+// or the plaintext and optional file id for the final ciphertext draw
+// (tag 1||m, id(F)) — TapeGen must return an unbounded stream of
+// pseudo-random coins that is a deterministic function of (key, context).
+// That determinism is what makes OPE encryption consistent: every call
+// that revisits the same window re-derives the same HGD split.
+//
+// Construction: seed = HMAC-SHA256(key, context); block_i =
+// HMAC-SHA256(seed, i). Stream output is the concatenation of blocks, read
+// through typed helpers (u64, 53-bit double, unbiased uniform_below).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/hmac_sha256.h"
+#include "util/bytes.h"
+
+namespace rsse::crypto {
+
+/// A deterministic coin tape for one (key, context) pair.
+class Tape {
+ public:
+  /// Derives the tape seed from `key` and `context`.
+  Tape(BytesView key, BytesView context);
+
+  /// Next byte of the tape.
+  std::uint8_t next_byte();
+
+  /// Next 64 tape bits as an integer.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0,1) with 53-bit precision; the HGD sampler's coin.
+  double next_double();
+
+  /// Unbiased uniform integer in [0, bound) via rejection sampling.
+  /// Throws InvalidArgument when bound == 0.
+  std::uint64_t uniform_below(std::uint64_t bound);
+
+  /// Fills `out` with tape bytes.
+  void fill(std::span<std::uint8_t> out);
+
+ private:
+  void refill();
+
+  Sha256Digest seed_{};
+  Sha256Digest block_{};
+  std::uint64_t block_index_ = 0;
+  std::size_t offset_ = kSha256DigestSize;  // forces refill on first read
+};
+
+/// Context encodings shared by the OPE/OPM implementations so that tests
+/// and both mapping variants agree bit-for-bit on the tape inputs.
+/// Encodes (D, R, 0 || y): the coin context for one binary-search split.
+Bytes encode_split_context(std::uint64_t domain_lo, std::uint64_t domain_hi,
+                           std::uint64_t range_lo, std::uint64_t range_hi,
+                           std::uint64_t midpoint);
+
+/// Encodes (D, R, 1 || m [, id]): the coin context for the final ciphertext
+/// draw. Pass `has_file_id=false` for deterministic OPSE; the one-to-many
+/// mapping sets it and supplies the file identifier, which is exactly the
+/// paper's modification.
+Bytes encode_draw_context(std::uint64_t domain_lo, std::uint64_t domain_hi,
+                          std::uint64_t range_lo, std::uint64_t range_hi,
+                          std::uint64_t plaintext, bool has_file_id,
+                          std::uint64_t file_id);
+
+}  // namespace rsse::crypto

@@ -1,0 +1,95 @@
+#include "ext/capability.h"
+
+#include <algorithm>
+#include <set>
+
+#include "crypto/aes_gcm.h"
+#include "util/errors.h"
+
+namespace rsse::ext {
+
+CapabilityBundle::CapabilityBundle(std::vector<Grant> grants)
+    : grants_(std::move(grants)) {
+  std::set<std::string> seen;
+  for (const Grant& g : grants_) {
+    detail::require(!g.normalized_keyword.empty(), "CapabilityBundle: empty keyword");
+    detail::require(seen.insert(g.normalized_keyword).second,
+                    "CapabilityBundle: duplicate keyword grant");
+  }
+}
+
+std::optional<sse::Trapdoor> CapabilityBundle::trapdoor_for(
+    std::string_view keyword, const ir::Analyzer& analyzer) const {
+  const std::string normalized = analyzer.normalize_keyword(keyword);
+  if (normalized.empty()) return std::nullopt;
+  const auto it = std::find_if(grants_.begin(), grants_.end(), [&](const Grant& g) {
+    return g.normalized_keyword == normalized;
+  });
+  if (it == grants_.end()) return std::nullopt;
+  return it->trapdoor;
+}
+
+std::vector<std::string> CapabilityBundle::keywords() const {
+  std::vector<std::string> out;
+  out.reserve(grants_.size());
+  for (const Grant& g : grants_) out.push_back(g.normalized_keyword);
+  return out;
+}
+
+Bytes CapabilityBundle::serialize() const {
+  Bytes out;
+  append_u64(out, grants_.size());
+  for (const Grant& g : grants_) {
+    append_lp(out, to_bytes(g.normalized_keyword));
+    append_lp(out, g.trapdoor.serialize());
+  }
+  return out;
+}
+
+CapabilityBundle CapabilityBundle::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  const std::uint64_t n = reader.read_count(8);  // two LP headers per grant
+  std::vector<Grant> grants;
+  grants.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Grant g;
+    g.normalized_keyword = to_string(reader.read_lp());
+    g.trapdoor = sse::Trapdoor::deserialize(reader.read_lp());
+    grants.push_back(std::move(g));
+  }
+  if (!reader.exhausted()) throw ParseError("CapabilityBundle: trailing bytes");
+  try {
+    return CapabilityBundle(std::move(grants));
+  } catch (const InvalidArgument& e) {
+    throw ParseError(std::string("CapabilityBundle: bad payload: ") + e.what());
+  }
+}
+
+CapabilityBundle make_capability_bundle(const sse::TrapdoorGenerator& generator,
+                                        const std::vector<std::string>& keywords) {
+  std::vector<CapabilityBundle::Grant> grants;
+  std::set<std::string> seen;
+  for (const std::string& kw : keywords) {
+    const std::string normalized = generator.analyzer().normalize_keyword(kw);
+    if (normalized.empty() || !seen.insert(normalized).second) continue;
+    grants.push_back(CapabilityBundle::Grant{
+        normalized, sse::Trapdoor{generator.label_for(normalized),
+                                  generator.list_key_for(normalized)}});
+  }
+  detail::require(!grants.empty(),
+                  "make_capability_bundle: no keyword survives normalization");
+  return CapabilityBundle(std::move(grants));
+}
+
+Bytes seal_capability_bundle(BytesView user_key, std::string_view user_name,
+                             const CapabilityBundle& bundle) {
+  return crypto::aes_gcm_encrypt(user_key, bundle.serialize(), to_bytes(user_name));
+}
+
+CapabilityBundle open_capability_bundle(BytesView user_key, std::string_view user_name,
+                                        BytesView sealed) {
+  const Bytes plain = crypto::aes_gcm_decrypt(user_key, sealed, to_bytes(user_name));
+  return CapabilityBundle::deserialize(plain);
+}
+
+}  // namespace rsse::ext

@@ -1,0 +1,72 @@
+// Fine-grained search authorization — the paper's second future-work
+// direction (Sec. VIII suggests attribute-based encryption for
+// "fine-grained access control in our multi-user settings").
+//
+// We model the capability honestly without ABE machinery: instead of the
+// trapdoor keys (x, y), a restricted user receives a sealed bundle of
+// PRE-COMPUTED trapdoors, one per authorized keyword. The user can
+// search exactly those keywords — it never holds key material that
+// derives trapdoors for anything else — and revocation is simply not
+// re-issuing the bundle. The construction composes entirely from
+// primitives the scheme already has, which is why it makes a convincing
+// first step before full ABE.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sse/trapdoor_gen.h"
+#include "sse/types.h"
+#include "util/bytes.h"
+
+namespace rsse::ext {
+
+/// A user's keyword-scoped search capability.
+class CapabilityBundle {
+ public:
+  /// One authorized keyword with its ready-made trapdoor. The keyword is
+  /// stored in normalized form so the user's lookup normalizes the same
+  /// way.
+  struct Grant {
+    std::string normalized_keyword;
+    sse::Trapdoor trapdoor;
+  };
+
+  explicit CapabilityBundle(std::vector<Grant> grants);
+
+  /// The trapdoor for `keyword` if authorized, nullopt otherwise.
+  /// Normalizes the query through `analyzer` first.
+  [[nodiscard]] std::optional<sse::Trapdoor> trapdoor_for(
+      std::string_view keyword, const ir::Analyzer& analyzer) const;
+
+  /// Authorized (normalized) keywords.
+  [[nodiscard]] std::vector<std::string> keywords() const;
+
+  /// Number of grants.
+  [[nodiscard]] std::size_t size() const { return grants_.size(); }
+
+  [[nodiscard]] Bytes serialize() const;
+  static CapabilityBundle deserialize(BytesView blob);
+
+ private:
+  std::vector<Grant> grants_;
+};
+
+/// Owner side: builds a bundle for a keyword allowlist. Keywords that
+/// normalize to nothing are skipped; duplicates collapse. Throws
+/// InvalidArgument when nothing survives.
+CapabilityBundle make_capability_bundle(const sse::TrapdoorGenerator& generator,
+                                        const std::vector<std::string>& keywords);
+
+/// Owner side: seals a bundle to a user's personal key (AES-GCM with the
+/// user name bound as associated data, like cloud::AuthorizationService).
+Bytes seal_capability_bundle(BytesView user_key, std::string_view user_name,
+                             const CapabilityBundle& bundle);
+
+/// User side: opens a sealed bundle. Throws CryptoError on a wrong key,
+/// wrong name binding, or tampering.
+CapabilityBundle open_capability_bundle(BytesView user_key, std::string_view user_name,
+                                        BytesView sealed);
+
+}  // namespace rsse::ext

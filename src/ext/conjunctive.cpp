@@ -1,0 +1,125 @@
+#include "ext/conjunctive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/errors.h"
+
+namespace rsse::ext {
+
+Bytes ConjunctiveTrapdoor::serialize() const {
+  Bytes out;
+  append_u64(out, trapdoors.size());
+  for (const sse::Trapdoor& t : trapdoors) append_lp(out, t.serialize());
+  return out;
+}
+
+ConjunctiveTrapdoor ConjunctiveTrapdoor::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  ConjunctiveTrapdoor ct;
+  const std::uint64_t n = reader.read_count(4);  // LP header per trapdoor
+  ct.trapdoors.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    ct.trapdoors.push_back(sse::Trapdoor::deserialize(reader.read_lp()));
+  if (!reader.exhausted()) throw ParseError("ConjunctiveTrapdoor: trailing bytes");
+  return ct;
+}
+
+ConjunctiveTrapdoor make_conjunctive_trapdoor(const sse::TrapdoorGenerator& generator,
+                                              const std::vector<std::string>& keywords) {
+  ConjunctiveTrapdoor ct;
+  std::set<std::string> seen;
+  for (const std::string& kw : keywords) {
+    const std::string normalized = generator.analyzer().normalize_keyword(kw);
+    if (normalized.empty() || !seen.insert(normalized).second) continue;
+    ct.trapdoors.push_back(
+        sse::Trapdoor{generator.label_for(normalized), generator.list_key_for(normalized)});
+  }
+  detail::require(!ct.trapdoors.empty(),
+                  "make_conjunctive_trapdoor: no keyword survives normalization");
+  return ct;
+}
+
+std::vector<ConjunctiveRsse::Hit> ConjunctiveRsse::search(
+    const sse::SecureIndex& index, const ConjunctiveTrapdoor& trapdoor,
+    std::size_t top_k) {
+  detail::require(!trapdoor.trapdoors.empty(), "ConjunctiveRsse: empty trapdoor");
+  // Per-file (hit count, aggregate OPM value).
+  std::map<std::uint64_t, std::pair<std::size_t, std::uint64_t>> acc;
+  for (const sse::Trapdoor& t : trapdoor.trapdoors) {
+    for (const sse::RankedSearchEntry& e : sse::RsseScheme::search(index, t)) {
+      auto& [count, total] = acc[ir::value(e.file)];
+      ++count;
+      total += e.opm_score;
+    }
+  }
+  std::vector<Hit> hits;
+  for (const auto& [id, cs] : acc) {
+    if (cs.first == trapdoor.trapdoors.size())  // conjunctive: all keywords
+      hits.push_back(Hit{ir::file_id(id), cs.second});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.aggregate_opm != b.aggregate_opm) return a.aggregate_opm > b.aggregate_opm;
+    return ir::value(a.file) < ir::value(b.file);
+  });
+  if (top_k > 0 && hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+ConjunctiveBasic::ServerResult ConjunctiveBasic::search(
+    const sse::SecureIndex& index, const ConjunctiveTrapdoor& trapdoor) {
+  detail::require(!trapdoor.trapdoors.empty(), "ConjunctiveBasic: empty trapdoor");
+  const std::size_t num_terms = trapdoor.trapdoors.size();
+  std::map<std::uint64_t, std::vector<Bytes>> per_file;
+  ServerResult result;
+  result.list_sizes.reserve(num_terms);
+  for (std::size_t t = 0; t < num_terms; ++t) {
+    const auto entries = sse::BasicScheme::search(index, trapdoor.trapdoors[t]);
+    result.list_sizes.push_back(entries.size());
+    for (const sse::BasicSearchEntry& e : entries) {
+      auto& scores = per_file[ir::value(e.file)];
+      scores.resize(num_terms);
+      scores[t] = e.encrypted_score;
+    }
+  }
+  for (auto& [id, scores] : per_file) {
+    const bool complete = std::all_of(scores.begin(), scores.end(),
+                                      [](const Bytes& b) { return !b.empty(); });
+    if (complete)
+      result.hits.push_back(ServerHit{ir::file_id(id), std::move(scores)});
+  }
+  return result;
+}
+
+std::vector<sse::RankedHit> ConjunctiveBasic::rank(const ServerResult& result,
+                                                   BytesView score_key,
+                                                   std::uint64_t collection_size,
+                                                   std::size_t top_k) {
+  detail::require(collection_size > 0, "ConjunctiveBasic::rank: empty collection");
+  std::vector<sse::RankedHit> ranked;
+  ranked.reserve(result.hits.size());
+  for (const ServerHit& hit : result.hits) {
+    detail::require(hit.encrypted_scores.size() == result.list_sizes.size(),
+                    "ConjunctiveBasic::rank: score/list-size arity mismatch");
+    double total = 0.0;
+    for (std::size_t t = 0; t < hit.encrypted_scores.size(); ++t) {
+      // Stored field is the eq. 2 value (1 + ln tf)/|F_d|; multiply in the
+      // query-time IDF to complete eq. 1.
+      const double tf_part = sse::decrypt_basic_score(score_key, hit.encrypted_scores[t]);
+      const double idf = std::log(1.0 + static_cast<double>(collection_size) /
+                                            static_cast<double>(result.list_sizes[t]));
+      total += tf_part * idf;
+    }
+    ranked.push_back(sse::RankedHit{hit.file, total});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const sse::RankedHit& a, const sse::RankedHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return ir::value(a.file) < ir::value(b.file);
+  });
+  if (top_k > 0 && ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+}  // namespace rsse::ext

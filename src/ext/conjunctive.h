@@ -1,0 +1,97 @@
+// Multi-keyword conjunctive ranked search — the paper's principal
+// future-work direction (Sec. VIII): "for the security requirement of
+// searchable encryption, constructions for conjunctive keyword search ...
+// might be good candidates ... However, as the IDF factor now has to be
+// included for score calculation, new approaches still need to be
+// designed to completely preserve the order when summing up scores."
+//
+// We implement both natural candidates so the open problem can be
+// studied quantitatively:
+//
+//  * ConjunctiveRsse — server-side, one round: intersect the per-keyword
+//    posting sets and rank by the SUM of the per-keyword one-to-many
+//    OPM values. Each OPM is monotone but non-linear, so the summed
+//    ranking is only approximate — exactly the difficulty the paper
+//    names. ext/rank_quality.h measures how approximate (Kendall tau /
+//    precision@k against the exact eq.-1 ranking) and
+//    bench_ext_conjunctive reports it.
+//
+//  * ConjunctiveBasic — exact, Basic-Scheme security: the server
+//    intersects and returns per-keyword E_z(score) entries plus each
+//    list's matching count N_i (both already part of SSE's access-pattern
+//    leakage); the user decrypts and computes eq. 1 with
+//    IDF = ln(1 + N/f_t) locally. Exact ranking, Basic-Scheme costs.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sse/basic_scheme.h"
+#include "sse/rsse_scheme.h"
+#include "sse/trapdoor_gen.h"
+#include "sse/types.h"
+
+namespace rsse::ext {
+
+/// A conjunctive query: one single-keyword trapdoor per term.
+struct ConjunctiveTrapdoor {
+  std::vector<sse::Trapdoor> trapdoors;
+
+  [[nodiscard]] Bytes serialize() const;
+  static ConjunctiveTrapdoor deserialize(BytesView blob);
+};
+
+/// Builds a conjunctive trapdoor; duplicate keywords are collapsed and
+/// keywords that normalize to nothing are dropped. Throws InvalidArgument
+/// when no keyword survives.
+ConjunctiveTrapdoor make_conjunctive_trapdoor(const sse::TrapdoorGenerator& generator,
+                                              const std::vector<std::string>& keywords);
+
+/// Approximate, server-ranked conjunctive search over an RSSE index.
+class ConjunctiveRsse {
+ public:
+  /// A hit in the intersection with its aggregate encrypted score.
+  struct Hit {
+    sse::FileId file{};
+    std::uint64_t aggregate_opm = 0;  ///< sum of per-keyword OPM values
+
+    friend bool operator==(const Hit&, const Hit&) = default;
+  };
+
+  /// Server side: intersect + rank by aggregate OPM (descending), keep
+  /// top-k (0 = all). Files missing from any keyword's postings are
+  /// excluded (conjunctive semantics).
+  static std::vector<Hit> search(const sse::SecureIndex& index,
+                                 const ConjunctiveTrapdoor& trapdoor,
+                                 std::size_t top_k = 0);
+};
+
+/// Exact conjunctive ranked retrieval over a Basic-Scheme index.
+class ConjunctiveBasic {
+ public:
+  /// Per-file encrypted evidence the server returns.
+  struct ServerHit {
+    sse::FileId file{};
+    std::vector<Bytes> encrypted_scores;  ///< one per query keyword, in order
+  };
+
+  /// The server's response: intersection hits plus each keyword's
+  /// matching count f_t (needed for IDF; part of the access pattern).
+  struct ServerResult {
+    std::vector<ServerHit> hits;
+    std::vector<std::uint64_t> list_sizes;
+  };
+
+  /// Server side: intersect the posting sets.
+  static ServerResult search(const sse::SecureIndex& index,
+                             const ConjunctiveTrapdoor& trapdoor);
+
+  /// User side: decrypt with `score_key` and rank by eq. 1, where
+  /// `collection_size` is the public N. Keeps top-k (0 = all).
+  static std::vector<sse::RankedHit> rank(const ServerResult& result,
+                                          BytesView score_key,
+                                          std::uint64_t collection_size,
+                                          std::size_t top_k = 0);
+};
+
+}  // namespace rsse::ext

@@ -1,0 +1,41 @@
+#include "ext/disjunctive.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/errors.h"
+
+namespace rsse::ext {
+
+std::vector<DisjunctiveRsse::Hit> DisjunctiveRsse::search(
+    const sse::SecureIndex& index, const ConjunctiveTrapdoor& trapdoor,
+    std::size_t top_k, DisjunctiveRanking ranking) {
+  detail::require(!trapdoor.trapdoors.empty(), "DisjunctiveRsse: empty trapdoor");
+  std::map<std::uint64_t, Hit> merged;
+  for (const sse::Trapdoor& t : trapdoor.trapdoors) {
+    for (const sse::RankedSearchEntry& e : sse::RsseScheme::search(index, t)) {
+      Hit& hit = merged[ir::value(e.file)];
+      hit.file = e.file;
+      ++hit.matched_keywords;
+      switch (ranking) {
+        case DisjunctiveRanking::kMaxOpm:
+          hit.aggregate_opm = std::max(hit.aggregate_opm, e.opm_score);
+          break;
+        case DisjunctiveRanking::kSumOpm:
+          hit.aggregate_opm += e.opm_score;
+          break;
+      }
+    }
+  }
+  std::vector<Hit> hits;
+  hits.reserve(merged.size());
+  for (const auto& [id, hit] : merged) hits.push_back(hit);
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    if (a.aggregate_opm != b.aggregate_opm) return a.aggregate_opm > b.aggregate_opm;
+    return ir::value(a.file) < ir::value(b.file);
+  });
+  if (top_k > 0 && hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+}  // namespace rsse::ext

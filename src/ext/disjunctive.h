@@ -1,0 +1,47 @@
+// Disjunctive (OR) multi-keyword ranked search.
+//
+// The paper's footnote 1 notes that disjunctive Boolean search "still
+// remains an open problem" for SSE in the sense of a *sub-linear single
+// query* — but given single-keyword trapdoors, the server can trivially
+// evaluate the union by running each trapdoor and merging, which is what
+// any deployment would do. We implement that honest construction with
+// two server-side rankings over the union:
+//   * max-OPM: rank by the best per-keyword encrypted score (order-exact
+//     per keyword, approximate across keywords);
+//   * sum-OPM: rank by the sum over matched keywords (biases toward
+//     files matching more keywords, like eq. 1's summation).
+// The leakage is the union of the per-keyword access patterns — the same
+// as issuing the queries separately.
+#pragma once
+
+#include "ext/conjunctive.h"
+
+namespace rsse::ext {
+
+/// How the union hits are ranked.
+enum class DisjunctiveRanking {
+  kMaxOpm,  ///< best single-keyword encrypted score
+  kSumOpm,  ///< sum of matched keywords' encrypted scores
+};
+
+/// Server-side disjunctive ranked search over an RSSE index.
+class DisjunctiveRsse {
+ public:
+  /// A hit in the union.
+  struct Hit {
+    sse::FileId file{};
+    std::uint64_t aggregate_opm = 0;   ///< per the ranking mode
+    std::uint32_t matched_keywords = 0;
+
+    friend bool operator==(const Hit&, const Hit&) = default;
+  };
+
+  /// Runs every trapdoor, merges the unions, ranks, keeps top-k (0 =
+  /// all). Throws InvalidArgument on an empty trapdoor set.
+  static std::vector<Hit> search(const sse::SecureIndex& index,
+                                 const ConjunctiveTrapdoor& trapdoor,
+                                 std::size_t top_k = 0,
+                                 DisjunctiveRanking ranking = DisjunctiveRanking::kMaxOpm);
+};
+
+}  // namespace rsse::ext

@@ -1,0 +1,86 @@
+#include "ext/rank_quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/errors.h"
+
+namespace rsse::ext {
+
+namespace {
+
+// id -> rank position map; throws when ids repeat.
+std::unordered_map<std::uint64_t, std::size_t> rank_map(
+    const std::vector<std::uint64_t>& ranking) {
+  std::unordered_map<std::uint64_t, std::size_t> out;
+  out.reserve(ranking.size());
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    const auto [it, inserted] = out.emplace(ranking[i], i);
+    detail::require(inserted, "rank metric: duplicate id in ranking");
+  }
+  return out;
+}
+
+void check_same_ids(const std::unordered_map<std::uint64_t, std::size_t>& a,
+                    const std::vector<std::uint64_t>& b) {
+  detail::require(a.size() == b.size(), "rank metric: rankings differ in length");
+  for (std::uint64_t id : b)
+    detail::require(a.contains(id), "rank metric: rankings are not the same id set");
+}
+
+}  // namespace
+
+double kendall_tau(const std::vector<std::uint64_t>& ranking_a,
+                   const std::vector<std::uint64_t>& ranking_b) {
+  detail::require(ranking_a.size() >= 2, "kendall_tau: need at least two items");
+  const auto pos_b = rank_map(ranking_b);
+  check_same_ids(pos_b, ranking_a);
+  // O(n^2) pair counting: rankings in the benches are top-k lists, small.
+  const std::size_t n = ranking_a.size();
+  long long concordant = 0;
+  long long discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::size_t bi = pos_b.at(ranking_a[i]);
+      const std::size_t bj = pos_b.at(ranking_a[j]);
+      if (bi < bj)
+        ++concordant;
+      else
+        ++discordant;
+    }
+  }
+  const auto pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return (static_cast<double>(concordant) - static_cast<double>(discordant)) / pairs;
+}
+
+double precision_at_k(const std::vector<std::uint64_t>& reference,
+                      const std::vector<std::uint64_t>& candidate, std::size_t k) {
+  detail::require(k > 0, "precision_at_k: k must be positive");
+  k = std::min({k, reference.size(), candidate.size()});
+  if (k == 0) return 0.0;
+  std::unordered_set<std::uint64_t> top_candidate(candidate.begin(),
+                                                  candidate.begin() + static_cast<std::ptrdiff_t>(k));
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i)
+    if (top_candidate.contains(reference[i])) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double normalized_footrule(const std::vector<std::uint64_t>& ranking_a,
+                           const std::vector<std::uint64_t>& ranking_b) {
+  detail::require(!ranking_a.empty(), "normalized_footrule: empty ranking");
+  const auto pos_b = rank_map(ranking_b);
+  check_same_ids(pos_b, ranking_a);
+  const std::size_t n = ranking_a.size();
+  if (n == 1) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += std::abs(static_cast<double>(i) - static_cast<double>(pos_b.at(ranking_a[i])));
+  // Maximum footrule distance is floor(n^2 / 2).
+  const double max_total = std::floor(static_cast<double>(n) * static_cast<double>(n) / 2.0);
+  return total / max_total;
+}
+
+}  // namespace rsse::ext

@@ -1,0 +1,30 @@
+// Rank-quality metrics for evaluating approximate ranked retrieval —
+// used to quantify how far the sum-of-OPM conjunctive ranking
+// (ext/conjunctive.h) falls from the exact eq.-1 ranking, and by tests
+// asserting single-keyword RSSE reproduces the plaintext order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rsse::ext {
+
+/// Kendall's tau-a rank correlation between two orderings of the SAME id
+/// set: +1 identical order, -1 reversed. Throws InvalidArgument when the
+/// sequences are not permutations of each other or have fewer than two
+/// elements.
+double kendall_tau(const std::vector<std::uint64_t>& ranking_a,
+                   const std::vector<std::uint64_t>& ranking_b);
+
+/// Precision@k of `candidate` against `reference`: the fraction of the
+/// reference's first k ids that also appear in the candidate's first k.
+/// k is clamped to both lengths; throws on k == 0.
+double precision_at_k(const std::vector<std::uint64_t>& reference,
+                      const std::vector<std::uint64_t>& candidate, std::size_t k);
+
+/// Spearman footrule distance normalized to [0,1]: mean absolute rank
+/// displacement divided by the maximum possible. 0 = identical order.
+double normalized_footrule(const std::vector<std::uint64_t>& ranking_a,
+                           const std::vector<std::uint64_t>& ranking_b);
+
+}  // namespace rsse::ext

@@ -1,0 +1,25 @@
+#include "ir/analyzer.h"
+
+#include "ir/porter_stemmer.h"
+#include "ir/stopwords.h"
+
+namespace rsse::ir {
+
+std::vector<std::string> Analyzer::analyze(std::string_view text) const {
+  std::vector<std::string> tokens = tokenize(text, options_.tokenizer);
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (std::string& token : tokens) {
+    if (options_.remove_stopwords && is_stopword(token)) continue;
+    out.push_back(options_.stem ? porter_stem(token) : std::move(token));
+  }
+  return out;
+}
+
+std::string Analyzer::normalize_keyword(std::string_view keyword) const {
+  const std::vector<std::string> terms = analyze(keyword);
+  if (terms.size() != 1) return {};
+  return terms.front();
+}
+
+}  // namespace rsse::ir

@@ -1,0 +1,44 @@
+// The keyword-extraction pipeline: tokenize -> case fold -> stop-word
+// filter -> Porter stem. Both the index builder (BuildIndex scans C) and
+// the user-side trapdoor generation run the *same* analyzer so a query
+// keyword normalizes to exactly the indexed form.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/tokenizer.h"
+
+namespace rsse::ir {
+
+/// Analyzer options; defaults match the paper's setup (stemming + stop
+/// words + case folding on).
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  bool remove_stopwords = true;
+  bool stem = true;
+};
+
+/// A configured, reusable text analyzer.
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {}) : options_(options) {}
+
+  /// Full-document analysis: the indexed term sequence of `text`. The
+  /// result length is the paper's |Fd| normalization factor.
+  [[nodiscard]] std::vector<std::string> analyze(std::string_view text) const;
+
+  /// Single-keyword normalization for query/trapdoor generation. Returns
+  /// an empty string when the keyword is filtered out entirely (e.g. a
+  /// stop word), which callers must treat as "no results".
+  [[nodiscard]] std::string normalize_keyword(std::string_view keyword) const;
+
+  /// The options in effect.
+  [[nodiscard]] const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+};
+
+}  // namespace rsse::ir

@@ -1,0 +1,143 @@
+#include "ir/corpus_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/errors.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace rsse::ir {
+
+std::string synthetic_word(std::size_t rank) {
+  // Base-21x5 syllable encoding: every rank maps to a unique CV(CV...)C
+  // word, e.g. 0 -> "bab". The trailing consonant keeps most words fixed
+  // points of the Porter stemmer (no common suffix).
+  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwxz";  // 20
+  static constexpr char kVowels[] = "aeiou";                     // 5
+  std::string out;
+  out.push_back(kConsonants[rank % 20]);
+  rank /= 20;
+  do {
+    out.push_back(kVowels[rank % 5]);
+    rank /= 5;
+    out.push_back(kConsonants[rank % 20]);
+    rank /= 20;
+  } while (rank > 0);
+  return out;
+}
+
+namespace {
+
+// TF ~ 1 + Geometric(p), clipped to `cap`.
+std::uint32_t geometric_tf(Xoshiro256& rng, double p, std::uint32_t cap) {
+  const double u = rng.next_double();
+  const double draws = std::floor(std::log1p(-u) / std::log1p(-p));
+  const double tf = 1.0 + std::max(0.0, draws);
+  return static_cast<std::uint32_t>(std::min<double>(tf, cap));
+}
+
+std::string render_document(const std::vector<std::string>& tokens, std::size_t doc_index) {
+  std::ostringstream os;
+  os << "Synthetic Document " << doc_index << "\n\n";
+  std::size_t line_len = 0;
+  for (const std::string& tok : tokens) {
+    os << tok;
+    line_len += tok.size() + 1;
+    if (line_len > 72) {
+      os << '\n';
+      line_len = 0;
+    } else {
+      os << ' ';
+    }
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace
+
+Corpus generate_corpus(const CorpusGenOptions& options) {
+  detail::require(options.num_documents > 0, "generate_corpus: need documents");
+  detail::require(options.vocabulary_size > 0, "generate_corpus: need vocabulary");
+  detail::require(options.min_tokens > 0 && options.min_tokens <= options.max_tokens,
+                  "generate_corpus: bad token-length interval");
+  for (const InjectedKeyword& kw : options.injected) {
+    detail::require(kw.document_count <= options.num_documents,
+                    "generate_corpus: injected keyword exceeds corpus size");
+    detail::require(kw.tf_geometric_p > 0.0 && kw.tf_geometric_p < 1.0,
+                    "generate_corpus: tf_geometric_p must be in (0,1)");
+    detail::require(!kw.word.empty(), "generate_corpus: empty injected keyword");
+  }
+
+  Xoshiro256 rng(options.seed);
+  const ZipfSampler zipf(options.vocabulary_size, options.zipf_exponent);
+
+  // Pre-generate the background vocabulary once.
+  std::vector<std::string> vocab(options.vocabulary_size);
+  for (std::size_t r = 0; r < vocab.size(); ++r) vocab[r] = synthetic_word(r);
+
+  // Decide which documents contain each injected keyword: a uniform
+  // sample without replacement of `document_count` docs.
+  std::vector<std::vector<std::uint32_t>> injected_tf(
+      options.injected.size(), std::vector<std::uint32_t>(options.num_documents, 0));
+  for (std::size_t k = 0; k < options.injected.size(); ++k) {
+    const InjectedKeyword& kw = options.injected[k];
+    std::vector<std::size_t> docs(options.num_documents);
+    for (std::size_t i = 0; i < docs.size(); ++i) docs[i] = i;
+    std::shuffle(docs.begin(), docs.end(), rng);
+    for (std::size_t i = 0; i < kw.document_count; ++i)
+      injected_tf[k][docs[i]] = geometric_tf(rng, kw.tf_geometric_p, kw.tf_cap);
+  }
+
+  const double log_min = std::log(static_cast<double>(options.min_tokens));
+  const double log_max = std::log(static_cast<double>(options.max_tokens));
+
+  Corpus corpus;
+  for (std::size_t d = 0; d < options.num_documents; ++d) {
+    const double log_len = log_min + (log_max - log_min) * rng.next_double();
+    const auto background_len = static_cast<std::size_t>(std::exp(log_len));
+
+    std::vector<std::string> tokens;
+    tokens.reserve(background_len + 32);
+    for (std::size_t t = 0; t < background_len; ++t)
+      tokens.push_back(vocab[zipf.sample(rng)]);
+    for (std::size_t k = 0; k < options.injected.size(); ++k) {
+      for (std::uint32_t c = 0; c < injected_tf[k][d]; ++c)
+        tokens.push_back(options.injected[k].word);
+    }
+    std::shuffle(tokens.begin(), tokens.end(), rng);
+
+    char name[32];
+    std::snprintf(name, sizeof name, "doc%05zu.txt", d);
+    corpus.add(Document{file_id(d), name, render_document(tokens, d)});
+  }
+  return corpus;
+}
+
+Corpus load_directory(const std::string& dir, std::size_t max_files) {
+  namespace fs = std::filesystem;
+  detail::require(fs::is_directory(dir), "load_directory: not a directory: " + dir);
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.size() > max_files) paths.resize(max_files);
+
+  Corpus corpus;
+  std::uint64_t next_id = 0;
+  for (const fs::path& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) throw Error("load_directory: cannot open " + p.string());
+    std::ostringstream content;
+    content << in.rdbuf();
+    corpus.add(Document{file_id(next_id++), p.filename().string(), content.str()});
+  }
+  return corpus;
+}
+
+}  // namespace rsse::ir

@@ -1,0 +1,55 @@
+// Synthetic RFC-like corpus generation.
+//
+// The paper evaluates on the IETF RFC collection (5563 files, 277 MB),
+// which is not available offline; this generator is the documented
+// substitution (DESIGN.md Sec. 2). It produces a deterministic-by-seed
+// collection whose *statistics* drive the experiments:
+//   * background vocabulary drawn Zipfian, like natural language;
+//   * log-uniform document lengths (|Fd| spread => score normalization);
+//   * "injected" keywords with a controlled document frequency and a
+//     geometric term-frequency distribution, reproducing the skewed
+//     per-keyword relevance-score histograms of Fig. 4 (the paper's
+//     keyword "network" over 1000 files, max/lambda ~= 0.06).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/document.h"
+
+namespace rsse::ir {
+
+/// A keyword planted with controlled statistics.
+struct InjectedKeyword {
+  std::string word;                ///< e.g. "network"; should be stem-stable
+  std::size_t document_count = 0;  ///< how many documents contain it (N_i)
+  double tf_geometric_p = 0.25;    ///< TF ~ 1 + Geom(p); smaller p = heavier tail
+  std::uint32_t tf_cap = 400;      ///< clip absurd tail draws
+};
+
+/// Generator parameters.
+struct CorpusGenOptions {
+  std::size_t num_documents = 1000;
+  std::size_t vocabulary_size = 5000;
+  double zipf_exponent = 1.05;       ///< term-rank exponent of the background text
+  std::size_t min_tokens = 200;      ///< shortest document, in tokens
+  std::size_t max_tokens = 3000;     ///< longest document, in tokens
+  std::vector<InjectedKeyword> injected;
+  std::uint64_t seed = 42;           ///< all randomness derives from this
+};
+
+/// Deterministic pronounceable pseudo-word for vocabulary rank `rank`
+/// ("background" terms of the synthetic text). Distinct ranks yield
+/// distinct words.
+std::string synthetic_word(std::size_t rank);
+
+/// Generates the collection. Document ids are dense from 0.
+Corpus generate_corpus(const CorpusGenOptions& options);
+
+/// Loads every regular file under `dir` (non-recursive) as one document,
+/// in sorted filename order, up to `max_files`. This is how a user points
+/// the library at a real collection such as a directory of RFC text files.
+Corpus load_directory(const std::string& dir, std::size_t max_files = SIZE_MAX);
+
+}  // namespace rsse::ir

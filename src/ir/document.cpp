@@ -1,0 +1,28 @@
+#include "ir/document.h"
+
+#include "util/errors.h"
+
+namespace rsse::ir {
+
+void Corpus::add(Document doc) {
+  const std::uint64_t raw = value(doc.id);
+  rsse::detail::require(!index_by_id_.contains(raw), "Corpus::add: duplicate FileId");
+  index_by_id_.emplace(raw, docs_.size());
+  docs_.push_back(std::move(doc));
+}
+
+const Document& Corpus::by_id(FileId id) const {
+  const auto it = index_by_id_.find(value(id));
+  rsse::detail::require(it != index_by_id_.end(), "Corpus::by_id: unknown FileId");
+  return docs_[it->second];
+}
+
+bool Corpus::contains(FileId id) const { return index_by_id_.contains(value(id)); }
+
+std::uint64_t Corpus::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const Document& d : docs_) total += d.text.size();
+  return total;
+}
+
+}  // namespace rsse::ir

@@ -1,0 +1,60 @@
+// The file collection model: C = (F_1, ..., F_n), each file carrying the
+// unique identifier id(F_j) the schemes embed in posting entries and the
+// one-to-many mapping uses as its extra randomization seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rsse::ir {
+
+/// Unique file identifier. A strong alias (not a raw uint64) so it cannot
+/// be confused with scores or postings offsets at call sites.
+enum class FileId : std::uint64_t {};
+
+/// Numeric value of a FileId.
+constexpr std::uint64_t value(FileId id) { return static_cast<std::uint64_t>(id); }
+
+/// Builds a FileId from a raw number.
+constexpr FileId file_id(std::uint64_t v) { return static_cast<FileId>(v); }
+
+/// One plaintext file of the collection.
+struct Document {
+  FileId id{};
+  std::string name;  ///< human-readable name, e.g. "rfc0791.txt"
+  std::string text;  ///< full plaintext content
+};
+
+/// The in-memory plaintext collection (owner side only; the server only
+/// ever sees ciphertext blobs).
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Adds a document; its id must be unique. Throws InvalidArgument on a
+  /// duplicate id.
+  void add(Document doc);
+
+  /// All documents in insertion order.
+  [[nodiscard]] const std::vector<Document>& documents() const { return docs_; }
+
+  /// Number of documents (the paper's N).
+  [[nodiscard]] std::size_t size() const { return docs_.size(); }
+
+  /// Looks up a document by id. Throws InvalidArgument when absent.
+  [[nodiscard]] const Document& by_id(FileId id) const;
+
+  /// True when a document with `id` exists.
+  [[nodiscard]] bool contains(FileId id) const;
+
+  /// Total plaintext bytes across the collection.
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+ private:
+  std::vector<Document> docs_;
+  std::unordered_map<std::uint64_t, std::size_t> index_by_id_;  // id -> position
+};
+
+}  // namespace rsse::ir

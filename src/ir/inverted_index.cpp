@@ -1,0 +1,103 @@
+#include "ir/inverted_index.h"
+
+#include <algorithm>
+
+#include "ir/scoring.h"
+#include "util/errors.h"
+
+namespace rsse::ir {
+
+InvertedIndex InvertedIndex::build(const Corpus& corpus, const Analyzer& analyzer) {
+  InvertedIndex index;
+  for (const Document& doc : corpus.documents()) {
+    const std::vector<std::string> terms = analyzer.analyze(doc.text);
+    // |F_d| counts indexed terms (after stop-word removal and stemming),
+    // matching the paper's "obtained by counting the number of indexed
+    // terms".
+    index.doc_lengths_[value(doc.id)] = static_cast<std::uint32_t>(terms.size());
+    std::unordered_map<std::string, std::uint32_t> tf;
+    for (const std::string& t : terms) ++tf[t];
+    for (const auto& [term, count] : tf)
+      index.postings_[term].push_back(Posting{doc.id, count});
+  }
+  index.terms_.reserve(index.postings_.size());
+  for (auto& [term, list] : index.postings_) {
+    std::sort(list.begin(), list.end(), [](const Posting& a, const Posting& b) {
+      return value(a.file) < value(b.file);
+    });
+    index.terms_.push_back(term);
+  }
+  std::sort(index.terms_.begin(), index.terms_.end());
+  return index;
+}
+
+const std::vector<Posting>* InvertedIndex::postings(std::string_view term) const {
+  const auto it = postings_.find(std::string(term));
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t InvertedIndex::document_frequency(std::string_view term) const {
+  const std::vector<Posting>* list = postings(term);
+  return list ? list->size() : 0;
+}
+
+std::uint32_t InvertedIndex::doc_length(FileId id) const {
+  const auto it = doc_lengths_.find(value(id));
+  detail::require(it != doc_lengths_.end(), "InvertedIndex::doc_length: unknown FileId");
+  return it->second;
+}
+
+std::uint64_t InvertedIndex::max_posting_length() const {
+  std::uint64_t best = 0;
+  for (const auto& [term, list] : postings_) best = std::max<std::uint64_t>(best, list.size());
+  return best;
+}
+
+double InvertedIndex::average_posting_length() const {
+  if (postings_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& [term, list] : postings_) total += list.size();
+  return static_cast<double>(total) / static_cast<double>(postings_.size());
+}
+
+namespace {
+
+void sort_ranked(std::vector<ScoredPosting>& out) {
+  std::sort(out.begin(), out.end(), [](const ScoredPosting& a, const ScoredPosting& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return value(a.file) < value(b.file);
+  });
+}
+
+}  // namespace
+
+std::vector<ScoredPosting> InvertedIndex::ranked_postings(std::string_view term) const {
+  std::vector<ScoredPosting> out;
+  const std::vector<Posting>* list = postings(term);
+  if (!list) return out;
+  out.reserve(list->size());
+  for (const Posting& p : *list)
+    out.push_back(ScoredPosting{p.file, score_single_keyword(p.tf, doc_length(p.file))});
+  sort_ranked(out);
+  return out;
+}
+
+std::vector<ScoredPosting> InvertedIndex::ranked_postings_tfidf(
+    const std::vector<std::string>& query_terms) const {
+  std::unordered_map<std::uint64_t, double> acc;
+  const auto n = static_cast<std::uint64_t>(num_documents());
+  for (const std::string& term : query_terms) {
+    const std::vector<Posting>* list = postings(term);
+    if (!list) continue;
+    const auto ft = static_cast<std::uint64_t>(list->size());
+    for (const Posting& p : *list)
+      acc[value(p.file)] += score_tfidf_term(p.tf, doc_length(p.file), ft, n);
+  }
+  std::vector<ScoredPosting> out;
+  out.reserve(acc.size());
+  for (const auto& [id, score] : acc) out.push_back(ScoredPosting{file_id(id), score});
+  sort_ranked(out);
+  return out;
+}
+
+}  // namespace rsse::ir

@@ -1,0 +1,84 @@
+// The plaintext inverted index (Sec. II-C, Fig. 2): keyword -> posting
+// list of (file id, term frequency). This is the data owner's private
+// pre-processing structure from which both schemes' secure indexes are
+// built, and it doubles as the plaintext-search baseline of the benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/analyzer.h"
+#include "ir/document.h"
+
+namespace rsse::ir {
+
+/// One posting: keyword w_i occurs `tf` times in file `file`.
+struct Posting {
+  FileId file{};
+  std::uint32_t tf = 0;
+
+  friend bool operator==(const Posting&, const Posting&) = default;
+};
+
+/// A scored posting used by ranked retrieval.
+struct ScoredPosting {
+  FileId file{};
+  double score = 0.0;
+};
+
+/// The inverted index over a collection.
+class InvertedIndex {
+ public:
+  /// Scans the whole corpus through `analyzer` — the BuildIndex step 1
+  /// "scan C and extract the distinct words W" — recording per-term
+  /// postings and per-document lengths |F_d|.
+  static InvertedIndex build(const Corpus& corpus, const Analyzer& analyzer);
+
+  /// Posting list of `term` (already analyzer-normalized), ordered by
+  /// file id; nullptr when the term is not in W.
+  [[nodiscard]] const std::vector<Posting>* postings(std::string_view term) const;
+
+  /// F(w): document frequency of `term` (0 when absent) — the paper's N_i.
+  [[nodiscard]] std::uint64_t document_frequency(std::string_view term) const;
+
+  /// |F_d| for a document that was indexed. Throws InvalidArgument for an
+  /// unknown id.
+  [[nodiscard]] std::uint32_t doc_length(FileId id) const;
+
+  /// Collection size N.
+  [[nodiscard]] std::size_t num_documents() const { return doc_lengths_.size(); }
+
+  /// Vocabulary size m = |W|.
+  [[nodiscard]] std::size_t num_terms() const { return terms_.size(); }
+
+  /// The distinct keyword set W in lexicographic order.
+  [[nodiscard]] const std::vector<std::string>& terms() const { return terms_; }
+
+  /// nu = max_i N_i: the longest posting list, the Basic Scheme's padding
+  /// width.
+  [[nodiscard]] std::uint64_t max_posting_length() const;
+
+  /// lambda: mean posting-list length (eq. 3's average duplicates base).
+  [[nodiscard]] double average_posting_length() const;
+
+  /// Eq. 2 scores of the whole posting list of `term`, sorted descending
+  /// by score (ties broken by file id for determinism). Empty when the
+  /// term is unknown. This is the plaintext ranked-search baseline.
+  [[nodiscard]] std::vector<ScoredPosting> ranked_postings(std::string_view term) const;
+
+  /// Eq. 1 multi-keyword scores over the union of the query terms'
+  /// postings, sorted descending. Unknown terms contribute nothing.
+  [[nodiscard]] std::vector<ScoredPosting> ranked_postings_tfidf(
+      const std::vector<std::string>& query_terms) const;
+
+ private:
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::unordered_map<std::uint64_t, std::uint32_t> doc_lengths_;
+  std::vector<std::string> terms_;  // sorted vocabulary
+};
+
+}  // namespace rsse::ir

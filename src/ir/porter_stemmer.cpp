@@ -1,0 +1,220 @@
+#include "ir/porter_stemmer.h"
+
+#include <array>
+
+namespace rsse::ir {
+
+namespace {
+
+// Working buffer for one word. All the classic predicate names (m(), *v*,
+// *d, *o) follow Porter's paper so the implementation can be audited
+// against it step by step.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : w_(word) {}
+
+  std::string run() {
+    if (w_.size() <= 2) return w_;
+    step1a();
+    step1b();
+    step1c();
+    step2();
+    step3();
+    step4();
+    step5a();
+    step5b();
+    return w_;
+  }
+
+ private:
+  // True when w_[i] is a consonant. 'y' is a consonant when it is the
+  // first letter or follows a vowel position... per Porter: y is a
+  // consonant when preceded by a vowel-position letter; precisely, it is a
+  // consonant iff i == 0 or the previous letter is NOT a consonant.
+  [[nodiscard]] bool is_consonant(std::size_t i) const {
+    switch (w_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !is_consonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Porter's measure m of the prefix w_[0..len): the number of VC
+  // sequences in the form [C](VC)^m[V].
+  [[nodiscard]] int measure(std::size_t len) const {
+    int m = 0;
+    std::size_t i = 0;
+    // skip initial consonants
+    while (i < len && is_consonant(i)) ++i;
+    while (true) {
+      // skip vowels
+      while (i < len && !is_consonant(i)) ++i;
+      if (i >= len) return m;
+      // a VC boundary
+      while (i < len && is_consonant(i)) ++i;
+      ++m;
+      if (i >= len) return m;
+    }
+  }
+
+  // *v*: the prefix w_[0..len) contains a vowel.
+  [[nodiscard]] bool has_vowel(std::size_t len) const {
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!is_consonant(i)) return true;
+    }
+    return false;
+  }
+
+  // *d: the prefix ends in a double consonant.
+  [[nodiscard]] bool ends_double_consonant(std::size_t len) const {
+    if (len < 2) return false;
+    return w_[len - 1] == w_[len - 2] && is_consonant(len - 1);
+  }
+
+  // *o: the prefix ends consonant-vowel-consonant where the final
+  // consonant is not w, x or y.
+  [[nodiscard]] bool ends_cvc(std::size_t len) const {
+    if (len < 3) return false;
+    if (!is_consonant(len - 3) || is_consonant(len - 2) || !is_consonant(len - 1))
+      return false;
+    const char c = w_[len - 1];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  [[nodiscard]] bool ends_with(std::string_view suffix) const {
+    return w_.size() >= suffix.size() &&
+           std::string_view(w_).substr(w_.size() - suffix.size()) == suffix;
+  }
+
+  // Length of the stem left when `suffix` is removed.
+  [[nodiscard]] std::size_t stem_len(std::string_view suffix) const {
+    return w_.size() - suffix.size();
+  }
+
+  void set_suffix(std::string_view suffix, std::size_t keep) {
+    w_.resize(keep);
+    w_.append(suffix);
+  }
+
+  // Rule helper for steps 2-4: if the word ends in `suffix` and the stem
+  // measure condition holds, replace the suffix. Returns true when the
+  // suffix matched (whether or not the rule fired), which ends the step.
+  bool rule(std::string_view suffix, std::string_view replacement, int min_m) {
+    if (!ends_with(suffix)) return false;
+    const std::size_t keep = stem_len(suffix);
+    if (measure(keep) > min_m) set_suffix(replacement, keep);
+    return true;
+  }
+
+  void step1a() {
+    if (ends_with("sses")) {
+      set_suffix("ss", stem_len("sses"));
+    } else if (ends_with("ies")) {
+      set_suffix("i", stem_len("ies"));
+    } else if (ends_with("ss")) {
+      // keep
+    } else if (ends_with("s")) {
+      w_.resize(w_.size() - 1);
+    }
+  }
+
+  void step1b() {
+    if (ends_with("eed")) {
+      if (measure(stem_len("eed")) > 0) w_.resize(w_.size() - 1);
+      return;
+    }
+    bool removed = false;
+    if (ends_with("ed") && has_vowel(stem_len("ed"))) {
+      w_.resize(stem_len("ed"));
+      removed = true;
+    } else if (ends_with("ing") && has_vowel(stem_len("ing"))) {
+      w_.resize(stem_len("ing"));
+      removed = true;
+    }
+    if (!removed) return;
+    if (ends_with("at") || ends_with("bl") || ends_with("iz")) {
+      w_.push_back('e');
+    } else if (ends_double_consonant(w_.size())) {
+      const char c = w_.back();
+      if (c != 'l' && c != 's' && c != 'z') w_.resize(w_.size() - 1);
+    } else if (measure(w_.size()) == 1 && ends_cvc(w_.size())) {
+      w_.push_back('e');
+    }
+  }
+
+  void step1c() {
+    if (ends_with("y") && has_vowel(w_.size() - 1)) w_.back() = 'i';
+  }
+
+  void step2() {
+    // Ordered as in Porter's paper; first suffix match wins.
+    static constexpr std::array<std::array<std::string_view, 2>, 20> kRules{{
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+        {"izer", "ize"},    {"abli", "able"},   {"alli", "al"},   {"entli", "ent"},
+        {"eli", "e"},       {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"}, {"fulness", "ful"},
+        {"ousness", "ous"}, {"aliti", "al"},    {"iviti", "ive"}, {"biliti", "ble"},
+    }};
+    for (const auto& [suffix, replacement] : kRules) {
+      if (rule(suffix, replacement, 0)) return;
+    }
+  }
+
+  void step3() {
+    static constexpr std::array<std::array<std::string_view, 2>, 7> kRules{{
+        {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+        {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+    }};
+    for (const auto& [suffix, replacement] : kRules) {
+      if (rule(suffix, replacement, 0)) return;
+    }
+  }
+
+  void step4() {
+    static constexpr std::array<std::string_view, 19> kSuffixes{
+        "al",  "ance", "ence", "er",  "ic",  "able", "ible", "ant",  "ement",
+        "ment", "ent",  "ion",  "ou",  "ism", "ate",  "iti",  "ous",  "ive",
+        "ize",
+    };
+    for (std::string_view suffix : kSuffixes) {
+      if (!ends_with(suffix)) continue;
+      const std::size_t keep = stem_len(suffix);
+      if (suffix == "ion") {
+        // (m>1 and (*S or *T)) ION ->
+        if (measure(keep) > 1 && keep > 0 && (w_[keep - 1] == 's' || w_[keep - 1] == 't'))
+          w_.resize(keep);
+      } else {
+        if (measure(keep) > 1) w_.resize(keep);
+      }
+      return;  // first matching suffix ends the step
+    }
+  }
+
+  void step5a() {
+    if (!ends_with("e")) return;
+    const std::size_t keep = w_.size() - 1;
+    const int m = measure(keep);
+    if (m > 1 || (m == 1 && !ends_cvc(keep))) w_.resize(keep);
+  }
+
+  void step5b() {
+    if (w_.size() >= 2 && w_.back() == 'l' && ends_double_consonant(w_.size()) &&
+        measure(w_.size()) > 1)
+      w_.resize(w_.size() - 1);
+  }
+
+  std::string w_;
+};
+
+}  // namespace
+
+std::string porter_stem(std::string_view word) { return Stemmer(word).run(); }
+
+}  // namespace rsse::ir

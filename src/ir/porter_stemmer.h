@@ -1,0 +1,19 @@
+// The Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980) — the classic five-step variant, as
+// used by "Managing Gigabytes" [5], the IR reference the paper builds its
+// keyword extraction on. Stemming conflates inflected forms (e.g.
+// "networking", "networks" -> "network") so the index's keyword set W
+// stays small (Sec. II footnote 2).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rsse::ir {
+
+/// Returns the Porter stem of `word`. The input is expected to be a
+/// lower-case ASCII token (the tokenizer's output); words of length <= 2
+/// are returned unchanged per the original algorithm.
+std::string porter_stem(std::string_view word);
+
+}  // namespace rsse::ir

@@ -1,0 +1,48 @@
+#include "ir/query_workload.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/errors.h"
+
+namespace rsse::ir {
+
+QueryWorkload::QueryWorkload(const InvertedIndex& index,
+                             const QueryWorkloadOptions& options) {
+  detail::require(index.num_terms() > 0, "QueryWorkload: empty index");
+  detail::require(options.num_queries > 0, "QueryWorkload: zero queries");
+
+  // Popularity order: document frequency descending, term as tiebreak so
+  // the ordering is deterministic.
+  std::vector<std::string> by_popularity = index.terms();
+  std::sort(by_popularity.begin(), by_popularity.end(),
+            [&](const std::string& a, const std::string& b) {
+              const auto fa = index.document_frequency(a);
+              const auto fb = index.document_frequency(b);
+              if (fa != fb) return fa > fb;
+              return a < b;
+            });
+  if (options.max_vocabulary > 0 && by_popularity.size() > options.max_vocabulary)
+    by_popularity.resize(options.max_vocabulary);
+
+  const ZipfSampler zipf(by_popularity.size(), options.zipf_exponent);
+  Xoshiro256 rng(options.seed);
+  queries_.reserve(options.num_queries);
+  for (std::size_t q = 0; q < options.num_queries; ++q)
+    queries_.push_back(by_popularity[zipf.sample(rng)]);
+}
+
+std::size_t QueryWorkload::distinct_keywords() const {
+  std::unordered_map<std::string, bool> seen;
+  for (const std::string& q : queries_) seen[q] = true;
+  return seen.size();
+}
+
+std::size_t QueryWorkload::peak_keyword_count() const {
+  std::unordered_map<std::string, std::size_t> counts;
+  std::size_t best = 0;
+  for (const std::string& q : queries_) best = std::max(best, ++counts[q]);
+  return best;
+}
+
+}  // namespace rsse::ir

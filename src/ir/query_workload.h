@@ -1,0 +1,48 @@
+// Query-workload generation: realistic keyword query streams for the
+// throughput/latency benches and multi-user tests. Search traffic, like
+// term frequency, is famously Zipfian — a few head keywords dominate —
+// so the generator draws query keywords by Zipf rank over a popularity
+// ordering of the vocabulary. Deterministic by seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/inverted_index.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace rsse::ir {
+
+/// Workload parameters.
+struct QueryWorkloadOptions {
+  std::size_t num_queries = 1000;
+  double zipf_exponent = 1.0;      ///< query-popularity skew
+  std::size_t max_vocabulary = 0;  ///< restrict to the top-N terms (0 = all)
+  std::uint64_t seed = 1;
+};
+
+/// A generated stream of single-keyword queries.
+class QueryWorkload {
+ public:
+  /// Builds the popularity ordering from `index` (terms sorted by
+  /// document frequency, descending — popular terms get popular
+  /// queries) and samples the stream. Throws InvalidArgument on an
+  /// empty index or zero queries.
+  QueryWorkload(const InvertedIndex& index, const QueryWorkloadOptions& options);
+
+  /// The query stream, in order.
+  [[nodiscard]] const std::vector<std::string>& queries() const { return queries_; }
+
+  /// Distinct keywords appearing in the stream.
+  [[nodiscard]] std::size_t distinct_keywords() const;
+
+  /// Number of times the most popular keyword was queried.
+  [[nodiscard]] std::size_t peak_keyword_count() const;
+
+ private:
+  std::vector<std::string> queries_;
+};
+
+}  // namespace rsse::ir

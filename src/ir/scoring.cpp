@@ -1,0 +1,22 @@
+#include "ir/scoring.h"
+
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace rsse::ir {
+
+double score_single_keyword(std::uint32_t tf, std::uint32_t doc_length) {
+  detail::require(tf >= 1, "score_single_keyword: tf must be >= 1");
+  detail::require(doc_length >= 1, "score_single_keyword: empty document");
+  return (1.0 + std::log(static_cast<double>(tf))) / static_cast<double>(doc_length);
+}
+
+double score_tfidf_term(std::uint32_t tf, std::uint32_t doc_length, std::uint64_t ft,
+                        std::uint64_t n) {
+  detail::require(ft >= 1 && ft <= n, "score_tfidf_term: ft outside [1, n]");
+  const double idf = std::log(1.0 + static_cast<double>(n) / static_cast<double>(ft));
+  return score_single_keyword(tf, doc_length) * idf;
+}
+
+}  // namespace rsse::ir

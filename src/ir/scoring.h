@@ -1,0 +1,25 @@
+// The paper's relevance scoring (Sec. II-C).
+//
+// Eq. 1 (TF x IDF, used for multi-keyword queries):
+//   Score(Q, F_d) = sum_{t in Q} (1/|F_d|) * (1 + ln f_{d,t}) * ln(1 + N/f_t)
+//
+// Eq. 2 (single keyword; IDF is constant per query so it drops out):
+//   Score(t, F_d) = (1/|F_d|) * (1 + ln f_{d,t})
+//
+// f_{d,t}: term frequency of t in F_d; f_t: number of files containing t;
+// N: collection size; |F_d|: file length in indexed terms.
+#pragma once
+
+#include <cstdint>
+
+namespace rsse::ir {
+
+/// Eq. 2. Requires tf >= 1 and doc_length >= 1 (a posting always implies
+/// at least one occurrence in a non-empty document).
+double score_single_keyword(std::uint32_t tf, std::uint32_t doc_length);
+
+/// One term's contribution to eq. 1. Requires additionally 1 <= ft <= n.
+double score_tfidf_term(std::uint32_t tf, std::uint32_t doc_length, std::uint64_t ft,
+                        std::uint64_t n);
+
+}  // namespace rsse::ir

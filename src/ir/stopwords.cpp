@@ -1,0 +1,48 @@
+#include "ir/stopwords.h"
+
+#include <algorithm>
+#include <array>
+
+namespace rsse::ir {
+
+namespace {
+
+// Sorted so membership is a binary search without any allocation.
+constexpr std::array<std::string_view, 127> kStopwords{
+    "about",  "above",   "after",   "again",  "against", "all",     "am",
+    "an",     "and",     "any",     "are",    "as",      "at",      "be",
+    "because", "been",   "before",  "being",  "below",   "between", "both",
+    "but",    "by",      "can",     "cannot", "could",   "did",     "do",
+    "does",   "doing",   "down",    "during", "each",    "few",     "for",
+    "from",   "further", "had",     "has",    "have",    "having",  "he",
+    "her",    "here",    "hers",    "herself", "him",    "himself", "his",
+    "how",    "if",      "in",      "into",   "is",      "it",      "its",
+    "itself", "me",      "more",    "most",   "my",      "myself",  "no",
+    "nor",    "not",     "of",      "off",    "on",      "once",    "only",
+    "or",     "other",   "ought",   "our",    "ours",    "ourselves", "out",
+    "over",   "own",     "same",    "she",    "should",  "so",      "some",
+    "such",   "than",    "that",    "the",    "their",   "theirs",  "them",
+    "themselves", "then", "there",  "these",  "they",    "this",    "those",
+    "through", "to",     "too",     "under",  "until",   "up",      "very",
+    "was",    "we",      "were",    "what",   "when",    "where",   "which",
+    "while",  "who",     "whom",    "why",    "with",    "would",   "you",
+    "your",   "yours",   "yourself", "yourselves", "a",   "i",      "s",
+    "t",
+};
+
+}  // namespace
+
+bool is_stopword(std::string_view word) {
+  // kStopwords is *not* fully sorted as written (short words appended);
+  // build a sorted copy once.
+  static const auto sorted = [] {
+    auto copy = kStopwords;
+    std::sort(copy.begin(), copy.end());
+    return copy;
+  }();
+  return std::binary_search(sorted.begin(), sorted.end(), word);
+}
+
+std::size_t stopword_count() { return kStopwords.size(); }
+
+}  // namespace rsse::ir

@@ -1,0 +1,16 @@
+// English stop-word filtering (Sec. II footnote 2: stop words are removed
+// before the keyword set W is extracted so the index stays compact).
+#pragma once
+
+#include <string_view>
+
+namespace rsse::ir {
+
+/// True when `word` (lower-case) is in the built-in English stop list —
+/// the classic ~120-word list used by early IR systems.
+bool is_stopword(std::string_view word);
+
+/// Number of words on the built-in list (for tests/documentation).
+std::size_t stopword_count();
+
+}  // namespace rsse::ir

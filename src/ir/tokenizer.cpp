@@ -1,0 +1,51 @@
+#include "ir/tokenizer.h"
+
+#include <cctype>
+
+namespace rsse::ir {
+
+void ascii_lowercase(std::string& s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+}
+
+bool is_all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool is_token_byte(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(std::string_view text, const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::string current;
+  const auto flush = [&] {
+    if (current.size() >= options.min_length && current.size() <= options.max_length &&
+        (options.keep_numbers || !is_all_digits(current))) {
+      ascii_lowercase(current);
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (unsigned char c : text) {
+    if (is_token_byte(c)) {
+      current.push_back(static_cast<char>(c));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace rsse::ir

@@ -1,0 +1,31 @@
+// Tokenization and case folding: the first stage of the keyword-extraction
+// pipeline (the paper defers to standard IR practice — case folding,
+// stemming, stop words; Sec. II footnote 2).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rsse::ir {
+
+/// Tokenizer options.
+struct TokenizerOptions {
+  std::size_t min_length = 2;   ///< drop tokens shorter than this
+  std::size_t max_length = 40;  ///< drop absurdly long tokens (base64 blobs)
+  bool keep_numbers = false;    ///< keep all-digit tokens?
+};
+
+/// Splits `text` into lower-cased tokens on any non-alphanumeric byte.
+/// ASCII-only by design: the synthetic corpus and the RFC collection the
+/// paper uses are ASCII; bytes >= 0x80 act as separators.
+std::vector<std::string> tokenize(std::string_view text,
+                                  const TokenizerOptions& options = {});
+
+/// Lower-cases ASCII letters in place.
+void ascii_lowercase(std::string& s);
+
+/// True when every byte of `s` is a decimal digit (and s is non-empty).
+bool is_all_digits(std::string_view s);
+
+}  // namespace rsse::ir

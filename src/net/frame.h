@@ -1,0 +1,45 @@
+// Wire framing for the RSSE protocol over a byte stream:
+//
+//   request:  [1 byte MessageType][4 bytes LE length][payload]
+//   response: [1 byte status: 0 ok / 1 error][4 bytes LE length][payload]
+//
+// Error responses carry a human-readable message as payload; the client
+// rethrows it as ProtocolError. Frames are capped at 256 MiB so a
+// corrupted length cannot exhaust memory (same hardening as
+// ByteReader::read_count).
+#pragma once
+
+#include <optional>
+
+#include "cloud/protocol.h"
+#include "net/socket.h"
+
+namespace rsse::net {
+
+/// Largest accepted frame payload.
+inline constexpr std::uint32_t kMaxFrameSize = 256u * 1024 * 1024;
+
+/// One parsed request frame.
+struct RequestFrame {
+  cloud::MessageType type{};
+  Bytes payload;
+};
+
+/// Writes a request frame.
+void send_request(const Socket& socket, cloud::MessageType type, BytesView payload);
+
+/// Reads the next request frame; nullopt on clean EOF.
+/// Throws ProtocolError on malformed frames or transport errors.
+std::optional<RequestFrame> recv_request(const Socket& socket);
+
+/// Writes a success response.
+void send_response_ok(const Socket& socket, BytesView payload);
+
+/// Writes an error response carrying `message`.
+void send_response_error(const Socket& socket, std::string_view message);
+
+/// Reads a response; returns the payload on success and throws
+/// ProtocolError carrying the server's message on an error response.
+Bytes recv_response(const Socket& socket);
+
+}  // namespace rsse::net

@@ -1,0 +1,22 @@
+#include "net/remote_channel.h"
+
+#include "net/frame.h"
+
+namespace rsse::net {
+
+RemoteChannel::RemoteChannel(std::uint16_t port) : socket_(tcp_connect(port)) {}
+
+Bytes RemoteChannel::call(cloud::MessageType type, BytesView request) {
+  send_request(socket_, type, request);
+  Bytes response = recv_response(socket_);
+  // +5: type byte + length header, matching what really crossed the wire.
+  account(request.size() + 5, response.size() + 5);
+  return response;
+}
+
+void RemoteChannel::disconnect() {
+  socket_.shutdown_write();
+  socket_.close();
+}
+
+}  // namespace rsse::net

@@ -1,0 +1,32 @@
+// The client end of the TCP transport: a cloud::Transport implementation
+// that frames each RPC over a persistent connection to a NetworkServer.
+// DataUser code is oblivious to whether it holds a Channel (in-process)
+// or a RemoteChannel (cross-process) — that is the point of the Transport
+// interface.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/channel.h"
+#include "net/socket.h"
+
+namespace rsse::net {
+
+/// A persistent client connection speaking the frame protocol.
+class RemoteChannel final : public cloud::Transport {
+ public:
+  /// Connects to 127.0.0.1:`port`. Throws ProtocolError on failure.
+  explicit RemoteChannel(std::uint16_t port);
+
+  /// One RPC over the connection. Throws ProtocolError on transport
+  /// failure or when the server reports an error frame.
+  Bytes call(cloud::MessageType type, BytesView request) override;
+
+  /// Closes the connection (subsequent calls throw).
+  void disconnect();
+
+ private:
+  Socket socket_;
+};
+
+}  // namespace rsse::net

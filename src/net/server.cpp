@@ -1,0 +1,70 @@
+#include "net/server.h"
+
+#include <sys/socket.h>
+
+#include "net/frame.h"
+#include "util/errors.h"
+
+namespace rsse::net {
+
+NetworkServer::NetworkServer(const cloud::CloudServer& server, std::uint16_t port)
+    : server_(server), listener_(port) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+NetworkServer::~NetworkServer() { stop(); }
+
+void NetworkServer::stop() {
+  if (!stopping_.exchange(true)) listener_.close();  // unblocks accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+    // Force-shutdown live connections so workers parked in recv wake up
+    // (an idle client would otherwise block the join forever).
+    for (const auto& conn : connections_) {
+      if (conn->valid()) ::shutdown(conn->fd(), SHUT_RDWR);
+    }
+    connections_.clear();
+  }
+  for (std::thread& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void NetworkServer::accept_loop() {
+  while (!stopping_.load()) {
+    Socket accepted = listener_.accept();
+    if (!accepted.valid()) break;  // listener closed
+    auto connection = std::make_shared<Socket>(std::move(accepted));
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    if (stopping_.load()) break;
+    connections_.push_back(connection);
+    workers_.emplace_back([this, connection] { serve_connection(connection); });
+  }
+}
+
+void NetworkServer::serve_connection(const std::shared_ptr<Socket>& connection) {
+  try {
+    while (!stopping_.load()) {
+      const auto request = recv_request(*connection);
+      if (!request) break;  // client hung up cleanly
+      // Count before responding so the total is visible to any client
+      // that has already seen its response.
+      ++requests_;
+      try {
+        const Bytes response = server_.handle(request->type, request->payload);
+        send_response_ok(*connection, response);
+      } catch (const Error& e) {
+        // Library-level rejection (bad payload, unknown type): report to
+        // the client, keep the connection usable.
+        send_response_error(*connection, e.what());
+      }
+    }
+  } catch (const Error&) {
+    // Transport failure (peer vanished mid-frame): drop the connection.
+  }
+}
+
+}  // namespace rsse::net

@@ -1,0 +1,59 @@
+// The network front end of a CloudServer: a threaded TCP server speaking
+// the frame protocol. One thread accepts connections; each connection is
+// served by its own worker (connections are long-lived — a user keeps one
+// open across searches). Request handling delegates to
+// CloudServer::handle, so the network layer adds no protocol logic of its
+// own; library errors travel back to the client as error frames.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cloud/cloud_server.h"
+#include "net/socket.h"
+
+namespace rsse::net {
+
+/// A running TCP endpoint for one CloudServer.
+class NetworkServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  /// The CloudServer must outlive this object.
+  NetworkServer(const cloud::CloudServer& server, std::uint16_t port = 0);
+
+  /// Stops accepting, closes the listener, and joins every worker.
+  ~NetworkServer();
+
+  NetworkServer(const NetworkServer&) = delete;
+  NetworkServer& operator=(const NetworkServer&) = delete;
+
+  /// The bound port (for clients of an ephemeral bind).
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// Requests served since start (all message types).
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_.load(); }
+
+  /// Initiates shutdown (also done by the destructor).
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Socket>& connection);
+
+  const cloud::CloudServer& server_;
+  TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  // Live connections, so stop() can shut them down and unblock workers
+  // parked in recv on idle clients.
+  std::vector<std::shared_ptr<Socket>> connections_;
+};
+
+}  // namespace rsse::net

@@ -1,0 +1,132 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/errors.h"
+
+namespace rsse::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw ProtocolError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(BytesView data) const {
+  detail::require(valid(), "Socket::send_all: empty socket");
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_exact(std::span<std::uint8_t> out) const {
+  detail::require(valid(), "Socket::recv_exact: empty socket");
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF between messages
+      throw ProtocolError("recv: connection closed mid-message");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::shutdown_write() const {
+  if (valid()) ::shutdown(fd_, SHUT_WR);
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  socket_ = Socket(fd);
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    throw_errno("bind");
+  if (::listen(fd, 64) < 0) throw_errno("listen");
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    throw_errno("getsockname");
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket TcpListener::accept() const {
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) return Socket(-1);  // listener closed or error: shutdown path
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+void TcpListener::close() {
+  // close() alone does not wake a thread blocked in accept() on Linux;
+  // shutdown() does (accept returns with an error).
+  if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_RDWR);
+  socket_.close();
+}
+
+Socket tcp_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    throw_errno("connect");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+}  // namespace rsse::net

@@ -1,0 +1,76 @@
+// RAII POSIX TCP sockets: the substrate under the network server and the
+// remote channel. Minimal by design — blocking I/O, IPv4 loopback-class
+// usage — but complete enough for real cross-process deployments:
+// exact-length send/receive, ephemeral-port binding with port discovery,
+// and clean shutdown semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace rsse::net {
+
+/// An owned socket file descriptor.
+class Socket {
+ public:
+  /// Wraps an existing descriptor (-1 = empty).
+  explicit Socket(int fd = -1) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  /// The raw descriptor (-1 when empty).
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// True when a descriptor is held.
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Closes the descriptor now (idempotent).
+  void close();
+
+  /// Sends exactly `data.size()` bytes. Throws ProtocolError on failure.
+  void send_all(BytesView data) const;
+
+  /// Receives exactly `n` bytes. Returns false on clean EOF at a message
+  /// boundary (0 bytes read so far); throws ProtocolError on mid-message
+  /// EOF or errors.
+  bool recv_exact(std::span<std::uint8_t> out) const;
+
+  /// Half-closes the write side (signals EOF to the peer).
+  void shutdown_write() const;
+
+ private:
+  int fd_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens on `port` (0 = ephemeral). Throws ProtocolError on
+  /// failure.
+  explicit TcpListener(std::uint16_t port);
+
+  /// The bound port (resolves ephemeral binds).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects; returns the connection. An invalid
+  /// socket return means the listener was closed (shutdown path).
+  [[nodiscard]] Socket accept() const;
+
+  /// Unblocks accept() by closing the listening descriptor.
+  void close();
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`. Throws ProtocolError on failure.
+Socket tcp_connect(std::uint16_t port);
+
+}  // namespace rsse::net

@@ -1,0 +1,29 @@
+#include "opse/bclo_opse.h"
+
+#include "crypto/tapegen.h"
+#include "util/errors.h"
+
+namespace rsse::opse {
+
+BcloOpse::BcloOpse(Bytes key, OpeParams params) : key_(std::move(key)), params_(params) {
+  rsse::detail::require(!key_.empty(), "BcloOpse: empty key");
+  params_.validate();
+}
+
+Bucket BcloOpse::bucket_of(std::uint64_t m) const {
+  return detail::descend_to_bucket(key_, params_, m);
+}
+
+std::uint64_t BcloOpse::encrypt(std::uint64_t m) const {
+  const Bucket b = bucket_of(m);
+  const Bytes ctx = crypto::encode_draw_context(m, m, b.lo, b.hi, m,
+                                                /*has_file_id=*/false, 0);
+  crypto::Tape tape(key_, ctx);
+  return b.lo + tape.uniform_below(b.size());
+}
+
+std::uint64_t BcloOpse::decrypt(std::uint64_t c) const {
+  return detail::descend_to_plaintext(key_, params_, c);
+}
+
+}  // namespace rsse::opse

@@ -1,0 +1,47 @@
+// Deterministic order-preserving symmetric encryption (OPSE) after
+// Boldyreva, Chenette, Lee, O'Neill (Eurocrypt'09) — the primitive the
+// paper starts from in Sec. IV-A. Plaintexts {1..M} map into ciphertexts
+// {1..N} such that m1 < m2 implies Enc(m1) < Enc(m2); the mapping is a
+// deterministic function of the key.
+//
+// The library also uses this class as the *deterministic baseline* in the
+// leakage ablation: its ciphertext histogram preserves the plaintext
+// score skew, which is exactly the weakness the one-to-many OPM fixes.
+#pragma once
+
+#include <cstdint>
+
+#include "opse/ope_common.h"
+#include "util/bytes.h"
+
+namespace rsse::opse {
+
+/// Deterministic OPSE cipher over a fixed key and (M, N) geometry.
+class BcloOpse {
+ public:
+  /// Binds the cipher to `key` (any non-empty byte string; schemes pass a
+  /// PRF-derived per-keyword key) and validates `params`.
+  BcloOpse(Bytes key, OpeParams params);
+
+  /// Encrypts plaintext m in {1..M}: walks to m's bucket and draws the
+  /// ciphertext pseudorandomly from the bucket, seeded by (key, bucket, m)
+  /// — deterministic, so equal plaintexts collide.
+  [[nodiscard]] std::uint64_t encrypt(std::uint64_t m) const;
+
+  /// Decrypts ciphertext c in {1..N}. Throws InvalidArgument when `c` lies
+  /// in range slack not assigned to any plaintext's bucket (cannot happen
+  /// for outputs of encrypt()).
+  [[nodiscard]] std::uint64_t decrypt(std::uint64_t c) const;
+
+  /// The bucket (closed range interval) assigned to plaintext m.
+  [[nodiscard]] Bucket bucket_of(std::uint64_t m) const;
+
+  /// Mapping geometry.
+  [[nodiscard]] const OpeParams& params() const { return params_; }
+
+ private:
+  Bytes key_;
+  OpeParams params_;
+};
+
+}  // namespace rsse::opse

@@ -1,0 +1,122 @@
+#include "opse/hgd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace rsse::opse {
+
+namespace {
+
+void validate(const HgdParams& p) {
+  detail::require(p.successes <= p.population, "hgd: successes > population");
+  detail::require(p.sample <= p.population, "hgd: sample > population");
+}
+
+// ln C(n, k) via lgamma; exact enough for n up to ~2^52.
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  const auto nd = static_cast<double>(n);
+  const auto kd = static_cast<double>(k);
+  return std::lgamma(nd + 1.0) - std::lgamma(kd + 1.0) - std::lgamma(nd - kd + 1.0);
+}
+
+}  // namespace
+
+std::uint64_t hgd_support_min(const HgdParams& p) {
+  const std::uint64_t deficit = p.population - p.successes;  // unmarked balls
+  return p.sample > deficit ? p.sample - deficit : 0;
+}
+
+std::uint64_t hgd_support_max(const HgdParams& p) {
+  return std::min(p.successes, p.sample);
+}
+
+double hgd_log_pmf(const HgdParams& p, std::uint64_t k) {
+  validate(p);
+  detail::require(k >= hgd_support_min(p) && k <= hgd_support_max(p),
+                  "hgd_log_pmf: k outside support");
+  // For moderate populations the direct lgamma formula is accurate.
+  // Beyond ~2^32, lgamma's absolute error (~value * 2^-52, i.e. up to
+  // ~1e3 at N=2^46) cancels catastrophically in the six-term difference,
+  // so we switch to a product form whose every factor is an O(1)-sized
+  // log: pmf = C(M,k) * prod_{j<k}(n-j) * prod_{j<M-k}(N-n-j)
+  //                   / prod_{j<M}(N-j).
+  // The products have at most M terms — cheap in the OPE regime M << N.
+  if (p.population < (1ull << 32)) {
+    return log_choose(p.successes, k) +
+           log_choose(p.population - p.successes, p.sample - k) -
+           log_choose(p.population, p.sample);
+  }
+  double s = log_choose(p.successes, k);
+  for (std::uint64_t j = 0; j < k; ++j)
+    s += std::log(static_cast<double>(p.sample - j));
+  for (std::uint64_t j = 0; j < p.successes - k; ++j)
+    s += std::log(static_cast<double>(p.population - p.sample - j));
+  for (std::uint64_t j = 0; j < p.successes; ++j)
+    s -= std::log(static_cast<double>(p.population - j));
+  return s;
+}
+
+std::uint64_t hgd_sample(const HgdParams& p, crypto::Tape& tape) {
+  validate(p);
+  const std::uint64_t lo = hgd_support_min(p);
+  const std::uint64_t hi = hgd_support_max(p);
+  if (lo == hi) return lo;  // degenerate draw (e.g. M == N or n == 0)
+
+  // Mode of the hypergeometric: floor((n+1)(M+1)/(N+2)), clamped to the
+  // support. Computed in long double to avoid u64 overflow for huge N.
+  const long double num = (static_cast<long double>(p.sample) + 1.0L) *
+                          (static_cast<long double>(p.successes) + 1.0L);
+  auto mode = static_cast<std::uint64_t>(num / (static_cast<long double>(p.population) + 2.0L));
+  mode = std::clamp(mode, lo, hi);
+
+  const double u = tape.next_double();
+
+  // pmf ratio stepping: r(k -> k+1) = ((M-k)(n-k)) / ((k+1)(N-M-n+k+1)).
+  const auto ratio_up = [&](std::uint64_t k) {
+    const double a = static_cast<double>(p.successes - k) * static_cast<double>(p.sample - k);
+    const double b = static_cast<double>(k + 1) *
+                     static_cast<double>(p.population - p.successes - p.sample + k + 1);
+    return a / b;
+  };
+
+  // Visit outcomes in the order mode, mode-1, mode+1, mode-2, ...
+  // accumulating mass until it exceeds u. Any fixed visitation order turns
+  // a uniform coin into an exact sample; starting at the mode keeps the
+  // masses representable and the walk short.
+  const double pmf_mode = std::exp(hgd_log_pmf(p, mode));
+  double acc = pmf_mode;
+  if (u < acc) return mode;
+
+  double pmf_left = pmf_mode;    // pmf at current left cursor
+  double pmf_right = pmf_mode;   // pmf at current right cursor
+  std::uint64_t left = mode;
+  std::uint64_t right = mode;
+  while (true) {
+    bool advanced = false;
+    if (left > lo) {
+      // step left: pmf(k-1) = pmf(k) / r(k-1 -> k)
+      pmf_left /= ratio_up(left - 1);
+      --left;
+      acc += pmf_left;
+      advanced = true;
+      if (u < acc) return left;
+    }
+    if (right < hi) {
+      pmf_right *= ratio_up(right);
+      ++right;
+      acc += pmf_right;
+      advanced = true;
+      if (u < acc) return right;
+    }
+    if (!advanced) {
+      // Exhausted the support; u landed in the rounding slack. Return the
+      // mode, the maximum-likelihood outcome, keeping the draw total.
+      return mode;
+    }
+  }
+}
+
+}  // namespace rsse::opse

@@ -1,0 +1,47 @@
+// Hypergeometric sampling for the BCLO order-preserving encryption walk.
+//
+// The paper instantiates HGD(.) with MATLAB's HYGEINV; here we implement
+// exact hypergeometric sampling in C++. Given an urn of `population` balls
+// of which `successes` are marked, and a draw of `sample` balls without
+// replacement, hgd_sample returns how many marked balls the draw contains,
+// consuming coins from the caller's deterministic Tape. The result is an
+// exact sample (up to double rounding in the CDF accumulation) and a
+// deterministic function of the tape, which is the property the OPE
+// construction needs: re-walking the same (key, window) always re-derives
+// the same split.
+//
+// Method: "chop-down" inversion started at the distribution mode. The
+// log-pmf at the mode is computed once with lgamma; neighbouring masses
+// follow from the exact pmf ratio recurrence, and outcomes are visited in
+// the fixed order mode, mode-1, mode+1, mode-2, ... so the accumulated
+// mass reaches the coin u after O(stddev) expected steps even when the
+// population is ~2^46 and the tail masses underflow double.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/tapegen.h"
+
+namespace rsse::opse {
+
+/// Parameters of one hypergeometric draw.
+struct HgdParams {
+  std::uint64_t population = 0;  ///< N: total balls in the urn.
+  std::uint64_t successes = 0;   ///< M: marked balls, M <= N.
+  std::uint64_t sample = 0;      ///< n: balls drawn, n <= N.
+};
+
+/// Smallest possible outcome: max(0, n + M - N).
+std::uint64_t hgd_support_min(const HgdParams& p);
+
+/// Largest possible outcome: min(M, n).
+std::uint64_t hgd_support_max(const HgdParams& p);
+
+/// Natural log of the pmf at `k`. Requires k within the support.
+double hgd_log_pmf(const HgdParams& p, std::uint64_t k);
+
+/// Draws one hypergeometric sample using coins from `tape`.
+/// Throws InvalidArgument when successes > population or sample > population.
+std::uint64_t hgd_sample(const HgdParams& p, crypto::Tape& tape);
+
+}  // namespace rsse::opse

@@ -1,0 +1,149 @@
+#include "opse/ope_common.h"
+
+#include "crypto/tapegen.h"
+#include "opse/hgd.h"
+#include "util/errors.h"
+
+namespace rsse::opse {
+
+void OpeParams::validate() const {
+  rsse::detail::require(domain_size >= 1, "OpeParams: domain must be non-empty");
+  rsse::detail::require(domain_size <= range_size,
+                        "OpeParams: range must be at least as large as domain");
+  rsse::detail::require(range_size < (1ull << 62), "OpeParams: range too large");
+}
+
+std::size_t SplitCache::WindowHash::operator()(
+    const std::array<std::uint64_t, 4>& w) const {
+  // splitmix-style mix of the four window coordinates.
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t v : w) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 31;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+const SplitCache::Split* SplitCache::find(std::uint64_t d, std::uint64_t big_m,
+                                          std::uint64_t r, std::uint64_t big_n) const {
+  const auto it = map_.find({d, big_m, r, big_n});
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void SplitCache::insert(std::uint64_t d, std::uint64_t big_m, std::uint64_t r,
+                        std::uint64_t big_n, Split split) {
+  map_.emplace(std::array<std::uint64_t, 4>{d, big_m, r, big_n}, split);
+}
+
+namespace detail {
+
+namespace {
+
+// One level of the keyed binary search, shared by both walk directions.
+// The current window is D = {d+1 .. d+M}, R = {r+1 .. r+N} exactly as in
+// Algorithm 1. Returns the split point x (domain) and midpoint y (range).
+using Split = SplitCache::Split;
+
+Split split_window(BytesView key, std::uint64_t d, std::uint64_t big_m,
+                   std::uint64_t r, std::uint64_t big_n) {
+  const std::uint64_t half = big_n - big_n / 2;  // ceil(N/2)
+  const std::uint64_t y = r + half;
+  const Bytes ctx = crypto::encode_split_context(d + 1, d + big_m, r + 1, r + big_n, y);
+  crypto::Tape tape(key, ctx);
+  const HgdParams hgd{.population = big_n, .successes = big_m, .sample = y - r};
+  const std::uint64_t x = d + hgd_sample(hgd, tape);
+  return {x, y};
+}
+
+Split split_window_cached(BytesView key, std::uint64_t d, std::uint64_t big_m,
+                          std::uint64_t r, std::uint64_t big_n, SplitCache& cache) {
+  if (const Split* hit = cache.find(d, big_m, r, big_n)) return *hit;
+  const Split split = split_window(key, d, big_m, r, big_n);
+  cache.insert(d, big_m, r, big_n, split);
+  return split;
+}
+
+}  // namespace
+
+namespace {
+
+template <typename SplitFn>
+Bucket descend_impl(const OpeParams& params, std::uint64_t m, SplitFn&& split_fn) {
+  params.validate();
+  rsse::detail::require(m >= 1 && m <= params.domain_size,
+                        "descend_to_bucket: plaintext outside domain");
+  std::uint64_t d = 0;
+  std::uint64_t big_m = params.domain_size;
+  std::uint64_t r = 0;
+  std::uint64_t big_n = params.range_size;
+  while (big_m > 1) {
+    const Split s = split_fn(d, big_m, r, big_n);
+    if (m <= s.x) {
+      big_m = s.x - d;
+      big_n = s.y - r;
+    } else {
+      big_m = (d + big_m) - s.x;
+      big_n = (r + big_n) - s.y;
+      d = s.x;
+      r = s.y;
+    }
+  }
+  return Bucket{r + 1, r + big_n};
+}
+
+}  // namespace
+
+Bucket descend_to_bucket(BytesView key, const OpeParams& params, std::uint64_t m) {
+  return descend_impl(params, m,
+                      [&](std::uint64_t d, std::uint64_t big_m, std::uint64_t r,
+                          std::uint64_t big_n) {
+                        return split_window(key, d, big_m, r, big_n);
+                      });
+}
+
+Bucket descend_to_bucket(BytesView key, const OpeParams& params, std::uint64_t m,
+                         SplitCache& cache) {
+  return descend_impl(params, m,
+                      [&](std::uint64_t d, std::uint64_t big_m, std::uint64_t r,
+                          std::uint64_t big_n) {
+                        return split_window_cached(key, d, big_m, r, big_n, cache);
+                      });
+}
+
+std::uint64_t descend_to_plaintext(BytesView key, const OpeParams& params,
+                                   std::uint64_t c) {
+  params.validate();
+  rsse::detail::require(c >= 1 && c <= params.range_size,
+                        "descend_to_plaintext: ciphertext outside range");
+  std::uint64_t d = 0;
+  std::uint64_t big_m = params.domain_size;
+  std::uint64_t r = 0;
+  std::uint64_t big_n = params.range_size;
+  while (big_m > 1) {
+    const Split s = split_window(key, d, big_m, r, big_n);
+    if (c <= s.y) {
+      big_m = s.x - d;
+      big_n = s.y - r;
+      // The ciphertext fell into a sub-range holding zero domain points:
+      // c sits in slack below every bucket boundary of this half. The
+      // buckets still partition R, so this can only happen when the HGD
+      // split assigned no plaintexts to the half — impossible for a
+      // ciphertext produced by the mapping, but reachable for arbitrary
+      // range probes; report it as unmapped.
+      rsse::detail::require(big_m >= 1,
+                            "descend_to_plaintext: range value not in any bucket");
+    } else {
+      big_m = (d + big_m) - s.x;
+      big_n = (r + big_n) - s.y;
+      d = s.x;
+      r = s.y;
+      rsse::detail::require(big_m >= 1,
+                            "descend_to_plaintext: range value not in any bucket");
+    }
+  }
+  return d + 1;
+}
+
+}  // namespace detail
+}  // namespace rsse::opse

@@ -1,0 +1,103 @@
+// Shared machinery of the order-preserving mappings: parameter validation
+// and the keyed binary-search descent of Boldyreva et al. (the paper's
+// BinarySearch procedure in Algorithm 1).
+//
+// The descent partitions the range {1..N} into M disjoint, order-
+// preserving buckets — one per domain point — as a deterministic function
+// of the key. Both the deterministic OPSE and the one-to-many OPM use the
+// same descent; they differ only in how the final ciphertext is drawn from
+// the bucket.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/bytes.h"
+
+namespace rsse::opse {
+
+/// Domain/range sizes of an order-preserving mapping: plaintexts live in
+/// {1..domain_size}, ciphertexts in {1..range_size}.
+struct OpeParams {
+  std::uint64_t domain_size = 0;  ///< M — e.g. 128 quantized score levels.
+  std::uint64_t range_size = 0;   ///< N — e.g. 2^46 per eq. 4.
+
+  /// Throws InvalidArgument unless 1 <= M <= N and N < 2^62 (headroom for
+  /// interval arithmetic in the descent).
+  void validate() const;
+};
+
+/// A closed interval {lo..hi} of range values; the bucket assigned to one
+/// domain point by the keyed descent.
+struct Bucket {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  /// Number of range values in the bucket.
+  [[nodiscard]] std::uint64_t size() const { return hi - lo + 1; }
+
+  /// True when `c` lies inside the bucket.
+  [[nodiscard]] bool contains(std::uint64_t c) const { return c >= lo && c <= hi; }
+
+  friend bool operator==(const Bucket&, const Bucket&) = default;
+};
+
+/// Memo for the keyed binary-search splits. All plaintexts of one key
+/// descend the SAME split tree (that is what makes the mapping
+/// consistent), and a posting list maps many scores under one key, so
+/// caching each window's (x, y) split turns the per-entry cost from
+/// O(log M) HGD samples into O(log M) hash lookups after the first few
+/// entries. Scoped to one key: the caller owns keeping cache and key
+/// paired (OneToManyOpm's batch API does this internally).
+class SplitCache {
+ public:
+  /// One cached split: the domain split point x and range midpoint y of
+  /// a (d, M, r, N) window.
+  struct Split {
+    std::uint64_t x = 0;
+    std::uint64_t y = 0;
+  };
+
+  /// Looks up a window; nullptr when not yet computed.
+  [[nodiscard]] const Split* find(std::uint64_t d, std::uint64_t big_m,
+                                  std::uint64_t r, std::uint64_t big_n) const;
+
+  /// Records a window's split.
+  void insert(std::uint64_t d, std::uint64_t big_m, std::uint64_t r,
+              std::uint64_t big_n, Split split);
+
+  /// Number of cached windows.
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  // Key: the window, packed. The descent tree of one OPE key contains at
+  // most 2M-1 distinct windows, so this stays small.
+  struct WindowHash {
+    std::size_t operator()(const std::array<std::uint64_t, 4>& w) const;
+  };
+  std::unordered_map<std::array<std::uint64_t, 4>, Split, WindowHash> map_;
+};
+
+namespace detail {
+
+/// Walks the keyed binary search down to the bucket of plaintext `m`
+/// (1-based, m <= domain_size). The walk is the `while |D| != 1` loop of
+/// Algorithm 1: at each level it derives the HGD split from TapeGen coins
+/// bound to (key, D, R, 0||y) and recurses into the half containing m.
+Bucket descend_to_bucket(BytesView key, const OpeParams& params, std::uint64_t m);
+
+/// Cache-assisted variant: identical output, split results memoized in
+/// `cache` (which must be dedicated to `key`).
+Bucket descend_to_bucket(BytesView key, const OpeParams& params, std::uint64_t m,
+                         SplitCache& cache);
+
+/// Walks the same tree guided by a ciphertext instead: returns the unique
+/// plaintext whose bucket contains `c` (1-based, c <= range_size). This is
+/// OPSE decryption, and for the one-to-many mapping it is the bucket
+/// inversion used by tests and by the data owner during score updates.
+std::uint64_t descend_to_plaintext(BytesView key, const OpeParams& params,
+                                   std::uint64_t c);
+
+}  // namespace detail
+}  // namespace rsse::opse

@@ -1,0 +1,45 @@
+#include "opse/opm.h"
+
+#include "crypto/tapegen.h"
+#include "util/errors.h"
+
+namespace rsse::opse {
+
+OneToManyOpm::OneToManyOpm(Bytes key, OpeParams params)
+    : key_(std::move(key)), params_(params) {
+  rsse::detail::require(!key_.empty(), "OneToManyOpm: empty key");
+  params_.validate();
+}
+
+Bucket OneToManyOpm::bucket_of(std::uint64_t m) const {
+  return detail::descend_to_bucket(key_, params_, m);
+}
+
+namespace {
+
+std::uint64_t draw_from_bucket(BytesView key, const Bucket& b, std::uint64_t m,
+                               std::uint64_t file_id) {
+  // Algorithm 1 line 5: coin <- TapeGen(K, (D, R, 1||m, id(F))).
+  const Bytes ctx = crypto::encode_draw_context(m, m, b.lo, b.hi, m,
+                                                /*has_file_id=*/true, file_id);
+  crypto::Tape tape(key, ctx);
+  return b.lo + tape.uniform_below(b.size());
+}
+
+}  // namespace
+
+std::uint64_t OneToManyOpm::map(std::uint64_t m, std::uint64_t file_id) const {
+  return draw_from_bucket(key_, bucket_of(m), m, file_id);
+}
+
+std::uint64_t OneToManyOpm::map(std::uint64_t m, std::uint64_t file_id,
+                                SplitCache& cache) const {
+  const Bucket b = detail::descend_to_bucket(key_, params_, m, cache);
+  return draw_from_bucket(key_, b, m, file_id);
+}
+
+std::uint64_t OneToManyOpm::invert(std::uint64_t c) const {
+  return detail::descend_to_plaintext(key_, params_, c);
+}
+
+}  // namespace rsse::opse

@@ -1,0 +1,61 @@
+// One-to-many order-preserving mapping (OPM) — Algorithm 1 of the paper
+// and the core technical contribution enabling efficient RSSE.
+//
+// The mapping reuses the keyed plaintext-to-bucket descent of OPSE but
+// seeds the final ciphertext draw with the *file identifier* in addition
+// to the plaintext. Duplicated relevance scores therefore scatter across
+// their (shared) bucket instead of colliding on one ciphertext, flattening
+// the keyword-specific score distribution the server could otherwise
+// fingerprint (Fig. 4 vs Fig. 6).
+//
+// Properties (enforced by tests/test_opm.cpp):
+//   * order preserving across files: m1 < m2 => map(m1, idA) < map(m2, idB)
+//     for all idA, idB, because buckets are disjoint and ordered;
+//   * same plaintext, same bucket: score dynamics never shift previously
+//     mapped values (Sec. VII), since buckets depend only on (key, m);
+//   * deterministic per (m, id): re-encrypting an unchanged posting entry
+//     reproduces the same ciphertext.
+#pragma once
+
+#include <cstdint>
+
+#include "opse/ope_common.h"
+#include "util/bytes.h"
+
+namespace rsse::opse {
+
+/// One-to-many order-preserving mapper over a fixed key and (M, N).
+class OneToManyOpm {
+ public:
+  /// Binds the mapper to `key` (schemes pass the per-keyword key f_z(w))
+  /// and validates `params`.
+  OneToManyOpm(Bytes key, OpeParams params);
+
+  /// Maps plaintext m in {1..M} for file `file_id`: the OPM_K(D, R, m,
+  /// id(F)) procedure of Algorithm 1.
+  [[nodiscard]] std::uint64_t map(std::uint64_t m, std::uint64_t file_id) const;
+
+  /// Cache-assisted map: bit-identical to map(), with the descent's HGD
+  /// splits memoized in `cache`. The cache must be used with this mapper
+  /// only (splits are key-specific); one cache per posting list is the
+  /// intended pattern and cuts index-build cost by the list length.
+  [[nodiscard]] std::uint64_t map(std::uint64_t m, std::uint64_t file_id,
+                                  SplitCache& cache) const;
+
+  /// The bucket shared by every ciphertext of plaintext m under this key.
+  [[nodiscard]] Bucket bucket_of(std::uint64_t m) const;
+
+  /// Recovers the plaintext whose bucket contains `c` (bucket inversion).
+  /// Only the data owner, who holds the key, can do this; the scheme never
+  /// requires it on the server. Throws InvalidArgument for range slack.
+  [[nodiscard]] std::uint64_t invert(std::uint64_t c) const;
+
+  /// Mapping geometry.
+  [[nodiscard]] const OpeParams& params() const { return params_; }
+
+ private:
+  Bytes key_;
+  OpeParams params_;
+};
+
+}  // namespace rsse::opse

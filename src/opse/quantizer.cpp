@@ -1,0 +1,66 @@
+#include "opse/quantizer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace rsse::opse {
+
+ScoreQuantizer::ScoreQuantizer(double min_score, double max_score, std::uint64_t levels)
+    : min_score_(min_score), max_score_(max_score), levels_(levels) {
+  detail::require(levels >= 1, "ScoreQuantizer: levels must be positive");
+  detail::require(max_score > min_score, "ScoreQuantizer: empty score interval");
+  detail::require(std::isfinite(min_score) && std::isfinite(max_score),
+                  "ScoreQuantizer: non-finite bounds");
+}
+
+ScoreQuantizer ScoreQuantizer::from_scores(const std::vector<double>& scores,
+                                           std::uint64_t levels) {
+  detail::require(!scores.empty(), "ScoreQuantizer::from_scores: empty sample");
+  const auto [lo, hi] = std::minmax_element(scores.begin(), scores.end());
+  double min_s = *lo;
+  double max_s = *hi;
+  if (max_s <= min_s) max_s = min_s + 1.0;  // degenerate corpus: single score
+  return ScoreQuantizer(min_s, max_s, levels);
+}
+
+std::uint64_t ScoreQuantizer::quantize(double score) const {
+  if (score <= min_score_) return 1;
+  if (score >= max_score_) return levels_;
+  const double frac = (score - min_score_) / (max_score_ - min_score_);
+  const auto level =
+      static_cast<std::uint64_t>(frac * static_cast<double>(levels_)) + 1;
+  return std::min(level, levels_);
+}
+
+double ScoreQuantizer::level_midpoint(std::uint64_t level) const {
+  detail::require(level >= 1 && level <= levels_,
+                  "ScoreQuantizer::level_midpoint: level out of range");
+  const double width = (max_score_ - min_score_) / static_cast<double>(levels_);
+  return min_score_ + (static_cast<double>(level - 1) + 0.5) * width;
+}
+
+Bytes ScoreQuantizer::serialize() const {
+  Bytes out;
+  append_u64(out, std::bit_cast<std::uint64_t>(min_score_));
+  append_u64(out, std::bit_cast<std::uint64_t>(max_score_));
+  append_u64(out, levels_);
+  return out;
+}
+
+ScoreQuantizer ScoreQuantizer::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  const auto min_s = std::bit_cast<double>(reader.read_u64());
+  const auto max_s = std::bit_cast<double>(reader.read_u64());
+  const std::uint64_t levels = reader.read_u64();
+  if (!reader.exhausted()) throw ParseError("ScoreQuantizer: trailing bytes");
+  try {
+    return ScoreQuantizer(min_s, max_s, levels);
+  } catch (const InvalidArgument& e) {
+    throw ParseError(std::string("ScoreQuantizer: bad payload: ") + e.what());
+  }
+}
+
+}  // namespace rsse::opse

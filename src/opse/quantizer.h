@@ -1,0 +1,52 @@
+// Relevance-score quantization: the bridge between the IR substrate's
+// real-valued TF scores (eq. 2) and the integer domain {1..M} the
+// order-preserving mappings operate on. The paper "encodes the actual
+// score into 128 levels in domain from 1 to 128" (Fig. 4); this class
+// generalizes that to any M, preserving order: s1 <= s2 implies
+// quantize(s1) <= quantize(s2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rsse::opse {
+
+/// Maps real scores in [min_score, max_score] onto integer levels {1..M}.
+class ScoreQuantizer {
+ public:
+  /// Fixed interval variant. Scores outside the interval clamp to the
+  /// first/last level. Throws InvalidArgument when levels == 0 or the
+  /// interval is empty.
+  ScoreQuantizer(double min_score, double max_score, std::uint64_t levels);
+
+  /// Builds the interval from observed scores (the data owner scans the
+  /// whole index once before encrypting it, so the corpus-wide min and max
+  /// are available at build time). Throws on an empty sample.
+  static ScoreQuantizer from_scores(const std::vector<double>& scores,
+                                    std::uint64_t levels);
+
+  /// Quantizes one score into {1..M}.
+  [[nodiscard]] std::uint64_t quantize(double score) const;
+
+  /// Midpoint of a level's real interval — the owner-side approximate
+  /// inverse used for diagnostics (quantization is lossy by design).
+  [[nodiscard]] double level_midpoint(std::uint64_t level) const;
+
+  /// Number of levels M.
+  [[nodiscard]] std::uint64_t levels() const { return levels_; }
+
+  /// Serializes min/max/levels so user and owner agree on the encoding.
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Inverse of serialize(). Throws ParseError on malformed input.
+  static ScoreQuantizer deserialize(BytesView blob);
+
+ private:
+  double min_score_;
+  double max_score_;
+  std::uint64_t levels_;
+};
+
+}  // namespace rsse::opse

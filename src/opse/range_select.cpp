@@ -1,0 +1,62 @@
+#include "opse/range_select.h"
+
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace rsse::opse {
+
+double recursion_bound_bits(std::uint64_t domain_size, RecursionBound bound) {
+  detail::require(domain_size >= 2, "recursion_bound_bits: M must be >= 2");
+  const double log_m = std::log2(static_cast<double>(domain_size));
+  switch (bound) {
+    case RecursionBound::kFiveLogMPlus12:
+      return 5.0 * log_m + 12.0;
+    case RecursionBound::kFiveLogM:
+      return 5.0 * log_m;
+    case RecursionBound::kFourLogM:
+      return 4.0 * log_m;
+  }
+  throw InvalidArgument("recursion_bound_bits: unknown bound");
+}
+
+namespace {
+
+void validate(const RangeSelectParams& p) {
+  detail::require(p.max_duplicates > 0, "range_select: max_duplicates must be positive");
+  detail::require(p.average_list_len > 0, "range_select: average_list_len must be positive");
+  detail::require(p.domain_size >= 2, "range_select: domain_size must be >= 2");
+  detail::require(p.min_entropy_c > 1.0, "range_select: c must exceed 1");
+}
+
+}  // namespace
+
+double lhs_log2(const RangeSelectParams& p, std::uint64_t k) {
+  validate(p);
+  // log2( max * 2^B(M) / (2^k * lambda) )
+  return std::log2(p.max_duplicates) + recursion_bound_bits(p.domain_size, p.bound) -
+         static_cast<double>(k) - std::log2(p.average_list_len);
+}
+
+double rhs_log2(const RangeSelectParams& p, std::uint64_t k) {
+  validate(p);
+  detail::require(k >= 2, "rhs_log2: k must be >= 2");
+  return -std::pow(std::log2(static_cast<double>(k)), p.min_entropy_c);
+}
+
+std::uint64_t choose_range_bits(const RangeSelectParams& p, std::uint64_t k_min,
+                                std::uint64_t k_max) {
+  validate(p);
+  if (k_min == 0) {
+    const auto dom_bits = static_cast<std::uint64_t>(
+        std::ceil(std::log2(static_cast<double>(p.domain_size))));
+    k_min = dom_bits + 1;
+  }
+  k_min = std::max<std::uint64_t>(k_min, 2);
+  for (std::uint64_t k = k_min; k <= k_max; ++k) {
+    if (lhs_log2(p, k) <= rhs_log2(p, k)) return k;
+  }
+  return 0;
+}
+
+}  // namespace rsse::opse

@@ -1,0 +1,57 @@
+// Range-size selection for the one-to-many mapping (Sec. IV-C, eq. 3/4,
+// Fig. 5).
+//
+// The range R must be large enough that, after the one-to-many mapping,
+// the expected maximum number of ciphertext duplicates is negligible in
+// the min-entropy sense: with k = log2|R|,
+//
+//     max * 2^(B(M)) / (2^k * lambda)  <=  2^( -(log2 k)^c )        (eq. 4)
+//
+// where `max` is the maximum plaintext-score duplicate count in the index,
+// `lambda` the average posting-list length, M the score-domain size, c>1
+// the min-entropy exponent, and B(M) the bound on the expected number of
+// recursive range halvings per OPE operation. The paper uses
+// B(M) = 5*log2(M) + 12 from the BCLO analysis and also plots the looser
+// O(log M) stand-ins 5*log2(M) and 4*log2(M), which shrink the chosen |R|
+// (Fig. 5). All arithmetic here is done in log2 space so k up to hundreds
+// of bits cannot overflow.
+#pragma once
+
+#include <cstdint>
+
+namespace rsse::opse {
+
+/// Which bound B(M) on the recursion depth to use in eq. 4.
+enum class RecursionBound {
+  kFiveLogMPlus12,  ///< 5*log2(M) + 12 — the BCLO worst-case average.
+  kFiveLogM,        ///< 5*log2(M) — looser stand-in from Fig. 5.
+  kFourLogM,        ///< 4*log2(M) — loosest stand-in from Fig. 5.
+};
+
+/// Inputs of the range-size selection.
+struct RangeSelectParams {
+  double max_duplicates = 0;   ///< max: peak score-duplicate count in I.
+  double average_list_len = 0; ///< lambda: mean posting-list length.
+  std::uint64_t domain_size = 0;  ///< M.
+  double min_entropy_c = 1.1;  ///< c > 1 of the high min-entropy notion.
+  RecursionBound bound = RecursionBound::kFiveLogMPlus12;
+};
+
+/// B(M) in bits for the chosen bound.
+double recursion_bound_bits(std::uint64_t domain_size, RecursionBound bound);
+
+/// log2 of the left-hand side of eq. 4 at range size 2^k.
+double lhs_log2(const RangeSelectParams& p, std::uint64_t k);
+
+/// log2 of the right-hand side of eq. 4 at range size 2^k:
+/// -(log2 k)^c. Requires k >= 2.
+double rhs_log2(const RangeSelectParams& p, std::uint64_t k);
+
+/// Smallest k in [k_min, k_max] with lhs_log2 <= rhs_log2, i.e. the least
+/// range-size exponent meeting the min-entropy requirement. Returns 0 when
+/// no k in the window satisfies the inequality. k_min defaults to
+/// ceil(log2 M) + 1 (the range must exceed the domain).
+std::uint64_t choose_range_bits(const RangeSelectParams& p, std::uint64_t k_min = 0,
+                                std::uint64_t k_max = 128);
+
+}  // namespace rsse::opse

@@ -1,0 +1,100 @@
+#include "sse/basic_scheme.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "crypto/aes_ctr.h"
+#include "crypto/prf.h"
+#include "ir/scoring.h"
+#include "sse/entry_codec.h"
+#include "util/errors.h"
+#include "util/stopwatch.h"
+
+namespace rsse::sse {
+
+BasicScheme::BasicScheme(MasterKey key, ir::AnalyzerOptions analyzer_options)
+    : key_(std::move(key)),
+      trapdoor_gen_(key_.x, key_.y, key_.params.p_bits, analyzer_options) {
+  key_.params.validate();
+}
+
+Bytes BasicScheme::score_key() const { return crypto::Prf(key_.z).derive("score-key"); }
+
+SecureIndex BasicScheme::build_index(const ir::Corpus& corpus, BuildStats* stats) const {
+  Stopwatch watch;
+  const ir::InvertedIndex inverted = ir::InvertedIndex::build(corpus, analyzer());
+  const double raw_seconds = watch.elapsed_seconds();
+
+  watch.reset();
+  const std::uint64_t pad_width = inverted.max_posting_length();
+  const Bytes z_key = score_key();
+  SecureIndex index;
+  std::uint64_t num_postings = 0;
+  for (const std::string& term : inverted.terms()) {
+    const std::vector<ir::Posting>* list = inverted.postings(term);
+    const Bytes list_key = trapdoor_gen_.list_key_for(term);
+    std::vector<Bytes> entries;
+    entries.reserve(pad_width);
+    for (const ir::Posting& posting : *list) {
+      const double score =
+          ir::score_single_keyword(posting.tf, inverted.doc_length(posting.file));
+      Bytes score_plain;
+      append_u64(score_plain, std::bit_cast<std::uint64_t>(score));
+      const Bytes score_field = crypto::aes_ctr_encrypt(z_key, score_plain);
+      const Bytes plain = encode_entry_plaintext(posting.file, score_field);
+      entries.push_back(encrypt_entry(list_key, plain));
+      ++num_postings;
+    }
+    while (entries.size() < pad_width)
+      entries.push_back(random_padding_entry(kBasicScoreFieldSize));
+    index.add_row(trapdoor_gen_.label_for(term), std::move(entries));
+  }
+  if (stats) {
+    stats->raw_index_seconds = raw_seconds;
+    stats->encrypt_seconds = watch.elapsed_seconds();
+    stats->pad_width = pad_width;
+    stats->num_postings = num_postings;
+  }
+  return index;
+}
+
+Trapdoor BasicScheme::trapdoor(std::string_view keyword) const {
+  return trapdoor_gen_.generate(keyword);
+}
+
+std::vector<BasicSearchEntry> BasicScheme::search(const SecureIndex& index,
+                                                  const Trapdoor& trapdoor) {
+  std::vector<BasicSearchEntry> out;
+  const std::vector<Bytes>* row = index.row(trapdoor.label);
+  if (!row) return out;
+  for (const Bytes& ciphertext : *row) {
+    const auto entry = decrypt_entry(trapdoor.list_key, ciphertext, kBasicScoreFieldSize);
+    if (entry) out.push_back(BasicSearchEntry{entry->file, entry->score_field});
+  }
+  return out;
+}
+
+double decrypt_basic_score(BytesView score_key, BytesView encrypted_score) {
+  const Bytes plain = crypto::aes_ctr_decrypt(score_key, encrypted_score);
+  if (plain.size() != 8) throw ParseError("decrypt_basic_score: bad payload");
+  ByteReader reader(plain);
+  return std::bit_cast<double>(reader.read_u64());
+}
+
+double BasicScheme::decrypt_score(BytesView encrypted_score) const {
+  return decrypt_basic_score(score_key(), encrypted_score);
+}
+
+std::vector<RankedHit> BasicScheme::rank(const std::vector<BasicSearchEntry>& entries) const {
+  std::vector<RankedHit> hits;
+  hits.reserve(entries.size());
+  for (const BasicSearchEntry& e : entries)
+    hits.push_back(RankedHit{e.file, decrypt_score(e.encrypted_score)});
+  std::sort(hits.begin(), hits.end(), [](const RankedHit& a, const RankedHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return ir::value(a.file) < ir::value(b.file);
+  });
+  return hits;
+}
+
+}  // namespace rsse::sse

@@ -1,0 +1,103 @@
+// The Basic Scheme (Sec. III-C): ranked search with unmodified SSE
+// security. Scores are encrypted with the semantically secure E_z(.), so
+// the server learns nothing beyond access and search pattern — and
+// therefore cannot rank. Ranking happens on the user side after the
+// server returns every matching entry (one round), or the user runs the
+// two-round top-k protocol modelled in cloud/data_user.h.
+//
+// This scheme exists as the security/efficiency baseline the paper argues
+// against: tests assert it returns identical rankings to RSSE, and the
+// ablation bench measures the bandwidth/round-trip cost it pays for the
+// stronger guarantee.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "ir/analyzer.h"
+#include "ir/document.h"
+#include "ir/inverted_index.h"
+#include "sse/keys.h"
+#include "sse/secure_index.h"
+#include "sse/trapdoor_gen.h"
+#include "sse/types.h"
+
+namespace rsse::sse {
+
+/// Size of the Basic Scheme's score field: E_z over the 8-byte score
+/// (AES-CTR IV + payload).
+inline constexpr std::size_t kBasicScoreFieldSize = 16 + 8;
+
+/// One search hit as the *server* sees it: file id plus a score blob only
+/// the user can decrypt.
+struct BasicSearchEntry {
+  FileId file{};
+  Bytes encrypted_score;
+
+  friend bool operator==(const BasicSearchEntry&, const BasicSearchEntry&) = default;
+};
+
+/// A user-side decrypted, ranked hit.
+struct RankedHit {
+  FileId file{};
+  double score = 0.0;
+};
+
+/// User-side score decryption given only the derived score key (what an
+/// authorized user holds — see cloud/auth.h). Throws ParseError on a
+/// malformed blob.
+double decrypt_basic_score(BytesView score_key, BytesView encrypted_score);
+
+/// The Basic Scheme's owner/user-side algorithms. Server-side search is a
+/// static function: the server never holds key material.
+class BasicScheme {
+ public:
+  /// Binds the scheme to the owner's master key and the keyword-
+  /// normalization pipeline (which users must share).
+  explicit BasicScheme(MasterKey key, ir::AnalyzerOptions analyzer_options = {});
+
+  /// Timing/shape breakdown of build_index.
+  struct BuildStats {
+    double raw_index_seconds = 0.0;  ///< plaintext inverted-index scan
+    double encrypt_seconds = 0.0;    ///< entry encryption + padding
+    std::uint64_t pad_width = 0;     ///< nu, the padded row length
+    std::uint64_t num_postings = 0;  ///< genuine entries before padding
+  };
+
+  /// BuildIndex(K, C) per Fig. 3. Every row is padded to nu entries.
+  /// `stats`, when non-null, receives the timing breakdown.
+  [[nodiscard]] SecureIndex build_index(const ir::Corpus& corpus,
+                                        BuildStats* stats = nullptr) const;
+
+  /// TrapdoorGen(w). Throws InvalidArgument when the keyword normalizes
+  /// to nothing (stop word / non-token).
+  [[nodiscard]] Trapdoor trapdoor(std::string_view keyword) const;
+
+  /// SearchIndex(I, T_w), run by the server: locates the row, decrypts
+  /// entries with the trapdoor's list key, and returns the valid ones.
+  /// Order is the stored (file-id) order — the server cannot rank.
+  static std::vector<BasicSearchEntry> search(const SecureIndex& index,
+                                              const Trapdoor& trapdoor);
+
+  /// User side: decrypts one score field with key z.
+  [[nodiscard]] double decrypt_score(BytesView encrypted_score) const;
+
+  /// User side: decrypts and rank-orders a result set (descending score,
+  /// ties by file id).
+  [[nodiscard]] std::vector<RankedHit> rank(
+      const std::vector<BasicSearchEntry>& entries) const;
+
+  /// The shared keyword-normalization pipeline.
+  [[nodiscard]] const ir::Analyzer& analyzer() const { return trapdoor_gen_.analyzer(); }
+
+  /// The owner's key (owner-side callers only).
+  [[nodiscard]] const MasterKey& master_key() const { return key_; }
+
+ private:
+  [[nodiscard]] Bytes score_key() const;
+
+  MasterKey key_;
+  TrapdoorGenerator trapdoor_gen_;
+};
+
+}  // namespace rsse::sse

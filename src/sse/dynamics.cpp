@@ -1,0 +1,156 @@
+#include "sse/dynamics.h"
+
+#include <unordered_map>
+
+#include "ir/scoring.h"
+#include "sse/entry_codec.h"
+#include "util/errors.h"
+
+namespace rsse::sse {
+
+IndexUpdater::IndexUpdater(const RsseScheme& scheme, opse::ScoreQuantizer quantizer)
+    : scheme_(scheme), quantizer_(std::move(quantizer)) {}
+
+namespace {
+
+// Term frequencies and |F_d| of one document under the scheme's analyzer.
+std::unordered_map<std::string, std::uint32_t> term_frequencies(
+    const ir::Analyzer& analyzer, const ir::Document& doc, std::uint32_t& doc_length) {
+  const std::vector<std::string> terms = analyzer.analyze(doc.text);
+  doc_length = static_cast<std::uint32_t>(terms.size());
+  std::unordered_map<std::string, std::uint32_t> tf;
+  for (const std::string& t : terms) ++tf[t];
+  return tf;
+}
+
+}  // namespace
+
+IndexUpdater::UpdateStats IndexUpdater::add_document(SecureIndex& index,
+                                                     const ir::Document& doc) const {
+  std::uint32_t doc_length = 0;
+  const auto tf = term_frequencies(scheme_.analyzer(), doc, doc_length);
+  detail::require(doc_length > 0, "IndexUpdater::add_document: document has no terms");
+
+  UpdateStats stats;
+  for (const auto& [term, count] : tf) {
+    ++stats.keywords_touched;
+    const double score = ir::score_single_keyword(count, doc_length);
+    const Bytes new_entry = scheme_.make_entry(term, doc.id, score, quantizer_);
+    const Bytes label = scheme_.row_label(term);
+    const std::vector<Bytes>* row = index.row(label);
+    if (!row) {
+      index.add_row(label, {new_entry});
+      ++stats.new_rows;
+      ++stats.entries_added;
+      continue;
+    }
+    // Overwrite the first padding slot; grow the row when none is left.
+    const Bytes list_key = scheme_.row_key(term);
+    std::vector<Bytes> updated = *row;
+    bool placed = false;
+    for (Bytes& slot : updated) {
+      if (!decrypt_entry(list_key, slot, kRsseScoreFieldSize)) {
+        slot = new_entry;
+        placed = true;
+        ++stats.padding_slots_consumed;
+        break;
+      }
+    }
+    if (!placed) {
+      updated.push_back(new_entry);
+      ++stats.rows_grown;
+    }
+    ++stats.entries_added;
+    index.replace_row(label, std::move(updated));
+  }
+  return stats;
+}
+
+IndexUpdater::UpdateStats IndexUpdater::add_documents(
+    SecureIndex& index, const std::vector<ir::Document>& docs) const {
+  // Group the new entries by keyword so each row is rewritten once.
+  std::unordered_map<std::string, std::vector<Bytes>> new_entries;
+  UpdateStats stats;
+  for (const ir::Document& doc : docs) {
+    std::uint32_t doc_length = 0;
+    const auto tf = term_frequencies(scheme_.analyzer(), doc, doc_length);
+    detail::require(doc_length > 0, "IndexUpdater::add_documents: empty document");
+    for (const auto& [term, count] : tf) {
+      const double score = ir::score_single_keyword(count, doc_length);
+      new_entries[term].push_back(scheme_.make_entry(term, doc.id, score, quantizer_));
+      ++stats.entries_added;
+    }
+  }
+  for (auto& [term, entries] : new_entries) {
+    ++stats.keywords_touched;
+    const Bytes label = scheme_.row_label(term);
+    const std::vector<Bytes>* row = index.row(label);
+    if (!row) {
+      index.add_row(label, std::move(entries));
+      ++stats.new_rows;
+      continue;
+    }
+    const Bytes list_key = scheme_.row_key(term);
+    std::vector<Bytes> updated = *row;
+    std::size_t next = 0;
+    // One scan of the row fills as many padding slots as the batch needs.
+    for (Bytes& slot : updated) {
+      if (next >= entries.size()) break;
+      if (!decrypt_entry(list_key, slot, kRsseScoreFieldSize)) {
+        slot = std::move(entries[next++]);
+        ++stats.padding_slots_consumed;
+      }
+    }
+    if (next < entries.size()) {
+      ++stats.rows_grown;
+      for (; next < entries.size(); ++next) updated.push_back(std::move(entries[next]));
+    }
+    index.replace_row(label, std::move(updated));
+  }
+  return stats;
+}
+
+IndexUpdater::UpdateStats IndexUpdater::remove_document(SecureIndex& index,
+                                                        const ir::Document& doc) const {
+  std::uint32_t doc_length = 0;
+  const auto tf = term_frequencies(scheme_.analyzer(), doc, doc_length);
+
+  UpdateStats stats;
+  for (const auto& [term, count] : tf) {
+    const Bytes label = scheme_.row_label(term);
+    const std::vector<Bytes>* row = index.row(label);
+    if (!row) continue;
+    ++stats.keywords_touched;
+    const Bytes list_key = scheme_.row_key(term);
+    std::vector<Bytes> updated = *row;
+    for (Bytes& slot : updated) {
+      const auto entry = decrypt_entry(list_key, slot, kRsseScoreFieldSize);
+      if (entry && entry->file == doc.id) {
+        slot = random_padding_entry(kRsseScoreFieldSize);
+        ++stats.entries_removed;
+        break;  // one entry per (keyword, file)
+      }
+    }
+    index.replace_row(label, std::move(updated));
+  }
+  return stats;
+}
+
+IndexUpdater::UpdateStats IndexUpdater::update_document(SecureIndex& index,
+                                                        const ir::Document& old_doc,
+                                                        const ir::Document& new_doc) const {
+  detail::require(old_doc.id == new_doc.id,
+                  "IndexUpdater::update_document: id mismatch");
+  const UpdateStats removed = remove_document(index, old_doc);
+  const UpdateStats added = add_document(index, new_doc);
+  UpdateStats total;
+  total.keywords_touched = removed.keywords_touched + added.keywords_touched;
+  total.new_rows = added.new_rows;
+  total.entries_added = added.entries_added;
+  total.padding_slots_consumed = added.padding_slots_consumed;
+  total.rows_grown = added.rows_grown;
+  total.entries_removed = removed.entries_removed;
+  return total;
+}
+
+}  // namespace rsse::sse

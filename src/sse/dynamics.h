@@ -1,0 +1,68 @@
+// Owner-driven index updates — the score-dynamics property of Sec. VII.
+//
+// Because the one-to-many mapping sends a given score level to the same
+// bucket whenever the key is unchanged (the plaintext-to-bucket descent
+// depends only on (key, level)), adding or removing files touches ONLY
+// the posting entries of the new/removed file: every previously mapped
+// value stays valid. The baselines (bucket_opm, sample_opm) lack this
+// property — their transforms are distribution-fitted, so a drifted
+// distribution forces a full posting-list rebuild. bench_ablation_dynamics
+// quantifies the difference.
+//
+// Update mechanics: the owner holds the master key, so it can decrypt a
+// row, locate padding slots (entries whose 0^l flag fails), and overwrite
+// one in place; removed entries are replaced with fresh random padding.
+// Row lengths therefore stay constant until a row runs out of slack, at
+// which point the row must grow (a deliberate, observable leak the
+// documentation calls out).
+#pragma once
+
+#include "ir/document.h"
+#include "opse/quantizer.h"
+#include "sse/rsse_scheme.h"
+#include "sse/secure_index.h"
+
+namespace rsse::sse {
+
+/// Applies document-level updates to an outsourced RSSE index.
+class IndexUpdater {
+ public:
+  /// Binds to the owner's scheme and the quantizer fixed at build time
+  /// (updates must reuse the original score encoding).
+  IndexUpdater(const RsseScheme& scheme, opse::ScoreQuantizer quantizer);
+
+  /// What one update did (asserted on by tests and reported by benches).
+  struct UpdateStats {
+    std::size_t keywords_touched = 0;
+    std::size_t new_rows = 0;
+    std::size_t entries_added = 0;
+    std::size_t padding_slots_consumed = 0;
+    std::size_t rows_grown = 0;  ///< rows that ran out of padding slack
+    std::size_t entries_removed = 0;
+  };
+
+  /// Indexes a new document into `index`. The document id must not
+  /// already be indexed (the owner tracks its own collection).
+  UpdateStats add_document(SecureIndex& index, const ir::Document& doc) const;
+
+  /// Batch add: indexes every document, touching each affected row ONCE
+  /// (one decrypt-scan per row per batch instead of per document). Same
+  /// result as repeated add_document; much cheaper for bulk ingest.
+  UpdateStats add_documents(SecureIndex& index,
+                            const std::vector<ir::Document>& docs) const;
+
+  /// De-indexes a document: its entries become fresh random padding.
+  UpdateStats remove_document(SecureIndex& index, const ir::Document& doc) const;
+
+  /// Replaces a document's content: remove the old version, add the new.
+  /// `old_doc` and `new_doc` must share the same id. Stats are the sum of
+  /// both halves.
+  UpdateStats update_document(SecureIndex& index, const ir::Document& old_doc,
+                              const ir::Document& new_doc) const;
+
+ private:
+  const RsseScheme& scheme_;
+  opse::ScoreQuantizer quantizer_;
+};
+
+}  // namespace rsse::sse

@@ -1,0 +1,49 @@
+#include "sse/entry_codec.h"
+
+#include <algorithm>
+
+#include "crypto/aes_ctr.h"
+#include "crypto/csprng.h"
+#include "util/errors.h"
+
+namespace rsse::sse {
+
+Bytes encode_entry_plaintext(FileId id, BytesView score_field) {
+  Bytes out;
+  out.reserve(kFlagSize + kIdSize + score_field.size());
+  out.assign(kFlagSize, 0x00);  // the 0^l validity flag
+  append_u64(out, ir::value(id));
+  append(out, score_field);
+  return out;
+}
+
+Bytes encrypt_entry(BytesView list_key, BytesView plaintext) {
+  return crypto::aes_ctr_encrypt(list_key, plaintext);
+}
+
+std::size_t encrypted_entry_size(std::size_t score_field_size) {
+  return crypto::kAesIvSize + kFlagSize + kIdSize + score_field_size;
+}
+
+Bytes random_padding_entry(std::size_t score_field_size) {
+  return crypto::random_bytes(encrypted_entry_size(score_field_size));
+}
+
+std::optional<PostingEntry> decrypt_entry(BytesView list_key, BytesView ciphertext,
+                                          std::size_t score_field_size) {
+  if (ciphertext.size() != encrypted_entry_size(score_field_size))
+    throw ParseError("decrypt_entry: entry size mismatch");
+  const Bytes plain = crypto::aes_ctr_decrypt(list_key, ciphertext);
+  // Padding check: a random blob decrypts to a random flag, which fails
+  // the all-zero test except with probability 2^-64.
+  const bool valid = std::all_of(plain.begin(), plain.begin() + kFlagSize,
+                                 [](std::uint8_t b) { return b == 0; });
+  if (!valid) return std::nullopt;
+  ByteReader reader(BytesView(plain).subspan(kFlagSize));
+  PostingEntry entry;
+  entry.file = ir::file_id(reader.read_u64());
+  entry.score_field = reader.read(score_field_size);
+  return entry;
+}
+
+}  // namespace rsse::sse

@@ -1,0 +1,37 @@
+// Encode/encrypt posting entries and their padding (Fig. 3 step 3).
+//
+// All entries of one row share the same plaintext width (flag + id +
+// score-field), so after AES-CTR encryption genuine entries and random
+// padding are the same length and the row leaks only its padded size.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sse/types.h"
+#include "util/bytes.h"
+
+namespace rsse::sse {
+
+/// Builds the plaintext 0^l || id || score_field.
+Bytes encode_entry_plaintext(FileId id, BytesView score_field);
+
+/// Encrypts an encoded entry under the row key f_y(w) (AES-256-CTR with a
+/// fresh random IV). `list_key` must be 32 bytes.
+Bytes encrypt_entry(BytesView list_key, BytesView plaintext);
+
+/// Random bytes of exactly the size encrypt_entry produces for a
+/// `score_field_size`-byte score field — the Fig. 3 padding rows.
+Bytes random_padding_entry(std::size_t score_field_size);
+
+/// Ciphertext size of an entry whose score field is `score_field_size`
+/// bytes (IV + flag + id + score field).
+std::size_t encrypted_entry_size(std::size_t score_field_size);
+
+/// Decrypts one entry and validates the 0^l flag. Returns nullopt for
+/// padding (flag mismatch) and throws ParseError when the ciphertext
+/// length does not match `score_field_size`.
+std::optional<PostingEntry> decrypt_entry(BytesView list_key, BytesView ciphertext,
+                                          std::size_t score_field_size);
+
+}  // namespace rsse::sse

@@ -1,0 +1,62 @@
+#include "sse/keys.h"
+
+#include "crypto/csprng.h"
+#include "util/errors.h"
+
+namespace rsse::sse {
+
+void SystemParams::validate() const {
+  detail::require(key_bits >= 128 && key_bits % 8 == 0,
+                  "SystemParams: key_bits must be a byte multiple >= 128");
+  detail::require(p_bits > 0 && p_bits % 8 == 0 && p_bits <= 256,
+                  "SystemParams: p_bits must be a byte multiple in (0,256]");
+  detail::require(score_levels >= 2, "SystemParams: need at least 2 score levels");
+  detail::require(range_bits >= 1 && range_bits < 62,
+                  "SystemParams: range_bits must be in [1,62)");
+  detail::require(score_levels <= (1ull << range_bits),
+                  "SystemParams: range must be at least as large as the domain");
+}
+
+Bytes MasterKey::serialize() const {
+  Bytes out;
+  append_lp(out, x);
+  append_lp(out, y);
+  append_lp(out, z);
+  append_u64(out, params.key_bits);
+  append_u64(out, params.p_bits);
+  append_u64(out, params.score_levels);
+  append_u64(out, params.range_bits);
+  return out;
+}
+
+MasterKey MasterKey::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  MasterKey key;
+  key.x = reader.read_lp();
+  key.y = reader.read_lp();
+  key.z = reader.read_lp();
+  key.params.key_bits = reader.read_u64();
+  key.params.p_bits = reader.read_u64();
+  key.params.score_levels = reader.read_u64();
+  key.params.range_bits = reader.read_u64();
+  if (!reader.exhausted()) throw ParseError("MasterKey: trailing bytes");
+  try {
+    key.params.validate();
+  } catch (const InvalidArgument& e) {
+    throw ParseError(std::string("MasterKey: bad params: ") + e.what());
+  }
+  return key;
+}
+
+MasterKey keygen(const SystemParams& params) {
+  params.validate();
+  MasterKey key;
+  key.params = params;
+  const std::size_t key_bytes = params.key_bits / 8;
+  key.x = crypto::random_bytes(key_bytes);
+  key.y = crypto::random_bytes(key_bytes);
+  key.z = crypto::random_bytes(key_bytes);
+  return key;
+}
+
+}  // namespace rsse::sse

@@ -1,0 +1,37 @@
+// Master key material: K = {x, y, z, ...} from the paper's KeyGen.
+//
+//   x — keys pi, producing index row labels / trapdoor component 1;
+//   y — keys f for the per-keyword posting-list entry key f_y(w);
+//   z — basic scheme: the user-side score-encryption key E_z(.);
+//       RSSE: keys f_z(w), the per-keyword one-to-many mapping key.
+//
+// The data owner runs keygen() once per collection; authorized users
+// receive the trapdoor-relevant parts through cloud/auth.h.
+#pragma once
+
+#include "crypto/prf.h"
+#include "sse/params.h"
+#include "util/bytes.h"
+
+namespace rsse::sse {
+
+/// The owner's secret key plus public system parameters.
+struct MasterKey {
+  Bytes x;  ///< row-label key (k bits)
+  Bytes y;  ///< posting-entry key root (k bits)
+  Bytes z;  ///< score key root (k bits)
+  SystemParams params;
+
+  /// Serializes key material and parameters (owner-side persistence).
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Inverse of serialize(). Throws ParseError on malformed input.
+  static MasterKey deserialize(BytesView blob);
+
+  friend bool operator==(const MasterKey&, const MasterKey&) = default;
+};
+
+/// KeyGen(1^k, ...): draws x, y, z from the CSPRNG.
+MasterKey keygen(const SystemParams& params = {});
+
+}  // namespace rsse::sse

@@ -1,0 +1,25 @@
+// System parameters of the RSSE system: the paper's KeyGen inputs
+// (1^k, 1^l, 1^e, 1^p, |D|, |R|) in concrete form.
+#pragma once
+
+#include <cstdint>
+
+namespace rsse::sse {
+
+/// Tunable security/geometry parameters, with the paper's experimental
+/// defaults: 128 score levels (Fig. 4) and |R| = 2^46 (Sec. IV-C).
+struct SystemParams {
+  std::size_t key_bits = 256;     ///< k: master key component size.
+  std::size_t p_bits = 160;       ///< p: output bits of pi (row labels).
+  std::uint64_t score_levels = 128;  ///< |D| = M: quantized score domain.
+  std::uint64_t range_bits = 46;  ///< log2 |R|: OPM ciphertext range.
+
+  /// Throws InvalidArgument unless the parameters are internally
+  /// consistent (key size positive, p a byte multiple, M >= 2,
+  /// M <= 2^range_bits, range_bits < 62).
+  void validate() const;
+
+  friend bool operator==(const SystemParams&, const SystemParams&) = default;
+};
+
+}  // namespace rsse::sse

@@ -1,0 +1,194 @@
+#include "sse/rsse_scheme.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "crypto/prf.h"
+#include "ir/scoring.h"
+#include "sse/entry_codec.h"
+#include "util/errors.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace rsse::sse {
+
+RsseScheme::RsseScheme(MasterKey key, ir::AnalyzerOptions analyzer_options)
+    : key_(std::move(key)),
+      trapdoor_gen_(key_.x, key_.y, key_.params.p_bits, analyzer_options) {
+  key_.params.validate();
+}
+
+opse::OpeParams RsseScheme::ope_params() const {
+  return opse::OpeParams{key_.params.score_levels, 1ull << key_.params.range_bits};
+}
+
+Bytes RsseScheme::row_label(std::string_view normalized) const {
+  return trapdoor_gen_.label_for(normalized);
+}
+
+Bytes RsseScheme::row_key(std::string_view normalized) const {
+  return trapdoor_gen_.list_key_for(normalized);
+}
+
+opse::OneToManyOpm RsseScheme::opm_for_keyword(std::string_view normalized) const {
+  // f_z(w_i): a fresh mapping key per posting list, so equal scores in
+  // different lists land in unrelated buckets (Sec. IV-B discussion).
+  Bytes opm_key = crypto::Prf(key_.z).derive(normalized);
+  return opse::OneToManyOpm(std::move(opm_key), ope_params());
+}
+
+Bytes RsseScheme::make_entry(std::string_view normalized, FileId id, double score,
+                             const opse::ScoreQuantizer& quantizer) const {
+  const opse::OneToManyOpm opm = opm_for_keyword(normalized);
+  const std::uint64_t level = quantizer.quantize(score);
+  const std::uint64_t opm_value = opm.map(level, ir::value(id));
+  Bytes score_field;
+  append_u64(score_field, opm_value);
+  const Bytes plain = encode_entry_plaintext(id, score_field);
+  return encrypt_entry(row_key(normalized), plain);
+}
+
+RsseScheme::BuildResult RsseScheme::build_index(const ir::Corpus& corpus,
+                                                const BuildOptions& options) const {
+  Stopwatch watch;
+  const ir::InvertedIndex inverted = ir::InvertedIndex::build(corpus, analyzer());
+  // First pass over all postings to fix the score encoding.
+  std::vector<double> all_scores;
+  for (const std::string& term : inverted.terms()) {
+    for (const ir::Posting& p : *inverted.postings(term))
+      all_scores.push_back(ir::score_single_keyword(p.tf, inverted.doc_length(p.file)));
+  }
+  detail::require(!all_scores.empty(), "RsseScheme::build_index: empty collection");
+  const auto quantizer =
+      opse::ScoreQuantizer::from_scores(all_scores, key_.params.score_levels);
+  return build_index_internal(inverted, quantizer, watch.elapsed_seconds(), options);
+}
+
+RsseScheme::BuildResult RsseScheme::build_index(const ir::Corpus& corpus,
+                                                const opse::ScoreQuantizer& quantizer,
+                                                const BuildOptions& options) const {
+  Stopwatch watch;
+  const ir::InvertedIndex inverted = ir::InvertedIndex::build(corpus, analyzer());
+  return build_index_internal(inverted, quantizer, watch.elapsed_seconds(), options);
+}
+
+RsseScheme::BuildResult RsseScheme::build_index_internal(
+    const ir::InvertedIndex& inverted, const opse::ScoreQuantizer& quantizer,
+    double raw_index_seconds, const BuildOptions& options) const {
+  detail::require(quantizer.levels() == key_.params.score_levels,
+                  "RsseScheme: quantizer levels disagree with system params");
+  detail::require(options.num_threads >= 1, "RsseScheme: need at least one thread");
+  BuildResult result{SecureIndex{}, quantizer, BuildStats{}};
+  result.stats.raw_index_seconds = raw_index_seconds;
+  result.stats.pad_width = inverted.max_posting_length();
+  result.stats.num_keywords = inverted.num_terms();
+
+  // Per-row padded width under the chosen policy.
+  const auto padded_width = [&](std::size_t posting_count) -> std::size_t {
+    switch (options.padding) {
+      case PaddingMode::kFullNu:
+        return static_cast<std::size_t>(result.stats.pad_width);
+      case PaddingMode::kPowerOfTwo: {
+        std::size_t width = 1;
+        while (width < posting_count) width *= 2;
+        return width;
+      }
+      case PaddingMode::kNone:
+        return posting_count;
+    }
+    throw InvalidArgument("RsseScheme: unknown padding mode");
+  };
+
+  // Per-keyword rows are independent: fan them over the pool. Each chunk
+  // accumulates its own timing and emits finished rows; the merge into
+  // the index is serial (cheap: moves only).
+  const std::vector<std::string>& terms = inverted.terms();
+  struct BuiltRow {
+    Bytes label;
+    std::vector<Bytes> entries;
+  };
+  std::vector<BuiltRow> rows(terms.size());
+  std::atomic<std::uint64_t> opm_ns{0};
+  std::atomic<std::uint64_t> encrypt_ns{0};
+  std::atomic<std::uint64_t> num_postings{0};
+
+  Stopwatch wall;
+  parallel_for(terms.size(), options.num_threads, [&](std::size_t begin, std::size_t end) {
+    Stopwatch opm_watch;
+    double opm_seconds = 0.0;
+    Stopwatch encrypt_watch;
+    double encrypt_seconds = 0.0;
+    std::uint64_t postings = 0;
+    for (std::size_t t = begin; t < end; ++t) {
+      const std::string& term = terms[t];
+      const std::vector<ir::Posting>* list = inverted.postings(term);
+      const opse::OneToManyOpm opm = opm_for_keyword(term);
+      opse::SplitCache split_cache;  // one per keyword: splits are key-bound
+      const Bytes list_key = row_key(term);
+      std::vector<Bytes> entries;
+      const std::size_t target_width = padded_width(list->size());
+      entries.reserve(target_width);
+      for (const ir::Posting& posting : *list) {
+        const double score =
+            ir::score_single_keyword(posting.tf, inverted.doc_length(posting.file));
+        opm_watch.reset();
+        const std::uint64_t level = quantizer.quantize(score);
+        const std::uint64_t opm_value =
+            opm.map(level, ir::value(posting.file), split_cache);
+        opm_seconds += opm_watch.elapsed_seconds();
+
+        encrypt_watch.reset();
+        Bytes score_field;
+        append_u64(score_field, opm_value);
+        const Bytes plain = encode_entry_plaintext(posting.file, score_field);
+        entries.push_back(encrypt_entry(list_key, plain));
+        encrypt_seconds += encrypt_watch.elapsed_seconds();
+        ++postings;
+      }
+      encrypt_watch.reset();
+      while (entries.size() < target_width)
+        entries.push_back(random_padding_entry(kRsseScoreFieldSize));
+      encrypt_seconds += encrypt_watch.elapsed_seconds();
+      rows[t] = BuiltRow{row_label(term), std::move(entries)};
+    }
+    opm_ns.fetch_add(static_cast<std::uint64_t>(opm_seconds * 1e9));
+    encrypt_ns.fetch_add(static_cast<std::uint64_t>(encrypt_seconds * 1e9));
+    num_postings.fetch_add(postings);
+  });
+
+  for (BuiltRow& row : rows)
+    result.index.add_row(std::move(row.label), std::move(row.entries));
+  result.stats.wall_seconds = wall.elapsed_seconds();
+  result.stats.opm_seconds = static_cast<double>(opm_ns.load()) / 1e9;
+  result.stats.encrypt_seconds = static_cast<double>(encrypt_ns.load()) / 1e9;
+  result.stats.num_postings = num_postings.load();
+  return result;
+}
+
+Trapdoor RsseScheme::trapdoor(std::string_view keyword) const {
+  return trapdoor_gen_.generate(keyword);
+}
+
+std::vector<RankedSearchEntry> RsseScheme::search(const SecureIndex& index,
+                                                  const Trapdoor& trapdoor,
+                                                  std::size_t top_k) {
+  std::vector<RankedSearchEntry> out;
+  const std::vector<Bytes>* row = index.row(trapdoor.label);
+  if (!row) return out;
+  for (const Bytes& ciphertext : *row) {
+    const auto entry = decrypt_entry(trapdoor.list_key, ciphertext, kRsseScoreFieldSize);
+    if (!entry) continue;
+    ByteReader reader(entry->score_field);
+    out.push_back(RankedSearchEntry{entry->file, reader.read_u64()});
+  }
+  // Rank by the order-preserved encrypted score — exactly what the paper's
+  // server does; no plaintext knowledge required.
+  std::sort(out.begin(), out.end(), [](const RankedSearchEntry& a, const RankedSearchEntry& b) {
+    if (a.opm_score != b.opm_score) return a.opm_score > b.opm_score;
+    return ir::value(a.file) < ir::value(b.file);
+  });
+  if (top_k > 0 && out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+}  // namespace rsse::sse

@@ -1,0 +1,146 @@
+// The efficient RSSE scheme (Sec. IV): relevance scores are quantized
+// into {1..M} and encrypted with the per-keyword one-to-many order-
+// preserving mapping OPM_{f_z(w)}, so the *server* can rank matching
+// entries and return only the top-k — one round trip, k files of
+// bandwidth, at the cost of leaking the relevance order (the paper's
+// "as-strong-as-possible" trade-off).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "ir/analyzer.h"
+#include "ir/document.h"
+#include "ir/inverted_index.h"
+#include "opse/opm.h"
+#include "opse/quantizer.h"
+#include "sse/keys.h"
+#include "sse/secure_index.h"
+#include "sse/trapdoor_gen.h"
+#include "sse/types.h"
+
+namespace rsse::sse {
+
+/// RSSE score field: the OPM value as 8 little-endian bytes.
+inline constexpr std::size_t kRsseScoreFieldSize = 8;
+
+/// Row-padding policy. Fig. 3 pads every posting list to nu = max_i N_i,
+/// fully hiding list lengths at maximum storage cost; the alternatives
+/// trade storage for bounded leakage (bench_ablation_padding quantifies
+/// the trade-off).
+enum class PaddingMode {
+  kFullNu,      ///< every row padded to nu (the paper's choice)
+  kPowerOfTwo,  ///< each row padded to the next power of two >= N_i
+  kNone,        ///< no padding: row length = N_i (maximum leakage)
+};
+
+/// One hit as the server sees (and ranks) it.
+struct RankedSearchEntry {
+  FileId file{};
+  std::uint64_t opm_score = 0;  ///< order-preserved encrypted score
+
+  friend bool operator==(const RankedSearchEntry&, const RankedSearchEntry&) = default;
+};
+
+/// The RSSE scheme's owner/user-side algorithms plus the server's static
+/// ranked search.
+class RsseScheme {
+ public:
+  /// Binds the scheme to the owner's master key and analyzer pipeline.
+  explicit RsseScheme(MasterKey key, ir::AnalyzerOptions analyzer_options = {});
+
+  /// Timing/shape breakdown of build_index (Table I separates the raw
+  /// index cost from the dominant OPM cost). With a multi-threaded build,
+  /// opm_seconds and encrypt_seconds are aggregate CPU seconds across
+  /// workers; wall_seconds is the elapsed time of the whole encrypt phase.
+  struct BuildStats {
+    double raw_index_seconds = 0.0;   ///< plaintext inverted-index scan
+    double opm_seconds = 0.0;         ///< one-to-many score mappings (CPU)
+    double encrypt_seconds = 0.0;     ///< entry encryption + padding (CPU)
+    double wall_seconds = 0.0;        ///< elapsed encrypt-phase wall time
+    std::uint64_t pad_width = 0;      ///< nu
+    std::uint64_t num_postings = 0;   ///< genuine entries
+    std::uint64_t num_keywords = 0;   ///< m = |W|
+  };
+
+  /// Build-time options.
+  struct BuildOptions {
+    std::size_t num_threads = 1;  ///< fan per-keyword rows over a pool
+    PaddingMode padding = PaddingMode::kFullNu;
+  };
+
+  /// Everything build_index hands back: the outsourceable index plus the
+  /// owner-retained score quantizer (needed for future updates).
+  struct BuildResult {
+    SecureIndex index;
+    opse::ScoreQuantizer quantizer;
+    BuildStats stats;
+  };
+
+  /// BuildIndex(K, C) with OPM-encrypted scores (Sec. IV Setup step 2).
+  [[nodiscard]] BuildResult build_index(const ir::Corpus& corpus,
+                                        const BuildOptions& options) const;
+
+  /// Single-threaded convenience overload.
+  [[nodiscard]] BuildResult build_index(const ir::Corpus& corpus) const {
+    return build_index(corpus, BuildOptions{});
+  }
+
+  /// Variant reusing an externally fixed quantizer (the dynamics path:
+  /// updates must quantize with the original encoding).
+  [[nodiscard]] BuildResult build_index(const ir::Corpus& corpus,
+                                        const opse::ScoreQuantizer& quantizer,
+                                        const BuildOptions& options) const;
+
+  /// Single-threaded convenience overload with a fixed quantizer.
+  [[nodiscard]] BuildResult build_index(const ir::Corpus& corpus,
+                                        const opse::ScoreQuantizer& quantizer) const {
+    return build_index(corpus, quantizer, BuildOptions{});
+  }
+
+  /// TrapdoorGen(w); identical to the Basic Scheme's.
+  [[nodiscard]] Trapdoor trapdoor(std::string_view keyword) const;
+
+  /// SearchIndex(I, T_w) run by the server: decrypts the row, ranks by
+  /// the order-preserved score (descending), and keeps the top-k when
+  /// `top_k` is non-zero — the paper's optional k (Sec. II-A).
+  static std::vector<RankedSearchEntry> search(const SecureIndex& index,
+                                               const Trapdoor& trapdoor,
+                                               std::size_t top_k = 0);
+
+  // ----- owner-side helpers (also used by dynamics and tests) -----
+
+  /// The per-keyword one-to-many mapper OPM_{f_z(w)}.
+  [[nodiscard]] opse::OneToManyOpm opm_for_keyword(std::string_view normalized) const;
+
+  /// pi_x(w): the index row label.
+  [[nodiscard]] Bytes row_label(std::string_view normalized) const;
+
+  /// f_y(w): the row entry key.
+  [[nodiscard]] Bytes row_key(std::string_view normalized) const;
+
+  /// Builds one encrypted posting entry (used by the update path).
+  [[nodiscard]] Bytes make_entry(std::string_view normalized, FileId id, double score,
+                                 const opse::ScoreQuantizer& quantizer) const;
+
+  /// The shared keyword-normalization pipeline.
+  [[nodiscard]] const ir::Analyzer& analyzer() const { return trapdoor_gen_.analyzer(); }
+
+  /// The owner's key (owner-side callers only).
+  [[nodiscard]] const MasterKey& master_key() const { return key_; }
+
+  /// The OPM geometry ({1..M} -> {1..2^range_bits}) in effect.
+  [[nodiscard]] opse::OpeParams ope_params() const;
+
+ private:
+  [[nodiscard]] BuildResult build_index_internal(const ir::InvertedIndex& inverted,
+                                                 const opse::ScoreQuantizer& quantizer,
+                                                 double raw_index_seconds,
+                                                 const BuildOptions& options) const;
+
+  MasterKey key_;
+  TrapdoorGenerator trapdoor_gen_;
+};
+
+}  // namespace rsse::sse

@@ -1,0 +1,90 @@
+#include "sse/secure_index.h"
+
+#include "util/errors.h"
+
+namespace rsse::sse {
+
+void SecureIndex::check_entries(const std::vector<Bytes>& entries) {
+  if (entries.empty()) return;
+  const std::size_t size = entries.front().size();
+  for (const Bytes& e : entries)
+    detail::require(e.size() == size, "SecureIndex: ragged entry sizes in one row");
+}
+
+void SecureIndex::add_row(Bytes label, std::vector<Bytes> entries) {
+  detail::require(!label.empty(), "SecureIndex::add_row: empty label");
+  check_entries(entries);
+  const auto [it, inserted] = rows_.emplace(std::move(label), std::move(entries));
+  detail::require(inserted, "SecureIndex::add_row: duplicate label");
+}
+
+const std::vector<Bytes>* SecureIndex::row(BytesView label) const {
+  const auto it = rows_.find(Bytes(label.begin(), label.end()));
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t SecureIndex::byte_size() const {
+  std::uint64_t total = 0;
+  for (const auto& [label, entries] : rows_) {
+    total += label.size();
+    for (const Bytes& e : entries) total += e.size();
+  }
+  return total;
+}
+
+std::uint64_t SecureIndex::row_byte_size(BytesView label) const {
+  const std::vector<Bytes>* entries = row(label);
+  if (!entries) return 0;
+  std::uint64_t total = label.size();
+  for (const Bytes& e : *entries) total += e.size();
+  return total;
+}
+
+Bytes SecureIndex::serialize() const {
+  Bytes out;
+  append_u64(out, rows_.size());
+  for (const auto& [label, entries] : rows_) {
+    append_lp(out, label);
+    append_u64(out, entries.size());
+    for (const Bytes& e : entries) append_lp(out, e);
+  }
+  return out;
+}
+
+SecureIndex SecureIndex::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  SecureIndex index;
+  // Every row needs at least a label LP header (4) + entry count (8).
+  const std::uint64_t num_rows = reader.read_count(12);
+  for (std::uint64_t i = 0; i < num_rows; ++i) {
+    Bytes label = reader.read_lp();
+    // Every entry needs at least its own LP header.
+    const std::uint64_t num_entries = reader.read_count(4);
+    std::vector<Bytes> entries;
+    entries.reserve(num_entries);
+    for (std::uint64_t j = 0; j < num_entries; ++j) entries.push_back(reader.read_lp());
+    try {
+      index.add_row(std::move(label), std::move(entries));
+    } catch (const InvalidArgument& e) {
+      throw ParseError(std::string("SecureIndex: bad row: ") + e.what());
+    }
+  }
+  if (!reader.exhausted()) throw ParseError("SecureIndex: trailing bytes");
+  return index;
+}
+
+std::vector<Bytes> SecureIndex::labels() const {
+  std::vector<Bytes> out;
+  out.reserve(rows_.size());
+  for (const auto& [label, entries] : rows_) out.push_back(label);
+  return out;
+}
+
+void SecureIndex::replace_row(BytesView label, std::vector<Bytes> entries) {
+  const auto it = rows_.find(Bytes(label.begin(), label.end()));
+  detail::require(it != rows_.end(), "SecureIndex::replace_row: unknown label");
+  check_entries(entries);
+  it->second = std::move(entries);
+}
+
+}  // namespace rsse::sse

@@ -1,0 +1,62 @@
+// The encrypted searchable index I the owner outsources to the cloud.
+//
+// Structurally a map from opaque row labels pi_x(w_i) to lists of equal-
+// size encrypted entries (Fig. 3's output). The server can look up a row
+// only when handed the matching trapdoor label; everything else is opaque
+// ciphertext. Row lookup is O(log m) over a sorted label array — the
+// "tree-based data structure" the paper's search-efficiency discussion
+// assumes (Sec. VI-C2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rsse::sse {
+
+/// The outsourced encrypted index.
+class SecureIndex {
+ public:
+  /// Adds one posting row. Labels must be unique; entries must share one
+  /// size. Throws InvalidArgument on duplicates or ragged entries.
+  void add_row(Bytes label, std::vector<Bytes> entries);
+
+  /// The entries of a row; nullptr when no such label exists.
+  [[nodiscard]] const std::vector<Bytes>* row(BytesView label) const;
+
+  /// Number of rows m.
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Total serialized payload size in bytes (labels + entries), the index
+  /// storage cost reported in Table I.
+  [[nodiscard]] std::uint64_t byte_size() const;
+
+  /// Size in bytes of one row (its label plus all entries); 0 when absent.
+  [[nodiscard]] std::uint64_t row_byte_size(BytesView label) const;
+
+  /// Wire format for outsourcing.
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Inverse of serialize(). Throws ParseError on malformed input.
+  static SecureIndex deserialize(BytesView blob);
+
+  /// All labels in sorted order (what the curious server sees).
+  [[nodiscard]] std::vector<Bytes> labels() const;
+
+  /// Replaces a row's entries wholesale (owner-driven update path used by
+  /// sse/dynamics). Throws InvalidArgument when the label is unknown.
+  void replace_row(BytesView label, std::vector<Bytes> entries);
+
+  friend bool operator==(const SecureIndex&, const SecureIndex&) = default;
+
+ private:
+  static void check_entries(const std::vector<Bytes>& entries);
+
+  // std::map keyed on raw bytes: ordered so lookup is the paper's
+  // O(log m) tree search and serialization is canonical.
+  std::map<Bytes, std::vector<Bytes>> rows_;
+};
+
+}  // namespace rsse::sse

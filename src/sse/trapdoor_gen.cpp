@@ -1,0 +1,29 @@
+#include "sse/trapdoor_gen.h"
+
+#include "crypto/prf.h"
+#include "util/errors.h"
+
+namespace rsse::sse {
+
+TrapdoorGenerator::TrapdoorGenerator(Bytes x, Bytes y, std::size_t p_bits,
+                                     ir::AnalyzerOptions analyzer_options)
+    : x_(std::move(x)), y_(std::move(y)), p_bits_(p_bits), analyzer_(analyzer_options) {
+  detail::require(!x_.empty() && !y_.empty(), "TrapdoorGenerator: empty key component");
+}
+
+Bytes TrapdoorGenerator::label_for(std::string_view normalized) const {
+  return crypto::KeyedHash(x_, p_bits_).hash(normalized);
+}
+
+Bytes TrapdoorGenerator::list_key_for(std::string_view normalized) const {
+  return crypto::Prf(y_).derive(normalized);
+}
+
+Trapdoor TrapdoorGenerator::generate(std::string_view keyword) const {
+  const std::string normalized = analyzer_.normalize_keyword(keyword);
+  detail::require(!normalized.empty(),
+                  "TrapdoorGenerator: keyword vanishes under normalization");
+  return Trapdoor{label_for(normalized), list_key_for(normalized)};
+}
+
+}  // namespace rsse::sse

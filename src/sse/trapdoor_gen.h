@@ -1,0 +1,42 @@
+// TrapdoorGen as a standalone component.
+//
+// An authorized user holds only the trapdoor keys (x, y) — never the
+// score key root z — so trapdoor generation must not require the full
+// MasterKey. Both schemes and the cloud DataUser delegate here, which
+// also guarantees the user-side keyword normalization is byte-identical
+// to the owner's BuildIndex normalization.
+#pragma once
+
+#include <string_view>
+
+#include "ir/analyzer.h"
+#include "sse/types.h"
+
+namespace rsse::sse {
+
+/// Generates T_w = (pi_x(w), f_y(w)) for normalized keywords.
+class TrapdoorGenerator {
+ public:
+  /// `x`, `y` are the trapdoor key components; `p_bits` the label width.
+  TrapdoorGenerator(Bytes x, Bytes y, std::size_t p_bits,
+                    ir::AnalyzerOptions analyzer_options = {});
+
+  /// TrapdoorGen(w). Throws InvalidArgument when the keyword normalizes
+  /// to nothing (stop word / non-token).
+  [[nodiscard]] Trapdoor generate(std::string_view keyword) const;
+
+  /// Label/key for an already-normalized keyword (scheme internals).
+  [[nodiscard]] Bytes label_for(std::string_view normalized) const;
+  [[nodiscard]] Bytes list_key_for(std::string_view normalized) const;
+
+  /// The shared keyword-normalization pipeline.
+  [[nodiscard]] const ir::Analyzer& analyzer() const { return analyzer_; }
+
+ private:
+  Bytes x_;
+  Bytes y_;
+  std::size_t p_bits_;
+  ir::Analyzer analyzer_;
+};
+
+}  // namespace rsse::sse

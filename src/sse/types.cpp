@@ -1,0 +1,23 @@
+#include "sse/types.h"
+
+#include "util/errors.h"
+
+namespace rsse::sse {
+
+Bytes Trapdoor::serialize() const {
+  Bytes out;
+  append_lp(out, label);
+  append_lp(out, list_key);
+  return out;
+}
+
+Trapdoor Trapdoor::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  Trapdoor t;
+  t.label = reader.read_lp();
+  t.list_key = reader.read_lp();
+  if (!reader.exhausted()) throw ParseError("Trapdoor: trailing bytes");
+  return t;
+}
+
+}  // namespace rsse::sse

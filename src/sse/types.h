@@ -1,0 +1,51 @@
+// Shared wire-level types of both schemes: the trapdoor and the posting
+// entry layout.
+//
+// Posting entry plaintext (Fig. 3 step 3): 0^l || id(F_ij) || score-field,
+// where the 0^l prefix marks a valid (non-padding) entry and the
+// score-field is scheme specific — E_z(S_ij) for the Basic Scheme, the
+// one-to-many order-preserved value OPM_{f_z(w)}(S_ij) for RSSE. The
+// whole entry is encrypted under the per-keyword key f_y(w), so rows are
+// indistinguishable from their random padding until the matching trapdoor
+// arrives.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/document.h"
+#include "util/bytes.h"
+
+namespace rsse::sse {
+
+using ir::FileId;
+
+/// The paper's l parameter in bytes: width of the all-zero validity flag.
+inline constexpr std::size_t kFlagSize = 8;
+
+/// Width of the file identifier field.
+inline constexpr std::size_t kIdSize = 8;
+
+/// T_w = (pi_x(w), f_y(w)): the search request for one keyword.
+struct Trapdoor {
+  Bytes label;     ///< pi_x(w): locates the index row.
+  Bytes list_key;  ///< f_y(w): decrypts the row's entries.
+
+  /// Wire encoding (user -> server).
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Inverse of serialize(). Throws ParseError on malformed input.
+  static Trapdoor deserialize(BytesView blob);
+
+  friend bool operator==(const Trapdoor&, const Trapdoor&) = default;
+};
+
+/// One decrypted, valid posting entry: what the server (RSSE) or the user
+/// (Basic Scheme) sees after applying f_y(w).
+struct PostingEntry {
+  FileId file{};
+  Bytes score_field;  ///< scheme-specific encrypted score bytes
+
+  friend bool operator==(const PostingEntry&, const PostingEntry&) = default;
+};
+
+}  // namespace rsse::sse

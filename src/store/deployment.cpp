@@ -1,0 +1,66 @@
+#include "store/deployment.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/errors.h"
+
+namespace rsse::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_file(const fs::path& path, BytesView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("save_deployment: cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw Error("save_deployment: write failed for " + path.string());
+}
+
+Bytes read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("load_deployment: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  return to_bytes(content);
+}
+
+}  // namespace
+
+void save_deployment(const cloud::CloudServer& server, const std::string& dir) {
+  const fs::path root(dir);
+  const fs::path files_dir = root / "files";
+  fs::create_directories(files_dir);
+  // Replace any previous file set so deletions persist too.
+  for (const auto& entry : fs::directory_iterator(files_dir)) fs::remove(entry.path());
+
+  write_file(root / "index.bin", server.index().serialize());
+  for (const auto& [id, blob] : server.files())
+    write_file(files_dir / (std::to_string(id) + ".bin"), blob);
+}
+
+void load_deployment(const std::string& dir, cloud::CloudServer& server) {
+  const fs::path root(dir);
+  detail::require(fs::is_directory(root), "load_deployment: not a directory: " + dir);
+  sse::SecureIndex index = sse::SecureIndex::deserialize(read_file(root / "index.bin"));
+
+  std::map<std::uint64_t, Bytes> files;
+  const fs::path files_dir = root / "files";
+  if (fs::is_directory(files_dir)) {
+    for (const auto& entry : fs::directory_iterator(files_dir)) {
+      const std::string stem = entry.path().stem().string();
+      try {
+        files.emplace(std::stoull(stem), read_file(entry.path()));
+      } catch (const std::logic_error&) {
+        throw ParseError("load_deployment: non-numeric file name " + stem);
+      }
+    }
+  }
+  server.store(std::move(index), std::move(files));
+}
+
+}  // namespace rsse::store

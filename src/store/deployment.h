@@ -1,0 +1,28 @@
+// Server-side persistence: the outsourced deployment (secure index +
+// encrypted file blobs) as a directory on disk, so a CloudServer can be
+// shut down and restarted without the owner re-uploading. Layout:
+//
+//   <dir>/index.bin        SecureIndex::serialize()
+//   <dir>/files/<id>.bin   one AES-GCM blob per file id (decimal name)
+//
+// Everything stored is ciphertext; the directory is exactly what a real
+// storage provider would hold.
+#pragma once
+
+#include <string>
+
+#include "cloud/cloud_server.h"
+
+namespace rsse::store {
+
+/// Writes the server's current index + files under `dir` (created if
+/// missing; an existing deployment is replaced). Throws Error on I/O
+/// failure.
+void save_deployment(const cloud::CloudServer& server, const std::string& dir);
+
+/// Loads a deployment directory into `server` (replacing its state —
+/// CloudServer owns a mutex and is therefore not movable).
+/// Throws Error on I/O failure and ParseError on malformed content.
+void load_deployment(const std::string& dir, cloud::CloudServer& server);
+
+}  // namespace rsse::store

@@ -1,0 +1,97 @@
+#include "store/owner_state.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "crypto/aes_gcm.h"
+#include "crypto/csprng.h"
+#include "crypto/pbkdf2.h"
+#include "util/errors.h"
+
+namespace rsse::store {
+
+namespace {
+
+// File magic: "RSSEOWN1".
+constexpr std::uint8_t kMagic[8] = {'R', 'S', 'S', 'E', 'O', 'W', 'N', '1'};
+constexpr std::size_t kSaltSize = 16;
+
+}  // namespace
+
+Bytes OwnerState::serialize() const {
+  Bytes out;
+  append_lp(out, key.serialize());
+  append_lp(out, file_master);
+  out.push_back(quantizer.has_value() ? 0x01 : 0x00);
+  if (quantizer) append_lp(out, quantizer->serialize());
+  return out;
+}
+
+OwnerState OwnerState::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  OwnerState state;
+  state.key = sse::MasterKey::deserialize(reader.read_lp());
+  state.file_master = reader.read_lp();
+  const Bytes flag = reader.read(1);
+  if (flag[0] == 0x01) {
+    state.quantizer = opse::ScoreQuantizer::deserialize(reader.read_lp());
+  } else if (flag[0] != 0x00) {
+    throw ParseError("OwnerState: bad quantizer flag");
+  }
+  if (!reader.exhausted()) throw ParseError("OwnerState: trailing bytes");
+  return state;
+}
+
+Bytes seal_owner_state(const OwnerState& state, std::string_view passphrase,
+                       std::uint32_t iterations) {
+  detail::require(!passphrase.empty(), "seal_owner_state: empty passphrase");
+  const Bytes salt = crypto::random_bytes(kSaltSize);
+  const Bytes sealing_key =
+      crypto::pbkdf2_hmac_sha256(to_bytes(passphrase), salt, iterations, 32);
+
+  Bytes out(kMagic, kMagic + sizeof kMagic);
+  append(out, salt);
+  append_u32(out, iterations);
+  append_lp(out, crypto::aes_gcm_encrypt(sealing_key, state.serialize(),
+                                         BytesView(kMagic, sizeof kMagic)));
+  return out;
+}
+
+OwnerState open_owner_state(BytesView sealed, std::string_view passphrase) {
+  ByteReader reader(sealed);
+  const Bytes magic = reader.read(sizeof kMagic);
+  if (!std::equal(magic.begin(), magic.end(), kMagic))
+    throw ParseError("open_owner_state: not an owner-state file");
+  const Bytes salt = reader.read(kSaltSize);
+  const std::uint32_t iterations = reader.read_u32();
+  if (iterations == 0) throw ParseError("open_owner_state: zero iterations");
+  const Bytes envelope = reader.read_lp();
+  if (!reader.exhausted()) throw ParseError("open_owner_state: trailing bytes");
+
+  const Bytes sealing_key =
+      crypto::pbkdf2_hmac_sha256(to_bytes(passphrase), salt, iterations, 32);
+  const Bytes plain =
+      crypto::aes_gcm_decrypt(sealing_key, envelope, BytesView(kMagic, sizeof kMagic));
+  return OwnerState::deserialize(plain);
+}
+
+void save_owner_state(const OwnerState& state, const std::string& path,
+                      std::string_view passphrase, std::uint32_t iterations) {
+  const Bytes sealed = seal_owner_state(state, passphrase, iterations);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("save_owner_state: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(sealed.data()),
+            static_cast<std::streamsize>(sealed.size()));
+  if (!out) throw Error("save_owner_state: write failed for " + path);
+}
+
+OwnerState load_owner_state(const std::string& path, std::string_view passphrase) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("load_owner_state: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  return open_owner_state(to_bytes(content), passphrase);
+}
+
+}  // namespace rsse::store

@@ -1,0 +1,51 @@
+// Owner-side persistence: everything the data owner must retain between
+// sessions — the master key, the file-encryption root, and (after Setup)
+// the score quantizer that pins the dynamics path's encoding. On disk
+// the bundle is sealed with AES-256-GCM under a PBKDF2 passphrase key,
+// salt and iteration count stored in the header.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "opse/quantizer.h"
+#include "sse/keys.h"
+#include "util/bytes.h"
+
+namespace rsse::store {
+
+/// The owner's persistent secrets.
+struct OwnerState {
+  sse::MasterKey key;
+  Bytes file_master;
+  std::optional<opse::ScoreQuantizer> quantizer;
+
+  /// Plain (unsealed) serialization — used inside the sealed envelope
+  /// and by tests.
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Inverse of serialize(). Throws ParseError on malformed input.
+  static OwnerState deserialize(BytesView blob);
+};
+
+/// PBKDF2 work factor for sealing (tunable; tests lower it).
+inline constexpr std::uint32_t kDefaultPbkdf2Iterations = 100000;
+
+/// Seals an OwnerState under `passphrase` into a self-describing blob
+/// (magic || salt || iterations || AES-GCM envelope).
+Bytes seal_owner_state(const OwnerState& state, std::string_view passphrase,
+                       std::uint32_t iterations = kDefaultPbkdf2Iterations);
+
+/// Opens a sealed blob. Throws CryptoError on a wrong passphrase or
+/// tampering, ParseError on a malformed envelope.
+OwnerState open_owner_state(BytesView sealed, std::string_view passphrase);
+
+/// Writes the sealed blob to `path` (binary). Throws Error on I/O failure.
+void save_owner_state(const OwnerState& state, const std::string& path,
+                      std::string_view passphrase,
+                      std::uint32_t iterations = kDefaultPbkdf2Iterations);
+
+/// Reads and opens a sealed state file.
+OwnerState load_owner_state(const std::string& path, std::string_view passphrase);
+
+}  // namespace rsse::store

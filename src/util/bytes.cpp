@@ -1,0 +1,108 @@
+#include "util/bytes.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace rsse {
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_string(BytesView b) { return std::string(b.begin(), b.end()); }
+
+std::string hex_encode(BytesView b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Bytes hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw ParseError("hex_decode: odd-length input");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw ParseError("hex_decode: non-hex character");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+void append(Bytes& out, BytesView b) { out.insert(out.end(), b.begin(), b.end()); }
+
+void append_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_lp(Bytes& out, BytesView b) {
+  if (b.size() > 0xffffffffu) throw InvalidArgument("append_lp: buffer too large");
+  append_u32(out, static_cast<std::uint32_t>(b.size()));
+  append(out, b);
+}
+
+Bytes ByteReader::read(std::size_t n) {
+  if (remaining() < n) throw ParseError("ByteReader: truncated input");
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::uint32_t ByteReader::read_u32() {
+  if (remaining() < 4) throw ParseError("ByteReader: truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::read_u64() {
+  if (remaining() < 8) throw ParseError("ByteReader: truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Bytes ByteReader::read_lp() {
+  const std::uint32_t n = read_u32();
+  return read(n);
+}
+
+std::uint64_t ByteReader::read_count(std::size_t min_element_size) {
+  const std::uint64_t n = read_u64();
+  if (min_element_size == 0) min_element_size = 1;
+  if (n > remaining() / min_element_size)
+    throw ParseError("ByteReader: element count exceeds payload");
+  return n;
+}
+
+}  // namespace rsse

@@ -1,0 +1,85 @@
+// Byte-buffer helpers shared across the library: a Bytes alias, hex
+// encoding, constant-time comparison, and primitive (de)serialization of
+// integers in an explicit little-endian wire format.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rsse {
+
+/// The library-wide owning byte buffer.
+using Bytes = std::vector<std::uint8_t>;
+
+/// A non-owning read-only view over bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Converts a string to bytes (no encoding transformation).
+Bytes to_bytes(std::string_view s);
+
+/// Converts bytes to a std::string (bit-for-bit).
+std::string to_string(BytesView b);
+
+/// Lower-case hex encoding, e.g. {0xde,0xad} -> "dead".
+std::string hex_encode(BytesView b);
+
+/// Inverse of hex_encode. Throws ParseError on odd length or non-hex chars.
+Bytes hex_decode(std::string_view hex);
+
+/// Constant-time equality check: runtime depends only on the lengths, never
+/// on the content, so MAC/trapdoor comparisons do not leak via timing.
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// Appends `b` to `out`.
+void append(Bytes& out, BytesView b);
+
+/// Appends a 32-bit unsigned integer, little-endian.
+void append_u32(Bytes& out, std::uint32_t v);
+
+/// Appends a 64-bit unsigned integer, little-endian.
+void append_u64(Bytes& out, std::uint64_t v);
+
+/// Appends a length-prefixed (u32) byte string.
+void append_lp(Bytes& out, BytesView b);
+
+/// A bounds-checked sequential reader over a byte buffer; the inverse of
+/// the append_* helpers. Every read throws ParseError when the buffer is
+/// exhausted, so malformed wire data cannot cause out-of-range access.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  /// Reads `n` raw bytes.
+  Bytes read(std::size_t n);
+
+  /// Reads a little-endian u32.
+  std::uint32_t read_u32();
+
+  /// Reads a little-endian u64.
+  std::uint64_t read_u64();
+
+  /// Reads a length-prefixed byte string written by append_lp.
+  Bytes read_lp();
+
+  /// Reads a u64 element count and validates it against the bytes still
+  /// available (each element needs at least `min_element_size` bytes), so
+  /// a corrupted count can never trigger a huge allocation. Throws
+  /// ParseError when the count is implausible.
+  std::uint64_t read_count(std::size_t min_element_size);
+
+  /// Number of bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// True when the whole buffer has been consumed.
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rsse

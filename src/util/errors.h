@@ -1,0 +1,53 @@
+// Exception hierarchy for the RSSE library.
+//
+// All library errors derive from rsse::Error so callers can catch one type.
+// Subtypes distinguish programmer errors (violated preconditions on the
+// public API) from environmental failures (crypto backend, I/O).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rsse {
+
+/// Base class of every exception thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A public-API precondition was violated (bad argument, wrong state).
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The OpenSSL backend reported a failure (should not happen in practice).
+class CryptoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A serialized blob (index, message, key file) failed to parse.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A protocol-level failure between the cloud roles (unknown trapdoor
+/// format, unauthorized user, malformed request).
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+/// Throws InvalidArgument with `msg` when `cond` is false. Used to state
+/// preconditions at the top of public functions (guideline I.5/I.6).
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace detail
+}  // namespace rsse

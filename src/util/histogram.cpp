@@ -1,0 +1,99 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/errors.h"
+
+namespace rsse {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  detail::require(bins > 0, "Histogram: bins must be positive");
+  detail::require(hi > lo, "Histogram: hi must exceed lo");
+  counts_.assign(bins, 0);
+}
+
+std::size_t Histogram::bin_of(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  const double frac = (value - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::add(double value) { add(value, 1); }
+
+void Histogram::add(double value, std::uint64_t count) {
+  counts_[bin_of(value)] += count;
+  total_ += count;
+}
+
+std::uint64_t Histogram::count(std::size_t i) const {
+  detail::require(i < counts_.size(), "Histogram::count: bin out of range");
+  return counts_[i];
+}
+
+std::uint64_t Histogram::max_count() const {
+  if (counts_.empty()) return 0;
+  return *std::max_element(counts_.begin(), counts_.end());
+}
+
+std::size_t Histogram::occupied_bins() const {
+  return static_cast<std::size_t>(
+      std::count_if(counts_.begin(), counts_.end(), [](std::uint64_t c) { return c > 0; }));
+}
+
+double Histogram::min_entropy_bits() const {
+  if (total_ == 0) return 0.0;
+  const double pmax = static_cast<double>(max_count()) / static_cast<double>(total_);
+  return -std::log2(pmax);
+}
+
+double Histogram::shannon_entropy_bits() const {
+  if (total_ == 0) return 0.0;
+  double h = 0.0;
+  for (std::uint64_t c : counts_) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total_);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  detail::require(i < counts_.size(), "Histogram::bin_lo: bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ascii_chart(std::size_t max_rows, std::size_t width) const {
+  detail::require(max_rows > 0 && width > 0, "Histogram::ascii_chart: zero size");
+  // Group adjacent bins so the chart fits in max_rows rows.
+  const std::size_t group = (counts_.size() + max_rows - 1) / max_rows;
+  std::vector<std::uint64_t> grouped;
+  for (std::size_t i = 0; i < counts_.size(); i += group) {
+    std::uint64_t sum = 0;
+    for (std::size_t j = i; j < std::min(i + group, counts_.size()); ++j) sum += counts_[j];
+    grouped.push_back(sum);
+  }
+  const std::uint64_t peak = grouped.empty()
+                                 ? 0
+                                 : *std::max_element(grouped.begin(), grouped.end());
+  std::ostringstream os;
+  for (std::size_t g = 0; g < grouped.size(); ++g) {
+    const double edge = bin_lo(g * group);
+    os.width(12);
+    os.precision(4);
+    os << edge << " | ";
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(static_cast<double>(grouped[g]) * // scaled to peak
+                                             static_cast<double>(width) /
+                                             static_cast<double>(peak));
+    for (std::size_t b = 0; b < bar; ++b) os << '#';
+    os << ' ' << grouped[g] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rsse

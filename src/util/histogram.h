@@ -1,0 +1,75 @@
+// Equal-width histogram over a numeric interval.
+//
+// The paper presents the relevance-score and encrypted-score distributions
+// (Fig. 4 and Fig. 6) as counts over 128 equally spaced containers; this
+// class is the reusable binning used by those benches, by the leakage
+// analysis (min-entropy of the binned distribution) and by tests that
+// assert flatness of the one-to-many mapping output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsse {
+
+/// Fixed-bin histogram over [lo, hi]. Values outside the interval are
+/// clamped into the first/last bin so totals always match the inputs.
+class Histogram {
+ public:
+  /// Creates `bins` equally spaced containers spanning [lo, hi].
+  /// Throws InvalidArgument when bins == 0 or hi <= lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation.
+  void add(double value);
+
+  /// Adds `count` observations of the same value.
+  void add(double value, std::uint64_t count);
+
+  /// Count in bin `i` (0-based). Throws InvalidArgument when out of range.
+  [[nodiscard]] std::uint64_t count(std::size_t i) const;
+
+  /// All per-bin counts in order.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Number of bins.
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+
+  /// Total observations recorded.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Largest per-bin count (0 for an empty histogram).
+  [[nodiscard]] std::uint64_t max_count() const;
+
+  /// Number of bins with at least one observation.
+  [[nodiscard]] std::size_t occupied_bins() const;
+
+  /// Min-entropy of the binned distribution in bits:
+  /// -log2(max_count / total). Returns 0 for empty histograms. This is the
+  /// H_inf measure the paper uses to argue range-size selection (Sec IV-C).
+  [[nodiscard]] double min_entropy_bits() const;
+
+  /// Shannon entropy of the binned distribution in bits.
+  [[nodiscard]] double shannon_entropy_bits() const;
+
+  /// Lower edge of bin `i`.
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+
+  /// Renders a fixed-width ASCII bar chart, one bin per row when
+  /// `one_row_per_bin` is true, otherwise groups bins into at most
+  /// `max_rows` rows. Useful for the figure-reproducing benches.
+  [[nodiscard]] std::string ascii_chart(std::size_t max_rows = 32,
+                                        std::size_t width = 60) const;
+
+ private:
+  [[nodiscard]] std::size_t bin_of(double value) const;
+
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rsse

@@ -1,0 +1,76 @@
+#include "util/rng.h"
+
+#include "util/errors.h"
+
+namespace rsse {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // splitmix64 cannot produce an all-zero 256-bit state from any seed, but
+  // keep the guard explicit: the all-zero state is the one fixed point.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::uniform_below(std::uint64_t bound) {
+  detail::require(bound > 0, "Xoshiro256::uniform_below: bound must be positive");
+  // Lemire's method: multiply-shift with a rejection zone of size
+  // (2^64 mod bound) to remove modulo bias.
+  __extension__ using u128 = unsigned __int128;
+  std::uint64_t x = next_u64();
+  u128 m = static_cast<u128>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<u128>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256::uniform_in(std::uint64_t lo, std::uint64_t hi) {
+  detail::require(lo <= hi, "Xoshiro256::uniform_in: lo > hi");
+  const std::uint64_t span = hi - lo;
+  if (span == ~0ull) return next_u64();
+  return lo + uniform_below(span + 1);
+}
+
+bool Xoshiro256::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+}  // namespace rsse

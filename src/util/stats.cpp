@@ -1,0 +1,55 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/errors.h"
+
+namespace rsse {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> sample, double q) {
+  detail::require(!sample.empty(), "quantile: empty sample");
+  detail::require(q >= 0.0 && q <= 1.0, "quantile: q outside [0,1]");
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+std::uint64_t max_duplicates(const std::vector<std::uint64_t>& values) {
+  std::unordered_map<std::uint64_t, std::uint64_t> freq;
+  std::uint64_t best = 0;
+  for (std::uint64_t v : values) best = std::max(best, ++freq[v]);
+  return best;
+}
+
+std::size_t distinct_count(const std::vector<std::uint64_t>& values) {
+  std::unordered_map<std::uint64_t, bool> seen;
+  for (std::uint64_t v : values) seen[v] = true;
+  return seen.size();
+}
+
+}  // namespace rsse

@@ -1,0 +1,58 @@
+// Small statistics helpers used by benches and tests: Welford running
+// moments, order statistics over a sample, and duplicate counting (the
+// paper's max/lambda parameter of eq. 3 is a duplicate statistic of the
+// plaintext score multiset).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rsse {
+
+/// Streaming mean / variance / extrema (Welford's algorithm). Numerically
+/// stable for long benchmark runs.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations so far.
+  [[nodiscard]] std::size_t count() const { return n_; }
+
+  /// Arithmetic mean (0 when empty).
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (0 when fewer than two observations).
+  [[nodiscard]] double variance() const;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const;
+
+  /// Smallest observation (0 when empty).
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+
+  /// Largest observation (0 when empty).
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `sample` using linear
+/// interpolation between order statistics. Throws InvalidArgument on an
+/// empty sample or q outside [0,1]. The input is copied, not reordered.
+double quantile(std::vector<double> sample, double q);
+
+/// Count of the most frequent value in the multiset (the "max" of the
+/// paper's max/lambda ratio). Returns 0 for empty input.
+std::uint64_t max_duplicates(const std::vector<std::uint64_t>& values);
+
+/// Number of distinct values in the multiset.
+std::size_t distinct_count(const std::vector<std::uint64_t>& values);
+
+}  // namespace rsse

@@ -1,0 +1,34 @@
+// A minimal monotonic stopwatch used by the benchmark harnesses and the
+// index-construction instrumentation (Table I splits raw-index time from
+// score-encryption time, so the builders time their own phases).
+#pragma once
+
+#include <chrono>
+
+namespace rsse {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the measurement from now.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace rsse

@@ -1,0 +1,73 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace rsse {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  detail::require(threads >= 1, "ThreadPool: need at least one thread");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    detail::require(!stopping_, "ThreadPool::submit: pool is shutting down");
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions land in the associated future
+  }
+}
+
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  threads = std::max<std::size_t>(1, threads);
+  if (threads == 1 || n < 2) {
+    body(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(threads, n);
+  ThreadPool pool(chunks);
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  const std::size_t per_chunk = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(n, begin + per_chunk);
+    if (begin >= end) break;
+    futures.push_back(pool.submit([&body, begin, end] { body(begin, end); }));
+  }
+  for (auto& f : futures) f.get();  // rethrows the first chunk failure
+}
+
+}  // namespace rsse

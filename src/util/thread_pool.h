@@ -1,0 +1,57 @@
+// A small fixed-size thread pool plus a chunked parallel_for.
+//
+// The RSSE index build is embarrassingly parallel across keywords (each
+// posting row derives its own keys and touches no shared state), and the
+// one-to-many mapping dominates construction cost (Table I), so the
+// builder fans rows out over this pool. Kept deliberately minimal: a
+// mutex-guarded queue, no work stealing — build tasks are coarse.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rsse {
+
+/// Fixed-size worker pool. Destruction drains the queue, then joins.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). Throws InvalidArgument on 0.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves when it finishes (exceptions
+  /// propagate through the future).
+  std::future<void> submit(std::function<void()> task);
+
+  /// Number of workers.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Splits [0, n) into roughly equal chunks and runs `body(begin, end)`
+/// on up to `threads` workers, blocking until all chunks finish. With
+/// threads <= 1 (or n small) it runs inline. The first exception thrown
+/// by any chunk is rethrown in the caller.
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace rsse

@@ -1,0 +1,35 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace rsse {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  detail::require(n > 0, "ZipfSampler: n must be positive");
+  detail::require(s >= 0.0, "ZipfSampler: exponent must be non-negative");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail short
+}
+
+std::size_t ZipfSampler::sample(Xoshiro256& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  detail::require(k < cdf_.size(), "ZipfSampler::pmf: rank out of range");
+  if (k == 0) return cdf_[0];
+  return cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace rsse

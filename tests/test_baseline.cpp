@@ -1,0 +1,188 @@
+// Baselines: plaintext engine correctness, the [18]-style bucket
+// transform and the [16]-style sampled-CDF transform — order
+// preservation, flattening, and (crucially) their rebuild-on-drift
+// instability, which is the property the paper's dynamics argument
+// turns on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/bucket_opm.h"
+#include "baseline/plaintext_search.h"
+#include "baseline/sample_opm.h"
+#include "ir/corpus_gen.h"
+#include "util/errors.h"
+#include "util/rng.h"
+
+namespace rsse::baseline {
+namespace {
+
+std::vector<double> skewed_scores(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> scores;
+  scores.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.next_double();
+    scores.push_back(0.01 + u * u * u);  // skewed toward small values
+  }
+  return scores;
+}
+
+TEST(PlaintextEngine, RanksLikeTheInvertedIndex) {
+  ir::CorpusGenOptions opts;
+  opts.num_documents = 30;
+  opts.vocabulary_size = 200;
+  opts.min_tokens = 40;
+  opts.max_tokens = 150;
+  opts.injected.push_back(ir::InjectedKeyword{"network", 18, 0.3, 30});
+  opts.seed = 8;
+  const ir::Corpus corpus = ir::generate_corpus(opts);
+
+  const PlaintextSearchEngine engine(corpus);
+  const auto all = engine.search("network");
+  EXPECT_EQ(all.size(), 18u);
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_GE(all[i - 1].score, all[i].score);
+
+  const auto top5 = engine.search("network", 5);
+  ASSERT_EQ(top5.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(top5[i].file, all[i].file);
+
+  // Query normalization applies (inflected form, stop word).
+  EXPECT_EQ(engine.search("Networking").size(), 18u);
+  EXPECT_TRUE(engine.search("the").empty());
+}
+
+TEST(BucketOpm, PreservesOrderAcrossBuckets) {
+  const auto train = skewed_scores(2000, 1);
+  const BucketOpm opm(train, 32, 1ull << 30, to_bytes("bucket-key"));
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = 0.01 + rng.next_double();
+    const double b = 0.01 + rng.next_double();
+    if (opm.bucket_of(a) < opm.bucket_of(b))
+      EXPECT_LT(opm.map(a, 1), opm.map(b, 2));
+    if (opm.bucket_of(a) > opm.bucket_of(b))
+      EXPECT_GT(opm.map(a, 1), opm.map(b, 2));
+  }
+}
+
+TEST(BucketOpm, EquiDepthBoundariesFlattenTheTrainingSample) {
+  const auto train = skewed_scores(4000, 3);
+  const BucketOpm opm(train, 16, 1ull << 24, to_bytes("k"));
+  // Count training points per bucket: equi-depth => roughly 4000/16 each.
+  std::vector<int> per_bucket(16, 0);
+  for (double s : train) ++per_bucket[opm.bucket_of(s)];
+  for (int count : per_bucket) {
+    EXPECT_GT(count, 150);
+    EXPECT_LT(count, 350);
+  }
+  EXPECT_EQ(opm.metadata_bytes(), 15u * sizeof(double));
+}
+
+TEST(BucketOpm, DeterministicPerTiebreak) {
+  const BucketOpm opm(skewed_scores(100, 4), 8, 1 << 20, to_bytes("k"));
+  EXPECT_EQ(opm.map(0.5, 7), opm.map(0.5, 7));
+  EXPECT_NE(opm.map(0.5, 7), opm.map(0.5, 8));  // one-to-many style scatter
+}
+
+TEST(BucketOpm, RefitMovesExistingMappings) {
+  // The paper's dynamics criticism: a drifted distribution forces a
+  // refit, and the refit changes previously mapped values.
+  BucketOpm opm(skewed_scores(2000, 5), 32, 1ull << 30, to_bytes("k"));
+  const std::vector<double> probes = skewed_scores(200, 6);
+  std::vector<std::uint64_t> before;
+  for (std::size_t i = 0; i < probes.size(); ++i) before.push_back(opm.map(probes[i], i));
+
+  // Drift: new scores concentrate near the top of the old range.
+  std::vector<double> drifted;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 2000; ++i) drifted.push_back(0.8 + 0.4 * rng.next_double());
+  opm.refit(drifted);
+
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    if (opm.map(probes[i], i) != before[i]) ++moved;
+  EXPECT_GT(moved, probes.size() / 2) << "refit should invalidate most mappings";
+}
+
+TEST(BucketOpm, Preconditions) {
+  EXPECT_THROW(BucketOpm({}, 8, 1 << 20, to_bytes("k")), InvalidArgument);
+  EXPECT_THROW(BucketOpm({1.0}, 0, 1 << 20, to_bytes("k")), InvalidArgument);
+  EXPECT_THROW(BucketOpm({1.0}, 8, 4, to_bytes("k")), InvalidArgument);
+  EXPECT_THROW(BucketOpm({1.0}, 8, 1 << 20, Bytes{}), InvalidArgument);
+}
+
+TEST(SampleOpm, CdfIsMonotoneAndNormalized) {
+  const SampleOpm opm(skewed_scores(3000, 8), 64, 1ull << 30, to_bytes("k"));
+  double prev = -1.0;
+  for (double s = 0.0; s <= 1.2; s += 0.01) {
+    const double c = opm.cdf(s);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(opm.cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(opm.cdf(100.0), 1.0);
+}
+
+TEST(SampleOpm, UniformizesTheTrainingDistribution) {
+  // The CDF of the training sample evaluated on the sample is ~uniform:
+  // the transform flattens exactly the distribution it was trained on.
+  const auto train = skewed_scores(3000, 9);
+  const SampleOpm opm(train, 64, 1ull << 30, to_bytes("k"));
+  int low = 0;
+  int high = 0;
+  for (double s : train) {
+    const double c = opm.cdf(s);
+    if (c < 0.5) ++low;
+    else ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / train.size(), 0.5, 0.06);
+  (void)high;
+}
+
+TEST(SampleOpm, OrderPreservedAtKnotGranularity) {
+  const SampleOpm opm(skewed_scores(3000, 10), 64, 1ull << 30, to_bytes("k"));
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.next_double();
+    const double b = rng.next_double();
+    // Comparable when the CDF separates them by at least one knot cell.
+    if (opm.cdf(a) + 1.0 / 63.0 < opm.cdf(b)) EXPECT_LT(opm.map(a, 1), opm.map(b, 2));
+  }
+}
+
+TEST(SampleOpm, RetrainMovesExistingMappings) {
+  SampleOpm opm(skewed_scores(3000, 12), 64, 1ull << 30, to_bytes("k"));
+  const auto probes = skewed_scores(200, 13);
+  std::vector<std::uint64_t> before;
+  for (std::size_t i = 0; i < probes.size(); ++i) before.push_back(opm.map(probes[i], i));
+
+  std::vector<double> drifted;
+  Xoshiro256 rng(14);
+  for (int i = 0; i < 3000; ++i) drifted.push_back(2.0 + rng.next_double());
+  opm.retrain(drifted);
+
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    if (opm.map(probes[i], i) != before[i]) ++moved;
+  EXPECT_GT(moved, probes.size() / 2);
+}
+
+TEST(SampleOpm, Preconditions) {
+  EXPECT_THROW(SampleOpm({}, 8, 1 << 20, to_bytes("k")), InvalidArgument);
+  EXPECT_THROW(SampleOpm({1.0}, 1, 1 << 20, to_bytes("k")), InvalidArgument);
+  EXPECT_THROW(SampleOpm({1.0}, 8, 4, to_bytes("k")), InvalidArgument);
+  EXPECT_THROW(SampleOpm({1.0}, 8, 1 << 20, Bytes{}), InvalidArgument);
+}
+
+TEST(SampleOpm, DegenerateTrainingSampleStillWorks) {
+  const SampleOpm opm({5.0, 5.0, 5.0}, 4, 1 << 20, to_bytes("k"));
+  EXPECT_NO_THROW(opm.map(5.0, 1));
+  EXPECT_NO_THROW(opm.map(4.0, 1));
+}
+
+}  // namespace
+}  // namespace rsse::baseline

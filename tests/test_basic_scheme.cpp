@@ -1,0 +1,127 @@
+// Basic Scheme (Sec. III-C) end-to-end: search correctness (exactly
+// F(w)), user-side ranking equals plaintext ranking, padding uniformity
+// (the SSE leakage profile), and trapdoor behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/corpus_gen.h"
+#include "ir/scoring.h"
+#include "sse/basic_scheme.h"
+#include "util/errors.h"
+
+namespace rsse::sse {
+namespace {
+
+class BasicSchemeTest : public ::testing::Test {
+ protected:
+  static ir::CorpusGenOptions corpus_options() {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 60;
+    opts.vocabulary_size = 400;
+    opts.min_tokens = 60;
+    opts.max_tokens = 300;
+    opts.injected.push_back(ir::InjectedKeyword{"network", 35, 0.3, 50});
+    opts.injected.push_back(ir::InjectedKeyword{"protocol", 12, 0.5, 20});
+    opts.seed = 2024;
+    return opts;
+  }
+
+  void SetUp() override {
+    corpus_ = ir::generate_corpus(corpus_options());
+    scheme_ = std::make_unique<BasicScheme>(keygen());
+    index_ = scheme_->build_index(corpus_, &stats_);
+    inverted_ = ir::InvertedIndex::build(corpus_, scheme_->analyzer());
+  }
+
+  ir::Corpus corpus_;
+  std::unique_ptr<BasicScheme> scheme_;
+  SecureIndex index_;
+  BasicScheme::BuildStats stats_;
+  ir::InvertedIndex inverted_;
+};
+
+TEST_F(BasicSchemeTest, SearchReturnsExactlyTheMatchingFiles) {
+  const auto results = BasicScheme::search(index_, scheme_->trapdoor("network"));
+  std::set<std::uint64_t> got;
+  for (const auto& e : results) got.insert(ir::value(e.file));
+
+  std::set<std::uint64_t> expected;
+  for (const auto& p : *inverted_.postings("network")) expected.insert(ir::value(p.file));
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(got.size(), 35u);
+}
+
+TEST_F(BasicSchemeTest, UserRankingMatchesPlaintextRanking) {
+  const auto results = BasicScheme::search(index_, scheme_->trapdoor("network"));
+  const auto ranked = scheme_->rank(results);
+  const auto plaintext = inverted_.ranked_postings("network");
+  ASSERT_EQ(ranked.size(), plaintext.size());
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].file, plaintext[i].file) << "rank " << i;
+    EXPECT_NEAR(ranked[i].score, plaintext[i].score, 1e-12);
+  }
+}
+
+TEST_F(BasicSchemeTest, EveryRowIsPaddedToNu) {
+  EXPECT_EQ(stats_.pad_width, inverted_.max_posting_length());
+  for (const Bytes& label : index_.labels()) {
+    EXPECT_EQ(index_.row(label)->size(), stats_.pad_width)
+        << "a row leaks its true posting count";
+  }
+}
+
+TEST_F(BasicSchemeTest, BuildStatsAreConsistent) {
+  std::uint64_t total_postings = 0;
+  for (const auto& term : inverted_.terms())
+    total_postings += inverted_.postings(term)->size();
+  EXPECT_EQ(stats_.num_postings, total_postings);
+  EXPECT_EQ(index_.num_rows(), inverted_.num_terms());
+  EXPECT_GT(stats_.raw_index_seconds, 0.0);
+  EXPECT_GT(stats_.encrypt_seconds, 0.0);
+}
+
+TEST_F(BasicSchemeTest, TrapdoorIsDeterministicAndNormalized) {
+  const Trapdoor a = scheme_->trapdoor("network");
+  const Trapdoor b = scheme_->trapdoor("Networking");  // normalizes the same
+  EXPECT_EQ(a, b);
+  EXPECT_THROW(scheme_->trapdoor("the"), InvalidArgument);  // stop word
+}
+
+TEST_F(BasicSchemeTest, UnknownKeywordFindsNothing) {
+  const auto results = BasicScheme::search(index_, scheme_->trapdoor("zzzmissing"));
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_F(BasicSchemeTest, ForeignTrapdoorFindsNothing) {
+  // A trapdoor from a different key must not open any row.
+  const BasicScheme other(keygen());
+  const auto results = BasicScheme::search(index_, other.trapdoor("network"));
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_F(BasicSchemeTest, ScoreDecryptionRoundTrips) {
+  const auto results = BasicScheme::search(index_, scheme_->trapdoor("protocol"));
+  ASSERT_FALSE(results.empty());
+  for (const auto& e : results) {
+    const double score = scheme_->decrypt_score(e.encrypted_score);
+    const double expected = ir::score_single_keyword(
+        [&] {
+          for (const auto& p : *inverted_.postings("protocol"))
+            if (p.file == e.file) return p.tf;
+          ADD_FAILURE() << "file not in plaintext postings";
+          return 1u;
+        }(),
+        inverted_.doc_length(e.file));
+    EXPECT_NEAR(score, expected, 1e-12);
+  }
+}
+
+TEST_F(BasicSchemeTest, IndexSurvivesSerialization) {
+  const SecureIndex restored = SecureIndex::deserialize(index_.serialize());
+  const auto results = BasicScheme::search(restored, scheme_->trapdoor("network"));
+  EXPECT_EQ(results.size(), 35u);
+}
+
+}  // namespace
+}  // namespace rsse::sse

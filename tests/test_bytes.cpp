@@ -1,0 +1,107 @@
+// Byte utilities: hex codec, constant-time compare, integer/LP wire
+// encoding and the bounds-checked ByteReader.
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+#include "util/errors.h"
+
+namespace rsse {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const Bytes data{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_encode(data), "0001abff");
+  EXPECT_EQ(hex_decode("0001abff"), data);
+  EXPECT_EQ(hex_decode("0001ABFF"), data);  // case-insensitive decode
+}
+
+TEST(Hex, EmptyIsEmpty) {
+  EXPECT_EQ(hex_encode(Bytes{}), "");
+  EXPECT_EQ(hex_decode(""), Bytes{});
+}
+
+TEST(Hex, RejectsMalformedInput) {
+  EXPECT_THROW(hex_decode("abc"), ParseError);   // odd length
+  EXPECT_THROW(hex_decode("zz"), ParseError);    // non-hex
+}
+
+TEST(ConstantTimeEqual, Semantics) {
+  EXPECT_TRUE(constant_time_equal(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(constant_time_equal(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(constant_time_equal(to_bytes("abc"), to_bytes("ab")));
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Wire, U32U64RoundTrip) {
+  Bytes out;
+  append_u32(out, 0xdeadbeefu);
+  append_u64(out, 0x0123456789abcdefull);
+  ByteReader reader(out);
+  EXPECT_EQ(reader.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.read_u64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Wire, LittleEndianLayout) {
+  Bytes out;
+  append_u32(out, 0x01020304u);
+  EXPECT_EQ(out, (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(Wire, LengthPrefixedRoundTrip) {
+  Bytes out;
+  append_lp(out, to_bytes("hello"));
+  append_lp(out, Bytes{});
+  append_lp(out, to_bytes("world"));
+  ByteReader reader(out);
+  EXPECT_EQ(reader.read_lp(), to_bytes("hello"));
+  EXPECT_EQ(reader.read_lp(), Bytes{});
+  EXPECT_EQ(reader.read_lp(), to_bytes("world"));
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteReader, ThrowsOnTruncation) {
+  Bytes out;
+  append_u32(out, 7);
+  ByteReader reader(out);
+  EXPECT_THROW(reader.read_u64(), ParseError);
+  EXPECT_EQ(reader.read_u32(), 7u);
+  EXPECT_THROW(reader.read(1), ParseError);
+}
+
+TEST(ByteReader, LpWithLyingLengthThrows) {
+  Bytes out;
+  append_u32(out, 100);  // claims 100 bytes follow
+  out.push_back(0x01);   // only one does
+  ByteReader reader(out);
+  EXPECT_THROW(reader.read_lp(), ParseError);
+}
+
+TEST(ByteReader, ReadCountValidatesAgainstRemaining) {
+  Bytes out;
+  append_u64(out, 3);                       // claims 3 elements
+  append(out, Bytes(30, 0));                // 30 bytes follow
+  ByteReader ok(out);
+  EXPECT_EQ(ok.read_count(10), 3u);         // 3 * 10 <= 30: fine
+
+  ByteReader too_big(out);
+  EXPECT_THROW(too_big.read_count(11), ParseError);  // 3 * 11 > 30
+
+  Bytes huge;
+  append_u64(huge, ~0ull);                  // 2^64-1 "elements"
+  ByteReader hostile(huge);
+  EXPECT_THROW(hostile.read_count(1), ParseError);
+
+  Bytes zero;
+  append_u64(zero, 0);
+  ByteReader empty(zero);
+  EXPECT_EQ(empty.read_count(1000), 0u);    // zero elements always fine
+}
+
+TEST(StringConversion, RoundTrip) {
+  const std::string s = "some text \x01\x02";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+}  // namespace
+}  // namespace rsse

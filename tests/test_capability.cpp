@@ -1,0 +1,134 @@
+// Capability-scoped search authorization (ext/capability.h): authorized
+// keywords work end-to-end, unauthorized keywords are uncomputable (the
+// bundle simply holds no trapdoor), sealing fails closed, serialization
+// round-trips.
+#include <gtest/gtest.h>
+
+#include "cloud/data_owner.h"
+#include "cloud/restricted_user.h"
+#include "crypto/csprng.h"
+#include "ext/capability.h"
+#include "ir/corpus_gen.h"
+#include "sse/rsse_scheme.h"
+#include "util/errors.h"
+
+namespace rsse::ext {
+namespace {
+
+class CapabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 30;
+    opts.vocabulary_size = 200;
+    opts.min_tokens = 40;
+    opts.max_tokens = 120;
+    opts.injected.push_back(ir::InjectedKeyword{"network", 18, 0.3, 20});
+    opts.injected.push_back(ir::InjectedKeyword{"cipher", 12, 0.4, 15});
+    opts.seed = 29;
+    corpus_ = ir::generate_corpus(opts);
+    key_ = sse::keygen();
+    scheme_ = std::make_unique<sse::RsseScheme>(key_);
+    built_ = std::make_unique<sse::RsseScheme::BuildResult>(scheme_->build_index(corpus_));
+    generator_ = std::make_unique<sse::TrapdoorGenerator>(key_.x, key_.y,
+                                                          key_.params.p_bits);
+  }
+
+  ir::Corpus corpus_;
+  sse::MasterKey key_;
+  std::unique_ptr<sse::RsseScheme> scheme_;
+  std::unique_ptr<sse::RsseScheme::BuildResult> built_;
+  std::unique_ptr<sse::TrapdoorGenerator> generator_;
+};
+
+TEST_F(CapabilityTest, GrantedKeywordSearchesEndToEnd) {
+  const auto bundle = make_capability_bundle(*generator_, {"network"});
+  const auto trapdoor = bundle.trapdoor_for("Networks", scheme_->analyzer());
+  ASSERT_TRUE(trapdoor.has_value());  // inflected query normalizes into the grant
+  const auto results = sse::RsseScheme::search(built_->index, *trapdoor);
+  EXPECT_EQ(results.size(), 18u);
+}
+
+TEST_F(CapabilityTest, UngrantedKeywordHasNoTrapdoor) {
+  const auto bundle = make_capability_bundle(*generator_, {"network"});
+  EXPECT_FALSE(bundle.trapdoor_for("cipher", scheme_->analyzer()).has_value());
+  EXPECT_FALSE(bundle.trapdoor_for("the", scheme_->analyzer()).has_value());
+}
+
+TEST_F(CapabilityTest, GrantsDeduplicateAndNormalize) {
+  const auto bundle =
+      make_capability_bundle(*generator_, {"Networking", "networks", "cipher"});
+  EXPECT_EQ(bundle.size(), 2u);
+  const auto keywords = bundle.keywords();
+  EXPECT_NE(std::find(keywords.begin(), keywords.end(), "network"), keywords.end());
+  EXPECT_THROW(make_capability_bundle(*generator_, {"the", "..."}), InvalidArgument);
+}
+
+TEST_F(CapabilityTest, BundleTrapdoorEqualsDirectTrapdoor) {
+  const auto bundle = make_capability_bundle(*generator_, {"cipher"});
+  const auto granted = bundle.trapdoor_for("cipher", scheme_->analyzer());
+  ASSERT_TRUE(granted.has_value());
+  EXPECT_EQ(*granted, scheme_->trapdoor("cipher"));
+}
+
+TEST_F(CapabilityTest, SerializeRoundTrip) {
+  const auto bundle = make_capability_bundle(*generator_, {"network", "cipher"});
+  const auto restored = CapabilityBundle::deserialize(bundle.serialize());
+  EXPECT_EQ(restored.size(), bundle.size());
+  EXPECT_EQ(restored.keywords(), bundle.keywords());
+  const auto t = restored.trapdoor_for("network", scheme_->analyzer());
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, scheme_->trapdoor("network"));
+}
+
+TEST_F(CapabilityTest, SealedBundleFailsClosed) {
+  const auto bundle = make_capability_bundle(*generator_, {"network"});
+  const Bytes user_key = crypto::random_bytes(32);
+  const Bytes sealed = seal_capability_bundle(user_key, "dave", bundle);
+
+  const auto opened = open_capability_bundle(user_key, "dave", sealed);
+  EXPECT_EQ(opened.size(), 1u);
+
+  EXPECT_THROW(open_capability_bundle(crypto::random_bytes(32), "dave", sealed),
+               CryptoError);
+  EXPECT_THROW(open_capability_bundle(user_key, "eve", sealed), CryptoError);
+  Bytes tampered = sealed;
+  tampered[tampered.size() / 2] ^= 1;
+  EXPECT_THROW(open_capability_bundle(user_key, "dave", tampered), CryptoError);
+}
+
+TEST_F(CapabilityTest, RestrictedUserEndToEndOverTheCloud) {
+  // Full-system flow: owner outsources, grants carol only "network",
+  // carol searches it over the accounted channel and CANNOT query
+  // anything else — she holds no key material to try.
+  cloud::DataOwner owner;
+  cloud::CloudServer server;
+  owner.outsource_rsse(corpus_, server);
+  const sse::TrapdoorGenerator owner_generator(owner.master_key().x,
+                                               owner.master_key().y,
+                                               owner.master_key().params.p_bits);
+  const auto bundle = make_capability_bundle(owner_generator, {"network"});
+
+  cloud::Channel channel(server);
+  cloud::RestrictedDataUser carol(bundle, owner.file_master(), channel);
+  EXPECT_TRUE(carol.authorized_for("Networks"));
+  EXPECT_FALSE(carol.authorized_for("cipher"));
+  EXPECT_EQ(carol.granted_keywords(), std::vector<std::string>{"network"});
+
+  const auto hits = carol.ranked_search("network", 5);
+  ASSERT_EQ(hits.size(), 5u);
+  for (const auto& h : hits)
+    EXPECT_EQ(h.document.text, corpus_.by_id(h.document.id).text);
+  EXPECT_THROW(carol.ranked_search("cipher", 5), ProtocolError);
+  EXPECT_EQ(channel.stats().round_trips, 1u);  // the denied query never left
+}
+
+TEST_F(CapabilityTest, DeserializeRejectsGarbage) {
+  EXPECT_THROW(CapabilityBundle::deserialize(Bytes(5, 0)), ParseError);
+  Bytes blob = make_capability_bundle(*generator_, {"network"}).serialize();
+  blob.push_back(0);
+  EXPECT_THROW(CapabilityBundle::deserialize(blob), ParseError);
+}
+
+}  // namespace
+}  // namespace rsse::ext

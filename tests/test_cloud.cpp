@@ -1,0 +1,219 @@
+// Full-system integration: owner outsources, enrolls a user, the user
+// searches through all three retrieval protocols over the accounted
+// channel, results agree across protocols, traffic counters expose the
+// bandwidth/round-trip trade-off, and authorization fails closed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "crypto/csprng.h"
+#include "ir/corpus_gen.h"
+#include "util/errors.h"
+
+namespace rsse::cloud {
+namespace {
+
+class CloudSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 40;
+    opts.vocabulary_size = 250;
+    opts.min_tokens = 50;
+    opts.max_tokens = 200;
+    opts.injected.push_back(ir::InjectedKeyword{"network", 25, 0.3, 40});
+    opts.seed = 77;
+    corpus_ = ir::generate_corpus(opts);
+
+    owner_ = std::make_unique<DataOwner>();
+    owner_->outsource_rsse(corpus_, rsse_server_);
+    owner_->outsource_basic(corpus_, basic_server_);
+
+    user_key_ = crypto::random_bytes(32);
+    const Bytes sealed = owner_->enroll_user(user_key_, "alice");
+    credentials_ = AuthorizationService::open(user_key_, "alice", sealed);
+  }
+
+  std::set<std::uint64_t> ids_of(const std::vector<RetrievedFile>& files) const {
+    std::set<std::uint64_t> out;
+    for (const auto& f : files) out.insert(ir::value(f.document.id));
+    return out;
+  }
+
+  ir::Corpus corpus_;
+  std::unique_ptr<DataOwner> owner_;
+  CloudServer rsse_server_;
+  CloudServer basic_server_;
+  Bytes user_key_;
+  UserCredentials credentials_;
+};
+
+TEST_F(CloudSystemTest, RankedSearchReturnsDecryptableTopK) {
+  Channel channel(rsse_server_);
+  DataUser user(credentials_, channel);
+  const auto files = user.ranked_search("network", 5);
+  ASSERT_EQ(files.size(), 5u);
+  for (const auto& f : files) {
+    // Decrypted files are the original documents.
+    const ir::Document& original = corpus_.by_id(f.document.id);
+    EXPECT_EQ(f.document.text, original.text);
+    EXPECT_EQ(f.document.name, original.name);
+    EXPECT_TRUE(std::isnan(f.score));  // RSSE hides scores from everyone
+  }
+  EXPECT_EQ(channel.stats().round_trips, 1u);
+}
+
+TEST_F(CloudSystemTest, AllThreeProtocolsAgreeOnTheTopK) {
+  Channel rsse_channel(rsse_server_);
+  DataUser rsse_user(credentials_, rsse_channel);
+  Channel basic_channel(basic_server_);
+  DataUser basic_user(credentials_, basic_channel);
+
+  const std::size_t k = 8;
+  const auto ranked = rsse_user.ranked_search("network", k);
+  const auto one_round = basic_user.basic_search_one_round("network", k);
+  const auto two_round = basic_user.basic_search_two_round("network", k);
+
+  // Quantization can permute files whose scores share a level, so compare
+  // the retrieved id SETS (the paper's retrieval-accuracy notion) —
+  // except when scores are distinct, where order must match too.
+  EXPECT_EQ(ids_of(one_round), ids_of(two_round));
+  // Exact modes rank identically.
+  for (std::size_t i = 0; i < k; ++i)
+    EXPECT_EQ(one_round[i].document.id, two_round[i].document.id);
+  // RSSE agrees with the exact modes on at least all but the boundary
+  // quantization level; on this workload levels are fine enough that the
+  // sets agree exactly.
+  EXPECT_EQ(ids_of(ranked), ids_of(one_round));
+}
+
+TEST_F(CloudSystemTest, BandwidthOrderingMatchesThePaper) {
+  // One-round Basic ships ALL matching files; two-round ships entries +
+  // k files; RSSE ships k files once. For small k:
+  //   rsse_bytes < two_round_bytes_down  and  << one_round_bytes_down.
+  const std::size_t k = 3;
+
+  Channel c1(rsse_server_);
+  DataUser u1(credentials_, c1);
+  u1.ranked_search("network", k);
+
+  Channel c2(basic_server_);
+  DataUser u2(credentials_, c2);
+  u2.basic_search_one_round("network", k);
+
+  Channel c3(basic_server_);
+  DataUser u3(credentials_, c3);
+  u3.basic_search_two_round("network", k);
+
+  EXPECT_EQ(c1.stats().round_trips, 1u);
+  EXPECT_EQ(c2.stats().round_trips, 1u);
+  EXPECT_EQ(c3.stats().round_trips, 2u);  // the paper's two-RTT cost
+
+  EXPECT_LT(c1.stats().bytes_down, c2.stats().bytes_down);
+  EXPECT_LT(c3.stats().bytes_down, c2.stats().bytes_down);
+}
+
+TEST_F(CloudSystemTest, ChannelResetZeroesCounters) {
+  Channel channel(rsse_server_);
+  DataUser user(credentials_, channel);
+  user.ranked_search("network", 2);
+  EXPECT_GT(channel.stats().total_bytes(), 0u);
+  channel.reset();
+  EXPECT_EQ(channel.stats().round_trips, 0u);
+  EXPECT_EQ(channel.stats().total_bytes(), 0u);
+}
+
+TEST_F(CloudSystemTest, SearchForAbsentKeywordIsEmptyEverywhere) {
+  Channel channel(rsse_server_);
+  DataUser user(credentials_, channel);
+  EXPECT_TRUE(user.ranked_search("qqqabsent", 5).empty());
+  Channel bchannel(basic_server_);
+  DataUser buser(credentials_, bchannel);
+  EXPECT_TRUE(buser.basic_search_one_round("qqqabsent", 5).empty());
+  EXPECT_TRUE(buser.basic_search_two_round("qqqabsent", 5).empty());
+}
+
+TEST_F(CloudSystemTest, CredentialsSealingFailsClosed) {
+  const Bytes sealed = owner_->enroll_user(user_key_, "alice");
+  // Wrong personal key.
+  EXPECT_THROW(AuthorizationService::open(crypto::random_bytes(32), "alice", sealed),
+               CryptoError);
+  // Right key, wrong user binding.
+  EXPECT_THROW(AuthorizationService::open(user_key_, "bob", sealed), CryptoError);
+  // Tampered bundle.
+  Bytes tampered = sealed;
+  tampered[tampered.size() / 2] ^= 1;
+  EXPECT_THROW(AuthorizationService::open(user_key_, "alice", tampered), CryptoError);
+}
+
+TEST_F(CloudSystemTest, CredentialsOmitTheOpmKeyRoot) {
+  // The bundle must carry the derived score key, never z itself.
+  EXPECT_NE(credentials_.score_key, owner_->master_key().z);
+  EXPECT_EQ(credentials_.x, owner_->master_key().x);
+}
+
+TEST_F(CloudSystemTest, DynamicsFlowThroughTheServer) {
+  Channel channel(rsse_server_);
+  DataUser user(credentials_, channel);
+  const std::size_t before = user.ranked_search("network", 0).size();
+
+  ir::Document doc{ir::file_id(5000), "added.txt",
+                   "network network network discussion of routing"};
+  owner_->add_document(rsse_server_, doc);
+  const auto after = user.ranked_search("network", 0);
+  EXPECT_EQ(after.size(), before + 1);
+  const bool found = std::any_of(after.begin(), after.end(), [&](const RetrievedFile& f) {
+    return f.document.id == ir::file_id(5000) && f.document.text == doc.text;
+  });
+  EXPECT_TRUE(found);
+
+  owner_->remove_document(rsse_server_, doc);
+  EXPECT_EQ(user.ranked_search("network", 0).size(), before);
+}
+
+TEST_F(CloudSystemTest, ServerStateAccounting) {
+  EXPECT_EQ(rsse_server_.num_files(), corpus_.size());
+  EXPECT_GT(rsse_server_.stored_bytes(), 0u);
+  EXPECT_GT(rsse_server_.index().num_rows(), 0u);
+}
+
+TEST_F(CloudSystemTest, MultiSearchConjunctiveAndDisjunctive) {
+  Channel channel(rsse_server_);
+  DataUser user(credentials_, channel);
+
+  // Single keyword: both connectives equal ordinary ranked search.
+  const auto single = user.multi_search({"network"}, true, 0);
+  const auto direct = user.ranked_search("network", 0);
+  ASSERT_EQ(single.size(), direct.size());
+  for (std::size_t i = 0; i < single.size(); ++i)
+    EXPECT_EQ(single[i].document.id, direct[i].document.id);
+
+  // AND with an absent keyword: empty. OR with it: unchanged set.
+  EXPECT_TRUE(user.multi_search({"network", "qqqabsent"}, true, 0).empty());
+  const auto disjunctive = user.multi_search({"network", "qqqabsent"}, false, 0);
+  EXPECT_EQ(disjunctive.size(), direct.size());
+
+  // Files decrypt correctly and top-k truncates.
+  const auto top3 = user.multi_search({"network"}, false, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  for (const auto& f : top3)
+    EXPECT_EQ(f.document.text, corpus_.by_id(f.document.id).text);
+
+  // No keyword surviving normalization is a client-side error.
+  EXPECT_THROW(user.multi_search({"the", "..."}, true, 0), InvalidArgument);
+}
+
+TEST_F(CloudSystemTest, MalformedRpcIsRejected) {
+  EXPECT_THROW(rsse_server_.handle(MessageType::kRankedSearch, to_bytes("junk")),
+               ParseError);
+  EXPECT_THROW(rsse_server_.handle(MessageType::kMultiSearch, to_bytes("junk")),
+               ParseError);
+  EXPECT_THROW(rsse_server_.handle(static_cast<MessageType>(99), Bytes{}),
+               ProtocolError);
+}
+
+}  // namespace
+}  // namespace rsse::cloud

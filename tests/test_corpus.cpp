@@ -1,0 +1,125 @@
+// Corpus container, synthetic generator (the RFC-collection stand-in),
+// and the directory loader.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "ir/analyzer.h"
+#include "ir/corpus_gen.h"
+#include "ir/document.h"
+#include "util/errors.h"
+
+namespace rsse::ir {
+namespace {
+
+TEST(Corpus, AddLookupAndDuplicateRejection) {
+  Corpus corpus;
+  corpus.add(Document{file_id(3), "a.txt", "alpha"});
+  corpus.add(Document{file_id(7), "b.txt", "beta"});
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_TRUE(corpus.contains(file_id(3)));
+  EXPECT_FALSE(corpus.contains(file_id(4)));
+  EXPECT_EQ(corpus.by_id(file_id(7)).name, "b.txt");
+  EXPECT_EQ(corpus.total_bytes(), 9u);
+  EXPECT_THROW(corpus.add(Document{file_id(3), "c.txt", "x"}), InvalidArgument);
+  EXPECT_THROW(corpus.by_id(file_id(99)), InvalidArgument);
+}
+
+TEST(SyntheticWord, DistinctRanksDistinctWords) {
+  std::set<std::string> words;
+  for (std::size_t r = 0; r < 5000; ++r) EXPECT_TRUE(words.insert(synthetic_word(r)).second);
+}
+
+CorpusGenOptions small_options() {
+  CorpusGenOptions opts;
+  opts.num_documents = 50;
+  opts.vocabulary_size = 300;
+  opts.min_tokens = 50;
+  opts.max_tokens = 200;
+  opts.injected.push_back(InjectedKeyword{"network", 30, 0.3, 100});
+  opts.seed = 99;
+  return opts;
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const Corpus a = generate_corpus(small_options());
+  const Corpus b = generate_corpus(small_options());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.documents()[i].text, b.documents()[i].text);
+    EXPECT_EQ(a.documents()[i].name, b.documents()[i].name);
+  }
+  auto opts = small_options();
+  opts.seed = 100;
+  const Corpus c = generate_corpus(opts);
+  EXPECT_NE(a.documents()[0].text, c.documents()[0].text);
+}
+
+TEST(Generator, InjectedKeywordHitsExactDocumentCount) {
+  const Corpus corpus = generate_corpus(small_options());
+  const Analyzer analyzer;
+  std::size_t docs_with_keyword = 0;
+  for (const Document& d : corpus.documents()) {
+    const auto terms = analyzer.analyze(d.text);
+    if (std::find(terms.begin(), terms.end(), "network") != terms.end())
+      ++docs_with_keyword;
+  }
+  EXPECT_EQ(docs_with_keyword, 30u);
+}
+
+TEST(Generator, DocumentLengthsRespectBounds) {
+  const Corpus corpus = generate_corpus(small_options());
+  for (const Document& d : corpus.documents()) {
+    // Tokens join with separators; sanity-check the raw text size stays
+    // within an order of magnitude of the configured token counts.
+    EXPECT_GT(d.text.size(), 100u);
+    EXPECT_LT(d.text.size(), 100000u);
+    EXPECT_FALSE(d.name.empty());
+  }
+}
+
+TEST(Generator, ValidatesOptions) {
+  auto opts = small_options();
+  opts.injected[0].document_count = 1000;  // > num_documents
+  EXPECT_THROW(generate_corpus(opts), InvalidArgument);
+  opts = small_options();
+  opts.injected[0].tf_geometric_p = 1.5;
+  EXPECT_THROW(generate_corpus(opts), InvalidArgument);
+  opts = small_options();
+  opts.num_documents = 0;
+  EXPECT_THROW(generate_corpus(opts), InvalidArgument);
+  opts = small_options();
+  opts.min_tokens = 300;
+  opts.max_tokens = 200;
+  EXPECT_THROW(generate_corpus(opts), InvalidArgument);
+}
+
+TEST(Loader, ReadsDirectoryInSortedOrder) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "rsse_loader_test";
+  fs::create_directories(dir);
+  std::ofstream(dir / "b.txt") << "second file";
+  std::ofstream(dir / "a.txt") << "first file";
+  std::ofstream(dir / "c.txt") << "third file";
+
+  const Corpus corpus = load_directory(dir.string());
+  ASSERT_EQ(corpus.size(), 3u);
+  EXPECT_EQ(corpus.documents()[0].name, "a.txt");
+  EXPECT_EQ(corpus.documents()[0].text, "first file");
+  EXPECT_EQ(corpus.documents()[2].name, "c.txt");
+
+  const Corpus capped = load_directory(dir.string(), 2);
+  EXPECT_EQ(capped.size(), 2u);
+
+  fs::remove_all(dir);
+}
+
+TEST(Loader, RejectsNonDirectory) {
+  EXPECT_THROW(load_directory("/nonexistent/path/xyz"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsse::ir

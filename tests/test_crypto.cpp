@@ -1,0 +1,261 @@
+// Crypto substrate tests: known-answer vectors for SHA-256 and
+// HMAC-SHA256, round-trip + tamper tests for AES-CTR/GCM, PRF/keyed-hash
+// determinism and domain separation, and TapeGen's determinism contract
+// (the property the OPE construction stands on).
+#include <gtest/gtest.h>
+
+#include "crypto/aes_ctr.h"
+#include "crypto/aes_gcm.h"
+#include "crypto/csprng.h"
+#include "crypto/hmac_sha256.h"
+#include "crypto/prf.h"
+#include "crypto/sha256.h"
+#include "crypto/tapegen.h"
+#include "util/errors.h"
+
+namespace rsse::crypto {
+namespace {
+
+TEST(Sha256, EmptyStringVector) {
+  const auto d = sha256(to_bytes(""));
+  EXPECT_EQ(hex_encode(BytesView(d.data(), d.size())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  const auto d = sha256(to_bytes("abc"));
+  EXPECT_EQ(hex_encode(BytesView(d.data(), d.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.update(to_bytes("hello "));
+  h.update(to_bytes("world"));
+  const auto incremental = h.finish();
+  const auto oneshot = sha256(to_bytes("hello world"));
+  EXPECT_EQ(incremental, oneshot);
+}
+
+TEST(Sha256, FinishResetsForReuse) {
+  Sha256 h;
+  h.update(to_bytes("abc"));
+  const auto first = h.finish();
+  h.update(to_bytes("abc"));
+  const auto second = h.finish();
+  EXPECT_EQ(first, second);
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto tag = hmac_sha256(key, to_bytes("Hi There"));
+  EXPECT_EQ(hex_encode(BytesView(tag.data(), tag.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto tag = hmac_sha256(to_bytes("Jefe"), to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(hex_encode(BytesView(tag.data(), tag.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  const auto tag = hmac_sha256(key, data);
+  EXPECT_EQ(hex_encode(BytesView(tag.data(), tag.size())),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size (131 bytes).
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const auto tag =
+      hmac_sha256(key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(hex_encode(BytesView(tag.data(), tag.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, IncrementalReuseUnderSameKey) {
+  HmacSha256 mac(to_bytes("key"));
+  mac.update(to_bytes("message"));
+  const auto first = mac.finish();
+  mac.update(to_bytes("message"));
+  const auto second = mac.finish();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, hmac_sha256(to_bytes("key"), to_bytes("message")));
+}
+
+TEST(Csprng, ProducesRequestedLengthAndVaries) {
+  const Bytes a = random_bytes(32);
+  const Bytes b = random_bytes(32);
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_NE(a, b);  // 2^-256 false-failure probability
+}
+
+TEST(AesCtr, RoundTrip) {
+  const Bytes key = random_bytes(kAesKeySize);
+  const Bytes plaintext = to_bytes("the quick brown fox jumps over the lazy dog");
+  const Bytes blob = aes_ctr_encrypt(key, plaintext);
+  EXPECT_EQ(blob.size(), kAesIvSize + plaintext.size());
+  EXPECT_EQ(aes_ctr_decrypt(key, blob), plaintext);
+}
+
+TEST(AesCtr, EmptyPlaintextRoundTrip) {
+  const Bytes key = random_bytes(kAesKeySize);
+  const Bytes blob = aes_ctr_encrypt(key, {});
+  EXPECT_EQ(aes_ctr_decrypt(key, blob), Bytes{});
+}
+
+TEST(AesCtr, FreshIvRandomizesCiphertext) {
+  const Bytes key = random_bytes(kAesKeySize);
+  const Bytes p = to_bytes("same message");
+  EXPECT_NE(aes_ctr_encrypt(key, p), aes_ctr_encrypt(key, p));
+}
+
+TEST(AesCtr, DeterministicWithFixedIv) {
+  const Bytes key = random_bytes(kAesKeySize);
+  const Bytes iv(kAesIvSize, 0x42);
+  const Bytes p = to_bytes("same message");
+  EXPECT_EQ(aes_ctr_encrypt_with_iv(key, iv, p), aes_ctr_encrypt_with_iv(key, iv, p));
+}
+
+TEST(AesCtr, RejectsBadKeySize) {
+  EXPECT_THROW(aes_ctr_encrypt(Bytes(16, 0), to_bytes("x")), InvalidArgument);
+}
+
+TEST(AesCtr, RejectsTruncatedBlob) {
+  const Bytes key = random_bytes(kAesKeySize);
+  EXPECT_THROW(aes_ctr_decrypt(key, Bytes(8, 0)), ParseError);
+}
+
+TEST(AesGcm, RoundTripWithAad) {
+  const Bytes key = random_bytes(kAesKeySize);
+  const Bytes p = to_bytes("secret file contents");
+  const Bytes aad = to_bytes("file-17");
+  const Bytes blob = aes_gcm_encrypt(key, p, aad);
+  EXPECT_EQ(aes_gcm_decrypt(key, blob, aad), p);
+}
+
+TEST(AesGcm, DetectsCiphertextTampering) {
+  const Bytes key = random_bytes(kAesKeySize);
+  Bytes blob = aes_gcm_encrypt(key, to_bytes("payload"), {});
+  blob[kGcmNonceSize] ^= 0x01;
+  EXPECT_THROW(aes_gcm_decrypt(key, blob, {}), CryptoError);
+}
+
+TEST(AesGcm, DetectsAadMismatch) {
+  const Bytes key = random_bytes(kAesKeySize);
+  const Bytes blob = aes_gcm_encrypt(key, to_bytes("payload"), to_bytes("id-1"));
+  EXPECT_THROW(aes_gcm_decrypt(key, blob, to_bytes("id-2")), CryptoError);
+}
+
+TEST(AesGcm, DetectsWrongKey) {
+  const Bytes blob = aes_gcm_encrypt(random_bytes(kAesKeySize), to_bytes("payload"), {});
+  EXPECT_THROW(aes_gcm_decrypt(random_bytes(kAesKeySize), blob, {}), CryptoError);
+}
+
+TEST(Prf, DeterministicAndKeySeparated) {
+  const Prf f1(to_bytes("key-one"));
+  const Prf f2(to_bytes("key-two"));
+  EXPECT_EQ(f1.derive("network"), f1.derive("network"));
+  EXPECT_NE(f1.derive("network"), f2.derive("network"));
+  EXPECT_NE(f1.derive("network"), f1.derive("networks"));
+}
+
+TEST(Prf, DeriveNExtendsAndTruncates) {
+  const Prf f(to_bytes("key"));
+  const Bytes long_out = f.derive_n(to_bytes("label"), 100);
+  EXPECT_EQ(long_out.size(), 100u);
+  const Bytes short_out = f.derive_n(to_bytes("label"), 5);
+  EXPECT_EQ(short_out.size(), 5u);
+  // Prefix consistency: the short output is a prefix of the long one.
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(), long_out.begin()));
+}
+
+TEST(KeyedHash, OutputSizeFollowsPBits) {
+  const KeyedHash pi(to_bytes("key"), 160);
+  EXPECT_EQ(pi.hash("word").size(), 20u);
+  const KeyedHash pi256(to_bytes("key"), 256);
+  EXPECT_EQ(pi256.hash("word").size(), 32u);
+}
+
+TEST(KeyedHash, DomainSeparatedFromPrf) {
+  // Same key, same input: pi and f must disagree (independent roles).
+  const Prf f(to_bytes("shared-key"));
+  const KeyedHash pi(to_bytes("shared-key"), 256);
+  EXPECT_NE(f.derive("w"), pi.hash("w"));
+}
+
+TEST(KeyedHash, RejectsBadPBits) {
+  EXPECT_THROW(KeyedHash(to_bytes("k"), 0), InvalidArgument);
+  EXPECT_THROW(KeyedHash(to_bytes("k"), 12), InvalidArgument);
+  EXPECT_THROW(KeyedHash(to_bytes("k"), 512), InvalidArgument);
+}
+
+TEST(Tape, DeterministicPerContext) {
+  const Bytes key = to_bytes("ope-key");
+  const Bytes ctx = encode_split_context(1, 128, 1, 1000, 500);
+  Tape a(key, ctx);
+  Tape b(key, ctx);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Tape, DifferentContextsDiverge) {
+  const Bytes key = to_bytes("ope-key");
+  Tape a(key, encode_split_context(1, 128, 1, 1000, 500));
+  Tape b(key, encode_split_context(1, 128, 1, 1000, 501));
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Tape, DifferentKeysDiverge) {
+  const Bytes ctx = encode_split_context(1, 128, 1, 1000, 500);
+  Tape a(to_bytes("key-a"), ctx);
+  Tape b(to_bytes("key-b"), ctx);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Tape, DrawContextDistinguishesFileIds) {
+  // The one-to-many modification: same plaintext, different file id =>
+  // different coin stream.
+  const Bytes key = to_bytes("k");
+  Tape a(key, encode_draw_context(5, 5, 10, 20, 5, true, 1));
+  Tape b(key, encode_draw_context(5, 5, 10, 20, 5, true, 2));
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Tape, DrawContextWithAndWithoutFileIdDiffer) {
+  const Bytes key = to_bytes("k");
+  Tape a(key, encode_draw_context(5, 5, 10, 20, 5, false, 0));
+  Tape b(key, encode_draw_context(5, 5, 10, 20, 5, true, 0));
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Tape, UniformBelowStaysInRange) {
+  Tape t(to_bytes("k"), to_bytes("ctx"));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(t.uniform_below(7), 7u);
+    EXPECT_LT(t.uniform_below(1ull << 46), 1ull << 46);
+  }
+  EXPECT_EQ(t.uniform_below(1), 0u);
+}
+
+TEST(Tape, NextDoubleInUnitInterval) {
+  Tape t(to_bytes("k"), to_bytes("ctx"));
+  for (int i = 0; i < 1000; ++i) {
+    const double u = t.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Tape, UniformBelowRejectsZero) {
+  Tape t(to_bytes("k"), to_bytes("ctx"));
+  EXPECT_THROW(t.uniform_below(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsse::crypto

@@ -1,0 +1,120 @@
+// Disjunctive (OR) ranked search: union semantics, both ranking modes,
+// matched-keyword counting, degenerate single-keyword case, and top-k.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ext/disjunctive.h"
+#include "ir/corpus_gen.h"
+#include "ir/inverted_index.h"
+#include "sse/keys.h"
+#include "util/errors.h"
+
+namespace rsse::ext {
+namespace {
+
+class DisjunctiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 50;
+    opts.vocabulary_size = 300;
+    opts.min_tokens = 60;
+    opts.max_tokens = 250;
+    opts.injected.push_back(ir::InjectedKeyword{"network", 30, 0.3, 40});
+    opts.injected.push_back(ir::InjectedKeyword{"protocol", 25, 0.4, 30});
+    opts.seed = 71;
+    corpus_ = ir::generate_corpus(opts);
+    key_ = sse::keygen();
+    scheme_ = std::make_unique<sse::RsseScheme>(key_);
+    built_ = std::make_unique<sse::RsseScheme::BuildResult>(scheme_->build_index(corpus_));
+    inverted_ = ir::InvertedIndex::build(corpus_, scheme_->analyzer());
+    generator_ = std::make_unique<sse::TrapdoorGenerator>(key_.x, key_.y,
+                                                          key_.params.p_bits);
+  }
+
+  std::set<std::uint64_t> true_union() const {
+    std::set<std::uint64_t> ids;
+    for (const char* term : {"network", "protocol"})
+      for (const auto& p : *inverted_.postings(term)) ids.insert(ir::value(p.file));
+    return ids;
+  }
+
+  ir::Corpus corpus_;
+  sse::MasterKey key_;
+  std::unique_ptr<sse::RsseScheme> scheme_;
+  std::unique_ptr<sse::RsseScheme::BuildResult> built_;
+  ir::InvertedIndex inverted_;
+  std::unique_ptr<sse::TrapdoorGenerator> generator_;
+};
+
+TEST_F(DisjunctiveTest, ReturnsExactlyTheUnion) {
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network", "protocol"});
+  const auto hits = DisjunctiveRsse::search(built_->index, t);
+  std::set<std::uint64_t> got;
+  for (const auto& h : hits) got.insert(ir::value(h.file));
+  EXPECT_EQ(got, true_union());
+}
+
+TEST_F(DisjunctiveTest, MatchedKeywordCountsAreRight) {
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network", "protocol"});
+  const auto hits = DisjunctiveRsse::search(built_->index, t);
+  std::set<std::uint64_t> net;
+  for (const auto& p : *inverted_.postings("network")) net.insert(ir::value(p.file));
+  std::set<std::uint64_t> proto;
+  for (const auto& p : *inverted_.postings("protocol")) proto.insert(ir::value(p.file));
+  for (const auto& h : hits) {
+    const std::uint32_t expected =
+        (net.contains(ir::value(h.file)) ? 1u : 0u) +
+        (proto.contains(ir::value(h.file)) ? 1u : 0u);
+    EXPECT_EQ(h.matched_keywords, expected);
+  }
+}
+
+TEST_F(DisjunctiveTest, BothRankingsDescendAndAgreeOnMembership) {
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network", "protocol"});
+  const auto max_hits =
+      DisjunctiveRsse::search(built_->index, t, 0, DisjunctiveRanking::kMaxOpm);
+  const auto sum_hits =
+      DisjunctiveRsse::search(built_->index, t, 0, DisjunctiveRanking::kSumOpm);
+  ASSERT_EQ(max_hits.size(), sum_hits.size());
+  for (std::size_t i = 1; i < max_hits.size(); ++i) {
+    EXPECT_GE(max_hits[i - 1].aggregate_opm, max_hits[i].aggregate_opm);
+    EXPECT_GE(sum_hits[i - 1].aggregate_opm, sum_hits[i].aggregate_opm);
+  }
+  // Sum mode biases two-keyword files upward: the top sum hit matches
+  // at least as many keywords as the bottom one.
+  EXPECT_GE(sum_hits.front().matched_keywords, sum_hits.back().matched_keywords);
+}
+
+TEST_F(DisjunctiveTest, SingleKeywordDegeneratesToOrdinarySearch) {
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network"});
+  const auto hits = DisjunctiveRsse::search(built_->index, t);
+  const auto direct = sse::RsseScheme::search(built_->index, scheme_->trapdoor("network"));
+  ASSERT_EQ(hits.size(), direct.size());
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].file, direct[i].file);
+    EXPECT_EQ(hits[i].aggregate_opm, direct[i].opm_score);
+    EXPECT_EQ(hits[i].matched_keywords, 1u);
+  }
+}
+
+TEST_F(DisjunctiveTest, TopKTruncates) {
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network", "protocol"});
+  const auto all = DisjunctiveRsse::search(built_->index, t);
+  ASSERT_GT(all.size(), 3u);
+  const auto top3 = DisjunctiveRsse::search(built_->index, t, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0], all[0]);
+}
+
+TEST_F(DisjunctiveTest, AbsentKeywordContributesNothing) {
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network", "qqqabsent"});
+  const auto hits = DisjunctiveRsse::search(built_->index, t);
+  std::set<std::uint64_t> net;
+  for (const auto& p : *inverted_.postings("network")) net.insert(ir::value(p.file));
+  EXPECT_EQ(hits.size(), net.size());
+}
+
+}  // namespace
+}  // namespace rsse::ext

@@ -1,0 +1,192 @@
+// Future-work extension (Sec. VIII): conjunctive multi-keyword ranked
+// search. The exact Basic-Scheme variant must reproduce the eq.-1
+// ranking computed directly over the plaintext index; the approximate
+// RSSE sum-of-OPM variant must return the right file SET with a ranking
+// that correlates with the truth. Rank-quality metrics are unit-tested
+// on hand-constructed permutations.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/prf.h"
+#include "ext/conjunctive.h"
+#include "ext/rank_quality.h"
+#include "ir/corpus_gen.h"
+#include "ir/inverted_index.h"
+#include "sse/keys.h"
+#include "util/errors.h"
+
+namespace rsse::ext {
+namespace {
+
+TEST(RankQuality, KendallTauExtremes) {
+  const std::vector<std::uint64_t> a{1, 2, 3, 4, 5};
+  const std::vector<std::uint64_t> reversed{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau(a, reversed), -1.0);
+  const std::vector<std::uint64_t> swapped{2, 1, 3, 4, 5};
+  EXPECT_NEAR(kendall_tau(a, swapped), 1.0 - 2.0 / 10.0, 1e-12);
+}
+
+TEST(RankQuality, KendallTauPreconditions) {
+  EXPECT_THROW(kendall_tau({1}, {1}), InvalidArgument);
+  EXPECT_THROW(kendall_tau({1, 2}, {1, 3}), InvalidArgument);
+  EXPECT_THROW(kendall_tau({1, 1}, {1, 1}), InvalidArgument);
+}
+
+TEST(RankQuality, PrecisionAtK) {
+  const std::vector<std::uint64_t> ref{1, 2, 3, 4, 5};
+  const std::vector<std::uint64_t> cand{3, 2, 9, 1, 5};
+  EXPECT_DOUBLE_EQ(precision_at_k(ref, cand, 3), 2.0 / 3.0);  // {1,2,3} vs {3,2,9}
+  EXPECT_DOUBLE_EQ(precision_at_k(ref, ref, 5), 1.0);
+  EXPECT_THROW(precision_at_k(ref, cand, 0), InvalidArgument);
+}
+
+TEST(RankQuality, NormalizedFootrule) {
+  const std::vector<std::uint64_t> a{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(normalized_footrule(a, a), 0.0);
+  const std::vector<std::uint64_t> reversed{4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(normalized_footrule(a, reversed), 1.0);
+}
+
+class ConjunctiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 50;
+    opts.vocabulary_size = 300;
+    opts.min_tokens = 60;
+    opts.max_tokens = 250;
+    // Overlapping keyword supports so the intersection is non-trivial.
+    opts.injected.push_back(ir::InjectedKeyword{"network", 35, 0.3, 40});
+    opts.injected.push_back(ir::InjectedKeyword{"protocol", 30, 0.4, 30});
+    opts.seed = 404;
+    corpus_ = ir::generate_corpus(opts);
+
+    key_ = sse::keygen();
+    rsse_ = std::make_unique<sse::RsseScheme>(key_);
+    basic_ = std::make_unique<sse::BasicScheme>(key_);
+    rsse_built_ = std::make_unique<sse::RsseScheme::BuildResult>(rsse_->build_index(corpus_));
+    basic_index_ = basic_->build_index(corpus_);
+    inverted_ = ir::InvertedIndex::build(corpus_, rsse_->analyzer());
+    generator_ = std::make_unique<sse::TrapdoorGenerator>(key_.x, key_.y,
+                                                          key_.params.p_bits);
+  }
+
+  // Ground truth: ids in F(w1) ∩ F(w2).
+  std::set<std::uint64_t> true_intersection() const {
+    std::set<std::uint64_t> net;
+    for (const auto& p : *inverted_.postings("network")) net.insert(ir::value(p.file));
+    std::set<std::uint64_t> both;
+    for (const auto& p : *inverted_.postings("protocol"))
+      if (net.contains(ir::value(p.file))) both.insert(ir::value(p.file));
+    return both;
+  }
+
+  // Ground truth eq.-1 ranking restricted to the intersection.
+  std::vector<std::uint64_t> true_ranking() const {
+    const auto both = true_intersection();
+    auto ranked = inverted_.ranked_postings_tfidf({"network", "protocol"});
+    std::vector<std::uint64_t> ids;
+    for (const auto& hit : ranked)
+      if (both.contains(ir::value(hit.file))) ids.push_back(ir::value(hit.file));
+    return ids;
+  }
+
+  ir::Corpus corpus_;
+  sse::MasterKey key_;
+  std::unique_ptr<sse::RsseScheme> rsse_;
+  std::unique_ptr<sse::BasicScheme> basic_;
+  std::unique_ptr<sse::RsseScheme::BuildResult> rsse_built_;
+  sse::SecureIndex basic_index_;
+  ir::InvertedIndex inverted_;
+  std::unique_ptr<sse::TrapdoorGenerator> generator_;
+};
+
+TEST_F(ConjunctiveTest, TrapdoorNormalizesAndDeduplicates) {
+  const auto t = make_conjunctive_trapdoor(*generator_,
+                                           {"Networking", "networks", "protocol"});
+  EXPECT_EQ(t.trapdoors.size(), 2u);  // two distinct normalized keywords
+  EXPECT_THROW(make_conjunctive_trapdoor(*generator_, {"the", "!!"}), InvalidArgument);
+  // Serialization round trip.
+  const auto restored = ConjunctiveTrapdoor::deserialize(t.serialize());
+  EXPECT_EQ(restored.trapdoors.size(), 2u);
+  EXPECT_EQ(restored.trapdoors[0], t.trapdoors[0]);
+}
+
+TEST_F(ConjunctiveTest, RsseVariantReturnsExactlyTheIntersection) {
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network", "protocol"});
+  const auto hits = ConjunctiveRsse::search(rsse_built_->index, t);
+  std::set<std::uint64_t> got;
+  for (const auto& h : hits) got.insert(ir::value(h.file));
+  EXPECT_EQ(got, true_intersection());
+  ASSERT_FALSE(hits.empty());
+  for (std::size_t i = 1; i < hits.size(); ++i)
+    EXPECT_GE(hits[i - 1].aggregate_opm, hits[i].aggregate_opm);
+}
+
+TEST_F(ConjunctiveTest, BasicVariantReproducesEquationOneExactly) {
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network", "protocol"});
+  const auto server_result = ConjunctiveBasic::search(basic_index_, t);
+  const Bytes score_key = crypto::Prf(key_.z).derive("score-key");
+  const auto ranked = ConjunctiveBasic::rank(server_result, score_key,
+                                             corpus_.size());
+  const auto truth = true_ranking();
+  ASSERT_EQ(ranked.size(), truth.size());
+  for (std::size_t i = 0; i < ranked.size(); ++i)
+    EXPECT_EQ(ir::value(ranked[i].file), truth[i]) << "rank " << i;
+}
+
+TEST_F(ConjunctiveTest, BasicVariantListSizesMatchDocumentFrequencies) {
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network", "protocol"});
+  const auto server_result = ConjunctiveBasic::search(basic_index_, t);
+  ASSERT_EQ(server_result.list_sizes.size(), 2u);
+  std::multiset<std::uint64_t> got(server_result.list_sizes.begin(),
+                                   server_result.list_sizes.end());
+  std::multiset<std::uint64_t> expected{inverted_.document_frequency("network"),
+                                        inverted_.document_frequency("protocol")};
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(ConjunctiveTest, ApproximateRankingCorrelatesWithTruth) {
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network", "protocol"});
+  const auto hits = ConjunctiveRsse::search(rsse_built_->index, t);
+  const auto truth = true_ranking();
+  ASSERT_GT(truth.size(), 3u);
+  std::vector<std::uint64_t> approx;
+  for (const auto& h : hits) approx.push_back(ir::value(h.file));
+  // The sum-of-OPM ranking is approximate but must be strongly positively
+  // correlated with the exact eq.-1 ranking.
+  EXPECT_GT(kendall_tau(truth, approx), 0.3);
+}
+
+TEST_F(ConjunctiveTest, SingleKeywordDegeneratesToOrdinarySearch) {
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network"});
+  const auto hits = ConjunctiveRsse::search(rsse_built_->index, t);
+  const auto direct = sse::RsseScheme::search(rsse_built_->index,
+                                              rsse_->trapdoor("network"));
+  ASSERT_EQ(hits.size(), direct.size());
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].file, direct[i].file);
+    EXPECT_EQ(hits[i].aggregate_opm, direct[i].opm_score);
+  }
+}
+
+TEST_F(ConjunctiveTest, TopKTruncates) {
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network", "protocol"});
+  const auto all = ConjunctiveRsse::search(rsse_built_->index, t);
+  ASSERT_GT(all.size(), 2u);
+  const auto top2 = ConjunctiveRsse::search(rsse_built_->index, t, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], all[0]);
+}
+
+TEST_F(ConjunctiveTest, DisjointKeywordsYieldEmptyIntersection) {
+  // A keyword absent from the corpus forces an empty conjunctive result.
+  const auto t = make_conjunctive_trapdoor(*generator_, {"network", "qqqabsent"});
+  EXPECT_TRUE(ConjunctiveRsse::search(rsse_built_->index, t).empty());
+  EXPECT_TRUE(ConjunctiveBasic::search(basic_index_, t).hits.empty());
+}
+
+}  // namespace
+}  // namespace rsse::ext

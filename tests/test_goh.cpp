@@ -1,0 +1,142 @@
+// Bloom filter + Goh secure index (Z-IDX): no false negatives, bounded
+// false positives, per-file codeword separation, serialization, and
+// boolean search over a corpus.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/goh_index.h"
+#include "ir/corpus_gen.h"
+#include "ir/inverted_index.h"
+#include "util/errors.h"
+#include "util/rng.h"
+
+namespace rsse::baseline {
+namespace {
+
+TEST(BloomFilter, NeverFalseNegative) {
+  BloomFilter filter(4096, 5);
+  for (int i = 0; i < 200; ++i) {
+    Bytes item;
+    append_u64(item, static_cast<std::uint64_t>(i));
+    filter.insert(item);
+  }
+  for (int i = 0; i < 200; ++i) {
+    Bytes item;
+    append_u64(item, static_cast<std::uint64_t>(i));
+    EXPECT_TRUE(filter.maybe_contains(item)) << i;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  const std::size_t n = 1000;
+  BloomFilter filter = BloomFilter::with_capacity(n, 0.01);
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes item;
+    append_u64(item, i);
+    filter.insert(item);
+  }
+  std::size_t false_positives = 0;
+  const std::size_t probes = 20000;
+  for (std::size_t i = 0; i < probes; ++i) {
+    Bytes item;
+    append_u64(item, 1'000'000 + i);  // definitely not inserted
+    if (filter.maybe_contains(item)) ++false_positives;
+  }
+  const double rate = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(rate, 0.03);  // target 1%, generous margin
+}
+
+TEST(BloomFilter, EmptyFilterContainsNothing) {
+  const BloomFilter filter(1024, 4);
+  EXPECT_FALSE(filter.maybe_contains(to_bytes("anything")));
+  EXPECT_EQ(filter.popcount(), 0u);
+}
+
+TEST(BloomFilter, SerializeRoundTrip) {
+  BloomFilter filter(512, 3);
+  filter.insert(to_bytes("one"));
+  filter.insert(to_bytes("two"));
+  const BloomFilter restored = BloomFilter::deserialize(filter.serialize());
+  EXPECT_EQ(restored, filter);
+  EXPECT_TRUE(restored.maybe_contains(to_bytes("one")));
+}
+
+TEST(BloomFilter, DeserializeRejectsGarbage) {
+  EXPECT_THROW(BloomFilter::deserialize(Bytes(4, 0)), ParseError);
+  Bytes blob = BloomFilter(64, 2).serialize();
+  blob.push_back(0);
+  EXPECT_THROW(BloomFilter::deserialize(blob), ParseError);
+}
+
+TEST(BloomFilter, Preconditions) {
+  EXPECT_THROW(BloomFilter(0, 3), InvalidArgument);
+  EXPECT_THROW(BloomFilter(64, 0), InvalidArgument);
+  EXPECT_THROW(BloomFilter::with_capacity(0, 0.01), InvalidArgument);
+  EXPECT_THROW(BloomFilter::with_capacity(10, 1.5), InvalidArgument);
+}
+
+class GohTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 40;
+    opts.vocabulary_size = 250;
+    opts.min_tokens = 50;
+    opts.max_tokens = 200;
+    opts.injected.push_back(ir::InjectedKeyword{"network", 22, 0.3, 30});
+    opts.seed = 55;
+    corpus_ = ir::generate_corpus(opts);
+    scheme_ = std::make_unique<GohScheme>(Bytes(32, 0x42), ir::AnalyzerOptions{}, 0.001);
+    index_ = std::make_unique<GohIndex>(scheme_->build_index(corpus_));
+  }
+
+  ir::Corpus corpus_;
+  std::unique_ptr<GohScheme> scheme_;
+  std::unique_ptr<GohIndex> index_;
+};
+
+TEST_F(GohTest, FindsAllMatchingFiles) {
+  const auto hits = index_->search(scheme_->trapdoor("network"));
+  std::set<std::uint64_t> got;
+  for (ir::FileId id : hits) got.insert(ir::value(id));
+
+  const auto inverted = ir::InvertedIndex::build(corpus_, ir::Analyzer());
+  std::set<std::uint64_t> expected;
+  for (const auto& p : *inverted.postings("network")) expected.insert(ir::value(p.file));
+  // Bloom filters admit false positives but never false negatives.
+  for (std::uint64_t id : expected) EXPECT_TRUE(got.contains(id)) << id;
+  EXPECT_LE(got.size(), expected.size() + 2);  // fp rate 0.1% on 40 files
+}
+
+TEST_F(GohTest, AbsentKeywordMostlyEmpty) {
+  const auto hits = index_->search(scheme_->trapdoor("qqqabsent"));
+  EXPECT_LE(hits.size(), 1u);  // only Bloom false positives possible
+}
+
+TEST_F(GohTest, ForeignKeyTrapdoorFindsAlmostNothing) {
+  const GohScheme other(Bytes(32, 0x99));
+  const auto hits = index_->search(other.trapdoor("network"));
+  EXPECT_LE(hits.size(), 1u);
+}
+
+TEST_F(GohTest, CodewordsDifferAcrossFiles) {
+  const Bytes trapdoor = scheme_->trapdoor("network");
+  EXPECT_NE(GohScheme::codeword(trapdoor, ir::file_id(1)),
+            GohScheme::codeword(trapdoor, ir::file_id(2)));
+}
+
+TEST_F(GohTest, IndexSizeScalesWithFiles) {
+  EXPECT_EQ(index_->size(), corpus_.size());
+  EXPECT_GT(index_->byte_size(), 0u);
+}
+
+TEST(GohScheme, Preconditions) {
+  EXPECT_THROW(GohScheme(Bytes{}), InvalidArgument);
+  EXPECT_THROW(GohScheme(Bytes(32, 1), ir::AnalyzerOptions{}, 0.0), InvalidArgument);
+  const GohScheme scheme(Bytes(32, 1));
+  EXPECT_THROW(scheme.trapdoor("the"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsse::baseline

@@ -1,0 +1,132 @@
+// Hypergeometric sampler tests: support bounds, pmf normalization,
+// determinism given the coin tape, degenerate draws, and distributional
+// sanity (mean/variance against the analytic values) across a
+// parameterized sweep of urn geometries including the paper-scale
+// population of 2^46.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/tapegen.h"
+#include "opse/hgd.h"
+#include "util/errors.h"
+
+namespace rsse::opse {
+namespace {
+
+crypto::Tape tape_for(std::uint64_t salt) {
+  Bytes ctx;
+  append_u64(ctx, salt);
+  return crypto::Tape(to_bytes("hgd-test-key"), ctx);
+}
+
+TEST(HgdSupport, MatchesClosedForms) {
+  const HgdParams p{.population = 100, .successes = 30, .sample = 80};
+  // min = n + M - N = 80 + 30 - 100 = 10; max = min(M, n) = 30.
+  EXPECT_EQ(hgd_support_min(p), 10u);
+  EXPECT_EQ(hgd_support_max(p), 30u);
+  const HgdParams q{.population = 100, .successes = 30, .sample = 10};
+  EXPECT_EQ(hgd_support_min(q), 0u);
+  EXPECT_EQ(hgd_support_max(q), 10u);
+}
+
+TEST(HgdLogPmf, NormalizesToOne) {
+  const HgdParams p{.population = 50, .successes = 12, .sample = 20};
+  double total = 0.0;
+  for (std::uint64_t k = hgd_support_min(p); k <= hgd_support_max(p); ++k)
+    total += std::exp(hgd_log_pmf(p, k));
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HgdLogPmf, RejectsOutOfSupport) {
+  const HgdParams p{.population = 100, .successes = 30, .sample = 80};
+  EXPECT_THROW(hgd_log_pmf(p, 9), InvalidArgument);
+  EXPECT_THROW(hgd_log_pmf(p, 31), InvalidArgument);
+}
+
+TEST(HgdSample, RejectsInvalidParams) {
+  auto t = tape_for(0);
+  EXPECT_THROW(hgd_sample({.population = 10, .successes = 11, .sample = 5}, t),
+               InvalidArgument);
+  EXPECT_THROW(hgd_sample({.population = 10, .successes = 5, .sample = 11}, t),
+               InvalidArgument);
+}
+
+TEST(HgdSample, DegenerateDrawsAreExact) {
+  auto t = tape_for(1);
+  // n == 0: nothing drawn.
+  EXPECT_EQ(hgd_sample({.population = 10, .successes = 5, .sample = 0}, t), 0u);
+  // M == N: every ball is a success.
+  EXPECT_EQ(hgd_sample({.population = 10, .successes = 10, .sample = 7}, t), 7u);
+  // M == 0: no successes exist.
+  EXPECT_EQ(hgd_sample({.population = 10, .successes = 0, .sample = 7}, t), 0u);
+  // n == N: the draw is the whole urn.
+  EXPECT_EQ(hgd_sample({.population = 10, .successes = 4, .sample = 10}, t), 4u);
+}
+
+TEST(HgdSample, DeterministicGivenTape) {
+  const HgdParams p{.population = 1000, .successes = 64, .sample = 500};
+  for (std::uint64_t salt = 0; salt < 50; ++salt) {
+    auto t1 = tape_for(salt);
+    auto t2 = tape_for(salt);
+    EXPECT_EQ(hgd_sample(p, t1), hgd_sample(p, t2));
+  }
+}
+
+struct HgdGeometry {
+  std::uint64_t population;
+  std::uint64_t successes;
+  std::uint64_t sample;
+};
+
+class HgdDistribution : public ::testing::TestWithParam<HgdGeometry> {};
+
+TEST_P(HgdDistribution, WithinSupportAndMatchesMoments) {
+  const auto g = GetParam();
+  const HgdParams p{.population = g.population, .successes = g.successes,
+                    .sample = g.sample};
+  const std::uint64_t lo = hgd_support_min(p);
+  const std::uint64_t hi = hgd_support_max(p);
+
+  const int kTrials = 4000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kTrials; ++i) {
+    auto t = tape_for(static_cast<std::uint64_t>(i) + 1000);
+    const std::uint64_t x = hgd_sample(p, t);
+    ASSERT_GE(x, lo);
+    ASSERT_LE(x, hi);
+    sum += static_cast<double>(x);
+    sum_sq += static_cast<double>(x) * static_cast<double>(x);
+  }
+  const double mean = sum / kTrials;
+  const double var = sum_sq / kTrials - mean * mean;
+
+  const auto n = static_cast<double>(p.sample);
+  const auto big_m = static_cast<double>(p.successes);
+  const auto big_n = static_cast<double>(p.population);
+  const double expected_mean = n * big_m / big_n;
+  const double expected_var = n * (big_m / big_n) * (1.0 - big_m / big_n) *
+                              (big_n - n) / (big_n - 1.0);
+  // 5-sigma tolerance on the sample mean.
+  const double mean_tol = 5.0 * std::sqrt(expected_var / kTrials) + 1e-9;
+  EXPECT_NEAR(mean, expected_mean, mean_tol)
+      << "N=" << g.population << " M=" << g.successes << " n=" << g.sample;
+  if (expected_var > 0.5) {
+    EXPECT_NEAR(var, expected_var, expected_var * 0.25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HgdDistribution,
+    ::testing::Values(
+        HgdGeometry{20, 7, 9},                        // tiny urn
+        HgdGeometry{100, 50, 50},                     // balanced
+        HgdGeometry{1000, 128, 500},                  // OPE first split, small range
+        HgdGeometry{1ull << 20, 128, 1ull << 19},     // mid range
+        HgdGeometry{1ull << 46, 128, 1ull << 45},     // paper-scale |R| = 2^46
+        HgdGeometry{1ull << 46, 1024, (1ull << 46) / 3},  // bigger domain, off-center
+        HgdGeometry{999, 998, 499}));                 // nearly-saturated urn
+
+}  // namespace
+}  // namespace rsse::opse

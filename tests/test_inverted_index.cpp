@@ -1,0 +1,122 @@
+// Inverted index and scoring (eq. 1 / eq. 2) over a hand-built corpus
+// whose statistics are known exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/inverted_index.h"
+#include "ir/scoring.h"
+#include "util/errors.h"
+
+namespace rsse::ir {
+namespace {
+
+// Analyzer without stemming/stopwords so term counts are literal.
+AnalyzerOptions raw_options() {
+  AnalyzerOptions opts;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  return opts;
+}
+
+Corpus tiny_corpus() {
+  Corpus c;
+  c.add(Document{file_id(0), "d0", "apple banana apple"});
+  c.add(Document{file_id(1), "d1", "banana cherry"});
+  c.add(Document{file_id(2), "d2", "apple apple apple apple"});
+  return c;
+}
+
+TEST(InvertedIndex, PostingsAndFrequencies) {
+  const auto index = InvertedIndex::build(tiny_corpus(), Analyzer(raw_options()));
+  EXPECT_EQ(index.num_documents(), 3u);
+  EXPECT_EQ(index.num_terms(), 3u);
+  EXPECT_EQ(index.terms(), (std::vector<std::string>{"apple", "banana", "cherry"}));
+
+  const auto* apple = index.postings("apple");
+  ASSERT_NE(apple, nullptr);
+  ASSERT_EQ(apple->size(), 2u);
+  EXPECT_EQ((*apple)[0], (Posting{file_id(0), 2}));
+  EXPECT_EQ((*apple)[1], (Posting{file_id(2), 4}));
+
+  EXPECT_EQ(index.document_frequency("banana"), 2u);
+  EXPECT_EQ(index.document_frequency("durian"), 0u);
+  EXPECT_EQ(index.postings("durian"), nullptr);
+
+  EXPECT_EQ(index.doc_length(file_id(0)), 3u);
+  EXPECT_EQ(index.doc_length(file_id(1)), 2u);
+  EXPECT_EQ(index.doc_length(file_id(2)), 4u);
+  EXPECT_THROW(index.doc_length(file_id(9)), InvalidArgument);
+
+  EXPECT_EQ(index.max_posting_length(), 2u);
+  EXPECT_NEAR(index.average_posting_length(), (2.0 + 2.0 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(Scoring, Equation2MatchesFormula) {
+  // Score(t, F_d) = (1 + ln f_dt) / |F_d|
+  EXPECT_DOUBLE_EQ(score_single_keyword(1, 10), 0.1);
+  EXPECT_DOUBLE_EQ(score_single_keyword(5, 20), (1.0 + std::log(5.0)) / 20.0);
+  EXPECT_THROW(score_single_keyword(0, 10), InvalidArgument);
+  EXPECT_THROW(score_single_keyword(1, 0), InvalidArgument);
+}
+
+TEST(Scoring, Equation1TermMatchesFormula) {
+  // eq.2 * ln(1 + N/ft)
+  const double expected = (1.0 + std::log(3.0)) / 12.0 * std::log(1.0 + 100.0 / 4.0);
+  EXPECT_DOUBLE_EQ(score_tfidf_term(3, 12, 4, 100), expected);
+  EXPECT_THROW(score_tfidf_term(3, 12, 0, 100), InvalidArgument);
+  EXPECT_THROW(score_tfidf_term(3, 12, 101, 100), InvalidArgument);
+}
+
+TEST(InvertedIndex, RankedPostingsOrderAndScores) {
+  const auto index = InvertedIndex::build(tiny_corpus(), Analyzer(raw_options()));
+  const auto ranked = index.ranked_postings("apple");
+  ASSERT_EQ(ranked.size(), 2u);
+  // d0: (1+ln2)/3 = 0.564...; d2: (1+ln4)/4 = 0.596... => d2 first.
+  EXPECT_EQ(ranked[0].file, file_id(2));
+  EXPECT_EQ(ranked[1].file, file_id(0));
+  EXPECT_NEAR(ranked[0].score, (1.0 + std::log(4.0)) / 4.0, 1e-12);
+  EXPECT_NEAR(ranked[1].score, (1.0 + std::log(2.0)) / 3.0, 1e-12);
+  EXPECT_TRUE(index.ranked_postings("durian").empty());
+}
+
+TEST(InvertedIndex, RankedPostingsTfIdfUnionsAndSums) {
+  const auto index = InvertedIndex::build(tiny_corpus(), Analyzer(raw_options()));
+  const auto ranked = index.ranked_postings_tfidf({"apple", "cherry"});
+  // Union of F(apple) = {0, 2} and F(cherry) = {1}: all three documents.
+  ASSERT_EQ(ranked.size(), 3u);
+  // Verify the top hit's score against a direct eq.-1 computation.
+  for (const auto& hit : ranked) {
+    double expected = 0.0;
+    if (hit.file == file_id(0)) expected = score_tfidf_term(2, 3, 2, 3);
+    if (hit.file == file_id(1)) expected = score_tfidf_term(1, 2, 1, 3);
+    if (hit.file == file_id(2)) expected = score_tfidf_term(4, 4, 2, 3);
+    EXPECT_NEAR(hit.score, expected, 1e-12);
+  }
+  // Scores descend.
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+}
+
+TEST(InvertedIndex, TiesBreakByFileId) {
+  Corpus c;
+  c.add(Document{file_id(5), "a", "same words here"});
+  c.add(Document{file_id(2), "b", "same words here"});
+  const auto index = InvertedIndex::build(c, Analyzer(raw_options()));
+  const auto ranked = index.ranked_postings("same");
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].file, file_id(2));  // equal scores: lower id first
+  EXPECT_EQ(ranked[1].file, file_id(5));
+}
+
+TEST(InvertedIndex, StemmedPipelineMergesInflections) {
+  Corpus c;
+  c.add(Document{file_id(0), "d", "networks networking networked"});
+  const auto index = InvertedIndex::build(c, Analyzer());
+  const auto* postings = index.postings("network");
+  ASSERT_NE(postings, nullptr);
+  EXPECT_EQ((*postings)[0].tf, 3u);
+}
+
+}  // namespace
+}  // namespace rsse::ir

@@ -1,0 +1,78 @@
+// KeyGen and system parameters: freshness, sizes, validation, and the
+// serialization round trip.
+#include <gtest/gtest.h>
+
+#include "sse/keys.h"
+#include "util/errors.h"
+
+namespace rsse::sse {
+namespace {
+
+TEST(SystemParams, DefaultsAreThePapersSetup) {
+  const SystemParams p;
+  EXPECT_EQ(p.score_levels, 128u);   // Fig. 4's 128 levels
+  EXPECT_EQ(p.range_bits, 46u);      // Sec. IV-C's |R| = 2^46
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(SystemParams, ValidationCatchesBadCombos) {
+  SystemParams p;
+  p.key_bits = 100;  // not a byte multiple
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = SystemParams{};
+  p.p_bits = 0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = SystemParams{};
+  p.score_levels = 1;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = SystemParams{};
+  p.range_bits = 63;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = SystemParams{};
+  p.score_levels = 1ull << 20;
+  p.range_bits = 10;  // domain exceeds range
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(KeyGen, ProducesFreshKeysOfTheRightSize) {
+  const MasterKey a = keygen();
+  const MasterKey b = keygen();
+  EXPECT_EQ(a.x.size(), 32u);
+  EXPECT_EQ(a.y.size(), 32u);
+  EXPECT_EQ(a.z.size(), 32u);
+  EXPECT_NE(a.x, b.x);
+  EXPECT_NE(a.y, b.y);
+  EXPECT_NE(a.z, b.z);
+  EXPECT_NE(a.x, a.y);  // components independent
+}
+
+TEST(KeyGen, HonorsKeyBits) {
+  SystemParams p;
+  p.key_bits = 128;
+  const MasterKey k = keygen(p);
+  EXPECT_EQ(k.x.size(), 16u);
+}
+
+TEST(MasterKey, SerializeRoundTrip) {
+  const MasterKey k = keygen();
+  const MasterKey restored = MasterKey::deserialize(k.serialize());
+  EXPECT_EQ(restored, k);
+}
+
+TEST(MasterKey, DeserializeRejectsCorruption) {
+  Bytes blob = keygen().serialize();
+  blob.resize(blob.size() - 1);
+  EXPECT_THROW(MasterKey::deserialize(blob), ParseError);
+  blob = keygen().serialize();
+  blob.push_back(0);
+  EXPECT_THROW(MasterKey::deserialize(blob), ParseError);
+}
+
+TEST(MasterKey, DeserializeRejectsInvalidParams) {
+  MasterKey k = keygen();
+  k.params.score_levels = 0;  // invalid, bypassing validate()
+  EXPECT_THROW(MasterKey::deserialize(k.serialize()), ParseError);
+}
+
+}  // namespace
+}  // namespace rsse::sse

@@ -1,0 +1,205 @@
+// TCP transport tests: frame round trips over real sockets, a live
+// NetworkServer on an ephemeral loopback port, DataUser equivalence
+// between the in-process Channel and the RemoteChannel, error frames for
+// garbage payloads, concurrent clients, and owner updates racing live
+// searches (the shared_mutex contract).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "crypto/csprng.h"
+#include "ir/corpus_gen.h"
+#include "net/frame.h"
+#include "net/remote_channel.h"
+#include "net/server.h"
+#include "util/errors.h"
+
+namespace rsse::net {
+namespace {
+
+TEST(Frame, RequestRoundTripOverRealSockets) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    Socket conn = listener.accept();
+    ASSERT_TRUE(conn.valid());
+    const auto request = recv_request(conn);
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->type, cloud::MessageType::kRankedSearch);
+    EXPECT_EQ(request->payload, to_bytes("hello"));
+    send_response_ok(conn, to_bytes("world"));
+    // Second exchange: error path.
+    const auto second = recv_request(conn);
+    ASSERT_TRUE(second.has_value());
+    send_response_error(conn, "nope");
+    EXPECT_FALSE(recv_request(conn).has_value());  // clean EOF
+  });
+
+  Socket client = tcp_connect(listener.port());
+  send_request(client, cloud::MessageType::kRankedSearch, to_bytes("hello"));
+  EXPECT_EQ(recv_response(client), to_bytes("world"));
+  send_request(client, cloud::MessageType::kBasicEntries, {});
+  EXPECT_THROW(recv_response(client), ProtocolError);
+  client.shutdown_write();
+  server.join();
+}
+
+TEST(Frame, OversizedLengthRejected) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    Socket conn = listener.accept();
+    // Hand-craft a frame claiming a 1 GiB payload.
+    Bytes evil{0x01};
+    append_u32(evil, 1u << 30);
+    conn.send_all(evil);
+    Bytes sink(1);
+    (void)conn.recv_exact(std::span<std::uint8_t>(sink));  // wait for client
+  });
+  Socket client = tcp_connect(listener.port());
+  EXPECT_THROW(recv_response(client), ProtocolError);
+  client.close();
+  server.join();
+}
+
+class NetworkSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 30;
+    opts.vocabulary_size = 200;
+    opts.min_tokens = 40;
+    opts.max_tokens = 150;
+    opts.injected.push_back(ir::InjectedKeyword{"network", 20, 0.3, 30});
+    opts.seed = 121;
+    corpus_ = ir::generate_corpus(opts);
+    owner_ = std::make_unique<cloud::DataOwner>();
+    owner_->outsource_rsse(corpus_, server_);
+    net_ = std::make_unique<NetworkServer>(server_, 0);
+
+    const Bytes user_key = crypto::random_bytes(32);
+    credentials_ = cloud::AuthorizationService::open(
+        user_key, "u", owner_->enroll_user(user_key, "u"));
+  }
+
+  ir::Corpus corpus_;
+  std::unique_ptr<cloud::DataOwner> owner_;
+  cloud::CloudServer server_;
+  std::unique_ptr<NetworkServer> net_;
+  cloud::UserCredentials credentials_;
+};
+
+TEST_F(NetworkSystemTest, RemoteSearchMatchesLocalSearch) {
+  cloud::Channel local(server_);
+  cloud::DataUser local_user(credentials_, local);
+  RemoteChannel remote(net_->port());
+  cloud::DataUser remote_user(credentials_, remote);
+
+  const auto local_hits = local_user.ranked_search("network", 7);
+  const auto remote_hits = remote_user.ranked_search("network", 7);
+  ASSERT_EQ(remote_hits.size(), local_hits.size());
+  for (std::size_t i = 0; i < local_hits.size(); ++i) {
+    EXPECT_EQ(remote_hits[i].document.id, local_hits[i].document.id);
+    EXPECT_EQ(remote_hits[i].document.text, local_hits[i].document.text);
+  }
+  EXPECT_EQ(net_->requests_served(), 1u);
+  EXPECT_GT(remote.stats().bytes_down, 0u);
+}
+
+TEST_F(NetworkSystemTest, AllProtocolsWorkRemotely) {
+  // Basic-scheme protocols need a basic index; use a second deployment.
+  cloud::CloudServer basic_server;
+  owner_->outsource_basic(corpus_, basic_server);
+  NetworkServer basic_net(basic_server, 0);
+
+  RemoteChannel rsse_remote(net_->port());
+  cloud::DataUser u1(credentials_, rsse_remote);
+  RemoteChannel basic_remote(basic_net.port());
+  cloud::DataUser u2(credentials_, basic_remote);
+
+  const auto ranked = u1.ranked_search("network", 5);
+  const auto one_round = u2.basic_search_one_round("network", 5);
+  const auto two_round = u2.basic_search_two_round("network", 5);
+  EXPECT_EQ(ranked.size(), 5u);
+  ASSERT_EQ(one_round.size(), 5u);
+  ASSERT_EQ(two_round.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(one_round[i].document.id, two_round[i].document.id);
+  EXPECT_EQ(basic_remote.stats().round_trips, 3u);  // 1 + 2
+}
+
+TEST_F(NetworkSystemTest, GarbagePayloadGetsErrorFrameAndConnectionSurvives) {
+  RemoteChannel remote(net_->port());
+  EXPECT_THROW(remote.call(cloud::MessageType::kRankedSearch, to_bytes("garbage")),
+               ProtocolError);
+  // The connection stays usable for a well-formed request.
+  cloud::DataUser user(credentials_, remote);
+  EXPECT_EQ(user.ranked_search("network", 3).size(), 3u);
+}
+
+TEST_F(NetworkSystemTest, ConcurrentClientsAllSucceed) {
+  constexpr int kClients = 8;
+  constexpr int kSearchesEach = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      try {
+        RemoteChannel remote(net_->port());
+        cloud::DataUser user(credentials_, remote);
+        for (int i = 0; i < kSearchesEach; ++i) {
+          if (user.ranked_search("network", 5).size() != 5) ++failures;
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(net_->requests_served(),
+            static_cast<std::uint64_t>(kClients) * kSearchesEach);
+}
+
+TEST_F(NetworkSystemTest, OwnerUpdatesDuringLiveServing) {
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::thread searcher([&] {
+    try {
+      RemoteChannel remote(net_->port());
+      cloud::DataUser user(credentials_, remote);
+      while (!stop.load()) {
+        const auto hits = user.ranked_search("network", 0);
+        if (hits.size() < 20) ++errors;  // never fewer than the original 20
+      }
+    } catch (const std::exception&) {
+      ++errors;
+    }
+  });
+  for (int i = 0; i < 10; ++i) {
+    ir::Document doc{ir::file_id(8000 + static_cast<std::uint64_t>(i)), "live.txt",
+                     "network live update document body " + std::to_string(i)};
+    owner_->add_document(server_, doc);
+  }
+  stop.store(true);
+  searcher.join();
+  EXPECT_EQ(errors.load(), 0);
+
+  RemoteChannel remote(net_->port());
+  cloud::DataUser user(credentials_, remote);
+  EXPECT_EQ(user.ranked_search("network", 0).size(), 30u);  // 20 + 10
+}
+
+TEST_F(NetworkSystemTest, ServerStopsCleanly) {
+  RemoteChannel remote(net_->port());
+  cloud::DataUser user(credentials_, remote);
+  EXPECT_EQ(user.ranked_search("network", 2).size(), 2u);
+  net_->stop();
+  // New connections fail after shutdown.
+  EXPECT_THROW(RemoteChannel{net_->port()}, ProtocolError);
+}
+
+}  // namespace
+}  // namespace rsse::net

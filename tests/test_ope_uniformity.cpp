@@ -1,0 +1,92 @@
+// Distributional validation of the whole OPE construction.
+//
+// BCLO's security target is a *pseudo-random order-preserving function*:
+// over a random key, Enc should be distributed like a uniformly random
+// choice of M out of N range values. For tiny geometries the function
+// space is enumerable, so we can test the construction end-to-end — the
+// keyed binary search, TapeGen, and the hypergeometric sampler together
+// — with a chi-square against the uniform distribution over all C(N, M)
+// order-preserving functions. A bias in any component (e.g. a skewed HGD
+// or a broken coin tape) shows up here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "opse/bclo_opse.h"
+
+namespace rsse::opse {
+namespace {
+
+// Encrypts the whole domain under one key: the sampled function.
+std::vector<std::uint64_t> function_of_key(std::uint64_t key_index,
+                                           const OpeParams& params) {
+  Bytes key = to_bytes("uniformity-");
+  append_u64(key, key_index);
+  const BcloOpse cipher(key, params);
+  std::vector<std::uint64_t> f;
+  for (std::uint64_t m = 1; m <= params.domain_size; ++m) f.push_back(cipher.encrypt(m));
+  return f;
+}
+
+// n choose k for tiny arguments.
+std::uint64_t choose(std::uint64_t n, std::uint64_t k) {
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 0; i < k; ++i) result = result * (n - i) / (i + 1);
+  return result;
+}
+
+struct Geometry {
+  std::uint64_t domain;
+  std::uint64_t range;
+};
+
+class OpeUniformity : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(OpeUniformity, FunctionsAreCloseToUniformOverKeys) {
+  const auto [domain, range] = GetParam();
+  const OpeParams params{domain, range};
+  const std::uint64_t num_functions = choose(range, domain);
+  // ~200 expected samples per cell keeps the chi-square well-behaved.
+  const std::uint64_t trials = num_functions * 200;
+
+  std::map<std::vector<std::uint64_t>, std::uint64_t> counts;
+  for (std::uint64_t t = 0; t < trials; ++t) ++counts[function_of_key(t, params)];
+
+  // Every observed function must be order preserving and in range.
+  for (const auto& [f, count] : counts) {
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      ASSERT_GE(f[i], 1u);
+      ASSERT_LE(f[i], range);
+      if (i > 0) ASSERT_GT(f[i], f[i - 1]);
+    }
+  }
+  // Every possible function must be reachable.
+  EXPECT_EQ(counts.size(), num_functions);
+
+  // Chi-square against uniform.
+  const double expected = static_cast<double>(trials) / static_cast<double>(num_functions);
+  double chi2 = 0.0;
+  for (const auto& [f, count] : counts) {
+    const double diff = static_cast<double>(count) - expected;
+    chi2 += diff * diff / expected;
+  }
+  // Degrees of freedom = num_functions - 1; a generous 99.9th percentile
+  // bound ~ df + 4*sqrt(2*df) keeps the test deterministic-fail-free
+  // while still catching any real bias (a skewed HGD shifts chi2 by
+  // orders of magnitude).
+  const double df = static_cast<double>(num_functions - 1);
+  const double bound = df + 4.0 * std::sqrt(2.0 * df) + 4.0;
+  EXPECT_LT(chi2, bound) << "functions=" << num_functions << " trials=" << trials;
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyGeometries, OpeUniformity,
+                         ::testing::Values(Geometry{1, 4},   // C=4
+                                           Geometry{2, 4},   // C=6
+                                           Geometry{2, 5},   // C=10
+                                           Geometry{3, 6},   // C=20
+                                           Geometry{2, 8})); // C=28
+
+}  // namespace
+}  // namespace rsse::opse

@@ -1,0 +1,150 @@
+// Deterministic OPSE (BCLO) tests: encryption/decryption round trips,
+// strict order preservation over the whole domain, determinism under a
+// fixed key, key sensitivity, and the bucket-partition invariants of the
+// keyed binary-search descent — parameterized over domain/range
+// geometries from toy sizes up to the paper's (M=128, |R|=2^46).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "opse/bclo_opse.h"
+#include "util/errors.h"
+
+namespace rsse::opse {
+namespace {
+
+Bytes key(std::string_view name) { return to_bytes(name); }
+
+struct Geometry {
+  std::uint64_t domain;
+  std::uint64_t range;
+};
+
+class OpseGeometry : public ::testing::TestWithParam<Geometry> {
+ protected:
+  OpeParams params() const { return OpeParams{GetParam().domain, GetParam().range}; }
+};
+
+TEST_P(OpseGeometry, RoundTripWholeDomain) {
+  const BcloOpse cipher(key("k1"), params());
+  const std::uint64_t m_max = std::min<std::uint64_t>(params().domain_size, 512);
+  for (std::uint64_t m = 1; m <= m_max; ++m) {
+    const std::uint64_t c = cipher.encrypt(m);
+    ASSERT_GE(c, 1u);
+    ASSERT_LE(c, params().range_size);
+    EXPECT_EQ(cipher.decrypt(c), m) << "m=" << m;
+  }
+}
+
+TEST_P(OpseGeometry, StrictOrderPreservation) {
+  const BcloOpse cipher(key("k2"), params());
+  const std::uint64_t m_max = std::min<std::uint64_t>(params().domain_size, 512);
+  std::uint64_t prev = 0;
+  for (std::uint64_t m = 1; m <= m_max; ++m) {
+    const std::uint64_t c = cipher.encrypt(m);
+    EXPECT_GT(c, prev) << "order violated at m=" << m;
+    prev = c;
+  }
+}
+
+TEST_P(OpseGeometry, DeterministicUnderFixedKey) {
+  const BcloOpse a(key("k3"), params());
+  const BcloOpse b(key("k3"), params());
+  const std::uint64_t m_max = std::min<std::uint64_t>(params().domain_size, 64);
+  for (std::uint64_t m = 1; m <= m_max; ++m) EXPECT_EQ(a.encrypt(m), b.encrypt(m));
+}
+
+TEST_P(OpseGeometry, BucketsAreDisjointOrderedAndCoverCiphertexts) {
+  const BcloOpse cipher(key("k4"), params());
+  const std::uint64_t m_max = std::min<std::uint64_t>(params().domain_size, 256);
+  std::uint64_t prev_hi = 0;
+  for (std::uint64_t m = 1; m <= m_max; ++m) {
+    const Bucket b = cipher.bucket_of(m);
+    ASSERT_GE(b.lo, 1u);
+    ASSERT_LE(b.hi, params().range_size);
+    ASSERT_LE(b.lo, b.hi);
+    EXPECT_GT(b.lo, prev_hi) << "buckets overlap or are unordered at m=" << m;
+    prev_hi = b.hi;
+    // The drawn ciphertext lies inside its own bucket.
+    EXPECT_TRUE(b.contains(cipher.encrypt(m)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, OpseGeometry,
+    ::testing::Values(Geometry{2, 2},                // minimal
+                      Geometry{2, 8},                // tiny domain, slack range
+                      Geometry{16, 16},              // forced bijection
+                      Geometry{7, 40},               // odd sizes
+                      Geometry{128, 1 << 20},        // mid
+                      Geometry{128, 1ull << 46},     // the paper's setup
+                      Geometry{1024, 1ull << 34},    // larger domain
+                      Geometry{300, 1000}));         // tight non-power-of-two
+
+TEST(Opse, EqualDomainAndRangeIsIdentityLikePermutation) {
+  // M == N forces every bucket to a single point: Enc is a bijection of
+  // {1..N} and decrypt inverts it everywhere.
+  const OpeParams p{64, 64};
+  const BcloOpse cipher(key("bijection"), p);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t m = 1; m <= 64; ++m) {
+    const std::uint64_t c = cipher.encrypt(m);
+    EXPECT_TRUE(seen.insert(c).second) << "duplicate ciphertext " << c;
+    EXPECT_EQ(cipher.decrypt(c), m);
+  }
+  EXPECT_EQ(*seen.begin(), 1u);
+  EXPECT_EQ(*seen.rbegin(), 64u);
+}
+
+TEST(Opse, DifferentKeysProduceDifferentMappings) {
+  const OpeParams p{128, 1ull << 30};
+  const BcloOpse a(key("alpha"), p);
+  const BcloOpse b(key("beta"), p);
+  int diffs = 0;
+  for (std::uint64_t m = 1; m <= 128; ++m)
+    if (a.encrypt(m) != b.encrypt(m)) ++diffs;
+  EXPECT_GT(diffs, 100);  // overwhelming majority must differ
+}
+
+TEST(Opse, DecryptRejectsOutOfRangeCiphertext) {
+  const BcloOpse cipher(key("k"), OpeParams{8, 64});
+  EXPECT_THROW(cipher.decrypt(0), InvalidArgument);
+  EXPECT_THROW(cipher.decrypt(65), InvalidArgument);
+}
+
+TEST(Opse, EncryptRejectsOutOfDomainPlaintext) {
+  const BcloOpse cipher(key("k"), OpeParams{8, 64});
+  EXPECT_THROW(cipher.encrypt(0), InvalidArgument);
+  EXPECT_THROW(cipher.encrypt(9), InvalidArgument);
+}
+
+TEST(Opse, RejectsBadParams) {
+  EXPECT_THROW(BcloOpse(key("k"), OpeParams{0, 8}), InvalidArgument);
+  EXPECT_THROW(BcloOpse(key("k"), OpeParams{9, 8}), InvalidArgument);
+  EXPECT_THROW(BcloOpse(Bytes{}, OpeParams{4, 8}), InvalidArgument);
+}
+
+TEST(Opse, SlackRangeValuesDecryptToNeighborOrThrow) {
+  // Arbitrary range probes either fall in some bucket (and decrypt) or in
+  // inter-bucket slack (and throw) — never crash or mis-map.
+  const OpeParams p{8, 256};
+  const BcloOpse cipher(key("slack"), p);
+  int mapped = 0;
+  int slack = 0;
+  for (std::uint64_t c = 1; c <= 256; ++c) {
+    try {
+      const std::uint64_t m = cipher.decrypt(c);
+      ASSERT_GE(m, 1u);
+      ASSERT_LE(m, 8u);
+      EXPECT_TRUE(cipher.bucket_of(m).contains(c));
+      ++mapped;
+    } catch (const InvalidArgument&) {
+      ++slack;
+    }
+  }
+  EXPECT_GT(mapped, 0);
+  EXPECT_EQ(mapped + slack, 256);
+}
+
+}  // namespace
+}  // namespace rsse::opse

@@ -1,0 +1,94 @@
+// Row-padding policies: width invariants per mode, search correctness
+// under every mode, and the storage/leakage ordering the ablation bench
+// quantifies.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "ir/corpus_gen.h"
+#include "ir/inverted_index.h"
+#include "sse/rsse_scheme.h"
+
+namespace rsse::sse {
+namespace {
+
+class PaddingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 50;
+    opts.vocabulary_size = 300;
+    opts.min_tokens = 40;
+    opts.max_tokens = 200;
+    opts.injected.push_back(ir::InjectedKeyword{"network", 30, 0.3, 30});
+    opts.seed = 12;
+    corpus_ = ir::generate_corpus(opts);
+    scheme_ = std::make_unique<RsseScheme>(keygen());
+    inverted_ = ir::InvertedIndex::build(corpus_, scheme_->analyzer());
+  }
+
+  RsseScheme::BuildResult build(PaddingMode mode) const {
+    RsseScheme::BuildOptions options;
+    options.padding = mode;
+    return scheme_->build_index(corpus_, options);
+  }
+
+  ir::Corpus corpus_;
+  std::unique_ptr<RsseScheme> scheme_;
+  ir::InvertedIndex inverted_;
+};
+
+TEST_F(PaddingTest, FullNuMakesEveryRowEqual) {
+  const auto built = build(PaddingMode::kFullNu);
+  const std::uint64_t nu = inverted_.max_posting_length();
+  for (const Bytes& label : built.index.labels())
+    EXPECT_EQ(built.index.row(label)->size(), nu);
+}
+
+TEST_F(PaddingTest, PowerOfTwoRowsArePowersOfTwo) {
+  const auto built = build(PaddingMode::kPowerOfTwo);
+  for (const Bytes& label : built.index.labels()) {
+    const std::size_t width = built.index.row(label)->size();
+    EXPECT_TRUE(std::has_single_bit(width)) << width;
+  }
+}
+
+TEST_F(PaddingTest, NoneLeavesExactPostingCounts) {
+  const auto built = build(PaddingMode::kNone);
+  // Row sizes must be exactly the multiset of posting-list lengths.
+  std::multiset<std::size_t> row_sizes;
+  for (const Bytes& label : built.index.labels())
+    row_sizes.insert(built.index.row(label)->size());
+  std::multiset<std::size_t> posting_sizes;
+  for (const std::string& term : inverted_.terms())
+    posting_sizes.insert(inverted_.postings(term)->size());
+  EXPECT_EQ(row_sizes, posting_sizes);
+}
+
+TEST_F(PaddingTest, SearchResultsIdenticalAcrossModes) {
+  const auto full = build(PaddingMode::kFullNu);
+  const auto pow2 = scheme_->build_index(
+      corpus_, full.quantizer,
+      RsseScheme::BuildOptions{1, PaddingMode::kPowerOfTwo});
+  const auto none = scheme_->build_index(
+      corpus_, full.quantizer, RsseScheme::BuildOptions{1, PaddingMode::kNone});
+  const Trapdoor trapdoor = scheme_->trapdoor("network");
+  const auto a = RsseScheme::search(full.index, trapdoor);
+  const auto b = RsseScheme::search(pow2.index, trapdoor);
+  const auto c = RsseScheme::search(none.index, trapdoor);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(a.size(), 30u);
+}
+
+TEST_F(PaddingTest, StorageOrdering) {
+  const auto full = build(PaddingMode::kFullNu);
+  const auto pow2 = build(PaddingMode::kPowerOfTwo);
+  const auto none = build(PaddingMode::kNone);
+  EXPECT_GE(full.index.byte_size(), pow2.index.byte_size());
+  EXPECT_GE(pow2.index.byte_size(), none.index.byte_size());
+}
+
+}  // namespace
+}  // namespace rsse::sse

@@ -1,0 +1,57 @@
+// PBKDF2-HMAC-SHA256 against the published test vectors (the SHA-256
+// analogues of RFC 6070, as listed in RFC 7914 errata / common usage).
+#include <gtest/gtest.h>
+
+#include "crypto/pbkdf2.h"
+#include "util/errors.h"
+
+namespace rsse::crypto {
+namespace {
+
+TEST(Pbkdf2, Vector1Iteration) {
+  const Bytes dk = pbkdf2_hmac_sha256(to_bytes("password"), to_bytes("salt"), 1, 32);
+  EXPECT_EQ(hex_encode(dk),
+            "120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b");
+}
+
+TEST(Pbkdf2, Vector2Iterations) {
+  const Bytes dk = pbkdf2_hmac_sha256(to_bytes("password"), to_bytes("salt"), 2, 32);
+  EXPECT_EQ(hex_encode(dk),
+            "ae4d0c95af6b46d32d0adff928f06dd02a303f8ef3c251dfd6e2d85a95474c43");
+}
+
+TEST(Pbkdf2, Vector4096Iterations) {
+  const Bytes dk = pbkdf2_hmac_sha256(to_bytes("password"), to_bytes("salt"), 4096, 32);
+  EXPECT_EQ(hex_encode(dk),
+            "c5e478d59288c841aa530db6845c4c8d962893a001ce4e11a4963873aa98134a");
+}
+
+TEST(Pbkdf2, LongInputsMultiBlockOutput) {
+  // RFC 6070's case 5 adapted to SHA-256 (40-byte output spans blocks).
+  const Bytes dk = pbkdf2_hmac_sha256(
+      to_bytes("passwordPASSWORDpassword"),
+      to_bytes("saltSALTsaltSALTsaltSALTsaltSALTsalt"), 4096, 40);
+  EXPECT_EQ(hex_encode(dk),
+            "348c89dbcbd32b2f32d814b8116e84cf2b17347ebc1800181c4e2a1fb8dd53e1"
+            "c635518c7dac47e9");
+}
+
+TEST(Pbkdf2, OutputLengthIsExact) {
+  EXPECT_EQ(pbkdf2_hmac_sha256(to_bytes("p"), to_bytes("s"), 10, 1).size(), 1u);
+  EXPECT_EQ(pbkdf2_hmac_sha256(to_bytes("p"), to_bytes("s"), 10, 33).size(), 33u);
+  EXPECT_EQ(pbkdf2_hmac_sha256(to_bytes("p"), to_bytes("s"), 10, 64).size(), 64u);
+}
+
+TEST(Pbkdf2, ShortOutputIsPrefixOfLong) {
+  const Bytes long_dk = pbkdf2_hmac_sha256(to_bytes("p"), to_bytes("s"), 100, 32);
+  const Bytes short_dk = pbkdf2_hmac_sha256(to_bytes("p"), to_bytes("s"), 100, 16);
+  EXPECT_TRUE(std::equal(short_dk.begin(), short_dk.end(), long_dk.begin()));
+}
+
+TEST(Pbkdf2, Preconditions) {
+  EXPECT_THROW(pbkdf2_hmac_sha256(to_bytes("p"), to_bytes("s"), 0, 32), InvalidArgument);
+  EXPECT_THROW(pbkdf2_hmac_sha256(to_bytes("p"), to_bytes("s"), 10, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsse::crypto

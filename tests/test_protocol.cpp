@@ -1,0 +1,108 @@
+// Wire-protocol message round trips and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "cloud/protocol.h"
+#include "util/errors.h"
+
+namespace rsse::cloud {
+namespace {
+
+sse::Trapdoor sample_trapdoor() {
+  return sse::Trapdoor{Bytes(20, 0xab), Bytes(32, 0xcd)};
+}
+
+TEST(Protocol, TrapdoorRoundTrip) {
+  const sse::Trapdoor t = sample_trapdoor();
+  EXPECT_EQ(sse::Trapdoor::deserialize(t.serialize()), t);
+}
+
+TEST(Protocol, RankedSearchRequestRoundTrip) {
+  const RankedSearchRequest req{sample_trapdoor(), 25};
+  const auto restored = RankedSearchRequest::deserialize(req.serialize());
+  EXPECT_EQ(restored.trapdoor, req.trapdoor);
+  EXPECT_EQ(restored.top_k, 25u);
+}
+
+TEST(Protocol, RankedSearchResponseRoundTrip) {
+  RankedSearchResponse resp;
+  resp.files.push_back(RankedFile{ir::file_id(3), 999, to_bytes("blob-a")});
+  resp.files.push_back(RankedFile{ir::file_id(9), 42, Bytes{}});
+  const auto restored = RankedSearchResponse::deserialize(resp.serialize());
+  ASSERT_EQ(restored.files.size(), 2u);
+  EXPECT_EQ(restored.files[0], resp.files[0]);
+  EXPECT_EQ(restored.files[1], resp.files[1]);
+}
+
+TEST(Protocol, BasicEntriesRoundTrip) {
+  const BasicEntriesRequest req{sample_trapdoor()};
+  EXPECT_EQ(BasicEntriesRequest::deserialize(req.serialize()).trapdoor, req.trapdoor);
+
+  BasicEntriesResponse resp;
+  resp.entries.push_back(sse::BasicSearchEntry{ir::file_id(1), Bytes(24, 7)});
+  resp.entries.push_back(sse::BasicSearchEntry{ir::file_id(2), Bytes(24, 8)});
+  const auto restored = BasicEntriesResponse::deserialize(resp.serialize());
+  ASSERT_EQ(restored.entries.size(), 2u);
+  EXPECT_EQ(restored.entries[0], resp.entries[0]);
+}
+
+TEST(Protocol, FetchFilesRoundTrip) {
+  FetchFilesRequest req;
+  req.ids = {ir::file_id(5), ir::file_id(6), ir::file_id(7)};
+  const auto restored = FetchFilesRequest::deserialize(req.serialize());
+  EXPECT_EQ(restored.ids, req.ids);
+
+  FetchFilesResponse resp;
+  resp.files.push_back(RankedFile{ir::file_id(5), 0, to_bytes("f5")});
+  const auto r2 = FetchFilesResponse::deserialize(resp.serialize());
+  ASSERT_EQ(r2.files.size(), 1u);
+  EXPECT_EQ(r2.files[0].id, ir::file_id(5));
+  EXPECT_EQ(r2.files[0].blob, to_bytes("f5"));
+}
+
+TEST(Protocol, BasicFilesResponseRoundTrip) {
+  BasicFilesResponse resp;
+  resp.files.push_back(BasicFile{ir::file_id(1), Bytes(24, 1), to_bytes("one")});
+  resp.files.push_back(BasicFile{ir::file_id(2), Bytes(24, 2), to_bytes("two")});
+  const auto restored = BasicFilesResponse::deserialize(resp.serialize());
+  ASSERT_EQ(restored.files.size(), 2u);
+  EXPECT_EQ(restored.files[1], resp.files[1]);
+}
+
+TEST(Protocol, MultiSearchRequestRoundTrip) {
+  MultiSearchRequest req;
+  req.trapdoor.trapdoors.push_back(sample_trapdoor());
+  req.trapdoor.trapdoors.push_back(sse::Trapdoor{Bytes(20, 0x11), Bytes(32, 0x22)});
+  req.mode = MultiSearchMode::kDisjunctive;
+  req.top_k = 7;
+  const auto restored = MultiSearchRequest::deserialize(req.serialize());
+  ASSERT_EQ(restored.trapdoor.trapdoors.size(), 2u);
+  EXPECT_EQ(restored.trapdoor.trapdoors[1], req.trapdoor.trapdoors[1]);
+  EXPECT_EQ(restored.mode, MultiSearchMode::kDisjunctive);
+  EXPECT_EQ(restored.top_k, 7u);
+
+  Bytes bad = req.serialize();
+  bad[bad.size() - 9] = 9;  // mode byte out of range
+  EXPECT_THROW(MultiSearchRequest::deserialize(bad), ParseError);
+}
+
+TEST(Protocol, TruncatedPayloadsThrow) {
+  const RankedSearchRequest req{sample_trapdoor(), 5};
+  Bytes blob = req.serialize();
+  blob.resize(blob.size() - 3);
+  EXPECT_THROW(RankedSearchRequest::deserialize(blob), ParseError);
+
+  BasicFilesResponse resp;
+  resp.files.push_back(BasicFile{ir::file_id(1), Bytes(24, 1), to_bytes("one")});
+  Bytes rblob = resp.serialize();
+  rblob.resize(rblob.size() - 1);
+  EXPECT_THROW(BasicFilesResponse::deserialize(rblob), ParseError);
+}
+
+TEST(Protocol, TrailingBytesThrow) {
+  Bytes blob = FetchFilesRequest{{ir::file_id(1)}}.serialize();
+  blob.push_back(0);
+  EXPECT_THROW(FetchFilesRequest::deserialize(blob), ParseError);
+}
+
+}  // namespace
+}  // namespace rsse::cloud

@@ -1,0 +1,99 @@
+// Score quantizer: order preservation, clamping, level geometry, the
+// from_scores builder, and serialization.
+#include <gtest/gtest.h>
+
+#include "opse/quantizer.h"
+#include "util/errors.h"
+#include "util/rng.h"
+
+namespace rsse::opse {
+namespace {
+
+TEST(Quantizer, MapsIntervalOntoLevels) {
+  const ScoreQuantizer q(0.0, 1.0, 128);
+  EXPECT_EQ(q.quantize(0.0), 1u);
+  EXPECT_EQ(q.quantize(1.0), 128u);
+  EXPECT_EQ(q.quantize(0.5), 65u);  // floor(0.5*128)+1
+  EXPECT_EQ(q.levels(), 128u);
+}
+
+TEST(Quantizer, ClampsOutOfRangeScores) {
+  const ScoreQuantizer q(10.0, 20.0, 16);
+  EXPECT_EQ(q.quantize(-100.0), 1u);
+  EXPECT_EQ(q.quantize(9.999), 1u);
+  EXPECT_EQ(q.quantize(20.001), 16u);
+  EXPECT_EQ(q.quantize(1e9), 16u);
+}
+
+TEST(Quantizer, PreservesOrder) {
+  const ScoreQuantizer q(0.0, 5.0, 64);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double a = rng.next_double() * 5.0;
+    const double b = rng.next_double() * 5.0;
+    if (a <= b) {
+      EXPECT_LE(q.quantize(a), q.quantize(b));
+    } else {
+      EXPECT_GE(q.quantize(a), q.quantize(b));
+    }
+  }
+}
+
+TEST(Quantizer, EveryLevelIsReachable) {
+  const ScoreQuantizer q(0.0, 1.0, 32);
+  std::vector<bool> hit(33, false);
+  for (int i = 0; i <= 3200; ++i) hit[q.quantize(i / 3200.0)] = true;
+  for (std::uint64_t level = 1; level <= 32; ++level) EXPECT_TRUE(hit[level]) << level;
+}
+
+TEST(Quantizer, LevelMidpointsAreOrderedAndInRange) {
+  const ScoreQuantizer q(2.0, 10.0, 8);
+  double prev = 2.0;
+  for (std::uint64_t level = 1; level <= 8; ++level) {
+    const double mid = q.level_midpoint(level);
+    EXPECT_GT(mid, prev);
+    EXPECT_LT(mid, 10.0);
+    // The midpoint quantizes back to its own level.
+    EXPECT_EQ(q.quantize(mid), level);
+    prev = mid;
+  }
+  EXPECT_THROW(q.level_midpoint(0), InvalidArgument);
+  EXPECT_THROW(q.level_midpoint(9), InvalidArgument);
+}
+
+TEST(Quantizer, FromScoresCoversTheSample) {
+  const std::vector<double> scores{0.31, 0.02, 0.77, 0.55, 0.02};
+  const auto q = ScoreQuantizer::from_scores(scores, 128);
+  EXPECT_EQ(q.quantize(0.02), 1u);
+  EXPECT_EQ(q.quantize(0.77), 128u);
+  EXPECT_GT(q.quantize(0.55), q.quantize(0.31));
+}
+
+TEST(Quantizer, FromScoresHandlesDegenerateSample) {
+  const auto q = ScoreQuantizer::from_scores({3.0, 3.0, 3.0}, 16);
+  EXPECT_EQ(q.quantize(3.0), 1u);  // single-valued sample maps low
+  EXPECT_EQ(q.levels(), 16u);
+}
+
+TEST(Quantizer, SerializeRoundTrip) {
+  const ScoreQuantizer q(0.125, 9.75, 128);
+  const auto restored = ScoreQuantizer::deserialize(q.serialize());
+  for (double s : {0.0, 0.2, 1.0, 5.5, 9.74, 20.0})
+    EXPECT_EQ(restored.quantize(s), q.quantize(s));
+}
+
+TEST(Quantizer, DeserializeRejectsGarbage) {
+  EXPECT_THROW(ScoreQuantizer::deserialize(Bytes(7, 0)), ParseError);
+  Bytes blob = ScoreQuantizer(0.0, 1.0, 8).serialize();
+  blob.push_back(0);
+  EXPECT_THROW(ScoreQuantizer::deserialize(blob), ParseError);
+}
+
+TEST(Quantizer, Preconditions) {
+  EXPECT_THROW(ScoreQuantizer(1.0, 1.0, 8), InvalidArgument);
+  EXPECT_THROW(ScoreQuantizer(0.0, 1.0, 0), InvalidArgument);
+  EXPECT_THROW(ScoreQuantizer::from_scores({}, 8), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsse::opse

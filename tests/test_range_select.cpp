@@ -1,0 +1,102 @@
+// Range-size selection (eq. 3/4, Fig. 5): bound shapes, monotonicity,
+// the paper's worked example, and the looser-bound orderings of Fig. 5.
+#include <gtest/gtest.h>
+
+#include "opse/range_select.h"
+#include "util/errors.h"
+
+namespace rsse::opse {
+namespace {
+
+RangeSelectParams paper_params(RecursionBound bound = RecursionBound::kFiveLogMPlus12) {
+  // Fig. 5: max/lambda = 0.06 via max = 60 duplicates, lambda = 1000
+  // postings, M = 128, c = 1.1.
+  return RangeSelectParams{.max_duplicates = 60,
+                           .average_list_len = 1000,
+                           .domain_size = 128,
+                           .min_entropy_c = 1.1,
+                           .bound = bound};
+}
+
+TEST(RecursionBound, MatchesFormulas) {
+  EXPECT_DOUBLE_EQ(recursion_bound_bits(128, RecursionBound::kFiveLogMPlus12), 47.0);
+  EXPECT_DOUBLE_EQ(recursion_bound_bits(128, RecursionBound::kFiveLogM), 35.0);
+  EXPECT_DOUBLE_EQ(recursion_bound_bits(128, RecursionBound::kFourLogM), 28.0);
+  EXPECT_THROW(recursion_bound_bits(1, RecursionBound::kFiveLogM), InvalidArgument);
+}
+
+TEST(RangeSelect, LhsDecreasesInK) {
+  const auto p = paper_params();
+  for (std::uint64_t k = 10; k < 60; ++k)
+    EXPECT_GT(lhs_log2(p, k), lhs_log2(p, k + 1));
+}
+
+TEST(RangeSelect, RhsDecreasesSlowlyInK) {
+  const auto p = paper_params();
+  for (std::uint64_t k = 2; k < 100; ++k) {
+    EXPECT_GT(rhs_log2(p, k), rhs_log2(p, k + 1));
+    EXPECT_LT(rhs_log2(p, k), 0.0);
+  }
+}
+
+TEST(RangeSelect, PaperExampleLandsNearTwoToTheFortySix) {
+  // The paper reports |R| = 2^46 for the 5logM+12 bound. Our exact eq. 4
+  // arithmetic crosses within a few bits of that; pin the band so any
+  // regression in the formulas is caught.
+  const std::uint64_t k = choose_range_bits(paper_params());
+  EXPECT_GE(k, 44u);
+  EXPECT_LE(k, 52u);
+  // Chosen k satisfies the inequality; k-1 must not.
+  EXPECT_LE(lhs_log2(paper_params(), k), rhs_log2(paper_params(), k));
+  EXPECT_GT(lhs_log2(paper_params(), k - 1), rhs_log2(paper_params(), k - 1));
+}
+
+TEST(RangeSelect, LooserBoundsShrinkTheRange) {
+  // Fig. 5's second observation: replacing 5logM+12 with 5logM or 4logM
+  // reduces the admissible |R| (paper quotes 2^34 and 2^27).
+  const std::uint64_t k_full = choose_range_bits(paper_params());
+  const std::uint64_t k_five = choose_range_bits(paper_params(RecursionBound::kFiveLogM));
+  const std::uint64_t k_four = choose_range_bits(paper_params(RecursionBound::kFourLogM));
+  EXPECT_GT(k_full, k_five);
+  EXPECT_GT(k_five, k_four);
+  EXPECT_GE(k_five, 32u);
+  EXPECT_LE(k_five, 42u);
+  EXPECT_GE(k_four, 25u);
+  EXPECT_LE(k_four, 35u);
+}
+
+TEST(RangeSelect, MoreDuplicatesDemandLargerRange) {
+  auto few = paper_params();
+  few.max_duplicates = 10;
+  auto many = paper_params();
+  many.max_duplicates = 500;
+  EXPECT_LT(choose_range_bits(few), choose_range_bits(many));
+}
+
+TEST(RangeSelect, LargerCDemandsLargerRange) {
+  auto lax = paper_params();
+  lax.min_entropy_c = 1.05;
+  auto strict = paper_params();
+  strict.min_entropy_c = 1.5;
+  EXPECT_LE(choose_range_bits(lax), choose_range_bits(strict));
+}
+
+TEST(RangeSelect, ReturnsZeroWhenWindowTooSmall) {
+  EXPECT_EQ(choose_range_bits(paper_params(), 2, 10), 0u);
+}
+
+TEST(RangeSelect, Preconditions) {
+  auto p = paper_params();
+  p.max_duplicates = 0;
+  EXPECT_THROW(choose_range_bits(p), InvalidArgument);
+  p = paper_params();
+  p.min_entropy_c = 1.0;
+  EXPECT_THROW(choose_range_bits(p), InvalidArgument);
+  p = paper_params();
+  p.average_list_len = 0;
+  EXPECT_THROW(lhs_log2(p, 40), InvalidArgument);
+  EXPECT_THROW(rhs_log2(paper_params(), 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsse::opse

@@ -1,0 +1,92 @@
+// Server-side rank cache: hit/miss accounting, result equivalence with
+// the uncached path, and invalidation on index mutation.
+#include <gtest/gtest.h>
+
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "crypto/csprng.h"
+#include "ir/corpus_gen.h"
+
+namespace rsse::cloud {
+namespace {
+
+class RankCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 40;
+    opts.vocabulary_size = 200;
+    opts.min_tokens = 40;
+    opts.max_tokens = 150;
+    opts.injected.push_back(ir::InjectedKeyword{"network", 25, 0.3, 30});
+    opts.seed = 17;
+    corpus_ = ir::generate_corpus(opts);
+    owner_ = std::make_unique<DataOwner>();
+    owner_->outsource_rsse(corpus_, server_);
+    const Bytes user_key = crypto::random_bytes(32);
+    credentials_ = AuthorizationService::open(user_key, "u",
+                                              owner_->enroll_user(user_key, "u"));
+  }
+
+  std::vector<std::uint64_t> search_ids(std::size_t k) {
+    Channel channel(server_);
+    DataUser user(credentials_, channel);
+    std::vector<std::uint64_t> ids;
+    for (const auto& f : user.ranked_search("network", k))
+      ids.push_back(ir::value(f.document.id));
+    return ids;
+  }
+
+  ir::Corpus corpus_;
+  std::unique_ptr<DataOwner> owner_;
+  CloudServer server_;
+  UserCredentials credentials_;
+};
+
+TEST_F(RankCacheTest, CachedResultsMatchUncached) {
+  const auto uncached = search_ids(10);
+  server_.set_rank_cache_enabled(true);
+  const auto first = search_ids(10);   // miss, fills cache
+  const auto second = search_ids(10);  // hit
+  EXPECT_EQ(first, uncached);
+  EXPECT_EQ(second, uncached);
+  EXPECT_EQ(server_.rank_cache_misses(), 1u);
+  EXPECT_EQ(server_.rank_cache_hits(), 1u);
+}
+
+TEST_F(RankCacheTest, DifferentTopKServedFromOneCachedRow) {
+  server_.set_rank_cache_enabled(true);
+  const auto top5 = search_ids(5);
+  const auto top20 = search_ids(20);  // larger k, same cached full row
+  EXPECT_EQ(server_.rank_cache_misses(), 1u);
+  EXPECT_EQ(server_.rank_cache_hits(), 1u);
+  ASSERT_GE(top20.size(), top5.size());
+  for (std::size_t i = 0; i < top5.size(); ++i) EXPECT_EQ(top20[i], top5[i]);
+}
+
+TEST_F(RankCacheTest, IndexMutationInvalidatesCache) {
+  server_.set_rank_cache_enabled(true);
+  search_ids(5);
+  EXPECT_EQ(server_.rank_cache_misses(), 1u);
+  ir::Document doc{ir::file_id(7777), "new.txt",
+                   "network network network very relevant new document"};
+  owner_->add_document(server_, doc);  // update_index() clears the cache
+  const auto after = search_ids(0);
+  EXPECT_EQ(server_.rank_cache_misses(), 2u);  // refilled after invalidation
+  EXPECT_TRUE(std::any_of(after.begin(), after.end(),
+                          [](std::uint64_t id) { return id == 7777; }));
+}
+
+TEST_F(RankCacheTest, DisablingDropsTheCache) {
+  server_.set_rank_cache_enabled(true);
+  search_ids(5);
+  server_.set_rank_cache_enabled(false);
+  const auto ids = search_ids(5);  // uncached path
+  EXPECT_FALSE(ids.empty());
+  server_.set_rank_cache_enabled(true);
+  search_ids(5);
+  EXPECT_EQ(server_.rank_cache_misses(), 2u);  // cache was really dropped
+}
+
+}  // namespace
+}  // namespace rsse::cloud

@@ -1,0 +1,119 @@
+// Deterministic workload PRNG and the Zipf sampler.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/errors.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace rsse {
+namespace {
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Xoshiro256 c(124);
+  EXPECT_NE(Xoshiro256(123).next_u64(), c.next_u64());
+}
+
+TEST(Xoshiro, UniformBelowBoundsAndCoverage) {
+  Xoshiro256 rng(7);
+  std::map<std::uint64_t, int> seen;
+  for (int i = 0; i < 6000; ++i) {
+    const std::uint64_t v = rng.uniform_below(6);
+    ASSERT_LT(v, 6u);
+    ++seen[v];
+  }
+  EXPECT_EQ(seen.size(), 6u);  // every face appears
+  for (const auto& [face, count] : seen) EXPECT_GT(count, 700);  // roughly fair
+}
+
+TEST(Xoshiro, UniformInInclusive) {
+  Xoshiro256 rng(9);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.uniform_in(10, 13);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 13u);
+    hit_lo |= v == 10;
+    hit_hi |= v == 13;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Xoshiro, DoublesInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, BernoulliEdgeCasesAndRate) {
+  Xoshiro256 rng(13);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Xoshiro, Preconditions) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(rng.uniform_below(0), InvalidArgument);
+  EXPECT_THROW(rng.uniform_in(5, 4), InvalidArgument);
+}
+
+TEST(Zipf, PmfSumsToOneAndIsDecreasing) {
+  const ZipfSampler zipf(100, 1.2);
+  double total = 0;
+  for (std::size_t k = 0; k < 100; ++k) {
+    total += zipf.pmf(k);
+    if (k > 0) EXPECT_LE(zipf.pmf(k), zipf.pmf(k - 1));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, SamplesFollowTheSkew) {
+  const ZipfSampler zipf(1000, 1.0);
+  Xoshiro256 rng(5);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  // Rank 0 must dominate rank 99 by roughly the 1/(k+1) law.
+  EXPECT_GT(counts[0], counts[99] * 10);
+  // Expected share of rank 0 is pmf(0); allow generous slack.
+  EXPECT_NEAR(counts[0] / 20000.0, zipf.pmf(0), 0.02);
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  const ZipfSampler zipf(10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_NEAR(zipf.pmf(k), 0.1, 1e-12);
+}
+
+TEST(Zipf, Preconditions) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), InvalidArgument);
+  EXPECT_THROW(ZipfSampler(10, -0.5), InvalidArgument);
+  const ZipfSampler zipf(10, 1.0);
+  EXPECT_THROW(zipf.pmf(10), InvalidArgument);
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), first);
+  EXPECT_EQ(splitmix64(state2), second);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,83 @@
+// SecureIndex container: row management, lookup, byte accounting,
+// serialization, and update (replace_row) semantics.
+#include <gtest/gtest.h>
+
+#include "sse/secure_index.h"
+#include "util/errors.h"
+
+namespace rsse::sse {
+namespace {
+
+Bytes label(char c) { return Bytes(20, static_cast<std::uint8_t>(c)); }
+
+TEST(SecureIndex, AddAndLookup) {
+  SecureIndex index;
+  index.add_row(label('a'), {Bytes(40, 1), Bytes(40, 2)});
+  index.add_row(label('b'), {Bytes(40, 3)});
+  EXPECT_EQ(index.num_rows(), 2u);
+  ASSERT_NE(index.row(label('a')), nullptr);
+  EXPECT_EQ(index.row(label('a'))->size(), 2u);
+  EXPECT_EQ(index.row(label('c')), nullptr);
+}
+
+TEST(SecureIndex, RejectsBadRows) {
+  SecureIndex index;
+  EXPECT_THROW(index.add_row(Bytes{}, {}), InvalidArgument);
+  index.add_row(label('a'), {});
+  EXPECT_THROW(index.add_row(label('a'), {}), InvalidArgument);  // duplicate
+  EXPECT_THROW(index.add_row(label('b'), {Bytes(40, 0), Bytes(41, 0)}),
+               InvalidArgument);  // ragged
+}
+
+TEST(SecureIndex, ByteAccounting) {
+  SecureIndex index;
+  index.add_row(label('a'), {Bytes(40, 1), Bytes(40, 2)});
+  index.add_row(label('b'), {Bytes(40, 3)});
+  EXPECT_EQ(index.byte_size(), 20u * 2 + 40u * 3);
+  EXPECT_EQ(index.row_byte_size(label('a')), 20u + 80u);
+  EXPECT_EQ(index.row_byte_size(label('z')), 0u);
+}
+
+TEST(SecureIndex, SerializeRoundTrip) {
+  SecureIndex index;
+  index.add_row(label('a'), {Bytes(8, 1), Bytes(8, 2)});
+  index.add_row(label('q'), {});
+  index.add_row(label('b'), {Bytes(16, 9)});
+  const SecureIndex restored = SecureIndex::deserialize(index.serialize());
+  EXPECT_EQ(restored, index);
+}
+
+TEST(SecureIndex, DeserializeRejectsCorruption) {
+  SecureIndex index;
+  index.add_row(label('a'), {Bytes(8, 1)});
+  Bytes blob = index.serialize();
+  blob.resize(blob.size() - 2);
+  EXPECT_THROW(SecureIndex::deserialize(blob), ParseError);
+  blob = index.serialize();
+  blob.push_back(0);
+  EXPECT_THROW(SecureIndex::deserialize(blob), ParseError);
+}
+
+TEST(SecureIndex, LabelsSortedAndOpaque) {
+  SecureIndex index;
+  index.add_row(label('c'), {});
+  index.add_row(label('a'), {});
+  index.add_row(label('b'), {});
+  const auto labels = index.labels();
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], label('a'));
+  EXPECT_EQ(labels[2], label('c'));
+}
+
+TEST(SecureIndex, ReplaceRow) {
+  SecureIndex index;
+  index.add_row(label('a'), {Bytes(8, 1)});
+  index.replace_row(label('a'), {Bytes(8, 2), Bytes(8, 3)});
+  EXPECT_EQ(index.row(label('a'))->size(), 2u);
+  EXPECT_THROW(index.replace_row(label('x'), {}), InvalidArgument);
+  EXPECT_THROW(index.replace_row(label('a'), {Bytes(8, 0), Bytes(9, 0)}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsse::sse

@@ -1,0 +1,59 @@
+// Split-cache correctness: cache-assisted mapping must be bit-identical
+// to the uncached path, the cache stays within its 2M-1 window bound,
+// and a full-list mapping through one cache touches each window's HGD
+// only once (indirectly: measured as wall-clock dominance, asserted as
+// equality of outputs here and as a speedup in the Table I bench).
+#include <gtest/gtest.h>
+
+#include "opse/opm.h"
+#include "util/rng.h"
+
+namespace rsse::opse {
+namespace {
+
+TEST(SplitCache, CachedMappingBitIdenticalToUncached) {
+  const OneToManyOpm opm(to_bytes("cache-key"), OpeParams{128, 1ull << 46});
+  SplitCache cache;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t m = rng.uniform_in(1, 128);
+    const std::uint64_t id = rng.next_u64();
+    ASSERT_EQ(opm.map(m, id, cache), opm.map(m, id)) << "m=" << m;
+  }
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST(SplitCache, SizeBoundedByWindowCount) {
+  const std::uint64_t domain = 64;
+  const OneToManyOpm opm(to_bytes("bound-key"), OpeParams{domain, 1ull << 24});
+  SplitCache cache;
+  for (std::uint64_t m = 1; m <= domain; ++m)
+    for (std::uint64_t id = 0; id < 4; ++id) (void)opm.map(m, id, cache);
+  // The descent tree over M leaves has at most 2M-1 internal windows.
+  EXPECT_LE(cache.size(), 2 * domain - 1);
+  EXPECT_GE(cache.size(), domain - 1);  // full domain touches all internals
+}
+
+TEST(SplitCache, RepeatMappingsAddNoWindows) {
+  const OneToManyOpm opm(to_bytes("repeat-key"), OpeParams{32, 1 << 20});
+  SplitCache cache;
+  (void)opm.map(7, 1, cache);
+  const std::size_t after_first = cache.size();
+  for (int i = 0; i < 100; ++i) (void)opm.map(7, static_cast<std::uint64_t>(i), cache);
+  EXPECT_EQ(cache.size(), after_first);  // same plaintext, same path
+}
+
+TEST(SplitCache, ManualFindInsertRoundTrip) {
+  SplitCache cache;
+  EXPECT_EQ(cache.find(0, 8, 0, 64), nullptr);
+  cache.insert(0, 8, 0, 64, SplitCache::Split{3, 32});
+  const auto* hit = cache.find(0, 8, 0, 64);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->x, 3u);
+  EXPECT_EQ(hit->y, 32u);
+  EXPECT_EQ(cache.find(0, 8, 0, 65), nullptr);  // window coords all matter
+  EXPECT_EQ(cache.find(1, 8, 0, 64), nullptr);
+}
+
+}  // namespace
+}  // namespace rsse::opse

@@ -1,0 +1,139 @@
+// Curtmola SSE-1 baseline: chain walks return exactly F(w), scores
+// decrypt to eq.-2 values, foreign trapdoors and slack slots never yield
+// hits, storage is ~slack * postings nodes (not m * nu), serialization
+// round-trips, corrupted chains terminate.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/curtmola_sse1.h"
+#include "crypto/csprng.h"
+#include "ir/corpus_gen.h"
+#include "ir/inverted_index.h"
+#include "ir/scoring.h"
+#include "sse/basic_scheme.h"
+#include "sse/keys.h"
+#include "util/errors.h"
+#include "util/rng.h"
+
+namespace rsse::baseline {
+namespace {
+
+class Sse1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 40;
+    opts.vocabulary_size = 250;
+    opts.min_tokens = 50;
+    opts.max_tokens = 200;
+    opts.injected.push_back(ir::InjectedKeyword{"network", 25, 0.3, 30});
+    opts.seed = 47;
+    corpus_ = ir::generate_corpus(opts);
+    key_ = sse::keygen();
+    scheme_ = std::make_unique<CurtmolaSse1>(key_.x, key_.y, key_.z);
+    index_ = std::make_unique<Sse1Index>(scheme_->build_index(corpus_));
+    inverted_ = ir::InvertedIndex::build(corpus_, ir::Analyzer());
+  }
+
+  ir::Corpus corpus_;
+  sse::MasterKey key_;
+  std::unique_ptr<CurtmolaSse1> scheme_;
+  std::unique_ptr<Sse1Index> index_;
+  ir::InvertedIndex inverted_;
+};
+
+TEST_F(Sse1Test, ChainWalkReturnsExactlyTheMatchingFiles) {
+  const auto postings = index_->search(scheme_->trapdoor("network"));
+  std::set<std::uint64_t> got;
+  for (const auto& p : postings) got.insert(ir::value(p.file));
+  std::set<std::uint64_t> expected;
+  for (const auto& p : *inverted_.postings("network")) expected.insert(ir::value(p.file));
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(got.size(), 25u);
+}
+
+TEST_F(Sse1Test, ScoresDecryptToEquationTwo) {
+  const auto postings = index_->search(scheme_->trapdoor("network"));
+  for (const auto& p : postings) {
+    const auto* list = inverted_.postings("network");
+    const auto it = std::find_if(list->begin(), list->end(),
+                                 [&](const ir::Posting& q) { return q.file == p.file; });
+    ASSERT_NE(it, list->end());
+    const double expected =
+        ir::score_single_keyword(it->tf, inverted_.doc_length(it->file));
+    EXPECT_NEAR(scheme_->decrypt_score(p.encrypted_score), expected, 1e-12);
+  }
+}
+
+TEST_F(Sse1Test, TrapdoorCompatibleWithBasicScheme) {
+  // Same (x, y) derivation as the main schemes: the trapdoors agree.
+  const sse::BasicScheme basic(key_);
+  EXPECT_EQ(scheme_->trapdoor("network"), basic.trapdoor("network"));
+}
+
+TEST_F(Sse1Test, UnknownAndForeignTrapdoorsFindNothing) {
+  EXPECT_TRUE(index_->search(scheme_->trapdoor("qqqabsent")).empty());
+  const sse::MasterKey other = sse::keygen();
+  const CurtmolaSse1 foreign(other.x, other.y, other.z);
+  EXPECT_TRUE(index_->search(foreign.trapdoor("network")).empty());
+}
+
+TEST_F(Sse1Test, ArraySizeIsPostingsTimesSlackNotMTimesNu) {
+  std::uint64_t total_postings = 0;
+  for (const auto& term : inverted_.terms())
+    total_postings += inverted_.postings(term)->size();
+  EXPECT_GE(index_->array_size(), total_postings);
+  EXPECT_LE(index_->array_size(), static_cast<std::size_t>(total_postings * 1.3));
+  // Far below the padded representation m * nu.
+  EXPECT_LT(index_->array_size(),
+            inverted_.num_terms() * inverted_.max_posting_length());
+}
+
+TEST_F(Sse1Test, SerializationRoundTrip) {
+  const Sse1Index restored = Sse1Index::deserialize(index_->serialize());
+  EXPECT_EQ(restored.array_size(), index_->array_size());
+  EXPECT_EQ(restored.search(scheme_->trapdoor("network")).size(), 25u);
+}
+
+TEST_F(Sse1Test, DeserializeRejectsGarbage) {
+  Bytes blob = index_->serialize();
+  blob.resize(blob.size() - 1);
+  EXPECT_THROW(Sse1Index::deserialize(blob), ParseError);
+  EXPECT_THROW(Sse1Index::deserialize(Bytes(13, 0)), ParseError);
+}
+
+TEST_F(Sse1Test, CorruptedChainTerminatesEarlyNeverCrashes) {
+  // Flip bits throughout the serialized structure; walks must terminate
+  // with a (possibly truncated) result, never crash or loop.
+  Bytes blob = index_->serialize();
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    Bytes corrupted = blob;
+    for (int f = 0; f < 32; ++f) {
+      const std::size_t pos = rng.uniform_below(corrupted.size());
+      corrupted[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_below(8));
+    }
+    try {
+      const Sse1Index tampered = Sse1Index::deserialize(corrupted);
+      const auto postings = tampered.search(scheme_->trapdoor("network"));
+      EXPECT_LE(postings.size(), tampered.array_size());
+    } catch (const Error&) {
+      // structural rejection is fine
+    }
+  }
+}
+
+TEST(Sse1Construction, Preconditions) {
+  EXPECT_THROW(CurtmolaSse1(Bytes{}, Bytes(32, 1), Bytes(32, 2)), InvalidArgument);
+  EXPECT_THROW(CurtmolaSse1(Bytes(32, 1), Bytes(32, 2), Bytes(32, 3), 160,
+                            ir::AnalyzerOptions{}, 0.5),
+               InvalidArgument);
+  const sse::MasterKey key = sse::keygen();
+  const CurtmolaSse1 scheme(key.x, key.y, key.z);
+  EXPECT_THROW(scheme.build_index(ir::Corpus{}), InvalidArgument);
+  EXPECT_THROW(scheme.trapdoor("the"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsse::baseline

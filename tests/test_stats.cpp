@@ -1,0 +1,110 @@
+// Statistics helpers: Welford moments, quantiles, duplicate statistics,
+// and the histogram (binning, entropy measures, ASCII rendering).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+
+namespace rsse {
+namespace {
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Quantile, InterpolatesOrderStatistics) {
+  const std::vector<double> sample{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.125), 1.5);  // interpolated
+}
+
+TEST(Quantile, Preconditions) {
+  EXPECT_THROW(quantile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(quantile({1.0}, 1.5), InvalidArgument);
+}
+
+TEST(DuplicateStats, CountsPeakAndDistinct) {
+  const std::vector<std::uint64_t> values{1, 2, 2, 3, 3, 3, 9};
+  EXPECT_EQ(max_duplicates(values), 3u);
+  EXPECT_EQ(distinct_count(values), 4u);
+  EXPECT_EQ(max_duplicates({}), 0u);
+  EXPECT_EQ(distinct_count({}), 0u);
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.occupied_bins(), 3u);
+  EXPECT_EQ(h.max_count(), 2u);
+}
+
+TEST(Histogram, EntropyOfUniformAndPeaked) {
+  Histogram uniform(0.0, 4.0, 4);
+  for (int b = 0; b < 4; ++b) uniform.add(b + 0.5);
+  EXPECT_NEAR(uniform.min_entropy_bits(), 2.0, 1e-12);
+  EXPECT_NEAR(uniform.shannon_entropy_bits(), 2.0, 1e-12);
+
+  Histogram peaked(0.0, 4.0, 4);
+  for (int i = 0; i < 100; ++i) peaked.add(0.5);
+  EXPECT_NEAR(peaked.min_entropy_bits(), 0.0, 1e-12);
+  EXPECT_NEAR(peaked.shannon_entropy_bits(), 0.0, 1e-12);
+}
+
+TEST(Histogram, WeightedAddAndBinEdges) {
+  Histogram h(0.0, 100.0, 4);
+  h.add(10.0, 7);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.count(0), 7u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 75.0);
+}
+
+TEST(Histogram, AsciiChartRenders) {
+  Histogram h(0.0, 8.0, 8);
+  for (int i = 0; i < 8; ++i) h.add(i + 0.5, static_cast<std::uint64_t>(i + 1));
+  const std::string chart = h.ascii_chart(8, 20);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 8);
+}
+
+TEST(Histogram, Preconditions) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsse

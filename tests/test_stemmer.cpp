@@ -1,0 +1,110 @@
+// Porter stemmer vectors: the classic examples from Porter's 1980 paper,
+// step by step, as a parameterized table.
+#include <gtest/gtest.h>
+
+#include "ir/porter_stemmer.h"
+
+namespace rsse::ir {
+namespace {
+
+struct Vector {
+  const char* input;
+  const char* expected;
+};
+
+class PorterVectors : public ::testing::TestWithParam<Vector> {};
+
+TEST_P(PorterVectors, StemsAsInPortersPaper) {
+  EXPECT_EQ(porter_stem(GetParam().input), GetParam().expected)
+      << "input: " << GetParam().input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1a, PorterVectors,
+    ::testing::Values(Vector{"caresses", "caress"}, Vector{"ponies", "poni"},
+                      Vector{"ties", "ti"}, Vector{"caress", "caress"},
+                      Vector{"cats", "cat"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1b, PorterVectors,
+    ::testing::Values(Vector{"feed", "feed"}, Vector{"agreed", "agre"},
+                      Vector{"plastered", "plaster"}, Vector{"bled", "bled"},
+                      Vector{"motoring", "motor"}, Vector{"sing", "sing"},
+                      Vector{"conflated", "conflat"}, Vector{"troubled", "troubl"},
+                      Vector{"sized", "size"}, Vector{"hopping", "hop"},
+                      Vector{"tanned", "tan"}, Vector{"falling", "fall"},
+                      Vector{"hissing", "hiss"}, Vector{"fizzed", "fizz"},
+                      Vector{"failing", "fail"}, Vector{"filing", "file"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1c, PorterVectors,
+    ::testing::Values(Vector{"happy", "happi"}, Vector{"sky", "sky"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step2, PorterVectors,
+    ::testing::Values(Vector{"relational", "relat"}, Vector{"conditional", "condit"},
+                      Vector{"rational", "ration"}, Vector{"valenci", "valenc"},
+                      Vector{"hesitanci", "hesit"}, Vector{"digitizer", "digit"},
+                      Vector{"conformabli", "conform"}, Vector{"radicalli", "radic"},
+                      Vector{"differentli", "differ"}, Vector{"vileli", "vile"},
+                      Vector{"analogousli", "analog"},
+                      Vector{"vietnamization", "vietnam"},
+                      Vector{"predication", "predic"}, Vector{"operator", "oper"},
+                      Vector{"feudalism", "feudal"}, Vector{"decisiveness", "decis"},
+                      Vector{"hopefulness", "hope"}, Vector{"callousness", "callous"},
+                      Vector{"formaliti", "formal"}, Vector{"sensitiviti", "sensit"},
+                      Vector{"sensibiliti", "sensibl"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step3, PorterVectors,
+    ::testing::Values(Vector{"triplicate", "triplic"}, Vector{"formative", "form"},
+                      Vector{"formalize", "formal"}, Vector{"electriciti", "electr"},
+                      Vector{"electrical", "electr"}, Vector{"hopeful", "hope"},
+                      Vector{"goodness", "good"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step4, PorterVectors,
+    ::testing::Values(Vector{"revival", "reviv"}, Vector{"allowance", "allow"},
+                      Vector{"inference", "infer"}, Vector{"airliner", "airlin"},
+                      Vector{"gyroscopic", "gyroscop"}, Vector{"adjustable", "adjust"},
+                      Vector{"defensible", "defens"}, Vector{"irritant", "irrit"},
+                      Vector{"replacement", "replac"}, Vector{"adjustment", "adjust"},
+                      Vector{"dependent", "depend"}, Vector{"adoption", "adopt"},
+                      Vector{"homologou", "homolog"}, Vector{"communism", "commun"},
+                      Vector{"activate", "activ"}, Vector{"angulariti", "angular"},
+                      Vector{"homologous", "homolog"}, Vector{"effective", "effect"},
+                      Vector{"bowdlerize", "bowdler"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step5, PorterVectors,
+    ::testing::Values(Vector{"probate", "probat"}, Vector{"rate", "rate"},
+                      Vector{"cease", "ceas"}, Vector{"controll", "control"},
+                      Vector{"roll", "roll"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    DomainWords, PorterVectors,
+    ::testing::Values(Vector{"network", "network"}, Vector{"networks", "network"},
+                      Vector{"networking", "network"}, Vector{"networked", "network"},
+                      Vector{"encryption", "encrypt"}, Vector{"encrypted", "encrypt"},
+                      Vector{"searchable", "searchabl"}, Vector{"searching", "search"},
+                      Vector{"ranked", "rank"}, Vector{"ranking", "rank"},
+                      Vector{"protocols", "protocol"}, Vector{"clouds", "cloud"}));
+
+TEST(Porter, ShortWordsAreUntouched) {
+  EXPECT_EQ(porter_stem("a"), "a");
+  EXPECT_EQ(porter_stem("is"), "is");
+  EXPECT_EQ(porter_stem("by"), "by");
+}
+
+TEST(Porter, Idempotence) {
+  // Stemming an already-stemmed word must not change it further for the
+  // words the schemes index (queries are stemmed twice in some paths).
+  for (const char* w : {"network", "encrypt", "search", "rank", "cloud",
+                        "protocol", "motor", "hop", "relat"}) {
+    const std::string once = porter_stem(w);
+    EXPECT_EQ(porter_stem(once), once) << w;
+  }
+}
+
+}  // namespace
+}  // namespace rsse::ir

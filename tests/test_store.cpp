@@ -1,0 +1,173 @@
+// Persistence layer: owner-state sealing (round trip, wrong passphrase,
+// tampering, magic check) and deployment save/load (search results
+// identical after a restart, deletions persist).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "crypto/csprng.h"
+#include "ir/corpus_gen.h"
+#include "store/deployment.h"
+#include "store/owner_state.h"
+#include "util/errors.h"
+
+namespace rsse::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Low iteration count: these are correctness tests, not KDF hardness.
+constexpr std::uint32_t kFastIterations = 100;
+
+OwnerState sample_state(bool with_quantizer) {
+  OwnerState state;
+  state.key = sse::keygen();
+  state.file_master = crypto::random_bytes(32);
+  if (with_quantizer) state.quantizer = opse::ScoreQuantizer(0.0, 1.5, 128);
+  return state;
+}
+
+TEST(OwnerState, SerializeRoundTripWithAndWithoutQuantizer) {
+  for (bool with_quantizer : {false, true}) {
+    const OwnerState state = sample_state(with_quantizer);
+    const OwnerState restored = OwnerState::deserialize(state.serialize());
+    EXPECT_EQ(restored.key, state.key);
+    EXPECT_EQ(restored.file_master, state.file_master);
+    EXPECT_EQ(restored.quantizer.has_value(), with_quantizer);
+    if (with_quantizer)
+      EXPECT_EQ(restored.quantizer->quantize(0.7), state.quantizer->quantize(0.7));
+  }
+}
+
+TEST(OwnerState, SealOpenRoundTrip) {
+  const OwnerState state = sample_state(true);
+  const Bytes sealed = seal_owner_state(state, "correct horse", kFastIterations);
+  const OwnerState opened = open_owner_state(sealed, "correct horse");
+  EXPECT_EQ(opened.key, state.key);
+  EXPECT_EQ(opened.file_master, state.file_master);
+}
+
+TEST(OwnerState, WrongPassphraseFailsClosed) {
+  const Bytes sealed = seal_owner_state(sample_state(false), "right", kFastIterations);
+  EXPECT_THROW(open_owner_state(sealed, "wrong"), CryptoError);
+}
+
+TEST(OwnerState, TamperingIsDetected) {
+  Bytes sealed = seal_owner_state(sample_state(false), "pw", kFastIterations);
+  sealed[sealed.size() - 5] ^= 1;
+  EXPECT_THROW(open_owner_state(sealed, "pw"), CryptoError);
+}
+
+TEST(OwnerState, RejectsNonOwnerFilesAndGarbage) {
+  EXPECT_THROW(open_owner_state(to_bytes("not an owner file at all"), "pw"), ParseError);
+  Bytes sealed = seal_owner_state(sample_state(false), "pw", kFastIterations);
+  sealed[0] ^= 0xff;  // break the magic
+  EXPECT_THROW(open_owner_state(sealed, "pw"), ParseError);
+}
+
+TEST(OwnerState, EmptyPassphraseRejected) {
+  EXPECT_THROW(seal_owner_state(sample_state(false), "", kFastIterations),
+               InvalidArgument);
+}
+
+TEST(OwnerState, FileRoundTrip) {
+  const fs::path path = fs::temp_directory_path() / "rsse_owner_state_test.bin";
+  const OwnerState state = sample_state(true);
+  save_owner_state(state, path.string(), "pw", kFastIterations);
+  const OwnerState loaded = load_owner_state(path.string(), "pw");
+  EXPECT_EQ(loaded.key, state.key);
+  fs::remove(path);
+  EXPECT_THROW(load_owner_state(path.string(), "pw"), Error);
+}
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "rsse_deploy_test").string();
+    fs::remove_all(dir_);
+
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 25;
+    opts.vocabulary_size = 150;
+    opts.min_tokens = 40;
+    opts.max_tokens = 150;
+    opts.injected.push_back(ir::InjectedKeyword{"network", 15, 0.3, 20});
+    opts.seed = 21;
+    corpus_ = ir::generate_corpus(opts);
+    owner_ = std::make_unique<cloud::DataOwner>();
+    owner_->outsource_rsse(corpus_, server_);
+
+    const Bytes user_key = crypto::random_bytes(32);
+    credentials_ = cloud::AuthorizationService::open(
+        user_key, "u", owner_->enroll_user(user_key, "u"));
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::vector<std::uint64_t> search_ids(cloud::CloudServer& server) {
+    cloud::Channel channel(server);
+    cloud::DataUser user(credentials_, channel);
+    std::vector<std::uint64_t> ids;
+    for (const auto& f : user.ranked_search("network", 0))
+      ids.push_back(ir::value(f.document.id));
+    return ids;
+  }
+
+  std::string dir_;
+  ir::Corpus corpus_;
+  std::unique_ptr<cloud::DataOwner> owner_;
+  cloud::CloudServer server_;
+  cloud::UserCredentials credentials_;
+};
+
+TEST_F(DeploymentTest, SearchResultsSurviveRestart) {
+  const auto before = search_ids(server_);
+  ASSERT_FALSE(before.empty());
+  save_deployment(server_, dir_);
+
+  cloud::CloudServer restarted;
+  load_deployment(dir_, restarted);
+  EXPECT_EQ(search_ids(restarted), before);
+  EXPECT_EQ(restarted.num_files(), server_.num_files());
+  EXPECT_EQ(restarted.index().serialize(), server_.index().serialize());
+}
+
+TEST_F(DeploymentTest, RemovalsPersistAcrossSave) {
+  const ir::Document& victim = corpus_.documents()[0];
+  owner_->remove_document(server_, victim);
+  save_deployment(server_, dir_);
+
+  cloud::CloudServer restarted;
+  load_deployment(dir_, restarted);
+  EXPECT_EQ(restarted.num_files(), corpus_.size() - 1);
+  const auto ids = search_ids(restarted);
+  EXPECT_FALSE(std::any_of(ids.begin(), ids.end(), [&](std::uint64_t id) {
+    return id == ir::value(victim.id);
+  }));
+}
+
+TEST_F(DeploymentTest, SaveReplacesPreviousDeployment) {
+  save_deployment(server_, dir_);
+  // Shrink and re-save: stale blobs must disappear.
+  const ir::Document& victim = corpus_.documents()[1];
+  owner_->remove_document(server_, victim);
+  save_deployment(server_, dir_);
+  cloud::CloudServer restarted;
+  load_deployment(dir_, restarted);
+  EXPECT_EQ(restarted.num_files(), corpus_.size() - 1);
+}
+
+TEST_F(DeploymentTest, LoadRejectsMissingOrMalformed) {
+  cloud::CloudServer server;
+  EXPECT_THROW(load_deployment("/nonexistent/rsse/dir", server), InvalidArgument);
+  // Corrupt index file.
+  save_deployment(server_, dir_);
+  std::ofstream(fs::path(dir_) / "index.bin", std::ios::trunc) << "garbage";
+  EXPECT_THROW(load_deployment(dir_, server), ParseError);
+}
+
+}  // namespace
+}  // namespace rsse::store

@@ -1,0 +1,95 @@
+// Song-Wagner-Perrig baseline: match correctness at exact positions,
+// no false hits across words/keys, ciphertext pseudorandomness (equal
+// words at different positions encrypt differently), and the linear-scan
+// search over a collection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/swp.h"
+#include "ir/analyzer.h"
+#include "util/errors.h"
+
+namespace rsse::baseline {
+namespace {
+
+std::vector<std::string> words(std::initializer_list<const char*> ws) {
+  return std::vector<std::string>(ws.begin(), ws.end());
+}
+
+class SwpTest : public ::testing::Test {
+ protected:
+  SwpScheme scheme_{SwpScheme::generate_key()};
+};
+
+TEST_F(SwpTest, FindsExactPositions) {
+  const auto blocks = scheme_.encrypt_words(
+      ir::file_id(1), words({"alpha", "beta", "alpha", "gamma", "alpha"}));
+  const auto positions = SwpScheme::search_document(blocks, scheme_.token("alpha"));
+  EXPECT_EQ(positions, (std::vector<std::uint64_t>{0, 2, 4}));
+  EXPECT_EQ(SwpScheme::search_document(blocks, scheme_.token("beta")),
+            (std::vector<std::uint64_t>{1}));
+  EXPECT_TRUE(SwpScheme::search_document(blocks, scheme_.token("delta")).empty());
+}
+
+TEST_F(SwpTest, EqualWordsProduceDistinctBlocks) {
+  // The per-position stream hides word equality from anyone without the
+  // search token.
+  const auto blocks = scheme_.encrypt_words(ir::file_id(2),
+                                            words({"same", "same", "same"}));
+  EXPECT_NE(blocks[0], blocks[1]);
+  EXPECT_NE(blocks[1], blocks[2]);
+  // And the same word in another file differs too.
+  const auto other = scheme_.encrypt_words(ir::file_id(3), words({"same"}));
+  EXPECT_NE(blocks[0], other[0]);
+}
+
+TEST_F(SwpTest, ForeignKeyTokenMatchesNothing) {
+  const auto blocks =
+      scheme_.encrypt_words(ir::file_id(4), words({"alpha", "beta", "gamma"}));
+  const SwpScheme other(SwpScheme::generate_key());
+  EXPECT_TRUE(SwpScheme::search_document(blocks, other.token("alpha")).empty());
+}
+
+TEST_F(SwpTest, CollectionScanAggregatesMatches) {
+  std::map<std::uint64_t, std::vector<Bytes>> collection;
+  collection[10] = scheme_.encrypt_words(ir::file_id(10), words({"x", "target"}));
+  collection[11] = scheme_.encrypt_words(ir::file_id(11), words({"nothing", "here"}));
+  collection[12] =
+      scheme_.encrypt_words(ir::file_id(12), words({"target", "y", "target"}));
+
+  const auto matches = SwpScheme::search(collection, scheme_.token("target"));
+  std::set<std::pair<std::uint64_t, std::uint64_t>> got;
+  for (const auto& m : matches) got.emplace(ir::value(m.file), m.position);
+  EXPECT_EQ(got, (std::set<std::pair<std::uint64_t, std::uint64_t>>{
+                     {10, 1}, {12, 0}, {12, 2}}));
+}
+
+TEST_F(SwpTest, NoFalsePositivesOverManyWords) {
+  // 2000 positions, one needle: exactly one hit.
+  std::vector<std::string> many;
+  for (int i = 0; i < 2000; ++i) many.push_back("filler" + std::to_string(i));
+  many[777] = "needle";
+  const auto blocks = scheme_.encrypt_words(ir::file_id(5), many);
+  const auto positions = SwpScheme::search_document(blocks, scheme_.token("needle"));
+  EXPECT_EQ(positions, (std::vector<std::uint64_t>{777}));
+}
+
+TEST_F(SwpTest, TokensAreDeterministicPerWord) {
+  EXPECT_EQ(scheme_.token("alpha"), scheme_.token("alpha"));
+  EXPECT_NE(scheme_.token("alpha"), scheme_.token("beta"));
+}
+
+TEST_F(SwpTest, MalformedBlockThrows) {
+  std::vector<Bytes> blocks{Bytes(10, 0)};
+  EXPECT_THROW(SwpScheme::search_document(blocks, scheme_.token("x")), ParseError);
+}
+
+TEST(SwpKey, EmptyComponentRejected) {
+  SwpScheme::Key key = SwpScheme::generate_key();
+  key.stream_seed.clear();
+  EXPECT_THROW(SwpScheme{key}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsse::baseline

@@ -1,0 +1,98 @@
+// Tokenizer, stop words, and the analyzer pipeline (stemmer has its own
+// dedicated vector suite in test_stemmer.cpp).
+#include <gtest/gtest.h>
+
+#include "ir/analyzer.h"
+#include "ir/stopwords.h"
+#include "ir/tokenizer.h"
+
+namespace rsse::ir {
+namespace {
+
+TEST(Tokenizer, SplitsAndLowercases) {
+  const auto tokens = tokenize("Hello, World! TCP/IP  rocks");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"hello", "world", "tcp", "ip", "rocks"}));
+}
+
+TEST(Tokenizer, DropsShortAndNumericTokensByDefault) {
+  const auto tokens = tokenize("a I 42 ok go node99 1990");
+  // "a"/"I" too short; "42"/"1990" all digits; "ok"/"go" pass (len 2);
+  // "node99" is alphanumeric, kept.
+  EXPECT_EQ(tokens, (std::vector<std::string>{"ok", "go", "node99"}));
+}
+
+TEST(Tokenizer, OptionsControlFiltering) {
+  TokenizerOptions opts;
+  opts.min_length = 1;
+  opts.keep_numbers = true;
+  const auto tokens = tokenize("a 42", opts);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"a", "42"}));
+
+  TokenizerOptions strict;
+  strict.max_length = 4;
+  const auto capped = tokenize("tiny enormousword", strict);
+  EXPECT_EQ(capped, (std::vector<std::string>{"tiny"}));
+}
+
+TEST(Tokenizer, NonAsciiBytesActAsSeparators) {
+  const std::string text = "caf\xc3\xa9 net";  // UTF-8 é splits the token
+  const auto tokens = tokenize(text);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"caf", "net"}));
+}
+
+TEST(Tokenizer, EmptyAndSeparatorOnlyInput) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("... --- !!!").empty());
+}
+
+TEST(Helpers, LowercaseAndDigits) {
+  std::string s = "MiXeD123";
+  ascii_lowercase(s);
+  EXPECT_EQ(s, "mixed123");
+  EXPECT_TRUE(is_all_digits("0123"));
+  EXPECT_FALSE(is_all_digits("12a"));
+  EXPECT_FALSE(is_all_digits(""));
+}
+
+TEST(Stopwords, CommonWordsAreStopped) {
+  for (const char* w : {"the", "and", "of", "is", "with", "their"})
+    EXPECT_TRUE(is_stopword(w)) << w;
+  for (const char* w : {"network", "protocol", "cloud", "ranked"})
+    EXPECT_FALSE(is_stopword(w)) << w;
+  EXPECT_GT(stopword_count(), 100u);
+}
+
+TEST(Analyzer, FullPipeline) {
+  const Analyzer analyzer;
+  const auto terms = analyzer.analyze("The networked networks are networking!");
+  // stop word "the"/"are" removed; remaining stem to "network".
+  EXPECT_EQ(terms, (std::vector<std::string>{"network", "network", "network"}));
+}
+
+TEST(Analyzer, OptionsDisableStages) {
+  AnalyzerOptions opts;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  const Analyzer analyzer(opts);
+  const auto terms = analyzer.analyze("The networks");
+  EXPECT_EQ(terms, (std::vector<std::string>{"the", "networks"}));
+}
+
+TEST(Analyzer, NormalizeKeywordMatchesDocumentAnalysis) {
+  const Analyzer analyzer;
+  // The user types any inflected form; it must normalize to the indexed
+  // term so trapdoors hit the right row.
+  EXPECT_EQ(analyzer.normalize_keyword("Networking"), "network");
+  EXPECT_EQ(analyzer.normalize_keyword("networks"), "network");
+  EXPECT_EQ(analyzer.normalize_keyword("NETWORK"), "network");
+}
+
+TEST(Analyzer, NormalizeKeywordRejectsNonKeywords) {
+  const Analyzer analyzer;
+  EXPECT_EQ(analyzer.normalize_keyword("the"), "");     // stop word
+  EXPECT_EQ(analyzer.normalize_keyword("!!!"), "");     // no token
+  EXPECT_EQ(analyzer.normalize_keyword("two words"), "");  // not single
+}
+
+}  // namespace
+}  // namespace rsse::ir

@@ -1,0 +1,89 @@
+// Thread pool and parallel_for: completion, exception propagation,
+// chunk coverage, and the single-thread inline path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/errors.h"
+#include "util/thread_pool.h"
+
+namespace rsse {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+      futures.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&counter] { ++counter; });
+    // no explicit waiting: the destructor must drain
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+    std::vector<std::atomic<int>> touched(1000);
+    parallel_for(1000, threads, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) ++touched[i];
+    });
+    for (std::size_t i = 0; i < touched.size(); ++i)
+      ASSERT_EQ(touched[i].load(), 1) << "i=" << i << " threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, HandlesSmallAndEmptyRanges) {
+  int calls = 0;
+  parallel_for(0, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> total{0};
+  parallel_for(1, 8, [&](std::size_t begin, std::size_t end) {
+    total += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkStillCorrect) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(5, 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 0u + 1 + 2 + 3 + 4);
+}
+
+TEST(ParallelFor, PropagatesChunkExceptions) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [](std::size_t begin, std::size_t) {
+                     if (begin == 0) throw std::runtime_error("chunk failed");
+                   }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,137 @@
+// Query-workload generator and server metrics.
+#include <gtest/gtest.h>
+
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "crypto/csprng.h"
+#include "ir/corpus_gen.h"
+#include "ir/query_workload.h"
+#include "util/errors.h"
+
+namespace rsse {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 40;
+    opts.vocabulary_size = 300;
+    opts.min_tokens = 50;
+    opts.max_tokens = 200;
+    opts.seed = 61;
+    corpus_ = ir::generate_corpus(opts);
+    index_ = ir::InvertedIndex::build(corpus_, ir::Analyzer());
+  }
+
+  ir::Corpus corpus_;
+  ir::InvertedIndex index_;
+};
+
+TEST_F(WorkloadTest, DeterministicPerSeed) {
+  ir::QueryWorkloadOptions opts;
+  opts.num_queries = 200;
+  opts.seed = 5;
+  const ir::QueryWorkload a(index_, opts);
+  const ir::QueryWorkload b(index_, opts);
+  EXPECT_EQ(a.queries(), b.queries());
+  opts.seed = 6;
+  const ir::QueryWorkload c(index_, opts);
+  EXPECT_NE(a.queries(), c.queries());
+}
+
+TEST_F(WorkloadTest, EveryQueryIsAnIndexedTerm) {
+  ir::QueryWorkloadOptions opts;
+  opts.num_queries = 300;
+  const ir::QueryWorkload workload(index_, opts);
+  EXPECT_EQ(workload.queries().size(), 300u);
+  for (const std::string& q : workload.queries())
+    EXPECT_NE(index_.postings(q), nullptr) << q;
+}
+
+TEST_F(WorkloadTest, ZipfSkewConcentratesOnHeadKeywords) {
+  ir::QueryWorkloadOptions skewed;
+  skewed.num_queries = 2000;
+  skewed.zipf_exponent = 1.3;
+  const ir::QueryWorkload workload(index_, skewed);
+  // The head keyword dominates and the tail is long.
+  EXPECT_GT(workload.peak_keyword_count(), 200u);
+  EXPECT_GT(workload.distinct_keywords(), 20u);
+
+  ir::QueryWorkloadOptions uniform;
+  uniform.num_queries = 2000;
+  uniform.zipf_exponent = 0.0;
+  const ir::QueryWorkload flat(index_, uniform);
+  EXPECT_LT(flat.peak_keyword_count(), workload.peak_keyword_count());
+  EXPECT_GT(flat.distinct_keywords(), workload.distinct_keywords());
+}
+
+TEST_F(WorkloadTest, MaxVocabularyRestrictsToHeadTerms) {
+  ir::QueryWorkloadOptions opts;
+  opts.num_queries = 500;
+  opts.max_vocabulary = 5;
+  const ir::QueryWorkload workload(index_, opts);
+  EXPECT_LE(workload.distinct_keywords(), 5u);
+  // Restricted queries hit high-document-frequency terms.
+  for (const std::string& q : workload.queries())
+    EXPECT_GE(index_.document_frequency(q), index_.document_frequency("network") > 0
+                                                ? 1u
+                                                : 1u);
+}
+
+TEST_F(WorkloadTest, Preconditions) {
+  ir::QueryWorkloadOptions opts;
+  opts.num_queries = 0;
+  EXPECT_THROW(ir::QueryWorkload(index_, opts), InvalidArgument);
+}
+
+TEST(ServerMetrics, CountersTrackEveryRequestType) {
+  ir::CorpusGenOptions opts;
+  opts.num_documents = 20;
+  opts.vocabulary_size = 120;
+  opts.min_tokens = 30;
+  opts.max_tokens = 100;
+  opts.injected.push_back(ir::InjectedKeyword{"network", 12, 0.3, 20});
+  opts.seed = 63;
+  const ir::Corpus corpus = ir::generate_corpus(opts);
+
+  cloud::DataOwner owner;
+  cloud::CloudServer basic_server;
+  owner.outsource_basic(corpus, basic_server);
+  cloud::CloudServer rsse_server;
+  owner.outsource_rsse(corpus, rsse_server);
+
+  const Bytes user_key = crypto::random_bytes(32);
+  const auto credentials = cloud::AuthorizationService::open(
+      user_key, "u", owner.enroll_user(user_key, "u"));
+
+  cloud::Channel rsse_channel(rsse_server);
+  cloud::DataUser rsse_user(credentials, rsse_channel);
+  rsse_user.ranked_search("network", 3);
+  rsse_user.ranked_search("network", 5);
+
+  cloud::Channel basic_channel(basic_server);
+  cloud::DataUser basic_user(credentials, basic_channel);
+  basic_user.basic_search_one_round("network", 3);   // kBasicFiles
+  basic_user.basic_search_two_round("network", 3);   // kBasicEntries + kFetchFiles
+
+  const auto rsse_metrics = rsse_server.metrics().snapshot();
+  EXPECT_EQ(rsse_metrics.ranked_searches, 2u);
+  EXPECT_EQ(rsse_metrics.files_returned, 8u);
+  EXPECT_GT(rsse_metrics.result_bytes, 0u);
+  EXPECT_EQ(rsse_metrics.total_requests(), 2u);
+
+  const auto basic_metrics = basic_server.metrics().snapshot();
+  EXPECT_EQ(basic_metrics.basic_file_searches, 1u);
+  EXPECT_EQ(basic_metrics.basic_entry_searches, 1u);
+  EXPECT_EQ(basic_metrics.fetch_requests, 1u);
+  EXPECT_EQ(basic_metrics.total_requests(), 3u);
+  // One-round returned all 12 matches; fetch returned the chosen 3.
+  EXPECT_EQ(basic_metrics.files_returned, 15u);
+
+  rsse_server.reset_metrics();
+  EXPECT_EQ(rsse_server.metrics().snapshot().total_requests(), 0u);
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,237 @@
+// rsse — command-line front end for the whole system, driving real
+// directories of text files through the library:
+//
+//   rsse keygen  --owner <state-file> --passphrase <p>
+//   rsse build   --owner <state-file> --passphrase <p>
+//                --docs <dir-of-text-files> --deploy <dir> [--threads N]
+//   rsse search  --owner <state-file> --passphrase <p>
+//                --deploy <dir> --keyword <w> [--top-k K]
+//   rsse add     --owner <state-file> --passphrase <p>
+//                --deploy <dir> --file <path>
+//   rsse stats   --deploy <dir>
+//
+// `keygen` creates a sealed owner-state file; `build` indexes and
+// encrypts a document directory into a deployment directory (what you
+// would hand the storage provider); `search` plays both the authorized
+// user and the server locally; `add` incrementally indexes one new file.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <csignal>
+
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "crypto/csprng.h"
+#include "ir/corpus_gen.h"
+#include "net/remote_channel.h"
+#include "net/server.h"
+#include "store/deployment.h"
+#include "store/owner_state.h"
+#include "util/errors.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace rsse;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rsse keygen --owner FILE --passphrase P\n"
+               "  rsse build  --owner FILE --passphrase P --docs DIR --deploy DIR"
+               " [--threads N]\n"
+               "  rsse search --owner FILE --passphrase P --deploy DIR --keyword W"
+               " [--top-k K]\n"
+               "  rsse add    --owner FILE --passphrase P --deploy DIR --file PATH\n"
+               "  rsse stats  --deploy DIR\n"
+               "  rsse serve  --deploy DIR [--port N] [--cache on]\n"
+               "  (search accepts --port N to query a running serve instance)\n");
+  std::exit(2);
+}
+
+// --flag value argument map; flags may appear once.
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag.size() < 3 || flag.rfind("--", 0) != 0 || i + 1 >= argc) usage();
+    if (!flags.emplace(flag.substr(2), argv[i + 1]).second) usage();
+  }
+  return flags;
+}
+
+std::string need(const std::map<std::string, std::string>& flags, const std::string& key) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) usage();
+  return it->second;
+}
+
+std::string optional_flag(const std::map<std::string, std::string>& flags,
+                          const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+cloud::DataOwner restore_owner(const std::map<std::string, std::string>& flags) {
+  const store::OwnerState state =
+      store::load_owner_state(need(flags, "owner"), need(flags, "passphrase"));
+  return cloud::DataOwner(state.key, state.file_master, state.quantizer);
+}
+
+void persist_owner(const cloud::DataOwner& owner,
+                   const std::map<std::string, std::string>& flags) {
+  store::save_owner_state(
+      store::OwnerState{owner.master_key(), owner.file_master(), owner.quantizer()},
+      need(flags, "owner"), need(flags, "passphrase"));
+}
+
+int cmd_keygen(const std::map<std::string, std::string>& flags) {
+  const cloud::DataOwner owner;  // fresh KeyGen
+  persist_owner(owner, flags);
+  std::printf("wrote sealed owner state to %s\n", need(flags, "owner").c_str());
+  return 0;
+}
+
+int cmd_build(const std::map<std::string, std::string>& flags) {
+  cloud::DataOwner owner = restore_owner(flags);
+  const ir::Corpus corpus = ir::load_directory(need(flags, "docs"));
+  if (corpus.size() == 0) {
+    std::fprintf(stderr, "no files found under %s\n", need(flags, "docs").c_str());
+    return 1;
+  }
+  std::printf("indexing %zu files (%.1f MB)...\n", corpus.size(),
+              static_cast<double>(corpus.total_bytes()) / (1024.0 * 1024.0));
+  Stopwatch watch;
+  cloud::CloudServer server;
+  const auto report = owner.outsource_rsse(corpus, server);
+  std::printf("built %llu-keyword index (%.2f MB) in %.2f s\n",
+              static_cast<unsigned long long>(report.rsse_stats.num_keywords),
+              static_cast<double>(report.index_bytes) / (1024.0 * 1024.0),
+              watch.elapsed_seconds());
+  store::save_deployment(server, need(flags, "deploy"));
+  persist_owner(owner, flags);  // retains the quantizer for later adds
+  std::printf("deployment written to %s\n", need(flags, "deploy").c_str());
+  return 0;
+}
+
+int run_search(const std::map<std::string, std::string>& flags,
+               cloud::Transport& channel, const cloud::DataOwner& owner) {
+  // Play the authorized user end-to-end, sealed credentials included.
+  const Bytes user_key = crypto::random_bytes(32);
+  const auto credentials = cloud::AuthorizationService::open(
+      user_key, "cli", owner.enroll_user(user_key, "cli"));
+  cloud::DataUser user(credentials, channel);
+
+  const auto top_k = static_cast<std::size_t>(
+      std::stoul(optional_flag(flags, "top-k", "10")));
+  Stopwatch watch;
+  const auto results = user.ranked_search(need(flags, "keyword"), top_k);
+  const double ms = watch.elapsed_ms();
+  std::printf("top-%zu for \"%s\" (%.2f ms, %llu bytes down):\n", results.size(),
+              need(flags, "keyword").c_str(), ms,
+              static_cast<unsigned long long>(channel.stats().bytes_down));
+  for (std::size_t i = 0; i < results.size(); ++i)
+    std::printf("  #%-3zu %s (%zu bytes)\n", i + 1, results[i].document.name.c_str(),
+                results[i].document.text.size());
+  return 0;
+}
+
+int cmd_search(const std::map<std::string, std::string>& flags) {
+  const cloud::DataOwner owner = restore_owner(flags);
+  if (flags.contains("port")) {
+    const auto port = static_cast<std::uint16_t>(std::stoul(flags.at("port")));
+    net::RemoteChannel channel(port);
+    return run_search(flags, channel, owner);
+  }
+  cloud::CloudServer server;
+  store::load_deployment(need(flags, "deploy"), server);
+  cloud::Channel channel(server);
+  return run_search(flags, channel, owner);
+}
+
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  cloud::CloudServer server;
+  store::load_deployment(need(flags, "deploy"), server);
+  if (optional_flag(flags, "cache", "off") == "on") server.set_rank_cache_enabled(true);
+  const auto port = static_cast<std::uint16_t>(
+      std::stoul(optional_flag(flags, "port", "0")));
+  net::NetworkServer endpoint(server, port);
+  std::printf("serving %zu keywords / %zu files on 127.0.0.1:%u (SIGINT to stop)\n",
+              server.index().num_rows(), server.num_files(), endpoint.port());
+  std::fflush(stdout);
+  // Park until a signal arrives; the endpoint threads do the work.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  int signal_number = 0;
+  sigwait(&set, &signal_number);
+  std::printf("\nstopping (%llu requests served)\n",
+              static_cast<unsigned long long>(endpoint.requests_served()));
+  return 0;
+}
+
+int cmd_add(const std::map<std::string, std::string>& flags) {
+  cloud::DataOwner owner = restore_owner(flags);
+  cloud::CloudServer server;
+  store::load_deployment(need(flags, "deploy"), server);
+
+  const std::string path = need(flags, "file");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  // Fresh id above every stored one.
+  std::uint64_t next_id = 0;
+  for (const auto& [id, blob] : server.files()) next_id = std::max(next_id, id + 1);
+  const ir::Document doc{ir::file_id(next_id),
+                         std::filesystem::path(path).filename().string(),
+                         content.str()};
+  const auto stats = owner.add_document(server, doc);
+  store::save_deployment(server, need(flags, "deploy"));
+  std::printf("added %s as id %llu (%zu keywords touched, %zu new rows)\n",
+              doc.name.c_str(), static_cast<unsigned long long>(next_id),
+              stats.keywords_touched, stats.new_rows);
+  return 0;
+}
+
+int cmd_stats(const std::map<std::string, std::string>& flags) {
+  cloud::CloudServer server;
+  store::load_deployment(need(flags, "deploy"), server);
+  std::printf("deployment %s:\n", need(flags, "deploy").c_str());
+  std::printf("  index rows (keywords m): %zu\n", server.index().num_rows());
+  std::printf("  index bytes:             %llu\n",
+              static_cast<unsigned long long>(server.index().byte_size()));
+  std::printf("  encrypted files:         %zu\n", server.num_files());
+  std::printf("  total stored bytes:      %llu\n",
+              static_cast<unsigned long long>(server.stored_bytes()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    const auto flags = parse_flags(argc, argv, 2);
+    if (command == "keygen") return cmd_keygen(flags);
+    if (command == "build") return cmd_build(flags);
+    if (command == "search") return cmd_search(flags);
+    if (command == "add") return cmd_add(flags);
+    if (command == "stats") return cmd_stats(flags);
+    if (command == "serve") return cmd_serve(flags);
+    usage();
+  } catch (const rsse::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
