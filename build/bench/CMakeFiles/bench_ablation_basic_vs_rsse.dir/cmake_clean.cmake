@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_basic_vs_rsse.dir/bench_ablation_basic_vs_rsse.cpp.o"
+  "CMakeFiles/bench_ablation_basic_vs_rsse.dir/bench_ablation_basic_vs_rsse.cpp.o.d"
+  "bench_ablation_basic_vs_rsse"
+  "bench_ablation_basic_vs_rsse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_basic_vs_rsse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

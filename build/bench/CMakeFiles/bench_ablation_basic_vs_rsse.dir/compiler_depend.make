@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_basic_vs_rsse.
+# This may be replaced when dependencies are built.

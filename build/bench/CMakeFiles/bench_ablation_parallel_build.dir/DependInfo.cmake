@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_parallel_build.cpp" "bench/CMakeFiles/bench_ablation_parallel_build.dir/bench_ablation_parallel_build.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_parallel_build.dir/bench_ablation_parallel_build.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/rsse_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rsse_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/rsse_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/rsse_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/rsse_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rsse_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sse/CMakeFiles/rsse_sse.dir/DependInfo.cmake"
+  "/root/repo/build/src/opse/CMakeFiles/rsse_opse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rsse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rsse_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parallel_build.dir/bench_ablation_parallel_build.cpp.o"
+  "CMakeFiles/bench_ablation_parallel_build.dir/bench_ablation_parallel_build.cpp.o.d"
+  "bench_ablation_parallel_build"
+  "bench_ablation_parallel_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parallel_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

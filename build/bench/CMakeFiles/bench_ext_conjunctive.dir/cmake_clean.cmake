@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_conjunctive.dir/bench_ext_conjunctive.cpp.o"
+  "CMakeFiles/bench_ext_conjunctive.dir/bench_ext_conjunctive.cpp.o.d"
+  "bench_ext_conjunctive"
+  "bench_ext_conjunctive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_conjunctive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

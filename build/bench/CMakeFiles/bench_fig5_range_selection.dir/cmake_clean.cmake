@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_range_selection.dir/bench_fig5_range_selection.cpp.o"
+  "CMakeFiles/bench_fig5_range_selection.dir/bench_fig5_range_selection.cpp.o.d"
+  "bench_fig5_range_selection"
+  "bench_fig5_range_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_range_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

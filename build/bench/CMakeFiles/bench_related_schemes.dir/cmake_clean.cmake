@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_schemes.dir/bench_related_schemes.cpp.o"
+  "CMakeFiles/bench_related_schemes.dir/bench_related_schemes.cpp.o.d"
+  "bench_related_schemes"
+  "bench_related_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_index_construction.dir/bench_table1_index_construction.cpp.o"
+  "CMakeFiles/bench_table1_index_construction.dir/bench_table1_index_construction.cpp.o.d"
+  "bench_table1_index_construction"
+  "bench_table1_index_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_index_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

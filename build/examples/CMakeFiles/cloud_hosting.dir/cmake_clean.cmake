@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_hosting.dir/cloud_hosting.cpp.o"
+  "CMakeFiles/cloud_hosting.dir/cloud_hosting.cpp.o.d"
+  "cloud_hosting"
+  "cloud_hosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_hosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_analysis.dir/leakage_analysis.cpp.o"
+  "CMakeFiles/leakage_analysis.dir/leakage_analysis.cpp.o.d"
+  "leakage_analysis"
+  "leakage_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_deployment.dir/remote_deployment.cpp.o"
+  "CMakeFiles/remote_deployment.dir/remote_deployment.cpp.o.d"
+  "remote_deployment"
+  "remote_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_dynamics.dir/score_dynamics.cpp.o"
+  "CMakeFiles/score_dynamics.dir/score_dynamics.cpp.o.d"
+  "score_dynamics"
+  "score_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

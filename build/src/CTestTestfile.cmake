@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("opse")
+subdirs("ir")
+subdirs("sse")
+subdirs("cloud")
+subdirs("baseline")
+subdirs("ext")
+subdirs("store")
+subdirs("net")
+subdirs("analysis")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsse_analysis.dir/fingerprint.cpp.o"
+  "CMakeFiles/rsse_analysis.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/rsse_analysis.dir/leakage.cpp.o"
+  "CMakeFiles/rsse_analysis.dir/leakage.cpp.o.d"
+  "librsse_analysis.a"
+  "librsse_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsse_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

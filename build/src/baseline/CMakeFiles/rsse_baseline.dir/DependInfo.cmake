@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bloom_filter.cpp" "src/baseline/CMakeFiles/rsse_baseline.dir/bloom_filter.cpp.o" "gcc" "src/baseline/CMakeFiles/rsse_baseline.dir/bloom_filter.cpp.o.d"
+  "/root/repo/src/baseline/bucket_opm.cpp" "src/baseline/CMakeFiles/rsse_baseline.dir/bucket_opm.cpp.o" "gcc" "src/baseline/CMakeFiles/rsse_baseline.dir/bucket_opm.cpp.o.d"
+  "/root/repo/src/baseline/curtmola_sse1.cpp" "src/baseline/CMakeFiles/rsse_baseline.dir/curtmola_sse1.cpp.o" "gcc" "src/baseline/CMakeFiles/rsse_baseline.dir/curtmola_sse1.cpp.o.d"
+  "/root/repo/src/baseline/goh_index.cpp" "src/baseline/CMakeFiles/rsse_baseline.dir/goh_index.cpp.o" "gcc" "src/baseline/CMakeFiles/rsse_baseline.dir/goh_index.cpp.o.d"
+  "/root/repo/src/baseline/plaintext_search.cpp" "src/baseline/CMakeFiles/rsse_baseline.dir/plaintext_search.cpp.o" "gcc" "src/baseline/CMakeFiles/rsse_baseline.dir/plaintext_search.cpp.o.d"
+  "/root/repo/src/baseline/sample_opm.cpp" "src/baseline/CMakeFiles/rsse_baseline.dir/sample_opm.cpp.o" "gcc" "src/baseline/CMakeFiles/rsse_baseline.dir/sample_opm.cpp.o.d"
+  "/root/repo/src/baseline/swp.cpp" "src/baseline/CMakeFiles/rsse_baseline.dir/swp.cpp.o" "gcc" "src/baseline/CMakeFiles/rsse_baseline.dir/swp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sse/CMakeFiles/rsse_sse.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rsse_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rsse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/opse/CMakeFiles/rsse_opse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

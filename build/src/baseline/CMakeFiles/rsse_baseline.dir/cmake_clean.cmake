@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsse_baseline.dir/bloom_filter.cpp.o"
+  "CMakeFiles/rsse_baseline.dir/bloom_filter.cpp.o.d"
+  "CMakeFiles/rsse_baseline.dir/bucket_opm.cpp.o"
+  "CMakeFiles/rsse_baseline.dir/bucket_opm.cpp.o.d"
+  "CMakeFiles/rsse_baseline.dir/curtmola_sse1.cpp.o"
+  "CMakeFiles/rsse_baseline.dir/curtmola_sse1.cpp.o.d"
+  "CMakeFiles/rsse_baseline.dir/goh_index.cpp.o"
+  "CMakeFiles/rsse_baseline.dir/goh_index.cpp.o.d"
+  "CMakeFiles/rsse_baseline.dir/plaintext_search.cpp.o"
+  "CMakeFiles/rsse_baseline.dir/plaintext_search.cpp.o.d"
+  "CMakeFiles/rsse_baseline.dir/sample_opm.cpp.o"
+  "CMakeFiles/rsse_baseline.dir/sample_opm.cpp.o.d"
+  "CMakeFiles/rsse_baseline.dir/swp.cpp.o"
+  "CMakeFiles/rsse_baseline.dir/swp.cpp.o.d"
+  "librsse_baseline.a"
+  "librsse_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsse_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/auth.cpp" "src/cloud/CMakeFiles/rsse_cloud.dir/auth.cpp.o" "gcc" "src/cloud/CMakeFiles/rsse_cloud.dir/auth.cpp.o.d"
+  "/root/repo/src/cloud/channel.cpp" "src/cloud/CMakeFiles/rsse_cloud.dir/channel.cpp.o" "gcc" "src/cloud/CMakeFiles/rsse_cloud.dir/channel.cpp.o.d"
+  "/root/repo/src/cloud/cloud_server.cpp" "src/cloud/CMakeFiles/rsse_cloud.dir/cloud_server.cpp.o" "gcc" "src/cloud/CMakeFiles/rsse_cloud.dir/cloud_server.cpp.o.d"
+  "/root/repo/src/cloud/data_owner.cpp" "src/cloud/CMakeFiles/rsse_cloud.dir/data_owner.cpp.o" "gcc" "src/cloud/CMakeFiles/rsse_cloud.dir/data_owner.cpp.o.d"
+  "/root/repo/src/cloud/data_user.cpp" "src/cloud/CMakeFiles/rsse_cloud.dir/data_user.cpp.o" "gcc" "src/cloud/CMakeFiles/rsse_cloud.dir/data_user.cpp.o.d"
+  "/root/repo/src/cloud/file_store.cpp" "src/cloud/CMakeFiles/rsse_cloud.dir/file_store.cpp.o" "gcc" "src/cloud/CMakeFiles/rsse_cloud.dir/file_store.cpp.o.d"
+  "/root/repo/src/cloud/protocol.cpp" "src/cloud/CMakeFiles/rsse_cloud.dir/protocol.cpp.o" "gcc" "src/cloud/CMakeFiles/rsse_cloud.dir/protocol.cpp.o.d"
+  "/root/repo/src/cloud/restricted_user.cpp" "src/cloud/CMakeFiles/rsse_cloud.dir/restricted_user.cpp.o" "gcc" "src/cloud/CMakeFiles/rsse_cloud.dir/restricted_user.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ext/CMakeFiles/rsse_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/sse/CMakeFiles/rsse_sse.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rsse_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rsse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/opse/CMakeFiles/rsse_opse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsse_cloud.dir/auth.cpp.o"
+  "CMakeFiles/rsse_cloud.dir/auth.cpp.o.d"
+  "CMakeFiles/rsse_cloud.dir/channel.cpp.o"
+  "CMakeFiles/rsse_cloud.dir/channel.cpp.o.d"
+  "CMakeFiles/rsse_cloud.dir/cloud_server.cpp.o"
+  "CMakeFiles/rsse_cloud.dir/cloud_server.cpp.o.d"
+  "CMakeFiles/rsse_cloud.dir/data_owner.cpp.o"
+  "CMakeFiles/rsse_cloud.dir/data_owner.cpp.o.d"
+  "CMakeFiles/rsse_cloud.dir/data_user.cpp.o"
+  "CMakeFiles/rsse_cloud.dir/data_user.cpp.o.d"
+  "CMakeFiles/rsse_cloud.dir/file_store.cpp.o"
+  "CMakeFiles/rsse_cloud.dir/file_store.cpp.o.d"
+  "CMakeFiles/rsse_cloud.dir/protocol.cpp.o"
+  "CMakeFiles/rsse_cloud.dir/protocol.cpp.o.d"
+  "CMakeFiles/rsse_cloud.dir/restricted_user.cpp.o"
+  "CMakeFiles/rsse_cloud.dir/restricted_user.cpp.o.d"
+  "librsse_cloud.a"
+  "librsse_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsse_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes_ctr.cpp" "src/crypto/CMakeFiles/rsse_crypto.dir/aes_ctr.cpp.o" "gcc" "src/crypto/CMakeFiles/rsse_crypto.dir/aes_ctr.cpp.o.d"
+  "/root/repo/src/crypto/aes_gcm.cpp" "src/crypto/CMakeFiles/rsse_crypto.dir/aes_gcm.cpp.o" "gcc" "src/crypto/CMakeFiles/rsse_crypto.dir/aes_gcm.cpp.o.d"
+  "/root/repo/src/crypto/csprng.cpp" "src/crypto/CMakeFiles/rsse_crypto.dir/csprng.cpp.o" "gcc" "src/crypto/CMakeFiles/rsse_crypto.dir/csprng.cpp.o.d"
+  "/root/repo/src/crypto/hmac_sha256.cpp" "src/crypto/CMakeFiles/rsse_crypto.dir/hmac_sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/rsse_crypto.dir/hmac_sha256.cpp.o.d"
+  "/root/repo/src/crypto/pbkdf2.cpp" "src/crypto/CMakeFiles/rsse_crypto.dir/pbkdf2.cpp.o" "gcc" "src/crypto/CMakeFiles/rsse_crypto.dir/pbkdf2.cpp.o.d"
+  "/root/repo/src/crypto/prf.cpp" "src/crypto/CMakeFiles/rsse_crypto.dir/prf.cpp.o" "gcc" "src/crypto/CMakeFiles/rsse_crypto.dir/prf.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/rsse_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/rsse_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/tapegen.cpp" "src/crypto/CMakeFiles/rsse_crypto.dir/tapegen.cpp.o" "gcc" "src/crypto/CMakeFiles/rsse_crypto.dir/tapegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rsse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

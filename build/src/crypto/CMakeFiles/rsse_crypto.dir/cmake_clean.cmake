@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsse_crypto.dir/aes_ctr.cpp.o"
+  "CMakeFiles/rsse_crypto.dir/aes_ctr.cpp.o.d"
+  "CMakeFiles/rsse_crypto.dir/aes_gcm.cpp.o"
+  "CMakeFiles/rsse_crypto.dir/aes_gcm.cpp.o.d"
+  "CMakeFiles/rsse_crypto.dir/csprng.cpp.o"
+  "CMakeFiles/rsse_crypto.dir/csprng.cpp.o.d"
+  "CMakeFiles/rsse_crypto.dir/hmac_sha256.cpp.o"
+  "CMakeFiles/rsse_crypto.dir/hmac_sha256.cpp.o.d"
+  "CMakeFiles/rsse_crypto.dir/pbkdf2.cpp.o"
+  "CMakeFiles/rsse_crypto.dir/pbkdf2.cpp.o.d"
+  "CMakeFiles/rsse_crypto.dir/prf.cpp.o"
+  "CMakeFiles/rsse_crypto.dir/prf.cpp.o.d"
+  "CMakeFiles/rsse_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/rsse_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/rsse_crypto.dir/tapegen.cpp.o"
+  "CMakeFiles/rsse_crypto.dir/tapegen.cpp.o.d"
+  "librsse_crypto.a"
+  "librsse_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsse_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

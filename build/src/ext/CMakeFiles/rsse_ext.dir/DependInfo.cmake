@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ext/capability.cpp" "src/ext/CMakeFiles/rsse_ext.dir/capability.cpp.o" "gcc" "src/ext/CMakeFiles/rsse_ext.dir/capability.cpp.o.d"
+  "/root/repo/src/ext/conjunctive.cpp" "src/ext/CMakeFiles/rsse_ext.dir/conjunctive.cpp.o" "gcc" "src/ext/CMakeFiles/rsse_ext.dir/conjunctive.cpp.o.d"
+  "/root/repo/src/ext/disjunctive.cpp" "src/ext/CMakeFiles/rsse_ext.dir/disjunctive.cpp.o" "gcc" "src/ext/CMakeFiles/rsse_ext.dir/disjunctive.cpp.o.d"
+  "/root/repo/src/ext/rank_quality.cpp" "src/ext/CMakeFiles/rsse_ext.dir/rank_quality.cpp.o" "gcc" "src/ext/CMakeFiles/rsse_ext.dir/rank_quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sse/CMakeFiles/rsse_sse.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rsse_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/opse/CMakeFiles/rsse_opse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rsse_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsse_ext.dir/capability.cpp.o"
+  "CMakeFiles/rsse_ext.dir/capability.cpp.o.d"
+  "CMakeFiles/rsse_ext.dir/conjunctive.cpp.o"
+  "CMakeFiles/rsse_ext.dir/conjunctive.cpp.o.d"
+  "CMakeFiles/rsse_ext.dir/disjunctive.cpp.o"
+  "CMakeFiles/rsse_ext.dir/disjunctive.cpp.o.d"
+  "CMakeFiles/rsse_ext.dir/rank_quality.cpp.o"
+  "CMakeFiles/rsse_ext.dir/rank_quality.cpp.o.d"
+  "librsse_ext.a"
+  "librsse_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsse_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

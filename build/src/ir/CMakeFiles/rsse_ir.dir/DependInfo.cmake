@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analyzer.cpp" "src/ir/CMakeFiles/rsse_ir.dir/analyzer.cpp.o" "gcc" "src/ir/CMakeFiles/rsse_ir.dir/analyzer.cpp.o.d"
+  "/root/repo/src/ir/corpus_gen.cpp" "src/ir/CMakeFiles/rsse_ir.dir/corpus_gen.cpp.o" "gcc" "src/ir/CMakeFiles/rsse_ir.dir/corpus_gen.cpp.o.d"
+  "/root/repo/src/ir/document.cpp" "src/ir/CMakeFiles/rsse_ir.dir/document.cpp.o" "gcc" "src/ir/CMakeFiles/rsse_ir.dir/document.cpp.o.d"
+  "/root/repo/src/ir/inverted_index.cpp" "src/ir/CMakeFiles/rsse_ir.dir/inverted_index.cpp.o" "gcc" "src/ir/CMakeFiles/rsse_ir.dir/inverted_index.cpp.o.d"
+  "/root/repo/src/ir/porter_stemmer.cpp" "src/ir/CMakeFiles/rsse_ir.dir/porter_stemmer.cpp.o" "gcc" "src/ir/CMakeFiles/rsse_ir.dir/porter_stemmer.cpp.o.d"
+  "/root/repo/src/ir/query_workload.cpp" "src/ir/CMakeFiles/rsse_ir.dir/query_workload.cpp.o" "gcc" "src/ir/CMakeFiles/rsse_ir.dir/query_workload.cpp.o.d"
+  "/root/repo/src/ir/scoring.cpp" "src/ir/CMakeFiles/rsse_ir.dir/scoring.cpp.o" "gcc" "src/ir/CMakeFiles/rsse_ir.dir/scoring.cpp.o.d"
+  "/root/repo/src/ir/stopwords.cpp" "src/ir/CMakeFiles/rsse_ir.dir/stopwords.cpp.o" "gcc" "src/ir/CMakeFiles/rsse_ir.dir/stopwords.cpp.o.d"
+  "/root/repo/src/ir/tokenizer.cpp" "src/ir/CMakeFiles/rsse_ir.dir/tokenizer.cpp.o" "gcc" "src/ir/CMakeFiles/rsse_ir.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rsse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

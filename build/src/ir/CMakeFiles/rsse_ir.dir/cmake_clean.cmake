@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsse_ir.dir/analyzer.cpp.o"
+  "CMakeFiles/rsse_ir.dir/analyzer.cpp.o.d"
+  "CMakeFiles/rsse_ir.dir/corpus_gen.cpp.o"
+  "CMakeFiles/rsse_ir.dir/corpus_gen.cpp.o.d"
+  "CMakeFiles/rsse_ir.dir/document.cpp.o"
+  "CMakeFiles/rsse_ir.dir/document.cpp.o.d"
+  "CMakeFiles/rsse_ir.dir/inverted_index.cpp.o"
+  "CMakeFiles/rsse_ir.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/rsse_ir.dir/porter_stemmer.cpp.o"
+  "CMakeFiles/rsse_ir.dir/porter_stemmer.cpp.o.d"
+  "CMakeFiles/rsse_ir.dir/query_workload.cpp.o"
+  "CMakeFiles/rsse_ir.dir/query_workload.cpp.o.d"
+  "CMakeFiles/rsse_ir.dir/scoring.cpp.o"
+  "CMakeFiles/rsse_ir.dir/scoring.cpp.o.d"
+  "CMakeFiles/rsse_ir.dir/stopwords.cpp.o"
+  "CMakeFiles/rsse_ir.dir/stopwords.cpp.o.d"
+  "CMakeFiles/rsse_ir.dir/tokenizer.cpp.o"
+  "CMakeFiles/rsse_ir.dir/tokenizer.cpp.o.d"
+  "librsse_ir.a"
+  "librsse_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsse_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

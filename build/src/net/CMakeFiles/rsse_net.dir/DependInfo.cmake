@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/rsse_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/rsse_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/remote_channel.cpp" "src/net/CMakeFiles/rsse_net.dir/remote_channel.cpp.o" "gcc" "src/net/CMakeFiles/rsse_net.dir/remote_channel.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "src/net/CMakeFiles/rsse_net.dir/server.cpp.o" "gcc" "src/net/CMakeFiles/rsse_net.dir/server.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/net/CMakeFiles/rsse_net.dir/socket.cpp.o" "gcc" "src/net/CMakeFiles/rsse_net.dir/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/rsse_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/rsse_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/sse/CMakeFiles/rsse_sse.dir/DependInfo.cmake"
+  "/root/repo/build/src/opse/CMakeFiles/rsse_opse.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rsse_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rsse_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

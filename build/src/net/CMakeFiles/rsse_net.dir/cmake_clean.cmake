@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsse_net.dir/frame.cpp.o"
+  "CMakeFiles/rsse_net.dir/frame.cpp.o.d"
+  "CMakeFiles/rsse_net.dir/remote_channel.cpp.o"
+  "CMakeFiles/rsse_net.dir/remote_channel.cpp.o.d"
+  "CMakeFiles/rsse_net.dir/server.cpp.o"
+  "CMakeFiles/rsse_net.dir/server.cpp.o.d"
+  "CMakeFiles/rsse_net.dir/socket.cpp.o"
+  "CMakeFiles/rsse_net.dir/socket.cpp.o.d"
+  "librsse_net.a"
+  "librsse_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsse_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librsse_net.a"
+)

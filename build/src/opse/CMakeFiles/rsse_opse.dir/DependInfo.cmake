@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opse/bclo_opse.cpp" "src/opse/CMakeFiles/rsse_opse.dir/bclo_opse.cpp.o" "gcc" "src/opse/CMakeFiles/rsse_opse.dir/bclo_opse.cpp.o.d"
+  "/root/repo/src/opse/hgd.cpp" "src/opse/CMakeFiles/rsse_opse.dir/hgd.cpp.o" "gcc" "src/opse/CMakeFiles/rsse_opse.dir/hgd.cpp.o.d"
+  "/root/repo/src/opse/ope_common.cpp" "src/opse/CMakeFiles/rsse_opse.dir/ope_common.cpp.o" "gcc" "src/opse/CMakeFiles/rsse_opse.dir/ope_common.cpp.o.d"
+  "/root/repo/src/opse/opm.cpp" "src/opse/CMakeFiles/rsse_opse.dir/opm.cpp.o" "gcc" "src/opse/CMakeFiles/rsse_opse.dir/opm.cpp.o.d"
+  "/root/repo/src/opse/quantizer.cpp" "src/opse/CMakeFiles/rsse_opse.dir/quantizer.cpp.o" "gcc" "src/opse/CMakeFiles/rsse_opse.dir/quantizer.cpp.o.d"
+  "/root/repo/src/opse/range_select.cpp" "src/opse/CMakeFiles/rsse_opse.dir/range_select.cpp.o" "gcc" "src/opse/CMakeFiles/rsse_opse.dir/range_select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/rsse_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

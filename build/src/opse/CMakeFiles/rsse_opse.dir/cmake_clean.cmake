@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsse_opse.dir/bclo_opse.cpp.o"
+  "CMakeFiles/rsse_opse.dir/bclo_opse.cpp.o.d"
+  "CMakeFiles/rsse_opse.dir/hgd.cpp.o"
+  "CMakeFiles/rsse_opse.dir/hgd.cpp.o.d"
+  "CMakeFiles/rsse_opse.dir/ope_common.cpp.o"
+  "CMakeFiles/rsse_opse.dir/ope_common.cpp.o.d"
+  "CMakeFiles/rsse_opse.dir/opm.cpp.o"
+  "CMakeFiles/rsse_opse.dir/opm.cpp.o.d"
+  "CMakeFiles/rsse_opse.dir/quantizer.cpp.o"
+  "CMakeFiles/rsse_opse.dir/quantizer.cpp.o.d"
+  "CMakeFiles/rsse_opse.dir/range_select.cpp.o"
+  "CMakeFiles/rsse_opse.dir/range_select.cpp.o.d"
+  "librsse_opse.a"
+  "librsse_opse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsse_opse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

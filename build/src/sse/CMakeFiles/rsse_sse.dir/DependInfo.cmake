@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sse/basic_scheme.cpp" "src/sse/CMakeFiles/rsse_sse.dir/basic_scheme.cpp.o" "gcc" "src/sse/CMakeFiles/rsse_sse.dir/basic_scheme.cpp.o.d"
+  "/root/repo/src/sse/dynamics.cpp" "src/sse/CMakeFiles/rsse_sse.dir/dynamics.cpp.o" "gcc" "src/sse/CMakeFiles/rsse_sse.dir/dynamics.cpp.o.d"
+  "/root/repo/src/sse/entry_codec.cpp" "src/sse/CMakeFiles/rsse_sse.dir/entry_codec.cpp.o" "gcc" "src/sse/CMakeFiles/rsse_sse.dir/entry_codec.cpp.o.d"
+  "/root/repo/src/sse/keys.cpp" "src/sse/CMakeFiles/rsse_sse.dir/keys.cpp.o" "gcc" "src/sse/CMakeFiles/rsse_sse.dir/keys.cpp.o.d"
+  "/root/repo/src/sse/rsse_scheme.cpp" "src/sse/CMakeFiles/rsse_sse.dir/rsse_scheme.cpp.o" "gcc" "src/sse/CMakeFiles/rsse_sse.dir/rsse_scheme.cpp.o.d"
+  "/root/repo/src/sse/secure_index.cpp" "src/sse/CMakeFiles/rsse_sse.dir/secure_index.cpp.o" "gcc" "src/sse/CMakeFiles/rsse_sse.dir/secure_index.cpp.o.d"
+  "/root/repo/src/sse/trapdoor_gen.cpp" "src/sse/CMakeFiles/rsse_sse.dir/trapdoor_gen.cpp.o" "gcc" "src/sse/CMakeFiles/rsse_sse.dir/trapdoor_gen.cpp.o.d"
+  "/root/repo/src/sse/types.cpp" "src/sse/CMakeFiles/rsse_sse.dir/types.cpp.o" "gcc" "src/sse/CMakeFiles/rsse_sse.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/rsse_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/opse/CMakeFiles/rsse_opse.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rsse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsse_sse.dir/basic_scheme.cpp.o"
+  "CMakeFiles/rsse_sse.dir/basic_scheme.cpp.o.d"
+  "CMakeFiles/rsse_sse.dir/dynamics.cpp.o"
+  "CMakeFiles/rsse_sse.dir/dynamics.cpp.o.d"
+  "CMakeFiles/rsse_sse.dir/entry_codec.cpp.o"
+  "CMakeFiles/rsse_sse.dir/entry_codec.cpp.o.d"
+  "CMakeFiles/rsse_sse.dir/keys.cpp.o"
+  "CMakeFiles/rsse_sse.dir/keys.cpp.o.d"
+  "CMakeFiles/rsse_sse.dir/rsse_scheme.cpp.o"
+  "CMakeFiles/rsse_sse.dir/rsse_scheme.cpp.o.d"
+  "CMakeFiles/rsse_sse.dir/secure_index.cpp.o"
+  "CMakeFiles/rsse_sse.dir/secure_index.cpp.o.d"
+  "CMakeFiles/rsse_sse.dir/trapdoor_gen.cpp.o"
+  "CMakeFiles/rsse_sse.dir/trapdoor_gen.cpp.o.d"
+  "CMakeFiles/rsse_sse.dir/types.cpp.o"
+  "CMakeFiles/rsse_sse.dir/types.cpp.o.d"
+  "librsse_sse.a"
+  "librsse_sse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsse_sse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rsse_sse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsse_store.dir/deployment.cpp.o"
+  "CMakeFiles/rsse_store.dir/deployment.cpp.o.d"
+  "CMakeFiles/rsse_store.dir/owner_state.cpp.o"
+  "CMakeFiles/rsse_store.dir/owner_state.cpp.o.d"
+  "librsse_store.a"
+  "librsse_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsse_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

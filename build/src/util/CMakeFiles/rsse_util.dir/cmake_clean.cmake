@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsse_util.dir/bytes.cpp.o"
+  "CMakeFiles/rsse_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/rsse_util.dir/histogram.cpp.o"
+  "CMakeFiles/rsse_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/rsse_util.dir/rng.cpp.o"
+  "CMakeFiles/rsse_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rsse_util.dir/stats.cpp.o"
+  "CMakeFiles/rsse_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rsse_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/rsse_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/rsse_util.dir/zipf.cpp.o"
+  "CMakeFiles/rsse_util.dir/zipf.cpp.o.d"
+  "librsse_util.a"
+  "librsse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basic_scheme.dir/test_basic_scheme.cpp.o"
+  "CMakeFiles/test_basic_scheme.dir/test_basic_scheme.cpp.o.d"
+  "test_basic_scheme"
+  "test_basic_scheme.pdb"
+  "test_basic_scheme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basic_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disjunctive.dir/test_disjunctive.cpp.o"
+  "CMakeFiles/test_disjunctive.dir/test_disjunctive.cpp.o.d"
+  "test_disjunctive"
+  "test_disjunctive.pdb"
+  "test_disjunctive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disjunctive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entry_codec.dir/test_entry_codec.cpp.o"
+  "CMakeFiles/test_entry_codec.dir/test_entry_codec.cpp.o.d"
+  "test_entry_codec"
+  "test_entry_codec.pdb"
+  "test_entry_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entry_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_goh.dir/test_goh.cpp.o"
+  "CMakeFiles/test_goh.dir/test_goh.cpp.o.d"
+  "test_goh"
+  "test_goh.pdb"
+  "test_goh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_goh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hgd.dir/test_hgd.cpp.o"
+  "CMakeFiles/test_hgd.dir/test_hgd.cpp.o.d"
+  "test_hgd"
+  "test_hgd.pdb"
+  "test_hgd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

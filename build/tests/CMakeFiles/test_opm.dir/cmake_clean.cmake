@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opm.dir/test_opm.cpp.o"
+  "CMakeFiles/test_opm.dir/test_opm.cpp.o.d"
+  "test_opm"
+  "test_opm.pdb"
+  "test_opm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

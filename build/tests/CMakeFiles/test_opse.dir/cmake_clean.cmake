@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opse.dir/test_opse.cpp.o"
+  "CMakeFiles/test_opse.dir/test_opse.cpp.o.d"
+  "test_opse"
+  "test_opse.pdb"
+  "test_opse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_opse.
+# This may be replaced when dependencies are built.

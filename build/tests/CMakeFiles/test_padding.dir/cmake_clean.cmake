@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_padding.dir/test_padding.cpp.o"
+  "CMakeFiles/test_padding.dir/test_padding.cpp.o.d"
+  "test_padding"
+  "test_padding.pdb"
+  "test_padding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

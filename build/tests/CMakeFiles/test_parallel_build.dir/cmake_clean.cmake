@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_build.dir/test_parallel_build.cpp.o"
+  "CMakeFiles/test_parallel_build.dir/test_parallel_build.cpp.o.d"
+  "test_parallel_build"
+  "test_parallel_build.pdb"
+  "test_parallel_build[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbkdf2.dir/test_pbkdf2.cpp.o"
+  "CMakeFiles/test_pbkdf2.dir/test_pbkdf2.cpp.o.d"
+  "test_pbkdf2"
+  "test_pbkdf2.pdb"
+  "test_pbkdf2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbkdf2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

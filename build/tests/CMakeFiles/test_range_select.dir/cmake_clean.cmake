@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_select.dir/test_range_select.cpp.o"
+  "CMakeFiles/test_range_select.dir/test_range_select.cpp.o.d"
+  "test_range_select"
+  "test_range_select.pdb"
+  "test_range_select[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rank_cache.dir/test_rank_cache.cpp.o"
+  "CMakeFiles/test_rank_cache.dir/test_rank_cache.cpp.o.d"
+  "test_rank_cache"
+  "test_rank_cache.pdb"
+  "test_rank_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rank_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

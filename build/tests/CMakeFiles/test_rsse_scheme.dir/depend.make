@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rsse_scheme.
+# This may be replaced when dependencies are built.

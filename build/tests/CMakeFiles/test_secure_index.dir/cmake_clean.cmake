@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secure_index.dir/test_secure_index.cpp.o"
+  "CMakeFiles/test_secure_index.dir/test_secure_index.cpp.o.d"
+  "test_secure_index"
+  "test_secure_index.pdb"
+  "test_secure_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secure_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split_cache.dir/test_split_cache.cpp.o"
+  "CMakeFiles/test_split_cache.dir/test_split_cache.cpp.o.d"
+  "test_split_cache"
+  "test_split_cache.pdb"
+  "test_split_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

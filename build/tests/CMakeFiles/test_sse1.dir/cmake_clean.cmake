@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sse1.dir/test_sse1.cpp.o"
+  "CMakeFiles/test_sse1.dir/test_sse1.cpp.o.d"
+  "test_sse1"
+  "test_sse1.pdb"
+  "test_sse1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sse1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

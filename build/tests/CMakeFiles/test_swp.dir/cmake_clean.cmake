@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swp.dir/test_swp.cpp.o"
+  "CMakeFiles/test_swp.dir/test_swp.cpp.o.d"
+  "test_swp"
+  "test_swp.pdb"
+  "test_swp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

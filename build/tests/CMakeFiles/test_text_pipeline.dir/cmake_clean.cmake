@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text_pipeline.dir/test_text_pipeline.cpp.o"
+  "CMakeFiles/test_text_pipeline.dir/test_text_pipeline.cpp.o.d"
+  "test_text_pipeline"
+  "test_text_pipeline.pdb"
+  "test_text_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_metrics.dir/test_workload_metrics.cpp.o"
+  "CMakeFiles/test_workload_metrics.dir/test_workload_metrics.cpp.o.d"
+  "test_workload_metrics"
+  "test_workload_metrics.pdb"
+  "test_workload_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsse_cli.dir/rsse_cli.cpp.o"
+  "CMakeFiles/rsse_cli.dir/rsse_cli.cpp.o.d"
+  "rsse"
+  "rsse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
