@@ -1,0 +1,169 @@
+// Cluster scaling bench: sustained ranked-search throughput and latency
+// quantiles against a sharded cluster (src/cluster), swept over shard
+// count on a Zipfian keyword workload. Emits a JSON document so the
+// scaling figure can be regenerated from the output.
+//
+// Each shard is modelled as a remote endpoint with a fixed serving
+// capacity: one connection whose transport sleeps for the service time a
+// real shard would spend (~2 ms for a ranked search — the posting-row
+// decrypt dominates, Table I — and ~0.2 ms for a blob fetch, a lookup
+// plus transfer). The ReplicaSet's per-connection lock then serializes
+// each endpoint exactly like a busy remote server, so adding shards adds
+// capacity the way adding machines would — including the cost the
+// coordinator pays for cross-shard blob fetches — and the measured
+// speedup is independent of how many local cores this bench happens to
+// get. The Zipf skew caps the speedup honestly: the hot keyword's shard
+// stays the bottleneck.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cloud/data_owner.h"
+#include "cluster/coordinator.h"
+#include "ir/query_workload.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+constexpr double kSearchServiceMs = 2.0;
+constexpr double kFetchServiceMs = 0.2;
+
+// A shard endpoint of fixed capacity: the in-process channel plus the
+// simulated remote service time.
+class ShardEndpoint final : public rsse::cloud::Transport {
+ public:
+  explicit ShardEndpoint(rsse::cloud::CloudServer& server) : channel_(server) {}
+
+  rsse::Bytes call(rsse::cloud::MessageType type, rsse::BytesView request) override {
+    const bool search = type == rsse::cloud::MessageType::kRankedSearch ||
+                        type == rsse::cloud::MessageType::kMultiSearch;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        search ? kSearchServiceMs : kFetchServiceMs));
+    return channel_.call(type, request);
+  }
+
+ private:
+  rsse::cloud::Channel channel_;
+};
+
+struct Row {
+  std::uint32_t shards = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace rsse;
+  bench::banner("Cluster scaling — ranked top-10 QPS vs shard count (Zipf workload)");
+
+  auto opts = bench::fig4_corpus_options(250);
+  opts.num_documents = 500;
+  opts.max_tokens = 600;  // small blobs: endpoint capacity, not local
+                          // (de)serialization, should set the throughput
+  opts.injected[0].document_count = 400;
+  const ir::Corpus corpus = ir::generate_corpus(opts);
+
+  cloud::DataOwner owner;
+  cloud::CloudServer server;
+  std::printf("building index (%zu files)...\n", corpus.size());
+  owner.outsource_rsse(corpus, server);
+
+  const auto inverted = ir::InvertedIndex::build(corpus, owner.rsse().analyzer());
+  ir::QueryWorkloadOptions wl;
+  wl.num_queries = 2000;
+  wl.zipf_exponent = 1.1;
+  wl.seed = 17;
+  const ir::QueryWorkload workload(inverted, wl);
+  std::vector<Bytes> requests;
+  requests.reserve(workload.queries().size());
+  for (const std::string& q : workload.queries()) {
+    const sse::Trapdoor t{owner.rsse().row_label(q), owner.rsse().row_key(q)};
+    requests.push_back(cloud::RankedSearchRequest{t, 10}.serialize());
+  }
+  std::printf("workload: %zu queries over %zu distinct keywords"
+              " (%.1f ms search / %.1f ms fetch service time)\n\n",
+              requests.size(), workload.distinct_keywords(), kSearchServiceMs,
+              kFetchServiceMs);
+
+  constexpr int kClients = 16;
+  std::vector<Row> rows;
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    const cluster::ShardMap map(shards);
+    auto indexes = map.split_index(server.index());
+    auto file_sets = map.split_files(server.files());
+    std::vector<std::unique_ptr<cloud::CloudServer>> servers;
+    std::vector<std::unique_ptr<cluster::ReplicaSet>> sets;
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      servers.push_back(std::make_unique<cloud::CloudServer>());
+      servers.back()->store(std::move(indexes[i]), std::move(file_sets[i]));
+      sets.push_back(std::make_unique<cluster::ReplicaSet>());
+      sets.back()->add_replica(std::make_unique<ShardEndpoint>(*servers.back()));
+    }
+    cluster::ClusterManifest manifest;
+    manifest.num_shards = shards;
+    manifest.total_rows = server.index().num_rows();
+    manifest.total_files = server.num_files();
+    cluster::CoordinatorOptions options;
+    options.fanout_threads = 16;
+    options.parallel_fetch_threshold = 0;  // fetches have latency: fan out
+    cluster::ClusterCoordinator coordinator(manifest, std::move(sets), options);
+
+    std::vector<std::vector<double>> latencies(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    Stopwatch wall;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        auto& mine = latencies[c];
+        mine.reserve(requests.size() / kClients + 1);
+        for (std::size_t i = c; i < requests.size(); i += kClients) {
+          const Stopwatch watch;
+          (void)coordinator.call(cloud::MessageType::kRankedSearch, requests[i]);
+          mine.push_back(watch.elapsed_ms());
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double seconds = wall.elapsed_seconds();
+
+    std::vector<double> all;
+    all.reserve(requests.size());
+    for (const auto& part : latencies) all.insert(all.end(), part.begin(), part.end());
+
+    Row row;
+    row.shards = shards;
+    row.qps = static_cast<double>(all.size()) / seconds;
+    row.p50_ms = quantile(all, 0.50);
+    row.p99_ms = quantile(all, 0.99);
+    rows.push_back(row);
+    std::printf("%2u shard(s): %8.0f QPS   p50 %7.3f ms   p99 %7.3f ms\n",
+                shards, row.qps, row.p50_ms, row.p99_ms);
+  }
+
+  // Machine-readable output (one JSON document on stdout).
+  std::printf("\n{\n");
+  std::printf("  \"bench\": \"cluster_scaling\",\n");
+  std::printf("  \"clients\": %d,\n", kClients);
+  std::printf("  \"queries\": %zu,\n", requests.size());
+  std::printf("  \"distinct_keywords\": %zu,\n", workload.distinct_keywords());
+  std::printf("  \"zipf_exponent\": %.2f,\n", wl.zipf_exponent);
+  std::printf("  \"search_service_ms\": %.2f,\n", kSearchServiceMs);
+  std::printf("  \"fetch_service_ms\": %.2f,\n", kFetchServiceMs);
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("    {\"shards\": %u, \"qps\": %.1f, \"p50_ms\": %.4f,"
+                " \"p99_ms\": %.4f, \"speedup_vs_1\": %.2f}%s\n",
+                r.shards, r.qps, r.p50_ms, r.p99_ms, r.qps / rows[0].qps,
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Cluster deployment over real TCP: three shard servers, each reachable
+// through two replica endpoints, presented to the data user as one
+// logical cloud by the scatter-gather coordinator. The user code is the
+// same DataUser the single-server examples use — the coordinator is just
+// another Transport. Midway, one replica endpoint is killed and the
+// queries keep succeeding through replica failover.
+//
+// Run: ./build/examples/cluster_search
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "cluster/coordinator.h"
+#include "crypto/csprng.h"
+#include "ir/corpus_gen.h"
+#include "net/remote_channel.h"
+#include "net/server.h"
+
+int main() {
+  using namespace rsse;
+  constexpr std::uint32_t kShards = 3;
+  constexpr std::uint32_t kReplicas = 2;
+
+  // Owner side: prepare and outsource a small collection, then split the
+  // outsourced index + files across shards by trapdoor-label hash.
+  ir::CorpusGenOptions opts;
+  opts.num_documents = 120;
+  opts.vocabulary_size = 250;
+  opts.min_tokens = 80;
+  opts.max_tokens = 400;
+  opts.injected.push_back(ir::InjectedKeyword{"consensus", 50, 0.4, 30});
+  opts.injected.push_back(ir::InjectedKeyword{"paxos", 35, 0.4, 25});
+  opts.seed = 23;
+  const ir::Corpus corpus = ir::generate_corpus(opts);
+
+  cloud::DataOwner owner;
+  cloud::CloudServer staging;
+  owner.outsource_rsse(corpus, staging);
+
+  const cluster::ShardMap map(kShards);
+  auto indexes = map.split_index(staging.index());
+  auto file_sets = map.split_files(staging.files());
+
+  // Cloud side: one CloudServer per shard, each listening on kReplicas
+  // TCP endpoints (the in-process stand-in for R replicated machines
+  // serving the same shard directory).
+  std::vector<std::unique_ptr<cloud::CloudServer>> shards;
+  std::vector<std::unique_ptr<net::NetworkServer>> endpoints;
+  std::vector<std::unique_ptr<cluster::ReplicaSet>> sets;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    shards.push_back(std::make_unique<cloud::CloudServer>());
+    shards.back()->store(std::move(indexes[s]), std::move(file_sets[s]));
+    auto set = std::make_unique<cluster::ReplicaSet>();
+    for (std::uint32_t r = 0; r < kReplicas; ++r) {
+      endpoints.push_back(std::make_unique<net::NetworkServer>(*shards.back(), 0));
+      set->add_replica(std::make_unique<net::RemoteChannel>(endpoints.back()->port()));
+      std::printf("shard %u replica %u listening on 127.0.0.1:%u\n", s, r,
+                  endpoints.back()->port());
+    }
+    sets.push_back(std::move(set));
+  }
+
+  cluster::ClusterManifest manifest;
+  manifest.num_shards = kShards;
+  manifest.replicas = kReplicas;
+  manifest.total_rows = staging.index().num_rows();
+  manifest.total_files = staging.num_files();
+  cluster::ClusterCoordinator coordinator(manifest, std::move(sets));
+  std::printf("coordinator up: %zu/%u shards healthy\n\n",
+              coordinator.probe_shards(), kShards);
+
+  // User side: sealed credentials, one logical cloud.
+  const Bytes user_key = crypto::random_bytes(32);
+  const auto credentials = cloud::AuthorizationService::open(
+      user_key, "carol", owner.enroll_user(user_key, "carol"));
+  cloud::DataUser carol(credentials, coordinator);
+
+  const auto top = carol.ranked_search("consensus", 5);
+  std::printf("carol's top-5 for \"consensus\" across the cluster:\n");
+  for (std::size_t i = 0; i < top.size(); ++i)
+    std::printf("  #%zu %s\n", i + 1, top[i].document.name.c_str());
+
+  const auto both = carol.multi_search({"consensus", "paxos"}, true, 5);
+  std::printf("\ntop-%zu for consensus AND paxos (scatter-gather merge):\n",
+              both.size());
+  for (std::size_t i = 0; i < both.size(); ++i)
+    std::printf("  #%zu %s\n", i + 1, both[i].document.name.c_str());
+
+  // Kill a replica endpoint of the very shard serving "consensus": the
+  // ReplicaSet fails over to the sibling and the client sees nothing.
+  // Routing keys on the trapdoor label of the *normalized* keyword (the
+  // index term), not the raw query string.
+  const std::size_t hot = coordinator.shard_map().shard_of_label(owner.rsse().row_label(
+      owner.rsse().analyzer().normalize_keyword("consensus")));
+  endpoints[hot * kReplicas]->stop();
+  std::printf("\nkilled shard %zu replica 0 (the \"consensus\" shard);"
+              " querying on...\n", hot);
+  for (int i = 0; i < 10; ++i) (void)carol.ranked_search("consensus", 3);
+  std::printf("10 queries succeeded (shard %zu failovers: %llu)\n", hot,
+              static_cast<unsigned long long>(coordinator.shard(hot).failovers()));
+
+  const auto metrics = coordinator.metrics();
+  std::printf("\nper-shard traffic:\n");
+  for (std::size_t s = 0; s < metrics.shards.size(); ++s)
+    std::printf("  shard %zu: %llu requests, %llu errors, p50 %.2f ms\n", s,
+                static_cast<unsigned long long>(metrics.shards[s].requests),
+                static_cast<unsigned long long>(metrics.shards[s].errors),
+                metrics.shards[s].latency.p50_seconds * 1e3);
+  std::printf("scatter-gather merges: %llu, partial responses: %llu\n",
+              static_cast<unsigned long long>(metrics.scatter_gathers),
+              static_cast<unsigned long long>(metrics.partial_responses));
+
+  for (auto& endpoint : endpoints) endpoint->stop();
+  std::printf("\ncluster stopped cleanly\n");
+  return 0;
+}

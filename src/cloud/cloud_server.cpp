@@ -3,6 +3,7 @@
 #include "ext/disjunctive.h"
 
 #include "util/errors.h"
+#include "util/stopwatch.h"
 
 namespace rsse::cloud {
 
@@ -135,35 +136,46 @@ std::uint64_t CloudServer::stored_bytes() const {
 }
 
 Bytes CloudServer::handle(MessageType type, BytesView payload) const {
+  const Stopwatch watch;
   switch (type) {
     case MessageType::kRankedSearch: {
       const auto resp = ranked_search(RankedSearchRequest::deserialize(payload));
       Bytes out = resp.serialize();
       metrics_.record_ranked_search(resp.files.size(), out.size());
+      metrics_.record_latency(ServerMetrics::RequestKind::kRankedSearch,
+                              watch.elapsed_seconds());
       return out;
     }
     case MessageType::kBasicEntries: {
       const auto resp = basic_entries(BasicEntriesRequest::deserialize(payload));
       Bytes out = resp.serialize();
       metrics_.record_basic_entries(out.size());
+      metrics_.record_latency(ServerMetrics::RequestKind::kBasicEntries,
+                              watch.elapsed_seconds());
       return out;
     }
     case MessageType::kFetchFiles: {
       const auto resp = fetch_files(FetchFilesRequest::deserialize(payload));
       Bytes out = resp.serialize();
       metrics_.record_fetch(resp.files.size(), out.size());
+      metrics_.record_latency(ServerMetrics::RequestKind::kFetchFiles,
+                              watch.elapsed_seconds());
       return out;
     }
     case MessageType::kBasicFiles: {
       const auto resp = basic_files(BasicEntriesRequest::deserialize(payload));
       Bytes out = resp.serialize();
       metrics_.record_basic_files(resp.files.size(), out.size());
+      metrics_.record_latency(ServerMetrics::RequestKind::kBasicFiles,
+                              watch.elapsed_seconds());
       return out;
     }
     case MessageType::kMultiSearch: {
       const auto resp = multi_search(MultiSearchRequest::deserialize(payload));
       Bytes out = resp.serialize();
       metrics_.record_ranked_search(resp.files.size(), out.size());
+      metrics_.record_latency(ServerMetrics::RequestKind::kMultiSearch,
+                              watch.elapsed_seconds());
       return out;
     }
   }

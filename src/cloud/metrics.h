@@ -1,14 +1,71 @@
 // Server-side observability: cheap atomic counters the CloudServer
-// increments per request, with a consistent snapshot for operators,
-// benches and tests. Deliberately content-free — counting requests and
-// bytes reveals nothing the honest-but-curious server doesn't already
-// see.
+// increments per request, plus per-request-type service-time histograms,
+// with a consistent snapshot for operators, benches and tests.
+// Deliberately content-free — counting requests, bytes and times reveals
+// nothing the honest-but-curious server doesn't already see.
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <mutex>
+
+#include "util/histogram.h"
 
 namespace rsse::cloud {
+
+/// Percentiles of one request type's service time, in seconds.
+struct LatencyStats {
+  std::uint64_t count = 0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// A mutex-guarded latency histogram. Samples are binned as log10(seconds)
+/// over [100 ns, 100 s] with 180 containers, giving ~5% relative
+/// resolution across nine decades — wide enough for a cached in-process
+/// lookup and a cross-shard scatter-gather alike. Shared by the single
+/// server's ServerMetrics and the cluster coordinator's per-shard metrics
+/// so both report the same observability surface.
+class LatencyRecorder {
+ public:
+  LatencyRecorder() : histogram_(kLogLo, kLogHi, kBins) {}
+
+  /// Records one service time.
+  void record(double seconds) {
+    const double log_s = std::log10(std::max(seconds, 1e-9));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.add(log_s);
+  }
+
+  /// p50/p95/p99 of everything recorded so far.
+  [[nodiscard]] LatencyStats snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    LatencyStats s;
+    s.count = histogram_.total();
+    if (s.count > 0) {
+      s.p50_seconds = std::pow(10.0, histogram_.quantile(0.50));
+      s.p95_seconds = std::pow(10.0, histogram_.quantile(0.95));
+      s.p99_seconds = std::pow(10.0, histogram_.quantile(0.99));
+    }
+    return s;
+  }
+
+  /// Drops all samples.
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    histogram_ = Histogram(kLogLo, kLogHi, kBins);
+  }
+
+ private:
+  static constexpr double kLogLo = -7.0;  // 100 ns
+  static constexpr double kLogHi = 2.0;   // 100 s
+  static constexpr std::size_t kBins = 180;
+
+  mutable std::mutex mutex_;
+  Histogram histogram_;
+};
 
 /// A point-in-time copy of the counters.
 struct MetricsSnapshot {
@@ -18,6 +75,16 @@ struct MetricsSnapshot {
   std::uint64_t basic_file_searches = 0;
   std::uint64_t files_returned = 0;
   std::uint64_t result_bytes = 0;
+
+  /// Service-time percentiles per request type (counts include only
+  /// requests whose handler timed itself, i.e. everything through
+  /// CloudServer::handle). Multi-keyword searches count into
+  /// ranked_searches above but get their own latency series here.
+  LatencyStats ranked_search_latency;
+  LatencyStats basic_entries_latency;
+  LatencyStats fetch_latency;
+  LatencyStats basic_files_latency;
+  LatencyStats multi_search_latency;
 
   /// Total requests across all four types.
   [[nodiscard]] std::uint64_t total_requests() const {
@@ -29,6 +96,15 @@ struct MetricsSnapshot {
 /// The live counters (one instance per CloudServer).
 class ServerMetrics {
  public:
+  /// Which latency series a handle() call belongs to.
+  enum class RequestKind : std::uint8_t {
+    kRankedSearch,
+    kBasicEntries,
+    kFetchFiles,
+    kBasicFiles,
+    kMultiSearch,
+  };
+
   void record_ranked_search(std::uint64_t files, std::uint64_t bytes) {
     ++ranked_searches_;
     files_returned_ += files;
@@ -49,6 +125,11 @@ class ServerMetrics {
     result_bytes_ += bytes;
   }
 
+  /// Adds one service-time sample to the request type's series.
+  void record_latency(RequestKind kind, double seconds) {
+    latency_of(kind).record(seconds);
+  }
+
   /// Copies the counters (each read atomically; the snapshot as a whole
   /// is weakly consistent, which is fine for monitoring).
   [[nodiscard]] MetricsSnapshot snapshot() const {
@@ -59,10 +140,15 @@ class ServerMetrics {
     s.basic_file_searches = basic_file_searches_.load();
     s.files_returned = files_returned_.load();
     s.result_bytes = result_bytes_.load();
+    s.ranked_search_latency = ranked_latency_.snapshot();
+    s.basic_entries_latency = basic_entries_latency_.snapshot();
+    s.fetch_latency = fetch_latency_.snapshot();
+    s.basic_files_latency = basic_files_latency_.snapshot();
+    s.multi_search_latency = multi_search_latency_.snapshot();
     return s;
   }
 
-  /// Zeroes every counter.
+  /// Zeroes every counter and latency series.
   void reset() {
     ranked_searches_ = 0;
     basic_entry_searches_ = 0;
@@ -70,15 +156,36 @@ class ServerMetrics {
     basic_file_searches_ = 0;
     files_returned_ = 0;
     result_bytes_ = 0;
+    ranked_latency_.reset();
+    basic_entries_latency_.reset();
+    fetch_latency_.reset();
+    basic_files_latency_.reset();
+    multi_search_latency_.reset();
   }
 
  private:
+  [[nodiscard]] LatencyRecorder& latency_of(RequestKind kind) {
+    switch (kind) {
+      case RequestKind::kRankedSearch: return ranked_latency_;
+      case RequestKind::kBasicEntries: return basic_entries_latency_;
+      case RequestKind::kFetchFiles: return fetch_latency_;
+      case RequestKind::kBasicFiles: return basic_files_latency_;
+      case RequestKind::kMultiSearch: return multi_search_latency_;
+    }
+    return ranked_latency_;  // unreachable
+  }
+
   std::atomic<std::uint64_t> ranked_searches_{0};
   std::atomic<std::uint64_t> basic_entry_searches_{0};
   std::atomic<std::uint64_t> fetch_requests_{0};
   std::atomic<std::uint64_t> basic_file_searches_{0};
   std::atomic<std::uint64_t> files_returned_{0};
   std::atomic<std::uint64_t> result_bytes_{0};
+  LatencyRecorder ranked_latency_;
+  LatencyRecorder basic_entries_latency_;
+  LatencyRecorder fetch_latency_;
+  LatencyRecorder basic_files_latency_;
+  LatencyRecorder multi_search_latency_;
 };
 
 }  // namespace rsse::cloud

@@ -30,6 +30,7 @@ RankedSearchRequest RankedSearchRequest::deserialize(BytesView blob) {
 
 Bytes RankedSearchResponse::serialize() const {
   Bytes out;
+  out.push_back(partial ? 1 : 0);
   append_u64(out, files.size());
   for (const RankedFile& f : files) {
     append_u64(out, ir::value(f.id));
@@ -42,6 +43,9 @@ Bytes RankedSearchResponse::serialize() const {
 RankedSearchResponse RankedSearchResponse::deserialize(BytesView blob) {
   ByteReader reader(blob);
   RankedSearchResponse resp;
+  const Bytes partial = reader.read(1);
+  if (partial[0] > 1) throw ParseError("RankedSearchResponse: bad partial flag");
+  resp.partial = partial[0] == 1;
   const std::uint64_t n = reader.read_count(20);  // id + score + LP header
   resp.files.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {

@@ -64,9 +64,13 @@ struct RankedSearchRequest {
   static RankedSearchRequest deserialize(BytesView blob);
 };
 
-/// RSSE response: ranked files, best first.
+/// RSSE response: ranked files, best first. `partial` is false from a
+/// single CloudServer; a cluster coordinator sets it when a whole shard
+/// group was unreachable and the merged result may be missing that
+/// shard's hits (graceful degradation instead of a failed query).
 struct RankedSearchResponse {
   std::vector<RankedFile> files;
+  bool partial = false;
 
   [[nodiscard]] Bytes serialize() const;
   static RankedSearchResponse deserialize(BytesView blob);

@@ -1,0 +1,131 @@
+// The scatter-gather coordinator: N CloudServer shards presented to
+// DataUser as one logical server.
+//
+// The coordinator is itself a cloud::Transport, so every existing client
+// (DataUser, RestrictedUser, the CLI) runs unchanged against a cluster —
+// the same seam that lets one binary talk to an in-process Channel or a
+// TCP RemoteChannel. Routing is leakage-free relative to a single server:
+// the shard choice hashes the trapdoor label the queried server would see
+// anyway, and the gathered per-shard top-k lists are merged by one-to-many
+// OPM ciphertext order — the exact comparison a single RSSE server
+// performs (Sec. IV), so the union of what N shards observe equals what
+// one server observes, minus each shard seeing only its rows and files.
+//
+// Request routing:
+//   RankedSearch / BasicEntries / BasicFiles — single-shard fast path to
+//     the keyword's owner; file blobs the owner does not host are filled
+//     in by a FetchFiles fan-out over the file-placement map.
+//   MultiSearch — trapdoors grouped by owning shard; sub-queries fan out
+//     in parallel on a util/thread_pool; per-shard results are k-way
+//     merged by OPM order (conjunctive: intersect across groups, sum
+//     aggregates; disjunctive: union, max aggregates — matching the
+//     single-server semantics exactly).
+//   FetchFiles — ids grouped by file shard, fetched in parallel,
+//     reassembled in request order.
+//
+// Failure handling: each shard is a ReplicaSet (replica failover with
+// capped exponential backoff). When a whole shard stays down, multi-shard
+// queries degrade gracefully — the merged response is returned with its
+// `partial` flag set instead of failing the query — while single-shard
+// queries have no sound fallback and surface the error.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/metrics.h"
+#include "cluster/replica.h"
+#include "cluster/shard_map.h"
+#include "util/thread_pool.h"
+
+namespace rsse::cluster {
+
+/// Coordinator knobs.
+struct CoordinatorOptions {
+  RetryPolicy retry;
+  std::size_t fanout_threads = 0;  ///< 0 = one per shard (capped at 16)
+  /// File-blob fetches spanning at most this many shards run sequentially
+  /// on the calling thread (a fetch is microseconds of shard work; pool
+  /// scheduling costs more). Set to 0 to always fan out — worth it on
+  /// high-latency transports.
+  std::size_t parallel_fetch_threshold = 8;
+};
+
+/// The cluster-aware Transport implementation.
+class ClusterCoordinator final : public cloud::Transport {
+ public:
+  /// Takes ownership of one ReplicaSet per shard; `shards.size()` must
+  /// equal `manifest.num_shards` and every set must be non-empty.
+  ClusterCoordinator(ClusterManifest manifest,
+                     std::vector<std::unique_ptr<ReplicaSet>> shards,
+                     CoordinatorOptions options = {});
+
+  /// One logical RPC against the cluster (Transport contract).
+  Bytes call(cloud::MessageType type, BytesView request) override;
+
+  /// The routing geometry.
+  [[nodiscard]] const ClusterManifest& manifest() const { return manifest_; }
+  [[nodiscard]] const ShardMap& shard_map() const { return shard_map_; }
+
+  /// Health-checks every replica of every shard; returns the number of
+  /// shards with at least one live replica.
+  std::size_t probe_shards();
+
+  /// Per-shard observability.
+  [[nodiscard]] ClusterMetricsSnapshot metrics() const { return metrics_.snapshot(); }
+
+  /// The shard's replica group (failover counters for tests/benches).
+  [[nodiscard]] const ReplicaSet& shard(std::size_t i) const { return *shards_[i]; }
+
+ private:
+  /// call() without the traffic accounting.
+  Bytes dispatch(cloud::MessageType type, BytesView request);
+
+  /// One sub-request to a shard, with failover, metrics and timing.
+  Bytes shard_call(std::size_t shard, cloud::MessageType type, BytesView request);
+
+  cloud::RankedSearchResponse do_ranked_search(BytesView payload);
+  cloud::RankedSearchResponse do_multi_search(BytesView payload);
+  cloud::FetchFilesResponse do_fetch_files(const cloud::FetchFilesRequest& req,
+                                           bool* degraded);
+
+  /// Fills the pointed-at empty blobs by fetching from the owning file
+  /// shards in parallel. `skip_shard` marks a shard whose empty answers
+  /// are genuine absences (the responder itself) — pass num_shards to
+  /// fetch everything. Sets *degraded when a file shard was unreachable.
+  void fetch_and_fill(const std::vector<std::pair<std::uint64_t, Bytes*>>& missing,
+                      std::size_t skip_shard, bool* degraded);
+
+  ClusterManifest manifest_;
+  ShardMap shard_map_;
+  std::vector<std::unique_ptr<ReplicaSet>> shards_;
+  CoordinatorOptions options_;
+  ThreadPool pool_;
+  ClusterMetrics metrics_;
+  // Transport::account is not synchronized; the coordinator is shared by
+  // many client threads, so serialize the traffic accounting.
+  std::mutex stats_mutex_;
+};
+
+/// An in-process cluster: N CloudServer shards behind one coordinator
+/// over accounted channels — the wiring tests, benches and the CLI use.
+/// Real deployments build the coordinator over one ReplicaSet of
+/// net::RemoteChannel endpoints per shard instead.
+struct LocalCluster {
+  ClusterManifest manifest;
+  std::vector<std::unique_ptr<cloud::CloudServer>> servers;  ///< one per shard
+  std::unique_ptr<ClusterCoordinator> coordinator;
+};
+
+/// Splits an outsourced deployment across `num_shards` in-process servers
+/// (each shard fronted by `replicas` channels to the same server — the
+/// in-process stand-in for replicated endpoints) and wires the
+/// coordinator. Throws InvalidArgument on zero shards/replicas.
+LocalCluster make_local_cluster(const sse::SecureIndex& index,
+                                const std::map<std::uint64_t, Bytes>& files,
+                                std::uint32_t num_shards, std::uint32_t replicas = 1,
+                                CoordinatorOptions options = {});
+
+}  // namespace rsse::cluster

@@ -1,0 +1,84 @@
+// Coordinator-side observability, mirroring cloud/metrics.h shard by
+// shard: request/error counters and a service-time histogram per shard,
+// plus cluster-wide scatter-gather and degradation counters. Content-free
+// like the server's own metrics — the coordinator sees only what the
+// shards it queries already see.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cloud/metrics.h"
+
+namespace rsse::cluster {
+
+/// Point-in-time counters of one shard, as seen from the coordinator.
+struct ShardMetricsSnapshot {
+  std::uint64_t requests = 0;  ///< sub-requests routed to this shard
+  std::uint64_t errors = 0;    ///< sub-requests that failed all replicas
+  cloud::LatencyStats latency;  ///< replica-set call time (incl. retries)
+};
+
+/// Point-in-time copy of the whole cluster's counters.
+struct ClusterMetricsSnapshot {
+  std::vector<ShardMetricsSnapshot> shards;
+  std::uint64_t scatter_gathers = 0;    ///< multi-shard fan-out queries
+  std::uint64_t partial_responses = 0;  ///< responses flagged partial
+
+  /// Sub-requests across all shards.
+  [[nodiscard]] std::uint64_t total_requests() const {
+    std::uint64_t total = 0;
+    for (const ShardMetricsSnapshot& s : shards) total += s.requests;
+    return total;
+  }
+};
+
+/// The live per-shard counters (one instance per ClusterCoordinator).
+class ClusterMetrics {
+ public:
+  explicit ClusterMetrics(std::size_t num_shards) {
+    shards_.reserve(num_shards);
+    for (std::size_t i = 0; i < num_shards; ++i)
+      shards_.push_back(std::make_unique<PerShard>());
+  }
+
+  void record_request(std::size_t shard, double seconds) {
+    ++shards_[shard]->requests;
+    shards_[shard]->latency.record(seconds);
+  }
+  void record_error(std::size_t shard) { ++shards_[shard]->errors; }
+  void record_scatter_gather() { ++scatter_gathers_; }
+  void record_partial() { ++partial_responses_; }
+
+  [[nodiscard]] ClusterMetricsSnapshot snapshot() const {
+    ClusterMetricsSnapshot s;
+    s.shards.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      ShardMetricsSnapshot per;
+      per.requests = shard->requests.load();
+      per.errors = shard->errors.load();
+      per.latency = shard->latency.snapshot();
+      s.shards.push_back(per);
+    }
+    s.scatter_gathers = scatter_gathers_.load();
+    s.partial_responses = partial_responses_.load();
+    return s;
+  }
+
+ private:
+  // Heap-allocated per-shard slots: atomics are not movable, and the
+  // vector is sized once at construction anyway.
+  struct PerShard {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> errors{0};
+    cloud::LatencyRecorder latency;
+  };
+
+  std::vector<std::unique_ptr<PerShard>> shards_;
+  std::atomic<std::uint64_t> scatter_gathers_{0};
+  std::atomic<std::uint64_t> partial_responses_{0};
+};
+
+}  // namespace rsse::cluster

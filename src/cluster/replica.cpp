@@ -1,0 +1,133 @@
+#include "cluster/replica.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/errors.h"
+
+namespace rsse::cluster {
+
+void ReplicaSet::add_replica(std::unique_ptr<cloud::Transport> transport) {
+  detail::require(transport != nullptr, "ReplicaSet: null transport");
+  auto replica = std::make_unique<Replica>();
+  replica->transport = std::move(transport);
+  replicas_.push_back(std::move(replica));
+}
+
+std::int64_t ReplicaSet::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool ReplicaSet::is_down(const Replica& replica) const {
+  return replica.down_until_ns.load() > now_ns();
+}
+
+std::size_t ReplicaSet::healthy_replicas() const {
+  std::size_t healthy = 0;
+  for (const auto& replica : replicas_)
+    if (!is_down(*replica)) ++healthy;
+  return healthy;
+}
+
+Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
+                       const RetryPolicy& policy) {
+  detail::require(!replicas_.empty(), "ReplicaSet::call: no replicas");
+  detail::require(policy.max_attempts > 0, "ReplicaSet::call: zero attempts");
+
+  const std::size_t preferred = preferred_.load() % replicas_.size();
+  std::exception_ptr last_error;
+  std::chrono::milliseconds backoff = policy.base_backoff;
+
+  for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    // Candidate order: preferred first, then round-robin. A replica in
+    // failure cooldown is skipped unless every replica is down (then we
+    // try anyway — a request beats a guaranteed failure).
+    std::size_t index = (preferred + attempt) % replicas_.size();
+    if (is_down(*replicas_[index])) {
+      const bool all_down = healthy_replicas() == 0;
+      if (!all_down) {
+        for (std::size_t step = 0; step < replicas_.size(); ++step) {
+          const std::size_t candidate = (index + step) % replicas_.size();
+          if (!is_down(*replicas_[candidate])) {
+            index = candidate;
+            break;
+          }
+        }
+      }
+    }
+    // `routed` is the health-based choice (drives preferred/failover
+    // bookkeeping); `index` may divert to an idle sibling below.
+    const std::size_t routed = index;
+    try {
+      Bytes response;
+      {
+        // Prefer an idle connection: sweep healthy replicas with try_lock
+        // so a short request does not queue behind a long in-flight one on
+        // the same connection; wait on the routed replica only when every
+        // connection is busy.
+        std::unique_lock<std::mutex> lock(replicas_[index]->mutex, std::defer_lock);
+        if (!lock.try_lock()) {
+          for (std::size_t step = 1; step < replicas_.size(); ++step) {
+            const std::size_t candidate = (index + step) % replicas_.size();
+            if (is_down(*replicas_[candidate])) continue;
+            std::unique_lock<std::mutex> other(replicas_[candidate]->mutex,
+                                               std::try_to_lock);
+            if (other.owns_lock()) {
+              lock = std::move(other);
+              index = candidate;
+              break;
+            }
+          }
+          if (!lock.owns_lock()) lock.lock();
+        }
+        response = replicas_[index]->transport->call(type, request);
+      }
+      replicas_[index]->down_until_ns.store(0);
+      if (routed != preferred) {
+        ++failovers_;
+        preferred_.store(routed);
+      }
+      return response;
+    } catch (const Error&) {
+      ++failed_attempts_;
+      replicas_[index]->down_until_ns.store(
+          now_ns() + std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         policy.down_cooldown)
+                         .count());
+      last_error = std::current_exception();
+    }
+    if (attempt + 1 < policy.max_attempts) {
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, policy.max_backoff);
+    }
+  }
+  std::rethrow_exception(last_error);
+}
+
+std::size_t ReplicaSet::probe(const RetryPolicy& policy) {
+  // An empty fetch is the cheapest request a server answers; any reply at
+  // all proves liveness.
+  const Bytes ping = cloud::FetchFilesRequest{}.serialize();
+  std::size_t alive = 0;
+  for (auto& replica : replicas_) {
+    try {
+      {
+        const std::lock_guard<std::mutex> lock(replica->mutex);
+        (void)replica->transport->call(cloud::MessageType::kFetchFiles, ping);
+      }
+      replica->down_until_ns.store(0);
+      ++alive;
+    } catch (const Error&) {
+      ++failed_attempts_;
+      replica->down_until_ns.store(
+          now_ns() + std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         policy.down_cooldown)
+                         .count());
+    }
+  }
+  return alive;
+}
+
+}  // namespace rsse::cluster

@@ -1,0 +1,85 @@
+// One shard's replica group and the coordinator's retry policy.
+//
+// A shard may be served by R replicas (each holding the same per-shard
+// deployment — replication is owner-side: upload the shard to R
+// endpoints). The ReplicaSet turns those R transports into one logical
+// endpoint: a call goes to the preferred (last known good) replica, and a
+// transport failure fails over to the next one with capped exponential
+// backoff between attempts. Replicas that failed recently sit out a
+// cooldown before being tried again, so a dead endpoint does not tax
+// every request with a connect timeout.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cloud/channel.h"
+
+namespace rsse::cluster {
+
+/// Failure-handling knobs of one coordinator.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 3;  ///< total tries per call, across replicas
+  std::chrono::milliseconds base_backoff{1};   ///< sleep after first failure
+  std::chrono::milliseconds max_backoff{64};   ///< exponential cap
+  std::chrono::milliseconds down_cooldown{250};  ///< sit-out after a failure
+};
+
+/// R replicas of one shard behind a single call() with failover.
+/// Thread-safe: concurrent calls serialize per replica (the underlying
+/// Transport — a TCP connection or an accounted in-process channel — is
+/// not multiplexed) but different replicas proceed in parallel.
+class ReplicaSet {
+ public:
+  ReplicaSet() = default;
+
+  /// Adds one replica endpoint. All replicas must serve the same shard.
+  void add_replica(std::unique_ptr<cloud::Transport> transport);
+
+  /// Number of replicas R.
+  [[nodiscard]] std::size_t size() const { return replicas_.size(); }
+
+  /// One RPC with failover: tries up to policy.max_attempts replicas
+  /// (preferred replica first, round-robin over the rest, skipping those
+  /// in cooldown while any alternative remains), sleeping the capped
+  /// exponential backoff between consecutive failures. Throws the last
+  /// replica error when every attempt failed. Throws InvalidArgument on
+  /// an empty set.
+  Bytes call(cloud::MessageType type, BytesView request, const RetryPolicy& policy);
+
+  /// Health check: pings every replica with a zero-file fetch and updates
+  /// its health state. Returns the number of replicas that answered.
+  std::size_t probe(const RetryPolicy& policy);
+
+  /// Replicas currently believed healthy (not in failure cooldown).
+  [[nodiscard]] std::size_t healthy_replicas() const;
+
+  /// Calls that succeeded only after failing over off the preferred
+  /// replica.
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_.load(); }
+
+  /// Individual attempts that failed (includes those later recovered by
+  /// a retry).
+  [[nodiscard]] std::uint64_t failed_attempts() const { return failed_attempts_.load(); }
+
+ private:
+  struct Replica {
+    std::unique_ptr<cloud::Transport> transport;
+    std::mutex mutex;                        // serializes use of transport
+    std::atomic<std::int64_t> down_until_ns{0};  // steady_clock epoch-ns
+  };
+
+  [[nodiscard]] static std::int64_t now_ns();
+  [[nodiscard]] bool is_down(const Replica& replica) const;
+
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::atomic<std::size_t> preferred_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> failed_attempts_{0};
+};
+
+}  // namespace rsse::cluster

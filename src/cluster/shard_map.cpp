@@ -1,0 +1,90 @@
+#include "cluster/shard_map.h"
+
+#include "util/errors.h"
+
+namespace rsse::cluster {
+
+namespace {
+
+// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation. Used both
+// to fold label bytes and to whiten sequential file ids; no cryptographic
+// strength is needed — labels are already PRF outputs, and file ids are
+// public to the server either way.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::uint32_t num_shards) : num_shards_(num_shards) {
+  detail::require(num_shards > 0, "ShardMap: num_shards must be positive");
+}
+
+std::uint32_t ShardMap::shard_of_label(BytesView label) const {
+  // Fold the label 8 bytes at a time (little-endian) through the mixer so
+  // every byte influences the shard choice.
+  std::uint64_t h = 0x6a09e667f3bcc908ULL;  // sqrt(2) fraction, arbitrary
+  std::uint64_t chunk = 0;
+  std::size_t filled = 0;
+  for (const std::uint8_t byte : label) {
+    chunk |= static_cast<std::uint64_t>(byte) << (8 * filled);
+    if (++filled == 8) {
+      h = mix64(h ^ chunk);
+      chunk = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) h = mix64(h ^ chunk ^ (static_cast<std::uint64_t>(filled) << 56));
+  return static_cast<std::uint32_t>(h % num_shards_);
+}
+
+std::uint32_t ShardMap::shard_of_file(std::uint64_t id) const {
+  return static_cast<std::uint32_t>(mix64(id) % num_shards_);
+}
+
+std::vector<sse::SecureIndex> ShardMap::split_index(
+    const sse::SecureIndex& index) const {
+  std::vector<sse::SecureIndex> shards(num_shards_);
+  for (const Bytes& label : index.labels()) {
+    const std::vector<Bytes>* entries = index.row(label);
+    shards[shard_of_label(label)].add_row(label, *entries);
+  }
+  return shards;
+}
+
+std::vector<std::map<std::uint64_t, Bytes>> ShardMap::split_files(
+    const std::map<std::uint64_t, Bytes>& files) const {
+  std::vector<std::map<std::uint64_t, Bytes>> shards(num_shards_);
+  for (const auto& [id, blob] : files) shards[shard_of_file(id)].emplace(id, blob);
+  return shards;
+}
+
+Bytes ClusterManifest::serialize() const {
+  Bytes out;
+  append_u32(out, version);
+  append_u32(out, num_shards);
+  append_u32(out, replicas);
+  append_u64(out, total_rows);
+  append_u64(out, total_files);
+  return out;
+}
+
+ClusterManifest ClusterManifest::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  ClusterManifest m;
+  m.version = reader.read_u32();
+  if (m.version != 1) throw ParseError("ClusterManifest: unknown version");
+  m.num_shards = reader.read_u32();
+  m.replicas = reader.read_u32();
+  m.total_rows = reader.read_u64();
+  m.total_files = reader.read_u64();
+  if (!reader.exhausted()) throw ParseError("ClusterManifest: trailing bytes");
+  if (m.num_shards == 0) throw ParseError("ClusterManifest: zero shards");
+  if (m.replicas == 0) throw ParseError("ClusterManifest: zero replicas");
+  return m;
+}
+
+}  // namespace rsse::cluster

@@ -1,0 +1,86 @@
+// Keyword- and file-placement for the sharded cluster layer.
+//
+// Routing must never touch plaintext: the shard owning a keyword's posting
+// row is derived from the *trapdoor label* pi_x(w) — an HMAC output the
+// owner computes at BuildIndex time and the user's trapdoor carries anyway
+// — so the coordinator learns nothing a single curious server would not
+// also see, and neither the owner nor the user needs any extra key
+// material to route. Encrypted file blobs are placed independently by a
+// mixed hash of their (public) file id, so the file set spreads evenly
+// even though ids are sequential.
+//
+// The assignment is a plain modulus over the label hash: labels are
+// pseudorandom (PRF outputs), so the load is balanced by construction and
+// the map is fully described by one integer — the shard count — recorded
+// in the serializable ClusterManifest the owner ships alongside the
+// per-shard deployments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sse/secure_index.h"
+#include "util/bytes.h"
+
+namespace rsse::cluster {
+
+/// Deterministic keyword->shard and file->shard assignment for one
+/// cluster geometry.
+class ShardMap {
+ public:
+  /// Binds the map to a fixed shard count. Throws InvalidArgument on 0.
+  explicit ShardMap(std::uint32_t num_shards);
+
+  /// Number of shards N.
+  [[nodiscard]] std::uint32_t num_shards() const { return num_shards_; }
+
+  /// The shard owning the posting row behind `label` (= pi_x(w), the
+  /// trapdoor's first component). Folds the whole label through a 64-bit
+  /// mix so short or truncated labels still spread evenly.
+  [[nodiscard]] std::uint32_t shard_of_label(BytesView label) const;
+
+  /// The shard storing encrypted file `id`. Ids are sequential, so they
+  /// pass through an integer mixer before the modulus.
+  [[nodiscard]] std::uint32_t shard_of_file(std::uint64_t id) const;
+
+  /// Splits an outsourced index into per-shard sub-indexes by row label.
+  /// Every row lands on exactly one shard; the concatenation equals the
+  /// input.
+  [[nodiscard]] std::vector<sse::SecureIndex> split_index(
+      const sse::SecureIndex& index) const;
+
+  /// Splits the encrypted file collection by file id.
+  [[nodiscard]] std::vector<std::map<std::uint64_t, Bytes>> split_files(
+      const std::map<std::uint64_t, Bytes>& files) const;
+
+  friend bool operator==(const ShardMap&, const ShardMap&) = default;
+
+ private:
+  std::uint32_t num_shards_;
+};
+
+/// The owner-published description of a cluster deployment: everything a
+/// coordinator needs to route, nothing secret. Extend with care — version
+/// gates the wire format.
+struct ClusterManifest {
+  std::uint32_t version = 1;
+  std::uint32_t num_shards = 1;
+  std::uint32_t replicas = 1;        ///< replicas per shard (R)
+  std::uint64_t total_rows = 0;      ///< index rows across all shards
+  std::uint64_t total_files = 0;     ///< encrypted files across all shards
+
+  /// The routing map this manifest describes.
+  [[nodiscard]] ShardMap shard_map() const { return ShardMap(num_shards); }
+
+  /// Wire encoding (owner -> coordinator / deployment directory).
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Inverse of serialize(). Throws ParseError on malformed input or an
+  /// unknown version.
+  static ClusterManifest deserialize(BytesView blob);
+
+  friend bool operator==(const ClusterManifest&, const ClusterManifest&) = default;
+};
+
+}  // namespace rsse::cluster

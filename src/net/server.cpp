@@ -15,6 +15,7 @@ NetworkServer::NetworkServer(const cloud::CloudServer& server, std::uint16_t por
 NetworkServer::~NetworkServer() { stop(); }
 
 void NetworkServer::stop() {
+  const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
   if (!stopping_.exchange(true)) listener_.close();  // unblocks accept()
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> workers;

@@ -25,7 +25,7 @@ class NetworkServer {
   /// The CloudServer must outlive this object.
   NetworkServer(const cloud::CloudServer& server, std::uint16_t port = 0);
 
-  /// Stops accepting, closes the listener, and joins every worker.
+  /// Stops the server (see stop()).
   ~NetworkServer();
 
   NetworkServer(const NetworkServer&) = delete;
@@ -37,7 +37,9 @@ class NetworkServer {
   /// Requests served since start (all message types).
   [[nodiscard]] std::uint64_t requests_served() const { return requests_.load(); }
 
-  /// Initiates shutdown (also done by the destructor).
+  /// Stops accepting, closes the listener and every live connection, and
+  /// joins every worker. Idempotent and safe to call from multiple
+  /// threads concurrently (also done by the destructor).
   void stop();
 
  private:
@@ -47,6 +49,10 @@ class NetworkServer {
   const cloud::CloudServer& server_;
   TcpListener listener_;
   std::atomic<bool> stopping_{false};
+  // Serializes concurrent stop() calls: a second caller must wait for the
+  // first to finish joining, not race it on the same std::thread objects
+  // (concurrent join on one thread is undefined and can hang).
+  std::mutex stop_mutex_;
   std::atomic<std::uint64_t> requests_{0};
   std::thread accept_thread_;
   std::mutex workers_mutex_;

@@ -29,18 +29,22 @@ Bytes read_file(const fs::path& path) {
   return to_bytes(content);
 }
 
-}  // namespace
-
-void save_deployment(const cloud::CloudServer& server, const std::string& dir) {
-  const fs::path root(dir);
+void save_parts(const sse::SecureIndex& index,
+                const std::map<std::uint64_t, Bytes>& files, const fs::path& root) {
   const fs::path files_dir = root / "files";
   fs::create_directories(files_dir);
   // Replace any previous file set so deletions persist too.
   for (const auto& entry : fs::directory_iterator(files_dir)) fs::remove(entry.path());
 
-  write_file(root / "index.bin", server.index().serialize());
-  for (const auto& [id, blob] : server.files())
+  write_file(root / "index.bin", index.serialize());
+  for (const auto& [id, blob] : files)
     write_file(files_dir / (std::to_string(id) + ".bin"), blob);
+}
+
+}  // namespace
+
+void save_deployment(const cloud::CloudServer& server, const std::string& dir) {
+  save_parts(server.index(), server.files(), fs::path(dir));
 }
 
 void load_deployment(const std::string& dir, cloud::CloudServer& server) {
@@ -61,6 +65,38 @@ void load_deployment(const std::string& dir, cloud::CloudServer& server) {
     }
   }
   server.store(std::move(index), std::move(files));
+}
+
+void save_cluster_deployment(const cloud::CloudServer& server, std::uint32_t num_shards,
+                             const std::string& dir) {
+  const cluster::ShardMap map(num_shards);
+  const fs::path root(dir);
+  fs::create_directories(root);
+
+  cluster::ClusterManifest manifest;
+  manifest.num_shards = num_shards;
+  manifest.total_rows = server.index().num_rows();
+  manifest.total_files = server.num_files();
+  write_file(root / "manifest.bin", manifest.serialize());
+
+  auto indexes = map.split_index(server.index());
+  auto file_sets = map.split_files(server.files());
+  for (std::uint32_t i = 0; i < num_shards; ++i)
+    save_parts(indexes[i], file_sets[i], root / ("shard" + std::to_string(i)));
+}
+
+bool is_cluster_deployment(const std::string& dir) {
+  return fs::is_regular_file(fs::path(dir) / "manifest.bin");
+}
+
+cluster::ClusterManifest load_cluster_manifest(const std::string& dir) {
+  return cluster::ClusterManifest::deserialize(
+      read_file(fs::path(dir) / "manifest.bin"));
+}
+
+void load_cluster_shard(const std::string& dir, std::uint32_t shard,
+                        cloud::CloudServer& server) {
+  load_deployment((fs::path(dir) / ("shard" + std::to_string(shard))).string(), server);
 }
 
 }  // namespace rsse::store

@@ -7,11 +7,20 @@
 //
 // Everything stored is ciphertext; the directory is exactly what a real
 // storage provider would hold.
+// Cluster layout (sharded deployments, src/cluster):
+//
+//   <dir>/manifest.bin       ClusterManifest::serialize()
+//   <dir>/shard<i>/          one single-server deployment per shard
+//
+// Each shard directory is itself a valid single-server deployment, so a
+// shard can be served by the plain `rsse serve` path (that is how replicas
+// are deployed: upload the same shard directory to R endpoints).
 #pragma once
 
 #include <string>
 
 #include "cloud/cloud_server.h"
+#include "cluster/shard_map.h"
 
 namespace rsse::store {
 
@@ -24,5 +33,22 @@ void save_deployment(const cloud::CloudServer& server, const std::string& dir);
 /// CloudServer owns a mutex and is therefore not movable).
 /// Throws Error on I/O failure and ParseError on malformed content.
 void load_deployment(const std::string& dir, cloud::CloudServer& server);
+
+/// Splits the server's outsourced state across `num_shards` and writes a
+/// cluster deployment (manifest + per-shard directories) under `dir`.
+/// Throws Error on I/O failure.
+void save_cluster_deployment(const cloud::CloudServer& server, std::uint32_t num_shards,
+                             const std::string& dir);
+
+/// True when `dir` holds a cluster deployment (a manifest.bin exists).
+bool is_cluster_deployment(const std::string& dir);
+
+/// Reads the cluster manifest of a deployment written by
+/// save_cluster_deployment. Throws Error / ParseError.
+cluster::ClusterManifest load_cluster_manifest(const std::string& dir);
+
+/// Loads shard `shard` of a cluster deployment into `server`.
+void load_cluster_shard(const std::string& dir, std::uint32_t shard,
+                        cloud::CloudServer& server);
 
 }  // namespace rsse::store

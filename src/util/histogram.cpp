@@ -66,6 +66,27 @@ double Histogram::bin_lo(std::size_t i) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
 }
 
+double Histogram::quantile(double q) const {
+  detail::require(q >= 0.0 && q <= 1.0, "Histogram::quantile: q outside [0, 1]");
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t cumulative = 0;
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto next = cumulative + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within the crossing bin by the fraction of its mass
+      // needed to reach the target.
+      const double inside = (target - static_cast<double>(cumulative)) /
+                            static_cast<double>(counts_[i]);
+      return bin_lo(i) + bin_width * std::clamp(inside, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
 std::string Histogram::ascii_chart(std::size_t max_rows, std::size_t width) const {
   detail::require(max_rows > 0 && width > 0, "Histogram::ascii_chart: zero size");
   // Group adjacent bins so the chart fits in max_rows rows.

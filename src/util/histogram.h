@@ -57,6 +57,14 @@ class Histogram {
   /// Lower edge of bin `i`.
   [[nodiscard]] double bin_lo(std::size_t i) const;
 
+  /// The q-quantile (0 <= q <= 1) of the binned distribution: the value at
+  /// the point where the cumulative count first reaches q * total, linearly
+  /// interpolated inside the crossing bin. Returns 0 for an empty
+  /// histogram. Throws InvalidArgument when q is outside [0, 1]. The
+  /// resolution is one bin width — good enough for latency percentiles,
+  /// which is what the server metrics use it for.
+  [[nodiscard]] double quantile(double q) const;
+
   /// Renders a fixed-width ASCII bar chart, one bin per row when
   /// `one_row_per_bin` is true, otherwise groups bins into at most
   /// `max_rows` rows. Useful for the figure-reproducing benches.

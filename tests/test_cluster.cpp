@@ -1,0 +1,506 @@
+// Cluster layer tests: shard-map determinism and balance (chi-squared),
+// manifest round trips, scatter-gather equivalence with a single
+// CloudServer across shard counts (ranked, multi-keyword, basic modes),
+// cluster deployment persistence, replica failover under injected
+// failures, and graceful degradation when a whole shard dies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "cluster/coordinator.h"
+#include "crypto/csprng.h"
+#include "ir/corpus_gen.h"
+#include "ir/query_workload.h"
+#include "store/deployment.h"
+#include "util/errors.h"
+
+namespace rsse::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+double chi_squared(const std::vector<std::size_t>& counts, double expected) {
+  double chi = 0.0;
+  for (const std::size_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi += d * d / expected;
+  }
+  return chi;
+}
+
+// A transport wrapper with a kill switch: healthy it forwards to an
+// in-process channel, killed it throws like a dead TCP endpoint.
+class KillableTransport final : public cloud::Transport {
+ public:
+  explicit KillableTransport(cloud::CloudServer& server) : channel_(server) {}
+
+  Bytes call(cloud::MessageType type, BytesView request) override {
+    ++calls;
+    if (killed.load()) throw ProtocolError("injected replica failure");
+    return channel_.call(type, request);
+  }
+
+  std::atomic<bool> killed{false};
+  std::atomic<int> calls{0};
+
+ private:
+  cloud::Channel channel_;
+};
+
+RetryPolicy fast_retry() {
+  RetryPolicy policy;
+  policy.base_backoff = std::chrono::milliseconds(0);
+  policy.max_backoff = std::chrono::milliseconds(1);
+  return policy;
+}
+
+// ---------------------------------------------------------------- ShardMap
+
+TEST(ShardMap, DeterministicAndInRange) {
+  const ShardMap a(5);
+  const ShardMap b(5);
+  for (int i = 0; i < 200; ++i) {
+    const Bytes label = crypto::random_bytes(32);
+    const std::uint32_t shard = a.shard_of_label(label);
+    EXPECT_LT(shard, 5u);
+    EXPECT_EQ(b.shard_of_label(label), shard);  // pure function of the label
+  }
+  EXPECT_EQ(a.shard_of_file(42), b.shard_of_file(42));
+  EXPECT_LT(a.shard_of_file(42), 5u);
+}
+
+TEST(ShardMap, EveryByteOfTheLabelMatters) {
+  // Flipping any single byte should usually move the label: over 31-byte
+  // labels and 64 shards, unchanged placement for all flips would mean
+  // the tail bytes are ignored (the original folding bug class).
+  const ShardMap map(64);
+  const Bytes label = crypto::random_bytes(31);  // odd length: tail chunk
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < label.size(); ++i) {
+    Bytes flipped = label;
+    flipped[i] ^= 0x5a;
+    if (map.shard_of_label(flipped) != map.shard_of_label(label)) ++moved;
+  }
+  EXPECT_GT(moved, label.size() / 2);
+}
+
+TEST(ShardMap, FileIdBalanceChiSquared) {
+  // Sequential ids (the common allocation pattern) must spread evenly;
+  // deterministic, so a tight bound is safe. df = 7, p=0.001 crit ~24.3.
+  const ShardMap map(8);
+  std::vector<std::size_t> counts(8, 0);
+  for (std::uint64_t id = 0; id < 10000; ++id) ++counts[map.shard_of_file(id)];
+  EXPECT_LT(chi_squared(counts, 10000.0 / 8), 24.3);
+}
+
+TEST(ClusterManifest, RoundTripAndValidation) {
+  ClusterManifest m;
+  m.num_shards = 6;
+  m.replicas = 3;
+  m.total_rows = 1234;
+  m.total_files = 99;
+  EXPECT_EQ(ClusterManifest::deserialize(m.serialize()), m);
+
+  Bytes wire = m.serialize();
+  wire[0] = 9;  // unknown version
+  EXPECT_THROW(ClusterManifest::deserialize(wire), ParseError);
+
+  Bytes truncated = m.serialize();
+  truncated.pop_back();
+  EXPECT_THROW(ClusterManifest::deserialize(truncated), ParseError);
+
+  ClusterManifest zero = m;
+  zero.num_shards = 0;
+  EXPECT_THROW(ClusterManifest::deserialize(zero.serialize()), ParseError);
+}
+
+// ------------------------------------------------- cluster vs one server
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 80;
+    opts.vocabulary_size = 180;
+    opts.min_tokens = 50;
+    opts.max_tokens = 250;
+    opts.injected.push_back(ir::InjectedKeyword{"alpha", 40, 0.4, 25});
+    opts.injected.push_back(ir::InjectedKeyword{"bravo", 25, 0.4, 20});
+    opts.seed = 41;
+    corpus_ = ir::generate_corpus(opts);
+    owner_ = std::make_unique<cloud::DataOwner>();
+    owner_->outsource_rsse(corpus_, server_);
+
+    const Bytes user_key = crypto::random_bytes(32);
+    credentials_ = cloud::AuthorizationService::open(
+        user_key, "u", owner_->enroll_user(user_key, "u"));
+  }
+
+  // A handful of real vocabulary keywords, Zipf-sampled like live traffic.
+  std::vector<std::string> sample_keywords(std::size_t n) const {
+    const auto inverted = ir::InvertedIndex::build(corpus_, owner_->rsse().analyzer());
+    ir::QueryWorkloadOptions wl;
+    wl.num_queries = 200;
+    wl.zipf_exponent = 1.0;
+    wl.seed = 7;
+    const ir::QueryWorkload workload(inverted, wl);
+    std::vector<std::string> keywords{"alpha", "bravo"};
+    for (const std::string& q : workload.queries()) {
+      if (std::find(keywords.begin(), keywords.end(), q) == keywords.end())
+        keywords.push_back(q);
+      if (keywords.size() >= n) break;
+    }
+    return keywords;
+  }
+
+  static std::vector<std::uint64_t> ids_of(
+      const std::vector<cloud::RetrievedFile>& hits) {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(hits.size());
+    for (const auto& hit : hits) ids.push_back(ir::value(hit.document.id));
+    return ids;
+  }
+
+  ir::Corpus corpus_;
+  std::unique_ptr<cloud::DataOwner> owner_;
+  cloud::CloudServer server_;
+  cloud::UserCredentials credentials_;
+};
+
+TEST_F(ClusterTest, LabelBalanceChiSquaredOverRealIndex) {
+  // The row labels of a real index (HMAC outputs over the Zipf-shaped
+  // vocabulary) must spread across shards. Thresholds are the p ~ 1e-6
+  // chi-squared tails, so a run is effectively only flagged when the
+  // folding is broken, not by sampling noise.
+  const auto& labels = server_.index().labels();
+  ASSERT_GT(labels.size(), 100u);
+  for (const auto& [shards, crit] : std::vector<std::pair<std::uint32_t, double>>{
+           {4, 33.4}, {8, 47.0}}) {
+    const ShardMap map(shards);
+    std::vector<std::size_t> counts(shards, 0);
+    for (const Bytes& label : labels) ++counts[map.shard_of_label(label)];
+    EXPECT_LT(chi_squared(counts, static_cast<double>(labels.size()) / shards), crit)
+        << "imbalanced at " << shards << " shards";
+  }
+}
+
+TEST_F(ClusterTest, SplitPartitionsIndexAndFiles) {
+  const ShardMap map(4);
+  const auto indexes = map.split_index(server_.index());
+  std::size_t rows = 0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    rows += indexes[s].num_rows();
+    for (const Bytes& label : indexes[s].labels())
+      EXPECT_EQ(map.shard_of_label(label), s);  // row landed on its shard
+  }
+  EXPECT_EQ(rows, server_.index().num_rows());
+
+  const auto file_sets = map.split_files(server_.files());
+  std::size_t files = 0;
+  for (const auto& set : file_sets) files += set.size();
+  EXPECT_EQ(files, server_.files().size());
+}
+
+TEST_F(ClusterTest, RankedSearchMatchesSingleServerAcrossShardCounts) {
+  cloud::Channel direct(server_);
+  cloud::DataUser baseline(credentials_, direct);
+  const auto keywords = sample_keywords(12);
+
+  for (const std::uint32_t shards : {1u, 2u, 3u, 5u}) {
+    auto local = make_local_cluster(server_.index(), server_.files(), shards);
+    cloud::DataUser user(credentials_, *local.coordinator);
+    for (const std::string& keyword : keywords) {
+      for (const std::size_t k : {std::size_t{7}, std::size_t{0}}) {
+        const auto expected = baseline.ranked_search(keyword, k);
+        const auto got = user.ranked_search(keyword, k);
+        EXPECT_EQ(ids_of(got), ids_of(expected))
+            << keyword << " top-" << k << " differs at " << shards << " shards";
+        for (std::size_t i = 0; i < got.size(); ++i)
+          EXPECT_EQ(got[i].document.text, expected[i].document.text);
+      }
+    }
+  }
+}
+
+TEST_F(ClusterTest, MultiSearchMatchesSingleServerAcrossShardCounts) {
+  cloud::Channel direct(server_);
+  cloud::DataUser baseline(credentials_, direct);
+  const auto keywords = sample_keywords(6);
+  const std::vector<std::vector<std::string>> queries = {
+      {"alpha", "bravo"},
+      {keywords[2], keywords[3]},
+      {"alpha", keywords[4], keywords[5]},
+  };
+
+  for (const std::uint32_t shards : {2u, 3u, 5u}) {
+    auto local = make_local_cluster(server_.index(), server_.files(), shards);
+    cloud::DataUser user(credentials_, *local.coordinator);
+    for (const auto& query : queries) {
+      for (const bool conjunctive : {true, false}) {
+        for (const std::size_t k : {std::size_t{5}, std::size_t{0}}) {
+          const auto expected = baseline.multi_search(query, conjunctive, k);
+          const auto got = user.multi_search(query, conjunctive, k);
+          EXPECT_EQ(ids_of(got), ids_of(expected))
+              << (conjunctive ? "AND" : "OR") << " top-" << k << " differs at "
+              << shards << " shards";
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ClusterTest, BasicModesMatchSingleServerAcrossShardCounts) {
+  // The Basic Scheme uses its own index; the shard map splits it the same
+  // way (rows are keyed by the same kind of PRF label).
+  cloud::CloudServer basic_server;
+  owner_->outsource_basic(corpus_, basic_server);
+  cloud::Channel direct(basic_server);
+  cloud::DataUser baseline(credentials_, direct);
+
+  for (const std::uint32_t shards : {2u, 3u, 5u}) {
+    auto local = make_local_cluster(basic_server.index(), basic_server.files(), shards);
+    cloud::DataUser user(credentials_, *local.coordinator);
+    for (const std::string keyword : {"alpha", "bravo"}) {
+      const auto one_expected = baseline.basic_search_one_round(keyword, 5);
+      const auto one_got = user.basic_search_one_round(keyword, 5);
+      EXPECT_EQ(ids_of(one_got), ids_of(one_expected));
+      const auto two_expected = baseline.basic_search_two_round(keyword, 5);
+      const auto two_got = user.basic_search_two_round(keyword, 5);
+      EXPECT_EQ(ids_of(two_got), ids_of(two_expected));
+    }
+  }
+}
+
+TEST_F(ClusterTest, ClusterDeploymentRoundTrip) {
+  const fs::path dir = fs::temp_directory_path() / "rsse_test_cluster_dep";
+  fs::remove_all(dir);
+
+  store::save_cluster_deployment(server_, 3, dir.string());
+  EXPECT_TRUE(store::is_cluster_deployment(dir.string()));
+
+  const ClusterManifest manifest = store::load_cluster_manifest(dir.string());
+  EXPECT_EQ(manifest.num_shards, 3u);
+  EXPECT_EQ(manifest.total_rows, server_.index().num_rows());
+  EXPECT_EQ(manifest.total_files, server_.num_files());
+
+  // Reload every shard and verify the reassembled cluster answers exactly
+  // like the original server.
+  std::vector<std::unique_ptr<cloud::CloudServer>> servers;
+  std::vector<std::unique_ptr<ReplicaSet>> sets;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    servers.push_back(std::make_unique<cloud::CloudServer>());
+    store::load_cluster_shard(dir.string(), s, *servers.back());
+    sets.push_back(std::make_unique<ReplicaSet>());
+    sets.back()->add_replica(std::make_unique<cloud::Channel>(*servers.back()));
+  }
+  ClusterCoordinator coordinator(manifest, std::move(sets));
+  cloud::DataUser user(credentials_, coordinator);
+  cloud::Channel direct(server_);
+  cloud::DataUser baseline(credentials_, direct);
+  for (const std::string keyword : {"alpha", "bravo"})
+    EXPECT_EQ(ids_of(user.ranked_search(keyword, 6)),
+              ids_of(baseline.ranked_search(keyword, 6)));
+
+  // A plain single-server deployment is not mistaken for a cluster one.
+  const fs::path single = fs::temp_directory_path() / "rsse_test_single_dep";
+  fs::remove_all(single);
+  store::save_deployment(server_, single.string());
+  EXPECT_FALSE(store::is_cluster_deployment(single.string()));
+
+  fs::remove_all(dir);
+  fs::remove_all(single);
+}
+
+// ----------------------------------------------------- failover / degrade
+
+TEST_F(ClusterTest, ReplicaSetFailsOverToHealthySibling) {
+  auto flaky = std::make_unique<KillableTransport>(server_);
+  auto* flaky_raw = flaky.get();
+  flaky_raw->killed.store(true);
+
+  ReplicaSet set;
+  set.add_replica(std::move(flaky));
+  set.add_replica(std::make_unique<cloud::Channel>(server_));
+
+  const Bytes ping = cloud::FetchFilesRequest{}.serialize();
+  const Bytes response =
+      set.call(cloud::MessageType::kFetchFiles, ping, fast_retry());
+  EXPECT_FALSE(response.empty());
+  EXPECT_GE(set.failovers(), 1u);
+  EXPECT_GE(set.failed_attempts(), 1u);
+  EXPECT_EQ(set.healthy_replicas(), 1u);  // the dead one is in cooldown
+
+  // Subsequent calls prefer the live replica: the dead one sees no more
+  // traffic while cooling down.
+  const int calls_before = flaky_raw->calls.load();
+  for (int i = 0; i < 5; ++i)
+    (void)set.call(cloud::MessageType::kFetchFiles, ping, fast_retry());
+  EXPECT_EQ(flaky_raw->calls.load(), calls_before);
+}
+
+TEST_F(ClusterTest, AllReplicasDownThrows) {
+  auto a = std::make_unique<KillableTransport>(server_);
+  auto b = std::make_unique<KillableTransport>(server_);
+  a->killed.store(true);
+  b->killed.store(true);
+  ReplicaSet set;
+  set.add_replica(std::move(a));
+  set.add_replica(std::move(b));
+  EXPECT_THROW(set.call(cloud::MessageType::kFetchFiles,
+                        cloud::FetchFilesRequest{}.serialize(), fast_retry()),
+               Error);
+  EXPECT_EQ(set.healthy_replicas(), 0u);
+}
+
+TEST_F(ClusterTest, ReplicaKilledMidWorkloadZeroClientVisibleErrors) {
+  // Two shards, two replicas each; replica 0 of every shard dies midway.
+  constexpr std::uint32_t kShards = 2;
+  const ShardMap map(kShards);
+  auto indexes = map.split_index(server_.index());
+  auto file_sets = map.split_files(server_.files());
+
+  std::vector<std::unique_ptr<cloud::CloudServer>> servers;
+  std::vector<std::unique_ptr<ReplicaSet>> sets;
+  std::vector<KillableTransport*> primaries;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    servers.push_back(std::make_unique<cloud::CloudServer>());
+    servers.back()->store(std::move(indexes[s]), std::move(file_sets[s]));
+    auto primary = std::make_unique<KillableTransport>(*servers.back());
+    primaries.push_back(primary.get());
+    sets.push_back(std::make_unique<ReplicaSet>());
+    sets.back()->add_replica(std::move(primary));
+    sets.back()->add_replica(std::make_unique<cloud::Channel>(*servers.back()));
+  }
+  ClusterManifest manifest;
+  manifest.num_shards = kShards;
+  manifest.replicas = 2;
+  manifest.total_rows = server_.index().num_rows();
+  manifest.total_files = server_.num_files();
+  CoordinatorOptions options;
+  options.retry = fast_retry();
+  ClusterCoordinator coordinator(manifest, std::move(sets), options);
+
+  cloud::DataUser user(credentials_, coordinator);
+  cloud::Channel direct(server_);
+  cloud::DataUser baseline(credentials_, direct);
+  const auto keywords = sample_keywords(8);
+
+  for (int round = 0; round < 3; ++round) {
+    if (round == 1)
+      for (KillableTransport* primary : primaries) primary->killed.store(true);
+    for (const std::string& keyword : keywords) {
+      const auto got = user.ranked_search(keyword, 5);          // must not throw
+      EXPECT_EQ(ids_of(got), ids_of(baseline.ranked_search(keyword, 5)));
+    }
+  }
+  std::uint64_t failovers = 0;
+  for (std::uint32_t s = 0; s < kShards; ++s)
+    failovers += coordinator.shard(s).failovers();
+  EXPECT_GE(failovers, 1u);
+
+  const auto metrics = coordinator.metrics();
+  EXPECT_EQ(metrics.partial_responses, 0u);  // degraded never, failed over
+  for (const auto& shard : metrics.shards) EXPECT_GT(shard.requests, 0u);
+}
+
+TEST_F(ClusterTest, MultiSearchDegradesToPartialWhenWholeShardDies) {
+  constexpr std::uint32_t kShards = 3;
+  const ShardMap map(kShards);
+
+  // Two keywords owned by different shards (guaranteed to exist: "alpha"
+  // plus any keyword hashing elsewhere).
+  const auto keywords = sample_keywords(20);
+  const std::uint32_t alpha_shard =
+      map.shard_of_label(owner_->rsse().row_label("alpha"));
+  std::string other;
+  std::uint32_t other_shard = alpha_shard;
+  for (const std::string& keyword : keywords) {
+    other_shard = map.shard_of_label(owner_->rsse().row_label(keyword));
+    if (other_shard != alpha_shard) {
+      other = keyword;
+      break;
+    }
+  }
+  ASSERT_NE(other_shard, alpha_shard) << "no keyword off alpha's shard";
+
+  auto indexes = map.split_index(server_.index());
+  auto file_sets = map.split_files(server_.files());
+  std::vector<std::unique_ptr<cloud::CloudServer>> servers;
+  std::vector<std::unique_ptr<ReplicaSet>> sets;
+  std::vector<KillableTransport*> transports;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    servers.push_back(std::make_unique<cloud::CloudServer>());
+    servers.back()->store(std::move(indexes[s]), std::move(file_sets[s]));
+    auto transport = std::make_unique<KillableTransport>(*servers.back());
+    transports.push_back(transport.get());
+    sets.push_back(std::make_unique<ReplicaSet>());
+    sets.back()->add_replica(std::move(transport));
+  }
+  ClusterManifest manifest;
+  manifest.num_shards = kShards;
+  manifest.total_rows = server_.index().num_rows();
+  manifest.total_files = server_.num_files();
+  CoordinatorOptions options;
+  options.retry = fast_retry();
+  options.retry.max_attempts = 1;
+  ClusterCoordinator coordinator(manifest, std::move(sets), options);
+
+  // Kill the shard owning `other`; a disjunctive query over both keywords
+  // still answers from alpha's (live) shard, flagged partial.
+  transports[other_shard]->killed.store(true);
+  cloud::MultiSearchRequest request;
+  request.trapdoor.trapdoors = {
+      sse::Trapdoor{owner_->rsse().row_label("alpha"), owner_->rsse().row_key("alpha")},
+      sse::Trapdoor{owner_->rsse().row_label(other), owner_->rsse().row_key(other)}};
+  request.mode = cloud::MultiSearchMode::kDisjunctive;
+  request.top_k = 5;
+  const auto response = cloud::RankedSearchResponse::deserialize(
+      coordinator.call(cloud::MessageType::kMultiSearch, request.serialize()));
+  EXPECT_TRUE(response.partial);
+  EXPECT_FALSE(response.files.empty());  // alpha's hits still came back
+  EXPECT_GE(coordinator.metrics().partial_responses, 1u);
+
+  // A single-keyword query routed at the dead shard has no sound
+  // fallback: the error surfaces and is counted.
+  const cloud::RankedSearchRequest direct_hit{
+      sse::Trapdoor{owner_->rsse().row_label(other), owner_->rsse().row_key(other)}, 3};
+  EXPECT_THROW(
+      coordinator.call(cloud::MessageType::kRankedSearch, direct_hit.serialize()),
+      Error);
+  EXPECT_GT(coordinator.metrics().shards[other_shard].errors, 0u);
+
+  // Every shard back up: the same query now merges fully.
+  transports[other_shard]->killed.store(false);
+  const auto healed = cloud::RankedSearchResponse::deserialize(
+      coordinator.call(cloud::MessageType::kMultiSearch, request.serialize()));
+  EXPECT_FALSE(healed.partial);
+}
+
+TEST_F(ClusterTest, PerShardLatencyMetricsRecorded) {
+  auto local = make_local_cluster(server_.index(), server_.files(), 3);
+  cloud::DataUser user(credentials_, *local.coordinator);
+  for (const std::string keyword : {"alpha", "bravo"})
+    (void)user.ranked_search(keyword, 5);
+
+  const auto metrics = local.coordinator->metrics();
+  std::uint64_t requests = 0;
+  for (const auto& shard : metrics.shards) {
+    requests += shard.requests;
+    if (shard.latency.count > 0) {
+      EXPECT_GT(shard.latency.p50_seconds, 0.0);
+      EXPECT_LE(shard.latency.p50_seconds, shard.latency.p99_seconds);
+    }
+  }
+  EXPECT_GE(requests, 2u);
+}
+
+}  // namespace
+}  // namespace rsse::cluster

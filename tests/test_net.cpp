@@ -192,6 +192,44 @@ TEST_F(NetworkSystemTest, OwnerUpdatesDuringLiveServing) {
   EXPECT_EQ(user.ranked_search("network", 0).size(), 30u);  // 20 + 10
 }
 
+TEST_F(NetworkSystemTest, StopRacingLiveClientsNeverCrashesOrHangs) {
+  // Clients hammer the server while stop() lands mid-flight — twice, from
+  // two threads, to cover idempotence. In-flight and later requests may
+  // fail (the server is going away); the process must neither crash nor
+  // wedge, and work done before the stop must have succeeded.
+  constexpr int kClients = 6;
+  std::atomic<bool> done{false};
+  std::atomic<int> successes{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      while (!done.load()) {
+        try {
+          RemoteChannel remote(net_->port());
+          cloud::DataUser user(credentials_, remote);
+          while (!done.load()) {
+            if (user.ranked_search("network", 3).size() == 3) ++successes;
+          }
+        } catch (const std::exception&) {
+          // Expected once the server is down; loop until told to stop.
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  while (successes.load() < 20) std::this_thread::yield();
+
+  std::thread stopper([&] { net_->stop(); });
+  net_->stop();
+  stopper.join();
+  done.store(true);
+  for (auto& t : clients) t.join();
+
+  EXPECT_GE(successes.load(), 20);
+  EXPECT_THROW(RemoteChannel{net_->port()}, ProtocolError);
+}
+
 TEST_F(NetworkSystemTest, ServerStopsCleanly) {
   RemoteChannel remote(net_->port());
   cloud::DataUser user(credentials_, remote);

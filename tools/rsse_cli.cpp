@@ -23,8 +23,10 @@
 
 #include <csignal>
 
+#include "cloud/channel.h"
 #include "cloud/data_owner.h"
 #include "cloud/data_user.h"
+#include "cluster/coordinator.h"
 #include "crypto/csprng.h"
 #include "ir/corpus_gen.h"
 #include "net/remote_channel.h"
@@ -43,13 +45,15 @@ using namespace rsse;
                "usage:\n"
                "  rsse keygen --owner FILE --passphrase P\n"
                "  rsse build  --owner FILE --passphrase P --docs DIR --deploy DIR"
-               " [--threads N]\n"
+               " [--threads N] [--cluster N]\n"
                "  rsse search --owner FILE --passphrase P --deploy DIR --keyword W"
                " [--top-k K]\n"
                "  rsse add    --owner FILE --passphrase P --deploy DIR --file PATH\n"
                "  rsse stats  --deploy DIR\n"
-               "  rsse serve  --deploy DIR [--port N] [--cache on]\n"
-               "  (search accepts --port N to query a running serve instance)\n");
+               "  rsse serve  --deploy DIR [--port N] [--cache on] [--shard I]\n"
+               "  (search accepts --port N to query a running serve instance;\n"
+               "   build --cluster N shards the deployment, search/stats detect it,\n"
+               "   serve --shard I serves one shard of a cluster deployment)\n");
   std::exit(2);
 }
 
@@ -112,10 +116,37 @@ int cmd_build(const std::map<std::string, std::string>& flags) {
               static_cast<unsigned long long>(report.rsse_stats.num_keywords),
               static_cast<double>(report.index_bytes) / (1024.0 * 1024.0),
               watch.elapsed_seconds());
-  store::save_deployment(server, need(flags, "deploy"));
+  const auto shards = static_cast<std::uint32_t>(
+      std::stoul(optional_flag(flags, "cluster", "0")));
+  if (shards > 0) {
+    store::save_cluster_deployment(server, shards, need(flags, "deploy"));
+    std::printf("cluster deployment (%u shards) written to %s\n", shards,
+                need(flags, "deploy").c_str());
+  } else {
+    store::save_deployment(server, need(flags, "deploy"));
+    std::printf("deployment written to %s\n", need(flags, "deploy").c_str());
+  }
   persist_owner(owner, flags);  // retains the quantizer for later adds
-  std::printf("deployment written to %s\n", need(flags, "deploy").c_str());
   return 0;
+}
+
+// Loads every shard of an on-disk cluster deployment into in-process
+// servers behind one coordinator (single replica per shard).
+cluster::LocalCluster load_cluster(const std::string& dir) {
+  cluster::LocalCluster local;
+  local.manifest = store::load_cluster_manifest(dir);
+  std::vector<std::unique_ptr<cluster::ReplicaSet>> shards;
+  for (std::uint32_t i = 0; i < local.manifest.num_shards; ++i) {
+    auto server = std::make_unique<cloud::CloudServer>();
+    store::load_cluster_shard(dir, i, *server);
+    auto set = std::make_unique<cluster::ReplicaSet>();
+    set->add_replica(std::make_unique<cloud::Channel>(*server));
+    local.servers.push_back(std::move(server));
+    shards.push_back(std::move(set));
+  }
+  local.coordinator = std::make_unique<cluster::ClusterCoordinator>(
+      local.manifest, std::move(shards));
+  return local;
 }
 
 int run_search(const std::map<std::string, std::string>& flags,
@@ -147,6 +178,10 @@ int cmd_search(const std::map<std::string, std::string>& flags) {
     net::RemoteChannel channel(port);
     return run_search(flags, channel, owner);
   }
+  if (store::is_cluster_deployment(need(flags, "deploy"))) {
+    cluster::LocalCluster local = load_cluster(need(flags, "deploy"));
+    return run_search(flags, *local.coordinator, owner);
+  }
   cloud::CloudServer server;
   store::load_deployment(need(flags, "deploy"), server);
   cloud::Channel channel(server);
@@ -155,7 +190,12 @@ int cmd_search(const std::map<std::string, std::string>& flags) {
 
 int cmd_serve(const std::map<std::string, std::string>& flags) {
   cloud::CloudServer server;
-  store::load_deployment(need(flags, "deploy"), server);
+  if (store::is_cluster_deployment(need(flags, "deploy"))) {
+    const auto shard = static_cast<std::uint32_t>(std::stoul(need(flags, "shard")));
+    store::load_cluster_shard(need(flags, "deploy"), shard, server);
+  } else {
+    store::load_deployment(need(flags, "deploy"), server);
+  }
   if (optional_flag(flags, "cache", "off") == "on") server.set_rank_cache_enabled(true);
   const auto port = static_cast<std::uint16_t>(
       std::stoul(optional_flag(flags, "port", "0")));
@@ -178,6 +218,12 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
 
 int cmd_add(const std::map<std::string, std::string>& flags) {
   cloud::DataOwner owner = restore_owner(flags);
+  if (store::is_cluster_deployment(need(flags, "deploy"))) {
+    std::fprintf(stderr,
+                 "add is not supported on a cluster deployment; "
+                 "rebuild with --cluster N\n");
+    return 1;
+  }
   cloud::CloudServer server;
   store::load_deployment(need(flags, "deploy"), server);
 
@@ -204,6 +250,24 @@ int cmd_add(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_stats(const std::map<std::string, std::string>& flags) {
+  if (store::is_cluster_deployment(need(flags, "deploy"))) {
+    const auto manifest = store::load_cluster_manifest(need(flags, "deploy"));
+    std::printf("cluster deployment %s:\n", need(flags, "deploy").c_str());
+    std::printf("  shards:          %u (x%u replicas)\n", manifest.num_shards,
+                manifest.replicas);
+    std::printf("  total index rows: %llu\n",
+                static_cast<unsigned long long>(manifest.total_rows));
+    std::printf("  total files:      %llu\n",
+                static_cast<unsigned long long>(manifest.total_files));
+    for (std::uint32_t i = 0; i < manifest.num_shards; ++i) {
+      cloud::CloudServer shard;
+      store::load_cluster_shard(need(flags, "deploy"), i, shard);
+      std::printf("  shard%-2u: %zu rows, %zu files, %llu bytes\n", i,
+                  shard.index().num_rows(), shard.num_files(),
+                  static_cast<unsigned long long>(shard.stored_bytes()));
+    }
+    return 0;
+  }
   cloud::CloudServer server;
   store::load_deployment(need(flags, "deploy"), server);
   std::printf("deployment %s:\n", need(flags, "deploy").c_str());
