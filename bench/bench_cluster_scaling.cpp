@@ -38,12 +38,14 @@ class ShardEndpoint final : public rsse::cloud::Transport {
  public:
   explicit ShardEndpoint(rsse::cloud::CloudServer& server) : channel_(server) {}
 
-  rsse::Bytes call(rsse::cloud::MessageType type, rsse::BytesView request) override {
+  using rsse::cloud::Transport::call;
+  rsse::Bytes call(rsse::cloud::MessageType type, rsse::BytesView request,
+                   const rsse::Deadline& deadline) override {
     const bool search = type == rsse::cloud::MessageType::kRankedSearch ||
                         type == rsse::cloud::MessageType::kMultiSearch;
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         search ? kSearchServiceMs : kFetchServiceMs));
-    return channel_.call(type, request);
+    return channel_.call(type, request, deadline);
   }
 
  private:

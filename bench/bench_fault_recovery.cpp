@@ -1,0 +1,174 @@
+// Fault-recovery bench: ranked-search latency quantiles and success rate
+// under injected transport faults, swept over the fault rate. Each shard
+// is served by a replica pair whose preferred endpoint runs behind a
+// FaultInjectingTransport (hangs, disconnects, error frames, torn and
+// bit-flipped responses); the sibling is healthy. The coordinator's
+// per-attempt budget plus failover turn most injected faults into a
+// bounded latency bump instead of a failure — this bench measures how
+// big the bump is and how much survives end to end. Emits a JSON
+// document so the recovery figure can be regenerated from the output.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "cloud/data_owner.h"
+#include "cluster/coordinator.h"
+#include "fault/fault_transport.h"
+#include "ir/query_workload.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+struct Row {
+  double fault_rate = 0.0;
+  double success_rate = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+// The injected mix at a given total rate: mostly hangs (the nastiest
+// fault — they consume the whole per-attempt budget), the rest split
+// across disconnects, error frames and response corruption.
+rsse::fault::FaultSpec mix_at(double total_rate, std::uint64_t seed) {
+  rsse::fault::FaultSpec spec;
+  spec.delay_rate = total_rate * 0.4;
+  spec.disconnect_rate = total_rate * 0.2;
+  spec.error_rate = total_rate * 0.2;
+  spec.truncate_rate = total_rate * 0.1;
+  spec.bit_flip_rate = total_rate * 0.1;
+  spec.delay_min = std::chrono::milliseconds(200);  // >> attempt budget:
+  spec.delay_max = std::chrono::milliseconds(400);  // a hang, not jitter
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rsse;
+  bench::banner("Fault recovery — ranked top-10 latency vs injected fault rate");
+
+  auto opts = bench::fig4_corpus_options(200);
+  opts.num_documents = 300;
+  opts.max_tokens = 500;
+  opts.injected[0].document_count = 250;
+  const ir::Corpus corpus = ir::generate_corpus(opts);
+
+  cloud::DataOwner owner;
+  cloud::CloudServer server;
+  std::printf("building index (%zu files)...\n", corpus.size());
+  owner.outsource_rsse(corpus, server);
+
+  const auto inverted = ir::InvertedIndex::build(corpus, owner.rsse().analyzer());
+  ir::QueryWorkloadOptions wl;
+  wl.num_queries = 400;
+  wl.zipf_exponent = 1.1;
+  wl.seed = 19;
+  const ir::QueryWorkload workload(inverted, wl);
+  std::vector<Bytes> requests;
+  requests.reserve(workload.queries().size());
+  for (const std::string& q : workload.queries()) {
+    const sse::Trapdoor t{owner.rsse().row_label(q), owner.rsse().row_key(q)};
+    requests.push_back(cloud::RankedSearchRequest{t, 10}.serialize());
+  }
+
+  constexpr std::uint32_t kShards = 2;
+  constexpr auto kAttemptBudget = std::chrono::milliseconds(50);
+  constexpr auto kQueryBudget = std::chrono::milliseconds(2000);
+  std::printf("workload: %zu queries, %u shards x 2 replicas,"
+              " %lld ms attempt budget, %lld ms query budget\n\n",
+              requests.size(), kShards,
+              static_cast<long long>(kAttemptBudget.count()),
+              static_cast<long long>(kQueryBudget.count()));
+
+  std::vector<Row> rows;
+  for (const double fault_rate : {0.0, 0.05, 0.20}) {
+    const cluster::ShardMap map(kShards);
+    auto indexes = map.split_index(server.index());
+    auto file_sets = map.split_files(server.files());
+    std::vector<std::unique_ptr<cloud::CloudServer>> servers;
+    std::vector<std::unique_ptr<cluster::ReplicaSet>> sets;
+    for (std::uint32_t i = 0; i < kShards; ++i) {
+      servers.push_back(std::make_unique<cloud::CloudServer>());
+      servers.back()->store(std::move(indexes[i]), std::move(file_sets[i]));
+      auto set = std::make_unique<cluster::ReplicaSet>();
+      // Preferred replica: faulty. Sibling: healthy failover target.
+      set->add_replica(std::make_unique<fault::FaultInjectingTransport>(
+          std::make_unique<cloud::Channel>(*servers.back()),
+          mix_at(fault_rate, 7 + i)));
+      set->add_replica(std::make_unique<cloud::Channel>(*servers.back()));
+      sets.push_back(std::move(set));
+    }
+    cluster::ClusterManifest manifest;
+    manifest.num_shards = kShards;
+    manifest.replicas = 2;
+    manifest.total_rows = server.index().num_rows();
+    manifest.total_files = server.num_files();
+    cluster::CoordinatorOptions options;
+    options.retry.base_backoff = std::chrono::milliseconds(0);
+    options.retry.max_backoff = std::chrono::milliseconds(1);
+    options.retry.attempt_timeout = kAttemptBudget;
+    options.query_timeout = kQueryBudget;
+    cluster::ClusterCoordinator coordinator(manifest, std::move(sets), options);
+
+    std::vector<double> latencies;
+    latencies.reserve(requests.size());
+    std::size_t successes = 0;
+    for (const Bytes& request : requests) {
+      const Stopwatch watch;
+      try {
+        (void)coordinator.call(cloud::MessageType::kRankedSearch, request);
+        ++successes;
+        latencies.push_back(watch.elapsed_ms());
+      } catch (const Error&) {
+        // typed failure (deadline / protocol / parse): counted, not timed
+      }
+    }
+
+    Row row;
+    row.fault_rate = fault_rate;
+    row.success_rate = static_cast<double>(successes) /
+                       static_cast<double>(requests.size());
+    row.p50_ms = quantile(latencies, 0.50);
+    row.p95_ms = quantile(latencies, 0.95);
+    row.p99_ms = quantile(latencies, 0.99);
+    rows.push_back(row);
+
+    std::uint64_t failovers = 0;
+    std::uint64_t deadline_failures = 0;
+    for (std::uint32_t s = 0; s < kShards; ++s) {
+      failovers += coordinator.shard(s).failovers();
+      deadline_failures += coordinator.shard(s).deadline_failures();
+    }
+    std::printf("%5.0f%% faults: %6.1f%% ok   p50 %7.3f ms   p95 %7.3f ms"
+                "   p99 %7.3f ms   (%llu failovers, %llu deadline hits)\n",
+                fault_rate * 100, row.success_rate * 100, row.p50_ms, row.p95_ms,
+                row.p99_ms, static_cast<unsigned long long>(failovers),
+                static_cast<unsigned long long>(deadline_failures));
+  }
+
+  // Machine-readable output (one JSON document on stdout).
+  std::printf("\n{\n");
+  std::printf("  \"bench\": \"fault_recovery\",\n");
+  std::printf("  \"queries\": %zu,\n", requests.size());
+  std::printf("  \"shards\": %u,\n", kShards);
+  std::printf("  \"replicas\": 2,\n");
+  std::printf("  \"attempt_budget_ms\": %lld,\n",
+              static_cast<long long>(kAttemptBudget.count()));
+  std::printf("  \"query_budget_ms\": %lld,\n",
+              static_cast<long long>(kQueryBudget.count()));
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("    {\"fault_rate\": %.2f, \"success_rate\": %.4f,"
+                " \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                r.fault_rate, r.success_rate, r.p50_ms, r.p95_ms, r.p99_ms,
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

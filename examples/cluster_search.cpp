@@ -55,7 +55,11 @@ int main() {
     auto set = std::make_unique<cluster::ReplicaSet>();
     for (std::uint32_t r = 0; r < kReplicas; ++r) {
       endpoints.push_back(std::make_unique<net::NetworkServer>(*shards.back(), 0));
-      set->add_replica(std::make_unique<net::RemoteChannel>(endpoints.back()->port()));
+      // Bounded connect retries ride out a listener that is still coming
+      // up, instead of racing it with a raw sleep.
+      set->add_replica(std::make_unique<net::RemoteChannel>(
+          endpoints.back()->port(),
+          net::ConnectOptions{.timeout = std::chrono::seconds(2)}));
       std::printf("shard %u replica %u listening on 127.0.0.1:%u\n", s, r,
                   endpoints.back()->port());
     }
@@ -67,7 +71,13 @@ int main() {
   manifest.replicas = kReplicas;
   manifest.total_rows = staging.index().num_rows();
   manifest.total_files = staging.num_files();
-  cluster::ClusterCoordinator coordinator(manifest, std::move(sets));
+  // End-to-end deadlines: each replica attempt gets 500 ms before the set
+  // fails over, and a whole query can never outlive 5 s.
+  cluster::CoordinatorOptions coordinator_options;
+  coordinator_options.retry.attempt_timeout = std::chrono::milliseconds(500);
+  coordinator_options.query_timeout = std::chrono::seconds(5);
+  cluster::ClusterCoordinator coordinator(manifest, std::move(sets),
+                                          coordinator_options);
   std::printf("coordinator up: %zu/%u shards healthy\n\n",
               coordinator.probe_shards(), kShards);
 

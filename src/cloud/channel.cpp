@@ -2,7 +2,10 @@
 
 namespace rsse::cloud {
 
-Bytes Channel::call(MessageType type, BytesView request) {
+Bytes Channel::call(MessageType type, BytesView request, const Deadline& deadline) {
+  // In-process dispatch cannot be interrupted mid-handle; enforcing the
+  // deadline at the call boundary still bounds retry loops above us.
+  deadline.check("Channel::call");
   Bytes response = server_.handle(type, request);
   account(request.size() + 1, response.size());  // +1: the type byte
   return response;

@@ -7,13 +7,17 @@
 // Basic Scheme's extra round trip (Sec. III-C discussion).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 
 #include "cloud/cloud_server.h"
+#include "util/deadline.h"
 
 namespace rsse::cloud {
 
-/// Cumulative traffic statistics of one channel.
+/// Cumulative traffic statistics of one channel (a snapshot — the live
+/// counters inside Transport are atomics shared by concurrent callers).
 struct ChannelStats {
   std::uint64_t round_trips = 0;
   std::uint64_t bytes_up = 0;    ///< user -> server (requests)
@@ -24,34 +28,69 @@ struct ChannelStats {
 };
 
 /// Abstract user->server transport. DataUser talks through this, so the
-/// same client code runs over the in-process channel (below) or a real
-/// TCP connection (net/remote_channel.h).
+/// same client code runs over the in-process channel (below), a real TCP
+/// connection (net/remote_channel.h), a whole cluster
+/// (cluster/coordinator.h), or a fault-injecting decorator (fault/).
 class Transport {
  public:
   virtual ~Transport() = default;
 
   /// Performs one RPC: callers hand in the already-serialized request
   /// and receive the serialized response. Implementations must count
-  /// the traffic via account().
-  virtual Bytes call(MessageType type, BytesView request) = 0;
+  /// the traffic via account() and honour the deadline — when the budget
+  /// runs out mid-call they throw DeadlineExceeded instead of blocking.
+  virtual Bytes call(MessageType type, BytesView request, const Deadline& deadline) = 0;
 
-  /// Counters since construction or the last reset().
-  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  /// One RPC under this transport's default per-call budget (see
+  /// set_call_timeout; unlimited unless configured).
+  Bytes call(MessageType type, BytesView request) {
+    return call(type, request, default_deadline());
+  }
+
+  /// Sets the default budget applied to every call made without an
+  /// explicit deadline. Zero (the default) means unlimited — the
+  /// pre-deadline blocking behaviour.
+  void set_call_timeout(std::chrono::milliseconds timeout) {
+    call_timeout_ms_.store(timeout.count(), std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the counters since construction or the last reset().
+  [[nodiscard]] ChannelStats stats() const {
+    ChannelStats s;
+    s.round_trips = round_trips_.load(std::memory_order_relaxed);
+    s.bytes_up = bytes_up_.load(std::memory_order_relaxed);
+    s.bytes_down = bytes_down_.load(std::memory_order_relaxed);
+    return s;
+  }
 
   /// Zeroes the counters (per-experiment accounting).
-  void reset() { stats_ = {}; }
+  void reset() {
+    round_trips_.store(0, std::memory_order_relaxed);
+    bytes_up_.store(0, std::memory_order_relaxed);
+    bytes_down_.store(0, std::memory_order_relaxed);
+  }
 
  protected:
   /// Records one round trip of `up` request bytes and `down` response
-  /// bytes.
+  /// bytes. Safe to call from concurrent threads (a ReplicaSet advertises
+  /// concurrent calls across replicas; the coordinator is shared by many
+  /// client threads).
   void account(std::uint64_t up, std::uint64_t down) {
-    stats_.bytes_up += up;
-    stats_.bytes_down += down;
-    ++stats_.round_trips;
+    bytes_up_.fetch_add(up, std::memory_order_relaxed);
+    bytes_down_.fetch_add(down, std::memory_order_relaxed);
+    round_trips_.fetch_add(1, std::memory_order_relaxed);
   }
 
  private:
-  ChannelStats stats_;
+  [[nodiscard]] Deadline default_deadline() const {
+    const auto ms = call_timeout_ms_.load(std::memory_order_relaxed);
+    return ms > 0 ? Deadline::after(std::chrono::milliseconds(ms)) : Deadline();
+  }
+
+  std::atomic<std::uint64_t> round_trips_{0};
+  std::atomic<std::uint64_t> bytes_up_{0};
+  std::atomic<std::uint64_t> bytes_down_{0};
+  std::atomic<std::int64_t> call_timeout_ms_{0};
 };
 
 /// The in-process transport: directly invokes a CloudServer instance,
@@ -60,7 +99,8 @@ class Channel final : public Transport {
  public:
   explicit Channel(const CloudServer& server) : server_(server) {}
 
-  Bytes call(MessageType type, BytesView request) override;
+  using Transport::call;
+  Bytes call(MessageType type, BytesView request, const Deadline& deadline) override;
 
  private:
   const CloudServer& server_;

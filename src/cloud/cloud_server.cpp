@@ -128,6 +128,15 @@ RankedSearchResponse CloudServer::multi_search(const MultiSearchRequest& req) co
   return resp;
 }
 
+SnapshotResponse CloudServer::snapshot() const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  SnapshotResponse resp;
+  resp.index = index_.serialize();
+  resp.files.reserve(files_.size());
+  for (const auto& [id, blob] : files_) resp.files.emplace_back(id, blob);
+  return resp;
+}
+
 std::uint64_t CloudServer::stored_bytes() const {
   const std::shared_lock<std::shared_mutex> lock(state_mutex_);
   std::uint64_t total = index_.byte_size();
@@ -176,6 +185,12 @@ Bytes CloudServer::handle(MessageType type, BytesView payload) const {
       metrics_.record_ranked_search(resp.files.size(), out.size());
       metrics_.record_latency(ServerMetrics::RequestKind::kMultiSearch,
                               watch.elapsed_seconds());
+      return out;
+    }
+    case MessageType::kSnapshot: {
+      (void)SnapshotRequest::deserialize(payload);
+      Bytes out = snapshot().serialize();
+      metrics_.record_snapshot(out.size());
       return out;
     }
   }

@@ -82,6 +82,11 @@ class CloudServer {
   /// opm_score field.
   [[nodiscard]] RankedSearchResponse multi_search(const MultiSearchRequest& req) const;
 
+  /// Repair: the full shard state (serialized index + every file blob),
+  /// for rebuilding a peer replica whose storage failed its integrity
+  /// check. All ciphertext — reveals nothing a replica doesn't hold.
+  [[nodiscard]] SnapshotResponse snapshot() const;
+
   // ----- what the curious server can see -----
 
   /// The stored index (ciphertext rows and labels).

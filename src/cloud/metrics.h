@@ -73,6 +73,7 @@ struct MetricsSnapshot {
   std::uint64_t basic_entry_searches = 0;
   std::uint64_t fetch_requests = 0;
   std::uint64_t basic_file_searches = 0;
+  std::uint64_t snapshot_requests = 0;
   std::uint64_t files_returned = 0;
   std::uint64_t result_bytes = 0;
 
@@ -124,6 +125,10 @@ class ServerMetrics {
     files_returned_ += files;
     result_bytes_ += bytes;
   }
+  void record_snapshot(std::uint64_t bytes) {
+    ++snapshot_requests_;
+    result_bytes_ += bytes;
+  }
 
   /// Adds one service-time sample to the request type's series.
   void record_latency(RequestKind kind, double seconds) {
@@ -138,6 +143,7 @@ class ServerMetrics {
     s.basic_entry_searches = basic_entry_searches_.load();
     s.fetch_requests = fetch_requests_.load();
     s.basic_file_searches = basic_file_searches_.load();
+    s.snapshot_requests = snapshot_requests_.load();
     s.files_returned = files_returned_.load();
     s.result_bytes = result_bytes_.load();
     s.ranked_search_latency = ranked_latency_.snapshot();
@@ -154,6 +160,7 @@ class ServerMetrics {
     basic_entry_searches_ = 0;
     fetch_requests_ = 0;
     basic_file_searches_ = 0;
+    snapshot_requests_ = 0;
     files_returned_ = 0;
     result_bytes_ = 0;
     ranked_latency_.reset();
@@ -179,6 +186,7 @@ class ServerMetrics {
   std::atomic<std::uint64_t> basic_entry_searches_{0};
   std::atomic<std::uint64_t> fetch_requests_{0};
   std::atomic<std::uint64_t> basic_file_searches_{0};
+  std::atomic<std::uint64_t> snapshot_requests_{0};
   std::atomic<std::uint64_t> files_returned_{0};
   std::atomic<std::uint64_t> result_bytes_{0};
   LatencyRecorder ranked_latency_;

@@ -160,6 +160,39 @@ MultiSearchRequest MultiSearchRequest::deserialize(BytesView blob) {
   return req;
 }
 
+Bytes SnapshotRequest::serialize() const { return {}; }
+
+SnapshotRequest SnapshotRequest::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  expect_exhausted(reader, "SnapshotRequest");
+  return {};
+}
+
+Bytes SnapshotResponse::serialize() const {
+  Bytes out;
+  append_lp(out, index);
+  append_u64(out, files.size());
+  for (const auto& [id, blob] : files) {
+    append_u64(out, id);
+    append_lp(out, blob);
+  }
+  return out;
+}
+
+SnapshotResponse SnapshotResponse::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  SnapshotResponse resp;
+  resp.index = reader.read_lp();
+  const std::uint64_t n = reader.read_count(12);  // id + LP header
+  resp.files.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t id = reader.read_u64();
+    resp.files.emplace_back(id, reader.read_lp());
+  }
+  expect_exhausted(reader, "SnapshotResponse");
+  return resp;
+}
+
 Bytes BasicFilesResponse::serialize() const {
   Bytes out;
   append_u64(out, files.size());

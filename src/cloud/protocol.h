@@ -9,6 +9,10 @@
 //   * FetchFiles        — Basic Scheme two-round, round 2: ids -> files.
 //   * BasicFiles        — Basic Scheme one-round: trapdoor -> ALL matching
 //                         files with their encrypted scores.
+//   * Snapshot          — replica repair: full shard state (index + file
+//                         blobs) from a healthy replica, used to rebuild a
+//                         peer whose on-disk artifacts failed their
+//                         integrity check.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +33,7 @@ enum class MessageType : std::uint8_t {
   kFetchFiles = 3,
   kBasicFiles = 4,
   kMultiSearch = 5,
+  kSnapshot = 6,
 };
 
 /// Boolean connective of a multi-keyword search.
@@ -126,6 +131,24 @@ struct BasicFilesResponse {
 
   [[nodiscard]] Bytes serialize() const;
   static BasicFilesResponse deserialize(BytesView blob);
+};
+
+/// Repair request: asks a replica for its full shard state. Empty — the
+/// replica serves exactly one shard, so there is nothing to select.
+struct SnapshotRequest {
+  [[nodiscard]] Bytes serialize() const;
+  static SnapshotRequest deserialize(BytesView blob);
+};
+
+/// Repair response: the serialized secure index plus every encrypted file
+/// blob the replica holds — enough to rebuild a peer's deployment from
+/// scratch.
+struct SnapshotResponse {
+  Bytes index;  ///< sse::SecureIndex::serialize() bytes
+  std::vector<std::pair<std::uint64_t, Bytes>> files;  ///< (file id, blob)
+
+  [[nodiscard]] Bytes serialize() const;
+  static SnapshotResponse deserialize(BytesView blob);
 };
 
 }  // namespace rsse::cloud

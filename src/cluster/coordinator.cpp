@@ -53,10 +53,10 @@ std::size_t ClusterCoordinator::probe_shards() {
 }
 
 Bytes ClusterCoordinator::shard_call(std::size_t shard, cloud::MessageType type,
-                                     BytesView request) {
+                                     BytesView request, const Deadline& deadline) {
   const Stopwatch watch;
   try {
-    Bytes response = shards_[shard]->call(type, request, options_.retry);
+    Bytes response = shards_[shard]->call(type, request, options_.retry, deadline);
     metrics_.record_request(shard, watch.elapsed_seconds());
     return response;
   } catch (const Error&) {
@@ -68,7 +68,7 @@ Bytes ClusterCoordinator::shard_call(std::size_t shard, cloud::MessageType type,
 
 void ClusterCoordinator::fetch_and_fill(
     const std::vector<std::pair<std::uint64_t, Bytes*>>& missing,
-    std::size_t skip_shard, bool* degraded) {
+    std::size_t skip_shard, bool* degraded, const Deadline& deadline) {
   // Group the wanted ids by their placement shard.
   std::map<std::size_t, std::vector<std::pair<std::uint64_t, Bytes*>>> by_shard;
   for (const auto& [id, slot] : missing) {
@@ -93,10 +93,10 @@ void ClusterCoordinator::fetch_and_fill(
   }
 
   std::atomic<bool> any_down{false};
-  const auto run = [this, &any_down](Fetch& fetch) {
+  const auto run = [this, &any_down, &deadline](Fetch& fetch) {
     try {
-      const auto resp = cloud::FetchFilesResponse::deserialize(
-          shard_call(fetch.shard, cloud::MessageType::kFetchFiles, fetch.request));
+      const auto resp = cloud::FetchFilesResponse::deserialize(shard_call(
+          fetch.shard, cloud::MessageType::kFetchFiles, fetch.request, deadline));
       // Response order mirrors request order (protocol contract).
       const std::size_t n = std::min(resp.files.size(), fetch.wanted->size());
       for (std::size_t i = 0; i < n; ++i)
@@ -130,22 +130,24 @@ void ClusterCoordinator::fetch_and_fill(
   if (any_down.load() && degraded != nullptr) *degraded = true;
 }
 
-cloud::RankedSearchResponse ClusterCoordinator::do_ranked_search(BytesView payload) {
+cloud::RankedSearchResponse ClusterCoordinator::do_ranked_search(
+    BytesView payload, const Deadline& deadline) {
   const auto req = cloud::RankedSearchRequest::deserialize(payload);
   const std::size_t shard = shard_map_.shard_of_label(req.trapdoor.label);
   auto resp = cloud::RankedSearchResponse::deserialize(
-      shard_call(shard, cloud::MessageType::kRankedSearch, payload));
+      shard_call(shard, cloud::MessageType::kRankedSearch, payload, deadline));
 
   std::vector<std::pair<std::uint64_t, Bytes*>> missing;
   for (cloud::RankedFile& f : resp.files)
     if (f.blob.empty()) missing.push_back({ir::value(f.id), &f.blob});
   bool degraded = false;
-  fetch_and_fill(missing, shard, &degraded);
+  fetch_and_fill(missing, shard, &degraded, deadline);
   if (degraded) resp.partial = true;
   return resp;
 }
 
-cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(BytesView payload) {
+cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
+    BytesView payload, const Deadline& deadline) {
   const auto req = cloud::MultiSearchRequest::deserialize(payload);
   detail::require(!req.trapdoor.trapdoors.empty(), "cluster: empty multi-search");
   const bool conjunctive = req.mode == cloud::MultiSearchMode::kConjunctive;
@@ -159,12 +161,12 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(BytesView payloa
     // Single-shard fast path: the shard evaluates the whole query.
     const std::size_t shard = groups.begin()->first;
     auto resp = cloud::RankedSearchResponse::deserialize(
-        shard_call(shard, cloud::MessageType::kMultiSearch, payload));
+        shard_call(shard, cloud::MessageType::kMultiSearch, payload, deadline));
     std::vector<std::pair<std::uint64_t, Bytes*>> missing;
     for (cloud::RankedFile& f : resp.files)
       if (f.blob.empty()) missing.push_back({ir::value(f.id), &f.blob});
     bool degraded = false;
-    fetch_and_fill(missing, shard, &degraded);
+    fetch_and_fill(missing, shard, &degraded, deadline);
     if (degraded) resp.partial = true;
     return resp;
   }
@@ -194,10 +196,10 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(BytesView payloa
     sub.request = sub_req.serialize();
     subs.push_back(std::move(sub));
   }
-  const auto run_sub = [this](Sub& sub) {
+  const auto run_sub = [this, &deadline](Sub& sub) {
     try {
-      sub.response = cloud::RankedSearchResponse::deserialize(
-          shard_call(sub.shard, cloud::MessageType::kMultiSearch, sub.request));
+      sub.response = cloud::RankedSearchResponse::deserialize(shard_call(
+          sub.shard, cloud::MessageType::kMultiSearch, sub.request, deadline));
       sub.ok = true;
     } catch (const Error&) {
       // Whole shard down after failover: degrade below.
@@ -256,70 +258,76 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(BytesView payloa
   for (cloud::RankedFile& f : resp.files)
     if (f.blob.empty()) missing.push_back({ir::value(f.id), &f.blob});
   bool degraded = false;
-  fetch_and_fill(missing, shards_.size(), &degraded);  // no shard to skip
+  fetch_and_fill(missing, shards_.size(), &degraded, deadline);  // no shard to skip
   if (degraded) resp.partial = true;
   return resp;
 }
 
 cloud::FetchFilesResponse ClusterCoordinator::do_fetch_files(
-    const cloud::FetchFilesRequest& req, bool* degraded) {
+    const cloud::FetchFilesRequest& req, bool* degraded, const Deadline& deadline) {
   cloud::FetchFilesResponse resp;
   resp.files.reserve(req.ids.size());
   for (sse::FileId id : req.ids) resp.files.push_back(cloud::RankedFile{id, 0, {}});
   std::vector<std::pair<std::uint64_t, Bytes*>> wanted;
   wanted.reserve(resp.files.size());
   for (cloud::RankedFile& f : resp.files) wanted.push_back({ir::value(f.id), &f.blob});
-  fetch_and_fill(wanted, shards_.size(), degraded);
+  fetch_and_fill(wanted, shards_.size(), degraded, deadline);
   return resp;
 }
 
-Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request) {
+Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
+                                   const Deadline& deadline) {
   switch (type) {
     case cloud::MessageType::kRankedSearch: {
-      auto resp = do_ranked_search(request);
+      auto resp = do_ranked_search(request, deadline);
       if (resp.partial) metrics_.record_partial();
       return resp.serialize();
     }
     case cloud::MessageType::kMultiSearch: {
-      auto resp = do_multi_search(request);
+      auto resp = do_multi_search(request, deadline);
       if (resp.partial) metrics_.record_partial();
       return resp.serialize();
     }
     case cloud::MessageType::kBasicEntries: {
       // Row-routed, no blobs to fill: pass the shard's answer through.
       const auto req = cloud::BasicEntriesRequest::deserialize(request);
-      return shard_call(shard_map_.shard_of_label(req.trapdoor.label), type, request);
+      return shard_call(shard_map_.shard_of_label(req.trapdoor.label), type, request,
+                        deadline);
     }
     case cloud::MessageType::kBasicFiles: {
       const auto req = cloud::BasicEntriesRequest::deserialize(request);
       const std::size_t shard = shard_map_.shard_of_label(req.trapdoor.label);
-      auto resp = cloud::BasicFilesResponse::deserialize(shard_call(shard, type, request));
+      auto resp = cloud::BasicFilesResponse::deserialize(
+          shard_call(shard, type, request, deadline));
       std::vector<std::pair<std::uint64_t, Bytes*>> missing;
       for (cloud::BasicFile& f : resp.files)
         if (f.blob.empty()) missing.push_back({ir::value(f.id), &f.blob});
       bool degraded = false;
-      fetch_and_fill(missing, shard, &degraded);
+      fetch_and_fill(missing, shard, &degraded, deadline);
       if (degraded) metrics_.record_partial();
       return resp.serialize();
     }
     case cloud::MessageType::kFetchFiles: {
       bool degraded = false;
-      Bytes out =
-          do_fetch_files(cloud::FetchFilesRequest::deserialize(request), &degraded)
-              .serialize();
+      Bytes out = do_fetch_files(cloud::FetchFilesRequest::deserialize(request),
+                                 &degraded, deadline)
+                      .serialize();
       if (degraded) metrics_.record_partial();
       return out;
     }
+    case cloud::MessageType::kSnapshot:
+      // Snapshots are a replica-to-replica repair primitive; a cluster-wide
+      // snapshot has no single owner to answer it.
+      throw ProtocolError("ClusterCoordinator: snapshot is replica-direct");
   }
   throw ProtocolError("ClusterCoordinator: unknown message type");
 }
 
-Bytes ClusterCoordinator::call(cloud::MessageType type, BytesView request) {
-  Bytes response = dispatch(type, request);
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    account(request.size() + 1, response.size());
-  }
+Bytes ClusterCoordinator::call(cloud::MessageType type, BytesView request,
+                               const Deadline& deadline) {
+  const Deadline effective = deadline.tightened(options_.query_timeout);
+  Bytes response = dispatch(type, request, effective);
+  account(request.size() + 1, response.size());
   return response;
 }
 

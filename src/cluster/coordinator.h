@@ -32,7 +32,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "cluster/metrics.h"
@@ -51,6 +50,11 @@ struct CoordinatorOptions {
   /// scheduling costs more). Set to 0 to always fan out — worth it on
   /// high-latency transports.
   std::size_t parallel_fetch_threshold = 8;
+  /// Whole-query budget applied to every call() (0 = unlimited). Composes
+  /// with any deadline the caller passes explicitly — the tighter wins —
+  /// and is shared by every sub-request a query fans out into, so a query
+  /// can never outlive it no matter how many shards retry.
+  std::chrono::milliseconds query_timeout{0};
 };
 
 /// The cluster-aware Transport implementation.
@@ -62,8 +66,13 @@ class ClusterCoordinator final : public cloud::Transport {
                      std::vector<std::unique_ptr<ReplicaSet>> shards,
                      CoordinatorOptions options = {});
 
-  /// One logical RPC against the cluster (Transport contract).
-  Bytes call(cloud::MessageType type, BytesView request) override;
+  /// One logical RPC against the cluster (Transport contract). The
+  /// effective budget is the tighter of `deadline` and
+  /// options.query_timeout; it bounds the whole scatter-gather including
+  /// replica retries, surfacing DeadlineExceeded instead of blocking.
+  using cloud::Transport::call;
+  Bytes call(cloud::MessageType type, BytesView request,
+             const Deadline& deadline) override;
 
   /// The routing geometry.
   [[nodiscard]] const ClusterManifest& manifest() const { return manifest_; }
@@ -81,22 +90,26 @@ class ClusterCoordinator final : public cloud::Transport {
 
  private:
   /// call() without the traffic accounting.
-  Bytes dispatch(cloud::MessageType type, BytesView request);
+  Bytes dispatch(cloud::MessageType type, BytesView request, const Deadline& deadline);
 
   /// One sub-request to a shard, with failover, metrics and timing.
-  Bytes shard_call(std::size_t shard, cloud::MessageType type, BytesView request);
+  Bytes shard_call(std::size_t shard, cloud::MessageType type, BytesView request,
+                   const Deadline& deadline);
 
-  cloud::RankedSearchResponse do_ranked_search(BytesView payload);
-  cloud::RankedSearchResponse do_multi_search(BytesView payload);
+  cloud::RankedSearchResponse do_ranked_search(BytesView payload,
+                                               const Deadline& deadline);
+  cloud::RankedSearchResponse do_multi_search(BytesView payload,
+                                              const Deadline& deadline);
   cloud::FetchFilesResponse do_fetch_files(const cloud::FetchFilesRequest& req,
-                                           bool* degraded);
+                                           bool* degraded, const Deadline& deadline);
 
   /// Fills the pointed-at empty blobs by fetching from the owning file
   /// shards in parallel. `skip_shard` marks a shard whose empty answers
   /// are genuine absences (the responder itself) — pass num_shards to
   /// fetch everything. Sets *degraded when a file shard was unreachable.
   void fetch_and_fill(const std::vector<std::pair<std::uint64_t, Bytes*>>& missing,
-                      std::size_t skip_shard, bool* degraded);
+                      std::size_t skip_shard, bool* degraded,
+                      const Deadline& deadline);
 
   ClusterManifest manifest_;
   ShardMap shard_map_;
@@ -104,9 +117,6 @@ class ClusterCoordinator final : public cloud::Transport {
   CoordinatorOptions options_;
   ThreadPool pool_;
   ClusterMetrics metrics_;
-  // Transport::account is not synchronized; the coordinator is shared by
-  // many client threads, so serialize the traffic accounting.
-  std::mutex stats_mutex_;
 };
 
 /// An in-process cluster: N CloudServer shards behind one coordinator

@@ -24,6 +24,13 @@ bool ReplicaSet::is_down(const Replica& replica) const {
   return replica.down_until_ns.load() > now_ns();
 }
 
+void ReplicaSet::mark_down(Replica& replica, const RetryPolicy& policy) {
+  replica.down_until_ns.store(
+      now_ns() +
+      std::chrono::duration_cast<std::chrono::nanoseconds>(policy.down_cooldown)
+          .count());
+}
+
 std::size_t ReplicaSet::healthy_replicas() const {
   std::size_t healthy = 0;
   for (const auto& replica : replicas_)
@@ -32,7 +39,7 @@ std::size_t ReplicaSet::healthy_replicas() const {
 }
 
 Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
-                       const RetryPolicy& policy) {
+                       const RetryPolicy& policy, const Deadline& deadline) {
   detail::require(!replicas_.empty(), "ReplicaSet::call: no replicas");
   detail::require(policy.max_attempts > 0, "ReplicaSet::call: zero attempts");
 
@@ -41,6 +48,7 @@ Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
   std::chrono::milliseconds backoff = policy.base_backoff;
 
   for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    deadline.check("ReplicaSet::call");
     // Candidate order: preferred first, then round-robin. A replica in
     // failure cooldown is skipped unless every replica is down (then we
     // try anyway — a request beats a guaranteed failure).
@@ -60,6 +68,10 @@ Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
     // `routed` is the health-based choice (drives preferred/failover
     // bookkeeping); `index` may divert to an idle sibling below.
     const std::size_t routed = index;
+    // The attempt budget caps how long one replica may hold the call
+    // before the set fails over — a hung replica becomes a failed
+    // attempt, not a hung query.
+    const Deadline attempt_deadline = deadline.tightened(policy.attempt_timeout);
     try {
       Bytes response;
       {
@@ -82,7 +94,7 @@ Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
           }
           if (!lock.owns_lock()) lock.lock();
         }
-        response = replicas_[index]->transport->call(type, request);
+        response = replicas_[index]->transport->call(type, request, attempt_deadline);
       }
       replicas_[index]->down_until_ns.store(0);
       if (routed != preferred) {
@@ -90,16 +102,22 @@ Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
         preferred_.store(routed);
       }
       return response;
+    } catch (const DeadlineExceeded&) {
+      ++failed_attempts_;
+      ++deadline_failures_;
+      mark_down(*replicas_[index], policy);
+      // The overall budget is gone: surface it. Only the per-attempt cap
+      // fired: fail over to the next replica like any other failure.
+      if (deadline.expired()) throw;
+      last_error = std::current_exception();
     } catch (const Error&) {
       ++failed_attempts_;
-      replicas_[index]->down_until_ns.store(
-          now_ns() + std::chrono::duration_cast<std::chrono::nanoseconds>(
-                         policy.down_cooldown)
-                         .count());
+      mark_down(*replicas_[index], policy);
       last_error = std::current_exception();
     }
     if (attempt + 1 < policy.max_attempts) {
-      std::this_thread::sleep_for(backoff);
+      const auto remaining = deadline.remaining();
+      std::this_thread::sleep_for(std::min(backoff, remaining));
       backoff = std::min(backoff * 2, policy.max_backoff);
     }
   }
@@ -110,21 +128,19 @@ std::size_t ReplicaSet::probe(const RetryPolicy& policy) {
   // An empty fetch is the cheapest request a server answers; any reply at
   // all proves liveness.
   const Bytes ping = cloud::FetchFilesRequest{}.serialize();
+  const Deadline deadline = Deadline().tightened(policy.attempt_timeout);
   std::size_t alive = 0;
   for (auto& replica : replicas_) {
     try {
       {
         const std::lock_guard<std::mutex> lock(replica->mutex);
-        (void)replica->transport->call(cloud::MessageType::kFetchFiles, ping);
+        (void)replica->transport->call(cloud::MessageType::kFetchFiles, ping, deadline);
       }
       replica->down_until_ns.store(0);
       ++alive;
     } catch (const Error&) {
       ++failed_attempts_;
-      replica->down_until_ns.store(
-          now_ns() + std::chrono::duration_cast<std::chrono::nanoseconds>(
-                         policy.down_cooldown)
-                         .count());
+      mark_down(*replica, policy);
     }
   }
   return alive;

@@ -7,7 +7,10 @@
 // transport failure fails over to the next one with capped exponential
 // backoff between attempts. Replicas that failed recently sit out a
 // cooldown before being tried again, so a dead endpoint does not tax
-// every request with a connect timeout.
+// every request with a connect timeout. A per-attempt budget
+// (RetryPolicy::attempt_timeout) turns a *hung* replica into a failed
+// attempt too: the slow replica times out and the call fails over
+// instead of blocking the query forever.
 #pragma once
 
 #include <atomic>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "cloud/channel.h"
+#include "util/deadline.h"
 
 namespace rsse::cluster {
 
@@ -27,6 +31,10 @@ struct RetryPolicy {
   std::chrono::milliseconds base_backoff{1};   ///< sleep after first failure
   std::chrono::milliseconds max_backoff{64};   ///< exponential cap
   std::chrono::milliseconds down_cooldown{250};  ///< sit-out after a failure
+  /// Budget of one attempt against one replica (0 = unbounded). A replica
+  /// exceeding it counts as a failed attempt and the call fails over,
+  /// always within the caller's overall deadline.
+  std::chrono::milliseconds attempt_timeout{0};
 };
 
 /// R replicas of one shard behind a single call() with failover.
@@ -46,10 +54,12 @@ class ReplicaSet {
   /// One RPC with failover: tries up to policy.max_attempts replicas
   /// (preferred replica first, round-robin over the rest, skipping those
   /// in cooldown while any alternative remains), sleeping the capped
-  /// exponential backoff between consecutive failures. Throws the last
-  /// replica error when every attempt failed. Throws InvalidArgument on
-  /// an empty set.
-  Bytes call(cloud::MessageType type, BytesView request, const RetryPolicy& policy);
+  /// exponential backoff between consecutive failures. Each attempt runs
+  /// under min(deadline, policy.attempt_timeout). Throws the last replica
+  /// error when every attempt failed, DeadlineExceeded when the overall
+  /// deadline ran out first, and InvalidArgument on an empty set.
+  Bytes call(cloud::MessageType type, BytesView request, const RetryPolicy& policy,
+             const Deadline& deadline = {});
 
   /// Health check: pings every replica with a zero-file fetch and updates
   /// its health state. Returns the number of replicas that answered.
@@ -66,6 +76,11 @@ class ReplicaSet {
   /// a retry).
   [[nodiscard]] std::uint64_t failed_attempts() const { return failed_attempts_.load(); }
 
+  /// Attempts that failed specifically by exhausting their time budget.
+  [[nodiscard]] std::uint64_t deadline_failures() const {
+    return deadline_failures_.load();
+  }
+
  private:
   struct Replica {
     std::unique_ptr<cloud::Transport> transport;
@@ -75,11 +90,13 @@ class ReplicaSet {
 
   [[nodiscard]] static std::int64_t now_ns();
   [[nodiscard]] bool is_down(const Replica& replica) const;
+  void mark_down(Replica& replica, const RetryPolicy& policy);
 
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::atomic<std::size_t> preferred_{0};
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> failed_attempts_{0};
+  std::atomic<std::uint64_t> deadline_failures_{0};
 };
 
 }  // namespace rsse::cluster

@@ -1,0 +1,116 @@
+#include "fault/chaos_proxy.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+#include "util/errors.h"
+
+namespace rsse::fault {
+
+ChaosProxy::ChaosProxy(std::uint16_t target_port, FaultSpec spec)
+    : listener_(0), target_port_(target_port), schedule_(spec) {
+  if (::pipe(stop_pipe_) != 0) throw ProtocolError("ChaosProxy: pipe failed");
+  accept_thread_ = std::thread([this] { serve(); });
+}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::stop() {
+  if (stopping_.exchange(true)) return;
+  // Wake every relay poll(), then unblock accept().
+  (void)!::write(stop_pipe_[1], "x", 1);
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& worker : workers)
+    if (worker.joinable()) worker.join();
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+}
+
+void ChaosProxy::serve() {
+  for (;;) {
+    net::Socket client = listener_.accept();
+    if (!client.valid()) return;  // listener closed: shutting down
+    if (stopping_.load()) return;
+    const std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back([this, conn = std::move(client)]() mutable {
+      relay(std::move(conn));
+    });
+  }
+}
+
+void ChaosProxy::relay(net::Socket client) {
+  net::Socket server;
+  try {
+    server = net::tcp_connect(target_port_);
+  } catch (const Error&) {
+    return;  // target down: the client sees a closed connection
+  }
+
+  std::array<std::uint8_t, 4096> buffer;
+  for (;;) {
+    std::array<pollfd, 3> fds{{{client.fd(), POLLIN, 0},
+                               {server.fd(), POLLIN, 0},
+                               {stop_pipe_[0], POLLIN, 0}}};
+    const int rc = ::poll(fds.data(), fds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[2].revents & POLLIN) != 0 || stopping_.load()) return;
+
+    for (int side = 0; side < 2; ++side) {
+      if ((fds[side].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const net::Socket& from = side == 0 ? client : server;
+      const net::Socket& to = side == 0 ? server : client;
+      const ssize_t n = ::recv(from.fd(), buffer.data(), buffer.size(), 0);
+      if (n <= 0) return;  // EOF or error: drop both sides
+
+      std::size_t len = static_cast<std::size_t>(n);
+      const FaultDecision decision = schedule_.next();
+      switch (decision.kind) {
+        case FaultKind::kNone:
+          break;
+        case FaultKind::kDelay:
+          std::this_thread::sleep_for(decision.delay);
+          break;
+        case FaultKind::kDisconnect:
+        case FaultKind::kErrorFrame:  // no raw-stream equivalent: drop too
+          return;
+        case FaultKind::kTruncate: {
+          // Forward a strict prefix, then drop the connection — a torn
+          // delivery, not a reordering.
+          len = decision.entropy % len;
+          if (len > 0) {
+            try {
+              to.send_all(BytesView(buffer.data(), len));
+            } catch (const Error&) {
+            }
+          }
+          return;
+        }
+        case FaultKind::kBitFlip: {
+          const std::uint64_t bit = decision.entropy % (len * 8);
+          buffer[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+          break;
+        }
+      }
+      try {
+        to.send_all(BytesView(buffer.data(), len));
+      } catch (const Error&) {
+        return;  // peer gone mid-forward
+      }
+    }
+  }
+}
+
+}  // namespace rsse::fault

@@ -1,0 +1,60 @@
+// A TCP chaos proxy: the faulty-network shim for the real socket path.
+//
+// Listens on an ephemeral loopback port and forwards every connection to
+// a target port, applying the FaultSchedule per forwarded chunk: stalls,
+// connection drops, truncated deliveries and bit flips hit the actual
+// byte stream, so the frame protocol's length checks, the client's
+// deserializers and the deadline-bounded socket I/O are exercised
+// against genuine wire corruption — not just decorator-level sabotage.
+// (kErrorFrame has no raw-stream equivalent and acts as a disconnect.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.h"
+#include "net/socket.h"
+
+namespace rsse::fault {
+
+/// The proxy. Construction binds and starts accepting; stop() (or the
+/// destructor) tears everything down, dropping live connections.
+class ChaosProxy {
+ public:
+  /// Starts a proxy on an ephemeral port forwarding to
+  /// 127.0.0.1:`target_port`. Throws InvalidArgument on a bad spec and
+  /// ProtocolError when the listener cannot bind.
+  ChaosProxy(std::uint16_t target_port, FaultSpec spec);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// The port clients should connect to instead of the target's.
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// Stops accepting, drops live connections, joins the workers
+  /// (idempotent).
+  void stop();
+
+  /// What has been injected so far.
+  [[nodiscard]] FaultCounters counters() const { return schedule_.counters(); }
+
+ private:
+  void serve();
+  void relay(net::Socket client);
+
+  net::TcpListener listener_;
+  std::uint16_t target_port_;
+  FaultSchedule schedule_;
+  std::atomic<bool> stopping_{false};
+  int stop_pipe_[2] = {-1, -1};  // poll-interruptible shutdown signal
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rsse::fault

@@ -1,0 +1,68 @@
+#include "fault/fault.h"
+
+#include "util/errors.h"
+
+namespace rsse::fault {
+
+FaultSchedule::FaultSchedule(FaultSpec spec) : spec_(spec), rng_(spec.seed) {
+  detail::require(spec_.total_rate() <= 1.0 + 1e-9,
+                  "FaultSchedule: fault rates sum past 1");
+  detail::require(spec_.delay_rate >= 0 && spec_.disconnect_rate >= 0 &&
+                      spec_.error_rate >= 0 && spec_.truncate_rate >= 0 &&
+                      spec_.bit_flip_rate >= 0,
+                  "FaultSchedule: negative fault rate");
+  detail::require(spec_.delay_min <= spec_.delay_max,
+                  "FaultSchedule: delay_min > delay_max");
+}
+
+FaultDecision FaultSchedule::next() {
+  // One uniform draw walks the cumulative rate thresholds, so the
+  // per-event fault mix matches the spec exactly and the whole decision
+  // costs a single PRNG step (plus two for delay/entropy parameters).
+  double u = 0.0;
+  FaultDecision decision;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    u = rng_.next_double();
+    double edge = spec_.delay_rate;
+    if (u < edge) {
+      decision.kind = FaultKind::kDelay;
+      decision.delay = std::chrono::milliseconds(
+          rng_.uniform_in(static_cast<std::uint64_t>(spec_.delay_min.count()),
+                          static_cast<std::uint64_t>(spec_.delay_max.count())));
+    } else if (u < (edge += spec_.disconnect_rate)) {
+      decision.kind = FaultKind::kDisconnect;
+    } else if (u < (edge += spec_.error_rate)) {
+      decision.kind = FaultKind::kErrorFrame;
+    } else if (u < (edge += spec_.truncate_rate)) {
+      decision.kind = FaultKind::kTruncate;
+      decision.entropy = rng_.next_u64();
+    } else if (u < (edge += spec_.bit_flip_rate)) {
+      decision.kind = FaultKind::kBitFlip;
+      decision.entropy = rng_.next_u64();
+    }
+  }
+  ++events_;
+  switch (decision.kind) {
+    case FaultKind::kNone: break;
+    case FaultKind::kDelay: ++delays_; break;
+    case FaultKind::kDisconnect: ++disconnects_; break;
+    case FaultKind::kErrorFrame: ++error_frames_; break;
+    case FaultKind::kTruncate: ++truncations_; break;
+    case FaultKind::kBitFlip: ++bit_flips_; break;
+  }
+  return decision;
+}
+
+FaultCounters FaultSchedule::counters() const {
+  FaultCounters c;
+  c.events = events_.load();
+  c.delays = delays_.load();
+  c.disconnects = disconnects_.load();
+  c.error_frames = error_frames_.load();
+  c.truncations = truncations_.load();
+  c.bit_flips = bit_flips_.load();
+  return c;
+}
+
+}  // namespace rsse::fault

@@ -1,0 +1,104 @@
+// Deterministic fault injection: the schedule that decides, per event,
+// whether (and how) to misbehave.
+//
+// Chaos testing is only useful when a failing run can be replayed, so
+// every decision comes from a seeded xoshiro256** stream: the same
+// FaultSpec (rates + seed) produces the same fault sequence, call for
+// call. The schedule is shared by the two injection points — the
+// Transport decorator (fault_transport.h) that corrupts whole RPCs, and
+// the TCP chaos proxy (chaos_proxy.h) that corrupts the byte stream —
+// so one spec drives both layers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "util/rng.h"
+
+namespace rsse::fault {
+
+/// What the schedule decided to do to one event.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,        ///< behave normally
+  kDelay = 1,       ///< stall (a slow or hung peer)
+  kDisconnect = 2,  ///< drop the connection / fail the call
+  kErrorFrame = 3,  ///< answer with a server error instead of a response
+  kTruncate = 4,    ///< deliver only a prefix of the payload
+  kBitFlip = 5,     ///< deliver the payload with one bit flipped
+};
+
+/// Fault rates and shape. Rates are independent probabilities per event
+/// (per RPC for the transport decorator, per forwarded chunk for the
+/// proxy); their sum must stay <= 1 — the remainder is the no-fault case.
+struct FaultSpec {
+  double delay_rate = 0.0;
+  double disconnect_rate = 0.0;
+  double error_rate = 0.0;
+  double truncate_rate = 0.0;
+  double bit_flip_rate = 0.0;
+  std::chrono::milliseconds delay_min{1};   ///< injected stall lower bound
+  std::chrono::milliseconds delay_max{20};  ///< injected stall upper bound
+  std::uint64_t seed = 1;                   ///< reproducibility anchor
+
+  /// Sum of all fault rates (the per-event fault probability).
+  [[nodiscard]] double total_rate() const {
+    return delay_rate + disconnect_rate + error_rate + truncate_rate + bit_flip_rate;
+  }
+};
+
+/// One drawn decision: the kind plus the parameters the injector needs
+/// (how long to stall; entropy for choosing truncation points and bit
+/// positions deterministically).
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  std::chrono::milliseconds delay{0};
+  std::uint64_t entropy = 0;
+};
+
+/// Injection counts so far (what actually happened, for assertions).
+struct FaultCounters {
+  std::uint64_t events = 0;  ///< decisions drawn (faulty or not)
+  std::uint64_t delays = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t error_frames = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t bit_flips = 0;
+
+  [[nodiscard]] std::uint64_t total_faults() const {
+    return delays + disconnects + error_frames + truncations + bit_flips;
+  }
+};
+
+/// The seeded decision stream. Thread-safe: concurrent callers draw
+/// decisions in some serialized order, and a fixed seed fixes that
+/// sequence of decisions (under concurrency the *assignment* of
+/// decisions to callers follows scheduling; single-threaded replays are
+/// bit-exact). Throws InvalidArgument when the rates sum past 1 or the
+/// delay bounds are inverted.
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(FaultSpec spec);
+
+  /// Draws the next decision from the stream.
+  FaultDecision next();
+
+  /// What has been injected so far.
+  [[nodiscard]] FaultCounters counters() const;
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+ private:
+  FaultSpec spec_;
+  std::mutex mutex_;  // guards rng_
+  Xoshiro256 rng_;
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+  std::atomic<std::uint64_t> error_frames_{0};
+  std::atomic<std::uint64_t> truncations_{0};
+  std::atomic<std::uint64_t> bit_flips_{0};
+};
+
+}  // namespace rsse::fault

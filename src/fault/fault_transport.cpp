@@ -1,0 +1,58 @@
+#include "fault/fault_transport.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/errors.h"
+
+namespace rsse::fault {
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<cloud::Transport> inner, FaultSpec spec)
+    : inner_(std::move(inner)), schedule_(spec) {
+  detail::require(inner_ != nullptr, "FaultInjectingTransport: null transport");
+}
+
+Bytes FaultInjectingTransport::call(cloud::MessageType type, BytesView request,
+                                    const Deadline& deadline) {
+  const FaultDecision decision = schedule_.next();
+  switch (decision.kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kDelay: {
+      // A hung peer holds the caller until its budget runs out; a merely
+      // slow one holds it for the injected stall and then answers.
+      if (!deadline.is_unlimited() && decision.delay >= deadline.remaining()) {
+        std::this_thread::sleep_for(deadline.remaining());
+        throw DeadlineExceeded("fault: injected hang outlived the deadline");
+      }
+      std::this_thread::sleep_for(decision.delay);
+      break;
+    }
+    case FaultKind::kDisconnect:
+      throw ProtocolError("fault: injected disconnect");
+    case FaultKind::kErrorFrame:
+      throw ProtocolError("fault: injected server error frame");
+    case FaultKind::kTruncate: {
+      Bytes response = inner_->call(type, request, deadline);
+      if (!response.empty())
+        response.resize(decision.entropy % response.size());
+      account(request.size() + 1, response.size());
+      return response;
+    }
+    case FaultKind::kBitFlip: {
+      Bytes response = inner_->call(type, request, deadline);
+      if (!response.empty()) {
+        const std::uint64_t bit = decision.entropy % (response.size() * 8);
+        response[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      account(request.size() + 1, response.size());
+      return response;
+    }
+  }
+  Bytes response = inner_->call(type, request, deadline);
+  account(request.size() + 1, response.size());
+  return response;
+}
+
+}  // namespace rsse::fault

@@ -1,0 +1,49 @@
+// A fault-injecting cloud::Transport decorator.
+//
+// Wraps any Transport (in-process Channel, RemoteChannel, even a whole
+// coordinator) and misbehaves per a deterministic FaultSchedule: stalls
+// like a hung replica (bounded by the caller's deadline — a stall past
+// the budget becomes DeadlineExceeded, exactly what a real hung peer
+// produces), fails like a dropped connection, answers with error frames,
+// or delivers truncated / bit-flipped responses that the caller's
+// deserializer must reject. Because it sits on the Transport seam, every
+// resilience layer above it — ReplicaSet failover, coordinator
+// degradation, client retries — is exercised without a real network.
+#pragma once
+
+#include <memory>
+
+#include "cloud/channel.h"
+#include "fault/fault.h"
+
+namespace rsse::fault {
+
+/// The decorator. Thread-safe to the extent the inner transport is; the
+/// schedule itself is thread-safe.
+class FaultInjectingTransport final : public cloud::Transport {
+ public:
+  /// Takes ownership of the transport to wrap. Throws InvalidArgument on
+  /// a null inner transport or an invalid spec.
+  FaultInjectingTransport(std::unique_ptr<cloud::Transport> inner, FaultSpec spec);
+
+  /// One RPC, possibly sabotaged. Injected failures surface as the same
+  /// typed errors real ones do: ProtocolError for disconnects and error
+  /// frames, DeadlineExceeded for stalls that outlive the deadline;
+  /// truncations and bit flips corrupt the returned payload and are
+  /// caught by the caller's deserializer (ParseError).
+  using cloud::Transport::call;
+  Bytes call(cloud::MessageType type, BytesView request,
+             const Deadline& deadline) override;
+
+  /// What has been injected so far.
+  [[nodiscard]] FaultCounters counters() const { return schedule_.counters(); }
+
+  /// The wrapped transport (for assertions on its stats).
+  [[nodiscard]] cloud::Transport& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<cloud::Transport> inner_;
+  FaultSchedule schedule_;
+};
+
+}  // namespace rsse::fault

@@ -6,60 +6,64 @@ namespace rsse::net {
 
 namespace {
 
-void send_framed(const Socket& socket, std::uint8_t tag, BytesView payload) {
+void send_framed(const Socket& socket, std::uint8_t tag, BytesView payload,
+                 const Deadline& deadline) {
   if (payload.size() > kMaxFrameSize) throw ProtocolError("frame: payload too large");
   Bytes frame;
   frame.reserve(5 + payload.size());
   frame.push_back(tag);
   append_u32(frame, static_cast<std::uint32_t>(payload.size()));
   append(frame, payload);
-  socket.send_all(frame);
+  socket.send_all(frame, deadline);
 }
 
 // Reads tag + length + payload; false on clean EOF before the tag.
-bool recv_framed(const Socket& socket, std::uint8_t& tag, Bytes& payload) {
+bool recv_framed(const Socket& socket, std::uint8_t& tag, Bytes& payload,
+                 const Deadline& deadline) {
   std::uint8_t header[5];
-  if (!socket.recv_exact(std::span<std::uint8_t>(header, 1))) return false;
+  if (!socket.recv_exact(std::span<std::uint8_t>(header, 1), deadline)) return false;
   tag = header[0];
-  if (!socket.recv_exact(std::span<std::uint8_t>(header + 1, 4)))
+  if (!socket.recv_exact(std::span<std::uint8_t>(header + 1, 4), deadline))
     throw ProtocolError("frame: truncated header");
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[1 + i]) << (8 * i);
   if (len > kMaxFrameSize) throw ProtocolError("frame: length exceeds cap");
   payload.resize(len);
-  if (len > 0 && !socket.recv_exact(std::span<std::uint8_t>(payload)))
+  if (len > 0 && !socket.recv_exact(std::span<std::uint8_t>(payload), deadline))
     throw ProtocolError("frame: truncated payload");
   return true;
 }
 
 }  // namespace
 
-void send_request(const Socket& socket, cloud::MessageType type, BytesView payload) {
-  send_framed(socket, static_cast<std::uint8_t>(type), payload);
+void send_request(const Socket& socket, cloud::MessageType type, BytesView payload,
+                  const Deadline& deadline) {
+  send_framed(socket, static_cast<std::uint8_t>(type), payload, deadline);
 }
 
-std::optional<RequestFrame> recv_request(const Socket& socket) {
+std::optional<RequestFrame> recv_request(const Socket& socket, const Deadline& deadline) {
   std::uint8_t tag = 0;
   Bytes payload;
-  if (!recv_framed(socket, tag, payload)) return std::nullopt;
+  if (!recv_framed(socket, tag, payload, deadline)) return std::nullopt;
   RequestFrame frame;
   frame.type = static_cast<cloud::MessageType>(tag);
   frame.payload = std::move(payload);
   return frame;
 }
 
-void send_response_ok(const Socket& socket, BytesView payload) {
-  send_framed(socket, 0x00, payload);
+void send_response_ok(const Socket& socket, BytesView payload, const Deadline& deadline) {
+  send_framed(socket, 0x00, payload, deadline);
 }
 
-void send_response_error(const Socket& socket, std::string_view message) {
-  send_framed(socket, 0x01, to_bytes(message));
+void send_response_error(const Socket& socket, std::string_view message,
+                         const Deadline& deadline) {
+  send_framed(socket, 0x01, to_bytes(message), deadline);
 }
 
-Bytes recv_response(const Socket& socket) {
+Bytes recv_response(const Socket& socket, const Deadline& deadline) {
   std::uint8_t tag = 0;
   Bytes payload;
-  if (!recv_framed(socket, tag, payload))
+  if (!recv_framed(socket, tag, payload, deadline))
     throw ProtocolError("response: connection closed");
   if (tag == 0x00) return payload;
   if (tag == 0x01) throw ProtocolError("server error: " + to_string(payload));

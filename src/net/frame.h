@@ -25,21 +25,26 @@ struct RequestFrame {
   Bytes payload;
 };
 
-/// Writes a request frame.
-void send_request(const Socket& socket, cloud::MessageType type, BytesView payload);
+/// Writes a request frame. Throws DeadlineExceeded when the budget runs
+/// out mid-write (all four helpers; default deadline = unlimited).
+void send_request(const Socket& socket, cloud::MessageType type, BytesView payload,
+                  const Deadline& deadline = {});
 
 /// Reads the next request frame; nullopt on clean EOF.
 /// Throws ProtocolError on malformed frames or transport errors.
-std::optional<RequestFrame> recv_request(const Socket& socket);
+std::optional<RequestFrame> recv_request(const Socket& socket,
+                                         const Deadline& deadline = {});
 
 /// Writes a success response.
-void send_response_ok(const Socket& socket, BytesView payload);
+void send_response_ok(const Socket& socket, BytesView payload,
+                      const Deadline& deadline = {});
 
 /// Writes an error response carrying `message`.
-void send_response_error(const Socket& socket, std::string_view message);
+void send_response_error(const Socket& socket, std::string_view message,
+                         const Deadline& deadline = {});
 
 /// Reads a response; returns the payload on success and throws
 /// ProtocolError carrying the server's message on an error response.
-Bytes recv_response(const Socket& socket);
+Bytes recv_response(const Socket& socket, const Deadline& deadline = {});
 
 }  // namespace rsse::net

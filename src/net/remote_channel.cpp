@@ -1,17 +1,56 @@
 #include "net/remote_channel.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "net/frame.h"
+#include "util/errors.h"
 
 namespace rsse::net {
 
-RemoteChannel::RemoteChannel(std::uint16_t port) : socket_(tcp_connect(port)) {}
+namespace {
 
-Bytes RemoteChannel::call(cloud::MessageType type, BytesView request) {
-  send_request(socket_, type, request);
-  Bytes response = recv_response(socket_);
-  // +5: type byte + length header, matching what really crossed the wire.
-  account(request.size() + 5, response.size() + 5);
-  return response;
+Socket connect_with_retry(std::uint16_t port, const ConnectOptions& options) {
+  if (options.timeout.count() <= 0) return tcp_connect(port);
+
+  const Deadline deadline = Deadline::after(options.timeout);
+  std::chrono::milliseconds backoff = options.base_backoff;
+  for (;;) {
+    try {
+      return tcp_connect(port, deadline);
+    } catch (const DeadlineExceeded&) {
+      throw;
+    } catch (const ProtocolError&) {
+      // Refused or reset — typically the server's listener is not up yet.
+      // Sleep the capped backoff (never past the deadline) and retry.
+      const auto remaining = deadline.remaining();
+      if (remaining.count() <= 0) throw;
+      std::this_thread::sleep_for(std::min(backoff, remaining));
+      backoff = std::min(backoff * 2, options.max_backoff);
+      if (deadline.expired()) throw;
+    }
+  }
+}
+
+}  // namespace
+
+RemoteChannel::RemoteChannel(std::uint16_t port, ConnectOptions options)
+    : socket_(connect_with_retry(port, options)) {}
+
+Bytes RemoteChannel::call(cloud::MessageType type, BytesView request,
+                          const Deadline& deadline) {
+  try {
+    send_request(socket_, type, request, deadline);
+    Bytes response = recv_response(socket_, deadline);
+    // +5: type byte + length header, matching what really crossed the wire.
+    account(request.size() + 5, response.size() + 5);
+    return response;
+  } catch (const DeadlineExceeded&) {
+    // A half-sent request or unread response would desynchronize the
+    // frame stream; the connection cannot be reused.
+    disconnect();
+    throw;
+  }
 }
 
 void RemoteChannel::disconnect() {

@@ -5,6 +5,7 @@
 // interface.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 #include "cloud/channel.h"
@@ -12,15 +13,34 @@
 
 namespace rsse::net {
 
+/// How a RemoteChannel establishes its connection.
+struct ConnectOptions {
+  /// Overall connect budget. Zero (default) = exactly one attempt that
+  /// blocks the OS default — the historical behaviour. A positive budget
+  /// turns on the retry loop below, bounded by this deadline, so a client
+  /// started concurrently with its server no longer needs a raw sleep.
+  std::chrono::milliseconds timeout{0};
+  std::chrono::milliseconds base_backoff{5};   ///< sleep after first refusal
+  std::chrono::milliseconds max_backoff{200};  ///< exponential cap
+};
+
 /// A persistent client connection speaking the frame protocol.
 class RemoteChannel final : public cloud::Transport {
  public:
-  /// Connects to 127.0.0.1:`port`. Throws ProtocolError on failure.
-  explicit RemoteChannel(std::uint16_t port);
+  /// Connects to 127.0.0.1:`port`. With the default options a failed
+  /// connect throws ProtocolError immediately; with a positive
+  /// `options.timeout` the connect is retried with capped exponential
+  /// backoff until it succeeds or the budget is spent (then the last
+  /// ProtocolError is rethrown).
+  explicit RemoteChannel(std::uint16_t port, ConnectOptions options = {});
 
   /// One RPC over the connection. Throws ProtocolError on transport
-  /// failure or when the server reports an error frame.
-  Bytes call(cloud::MessageType type, BytesView request) override;
+  /// failure or when the server reports an error frame, DeadlineExceeded
+  /// when the deadline runs out first (the connection is then unusable —
+  /// the response would desynchronize the frame stream — and is closed).
+  using cloud::Transport::call;
+  Bytes call(cloud::MessageType type, BytesView request,
+             const Deadline& deadline) override;
 
   /// Closes the connection (subsequent calls throw).
   void disconnect();

@@ -1,8 +1,10 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -20,47 +22,105 @@ namespace {
   throw ProtocolError(what + ": " + std::strerror(errno));
 }
 
+void set_nonblocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int wanted = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+/// Scopes O_NONBLOCK to one deadline-bounded operation so the descriptor
+/// keeps its plain blocking behaviour for deadline-free callers (the
+/// server side, legacy paths).
+class NonBlockingScope {
+ public:
+  NonBlockingScope(int fd, bool engage) : fd_(fd), engaged_(engage) {
+    if (engaged_) set_nonblocking(fd_, true);
+  }
+  ~NonBlockingScope() {
+    if (engaged_) {
+      // Best effort: restoring flags must not throw from a destructor.
+      const int flags = ::fcntl(fd_, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
+    }
+  }
+  NonBlockingScope(const NonBlockingScope&) = delete;
+  NonBlockingScope& operator=(const NonBlockingScope&) = delete;
+
+ private:
+  int fd_;
+  bool engaged_;
+};
+
+/// Polls until `events` is ready or the deadline runs out.
+void wait_ready(int fd, short events, const Deadline& deadline, const char* what) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, deadline.poll_timeout_ms());
+    if (rc > 0) return;  // ready (or error/hup — the next I/O call reports it)
+    if (rc == 0) throw DeadlineExceeded(std::string(what) + ": deadline exceeded");
+    if (errno != EINTR) throw_errno(what);
+    deadline.check(what);
+  }
+}
+
 }  // namespace
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = std::exchange(other.fd_, -1);
+    fd_.store(other.fd_.exchange(-1), std::memory_order_release);
   }
   return *this;
 }
 
 void Socket::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // exchange makes close() idempotent AND safe against a concurrent
+  // closer: exactly one caller sees the live descriptor.
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
 }
 
-void Socket::send_all(BytesView data) const {
+void Socket::send_all(BytesView data, const Deadline& deadline) const {
   detail::require(valid(), "Socket::send_all: empty socket");
+  const int fd = this->fd();
+  const bool bounded = !deadline.is_unlimited();
+  const NonBlockingScope scope(fd, bounded);
   std::size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        wait_ready(fd, POLLOUT, deadline, "send");
+        continue;
+      }
       throw_errno("send");
     }
     sent += static_cast<std::size_t>(n);
   }
 }
 
-bool Socket::recv_exact(std::span<std::uint8_t> out) const {
+bool Socket::recv_exact(std::span<std::uint8_t> out, const Deadline& deadline) const {
   detail::require(valid(), "Socket::recv_exact: empty socket");
+  const int fd = this->fd();
+  const bool bounded = !deadline.is_unlimited();
+  const NonBlockingScope scope(fd, bounded);
   std::size_t got = 0;
   while (got < out.size()) {
-    const ssize_t n = ::recv(fd_, out.data() + got, out.size() - got, 0);
+    const ssize_t n = ::recv(fd, out.data() + got, out.size() - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        wait_ready(fd, POLLIN, deadline, "recv");
+        continue;
+      }
       throw_errno("recv");
     }
     if (n == 0) {
@@ -73,7 +133,8 @@ bool Socket::recv_exact(std::span<std::uint8_t> out) const {
 }
 
 void Socket::shutdown_write() const {
-  if (valid()) ::shutdown(fd_, SHUT_WR);
+  const int fd = this->fd();
+  if (fd >= 0) ::shutdown(fd, SHUT_WR);
 }
 
 TcpListener::TcpListener(std::uint16_t port) {
@@ -113,7 +174,7 @@ void TcpListener::close() {
   socket_.close();
 }
 
-Socket tcp_connect(std::uint16_t port) {
+Socket tcp_connect(std::uint16_t port, const Deadline& deadline) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   Socket sock(fd);
@@ -122,8 +183,22 @@ Socket tcp_connect(std::uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
-    throw_errno("connect");
+
+  const bool bounded = !deadline.is_unlimited();
+  if (bounded) set_nonblocking(fd, true);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    if (!bounded || errno != EINPROGRESS) throw_errno("connect");
+    wait_ready(fd, POLLOUT, deadline, "connect");
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0)
+      throw_errno("getsockopt(SO_ERROR)");
+    if (err != 0) {
+      errno = err;
+      throw_errno("connect");
+    }
+  }
+  if (bounded) set_nonblocking(fd, false);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return sock;

@@ -1,18 +1,26 @@
 // RAII POSIX TCP sockets: the substrate under the network server and the
-// remote channel. Minimal by design — blocking I/O, IPv4 loopback-class
-// usage — but complete enough for real cross-process deployments:
-// exact-length send/receive, ephemeral-port binding with port discovery,
-// and clean shutdown semantics.
+// remote channel. Minimal by design — IPv4 loopback-class usage — but
+// complete enough for real cross-process deployments: exact-length
+// send/receive, ephemeral-port binding with port discovery, clean
+// shutdown semantics, and deadline-bounded I/O (poll-based) so a hung
+// peer can never block a caller past its budget.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "util/bytes.h"
+#include "util/deadline.h"
 
 namespace rsse::net {
 
 /// An owned socket file descriptor.
+///
+/// The descriptor is atomic so the one sanctioned cross-thread operation
+/// — close()/shutdown from another thread to unblock a blocked accept()
+/// or poll() — is race-free. Concurrent send/recv on one socket is still
+/// the caller's job to serialize (RemoteChannel holds a call mutex).
 class Socket {
  public:
   /// Wraps an existing descriptor (-1 = empty).
@@ -25,27 +33,30 @@ class Socket {
   Socket& operator=(Socket&& other) noexcept;
 
   /// The raw descriptor (-1 when empty).
-  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] int fd() const { return fd_.load(std::memory_order_acquire); }
 
   /// True when a descriptor is held.
-  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] bool valid() const { return fd() >= 0; }
 
   /// Closes the descriptor now (idempotent).
   void close();
 
-  /// Sends exactly `data.size()` bytes. Throws ProtocolError on failure.
-  void send_all(BytesView data) const;
+  /// Sends exactly `data.size()` bytes. Throws ProtocolError on failure
+  /// and DeadlineExceeded when the budget runs out before everything is
+  /// queued (a limited deadline switches the descriptor to non-blocking
+  /// I/O paced by poll()).
+  void send_all(BytesView data, const Deadline& deadline = {}) const;
 
   /// Receives exactly `n` bytes. Returns false on clean EOF at a message
   /// boundary (0 bytes read so far); throws ProtocolError on mid-message
-  /// EOF or errors.
-  bool recv_exact(std::span<std::uint8_t> out) const;
+  /// EOF or errors, DeadlineExceeded when the budget runs out first.
+  bool recv_exact(std::span<std::uint8_t> out, const Deadline& deadline = {}) const;
 
   /// Half-closes the write side (signals EOF to the peer).
   void shutdown_write() const;
 
  private:
-  int fd_;
+  std::atomic<int> fd_;
 };
 
 /// A listening TCP socket bound to 127.0.0.1.
@@ -70,7 +81,9 @@ class TcpListener {
   std::uint16_t port_ = 0;
 };
 
-/// Connects to 127.0.0.1:`port`. Throws ProtocolError on failure.
-Socket tcp_connect(std::uint16_t port);
+/// Connects to 127.0.0.1:`port`. Throws ProtocolError on failure and
+/// DeadlineExceeded when a limited deadline expires before the handshake
+/// completes (non-blocking connect + poll).
+Socket tcp_connect(std::uint16_t port, const Deadline& deadline = {});
 
 }  // namespace rsse::net

@@ -14,12 +14,21 @@ void validate(const HgdParams& p) {
   detail::require(p.sample <= p.population, "hgd: sample > population");
 }
 
+// Reentrant ln(gamma): std::lgamma writes the global `signgam`, which is
+// a data race when the parallel index build evaluates buckets across
+// worker threads. The sign is irrelevant here (arguments are >= 1).
+double lgamma_threadsafe(double x) {
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+}
+
 // ln C(n, k) via lgamma; exact enough for n up to ~2^52.
 double log_choose(std::uint64_t n, std::uint64_t k) {
   if (k > n) return -std::numeric_limits<double>::infinity();
   const auto nd = static_cast<double>(n);
   const auto kd = static_cast<double>(k);
-  return std::lgamma(nd + 1.0) - std::lgamma(kd + 1.0) - std::lgamma(nd - kd + 1.0);
+  return lgamma_threadsafe(nd + 1.0) - lgamma_threadsafe(kd + 1.0) -
+         lgamma_threadsafe(nd - kd + 1.0);
 }
 
 }  // namespace

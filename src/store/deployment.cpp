@@ -1,9 +1,12 @@
 #include "store/deployment.h"
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "cloud/protocol.h"
+#include "crypto/sha256.h"
 #include "util/errors.h"
 
 namespace rsse::store {
@@ -12,11 +15,28 @@ namespace fs = std::filesystem;
 
 namespace {
 
+// Integrity footer appended to every artifact:
+//   payload || sha256(payload) (32) || u64 payload length (8) || magic (8)
+// The magic at the very end makes "file without footer" and "file with a
+// damaged footer" equally detectable; the explicit length catches
+// truncation even when the remaining bytes happen to parse.
+constexpr char kFooterMagic[8] = {'R', 'S', 'S', 'E', 'C', 'K', 'S', '1'};
+constexpr std::size_t kFooterSize = crypto::kSha256DigestSize + 8 + sizeof(kFooterMagic);
+
 void write_file(const fs::path& path, BytesView data) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw Error("save_deployment: cannot open " + path.string());
   out.write(reinterpret_cast<const char*>(data.data()),
             static_cast<std::streamsize>(data.size()));
+  const crypto::Sha256Digest digest = crypto::sha256(data);
+  out.write(reinterpret_cast<const char*>(digest.data()),
+            static_cast<std::streamsize>(digest.size()));
+  Bytes trailer;
+  append_u64(trailer, data.size());
+  out.write(reinterpret_cast<const char*>(trailer.data()),
+            static_cast<std::streamsize>(trailer.size()));
+  out.write(kFooterMagic, sizeof(kFooterMagic));
+  out.flush();
   if (!out) throw Error("save_deployment: write failed for " + path.string());
 }
 
@@ -26,14 +46,34 @@ Bytes read_file(const fs::path& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const std::string content = buffer.str();
-  return to_bytes(content);
+  Bytes raw = to_bytes(content);
+
+  if (raw.size() < kFooterSize)
+    throw IntegrityError("load_deployment: missing integrity footer: " + path.string());
+  const std::size_t payload_len = raw.size() - kFooterSize;
+  const std::uint8_t* footer = raw.data() + payload_len;
+  if (std::memcmp(footer + crypto::kSha256DigestSize + 8, kFooterMagic,
+                  sizeof(kFooterMagic)) != 0)
+    throw IntegrityError("load_deployment: bad footer magic: " + path.string());
+  ByteReader length_reader(BytesView(footer + crypto::kSha256DigestSize, 8));
+  if (length_reader.read_u64() != payload_len)
+    throw IntegrityError("load_deployment: length mismatch (torn write?): " +
+                         path.string());
+  const crypto::Sha256Digest digest =
+      crypto::sha256(BytesView(raw.data(), payload_len));
+  if (std::memcmp(footer, digest.data(), digest.size()) != 0)
+    throw IntegrityError("load_deployment: checksum mismatch: " + path.string());
+
+  raw.resize(payload_len);
+  return raw;
 }
 
 void save_parts(const sse::SecureIndex& index,
                 const std::map<std::uint64_t, Bytes>& files, const fs::path& root) {
   const fs::path files_dir = root / "files";
   fs::create_directories(files_dir);
-  // Replace any previous file set so deletions persist too.
+  // save_parts only ever fills freshly staged directories, but stay
+  // idempotent: replace any previous file set so deletions persist too.
   for (const auto& entry : fs::directory_iterator(files_dir)) fs::remove(entry.path());
 
   write_file(root / "index.bin", index.serialize());
@@ -41,14 +81,50 @@ void save_parts(const sse::SecureIndex& index,
     write_file(files_dir / (std::to_string(id) + ".bin"), blob);
 }
 
+fs::path staging_of(const fs::path& dir) { return dir.string() + ".saving"; }
+fs::path parked_of(const fs::path& dir) { return dir.string() + ".old"; }
+
+/// Atomically replaces `dir` with the fully written `staging` tree.
+/// Crash-window analysis: before the first rename the old deployment is
+/// untouched; between the renames the old tree sits at <dir>.old (load
+/// recovers it); after the second rename the new tree is live.
+void commit_dir(const fs::path& staging, const fs::path& dir) {
+  const fs::path parked = parked_of(dir);
+  std::error_code ec;
+  fs::remove_all(parked, ec);  // leftovers of an earlier crashed save
+  if (fs::exists(dir)) fs::rename(dir, parked);
+  fs::rename(staging, dir);
+  fs::remove_all(parked, ec);
+}
+
+/// Resolves the directory a load should read: when `dir` is missing but a
+/// crashed save left the previous deployment parked at <dir>.old, move it
+/// back — the interrupted save never becomes visible.
+fs::path resolve_root(const fs::path& dir) {
+  if (!fs::exists(dir) && fs::exists(parked_of(dir))) fs::rename(parked_of(dir), dir);
+  return dir;
+}
+
+void quarantine(const fs::path& target) {
+  const fs::path parked = fs::path(target.string() + ".quarantined");
+  std::error_code ec;
+  fs::remove_all(parked, ec);
+  if (fs::exists(target)) fs::rename(target, parked);
+}
+
 }  // namespace
 
 void save_deployment(const cloud::CloudServer& server, const std::string& dir) {
-  save_parts(server.index(), server.files(), fs::path(dir));
+  const fs::path root(dir);
+  const fs::path staging = staging_of(root);
+  std::error_code ec;
+  fs::remove_all(staging, ec);  // a previous save died mid-stage
+  save_parts(server.index(), server.files(), staging);
+  commit_dir(staging, root);
 }
 
 void load_deployment(const std::string& dir, cloud::CloudServer& server) {
-  const fs::path root(dir);
+  const fs::path root = resolve_root(fs::path(dir));
   detail::require(fs::is_directory(root), "load_deployment: not a directory: " + dir);
   sse::SecureIndex index = sse::SecureIndex::deserialize(read_file(root / "index.bin"));
 
@@ -71,32 +147,71 @@ void save_cluster_deployment(const cloud::CloudServer& server, std::uint32_t num
                              const std::string& dir) {
   const cluster::ShardMap map(num_shards);
   const fs::path root(dir);
-  fs::create_directories(root);
+  const fs::path staging = staging_of(root);
+  std::error_code ec;
+  fs::remove_all(staging, ec);
+  fs::create_directories(staging);
 
   cluster::ClusterManifest manifest;
   manifest.num_shards = num_shards;
   manifest.total_rows = server.index().num_rows();
   manifest.total_files = server.num_files();
-  write_file(root / "manifest.bin", manifest.serialize());
+  write_file(staging / "manifest.bin", manifest.serialize());
 
   auto indexes = map.split_index(server.index());
   auto file_sets = map.split_files(server.files());
   for (std::uint32_t i = 0; i < num_shards; ++i)
-    save_parts(indexes[i], file_sets[i], root / ("shard" + std::to_string(i)));
+    save_parts(indexes[i], file_sets[i], staging / ("shard" + std::to_string(i)));
+  commit_dir(staging, root);
 }
 
 bool is_cluster_deployment(const std::string& dir) {
-  return fs::is_regular_file(fs::path(dir) / "manifest.bin");
+  return fs::is_regular_file(resolve_root(fs::path(dir)) / "manifest.bin");
 }
 
 cluster::ClusterManifest load_cluster_manifest(const std::string& dir) {
   return cluster::ClusterManifest::deserialize(
-      read_file(fs::path(dir) / "manifest.bin"));
+      read_file(resolve_root(fs::path(dir)) / "manifest.bin"));
 }
 
 void load_cluster_shard(const std::string& dir, std::uint32_t shard,
                         cloud::CloudServer& server) {
-  load_deployment((fs::path(dir) / ("shard" + std::to_string(shard))).string(), server);
+  const fs::path root = resolve_root(fs::path(dir));
+  load_deployment((root / ("shard" + std::to_string(shard))).string(), server);
+}
+
+void repair_cluster_shard(const std::string& dir, std::uint32_t shard,
+                          cloud::Transport& healthy) {
+  const fs::path root = resolve_root(fs::path(dir));
+  const fs::path shard_dir = root / ("shard" + std::to_string(shard));
+
+  // Fetch first: if the replica is unreachable the damaged-but-maybe-
+  // partially-useful directory stays where it was.
+  const auto snapshot = cloud::SnapshotResponse::deserialize(
+      healthy.call(cloud::MessageType::kSnapshot, cloud::SnapshotRequest{}.serialize()));
+  sse::SecureIndex index = sse::SecureIndex::deserialize(snapshot.index);
+  std::map<std::uint64_t, Bytes> files;
+  for (const auto& [id, blob] : snapshot.files) files.emplace(id, blob);
+
+  quarantine(shard_dir);
+  const fs::path staging = staging_of(shard_dir);
+  std::error_code ec;
+  fs::remove_all(staging, ec);
+  save_parts(index, files, staging);
+  commit_dir(staging, shard_dir);
+}
+
+void load_cluster_shard_or_repair(const std::string& dir, std::uint32_t shard,
+                                  cloud::CloudServer& server,
+                                  cloud::Transport* healthy) {
+  try {
+    load_cluster_shard(dir, shard, server);
+    return;
+  } catch (const Error&) {
+    if (healthy == nullptr) throw;
+  }
+  repair_cluster_shard(dir, shard, *healthy);
+  load_cluster_shard(dir, shard, server);
 }
 
 }  // namespace rsse::store

@@ -2,53 +2,91 @@
 // encrypted file blobs) as a directory on disk, so a CloudServer can be
 // shut down and restarted without the owner re-uploading. Layout:
 //
-//   <dir>/index.bin        SecureIndex::serialize()
+//   <dir>/index.bin        SecureIndex::serialize() + integrity footer
 //   <dir>/files/<id>.bin   one AES-GCM blob per file id (decimal name)
 //
 // Everything stored is ciphertext; the directory is exactly what a real
 // storage provider would hold.
+//
+// Integrity: every artifact carries a checksummed footer —
+// payload || SHA-256(payload) || u64 payload length || 8-byte magic —
+// verified on load, so a torn write, a truncated copy or silent bit rot
+// surfaces as a typed IntegrityError instead of garbage state.
+//
+// Crash safety: saves are staged. The whole tree is written to
+// <dir>.saving and swapped in by directory rename (the previous
+// deployment briefly parks at <dir>.old). A crash at ANY point leaves
+// either the old or the new deployment fully intact; load transparently
+// recovers the parked directory when a crash hit the swap window.
+//
 // Cluster layout (sharded deployments, src/cluster):
 //
-//   <dir>/manifest.bin       ClusterManifest::serialize()
+//   <dir>/manifest.bin       ClusterManifest::serialize() + footer
 //   <dir>/shard<i>/          one single-server deployment per shard
 //
 // Each shard directory is itself a valid single-server deployment, so a
 // shard can be served by the plain `rsse serve` path (that is how replicas
-// are deployed: upload the same shard directory to R endpoints).
+// are deployed: upload the same shard directory to R endpoints). A shard
+// whose artifacts fail their integrity check can be quarantined and
+// rebuilt from a healthy replica (repair_cluster_shard).
 #pragma once
 
 #include <string>
 
 #include "cloud/cloud_server.h"
+#include "cloud/channel.h"
 #include "cluster/shard_map.h"
 
 namespace rsse::store {
 
 /// Writes the server's current index + files under `dir` (created if
-/// missing; an existing deployment is replaced). Throws Error on I/O
-/// failure.
+/// missing; an existing deployment is replaced atomically — a crash
+/// leaves either the previous or the new deployment loadable, never a
+/// mix). Throws Error on I/O failure.
 void save_deployment(const cloud::CloudServer& server, const std::string& dir);
 
 /// Loads a deployment directory into `server` (replacing its state —
 /// CloudServer owns a mutex and is therefore not movable).
-/// Throws Error on I/O failure and ParseError on malformed content.
+/// Throws Error on I/O failure, IntegrityError when an artifact fails its
+/// checksum (torn write, truncation, bit rot) and ParseError on malformed
+/// content.
 void load_deployment(const std::string& dir, cloud::CloudServer& server);
 
 /// Splits the server's outsourced state across `num_shards` and writes a
-/// cluster deployment (manifest + per-shard directories) under `dir`.
-/// Throws Error on I/O failure.
+/// cluster deployment (manifest + per-shard directories) under `dir`,
+/// with the same staged-swap crash safety as save_deployment. Throws
+/// Error on I/O failure.
 void save_cluster_deployment(const cloud::CloudServer& server, std::uint32_t num_shards,
                              const std::string& dir);
 
 /// True when `dir` holds a cluster deployment (a manifest.bin exists).
+/// Also recovers a deployment parked by a crashed save (see
+/// save_deployment).
 bool is_cluster_deployment(const std::string& dir);
 
 /// Reads the cluster manifest of a deployment written by
-/// save_cluster_deployment. Throws Error / ParseError.
+/// save_cluster_deployment. Throws Error / IntegrityError / ParseError.
 cluster::ClusterManifest load_cluster_manifest(const std::string& dir);
 
 /// Loads shard `shard` of a cluster deployment into `server`.
 void load_cluster_shard(const std::string& dir, std::uint32_t shard,
                         cloud::CloudServer& server);
+
+/// Rebuilds shard `shard` of the cluster deployment at `dir` from a
+/// healthy replica of the same shard: the damaged shard directory is
+/// quarantined (renamed to shard<i>.quarantined for post-mortem), a full
+/// snapshot is fetched over `healthy`, and a fresh shard directory is
+/// committed in its place. Throws Error when the replica cannot be
+/// reached or the snapshot is malformed.
+void repair_cluster_shard(const std::string& dir, std::uint32_t shard,
+                          cloud::Transport& healthy);
+
+/// load_cluster_shard, with self-healing: when the shard's artifacts are
+/// corrupted (IntegrityError / ParseError) and `healthy` is non-null, the
+/// shard is quarantined, re-fetched from the healthy replica and loaded
+/// again. With a null `healthy` the load error propagates unchanged.
+void load_cluster_shard_or_repair(const std::string& dir, std::uint32_t shard,
+                                  cloud::CloudServer& server,
+                                  cloud::Transport* healthy);
 
 }  // namespace rsse::store

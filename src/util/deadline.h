@@ -1,0 +1,79 @@
+// End-to-end deadlines: a point in monotonic time that a whole operation
+// must finish by, carried down through every layer (cluster coordinator ->
+// replica set -> transport -> socket) instead of per-layer timeouts that
+// silently add up. A default-constructed Deadline is unlimited, so every
+// API taking `const Deadline& = {}` keeps its old blocking behaviour until
+// a caller opts in.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/errors.h"
+
+namespace rsse {
+
+/// A monotonic-clock deadline. Cheap to copy; pass by const reference.
+class Deadline {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// Unlimited: never expires.
+  Deadline() = default;
+
+  /// Expires `budget` from now. A non-positive budget is already expired.
+  static Deadline after(std::chrono::milliseconds budget) {
+    Deadline d;
+    d.at_ = clock::now() + budget;
+    d.unlimited_ = false;
+    return d;
+  }
+
+  /// Explicitly unlimited (same as default construction, reads better).
+  static Deadline unlimited() { return Deadline(); }
+
+  /// True when this deadline never expires.
+  [[nodiscard]] bool is_unlimited() const { return unlimited_; }
+
+  /// True when the budget is spent.
+  [[nodiscard]] bool expired() const { return !unlimited_ && clock::now() >= at_; }
+
+  /// Time left, clamped to >= 0. Huge for an unlimited deadline.
+  [[nodiscard]] std::chrono::milliseconds remaining() const {
+    if (unlimited_) return std::chrono::milliseconds::max();
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(at_ - clock::now());
+    return std::max(left, std::chrono::milliseconds(0));
+  }
+
+  /// The remaining budget as a ::poll timeout: -1 for unlimited, else the
+  /// clamped millisecond count (0 = expired, poll returns immediately).
+  [[nodiscard]] int poll_timeout_ms() const {
+    if (unlimited_) return -1;
+    const auto ms = remaining().count();
+    return static_cast<int>(std::min<std::int64_t>(ms, 1'000'000'000));
+  }
+
+  /// Throws DeadlineExceeded tagged with `what` when expired.
+  void check(const char* what) const {
+    if (expired()) throw DeadlineExceeded(std::string(what) + ": deadline exceeded");
+  }
+
+  /// The tighter of this deadline and `budget` from now — how a per-layer
+  /// cap (e.g. a per-attempt budget) composes with the caller's overall
+  /// deadline. A non-positive budget means "no extra cap".
+  [[nodiscard]] Deadline tightened(std::chrono::milliseconds budget) const {
+    if (budget.count() <= 0) return *this;
+    const Deadline capped = after(budget);
+    if (unlimited_ || capped.at_ < at_) return capped;
+    return *this;
+  }
+
+ private:
+  clock::time_point at_{};
+  bool unlimited_ = true;
+};
+
+}  // namespace rsse

@@ -41,6 +41,22 @@ class ProtocolError : public Error {
   using Error::Error;
 };
 
+/// An operation ran out of its end-to-end time budget (util/deadline.h).
+/// Distinct from ProtocolError so callers can tell "the peer misbehaved"
+/// from "the peer was too slow" — the latter is retryable elsewhere.
+class DeadlineExceeded : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A stored artifact failed its integrity check (checksum footer missing
+/// or wrong — torn write, truncation, bit rot). Derives from ParseError
+/// because corrupted-artifact call sites historically caught that type.
+class IntegrityError : public ParseError {
+ public:
+  using ParseError::ParseError;
+};
+
 namespace detail {
 
 /// Throws InvalidArgument with `msg` when `cond` is false. Used to state

@@ -42,10 +42,12 @@ class KillableTransport final : public cloud::Transport {
  public:
   explicit KillableTransport(cloud::CloudServer& server) : channel_(server) {}
 
-  Bytes call(cloud::MessageType type, BytesView request) override {
+  using cloud::Transport::call;
+  Bytes call(cloud::MessageType type, BytesView request,
+             const Deadline& deadline) override {
     ++calls;
     if (killed.load()) throw ProtocolError("injected replica failure");
-    return channel_.call(type, request);
+    return channel_.call(type, request, deadline);
   }
 
   std::atomic<bool> killed{false};

@@ -1,0 +1,453 @@
+// Chaos suite: deadlines, deterministic fault injection, and the
+// resilience layers they exercise — a hung replica must become a failed
+// attempt and a failover, a whole-query budget must surface as
+// DeadlineExceeded instead of a hang, wire corruption must surface as
+// typed errors, and the transport traffic counters must stay exact under
+// concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "cluster/coordinator.h"
+#include "crypto/csprng.h"
+#include "fault/chaos_proxy.h"
+#include "fault/fault_transport.h"
+#include "ir/corpus_gen.h"
+#include "net/remote_channel.h"
+#include "net/server.h"
+#include "util/deadline.h"
+#include "util/errors.h"
+#include "util/stopwatch.h"
+
+namespace rsse {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- Deadline
+
+TEST(Deadline, UnlimitedByDefault) {
+  const Deadline deadline;
+  EXPECT_TRUE(deadline.is_unlimited());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.poll_timeout_ms(), -1);
+  EXPECT_EQ(deadline.remaining(), std::chrono::milliseconds::max());
+  EXPECT_NO_THROW(deadline.check("test"));
+  EXPECT_TRUE(deadline.tightened(0ms).is_unlimited());  // 0 budget = no cap
+}
+
+TEST(Deadline, ExpiresAndThrowsTyped) {
+  const Deadline deadline = Deadline::after(10ms);
+  EXPECT_FALSE(deadline.is_unlimited());
+  EXPECT_LE(deadline.remaining(), 10ms);
+  EXPECT_GE(deadline.poll_timeout_ms(), 0);
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining(), 0ms);
+  EXPECT_EQ(deadline.poll_timeout_ms(), 0);
+  EXPECT_THROW(deadline.check("test"), DeadlineExceeded);
+}
+
+TEST(Deadline, TightenedPicksTheTighterBudget) {
+  EXPECT_FALSE(Deadline().tightened(50ms).is_unlimited());
+  EXPECT_LE(Deadline().tightened(50ms).remaining(), 50ms);
+  // An already-tight deadline is not loosened by a generous budget.
+  EXPECT_LE(Deadline::after(10ms).tightened(1h).remaining(), 10ms);
+  // And a generous deadline is capped by a tight budget.
+  EXPECT_LE(Deadline::after(1h).tightened(10ms).remaining(), 10ms);
+}
+
+// ----------------------------------------------------------- FaultSchedule
+
+fault::FaultSpec mixed_spec(std::uint64_t seed) {
+  fault::FaultSpec spec;
+  spec.delay_rate = 0.1;
+  spec.disconnect_rate = 0.1;
+  spec.error_rate = 0.1;
+  spec.truncate_rate = 0.1;
+  spec.bit_flip_rate = 0.1;
+  spec.delay_min = 1ms;
+  spec.delay_max = 5ms;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(FaultSchedule, SameSeedSameDecisions) {
+  fault::FaultSchedule a(mixed_spec(42));
+  fault::FaultSchedule b(mixed_spec(42));
+  bool any_fault = false;
+  for (int i = 0; i < 500; ++i) {
+    const fault::FaultDecision da = a.next();
+    const fault::FaultDecision db = b.next();
+    EXPECT_EQ(da.kind, db.kind) << "diverged at draw " << i;
+    EXPECT_EQ(da.delay, db.delay);
+    EXPECT_EQ(da.entropy, db.entropy);
+    if (da.kind != fault::FaultKind::kNone) any_fault = true;
+  }
+  EXPECT_TRUE(any_fault);  // 50% total rate over 500 draws
+}
+
+TEST(FaultSchedule, DifferentSeedsDiverge) {
+  fault::FaultSchedule a(mixed_spec(1));
+  fault::FaultSchedule b(mixed_spec(2));
+  bool diverged = false;
+  for (int i = 0; i < 200 && !diverged; ++i)
+    diverged = a.next().kind != b.next().kind;
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultSchedule, CountersMatchTheDrawMixRoughly) {
+  fault::FaultSchedule schedule(mixed_spec(7));
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) (void)schedule.next();
+  const fault::FaultCounters c = schedule.counters();
+  EXPECT_EQ(c.events, static_cast<std::uint64_t>(kDraws));
+  EXPECT_EQ(c.total_faults(),
+            c.delays + c.disconnects + c.error_frames + c.truncations + c.bit_flips);
+  // Each rate is 10%: expect each count within a wide (~6 sigma) band.
+  for (const std::uint64_t count :
+       {c.delays, c.disconnects, c.error_frames, c.truncations, c.bit_flips}) {
+    EXPECT_GT(count, kDraws / 10 - 120u);
+    EXPECT_LT(count, kDraws / 10 + 120u);
+  }
+}
+
+TEST(FaultSchedule, RejectsBadSpecs) {
+  fault::FaultSpec overfull;
+  overfull.delay_rate = 0.7;
+  overfull.disconnect_rate = 0.5;
+  EXPECT_THROW(fault::FaultSchedule{overfull}, InvalidArgument);
+
+  fault::FaultSpec inverted;
+  inverted.delay_min = 10ms;
+  inverted.delay_max = 1ms;
+  EXPECT_THROW(fault::FaultSchedule{inverted}, InvalidArgument);
+}
+
+// ------------------------------------------------- FaultInjectingTransport
+
+class FaultSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 40;
+    opts.vocabulary_size = 120;
+    opts.min_tokens = 40;
+    opts.max_tokens = 120;
+    opts.injected.push_back(ir::InjectedKeyword{"chaos", 25, 0.4, 20});
+    opts.seed = 77;
+    corpus_ = ir::generate_corpus(opts);
+    owner_ = std::make_unique<cloud::DataOwner>();
+    owner_->outsource_rsse(corpus_, server_);
+
+    const Bytes user_key = crypto::random_bytes(32);
+    credentials_ = cloud::AuthorizationService::open(
+        user_key, "u", owner_->enroll_user(user_key, "u"));
+  }
+
+  // A spec that stalls every call far past any test deadline: the
+  // in-process stand-in for a hung replica.
+  static fault::FaultSpec hang_spec() {
+    fault::FaultSpec spec;
+    spec.delay_rate = 1.0;
+    spec.delay_min = 10s;
+    spec.delay_max = 10s;
+    return spec;
+  }
+
+  Bytes ranked_request(const std::string& keyword, std::uint64_t top_k) const {
+    const sse::Trapdoor trapdoor{owner_->rsse().row_label(keyword),
+                                 owner_->rsse().row_key(keyword)};
+    return cloud::RankedSearchRequest{trapdoor, top_k}.serialize();
+  }
+
+  ir::Corpus corpus_;
+  std::unique_ptr<cloud::DataOwner> owner_;
+  cloud::CloudServer server_;
+  cloud::UserCredentials credentials_;
+};
+
+TEST_F(FaultSystemTest, InjectedDisconnectsAndErrorFramesAreTypedErrors) {
+  fault::FaultSpec drop;
+  drop.disconnect_rate = 1.0;
+  fault::FaultInjectingTransport dropper(std::make_unique<cloud::Channel>(server_),
+                                         drop);
+  EXPECT_THROW(dropper.call(cloud::MessageType::kRankedSearch,
+                            ranked_request("chaos", 3)),
+               ProtocolError);
+
+  fault::FaultSpec err;
+  err.error_rate = 1.0;
+  fault::FaultInjectingTransport erroring(std::make_unique<cloud::Channel>(server_),
+                                          err);
+  EXPECT_THROW(erroring.call(cloud::MessageType::kRankedSearch,
+                             ranked_request("chaos", 3)),
+               ProtocolError);
+  EXPECT_EQ(erroring.counters().error_frames, 1u);
+}
+
+TEST_F(FaultSystemTest, CorruptedResponsesNeverPassForGoodOnes) {
+  fault::FaultSpec corrupting;
+  corrupting.truncate_rate = 0.5;
+  corrupting.bit_flip_rate = 0.5;
+  corrupting.seed = 11;
+  fault::FaultInjectingTransport transport(std::make_unique<cloud::Channel>(server_),
+                                           corrupting);
+  const Bytes request = ranked_request("chaos", 5);
+  const Bytes pristine = server_.handle(cloud::MessageType::kRankedSearch, request);
+
+  int detected = 0;
+  for (int i = 0; i < 100; ++i) {
+    try {
+      const Bytes response = transport.call(cloud::MessageType::kRankedSearch, request);
+      // Every injected corruption alters the payload; a deserializer may
+      // get lucky, but the bytes must never equal the pristine answer.
+      EXPECT_NE(response, pristine);
+      (void)cloud::RankedSearchResponse::deserialize(response);
+    } catch (const Error&) {
+      ++detected;  // typed: ParseError from the deserializer
+    }
+  }
+  EXPECT_GT(detected, 50);  // most corruptions break the parse
+  const fault::FaultCounters c = transport.counters();
+  EXPECT_EQ(c.truncations + c.bit_flips, 100u);
+}
+
+TEST_F(FaultSystemTest, InjectedHangBecomesDeadlineExceededPromptly) {
+  fault::FaultInjectingTransport transport(std::make_unique<cloud::Channel>(server_),
+                                           hang_spec());
+  transport.set_call_timeout(50ms);
+  const Stopwatch watch;
+  EXPECT_THROW(transport.call(cloud::MessageType::kRankedSearch,
+                              ranked_request("chaos", 3)),
+               DeadlineExceeded);
+  EXPECT_LT(watch.elapsed_seconds(), 5.0);  // 10 s hang cut to the 50 ms budget
+}
+
+// ------------------------------------------------- failover under deadlines
+
+cluster::RetryPolicy chaos_policy() {
+  cluster::RetryPolicy policy;
+  policy.base_backoff = std::chrono::milliseconds(0);
+  policy.max_backoff = std::chrono::milliseconds(1);
+  policy.attempt_timeout = std::chrono::milliseconds(100);
+  return policy;
+}
+
+TEST_F(FaultSystemTest, HungReplicaFailsOverWithinTheDeadline) {
+  // Replica 0 (preferred) hangs mid-response; the per-attempt budget
+  // turns it into a failed attempt and the set answers from replica 1,
+  // well within the overall deadline.
+  cluster::ReplicaSet set;
+  set.add_replica(std::make_unique<fault::FaultInjectingTransport>(
+      std::make_unique<cloud::Channel>(server_), hang_spec()));
+  set.add_replica(std::make_unique<cloud::Channel>(server_));
+
+  const Stopwatch watch;
+  const Bytes response = set.call(cloud::MessageType::kRankedSearch,
+                                  ranked_request("chaos", 5), chaos_policy(),
+                                  Deadline::after(2s));
+  EXPECT_LT(watch.elapsed_seconds(), 1.5);
+  EXPECT_EQ(response, server_.handle(cloud::MessageType::kRankedSearch,
+                                     ranked_request("chaos", 5)));
+  EXPECT_GE(set.deadline_failures(), 1u);
+  EXPECT_GE(set.failovers(), 1u);
+}
+
+TEST_F(FaultSystemTest, ClusterQueryWithHungReplicaCompletesWithinBudget) {
+  // The acceptance scenario: every shard's preferred replica hangs; the
+  // whole scatter-gather query still completes within the query budget
+  // via per-attempt timeouts and failover, and returns the exact answer.
+  const cluster::ShardMap map(3);
+  auto indexes = map.split_index(server_.index());
+  auto file_sets = map.split_files(server_.files());
+
+  std::vector<std::unique_ptr<cloud::CloudServer>> shard_servers;
+  std::vector<std::unique_ptr<cluster::ReplicaSet>> sets;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    shard_servers.push_back(std::make_unique<cloud::CloudServer>());
+    shard_servers.back()->store(std::move(indexes[s]), std::move(file_sets[s]));
+    auto set = std::make_unique<cluster::ReplicaSet>();
+    set->add_replica(std::make_unique<fault::FaultInjectingTransport>(
+        std::make_unique<cloud::Channel>(*shard_servers.back()), hang_spec()));
+    set->add_replica(std::make_unique<cloud::Channel>(*shard_servers.back()));
+    sets.push_back(std::move(set));
+  }
+
+  cluster::ClusterManifest manifest;
+  manifest.num_shards = 3;
+  manifest.replicas = 2;
+  manifest.total_rows = server_.index().num_rows();
+  manifest.total_files = server_.num_files();
+  cluster::CoordinatorOptions options;
+  options.retry = chaos_policy();
+  options.query_timeout = std::chrono::seconds(10);
+  cluster::ClusterCoordinator coordinator(manifest, std::move(sets), options);
+
+  cloud::Channel direct(server_);
+  cloud::DataUser baseline(credentials_, direct);
+  cloud::DataUser user(credentials_, coordinator);
+
+  const Stopwatch watch;
+  const auto expected = baseline.ranked_search("chaos", 5);
+  const auto got = user.ranked_search("chaos", 5);
+  EXPECT_LT(watch.elapsed_seconds(), 8.0);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i].document.id, expected[i].document.id);
+
+  std::uint64_t deadline_failures = 0;
+  for (std::size_t s = 0; s < 3; ++s)
+    deadline_failures += coordinator.shard(s).deadline_failures();
+  EXPECT_GE(deadline_failures, 1u);
+}
+
+TEST_F(FaultSystemTest, WholeQueryBudgetSurfacesDeadlineExceeded) {
+  // Every replica of the only shard hangs: no failover can save the call,
+  // so the query fails with the typed deadline error — promptly.
+  auto set = std::make_unique<cluster::ReplicaSet>();
+  set->add_replica(std::make_unique<fault::FaultInjectingTransport>(
+      std::make_unique<cloud::Channel>(server_), hang_spec()));
+  set->add_replica(std::make_unique<fault::FaultInjectingTransport>(
+      std::make_unique<cloud::Channel>(server_), hang_spec()));
+  std::vector<std::unique_ptr<cluster::ReplicaSet>> sets;
+  sets.push_back(std::move(set));
+
+  cluster::ClusterManifest manifest;
+  manifest.num_shards = 1;
+  manifest.replicas = 2;
+  manifest.total_rows = server_.index().num_rows();
+  manifest.total_files = server_.num_files();
+  cluster::CoordinatorOptions options;
+  options.retry = chaos_policy();
+  options.query_timeout = std::chrono::milliseconds(300);
+  cluster::ClusterCoordinator coordinator(manifest, std::move(sets), options);
+
+  const Stopwatch watch;
+  EXPECT_THROW(coordinator.call(cloud::MessageType::kRankedSearch,
+                                ranked_request("chaos", 3)),
+               DeadlineExceeded);
+  EXPECT_LT(watch.elapsed_seconds(), 5.0);
+}
+
+// -------------------------------------------------------------- ChaosProxy
+
+TEST_F(FaultSystemTest, ChaosProxyPassesCleanTrafficThrough) {
+  net::NetworkServer endpoint(server_, 0);
+  fault::ChaosProxy proxy(endpoint.port(), fault::FaultSpec{});  // no faults
+  net::RemoteChannel channel(proxy.port());
+  cloud::DataUser user(credentials_, channel);
+  EXPECT_EQ(user.ranked_search("chaos", 5).size(), 5u);
+  proxy.stop();
+  endpoint.stop();
+}
+
+TEST_F(FaultSystemTest, ChaosProxyFaultsSurfaceAsTypedErrorsWithinDeadline) {
+  net::NetworkServer endpoint(server_, 0);
+  fault::FaultSpec spec;
+  spec.delay_rate = 0.05;
+  spec.disconnect_rate = 0.15;
+  spec.truncate_rate = 0.15;
+  spec.bit_flip_rate = 0.15;
+  spec.delay_min = 1ms;
+  spec.delay_max = 10ms;
+  spec.seed = 23;
+  fault::ChaosProxy proxy(endpoint.port(), spec);
+
+  int successes = 0;
+  int typed_errors = 0;
+  for (int i = 0; i < 40; ++i) {
+    try {
+      // Fresh connection per iteration: an injected disconnect or torn
+      // frame kills the stream, exactly like a real flaky network.
+      net::RemoteChannel channel(proxy.port());
+      channel.set_call_timeout(2000ms);
+      cloud::DataUser user(credentials_, channel);
+      if (user.ranked_search("chaos", 3).size() == 3) ++successes;
+    } catch (const Error&) {
+      ++typed_errors;  // ProtocolError / ParseError / DeadlineExceeded
+    } catch (const std::exception& e) {
+      FAIL() << "escaped non-rsse exception: " << e.what();
+    }
+  }
+  EXPECT_EQ(successes + typed_errors, 40);
+  EXPECT_GT(successes, 0);     // the path is not fully broken
+  EXPECT_GT(typed_errors, 0);  // ~45% per-chunk fault mix must bite
+  EXPECT_GT(proxy.counters().total_faults(), 0u);
+  proxy.stop();
+  endpoint.stop();
+}
+
+// ------------------------------------- transport stats under concurrency
+
+TEST_F(FaultSystemTest, TransportCountersStayExactUnderConcurrentCalls) {
+  // The ChannelStats counters are shared atomics: hammer one channel from
+  // many threads and check nothing was lost (under TSan this is also the
+  // data-race regression test for the old unsynchronized counters).
+  cloud::Channel channel(server_);
+  constexpr int kThreads = 8;
+  constexpr int kCallsEach = 200;
+  const Bytes ping = cloud::FetchFilesRequest{}.serialize();
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCallsEach; ++i)
+        (void)channel.call(cloud::MessageType::kFetchFiles, ping);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const cloud::ChannelStats stats = channel.stats();
+  EXPECT_EQ(stats.round_trips, static_cast<std::uint64_t>(kThreads) * kCallsEach);
+  EXPECT_EQ(stats.bytes_up,
+            static_cast<std::uint64_t>(kThreads) * kCallsEach * (ping.size() + 1));
+  EXPECT_GT(stats.bytes_down, 0u);
+  channel.reset();
+  EXPECT_EQ(channel.stats().round_trips, 0u);
+}
+
+// ------------------------------------------------ connect retry (deadline)
+
+TEST_F(FaultSystemTest, RemoteChannelRetriesUntilTheServerComesUp) {
+  // Reserve an ephemeral port, release it, then bring the server up on it
+  // shortly after the client starts connecting: the bounded retry loop
+  // must ride out the gap (no raw sleeps in client code).
+  std::uint16_t port = 0;
+  {
+    net::TcpListener probe(0);
+    port = probe.port();
+  }
+  std::unique_ptr<net::NetworkServer> late;
+  std::thread starter([&] {
+    std::this_thread::sleep_for(100ms);
+    late = std::make_unique<net::NetworkServer>(server_, port);
+  });
+  net::ConnectOptions options;
+  options.timeout = std::chrono::seconds(5);
+  net::RemoteChannel channel(port, options);
+  starter.join();
+  cloud::DataUser user(credentials_, channel);
+  EXPECT_EQ(user.ranked_search("chaos", 3).size(), 3u);
+  late->stop();
+}
+
+TEST(ConnectRetry, DefaultOptionsStillFailImmediately) {
+  // Historical contract (test_net relies on it): no timeout = exactly one
+  // attempt, a dead port throws ProtocolError at once.
+  std::uint16_t port = 0;
+  {
+    net::TcpListener probe(0);
+    port = probe.port();
+  }
+  const Stopwatch watch;
+  EXPECT_THROW(net::RemoteChannel{port}, ProtocolError);
+  EXPECT_LT(watch.elapsed_seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace rsse

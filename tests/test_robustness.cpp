@@ -4,12 +4,18 @@
 // are deterministic per test (seeded Xoshiro) so failures reproduce.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cloud/channel.h"
 #include "cloud/cloud_server.h"
 #include "cloud/data_owner.h"
 #include "crypto/csprng.h"
 #include "ir/corpus_gen.h"
 #include "sse/keys.h"
 #include "sse/secure_index.h"
+#include "store/deployment.h"
 #include "store/owner_state.h"
 #include "util/errors.h"
 #include "util/rng.h"
@@ -180,6 +186,206 @@ TEST(Robustness, TamperedIndexEntriesReadAsPaddingOrFail) {
       // structural corruption detected — acceptable
     }
   }
+}
+
+// ------------------------------------------------- storage layer (disk)
+
+namespace fs = std::filesystem;
+
+Bytes read_raw(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  return Bytes(content.begin(), content.end());
+}
+
+void write_raw(const fs::path& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+class StorageRobustness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "rsse_storage_robustness").string();
+    fs::remove_all(dir_);
+    fs::remove_all(dir_ + ".saving");
+    fs::remove_all(dir_ + ".old");
+
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 20;
+    opts.vocabulary_size = 100;
+    opts.min_tokens = 30;
+    opts.max_tokens = 100;
+    opts.injected.push_back(ir::InjectedKeyword{"durable", 12, 0.4, 15});
+    opts.seed = 31;
+    const ir::Corpus corpus = ir::generate_corpus(opts);
+    owner_ = std::make_unique<cloud::DataOwner>();
+    owner_->outsource_rsse(corpus, server_);
+  }
+
+  void TearDown() override {
+    fs::remove_all(dir_);
+    fs::remove_all(dir_ + ".saving");
+    fs::remove_all(dir_ + ".old");
+  }
+
+  // First encrypted blob under <root>/files/.
+  static fs::path some_blob(const fs::path& root) {
+    for (const auto& entry : fs::directory_iterator(root / "files"))
+      return entry.path();
+    throw Error("deployment has no file blobs");
+  }
+
+  std::string dir_;
+  std::unique_ptr<cloud::DataOwner> owner_;
+  cloud::CloudServer server_;
+};
+
+TEST_F(StorageRobustness, TruncatedArtifactsFailWithIntegrityError) {
+  store::save_deployment(server_, dir_);
+  const fs::path index_path = fs::path(dir_) / "index.bin";
+  const Bytes good = read_raw(index_path);
+
+  // Torn tail: the footer magic is gone.
+  Bytes torn = good;
+  torn.resize(torn.size() - 5);
+  write_raw(index_path, torn);
+  cloud::CloudServer server;
+  EXPECT_THROW(store::load_deployment(dir_, server), IntegrityError);
+
+  // Cut below the footer size entirely.
+  Bytes stub = good;
+  stub.resize(10);
+  write_raw(index_path, stub);
+  EXPECT_THROW(store::load_deployment(dir_, server), IntegrityError);
+
+  // A chunk torn out of the middle leaves the magic intact but the
+  // recorded payload length wrong.
+  Bytes gutted = good;
+  gutted.erase(gutted.begin() + 100, gutted.begin() + 150);
+  write_raw(index_path, gutted);
+  EXPECT_THROW(store::load_deployment(dir_, server), IntegrityError);
+
+  // Restore the index, truncate a file blob instead: same contract.
+  write_raw(index_path, good);
+  const fs::path blob_path = some_blob(dir_);
+  Bytes blob = read_raw(blob_path);
+  blob.resize(blob.size() / 2);
+  write_raw(blob_path, blob);
+  EXPECT_THROW(store::load_deployment(dir_, server), IntegrityError);
+}
+
+TEST_F(StorageRobustness, BitRotFailsTheChecksum) {
+  store::save_deployment(server_, dir_);
+  cloud::CloudServer server;
+
+  const fs::path index_path = fs::path(dir_) / "index.bin";
+  const Bytes good = read_raw(index_path);
+  Bytes flipped = good;
+  flipped[flipped.size() / 2] ^= 0x01;  // single silent bit flip
+  write_raw(index_path, flipped);
+  EXPECT_THROW(store::load_deployment(dir_, server), IntegrityError);
+
+  write_raw(index_path, good);
+  const fs::path blob_path = some_blob(dir_);
+  Bytes blob = read_raw(blob_path);
+  blob[0] ^= 0x80;
+  write_raw(blob_path, blob);
+  EXPECT_THROW(store::load_deployment(dir_, server), IntegrityError);
+}
+
+TEST_F(StorageRobustness, OnDiskFuzzNeverEscapesTypedErrors) {
+  store::save_deployment(server_, dir_);
+  const fs::path index_path = fs::path(dir_) / "index.bin";
+  const Bytes good = read_raw(index_path);
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 40; ++i) {
+    write_raw(index_path, corrupt(good, rng, 3));
+    cloud::CloudServer server;
+    expect_error_or_success([&] { store::load_deployment(dir_, server); },
+                            "disk corrupt");
+    write_raw(index_path, truncate(good, rng));
+    expect_error_or_success([&] { store::load_deployment(dir_, server); },
+                            "disk truncate");
+  }
+}
+
+TEST_F(StorageRobustness, CrashMidStageLeavesPreviousDeploymentLoadable) {
+  store::save_deployment(server_, dir_);
+  const Bytes expected = server_.index().serialize();
+
+  // A save killed mid-stage: a half-written staging tree is lying around.
+  const fs::path staging = fs::path(dir_ + ".saving");
+  fs::create_directories(staging / "files");
+  write_raw(staging / "index.bin", Bytes{'j', 'u', 'n', 'k'});
+
+  cloud::CloudServer reloaded;
+  store::load_deployment(dir_, reloaded);  // never reads the staging tree
+  EXPECT_EQ(reloaded.index().serialize(), expected);
+
+  // And the next save simply discards the wreckage.
+  store::save_deployment(server_, dir_);
+  EXPECT_FALSE(fs::exists(staging));
+}
+
+TEST_F(StorageRobustness, CrashInsideTheSwapWindowIsRecoveredOnLoad) {
+  store::save_deployment(server_, dir_);
+  const Bytes expected = server_.index().serialize();
+
+  // A save killed between the two renames: the previous deployment is
+  // parked at <dir>.old, the staged (incomplete) tree never moved in.
+  fs::rename(dir_, dir_ + ".old");
+  const fs::path staging = fs::path(dir_ + ".saving");
+  fs::create_directories(staging);
+  write_raw(staging / "index.bin", Bytes{'h', 'a', 'l', 'f'});
+  ASSERT_FALSE(fs::exists(dir_));
+
+  cloud::CloudServer reloaded;
+  store::load_deployment(dir_, reloaded);  // recovers the parked tree
+  EXPECT_EQ(reloaded.index().serialize(), expected);
+  EXPECT_TRUE(fs::exists(dir_));
+  EXPECT_FALSE(fs::exists(dir_ + ".old"));
+}
+
+TEST_F(StorageRobustness, CorruptedShardIsQuarantinedAndRepairedFromReplica) {
+  store::save_cluster_deployment(server_, 2, dir_);
+
+  // A healthy replica of shard 0 (loaded before the damage).
+  cloud::CloudServer healthy;
+  store::load_cluster_shard(dir_, 0, healthy);
+  const Bytes expected = healthy.index().serialize();
+
+  // Bit rot inside shard 0's index.
+  const fs::path shard_index = fs::path(dir_) / "shard0" / "index.bin";
+  Bytes raw = read_raw(shard_index);
+  raw[raw.size() / 3] ^= 0x04;
+  write_raw(shard_index, raw);
+
+  // Plain load fails typed; with no replica the error propagates.
+  cloud::CloudServer server;
+  EXPECT_THROW(store::load_cluster_shard(dir_, 0, server), IntegrityError);
+  EXPECT_THROW(store::load_cluster_shard_or_repair(dir_, 0, server, nullptr),
+               IntegrityError);
+
+  // With a healthy replica the shard self-heals: quarantined for
+  // post-mortem, re-fetched, loaded.
+  cloud::Channel channel(healthy);
+  store::load_cluster_shard_or_repair(dir_, 0, server, &channel);
+  EXPECT_EQ(server.index().serialize(), expected);
+  EXPECT_EQ(server.num_files(), healthy.num_files());
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "shard0.quarantined"));
+
+  // The on-disk shard is healthy again: a later restart needs no replica.
+  cloud::CloudServer restarted;
+  store::load_cluster_shard(dir_, 0, restarted);
+  EXPECT_EQ(restarted.index().serialize(), expected);
+
+  // The sibling shard was never touched.
+  cloud::CloudServer other;
+  store::load_cluster_shard(dir_, 1, other);
 }
 
 }  // namespace

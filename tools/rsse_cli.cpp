@@ -47,13 +47,17 @@ using namespace rsse;
                "  rsse build  --owner FILE --passphrase P --docs DIR --deploy DIR"
                " [--threads N] [--cluster N]\n"
                "  rsse search --owner FILE --passphrase P --deploy DIR --keyword W"
-               " [--top-k K]\n"
+               " [--top-k K] [--timeout-ms N]\n"
                "  rsse add    --owner FILE --passphrase P --deploy DIR --file PATH\n"
                "  rsse stats  --deploy DIR\n"
-               "  rsse serve  --deploy DIR [--port N] [--cache on] [--shard I]\n"
-               "  (search accepts --port N to query a running serve instance;\n"
-               "   build --cluster N shards the deployment, search/stats detect it,\n"
-               "   serve --shard I serves one shard of a cluster deployment)\n");
+               "  rsse serve  --deploy DIR [--port N] [--cache on] [--shard I]"
+               " [--repair-from PORT]\n"
+               "  (search accepts --port N to query a running serve instance and\n"
+               "   --timeout-ms N to bound every RPC (fails with a deadline error\n"
+               "   instead of hanging); build --cluster N shards the deployment,\n"
+               "   search/stats detect it, serve --shard I serves one shard of a\n"
+               "   cluster deployment, and serve --repair-from PORT rebuilds a\n"
+               "   corrupted shard from the healthy replica at that port)\n");
   std::exit(2);
 }
 
@@ -151,6 +155,10 @@ cluster::LocalCluster load_cluster(const std::string& dir) {
 
 int run_search(const std::map<std::string, std::string>& flags,
                cloud::Transport& channel, const cloud::DataOwner& owner) {
+  // A per-call budget turns a hung or unreachable server into a prompt
+  // typed failure (DeadlineExceeded) instead of an indefinite stall.
+  const auto timeout_ms = std::stol(optional_flag(flags, "timeout-ms", "0"));
+  if (timeout_ms > 0) channel.set_call_timeout(std::chrono::milliseconds(timeout_ms));
   // Play the authorized user end-to-end, sealed credentials included.
   const Bytes user_key = crypto::random_bytes(32);
   const auto credentials = cloud::AuthorizationService::open(
@@ -192,7 +200,15 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   cloud::CloudServer server;
   if (store::is_cluster_deployment(need(flags, "deploy"))) {
     const auto shard = static_cast<std::uint32_t>(std::stoul(need(flags, "shard")));
-    store::load_cluster_shard(need(flags, "deploy"), shard, server);
+    if (flags.contains("repair-from")) {
+      // Self-healing start: a shard whose artifacts fail their integrity
+      // check is quarantined and rebuilt from the healthy replica.
+      const auto peer = static_cast<std::uint16_t>(std::stoul(flags.at("repair-from")));
+      net::RemoteChannel healthy(peer, net::ConnectOptions{.timeout = std::chrono::seconds(5)});
+      store::load_cluster_shard_or_repair(need(flags, "deploy"), shard, server, &healthy);
+    } else {
+      store::load_cluster_shard(need(flags, "deploy"), shard, server);
+    }
   } else {
     store::load_deployment(need(flags, "deploy"), server);
   }
