@@ -55,8 +55,12 @@ class ShardEndpoint final : public rsse::cloud::Transport {
 struct Row {
   std::uint32_t shards = 0;
   double qps = 0.0;
-  double p50_ms = 0.0;
-  double p99_ms = 0.0;
+  rsse::bench::LatencySummary latency;
+  // From the coordinator's metrics registry after the sweep.
+  std::uint64_t scatter_gathers = 0;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
 };
 
 }  // namespace
@@ -142,11 +146,22 @@ int main() {
     Row row;
     row.shards = shards;
     row.qps = static_cast<double>(all.size()) / seconds;
-    row.p50_ms = quantile(all, 0.50);
-    row.p99_ms = quantile(all, 0.99);
+    row.latency = bench::summarize_latencies(all);
+    row.scatter_gathers = coordinator.metrics().scatter_gathers;
+    for (std::uint32_t s = 0; s < shards; ++s)
+      row.failed_attempts += coordinator.shard(s).failed_attempts();
+    // Wire traffic from the coordinator's own registry (registration is
+    // idempotent: same name = same counter the serving path increments).
+    row.bytes_up =
+        coordinator.registry().counter("rsse_cluster_bytes_up_total", "").value();
+    row.bytes_down =
+        coordinator.registry().counter("rsse_cluster_bytes_down_total", "").value();
     rows.push_back(row);
-    std::printf("%2u shard(s): %8.0f QPS   p50 %7.3f ms   p99 %7.3f ms\n",
-                shards, row.qps, row.p50_ms, row.p99_ms);
+    std::printf("%2u shard(s): %8.0f QPS   p50 %7.3f ms   p99 %7.3f ms"
+                "   (%llu merges, %.1f MiB down)\n",
+                shards, row.qps, row.latency.p50, row.latency.p99,
+                static_cast<unsigned long long>(row.scatter_gathers),
+                static_cast<double>(row.bytes_down) / (1024.0 * 1024.0));
   }
 
   // Machine-readable output (one JSON document on stdout).
@@ -162,8 +177,15 @@ int main() {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::printf("    {\"shards\": %u, \"qps\": %.1f, \"p50_ms\": %.4f,"
-                " \"p99_ms\": %.4f, \"speedup_vs_1\": %.2f}%s\n",
-                r.shards, r.qps, r.p50_ms, r.p99_ms, r.qps / rows[0].qps,
+                " \"p95_ms\": %.4f, \"p99_ms\": %.4f, \"speedup_vs_1\": %.2f,"
+                " \"scatter_gathers\": %llu, \"failed_attempts\": %llu,"
+                " \"bytes_up\": %llu, \"bytes_down\": %llu}%s\n",
+                r.shards, r.qps, r.latency.p50, r.latency.p95, r.latency.p99,
+                r.qps / rows[0].qps,
+                static_cast<unsigned long long>(r.scatter_gathers),
+                static_cast<unsigned long long>(r.failed_attempts),
+                static_cast<unsigned long long>(r.bytes_up),
+                static_cast<unsigned long long>(r.bytes_down),
                 i + 1 < rows.size() ? "," : "");
   }
   std::printf("  ]\n}\n");

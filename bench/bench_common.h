@@ -9,10 +9,12 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "ir/corpus_gen.h"
 #include "ir/inverted_index.h"
 #include "ir/scoring.h"
+#include "util/stats.h"
 
 namespace rsse::bench {
 
@@ -48,6 +50,24 @@ inline std::vector<double> keyword_scores(const ir::InvertedIndex& index,
   for (const auto& p : *postings)
     scores.push_back(ir::score_single_keyword(p.tf, index.doc_length(p.file)));
   return scores;
+}
+
+/// The latency quantiles every bench reports. One summary type (and one
+/// quantile implementation, util/stats) so the JSON documents of
+/// different benches stay comparable run over run.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Summarizes a latency sample (any unit; callers use milliseconds).
+inline LatencySummary summarize_latencies(const std::vector<double>& sample) {
+  LatencySummary s;
+  s.p50 = quantile(sample, 0.50);
+  s.p95 = quantile(sample, 0.95);
+  s.p99 = quantile(sample, 0.99);
+  return s;
 }
 
 /// Section banner in the bench output.

@@ -25,9 +25,14 @@ namespace {
 struct Row {
   double fault_rate = 0.0;
   double success_rate = 0.0;
-  double p50_ms = 0.0;
-  double p95_ms = 0.0;
-  double p99_ms = 0.0;
+  rsse::bench::LatencySummary latency;
+  // Registry counters after the sweep: what the cluster's own metrics say
+  // the chaos cost (same numbers a /metrics scrape would show).
+  std::uint64_t failovers = 0;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t deadline_failures = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
 };
 
 // The injected mix at a given total rate: mostly hangs (the nastiest
@@ -133,22 +138,28 @@ int main() {
     row.fault_rate = fault_rate;
     row.success_rate = static_cast<double>(successes) /
                        static_cast<double>(requests.size());
-    row.p50_ms = quantile(latencies, 0.50);
-    row.p95_ms = quantile(latencies, 0.95);
-    row.p99_ms = quantile(latencies, 0.99);
+    row.latency = bench::summarize_latencies(latencies);
+    for (std::uint32_t s = 0; s < kShards; ++s) {
+      row.failovers += coordinator.shard(s).failovers();
+      row.failed_attempts += coordinator.shard(s).failed_attempts();
+      row.deadline_failures += coordinator.shard(s).deadline_failures();
+    }
+    // Wire traffic from the coordinator's own registry (registration is
+    // idempotent: same name = same counter the serving path increments).
+    row.bytes_up =
+        coordinator.registry().counter("rsse_cluster_bytes_up_total", "").value();
+    row.bytes_down =
+        coordinator.registry().counter("rsse_cluster_bytes_down_total", "").value();
     rows.push_back(row);
 
-    std::uint64_t failovers = 0;
-    std::uint64_t deadline_failures = 0;
-    for (std::uint32_t s = 0; s < kShards; ++s) {
-      failovers += coordinator.shard(s).failovers();
-      deadline_failures += coordinator.shard(s).deadline_failures();
-    }
     std::printf("%5.0f%% faults: %6.1f%% ok   p50 %7.3f ms   p95 %7.3f ms"
-                "   p99 %7.3f ms   (%llu failovers, %llu deadline hits)\n",
-                fault_rate * 100, row.success_rate * 100, row.p50_ms, row.p95_ms,
-                row.p99_ms, static_cast<unsigned long long>(failovers),
-                static_cast<unsigned long long>(deadline_failures));
+                "   p99 %7.3f ms   (%llu failovers, %llu failed attempts,"
+                " %llu deadline hits)\n",
+                fault_rate * 100, row.success_rate * 100, row.latency.p50,
+                row.latency.p95, row.latency.p99,
+                static_cast<unsigned long long>(row.failovers),
+                static_cast<unsigned long long>(row.failed_attempts),
+                static_cast<unsigned long long>(row.deadline_failures));
   }
 
   // Machine-readable output (one JSON document on stdout).
@@ -165,8 +176,16 @@ int main() {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::printf("    {\"fault_rate\": %.2f, \"success_rate\": %.4f,"
-                " \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
-                r.fault_rate, r.success_rate, r.p50_ms, r.p95_ms, r.p99_ms,
+                " \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f,"
+                " \"failovers\": %llu, \"failed_attempts\": %llu,"
+                " \"deadline_failures\": %llu,"
+                " \"bytes_up\": %llu, \"bytes_down\": %llu}%s\n",
+                r.fault_rate, r.success_rate, r.latency.p50, r.latency.p95,
+                r.latency.p99, static_cast<unsigned long long>(r.failovers),
+                static_cast<unsigned long long>(r.failed_attempts),
+                static_cast<unsigned long long>(r.deadline_failures),
+                static_cast<unsigned long long>(r.bytes_up),
+                static_cast<unsigned long long>(r.bytes_down),
                 i + 1 < rows.size() ? "," : "");
   }
   std::printf("  ]\n}\n");

@@ -3,7 +3,10 @@
 // logical cloud by the scatter-gather coordinator. The user code is the
 // same DataUser the single-server examples use — the coordinator is just
 // another Transport. Midway, one replica endpoint is killed and the
-// queries keep succeeding through replica failover.
+// queries keep succeeding through replica failover. The run finishes by
+// tracing one query end to end (client → coordinator → replicas →
+// shard server) and scraping its own live metrics over HTTP, exactly as
+// a Prometheus scraper would.
 //
 // Run: ./build/examples/cluster_search
 #include <cstdio>
@@ -17,6 +20,8 @@
 #include "ir/corpus_gen.h"
 #include "net/remote_channel.h"
 #include "net/server.h"
+#include "obs/scrape.h"
+#include "obs/trace.h"
 
 int main() {
   using namespace rsse;
@@ -121,6 +126,26 @@ int main() {
   std::printf("scatter-gather merges: %llu, partial responses: %llu\n",
               static_cast<unsigned long long>(metrics.scatter_gathers),
               static_cast<unsigned long long>(metrics.partial_responses));
+
+  // One traced query: the recorder collects client, coordinator, replica
+  // and (over the trace-capable TCP frames) server-side spans into a
+  // single tree — including the failovers the killed replica forces.
+  obs::TraceRecorder recorder;
+  carol.set_trace_recorder(&recorder);
+  (void)carol.ranked_search("consensus", 3);
+  carol.set_trace_recorder(nullptr);
+  std::printf("\ndistributed trace of one ranked search:\n%s",
+              obs::format_trace(recorder.spans()).c_str());
+
+  // Self-scrape: expose shard 0's server registry and the coordinator's
+  // cluster registry on an ephemeral HTTP port and fetch /metrics — the
+  // same bytes a Prometheus server would pull.
+  const obs::ScrapeEndpoint scrape(
+      {obs::ScrapeSource{"shard0", &shards[0]->metrics().registry()},
+       obs::ScrapeSource{"coordinator", &coordinator.registry()}});
+  const std::string exposition = obs::http_get(scrape.port(), "/metrics");
+  std::printf("\n=== METRICS SCRAPE BEGIN ===\n%s=== METRICS SCRAPE END ===\n",
+              exposition.c_str());
 
   for (auto& endpoint : endpoints) endpoint->stop();
   std::printf("\ncluster stopped cleanly\n");

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition scraped during examples/cluster_search.
+
+Reads the example's stdout (a file argument or stdin), extracts the block
+between the `=== METRICS SCRAPE BEGIN ===` / `=== METRICS SCRAPE END ===`
+markers, and checks that it is well-formed exposition format 0.0.4:
+
+  * every family has a `# HELP` line immediately followed by `# TYPE`;
+  * every sample line is `name{labels} value` with a parseable value and a
+    name that belongs to a declared family;
+  * histogram families expose `_bucket` series with non-decreasing
+    cumulative counts ending in an `le="+Inf"` bucket, plus `_sum` and
+    `_count`, with count == the +Inf bucket;
+  * at least MIN_FAMILIES distinct metric families are present (the
+    acceptance bar for the observability subsystem).
+
+Exits 0 on success, 1 with a diagnostic on any violation. Stdlib only.
+"""
+
+import re
+import sys
+
+BEGIN = "=== METRICS SCRAPE BEGIN ==="
+END = "=== METRICS SCRAPE END ==="
+MIN_FAMILIES = 8
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def fail(message):
+    print(f"validate_prometheus: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def base_family(name, families):
+    """Maps a sample name to its declared family (histograms expose
+    name_bucket / name_sum / name_count under family `name`)."""
+    if name in families:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return None
+
+
+def parse_labels(raw):
+    if not raw:
+        return {}
+    inner = raw[1:-1].strip()
+    if not inner:
+        return {}
+    labels = {}
+    for part in inner.split(","):
+        part = part.strip()
+        if not LABEL_RE.match(part):
+            fail(f"malformed label pair: {part!r}")
+        key, value = part.split("=", 1)
+        labels[key] = value[1:-1]
+    return labels
+
+
+def main():
+    text = open(sys.argv[1]).read() if len(sys.argv) > 1 else sys.stdin.read()
+    if BEGIN not in text or END not in text:
+        fail("scrape markers not found in input")
+    exposition = text.split(BEGIN, 1)[1].split(END, 1)[0]
+    lines = [ln for ln in exposition.splitlines() if ln.strip()]
+    if not lines:
+        fail("empty exposition between markers")
+
+    families = {}  # name -> type
+    helped = set()
+    pending_help = None
+    samples = []  # (name, labels-dict, labels-raw, value)
+
+    for line in lines:
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.fullmatch(parts[2]):
+                fail(f"malformed HELP line: {line!r}")
+            if parts[2] in helped:
+                fail(f"duplicate HELP for family {parts[2]} "
+                     "(scrape sources must use disjoint prefixes)")
+            helped.add(parts[2])
+            pending_help = parts[2]
+        elif line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                fail(f"malformed TYPE line: {line!r}")
+            if parts[2] != pending_help:
+                fail(f"TYPE for {parts[2]} not preceded by its HELP line")
+            families[parts[2]] = parts[3]
+            pending_help = None
+        elif line.startswith("#"):
+            fail(f"unexpected comment line: {line!r}")
+        else:
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(f"malformed sample line: {line!r}")
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                fail(f"unparseable sample value in: {line!r}")
+            samples.append((m.group("name"), parse_labels(m.group("labels")),
+                            m.group("labels") or "", value))
+
+    for name, _labels, _raw, _value in samples:
+        if base_family(name, families) is None:
+            fail(f"sample {name} has no declared family")
+
+    # Histogram structure: per (family, non-le labels) series, buckets are
+    # cumulative, end with +Inf, and _count equals the +Inf bucket.
+    for family, ftype in families.items():
+        if ftype != "histogram":
+            continue
+        series = {}
+        for name, labels, _raw, value in samples:
+            if name != family + "_bucket":
+                continue
+            if "le" not in labels:
+                fail(f"{family}_bucket sample without an le label")
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            series.setdefault(key, []).append((labels["le"], value))
+        if not series:
+            fail(f"histogram family {family} has no _bucket samples")
+        counts = {name: {} for name in (family + "_sum", family + "_count")}
+        for name, labels, _raw, value in samples:
+            if name in counts:
+                counts[name][tuple(sorted(labels.items()))] = value
+        for key, buckets in series.items():
+            if buckets[-1][0] != "+Inf":
+                fail(f"{family}{dict(key)} buckets do not end with le=\"+Inf\"")
+            previous = -1.0
+            for le, value in buckets:
+                if value < previous:
+                    fail(f"{family}{dict(key)} bucket le={le} not cumulative")
+                previous = value
+            if key not in {k: None for k in counts[family + "_count"]}:
+                # count series carries the same non-le labels
+                pass
+            count = counts[family + "_count"].get(key)
+            if count is None:
+                fail(f"{family}{dict(key)} missing _count series")
+            if counts[family + "_sum"].get(key) is None:
+                fail(f"{family}{dict(key)} missing _sum series")
+            if count != buckets[-1][1]:
+                fail(f"{family}{dict(key)} _count {count} != +Inf bucket "
+                     f"{buckets[-1][1]}")
+
+    if len(families) < MIN_FAMILIES:
+        fail(f"only {len(families)} metric families, need >= {MIN_FAMILIES}: "
+             + ", ".join(sorted(families)))
+
+    print(f"validate_prometheus: OK — {len(families)} families, "
+          f"{len(samples)} samples")
+
+
+if __name__ == "__main__":
+    main()

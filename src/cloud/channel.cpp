@@ -11,4 +11,19 @@ Bytes Channel::call(MessageType type, BytesView request, const Deadline& deadlin
   return response;
 }
 
+Bytes Channel::call(MessageType type, BytesView request, const Deadline& deadline,
+                    obs::TraceRecorder* trace, std::uint64_t parent_span_id) {
+  if (trace == nullptr) return call(type, request, deadline);
+  deadline.check("Channel::call");
+  obs::TraceContext ctx;
+  ctx.trace_id = trace->trace_id();
+  ctx.parent_span_id = parent_span_id;
+  ctx.sampled = true;
+  std::vector<obs::Span> spans;
+  Bytes response = server_.handle(type, request, ctx, &spans);
+  trace->add_all(std::move(spans));
+  account(request.size() + 1, response.size());
+  return response;
+}
+
 }  // namespace rsse::cloud

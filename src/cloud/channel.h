@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "cloud/cloud_server.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 
 namespace rsse::cloud {
@@ -45,6 +46,26 @@ class Transport {
   /// set_call_timeout; unlimited unless configured).
   Bytes call(MessageType type, BytesView request) {
     return call(type, request, default_deadline());
+  }
+
+  /// Traced RPC: like call(), but spans recorded along the way (locally
+  /// and by trace-capable peers) land in `*trace`, parented to
+  /// `parent_span_id`. The base implementation ignores the trace and
+  /// forwards to the untraced call — a transport that cannot propagate
+  /// context still works, it just leaves a gap in the trace. Transports
+  /// that can (Channel, net::RemoteChannel, cluster::ClusterCoordinator,
+  /// cluster::ReplicaSet callers, fault decorators) override this.
+  virtual Bytes call(MessageType type, BytesView request, const Deadline& deadline,
+                     obs::TraceRecorder* trace, std::uint64_t parent_span_id) {
+    (void)trace;
+    (void)parent_span_id;
+    return call(type, request, deadline);
+  }
+
+  /// Traced RPC under the default per-call budget.
+  Bytes call(MessageType type, BytesView request, obs::TraceRecorder* trace,
+             std::uint64_t parent_span_id = 0) {
+    return call(type, request, default_deadline(), trace, parent_span_id);
   }
 
   /// Sets the default budget applied to every call made without an
@@ -101,6 +122,8 @@ class Channel final : public Transport {
 
   using Transport::call;
   Bytes call(MessageType type, BytesView request, const Deadline& deadline) override;
+  Bytes call(MessageType type, BytesView request, const Deadline& deadline,
+             obs::TraceRecorder* trace, std::uint64_t parent_span_id) override;
 
  private:
   const CloudServer& server_;

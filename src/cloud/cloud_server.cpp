@@ -7,6 +7,24 @@
 
 namespace rsse::cloud {
 
+namespace {
+
+const char* message_name(MessageType type) {
+  switch (type) {
+    case MessageType::kRankedSearch: return "ranked_search";
+    case MessageType::kBasicEntries: return "basic_entries";
+    case MessageType::kFetchFiles: return "fetch_files";
+    case MessageType::kBasicFiles: return "basic_files";
+    case MessageType::kMultiSearch: return "multi_search";
+    case MessageType::kSnapshot: return "snapshot";
+    case MessageType::kStats: return "stats";
+    case MessageType::kTrace: return "trace";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 void CloudServer::store(sse::SecureIndex index, std::map<std::uint64_t, Bytes> files) {
   {
     const std::unique_lock<std::shared_mutex> lock(state_mutex_);
@@ -14,6 +32,7 @@ void CloudServer::store(sse::SecureIndex index, std::map<std::uint64_t, Bytes> f
     files_ = std::move(files);
   }
   clear_rank_cache();
+  refresh_storage_gauges();
 }
 
 void CloudServer::update_index(const std::function<void(sse::SecureIndex&)>& mutate) {
@@ -22,6 +41,14 @@ void CloudServer::update_index(const std::function<void(sse::SecureIndex&)>& mut
     mutate(index_);
   }
   clear_rank_cache();
+  refresh_storage_gauges();
+}
+
+void CloudServer::refresh_storage_gauges() const {
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  std::uint64_t total = index_.byte_size();
+  for (const auto& [id, blob] : files_) total += blob.size();
+  metrics_.set_storage(total, index_.num_rows());
 }
 
 void CloudServer::set_rank_cache_enabled(bool enabled) {
@@ -44,12 +71,12 @@ std::vector<sse::RankedSearchEntry> CloudServer::ranked_entries(
     const std::lock_guard<std::mutex> lock(cache_mutex_);
     const auto it = rank_cache_.find(trapdoor.label);
     if (it != rank_cache_.end()) {
-      ++cache_hits_;
+      metrics_.record_rank_cache(true);
       std::vector<sse::RankedSearchEntry> out = it->second;
       if (top_k > 0 && out.size() > top_k) out.resize(top_k);
       return out;
     }
-    ++cache_misses_;
+    metrics_.record_rank_cache(false);
   }
   // Rank the full row once (top_k = 0), cache it, then truncate.
   std::vector<sse::RankedSearchEntry> full;
@@ -66,13 +93,19 @@ std::vector<sse::RankedSearchEntry> CloudServer::ranked_entries(
 }
 
 void CloudServer::store_file(std::uint64_t id, Bytes blob) {
-  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
-  files_[id] = std::move(blob);
+  {
+    const std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    files_[id] = std::move(blob);
+  }
+  refresh_storage_gauges();
 }
 
 void CloudServer::erase_file(std::uint64_t id) {
-  const std::unique_lock<std::shared_mutex> lock(state_mutex_);
-  files_.erase(id);
+  {
+    const std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    files_.erase(id);
+  }
+  refresh_storage_gauges();
 }
 
 Bytes CloudServer::blob_of(std::uint64_t id) const {
@@ -146,55 +179,135 @@ std::uint64_t CloudServer::stored_bytes() const {
 
 Bytes CloudServer::handle(MessageType type, BytesView payload) const {
   const Stopwatch watch;
-  switch (type) {
-    case MessageType::kRankedSearch: {
-      const auto resp = ranked_search(RankedSearchRequest::deserialize(payload));
-      Bytes out = resp.serialize();
-      metrics_.record_ranked_search(resp.files.size(), out.size());
-      metrics_.record_latency(ServerMetrics::RequestKind::kRankedSearch,
-                              watch.elapsed_seconds());
-      return out;
-    }
-    case MessageType::kBasicEntries: {
-      const auto resp = basic_entries(BasicEntriesRequest::deserialize(payload));
-      Bytes out = resp.serialize();
-      metrics_.record_basic_entries(out.size());
-      metrics_.record_latency(ServerMetrics::RequestKind::kBasicEntries,
-                              watch.elapsed_seconds());
-      return out;
-    }
-    case MessageType::kFetchFiles: {
-      const auto resp = fetch_files(FetchFilesRequest::deserialize(payload));
-      Bytes out = resp.serialize();
-      metrics_.record_fetch(resp.files.size(), out.size());
-      metrics_.record_latency(ServerMetrics::RequestKind::kFetchFiles,
-                              watch.elapsed_seconds());
-      return out;
-    }
-    case MessageType::kBasicFiles: {
-      const auto resp = basic_files(BasicEntriesRequest::deserialize(payload));
-      Bytes out = resp.serialize();
-      metrics_.record_basic_files(resp.files.size(), out.size());
-      metrics_.record_latency(ServerMetrics::RequestKind::kBasicFiles,
-                              watch.elapsed_seconds());
-      return out;
-    }
-    case MessageType::kMultiSearch: {
-      const auto resp = multi_search(MultiSearchRequest::deserialize(payload));
-      Bytes out = resp.serialize();
-      metrics_.record_ranked_search(resp.files.size(), out.size());
-      metrics_.record_latency(ServerMetrics::RequestKind::kMultiSearch,
-                              watch.elapsed_seconds());
-      return out;
-    }
-    case MessageType::kSnapshot: {
-      (void)SnapshotRequest::deserialize(payload);
-      Bytes out = snapshot().serialize();
-      metrics_.record_snapshot(out.size());
-      return out;
-    }
+  Bytes out = handle_impl(type, payload, nullptr, 0);
+  if (slow_log_.maybe_record(message_name(type), watch.elapsed_seconds(), {})) {
+    metrics_.record_slow_query();
   }
-  throw ProtocolError("CloudServer: unknown message type");
+  return out;
+}
+
+Bytes CloudServer::handle(MessageType type, BytesView payload,
+                          const obs::TraceContext& ctx,
+                          std::vector<obs::Span>* spans) const {
+  if (!ctx.active() || spans == nullptr) return handle(type, payload);
+  const Stopwatch watch;
+  obs::TraceRecorder recorder(ctx.trace_id);
+  // The root span must reach the client even when the handler throws —
+  // an error response carries no spans, but the slow log still gets them.
+  Bytes out;
+  try {
+    out = handle_impl(type, payload, &recorder, ctx.parent_span_id);
+  } catch (...) {
+    if (slow_log_.maybe_record(message_name(type), watch.elapsed_seconds(),
+                               recorder.spans())) {
+      metrics_.record_slow_query();
+    }
+    throw;
+  }
+  *spans = recorder.spans();
+  if (slow_log_.maybe_record(message_name(type), watch.elapsed_seconds(), *spans)) {
+    metrics_.record_slow_query();
+  }
+  return out;
+}
+
+Bytes CloudServer::handle_impl(MessageType type, BytesView payload,
+                               obs::TraceRecorder* trace,
+                               std::uint64_t parent_span_id) const {
+  const Stopwatch watch;
+  obs::SpanScope root(trace, std::string("server.") + message_name(type), node_name_,
+                      parent_span_id);
+  try {
+    switch (type) {
+      case MessageType::kRankedSearch: {
+        // The traced stages: parse, index lookup + rank, serialize. Event
+        // details carry only counts and sizes, never content.
+        obs::SpanScope parse(trace, "server.parse", node_name_, root.span_id());
+        const auto req = RankedSearchRequest::deserialize(payload);
+        parse.finish();
+        obs::SpanScope rank(trace, "server.index_rank", node_name_, root.span_id());
+        const auto resp = ranked_search(req);
+        rank.event("ranked", std::to_string(resp.files.size()) + " hits");
+        rank.finish();
+        obs::SpanScope serialize(trace, "server.serialize", node_name_,
+                                 root.span_id());
+        Bytes out = resp.serialize();
+        serialize.finish();
+        metrics_.record_ranked_search(resp.files.size(), out.size());
+        metrics_.record_latency(ServerMetrics::RequestKind::kRankedSearch,
+                                watch.elapsed_seconds());
+        return out;
+      }
+      case MessageType::kBasicEntries: {
+        const auto resp = basic_entries(BasicEntriesRequest::deserialize(payload));
+        Bytes out = resp.serialize();
+        metrics_.record_basic_entries(out.size());
+        metrics_.record_latency(ServerMetrics::RequestKind::kBasicEntries,
+                                watch.elapsed_seconds());
+        return out;
+      }
+      case MessageType::kFetchFiles: {
+        const auto resp = fetch_files(FetchFilesRequest::deserialize(payload));
+        Bytes out = resp.serialize();
+        metrics_.record_fetch(resp.files.size(), out.size());
+        metrics_.record_latency(ServerMetrics::RequestKind::kFetchFiles,
+                                watch.elapsed_seconds());
+        return out;
+      }
+      case MessageType::kBasicFiles: {
+        const auto resp = basic_files(BasicEntriesRequest::deserialize(payload));
+        Bytes out = resp.serialize();
+        metrics_.record_basic_files(resp.files.size(), out.size());
+        metrics_.record_latency(ServerMetrics::RequestKind::kBasicFiles,
+                                watch.elapsed_seconds());
+        return out;
+      }
+      case MessageType::kMultiSearch: {
+        obs::SpanScope rank(trace, "server.index_rank", node_name_, root.span_id());
+        const auto resp = multi_search(MultiSearchRequest::deserialize(payload));
+        rank.event("ranked", std::to_string(resp.files.size()) + " hits");
+        rank.finish();
+        Bytes out = resp.serialize();
+        metrics_.record_multi_search(resp.files.size(), out.size());
+        metrics_.record_latency(ServerMetrics::RequestKind::kMultiSearch,
+                                watch.elapsed_seconds());
+        return out;
+      }
+      case MessageType::kSnapshot: {
+        (void)SnapshotRequest::deserialize(payload);
+        Bytes out = snapshot().serialize();
+        metrics_.record_snapshot(out.size());
+        return out;
+      }
+      case MessageType::kStats: {
+        const auto req = StatsRequest::deserialize(payload);
+        StatsResponse resp;
+        resp.text = req.format == StatsFormat::kPrometheus
+                        ? metrics_.registry().render_prometheus()
+                        : metrics_.registry().render_json();
+        return resp.serialize();
+      }
+      case MessageType::kTrace: {
+        const auto req = TraceRequest::deserialize(payload);
+        auto entries = slow_log_.entries();
+        if (req.max_entries > 0 && entries.size() > req.max_entries) {
+          entries.erase(entries.begin(),
+                        entries.end() - static_cast<std::ptrdiff_t>(req.max_entries));
+        }
+        TraceResponse resp;
+        resp.entries.reserve(entries.size());
+        for (auto& e : entries) {
+          resp.entries.push_back(
+              TraceEntry{std::move(e.operation), e.seconds, std::move(e.spans)});
+        }
+        return resp.serialize();
+      }
+    }
+    throw ProtocolError("CloudServer: unknown message type");
+  } catch (const Error&) {
+    root.set_status("error");
+    throw;
+  }
 }
 
 }  // namespace rsse::cloud

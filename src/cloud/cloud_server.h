@@ -12,9 +12,13 @@
 #include <map>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
+#include <vector>
 
 #include "cloud/metrics.h"
 #include "cloud/protocol.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 #include "sse/secure_index.h"
 
 namespace rsse::cloud {
@@ -48,8 +52,12 @@ class CloudServer {
   void clear_rank_cache();
 
   /// Cache observability for tests/benches.
-  [[nodiscard]] std::uint64_t rank_cache_hits() const { return cache_hits_; }
-  [[nodiscard]] std::uint64_t rank_cache_misses() const { return cache_misses_; }
+  [[nodiscard]] std::uint64_t rank_cache_hits() const {
+    return metrics_.rank_cache_hits();
+  }
+  [[nodiscard]] std::uint64_t rank_cache_misses() const {
+    return metrics_.rank_cache_misses();
+  }
 
   /// Request/traffic counters (incremented by handle()).
   [[nodiscard]] const ServerMetrics& metrics() const { return metrics_; }
@@ -57,10 +65,33 @@ class CloudServer {
   /// Zeroes the request counters.
   void reset_metrics() { metrics_.reset(); }
 
+  /// Names this node in trace spans and slow-query entries ("shard2",
+  /// ...). Default "server". Set before serving traffic.
+  void set_node_name(std::string name) { node_name_ = std::move(name); }
+  [[nodiscard]] const std::string& node_name() const { return node_name_; }
+
+  /// Arms the slow-query log: handle() calls slower than `ms` are
+  /// retained (with their trace when the request carried one) and served
+  /// via kTrace. 0 (default) disables.
+  void set_slow_query_threshold_ms(double ms) { slow_log_.set_threshold_ms(ms); }
+
+  /// The retained slow queries, oldest first.
+  [[nodiscard]] std::vector<obs::SlowQueryEntry> slow_queries() const {
+    return slow_log_.entries();
+  }
+
   /// Single RPC entry point: parses `payload` according to `type` and
   /// returns the serialized response. Throws ProtocolError for unknown
   /// message types and ParseError for malformed payloads.
   [[nodiscard]] Bytes handle(MessageType type, BytesView payload) const;
+
+  /// Traced RPC entry point: like handle(), but when `ctx` carries a live
+  /// trace the handler records spans (request root + ranked-search
+  /// stages) into `*spans` for the network server to piggyback on the
+  /// response frame. With an inactive context this is exactly handle().
+  [[nodiscard]] Bytes handle(MessageType type, BytesView payload,
+                             const obs::TraceContext& ctx,
+                             std::vector<obs::Span>* spans) const;
 
   // ----- typed handlers (handle() dispatches to these) -----
 
@@ -105,6 +136,10 @@ class CloudServer {
   [[nodiscard]] Bytes blob_of(std::uint64_t id) const;
   [[nodiscard]] std::vector<sse::RankedSearchEntry> ranked_entries(
       const sse::Trapdoor& trapdoor, std::size_t top_k) const;
+  [[nodiscard]] Bytes handle_impl(MessageType type, BytesView payload,
+                                  obs::TraceRecorder* trace,
+                                  std::uint64_t parent_span_id) const;
+  void refresh_storage_gauges() const;
 
   // Readers (RPC handlers) take the shared lock; owner updates take the
   // exclusive lock, so a live network server stays consistent during
@@ -118,9 +153,9 @@ class CloudServer {
   bool cache_enabled_ = false;
   mutable std::mutex cache_mutex_;
   mutable std::map<Bytes, std::vector<sse::RankedSearchEntry>> rank_cache_;
-  mutable std::uint64_t cache_hits_ = 0;
-  mutable std::uint64_t cache_misses_ = 0;
   mutable ServerMetrics metrics_;
+  mutable obs::SlowQueryLog slow_log_;
+  std::string node_name_ = "server";
 };
 
 }  // namespace rsse::cloud

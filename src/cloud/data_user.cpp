@@ -21,32 +21,44 @@ DataUser::DataUser(UserCredentials credentials, Transport& channel,
 
 std::vector<RetrievedFile> DataUser::ranked_search(std::string_view keyword,
                                                    std::size_t top_k) {
+  obs::SpanScope query(trace_, "client.ranked_search", "client");
   RankedSearchRequest req{trapdoor_gen_.generate(keyword), top_k};
-  const Bytes resp_bytes = channel_.call(MessageType::kRankedSearch, req.serialize());
+  const Bytes resp_bytes = channel_.call(MessageType::kRankedSearch, req.serialize(),
+                                         trace_, query.span_id());
   const auto resp = RankedSearchResponse::deserialize(resp_bytes);
   std::vector<RetrievedFile> out;
   out.reserve(resp.files.size());
-  for (const RankedFile& f : resp.files) {
-    // RSSE keeps scores hidden from everyone, user included: rank only.
-    out.push_back(RetrievedFile{crypter_.decrypt(f.id, f.blob),
-                                std::numeric_limits<double>::quiet_NaN()});
+  {
+    obs::SpanScope decode(trace_, "client.decode", "client", query.span_id());
+    for (const RankedFile& f : resp.files) {
+      // RSSE keeps scores hidden from everyone, user included: rank only.
+      out.push_back(RetrievedFile{crypter_.decrypt(f.id, f.blob),
+                                  std::numeric_limits<double>::quiet_NaN()});
+    }
+    decode.event("decrypted", std::to_string(out.size()) + " files");
   }
   return out;
 }
 
 std::vector<RetrievedFile> DataUser::multi_search(
     const std::vector<std::string>& keywords, bool conjunctive, std::size_t top_k) {
+  obs::SpanScope query(trace_, "client.multi_search", "client");
   MultiSearchRequest req;
   req.trapdoor = ext::make_conjunctive_trapdoor(trapdoor_gen_, keywords);
   req.mode = conjunctive ? MultiSearchMode::kConjunctive : MultiSearchMode::kDisjunctive;
   req.top_k = top_k;
-  const Bytes resp_bytes = channel_.call(MessageType::kMultiSearch, req.serialize());
+  const Bytes resp_bytes = channel_.call(MessageType::kMultiSearch, req.serialize(),
+                                         trace_, query.span_id());
   const auto resp = RankedSearchResponse::deserialize(resp_bytes);
   std::vector<RetrievedFile> out;
   out.reserve(resp.files.size());
-  for (const RankedFile& f : resp.files)
-    out.push_back(RetrievedFile{crypter_.decrypt(f.id, f.blob),
-                                std::numeric_limits<double>::quiet_NaN()});
+  {
+    obs::SpanScope decode(trace_, "client.decode", "client", query.span_id());
+    for (const RankedFile& f : resp.files)
+      out.push_back(RetrievedFile{crypter_.decrypt(f.id, f.blob),
+                                  std::numeric_limits<double>::quiet_NaN()});
+    decode.event("decrypted", std::to_string(out.size()) + " files");
+  }
   return out;
 }
 

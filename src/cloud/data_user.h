@@ -17,6 +17,7 @@
 #include "cloud/channel.h"
 #include "cloud/file_store.h"
 #include "ir/document.h"
+#include "obs/trace.h"
 #include "sse/trapdoor_gen.h"
 
 namespace rsse::cloud {
@@ -62,11 +63,20 @@ class DataUser {
   /// The underlying transport (traffic accounting).
   [[nodiscard]] const Transport& channel() const { return channel_; }
 
+  /// Attaches a trace recorder: subsequent queries record a client root
+  /// span (plus a client.decode span over decryption) and propagate the
+  /// context through the transport, so one recorder collects the whole
+  /// distributed trace of each query. Pass nullptr to detach. The
+  /// recorder must outlive the queries; spans carry only operation names,
+  /// node names and counts — never keywords, plaintext or scores.
+  void set_trace_recorder(obs::TraceRecorder* recorder) { trace_ = recorder; }
+
  private:
   UserCredentials credentials_;
   sse::TrapdoorGenerator trapdoor_gen_;
   FileCrypter crypter_;
   Transport& channel_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace rsse::cloud

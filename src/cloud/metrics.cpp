@@ -1,0 +1,156 @@
+#include "cloud/metrics.h"
+
+namespace rsse::cloud {
+
+namespace {
+
+const char* kRequestsHelp = "Requests handled, by message type";
+const char* kLatencyHelp = "Handler service time in seconds, by message type";
+
+obs::Labels type_label(const char* type) { return {{"type", type}}; }
+
+}  // namespace
+
+ServerMetrics::ServerMetrics() {
+  const std::vector<double> bounds = obs::log_bounds();
+  ranked_searches_ =
+      &registry_.counter("rsse_server_requests_total", kRequestsHelp,
+                         type_label("ranked_search"));
+  basic_entry_searches_ =
+      &registry_.counter("rsse_server_requests_total", kRequestsHelp,
+                         type_label("basic_entries"));
+  fetch_requests_ = &registry_.counter("rsse_server_requests_total", kRequestsHelp,
+                                       type_label("fetch_files"));
+  basic_file_searches_ =
+      &registry_.counter("rsse_server_requests_total", kRequestsHelp,
+                         type_label("basic_files"));
+  multi_searches_ = &registry_.counter("rsse_server_requests_total", kRequestsHelp,
+                                       type_label("multi_search"));
+  snapshot_requests_ = &registry_.counter("rsse_server_requests_total",
+                                          kRequestsHelp, type_label("snapshot"));
+  files_returned_ = &registry_.counter("rsse_server_files_returned_total",
+                                       "Encrypted files returned in responses");
+  result_bytes_ = &registry_.counter("rsse_server_result_bytes_total",
+                                     "Serialized response payload bytes");
+  cache_hits_ = &registry_.counter("rsse_server_rank_cache_hits_total",
+                                   "Rank cache hits");
+  cache_misses_ = &registry_.counter("rsse_server_rank_cache_misses_total",
+                                     "Rank cache misses");
+  slow_queries_ = &registry_.counter(
+      "rsse_server_slow_queries_total",
+      "Requests recorded by the slow-query log (over the latency threshold)");
+  stored_bytes_ = &registry_.gauge("rsse_server_stored_bytes",
+                                   "Outsourced storage footprint (index + files)");
+  index_rows_ = &registry_.gauge("rsse_server_index_rows",
+                                 "Rows in the stored secure index");
+  ranked_latency_ = &registry_.histogram("rsse_server_request_latency_seconds",
+                                         kLatencyHelp, bounds,
+                                         type_label("ranked_search"));
+  basic_entries_latency_ = &registry_.histogram(
+      "rsse_server_request_latency_seconds", kLatencyHelp, bounds,
+      type_label("basic_entries"));
+  fetch_latency_ = &registry_.histogram("rsse_server_request_latency_seconds",
+                                        kLatencyHelp, bounds,
+                                        type_label("fetch_files"));
+  basic_files_latency_ = &registry_.histogram(
+      "rsse_server_request_latency_seconds", kLatencyHelp, bounds,
+      type_label("basic_files"));
+  multi_search_latency_ = &registry_.histogram(
+      "rsse_server_request_latency_seconds", kLatencyHelp, bounds,
+      type_label("multi_search"));
+}
+
+void ServerMetrics::record_ranked_search(std::uint64_t files, std::uint64_t bytes) {
+  ranked_searches_->inc();
+  files_returned_->inc(files);
+  result_bytes_->inc(bytes);
+}
+
+void ServerMetrics::record_basic_entries(std::uint64_t bytes) {
+  basic_entry_searches_->inc();
+  result_bytes_->inc(bytes);
+}
+
+void ServerMetrics::record_fetch(std::uint64_t files, std::uint64_t bytes) {
+  fetch_requests_->inc();
+  files_returned_->inc(files);
+  result_bytes_->inc(bytes);
+}
+
+void ServerMetrics::record_basic_files(std::uint64_t files, std::uint64_t bytes) {
+  basic_file_searches_->inc();
+  files_returned_->inc(files);
+  result_bytes_->inc(bytes);
+}
+
+void ServerMetrics::record_multi_search(std::uint64_t files, std::uint64_t bytes) {
+  multi_searches_->inc();
+  files_returned_->inc(files);
+  result_bytes_->inc(bytes);
+}
+
+void ServerMetrics::record_snapshot(std::uint64_t bytes) {
+  snapshot_requests_->inc();
+  result_bytes_->inc(bytes);
+}
+
+void ServerMetrics::record_rank_cache(bool hit) {
+  (hit ? cache_hits_ : cache_misses_)->inc();
+}
+
+void ServerMetrics::record_slow_query() { slow_queries_->inc(); }
+
+void ServerMetrics::record_latency(RequestKind kind, double seconds) {
+  latency_of(kind).observe(seconds);
+}
+
+void ServerMetrics::set_storage(std::uint64_t stored_bytes, std::uint64_t index_rows) {
+  stored_bytes_->set(static_cast<std::int64_t>(stored_bytes));
+  index_rows_->set(static_cast<std::int64_t>(index_rows));
+}
+
+obs::HistogramMetric& ServerMetrics::latency_of(RequestKind kind) const {
+  switch (kind) {
+    case RequestKind::kRankedSearch: return *ranked_latency_;
+    case RequestKind::kBasicEntries: return *basic_entries_latency_;
+    case RequestKind::kFetchFiles: return *fetch_latency_;
+    case RequestKind::kBasicFiles: return *basic_files_latency_;
+    case RequestKind::kMultiSearch: return *multi_search_latency_;
+  }
+  return *ranked_latency_;  // unreachable
+}
+
+LatencyStats ServerMetrics::stats_of(const obs::HistogramMetric& h) {
+  LatencyStats s;
+  s.count = h.count();
+  if (s.count > 0) {
+    s.p50_seconds = h.quantile(0.50);
+    s.p95_seconds = h.quantile(0.95);
+    s.p99_seconds = h.quantile(0.99);
+  }
+  return s;
+}
+
+MetricsSnapshot ServerMetrics::snapshot() const {
+  MetricsSnapshot s;
+  // Multi-keyword searches have always counted into ranked_searches (they
+  // are ranked searches to the accounting the paper's discussion needs);
+  // the registry keeps them distinguishable under type="multi_search".
+  s.ranked_searches = ranked_searches_->value() + multi_searches_->value();
+  s.basic_entry_searches = basic_entry_searches_->value();
+  s.fetch_requests = fetch_requests_->value();
+  s.basic_file_searches = basic_file_searches_->value();
+  s.snapshot_requests = snapshot_requests_->value();
+  s.files_returned = files_returned_->value();
+  s.result_bytes = result_bytes_->value();
+  s.ranked_search_latency = stats_of(*ranked_latency_);
+  s.basic_entries_latency = stats_of(*basic_entries_latency_);
+  s.fetch_latency = stats_of(*fetch_latency_);
+  s.basic_files_latency = stats_of(*basic_files_latency_);
+  s.multi_search_latency = stats_of(*multi_search_latency_);
+  return s;
+}
+
+void ServerMetrics::reset() { registry_.reset_values(); }
+
+}  // namespace rsse::cloud

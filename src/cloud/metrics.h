@@ -1,16 +1,18 @@
-// Server-side observability: cheap atomic counters the CloudServer
-// increments per request, plus per-request-type service-time histograms,
-// with a consistent snapshot for operators, benches and tests.
-// Deliberately content-free — counting requests, bytes and times reveals
-// nothing the honest-but-curious server doesn't already see.
+// Server-side observability, backed by the unified obs::MetricsRegistry.
+//
+// ServerMetrics keeps the snapshot API the benches and tests were built
+// on (MetricsSnapshot, per-request-type LatencyStats) but every number
+// now lives in registry instruments under the rsse_server_* family
+// prefix, so the same counters that tests assert on are what a
+// Prometheus scrape of the live server exports — one source of truth,
+// two read paths. Deliberately content-free: counting requests, bytes
+// and times reveals nothing the honest-but-curious server doesn't
+// already see.
 #pragma once
 
-#include <atomic>
-#include <cmath>
 #include <cstdint>
-#include <mutex>
 
-#include "util/histogram.h"
+#include "obs/metrics.h"
 
 namespace rsse::cloud {
 
@@ -20,51 +22,6 @@ struct LatencyStats {
   double p50_seconds = 0.0;
   double p95_seconds = 0.0;
   double p99_seconds = 0.0;
-};
-
-/// A mutex-guarded latency histogram. Samples are binned as log10(seconds)
-/// over [100 ns, 100 s] with 180 containers, giving ~5% relative
-/// resolution across nine decades — wide enough for a cached in-process
-/// lookup and a cross-shard scatter-gather alike. Shared by the single
-/// server's ServerMetrics and the cluster coordinator's per-shard metrics
-/// so both report the same observability surface.
-class LatencyRecorder {
- public:
-  LatencyRecorder() : histogram_(kLogLo, kLogHi, kBins) {}
-
-  /// Records one service time.
-  void record(double seconds) {
-    const double log_s = std::log10(std::max(seconds, 1e-9));
-    const std::lock_guard<std::mutex> lock(mutex_);
-    histogram_.add(log_s);
-  }
-
-  /// p50/p95/p99 of everything recorded so far.
-  [[nodiscard]] LatencyStats snapshot() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    LatencyStats s;
-    s.count = histogram_.total();
-    if (s.count > 0) {
-      s.p50_seconds = std::pow(10.0, histogram_.quantile(0.50));
-      s.p95_seconds = std::pow(10.0, histogram_.quantile(0.95));
-      s.p99_seconds = std::pow(10.0, histogram_.quantile(0.99));
-    }
-    return s;
-  }
-
-  /// Drops all samples.
-  void reset() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    histogram_ = Histogram(kLogLo, kLogHi, kBins);
-  }
-
- private:
-  static constexpr double kLogLo = -7.0;  // 100 ns
-  static constexpr double kLogHi = 2.0;   // 100 s
-  static constexpr std::size_t kBins = 180;
-
-  mutable std::mutex mutex_;
-  Histogram histogram_;
 };
 
 /// A point-in-time copy of the counters.
@@ -94,7 +51,18 @@ struct MetricsSnapshot {
   }
 };
 
-/// The live counters (one instance per CloudServer).
+/// The live counters (one instance per CloudServer). Registry families:
+///   rsse_server_requests_total{type=...}          counter
+///   rsse_server_request_latency_seconds{type=...} histogram
+///   rsse_server_files_returned_total              counter
+///   rsse_server_result_bytes_total                counter
+///   rsse_server_rank_cache_hits_total             counter
+///   rsse_server_rank_cache_misses_total           counter
+///   rsse_server_stored_bytes                      gauge
+///   rsse_server_index_rows                        gauge
+///   rsse_server_slow_queries_total                counter
+/// (net/server.h adds rsse_server_bytes_in_total / bytes_out_total /
+/// connections_total / active_connections to the same registry.)
 class ServerMetrics {
  public:
   /// Which latency series a handle() call belongs to.
@@ -106,94 +74,63 @@ class ServerMetrics {
     kMultiSearch,
   };
 
-  void record_ranked_search(std::uint64_t files, std::uint64_t bytes) {
-    ++ranked_searches_;
-    files_returned_ += files;
-    result_bytes_ += bytes;
-  }
-  void record_basic_entries(std::uint64_t bytes) {
-    ++basic_entry_searches_;
-    result_bytes_ += bytes;
-  }
-  void record_fetch(std::uint64_t files, std::uint64_t bytes) {
-    ++fetch_requests_;
-    files_returned_ += files;
-    result_bytes_ += bytes;
-  }
-  void record_basic_files(std::uint64_t files, std::uint64_t bytes) {
-    ++basic_file_searches_;
-    files_returned_ += files;
-    result_bytes_ += bytes;
-  }
-  void record_snapshot(std::uint64_t bytes) {
-    ++snapshot_requests_;
-    result_bytes_ += bytes;
-  }
+  ServerMetrics();
+
+  void record_ranked_search(std::uint64_t files, std::uint64_t bytes);
+  void record_basic_entries(std::uint64_t bytes);
+  void record_fetch(std::uint64_t files, std::uint64_t bytes);
+  void record_basic_files(std::uint64_t files, std::uint64_t bytes);
+  void record_multi_search(std::uint64_t files, std::uint64_t bytes);
+  void record_snapshot(std::uint64_t bytes);
+  void record_rank_cache(bool hit);
+  void record_slow_query();
 
   /// Adds one service-time sample to the request type's series.
-  void record_latency(RequestKind kind, double seconds) {
-    latency_of(kind).record(seconds);
-  }
+  void record_latency(RequestKind kind, double seconds);
+
+  /// Updates the storage-footprint gauges (called on store/update).
+  void set_storage(std::uint64_t stored_bytes, std::uint64_t index_rows);
 
   /// Copies the counters (each read atomically; the snapshot as a whole
   /// is weakly consistent, which is fine for monitoring).
-  [[nodiscard]] MetricsSnapshot snapshot() const {
-    MetricsSnapshot s;
-    s.ranked_searches = ranked_searches_.load();
-    s.basic_entry_searches = basic_entry_searches_.load();
-    s.fetch_requests = fetch_requests_.load();
-    s.basic_file_searches = basic_file_searches_.load();
-    s.snapshot_requests = snapshot_requests_.load();
-    s.files_returned = files_returned_.load();
-    s.result_bytes = result_bytes_.load();
-    s.ranked_search_latency = ranked_latency_.snapshot();
-    s.basic_entries_latency = basic_entries_latency_.snapshot();
-    s.fetch_latency = fetch_latency_.snapshot();
-    s.basic_files_latency = basic_files_latency_.snapshot();
-    s.multi_search_latency = multi_search_latency_.snapshot();
-    return s;
-  }
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Rank-cache counters (mirrored by CloudServer accessors).
+  [[nodiscard]] std::uint64_t rank_cache_hits() const { return cache_hits_->value(); }
+  [[nodiscard]] std::uint64_t rank_cache_misses() const { return cache_misses_->value(); }
 
   /// Zeroes every counter and latency series.
-  void reset() {
-    ranked_searches_ = 0;
-    basic_entry_searches_ = 0;
-    fetch_requests_ = 0;
-    basic_file_searches_ = 0;
-    snapshot_requests_ = 0;
-    files_returned_ = 0;
-    result_bytes_ = 0;
-    ranked_latency_.reset();
-    basic_entries_latency_.reset();
-    fetch_latency_.reset();
-    basic_files_latency_.reset();
-    multi_search_latency_.reset();
-  }
+  void reset();
+
+  /// The backing registry — what the scrape endpoint and the kStats
+  /// handler render. Mutable by design: recording into metrics does not
+  /// logically mutate the server.
+  [[nodiscard]] obs::MetricsRegistry& registry() const { return registry_; }
 
  private:
-  [[nodiscard]] LatencyRecorder& latency_of(RequestKind kind) {
-    switch (kind) {
-      case RequestKind::kRankedSearch: return ranked_latency_;
-      case RequestKind::kBasicEntries: return basic_entries_latency_;
-      case RequestKind::kFetchFiles: return fetch_latency_;
-      case RequestKind::kBasicFiles: return basic_files_latency_;
-      case RequestKind::kMultiSearch: return multi_search_latency_;
-    }
-    return ranked_latency_;  // unreachable
-  }
+  [[nodiscard]] obs::HistogramMetric& latency_of(RequestKind kind) const;
+  [[nodiscard]] static LatencyStats stats_of(const obs::HistogramMetric& h);
 
-  std::atomic<std::uint64_t> ranked_searches_{0};
-  std::atomic<std::uint64_t> basic_entry_searches_{0};
-  std::atomic<std::uint64_t> fetch_requests_{0};
-  std::atomic<std::uint64_t> basic_file_searches_{0};
-  std::atomic<std::uint64_t> snapshot_requests_{0};
-  std::atomic<std::uint64_t> files_returned_{0};
-  std::atomic<std::uint64_t> result_bytes_{0};
-  LatencyRecorder ranked_latency_;
-  LatencyRecorder basic_entries_latency_;
-  LatencyRecorder fetch_latency_;
-  LatencyRecorder basic_files_latency_;
-  LatencyRecorder multi_search_latency_;
+  mutable obs::MetricsRegistry registry_;
+  // Cached instrument references (stable for the registry's lifetime).
+  obs::Counter* ranked_searches_;
+  obs::Counter* basic_entry_searches_;
+  obs::Counter* fetch_requests_;
+  obs::Counter* basic_file_searches_;
+  obs::Counter* multi_searches_;
+  obs::Counter* snapshot_requests_;
+  obs::Counter* files_returned_;
+  obs::Counter* result_bytes_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Counter* slow_queries_;
+  obs::Gauge* stored_bytes_;
+  obs::Gauge* index_rows_;
+  obs::HistogramMetric* ranked_latency_;
+  obs::HistogramMetric* basic_entries_latency_;
+  obs::HistogramMetric* fetch_latency_;
+  obs::HistogramMetric* basic_files_latency_;
+  obs::HistogramMetric* multi_search_latency_;
 };
 
 }  // namespace rsse::cloud

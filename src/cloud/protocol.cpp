@@ -220,4 +220,77 @@ BasicFilesResponse BasicFilesResponse::deserialize(BytesView blob) {
   return resp;
 }
 
+Bytes StatsRequest::serialize() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(format));
+  return out;
+}
+
+StatsRequest StatsRequest::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  StatsRequest req;
+  const Bytes fmt = reader.read(1);
+  if (fmt[0] > 1) throw ParseError("StatsRequest: bad format");
+  req.format = static_cast<StatsFormat>(fmt[0]);
+  expect_exhausted(reader, "StatsRequest");
+  return req;
+}
+
+Bytes StatsResponse::serialize() const {
+  Bytes out;
+  append_lp(out, to_bytes(text));
+  return out;
+}
+
+StatsResponse StatsResponse::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  StatsResponse resp;
+  resp.text = to_string(reader.read_lp());
+  expect_exhausted(reader, "StatsResponse");
+  return resp;
+}
+
+Bytes TraceRequest::serialize() const {
+  Bytes out;
+  append_u64(out, max_entries);
+  return out;
+}
+
+TraceRequest TraceRequest::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  TraceRequest req;
+  req.max_entries = reader.read_u64();
+  expect_exhausted(reader, "TraceRequest");
+  return req;
+}
+
+Bytes TraceResponse::serialize() const {
+  Bytes out;
+  append_u64(out, entries.size());
+  for (const TraceEntry& e : entries) {
+    append_lp(out, to_bytes(e.operation));
+    // Latency as micros keeps the wire format integral (double-free).
+    append_u64(out, static_cast<std::uint64_t>(e.seconds * 1e6));
+    append_lp(out, obs::serialize_spans(e.spans));
+  }
+  return out;
+}
+
+TraceResponse TraceResponse::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  TraceResponse resp;
+  const std::uint64_t n = reader.read_count(16);  // 2 LP headers + u64
+  resp.entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TraceEntry e;
+    e.operation = to_string(reader.read_lp());
+    e.seconds = static_cast<double>(reader.read_u64()) / 1e6;
+    const Bytes spans = reader.read_lp();
+    e.spans = obs::deserialize_spans(spans);
+    resp.entries.push_back(std::move(e));
+  }
+  expect_exhausted(reader, "TraceResponse");
+  return resp;
+}
+
 }  // namespace rsse::cloud

@@ -13,12 +13,18 @@
 //                         blobs) from a healthy replica, used to rebuild a
 //                         peer whose on-disk artifacts failed their
 //                         integrity check.
+//   * Stats             — observability: the node's metrics registry as
+//                         Prometheus text or a JSON snapshot.
+//   * Trace             — observability: the node's retained slow-query
+//                         traces (operation, latency, spans).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ext/conjunctive.h"
+#include "obs/trace.h"
 #include "sse/basic_scheme.h"
 #include "sse/rsse_scheme.h"
 #include "sse/types.h"
@@ -34,6 +40,8 @@ enum class MessageType : std::uint8_t {
   kBasicFiles = 4,
   kMultiSearch = 5,
   kSnapshot = 6,
+  kStats = 7,
+  kTrace = 8,
 };
 
 /// Boolean connective of a multi-keyword search.
@@ -149,6 +157,52 @@ struct SnapshotResponse {
 
   [[nodiscard]] Bytes serialize() const;
   static SnapshotResponse deserialize(BytesView blob);
+};
+
+/// Rendering of a kStats reply.
+enum class StatsFormat : std::uint8_t {
+  kJson = 0,
+  kPrometheus = 1,
+};
+
+/// Observability request: the node's metrics registry, rendered.
+struct StatsRequest {
+  StatsFormat format = StatsFormat::kJson;
+
+  [[nodiscard]] Bytes serialize() const;
+  static StatsRequest deserialize(BytesView blob);
+};
+
+/// Observability response: the rendered registry.
+struct StatsResponse {
+  std::string text;
+
+  [[nodiscard]] Bytes serialize() const;
+  static StatsResponse deserialize(BytesView blob);
+};
+
+/// Observability request: the node's retained slow-query traces, newest
+/// last. `max_entries` caps the reply (0 = all retained).
+struct TraceRequest {
+  std::uint64_t max_entries = 0;
+
+  [[nodiscard]] Bytes serialize() const;
+  static TraceRequest deserialize(BytesView blob);
+};
+
+/// One retained slow query on the wire.
+struct TraceEntry {
+  std::string operation;
+  double seconds = 0.0;
+  std::vector<obs::Span> spans;
+};
+
+/// Observability response: the slow-query log contents.
+struct TraceResponse {
+  std::vector<TraceEntry> entries;
+
+  [[nodiscard]] Bytes serialize() const;
+  static TraceResponse deserialize(BytesView blob);
 };
 
 }  // namespace rsse::cloud

@@ -27,6 +27,20 @@ bool ranks_before(const cloud::RankedFile& a, const cloud::RankedFile& b) {
   return ir::value(a.id) < ir::value(b.id);
 }
 
+const char* message_name(cloud::MessageType type) {
+  switch (type) {
+    case cloud::MessageType::kRankedSearch: return "ranked_search";
+    case cloud::MessageType::kBasicEntries: return "basic_entries";
+    case cloud::MessageType::kFetchFiles: return "fetch_files";
+    case cloud::MessageType::kBasicFiles: return "basic_files";
+    case cloud::MessageType::kMultiSearch: return "multi_search";
+    case cloud::MessageType::kSnapshot: return "snapshot";
+    case cloud::MessageType::kStats: return "stats";
+    case cloud::MessageType::kTrace: return "trace";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 ClusterCoordinator::ClusterCoordinator(ClusterManifest manifest,
@@ -40,9 +54,20 @@ ClusterCoordinator::ClusterCoordinator(ClusterManifest manifest,
       metrics_(manifest.num_shards) {
   detail::require(shards_.size() == manifest_.num_shards,
                   "ClusterCoordinator: shard count != manifest");
-  for (const auto& shard : shards_)
-    detail::require(shard != nullptr && shard->size() > 0,
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    detail::require(shards_[i] != nullptr && shards_[i]->size() > 0,
                     "ClusterCoordinator: empty shard replica set");
+    shards_[i]->set_node_name("shard" + std::to_string(i));
+    shards_[i]->bind_metrics(metrics_.registry(), {{"shard", std::to_string(i)}});
+  }
+  deadline_expiries_ = &metrics_.registry().counter(
+      "rsse_cluster_deadline_expiries_total",
+      "Queries that exhausted their whole-query budget");
+  bytes_up_total_ = &metrics_.registry().counter(
+      "rsse_cluster_bytes_up_total", "Serialized request bytes entering the cluster");
+  bytes_down_total_ = &metrics_.registry().counter(
+      "rsse_cluster_bytes_down_total",
+      "Serialized response bytes leaving the cluster");
 }
 
 std::size_t ClusterCoordinator::probe_shards() {
@@ -53,10 +78,13 @@ std::size_t ClusterCoordinator::probe_shards() {
 }
 
 Bytes ClusterCoordinator::shard_call(std::size_t shard, cloud::MessageType type,
-                                     BytesView request, const Deadline& deadline) {
+                                     BytesView request, const Deadline& deadline,
+                                     obs::TraceRecorder* trace,
+                                     std::uint64_t parent_span_id) {
   const Stopwatch watch;
   try {
-    Bytes response = shards_[shard]->call(type, request, options_.retry, deadline);
+    Bytes response = shards_[shard]->call(type, request, options_.retry, deadline,
+                                          trace, parent_span_id);
     metrics_.record_request(shard, watch.elapsed_seconds());
     return response;
   } catch (const Error&) {
@@ -68,7 +96,8 @@ Bytes ClusterCoordinator::shard_call(std::size_t shard, cloud::MessageType type,
 
 void ClusterCoordinator::fetch_and_fill(
     const std::vector<std::pair<std::uint64_t, Bytes*>>& missing,
-    std::size_t skip_shard, bool* degraded, const Deadline& deadline) {
+    std::size_t skip_shard, bool* degraded, const Deadline& deadline,
+    obs::TraceRecorder* trace, std::uint64_t parent_span_id) {
   // Group the wanted ids by their placement shard.
   std::map<std::size_t, std::vector<std::pair<std::uint64_t, Bytes*>>> by_shard;
   for (const auto& [id, slot] : missing) {
@@ -93,10 +122,11 @@ void ClusterCoordinator::fetch_and_fill(
   }
 
   std::atomic<bool> any_down{false};
-  const auto run = [this, &any_down, &deadline](Fetch& fetch) {
+  const auto run = [this, &any_down, &deadline, trace, parent_span_id](Fetch& fetch) {
     try {
-      const auto resp = cloud::FetchFilesResponse::deserialize(shard_call(
-          fetch.shard, cloud::MessageType::kFetchFiles, fetch.request, deadline));
+      const auto resp = cloud::FetchFilesResponse::deserialize(
+          shard_call(fetch.shard, cloud::MessageType::kFetchFiles, fetch.request,
+                     deadline, trace, parent_span_id));
       // Response order mirrors request order (protocol contract).
       const std::size_t n = std::min(resp.files.size(), fetch.wanted->size());
       for (std::size_t i = 0; i < n; ++i)
@@ -131,23 +161,26 @@ void ClusterCoordinator::fetch_and_fill(
 }
 
 cloud::RankedSearchResponse ClusterCoordinator::do_ranked_search(
-    BytesView payload, const Deadline& deadline) {
+    BytesView payload, const Deadline& deadline, obs::TraceRecorder* trace,
+    std::uint64_t parent_span_id) {
   const auto req = cloud::RankedSearchRequest::deserialize(payload);
   const std::size_t shard = shard_map_.shard_of_label(req.trapdoor.label);
   auto resp = cloud::RankedSearchResponse::deserialize(
-      shard_call(shard, cloud::MessageType::kRankedSearch, payload, deadline));
+      shard_call(shard, cloud::MessageType::kRankedSearch, payload, deadline, trace,
+                 parent_span_id));
 
   std::vector<std::pair<std::uint64_t, Bytes*>> missing;
   for (cloud::RankedFile& f : resp.files)
     if (f.blob.empty()) missing.push_back({ir::value(f.id), &f.blob});
   bool degraded = false;
-  fetch_and_fill(missing, shard, &degraded, deadline);
+  fetch_and_fill(missing, shard, &degraded, deadline, trace, parent_span_id);
   if (degraded) resp.partial = true;
   return resp;
 }
 
 cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
-    BytesView payload, const Deadline& deadline) {
+    BytesView payload, const Deadline& deadline, obs::TraceRecorder* trace,
+    std::uint64_t parent_span_id) {
   const auto req = cloud::MultiSearchRequest::deserialize(payload);
   detail::require(!req.trapdoor.trapdoors.empty(), "cluster: empty multi-search");
   const bool conjunctive = req.mode == cloud::MultiSearchMode::kConjunctive;
@@ -161,12 +194,13 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
     // Single-shard fast path: the shard evaluates the whole query.
     const std::size_t shard = groups.begin()->first;
     auto resp = cloud::RankedSearchResponse::deserialize(
-        shard_call(shard, cloud::MessageType::kMultiSearch, payload, deadline));
+        shard_call(shard, cloud::MessageType::kMultiSearch, payload, deadline, trace,
+                   parent_span_id));
     std::vector<std::pair<std::uint64_t, Bytes*>> missing;
     for (cloud::RankedFile& f : resp.files)
       if (f.blob.empty()) missing.push_back({ir::value(f.id), &f.blob});
     bool degraded = false;
-    fetch_and_fill(missing, shard, &degraded, deadline);
+    fetch_and_fill(missing, shard, &degraded, deadline, trace, parent_span_id);
     if (degraded) resp.partial = true;
     return resp;
   }
@@ -196,10 +230,11 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
     sub.request = sub_req.serialize();
     subs.push_back(std::move(sub));
   }
-  const auto run_sub = [this, &deadline](Sub& sub) {
+  const auto run_sub = [this, &deadline, trace, parent_span_id](Sub& sub) {
     try {
-      sub.response = cloud::RankedSearchResponse::deserialize(shard_call(
-          sub.shard, cloud::MessageType::kMultiSearch, sub.request, deadline));
+      sub.response = cloud::RankedSearchResponse::deserialize(
+          shard_call(sub.shard, cloud::MessageType::kMultiSearch, sub.request,
+                     deadline, trace, parent_span_id));
       sub.ok = true;
     } catch (const Error&) {
       // Whole shard down after failover: degrade below.
@@ -258,33 +293,37 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
   for (cloud::RankedFile& f : resp.files)
     if (f.blob.empty()) missing.push_back({ir::value(f.id), &f.blob});
   bool degraded = false;
-  fetch_and_fill(missing, shards_.size(), &degraded, deadline);  // no shard to skip
+  // No shard to skip.
+  fetch_and_fill(missing, shards_.size(), &degraded, deadline, trace, parent_span_id);
   if (degraded) resp.partial = true;
   return resp;
 }
 
 cloud::FetchFilesResponse ClusterCoordinator::do_fetch_files(
-    const cloud::FetchFilesRequest& req, bool* degraded, const Deadline& deadline) {
+    const cloud::FetchFilesRequest& req, bool* degraded, const Deadline& deadline,
+    obs::TraceRecorder* trace, std::uint64_t parent_span_id) {
   cloud::FetchFilesResponse resp;
   resp.files.reserve(req.ids.size());
   for (sse::FileId id : req.ids) resp.files.push_back(cloud::RankedFile{id, 0, {}});
   std::vector<std::pair<std::uint64_t, Bytes*>> wanted;
   wanted.reserve(resp.files.size());
   for (cloud::RankedFile& f : resp.files) wanted.push_back({ir::value(f.id), &f.blob});
-  fetch_and_fill(wanted, shards_.size(), degraded, deadline);
+  fetch_and_fill(wanted, shards_.size(), degraded, deadline, trace, parent_span_id);
   return resp;
 }
 
 Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
-                                   const Deadline& deadline) {
+                                   const Deadline& deadline,
+                                   obs::TraceRecorder* trace,
+                                   std::uint64_t parent_span_id) {
   switch (type) {
     case cloud::MessageType::kRankedSearch: {
-      auto resp = do_ranked_search(request, deadline);
+      auto resp = do_ranked_search(request, deadline, trace, parent_span_id);
       if (resp.partial) metrics_.record_partial();
       return resp.serialize();
     }
     case cloud::MessageType::kMultiSearch: {
-      auto resp = do_multi_search(request, deadline);
+      auto resp = do_multi_search(request, deadline, trace, parent_span_id);
       if (resp.partial) metrics_.record_partial();
       return resp.serialize();
     }
@@ -292,29 +331,45 @@ Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
       // Row-routed, no blobs to fill: pass the shard's answer through.
       const auto req = cloud::BasicEntriesRequest::deserialize(request);
       return shard_call(shard_map_.shard_of_label(req.trapdoor.label), type, request,
-                        deadline);
+                        deadline, trace, parent_span_id);
     }
     case cloud::MessageType::kBasicFiles: {
       const auto req = cloud::BasicEntriesRequest::deserialize(request);
       const std::size_t shard = shard_map_.shard_of_label(req.trapdoor.label);
       auto resp = cloud::BasicFilesResponse::deserialize(
-          shard_call(shard, type, request, deadline));
+          shard_call(shard, type, request, deadline, trace, parent_span_id));
       std::vector<std::pair<std::uint64_t, Bytes*>> missing;
       for (cloud::BasicFile& f : resp.files)
         if (f.blob.empty()) missing.push_back({ir::value(f.id), &f.blob});
       bool degraded = false;
-      fetch_and_fill(missing, shard, &degraded, deadline);
+      fetch_and_fill(missing, shard, &degraded, deadline, trace, parent_span_id);
       if (degraded) metrics_.record_partial();
       return resp.serialize();
     }
     case cloud::MessageType::kFetchFiles: {
       bool degraded = false;
       Bytes out = do_fetch_files(cloud::FetchFilesRequest::deserialize(request),
-                                 &degraded, deadline)
+                                 &degraded, deadline, trace, parent_span_id)
                       .serialize();
       if (degraded) metrics_.record_partial();
       return out;
     }
+    case cloud::MessageType::kStats: {
+      // The coordinator answers from its own registry: per-shard routing
+      // counters, replica failovers, latency histograms. The shards'
+      // rsse_server_* families are scraped from the shards themselves.
+      const auto req = cloud::StatsRequest::deserialize(request);
+      cloud::StatsResponse resp;
+      resp.text = req.format == cloud::StatsFormat::kPrometheus
+                      ? metrics_.registry().render_prometheus()
+                      : metrics_.registry().render_json();
+      return resp.serialize();
+    }
+    case cloud::MessageType::kTrace:
+      // The coordinator keeps no slow-query log of its own; clients trace
+      // cluster queries end to end with their own TraceRecorder, and each
+      // shard's log is served shard-direct.
+      throw ProtocolError("ClusterCoordinator: trace log is shard-direct");
     case cloud::MessageType::kSnapshot:
       // Snapshots are a replica-to-replica repair primitive; a cluster-wide
       // snapshot has no single owner to answer it.
@@ -325,10 +380,30 @@ Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
 
 Bytes ClusterCoordinator::call(cloud::MessageType type, BytesView request,
                                const Deadline& deadline) {
+  return call(type, request, deadline, nullptr, 0);
+}
+
+Bytes ClusterCoordinator::call(cloud::MessageType type, BytesView request,
+                               const Deadline& deadline, obs::TraceRecorder* trace,
+                               std::uint64_t parent_span_id) {
   const Deadline effective = deadline.tightened(options_.query_timeout);
-  Bytes response = dispatch(type, request, effective);
-  account(request.size() + 1, response.size());
-  return response;
+  obs::SpanScope span(trace, std::string("coordinator.") + message_name(type),
+                      "coordinator", parent_span_id);
+  try {
+    Bytes response = dispatch(type, request, effective, trace, span.span_id());
+    account(request.size() + 1, response.size());
+    bytes_up_total_->inc(request.size() + 1);
+    bytes_down_total_->inc(response.size());
+    return response;
+  } catch (const DeadlineExceeded&) {
+    deadline_expiries_->inc();
+    span.event("deadline_exceeded", "whole-query budget spent");
+    span.set_status("deadline_exceeded");
+    throw;
+  } catch (const Error&) {
+    span.set_status("error");
+    throw;
+  }
 }
 
 LocalCluster make_local_cluster(const sse::SecureIndex& index,

@@ -74,6 +74,13 @@ class ClusterCoordinator final : public cloud::Transport {
   Bytes call(cloud::MessageType type, BytesView request,
              const Deadline& deadline) override;
 
+  /// Traced RPC: records a "coordinator.<type>" root span over the whole
+  /// scatter-gather, with every shard sub-request contributing its
+  /// replica.call / replica.attempt spans (plus server-side spans from
+  /// trace-capable shards) parented under it. `trace` may be null.
+  Bytes call(cloud::MessageType type, BytesView request, const Deadline& deadline,
+             obs::TraceRecorder* trace, std::uint64_t parent_span_id) override;
+
   /// The routing geometry.
   [[nodiscard]] const ClusterManifest& manifest() const { return manifest_; }
   [[nodiscard]] const ShardMap& shard_map() const { return shard_map_; }
@@ -85,31 +92,44 @@ class ClusterCoordinator final : public cloud::Transport {
   /// Per-shard observability.
   [[nodiscard]] ClusterMetricsSnapshot metrics() const { return metrics_.snapshot(); }
 
+  /// The coordinator's metric registry (rsse_cluster_* families,
+  /// including every shard's ReplicaSet failure counters) — what a scrape
+  /// endpoint or the kStats handler renders.
+  [[nodiscard]] obs::MetricsRegistry& registry() const { return metrics_.registry(); }
+
   /// The shard's replica group (failover counters for tests/benches).
   [[nodiscard]] const ReplicaSet& shard(std::size_t i) const { return *shards_[i]; }
 
  private:
   /// call() without the traffic accounting.
-  Bytes dispatch(cloud::MessageType type, BytesView request, const Deadline& deadline);
+  Bytes dispatch(cloud::MessageType type, BytesView request, const Deadline& deadline,
+                 obs::TraceRecorder* trace, std::uint64_t parent_span_id);
 
   /// One sub-request to a shard, with failover, metrics and timing.
   Bytes shard_call(std::size_t shard, cloud::MessageType type, BytesView request,
-                   const Deadline& deadline);
+                   const Deadline& deadline, obs::TraceRecorder* trace,
+                   std::uint64_t parent_span_id);
 
   cloud::RankedSearchResponse do_ranked_search(BytesView payload,
-                                               const Deadline& deadline);
+                                               const Deadline& deadline,
+                                               obs::TraceRecorder* trace,
+                                               std::uint64_t parent_span_id);
   cloud::RankedSearchResponse do_multi_search(BytesView payload,
-                                              const Deadline& deadline);
+                                              const Deadline& deadline,
+                                              obs::TraceRecorder* trace,
+                                              std::uint64_t parent_span_id);
   cloud::FetchFilesResponse do_fetch_files(const cloud::FetchFilesRequest& req,
-                                           bool* degraded, const Deadline& deadline);
+                                           bool* degraded, const Deadline& deadline,
+                                           obs::TraceRecorder* trace,
+                                           std::uint64_t parent_span_id);
 
   /// Fills the pointed-at empty blobs by fetching from the owning file
   /// shards in parallel. `skip_shard` marks a shard whose empty answers
   /// are genuine absences (the responder itself) — pass num_shards to
   /// fetch everything. Sets *degraded when a file shard was unreachable.
   void fetch_and_fill(const std::vector<std::pair<std::uint64_t, Bytes*>>& missing,
-                      std::size_t skip_shard, bool* degraded,
-                      const Deadline& deadline);
+                      std::size_t skip_shard, bool* degraded, const Deadline& deadline,
+                      obs::TraceRecorder* trace, std::uint64_t parent_span_id);
 
   ClusterManifest manifest_;
   ShardMap shard_map_;
@@ -117,6 +137,10 @@ class ClusterCoordinator final : public cloud::Transport {
   CoordinatorOptions options_;
   ThreadPool pool_;
   ClusterMetrics metrics_;
+  // Cluster-wide transport counters in the same registry.
+  obs::Counter* deadline_expiries_ = nullptr;
+  obs::Counter* bytes_up_total_ = nullptr;
+  obs::Counter* bytes_down_total_ = nullptr;
 };
 
 /// An in-process cluster: N CloudServer shards behind one coordinator

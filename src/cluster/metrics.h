@@ -3,14 +3,27 @@
 // plus cluster-wide scatter-gather and degradation counters. Content-free
 // like the server's own metrics — the coordinator sees only what the
 // shards it queries already see.
+//
+// Backed by the unified obs::MetricsRegistry: every number lives in a
+// registry instrument under the rsse_cluster_* family prefix, so the
+// snapshot the tests assert on and a Prometheus scrape of the live
+// coordinator read the same counters. Registry families:
+//   rsse_cluster_requests_total{shard=...}                counter
+//   rsse_cluster_errors_total{shard=...}                  counter
+//   rsse_cluster_request_latency_seconds{shard=...}       histogram
+//   rsse_cluster_scatter_gathers_total                    counter
+//   rsse_cluster_partial_responses_total                  counter
+// (cluster/replica.h adds rsse_cluster_failovers_total /
+// failed_attempts_total / deadline_failures_total per shard to the same
+// registry via ReplicaSet::bind_metrics.)
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "cloud/metrics.h"
+#include "obs/metrics.h"
 
 namespace rsse::cluster {
 
@@ -39,46 +52,75 @@ struct ClusterMetricsSnapshot {
 class ClusterMetrics {
  public:
   explicit ClusterMetrics(std::size_t num_shards) {
+    const std::vector<double> bounds = obs::log_bounds();
     shards_.reserve(num_shards);
-    for (std::size_t i = 0; i < num_shards; ++i)
-      shards_.push_back(std::make_unique<PerShard>());
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      const obs::Labels labels = {{"shard", std::to_string(i)}};
+      PerShard shard;
+      shard.requests = &registry_.counter("rsse_cluster_requests_total",
+                                          "Sub-requests routed to this shard",
+                                          labels);
+      shard.errors = &registry_.counter(
+          "rsse_cluster_errors_total",
+          "Sub-requests that failed every replica of this shard", labels);
+      shard.latency = &registry_.histogram(
+          "rsse_cluster_request_latency_seconds",
+          "Replica-set call time in seconds, including retries", bounds, labels);
+      shards_.push_back(shard);
+    }
+    scatter_gathers_ = &registry_.counter("rsse_cluster_scatter_gathers_total",
+                                          "Multi-shard fan-out queries");
+    partial_responses_ = &registry_.counter(
+        "rsse_cluster_partial_responses_total",
+        "Degraded responses returned with their partial flag set");
   }
 
   void record_request(std::size_t shard, double seconds) {
-    ++shards_[shard]->requests;
-    shards_[shard]->latency.record(seconds);
+    shards_[shard].requests->inc();
+    shards_[shard].latency->observe(seconds);
   }
-  void record_error(std::size_t shard) { ++shards_[shard]->errors; }
-  void record_scatter_gather() { ++scatter_gathers_; }
-  void record_partial() { ++partial_responses_; }
+  void record_error(std::size_t shard) { shards_[shard].errors->inc(); }
+  void record_scatter_gather() { scatter_gathers_->inc(); }
+  void record_partial() { partial_responses_->inc(); }
 
   [[nodiscard]] ClusterMetricsSnapshot snapshot() const {
     ClusterMetricsSnapshot s;
     s.shards.reserve(shards_.size());
-    for (const auto& shard : shards_) {
+    for (const PerShard& shard : shards_) {
       ShardMetricsSnapshot per;
-      per.requests = shard->requests.load();
-      per.errors = shard->errors.load();
-      per.latency = shard->latency.snapshot();
+      per.requests = shard.requests->value();
+      per.errors = shard.errors->value();
+      per.latency.count = shard.latency->count();
+      if (per.latency.count > 0) {
+        per.latency.p50_seconds = shard.latency->quantile(0.50);
+        per.latency.p95_seconds = shard.latency->quantile(0.95);
+        per.latency.p99_seconds = shard.latency->quantile(0.99);
+      }
       s.shards.push_back(per);
     }
-    s.scatter_gathers = scatter_gathers_.load();
-    s.partial_responses = partial_responses_.load();
+    s.scatter_gathers = scatter_gathers_->value();
+    s.partial_responses = partial_responses_->value();
     return s;
   }
 
+  /// The backing registry — what the coordinator's kStats handler and a
+  /// scrape endpoint render, and where the per-shard ReplicaSets bind
+  /// their failure counters. Mutable by design: recording into metrics
+  /// does not logically mutate the coordinator.
+  [[nodiscard]] obs::MetricsRegistry& registry() const { return registry_; }
+
  private:
-  // Heap-allocated per-shard slots: atomics are not movable, and the
-  // vector is sized once at construction anyway.
+  // Cached instrument pointers (stable for the registry's lifetime).
   struct PerShard {
-    std::atomic<std::uint64_t> requests{0};
-    std::atomic<std::uint64_t> errors{0};
-    cloud::LatencyRecorder latency;
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::HistogramMetric* latency = nullptr;
   };
 
-  std::vector<std::unique_ptr<PerShard>> shards_;
-  std::atomic<std::uint64_t> scatter_gathers_{0};
-  std::atomic<std::uint64_t> partial_responses_{0};
+  mutable obs::MetricsRegistry registry_;
+  std::vector<PerShard> shards_;
+  obs::Counter* scatter_gathers_ = nullptr;
+  obs::Counter* partial_responses_ = nullptr;
 };
 
 }  // namespace rsse::cluster

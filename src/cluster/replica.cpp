@@ -38,17 +38,60 @@ std::size_t ReplicaSet::healthy_replicas() const {
   return healthy;
 }
 
+void ReplicaSet::bind_metrics(obs::MetricsRegistry& registry, const obs::Labels& labels) {
+  failovers_counter_ = &registry.counter(
+      "rsse_cluster_failovers_total",
+      "Calls that succeeded only after failing over off the preferred replica",
+      labels);
+  failed_attempts_counter_ = &registry.counter(
+      "rsse_cluster_failed_attempts_total",
+      "Individual replica attempts that failed (including later-recovered ones)",
+      labels);
+  deadline_failures_counter_ = &registry.counter(
+      "rsse_cluster_deadline_failures_total",
+      "Replica attempts that exhausted their time budget", labels);
+}
+
+void ReplicaSet::bump_failover() {
+  ++failovers_;
+  if (failovers_counter_) failovers_counter_->inc();
+}
+
+void ReplicaSet::bump_failed_attempt() {
+  ++failed_attempts_;
+  if (failed_attempts_counter_) failed_attempts_counter_->inc();
+}
+
+void ReplicaSet::bump_deadline_failure() {
+  ++deadline_failures_;
+  if (deadline_failures_counter_) deadline_failures_counter_->inc();
+}
+
 Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
                        const RetryPolicy& policy, const Deadline& deadline) {
+  return call(type, request, policy, deadline, nullptr, 0);
+}
+
+Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
+                       const RetryPolicy& policy, const Deadline& deadline,
+                       obs::TraceRecorder* trace, std::uint64_t parent_span_id) {
   detail::require(!replicas_.empty(), "ReplicaSet::call: no replicas");
   detail::require(policy.max_attempts > 0, "ReplicaSet::call: zero attempts");
 
+  obs::SpanScope span(trace, "replica.call", node_name_, parent_span_id);
   const std::size_t preferred = preferred_.load() % replicas_.size();
   std::exception_ptr last_error;
   std::chrono::milliseconds backoff = policy.base_backoff;
 
   for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
-    deadline.check("ReplicaSet::call");
+    try {
+      deadline.check("ReplicaSet::call");
+    } catch (const DeadlineExceeded&) {
+      span.event("deadline_exceeded", "overall budget spent before attempt " +
+                                          std::to_string(attempt));
+      span.set_status("deadline_exceeded");
+      throw;
+    }
     // Candidate order: preferred first, then round-robin. A replica in
     // failure cooldown is skipped unless every replica is down (then we
     // try anyway — a request beats a guaranteed failure).
@@ -94,33 +137,58 @@ Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
           }
           if (!lock.owns_lock()) lock.lock();
         }
-        response = replicas_[index]->transport->call(type, request, attempt_deadline);
+        obs::SpanScope attempt_span(trace, "replica.attempt",
+                                    node_name_ + "/replica" + std::to_string(index),
+                                    span.span_id());
+        try {
+          response = replicas_[index]->transport->call(
+              type, request, attempt_deadline, trace, attempt_span.span_id());
+        } catch (const DeadlineExceeded&) {
+          attempt_span.set_status("deadline_exceeded");
+          throw;
+        } catch (const Error&) {
+          attempt_span.set_status("error");
+          throw;
+        }
       }
       replicas_[index]->down_until_ns.store(0);
       if (routed != preferred) {
-        ++failovers_;
+        bump_failover();
+        span.event("failover", "replica " + std::to_string(preferred) + " -> " +
+                                   std::to_string(routed));
         preferred_.store(routed);
       }
       return response;
     } catch (const DeadlineExceeded&) {
-      ++failed_attempts_;
-      ++deadline_failures_;
+      bump_failed_attempt();
+      bump_deadline_failure();
       mark_down(*replicas_[index], policy);
+      span.event("deadline_exceeded",
+                 "attempt " + std::to_string(attempt) + " on replica " +
+                     std::to_string(index) + " ran out of budget");
       // The overall budget is gone: surface it. Only the per-attempt cap
       // fired: fail over to the next replica like any other failure.
-      if (deadline.expired()) throw;
+      if (deadline.expired()) {
+        span.set_status("deadline_exceeded");
+        throw;
+      }
       last_error = std::current_exception();
     } catch (const Error&) {
-      ++failed_attempts_;
+      bump_failed_attempt();
       mark_down(*replicas_[index], policy);
+      span.event("attempt_failed", "attempt " + std::to_string(attempt) +
+                                       " on replica " + std::to_string(index));
       last_error = std::current_exception();
     }
     if (attempt + 1 < policy.max_attempts) {
       const auto remaining = deadline.remaining();
+      span.event("retry", "backoff " + std::to_string(backoff.count()) +
+                              "ms before attempt " + std::to_string(attempt + 1));
       std::this_thread::sleep_for(std::min(backoff, remaining));
       backoff = std::min(backoff * 2, policy.max_backoff);
     }
   }
+  span.set_status("error");
   std::rethrow_exception(last_error);
 }
 

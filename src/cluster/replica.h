@@ -18,9 +18,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "cloud/channel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 
 namespace rsse::cluster {
@@ -61,6 +64,25 @@ class ReplicaSet {
   Bytes call(cloud::MessageType type, BytesView request, const RetryPolicy& policy,
              const Deadline& deadline = {});
 
+  /// Traced call(): records a "replica.call" span (with retry / failover
+  /// / deadline events) plus one "replica.attempt" child span per try,
+  /// and propagates the context to the replica transports so server-side
+  /// spans parent correctly. `trace` may be null (then exactly call()).
+  Bytes call(cloud::MessageType type, BytesView request, const RetryPolicy& policy,
+             const Deadline& deadline, obs::TraceRecorder* trace,
+             std::uint64_t parent_span_id);
+
+  /// Names this set in spans and metric labels ("shard0", ...). Default
+  /// "replicas". Set before serving traffic.
+  void set_node_name(std::string name) { node_name_ = std::move(name); }
+  [[nodiscard]] const std::string& node_name() const { return node_name_; }
+
+  /// Mirrors the failure counters into `registry` under
+  /// rsse_cluster_failovers_total / failed_attempts_total /
+  /// deadline_failures_total with `labels` (e.g. {{"shard","2"}}). The
+  /// atomic accessors below keep working either way.
+  void bind_metrics(obs::MetricsRegistry& registry, const obs::Labels& labels);
+
   /// Health check: pings every replica with a zero-file fetch and updates
   /// its health state. Returns the number of replicas that answered.
   std::size_t probe(const RetryPolicy& policy);
@@ -91,12 +113,20 @@ class ReplicaSet {
   [[nodiscard]] static std::int64_t now_ns();
   [[nodiscard]] bool is_down(const Replica& replica) const;
   void mark_down(Replica& replica, const RetryPolicy& policy);
+  void bump_failover();
+  void bump_failed_attempt();
+  void bump_deadline_failure();
 
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::atomic<std::size_t> preferred_{0};
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> failed_attempts_{0};
   std::atomic<std::uint64_t> deadline_failures_{0};
+  // Optional registry mirrors (bind_metrics).
+  obs::Counter* failovers_counter_ = nullptr;
+  obs::Counter* failed_attempts_counter_ = nullptr;
+  obs::Counter* deadline_failures_counter_ = nullptr;
+  std::string node_name_ = "replicas";
 };
 
 }  // namespace rsse::cluster

@@ -15,6 +15,20 @@ FaultInjectingTransport::FaultInjectingTransport(
 
 Bytes FaultInjectingTransport::call(cloud::MessageType type, BytesView request,
                                     const Deadline& deadline) {
+  return call_impl(type, request, deadline, nullptr, 0);
+}
+
+Bytes FaultInjectingTransport::call(cloud::MessageType type, BytesView request,
+                                    const Deadline& deadline,
+                                    obs::TraceRecorder* trace,
+                                    std::uint64_t parent_span_id) {
+  return call_impl(type, request, deadline, trace, parent_span_id);
+}
+
+Bytes FaultInjectingTransport::call_impl(cloud::MessageType type, BytesView request,
+                                         const Deadline& deadline,
+                                         obs::TraceRecorder* trace,
+                                         std::uint64_t parent_span_id) {
   const FaultDecision decision = schedule_.next();
   switch (decision.kind) {
     case FaultKind::kNone:
@@ -34,14 +48,14 @@ Bytes FaultInjectingTransport::call(cloud::MessageType type, BytesView request,
     case FaultKind::kErrorFrame:
       throw ProtocolError("fault: injected server error frame");
     case FaultKind::kTruncate: {
-      Bytes response = inner_->call(type, request, deadline);
+      Bytes response = inner_->call(type, request, deadline, trace, parent_span_id);
       if (!response.empty())
         response.resize(decision.entropy % response.size());
       account(request.size() + 1, response.size());
       return response;
     }
     case FaultKind::kBitFlip: {
-      Bytes response = inner_->call(type, request, deadline);
+      Bytes response = inner_->call(type, request, deadline, trace, parent_span_id);
       if (!response.empty()) {
         const std::uint64_t bit = decision.entropy % (response.size() * 8);
         response[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
@@ -50,7 +64,7 @@ Bytes FaultInjectingTransport::call(cloud::MessageType type, BytesView request,
       return response;
     }
   }
-  Bytes response = inner_->call(type, request, deadline);
+  Bytes response = inner_->call(type, request, deadline, trace, parent_span_id);
   account(request.size() + 1, response.size());
   return response;
 }

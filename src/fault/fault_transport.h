@@ -35,6 +35,13 @@ class FaultInjectingTransport final : public cloud::Transport {
   Bytes call(cloud::MessageType type, BytesView request,
              const Deadline& deadline) override;
 
+  /// Traced RPC: the decorator is transparent to tracing — the context
+  /// passes through to the inner transport, so injected failures show up
+  /// in the caller's spans as what they imitate (a failed or hung
+  /// attempt), not as an extra hop.
+  Bytes call(cloud::MessageType type, BytesView request, const Deadline& deadline,
+             obs::TraceRecorder* trace, std::uint64_t parent_span_id) override;
+
   /// What has been injected so far.
   [[nodiscard]] FaultCounters counters() const { return schedule_.counters(); }
 
@@ -42,6 +49,9 @@ class FaultInjectingTransport final : public cloud::Transport {
   [[nodiscard]] cloud::Transport& inner() { return *inner_; }
 
  private:
+  Bytes call_impl(cloud::MessageType type, BytesView request, const Deadline& deadline,
+                  obs::TraceRecorder* trace, std::uint64_t parent_span_id);
+
   std::unique_ptr<cloud::Transport> inner_;
   FaultSchedule schedule_;
 };

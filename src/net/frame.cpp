@@ -41,12 +41,30 @@ void send_request(const Socket& socket, cloud::MessageType type, BytesView paylo
   send_framed(socket, static_cast<std::uint8_t>(type), payload, deadline);
 }
 
+void send_request(const Socket& socket, cloud::MessageType type, BytesView payload,
+                  const obs::TraceContext& trace, const Deadline& deadline) {
+  detail::require(trace.active(), "send_request: trace context must be active");
+  Bytes body;
+  body.reserve(obs::TraceContext::kWireSize + payload.size());
+  trace.encode(body);
+  append(body, payload);
+  send_framed(socket, static_cast<std::uint8_t>(type) | kTraceFlag, body, deadline);
+}
+
 std::optional<RequestFrame> recv_request(const Socket& socket, const Deadline& deadline) {
   std::uint8_t tag = 0;
   Bytes payload;
   if (!recv_framed(socket, tag, payload, deadline)) return std::nullopt;
   RequestFrame frame;
-  frame.type = static_cast<cloud::MessageType>(tag);
+  if (tag & kTraceFlag) {
+    if (payload.size() < obs::TraceContext::kWireSize)
+      throw ProtocolError("request: truncated trace context");
+    ByteReader reader(payload);
+    frame.trace = obs::TraceContext::decode(reader);
+    payload.erase(payload.begin(),
+                  payload.begin() + static_cast<std::ptrdiff_t>(obs::TraceContext::kWireSize));
+  }
+  frame.type = static_cast<cloud::MessageType>(tag & ~kTraceFlag);
   frame.payload = std::move(payload);
   return frame;
 }
@@ -55,18 +73,53 @@ void send_response_ok(const Socket& socket, BytesView payload, const Deadline& d
   send_framed(socket, 0x00, payload, deadline);
 }
 
+void send_response_ok_traced(const Socket& socket, BytesView payload,
+                             const std::vector<obs::Span>& spans,
+                             const Deadline& deadline) {
+  const Bytes span_bytes = obs::serialize_spans(spans);
+  Bytes body;
+  body.reserve(4 + span_bytes.size() + payload.size());
+  append_u32(body, static_cast<std::uint32_t>(span_bytes.size()));
+  append(body, span_bytes);
+  append(body, payload);
+  send_framed(socket, 0x02, body, deadline);
+}
+
 void send_response_error(const Socket& socket, std::string_view message,
                          const Deadline& deadline) {
   send_framed(socket, 0x01, to_bytes(message), deadline);
 }
 
+namespace {
+
+// Splits a tag-2 body into (spans, payload).
+TracedResponse parse_traced_body(Bytes body) {
+  if (body.size() < 4) throw ProtocolError("response: truncated trace block");
+  std::uint32_t span_len = 0;
+  for (int i = 0; i < 4; ++i) span_len |= static_cast<std::uint32_t>(body[i]) << (8 * i);
+  if (body.size() < 4 + static_cast<std::size_t>(span_len))
+    throw ProtocolError("response: trace block exceeds frame");
+  TracedResponse out;
+  out.spans = obs::deserialize_spans(
+      BytesView(body.data() + 4, span_len));
+  out.payload.assign(body.begin() + 4 + static_cast<std::ptrdiff_t>(span_len), body.end());
+  return out;
+}
+
+}  // namespace
+
 Bytes recv_response(const Socket& socket, const Deadline& deadline) {
+  return recv_response_traced(socket, deadline).payload;
+}
+
+TracedResponse recv_response_traced(const Socket& socket, const Deadline& deadline) {
   std::uint8_t tag = 0;
   Bytes payload;
   if (!recv_framed(socket, tag, payload, deadline))
     throw ProtocolError("response: connection closed");
-  if (tag == 0x00) return payload;
+  if (tag == 0x00) return TracedResponse{std::move(payload), {}};
   if (tag == 0x01) throw ProtocolError("server error: " + to_string(payload));
+  if (tag == 0x02) return parse_traced_body(std::move(payload));
   throw ProtocolError("response: unknown status tag");
 }
 

@@ -7,28 +7,59 @@
 // rethrows it as ProtocolError. Frames are capped at 256 MiB so a
 // corrupted length cannot exhaust memory (same hardening as
 // ByteReader::read_count).
+//
+// Trace extension (backward compatible). A traced request sets the high
+// bit of the type byte (MessageType values stay below 0x80) and prefixes
+// the payload with a 17-byte obs::TraceContext; the 4-byte length covers
+// both. A frame without the bit is byte-identical to the pre-extension
+// format, so old peers interoperate untouched — an old *server* that
+// receives a flagged request rejects it as an unknown message type (an
+// error response, not a hang), which the client uses to detect the old
+// peer and retry untraced (net::RemoteChannel). A traced response uses
+// status tag 2 ("ok + trace") whose payload is
+// [4 bytes LE span length][serialized spans][response payload]; servers
+// only ever send tag 2 in reply to a flagged request, so an old client
+// never sees it.
 #pragma once
 
 #include <optional>
 
 #include "cloud/protocol.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 
 namespace rsse::net {
 
 /// Largest accepted frame payload.
 inline constexpr std::uint32_t kMaxFrameSize = 256u * 1024 * 1024;
 
-/// One parsed request frame.
+/// High bit of the request type byte: payload starts with a TraceContext.
+inline constexpr std::uint8_t kTraceFlag = 0x80;
+
+/// One parsed request frame. `trace` is set when the peer flagged the
+/// frame; the context bytes are already stripped from `payload`.
 struct RequestFrame {
   cloud::MessageType type{};
   Bytes payload;
+  std::optional<obs::TraceContext> trace;
+};
+
+/// A response carrying piggybacked trace spans (empty when the server
+/// sent a plain ok).
+struct TracedResponse {
+  Bytes payload;
+  std::vector<obs::Span> spans;
 };
 
 /// Writes a request frame. Throws DeadlineExceeded when the budget runs
-/// out mid-write (all four helpers; default deadline = unlimited).
+/// out mid-write (all helpers; default deadline = unlimited).
 void send_request(const Socket& socket, cloud::MessageType type, BytesView payload,
                   const Deadline& deadline = {});
+
+/// Writes a trace-flagged request frame carrying `trace` ahead of the
+/// payload. `trace` must be active.
+void send_request(const Socket& socket, cloud::MessageType type, BytesView payload,
+                  const obs::TraceContext& trace, const Deadline& deadline = {});
 
 /// Reads the next request frame; nullopt on clean EOF.
 /// Throws ProtocolError on malformed frames or transport errors.
@@ -39,12 +70,24 @@ std::optional<RequestFrame> recv_request(const Socket& socket,
 void send_response_ok(const Socket& socket, BytesView payload,
                       const Deadline& deadline = {});
 
+/// Writes a success response with piggybacked spans (tag 2). Only valid
+/// in reply to a trace-flagged request.
+void send_response_ok_traced(const Socket& socket, BytesView payload,
+                             const std::vector<obs::Span>& spans,
+                             const Deadline& deadline = {});
+
 /// Writes an error response carrying `message`.
 void send_response_error(const Socket& socket, std::string_view message,
                          const Deadline& deadline = {});
 
 /// Reads a response; returns the payload on success and throws
 /// ProtocolError carrying the server's message on an error response.
+/// Accepts traced (tag 2) responses and discards their spans.
 Bytes recv_response(const Socket& socket, const Deadline& deadline = {});
+
+/// Reads a response, keeping any piggybacked spans. Throws ProtocolError
+/// on error responses, like recv_response.
+TracedResponse recv_response_traced(const Socket& socket,
+                                    const Deadline& deadline = {});
 
 }  // namespace rsse::net

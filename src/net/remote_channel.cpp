@@ -53,6 +53,38 @@ Bytes RemoteChannel::call(cloud::MessageType type, BytesView request,
   }
 }
 
+Bytes RemoteChannel::call(cloud::MessageType type, BytesView request,
+                          const Deadline& deadline, obs::TraceRecorder* trace,
+                          std::uint64_t parent_span_id) {
+  if (trace == nullptr || !peer_supports_trace()) {
+    return call(type, request, deadline);
+  }
+  obs::TraceContext ctx;
+  ctx.trace_id = trace->trace_id();
+  ctx.parent_span_id = parent_span_id;
+  ctx.sampled = true;
+  try {
+    send_request(socket_, type, request, ctx, deadline);
+    TracedResponse response = recv_response_traced(socket_, deadline);
+    trace->add_all(std::move(response.spans));
+    account(request.size() + 5 + obs::TraceContext::kWireSize,
+            response.payload.size() + 5);
+    return std::move(response.payload);
+  } catch (const DeadlineExceeded&) {
+    disconnect();
+    throw;
+  } catch (const ProtocolError& e) {
+    // An old server parses the flagged type byte as an unknown message
+    // type and answers with an error frame (the connection stays in
+    // sync). Mark the peer and retry this call untraced.
+    if (std::string(e.what()).find("unknown message type") != std::string::npos) {
+      peer_supports_trace_.store(false, std::memory_order_relaxed);
+      return call(type, request, deadline);
+    }
+    throw;
+  }
+}
+
 void RemoteChannel::disconnect() {
   socket_.shutdown_write();
   socket_.close();

@@ -5,11 +5,13 @@
 // interface.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
 #include "cloud/channel.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 
 namespace rsse::net {
 
@@ -42,11 +44,27 @@ class RemoteChannel final : public cloud::Transport {
   Bytes call(cloud::MessageType type, BytesView request,
              const Deadline& deadline) override;
 
+  /// Traced RPC: sends the trace context on a flagged frame and merges
+  /// the spans the server piggybacks on its reply. Version negotiation is
+  /// lazy: the first flagged request an old server rejects ("unknown
+  /// message type" — it sees the flag bit as part of the type byte) marks
+  /// the peer trace-incapable and is retried untraced on the same
+  /// connection; later calls skip the flag outright. New servers never
+  /// reject the flag, so the downgrade only ever fires against old peers.
+  Bytes call(cloud::MessageType type, BytesView request, const Deadline& deadline,
+             obs::TraceRecorder* trace, std::uint64_t parent_span_id) override;
+
+  /// False once the peer has rejected a trace-flagged frame.
+  [[nodiscard]] bool peer_supports_trace() const {
+    return peer_supports_trace_.load(std::memory_order_relaxed);
+  }
+
   /// Closes the connection (subsequent calls throw).
   void disconnect();
 
  private:
   Socket socket_;
+  std::atomic<bool> peer_supports_trace_{true};
 };
 
 }  // namespace rsse::net

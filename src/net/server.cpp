@@ -8,7 +8,16 @@
 namespace rsse::net {
 
 NetworkServer::NetworkServer(const cloud::CloudServer& server, std::uint16_t port)
-    : server_(server), listener_(port) {
+    : server_(server),
+      bytes_in_(server.metrics().registry().counter(
+          "rsse_server_bytes_in_total", "Request payload bytes received")),
+      bytes_out_(server.metrics().registry().counter(
+          "rsse_server_bytes_out_total", "Response payload bytes sent")),
+      connections_total_(server.metrics().registry().counter(
+          "rsse_server_connections_total", "Client connections accepted")),
+      active_connections_(server.metrics().registry().gauge(
+          "rsse_server_active_connections", "Currently open client connections")),
+      listener_(port) {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -47,6 +56,8 @@ void NetworkServer::accept_loop() {
 }
 
 void NetworkServer::serve_connection(const std::shared_ptr<Socket>& connection) {
+  connections_total_.inc();
+  active_connections_.add(1);
   try {
     while (!stopping_.load()) {
       const auto request = recv_request(*connection);
@@ -54,9 +65,21 @@ void NetworkServer::serve_connection(const std::shared_ptr<Socket>& connection) 
       // Count before responding so the total is visible to any client
       // that has already seen its response.
       ++requests_;
+      bytes_in_.inc(request->payload.size());
       try {
-        const Bytes response = server_.handle(request->type, request->payload);
-        send_response_ok(*connection, response);
+        if (request->trace && request->trace->active()) {
+          // Traced request: dispatch through the traced handler and ship
+          // the recorded spans back piggybacked on the response.
+          std::vector<obs::Span> spans;
+          const Bytes response =
+              server_.handle(request->type, request->payload, *request->trace, &spans);
+          bytes_out_.inc(response.size());
+          send_response_ok_traced(*connection, response, spans);
+        } else {
+          const Bytes response = server_.handle(request->type, request->payload);
+          bytes_out_.inc(response.size());
+          send_response_ok(*connection, response);
+        }
       } catch (const Error& e) {
         // Library-level rejection (bad payload, unknown type): report to
         // the client, keep the connection usable.
@@ -66,6 +89,7 @@ void NetworkServer::serve_connection(const std::shared_ptr<Socket>& connection) 
   } catch (const Error&) {
     // Transport failure (peer vanished mid-frame): drop the connection.
   }
+  active_connections_.sub(1);
 }
 
 }  // namespace rsse::net

@@ -4,6 +4,13 @@
 // open across searches). Request handling delegates to
 // CloudServer::handle, so the network layer adds no protocol logic of its
 // own; library errors travel back to the client as error frames.
+//
+// Observability: trace-flagged requests dispatch to the traced
+// CloudServer::handle and the recorded spans ride back on a tag-2
+// response. The server also contributes transport-level families
+// (rsse_server_bytes_in_total / bytes_out_total / connections_total /
+// active_connections) to the CloudServer's metrics registry, so one
+// scrape shows protocol and transport counters side by side.
 #pragma once
 
 #include <atomic>
@@ -15,6 +22,7 @@
 
 #include "cloud/cloud_server.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace rsse::net {
 
@@ -47,6 +55,13 @@ class NetworkServer {
   void serve_connection(const std::shared_ptr<Socket>& connection);
 
   const cloud::CloudServer& server_;
+  // Transport-level instruments, registered in the CloudServer's registry
+  // (registration is idempotent, so several NetworkServers fronting one
+  // CloudServer share the same counters).
+  obs::Counter& bytes_in_;
+  obs::Counter& bytes_out_;
+  obs::Counter& connections_total_;
+  obs::Gauge& active_connections_;
   TcpListener listener_;
   std::atomic<bool> stopping_{false};
   // Serializes concurrent stop() calls: a second caller must wait for the

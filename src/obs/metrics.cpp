@@ -1,0 +1,335 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "util/errors.h"
+#include "util/histogram.h"
+
+namespace rsse::obs {
+namespace {
+
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name.front())) || name.front() == '_')) {
+    return false;
+  }
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  });
+}
+
+// Prometheus label values escape backslash, double-quote and newline.
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// JSON string escape (control characters, quote, backslash).
+std::string escape_json(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Formats a double the way Prometheus clients do: shortest round-trip-ish
+// representation, +Inf for infinity.
+std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+// Renders {a="x",b="y"} (empty string when there are no labels).
+std::string label_block(const Labels& labels, const Labels& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto* set : {&labels, &extra}) {
+    for (const auto& [key, value] : *set) {
+      if (!first) out += ",";
+      first = false;
+      out += key + "=\"" + escape_label(value) + "\"";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+// Same, with one extra label appended (histogram `le`).
+std::string label_block_with(const Labels& labels, const Labels& extra,
+                            const std::string& key, const std::string& value) {
+  Labels merged = labels;
+  merged.emplace_back(key, value);
+  return label_block(merged, extra);
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  detail::require(!bounds_.empty(), "HistogramMetric: bounds must be non-empty");
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    detail::require(bounds_[i] < bounds_[i + 1],
+                    "HistogramMetric: bounds must be strictly ascending");
+  }
+}
+
+void HistogramMetric::observe(double value) {
+  // Prometheus bucket semantics: bucket i counts values <= bounds_[i];
+  // everything above the last finite bound lands in the +Inf bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> HistogramMetric::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
+  return out;
+}
+
+double HistogramMetric::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double HistogramMetric::quantile(double q) const {
+  std::vector<std::uint64_t> counts = bucket_counts();
+  // Fold the +Inf bucket into the last finite one so the quantile clamps
+  // at the configured top bound instead of extrapolating to infinity.
+  counts[counts.size() - 2] += counts.back();
+  counts.pop_back();
+  std::vector<double> edges;
+  edges.reserve(bounds_.size() + 1);
+  // The first bucket spans (-inf, bounds_[0]]; anchor its lower edge at 0
+  // for non-negative quantities (latencies, sizes) — or at the bound
+  // itself when the bound is negative, degenerating gracefully.
+  edges.push_back(std::min(0.0, bounds_.front()));
+  // Keep edges strictly ascending even when bounds_.front() == 0.
+  if (edges.front() == bounds_.front()) edges.front() = bounds_.front() - 1.0;
+  for (double b : bounds_) edges.push_back(b);
+  return binned_quantile(edges, counts, q);
+}
+
+void HistogramMetric::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> log_bounds(double lo, double hi, std::size_t per_decade) {
+  detail::require(lo > 0 && hi > lo, "log_bounds: need 0 < lo < hi");
+  detail::require(per_decade > 0, "log_bounds: per_decade must be positive");
+  std::vector<double> bounds;
+  const double lg_lo = std::log10(lo);
+  const double lg_hi = std::log10(hi);
+  const auto steps =
+      static_cast<std::size_t>(std::ceil((lg_hi - lg_lo) * static_cast<double>(per_decade) - 1e-9));
+  bounds.reserve(steps + 1);
+  for (std::size_t i = 0; i <= steps; ++i) {
+    const double lg = lg_lo + static_cast<double>(i) / static_cast<double>(per_decade);
+    bounds.push_back(std::pow(10.0, std::min(lg, lg_hi)));
+  }
+  return bounds;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_of(const std::string& name,
+                                                    const std::string& help,
+                                                    Type type) {
+  detail::require(valid_name(name), "MetricsRegistry: invalid metric name: " + name);
+  for (auto& family : families_) {
+    if (family.name == name) {
+      detail::require(family.type == type,
+                      "MetricsRegistry: metric re-registered with a different type: " + name);
+      return family;
+    }
+  }
+  families_.push_back(Family{name, help, type, {}});
+  return families_.back();
+}
+
+MetricsRegistry::Series& MetricsRegistry::series_of(Family& family, const Labels& labels) {
+  for (const auto& [key, value] : labels) {
+    detail::require(valid_name(key), "MetricsRegistry: invalid label name: " + key);
+  }
+  for (auto& series : family.series) {
+    if (series.labels == labels) return series;
+  }
+  family.series.push_back(Series{labels, nullptr, nullptr, nullptr});
+  return family.series.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  const Labels& labels) {
+  const std::lock_guard lock(mutex_);
+  Series& series = series_of(family_of(name, help, Type::kCounter), labels);
+  if (!series.counter) series.counter = std::make_unique<Counter>();
+  return *series.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  const std::lock_guard lock(mutex_);
+  Series& series = series_of(family_of(name, help, Type::kGauge), labels);
+  if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+  return *series.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            const std::string& help,
+                                            const std::vector<double>& bounds,
+                                            const Labels& labels) {
+  const std::lock_guard lock(mutex_);
+  Series& series = series_of(family_of(name, help, Type::kHistogram), labels);
+  if (!series.histogram) series.histogram = std::make_unique<HistogramMetric>(bounds);
+  return *series.histogram;
+}
+
+std::size_t MetricsRegistry::family_count() const {
+  const std::lock_guard lock(mutex_);
+  return families_.size();
+}
+
+std::string MetricsRegistry::render_prometheus(const Labels& extra) const {
+  const std::lock_guard lock(mutex_);
+  std::string out;
+  for (const auto& family : families_) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " ";
+    switch (family.type) {
+      case Type::kCounter: out += "counter\n"; break;
+      case Type::kGauge: out += "gauge\n"; break;
+      case Type::kHistogram: out += "histogram\n"; break;
+    }
+    for (const auto& series : family.series) {
+      switch (family.type) {
+        case Type::kCounter:
+          out += family.name + label_block(series.labels, extra) + " " +
+                 std::to_string(series.counter->value()) + "\n";
+          break;
+        case Type::kGauge:
+          out += family.name + label_block(series.labels, extra) + " " +
+                 std::to_string(series.gauge->value()) + "\n";
+          break;
+        case Type::kHistogram: {
+          const HistogramMetric& h = *series.histogram;
+          const std::vector<std::uint64_t> counts = h.bucket_counts();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += counts[i];
+            out += family.name + "_bucket" +
+                   label_block_with(series.labels, extra, "le",
+                                    format_double(h.bounds()[i])) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          cumulative += counts.back();
+          out += family.name + "_bucket" +
+                 label_block_with(series.labels, extra, "le", "+Inf") + " " +
+                 std::to_string(cumulative) + "\n";
+          out += family.name + "_sum" + label_block(series.labels, extra) + " " +
+                 format_double(h.sum()) + "\n";
+          out += family.name + "_count" + label_block(series.labels, extra) + " " +
+                 std::to_string(h.count()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_json() const {
+  const std::lock_guard lock(mutex_);
+  std::string out = "{\"families\":[";
+  for (std::size_t f = 0; f < families_.size(); ++f) {
+    const auto& family = families_[f];
+    if (f > 0) out += ",";
+    out += "{\"name\":\"" + escape_json(family.name) + "\",\"type\":\"";
+    switch (family.type) {
+      case Type::kCounter: out += "counter"; break;
+      case Type::kGauge: out += "gauge"; break;
+      case Type::kHistogram: out += "histogram"; break;
+    }
+    out += "\",\"help\":\"" + escape_json(family.help) + "\",\"series\":[";
+    for (std::size_t s = 0; s < family.series.size(); ++s) {
+      const auto& series = family.series[s];
+      if (s > 0) out += ",";
+      out += "{\"labels\":{";
+      for (std::size_t l = 0; l < series.labels.size(); ++l) {
+        if (l > 0) out += ",";
+        out += "\"" + escape_json(series.labels[l].first) + "\":\"" +
+               escape_json(series.labels[l].second) + "\"";
+      }
+      out += "},";
+      switch (family.type) {
+        case Type::kCounter:
+          out += "\"value\":" + std::to_string(series.counter->value());
+          break;
+        case Type::kGauge:
+          out += "\"value\":" + std::to_string(series.gauge->value());
+          break;
+        case Type::kHistogram: {
+          const HistogramMetric& h = *series.histogram;
+          out += "\"count\":" + std::to_string(h.count()) +
+                 ",\"sum\":" + format_double(h.sum()) +
+                 ",\"p50\":" + format_double(h.quantile(0.50)) +
+                 ",\"p95\":" + format_double(h.quantile(0.95)) +
+                 ",\"p99\":" + format_double(h.quantile(0.99));
+          break;
+        }
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  const std::lock_guard lock(mutex_);
+  for (auto& family : families_) {
+    for (auto& series : family.series) {
+      if (series.counter) series.counter->reset();
+      if (series.gauge) series.gauge->reset();
+      if (series.histogram) series.histogram->reset();
+    }
+  }
+}
+
+}  // namespace rsse::obs

@@ -1,0 +1,182 @@
+// The unified metrics registry: named counters, gauges and fixed-bucket
+// histograms shared by every layer of the serving system (cloud server,
+// network front end, cluster coordinator, replica sets).
+//
+// Design constraints, in order:
+//   * Lock-free hot path. Recording a sample is a relaxed atomic add on a
+//     pre-registered instrument — no map lookup, no string formatting, no
+//     mutex — so the request path pays nanoseconds for its accounting.
+//     Registration (name + labels -> instrument) happens once at
+//     construction time under a mutex and returns a stable reference.
+//   * One observability surface. The same registry renders Prometheus
+//     text exposition (for the HTTP scrape endpoint), a JSON snapshot
+//     (for tooling), and answers the kStats protocol message, so every
+//     export path agrees by construction.
+//   * Content-free. Metric names and label values are chosen by the code,
+//     never derived from query content: counting requests, bytes and
+//     service times reveals nothing the honest-but-curious server does
+//     not already see. Trapdoor labels and ciphertexts never enter a
+//     metric label.
+//
+// Histogram quantiles delegate to util/histogram's binned_quantile — the
+// single binned-quantile implementation in the library (see that header).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rsse::obs {
+
+/// Label set of one series: ordered (key, value) pairs.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// A monotonically increasing count. Lock-free.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that can go up and down. Lock-free.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(std::int64_t d) { value_.fetch_sub(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A histogram over fixed, ascending upper bucket bounds (Prometheus
+/// semantics: bucket i counts observations <= bounds[i]; one implicit
+/// +Inf bucket catches the rest). observe() is lock-free: a binary search
+/// over the immutable bounds, one relaxed bucket add, one CAS-loop add to
+/// the running sum.
+class HistogramMetric {
+ public:
+  /// Throws InvalidArgument when `bounds` is empty or not strictly
+  /// ascending.
+  explicit HistogramMetric(std::vector<double> bounds);
+
+  /// Records one observation.
+  void observe(double value);
+
+  /// The configured finite upper bounds.
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Per-bucket counts (bounds().size() + 1 entries; last = +Inf bucket).
+  /// Weakly consistent under concurrent observation, like every snapshot
+  /// here — fine for monitoring.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Total observations.
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Sum of all observed values.
+  [[nodiscard]] double sum() const;
+
+  /// The q-quantile of the binned distribution, linearly interpolated
+  /// inside the crossing bucket (util/histogram::binned_quantile).
+  /// Observations above the top bound clamp to it — quantiles never
+  /// extrapolate past the configured range. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Zeroes all buckets, the count and the sum.
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Log-spaced bounds covering [lo, hi] with `per_decade` buckets per
+/// decade — the standard latency layout (default: 1e-7 s .. 1e2 s).
+std::vector<double> log_bounds(double lo = 1e-7, double hi = 1e2,
+                               std::size_t per_decade = 10);
+
+/// The registry: metric families (name + help + type) each holding one
+/// series per distinct label set. Look up an instrument once, keep the
+/// reference (stable for the registry's lifetime), record lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) the counter series `name`+`labels`. Repeated
+  /// calls with the same name and labels return the same instance; a name
+  /// registered with a different metric type throws InvalidArgument, as
+  /// does an invalid metric/label name ([a-zA-Z_][a-zA-Z0-9_]*).
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+
+  /// Registers (or finds) the gauge series `name`+`labels`.
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+
+  /// Registers (or finds) the histogram series `name`+`labels` over
+  /// `bounds` (all series of one family must share the bounds).
+  HistogramMetric& histogram(const std::string& name, const std::string& help,
+                             const std::vector<double>& bounds,
+                             const Labels& labels = {});
+
+  /// Number of registered metric families.
+  [[nodiscard]] std::size_t family_count() const;
+
+  /// Prometheus text exposition format (version 0.0.4): HELP/TYPE headers
+  /// per family, one sample line per series (histograms expand into
+  /// _bucket/_sum/_count). `extra` labels are appended to every series —
+  /// how a multi-node process distinguishes its sources.
+  [[nodiscard]] std::string render_prometheus(const Labels& extra = {}) const;
+
+  /// JSON snapshot: {"families":[{name, type, help, series:[...]}]}.
+  [[nodiscard]] std::string render_json() const;
+
+  /// Zeroes every instrument's value. Registration survives (references
+  /// stay valid) — this resets measurements, not structure.
+  void reset_values();
+
+ private:
+  enum class Type : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    Type type = Type::kCounter;
+    std::vector<Series> series;
+  };
+
+  Family& family_of(const std::string& name, const std::string& help, Type type);
+  Series& series_of(Family& family, const Labels& labels);
+
+  mutable std::mutex mutex_;  // registration + render; never on record paths
+  std::vector<Family> families_;  // registration order = render order
+};
+
+}  // namespace rsse::obs

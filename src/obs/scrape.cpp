@@ -1,0 +1,180 @@
+#include "obs/scrape.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "net/socket.h"
+#include "util/deadline.h"
+#include "util/errors.h"
+
+namespace rsse::obs {
+namespace {
+
+// Bounds on what we accept from a scraper: header block size and how
+// long a request may take to arrive. Anything slower or larger is not a
+// scraper; drop it.
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+constexpr auto kRequestBudget = std::chrono::seconds(5);
+
+std::string http_response(const std::string& status, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 " + status + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// Reads one HTTP request head (through the blank line). Returns the raw
+// head, or an empty string on EOF/overflow/timeout.
+std::string read_request_head(const net::Socket& socket) {
+  std::string head;
+  const Deadline deadline = Deadline::after(kRequestBudget);
+  std::uint8_t byte = 0;
+  try {
+    while (head.size() < kMaxRequestBytes) {
+      if (!socket.recv_exact({&byte, 1}, deadline)) return "";
+      head.push_back(static_cast<char>(byte));
+      if (head.size() >= 4 && head.compare(head.size() - 4, 4, "\r\n\r\n") == 0) {
+        return head;
+      }
+    }
+  } catch (const Error&) {
+    // mid-request EOF or deadline: treat as no request
+  }
+  return "";
+}
+
+}  // namespace
+
+ScrapeEndpoint::ScrapeEndpoint(std::vector<ScrapeSource> sources, std::uint16_t port)
+    : sources_(std::move(sources)) {
+  detail::require(!sources_.empty(), "ScrapeEndpoint: need at least one source");
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    detail::require(sources_[i].registry != nullptr,
+                    "ScrapeEndpoint: null registry source");
+    for (std::size_t j = i + 1; j < sources_.size(); ++j) {
+      detail::require(sources_[i].name != sources_[j].name,
+                      "ScrapeEndpoint: duplicate source name: " + sources_[i].name);
+    }
+  }
+  listener_ = std::make_unique<net::TcpListener>(port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+ScrapeEndpoint::ScrapeEndpoint(const MetricsRegistry& registry, std::uint16_t port)
+    : ScrapeEndpoint(std::vector<ScrapeSource>{{"metrics", &registry}}, port) {}
+
+ScrapeEndpoint::~ScrapeEndpoint() { stop(); }
+
+std::uint16_t ScrapeEndpoint::port() const { return listener_->port(); }
+
+std::uint64_t ScrapeEndpoint::requests_served() const {
+  return requests_.load(std::memory_order_relaxed);
+}
+
+void ScrapeEndpoint::stop() {
+  if (!stopping_.exchange(true)) listener_->close();  // unblocks accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ScrapeEndpoint::accept_loop() {
+  while (!stopping_.load()) {
+    net::Socket accepted = listener_->accept();
+    if (!accepted.valid()) break;  // listener closed
+    const std::lock_guard lock(workers_mutex_);
+    if (stopping_.load()) break;
+    // Workers are bounded: every connection either answers within the
+    // request budget or times out, so stop() joins promptly.
+    auto shared = std::make_shared<net::Socket>(std::move(accepted));
+    workers_.emplace_back([this, shared] { serve_connection(std::move(*shared)); });
+  }
+}
+
+void ScrapeEndpoint::serve_connection(net::Socket socket) {
+  const std::string head = read_request_head(socket);
+  if (head.empty()) return;
+  const std::string request_line = head.substr(0, head.find("\r\n"));
+  const std::string response = respond(request_line);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    socket.send_all(to_bytes(response), Deadline::after(kRequestBudget));
+    socket.shutdown_write();
+  } catch (const Error&) {
+    // scraper vanished mid-response; nothing to do
+  }
+}
+
+std::string ScrapeEndpoint::respond(const std::string& request_line) const {
+  // "GET <path> HTTP/1.1"
+  const auto first_space = request_line.find(' ');
+  const auto second_space = request_line.find(' ', first_space + 1);
+  if (first_space == std::string::npos || second_space == std::string::npos ||
+      request_line.substr(0, first_space) != "GET") {
+    return http_response("405 Method Not Allowed", "text/plain",
+                         "only GET is supported\n");
+  }
+  const std::string path =
+      request_line.substr(first_space + 1, second_space - first_space - 1);
+
+  if (path == "/metrics") {
+    std::string body;
+    for (const ScrapeSource& source : sources_) {
+      body += source.registry->render_prometheus();
+    }
+    return http_response("200 OK", "text/plain; version=0.0.4", body);
+  }
+  if (path == "/metrics.json") {
+    std::string body = "{";
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      if (i > 0) body += ",";
+      body += "\"" + sources_[i].name + "\":" + sources_[i].registry->render_json();
+    }
+    body += "}";
+    return http_response("200 OK", "application/json", body);
+  }
+  return http_response("404 Not Found", "text/plain", "unknown path\n");
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const Deadline deadline = Deadline::after(kRequestBudget);
+  const net::Socket socket = net::tcp_connect(port, deadline);
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  socket.send_all(to_bytes(request), deadline);
+
+  // Read until EOF (the endpoint closes after each response).
+  std::string response;
+  std::uint8_t byte = 0;
+  while (response.size() < 64 * 1024 * 1024) {
+    try {
+      if (!socket.recv_exact({&byte, 1}, deadline)) break;
+    } catch (const Error&) {
+      break;  // mid-stream close after the body is readable enough
+    }
+    response.push_back(static_cast<char>(byte));
+  }
+
+  const auto header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    throw ProtocolError("http_get: malformed response from scrape endpoint");
+  }
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  if (status_line.find(" 200 ") == std::string::npos) {
+    throw ProtocolError("http_get: non-200 response: " + status_line);
+  }
+  return response.substr(header_end + 4);
+}
+
+}  // namespace rsse::obs

@@ -1,0 +1,86 @@
+// Plaintext HTTP scrape endpoint: serves the metrics registries of a
+// process over GET /metrics (Prometheus text exposition, version 0.0.4)
+// and GET /metrics.json (JSON snapshot). Deliberately tiny — it speaks
+// just enough HTTP/1.1 for prometheus-style scrapers and curl, closes
+// the connection after every response, and shares nothing with the RSSE
+// binary protocol, so it can never confuse a protocol peer.
+//
+// A process with several metric sources (a sharded example hosting both a
+// CloudServer registry and a coordinator registry) registers them all;
+// /metrics concatenates their expositions. Sources MUST use disjoint
+// family-name prefixes (rsse_server_*, rsse_cluster_*, ...) — duplicate
+// family names across sources would produce invalid exposition.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rsse::net {
+class Socket;
+class TcpListener;
+}  // namespace rsse::net
+
+namespace rsse::obs {
+
+/// One named registry exposed by the endpoint. The registry must outlive
+/// the endpoint.
+struct ScrapeSource {
+  std::string name;  // JSON key, e.g. "server" / "cluster"
+  const MetricsRegistry* registry = nullptr;
+};
+
+/// HTTP scrape server. Runs its own accept loop; stop() (or destruction)
+/// shuts it down and joins every worker.
+class ScrapeEndpoint {
+ public:
+  /// Serves `sources` on 127.0.0.1:`port` (0 = pick an ephemeral port).
+  /// Throws ProtocolError when binding fails, InvalidArgument when a
+  /// source is null or names collide.
+  ScrapeEndpoint(std::vector<ScrapeSource> sources, std::uint16_t port = 0);
+
+  /// Convenience: a single unnamed source.
+  ScrapeEndpoint(const MetricsRegistry& registry, std::uint16_t port = 0);
+
+  ~ScrapeEndpoint();
+
+  ScrapeEndpoint(const ScrapeEndpoint&) = delete;
+  ScrapeEndpoint& operator=(const ScrapeEndpoint&) = delete;
+
+  /// The bound port.
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Number of HTTP requests served so far.
+  [[nodiscard]] std::uint64_t requests_served() const;
+
+  /// Stops accepting, closes live connections, joins workers. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(net::Socket socket);
+  [[nodiscard]] std::string respond(const std::string& request_line) const;
+
+  std::vector<ScrapeSource> sources_;
+  std::unique_ptr<net::TcpListener> listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  mutable std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+/// Fetches `path` (e.g. "/metrics") from a ScrapeEndpoint-style HTTP
+/// server on 127.0.0.1:`port` and returns the response body. Throws
+/// ProtocolError on connection failure or a non-200 status. Used by the
+/// self-scraping example and the CLI; doubles as a minimal HTTP client
+/// for tests.
+[[nodiscard]] std::string http_get(std::uint16_t port, const std::string& path);
+
+}  // namespace rsse::obs

@@ -1,0 +1,36 @@
+#include "obs/slow_log.h"
+
+namespace rsse::obs {
+
+bool SlowQueryLog::maybe_record(const std::string& operation, double seconds,
+                                std::vector<Span> spans) {
+  const std::uint64_t threshold = threshold_ns_.load(std::memory_order_relaxed);
+  if (threshold == 0) return false;
+  if (seconds * 1e9 < static_cast<double>(threshold)) return false;
+
+  SlowQueryEntry entry;
+  entry.at_ns = now_ns();
+  entry.operation = operation;
+  entry.seconds = seconds;
+  entry.spans = std::move(spans);
+
+  total_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard lock(mutex_);
+  if (entries_.size() >= capacity_ && !entries_.empty()) {
+    entries_.erase(entries_.begin());
+  }
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::entries() const {
+  const std::lock_guard lock(mutex_);
+  return entries_;
+}
+
+void SlowQueryLog::clear() {
+  const std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace rsse::obs

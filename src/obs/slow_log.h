@@ -1,0 +1,65 @@
+// Slow-query log: a bounded ring of the most recent requests that ran
+// over a configurable latency threshold, each with the trace spans that
+// were recorded for it (when the request was traced). The `rsse trace`
+// CLI and the kTrace protocol message read from here, so an operator can
+// ask a live server "show me where your slow queries spent their time"
+// without having had tracing armed in advance on the client.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace rsse::obs {
+
+/// One over-threshold request.
+struct SlowQueryEntry {
+  std::uint64_t at_ns = 0;      // steady-clock capture time
+  std::string operation;        // e.g. "ranked_search"
+  double seconds = 0.0;         // observed handler latency
+  std::vector<Span> spans;      // the request's trace (empty if untraced)
+};
+
+/// Thread-safe bounded slow-query ring. Threshold 0 disables recording
+/// (the default — operators opt in via `rsse serve --slow-ms`).
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(std::size_t capacity = 32) : capacity_(capacity) {}
+
+  /// Sets the threshold in milliseconds (0 = disabled).
+  void set_threshold_ms(double ms) { threshold_ns_.store(static_cast<std::uint64_t>(ms * 1e6)); }
+
+  /// The current threshold in milliseconds.
+  [[nodiscard]] double threshold_ms() const {
+    return static_cast<double>(threshold_ns_.load()) / 1e6;
+  }
+
+  /// Records the request iff the threshold is set and `seconds` exceeds
+  /// it. Returns true when recorded.
+  bool maybe_record(const std::string& operation, double seconds,
+                    std::vector<Span> spans);
+
+  /// The retained entries, oldest first.
+  [[nodiscard]] std::vector<SlowQueryEntry> entries() const;
+
+  /// Total entries ever recorded (including ones evicted from the ring).
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all retained entries (counters keep counting).
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::atomic<std::uint64_t> threshold_ns_{0};
+  std::atomic<std::uint64_t> total_{0};
+  mutable std::mutex mutex_;
+  std::vector<SlowQueryEntry> entries_;  // ring, oldest at front
+};
+
+}  // namespace rsse::obs

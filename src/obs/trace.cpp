@@ -1,0 +1,253 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <sstream>
+
+#include "util/errors.h"
+
+namespace rsse::obs {
+namespace {
+
+// Id generation: a process-random 64-bit base XOR a monotone counter.
+// Ids need to be unique across the processes of one deployment (so spans
+// from different nodes never collide in a merged trace), not secret —
+// they label accounting records, they do not protect anything.
+std::uint64_t id_base() {
+  static const std::uint64_t base = [] {
+    std::random_device rd;
+    std::uint64_t v = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    return v | 1;  // never zero
+  }();
+  return base;
+}
+
+std::atomic<std::uint64_t> id_counter{1};
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}
+
+std::uint64_t next_span_id() {
+  const std::uint64_t n = id_counter.fetch_add(1, std::memory_order_relaxed);
+  // Mix the counter across the word so ids from one process look distinct
+  // from its neighbors' even when counters align.
+  std::uint64_t id = id_base() ^ (n * 0x9e3779b97f4a7c15ULL);
+  if (id == 0) id = 1;
+  return id;
+}
+
+void TraceContext::encode(Bytes& out) const {
+  append_u64(out, trace_id);
+  append_u64(out, parent_span_id);
+  out.push_back(sampled ? 1 : 0);
+}
+
+TraceContext TraceContext::decode(ByteReader& reader) {
+  TraceContext ctx;
+  ctx.trace_id = reader.read_u64();
+  ctx.parent_span_id = reader.read_u64();
+  const Bytes flag = reader.read(1);
+  ctx.sampled = flag[0] != 0;
+  return ctx;
+}
+
+Bytes serialize_spans(const std::vector<Span>& spans) {
+  Bytes out;
+  append_u64(out, spans.size());
+  for (const Span& span : spans) {
+    append_u64(out, span.trace_id);
+    append_u64(out, span.span_id);
+    append_u64(out, span.parent_span_id);
+    append_lp(out, to_bytes(span.name));
+    append_lp(out, to_bytes(span.node));
+    append_lp(out, to_bytes(span.status));
+    append_u64(out, span.start_ns);
+    append_u64(out, span.end_ns);
+    append_u64(out, span.events.size());
+    for (const SpanEvent& event : span.events) {
+      append_u64(out, event.at_ns);
+      append_lp(out, to_bytes(event.name));
+      append_lp(out, to_bytes(event.detail));
+    }
+  }
+  return out;
+}
+
+std::vector<Span> deserialize_spans(BytesView bytes) {
+  ByteReader reader(bytes);
+  // 5 id/timestamp u64s + 3 empty length prefixes + event count = 60 min.
+  const std::uint64_t n = reader.read_count(60);
+  std::vector<Span> spans;
+  spans.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Span span;
+    span.trace_id = reader.read_u64();
+    span.span_id = reader.read_u64();
+    span.parent_span_id = reader.read_u64();
+    span.name = to_string(reader.read_lp());
+    span.node = to_string(reader.read_lp());
+    span.status = to_string(reader.read_lp());
+    span.start_ns = reader.read_u64();
+    span.end_ns = reader.read_u64();
+    const std::uint64_t events = reader.read_count(16);
+    span.events.reserve(events);
+    for (std::uint64_t e = 0; e < events; ++e) {
+      SpanEvent event;
+      event.at_ns = reader.read_u64();
+      event.name = to_string(reader.read_lp());
+      event.detail = to_string(reader.read_lp());
+      span.events.push_back(std::move(event));
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+void TraceRecorder::add(Span span) {
+  const std::lock_guard lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+void TraceRecorder::add_all(std::vector<Span> spans) {
+  const std::lock_guard lock(mutex_);
+  for (Span& span : spans) spans_.push_back(std::move(span));
+}
+
+std::vector<Span> TraceRecorder::spans() const {
+  std::vector<Span> out;
+  {
+    const std::lock_guard lock(mutex_);
+    out = spans_;
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return out;
+}
+
+SpanScope::SpanScope(TraceRecorder* recorder, std::string name, std::string node,
+                     std::uint64_t parent_span_id)
+    : recorder_(recorder) {
+  if (!recorder_) return;
+  span_.trace_id = recorder_->trace_id();
+  span_.span_id = next_span_id();
+  span_.parent_span_id = parent_span_id;
+  span_.name = std::move(name);
+  span_.node = std::move(node);
+  span_.start_ns = now_ns();
+}
+
+SpanScope::~SpanScope() { finish(); }
+
+SpanScope::SpanScope(SpanScope&& other) noexcept
+    : recorder_(other.recorder_), span_(std::move(other.span_)) {
+  other.recorder_ = nullptr;
+}
+
+SpanScope& SpanScope::operator=(SpanScope&& other) noexcept {
+  if (this != &other) {
+    finish();
+    recorder_ = other.recorder_;
+    span_ = std::move(other.span_);
+    other.recorder_ = nullptr;
+  }
+  return *this;
+}
+
+TraceContext SpanScope::context() const {
+  TraceContext ctx;
+  if (!recorder_) return ctx;
+  ctx.trace_id = span_.trace_id;
+  ctx.parent_span_id = span_.span_id;
+  ctx.sampled = true;
+  return ctx;
+}
+
+void SpanScope::event(const std::string& name, const std::string& detail) {
+  if (!recorder_) return;
+  span_.events.push_back(SpanEvent{now_ns(), name, detail});
+}
+
+void SpanScope::set_status(const std::string& status) {
+  if (!recorder_) return;
+  span_.status = status;
+}
+
+void SpanScope::finish() {
+  if (!recorder_) return;
+  span_.end_ns = now_ns();
+  recorder_->add(std::move(span_));
+  recorder_ = nullptr;
+}
+
+std::string format_trace(const std::vector<Span>& spans) {
+  if (spans.empty()) return "(empty trace)\n";
+  std::uint64_t t0 = spans.front().start_ns;
+  for (const Span& span : spans) t0 = std::min(t0, span.start_ns);
+
+  auto ms = [t0](std::uint64_t ns) {
+    return static_cast<double>(ns - t0) / 1e6;
+  };
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+
+  // Render as a tree: children sorted by start under their parent.
+  // Spans whose parent is absent (remote root, or the parent span was
+  // dropped) render at top level.
+  std::vector<const Span*> order(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) order[i] = &spans[i];
+  std::stable_sort(order.begin(), order.end(), [](const Span* a, const Span* b) {
+    return a->start_ns < b->start_ns;
+  });
+
+  auto has_parent = [&](const Span* s) {
+    if (s->parent_span_id == 0) return false;
+    return std::any_of(order.begin(), order.end(), [&](const Span* p) {
+      return p->span_id == s->parent_span_id;
+    });
+  };
+
+  std::vector<bool> printed(order.size(), false);
+  // Recursive lambda via explicit stack-free structure: print `span` at
+  // `depth`, then its children in start order.
+  auto print_span = [&](auto&& self, std::size_t idx, std::size_t depth) -> void {
+    const Span* span = order[idx];
+    printed[idx] = true;
+    const std::string indent(depth * 2, ' ');
+    os << indent << "+ " << span->name << " [" << span->node << "] "
+       << ms(span->start_ns) << "ms .. " << ms(span->end_ns) << "ms ("
+       << (ms(span->end_ns) - ms(span->start_ns)) << "ms)";
+    if (span->status != "ok") os << " status=" << span->status;
+    os << "\n";
+    for (const SpanEvent& event : span->events) {
+      os << indent << "    @" << ms(event.at_ns) << "ms " << event.name;
+      if (!event.detail.empty()) os << ": " << event.detail;
+      os << "\n";
+    }
+    for (std::size_t j = 0; j < order.size(); ++j) {
+      if (!printed[j] && order[j]->parent_span_id == span->span_id) {
+        self(self, j, depth + 1);
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (!printed[i] && !has_parent(order[i])) print_span(print_span, i, 0);
+  }
+  // Orphans whose parent id points at a span that never arrived.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (!printed[i]) print_span(print_span, i, 0);
+  }
+  return os.str();
+}
+
+}  // namespace rsse::obs

@@ -1,0 +1,153 @@
+// Distributed tracing for ranked queries: one trace per query, one span
+// per hop (client decode, coordinator, replica attempt, server handler,
+// index rank), with timestamped events for the interesting transitions
+// (retry, failover, deadline expiry).
+//
+// The model is deliberately small:
+//   * TraceContext — the 17 bytes that ride the wire: trace id, parent
+//     span id, sampled flag. Attached to a net::frame request when the
+//     caller traces; absent frames are byte-identical to the old format.
+//   * Span — what a node records locally: ids, name, node, status,
+//     start/end timestamps (steady-clock nanoseconds, meaningful only
+//     relative to other spans from the same process) and a list of
+//     events.
+//   * TraceRecorder — a thread-safe sink the query's spans accumulate
+//     into. Remote spans come back piggybacked on the response frame and
+//     are merged by the caller.
+//   * SpanScope — the RAII recording handle. Null-recorder-safe: with no
+//     recorder attached every operation is a no-op, so traced code paths
+//     cost nothing when tracing is off.
+//
+// Privacy: spans carry operation names, node names, sizes and timings —
+// never plaintext keywords, scores, or ciphertext bytes. The trapdoor
+// label a server sees in a traced request is exactly what it sees in the
+// untraced request; tracing adds no leakage beyond timing it already had.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rsse::obs {
+
+/// Steady-clock timestamp in nanoseconds. Monotonic within a process.
+[[nodiscard]] std::uint64_t now_ns();
+
+/// Returns a process-unique, nonzero span/trace id.
+[[nodiscard]] std::uint64_t next_span_id();
+
+/// The trace context that crosses the wire with a request.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  bool sampled = false;
+
+  /// Encoded size on the wire: 8 + 8 + 1.
+  static constexpr std::size_t kWireSize = 17;
+
+  /// True when this context carries a live trace.
+  [[nodiscard]] bool active() const { return sampled && trace_id != 0; }
+
+  /// Appends the 17-byte wire form to `out`.
+  void encode(Bytes& out) const;
+
+  /// Parses the wire form. Throws ParseError on short input.
+  static TraceContext decode(ByteReader& reader);
+};
+
+/// A timestamped note inside a span ("retry", "failover", ...).
+struct SpanEvent {
+  std::uint64_t at_ns = 0;
+  std::string name;
+  std::string detail;
+};
+
+/// One timed operation in a trace.
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::string name;    // operation, e.g. "coordinator.ranked_search"
+  std::string node;    // where it ran, e.g. "shard1/replica0"
+  std::string status = "ok";
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::vector<SpanEvent> events;
+};
+
+/// Serializes spans for the wire (response piggyback, kTrace payloads).
+[[nodiscard]] Bytes serialize_spans(const std::vector<Span>& spans);
+
+/// Parses serialize_spans output. Throws ParseError on malformed input.
+[[nodiscard]] std::vector<Span> deserialize_spans(BytesView bytes);
+
+/// Thread-safe span sink for one query. Scatter-gather workers and the
+/// response-merge path add spans concurrently.
+class TraceRecorder {
+ public:
+  /// Starts a recorder with a fresh trace id.
+  TraceRecorder() : trace_id_(next_span_id()) {}
+
+  /// Adopts an existing trace id (server side of a propagated trace).
+  explicit TraceRecorder(std::uint64_t trace_id) : trace_id_(trace_id) {}
+
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
+
+  void add(Span span);
+  void add_all(std::vector<Span> spans);
+
+  /// All spans recorded so far, sorted by start timestamp.
+  [[nodiscard]] std::vector<Span> spans() const;
+
+ private:
+  std::uint64_t trace_id_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+};
+
+/// RAII span handle. Records into `recorder` on destruction (or an
+/// explicit finish()); with a null recorder every member is a no-op.
+class SpanScope {
+ public:
+  /// Opens a span named `name` on `node`, parented to `parent_span_id`
+  /// (0 = root). A null recorder yields an inert scope.
+  SpanScope(TraceRecorder* recorder, std::string name, std::string node,
+            std::uint64_t parent_span_id = 0);
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  SpanScope(SpanScope&& other) noexcept;
+  SpanScope& operator=(SpanScope&& other) noexcept;
+
+  /// True when backed by a recorder (tracing on).
+  [[nodiscard]] bool active() const { return recorder_ != nullptr; }
+
+  /// This span's id (0 when inert).
+  [[nodiscard]] std::uint64_t span_id() const { return span_.span_id; }
+
+  /// Context to propagate to a child hop: same trace, this span as parent.
+  [[nodiscard]] TraceContext context() const;
+
+  /// Adds a timestamped event.
+  void event(const std::string& name, const std::string& detail = "");
+
+  /// Overrides the final status (default "ok").
+  void set_status(const std::string& status);
+
+  /// Closes and records the span now (idempotent).
+  void finish();
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  Span span_;
+};
+
+/// Renders spans as an indented tree with millisecond offsets relative to
+/// the earliest span — the `rsse trace` output.
+[[nodiscard]] std::string format_trace(const std::vector<Span>& spans);
+
+}  // namespace rsse::obs

@@ -8,6 +8,35 @@
 
 namespace rsse {
 
+double binned_quantile(const std::vector<double>& edges,
+                       const std::vector<std::uint64_t>& counts, double q) {
+  detail::require(q >= 0.0 && q <= 1.0, "binned_quantile: q outside [0, 1]");
+  detail::require(edges.size() >= 2, "binned_quantile: need at least two edges");
+  detail::require(counts.size() + 1 == edges.size(),
+                  "binned_quantile: counts/edges size mismatch");
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    detail::require(edges[i] < edges[i + 1], "binned_quantile: edges not ascending");
+    total += counts[i];
+  }
+  if (total == 0) return edges.front();
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const auto next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within the crossing bin by the fraction of its mass
+      // needed to reach the target.
+      const double inside = (target - static_cast<double>(cumulative)) /
+                            static_cast<double>(counts[i]);
+      return edges[i] + (edges[i + 1] - edges[i]) * std::clamp(inside, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return edges.back();
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
   detail::require(bins > 0, "Histogram: bins must be positive");
   detail::require(hi > lo, "Histogram: hi must exceed lo");
@@ -15,6 +44,7 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) 
 }
 
 std::size_t Histogram::bin_of(double value) const {
+  if (std::isnan(value)) return 0;  // treat like an underflow clamp
   if (value <= lo_) return 0;
   if (value >= hi_) return counts_.size() - 1;
   const double frac = (value - lo_) / (hi_ - lo_);
@@ -66,25 +96,22 @@ double Histogram::bin_lo(std::size_t i) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
 }
 
+double Histogram::bin_hi(std::size_t i) const {
+  detail::require(i < counts_.size(), "Histogram::bin_hi: bin out of range");
+  // Compute the last edge as exactly hi_ (not lo_ + n * width, which can
+  // drift one ulp past it) so quantiles never report past the range.
+  if (i + 1 == counts_.size()) return hi_;
+  return bin_lo(i + 1);
+}
+
 double Histogram::quantile(double q) const {
   detail::require(q >= 0.0 && q <= 1.0, "Histogram::quantile: q outside [0, 1]");
   if (total_ == 0) return 0.0;
-  const double target = q * static_cast<double>(total_);
-  std::uint64_t cumulative = 0;
-  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] == 0) continue;
-    const auto next = cumulative + counts_[i];
-    if (static_cast<double>(next) >= target) {
-      // Interpolate within the crossing bin by the fraction of its mass
-      // needed to reach the target.
-      const double inside = (target - static_cast<double>(cumulative)) /
-                            static_cast<double>(counts_[i]);
-      return bin_lo(i) + bin_width * std::clamp(inside, 0.0, 1.0);
-    }
-    cumulative = next;
-  }
-  return hi_;
+  std::vector<double> edges;
+  edges.reserve(counts_.size() + 1);
+  for (std::size_t i = 0; i < counts_.size(); ++i) edges.push_back(bin_lo(i));
+  edges.push_back(hi_);
+  return binned_quantile(edges, counts_, q);
 }
 
 std::string Histogram::ascii_chart(std::size_t max_rows, std::size_t width) const {

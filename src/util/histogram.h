@@ -14,8 +14,25 @@
 
 namespace rsse {
 
+/// The q-quantile (0 <= q <= 1) of a binned distribution given by
+/// `edges` (bins+1 ascending bin boundaries) and `counts` (per-bin
+/// totals): the value where the cumulative count first reaches
+/// q * total, linearly interpolated inside the crossing bin. Returns
+/// edges.front() for an empty distribution. This is the single binned
+/// quantile implementation in the library — Histogram::quantile, the
+/// obs metrics registry and the bench latency summaries all delegate
+/// here, so their percentiles agree by construction. Throws
+/// InvalidArgument on malformed inputs (q outside [0,1], fewer than two
+/// edges, non-ascending edges, counts/edges size mismatch).
+[[nodiscard]] double binned_quantile(const std::vector<double>& edges,
+                                     const std::vector<std::uint64_t>& counts,
+                                     double q);
+
 /// Fixed-bin histogram over [lo, hi]. Values outside the interval are
 /// clamped into the first/last bin so totals always match the inputs.
+/// The boundary behavior at the edges is pinned by tests: a value equal
+/// to `hi` lands in the last bin (not one past it), a value equal to
+/// `lo` in the first.
 class Histogram {
  public:
   /// Creates `bins` equally spaced containers spanning [lo, hi].
@@ -56,6 +73,9 @@ class Histogram {
 
   /// Lower edge of bin `i`.
   [[nodiscard]] double bin_lo(std::size_t i) const;
+
+  /// Upper edge of bin `i` (== bin_lo(i + 1); bin_hi(bins() - 1) == hi).
+  [[nodiscard]] double bin_hi(std::size_t i) const;
 
   /// The q-quantile (0 <= q <= 1) of the binned distribution: the value at
   /// the point where the cumulative count first reaches q * total, linearly

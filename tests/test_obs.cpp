@@ -1,0 +1,360 @@
+// Observability subsystem unit tests: instrument semantics (including
+// the lock-free hot paths under concurrency), registry idempotence and
+// rendering, the single shared binned-quantile implementation, trace
+// recording and wire round-trips, the slow-query log, and the HTTP
+// scrape endpoint.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/scrape.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
+#include "util/errors.h"
+#include "util/histogram.h"
+
+namespace rsse {
+namespace {
+
+// ------------------------------------------------------------- instruments
+
+TEST(ObsMetrics, CounterCountsAndResets) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("rsse_test_total", "help");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  registry.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetrics, GaugeMovesBothWays) {
+  obs::MetricsRegistry registry;
+  obs::Gauge& g = registry.gauge("rsse_test_gauge", "help");
+  g.set(10);
+  g.add(5);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(ObsMetrics, HistogramBucketsCumulativeCountAndSum) {
+  obs::MetricsRegistry registry;
+  obs::HistogramMetric& h =
+      registry.histogram("rsse_test_seconds", "help", {1.0, 2.0, 4.0});
+  h.observe(0.5);   // bucket le=1
+  h.observe(1.5);   // bucket le=2
+  h.observe(3.0);   // bucket le=4
+  h.observe(100.0); // +Inf overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 finite bounds + overflow
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(ObsMetrics, InstrumentsAreExactUnderConcurrentWriters) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("rsse_test_total", "help");
+  obs::HistogramMetric& h =
+      registry.histogram("rsse_test_seconds", "help", obs::log_bounds());
+  constexpr int kThreads = 8;
+  constexpr int kEach = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kEach; ++i) {
+        c.inc();
+        h.observe(1e-4);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kEach);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kEach);
+  EXPECT_NEAR(h.sum(), kThreads * kEach * 1e-4, 1e-6);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(ObsRegistry, RegistrationIsIdempotentByNameAndLabels) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("rsse_x_total", "help", {{"k", "v"}});
+  obs::Counter& b = registry.counter("rsse_x_total", "help", {{"k", "v"}});
+  obs::Counter& other = registry.counter("rsse_x_total", "help", {{"k", "w"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(registry.family_count(), 1u);
+}
+
+TEST(ObsRegistry, RejectsTypeConflictsAndBadNames) {
+  obs::MetricsRegistry registry;
+  registry.counter("rsse_x_total", "help");
+  EXPECT_THROW(registry.gauge("rsse_x_total", "help"), InvalidArgument);
+  EXPECT_THROW(registry.counter("0bad", "help"), InvalidArgument);
+  EXPECT_THROW(registry.counter("has space", "help"), InvalidArgument);
+}
+
+TEST(ObsRegistry, PrometheusRenderingIsWellFormed) {
+  obs::MetricsRegistry registry;
+  registry.counter("rsse_req_total", "requests", {{"type", "a"}}).inc(3);
+  registry.gauge("rsse_rows", "rows").set(7);
+  registry.histogram("rsse_lat_seconds", "latency", {0.1, 1.0}).observe(0.05);
+  const std::string text = registry.render_prometheus();
+
+  // Every family leads with HELP + TYPE; histogram series are cumulative
+  // and end with +Inf, _sum and _count.
+  EXPECT_NE(text.find("# HELP rsse_req_total requests"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rsse_req_total counter"), std::string::npos);
+  EXPECT_NE(text.find("rsse_req_total{type=\"a\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rsse_rows gauge"), std::string::npos);
+  EXPECT_NE(text.find("rsse_rows 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rsse_lat_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("rsse_lat_seconds_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("rsse_lat_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("rsse_lat_seconds_sum"), std::string::npos);
+
+  // Structural sweep: every non-comment line is "name{labels} value" with
+  // a parseable value.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+TEST(ObsRegistry, JsonRenderingContainsFamiliesAndQuantiles) {
+  obs::MetricsRegistry registry;
+  registry.counter("rsse_req_total", "requests").inc(2);
+  auto& h = registry.histogram("rsse_lat_seconds", "latency", obs::log_bounds());
+  for (int i = 0; i < 100; ++i) h.observe(1e-3);
+  const std::string json = registry.render_json();
+  EXPECT_NE(json.find("\"rsse_req_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ObsRegistry, HistogramQuantileIsSane) {
+  obs::MetricsRegistry registry;
+  auto& h = registry.histogram("rsse_lat_seconds", "latency", obs::log_bounds());
+  for (int i = 0; i < 1000; ++i) h.observe(1e-3);
+  // All mass sits in the bucket containing 1e-3: the quantile must land
+  // inside that bucket's edges (log-spaced, ~26% wide).
+  EXPECT_NEAR(h.quantile(0.5), 1e-3, 0.3e-3);
+  EXPECT_NEAR(h.quantile(0.99), 1e-3, 0.3e-3);
+}
+
+// --------------------------------------------- util/histogram: one quantile
+
+TEST(ObsQuantileCore, BinnedQuantileInterpolatesAndClamps) {
+  // 10 counts uniform over [0,1): median at 0.5 exactly.
+  const std::vector<double> edges = {0.0, 0.25, 0.5, 0.75, 1.0};
+  const std::vector<std::uint64_t> counts = {10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(binned_quantile(edges, counts, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(binned_quantile(edges, counts, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binned_quantile(edges, counts, 1.0), 1.0);
+  // Empty: the lower edge, not NaN.
+  EXPECT_DOUBLE_EQ(binned_quantile(edges, {0, 0, 0, 0}, 0.5), 0.0);
+  EXPECT_THROW((void)binned_quantile(edges, counts, 1.5), InvalidArgument);
+  EXPECT_THROW((void)binned_quantile({1.0}, {}, 0.5), InvalidArgument);
+}
+
+TEST(ObsQuantileCore, UtilHistogramMaxEdgeLandsInLastBin) {
+  // Regression: a sample exactly at hi must land in the last bin, and the
+  // last bin's upper edge must be exactly hi (no accumulated drift).
+  Histogram h(0.0, 1.0, 7);
+  h.add(1.0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.count(6), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_hi(6), 1.0);
+  // And the quantile of that single max sample stays within the range.
+  EXPECT_LE(h.quantile(1.0), 1.0);
+}
+
+TEST(ObsQuantileCore, UtilHistogramQuantileMatchesBinnedQuantile) {
+  Histogram h(0.0, 10.0, 10);
+  std::vector<double> edges;
+  std::vector<std::uint64_t> counts;
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (int j = 0; j < static_cast<int>(i) + 1; ++j)
+      h.add(static_cast<double>(i) + 0.5);
+  }
+  edges.push_back(0.0);
+  for (std::size_t i = 0; i < 10; ++i) edges.push_back(h.bin_hi(i));
+  for (std::size_t i = 0; i < 10; ++i) counts.push_back(h.count(i));
+  for (const double q : {0.1, 0.5, 0.9, 0.99})
+    EXPECT_DOUBLE_EQ(h.quantile(q), binned_quantile(edges, counts, q));
+}
+
+// ------------------------------------------------------------------- spans
+
+TEST(ObsTrace, SpanScopeRecordsTreeAndEvents) {
+  obs::TraceRecorder recorder;
+  {
+    obs::SpanScope root(&recorder, "root", "here");
+    obs::SpanScope child(&recorder, "child", "there", root.span_id());
+    child.event("hit", "detail");
+    child.set_status("error");
+  }
+  const auto spans = recorder.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // spans() sorts by start time: root first.
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent_span_id, spans[0].span_id);
+  EXPECT_EQ(spans[0].trace_id, recorder.trace_id());
+  EXPECT_EQ(spans[1].status, "error");
+  ASSERT_EQ(spans[1].events.size(), 1u);
+  EXPECT_EQ(spans[1].events[0].name, "hit");
+  EXPECT_GE(spans[1].end_ns, spans[1].start_ns);
+}
+
+TEST(ObsTrace, NullRecorderIsInert) {
+  obs::SpanScope scope(nullptr, "noop", "nowhere");
+  EXPECT_FALSE(scope.active());
+  EXPECT_EQ(scope.span_id(), 0u);
+  scope.event("ignored");  // must not crash
+}
+
+TEST(ObsTrace, SpanIdsAreUniqueAndNonZero) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = obs::next_span_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(ObsTrace, SpansRoundTripTheWireFormat) {
+  obs::TraceRecorder recorder;
+  {
+    obs::SpanScope root(&recorder, "server.ranked_search", "server");
+    root.event("ranked", "17 hits");
+    obs::SpanScope child(&recorder, "server.parse", "server", root.span_id());
+  }
+  const auto original = recorder.spans();
+  const Bytes wire = obs::serialize_spans(original);
+  const auto decoded = obs::deserialize_spans(wire);
+  ASSERT_EQ(decoded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded[i].trace_id, original[i].trace_id);
+    EXPECT_EQ(decoded[i].span_id, original[i].span_id);
+    EXPECT_EQ(decoded[i].parent_span_id, original[i].parent_span_id);
+    EXPECT_EQ(decoded[i].name, original[i].name);
+    EXPECT_EQ(decoded[i].node, original[i].node);
+    EXPECT_EQ(decoded[i].status, original[i].status);
+    EXPECT_EQ(decoded[i].start_ns, original[i].start_ns);
+    EXPECT_EQ(decoded[i].end_ns, original[i].end_ns);
+    ASSERT_EQ(decoded[i].events.size(), original[i].events.size());
+    for (std::size_t e = 0; e < original[i].events.size(); ++e) {
+      EXPECT_EQ(decoded[i].events[e].name, original[i].events[e].name);
+      EXPECT_EQ(decoded[i].events[e].detail, original[i].events[e].detail);
+    }
+  }
+  EXPECT_THROW(obs::deserialize_spans(Bytes{1, 2, 3}), ParseError);
+}
+
+TEST(ObsTrace, TraceContextRoundTrips) {
+  obs::TraceContext ctx;
+  ctx.trace_id = 0x1122334455667788ull;
+  ctx.parent_span_id = 0x99aabbccddeeff00ull;
+  ctx.sampled = true;
+  Bytes wire;
+  ctx.encode(wire);
+  ASSERT_EQ(wire.size(), obs::TraceContext::kWireSize);
+  ByteReader reader(wire);
+  const obs::TraceContext back = obs::TraceContext::decode(reader);
+  EXPECT_EQ(back.trace_id, ctx.trace_id);
+  EXPECT_EQ(back.parent_span_id, ctx.parent_span_id);
+  EXPECT_TRUE(back.sampled);
+}
+
+TEST(ObsTrace, FormatTraceIndentsChildrenUnderParents) {
+  obs::TraceRecorder recorder;
+  {
+    obs::SpanScope root(&recorder, "root", "client");
+    obs::SpanScope child(&recorder, "child", "server", root.span_id());
+    child.event("note");
+  }
+  const std::string text = obs::format_trace(recorder.spans());
+  const auto root_at = text.find("+ root");
+  const auto child_at = text.find("+ child");
+  ASSERT_NE(root_at, std::string::npos);
+  ASSERT_NE(child_at, std::string::npos);
+  EXPECT_LT(root_at, child_at);
+  EXPECT_NE(text.find("@"), std::string::npos);  // event line
+}
+
+// ---------------------------------------------------------- slow-query log
+
+TEST(ObsSlowQueryLog, ThresholdGatesRecording) {
+  obs::SlowQueryLog log(4);
+  EXPECT_FALSE(log.maybe_record("q", 10.0, {}));  // disabled by default
+  log.set_threshold_ms(5.0);
+  EXPECT_FALSE(log.maybe_record("fast", 0.001, {}));
+  EXPECT_TRUE(log.maybe_record("slow", 0.010, {}));
+  ASSERT_EQ(log.entries().size(), 1u);
+  EXPECT_EQ(log.entries()[0].operation, "slow");
+  EXPECT_EQ(log.total_recorded(), 1u);
+}
+
+TEST(ObsSlowQueryLog, CapacityEvictsOldestFirst) {
+  obs::SlowQueryLog log(2);
+  log.set_threshold_ms(0.001);
+  EXPECT_TRUE(log.maybe_record("a", 1.0, {}));
+  EXPECT_TRUE(log.maybe_record("b", 1.0, {}));
+  EXPECT_TRUE(log.maybe_record("c", 1.0, {}));
+  const auto entries = log.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].operation, "b");  // oldest surviving first
+  EXPECT_EQ(entries[1].operation, "c");
+  EXPECT_EQ(log.total_recorded(), 3u);
+  log.clear();
+  EXPECT_TRUE(log.entries().empty());
+}
+
+// ----------------------------------------------------------------- scrape
+
+TEST(ObsScrape, ServesPrometheusAndJsonOverHttp) {
+  obs::MetricsRegistry server_registry;
+  server_registry.counter("rsse_server_requests_total", "reqs").inc(5);
+  obs::MetricsRegistry cluster_registry;
+  cluster_registry.counter("rsse_cluster_failovers_total", "fo").inc(1);
+
+  obs::ScrapeEndpoint endpoint({obs::ScrapeSource{"server", &server_registry},
+                                obs::ScrapeSource{"cluster", &cluster_registry}});
+  const std::string text = obs::http_get(endpoint.port(), "/metrics");
+  EXPECT_NE(text.find("rsse_server_requests_total 5"), std::string::npos);
+  EXPECT_NE(text.find("rsse_cluster_failovers_total 1"), std::string::npos);
+
+  const std::string json = obs::http_get(endpoint.port(), "/metrics.json");
+  EXPECT_NE(json.find("\"server\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster\""), std::string::npos);
+
+  EXPECT_THROW((void)obs::http_get(endpoint.port(), "/nope"), ProtocolError);
+  EXPECT_GE(endpoint.requests_served(), 3u);
+}
+
+TEST(ObsScrape, RejectsNullSourcesAndDuplicateNames) {
+  obs::MetricsRegistry registry;
+  EXPECT_THROW(obs::ScrapeEndpoint({obs::ScrapeSource{"a", nullptr}}),
+               InvalidArgument);
+  EXPECT_THROW(obs::ScrapeEndpoint({obs::ScrapeSource{"a", &registry},
+                                    obs::ScrapeSource{"a", &registry}}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace rsse

@@ -1,0 +1,523 @@
+// Trace propagation under faults, and wire compatibility of the trace
+// extension: failover/retry/deadline transitions must surface as span
+// events with monotonic timestamps, traced frames must round-trip their
+// context, untraced frames must stay byte-identical to the pre-extension
+// format, and a trace-flagged request hitting an old server must
+// downgrade lazily instead of failing the query.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "cluster/coordinator.h"
+#include "crypto/csprng.h"
+#include "fault/chaos_proxy.h"
+#include "fault/fault_transport.h"
+#include "ir/corpus_gen.h"
+#include "net/frame.h"
+#include "net/remote_channel.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "obs/trace.h"
+#include "util/deadline.h"
+#include "util/errors.h"
+
+namespace rsse {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Shared system fixture: an outsourced corpus with a known keyword, the
+// same shape test_fault.cpp uses, so chaos behaviour is comparable.
+class TracedSystem : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 40;
+    opts.vocabulary_size = 120;
+    opts.min_tokens = 40;
+    opts.max_tokens = 120;
+    opts.injected.push_back(ir::InjectedKeyword{"chaos", 25, 0.4, 20});
+    opts.seed = 77;
+    corpus_ = ir::generate_corpus(opts);
+    owner_ = std::make_unique<cloud::DataOwner>();
+    owner_->outsource_rsse(corpus_, server_);
+
+    const Bytes user_key = crypto::random_bytes(32);
+    credentials_ = cloud::AuthorizationService::open(
+        user_key, "u", owner_->enroll_user(user_key, "u"));
+  }
+
+  static fault::FaultSpec hang_spec() {
+    fault::FaultSpec spec;
+    spec.delay_rate = 1.0;
+    spec.delay_min = 10s;
+    spec.delay_max = 10s;
+    return spec;
+  }
+
+  static fault::FaultSpec disconnect_spec() {
+    fault::FaultSpec spec;
+    spec.disconnect_rate = 1.0;
+    return spec;
+  }
+
+  static cluster::RetryPolicy chaos_policy() {
+    cluster::RetryPolicy policy;
+    policy.base_backoff = std::chrono::milliseconds(0);
+    policy.max_backoff = std::chrono::milliseconds(1);
+    policy.attempt_timeout = std::chrono::milliseconds(100);
+    return policy;
+  }
+
+  Bytes ranked_request(const std::string& keyword, std::uint64_t top_k) const {
+    const sse::Trapdoor trapdoor{owner_->rsse().row_label(keyword),
+                                 owner_->rsse().row_key(keyword)};
+    return cloud::RankedSearchRequest{trapdoor, top_k}.serialize();
+  }
+
+  ir::Corpus corpus_;
+  std::unique_ptr<cloud::DataOwner> owner_;
+  cloud::CloudServer server_;
+  cloud::UserCredentials credentials_;
+};
+
+class TraceChaos : public TracedSystem {};
+class WireCompat : public TracedSystem {};
+
+// Every span belongs to the trace, closes after it opens, and keeps its
+// events in timestamp order within the span's window. spans() is sorted
+// by start time, so the sequence itself must be monotonic too.
+void expect_well_formed(const std::vector<obs::Span>& spans,
+                        std::uint64_t trace_id) {
+  ASSERT_FALSE(spans.empty());
+  for (std::size_t i = 0; i + 1 < spans.size(); ++i)
+    EXPECT_LE(spans[i].start_ns, spans[i + 1].start_ns);
+  for (const obs::Span& span : spans) {
+    EXPECT_EQ(span.trace_id, trace_id) << span.name;
+    EXPECT_NE(span.span_id, 0u) << span.name;
+    EXPECT_LE(span.start_ns, span.end_ns) << span.name;
+    std::uint64_t previous = span.start_ns;
+    for (const obs::SpanEvent& event : span.events) {
+      EXPECT_GE(event.at_ns, previous) << span.name << " @" << event.name;
+      EXPECT_LE(event.at_ns, span.end_ns) << span.name << " @" << event.name;
+      previous = event.at_ns;
+    }
+  }
+}
+
+const obs::Span* find_span(const std::vector<obs::Span>& spans,
+                           const std::string& name) {
+  for (const obs::Span& span : spans)
+    if (span.name == name) return &span;
+  return nullptr;
+}
+
+std::vector<const obs::SpanEvent*> find_events(const std::vector<obs::Span>& spans,
+                                               const std::string& name) {
+  std::vector<const obs::SpanEvent*> out;
+  for (const obs::Span& span : spans)
+    for (const obs::SpanEvent& event : span.events)
+      if (event.name == name) out.push_back(&event);
+  return out;
+}
+
+// ------------------------------------------- trace propagation under faults
+
+TEST_F(TraceChaos, FailoverAndRetryShowUpAsSpanEvents) {
+  // Preferred replica refuses every call: the set must fail over to the
+  // sibling, and the trace must say so — a failed attempt span, an
+  // attempt_failed event, and a failover event, in that order.
+  cluster::ReplicaSet set;
+  set.add_replica(std::make_unique<fault::FaultInjectingTransport>(
+      std::make_unique<cloud::Channel>(server_), disconnect_spec()));
+  set.add_replica(std::make_unique<cloud::Channel>(server_));
+
+  obs::TraceRecorder recorder;
+  const Bytes response =
+      set.call(cloud::MessageType::kRankedSearch, ranked_request("chaos", 5),
+               chaos_policy(), Deadline::after(2s), &recorder, 0);
+  EXPECT_EQ(response, server_.handle(cloud::MessageType::kRankedSearch,
+                                     ranked_request("chaos", 5)));
+
+  const auto spans = recorder.spans();
+  expect_well_formed(spans, recorder.trace_id());
+
+  const obs::Span* call = find_span(spans, "replica.call");
+  ASSERT_NE(call, nullptr);
+  const auto failed = find_events(spans, "attempt_failed");
+  const auto retried = find_events(spans, "retry");
+  const auto failovers = find_events(spans, "failover");
+  ASSERT_GE(failed.size(), 1u);
+  ASSERT_GE(retried.size(), 1u);
+  ASSERT_GE(failovers.size(), 1u);
+  EXPECT_EQ(failovers[0]->detail, "replica 0 -> 1");
+  // The story reads in causal order: fail, retry, fail over.
+  EXPECT_LE(failed[0]->at_ns, retried[0]->at_ns);
+  EXPECT_LE(retried[0]->at_ns, failovers[0]->at_ns);
+
+  // Two attempt spans: the refused one (status error) and the winner.
+  std::size_t attempts = 0;
+  bool saw_error_attempt = false;
+  for (const obs::Span& span : spans) {
+    if (span.name != "replica.attempt") continue;
+    ++attempts;
+    EXPECT_EQ(span.parent_span_id, call->span_id);
+    if (span.status == "error") saw_error_attempt = true;
+  }
+  EXPECT_GE(attempts, 2u);
+  EXPECT_TRUE(saw_error_attempt);
+}
+
+TEST_F(TraceChaos, HungReplicaLeavesDeadlineExceededInTheTrace) {
+  cluster::ReplicaSet set;
+  set.add_replica(std::make_unique<fault::FaultInjectingTransport>(
+      std::make_unique<cloud::Channel>(server_), hang_spec()));
+  set.add_replica(std::make_unique<cloud::Channel>(server_));
+
+  obs::TraceRecorder recorder;
+  const Bytes response =
+      set.call(cloud::MessageType::kRankedSearch, ranked_request("chaos", 5),
+               chaos_policy(), Deadline::after(2s), &recorder, 0);
+  EXPECT_EQ(response, server_.handle(cloud::MessageType::kRankedSearch,
+                                     ranked_request("chaos", 5)));
+  EXPECT_GE(set.deadline_failures(), 1u);
+
+  const auto spans = recorder.spans();
+  expect_well_formed(spans, recorder.trace_id());
+  EXPECT_FALSE(find_events(spans, "deadline_exceeded").empty());
+  EXPECT_FALSE(find_events(spans, "failover").empty());
+
+  bool saw_timed_out_attempt = false;
+  for (const obs::Span& span : spans)
+    if (span.name == "replica.attempt" && span.status == "deadline_exceeded")
+      saw_timed_out_attempt = true;
+  EXPECT_TRUE(saw_timed_out_attempt);
+}
+
+TEST_F(TraceChaos, ExhaustedBudgetMarksTheRootSpan) {
+  // No replica can answer: the call must throw, and the root span (closed
+  // during unwinding) must carry the failure status, not "ok".
+  cluster::ReplicaSet set;
+  set.add_replica(std::make_unique<fault::FaultInjectingTransport>(
+      std::make_unique<cloud::Channel>(server_), hang_spec()));
+  set.add_replica(std::make_unique<fault::FaultInjectingTransport>(
+      std::make_unique<cloud::Channel>(server_), hang_spec()));
+
+  obs::TraceRecorder recorder;
+  EXPECT_THROW(set.call(cloud::MessageType::kRankedSearch,
+                        ranked_request("chaos", 3), chaos_policy(),
+                        Deadline::after(300ms), &recorder, 0),
+               DeadlineExceeded);
+
+  const auto spans = recorder.spans();
+  expect_well_formed(spans, recorder.trace_id());
+  const obs::Span* call = find_span(spans, "replica.call");
+  ASSERT_NE(call, nullptr);
+  EXPECT_NE(call->status, "ok");
+  EXPECT_FALSE(find_events(spans, "deadline_exceeded").empty());
+}
+
+TEST_F(TraceChaos, ClusterQueryUnderChaosTracesEveryHop) {
+  // The acceptance scenario: a 3-shard cluster whose preferred replicas
+  // all hang. One traced ranked search must come back correct AND carry
+  // spans from every layer — client, coordinator, per-shard replica
+  // attempts with failover/deadline events, and the shard servers'
+  // handler stages — all on one trace id with monotonic timestamps.
+  const cluster::ShardMap map(3);
+  auto indexes = map.split_index(server_.index());
+  auto file_sets = map.split_files(server_.files());
+
+  std::vector<std::unique_ptr<cloud::CloudServer>> shard_servers;
+  std::vector<std::unique_ptr<cluster::ReplicaSet>> sets;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    shard_servers.push_back(std::make_unique<cloud::CloudServer>());
+    shard_servers.back()->store(std::move(indexes[s]), std::move(file_sets[s]));
+    auto set = std::make_unique<cluster::ReplicaSet>();
+    set->add_replica(std::make_unique<fault::FaultInjectingTransport>(
+        std::make_unique<cloud::Channel>(*shard_servers.back()), hang_spec()));
+    set->add_replica(std::make_unique<cloud::Channel>(*shard_servers.back()));
+    sets.push_back(std::move(set));
+  }
+
+  cluster::ClusterManifest manifest;
+  manifest.num_shards = 3;
+  manifest.replicas = 2;
+  manifest.total_rows = server_.index().num_rows();
+  manifest.total_files = server_.num_files();
+  cluster::CoordinatorOptions options;
+  options.retry = chaos_policy();
+  options.query_timeout = std::chrono::seconds(10);
+  cluster::ClusterCoordinator coordinator(manifest, std::move(sets), options);
+
+  cloud::DataUser user(credentials_, coordinator);
+  obs::TraceRecorder recorder;
+  user.set_trace_recorder(&recorder);
+  const auto top = user.ranked_search("chaos", 5);
+  user.set_trace_recorder(nullptr);
+  EXPECT_EQ(top.size(), 5u);
+
+  const auto spans = recorder.spans();
+  expect_well_formed(spans, recorder.trace_id());
+  EXPECT_NE(find_span(spans, "client.ranked_search"), nullptr);
+  EXPECT_NE(find_span(spans, "client.decode"), nullptr);
+  EXPECT_NE(find_span(spans, "server.index_rank"), nullptr);
+
+  std::set<std::string> nodes;
+  bool saw_coordinator_span = false;
+  for (const obs::Span& span : spans) {
+    nodes.insert(span.node);
+    if (span.name.rfind("coordinator.", 0) == 0) saw_coordinator_span = true;
+  }
+  EXPECT_TRUE(saw_coordinator_span);
+  EXPECT_TRUE(nodes.count("client"));
+  EXPECT_TRUE(nodes.count("coordinator"));
+  // The ranked search hits one shard; the file fetch fans out to all
+  // three — every shard node must appear in the trace.
+  for (const char* shard : {"shard0", "shard1", "shard2"})
+    EXPECT_TRUE(nodes.count(shard)) << shard;
+  // And the chaos must be visible: hung preferred replicas mean deadline
+  // events and failovers somewhere in the tree.
+  EXPECT_FALSE(find_events(spans, "deadline_exceeded").empty());
+  EXPECT_FALSE(find_events(spans, "failover").empty());
+}
+
+TEST_F(TraceChaos, TracesSurviveTheChaosProxy) {
+  // Byte-level chaos between client and server: queries that do succeed
+  // must still merge the server's piggybacked spans — fault frames may
+  // kill a call, but they must never silently strip a trace.
+  net::NetworkServer endpoint(server_, 0);
+  fault::FaultSpec spec;
+  spec.disconnect_rate = 0.2;
+  spec.bit_flip_rate = 0.2;
+  spec.delay_min = 0ms;
+  spec.delay_max = 0ms;
+  spec.seed = 5;
+  fault::ChaosProxy proxy(endpoint.port(), spec);
+
+  int traced_successes = 0;
+  for (int i = 0; i < 40 && traced_successes < 3; ++i) {
+    try {
+      net::RemoteChannel channel(proxy.port());
+      channel.set_call_timeout(2000ms);
+      cloud::DataUser user(credentials_, channel);
+      obs::TraceRecorder recorder;
+      user.set_trace_recorder(&recorder);
+      if (user.ranked_search("chaos", 3).size() != 3) continue;
+      const auto spans = recorder.spans();
+      expect_well_formed(spans, recorder.trace_id());
+      // Client-side and (remote) server-side spans in one tree.
+      EXPECT_NE(find_span(spans, "client.ranked_search"), nullptr);
+      ASSERT_NE(find_span(spans, "server.ranked_search"), nullptr);
+      EXPECT_TRUE(channel.peer_supports_trace());
+      ++traced_successes;
+    } catch (const Error&) {
+      // Typed failure injected by the proxy: try again on a fresh
+      // connection, exactly like a real client would.
+    }
+  }
+  EXPECT_GE(traced_successes, 3);
+  proxy.stop();
+  endpoint.stop();
+}
+
+TEST_F(TraceChaos, FaultDecoratorIsTransparentToTracing) {
+  // A fault-free FaultInjectingTransport must pass the trace context
+  // through to the wrapped transport untouched.
+  fault::FaultInjectingTransport transport(
+      std::make_unique<cloud::Channel>(server_), fault::FaultSpec{});
+  obs::TraceRecorder recorder;
+  (void)transport.call(cloud::MessageType::kRankedSearch,
+                       ranked_request("chaos", 3), Deadline(), &recorder, 0);
+  const auto spans = recorder.spans();
+  expect_well_formed(spans, recorder.trace_id());
+  EXPECT_NE(find_span(spans, "server.ranked_search"), nullptr);
+  EXPECT_NE(find_span(spans, "server.index_rank"), nullptr);
+}
+
+// ------------------------------------------------------ wire compatibility
+
+// Reads exactly `n` bytes from `socket` (test-side raw frame inspection).
+Bytes read_exact(const net::Socket& socket, std::size_t n) {
+  Bytes out(n);
+  if (n > 0) {
+    EXPECT_TRUE(socket.recv_exact(std::span<std::uint8_t>(out.data(), n)));
+  }
+  return out;
+}
+
+TEST_F(WireCompat, UntracedFramesAreByteIdenticalToTheOldFormat) {
+  // The trace extension must cost untraced traffic nothing: an unflagged
+  // request is exactly [type][4-byte LE length][payload], an ok response
+  // exactly [0][4-byte LE length][payload] — the pre-extension wire form.
+  net::TcpListener listener(0);
+  net::Socket client = net::tcp_connect(listener.port());
+  net::Socket server = listener.accept();
+
+  const Bytes payload = {0xde, 0xad, 0xbe, 0xef};
+  net::send_request(client, cloud::MessageType::kRankedSearch, payload);
+  const Bytes raw = read_exact(server, 5 + payload.size());
+  EXPECT_EQ(raw[0], static_cast<std::uint8_t>(cloud::MessageType::kRankedSearch));
+  EXPECT_EQ(raw[0] & net::kTraceFlag, 0);
+  EXPECT_EQ(raw[1], payload.size());  // LE length, high bytes zero
+  EXPECT_EQ(raw[2], 0);
+  EXPECT_EQ(raw[3], 0);
+  EXPECT_EQ(raw[4], 0);
+  EXPECT_EQ(Bytes(raw.begin() + 5, raw.end()), payload);
+
+  net::send_response_ok(server, payload);
+  const Bytes response = read_exact(client, 5 + payload.size());
+  EXPECT_EQ(response[0], 0);  // plain ok tag, not the traced tag 2
+  EXPECT_EQ(response[1], payload.size());
+  EXPECT_EQ(Bytes(response.begin() + 5, response.end()), payload);
+}
+
+TEST_F(WireCompat, FlaggedFramesRoundTripTheTraceContext) {
+  net::TcpListener listener(0);
+  net::Socket client = net::tcp_connect(listener.port());
+  net::Socket server = listener.accept();
+
+  obs::TraceContext ctx;
+  ctx.trace_id = 0x0123456789abcdefull;
+  ctx.parent_span_id = 42;
+  ctx.sampled = true;
+  const Bytes payload = {1, 2, 3};
+  net::send_request(client, cloud::MessageType::kRankedSearch, payload, ctx);
+
+  const auto frame = net::recv_request(server);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, cloud::MessageType::kRankedSearch);
+  EXPECT_EQ(frame->payload, payload);  // context already stripped
+  ASSERT_TRUE(frame->trace.has_value());
+  EXPECT_EQ(frame->trace->trace_id, ctx.trace_id);
+  EXPECT_EQ(frame->trace->parent_span_id, ctx.parent_span_id);
+  EXPECT_TRUE(frame->trace->sampled);
+
+  // An unflagged frame on the same connection parses with no context.
+  net::send_request(client, cloud::MessageType::kFetchFiles, payload);
+  const auto plain = net::recv_request(server);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->type, cloud::MessageType::kFetchFiles);
+  EXPECT_FALSE(plain->trace.has_value());
+}
+
+TEST_F(WireCompat, TracedResponsesCarrySpansAndPlainReadersDiscardThem) {
+  net::TcpListener listener(0);
+  net::Socket client = net::tcp_connect(listener.port());
+  net::Socket server = listener.accept();
+
+  obs::TraceRecorder recorder;
+  { obs::SpanScope span(&recorder, "server.test", "server"); }
+  const Bytes payload = {9, 8, 7};
+
+  net::send_response_ok_traced(server, payload, recorder.spans());
+  const net::TracedResponse traced = net::recv_response_traced(client);
+  EXPECT_EQ(traced.payload, payload);
+  ASSERT_EQ(traced.spans.size(), 1u);
+  EXPECT_EQ(traced.spans[0].name, "server.test");
+
+  // A reader that never asked for spans still gets the payload: the
+  // traced tag must not break recv_response.
+  net::send_response_ok_traced(server, payload, recorder.spans());
+  EXPECT_EQ(net::recv_response(client), payload);
+}
+
+TEST_F(WireCompat, MixedTracedAndUntracedCallsShareOneConnection) {
+  // Version negotiation happy path: against a new server, traced and
+  // untraced calls interleave freely on one connection and the traced
+  // ones come back with server spans.
+  net::NetworkServer endpoint(server_, 0);
+  net::RemoteChannel channel(endpoint.port());
+
+  const Bytes request = ranked_request("chaos", 5);
+  const Bytes expected = server_.handle(cloud::MessageType::kRankedSearch, request);
+  EXPECT_EQ(channel.call(cloud::MessageType::kRankedSearch, request), expected);
+
+  obs::TraceRecorder recorder;
+  EXPECT_EQ(channel.call(cloud::MessageType::kRankedSearch, request, Deadline(),
+                         &recorder, 0),
+            expected);
+  EXPECT_NE(find_span(recorder.spans(), "server.ranked_search"), nullptr);
+  EXPECT_TRUE(channel.peer_supports_trace());
+
+  EXPECT_EQ(channel.call(cloud::MessageType::kRankedSearch, request), expected);
+  endpoint.stop();
+}
+
+TEST_F(WireCompat, OldServerTriggersLazyDowngrade) {
+  // An "old" server: speaks the pre-extension protocol only, so a
+  // trace-flagged type byte is an unknown message type and gets an error
+  // frame. The client must downgrade — retry the same call untraced on
+  // the same connection — and never send the flag again.
+  net::TcpListener listener(0);
+  std::atomic<int> flagged_requests{0};
+  std::atomic<int> plain_requests{0};
+  std::thread old_server([&] {
+    net::Socket conn = listener.accept();
+    if (!conn.valid()) return;
+    for (;;) {
+      std::uint8_t header[5];
+      if (!conn.recv_exact(std::span<std::uint8_t>(header, 5))) break;
+      const std::uint32_t length = static_cast<std::uint32_t>(header[1]) |
+                                   static_cast<std::uint32_t>(header[2]) << 8 |
+                                   static_cast<std::uint32_t>(header[3]) << 16 |
+                                   static_cast<std::uint32_t>(header[4]) << 24;
+      Bytes payload(length);
+      if (length > 0) {
+        ASSERT_TRUE(conn.recv_exact(std::span<std::uint8_t>(payload.data(), length)));
+      }
+      if (header[0] & net::kTraceFlag) {
+        ++flagged_requests;
+        net::send_response_error(conn, "unknown message type 0x" +
+                                           std::to_string(header[0]));
+        continue;
+      }
+      ++plain_requests;
+      try {
+        net::send_response_ok(
+            conn, server_.handle(static_cast<cloud::MessageType>(header[0]), payload));
+      } catch (const Error& e) {
+        net::send_response_error(conn, e.what());
+      }
+    }
+  });
+
+  net::RemoteChannel channel(listener.port());
+  EXPECT_TRUE(channel.peer_supports_trace());  // optimistic until proven old
+
+  const Bytes request = ranked_request("chaos", 5);
+  const Bytes expected = server_.handle(cloud::MessageType::kRankedSearch, request);
+
+  // First traced call: flagged attempt rejected, untraced retry succeeds.
+  obs::TraceRecorder recorder;
+  EXPECT_EQ(channel.call(cloud::MessageType::kRankedSearch, request, Deadline(),
+                         &recorder, 0),
+            expected);
+  EXPECT_FALSE(channel.peer_supports_trace());
+  EXPECT_EQ(flagged_requests.load(), 1);
+  EXPECT_EQ(plain_requests.load(), 1);
+  // No server spans, but the client-side trace is intact (gap, not loss).
+  EXPECT_EQ(find_span(recorder.spans(), "server.ranked_search"), nullptr);
+
+  // Second traced call: the downgrade sticks — no flagged frame at all.
+  EXPECT_EQ(channel.call(cloud::MessageType::kRankedSearch, request, Deadline(),
+                         &recorder, 0),
+            expected);
+  EXPECT_EQ(flagged_requests.load(), 1);
+  EXPECT_EQ(plain_requests.load(), 2);
+
+  // A genuine server error must NOT be misread as an old peer after the
+  // downgrade: an untraced protocol error still throws.
+  EXPECT_THROW(channel.call(cloud::MessageType::kRankedSearch, Bytes{1}),
+               ProtocolError);
+
+  channel.disconnect();
+  listener.close();
+  old_server.join();
+}
+
+}  // namespace
+}  // namespace rsse

@@ -8,12 +8,19 @@
 //                --deploy <dir> --keyword <w> [--top-k K]
 //   rsse add     --owner <state-file> --passphrase <p>
 //                --deploy <dir> --file <path>
-//   rsse stats   --deploy <dir>
+//   rsse stats   --deploy <dir>  |  rsse stats --port <n> [--format prom|json]
+//   rsse trace   --port <n> [--max N]  |  rsse trace --owner ... --deploy ...
+//                --keyword <w> [--top-k K] [--chaos R]
 //
 // `keygen` creates a sealed owner-state file; `build` indexes and
 // encrypts a document directory into a deployment directory (what you
 // would hand the storage provider); `search` plays both the authorized
-// user and the server locally; `add` incrementally indexes one new file.
+// user and the server locally; `add` incrementally indexes one new file;
+// `stats --port` scrapes a running server's metric registry over the
+// protocol; `trace --port` fetches a running server's slow-query log;
+// `trace --deploy` runs one traced query end to end and prints the span
+// tree (with --chaos R, against a fault-injected replica pair per shard,
+// showing retries and failovers live).
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -26,11 +33,15 @@
 #include "cloud/channel.h"
 #include "cloud/data_owner.h"
 #include "cloud/data_user.h"
+#include "cloud/protocol.h"
 #include "cluster/coordinator.h"
 #include "crypto/csprng.h"
+#include "fault/fault_transport.h"
 #include "ir/corpus_gen.h"
 #include "net/remote_channel.h"
 #include "net/server.h"
+#include "obs/scrape.h"
+#include "obs/trace.h"
 #include "store/deployment.h"
 #include "store/owner_state.h"
 #include "util/errors.h"
@@ -49,15 +60,24 @@ using namespace rsse;
                "  rsse search --owner FILE --passphrase P --deploy DIR --keyword W"
                " [--top-k K] [--timeout-ms N]\n"
                "  rsse add    --owner FILE --passphrase P --deploy DIR --file PATH\n"
-               "  rsse stats  --deploy DIR\n"
+               "  rsse stats  --deploy DIR | --port N [--format prom|json]\n"
+               "  rsse trace  --port N [--max N]\n"
+               "  rsse trace  --owner FILE --passphrase P --deploy DIR --keyword W"
+               " [--top-k K] [--chaos R]\n"
                "  rsse serve  --deploy DIR [--port N] [--cache on] [--shard I]"
-               " [--repair-from PORT]\n"
+               " [--repair-from PORT] [--metrics-port N] [--slow-ms N]\n"
                "  (search accepts --port N to query a running serve instance and\n"
                "   --timeout-ms N to bound every RPC (fails with a deadline error\n"
                "   instead of hanging); build --cluster N shards the deployment,\n"
                "   search/stats detect it, serve --shard I serves one shard of a\n"
                "   cluster deployment, and serve --repair-from PORT rebuilds a\n"
-               "   corrupted shard from the healthy replica at that port)\n");
+               "   corrupted shard from the healthy replica at that port;\n"
+               "   stats --port scrapes a live server's metrics over the protocol,\n"
+               "   trace --port prints its slow-query log, trace --deploy runs one\n"
+               "   traced query and prints the span tree (--chaos R injects faults\n"
+               "   at rate R to exercise failover), serve --metrics-port exposes\n"
+               "   GET /metrics over HTTP and --slow-ms sets the slow-query log\n"
+               "   threshold)\n");
   std::exit(2);
 }
 
@@ -213,9 +233,18 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     store::load_deployment(need(flags, "deploy"), server);
   }
   if (optional_flag(flags, "cache", "off") == "on") server.set_rank_cache_enabled(true);
+  const auto slow_ms = std::stod(optional_flag(flags, "slow-ms", "0"));
+  if (slow_ms > 0) server.set_slow_query_threshold_ms(slow_ms);
   const auto port = static_cast<std::uint16_t>(
       std::stoul(optional_flag(flags, "port", "0")));
   net::NetworkServer endpoint(server, port);
+  std::unique_ptr<obs::ScrapeEndpoint> scrape;
+  if (flags.contains("metrics-port")) {
+    scrape = std::make_unique<obs::ScrapeEndpoint>(
+        server.metrics().registry(),
+        static_cast<std::uint16_t>(std::stoul(flags.at("metrics-port"))));
+    std::printf("metrics on http://127.0.0.1:%u/metrics\n", scrape->port());
+  }
   std::printf("serving %zu keywords / %zu files on 127.0.0.1:%u (SIGINT to stop)\n",
               server.index().num_rows(), server.num_files(), endpoint.port());
   std::fflush(stdout);
@@ -266,6 +295,20 @@ int cmd_add(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_stats(const std::map<std::string, std::string>& flags) {
+  if (flags.contains("port")) {
+    // Live scrape over the protocol: ask the running server to render its
+    // own registry (the same text GET /metrics serves).
+    const auto port = static_cast<std::uint16_t>(std::stoul(flags.at("port")));
+    net::RemoteChannel channel(port);
+    cloud::StatsRequest req;
+    req.format = optional_flag(flags, "format", "prom") == "json"
+                     ? cloud::StatsFormat::kJson
+                     : cloud::StatsFormat::kPrometheus;
+    const auto resp = cloud::StatsResponse::deserialize(
+        channel.call(cloud::MessageType::kStats, req.serialize()));
+    std::fputs(resp.text.c_str(), stdout);
+    return 0;
+  }
   if (store::is_cluster_deployment(need(flags, "deploy"))) {
     const auto manifest = store::load_cluster_manifest(need(flags, "deploy"));
     std::printf("cluster deployment %s:\n", need(flags, "deploy").c_str());
@@ -296,6 +339,92 @@ int cmd_stats(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// One traced query end to end. With --chaos R each shard gets a
+// fault-injected primary replica (disconnect rate R) plus a clean
+// standby, so the printed trace shows real retries and failovers.
+int cmd_trace_query(const std::map<std::string, std::string>& flags) {
+  const cloud::DataOwner owner = restore_owner(flags);
+  const double chaos = std::stod(optional_flag(flags, "chaos", "0"));
+  obs::TraceRecorder recorder;
+
+  const auto run = [&](cloud::Transport& channel) {
+    const Bytes user_key = crypto::random_bytes(32);
+    const auto credentials = cloud::AuthorizationService::open(
+        user_key, "cli", owner.enroll_user(user_key, "cli"));
+    cloud::DataUser user(credentials, channel);
+    user.set_trace_recorder(&recorder);
+    const auto top_k = static_cast<std::size_t>(
+        std::stoul(optional_flag(flags, "top-k", "10")));
+    const auto results = user.ranked_search(need(flags, "keyword"), top_k);
+    std::printf("retrieved %zu files; trace %016llx:\n", results.size(),
+                static_cast<unsigned long long>(recorder.trace_id()));
+  };
+
+  if (store::is_cluster_deployment(need(flags, "deploy"))) {
+    cluster::LocalCluster local;
+    local.manifest = store::load_cluster_manifest(need(flags, "deploy"));
+    std::vector<std::unique_ptr<cluster::ReplicaSet>> shards;
+    for (std::uint32_t i = 0; i < local.manifest.num_shards; ++i) {
+      auto server = std::make_unique<cloud::CloudServer>();
+      store::load_cluster_shard(need(flags, "deploy"), i, *server);
+      auto set = std::make_unique<cluster::ReplicaSet>();
+      if (chaos > 0.0) {
+        fault::FaultSpec spec;
+        spec.disconnect_rate = std::min(chaos, 1.0);
+        spec.seed = 1 + i;
+        set->add_replica(std::make_unique<fault::FaultInjectingTransport>(
+            std::make_unique<cloud::Channel>(*server), spec));
+        set->add_replica(std::make_unique<cloud::Channel>(*server));
+      } else {
+        set->add_replica(std::make_unique<cloud::Channel>(*server));
+      }
+      local.servers.push_back(std::move(server));
+      shards.push_back(std::move(set));
+    }
+    local.coordinator = std::make_unique<cluster::ClusterCoordinator>(
+        local.manifest, std::move(shards));
+    run(*local.coordinator);
+  } else {
+    cloud::CloudServer server;
+    store::load_deployment(need(flags, "deploy"), server);
+    if (chaos > 0.0)
+      std::fprintf(stderr,
+                   "note: --chaos needs a cluster deployment (no replica to fail"
+                   " over to); tracing without faults\n");
+    cloud::Channel channel(server);
+    run(channel);
+  }
+  std::fputs(obs::format_trace(recorder.spans()).c_str(), stdout);
+  return 0;
+}
+
+// Fetches a running server's slow-query log and prints each offending
+// trace (rsse trace --port N).
+int cmd_trace_remote(const std::map<std::string, std::string>& flags) {
+  const auto port = static_cast<std::uint16_t>(std::stoul(flags.at("port")));
+  net::RemoteChannel channel(port);
+  cloud::TraceRequest req;
+  req.max_entries = static_cast<std::uint32_t>(
+      std::stoul(optional_flag(flags, "max", "0")));
+  const auto resp = cloud::TraceResponse::deserialize(
+      channel.call(cloud::MessageType::kTrace, req.serialize()));
+  if (resp.entries.empty()) {
+    std::printf("slow-query log is empty (threshold off or no query over it)\n");
+    return 0;
+  }
+  for (const auto& entry : resp.entries) {
+    std::printf("%s took %.2f ms:\n", entry.operation.c_str(),
+                entry.seconds * 1000.0);
+    std::fputs(obs::format_trace(entry.spans).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_trace(const std::map<std::string, std::string>& flags) {
+  if (flags.contains("port")) return cmd_trace_remote(flags);
+  return cmd_trace_query(flags);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -308,6 +437,7 @@ int main(int argc, char** argv) {
     if (command == "search") return cmd_search(flags);
     if (command == "add") return cmd_add(flags);
     if (command == "stats") return cmd_stats(flags);
+    if (command == "trace") return cmd_trace(flags);
     if (command == "serve") return cmd_serve(flags);
     usage();
   } catch (const rsse::Error& e) {
