@@ -18,14 +18,15 @@ int main() {
   // A moderate corpus keeps the Basic index build quick; the keyword
   // matches 300 of 400 files so "all matching files" is genuinely heavy.
   auto opts = bench::fig4_corpus_options(150);
-  opts.num_documents = 400;
-  opts.injected[0].document_count = 300;
+  opts.num_documents = bench::scaled<std::size_t>(400, 200);
+  opts.injected[0].document_count = bench::scaled<std::size_t>(300, 150);
+  const std::size_t matching = opts.injected[0].document_count;
 
   const ir::Corpus corpus = ir::generate_corpus(opts);
   cloud::DataOwner owner;
   cloud::CloudServer rsse_server;
   cloud::CloudServer basic_server;
-  std::printf("building both indexes (400 files)...\n");
+  bench::human("building both indexes (%zu files)...\n", opts.num_documents);
   owner.outsource_rsse(corpus, rsse_server);
   owner.outsource_basic(corpus, basic_server);
 
@@ -33,11 +34,13 @@ int main() {
   const auto credentials = cloud::AuthorizationService::open(
       user_key, "bench", owner.enroll_user(user_key, "bench"));
 
-  std::printf("\nmatching files for \"%s\": 300 of %zu\n", bench::kKeyword, corpus.size());
-  std::printf("\n%-6s | %-22s | %-22s | %-22s\n", "k", "RSSE (1 round)",
+  bench::human("\nmatching files for \"%s\": %zu of %zu\n", bench::kKeyword, matching,
+              corpus.size());
+  bench::human("\n%-6s | %-22s | %-22s | %-22s\n", "k", "RSSE (1 round)",
               "Basic 1-round", "Basic 2-round");
-  std::printf("%-6s | %10s %11s | %10s %11s | %10s %11s\n", "", "RTT", "KB down",
+  bench::human("%-6s | %10s %11s | %10s %11s | %10s %11s\n", "", "RTT", "KB down",
               "RTT", "KB down", "RTT", "KB down");
+  auto rows = bench::Json::array();
   for (std::size_t k : {1, 5, 10, 25, 50, 100}) {
     cloud::Channel c1(rsse_server);
     cloud::DataUser u1(credentials, c1);
@@ -54,15 +57,24 @@ int main() {
     const auto kb = [](std::uint64_t bytes) {
       return static_cast<double>(bytes) / 1024.0;
     };
-    std::printf("%-6zu | %10llu %11.1f | %10llu %11.1f | %10llu %11.1f\n", k,
+    bench::human("%-6zu | %10llu %11.1f | %10llu %11.1f | %10llu %11.1f\n", k,
                 static_cast<unsigned long long>(c1.stats().round_trips),
                 kb(c1.stats().bytes_down),
                 static_cast<unsigned long long>(c2.stats().round_trips),
                 kb(c2.stats().bytes_down),
                 static_cast<unsigned long long>(c3.stats().round_trips),
                 kb(c3.stats().bytes_down));
+    auto row = bench::Json::object();
+    row.set("k", k);
+    row.set("rsse_round_trips", c1.stats().round_trips);
+    row.set("rsse_bytes_down", c1.stats().bytes_down);
+    row.set("basic1_round_trips", c2.stats().round_trips);
+    row.set("basic1_bytes_down", c2.stats().bytes_down);
+    row.set("basic2_round_trips", c3.stats().round_trips);
+    row.set("basic2_bytes_down", c3.stats().bytes_down);
+    rows.push(std::move(row));
   }
-  std::printf("\n(the paper's claims: Basic 1-round pays all-matching-files bandwidth\n"
+  bench::human("\n(the paper's claims: Basic 1-round pays all-matching-files bandwidth\n"
               " regardless of k; Basic 2-round fixes bandwidth but pays a second RTT;\n"
               " RSSE pays neither, leaking relevance order instead.)\n");
 
@@ -72,7 +84,7 @@ int main() {
   // into seconds a user would actually wait.
   const double rtt_s = 0.05;                   // 50 ms round trip
   const double bw_bytes_per_s = 10e6 / 8.0;    // 10 Mbit/s down
-  std::printf("\nmodeled user-perceived latency at 50 ms RTT, 10 Mbit/s (top-10):\n");
+  bench::human("\nmodeled user-perceived latency at 50 ms RTT, 10 Mbit/s (top-10):\n");
   {
     cloud::Channel c1(rsse_server);
     cloud::DataUser u1(credentials, c1);
@@ -87,11 +99,27 @@ int main() {
       return static_cast<double>(stats.round_trips) * rtt_s +
              static_cast<double>(stats.bytes_down) / bw_bytes_per_s;
     };
-    std::printf("  RSSE          : %6.2f s\n", model(c1.stats()));
-    std::printf("  Basic 1-round : %6.2f s   (the bandwidth penalty)\n",
+    bench::human("  RSSE          : %6.2f s\n", model(c1.stats()));
+    bench::human("  Basic 1-round : %6.2f s   (the bandwidth penalty)\n",
                 model(c2.stats()));
-    std::printf("  Basic 2-round : %6.2f s   (the extra-RTT penalty)\n",
+    bench::human("  Basic 2-round : %6.2f s   (the extra-RTT penalty)\n",
                 model(c3.stats()));
+
+    auto modeled = bench::Json::object();
+    modeled.set("rtt_s", rtt_s);
+    modeled.set("bandwidth_bytes_per_s", bw_bytes_per_s);
+    modeled.set("rsse_s", model(c1.stats()));
+    modeled.set("basic1_s", model(c2.stats()));
+    modeled.set("basic2_s", model(c3.stats()));
+
+    auto results = bench::Json::object();
+    results.set("files", corpus.size());
+    results.set("matching_files", matching);
+    results.set("rows", std::move(rows));
+    results.set("modeled_top10_latency", std::move(modeled));
+    bench::emit(bench::doc("ablation_basic_vs_rsse", "Ablation A")
+                    .set("results", std::move(results))
+                    .set("counters", bench::counters_json()));
   }
   return 0;
 }

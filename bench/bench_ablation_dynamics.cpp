@@ -25,8 +25,8 @@ int main() {
   bench::banner("Ablation B — score dynamics: ours vs bucket [18] vs sampled CDF [16]");
 
   auto opts = bench::fig4_corpus_options();
-  opts.num_documents = 500;
-  opts.injected[0].document_count = 500;
+  opts.num_documents = bench::scaled<std::size_t>(500, 200);
+  opts.injected[0].document_count = opts.num_documents;
   const ir::Corpus corpus = ir::generate_corpus(opts);
   const auto index = ir::InvertedIndex::build(corpus, ir::Analyzer());
   const std::vector<double> scores = bench::keyword_scores(index, bench::kKeyword);
@@ -66,12 +66,12 @@ int main() {
     if (sampled.map(scores[i], i) != sample_before[i]) ++sample_moved;
   }
 
-  std::printf("\npreviously outsourced scores: %zu; after distribution drift:\n",
+  bench::human("\npreviously outsourced scores: %zu; after distribution drift:\n",
               scores.size());
-  std::printf("%-34s %18s %18s\n", "transform", "values invalidated", "rebuild needed");
-  std::printf("%-34s %18zu %18s\n", "one-to-many OPM (this paper)", ours_moved, "no");
-  std::printf("%-34s %18zu %18s\n", "bucket transform [18]", bucket_moved, "yes");
-  std::printf("%-34s %18zu %18s\n", "sampled CDF [16]", sample_moved, "yes");
+  bench::human("%-34s %18s %18s\n", "transform", "values invalidated", "rebuild needed");
+  bench::human("%-34s %18zu %18s\n", "one-to-many OPM (this paper)", ours_moved, "no");
+  bench::human("%-34s %18zu %18s\n", "bucket transform [18]", bucket_moved, "yes");
+  bench::human("%-34s %18zu %18s\n", "sampled CDF [16]", sample_moved, "yes");
 
   // Incremental add on a live outsourced index.
   cloud::DataOwner owner;
@@ -82,11 +82,24 @@ int main() {
   Stopwatch watch;
   const auto stats = owner.add_document(server, doc);
   const double add_ms = watch.elapsed_ms();
-  std::printf("\nincremental add of one document on the live index:\n");
-  std::printf("  keywords touched:        %zu\n", stats.keywords_touched);
-  std::printf("  padding slots consumed:  %zu\n", stats.padding_slots_consumed);
-  std::printf("  rows grown:              %zu\n", stats.rows_grown);
-  std::printf("  owner-side time:         %.2f ms (vs full index rebuild: seconds)\n",
+  bench::human("\nincremental add of one document on the live index:\n");
+  bench::human("  keywords touched:        %zu\n", stats.keywords_touched);
+  bench::human("  padding slots consumed:  %zu\n", stats.padding_slots_consumed);
+  bench::human("  rows grown:              %zu\n", stats.rows_grown);
+  bench::human("  owner-side time:         %.2f ms (vs full index rebuild: seconds)\n",
               add_ms);
+
+  auto results = bench::Json::object();
+  results.set("outsourced_scores", scores.size());
+  results.set("ours_invalidated", ours_moved);
+  results.set("bucket_invalidated", bucket_moved);
+  results.set("sampled_invalidated", sample_moved);
+  results.set("add_keywords_touched", stats.keywords_touched);
+  results.set("add_padding_slots_consumed", stats.padding_slots_consumed);
+  results.set("add_rows_grown", stats.rows_grown);
+  results.set("add_owner_ms", add_ms);
+  bench::emit(bench::doc("ablation_dynamics", "Ablation B")
+                  .set("results", std::move(results))
+                  .set("counters", bench::counters_json()));
   return 0;
 }

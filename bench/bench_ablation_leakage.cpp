@@ -47,28 +47,36 @@ int main() {
     opm_values.push_back(opm.map(level, i));
   }
 
-  const auto report = [&](const char* name, const std::vector<std::uint64_t>& v) {
+  auto encodings = bench::Json::object();
+  const auto report = [&](const char* name, const char* json_key,
+                          const std::vector<std::uint64_t>& v) {
     const std::uint64_t dup = max_duplicates(v);
     const double total = static_cast<double>(v.size());
     const double min_entropy = -std::log2(static_cast<double>(dup) / total);
-    std::printf("%-30s %14llu %14zu %14.2f\n", name,
+    bench::human("%-30s %14llu %14zu %14.2f\n", name,
                 static_cast<unsigned long long>(dup), distinct_count(v), min_entropy);
+    auto e = bench::Json::object();
+    e.set("max_duplicates", dup);
+    e.set("distinct", distinct_count(v));
+    e.set("min_entropy_bits", min_entropy);
+    encodings.set(json_key, std::move(e));
   };
-  std::printf("\n%-30s %14s %14s %14s\n", "encoding", "max dups", "distinct",
+  bench::human("\n%-30s %14s %14s %14s\n", "encoding", "max dups", "distinct",
               "min-entropy");
-  report("plaintext levels", plain);
-  report("deterministic OPSE", det_values);
-  report("one-to-many OPM", opm_values);
-  std::printf("(OPM reaches the maximum min-entropy log2(%zu) = %.2f bits: every\n"
+  report("plaintext levels", "plaintext", plain);
+  report("deterministic OPSE", "deterministic_opse", det_values);
+  report("one-to-many OPM", "one_to_many_opm", opm_values);
+  bench::human("(OPM reaches the maximum min-entropy log2(%zu) = %.2f bits: every\n"
               " posting's encrypted score is unique)\n",
               scores.size(), std::log2(static_cast<double>(scores.size())));
 
   // Key sensitivity of the binned OPM output: same scores, 5 random keys.
-  std::printf("\nOPM histogram key-sensitivity (L1 distance between 128-bin\n"
+  bench::human("\nOPM histogram key-sensitivity (L1 distance between 128-bin\n"
               "histograms of the same scores under independent keys):\n");
   const double range_max = static_cast<double>(params.range_size);
+  const int kKeyTrials = bench::scaled(5, 3);
   std::vector<Histogram> histograms;
-  for (int trial = 0; trial < 5; ++trial) {
+  for (int trial = 0; trial < kKeyTrials; ++trial) {
     const opse::OneToManyOpm keyed(crypto::random_bytes(32), params);
     Histogram h(0.0, range_max, 128);
     for (std::size_t i = 0; i < scores.size(); ++i)
@@ -83,7 +91,7 @@ int main() {
         const auto cb = histograms[b].count(bin);
         l1 += ca > cb ? ca - cb : cb - ca;
       }
-      std::printf("  keys %zu vs %zu: L1 = %llu / %zu\n", a, b,
+      bench::human("  keys %zu vs %zu: L1 = %llu / %zu\n", a, b,
                   static_cast<unsigned long long>(l1), 2 * scores.size());
     }
   }
@@ -91,7 +99,7 @@ int main() {
   // The Fig. 4 attack run end to end: an adversary with the plaintext
   // level profiles of 3 candidate keywords tries to identify which
   // posting list it is looking at (analysis/fingerprint.h).
-  std::printf("\nkeyword-fingerprinting attack (frequency analysis over the\n"
+  bench::human("\nkeyword-fingerprinting attack (frequency analysis over the\n"
               "encrypted score multiset; 3 candidate keywords, 20 trials each):\n");
   {
     ir::CorpusGenOptions atk = bench::fig4_corpus_options();
@@ -125,8 +133,9 @@ int main() {
     int det_wins = 0;
     int opm_wins = 0;
     int trials = 0;
+    const int kAttackTrials = bench::scaled(20, 5);
     for (const auto& [kw, levels] : level_sets) {
-      for (int t = 0; t < 20; ++t) {
+      for (int t = 0; t < kAttackTrials; ++t) {
         ++trials;
         const opse::BcloOpse det_cipher(crypto::random_bytes(32), {128, 1ull << 46});
         std::vector<std::uint64_t> det_observed;
@@ -140,9 +149,22 @@ int main() {
         if (attacker.best_match(opm_observed) == kw) ++opm_wins;
       }
     }
-    std::printf("  deterministic OPSE: %d/%d identified (chance: %.0f%%)\n",
+    bench::human("  deterministic OPSE: %d/%d identified (chance: %.0f%%)\n",
                 det_wins, trials, 100.0 / 3.0);
-    std::printf("  one-to-many OPM:    %d/%d identified\n", opm_wins, trials);
+    bench::human("  one-to-many OPM:    %d/%d identified\n", opm_wins, trials);
+
+    auto attack = bench::Json::object();
+    attack.set("trials", trials);
+    attack.set("det_identified", det_wins);
+    attack.set("opm_identified", opm_wins);
+
+    auto results = bench::Json::object();
+    results.set("scores", scores.size());
+    results.set("encodings", std::move(encodings));
+    results.set("fingerprint_attack", std::move(attack));
+    bench::emit(bench::doc("ablation_leakage", "Ablation C")
+                    .set("results", std::move(results))
+                    .set("counters", bench::counters_json()));
   }
   return 0;
 }

@@ -14,30 +14,54 @@ int main() {
   using namespace rsse;
   bench::banner("Ablation D — multi-threaded BuildIndex (Table I workload)");
 
-  const ir::Corpus corpus = ir::generate_corpus(bench::fig4_corpus_options());
+  auto opts = bench::fig4_corpus_options();
+  if (bench::quick()) {
+    opts.num_documents = 250;
+    opts.injected[0].document_count = 250;
+  }
+  const ir::Corpus corpus = ir::generate_corpus(opts);
   const sse::RsseScheme scheme(sse::keygen());
   // Fix the quantizer once so every run builds the identical index.
   const auto reference = scheme.build_index(corpus);
-  std::printf("corpus: 1000 files, %llu keywords, %llu postings\n",
+  bench::human("corpus: %zu files, %llu keywords, %llu postings\n", corpus.size(),
               static_cast<unsigned long long>(reference.stats.num_keywords),
               static_cast<unsigned long long>(reference.stats.num_postings));
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  std::printf("hardware threads: %u\n\n", hw);
-  std::printf("%-10s %14s %14s %12s\n", "threads", "wall (s)", "CPU opm (s)", "speedup");
+  bench::human("hardware threads: %u\n\n", hw);
+  bench::human("%-10s %14s %14s %12s\n", "threads", "wall (s)", "CPU opm (s)", "speedup");
 
+  const std::vector<unsigned> sweep =
+      bench::quick() ? std::vector<unsigned>{1u, 2u, 4u}
+                     : std::vector<unsigned>{1u, 2u, 4u, 8u, 16u};
+  auto rows = bench::Json::array();
   double baseline_wall = 0.0;
-  for (std::size_t threads : {1u, 2u, 4u, 8u, 16u}) {
+  for (std::size_t threads : sweep) {
     if (threads > 2 * hw) break;
     Stopwatch watch;
     const auto built = scheme.build_index(corpus, reference.quantizer,
                                           sse::RsseScheme::BuildOptions{threads});
     const double wall = watch.elapsed_seconds();
     if (threads == 1) baseline_wall = wall;
-    std::printf("%-10zu %14.2f %14.2f %11.2fx\n", threads, wall,
+    bench::human("%-10zu %14.2f %14.2f %11.2fx\n", threads, wall,
                 built.stats.opm_seconds, baseline_wall / wall);
+    auto row = bench::Json::object();
+    row.set("threads", threads);
+    row.set("wall_seconds", wall);
+    row.set("opm_cpu_seconds", built.stats.opm_seconds);
+    row.set("speedup_vs_1", baseline_wall / wall);
+    rows.push(std::move(row));
   }
-  std::printf("\n(the OPM stage parallelizes near-linearly until the memory-bound\n"
+  bench::human("\n(the OPM stage parallelizes near-linearly until the memory-bound\n"
               " entry encryption and padding dominate)\n");
+
+  auto results = bench::Json::object();
+  results.set("files", corpus.size());
+  results.set("keywords", reference.stats.num_keywords);
+  results.set("postings", reference.stats.num_postings);
+  results.set("rows", std::move(rows));
+  bench::emit(bench::doc("ablation_parallel_build", "Ablation D")
+                  .set("results", std::move(results))
+                  .set("counters", bench::counters_json()));
   return 0;
 }

@@ -14,14 +14,19 @@ int main() {
   using namespace rsse;
   bench::banner("Ablation E — server-side rank cache on repeat queries");
 
-  const ir::Corpus corpus = ir::generate_corpus(bench::fig4_corpus_options());
+  auto opts = bench::fig4_corpus_options();
+  if (bench::quick()) {
+    opts.num_documents = 250;
+    opts.injected[0].document_count = 250;
+  }
+  const ir::Corpus corpus = ir::generate_corpus(opts);
   cloud::DataOwner owner;
   cloud::CloudServer server;
-  std::printf("building index (1000 files)...\n");
+  bench::human("building index (%zu files)...\n", corpus.size());
   owner.outsource_rsse(corpus, server);
   const sse::Trapdoor trapdoor = owner.rsse().trapdoor(bench::kKeyword);
 
-  constexpr int kReps = 200;
+  const int kReps = bench::scaled(200, 20);
   const auto measure = [&](std::size_t k) {
     RunningStats stats;
     for (int rep = 0; rep < kReps; ++rep) {
@@ -34,18 +39,38 @@ int main() {
     return stats.mean();
   };
 
-  std::printf("\n%-8s %18s %18s %12s\n", "k", "cache off (ms)", "cache on (ms)",
+  bench::human("\n%-8s %18s %18s %12s\n", "k", "cache off (ms)", "cache on (ms)",
               "speedup");
-  for (std::size_t k : {10, 50, 100, 300}) {
+  const std::vector<std::size_t> ks = bench::quick()
+                                          ? std::vector<std::size_t>{10, 50, 100, 200}
+                                          : std::vector<std::size_t>{10, 50, 100, 300};
+  auto rows = bench::Json::array();
+  for (std::size_t k : ks) {
     server.set_rank_cache_enabled(false);
     const double off = measure(k);
     server.set_rank_cache_enabled(true);
     (void)server.ranked_search(cloud::RankedSearchRequest{trapdoor, 0});  // warm
     const double on = measure(k);
-    std::printf("%-8zu %18.3f %18.3f %11.1fx\n", k, off, on, off / on);
+    bench::human("%-8zu %18.3f %18.3f %11.1fx\n", k, off, on, off / on);
+    auto row = bench::Json::object();
+    row.set("k", k);
+    row.set("cache_off_ms", off);
+    row.set("cache_on_ms", on);
+    row.set("speedup", off / on);
+    rows.push(std::move(row));
   }
-  std::printf("\ncache hits: %llu, misses: %llu\n",
+  bench::human("\ncache hits: %llu, misses: %llu\n",
               static_cast<unsigned long long>(server.rank_cache_hits()),
               static_cast<unsigned long long>(server.rank_cache_misses()));
+
+  auto results = bench::Json::object();
+  results.set("files", corpus.size());
+  results.set("repetitions", kReps);
+  results.set("rows", std::move(rows));
+  results.set("cache_hits", server.rank_cache_hits());
+  results.set("cache_misses", server.rank_cache_misses());
+  bench::emit(bench::doc("ablation_rank_cache", "Ablation E")
+                  .set("results", std::move(results))
+                  .set("counters", bench::counters_json()));
   return 0;
 }

@@ -70,20 +70,20 @@ int main() {
   bench::banner("Cluster scaling — ranked top-10 QPS vs shard count (Zipf workload)");
 
   auto opts = bench::fig4_corpus_options(250);
-  opts.num_documents = 500;
+  opts.num_documents = bench::scaled<std::size_t>(500, 250);
   opts.max_tokens = 600;  // small blobs: endpoint capacity, not local
                           // (de)serialization, should set the throughput
-  opts.injected[0].document_count = 400;
+  opts.injected[0].document_count = bench::scaled<std::size_t>(400, 200);
   const ir::Corpus corpus = ir::generate_corpus(opts);
 
   cloud::DataOwner owner;
   cloud::CloudServer server;
-  std::printf("building index (%zu files)...\n", corpus.size());
+  bench::human("building index (%zu files)...\n", corpus.size());
   owner.outsource_rsse(corpus, server);
 
   const auto inverted = ir::InvertedIndex::build(corpus, owner.rsse().analyzer());
   ir::QueryWorkloadOptions wl;
-  wl.num_queries = 2000;
+  wl.num_queries = bench::scaled<std::size_t>(2000, 400);
   wl.zipf_exponent = 1.1;
   wl.seed = 17;
   const ir::QueryWorkload workload(inverted, wl);
@@ -93,14 +93,17 @@ int main() {
     const sse::Trapdoor t{owner.rsse().row_label(q), owner.rsse().row_key(q)};
     requests.push_back(cloud::RankedSearchRequest{t, 10}.serialize());
   }
-  std::printf("workload: %zu queries over %zu distinct keywords"
+  bench::human("workload: %zu queries over %zu distinct keywords"
               " (%.1f ms search / %.1f ms fetch service time)\n\n",
               requests.size(), workload.distinct_keywords(), kSearchServiceMs,
               kFetchServiceMs);
 
   constexpr int kClients = 16;
+  const std::vector<std::uint32_t> shard_counts =
+      bench::quick() ? std::vector<std::uint32_t>{1u, 2u, 4u}
+                     : std::vector<std::uint32_t>{1u, 2u, 4u, 8u};
   std::vector<Row> rows;
-  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+  for (const std::uint32_t shards : shard_counts) {
     const cluster::ShardMap map(shards);
     auto indexes = map.split_index(server.index());
     auto file_sets = map.split_files(server.files());
@@ -157,37 +160,38 @@ int main() {
     row.bytes_down =
         coordinator.registry().counter("rsse_cluster_bytes_down_total", "").value();
     rows.push_back(row);
-    std::printf("%2u shard(s): %8.0f QPS   p50 %7.3f ms   p99 %7.3f ms"
+    bench::human("%2u shard(s): %8.0f QPS   p50 %7.3f ms   p99 %7.3f ms"
                 "   (%llu merges, %.1f MiB down)\n",
                 shards, row.qps, row.latency.p50, row.latency.p99,
                 static_cast<unsigned long long>(row.scatter_gathers),
                 static_cast<double>(row.bytes_down) / (1024.0 * 1024.0));
   }
 
-  // Machine-readable output (one JSON document on stdout).
-  std::printf("\n{\n");
-  std::printf("  \"bench\": \"cluster_scaling\",\n");
-  std::printf("  \"clients\": %d,\n", kClients);
-  std::printf("  \"queries\": %zu,\n", requests.size());
-  std::printf("  \"distinct_keywords\": %zu,\n", workload.distinct_keywords());
-  std::printf("  \"zipf_exponent\": %.2f,\n", wl.zipf_exponent);
-  std::printf("  \"search_service_ms\": %.2f,\n", kSearchServiceMs);
-  std::printf("  \"fetch_service_ms\": %.2f,\n", kFetchServiceMs);
-  std::printf("  \"results\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::printf("    {\"shards\": %u, \"qps\": %.1f, \"p50_ms\": %.4f,"
-                " \"p95_ms\": %.4f, \"p99_ms\": %.4f, \"speedup_vs_1\": %.2f,"
-                " \"scatter_gathers\": %llu, \"failed_attempts\": %llu,"
-                " \"bytes_up\": %llu, \"bytes_down\": %llu}%s\n",
-                r.shards, r.qps, r.latency.p50, r.latency.p95, r.latency.p99,
-                r.qps / rows[0].qps,
-                static_cast<unsigned long long>(r.scatter_gathers),
-                static_cast<unsigned long long>(r.failed_attempts),
-                static_cast<unsigned long long>(r.bytes_up),
-                static_cast<unsigned long long>(r.bytes_down),
-                i + 1 < rows.size() ? "," : "");
+  auto json_rows = bench::Json::array();
+  for (const Row& r : rows) {
+    auto row = bench::Json::object();
+    row.set("shards", r.shards);
+    row.set("qps", r.qps);
+    row.set("p50_ms", r.latency.p50);
+    row.set("p95_ms", r.latency.p95);
+    row.set("p99_ms", r.latency.p99);
+    row.set("speedup_vs_1", r.qps / rows[0].qps);
+    row.set("scatter_gathers", r.scatter_gathers);
+    row.set("failed_attempts", r.failed_attempts);
+    row.set("bytes_up", r.bytes_up);
+    row.set("bytes_down", r.bytes_down);
+    json_rows.push(std::move(row));
   }
-  std::printf("  ]\n}\n");
+  auto results = bench::Json::object();
+  results.set("clients", kClients);
+  results.set("queries", requests.size());
+  results.set("distinct_keywords", workload.distinct_keywords());
+  results.set("zipf_exponent", wl.zipf_exponent);
+  results.set("search_service_ms", kSearchServiceMs);
+  results.set("fetch_service_ms", kFetchServiceMs);
+  results.set("rows", std::move(json_rows));
+  bench::emit(bench::doc("cluster_scaling", "Cluster scaling")
+                  .set("results", std::move(results))
+                  .set("counters", bench::counters_json()));
   return 0;
 }

@@ -5,15 +5,33 @@
 // The canonical workload mirrors the paper's Fig. 4 setup: 1000 files all
 // containing the keyword "network" with a skewed TF distribution, scores
 // encoded into M = 128 levels.
+//
+// Output protocol (scripts/bench_all.py depends on it):
+//   * stdout carries EXACTLY ONE JSON document (emit()), nothing else —
+//     the machine-readable result scripts/bench_schema.json describes.
+//   * every human-readable table/banner goes to stderr (human()/banner()).
+//   * RSSE_BENCH_QUICK=1 (quick()) shrinks workloads for CI; the emitted
+//     document records which mode produced it so baselines never compare
+//     quick against full runs.
+//   * the "counters" section holds the obs::cost crypto-work counters
+//     (HMAC invocations, HGD samples, bytes encrypted, ...) — workload-
+//     determined, so the CI drift gate can flag cost regressions without
+//     depending on wall-clock noise.
 #pragma once
 
+#include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "ir/corpus_gen.h"
 #include "ir/inverted_index.h"
 #include "ir/scoring.h"
+#include "obs/cost.h"
 #include "util/stats.h"
 
 namespace rsse::bench {
@@ -70,11 +88,180 @@ inline LatencySummary summarize_latencies(const std::vector<double>& sample) {
   return s;
 }
 
-/// Section banner in the bench output.
+/// True when RSSE_BENCH_QUICK is set: shrink workloads so the whole
+/// fleet finishes inside a CI job. The emitted JSON records the mode.
+inline bool quick() {
+  static const bool value = std::getenv("RSSE_BENCH_QUICK") != nullptr;
+  return value;
+}
+
+/// `full` normally, `reduced` under RSSE_BENCH_QUICK.
+template <typename T>
+inline T scaled(T full, T reduced) {
+  return quick() ? reduced : full;
+}
+
+/// printf to stderr — the human-readable side of the output protocol.
+[[gnu::format(printf, 1, 2)]] inline void human(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+}
+
+/// Section banner (stderr, like all human output).
 inline void banner(const char* title) {
-  std::printf("\n==============================================================\n");
-  std::printf("%s\n", title);
-  std::printf("==============================================================\n");
+  std::fprintf(stderr,
+               "\n==============================================================\n"
+               "%s\n"
+               "==============================================================\n",
+               title);
+}
+
+/// Minimal ordered JSON builder — just enough for the bench documents
+/// (keeps insertion order so diffs of BENCH_RSSE.json stay readable).
+class Json {
+ public:
+  Json() : kind_(Kind::kLiteral), text_("null") {}
+  Json(bool v) : kind_(Kind::kLiteral), text_(v ? "true" : "false") {}
+  Json(double v) : kind_(Kind::kLiteral), text_(format_double(v)) {}
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T> &&
+                                                    !std::is_same_v<T, bool>>>
+  Json(T v) : kind_(Kind::kLiteral), text_(std::to_string(v)) {}
+  Json(const char* s) : kind_(Kind::kString), text_(s) {}
+  Json(std::string s) : kind_(Kind::kString), text_(std::move(s)) {}
+
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+
+  /// Adds (or appends; keys are not deduplicated) an object member.
+  Json& set(std::string key, Json value) {
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// Appends an array element.
+  Json& push(Json value) {
+    elements_.push_back(std::move(value));
+    return *this;
+  }
+
+  [[nodiscard]] std::string dump(int indent = 0) const {
+    std::string out;
+    write(out, indent);
+    return out;
+  }
+
+ private:
+  enum class Kind { kLiteral, kString, kObject, kArray };
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  static std::string format_double(double v) {
+    if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+  }
+
+  static void escape_to(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  void write(std::string& out, int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    const std::string inner_pad(static_cast<std::size_t>(indent) + 2, ' ');
+    switch (kind_) {
+      case Kind::kLiteral: out += text_; return;
+      case Kind::kString: escape_to(out, text_); return;
+      case Kind::kObject: {
+        if (members_.empty()) { out += "{}"; return; }
+        out += "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          out += inner_pad;
+          escape_to(out, members_[i].first);
+          out += ": ";
+          members_[i].second.write(out, indent + 2);
+          out += i + 1 < members_.size() ? ",\n" : "\n";
+        }
+        out += pad + "}";
+        return;
+      }
+      case Kind::kArray: {
+        if (elements_.empty()) { out += "[]"; return; }
+        out += "[\n";
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+          out += inner_pad;
+          elements_[i].write(out, indent + 2);
+          out += i + 1 < elements_.size() ? ",\n" : "\n";
+        }
+        out += pad + "]";
+        return;
+      }
+    }
+  }
+
+  Kind kind_;
+  std::string text_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+/// The envelope every bench document starts from (schema_version, bench
+/// name, the figure/table it reproduces, the quick flag). Callers add
+/// "results" (free-form) and "counters" (counters_json) then emit().
+inline Json doc(const char* bench_name, const char* figure) {
+  Json d = Json::object();
+  d.set("schema_version", 1);
+  d.set("bench", bench_name);
+  d.set("figure", figure);
+  d.set("quick", quick());
+  return d;
+}
+
+/// A LatencySummary as an object with fixed keys.
+inline Json latency_json(const LatencySummary& s) {
+  Json j = Json::object();
+  j.set("p50_ms", s.p50);
+  j.set("p95_ms", s.p95);
+  j.set("p99_ms", s.p99);
+  return j;
+}
+
+/// The crypto-work counters accumulated since process start (or a
+/// delta) — the deterministic section the CI drift gate compares.
+inline Json counters_json(const obs::cost::Snapshot& snap = obs::cost::snapshot()) {
+  Json j = Json::object();
+  j.set("hmac_invocations", snap.hmac_invocations);
+  j.set("tape_derivations", snap.tape_derivations);
+  j.set("hgd_samples", snap.hgd_samples);
+  j.set("opm_mappings", snap.opm_mappings);
+  j.set("split_cache_hits", snap.split_cache_hits);
+  j.set("entries_encrypted", snap.entries_encrypted);
+  j.set("bytes_encrypted", snap.bytes_encrypted);
+  return j;
+}
+
+/// Prints the one machine-readable JSON document to stdout.
+inline void emit(const Json& document) {
+  std::fputs(document.dump().c_str(), stdout);
+  std::fputc('\n', stdout);
 }
 
 }  // namespace rsse::bench

@@ -65,12 +65,12 @@ int main() {
 
   cloud::DataOwner owner;
   cloud::CloudServer server;
-  std::printf("building index (%zu files)...\n", corpus.size());
+  bench::human("building index (%zu files)...\n", corpus.size());
   owner.outsource_rsse(corpus, server);
 
   const auto inverted = ir::InvertedIndex::build(corpus, owner.rsse().analyzer());
   ir::QueryWorkloadOptions wl;
-  wl.num_queries = 400;
+  wl.num_queries = bench::scaled<std::size_t>(400, 150);
   wl.zipf_exponent = 1.1;
   wl.seed = 19;
   const ir::QueryWorkload workload(inverted, wl);
@@ -84,7 +84,7 @@ int main() {
   constexpr std::uint32_t kShards = 2;
   constexpr auto kAttemptBudget = std::chrono::milliseconds(50);
   constexpr auto kQueryBudget = std::chrono::milliseconds(2000);
-  std::printf("workload: %zu queries, %u shards x 2 replicas,"
+  bench::human("workload: %zu queries, %u shards x 2 replicas,"
               " %lld ms attempt budget, %lld ms query budget\n\n",
               requests.size(), kShards,
               static_cast<long long>(kAttemptBudget.count()),
@@ -152,7 +152,7 @@ int main() {
         coordinator.registry().counter("rsse_cluster_bytes_down_total", "").value();
     rows.push_back(row);
 
-    std::printf("%5.0f%% faults: %6.1f%% ok   p50 %7.3f ms   p95 %7.3f ms"
+    bench::human("%5.0f%% faults: %6.1f%% ok   p50 %7.3f ms   p95 %7.3f ms"
                 "   p99 %7.3f ms   (%llu failovers, %llu failed attempts,"
                 " %llu deadline hits)\n",
                 fault_rate * 100, row.success_rate * 100, row.latency.p50,
@@ -162,32 +162,30 @@ int main() {
                 static_cast<unsigned long long>(row.deadline_failures));
   }
 
-  // Machine-readable output (one JSON document on stdout).
-  std::printf("\n{\n");
-  std::printf("  \"bench\": \"fault_recovery\",\n");
-  std::printf("  \"queries\": %zu,\n", requests.size());
-  std::printf("  \"shards\": %u,\n", kShards);
-  std::printf("  \"replicas\": 2,\n");
-  std::printf("  \"attempt_budget_ms\": %lld,\n",
-              static_cast<long long>(kAttemptBudget.count()));
-  std::printf("  \"query_budget_ms\": %lld,\n",
-              static_cast<long long>(kQueryBudget.count()));
-  std::printf("  \"results\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::printf("    {\"fault_rate\": %.2f, \"success_rate\": %.4f,"
-                " \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f,"
-                " \"failovers\": %llu, \"failed_attempts\": %llu,"
-                " \"deadline_failures\": %llu,"
-                " \"bytes_up\": %llu, \"bytes_down\": %llu}%s\n",
-                r.fault_rate, r.success_rate, r.latency.p50, r.latency.p95,
-                r.latency.p99, static_cast<unsigned long long>(r.failovers),
-                static_cast<unsigned long long>(r.failed_attempts),
-                static_cast<unsigned long long>(r.deadline_failures),
-                static_cast<unsigned long long>(r.bytes_up),
-                static_cast<unsigned long long>(r.bytes_down),
-                i + 1 < rows.size() ? "," : "");
+  auto json_rows = bench::Json::array();
+  for (const Row& r : rows) {
+    auto row = bench::Json::object();
+    row.set("fault_rate", r.fault_rate);
+    row.set("success_rate", r.success_rate);
+    row.set("p50_ms", r.latency.p50);
+    row.set("p95_ms", r.latency.p95);
+    row.set("p99_ms", r.latency.p99);
+    row.set("failovers", r.failovers);
+    row.set("failed_attempts", r.failed_attempts);
+    row.set("deadline_failures", r.deadline_failures);
+    row.set("bytes_up", r.bytes_up);
+    row.set("bytes_down", r.bytes_down);
+    json_rows.push(std::move(row));
   }
-  std::printf("  ]\n}\n");
+  auto results = bench::Json::object();
+  results.set("queries", requests.size());
+  results.set("shards", kShards);
+  results.set("replicas", 2);
+  results.set("attempt_budget_ms", kAttemptBudget.count());
+  results.set("query_budget_ms", kQueryBudget.count());
+  results.set("rows", std::move(json_rows));
+  bench::emit(bench::doc("fault_recovery", "Fault recovery")
+                  .set("results", std::move(results))
+                  .set("counters", bench::counters_json()));
   return 0;
 }

@@ -19,8 +19,8 @@ int main() {
   const ir::Corpus corpus = ir::generate_corpus(bench::fig4_corpus_options());
   const auto index = ir::InvertedIndex::build(corpus, ir::Analyzer());
   const std::vector<double> scores = bench::keyword_scores(index, bench::kKeyword);
-  std::printf("files in collection: %zu\n", corpus.size());
-  std::printf("posting list length (lambda): %zu\n", scores.size());
+  bench::human("files in collection: %zu\n", corpus.size());
+  bench::human("posting list length (lambda): %zu\n", scores.size());
 
   // Encode into 128 levels like the paper, then histogram the levels.
   const auto quantizer = opse::ScoreQuantizer::from_scores(scores, 128);
@@ -33,19 +33,31 @@ int main() {
     histogram.add(static_cast<double>(level));
   }
 
-  std::printf("\nscore distribution over 128 levels (paper Fig. 4 shape):\n");
-  std::printf("%s", histogram.ascii_chart(32, 60).c_str());
+  bench::human("\nscore distribution over 128 levels (paper Fig. 4 shape):\n");
+  bench::human("%s", histogram.ascii_chart(32, 60).c_str());
 
   const std::uint64_t max_dup = max_duplicates(levels);
   const double lambda = static_cast<double>(levels.size());
-  std::printf("\npeak histogram bin:        %llu points\n",
+  bench::human("\npeak histogram bin:        %llu points\n",
               static_cast<unsigned long long>(histogram.max_count()));
-  std::printf("max score duplicates:      %llu\n",
+  bench::human("max score duplicates:      %llu\n",
               static_cast<unsigned long long>(max_dup));
-  std::printf("max/lambda:                %.4f   (paper: 0.06)\n",
+  bench::human("max/lambda:                %.4f   (paper: 0.06)\n",
               static_cast<double>(max_dup) / lambda);
-  std::printf("distinct levels used:      %zu / 128\n", distinct_count(levels));
-  std::printf("binned min-entropy:        %.3f bits (low = skewed, fingerprintable)\n",
+  bench::human("distinct levels used:      %zu / 128\n", distinct_count(levels));
+  bench::human("binned min-entropy:        %.3f bits (low = skewed, fingerprintable)\n",
               histogram.min_entropy_bits());
+
+  auto results = bench::Json::object();
+  results.set("files", corpus.size());
+  results.set("posting_list_length", levels.size());
+  results.set("peak_bin", histogram.max_count());
+  results.set("max_duplicates", max_dup);
+  results.set("max_over_lambda", static_cast<double>(max_dup) / lambda);
+  results.set("distinct_levels", distinct_count(levels));
+  results.set("binned_min_entropy_bits", histogram.min_entropy_bits());
+  bench::emit(bench::doc("fig4_score_distribution", "Fig. 4")
+                  .set("results", std::move(results))
+                  .set("counters", bench::counters_json()));
   return 0;
 }

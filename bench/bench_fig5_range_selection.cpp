@@ -21,34 +21,45 @@ int main() {
                                .min_entropy_c = 1.1,
                                .bound = RecursionBound::kFiveLogMPlus12};
 
-  std::printf("max/lambda = %.2f, M = %llu, c = %.2f\n",
+  bench::human("max/lambda = %.2f, M = %llu, c = %.2f\n",
               base.max_duplicates / base.average_list_len,
               static_cast<unsigned long long>(base.domain_size), base.min_entropy_c);
 
-  std::printf("\n%-6s %16s %16s %16s %16s\n", "k", "LHS(5logM+12)", "LHS(5logM)",
+  bench::human("\n%-6s %16s %16s %16s %16s\n", "k", "LHS(5logM+12)", "LHS(5logM)",
               "LHS(4logM)", "RHS=-(log2 k)^c");
-  std::printf("%-6s %16s %16s %16s %16s\n", "", "(log2)", "(log2)", "(log2)", "(log2)");
+  bench::human("%-6s %16s %16s %16s %16s\n", "", "(log2)", "(log2)", "(log2)", "(log2)");
   for (std::uint64_t k = 8; k <= 56; k += 2) {
     RangeSelectParams p5 = base;
     RangeSelectParams p5l = base;
     p5l.bound = RecursionBound::kFiveLogM;
     RangeSelectParams p4l = base;
     p4l.bound = RecursionBound::kFourLogM;
-    std::printf("%-6llu %16.3f %16.3f %16.3f %16.3f\n",
+    bench::human("%-6llu %16.3f %16.3f %16.3f %16.3f\n",
                 static_cast<unsigned long long>(k), opse::lhs_log2(p5, k),
                 opse::lhs_log2(p5l, k), opse::lhs_log2(p4l, k), opse::rhs_log2(base, k));
   }
 
+  auto chosen = bench::Json::object();
   const auto report = [&](const char* name, RecursionBound bound, const char* paper) {
     RangeSelectParams p = base;
     p.bound = bound;
     const std::uint64_t k = opse::choose_range_bits(p);
-    std::printf("bound %-12s -> |R| = 2^%-3llu (paper: %s)\n", name,
+    bench::human("bound %-12s -> |R| = 2^%-3llu (paper: %s)\n", name,
                 static_cast<unsigned long long>(k), paper);
+    chosen.set(name, k);
   };
-  std::printf("\nchosen range sizes (smallest k with LHS <= RHS):\n");
+  bench::human("\nchosen range sizes (smallest k with LHS <= RHS):\n");
   report("5logM+12", RecursionBound::kFiveLogMPlus12, "2^46");
   report("5logM", RecursionBound::kFiveLogM, "2^34");
   report("4logM", RecursionBound::kFourLogM, "2^27");
+
+  auto results = bench::Json::object();
+  results.set("max_over_lambda", base.max_duplicates / base.average_list_len);
+  results.set("domain_size", base.domain_size);
+  results.set("min_entropy_c", base.min_entropy_c);
+  results.set("chosen_range_bits", std::move(chosen));
+  bench::emit(bench::doc("fig5_range_selection", "Fig. 5")
+                  .set("results", std::move(results))
+                  .set("counters", bench::counters_json()));
   return 0;
 }

@@ -10,7 +10,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <iostream>
 
+#include "bench_common.h"
 #include "crypto/csprng.h"
 #include "opse/opm.h"
 #include "util/stopwatch.h"
@@ -40,43 +42,66 @@ BENCHMARK(BM_OpmMap)
 
 // The paper's presentation: mean per-operation cost per (M, |R|) point.
 // HGD walk lengths depend on the key-specific bucket layout, so we
-// average each point over several independent keys x 100 trials.
-void print_summary_table() {
-  std::printf("\nFig. 7 summary — single OPM op, mean over 8 keys x 100 trials "
-              "(microseconds)\n");
-  std::printf("%-8s %14s %14s %14s\n", "M", "|R|=2^20", "|R|=2^40", "|R|=2^46");
+// average each point over several independent keys x trials (fewer of
+// both under RSSE_BENCH_QUICK).
+bench::Json summary_table() {
+  const int keys = bench::scaled(8, 2);
+  const std::uint64_t trials = bench::scaled<std::uint64_t>(100, 25);
+  auto points = bench::Json::array();
+  bench::human("\nFig. 7 summary — single OPM op, mean over %d keys x %llu trials "
+              "(microseconds)\n", keys, static_cast<unsigned long long>(trials));
+  bench::human("%-8s %14s %14s %14s\n", "M", "|R|=2^20", "|R|=2^40", "|R|=2^46");
   for (std::uint64_t domain : {64, 96, 128, 160, 192, 224, 256}) {
-    std::printf("%-8llu", static_cast<unsigned long long>(domain));
+    bench::human("%-8llu", static_cast<unsigned long long>(domain));
     for (std::uint64_t range_bits : {20, 40, 46}) {
       double total_us = 0.0;
       std::uint64_t total_ops = 0;
-      for (int key_index = 0; key_index < 8; ++key_index) {
+      for (int key_index = 0; key_index < keys; ++key_index) {
         Bytes key = to_bytes("fig7-bench-key-");
         key.push_back(static_cast<std::uint8_t>(key_index));
         const opse::OneToManyOpm opm(key, opse::OpeParams{domain, 1ull << range_bits});
         benchmark::DoNotOptimize(opm.map(1, 0));  // warm-up
         Stopwatch watch;
-        for (std::uint64_t trial = 0; trial < 100; ++trial)
+        for (std::uint64_t trial = 0; trial < trials; ++trial)
           benchmark::DoNotOptimize(opm.map(trial % domain + 1, trial));
         total_us += watch.elapsed_us();
-        total_ops += 100;
+        total_ops += trials;
       }
-      std::printf(" %14.2f", total_us / static_cast<double>(total_ops));
+      const double mean_us = total_us / static_cast<double>(total_ops);
+      bench::human(" %14.2f", mean_us);
+      auto point = bench::Json::object();
+      point.set("domain", domain);
+      point.set("range_bits", range_bits);
+      point.set("mean_us", mean_us);
+      points.push(std::move(point));
     }
-    std::printf("\n");
+    bench::human("\n");
   }
-  std::printf("(paper, MATLAB HGD at M=128, |R|=2^46: ~70 ms; shape, not absolute\n"
+  bench::human("(paper, MATLAB HGD at M=128, |R|=2^46: ~70 ms; shape, not absolute\n"
               " value, is the reproduced quantity — see EXPERIMENTS.md)\n");
+  return points;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf("==============================================================\n");
-  std::printf("Fig. 7 — one-to-many order-preserving mapping latency\n");
-  std::printf("==============================================================\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  print_summary_table();
+  bench::banner("Fig. 7 — one-to-many order-preserving mapping latency");
+  // google-benchmark's console tables are human output: send them to
+  // stderr so stdout stays a single JSON document. Quick mode skips the
+  // gbench sweep entirely (the summary table below covers the shape).
+  if (!bench::quick()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::ConsoleReporter reporter;
+    reporter.SetOutputStream(&std::cerr);
+    reporter.SetErrorStream(&std::cerr);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  auto points = summary_table();
+
+  auto results = bench::Json::object();
+  results.set("points", std::move(points));
+  bench::emit(bench::doc("fig7_opm_latency", "Fig. 7")
+                  .set("results", std::move(results))
+                  .set("counters", bench::counters_json()));
   return 0;
 }

@@ -27,16 +27,16 @@ int main() {
   bench::banner("Related schemes — search cost across the SSE lineage");
 
   auto opts = bench::fig4_corpus_options(150);
-  opts.num_documents = 400;
-  opts.injected[0].document_count = 250;
+  opts.num_documents = bench::scaled<std::size_t>(400, 200);
+  opts.injected[0].document_count = bench::scaled<std::size_t>(250, 125);
   const ir::Corpus corpus = ir::generate_corpus(opts);
   const ir::Analyzer analyzer;
 
-  std::printf("corpus: %zu files, %.1f MB\n", corpus.size(),
+  bench::human("corpus: %zu files, %.1f MB\n", corpus.size(),
               static_cast<double>(corpus.total_bytes()) / (1024.0 * 1024.0));
 
   // --- build all five -------------------------------------------------
-  std::printf("building all five schemes...\n");
+  bench::human("building all five schemes...\n");
   const baseline::SwpScheme swp(baseline::SwpScheme::generate_key());
   std::map<std::uint64_t, std::vector<Bytes>> swp_store;
   std::uint64_t total_words = 0;
@@ -65,7 +65,7 @@ int main() {
   const baseline::PlaintextSearchEngine plaintext(corpus);
 
   // --- measure --------------------------------------------------------
-  constexpr int kReps = 20;
+  const int kReps = bench::scaled(20, 5);
   const auto time_ms = [&](auto&& fn) {
     RunningStats stats;
     for (int rep = 0; rep < kReps; ++rep) {
@@ -105,27 +105,50 @@ int main() {
   });
 
   const auto mb = [](std::uint64_t b) { return static_cast<double>(b) / (1024.0 * 1024.0); };
-  std::printf("\n%-22s %12s %14s %10s %s\n", "scheme", "index MB", "search ms",
+  bench::human("\n%-22s %12s %14s %10s %s\n", "scheme", "index MB", "search ms",
               "ranked?", "search complexity");
-  std::printf("%-22s %12.2f %14.3f %10s %s\n", "SWP'00 [6]", mb(swp_bytes), swp_ms,
+  bench::human("%-22s %12.2f %14.3f %10s %s\n", "SWP'00 [6]", mb(swp_bytes), swp_ms,
               "no", "O(total words)");
-  std::printf("%-22s %12.2f %14.3f %10s %s\n", "Goh'03 [7]", mb(goh_index.byte_size()),
+  bench::human("%-22s %12.2f %14.3f %10s %s\n", "Goh'03 [7]", mb(goh_index.byte_size()),
               goh_ms, "no", "O(files)");
-  std::printf("%-22s %12.2f %14.3f %10s %s\n", "SSE-1 (CCS'06) [10]",
+  bench::human("%-22s %12.2f %14.3f %10s %s\n", "SSE-1 (CCS'06) [10]",
               mb(sse1_index.byte_size()), sse1_ms, "user-side", "O(log m + N_i)");
-  std::printf("%-22s %12.2f %14.3f %10s %s\n", "Basic scheme (SSE)",
+  bench::human("%-22s %12.2f %14.3f %10s %s\n", "Basic scheme (SSE)",
               mb(basic_index.byte_size()), basic_ms, "user-side", "O(log m + nu)");
-  std::printf("%-22s %12.2f %14.3f %10s %s\n", "RSSE (this paper)",
+  bench::human("%-22s %12.2f %14.3f %10s %s\n", "RSSE (this paper)",
               mb(rsse_built.index.byte_size()), rsse_ms, "server",
               "O(log m + nu), top-k");
-  std::printf("%-22s %12s %14.3f %10s %s\n", "plaintext", "-", plain_ms, "yes",
+  bench::human("%-22s %12s %14.3f %10s %s\n", "plaintext", "-", plain_ms, "yes",
               "O(log m + N_i)");
-  std::printf("\ntotal indexed words: %llu; keyword matches %u files\n",
-              static_cast<unsigned long long>(total_words), 250);
-  std::printf("(who-wins shape from the paper's related work: the SWP scan is\n"
+  bench::human("\ntotal indexed words: %llu; keyword matches %zu files\n",
+              static_cast<unsigned long long>(total_words),
+              opts.injected[0].document_count);
+  bench::human("(who-wins shape from the paper's related work: the SWP scan is\n"
               " slowest, Goh scales with file count, the index-based schemes are\n"
               " near-plaintext; SSE-1's linked-chain array stores only the true\n"
               " postings where the padded schemes store m*nu; only RSSE returns\n"
               " a server-ranked top-k.)\n");
+
+  auto schemes = bench::Json::object();
+  const auto scheme_json = [](std::uint64_t index_bytes, double search_ms) {
+    auto s = bench::Json::object();
+    s.set("index_bytes", index_bytes);
+    s.set("search_ms", search_ms);
+    return s;
+  };
+  schemes.set("swp00", scheme_json(swp_bytes, swp_ms));
+  schemes.set("goh03", scheme_json(goh_index.byte_size(), goh_ms));
+  schemes.set("sse1_ccs06", scheme_json(sse1_index.byte_size(), sse1_ms));
+  schemes.set("basic", scheme_json(basic_index.byte_size(), basic_ms));
+  schemes.set("rsse", scheme_json(rsse_built.index.byte_size(), rsse_ms));
+  schemes.set("plaintext", scheme_json(0, plain_ms));
+
+  auto results = bench::Json::object();
+  results.set("files", corpus.size());
+  results.set("total_indexed_words", total_words);
+  results.set("schemes", std::move(schemes));
+  bench::emit(bench::doc("related_schemes", "Sec. VII comparison")
+                  .set("results", std::move(results))
+                  .set("counters", bench::counters_json()));
   return 0;
 }

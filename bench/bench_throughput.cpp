@@ -19,13 +19,13 @@ int main() {
   bench::banner("Throughput — ranked top-10 search, in-process vs TCP loopback");
 
   auto opts = bench::fig4_corpus_options(150);
-  opts.num_documents = 400;
-  opts.injected[0].document_count = 300;
+  opts.num_documents = bench::scaled<std::size_t>(400, 200);
+  opts.injected[0].document_count = bench::scaled<std::size_t>(300, 150);
   const ir::Corpus corpus = ir::generate_corpus(opts);
 
   cloud::DataOwner owner;
   cloud::CloudServer server;
-  std::printf("building index (400 files)...\n");
+  bench::human("building index (%zu files)...\n", opts.num_documents);
   owner.outsource_rsse(corpus, server);
   const sse::Trapdoor trapdoor = owner.rsse().trapdoor(bench::kKeyword);
   const cloud::RankedSearchRequest request{trapdoor, 10};
@@ -33,7 +33,7 @@ int main() {
 
   net::NetworkServer net(server, 0);
 
-  constexpr int kQueriesPerClient = 200;
+  const int kQueriesPerClient = bench::scaled(200, 40);
   const auto run_clients = [&](int clients, bool remote) {
     std::atomic<int> failures{0};
     Stopwatch watch;
@@ -62,17 +62,26 @@ int main() {
     return static_cast<double>(clients) * kQueriesPerClient / seconds;
   };
 
-  std::printf("\n%-10s %16s %16s %16s\n", "clients", "in-proc QPS", "TCP QPS",
+  auto sweep = bench::Json::array();
+  bench::human("\n%-10s %16s %16s %16s\n", "clients", "in-proc QPS", "TCP QPS",
               "TCP+cache QPS");
-  for (int clients : {1, 2, 4, 8}) {
+  const std::vector<int> client_counts =
+      bench::quick() ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+  for (int clients : client_counts) {
     server.set_rank_cache_enabled(false);
     const double local_qps = run_clients(clients, false);
     const double tcp_qps = run_clients(clients, true);
     server.set_rank_cache_enabled(true);
     const double cached_qps = run_clients(clients, true);
-    std::printf("%-10d %16.0f %16.0f %16.0f\n", clients, local_qps, tcp_qps, cached_qps);
+    bench::human("%-10d %16.0f %16.0f %16.0f\n", clients, local_qps, tcp_qps, cached_qps);
+    auto row = bench::Json::object();
+    row.set("clients", clients);
+    row.set("in_process_qps", local_qps);
+    row.set("tcp_qps", tcp_qps);
+    row.set("tcp_cached_qps", cached_qps);
+    sweep.push(std::move(row));
   }
-  std::printf("\n(each query decrypts a 1000-entry padded row unless the rank cache\n"
+  bench::human("\n(each query decrypts a 1000-entry padded row unless the rank cache\n"
               " short-circuits it; TCP adds framing + loopback syscalls)\n");
 
   // --- Mixed Zipfian keyword workload -------------------------------
@@ -81,7 +90,7 @@ int main() {
   const auto inverted =
       ir::InvertedIndex::build(corpus, owner.rsse().analyzer());
   ir::QueryWorkloadOptions wl;
-  wl.num_queries = 2000;
+  wl.num_queries = bench::scaled<std::size_t>(2000, 400);
   wl.zipf_exponent = 1.1;
   wl.seed = 9;
   const ir::QueryWorkload workload(inverted, wl);
@@ -91,8 +100,11 @@ int main() {
     const sse::Trapdoor t{owner.rsse().row_label(q), owner.rsse().row_key(q)};
     requests.push_back(cloud::RankedSearchRequest{t, 10}.serialize());
   }
-  std::printf("\nmixed Zipf workload: %zu queries over %zu distinct keywords\n",
+  bench::human("\nmixed Zipf workload: %zu queries over %zu distinct keywords\n",
               workload.queries().size(), workload.distinct_keywords());
+  auto mixed = bench::Json::object();
+  mixed.set("queries", workload.queries().size());
+  mixed.set("distinct_keywords", workload.distinct_keywords());
   for (const bool cached : {false, true}) {
     server.set_rank_cache_enabled(cached);
     server.clear_rank_cache();
@@ -102,7 +114,17 @@ int main() {
       (void)channel.call(cloud::MessageType::kRankedSearch, request);
     const double qps =
         static_cast<double>(requests.size()) / watch.elapsed_seconds();
-    std::printf("  rank cache %-3s : %8.0f QPS\n", cached ? "on" : "off", qps);
+    bench::human("  rank cache %-3s : %8.0f QPS\n", cached ? "on" : "off", qps);
+    mixed.set(cached ? "cache_on_qps" : "cache_off_qps", qps);
   }
+
+  auto results = bench::Json::object();
+  results.set("files", corpus.size());
+  results.set("queries_per_client", kQueriesPerClient);
+  results.set("sweep", std::move(sweep));
+  results.set("mixed_zipf_workload", std::move(mixed));
+  bench::emit(bench::doc("throughput", "Serving stack")
+                  .set("results", std::move(results))
+                  .set("counters", bench::counters_json()));
   return 0;
 }

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Run the whole bench fleet and merge the results into BENCH_RSSE.json.
+
+Every bench binary prints exactly one JSON document on stdout (human
+tables go to stderr).  This driver:
+
+  1. discovers bench binaries under <build>/bench/,
+  2. runs each one (RSSE_BENCH_QUICK=1 with --quick),
+  3. validates each document against scripts/bench_schema.json,
+  4. merges them into one commit-stamped trajectory document, and
+  5. optionally gates on deterministic-counter drift vs a baseline.
+
+Only the "counters" section is gated: the cost counters (HMAC calls,
+HGD samples, OPM mappings, ...) are deterministic for a fixed workload,
+so any drift beyond tolerance means the algorithm changed — timings are
+never gated because CI machines are noisy.
+
+Stdlib only; no third-party packages.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCHEMA_PATH = os.path.join(REPO_ROOT, "scripts", "bench_schema.json")
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "scripts", "bench_baseline.json")
+
+# Relative drift allowed on a nonzero counter before the gate fails.
+REL_TOLERANCE = 0.10
+# Absolute slack: differences up to this many units never fail (guards
+# tiny counters where one extra call is >10%).
+ABS_SLACK = 16
+
+
+# --- mini JSON-schema validator (subset: type/const/required/properties/
+#     additionalProperties-as-schema/minimum) -----------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+    "integer": int,
+}
+
+
+def validate(instance, schema, path="$"):
+    """Return a list of error strings (empty when valid)."""
+    errors = []
+    if "const" in schema and instance != schema["const"]:
+        errors.append("%s: expected %r, got %r" % (path, schema["const"], instance))
+        return errors
+    if "type" in schema:
+        expected = _TYPES[schema["type"]]
+        ok = isinstance(instance, expected)
+        if ok and schema["type"] in ("number", "integer") and isinstance(instance, bool):
+            ok = False  # bool is an int in Python; not in JSON
+        if not ok:
+            errors.append("%s: expected %s" % (path, schema["type"]))
+            return errors
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            errors.append("%s: %r < minimum %r" % (path, instance, schema["minimum"]))
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append("%s: missing required member %r" % (path, key))
+        props = schema.get("properties", {})
+        for key, value in instance.items():
+            child = "%s.%s" % (path, key)
+            if key in props:
+                errors.extend(validate(value, props[key], child))
+            elif isinstance(schema.get("additionalProperties"), dict):
+                errors.extend(validate(value, schema["additionalProperties"], child))
+    return errors
+
+
+# --- drift gate ---------------------------------------------------------
+
+
+def counter_drift(baseline, current):
+    """Compare two counters dicts; return a list of violation strings."""
+    violations = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            continue  # new counter: informational, not a failure
+        if name not in current:
+            violations.append("counter %r disappeared" % name)
+            continue
+        base, cur = baseline[name], current[name]
+        if base == 0:
+            if cur != 0:
+                violations.append("counter %r was 0, now %d" % (name, cur))
+            continue
+        diff = abs(cur - base)
+        if diff <= ABS_SLACK:
+            continue
+        rel = diff / float(base)
+        if rel > REL_TOLERANCE:
+            violations.append(
+                "counter %r drifted %.1f%% (%d -> %d, tolerance %.0f%%)"
+                % (name, rel * 100, base, cur, REL_TOLERANCE * 100)
+            )
+    return violations
+
+
+# --- driver -------------------------------------------------------------
+
+
+def git_commit():
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def discover(bench_dir, only):
+    binaries = []
+    for name in sorted(os.listdir(bench_dir)):
+        path = os.path.join(bench_dir, name)
+        if not name.startswith("bench_"):
+            continue
+        if not (os.path.isfile(path) and os.access(path, os.X_OK)):
+            continue
+        if only and not any(pat in name for pat in only):
+            continue
+        binaries.append(path)
+    return binaries
+
+
+def run_bench(path, quick, timeout):
+    env = dict(os.environ)
+    if quick:
+        env["RSSE_BENCH_QUICK"] = "1"
+    else:
+        env.pop("RSSE_BENCH_QUICK", None)
+    proc = subprocess.run(
+        [path], env=env, capture_output=True, text=True, timeout=timeout
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            "%s exited %d; stderr tail:\n%s"
+            % (os.path.basename(path), proc.returncode, proc.stderr[-2000:])
+        )
+    return json.loads(proc.stdout)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    parser.add_argument("--quick", action="store_true",
+                        help="run with RSSE_BENCH_QUICK=1 (reduced workloads)")
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_RSSE.json"))
+    parser.add_argument("--baseline", default=None,
+                        help="baseline BENCH_RSSE.json to gate counter drift "
+                             "against (default scripts/bench_baseline.json "
+                             "when it exists)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="skip the counter drift gate even if a baseline exists")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="also write the merged document to scripts/bench_baseline.json")
+    parser.add_argument("--timeout", type=float, default=1800.0,
+                        help="per-binary timeout in seconds")
+    parser.add_argument("--only", action="append", default=[],
+                        help="substring filter on binary names (repeatable)")
+    args = parser.parse_args()
+
+    bench_dir = os.path.join(args.build_dir, "bench")
+    if not os.path.isdir(bench_dir):
+        print("error: %s not found — build the project first" % bench_dir,
+              file=sys.stderr)
+        return 2
+
+    with open(SCHEMA_PATH) as f:
+        schema = json.load(f)
+
+    binaries = discover(bench_dir, args.only)
+    if not binaries:
+        print("error: no bench binaries found in %s" % bench_dir, file=sys.stderr)
+        return 2
+
+    benches = {}
+    failures = []
+    for path in binaries:
+        name = os.path.basename(path)
+        print("running %s%s ..." % (name, " (quick)" if args.quick else ""),
+              file=sys.stderr, flush=True)
+        try:
+            doc = run_bench(path, args.quick, args.timeout)
+        except subprocess.TimeoutExpired:
+            failures.append("%s: timed out after %.0fs" % (name, args.timeout))
+            continue
+        except (RuntimeError, json.JSONDecodeError) as err:
+            failures.append("%s: %s" % (name, err))
+            continue
+        errors = validate(doc, schema)
+        if errors:
+            failures.append("%s: schema violations:\n  %s" % (name, "\n  ".join(errors)))
+            continue
+        benches[doc["bench"]] = doc
+
+    if failures:
+        print("\nFAILED benches:", file=sys.stderr)
+        for failure in failures:
+            print("  " + failure, file=sys.stderr)
+        return 1
+
+    merged = {
+        "schema_version": 1,
+        "commit": git_commit(),
+        "quick": bool(args.quick),
+        "benches": benches,
+    }
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print("wrote %s (%d benches)" % (args.out, len(benches)), file=sys.stderr)
+
+    if args.write_baseline:
+        with open(DEFAULT_BASELINE, "w") as f:
+            json.dump(merged, f, indent=2, sort_keys=False)
+            f.write("\n")
+        print("wrote %s" % DEFAULT_BASELINE, file=sys.stderr)
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path and not args.no_gate and not args.write_baseline:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        if baseline.get("quick") != merged["quick"]:
+            print("warning: baseline quick=%s vs run quick=%s — skipping drift gate"
+                  % (baseline.get("quick"), merged["quick"]), file=sys.stderr)
+            return 0
+        violations = []
+        for bench_name, doc in benches.items():
+            base_doc = baseline.get("benches", {}).get(bench_name)
+            if base_doc is None:
+                continue  # new bench: nothing to compare
+            for v in counter_drift(base_doc["counters"], doc["counters"]):
+                violations.append("%s: %s" % (bench_name, v))
+        if violations:
+            print("\nCOUNTER DRIFT (baseline %s):" % baseline_path, file=sys.stderr)
+            for v in violations:
+                print("  " + v, file=sys.stderr)
+            return 1
+        print("counter drift gate passed (baseline %s)" % baseline_path,
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

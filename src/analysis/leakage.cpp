@@ -25,6 +25,34 @@ IndexShape index_shape(const sse::SecureIndex& index) {
   return shape;
 }
 
+void export_leakage_gauges(const sse::LeakageAudit& audit,
+                           obs::MetricsRegistry& registry) {
+  registry
+      .gauge("rsse_opm_ciphertext_duplicates",
+             "OPM value collisions across all rows; the one-to-many "
+             "mapping's Fig. 6 guarantee requires 0")
+      .set(static_cast<std::int64_t>(audit.opm_ciphertext_duplicates));
+  registry
+      .gauge("rsse_leakage_audited_postings",
+             "Genuine postings covered by the build-time leakage audit")
+      .set(static_cast<std::int64_t>(audit.genuine_postings));
+  registry
+      .double_gauge("rsse_leakage_width_entropy_bits",
+                    "Shannon entropy of stored posting-row widths under "
+                    "the padding policy (0 = widths reveal nothing)")
+      .set(audit.stored_width_entropy_bits);
+  registry
+      .double_gauge("rsse_leakage_level_min_entropy_bits",
+                    "Min-entropy of quantized score levels in the widest "
+                    "row (plaintext side of Ablation C)")
+      .set(audit.level_min_entropy_bits());
+  registry
+      .double_gauge("rsse_leakage_opm_min_entropy_bits",
+                    "Min-entropy of OPM values in the widest row (after "
+                    "the one-to-many mapping)")
+      .set(audit.opm_min_entropy_bits());
+}
+
 void LeakageLedger::record(QueryObservation observation) {
   observations_.push_back(std::move(observation));
 }

@@ -15,6 +15,8 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "sse/rsse_scheme.h"
 #include "sse/secure_index.h"
 #include "sse/types.h"
 
@@ -32,6 +34,17 @@ struct IndexShape {
 
 /// Computes the shape of a stored index.
 IndexShape index_shape(const sse::SecureIndex& index);
+
+/// Exports a build-time leakage audit as live gauges on `registry`, so a
+/// serving deployment's /metrics exposes the paper's security claims:
+///   rsse_opm_ciphertext_duplicates        must stay 0 (Fig. 6)
+///   rsse_leakage_audited_postings         audit coverage
+///   rsse_leakage_width_entropy_bits       row-width leakage under padding
+///   rsse_leakage_level_min_entropy_bits   Ablation C, plaintext side
+///   rsse_leakage_opm_min_entropy_bits     Ablation C, after the OPM
+/// Idempotent: re-registering updates the same series.
+void export_leakage_gauges(const sse::LeakageAudit& audit,
+                           obs::MetricsRegistry& registry);
 
 /// One observed query: the opaque row label it touched and the file ids
 /// it returned (in server-visible order).

@@ -2,6 +2,7 @@
 
 #include "ext/disjunctive.h"
 
+#include "obs/profiler.h"
 #include "util/errors.h"
 #include "util/stopwatch.h"
 
@@ -221,17 +222,28 @@ Bytes CloudServer::handle_impl(MessageType type, BytesView payload,
     switch (type) {
       case MessageType::kRankedSearch: {
         // The traced stages: parse, index lookup + rank, serialize. Event
-        // details carry only counts and sizes, never content.
+        // details carry only counts and sizes, never content. The profile
+        // scopes aggregate the same stages into per-stage histograms.
+        static const auto kParseStage = obs::Profiler::global().stage("server/parse");
+        static const auto kRankStage = obs::Profiler::global().stage("server/rank");
+        static const auto kSerializeStage =
+            obs::Profiler::global().stage("server/serialize");
         obs::SpanScope parse(trace, "server.parse", node_name_, root.span_id());
+        obs::ProfileScope parse_profile(kParseStage);
         const auto req = RankedSearchRequest::deserialize(payload);
+        parse_profile.finish();
         parse.finish();
         obs::SpanScope rank(trace, "server.index_rank", node_name_, root.span_id());
+        obs::ProfileScope rank_profile(kRankStage);
         const auto resp = ranked_search(req);
+        rank_profile.finish();
         rank.event("ranked", std::to_string(resp.files.size()) + " hits");
         rank.finish();
         obs::SpanScope serialize(trace, "server.serialize", node_name_,
                                  root.span_id());
+        obs::ProfileScope serialize_profile(kSerializeStage);
         Bytes out = resp.serialize();
+        serialize_profile.finish();
         serialize.finish();
         metrics_.record_ranked_search(resp.files.size(), out.size());
         metrics_.record_latency(ServerMetrics::RequestKind::kRankedSearch,
@@ -263,8 +275,11 @@ Bytes CloudServer::handle_impl(MessageType type, BytesView payload,
         return out;
       }
       case MessageType::kMultiSearch: {
+        static const auto kRankStage = obs::Profiler::global().stage("server/rank");
         obs::SpanScope rank(trace, "server.index_rank", node_name_, root.span_id());
+        obs::ProfileScope rank_profile(kRankStage);
         const auto resp = multi_search(MultiSearchRequest::deserialize(payload));
+        rank_profile.finish();
         rank.event("ranked", std::to_string(resp.files.size()) + " hits");
         rank.finish();
         Bytes out = resp.serialize();

@@ -30,6 +30,7 @@ DataOwner::OutsourceReport DataOwner::outsource_rsse(const ir::Corpus& corpus,
 
   OutsourceReport report;
   report.rsse_stats = built.stats;
+  report.rsse_audit = built.audit;
   report.index_bytes = built.index.byte_size();
   for (const auto& [id, blob] : files) report.file_bytes += blob.size();
   server.store(std::move(built.index), std::move(files));

@@ -36,6 +36,7 @@ class DataOwner {
     std::uint64_t index_bytes = 0;
     std::uint64_t file_bytes = 0;
     sse::RsseScheme::BuildStats rsse_stats;   ///< filled by outsource_rsse
+    sse::LeakageAudit rsse_audit;             ///< filled by outsource_rsse
     sse::BasicScheme::BuildStats basic_stats; ///< filled by outsource_basic
   };
 

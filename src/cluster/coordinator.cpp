@@ -5,6 +5,7 @@
 #include <future>
 #include <map>
 
+#include "obs/profiler.h"
 #include "util/errors.h"
 #include "util/stopwatch.h"
 
@@ -241,12 +242,15 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
     }
   };
   // The calling thread evaluates one sub-query itself (see fetch_and_fill).
+  static const auto kScatterStage = obs::Profiler::global().stage("cluster/scatter");
+  obs::ProfileScope scatter_profile(kScatterStage);
   std::vector<std::future<void>> futures;
   futures.reserve(subs.size() - 1);
   for (std::size_t i = 1; i < subs.size(); ++i)
     futures.push_back(pool_.submit([&run_sub, &subs, i] { run_sub(subs[i]); }));
   run_sub(subs[0]);
   for (auto& future : futures) future.get();
+  scatter_profile.finish();
 
   std::size_t live = 0;
   for (const Sub& sub : subs)
@@ -264,6 +268,8 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
     std::size_t groups_matched = 0;
     Bytes blob;
   };
+  static const auto kMergeStage = obs::Profiler::global().stage("cluster/merge");
+  obs::ProfileScope merge_profile(kMergeStage);
   std::map<std::uint64_t, Acc> merged;
   for (Sub& sub : subs) {
     if (!sub.ok) continue;
@@ -288,13 +294,17 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
   std::sort(resp.files.begin(), resp.files.end(), ranks_before);
   if (req.top_k > 0 && resp.files.size() > req.top_k)
     resp.files.resize(static_cast<std::size_t>(req.top_k));
+  merge_profile.finish();
 
   std::vector<std::pair<std::uint64_t, Bytes*>> missing;
   for (cloud::RankedFile& f : resp.files)
     if (f.blob.empty()) missing.push_back({ir::value(f.id), &f.blob});
   bool degraded = false;
   // No shard to skip.
+  static const auto kFetchStage = obs::Profiler::global().stage("cluster/fetch");
+  obs::ProfileScope fetch_profile(kFetchStage);
   fetch_and_fill(missing, shards_.size(), &degraded, deadline, trace, parent_span_id);
+  fetch_profile.finish();
   if (degraded) resp.partial = true;
   return resp;
 }

@@ -1,5 +1,7 @@
 #include "crypto/hmac_sha256.h"
 
+#include "obs/cost.h"
+
 namespace rsse::crypto {
 
 HmacSha256::HmacSha256(BytesView key) {
@@ -20,6 +22,7 @@ HmacSha256::HmacSha256(BytesView key) {
 void HmacSha256::update(BytesView data) { inner_.update(data); }
 
 Sha256Digest HmacSha256::finish() {
+  obs::cost::add(obs::cost::hmac_invocations);
   const Sha256Digest inner_digest = inner_.finish();  // also resets inner_
   Sha256 outer;
   outer.update(BytesView(opad_.data(), opad_.size()));

@@ -1,10 +1,12 @@
 #include "crypto/tapegen.h"
 
+#include "obs/cost.h"
 #include "util/errors.h"
 
 namespace rsse::crypto {
 
 Tape::Tape(BytesView key, BytesView context) {
+  obs::cost::add(obs::cost::tape_derivations);
   seed_ = hmac_sha256(key, context);
 }
 

@@ -1,0 +1,90 @@
+// Deterministic cost accounting for the cryptographic hot paths.
+//
+// Wall-clock benchmarks drift with container noise; these counters do
+// not. Each one counts a unit of *algorithmic* work — an HMAC
+// compression, an HGD sample, a tape derivation, an OPM draw, a posting
+// encrypted — so a perf regression in the OPM descent (the 57.5% of
+// index build Table I attributes to it) shows up as a counter delta even
+// when the timings are too noisy to call. The bench fleet snapshots
+// these into every JSON document and scripts/bench_all.py gates >10%
+// drift against the checked-in baseline.
+//
+// Header-only on purpose: the counters are inline atomics, so crypto and
+// opse can increment them without linking rsse_obs (no new edges in the
+// dependency graph). The increment is one relaxed fetch_add — noise next
+// to the SHA-256 compression or lgamma evaluation it sits beside.
+//
+// Content-free, like every metric in this repo: counts of operations
+// only, never keywords, scores or ciphertext bytes themselves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rsse::obs::cost {
+
+// One cache line apart would be nicer under heavy multi-thread build,
+// but these sit next to ~microsecond crypto work; plain atomics are
+// within noise.
+inline constinit std::atomic<std::uint64_t> hmac_invocations{0};
+inline constinit std::atomic<std::uint64_t> tape_derivations{0};
+inline constinit std::atomic<std::uint64_t> hgd_samples{0};
+inline constinit std::atomic<std::uint64_t> opm_mappings{0};
+inline constinit std::atomic<std::uint64_t> split_cache_hits{0};
+inline constinit std::atomic<std::uint64_t> entries_encrypted{0};
+inline constinit std::atomic<std::uint64_t> bytes_encrypted{0};
+
+inline void add(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) {
+  counter.fetch_add(n, std::memory_order_relaxed);
+}
+
+/// Weakly consistent snapshot of every cost counter (totals since
+/// process start, or since reset_all()).
+struct Snapshot {
+  std::uint64_t hmac_invocations = 0;
+  std::uint64_t tape_derivations = 0;
+  std::uint64_t hgd_samples = 0;
+  std::uint64_t opm_mappings = 0;
+  std::uint64_t split_cache_hits = 0;
+  std::uint64_t entries_encrypted = 0;
+  std::uint64_t bytes_encrypted = 0;
+};
+
+inline Snapshot snapshot() {
+  Snapshot s;
+  s.hmac_invocations = hmac_invocations.load(std::memory_order_relaxed);
+  s.tape_derivations = tape_derivations.load(std::memory_order_relaxed);
+  s.hgd_samples = hgd_samples.load(std::memory_order_relaxed);
+  s.opm_mappings = opm_mappings.load(std::memory_order_relaxed);
+  s.split_cache_hits = split_cache_hits.load(std::memory_order_relaxed);
+  s.entries_encrypted = entries_encrypted.load(std::memory_order_relaxed);
+  s.bytes_encrypted = bytes_encrypted.load(std::memory_order_relaxed);
+  return s;
+}
+
+/// The per-field difference `after - before` — what one measured section
+/// of a bench cost. Fields are monotone between resets, so plain
+/// subtraction is safe.
+inline Snapshot delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot d;
+  d.hmac_invocations = after.hmac_invocations - before.hmac_invocations;
+  d.tape_derivations = after.tape_derivations - before.tape_derivations;
+  d.hgd_samples = after.hgd_samples - before.hgd_samples;
+  d.opm_mappings = after.opm_mappings - before.opm_mappings;
+  d.split_cache_hits = after.split_cache_hits - before.split_cache_hits;
+  d.entries_encrypted = after.entries_encrypted - before.entries_encrypted;
+  d.bytes_encrypted = after.bytes_encrypted - before.bytes_encrypted;
+  return d;
+}
+
+inline void reset_all() {
+  hmac_invocations.store(0, std::memory_order_relaxed);
+  tape_derivations.store(0, std::memory_order_relaxed);
+  hgd_samples.store(0, std::memory_order_relaxed);
+  opm_mappings.store(0, std::memory_order_relaxed);
+  split_cache_hits.store(0, std::memory_order_relaxed);
+  entries_encrypted.store(0, std::memory_order_relaxed);
+  bytes_encrypted.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rsse::obs::cost

@@ -190,7 +190,7 @@ MetricsRegistry::Series& MetricsRegistry::series_of(Family& family, const Labels
   for (auto& series : family.series) {
     if (series.labels == labels) return series;
   }
-  family.series.push_back(Series{labels, nullptr, nullptr, nullptr});
+  family.series.push_back(Series{labels, nullptr, nullptr, nullptr, nullptr});
   return family.series.back();
 }
 
@@ -206,8 +206,21 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
                               const Labels& labels) {
   const std::lock_guard lock(mutex_);
   Series& series = series_of(family_of(name, help, Type::kGauge), labels);
+  detail::require(!series.double_gauge,
+                  "MetricsRegistry: gauge re-registered with a different type: " + name);
   if (!series.gauge) series.gauge = std::make_unique<Gauge>();
   return *series.gauge;
+}
+
+DoubleGauge& MetricsRegistry::double_gauge(const std::string& name,
+                                           const std::string& help,
+                                           const Labels& labels) {
+  const std::lock_guard lock(mutex_);
+  Series& series = series_of(family_of(name, help, Type::kGauge), labels);
+  detail::require(!series.gauge,
+                  "MetricsRegistry: gauge re-registered with a different type: " + name);
+  if (!series.double_gauge) series.double_gauge = std::make_unique<DoubleGauge>();
+  return *series.double_gauge;
 }
 
 HistogramMetric& MetricsRegistry::histogram(const std::string& name,
@@ -244,7 +257,9 @@ std::string MetricsRegistry::render_prometheus(const Labels& extra) const {
           break;
         case Type::kGauge:
           out += family.name + label_block(series.labels, extra) + " " +
-                 std::to_string(series.gauge->value()) + "\n";
+                 (series.gauge ? std::to_string(series.gauge->value())
+                               : format_double(series.double_gauge->value())) +
+                 "\n";
           break;
         case Type::kHistogram: {
           const HistogramMetric& h = *series.histogram;
@@ -301,7 +316,9 @@ std::string MetricsRegistry::render_json() const {
           out += "\"value\":" + std::to_string(series.counter->value());
           break;
         case Type::kGauge:
-          out += "\"value\":" + std::to_string(series.gauge->value());
+          out += "\"value\":" + (series.gauge
+                                     ? std::to_string(series.gauge->value())
+                                     : format_double(series.double_gauge->value()));
           break;
         case Type::kHistogram: {
           const HistogramMetric& h = *series.histogram;
@@ -327,6 +344,7 @@ void MetricsRegistry::reset_values() {
     for (auto& series : family.series) {
       if (series.counter) series.counter->reset();
       if (series.gauge) series.gauge->reset();
+      if (series.double_gauge) series.double_gauge->reset();
       if (series.histogram) series.histogram->reset();
     }
   }

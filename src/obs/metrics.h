@@ -63,6 +63,20 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+/// A gauge holding a floating-point value (entropies, ratios). Lock-free.
+/// Renders as a Prometheus gauge alongside the integer Gauge.
+class DoubleGauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
 /// A histogram over fixed, ascending upper bucket bounds (Prometheus
 /// semantics: bucket i counts observations <= bounds[i]; one implicit
 /// +Inf bucket catches the rest). observe() is lock-free: a binary search
@@ -134,6 +148,12 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name, const std::string& help,
                const Labels& labels = {});
 
+  /// Registers (or finds) the floating-point gauge series `name`+`labels`
+  /// (Prometheus type "gauge"; a family is either all-integer or
+  /// all-double — mixing the two under one name throws).
+  DoubleGauge& double_gauge(const std::string& name, const std::string& help,
+                            const Labels& labels = {});
+
   /// Registers (or finds) the histogram series `name`+`labels` over
   /// `bounds` (all series of one family must share the bounds).
   HistogramMetric& histogram(const std::string& name, const std::string& help,
@@ -163,6 +183,7 @@ class MetricsRegistry {
     Labels labels;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<DoubleGauge> double_gauge;
     std::unique_ptr<HistogramMetric> histogram;
   };
   struct Family {

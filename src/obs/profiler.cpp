@@ -1,0 +1,277 @@
+#include "obs/profiler.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "util/errors.h"
+
+// ---------------------------------------------------------------------------
+// Allocation tracking: a global operator new/delete replacement that
+// bumps a thread-local counter when tracking is on. Malloc-backed, so
+// ASan/TSan still see every allocation through their malloc interceptors.
+// Linking rule: any binary that pulls in this translation unit (anything
+// using the profiler) gets the replacement for ALL its allocations; the
+// counter costs one relaxed load per allocation when tracking is off.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constinit std::atomic<bool> g_alloc_tracking{false};
+// Trivially-initialized thread_local: safe to touch from operator new
+// even during thread setup/teardown (no dynamic TLS constructors).
+constinit thread_local std::uint64_t tl_allocations = 0;
+
+void* allocate(std::size_t size, std::size_t alignment) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* ptr = nullptr;
+    if (alignment == 0) {
+      ptr = std::malloc(size);
+    } else if (posix_memalign(&ptr, alignment, size) != 0) {
+      ptr = nullptr;
+    }
+    if (ptr != nullptr) {
+      if (g_alloc_tracking.load(std::memory_order_relaxed)) ++tl_allocations;
+      return ptr;
+    }
+    // Standard new-handler protocol: give the handler a chance to free
+    // memory, fail only when there is none.
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+void* allocate_or_throw(std::size_t size, std::size_t alignment) {
+  void* ptr = allocate(size, alignment);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return allocate_or_throw(size, 0); }
+void* operator new[](std::size_t size) { return allocate_or_throw(size, 0); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return allocate_or_throw(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return allocate_or_throw(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return allocate(size, 0);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return allocate(size, 0);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return allocate(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return allocate(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+
+namespace rsse::obs {
+namespace {
+
+// The innermost open scope of this thread — the call-frame stack.
+constinit thread_local ProfileScope* tl_current_scope = nullptr;
+
+std::uint64_t now_ns(clockid_t clock) {
+  timespec ts{};
+  clock_gettime(clock, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t wall_now_ns() { return now_ns(CLOCK_MONOTONIC); }
+std::uint64_t cpu_now_ns() { return now_ns(CLOCK_THREAD_CPUTIME_ID); }
+
+}  // namespace
+
+std::uint64_t thread_allocation_count() { return tl_allocations; }
+
+Profiler::Profiler() : registry_(std::make_unique<MetricsRegistry>()) {}
+
+Profiler& Profiler::global() {
+  static Profiler instance;
+  return instance;
+}
+
+Profiler::StageId Profiler::stage(const std::string& name) {
+  // Lock-free fast path over already-published stages; callers typically
+  // cache the id in a function-local static, so even this is cold.
+  const std::uint32_t published = num_stages_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < published; ++i) {
+    if (stages_[i].load(std::memory_order_relaxed)->name == name) return i;
+  }
+  const std::lock_guard lock(mutex_);
+  const auto count = num_stages_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (stages_[i].load(std::memory_order_relaxed)->name == name) return i;
+  }
+  detail::require(count < kMaxStages, "Profiler: too many stages");
+  auto stage = std::make_unique<Stage>();
+  stage->name = name;
+  const Labels labels{{"stage", name}};
+  stage->calls = &registry_->counter("rsse_profile_stage_calls_total",
+                                     "Times the stage ran", labels);
+  stage->wall_ns =
+      &registry_->counter("rsse_profile_stage_wall_ns_total",
+                          "Wall time inside the stage, nested stages included",
+                          labels);
+  stage->self_wall_ns = &registry_->counter(
+      "rsse_profile_stage_self_wall_ns_total",
+      "Wall time inside the stage, nested stages excluded", labels);
+  stage->cpu_ns = &registry_->counter(
+      "rsse_profile_stage_cpu_ns_total",
+      "Thread CPU time inside the stage (CLOCK_THREAD_CPUTIME_ID)", labels);
+  stage->allocations = &registry_->counter(
+      "rsse_profile_stage_allocations_total",
+      "Heap allocations (operator new calls) inside the stage", labels);
+  stage->seconds = &registry_->histogram(
+      "rsse_profile_stage_seconds", "Per-call wall time of the stage",
+      log_bounds(1e-7, 1e2, 3), labels);
+  stages_[count].store(stage.get(), std::memory_order_release);
+  owned_.push_back(std::move(stage));
+  num_stages_.store(count + 1, std::memory_order_release);
+  return count;
+}
+
+void Profiler::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+  // Allocation tracking is a process-wide switch: enabling any profiler
+  // turns it on (the counter is per-thread and diffed per scope, so
+  // unrelated profilers cannot corrupt each other's numbers).
+  g_alloc_tracking.store(on, std::memory_order_relaxed);
+}
+
+std::vector<Profiler::StageSnapshot> Profiler::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<StageSnapshot> out;
+  out.reserve(owned_.size());
+  for (const auto& stage : owned_) {
+    StageSnapshot s;
+    s.name = stage->name;
+    s.calls = stage->calls->value();
+    s.wall_seconds = 1e-9 * static_cast<double>(stage->wall_ns->value());
+    s.self_wall_seconds =
+        1e-9 * static_cast<double>(stage->self_wall_ns->value());
+    s.cpu_seconds = 1e-9 * static_cast<double>(stage->cpu_ns->value());
+    s.allocations = stage->allocations->value();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Profiler::report() const {
+  std::vector<StageSnapshot> stages = snapshot();
+  std::erase_if(stages, [](const StageSnapshot& s) { return s.calls == 0; });
+  if (stages.empty()) return "";
+  std::sort(stages.begin(), stages.end(),
+            [](const StageSnapshot& a, const StageSnapshot& b) {
+              return a.self_wall_seconds > b.self_wall_seconds;
+            });
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %10s %12s %12s %12s %10s\n", "stage",
+                "calls", "wall ms", "self ms", "cpu ms", "allocs");
+  out += line;
+  for (const StageSnapshot& s : stages) {
+    std::snprintf(line, sizeof(line),
+                  "%-24s %10llu %12.3f %12.3f %12.3f %10llu\n", s.name.c_str(),
+                  static_cast<unsigned long long>(s.calls),
+                  1e3 * s.wall_seconds, 1e3 * s.self_wall_seconds,
+                  1e3 * s.cpu_seconds,
+                  static_cast<unsigned long long>(s.allocations));
+    out += line;
+  }
+  return out;
+}
+
+void Profiler::reset() { registry_->reset_values(); }
+
+ProfileScope::ProfileScope(Profiler::StageId id, Profiler& profiler) {
+  if (!profiler.enabled()) return;
+  if (id >= Profiler::kMaxStages) return;  // not a valid stage id
+  profiler_ = &profiler;
+  id_ = id;
+  parent_ = tl_current_scope;
+  tl_current_scope = this;
+  start_allocations_ = tl_allocations;
+  start_cpu_ns_ = cpu_now_ns();
+  start_wall_ns_ = wall_now_ns();  // last: excludes the other reads
+}
+
+void ProfileScope::finish() {
+  if (profiler_ == nullptr) return;
+  const std::uint64_t wall = wall_now_ns() - start_wall_ns_;
+  const std::uint64_t cpu = cpu_now_ns() - start_cpu_ns_;
+  const std::uint64_t allocations = tl_allocations - start_allocations_;
+  const std::uint64_t self = wall >= child_wall_ns_ ? wall - child_wall_ns_ : 0;
+  Profiler::Stage* stage =
+      profiler_->stages_[id_].load(std::memory_order_acquire);
+  if (stage != nullptr) {
+    stage->calls->inc();
+    stage->wall_ns->inc(wall);
+    stage->self_wall_ns->inc(self);
+    stage->cpu_ns->inc(cpu);
+    stage->allocations->inc(allocations);
+    stage->seconds->observe(1e-9 * static_cast<double>(wall));
+  }
+  tl_current_scope = parent_;
+  if (parent_ != nullptr) parent_->child_wall_ns_ += wall;
+  profiler_ = nullptr;
+}
+
+#ifndef RSSE_BUILD_VERSION
+#define RSSE_BUILD_VERSION "dev"
+#endif
+#ifndef RSSE_BUILD_COMMIT
+#define RSSE_BUILD_COMMIT "unknown"
+#endif
+
+void register_build_info(MetricsRegistry& registry) {
+  std::string compiler;
+#if defined(__clang__)
+  compiler = "clang " + std::to_string(__clang_major__) + "." +
+             std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  compiler = "gcc " + std::to_string(__GNUC__) + "." +
+             std::to_string(__GNUC_MINOR__);
+#else
+  compiler = "unknown";
+#endif
+  registry
+      .gauge("rsse_build_info",
+             "Build identity: constant 1 with version/commit/compiler labels",
+             {{"version", RSSE_BUILD_VERSION},
+              {"commit", RSSE_BUILD_COMMIT},
+              {"compiler", compiler}})
+      .set(1);
+}
+
+}  // namespace rsse::obs

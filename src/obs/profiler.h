@@ -1,0 +1,166 @@
+// Scoped stage profiler: attributes wall time, thread CPU time
+// (CLOCK_THREAD_CPUTIME_ID) and heap allocation counts to named stages
+// of the pipeline (opse/split, opse/hgd_sample, crypto/tape_gen,
+// index/build_row, server/parse, server/rank, server/serialize,
+// cluster/merge, ...).
+//
+// Usage at an instrumentation site:
+//
+//   static const auto kStage = obs::Profiler::global().stage("server/rank");
+//   ...
+//   obs::ProfileScope scope(kStage);
+//
+// Design constraints, in order:
+//   * Near-zero cost when disabled. A ProfileScope on the disabled
+//     profiler is one relaxed atomic load and a branch — a few ns — so
+//     instrumentation can stay compiled into the crypto hot paths
+//     (tests/test_profiler.cpp pins this with a counter-based check:
+//     disabled scopes leave every instrument untouched).
+//   * Aggregation lives in the existing MetricsRegistry. Each stage owns
+//     counters (calls, wall ns, self wall ns, CPU ns, allocations) and a
+//     latency histogram, all labelled {stage="..."}, so profiles render
+//     through the same Prometheus/JSON scrape surfaces as every other
+//     metric and need no second export path.
+//   * Correct nesting without heap frames. Scopes live on the call
+//     stack; a thread-local pointer to the innermost open scope forms
+//     the call-frame stack. A closing scope subtracts its children's
+//     wall time to get self time, then credits its own total to the
+//     parent. Threads are independent — the thread pool's workers each
+//     carry their own chain.
+//   * Content-free. Stage names are compile-time string literals chosen
+//     by the code; no keyword, score, trapdoor or ciphertext ever
+//     reaches a label (DESIGN.md §8).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rsse::obs {
+
+/// The per-thread count of operator-new allocations, tracked only while
+/// some profiler is enabled (the global operator new/delete replacement
+/// lives in profiler.cpp). Monotone per thread; scopes diff it.
+[[nodiscard]] std::uint64_t thread_allocation_count();
+
+class ProfileScope;
+
+/// A set of named stages aggregating into an owned MetricsRegistry.
+/// Stage registration returns a small dense id; recording through a
+/// ProfileScope is lock-free. Disabled by default.
+class Profiler {
+ public:
+  using StageId = std::uint32_t;
+
+  /// Stage ids are dense indices below this bound; exceeding it throws.
+  static constexpr std::size_t kMaxStages = 256;
+
+  Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// The process-wide profiler every instrumentation site records into.
+  static Profiler& global();
+
+  /// Registers (or finds) the stage `name` and returns its id. Safe to
+  /// call concurrently; repeated calls return the same id. Instruments
+  /// for the stage are created in the registry immediately, so a scrape
+  /// shows the family (at zero) before the stage first runs.
+  StageId stage(const std::string& name);
+
+  /// Enables/disables recording. Also toggles allocation tracking in the
+  /// operator-new hook. Scopes already open observe the state they were
+  /// constructed under.
+  void set_enabled(bool on);
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// The registry holding the per-stage instruments — hand it to a
+  /// ScrapeEndpoint or render it directly.
+  [[nodiscard]] MetricsRegistry& registry() { return *registry_; }
+  [[nodiscard]] const MetricsRegistry& registry() const { return *registry_; }
+
+  /// Aggregated view of one stage, read from the registry instruments.
+  struct StageSnapshot {
+    std::string name;
+    std::uint64_t calls = 0;
+    double wall_seconds = 0.0;       // inclusive of nested stages
+    double self_wall_seconds = 0.0;  // exclusive
+    double cpu_seconds = 0.0;        // thread CPU, inclusive
+    std::uint64_t allocations = 0;   // operator-new calls, inclusive
+  };
+
+  /// Snapshot of every registered stage, registration order.
+  [[nodiscard]] std::vector<StageSnapshot> snapshot() const;
+
+  /// Human-readable per-stage breakdown (sorted by self wall time), the
+  /// table `rsse trace`/slow-query output appends. Empty string when no
+  /// stage has run.
+  [[nodiscard]] std::string report() const;
+
+  /// Zeroes every instrument. Stage registration (ids, references)
+  /// survives.
+  void reset();
+
+ private:
+  friend class ProfileScope;
+
+  struct Stage {
+    std::string name;
+    Counter* calls = nullptr;
+    Counter* wall_ns = nullptr;
+    Counter* self_wall_ns = nullptr;
+    Counter* cpu_ns = nullptr;
+    Counter* allocations = nullptr;
+    HistogramMetric* seconds = nullptr;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::unique_ptr<MetricsRegistry> registry_;
+  // stages_[id] is set exactly once (under mutex_) and then immutable;
+  // the hot path reads it with a relaxed load.
+  std::array<std::atomic<Stage*>, kMaxStages> stages_{};
+  std::atomic<std::uint32_t> num_stages_{0};
+  mutable std::mutex mutex_;                    // registration only
+  std::vector<std::unique_ptr<Stage>> owned_;   // guarded by mutex_
+};
+
+/// RAII frame: opens the stage on construction, records on destruction
+/// (or an explicit finish()). Must be destroyed on the constructing
+/// thread, in LIFO order with any nested scopes — i.e. used as a stack
+/// variable, which is the only way it is meant to be used.
+class ProfileScope {
+ public:
+  explicit ProfileScope(Profiler::StageId id,
+                        Profiler& profiler = Profiler::global());
+  ~ProfileScope() { finish(); }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  /// Records and closes the frame early. Idempotent.
+  void finish();
+
+ private:
+  Profiler* profiler_ = nullptr;  // null = disabled at entry: no-op
+  Profiler::StageId id_ = 0;
+  ProfileScope* parent_ = nullptr;
+  std::uint64_t start_wall_ns_ = 0;
+  std::uint64_t start_cpu_ns_ = 0;
+  std::uint64_t start_allocations_ = 0;
+  std::uint64_t child_wall_ns_ = 0;  // accumulated by closing children
+};
+
+/// Registers the `rsse_build_info` gauge (value 1) with version, commit
+/// and compiler labels on `registry` — the standard build-identity
+/// series scrapers join against. Idempotent.
+void register_build_info(MetricsRegistry& registry);
+
+}  // namespace rsse::obs

@@ -66,7 +66,7 @@ ScrapeEndpoint::ScrapeEndpoint(std::vector<ScrapeSource> sources, std::uint16_t 
 }
 
 ScrapeEndpoint::ScrapeEndpoint(const MetricsRegistry& registry, std::uint16_t port)
-    : ScrapeEndpoint(std::vector<ScrapeSource>{{"metrics", &registry}}, port) {}
+    : ScrapeEndpoint(std::vector<ScrapeSource>{{"metrics", &registry, {}}}, port) {}
 
 ScrapeEndpoint::~ScrapeEndpoint() { stop(); }
 
@@ -131,6 +131,7 @@ std::string ScrapeEndpoint::respond(const std::string& request_line) const {
   if (path == "/metrics") {
     std::string body;
     for (const ScrapeSource& source : sources_) {
+      if (source.refresh) source.refresh();
       body += source.registry->render_prometheus();
     }
     return http_response("200 OK", "text/plain; version=0.0.4", body);
@@ -139,12 +140,19 @@ std::string ScrapeEndpoint::respond(const std::string& request_line) const {
     std::string body = "{";
     for (std::size_t i = 0; i < sources_.size(); ++i) {
       if (i > 0) body += ",";
+      if (sources_[i].refresh) sources_[i].refresh();
       body += "\"" + sources_[i].name + "\":" + sources_[i].registry->render_json();
     }
     body += "}";
     return http_response("200 OK", "application/json", body);
   }
-  return http_response("404 Not Found", "text/plain", "unknown path\n");
+  if (path == "/healthz") {
+    // Liveness only: the accept loop answering at all is the signal.
+    return http_response("200 OK", "text/plain", "ok\n");
+  }
+  return http_response("404 Not Found", "text/plain",
+                       "unknown path; valid paths: /metrics /metrics.json"
+                       " /healthz\n");
 }
 
 std::string http_get(std::uint16_t port, const std::string& path) {

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +35,10 @@ namespace rsse::obs {
 struct ScrapeSource {
   std::string name;  // JSON key, e.g. "server" / "cluster"
   const MetricsRegistry* registry = nullptr;
+  // Optional: invoked before each render of this source, for gauges that
+  // are computed on demand (e.g. syncing the obs::cost counters). Must be
+  // thread-safe; called from scrape worker threads.
+  std::function<void()> refresh;
 };
 
 /// HTTP scrape server. Runs its own accept loop; stop() (or destruction)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/cost.h"
 #include "util/errors.h"
 
 namespace rsse::opse {
@@ -69,6 +70,7 @@ double hgd_log_pmf(const HgdParams& p, std::uint64_t k) {
 }
 
 std::uint64_t hgd_sample(const HgdParams& p, crypto::Tape& tape) {
+  rsse::obs::cost::add(rsse::obs::cost::hgd_samples);
   validate(p);
   const std::uint64_t lo = hgd_support_min(p);
   const std::uint64_t hi = hgd_support_max(p);

@@ -1,6 +1,8 @@
 #include "opse/ope_common.h"
 
 #include "crypto/tapegen.h"
+#include "obs/cost.h"
+#include "obs/profiler.h"
 #include "opse/hgd.h"
 #include "util/errors.h"
 
@@ -47,18 +49,29 @@ using Split = SplitCache::Split;
 
 Split split_window(BytesView key, std::uint64_t d, std::uint64_t big_m,
                    std::uint64_t r, std::uint64_t big_n) {
+  static const auto kSplitStage = obs::Profiler::global().stage("opse/split");
+  static const auto kTapeStage = obs::Profiler::global().stage("crypto/tape_gen");
+  static const auto kHgdStage = obs::Profiler::global().stage("opse/hgd_sample");
+  obs::ProfileScope split_scope(kSplitStage);
   const std::uint64_t half = big_n - big_n / 2;  // ceil(N/2)
   const std::uint64_t y = r + half;
   const Bytes ctx = crypto::encode_split_context(d + 1, d + big_m, r + 1, r + big_n, y);
+  obs::ProfileScope tape_scope(kTapeStage);
   crypto::Tape tape(key, ctx);
+  tape_scope.finish();
   const HgdParams hgd{.population = big_n, .successes = big_m, .sample = y - r};
+  obs::ProfileScope hgd_scope(kHgdStage);
   const std::uint64_t x = d + hgd_sample(hgd, tape);
+  hgd_scope.finish();
   return {x, y};
 }
 
 Split split_window_cached(BytesView key, std::uint64_t d, std::uint64_t big_m,
                           std::uint64_t r, std::uint64_t big_n, SplitCache& cache) {
-  if (const Split* hit = cache.find(d, big_m, r, big_n)) return *hit;
+  if (const Split* hit = cache.find(d, big_m, r, big_n)) {
+    obs::cost::add(obs::cost::split_cache_hits);
+    return *hit;
+  }
   const Split split = split_window(key, d, big_m, r, big_n);
   cache.insert(d, big_m, r, big_n, split);
   return split;

@@ -1,6 +1,7 @@
 #include "opse/opm.h"
 
 #include "crypto/tapegen.h"
+#include "obs/cost.h"
 #include "util/errors.h"
 
 namespace rsse::opse {
@@ -19,6 +20,7 @@ namespace {
 
 std::uint64_t draw_from_bucket(BytesView key, const Bucket& b, std::uint64_t m,
                                std::uint64_t file_id) {
+  obs::cost::add(obs::cost::opm_mappings);
   // Algorithm 1 line 5: coin <- TapeGen(K, (D, R, 1||m, id(F))).
   const Bytes ctx = crypto::encode_draw_context(m, m, b.lo, b.hi, m,
                                                 /*has_file_id=*/true, file_id);

@@ -4,6 +4,7 @@
 
 #include "crypto/aes_ctr.h"
 #include "crypto/csprng.h"
+#include "obs/cost.h"
 #include "util/errors.h"
 
 namespace rsse::sse {
@@ -18,7 +19,10 @@ Bytes encode_entry_plaintext(FileId id, BytesView score_field) {
 }
 
 Bytes encrypt_entry(BytesView list_key, BytesView plaintext) {
-  return crypto::aes_ctr_encrypt(list_key, plaintext);
+  Bytes ciphertext = crypto::aes_ctr_encrypt(list_key, plaintext);
+  obs::cost::add(obs::cost::entries_encrypted);
+  obs::cost::add(obs::cost::bytes_encrypted, ciphertext.size());
+  return ciphertext;
 }
 
 std::size_t encrypted_entry_size(std::size_t score_field_size) {

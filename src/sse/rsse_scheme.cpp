@@ -2,15 +2,105 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cmath>
+#include <map>
 
 #include "crypto/prf.h"
 #include "ir/scoring.h"
+#include "obs/profiler.h"
 #include "sse/entry_codec.h"
 #include "util/errors.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace rsse::sse {
+namespace {
+
+// Per-row leakage tallies, gathered by the build workers while the
+// plaintext levels and OPM values are in hand, reduced serially after.
+struct RowAudit {
+  std::uint64_t postings = 0;
+  std::uint64_t stored_width = 0;  // after padding
+  std::uint64_t level_max_duplicates = 0;
+  std::uint64_t opm_max_duplicates = 0;
+  std::uint64_t opm_duplicates = 0;  // postings - distinct OPM values
+};
+
+std::uint64_t max_run_length(std::vector<std::uint64_t>& values) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  std::uint64_t best = 1, run = 1;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    run = values[i] == values[i - 1] ? run + 1 : 1;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+std::uint64_t distinct_count(const std::vector<std::uint64_t>& sorted) {
+  std::uint64_t distinct = sorted.empty() ? 0 : 1;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] != sorted[i - 1]) ++distinct;
+  }
+  return distinct;
+}
+
+RowAudit audit_row(std::vector<std::uint64_t>& levels,
+                   std::vector<std::uint64_t>& opm_values) {
+  RowAudit audit;
+  audit.postings = levels.size();
+  audit.level_max_duplicates = max_run_length(levels);
+  audit.opm_max_duplicates = max_run_length(opm_values);  // sorts opm_values
+  audit.opm_duplicates = audit.postings - distinct_count(opm_values);
+  return audit;
+}
+
+double min_entropy_bits(std::uint64_t max_duplicates, std::uint64_t total) {
+  if (max_duplicates == 0 || total == 0) return 0.0;
+  // + 0.0 normalizes the -log2(1) = -0.0 case to plain zero.
+  return -std::log2(static_cast<double>(max_duplicates) /
+                    static_cast<double>(total)) +
+         0.0;
+}
+
+}  // namespace
+
+double LeakageAudit::level_min_entropy_bits() const {
+  return min_entropy_bits(widest_row_level_max_duplicates, widest_row_postings);
+}
+
+double LeakageAudit::opm_min_entropy_bits() const {
+  return min_entropy_bits(widest_row_opm_max_duplicates, widest_row_postings);
+}
+
+Bytes LeakageAudit::serialize() const {
+  Bytes out;
+  append_u64(out, 1);  // format version
+  append_u64(out, num_rows);
+  append_u64(out, genuine_postings);
+  append_u64(out, opm_ciphertext_duplicates);
+  append_u64(out, widest_row_postings);
+  append_u64(out, widest_row_level_max_duplicates);
+  append_u64(out, widest_row_opm_max_duplicates);
+  append_u64(out, std::bit_cast<std::uint64_t>(stored_width_entropy_bits));
+  return out;
+}
+
+LeakageAudit LeakageAudit::deserialize(BytesView bytes) {
+  ByteReader reader(bytes);
+  const std::uint64_t version = reader.read_u64();
+  detail::require(version == 1, "LeakageAudit: unknown format version");
+  LeakageAudit audit;
+  audit.num_rows = reader.read_u64();
+  audit.genuine_postings = reader.read_u64();
+  audit.opm_ciphertext_duplicates = reader.read_u64();
+  audit.widest_row_postings = reader.read_u64();
+  audit.widest_row_level_max_duplicates = reader.read_u64();
+  audit.widest_row_opm_max_duplicates = reader.read_u64();
+  audit.stored_width_entropy_bits = std::bit_cast<double>(reader.read_u64());
+  return audit;
+}
 
 RsseScheme::RsseScheme(MasterKey key, ir::AnalyzerOptions analyzer_options)
     : key_(std::move(key)),
@@ -108,10 +198,12 @@ RsseScheme::BuildResult RsseScheme::build_index_internal(
     std::vector<Bytes> entries;
   };
   std::vector<BuiltRow> rows(terms.size());
+  std::vector<RowAudit> row_audits(terms.size());
   std::atomic<std::uint64_t> opm_ns{0};
   std::atomic<std::uint64_t> encrypt_ns{0};
   std::atomic<std::uint64_t> num_postings{0};
 
+  static const auto kRowStage = obs::Profiler::global().stage("index/build_row");
   Stopwatch wall;
   parallel_for(terms.size(), options.num_threads, [&](std::size_t begin, std::size_t end) {
     Stopwatch opm_watch;
@@ -120,6 +212,7 @@ RsseScheme::BuildResult RsseScheme::build_index_internal(
     double encrypt_seconds = 0.0;
     std::uint64_t postings = 0;
     for (std::size_t t = begin; t < end; ++t) {
+      const obs::ProfileScope row_scope(kRowStage);
       const std::string& term = terms[t];
       const std::vector<ir::Posting>* list = inverted.postings(term);
       const opse::OneToManyOpm opm = opm_for_keyword(term);
@@ -128,6 +221,10 @@ RsseScheme::BuildResult RsseScheme::build_index_internal(
       std::vector<Bytes> entries;
       const std::size_t target_width = padded_width(list->size());
       entries.reserve(target_width);
+      std::vector<std::uint64_t> levels;
+      std::vector<std::uint64_t> opm_values;
+      levels.reserve(list->size());
+      opm_values.reserve(list->size());
       for (const ir::Posting& posting : *list) {
         const double score =
             ir::score_single_keyword(posting.tf, inverted.doc_length(posting.file));
@@ -136,6 +233,8 @@ RsseScheme::BuildResult RsseScheme::build_index_internal(
         const std::uint64_t opm_value =
             opm.map(level, ir::value(posting.file), split_cache);
         opm_seconds += opm_watch.elapsed_seconds();
+        levels.push_back(level);
+        opm_values.push_back(opm_value);
 
         encrypt_watch.reset();
         Bytes score_field;
@@ -149,6 +248,8 @@ RsseScheme::BuildResult RsseScheme::build_index_internal(
       while (entries.size() < target_width)
         entries.push_back(random_padding_entry(kRsseScoreFieldSize));
       encrypt_seconds += encrypt_watch.elapsed_seconds();
+      row_audits[t] = audit_row(levels, opm_values);
+      row_audits[t].stored_width = entries.size();
       rows[t] = BuiltRow{row_label(term), std::move(entries)};
     }
     opm_ns.fetch_add(static_cast<std::uint64_t>(opm_seconds * 1e9));
@@ -162,6 +263,33 @@ RsseScheme::BuildResult RsseScheme::build_index_internal(
   result.stats.opm_seconds = static_cast<double>(opm_ns.load()) / 1e9;
   result.stats.encrypt_seconds = static_cast<double>(encrypt_ns.load()) / 1e9;
   result.stats.num_postings = num_postings.load();
+
+  // Serial audit reduce: totals, plus the widest row's duplicate maxima
+  // (Fig. 4 studies exactly the longest posting list; first wins on ties).
+  LeakageAudit& audit = result.audit;
+  audit.num_rows = row_audits.size();
+  const RowAudit* widest = nullptr;
+  for (const RowAudit& row : row_audits) {
+    audit.genuine_postings += row.postings;
+    audit.opm_ciphertext_duplicates += row.opm_duplicates;
+    if (widest == nullptr || row.postings > widest->postings) widest = &row;
+  }
+  if (widest != nullptr) {
+    audit.widest_row_postings = widest->postings;
+    audit.widest_row_level_max_duplicates = widest->level_max_duplicates;
+    audit.widest_row_opm_max_duplicates = widest->opm_max_duplicates;
+  }
+  // Width entropy of what is actually stored (i.e. after padding): the
+  // shape a honest-but-curious server can tabulate for itself.
+  std::map<std::uint64_t, std::uint64_t> width_counts;
+  for (const RowAudit& row : row_audits) ++width_counts[row.stored_width];
+  double entropy = 0.0;
+  for (const auto& [width, count] : width_counts) {
+    const double p =
+        static_cast<double>(count) / static_cast<double>(audit.num_rows);
+    entropy -= p * std::log2(p);
+  }
+  audit.stored_width_entropy_bits = audit.num_rows == 0 ? 0.0 : entropy;
   return result;
 }
 

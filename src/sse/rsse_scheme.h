@@ -35,6 +35,45 @@ enum class PaddingMode {
   kNone,        ///< no padding: row length = N_i (maximum leakage)
 };
 
+/// Leakage audit of one built index, computed owner-side where the
+/// plaintext levels and OPM values are still visible (the server never
+/// could: it sees only ciphertext). Persisted with the deployment so a
+/// serving process can export the paper's security claims as live
+/// gauges, and printed by `rsse audit`:
+///   * opm_ciphertext_duplicates — Fig. 6's one-to-many guarantee: with
+///     |R| = 2^46 the per-row mappings must be collision-free (0).
+///   * widest-row duplicate maxima — Ablation C's min-entropy view of
+///     what an adversary's best single guess achieves, before (score
+///     level) and after (OPM value) the mapping.
+///   * stored_width_entropy_bits — what row widths reveal under the
+///     padding policy (0 under full-nu padding).
+/// Aggregates only; no keyword, score or ciphertext material is stored.
+struct LeakageAudit {
+  std::uint64_t num_rows = 0;
+  std::uint64_t genuine_postings = 0;        ///< across all rows
+  /// Sum over rows of (postings - distinct OPM values).
+  std::uint64_t opm_ciphertext_duplicates = 0;
+  std::uint64_t widest_row_postings = 0;
+  /// Largest multiplicity of one quantized score level in the widest row.
+  std::uint64_t widest_row_level_max_duplicates = 0;
+  /// Largest multiplicity of one OPM value in the widest row (1 = unique).
+  std::uint64_t widest_row_opm_max_duplicates = 0;
+  /// Shannon entropy (bits) of the stored row-width distribution.
+  double stored_width_entropy_bits = 0.0;
+
+  /// -log2(max level multiplicity / postings) for the widest row: the
+  /// plaintext-side min-entropy of Ablation C. 0 when empty.
+  [[nodiscard]] double level_min_entropy_bits() const;
+
+  /// Same for OPM values; log2(postings) when the mapping is injective.
+  [[nodiscard]] double opm_min_entropy_bits() const;
+
+  [[nodiscard]] Bytes serialize() const;
+  static LeakageAudit deserialize(BytesView bytes);
+
+  friend bool operator==(const LeakageAudit&, const LeakageAudit&) = default;
+};
+
 /// One hit as the server sees (and ranks) it.
 struct RankedSearchEntry {
   FileId file{};
@@ -76,6 +115,7 @@ class RsseScheme {
     SecureIndex index;
     opse::ScoreQuantizer quantizer;
     BuildStats stats;
+    LeakageAudit audit;
   };
 
   /// BuildIndex(K, C) with OPM-encrypted scores (Sec. IV Setup step 2).

@@ -165,6 +165,19 @@ void save_cluster_deployment(const cloud::CloudServer& server, std::uint32_t num
   commit_dir(staging, root);
 }
 
+void save_leakage_audit(const sse::LeakageAudit& audit, const std::string& dir) {
+  const fs::path root = resolve_root(fs::path(dir));
+  detail::require(fs::is_directory(root),
+                  "save_leakage_audit: not a deployment directory: " + dir);
+  write_file(root / "audit.bin", audit.serialize());
+}
+
+std::optional<sse::LeakageAudit> load_leakage_audit(const std::string& dir) {
+  const fs::path path = resolve_root(fs::path(dir)) / "audit.bin";
+  if (!fs::is_regular_file(path)) return std::nullopt;
+  return sse::LeakageAudit::deserialize(read_file(path));
+}
+
 bool is_cluster_deployment(const std::string& dir) {
   return fs::is_regular_file(resolve_root(fs::path(dir)) / "manifest.bin");
 }

@@ -29,13 +29,24 @@
 // are deployed: upload the same shard directory to R endpoints). A shard
 // whose artifacts fail their integrity check can be quarantined and
 // rebuilt from a healthy replica (repair_cluster_shard).
+// Leakage audit (sse::LeakageAudit): the owner's build-time audit is a
+// deployment artifact too —
+//
+//   <dir>/audit.bin        LeakageAudit::serialize() + integrity footer
+//
+// written after the index (single-server and cluster roots alike) so a
+// serving process can export the paper's security claims as live gauges
+// and `rsse audit` can print them without the master key. It stores only
+// aggregate counts and entropies — nothing about keywords or scores.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "cloud/cloud_server.h"
 #include "cloud/channel.h"
 #include "cluster/shard_map.h"
+#include "sse/rsse_scheme.h"
 
 namespace rsse::store {
 
@@ -58,6 +69,17 @@ void load_deployment(const std::string& dir, cloud::CloudServer& server);
 /// Error on I/O failure.
 void save_cluster_deployment(const cloud::CloudServer& server, std::uint32_t num_shards,
                              const std::string& dir);
+
+/// Writes the owner-computed leakage audit into an existing deployment
+/// (single-server or cluster root). Called after save_deployment /
+/// save_cluster_deployment — those replace the directory wholesale, so
+/// the audit is re-attached on every save. Throws Error on I/O failure.
+void save_leakage_audit(const sse::LeakageAudit& audit, const std::string& dir);
+
+/// Loads the deployment's leakage audit; nullopt when the deployment
+/// predates the audit artifact. Throws IntegrityError / ParseError when
+/// an audit.bin exists but is damaged.
+std::optional<sse::LeakageAudit> load_leakage_audit(const std::string& dir);
 
 /// True when `dir` holds a cluster deployment (a manifest.bin exists).
 /// Also recovers a deployment parked by a crashed save (see

@@ -209,7 +209,12 @@ void write_raw(const fs::path& path, const Bytes& data) {
 class StorageRobustness : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "rsse_storage_robustness").string();
+    // Unique per test: ctest runs each TEST as its own process in
+    // parallel, so a shared directory would be a cross-test race.
+    dir_ = (fs::temp_directory_path() /
+            (std::string("rsse_storage_robustness_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
     fs::remove_all(dir_);
     fs::remove_all(dir_ + ".saving");
     fs::remove_all(dir_ + ".old");

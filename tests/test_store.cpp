@@ -86,7 +86,12 @@ TEST(OwnerState, FileRoundTrip) {
 class DeploymentTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "rsse_deploy_test").string();
+    // Unique per test: ctest runs each TEST as its own process in
+    // parallel, so a shared directory would be a cross-test race.
+    dir_ = (fs::temp_directory_path() /
+            (std::string("rsse_deploy_test_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
     fs::remove_all(dir_);
 
     ir::CorpusGenOptions opts;

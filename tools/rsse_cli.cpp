@@ -11,6 +11,7 @@
 //   rsse stats   --deploy <dir>  |  rsse stats --port <n> [--format prom|json]
 //   rsse trace   --port <n> [--max N]  |  rsse trace --owner ... --deploy ...
 //                --keyword <w> [--top-k K] [--chaos R]
+//   rsse audit   --deploy <dir>
 //
 // `keygen` creates a sealed owner-state file; `build` indexes and
 // encrypts a document directory into a deployment directory (what you
@@ -20,7 +21,11 @@
 // protocol; `trace --port` fetches a running server's slow-query log;
 // `trace --deploy` runs one traced query end to end and prints the span
 // tree (with --chaos R, against a fault-injected replica pair per shard,
-// showing retries and failovers live).
+// showing retries and failovers live) followed by the per-stage profile;
+// `audit` prints the build-time leakage audit of a deployment (the
+// paper's security claims as numbers: OPM duplicate count, row-width
+// entropy under the padding policy, score min-entropy — Fig. 6 and
+// Ablation C).
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -30,6 +35,7 @@
 
 #include <csignal>
 
+#include "analysis/leakage.h"
 #include "cloud/channel.h"
 #include "cloud/data_owner.h"
 #include "cloud/data_user.h"
@@ -40,6 +46,8 @@
 #include "ir/corpus_gen.h"
 #include "net/remote_channel.h"
 #include "net/server.h"
+#include "obs/cost.h"
+#include "obs/profiler.h"
 #include "obs/scrape.h"
 #include "obs/trace.h"
 #include "store/deployment.h"
@@ -64,6 +72,7 @@ using namespace rsse;
                "  rsse trace  --port N [--max N]\n"
                "  rsse trace  --owner FILE --passphrase P --deploy DIR --keyword W"
                " [--top-k K] [--chaos R]\n"
+               "  rsse audit  --deploy DIR\n"
                "  rsse serve  --deploy DIR [--port N] [--cache on] [--shard I]"
                " [--repair-from PORT] [--metrics-port N] [--slow-ms N]\n"
                "  (search accepts --port N to query a running serve instance and\n"
@@ -75,9 +84,12 @@ using namespace rsse;
                "   stats --port scrapes a live server's metrics over the protocol,\n"
                "   trace --port prints its slow-query log, trace --deploy runs one\n"
                "   traced query and prints the span tree (--chaos R injects faults\n"
-               "   at rate R to exercise failover), serve --metrics-port exposes\n"
-               "   GET /metrics over HTTP and --slow-ms sets the slow-query log\n"
-               "   threshold)\n");
+               "   at rate R to exercise failover) plus the per-stage profile,\n"
+               "   audit prints the build-time leakage audit (OPM duplicates,\n"
+               "   width/score entropy), serve --metrics-port exposes GET\n"
+               "   /metrics, /metrics.json and /healthz over HTTP — including\n"
+               "   per-stage profile histograms and the live leakage gauges —\n"
+               "   and --slow-ms sets the slow-query log threshold)\n");
   std::exit(2);
 }
 
@@ -150,6 +162,15 @@ int cmd_build(const std::map<std::string, std::string>& flags) {
     store::save_deployment(server, need(flags, "deploy"));
     std::printf("deployment written to %s\n", need(flags, "deploy").c_str());
   }
+  // The audit rides with the deployment (after the save — saving replaces
+  // the directory wholesale) so serve/audit can surface it later.
+  store::save_leakage_audit(report.rsse_audit, need(flags, "deploy"));
+  std::printf("leakage audit: %llu postings, %llu OPM duplicates (want 0), "
+              "width entropy %.3f bits\n",
+              static_cast<unsigned long long>(report.rsse_audit.genuine_postings),
+              static_cast<unsigned long long>(
+                  report.rsse_audit.opm_ciphertext_duplicates),
+              report.rsse_audit.stored_width_entropy_bits);
   persist_owner(owner, flags);  // retains the quantizer for later adds
   return 0;
 }
@@ -235,13 +256,59 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   if (optional_flag(flags, "cache", "off") == "on") server.set_rank_cache_enabled(true);
   const auto slow_ms = std::stod(optional_flag(flags, "slow-ms", "0"));
   if (slow_ms > 0) server.set_slow_query_threshold_ms(slow_ms);
+
+  // Continuous profiling is on for the life of a serving process; the
+  // request-path stages are pre-registered so the very first scrape shows
+  // every family (at zero) rather than a profile that grows lazily.
+  obs::Profiler& profiler = obs::Profiler::global();
+  for (const char* name : {"server/parse", "server/rank", "server/serialize"})
+    profiler.stage(name);
+  profiler.set_enabled(true);
+  obs::register_build_info(profiler.registry());
+
+  // Surface the build-time leakage audit as live gauges next to the
+  // server's own families: rsse_opm_ciphertext_duplicates must read 0 on
+  // a healthy deployment (Fig. 6). A cluster shard exports the audit of
+  // the whole index — the audit is owner-side and global, audit.bin sits
+  // at the cluster root. Older deployments simply lack the series.
+  if (const auto audit = store::load_leakage_audit(need(flags, "deploy")))
+    analysis::export_leakage_gauges(*audit, server.metrics().registry());
+
   const auto port = static_cast<std::uint16_t>(
       std::stoul(optional_flag(flags, "port", "0")));
   net::NetworkServer endpoint(server, port);
   std::unique_ptr<obs::ScrapeEndpoint> scrape;
   if (flags.contains("metrics-port")) {
+    // Deterministic crypto cost counters (HMAC calls, HGD samples, bytes
+    // encrypted, ...) are synced into gauges lazily, right before each
+    // render, via the source's refresh hook.
+    const auto sync_cost = [&profiler] {
+      const obs::cost::Snapshot snap = obs::cost::snapshot();
+      auto& reg = profiler.registry();
+      const auto set = [&reg](const char* name, const char* help,
+                              std::uint64_t value) {
+        reg.gauge(name, help).set(static_cast<std::int64_t>(value));
+      };
+      set("rsse_cost_hmac_invocations", "HMAC-SHA256 finishes since start",
+          snap.hmac_invocations);
+      set("rsse_cost_tape_derivations", "Keyed random tapes derived",
+          snap.tape_derivations);
+      set("rsse_cost_hgd_samples", "Hypergeometric samples drawn",
+          snap.hgd_samples);
+      set("rsse_cost_opm_mappings", "One-to-many OPM values drawn",
+          snap.opm_mappings);
+      set("rsse_cost_split_cache_hits", "OPSE split-cache hits",
+          snap.split_cache_hits);
+      set("rsse_cost_entries_encrypted", "Posting entries AES-encrypted",
+          snap.entries_encrypted);
+      set("rsse_cost_bytes_encrypted", "Posting plaintext bytes encrypted",
+          snap.bytes_encrypted);
+    };
+    sync_cost();  // pre-register the families too
     scrape = std::make_unique<obs::ScrapeEndpoint>(
-        server.metrics().registry(),
+        std::vector<obs::ScrapeSource>{
+            {"server", &server.metrics().registry(), {}},
+            {"profile", &profiler.registry(), sync_cost}},
         static_cast<std::uint16_t>(std::stoul(flags.at("metrics-port"))));
     std::printf("metrics on http://127.0.0.1:%u/metrics\n", scrape->port());
   }
@@ -346,6 +413,9 @@ int cmd_trace_query(const std::map<std::string, std::string>& flags) {
   const cloud::DataOwner owner = restore_owner(flags);
   const double chaos = std::stod(optional_flag(flags, "chaos", "0"));
   obs::TraceRecorder recorder;
+  // Profile the one query so the span tree can be followed by a
+  // per-stage cost breakdown (trapdoor OPSE descent, rank, serialize).
+  obs::Profiler::global().set_enabled(true);
 
   const auto run = [&](cloud::Transport& channel) {
     const Bytes user_key = crypto::random_bytes(32);
@@ -395,6 +465,8 @@ int cmd_trace_query(const std::map<std::string, std::string>& flags) {
     run(channel);
   }
   std::fputs(obs::format_trace(recorder.spans()).c_str(), stdout);
+  const std::string profile = obs::Profiler::global().report();
+  if (!profile.empty()) std::printf("\nper-stage profile:\n%s", profile.c_str());
   return 0;
 }
 
@@ -425,6 +497,58 @@ int cmd_trace(const std::map<std::string, std::string>& flags) {
   return cmd_trace_query(flags);
 }
 
+// Prints the build-time leakage audit of a deployment — the paper's
+// security claims as checkable numbers. Needs no keys: the audit holds
+// aggregates only (never a keyword, score, or ciphertext).
+int cmd_audit(const std::map<std::string, std::string>& flags) {
+  const std::string dir = need(flags, "deploy");
+  const auto audit = store::load_leakage_audit(dir);
+  if (!audit) {
+    std::fprintf(stderr,
+                 "no audit.bin under %s — the deployment predates the leakage"
+                 " audit; re-run rsse build to produce one\n",
+                 dir.c_str());
+    return 1;
+  }
+  const bool duplicates_ok = audit->opm_ciphertext_duplicates == 0;
+  std::printf("leakage audit for %s:\n", dir.c_str());
+  std::printf("  index rows (keywords m):      %llu\n",
+              static_cast<unsigned long long>(audit->num_rows));
+  std::printf("  genuine postings audited:     %llu\n",
+              static_cast<unsigned long long>(audit->genuine_postings));
+  std::printf("  OPM ciphertext duplicates:    %llu  [%s]  (Fig. 6: one-to-many"
+              " mapping must not repeat)\n",
+              static_cast<unsigned long long>(audit->opm_ciphertext_duplicates),
+              duplicates_ok ? "PASS" : "FAIL");
+  std::printf("  stored width entropy:         %.3f bits  (0 = padding hides"
+              " row sizes completely)\n",
+              audit->stored_width_entropy_bits);
+  std::printf("  widest row:                   %llu postings\n",
+              static_cast<unsigned long long>(audit->widest_row_postings));
+  std::printf("    score-level min-entropy:    %.3f bits  (plaintext side of"
+              " Ablation C)\n",
+              audit->level_min_entropy_bits());
+  std::printf("    OPM-value min-entropy:      %.3f bits  (after the"
+              " one-to-many mapping)\n",
+              audit->opm_min_entropy_bits());
+  if (store::is_cluster_deployment(dir)) {
+    const auto manifest = store::load_cluster_manifest(dir);
+    std::printf("  cluster: %u shards — the audit covers the whole index\n",
+                manifest.num_shards);
+  } else {
+    // Cross-check against the live artifact: what a curious server can
+    // recompute from the stored index alone must agree with the audit.
+    cloud::CloudServer server;
+    store::load_deployment(dir, server);
+    const auto shape = analysis::index_shape(server.index());
+    std::printf("  stored index agrees: %zu rows, widths %zu..%zu, width"
+                " entropy %.3f bits\n",
+                shape.num_rows, shape.min_row_width, shape.max_row_width,
+                shape.width_shannon_entropy);
+  }
+  return duplicates_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -438,6 +562,7 @@ int main(int argc, char** argv) {
     if (command == "add") return cmd_add(flags);
     if (command == "stats") return cmd_stats(flags);
     if (command == "trace") return cmd_trace(flags);
+    if (command == "audit") return cmd_audit(flags);
     if (command == "serve") return cmd_serve(flags);
     usage();
   } catch (const rsse::Error& e) {
