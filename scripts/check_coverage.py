@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Soft line-coverage floor over the crypto-bearing core.
+
+Reads an `llvm-cov export -summary-only` JSON document and checks the
+aggregate line coverage of the directories we consider the scheme's
+correctness core (src/sse, src/cloud/protocol.cpp). The floor is soft
+on purpose: coverage must not silently erode, but a refactor that moves
+lines around should not hard-fail CI on a fraction of a percent, so the
+gate fails only below FLOOR_PERCENT.
+
+Usage: check_coverage.py coverage.json
+"""
+
+import json
+import sys
+
+# Aggregate line-coverage floor for the watched paths. The suite sits
+# comfortably above this; the floor only catches real coverage loss.
+FLOOR_PERCENT = 80.0
+
+WATCHED_PREFIXES = ("src/sse/", "src/cloud/")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: check_coverage.py <llvm-cov-export.json>", file=sys.stderr)
+        return 2
+    with open(sys.argv[1], "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    covered = 0
+    total = 0
+    rows = []
+    for datum in doc.get("data", []):
+        for entry in datum.get("files", []):
+            path = entry.get("filename", "")
+            marker = path.find("src/")
+            if marker < 0:
+                continue
+            rel = path[marker:]
+            if not rel.startswith(WATCHED_PREFIXES):
+                continue
+            lines = entry.get("summary", {}).get("lines", {})
+            covered += lines.get("covered", 0)
+            total += lines.get("count", 0)
+            rows.append((rel, lines.get("percent", 0.0)))
+
+    if total == 0:
+        print("check_coverage: no watched files in the export", file=sys.stderr)
+        return 2
+
+    percent = 100.0 * covered / total
+    for rel, file_percent in sorted(rows):
+        print(f"  {file_percent:6.2f}%  {rel}")
+    print(f"watched line coverage: {percent:.2f}% "
+          f"({covered}/{total} lines, floor {FLOOR_PERCENT:.1f}%)")
+    if percent < FLOOR_PERCENT:
+        print("check_coverage: below the floor — add tests or lower the "
+              "floor deliberately in scripts/check_coverage.py",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -270,7 +270,16 @@ Bytes TraceResponse::serialize() const {
   for (const TraceEntry& e : entries) {
     append_lp(out, to_bytes(e.operation));
     // Latency as micros keeps the wire format integral (double-free).
-    append_u64(out, static_cast<std::uint64_t>(e.seconds * 1e6));
+    // The cast is UB outside [0, 2^64) and entries can carry wire-derived
+    // latencies (snapshot relays), so clamp to the representable range.
+    constexpr double kMaxMicros = 18446744073709549568.0;  // largest double < 2^64
+    const double micros = e.seconds * 1e6;
+    std::uint64_t wire_micros = 0;
+    if (micros >= kMaxMicros)
+      wire_micros = static_cast<std::uint64_t>(kMaxMicros);
+    else if (micros > 0.0)
+      wire_micros = static_cast<std::uint64_t>(micros);
+    append_u64(out, wire_micros);
     append_lp(out, obs::serialize_spans(e.spans));
   }
   return out;

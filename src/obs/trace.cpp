@@ -107,6 +107,7 @@ std::vector<Span> deserialize_spans(BytesView bytes) {
     }
     spans.push_back(std::move(span));
   }
+  if (!reader.exhausted()) throw ParseError("spans: trailing bytes");
   return spans;
 }
 

@@ -1,0 +1,42 @@
+// Virtual time for deterministic simulation (src/sim).
+//
+// Real chaos tests pay wall-clock for every injected stall; the simulated
+// network instead *advances a counter*. Each simulated call adds its
+// latency (base + jitter + injected delay) to this clock, so a test can
+// assert "the query consumed 2.5 virtual seconds" while finishing in
+// microseconds of real time. The clock is shared by every endpoint of one
+// SimNet and only ever moves forward.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace rsse::sim {
+
+/// A monotonic virtual clock counted in nanoseconds since SimNet creation.
+class SimClock {
+ public:
+  /// Current virtual time.
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Current virtual time as a duration.
+  [[nodiscard]] std::chrono::nanoseconds now() const {
+    return std::chrono::nanoseconds(now_ns());
+  }
+
+  /// Advances the clock by `d` (negative or zero durations are ignored).
+  /// Safe to call from concurrent simulated endpoints.
+  void advance(std::chrono::nanoseconds d) {
+    if (d.count() > 0)
+      now_ns_.fetch_add(static_cast<std::uint64_t>(d.count()),
+                        std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_ns_{0};
+};
+
+}  // namespace rsse::sim

@@ -1,0 +1,204 @@
+#include "sim/sim_net.h"
+
+#include "util/bytes.h"
+#include "util/errors.h"
+
+namespace rsse::sim {
+
+namespace {
+
+/// FNV-1a 64: cheap, stable payload fingerprint for the transcript.
+std::uint64_t fnv1a(BytesView data) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Splitmix-derived per-endpoint stream seed; never zero-collapses.
+std::uint64_t derive_seed(std::uint64_t net_seed, std::uint64_t endpoint,
+                          std::uint64_t stream) {
+  std::uint64_t state = net_seed ^ (endpoint * 0x9e3779b97f4a7c15ull) ^
+                        (stream * 0xbf58476d1ce4e5b9ull);
+  return splitmix64(state);
+}
+
+}  // namespace
+
+SimNet::SimNet(SimOptions options) : options_(options) {
+  detail::require(options_.base_latency.count() >= 0 &&
+                      options_.latency_jitter.count() >= 0,
+                  "SimNet: negative latency");
+  // Validate the fault spec once, up front (FaultSchedule would throw on
+  // first connect otherwise, which is harder to attribute).
+  (void)fault::FaultSchedule(options_.faults);
+}
+
+std::unique_ptr<SimTransport> SimNet::connect(const cloud::CloudServer& server) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = endpoints_.size();
+  fault::FaultSpec spec = options_.faults;
+  spec.seed = derive_seed(options_.seed, id, /*stream=*/1);
+  auto endpoint =
+      std::make_shared<Endpoint>(id, spec, derive_seed(options_.seed, id, 2));
+  endpoints_.push_back(endpoint);
+  return std::unique_ptr<SimTransport>(
+      new SimTransport(this, std::move(endpoint), server));
+}
+
+Bytes SimNet::transcript() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Bytes out;
+  append_u64(out, options_.seed);
+  append_u64(out, endpoints_.size());
+  for (const auto& endpoint : endpoints_) {
+    const std::lock_guard<std::mutex> ep_lock(endpoint->mutex);
+    append_u64(out, endpoint->id);
+    append_u64(out, endpoint->events.size());
+    for (const SimEvent& e : endpoint->events) {
+      append_u64(out, e.seq);
+      out.push_back(static_cast<std::uint8_t>(e.type));
+      out.push_back(static_cast<std::uint8_t>(e.fault));
+      out.push_back(static_cast<std::uint8_t>(e.outcome));
+      append_u64(out, e.request_bytes);
+      append_u64(out, e.response_bytes);
+      append_u64(out, e.response_hash);
+      append_u64(out, e.latency_ns);
+    }
+  }
+  return out;
+}
+
+std::uint64_t SimNet::total_events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& endpoint : endpoints_) {
+    const std::lock_guard<std::mutex> ep_lock(endpoint->mutex);
+    total += endpoint->events.size();
+  }
+  return total;
+}
+
+fault::FaultCounters SimNet::fault_counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  fault::FaultCounters total;
+  for (const auto& endpoint : endpoints_) {
+    const fault::FaultCounters c = endpoint->schedule.counters();
+    total.events += c.events;
+    total.delays += c.delays;
+    total.disconnects += c.disconnects;
+    total.error_frames += c.error_frames;
+    total.truncations += c.truncations;
+    total.bit_flips += c.bit_flips;
+  }
+  return total;
+}
+
+std::uint64_t SimTransport::calls_seen() const {
+  const std::lock_guard<std::mutex> lock(endpoint_->mutex);
+  return endpoint_->next_seq;
+}
+
+Bytes SimTransport::call(cloud::MessageType type, BytesView request,
+                         const Deadline& deadline) {
+  SimNet::Endpoint& ep = *endpoint_;
+  // One mutex per endpoint, like one TCP connection: calls serialize here,
+  // which is also what pins (decision, call) assignment per endpoint.
+  const std::lock_guard<std::mutex> lock(ep.mutex);
+
+  SimEvent event;
+  event.seq = ep.next_seq++;
+  event.type = type;
+  event.request_bytes = request.size();
+
+  const auto record_and_throw = [&](SimOutcome outcome, const char* what,
+                                    auto make_error) -> Bytes {
+    event.outcome = outcome;
+    net_->clock_.advance(std::chrono::nanoseconds(event.latency_ns));
+    ep.events.push_back(event);
+    throw make_error(what);
+    return {};  // unreachable
+  };
+
+  deadline.check("SimTransport::call");
+  if (down_.load(std::memory_order_relaxed)) {
+    // Down endpoints fail before touching the fault stream: tests toggle
+    // the switch freely without shifting later decisions.
+    return record_and_throw(SimOutcome::kEndpointDown, "sim: endpoint down",
+                            [](const char* w) { return ProtocolError(w); });
+  }
+
+  const fault::FaultDecision decision = ep.schedule.next();
+  event.fault = decision.kind;
+
+  // Latency: charged to the virtual clock, never slept. The jitter draw
+  // happens unconditionally so the latency stream stays aligned with the
+  // fault stream (same number of draws per call, fault or not).
+  std::uint64_t latency =
+      static_cast<std::uint64_t>(net_->options_.base_latency.count());
+  if (net_->options_.latency_jitter.count() > 0)
+    latency += ep.latency_rng.uniform_below(
+        static_cast<std::uint64_t>(net_->options_.latency_jitter.count()));
+  event.latency_ns = latency;
+
+  switch (decision.kind) {
+    case fault::FaultKind::kNone:
+      break;
+    case fault::FaultKind::kDelay: {
+      const auto delay =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(decision.delay);
+      // A virtual hang that outlives the caller's budget is what a real
+      // hung peer produces — after wall-clock waiting. Surface it now.
+      if (!deadline.is_unlimited() && decision.delay >= deadline.remaining()) {
+        event.latency_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(deadline.remaining())
+                .count());
+        return record_and_throw(
+            SimOutcome::kDeadlineExceeded, "sim: injected hang outlived the deadline",
+            [](const char* w) { return DeadlineExceeded(w); });
+      }
+      event.latency_ns += static_cast<std::uint64_t>(delay.count());
+      break;
+    }
+    case fault::FaultKind::kDisconnect:
+      return record_and_throw(SimOutcome::kDisconnect, "sim: injected disconnect",
+                              [](const char* w) { return ProtocolError(w); });
+    case fault::FaultKind::kErrorFrame:
+      return record_and_throw(SimOutcome::kErrorFrame,
+                              "sim: injected server error frame",
+                              [](const char* w) { return ProtocolError(w); });
+    case fault::FaultKind::kTruncate:
+    case fault::FaultKind::kBitFlip:
+      break;  // applied to the response below
+  }
+
+  Bytes response;
+  try {
+    response = server_->handle(type, request);
+  } catch (const Error&) {
+    event.outcome = SimOutcome::kServerError;
+    net_->clock_.advance(std::chrono::nanoseconds(event.latency_ns));
+    ep.events.push_back(event);
+    account(request.size() + 1, 0);
+    throw;
+  }
+
+  if (decision.kind == fault::FaultKind::kTruncate && !response.empty())
+    response.resize(decision.entropy % response.size());
+  if (decision.kind == fault::FaultKind::kBitFlip && !response.empty()) {
+    const std::uint64_t bit = decision.entropy % (response.size() * 8);
+    response[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+
+  event.outcome = SimOutcome::kOk;
+  event.response_bytes = response.size();
+  event.response_hash = fnv1a(response);
+  net_->clock_.advance(std::chrono::nanoseconds(event.latency_ns));
+  ep.events.push_back(event);
+  account(request.size() + 1, response.size());
+  return response;
+}
+
+}  // namespace rsse::sim

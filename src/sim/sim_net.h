@@ -1,0 +1,178 @@
+// Deterministic in-process network simulation.
+//
+// SimNet stands in for the whole transport stack: each SimTransport is a
+// cloud::Transport endpoint that invokes a CloudServer directly, charges
+// latency to a shared *virtual* clock (sim_clock.h) instead of sleeping,
+// and misbehaves per the existing fault::FaultSchedule — so the cluster
+// coordinator, replica failover, deadline and chaos logic all run with
+// zero sockets, zero sleeps, and a fault sequence that replays bit-for-bit
+// from a single uint64 seed.
+//
+// Determinism contract (DESIGN.md Sec. 9):
+//   * Every endpoint draws faults and latency from its own streams,
+//     derived from (net seed, endpoint id) via splitmix64. Concurrent
+//     traffic to different endpoints therefore cannot perturb another
+//     endpoint's decision sequence — the assignment of decisions to calls
+//     is a function of (endpoint, per-endpoint call index) alone, not of
+//     thread scheduling.
+//   * Injected delays advance the virtual clock. A delay that would
+//     outlive the caller's deadline surfaces as DeadlineExceeded
+//     immediately (what a real hung peer produces after wall-clock
+//     waiting), so "hung replica" scenarios run in microseconds.
+//   * transcript() serializes everything that happened, grouped by
+//     endpoint and per-endpoint sequence number and hashing every
+//     response payload. Re-running the same workload against the same
+//     server state with the same seed yields byte-identical transcripts,
+//     which is how the differential oracle pins reproducibility.
+//
+// The contract assumes the *workload* is deterministic too: queries
+// issued from one logical stream (a query's internal scatter-gather may
+// fan out — each endpoint still sees its own requests in a fixed order).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cloud/channel.h"
+#include "fault/fault.h"
+#include "sim/sim_clock.h"
+#include "util/rng.h"
+
+namespace rsse::sim {
+
+/// How one simulated call ended (recorded in the transcript).
+enum class SimOutcome : std::uint8_t {
+  kOk = 0,                ///< response delivered (possibly corrupted)
+  kEndpointDown = 1,      ///< the endpoint's kill switch was on
+  kDisconnect = 2,        ///< injected connection drop
+  kErrorFrame = 3,        ///< injected server error frame
+  kDeadlineExceeded = 4,  ///< injected delay outlived the caller's budget
+  kServerError = 5,       ///< the server itself threw (e.g. ParseError)
+};
+
+/// One simulated RPC, as the transcript records it. `latency_ns` is the
+/// virtual time this call consumed (base + jitter + injected delay) —
+/// per-call and endpoint-local, so it replays identically regardless of
+/// how calls to *other* endpoints interleaved.
+struct SimEvent {
+  std::uint64_t seq = 0;  ///< per-endpoint call index, from 0
+  cloud::MessageType type{};
+  fault::FaultKind fault = fault::FaultKind::kNone;
+  SimOutcome outcome = SimOutcome::kOk;
+  std::uint64_t request_bytes = 0;
+  std::uint64_t response_bytes = 0;   ///< after any truncation
+  std::uint64_t response_hash = 0;    ///< FNV-1a over delivered bytes; 0 on error
+  std::uint64_t latency_ns = 0;
+};
+
+/// Knobs of one simulated network.
+struct SimOptions {
+  std::uint64_t seed = 1;  ///< anchors every fault/latency stream
+
+  /// Virtual latency charged to every call.
+  std::chrono::nanoseconds base_latency{200'000};  // 0.2 ms
+  /// Uniform extra latency in [0, jitter), drawn per call from the
+  /// endpoint's latency stream. Zero disables jitter.
+  std::chrono::nanoseconds latency_jitter{100'000};
+
+  /// Fault rates/shape shared by every endpoint. The spec's own `seed`
+  /// field is ignored: each endpoint's schedule seed derives from
+  /// (SimOptions::seed, endpoint id) so streams never interleave.
+  fault::FaultSpec faults;
+};
+
+class SimTransport;
+
+/// The simulated network: a shared virtual clock plus a factory for
+/// deterministic endpoints. Endpoints hold shared state, so they may
+/// outlive the SimNet (e.g. moved into a ReplicaSet the net never sees),
+/// but transcript() only covers endpoints created by this net.
+class SimNet {
+ public:
+  explicit SimNet(SimOptions options = {});
+
+  /// Creates the next endpoint (ids are assigned 0, 1, ... in creation
+  /// order — creation order is part of the seed contract). The transport
+  /// invokes `server` directly; the caller keeps `server` alive.
+  [[nodiscard]] std::unique_ptr<SimTransport> connect(const cloud::CloudServer& server);
+
+  /// The shared virtual clock.
+  [[nodiscard]] SimClock& clock() { return clock_; }
+  [[nodiscard]] const SimClock& clock() const { return clock_; }
+
+  [[nodiscard]] std::uint64_t seed() const { return options_.seed; }
+
+  /// Canonical byte serialization of every endpoint's event log, ordered
+  /// by endpoint id and per-endpoint sequence. Two runs of the same
+  /// deterministic workload under the same seed produce equal bytes.
+  [[nodiscard]] Bytes transcript() const;
+
+  /// Total simulated calls across all endpoints.
+  [[nodiscard]] std::uint64_t total_events() const;
+
+  /// Aggregated injected-fault counters across all endpoints.
+  [[nodiscard]] fault::FaultCounters fault_counters() const;
+
+ private:
+  friend class SimTransport;
+
+  /// Per-endpoint state, shared between the net (for transcripts) and the
+  /// transport (which may be moved away into a replica set).
+  struct Endpoint {
+    Endpoint(std::uint64_t id, fault::FaultSpec spec, std::uint64_t latency_seed)
+        : id(id), schedule(spec), latency_rng(latency_seed) {}
+
+    const std::uint64_t id;
+    std::mutex mutex;  // serializes calls on this endpoint (like one TCP conn)
+    fault::FaultSchedule schedule;
+    Xoshiro256 latency_rng;
+    std::uint64_t next_seq = 0;
+    std::vector<SimEvent> events;
+  };
+
+  SimOptions options_;
+  SimClock clock_;
+  mutable std::mutex mutex_;  // guards endpoints_
+  std::vector<std::shared_ptr<Endpoint>> endpoints_;
+};
+
+/// One simulated endpoint. Implements the full Transport contract: counts
+/// traffic, honours deadlines (against *virtual* stalls), and surfaces
+/// injected faults as the same typed errors the real stack produces —
+/// ProtocolError for disconnects/error frames, DeadlineExceeded for
+/// hangs, corrupted payloads for truncations/bit flips (the caller's
+/// deserializer turns those into ParseError).
+class SimTransport final : public cloud::Transport {
+ public:
+  using cloud::Transport::call;
+  Bytes call(cloud::MessageType type, BytesView request,
+             const Deadline& deadline) override;
+
+  /// Kill switch: a down endpoint fails every call with ProtocolError,
+  /// like a dead TCP peer, without consuming fault-schedule decisions
+  /// (so toggling it never shifts the fault stream of live calls).
+  void set_down(bool down) { down_.store(down, std::memory_order_relaxed); }
+  [[nodiscard]] bool is_down() const { return down_.load(std::memory_order_relaxed); }
+
+  /// Calls seen so far (including ones failed by the kill switch).
+  [[nodiscard]] std::uint64_t calls_seen() const;
+
+  /// This endpoint's id within its SimNet.
+  [[nodiscard]] std::uint64_t endpoint_id() const { return endpoint_->id; }
+
+ private:
+  friend class SimNet;
+  SimTransport(SimNet* net, std::shared_ptr<SimNet::Endpoint> endpoint,
+               const cloud::CloudServer& server)
+      : net_(net), endpoint_(std::move(endpoint)), server_(&server) {}
+
+  SimNet* net_;
+  std::shared_ptr<SimNet::Endpoint> endpoint_;
+  const cloud::CloudServer* server_;
+  std::atomic<bool> down_{false};
+};
+
+}  // namespace rsse::sim

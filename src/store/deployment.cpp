@@ -26,16 +26,9 @@ constexpr std::size_t kFooterSize = crypto::kSha256DigestSize + 8 + sizeof(kFoot
 void write_file(const fs::path& path, BytesView data) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw Error("save_deployment: cannot open " + path.string());
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  const crypto::Sha256Digest digest = crypto::sha256(data);
-  out.write(reinterpret_cast<const char*>(digest.data()),
-            static_cast<std::streamsize>(digest.size()));
-  Bytes trailer;
-  append_u64(trailer, data.size());
-  out.write(reinterpret_cast<const char*>(trailer.data()),
-            static_cast<std::streamsize>(trailer.size()));
-  out.write(kFooterMagic, sizeof(kFooterMagic));
+  const Bytes framed = encode_artifact(data);
+  out.write(reinterpret_cast<const char*>(framed.data()),
+            static_cast<std::streamsize>(framed.size()));
   out.flush();
   if (!out) throw Error("save_deployment: write failed for " + path.string());
 }
@@ -45,27 +38,7 @@ Bytes read_file(const fs::path& path) {
   if (!in) throw Error("load_deployment: cannot open " + path.string());
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const std::string content = buffer.str();
-  Bytes raw = to_bytes(content);
-
-  if (raw.size() < kFooterSize)
-    throw IntegrityError("load_deployment: missing integrity footer: " + path.string());
-  const std::size_t payload_len = raw.size() - kFooterSize;
-  const std::uint8_t* footer = raw.data() + payload_len;
-  if (std::memcmp(footer + crypto::kSha256DigestSize + 8, kFooterMagic,
-                  sizeof(kFooterMagic)) != 0)
-    throw IntegrityError("load_deployment: bad footer magic: " + path.string());
-  ByteReader length_reader(BytesView(footer + crypto::kSha256DigestSize, 8));
-  if (length_reader.read_u64() != payload_len)
-    throw IntegrityError("load_deployment: length mismatch (torn write?): " +
-                         path.string());
-  const crypto::Sha256Digest digest =
-      crypto::sha256(BytesView(raw.data(), payload_len));
-  if (std::memcmp(footer, digest.data(), digest.size()) != 0)
-    throw IntegrityError("load_deployment: checksum mismatch: " + path.string());
-
-  raw.resize(payload_len);
-  return raw;
+  return decode_artifact(to_bytes(buffer.str()), path.string());
 }
 
 void save_parts(const sse::SecureIndex& index,
@@ -113,6 +86,33 @@ void quarantine(const fs::path& target) {
 }
 
 }  // namespace
+
+Bytes encode_artifact(BytesView payload) {
+  Bytes framed(payload.begin(), payload.end());
+  const crypto::Sha256Digest digest = crypto::sha256(payload);
+  framed.insert(framed.end(), digest.begin(), digest.end());
+  append_u64(framed, payload.size());
+  framed.insert(framed.end(), kFooterMagic, kFooterMagic + sizeof(kFooterMagic));
+  return framed;
+}
+
+Bytes decode_artifact(BytesView raw, const std::string& what) {
+  if (raw.size() < kFooterSize)
+    throw IntegrityError("load_deployment: missing integrity footer: " + what);
+  const std::size_t payload_len = raw.size() - kFooterSize;
+  const std::uint8_t* footer = raw.data() + payload_len;
+  if (std::memcmp(footer + crypto::kSha256DigestSize + 8, kFooterMagic,
+                  sizeof(kFooterMagic)) != 0)
+    throw IntegrityError("load_deployment: bad footer magic: " + what);
+  ByteReader length_reader(BytesView(footer + crypto::kSha256DigestSize, 8));
+  if (length_reader.read_u64() != payload_len)
+    throw IntegrityError("load_deployment: length mismatch (torn write?): " + what);
+  const crypto::Sha256Digest digest =
+      crypto::sha256(BytesView(raw.data(), payload_len));
+  if (std::memcmp(footer, digest.data(), digest.size()) != 0)
+    throw IntegrityError("load_deployment: checksum mismatch: " + what);
+  return Bytes(raw.begin(), raw.begin() + static_cast<std::ptrdiff_t>(payload_len));
+}
 
 void save_deployment(const cloud::CloudServer& server, const std::string& dir) {
   const fs::path root(dir);

@@ -50,6 +50,17 @@
 
 namespace rsse::store {
 
+/// Frames `payload` as a checksummed artifact:
+///   payload || SHA-256(payload) (32) || u64 payload length (8) || magic (8)
+/// — the byte format of every file a deployment directory holds.
+[[nodiscard]] Bytes encode_artifact(BytesView payload);
+
+/// Validates and strips the integrity footer written by encode_artifact,
+/// returning the payload. Throws IntegrityError on a missing or damaged
+/// footer, a length mismatch (truncation / torn write) or a checksum
+/// mismatch; `what` tags the error message (e.g. the file path).
+[[nodiscard]] Bytes decode_artifact(BytesView raw, const std::string& what);
+
 /// Writes the server's current index + files under `dir` (created if
 /// missing; an existing deployment is replaced atomically — a crash
 /// leaves either the previous or the new deployment loadable, never a

@@ -1,0 +1,56 @@
+// Fuzz target for the order-preserving mapping decode paths (opse).
+//
+// Two surfaces:
+//   * ScoreQuantizer::deserialize on arbitrary bytes (the blob users and
+//     owners exchange so score encodings agree) — must return a usable
+//     quantizer or throw ParseError; an accepted quantizer must respect
+//     1 <= quantize(s) <= levels and monotonicity;
+//   * OneToManyOpm bucket geometry with an input-derived key: map() must
+//     land in bucket_of(m) and invert() must recover m exactly — the
+//     owner-side decode of an OPM ciphertext.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "fuzz_target.h"
+#include "opse/opm.h"
+#include "opse/quantizer.h"
+#include "util/errors.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  try {
+    const auto quantizer =
+        rsse::opse::ScoreQuantizer::deserialize(rsse::BytesView(data, size));
+    const std::uint64_t lo = quantizer.quantize(-1e308);
+    const std::uint64_t hi = quantizer.quantize(1e308);
+    if (lo < 1 || hi > quantizer.levels() || lo > hi) {
+      std::fprintf(stderr, "fuzz_opm: quantizer breaks its level contract\n");
+      std::abort();
+    }
+  } catch (const rsse::ParseError&) {
+  }
+
+  if (size < 41) return 0;
+  const rsse::Bytes key(data, data + 32);
+  std::uint64_t m_seed = 0;
+  std::memcpy(&m_seed, data + 32, sizeof(m_seed));
+  const std::uint64_t file_id = data[40];
+
+  // Small fixed geometry keeps one descent cheap; the key (and with it
+  // the whole bucket tree) is attacker-controlled.
+  rsse::opse::OpeParams params;
+  params.domain_size = 32;
+  params.range_size = 4096;
+  const rsse::opse::OneToManyOpm opm(key, params);
+  const std::uint64_t m = 1 + m_seed % params.domain_size;
+  const std::uint64_t c = opm.map(m, file_id);
+  if (!opm.bucket_of(m).contains(c)) {
+    std::fprintf(stderr, "fuzz_opm: ciphertext escaped its bucket\n");
+    std::abort();
+  }
+  if (opm.invert(c) != m) {
+    std::fprintf(stderr, "fuzz_opm: bucket inversion lost the plaintext\n");
+    std::abort();
+  }
+  return 0;
+}

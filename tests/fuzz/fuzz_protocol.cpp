@@ -1,0 +1,74 @@
+// Structure-aware fuzz target for the wire protocol (cloud/protocol).
+//
+// Input layout: data[0] selects the parser, the rest is the blob. For
+// every parser the contract under fuzzing is:
+//   * malformed input -> typed rsse::Error (ParseError), nothing else;
+//   * accepted input  -> serialize() must be a fixed point: parsing the
+//     re-serialized bytes succeeds and yields the same bytes again
+//     (canonical wire form), so no parser accepts a message its writer
+//     cannot reproduce.
+#include <cstdio>
+#include <cstdlib>
+
+#include "cloud/protocol.h"
+#include "ext/conjunctive.h"
+#include "fuzz_target.h"
+#include "sse/types.h"
+#include "util/errors.h"
+
+namespace {
+
+using rsse::Bytes;
+using rsse::BytesView;
+
+template <typename Message>
+void round_trip(BytesView blob) {
+  Message message;
+  try {
+    message = Message::deserialize(blob);
+  } catch (const rsse::Error&) {
+    return;  // typed rejection is the contract for malformed input
+  }
+  const Bytes wire = message.serialize();
+  const Bytes again = Message::deserialize(wire).serialize();
+  if (wire != again) {
+    std::fprintf(stderr, "fuzz_protocol: serialize not canonical\n");
+    std::abort();
+  }
+}
+
+// TraceResponse carries a lossy double<->micros latency field, so byte
+// canonicity is not part of its contract — only parse stability is.
+void trace_response(BytesView blob) {
+  try {
+    const auto message = rsse::cloud::TraceResponse::deserialize(blob);
+    (void)rsse::cloud::TraceResponse::deserialize(message.serialize());
+  } catch (const rsse::Error&) {
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const BytesView blob(data + 1, size - 1);
+  switch (data[0] % 16) {
+    case 0: round_trip<rsse::cloud::RankedSearchRequest>(blob); break;
+    case 1: round_trip<rsse::cloud::RankedSearchResponse>(blob); break;
+    case 2: round_trip<rsse::cloud::BasicEntriesRequest>(blob); break;
+    case 3: round_trip<rsse::cloud::BasicEntriesResponse>(blob); break;
+    case 4: round_trip<rsse::cloud::FetchFilesRequest>(blob); break;
+    case 5: round_trip<rsse::cloud::FetchFilesResponse>(blob); break;
+    case 6: round_trip<rsse::cloud::MultiSearchRequest>(blob); break;
+    case 7: round_trip<rsse::cloud::BasicFilesResponse>(blob); break;
+    case 8: round_trip<rsse::cloud::SnapshotRequest>(blob); break;
+    case 9: round_trip<rsse::cloud::SnapshotResponse>(blob); break;
+    case 10: round_trip<rsse::cloud::StatsRequest>(blob); break;
+    case 11: round_trip<rsse::cloud::StatsResponse>(blob); break;
+    case 12: round_trip<rsse::cloud::TraceRequest>(blob); break;
+    case 13: trace_response(blob); break;
+    case 14: round_trip<rsse::sse::Trapdoor>(blob); break;
+    default: round_trip<rsse::ext::ConjunctiveTrapdoor>(blob); break;
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fuzz target for the checksummed artifact framing (store/deployment).
+//
+// Two obligations:
+//   * decode_artifact on arbitrary bytes either returns a payload or
+//     throws IntegrityError — the footer validation must never crash,
+//     over-read or mis-slice;
+//   * encode_artifact(x) must always decode back to x, for any payload
+//     including ones that themselves look like framed artifacts (the
+//     nested-footer case a naive magic scan would get wrong).
+#include <cstdio>
+#include <cstdlib>
+
+#include "fuzz_target.h"
+#include "store/deployment.h"
+#include "util/errors.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const rsse::BytesView raw(data, size);
+
+  try {
+    const rsse::Bytes payload = rsse::store::decode_artifact(raw, "fuzz");
+    // Anything the validator accepts must re-frame to the identical blob
+    // (the footer is a pure function of the payload).
+    const rsse::Bytes reframed = rsse::store::encode_artifact(payload);
+    if (reframed.size() != size ||
+        !std::equal(reframed.begin(), reframed.end(), data)) {
+      std::fprintf(stderr, "fuzz_store: accepted artifact is not canonical\n");
+      std::abort();
+    }
+  } catch (const rsse::IntegrityError&) {
+  }
+
+  const rsse::Bytes framed = rsse::store::encode_artifact(raw);
+  const rsse::Bytes back = rsse::store::decode_artifact(framed, "round-trip");
+  if (back.size() != size || !std::equal(back.begin(), back.end(), data)) {
+    std::fprintf(stderr, "fuzz_store: round trip lost the payload\n");
+    std::abort();
+  }
+  return 0;
+}

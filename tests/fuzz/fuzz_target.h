@@ -1,0 +1,18 @@
+// Shared entry-point declaration for the fuzz targets.
+//
+// Each fuzz_*.cpp defines LLVMFuzzerTestOneInput and builds two ways:
+//   * with -DRSSE_FUZZ=ON (clang): linked against libFuzzer for
+//     coverage-guided fuzzing under ASan/UBSan;
+//   * always: linked with replay_main.cpp into a plain binary that
+//     replays the checked-in corpus as a ctest regression (no clang, no
+//     sanitizer runtime needed).
+//
+// Contract for targets: arbitrary input bytes must produce either a
+// normal return or a typed rsse::Error — any other escape, crash, or
+// property violation (std::abort) is a bug.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);

@@ -1,0 +1,220 @@
+// Seed-corpus generator: writes minimized, structure-valid inputs for
+// every fuzz target under <out>/{protocol,entry_codec,store,opm}/.
+//
+// The checked-in corpora are produced by this tool (plus regression
+// inputs pinned by hand when a fuzz run surfaces a bug) so they can be
+// regenerated after a wire-format change:
+//
+//   build/tests/fuzz/gen_corpus tests/fuzz/corpora
+//
+// Generation is deterministic except for entry-codec ciphertexts (fresh
+// AES IVs); regenerating rewrites those bytes but keeps them valid.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cloud/protocol.h"
+#include "ext/conjunctive.h"
+#include "obs/trace.h"
+#include "opse/quantizer.h"
+#include "sse/entry_codec.h"
+#include "sse/types.h"
+#include "store/deployment.h"
+#include "util/bytes.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using namespace rsse;
+
+void write(const fs::path& dir, const std::string& name, BytesView bytes) {
+  fs::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+Bytes patterned(std::size_t n, std::uint8_t start) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<std::uint8_t>(start + i * 7);
+  return out;
+}
+
+sse::Trapdoor trapdoor() { return {patterned(16, 3), patterned(32, 11)}; }
+
+// Selector-prefixed protocol input (see fuzz_protocol.cpp).
+Bytes sel(std::uint8_t selector, BytesView blob) {
+  Bytes out{selector};
+  out.insert(out.end(), blob.begin(), blob.end());
+  return out;
+}
+
+void protocol_corpus(const fs::path& dir) {
+  write(dir, "ranked_request",
+        sel(0, cloud::RankedSearchRequest{trapdoor(), 10}.serialize()));
+
+  cloud::RankedSearchResponse ranked;
+  ranked.partial = true;
+  ranked.files.push_back({ir::file_id(7), 1234, patterned(24, 1)});
+  ranked.files.push_back({ir::file_id(8), 1235, {}});
+  write(dir, "ranked_response", sel(1, ranked.serialize()));
+
+  write(dir, "entries_request",
+        sel(2, cloud::BasicEntriesRequest{trapdoor()}.serialize()));
+
+  cloud::BasicEntriesResponse entries;
+  entries.entries.push_back({ir::file_id(3), patterned(8, 40)});
+  write(dir, "entries_response", sel(3, entries.serialize()));
+
+  write(dir, "fetch_request",
+        sel(4, cloud::FetchFilesRequest{{ir::file_id(1), ir::file_id(2)}}.serialize()));
+
+  cloud::FetchFilesResponse fetched;
+  fetched.files.push_back({ir::file_id(1), 0, patterned(16, 90)});
+  write(dir, "fetch_response", sel(5, fetched.serialize()));
+
+  cloud::MultiSearchRequest multi;
+  multi.trapdoor.trapdoors = {trapdoor(), {patterned(16, 77), patterned(32, 78)}};
+  multi.mode = cloud::MultiSearchMode::kDisjunctive;
+  multi.top_k = 5;
+  write(dir, "multi_request", sel(6, multi.serialize()));
+
+  cloud::BasicFilesResponse basic;
+  basic.files.push_back({ir::file_id(4), patterned(8, 5), patterned(12, 6)});
+  write(dir, "basic_files_response", sel(7, basic.serialize()));
+
+  write(dir, "snapshot_request", sel(8, cloud::SnapshotRequest{}.serialize()));
+
+  cloud::SnapshotResponse snapshot;
+  snapshot.index = patterned(40, 9);
+  snapshot.files.emplace_back(12, patterned(20, 13));
+  write(dir, "snapshot_response", sel(9, snapshot.serialize()));
+
+  write(dir, "stats_request", sel(10, cloud::StatsRequest{}.serialize()));
+  write(dir, "stats_response",
+        sel(11, cloud::StatsResponse{"{\"metrics\":[]}"}.serialize()));
+  write(dir, "trace_request", sel(12, cloud::TraceRequest{64}.serialize()));
+
+  cloud::TraceResponse trace;
+  obs::Span span;
+  span.trace_id = 1;
+  span.span_id = 2;
+  span.name = "coordinator.ranked_search";
+  span.node = "shard0/replica1";
+  span.start_ns = 100;
+  span.end_ns = 900;
+  span.events.push_back({150, "fanout", "3 shards"});
+  trace.entries.push_back({"ranked_search", 0.25, {span}});
+  write(dir, "trace_response", sel(13, trace.serialize()));
+
+  // Regression: a wire latency of 2^64-1 micros round-trips through a
+  // double; the serializer must clamp instead of hitting the UB cast.
+  Bytes huge_latency;
+  append_u64(huge_latency, 1);                 // one entry
+  append_lp(huge_latency, to_bytes("boom"));   // operation
+  append_u64(huge_latency, ~0ull);             // micros = 2^64 - 1
+  append_lp(huge_latency, obs::serialize_spans({}));
+  write(dir, "trace_response_huge_latency", sel(13, huge_latency));
+
+  // Regression: trailing garbage inside the span block must be a typed
+  // ParseError, not silently dropped bytes.
+  Bytes lax_spans;
+  append_u64(lax_spans, 1);
+  append_lp(lax_spans, to_bytes("lax"));
+  append_u64(lax_spans, 1000);
+  Bytes span_blob = obs::serialize_spans({});
+  span_blob.push_back(0xEE);
+  append_lp(lax_spans, span_blob);
+  write(dir, "trace_response_trailing_span_bytes", sel(13, lax_spans));
+
+  write(dir, "trapdoor", sel(14, trapdoor().serialize()));
+  ext::ConjunctiveTrapdoor conjunctive;
+  conjunctive.trapdoors = {trapdoor()};
+  write(dir, "conjunctive_trapdoor", sel(15, conjunctive.serialize()));
+
+  write(dir, "empty_blob", sel(0, Bytes{}));
+}
+
+void entry_codec_corpus(const fs::path& dir) {
+  for (const std::size_t width : {std::size_t{0}, std::size_t{8}, std::size_t{32}}) {
+    const Bytes key = patterned(32, static_cast<std::uint8_t>(width + 1));
+    const Bytes plaintext =
+        sse::encode_entry_plaintext(ir::file_id(42 + width), patterned(width, 60));
+    const Bytes ciphertext = sse::encrypt_entry(key, plaintext);
+    Bytes input{static_cast<std::uint8_t>(width)};
+    input.insert(input.end(), key.begin(), key.end());
+    input.insert(input.end(), ciphertext.begin(), ciphertext.end());
+    write(dir, "valid_width_" + std::to_string(width), input);
+  }
+  // Padding: right-sized random bytes that must decode to nullopt.
+  Bytes padding{8};
+  const Bytes key = patterned(32, 9);
+  padding.insert(padding.end(), key.begin(), key.end());
+  const Bytes pad = sse::random_padding_entry(8);
+  padding.insert(padding.end(), pad.begin(), pad.end());
+  write(dir, "padding_width_8", padding);
+  // Wrong-length ciphertext: must throw ParseError.
+  write(dir, "short_ciphertext", patterned(40, 17));
+}
+
+void store_corpus(const fs::path& dir) {
+  write(dir, "empty_payload", store::encode_artifact(Bytes{}));
+  write(dir, "small_payload", store::encode_artifact(patterned(64, 2)));
+  // A framed artifact as payload: footer validation must bind to the
+  // outer frame, not the embedded one.
+  write(dir, "nested_artifact",
+        store::encode_artifact(store::encode_artifact(patterned(16, 5))));
+
+  Bytes bad_magic = store::encode_artifact(patterned(32, 8));
+  bad_magic.back() ^= 0xFF;
+  write(dir, "bad_magic", bad_magic);
+
+  Bytes bad_checksum = store::encode_artifact(patterned(32, 8));
+  bad_checksum[0] ^= 0x01;
+  write(dir, "bad_checksum", bad_checksum);
+
+  Bytes bad_length = store::encode_artifact(patterned(32, 8));
+  bad_length[bad_length.size() - 9] ^= 0x01;  // low byte of the u64 length
+  write(dir, "bad_length", bad_length);
+
+  write(dir, "too_short_for_footer", patterned(20, 30));
+}
+
+void opm_corpus(const fs::path& dir) {
+  write(dir, "quantizer_128",
+        opse::ScoreQuantizer(0.0, 1.0, 128).serialize());
+  write(dir, "quantizer_tight",
+        opse::ScoreQuantizer(-3.5, -3.25, 2).serialize());
+
+  // Regression: non-finite bounds must be a ParseError, not a quantizer
+  // that divides by NaN.
+  Bytes nan_bounds;
+  append_u64(nan_bounds, 0x7FF8000000000000ull);  // NaN
+  append_u64(nan_bounds, 0x7FF0000000000000ull);  // +inf
+  append_u64(nan_bounds, 128);
+  write(dir, "quantizer_non_finite", nan_bounds);
+
+  // 41+ bytes: exercises the OPM bucket round trip too.
+  Bytes descent = patterned(48, 21);
+  write(dir, "opm_descent", descent);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpora_root>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  protocol_corpus(root / "protocol");
+  entry_codec_corpus(root / "entry_codec");
+  store_corpus(root / "store");
+  opm_corpus(root / "opm");
+  std::printf("gen_corpus: corpora written under %s\n", root.string().c_str());
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Corpus replay driver: runs every file of one or more corpus
+// directories through LLVMFuzzerTestOneInput without libFuzzer, so the
+// checked-in corpora double as plain ctest regressions on any compiler.
+//
+//   <runner> <corpus_dir>...                 replay each file once
+//   <runner> <corpus_dir>... --mutate R S    additionally run R
+//                                            deterministic mutants per
+//                                            file, derived from seed S
+//
+// The mutation mode is a poor man's fuzzer for toolchains without
+// clang/libFuzzer: byte flips, truncations, extensions and splices with
+// a seeded generator, so a crash found locally is reproducible from the
+// same (corpus, R, S) triple.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_target.h"
+#include "util/rng.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot open %s\n", path.string().c_str());
+    std::exit(2);
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void run(const std::vector<std::uint8_t>& input) {
+  (void)LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+// One deterministic mutant of `base`: flip, truncate, extend or splice.
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& base,
+                                 rsse::Xoshiro256& rng) {
+  std::vector<std::uint8_t> out = base;
+  const std::uint64_t kind = rng.uniform_below(4);
+  if (out.empty() || kind == 2) {  // extend
+    const std::uint64_t extra = 1 + rng.uniform_below(16);
+    for (std::uint64_t i = 0; i < extra; ++i)
+      out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+    return out;
+  }
+  switch (kind) {
+    case 0: {  // flip 1..4 bytes
+      const std::uint64_t flips = 1 + rng.uniform_below(4);
+      for (std::uint64_t i = 0; i < flips; ++i)
+        out[rng.uniform_below(out.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.uniform_below(255));
+      break;
+    }
+    case 1:  // truncate
+      out.resize(rng.uniform_below(out.size() + 1));
+      break;
+    default: {  // splice: copy a window onto another offset
+      const std::uint64_t len = 1 + rng.uniform_below(out.size());
+      const std::uint64_t src = rng.uniform_below(out.size() - len + 1);
+      const std::uint64_t dst = rng.uniform_below(out.size() - len + 1);
+      std::memmove(out.data() + dst, out.data() + src, len);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> dirs;
+  std::uint64_t mutants = 0;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--mutate") {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr, "usage: %s <corpus_dir>... [--mutate R S]\n", argv[0]);
+        return 2;
+      }
+      mutants = std::strtoull(argv[i + 1], nullptr, 10);
+      seed = std::strtoull(argv[i + 2], nullptr, 10);
+      i += 2;
+    } else {
+      dirs.emplace_back(argv[i]);
+    }
+  }
+  if (dirs.empty()) {
+    std::fprintf(stderr, "usage: %s <corpus_dir>... [--mutate R S]\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& dir : dirs) {
+    if (!fs::is_directory(dir)) {
+      std::fprintf(stderr, "replay: not a directory: %s\n", dir.string().c_str());
+      return 2;
+    }
+    for (const auto& entry : fs::directory_iterator(dir))
+      if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());  // directory order is not stable
+
+  std::uint64_t executed = 0;
+  for (const fs::path& path : files) {
+    const auto input = read_file(path);
+    run(input);
+    ++executed;
+    if (mutants > 0) {
+      // Seed per file so adding a corpus entry never shifts the mutants
+      // of the others.
+      std::uint64_t file_seed = seed;
+      for (const char c : path.filename().string())
+        file_seed = (file_seed ^ static_cast<std::uint8_t>(c)) * 1099511628211ull;
+      rsse::Xoshiro256 rng(file_seed);
+      for (std::uint64_t m = 0; m < mutants; ++m) {
+        run(mutate(input, rng));
+        ++executed;
+      }
+    }
+  }
+  std::printf("replay: %llu inputs OK (%zu corpus files)\n",
+              static_cast<unsigned long long>(executed), files.size());
+  return 0;
+}

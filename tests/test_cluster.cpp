@@ -3,10 +3,14 @@
 // CloudServer across shard counts (ranked, multi-keyword, basic modes),
 // cluster deployment persistence, replica failover under injected
 // failures, and graceful degradation when a whole shard dies.
+//
+// Failover tests run on sim::SimNet endpoints (virtual time, per-endpoint
+// kill switch) instead of hand-rolled killable transports, so replica
+// death is deterministic and costs no wall-clock; see tests/test_sim.cpp
+// for the simulator's own contract.
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <atomic>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -19,6 +23,7 @@
 #include "crypto/csprng.h"
 #include "ir/corpus_gen.h"
 #include "ir/query_workload.h"
+#include "sim/sim_net.h"
 #include "store/deployment.h"
 #include "util/errors.h"
 
@@ -35,27 +40,6 @@ double chi_squared(const std::vector<std::size_t>& counts, double expected) {
   }
   return chi;
 }
-
-// A transport wrapper with a kill switch: healthy it forwards to an
-// in-process channel, killed it throws like a dead TCP endpoint.
-class KillableTransport final : public cloud::Transport {
- public:
-  explicit KillableTransport(cloud::CloudServer& server) : channel_(server) {}
-
-  using cloud::Transport::call;
-  Bytes call(cloud::MessageType type, BytesView request,
-             const Deadline& deadline) override {
-    ++calls;
-    if (killed.load()) throw ProtocolError("injected replica failure");
-    return channel_.call(type, request, deadline);
-  }
-
-  std::atomic<bool> killed{false};
-  std::atomic<int> calls{0};
-
- private:
-  cloud::Channel channel_;
-};
 
 RetryPolicy fast_retry() {
   RetryPolicy policy;
@@ -324,13 +308,14 @@ TEST_F(ClusterTest, ClusterDeploymentRoundTrip) {
 // ----------------------------------------------------- failover / degrade
 
 TEST_F(ClusterTest, ReplicaSetFailsOverToHealthySibling) {
-  auto flaky = std::make_unique<KillableTransport>(server_);
+  sim::SimNet net;
+  auto flaky = net.connect(server_);
   auto* flaky_raw = flaky.get();
-  flaky_raw->killed.store(true);
+  flaky_raw->set_down(true);
 
   ReplicaSet set;
   set.add_replica(std::move(flaky));
-  set.add_replica(std::make_unique<cloud::Channel>(server_));
+  set.add_replica(net.connect(server_));
 
   const Bytes ping = cloud::FetchFilesRequest{}.serialize();
   const Bytes response =
@@ -342,17 +327,18 @@ TEST_F(ClusterTest, ReplicaSetFailsOverToHealthySibling) {
 
   // Subsequent calls prefer the live replica: the dead one sees no more
   // traffic while cooling down.
-  const int calls_before = flaky_raw->calls.load();
+  const std::uint64_t calls_before = flaky_raw->calls_seen();
   for (int i = 0; i < 5; ++i)
     (void)set.call(cloud::MessageType::kFetchFiles, ping, fast_retry());
-  EXPECT_EQ(flaky_raw->calls.load(), calls_before);
+  EXPECT_EQ(flaky_raw->calls_seen(), calls_before);
 }
 
 TEST_F(ClusterTest, AllReplicasDownThrows) {
-  auto a = std::make_unique<KillableTransport>(server_);
-  auto b = std::make_unique<KillableTransport>(server_);
-  a->killed.store(true);
-  b->killed.store(true);
+  sim::SimNet net;
+  auto a = net.connect(server_);
+  auto b = net.connect(server_);
+  a->set_down(true);
+  b->set_down(true);
   ReplicaSet set;
   set.add_replica(std::move(a));
   set.add_replica(std::move(b));
@@ -369,17 +355,18 @@ TEST_F(ClusterTest, ReplicaKilledMidWorkloadZeroClientVisibleErrors) {
   auto indexes = map.split_index(server_.index());
   auto file_sets = map.split_files(server_.files());
 
+  sim::SimNet net;
   std::vector<std::unique_ptr<cloud::CloudServer>> servers;
   std::vector<std::unique_ptr<ReplicaSet>> sets;
-  std::vector<KillableTransport*> primaries;
+  std::vector<sim::SimTransport*> primaries;
   for (std::uint32_t s = 0; s < kShards; ++s) {
     servers.push_back(std::make_unique<cloud::CloudServer>());
     servers.back()->store(std::move(indexes[s]), std::move(file_sets[s]));
-    auto primary = std::make_unique<KillableTransport>(*servers.back());
+    auto primary = net.connect(*servers.back());
     primaries.push_back(primary.get());
     sets.push_back(std::make_unique<ReplicaSet>());
     sets.back()->add_replica(std::move(primary));
-    sets.back()->add_replica(std::make_unique<cloud::Channel>(*servers.back()));
+    sets.back()->add_replica(net.connect(*servers.back()));
   }
   ClusterManifest manifest;
   manifest.num_shards = kShards;
@@ -397,7 +384,7 @@ TEST_F(ClusterTest, ReplicaKilledMidWorkloadZeroClientVisibleErrors) {
 
   for (int round = 0; round < 3; ++round) {
     if (round == 1)
-      for (KillableTransport* primary : primaries) primary->killed.store(true);
+      for (sim::SimTransport* primary : primaries) primary->set_down(true);
     for (const std::string& keyword : keywords) {
       const auto got = user.ranked_search(keyword, 5);          // must not throw
       EXPECT_EQ(ids_of(got), ids_of(baseline.ranked_search(keyword, 5)));
@@ -435,13 +422,14 @@ TEST_F(ClusterTest, MultiSearchDegradesToPartialWhenWholeShardDies) {
 
   auto indexes = map.split_index(server_.index());
   auto file_sets = map.split_files(server_.files());
+  sim::SimNet net;
   std::vector<std::unique_ptr<cloud::CloudServer>> servers;
   std::vector<std::unique_ptr<ReplicaSet>> sets;
-  std::vector<KillableTransport*> transports;
+  std::vector<sim::SimTransport*> transports;
   for (std::uint32_t s = 0; s < kShards; ++s) {
     servers.push_back(std::make_unique<cloud::CloudServer>());
     servers.back()->store(std::move(indexes[s]), std::move(file_sets[s]));
-    auto transport = std::make_unique<KillableTransport>(*servers.back());
+    auto transport = net.connect(*servers.back());
     transports.push_back(transport.get());
     sets.push_back(std::make_unique<ReplicaSet>());
     sets.back()->add_replica(std::move(transport));
@@ -457,7 +445,7 @@ TEST_F(ClusterTest, MultiSearchDegradesToPartialWhenWholeShardDies) {
 
   // Kill the shard owning `other`; a disjunctive query over both keywords
   // still answers from alpha's (live) shard, flagged partial.
-  transports[other_shard]->killed.store(true);
+  transports[other_shard]->set_down(true);
   cloud::MultiSearchRequest request;
   request.trapdoor.trapdoors = {
       sse::Trapdoor{owner_->rsse().row_label("alpha"), owner_->rsse().row_key("alpha")},
@@ -480,7 +468,7 @@ TEST_F(ClusterTest, MultiSearchDegradesToPartialWhenWholeShardDies) {
   EXPECT_GT(coordinator.metrics().shards[other_shard].errors, 0u);
 
   // Every shard back up: the same query now merges fully.
-  transports[other_shard]->killed.store(false);
+  transports[other_shard]->set_down(false);
   const auto healed = cloud::RankedSearchResponse::deserialize(
       coordinator.call(cloud::MessageType::kMultiSearch, request.serialize()));
   EXPECT_FALSE(healed.partial);

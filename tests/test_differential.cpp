@@ -1,0 +1,280 @@
+// The differential oracle (ISSUE 5 tentpole, part 3): per seed, generate
+// a corpus and run the same query workload through four engines —
+//   1. baseline::PlaintextSearchEngine      (exact eq. 2 ranking, no crypto)
+//   2. Basic Scheme end to end              (user-side exact ranking)
+//   3. RSSE end to end over one CloudServer (server-ranked by OPM order)
+//   4. RSSE over a 3-shard, 2-replica SimNet cluster under injected
+//      disconnect/error/delay faults (retried transparently)
+// and assert top-k set/order equivalence. The encrypted legs are compared
+// modulo quantizer ties: OPM order refines the quantized score order, so
+// within one quantization level any permutation is a correct answer —
+// the checks pin the per-rank level sequence and completeness above each
+// unambiguous k-boundary, never the tie order itself.
+//
+// Reproducibility: the simulated cluster workload runs twice per seed
+// with fresh SimNets; both runs must return identical results AND
+// byte-identical SimNet transcripts — the determinism contract every
+// future chaos/perf test leans on (DESIGN.md Sec. 9). To keep transcripts
+// reproducible the replica cooldown is far longer than the test (replica
+// down-state depends on the real clock) and only retryable faults are
+// injected (truncate/bit-flip corrupt responses *after* failover
+// bookkeeping and would surface as ParseError to the client; they are
+// exercised in test_sim.cpp instead).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baseline/plaintext_search.h"
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "cluster/coordinator.h"
+#include "crypto/csprng.h"
+#include "ir/corpus_gen.h"
+#include "sim/sim_net.h"
+#include "util/errors.h"
+#include "util/rng.h"
+
+namespace rsse {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<std::uint64_t> ids_of(const std::vector<cloud::RetrievedFile>& hits) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(hits.size());
+  for (const auto& hit : hits) ids.push_back(ir::value(hit.document.id));
+  return ids;
+}
+
+class DifferentialOracle : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    const std::uint64_t seed = GetParam();
+    Xoshiro256 rng(seed);
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 12 + rng.uniform_below(19);
+    opts.vocabulary_size = 60 + rng.uniform_below(41);
+    opts.zipf_exponent = 0.9 + 0.4 * rng.next_double();
+    opts.min_tokens = 20 + rng.uniform_below(20);
+    opts.max_tokens = opts.min_tokens + 40 + rng.uniform_below(80);
+    opts.injected.push_back(ir::InjectedKeyword{
+        "oracle", 1 + rng.uniform_below(opts.num_documents),
+        0.2 + 0.5 * rng.next_double(), 25});
+    opts.seed = seed * 6007;
+    corpus_ = ir::generate_corpus(opts);
+
+    owner_ = std::make_unique<cloud::DataOwner>();
+    owner_->outsource_rsse(corpus_, server_);
+    owner_->outsource_basic(corpus_, basic_server_);
+    engine_ = std::make_unique<baseline::PlaintextSearchEngine>(corpus_);
+
+    const Bytes user_key = crypto::random_bytes(32);
+    credentials_ = cloud::AuthorizationService::open(
+        user_key, "u", owner_->enroll_user(user_key, "u"));
+
+    // Probes: the injected keyword, two sampled vocabulary terms, and one
+    // keyword that cannot match (the unknown-keyword differential path).
+    probes_.push_back("oracle");
+    const auto& terms = engine_->index().terms();
+    while (probes_.size() < 3) {
+      const std::string& term = terms[rng.uniform_below(terms.size())];
+      if (std::find(probes_.begin(), probes_.end(), term) == probes_.end())
+        probes_.push_back(term);
+    }
+
+    // The shard servers are split once and shared by both cluster runs:
+    // searches never mutate them, so identical seeds must replay
+    // identical transcripts against them.
+    const cluster::ShardMap map(kShards);
+    auto indexes = map.split_index(server_.index());
+    auto file_sets = map.split_files(server_.files());
+    for (std::uint32_t s = 0; s < kShards; ++s) {
+      shard_servers_.push_back(std::make_unique<cloud::CloudServer>());
+      shard_servers_.back()->store(std::move(indexes[s]), std::move(file_sets[s]));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t quantize(double score) const {
+    return owner_->quantizer()->quantize(score);
+  }
+
+  /// Asserts `got` (a server-ranked id list for `term`, top-k) is
+  /// equivalent to the exact plaintext ranking modulo quantizer ties:
+  /// right size, all real matches, per-rank quantized level equal to the
+  /// plaintext ranking's level at that rank, and every file scoring
+  /// strictly above the k-boundary level present.
+  void check_ranked_modulo_ties(const std::string& term,
+                                const std::vector<std::uint64_t>& got,
+                                std::size_t k) const {
+    const auto full = engine_->search(term, 0);
+    const std::size_t expected_size =
+        k == 0 ? full.size() : std::min(k, full.size());
+    ASSERT_EQ(got.size(), expected_size) << term << " top-" << k;
+
+    std::map<std::uint64_t, std::uint64_t> level;
+    for (const auto& p : full) level[ir::value(p.file)] = quantize(p.score);
+
+    std::set<std::uint64_t> seen;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(level.contains(got[i])) << term << ": non-match id " << got[i];
+      ASSERT_TRUE(seen.insert(got[i]).second) << term << ": duplicate " << got[i];
+      // The plaintext ranking is sorted by exact score, so its quantized
+      // levels are non-increasing; rank i of any correct encrypted answer
+      // must sit at exactly that level.
+      EXPECT_EQ(level[got[i]], quantize(full[i].score))
+          << term << " rank " << i << " sits at the wrong quantization level";
+    }
+    if (!got.empty() && got.size() < full.size()) {
+      const std::uint64_t boundary = level[got.back()];
+      for (const auto& p : full) {
+        if (quantize(p.score) > boundary) {
+          EXPECT_TRUE(seen.contains(ir::value(p.file)))
+              << term << ": file above the top-" << k << " boundary missing";
+        }
+      }
+    }
+  }
+
+  /// Asserts an exact-score leg (Basic Scheme ranking) equals the
+  /// plaintext ranking bit for bit — both sort by exact eq. 2 score with
+  /// the same id tie-break, so full equality is the contract.
+  void check_exact(const std::string& term,
+                   const std::vector<cloud::RetrievedFile>& got,
+                   std::size_t k) const {
+    const auto expected = engine_->search(term, k);
+    ASSERT_EQ(got.size(), expected.size()) << term << " top-" << k;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(ir::value(got[i].document.id), ir::value(expected[i].file))
+          << term << " rank " << i;
+      EXPECT_NEAR(got[i].score, expected[i].score, 1e-9) << term << " rank " << i;
+    }
+  }
+
+  struct ClusterRun {
+    Bytes transcript;
+    std::vector<std::vector<std::uint64_t>> results;
+  };
+
+  /// The fixed cluster workload under injected faults, against a fresh
+  /// SimNet + coordinator over the shared shard servers.
+  ClusterRun run_cluster_workload() const {
+    sim::SimOptions options;
+    options.seed = GetParam() * 31 + 7;
+    options.faults.delay_rate = 0.15;
+    options.faults.delay_min = 1ms;
+    options.faults.delay_max = 5ms;
+    options.faults.disconnect_rate = 0.05;
+    options.faults.error_rate = 0.05;
+    sim::SimNet net(options);
+
+    std::vector<std::unique_ptr<cluster::ReplicaSet>> sets;
+    for (const auto& shard_server : shard_servers_) {
+      auto set = std::make_unique<cluster::ReplicaSet>();
+      set->add_replica(net.connect(*shard_server));
+      set->add_replica(net.connect(*shard_server));
+      sets.push_back(std::move(set));
+    }
+    cluster::ClusterManifest manifest;
+    manifest.num_shards = kShards;
+    manifest.replicas = 2;
+    manifest.total_rows = server_.index().num_rows();
+    manifest.total_files = server_.num_files();
+    cluster::CoordinatorOptions coordinator_options;
+    // Generous attempts make a query failing through every retry a
+    // ~1e-8 event per call; zero backoff keeps wall time flat; the long
+    // cooldown keeps replica down-state (real-clock based) stable for the
+    // whole run, which the transcript byte-identity depends on.
+    coordinator_options.retry.max_attempts = 8;
+    coordinator_options.retry.base_backoff = 0ms;
+    coordinator_options.retry.max_backoff = 0ms;
+    coordinator_options.retry.down_cooldown = std::chrono::minutes(10);
+    cluster::ClusterCoordinator coordinator(manifest, std::move(sets),
+                                            coordinator_options);
+    cloud::DataUser user(credentials_, coordinator);
+
+    ClusterRun run;
+    for (const std::string& term : probes_) {
+      for (const std::size_t k : {std::size_t{4}, std::size_t{0}})
+        run.results.push_back(ids_of(user.ranked_search(term, k)));
+    }
+    run.results.push_back(ids_of(user.ranked_search("zzzunknownkeyword", 4)));
+    run.results.push_back(
+        ids_of(user.multi_search({probes_[0], probes_[1]}, false, 5)));
+    run.results.push_back(
+        ids_of(user.multi_search({probes_[0], probes_[1]}, true, 0)));
+    run.transcript = net.transcript();
+    return run;
+  }
+
+  static constexpr std::uint32_t kShards = 3;
+
+  ir::Corpus corpus_;
+  std::unique_ptr<cloud::DataOwner> owner_;
+  cloud::CloudServer server_;
+  cloud::CloudServer basic_server_;
+  std::unique_ptr<baseline::PlaintextSearchEngine> engine_;
+  cloud::UserCredentials credentials_;
+  std::vector<std::string> probes_;
+  std::vector<std::unique_ptr<cloud::CloudServer>> shard_servers_;
+};
+
+TEST_P(DifferentialOracle, AllEnginesAgreeAndClusterReplaysByteIdentically) {
+  cloud::Channel rsse_channel(server_);
+  cloud::DataUser rsse_user(credentials_, rsse_channel);
+  cloud::Channel basic_channel(basic_server_);
+  cloud::DataUser basic_user(credentials_, basic_channel);
+
+  // Plaintext vs RSSE (single server): equivalent modulo quantizer ties.
+  for (const std::string& term : probes_)
+    for (const std::size_t k : {std::size_t{0}, std::size_t{4}, std::size_t{1}})
+      check_ranked_modulo_ties(term, ids_of(rsse_user.ranked_search(term, k)), k);
+
+  // Plaintext vs Basic Scheme (both retrieval modes): exact.
+  for (const std::string& term : {probes_[0], probes_[1]}) {
+    for (const std::size_t k : {std::size_t{0}, std::size_t{3}}) {
+      check_exact(term, basic_user.basic_search_one_round(term, k), k);
+      check_exact(term, basic_user.basic_search_two_round(term, k), k);
+    }
+  }
+
+  // The unknown-keyword path is empty through every engine.
+  EXPECT_TRUE(engine_->search("zzzunknownkeyword", 0).empty());
+  EXPECT_TRUE(rsse_user.ranked_search("zzzunknownkeyword", 4).empty());
+  EXPECT_TRUE(basic_user.basic_search_two_round("zzzunknownkeyword", 4).empty());
+
+  // Sharded cluster under faults vs the single RSSE server: the injected
+  // disconnects/errors are absorbed by failover, so the cluster answers
+  // must be *identical* (same OPM ciphertexts, same merge order).
+  const ClusterRun first = run_cluster_workload();
+  std::vector<std::vector<std::uint64_t>> direct;
+  for (const std::string& term : probes_) {
+    for (const std::size_t k : {std::size_t{4}, std::size_t{0}})
+      direct.push_back(ids_of(rsse_user.ranked_search(term, k)));
+  }
+  direct.push_back(ids_of(rsse_user.ranked_search("zzzunknownkeyword", 4)));
+  direct.push_back(ids_of(rsse_user.multi_search({probes_[0], probes_[1]}, false, 5)));
+  direct.push_back(ids_of(rsse_user.multi_search({probes_[0], probes_[1]}, true, 0)));
+  EXPECT_EQ(first.results, direct);
+
+  // And the cluster answers are correct in their own right, not merely
+  // self-consistent: spot-check them against the plaintext oracle.
+  check_ranked_modulo_ties(probes_[0], first.results[0], 4);
+  check_ranked_modulo_ties(probes_[0], first.results[1], 0);
+
+  // Same seed, fresh SimNet: byte-identical transcript, same answers.
+  const ClusterRun second = run_cluster_workload();
+  EXPECT_EQ(second.results, first.results);
+  EXPECT_EQ(second.transcript, first.transcript);
+  EXPECT_FALSE(first.transcript.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialOracle,
+                         ::testing::Range<std::uint64_t>(1, 65));
+
+}  // namespace
+}  // namespace rsse

@@ -64,6 +64,32 @@ TEST(HgdSample, DegenerateDrawsAreExact) {
   EXPECT_EQ(hgd_sample({.population = 10, .successes = 4, .sample = 10}, t), 4u);
 }
 
+TEST(HgdLogPmf, SingletonSupportHasUnitMass) {
+  // M == N collapses the support to {n}: the pmf there must be exactly 1.
+  const HgdParams p{.population = 8, .successes = 8, .sample = 3};
+  EXPECT_EQ(hgd_support_min(p), hgd_support_max(p));
+  EXPECT_NEAR(hgd_log_pmf(p, 3), 0.0, 1e-12);
+}
+
+TEST(HgdSample, SingleBallUrns) {
+  // population == 1: every draw is fully determined, no coins needed.
+  auto t = tape_for(2);
+  EXPECT_EQ(hgd_sample({.population = 1, .successes = 0, .sample = 1}, t), 0u);
+  EXPECT_EQ(hgd_sample({.population = 1, .successes = 1, .sample = 1}, t), 1u);
+  EXPECT_EQ(hgd_sample({.population = 1, .successes = 1, .sample = 0}, t), 0u);
+}
+
+TEST(HgdSample, ForcedOverlapPinsTheSample) {
+  // n + M - N == min(M, n): the support is one point even though neither
+  // M nor n is degenerate on its own (the OPE descent hits such windows
+  // at the extreme edges of a bucket walk).
+  auto t = tape_for(3);
+  const HgdParams p{.population = 10, .successes = 6, .sample = 10};
+  EXPECT_EQ(hgd_support_min(p), 6u);
+  EXPECT_EQ(hgd_support_max(p), 6u);
+  EXPECT_EQ(hgd_sample(p, t), 6u);
+}
+
 TEST(HgdSample, DeterministicGivenTape) {
   const HgdParams p{.population = 1000, .successes = 64, .sample = 500};
   for (std::uint64_t salt = 0; salt < 50; ++salt) {

@@ -161,6 +161,36 @@ TEST(Opm, DifferentKeysRandomizeTheMapping) {
   EXPECT_GT(bucket_diffs, 100);
 }
 
+TEST(Opm, SingleBucketRangeIsBijective) {
+  // domain == range: every bucket holds exactly one ciphertext, so the
+  // one-to-many map degenerates to a bijection and file ids cannot
+  // scatter anything.
+  const OneToManyOpm opm(key("tight"), OpeParams{16, 16});
+  std::set<std::uint64_t> images;
+  for (std::uint64_t m = 1; m <= 16; ++m) {
+    const Bucket b = opm.bucket_of(m);
+    EXPECT_EQ(b.size(), 1u);
+    EXPECT_EQ(opm.map(m, 1), opm.map(m, 999));  // nowhere to scatter
+    EXPECT_TRUE(images.insert(opm.map(m, 1)).second);
+    EXPECT_EQ(opm.invert(opm.map(m, 7)), m);
+  }
+  EXPECT_EQ(images.size(), 16u);
+}
+
+TEST(Opm, SinglePlaintextDomainOwnsTheWholeRange) {
+  // domain == 1: one bucket spans the entire range; every file id maps
+  // somewhere inside it and inversion is constant.
+  const OneToManyOpm opm(key("one"), OpeParams{1, 4096});
+  const Bucket b = opm.bucket_of(1);
+  EXPECT_EQ(b.lo, 1u);
+  EXPECT_EQ(b.hi, 4096u);
+  for (std::uint64_t id = 0; id < 50; ++id) {
+    const std::uint64_t c = opm.map(1, id);
+    EXPECT_TRUE(b.contains(c));
+    EXPECT_EQ(opm.invert(c), 1u);
+  }
+}
+
 TEST(Opm, RejectsBadInputs) {
   const OneToManyOpm opm(key("k"), OpeParams{16, 64});
   EXPECT_THROW(opm.map(0, 1), InvalidArgument);

@@ -2,6 +2,8 @@
 // from_scores builder, and serialization.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "opse/quantizer.h"
 #include "util/errors.h"
 #include "util/rng.h"
@@ -73,6 +75,28 @@ TEST(Quantizer, FromScoresHandlesDegenerateSample) {
   const auto q = ScoreQuantizer::from_scores({3.0, 3.0, 3.0}, 16);
   EXPECT_EQ(q.quantize(3.0), 1u);  // single-valued sample maps low
   EXPECT_EQ(q.levels(), 16u);
+}
+
+TEST(Quantizer, SingleLevelMapsEverythingToOne) {
+  const ScoreQuantizer q(0.0, 1.0, 1);
+  for (double s : {-5.0, 0.0, 0.3, 1.0, 99.0}) EXPECT_EQ(q.quantize(s), 1u);
+}
+
+TEST(Quantizer, BoundaryScoresClampExactly) {
+  const ScoreQuantizer q(2.0, 4.0, 8);
+  EXPECT_EQ(q.quantize(2.0), 1u);                 // min inclusive -> first level
+  EXPECT_EQ(q.quantize(std::nextafter(2.0, -1.0)), 1u);
+  EXPECT_EQ(q.quantize(4.0), 8u);                 // max inclusive -> last level
+  EXPECT_EQ(q.quantize(std::nextafter(4.0, 5.0)), 8u);
+  // Monotone across the whole interval, never escaping {1..levels}.
+  std::uint64_t previous = 0;
+  for (double s = 1.9; s <= 4.1; s += 0.01) {
+    const std::uint64_t level = q.quantize(s);
+    EXPECT_GE(level, 1u);
+    EXPECT_LE(level, 8u);
+    EXPECT_GE(level, previous);
+    previous = level;
+  }
 }
 
 TEST(Quantizer, SerializeRoundTrip) {

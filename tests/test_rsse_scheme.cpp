@@ -164,5 +164,14 @@ TEST_F(RsseSchemeTest, EmptyCollectionIsRejected) {
   EXPECT_THROW(scheme_->build_index(ir::Corpus{}), InvalidArgument);
 }
 
+TEST_F(RsseSchemeTest, UnknownKeywordFindsNothingAtEveryTopK) {
+  // A trapdoor for a keyword absent from the corpus hits no row: the
+  // search must return empty for any k, not throw or leak padding.
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{100}})
+    EXPECT_TRUE(
+        RsseScheme::search(built_->index, scheme_->trapdoor("zzzunknownkeyword"), k)
+            .empty());
+}
+
 }  // namespace
 }  // namespace rsse::sse

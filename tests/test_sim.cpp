@@ -1,0 +1,439 @@
+// Deterministic simulation tests: the SimNet determinism contract (same
+// seed => byte-identical transcript, different seeds diverge, kill switch
+// never shifts the fault stream), virtual-time deadline semantics (hung
+// peers cost microseconds of wall clock), and the sim ports of the chaos
+// suite's hung-replica / whole-query-budget scenarios that used to burn
+// real milliseconds per injected stall (test_fault.cpp keeps the
+// socket-based ChaosProxy smoke tests).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "cluster/coordinator.h"
+#include "crypto/csprng.h"
+#include "ir/corpus_gen.h"
+#include "sim/sim_net.h"
+#include "util/errors.h"
+#include "util/stopwatch.h"
+
+namespace rsse::sim {
+namespace {
+
+using namespace std::chrono_literals;
+
+// One decoded transcript event (mirrors the wire layout in transcript()).
+struct DecodedEvent {
+  std::uint64_t endpoint = 0;
+  std::uint64_t seq = 0;
+  fault::FaultKind fault = fault::FaultKind::kNone;
+  SimOutcome outcome = SimOutcome::kOk;
+};
+
+std::vector<DecodedEvent> decode_transcript(BytesView transcript) {
+  ByteReader reader(transcript);
+  (void)reader.read_u64();  // seed
+  const std::uint64_t endpoints = reader.read_u64();
+  std::vector<DecodedEvent> events;
+  for (std::uint64_t e = 0; e < endpoints; ++e) {
+    const std::uint64_t id = reader.read_u64();
+    const std::uint64_t count = reader.read_u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      DecodedEvent event;
+      event.endpoint = id;
+      event.seq = reader.read_u64();
+      (void)reader.read(1);  // message type
+      event.fault = static_cast<fault::FaultKind>(reader.read(1)[0]);
+      event.outcome = static_cast<SimOutcome>(reader.read(1)[0]);
+      (void)reader.read_u64();  // request bytes
+      (void)reader.read_u64();  // response bytes
+      (void)reader.read_u64();  // response hash
+      (void)reader.read_u64();  // latency
+      events.push_back(event);
+    }
+  }
+  EXPECT_TRUE(reader.exhausted());
+  return events;
+}
+
+fault::FaultSpec mixed_spec() {
+  fault::FaultSpec spec;
+  spec.delay_rate = 0.1;
+  spec.disconnect_rate = 0.1;
+  spec.error_rate = 0.1;
+  spec.truncate_rate = 0.1;
+  spec.bit_flip_rate = 0.1;
+  spec.delay_min = 1ms;
+  spec.delay_max = 5ms;
+  return spec;
+}
+
+// Fixed deterministic workload: alternate two endpoints, swallow injected
+// failures (they are part of the scenario, not the assertion).
+Bytes run_mixed_workload(std::uint64_t seed, cloud::CloudServer& server) {
+  SimOptions options;
+  options.seed = seed;
+  options.faults = mixed_spec();
+  SimNet net(options);
+  auto a = net.connect(server);
+  auto b = net.connect(server);
+  const Bytes ping = cloud::FetchFilesRequest{}.serialize();
+  for (int i = 0; i < 60; ++i) {
+    cloud::Transport& transport = (i % 2 == 0) ? *a : *b;
+    try {
+      (void)transport.call(cloud::MessageType::kFetchFiles, ping);
+    } catch (const Error&) {
+    }
+  }
+  return net.transcript();
+}
+
+TEST(SimNet, SameSeedSameTranscriptBytes) {
+  cloud::CloudServer server;
+  const Bytes first = run_mixed_workload(99, server);
+  const Bytes second = run_mixed_workload(99, server);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(SimNet, DifferentSeedsDiverge) {
+  cloud::CloudServer server;
+  EXPECT_NE(run_mixed_workload(1, server), run_mixed_workload(2, server));
+}
+
+TEST(SimNet, EndpointStreamsAreIndependent) {
+  // The fault kinds endpoint 0 sees must not depend on whether endpoint 1
+  // exists or how much traffic it serves — that is the per-endpoint
+  // stream derivation at work.
+  cloud::CloudServer server;
+  const Bytes ping = cloud::FetchFilesRequest{}.serialize();
+  const auto kinds_of_endpoint0 = [&](bool with_sibling_traffic) {
+    SimOptions options;
+    options.seed = 7;
+    options.faults = mixed_spec();
+    SimNet net(options);
+    auto a = net.connect(server);
+    auto b = net.connect(server);
+    for (int i = 0; i < 40; ++i) {
+      try {
+        (void)a->call(cloud::MessageType::kFetchFiles, ping);
+      } catch (const Error&) {
+      }
+      if (with_sibling_traffic) {
+        try {
+          (void)b->call(cloud::MessageType::kFetchFiles, ping);
+        } catch (const Error&) {
+        }
+      }
+    }
+    std::vector<fault::FaultKind> kinds;
+    for (const DecodedEvent& e : decode_transcript(net.transcript()))
+      if (e.endpoint == 0) kinds.push_back(e.fault);
+    return kinds;
+  };
+  EXPECT_EQ(kinds_of_endpoint0(true), kinds_of_endpoint0(false));
+}
+
+TEST(SimNet, KillSwitchDoesNotShiftTheFaultStream) {
+  // Interposing down-calls must leave the fault kinds of live calls
+  // untouched: the schedule is only consulted for live traffic.
+  cloud::CloudServer server;
+  const Bytes ping = cloud::FetchFilesRequest{}.serialize();
+  const auto live_kinds = [&](bool interpose_downs) {
+    SimOptions options;
+    options.seed = 5;
+    options.faults = mixed_spec();
+    SimNet net(options);
+    auto transport = net.connect(server);
+    std::vector<fault::FaultKind> kinds;
+    for (int i = 0; i < 30; ++i) {
+      if (interpose_downs && i % 3 == 1) {
+        transport->set_down(true);
+        EXPECT_THROW((void)transport->call(cloud::MessageType::kFetchFiles, ping),
+                     ProtocolError);
+        transport->set_down(false);
+      }
+      try {
+        (void)transport->call(cloud::MessageType::kFetchFiles, ping);
+      } catch (const Error&) {
+      }
+    }
+    for (const DecodedEvent& e : decode_transcript(net.transcript()))
+      if (e.outcome != SimOutcome::kEndpointDown) kinds.push_back(e.fault);
+    return kinds;
+  };
+  EXPECT_EQ(live_kinds(false), live_kinds(true));
+}
+
+TEST(SimNet, VirtualClockAdvancesWithoutWallClock) {
+  // 50 calls, each stalled 100 ms: five virtual seconds, microseconds of
+  // real time.
+  cloud::CloudServer server;
+  SimOptions options;
+  options.faults.delay_rate = 1.0;
+  options.faults.delay_min = 100ms;
+  options.faults.delay_max = 100ms;
+  SimNet net(options);
+  auto transport = net.connect(server);
+  const Bytes ping = cloud::FetchFilesRequest{}.serialize();
+
+  const Stopwatch watch;
+  for (int i = 0; i < 50; ++i)
+    (void)transport->call(cloud::MessageType::kFetchFiles, ping);
+  EXPECT_LT(watch.elapsed_seconds(), 2.0);
+  EXPECT_GE(net.clock().now(), 50 * 100ms);
+  EXPECT_EQ(net.fault_counters().delays, 50u);
+}
+
+TEST(SimNet, InjectedDisconnectAndErrorFrameAreProtocolErrors) {
+  cloud::CloudServer server;
+  const Bytes ping = cloud::FetchFilesRequest{}.serialize();
+
+  SimOptions drop;
+  drop.faults.disconnect_rate = 1.0;
+  SimNet drop_net(drop);
+  auto dropper = drop_net.connect(server);
+  EXPECT_THROW((void)dropper->call(cloud::MessageType::kFetchFiles, ping),
+               ProtocolError);
+
+  SimOptions err;
+  err.faults.error_rate = 1.0;
+  SimNet err_net(err);
+  auto erroring = err_net.connect(server);
+  EXPECT_THROW((void)erroring->call(cloud::MessageType::kFetchFiles, ping),
+               ProtocolError);
+  EXPECT_EQ(err_net.fault_counters().error_frames, 1u);
+}
+
+TEST(SimNet, DownEndpointFailsFastAndRecovers) {
+  cloud::CloudServer server;
+  SimNet net;
+  auto transport = net.connect(server);
+  const Bytes ping = cloud::FetchFilesRequest{}.serialize();
+
+  EXPECT_NO_THROW((void)transport->call(cloud::MessageType::kFetchFiles, ping));
+  transport->set_down(true);
+  EXPECT_TRUE(transport->is_down());
+  EXPECT_THROW((void)transport->call(cloud::MessageType::kFetchFiles, ping),
+               ProtocolError);
+  transport->set_down(false);
+  EXPECT_NO_THROW((void)transport->call(cloud::MessageType::kFetchFiles, ping));
+  EXPECT_EQ(transport->calls_seen(), 3u);
+  EXPECT_EQ(net.total_events(), 3u);
+}
+
+TEST(SimNet, TrafficIsAccounted) {
+  cloud::CloudServer server;
+  SimNet net;
+  auto transport = net.connect(server);
+  const Bytes ping = cloud::FetchFilesRequest{}.serialize();
+  for (int i = 0; i < 4; ++i)
+    (void)transport->call(cloud::MessageType::kFetchFiles, ping);
+  const cloud::ChannelStats stats = transport->stats();
+  EXPECT_EQ(stats.round_trips, 4u);
+  EXPECT_EQ(stats.bytes_up, 4 * (ping.size() + 1));
+  EXPECT_GT(stats.bytes_down, 0u);
+}
+
+TEST(SimNet, RejectsNegativeLatencyAndBadFaultSpec) {
+  SimOptions negative;
+  negative.base_latency = std::chrono::nanoseconds(-1);
+  EXPECT_THROW(SimNet{negative}, InvalidArgument);
+
+  SimOptions overfull;
+  overfull.faults.delay_rate = 0.8;
+  overfull.faults.disconnect_rate = 0.5;
+  EXPECT_THROW(SimNet{overfull}, InvalidArgument);
+}
+
+// ------------------------------------------------ full-stack sim scenarios
+
+cluster::RetryPolicy chaos_policy() {
+  cluster::RetryPolicy policy;
+  policy.base_backoff = std::chrono::milliseconds(0);
+  policy.max_backoff = std::chrono::milliseconds(1);
+  policy.attempt_timeout = std::chrono::milliseconds(100);
+  return policy;
+}
+
+class SimSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 40;
+    opts.vocabulary_size = 120;
+    opts.min_tokens = 40;
+    opts.max_tokens = 120;
+    opts.injected.push_back(ir::InjectedKeyword{"chaos", 25, 0.4, 20});
+    opts.seed = 77;
+    corpus_ = ir::generate_corpus(opts);
+    owner_ = std::make_unique<cloud::DataOwner>();
+    owner_->outsource_rsse(corpus_, server_);
+
+    const Bytes user_key = crypto::random_bytes(32);
+    credentials_ = cloud::AuthorizationService::open(
+        user_key, "u", owner_->enroll_user(user_key, "u"));
+  }
+
+  // Every call stalls for 10 virtual seconds: the sim stand-in for a hung
+  // replica, identical to the chaos suite's hang_spec.
+  static SimOptions hang_options() {
+    SimOptions options;
+    options.faults.delay_rate = 1.0;
+    options.faults.delay_min = 10s;
+    options.faults.delay_max = 10s;
+    return options;
+  }
+
+  Bytes ranked_request(const std::string& keyword, std::uint64_t top_k) const {
+    const sse::Trapdoor trapdoor{owner_->rsse().row_label(keyword),
+                                 owner_->rsse().row_key(keyword)};
+    return cloud::RankedSearchRequest{trapdoor, top_k}.serialize();
+  }
+
+  ir::Corpus corpus_;
+  std::unique_ptr<cloud::DataOwner> owner_;
+  cloud::CloudServer server_;
+  cloud::UserCredentials credentials_;
+};
+
+TEST_F(SimSystemTest, InjectedHangBecomesDeadlineExceededInstantly) {
+  SimNet net(hang_options());
+  auto transport = net.connect(server_);
+  transport->set_call_timeout(50ms);
+  const Stopwatch watch;
+  EXPECT_THROW((void)transport->call(cloud::MessageType::kRankedSearch,
+                                     ranked_request("chaos", 3)),
+               DeadlineExceeded);
+  // The 10 s hang costs zero wall time: it is charged to the virtual
+  // clock up to the budget, then surfaces as the typed error.
+  EXPECT_LT(watch.elapsed_seconds(), 1.0);
+  EXPECT_GT(net.clock().now_ns(), 0u);
+}
+
+TEST_F(SimSystemTest, HungReplicaFailsOverWithinTheDeadline) {
+  SimNet net(hang_options());
+  SimNet healthy_net;  // separate net: only replica 0 hangs
+  cluster::ReplicaSet set;
+  set.add_replica(net.connect(server_));
+  set.add_replica(healthy_net.connect(server_));
+
+  const Stopwatch watch;
+  const Bytes response = set.call(cloud::MessageType::kRankedSearch,
+                                  ranked_request("chaos", 5), chaos_policy(),
+                                  Deadline::after(2s));
+  EXPECT_LT(watch.elapsed_seconds(), 1.0);
+  EXPECT_EQ(response, server_.handle(cloud::MessageType::kRankedSearch,
+                                     ranked_request("chaos", 5)));
+  EXPECT_GE(set.deadline_failures(), 1u);
+  EXPECT_GE(set.failovers(), 1u);
+}
+
+TEST_F(SimSystemTest, ClusterQueryWithHungReplicasCompletesWithinBudget) {
+  // The acceptance scenario from the chaos suite, on virtual time: every
+  // shard's preferred replica hangs, the scatter-gather query still
+  // completes exactly via per-attempt timeouts and failover.
+  const cluster::ShardMap map(3);
+  auto indexes = map.split_index(server_.index());
+  auto file_sets = map.split_files(server_.files());
+
+  SimNet hung_net(hang_options());
+  SimNet healthy_net;
+  std::vector<std::unique_ptr<cloud::CloudServer>> shard_servers;
+  std::vector<std::unique_ptr<cluster::ReplicaSet>> sets;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    shard_servers.push_back(std::make_unique<cloud::CloudServer>());
+    shard_servers.back()->store(std::move(indexes[s]), std::move(file_sets[s]));
+    auto set = std::make_unique<cluster::ReplicaSet>();
+    set->add_replica(hung_net.connect(*shard_servers.back()));
+    set->add_replica(healthy_net.connect(*shard_servers.back()));
+    sets.push_back(std::move(set));
+  }
+
+  cluster::ClusterManifest manifest;
+  manifest.num_shards = 3;
+  manifest.replicas = 2;
+  manifest.total_rows = server_.index().num_rows();
+  manifest.total_files = server_.num_files();
+  cluster::CoordinatorOptions options;
+  options.retry = chaos_policy();
+  options.query_timeout = std::chrono::seconds(10);
+  cluster::ClusterCoordinator coordinator(manifest, std::move(sets), options);
+
+  cloud::Channel direct(server_);
+  cloud::DataUser baseline(credentials_, direct);
+  cloud::DataUser user(credentials_, coordinator);
+
+  const Stopwatch watch;
+  const auto expected = baseline.ranked_search("chaos", 5);
+  const auto got = user.ranked_search("chaos", 5);
+  EXPECT_LT(watch.elapsed_seconds(), 2.0);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i].document.id, expected[i].document.id);
+
+  std::uint64_t deadline_failures = 0;
+  for (std::size_t s = 0; s < 3; ++s)
+    deadline_failures += coordinator.shard(s).deadline_failures();
+  EXPECT_GE(deadline_failures, 1u);
+}
+
+TEST_F(SimSystemTest, WholeQueryBudgetSurfacesDeadlineExceeded) {
+  // Every replica of the only shard hangs: no failover can save the call,
+  // so the query fails with the typed deadline error — in wall-clock
+  // microseconds instead of the real 300 ms budget.
+  SimNet net(hang_options());
+  auto set = std::make_unique<cluster::ReplicaSet>();
+  set->add_replica(net.connect(server_));
+  set->add_replica(net.connect(server_));
+  std::vector<std::unique_ptr<cluster::ReplicaSet>> sets;
+  sets.push_back(std::move(set));
+
+  cluster::ClusterManifest manifest;
+  manifest.num_shards = 1;
+  manifest.replicas = 2;
+  manifest.total_rows = server_.index().num_rows();
+  manifest.total_files = server_.num_files();
+  cluster::CoordinatorOptions options;
+  options.retry = chaos_policy();
+  options.query_timeout = std::chrono::milliseconds(300);
+  cluster::ClusterCoordinator coordinator(manifest, std::move(sets), options);
+
+  const Stopwatch watch;
+  EXPECT_THROW((void)coordinator.call(cloud::MessageType::kRankedSearch,
+                                      ranked_request("chaos", 3)),
+               DeadlineExceeded);
+  EXPECT_LT(watch.elapsed_seconds(), 1.0);
+}
+
+TEST_F(SimSystemTest, CorruptedResponsesNeverPassForGoodOnes) {
+  SimOptions options;
+  options.faults.truncate_rate = 0.5;
+  options.faults.bit_flip_rate = 0.5;
+  options.seed = 11;
+  SimNet net(options);
+  auto transport = net.connect(server_);
+  const Bytes request = ranked_request("chaos", 5);
+  const Bytes pristine = server_.handle(cloud::MessageType::kRankedSearch, request);
+
+  int detected = 0;
+  for (int i = 0; i < 100; ++i) {
+    try {
+      const Bytes response =
+          transport->call(cloud::MessageType::kRankedSearch, request);
+      EXPECT_NE(response, pristine);
+      (void)cloud::RankedSearchResponse::deserialize(response);
+    } catch (const Error&) {
+      ++detected;  // typed: ParseError from the deserializer
+    }
+  }
+  EXPECT_GT(detected, 50);
+  const fault::FaultCounters c = net.fault_counters();
+  EXPECT_EQ(c.truncations + c.bit_flips, 100u);
+}
+
+}  // namespace
+}  // namespace rsse::sim
