@@ -1,5 +1,7 @@
 #include "cloud/cloud_server.h"
 
+#include <algorithm>
+
 #include "ext/disjunctive.h"
 
 #include "obs/profiler.h"
@@ -20,6 +22,7 @@ const char* message_name(MessageType type) {
     case MessageType::kSnapshot: return "snapshot";
     case MessageType::kStats: return "stats";
     case MessageType::kTrace: return "trace";
+    case MessageType::kUpdate: return "update";
   }
   return "unknown";
 }
@@ -57,13 +60,26 @@ void CloudServer::set_rank_cache_enabled(bool enabled) {
   if (!enabled) clear_rank_cache();
 }
 
-void CloudServer::clear_rank_cache() {
+void CloudServer::clear_rank_cache() const {
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   rank_cache_.clear();
 }
 
 std::vector<sse::RankedSearchEntry> CloudServer::ranked_entries(
     const sse::Trapdoor& trapdoor, std::size_t top_k) const {
+  if (!overlay_.empty()) {
+    // Dynamic path: tombstones and re-adds can suppress arbitrarily many
+    // base hits, so the base row must be ranked in FULL (top_k = 0) and
+    // the cut applied after the overlay merge. The rank cache is bypassed
+    // — apply_update invalidates it, so serving from it here would race
+    // with concurrent deltas.
+    std::vector<sse::RankedSearchEntry> base;
+    {
+      const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+      base = sse::RsseScheme::search(index_, trapdoor, 0);
+    }
+    return overlay_.search(trapdoor, std::move(base), top_k);
+  }
   if (!cache_enabled_) {
     const std::shared_lock<std::shared_mutex> lock(state_mutex_);
     return sse::RsseScheme::search(index_, trapdoor, top_k);
@@ -169,6 +185,100 @@ SnapshotResponse CloudServer::snapshot() const {
   resp.files.reserve(files_.size());
   for (const auto& [id, blob] : files_) resp.files.emplace_back(id, blob);
   return resp;
+}
+
+UpdateResponse CloudServer::apply_update(const UpdateRequest& req) const {
+  // Serialize appliers: sequence assignment, file mutations and the
+  // idempotency cache must agree on one order of deltas.
+  const std::lock_guard<std::mutex> update_lock(update_mutex_);
+  if (req.delta_id != 0 && req.delta_id == last_delta_id_) {
+    // Transport-level retry of a delta already applied: replay the cached
+    // response instead of double-applying.
+    UpdateResponse replay = last_update_response_;
+    replay.replayed = true;
+    return replay;
+  }
+
+  const seg::ApplyStats stats = overlay_.apply(req.delta);
+  UpdateResponse resp;
+  resp.entries_applied = stats.entries_applied;
+  resp.tombstones_applied = stats.tombstones_applied;
+
+  // File mutations in op order, so a remove+re-add within one delta
+  // leaves the re-added blob (matching the overlay's sequence rule).
+  struct FileOp {
+    std::uint64_t op = 0;
+    bool erase = false;
+    const std::uint64_t* id = nullptr;
+    const Bytes* blob = nullptr;
+  };
+  std::vector<FileOp> ops;
+  ops.reserve(req.delta.file_puts.size() + req.delta.tombstones.size());
+  for (const seg::FilePut& put : req.delta.file_puts)
+    ops.push_back(FileOp{put.op, false, &put.id, &put.blob});
+  for (const seg::Tombstone& tomb : req.delta.tombstones)
+    ops.push_back(FileOp{tomb.op, true, &tomb.file_id, nullptr});
+  std::sort(ops.begin(), ops.end(),
+            [](const FileOp& a, const FileOp& b) { return a.op < b.op; });
+  {
+    const std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    for (const FileOp& op : ops) {
+      if (op.erase) {
+        resp.files_erased += files_.erase(*op.id);
+      } else {
+        files_[*op.id] = *op.blob;
+        ++resp.files_stored;
+      }
+    }
+  }
+  clear_rank_cache();
+  refresh_storage_gauges();
+
+  resp.sealed_segments = overlay_.sealed_count();
+  resp.next_seq = overlay_.next_seq();
+  metrics_.record_update(resp.entries_applied, resp.tombstones_applied);
+  refresh_segment_gauges();
+  seg::export_update_leakage_gauges(overlay_.leakage(), metrics_.registry());
+  if (req.delta_id != 0) {
+    last_delta_id_ = req.delta_id;
+    last_update_response_ = resp;
+  }
+  if (compactor_) compactor_->notify();
+  return resp;
+}
+
+void CloudServer::enable_background_compaction(seg::CompactorOptions options) {
+  if (compactor_) return;
+  compactor_ = std::make_unique<seg::Compactor>(overlay_, options,
+                                                &metrics_.registry());
+}
+
+void CloudServer::wait_for_compaction_idle() const {
+  if (compactor_) compactor_->wait_for_idle();
+}
+
+bool CloudServer::compact_segments_once() {
+  overlay_.seal();
+  const auto stats = overlay_.compact_once();
+  refresh_segment_gauges();
+  seg::export_update_leakage_gauges(overlay_.leakage(), metrics_.registry());
+  return stats.has_value();
+}
+
+std::uint64_t CloudServer::compactions_completed() const {
+  return compactor_ ? compactor_->completed() : 0;
+}
+
+void CloudServer::restore_segments(std::vector<seg::Segment> segments,
+                                   std::uint64_t next_seq) {
+  overlay_.restore(std::move(segments), next_seq);
+  clear_rank_cache();
+  refresh_segment_gauges();
+}
+
+void CloudServer::refresh_segment_gauges() const {
+  metrics_.set_segment_state(overlay_.sealed_count(), overlay_.memtable_entries(),
+                             overlay_.tombstone_count());
 }
 
 std::uint64_t CloudServer::stored_bytes() const {
@@ -301,6 +411,30 @@ Bytes CloudServer::handle_impl(MessageType type, BytesView payload,
                         ? metrics_.registry().render_prometheus()
                         : metrics_.registry().render_json();
         return resp.serialize();
+      }
+      case MessageType::kUpdate: {
+        static const auto kParseStage =
+            obs::Profiler::global().stage("server/update_parse");
+        static const auto kApplyStage =
+            obs::Profiler::global().stage("server/update_apply");
+        obs::SpanScope parse(trace, "server.parse", node_name_, root.span_id());
+        obs::ProfileScope parse_profile(kParseStage);
+        const auto req = UpdateRequest::deserialize(payload);
+        parse_profile.finish();
+        parse.finish();
+        obs::SpanScope apply(trace, "server.update_apply", node_name_,
+                             root.span_id());
+        obs::ProfileScope apply_profile(kApplyStage);
+        const auto resp = apply_update(req);
+        apply_profile.finish();
+        apply.event("applied", std::to_string(resp.entries_applied) + " entries, " +
+                                   std::to_string(resp.tombstones_applied) +
+                                   " tombstones");
+        apply.finish();
+        Bytes out = resp.serialize();
+        metrics_.record_latency(ServerMetrics::RequestKind::kUpdate,
+                                watch.elapsed_seconds());
+        return out;
       }
       case MessageType::kTrace: {
         const auto req = TraceRequest::deserialize(payload);

@@ -5,11 +5,19 @@
 // types. It follows the protocol faithfully ("honest") and everything it
 // could observe while doing so is available through observable_state()
 // for the leakage tests ("curious").
+//
+// Dynamics (kUpdate) layer a segmented overlay (src/seg) over the static
+// base index: owner-streamed deltas land in a memtable, seal into
+// immutable segments, and an optional background compactor merges sealed
+// segments without blocking queries. Ranked searches merge base + overlay
+// in OPM order; while the overlay is empty the static fast path is
+// byte-identical to the pre-dynamic server.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -19,6 +27,8 @@
 #include "cloud/protocol.h"
 #include "obs/slow_log.h"
 #include "obs/trace.h"
+#include "seg/compactor.h"
+#include "seg/segmented_index.h"
 #include "sse/secure_index.h"
 
 namespace rsse::cloud {
@@ -48,8 +58,9 @@ class CloudServer {
   /// benches can measure both modes.
   void set_rank_cache_enabled(bool enabled);
 
-  /// Drops all cached rankings.
-  void clear_rank_cache();
+  /// Drops all cached rankings (const: the cache is mutable bookkeeping,
+  /// and the const kUpdate path invalidates it).
+  void clear_rank_cache() const;
 
   /// Cache observability for tests/benches.
   [[nodiscard]] std::uint64_t rank_cache_hits() const {
@@ -116,7 +127,46 @@ class CloudServer {
   /// Repair: the full shard state (serialized index + every file blob),
   /// for rebuilding a peer replica whose storage failed its integrity
   /// check. All ciphertext — reveals nothing a replica doesn't hold.
+  /// Covers the base index and files only; the dynamic overlay is
+  /// persisted via store::save_deployment, not snapshot repair.
   [[nodiscard]] SnapshotResponse snapshot() const;
+
+  /// Dynamics: applies one owner-streamed delta to the segmented overlay
+  /// and the file store. Idempotent per non-zero delta_id (a replay
+  /// returns the cached response with replayed = true).
+  [[nodiscard]] UpdateResponse apply_update(const UpdateRequest& req) const;
+
+  // ----- dynamic-overlay lifecycle -----
+
+  /// Memtable/compaction thresholds. Set before serving updates.
+  void set_segment_policy(seg::SegPolicy policy) { overlay_.set_policy(policy); }
+
+  /// Starts the background compactor (one worker thread; merges whenever
+  /// `trigger_segments` sealed segments accumulate). Idempotent.
+  void enable_background_compaction(seg::CompactorOptions options = {});
+
+  /// Blocks until the compactor (when enabled) has drained.
+  void wait_for_compaction_idle() const;
+
+  /// Seals the memtable, then synchronously merges all sealed segments
+  /// (test/tooling hook). Returns true when a merge happened.
+  bool compact_segments_once();
+
+  /// Background merges completed so far (0 when compaction is disabled).
+  [[nodiscard]] std::uint64_t compactions_completed() const;
+
+  /// The dynamic overlay (read-only observability).
+  [[nodiscard]] const seg::SegmentedIndex& segments() const { return overlay_; }
+
+  /// Persistence: deep copy of the overlay's segments (memtable frozen
+  /// last) and the sequence counter to resume from.
+  [[nodiscard]] std::vector<seg::Segment> segment_snapshot() const {
+    return overlay_.snapshot_segments();
+  }
+  [[nodiscard]] std::uint64_t segment_next_seq() const { return overlay_.next_seq(); }
+
+  /// Persistence: replaces the overlay from loaded segments.
+  void restore_segments(std::vector<seg::Segment> segments, std::uint64_t next_seq);
 
   // ----- what the curious server can see -----
 
@@ -141,12 +191,25 @@ class CloudServer {
                                   std::uint64_t parent_span_id) const;
   void refresh_storage_gauges() const;
 
+  void refresh_segment_gauges() const;
+
   // Readers (RPC handlers) take the shared lock; owner updates take the
   // exclusive lock, so a live network server stays consistent during
-  // dynamics.
+  // dynamics. files_ is mutable because kUpdate arrives through the const
+  // RPC path (handle() is const; the overlay members below are mutable
+  // for the same reason).
   mutable std::shared_mutex state_mutex_;
   sse::SecureIndex index_;
-  std::map<std::uint64_t, Bytes> files_;
+  mutable std::map<std::uint64_t, Bytes> files_;
+
+  // The dynamic overlay. SegmentedIndex has its own internal lock (never
+  // held together with state_mutex_); update_mutex_ serializes appliers
+  // and guards the idempotency cache.
+  mutable seg::SegmentedIndex overlay_;
+  mutable std::unique_ptr<seg::Compactor> compactor_;
+  mutable std::mutex update_mutex_;
+  mutable std::uint64_t last_delta_id_ = 0;
+  mutable UpdateResponse last_update_response_;
 
   // Rank cache: label -> fully ranked row. Mutable + mutex because
   // lookups happen inside const request handlers.

@@ -83,4 +83,28 @@ sse::IndexUpdater::UpdateStats DataOwner::remove_document(CloudServer& server,
   return stats;
 }
 
+seg::UpdateDelta DataOwner::build_update(const std::vector<ir::Document>& adds,
+                                         const std::vector<sse::FileId>& removes) const {
+  detail::require(quantizer_.has_value(),
+                  "DataOwner::build_update: outsource_rsse must run first");
+  seg::DeltaBuilder builder(rsse_, *quantizer_);
+  // Adds before removes: a document both added and removed in one batch
+  // ends up removed (the tombstone's later op wins at the server).
+  for (const ir::Document& doc : adds)
+    builder.add_document(doc, crypter_.encrypt(doc));
+  for (const sse::FileId id : removes) builder.remove_document(id);
+  return builder.take();
+}
+
+UpdateResponse DataOwner::stream_update(Transport& transport,
+                                        const std::vector<ir::Document>& adds,
+                                        const std::vector<sse::FileId>& removes) {
+  UpdateRequest req;
+  req.delta_id = next_delta_id_++;
+  req.delta = build_update(adds, removes);
+  detail::require(!req.delta.empty(), "DataOwner::stream_update: empty batch");
+  return UpdateResponse::deserialize(
+      transport.call(MessageType::kUpdate, req.serialize()));
+}
+
 }  // namespace rsse::cloud

@@ -9,8 +9,10 @@
 #include <string_view>
 
 #include "cloud/auth.h"
+#include "cloud/channel.h"
 #include "cloud/cloud_server.h"
 #include "cloud/file_store.h"
+#include "seg/delta_builder.h"
 #include "ir/document.h"
 #include "sse/basic_scheme.h"
 #include "sse/dynamics.h"
@@ -61,6 +63,29 @@ class DataOwner {
   sse::IndexUpdater::UpdateStats remove_document(CloudServer& server,
                                                  const ir::Document& doc) const;
 
+  /// Builds one wire-streamable update delta (dynamic-index path): adds
+  /// become pre-encrypted posting rows + blob puts, removes become
+  /// tombstones, ordered adds-then-removes. Requires a prior
+  /// outsource_rsse (or a restored quantizer).
+  [[nodiscard]] seg::UpdateDelta build_update(
+      const std::vector<ir::Document>& adds,
+      const std::vector<sse::FileId>& removes) const;
+
+  /// Streams build_update(adds, removes) to a live server over kUpdate.
+  /// Each call carries a fresh non-zero delta_id, so transport retries
+  /// are idempotent server-side. Throws on an empty batch.
+  UpdateResponse stream_update(Transport& transport,
+                               const std::vector<ir::Document>& adds,
+                               const std::vector<sse::FileId>& removes);
+
+  /// Reseeds the stream_update idempotency counter. Delta ids default to
+  /// 1, 2, ... per DataOwner instance; a short-lived process (the CLI)
+  /// must seed a fresh range or the server will dedup its first delta
+  /// against the previous process's. Ignores 0 (the no-dedup sentinel).
+  void seed_delta_ids(std::uint64_t first) {
+    if (first != 0) next_delta_id_ = first;
+  }
+
   /// The owner's RSSE front-end (tests / advanced callers).
   [[nodiscard]] const sse::RsseScheme& rsse() const { return rsse_; }
 
@@ -85,6 +110,7 @@ class DataOwner {
   Bytes file_master_;
   FileCrypter crypter_;
   std::optional<opse::ScoreQuantizer> quantizer_;
+  std::uint64_t next_delta_id_ = 1;  ///< stream_update idempotency tokens
 };
 
 }  // namespace rsse::cloud

@@ -28,6 +28,12 @@ ServerMetrics::ServerMetrics() {
                                        type_label("multi_search"));
   snapshot_requests_ = &registry_.counter("rsse_server_requests_total",
                                           kRequestsHelp, type_label("snapshot"));
+  updates_ = &registry_.counter("rsse_server_requests_total", kRequestsHelp,
+                                type_label("update"));
+  update_entries_ = &registry_.counter("rsse_server_update_entries_total",
+                                       "Posting entries received in update deltas");
+  update_tombstones_ = &registry_.counter("rsse_server_update_tombstones_total",
+                                          "File tombstones received in update deltas");
   files_returned_ = &registry_.counter("rsse_server_files_returned_total",
                                        "Encrypted files returned in responses");
   result_bytes_ = &registry_.counter("rsse_server_result_bytes_total",
@@ -43,6 +49,12 @@ ServerMetrics::ServerMetrics() {
                                    "Outsourced storage footprint (index + files)");
   index_rows_ = &registry_.gauge("rsse_server_index_rows",
                                  "Rows in the stored secure index");
+  sealed_segments_ = &registry_.gauge("rsse_seg_sealed_segments",
+                                      "Sealed dynamic-index segments held");
+  memtable_entries_ = &registry_.gauge("rsse_seg_memtable_entries",
+                                       "Posting entries in the live memtable");
+  tombstoned_files_ = &registry_.gauge("rsse_seg_tombstoned_files",
+                                       "Distinct files tombstoned in the overlay");
   ranked_latency_ = &registry_.histogram("rsse_server_request_latency_seconds",
                                          kLatencyHelp, bounds,
                                          type_label("ranked_search"));
@@ -58,6 +70,8 @@ ServerMetrics::ServerMetrics() {
   multi_search_latency_ = &registry_.histogram(
       "rsse_server_request_latency_seconds", kLatencyHelp, bounds,
       type_label("multi_search"));
+  update_latency_ = &registry_.histogram("rsse_server_request_latency_seconds",
+                                         kLatencyHelp, bounds, type_label("update"));
 }
 
 void ServerMetrics::record_ranked_search(std::uint64_t files, std::uint64_t bytes) {
@@ -100,6 +114,20 @@ void ServerMetrics::record_rank_cache(bool hit) {
 
 void ServerMetrics::record_slow_query() { slow_queries_->inc(); }
 
+void ServerMetrics::record_update(std::uint64_t entries, std::uint64_t tombstones) {
+  updates_->inc();
+  update_entries_->inc(entries);
+  update_tombstones_->inc(tombstones);
+}
+
+void ServerMetrics::set_segment_state(std::uint64_t sealed_segments,
+                                      std::uint64_t memtable_entries,
+                                      std::uint64_t tombstoned_files) {
+  sealed_segments_->set(static_cast<std::int64_t>(sealed_segments));
+  memtable_entries_->set(static_cast<std::int64_t>(memtable_entries));
+  tombstoned_files_->set(static_cast<std::int64_t>(tombstoned_files));
+}
+
 void ServerMetrics::record_latency(RequestKind kind, double seconds) {
   latency_of(kind).observe(seconds);
 }
@@ -116,6 +144,7 @@ obs::HistogramMetric& ServerMetrics::latency_of(RequestKind kind) const {
     case RequestKind::kFetchFiles: return *fetch_latency_;
     case RequestKind::kBasicFiles: return *basic_files_latency_;
     case RequestKind::kMultiSearch: return *multi_search_latency_;
+    case RequestKind::kUpdate: return *update_latency_;
   }
   return *ranked_latency_;  // unreachable
 }
@@ -141,6 +170,9 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.fetch_requests = fetch_requests_->value();
   s.basic_file_searches = basic_file_searches_->value();
   s.snapshot_requests = snapshot_requests_->value();
+  s.updates = updates_->value();
+  s.update_entries = update_entries_->value();
+  s.update_tombstones = update_tombstones_->value();
   s.files_returned = files_returned_->value();
   s.result_bytes = result_bytes_->value();
   s.ranked_search_latency = stats_of(*ranked_latency_);
@@ -148,6 +180,7 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.fetch_latency = stats_of(*fetch_latency_);
   s.basic_files_latency = stats_of(*basic_files_latency_);
   s.multi_search_latency = stats_of(*multi_search_latency_);
+  s.update_latency = stats_of(*update_latency_);
   return s;
 }
 

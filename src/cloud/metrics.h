@@ -31,6 +31,9 @@ struct MetricsSnapshot {
   std::uint64_t fetch_requests = 0;
   std::uint64_t basic_file_searches = 0;
   std::uint64_t snapshot_requests = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t update_entries = 0;
+  std::uint64_t update_tombstones = 0;
   std::uint64_t files_returned = 0;
   std::uint64_t result_bytes = 0;
 
@@ -43,6 +46,7 @@ struct MetricsSnapshot {
   LatencyStats fetch_latency;
   LatencyStats basic_files_latency;
   LatencyStats multi_search_latency;
+  LatencyStats update_latency;
 
   /// Total requests across all four types.
   [[nodiscard]] std::uint64_t total_requests() const {
@@ -61,6 +65,11 @@ struct MetricsSnapshot {
 ///   rsse_server_stored_bytes                      gauge
 ///   rsse_server_index_rows                        gauge
 ///   rsse_server_slow_queries_total                counter
+///   rsse_server_update_entries_total              counter
+///   rsse_server_update_tombstones_total           counter
+///   rsse_seg_sealed_segments                      gauge
+///   rsse_seg_memtable_entries                     gauge
+///   rsse_seg_tombstoned_files                     gauge
 /// (net/server.h adds rsse_server_bytes_in_total / bytes_out_total /
 /// connections_total / active_connections to the same registry.)
 class ServerMetrics {
@@ -72,6 +81,7 @@ class ServerMetrics {
     kFetchFiles,
     kBasicFiles,
     kMultiSearch,
+    kUpdate,
   };
 
   ServerMetrics();
@@ -84,6 +94,15 @@ class ServerMetrics {
   void record_snapshot(std::uint64_t bytes);
   void record_rank_cache(bool hit);
   void record_slow_query();
+
+  /// One applied (non-replayed) update delta.
+  void record_update(std::uint64_t entries, std::uint64_t tombstones);
+
+  /// Updates the segmented-overlay gauges (called after each apply and
+  /// after compactions).
+  void set_segment_state(std::uint64_t sealed_segments,
+                         std::uint64_t memtable_entries,
+                         std::uint64_t tombstoned_files);
 
   /// Adds one service-time sample to the request type's series.
   void record_latency(RequestKind kind, double seconds);
@@ -119,6 +138,9 @@ class ServerMetrics {
   obs::Counter* basic_file_searches_;
   obs::Counter* multi_searches_;
   obs::Counter* snapshot_requests_;
+  obs::Counter* updates_;
+  obs::Counter* update_entries_;
+  obs::Counter* update_tombstones_;
   obs::Counter* files_returned_;
   obs::Counter* result_bytes_;
   obs::Counter* cache_hits_;
@@ -126,11 +148,15 @@ class ServerMetrics {
   obs::Counter* slow_queries_;
   obs::Gauge* stored_bytes_;
   obs::Gauge* index_rows_;
+  obs::Gauge* sealed_segments_;
+  obs::Gauge* memtable_entries_;
+  obs::Gauge* tombstoned_files_;
   obs::HistogramMetric* ranked_latency_;
   obs::HistogramMetric* basic_entries_latency_;
   obs::HistogramMetric* fetch_latency_;
   obs::HistogramMetric* basic_files_latency_;
   obs::HistogramMetric* multi_search_latency_;
+  obs::HistogramMetric* update_latency_;
 };
 
 }  // namespace rsse::cloud

@@ -302,4 +302,49 @@ TraceResponse TraceResponse::deserialize(BytesView blob) {
   return resp;
 }
 
+Bytes UpdateRequest::serialize() const {
+  Bytes out;
+  append_u64(out, delta_id);
+  append_lp(out, delta.serialize());
+  return out;
+}
+
+UpdateRequest UpdateRequest::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  UpdateRequest req;
+  req.delta_id = reader.read_u64();
+  const Bytes delta_blob = reader.read_lp();
+  req.delta = seg::UpdateDelta::deserialize(delta_blob);
+  expect_exhausted(reader, "UpdateRequest");
+  return req;
+}
+
+Bytes UpdateResponse::serialize() const {
+  Bytes out;
+  append_u64(out, entries_applied);
+  append_u64(out, tombstones_applied);
+  append_u64(out, files_stored);
+  append_u64(out, files_erased);
+  append_u64(out, sealed_segments);
+  append_u64(out, next_seq);
+  out.push_back(replayed ? 1 : 0);
+  return out;
+}
+
+UpdateResponse UpdateResponse::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  UpdateResponse resp;
+  resp.entries_applied = reader.read_u64();
+  resp.tombstones_applied = reader.read_u64();
+  resp.files_stored = reader.read_u64();
+  resp.files_erased = reader.read_u64();
+  resp.sealed_segments = reader.read_u64();
+  resp.next_seq = reader.read_u64();
+  const Bytes replayed = reader.read(1);
+  if (replayed[0] > 1) throw ParseError("UpdateResponse: bad replayed flag");
+  resp.replayed = replayed[0] == 1;
+  expect_exhausted(reader, "UpdateResponse");
+  return resp;
+}
+
 }  // namespace rsse::cloud

@@ -17,6 +17,9 @@
 //                         Prometheus text or a JSON snapshot.
 //   * Trace             — observability: the node's retained slow-query
 //                         traces (operation, latency, spans).
+//   * Update            — dynamics: the owner streams an encrypted
+//                         add/delete delta (seg::UpdateDelta) into the
+//                         server's segmented overlay.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +28,7 @@
 
 #include "ext/conjunctive.h"
 #include "obs/trace.h"
+#include "seg/delta.h"
 #include "sse/basic_scheme.h"
 #include "sse/rsse_scheme.h"
 #include "sse/types.h"
@@ -42,6 +46,7 @@ enum class MessageType : std::uint8_t {
   kSnapshot = 6,
   kStats = 7,
   kTrace = 8,
+  kUpdate = 9,
 };
 
 /// Boolean connective of a multi-keyword search.
@@ -203,6 +208,32 @@ struct TraceResponse {
 
   [[nodiscard]] Bytes serialize() const;
   static TraceResponse deserialize(BytesView blob);
+};
+
+/// Dynamic-index update: one owner-streamed delta. `delta_id`, when
+/// non-zero, makes the request idempotent — a server that already applied
+/// this id returns its cached response (replayed = true) instead of
+/// applying twice, so transport-level retries are safe.
+struct UpdateRequest {
+  std::uint64_t delta_id = 0;
+  seg::UpdateDelta delta;
+
+  [[nodiscard]] Bytes serialize() const;
+  static UpdateRequest deserialize(BytesView blob);
+};
+
+/// What the server did with the delta.
+struct UpdateResponse {
+  std::uint64_t entries_applied = 0;
+  std::uint64_t tombstones_applied = 0;
+  std::uint64_t files_stored = 0;
+  std::uint64_t files_erased = 0;
+  std::uint64_t sealed_segments = 0;  ///< sealed segments after the apply
+  std::uint64_t next_seq = 0;         ///< server sequence counter after the apply
+  bool replayed = false;              ///< idempotent replay of an earlier delta
+
+  [[nodiscard]] Bytes serialize() const;
+  static UpdateResponse deserialize(BytesView blob);
 };
 
 }  // namespace rsse::cloud

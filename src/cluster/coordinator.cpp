@@ -38,6 +38,7 @@ const char* message_name(cloud::MessageType type) {
     case cloud::MessageType::kSnapshot: return "snapshot";
     case cloud::MessageType::kStats: return "stats";
     case cloud::MessageType::kTrace: return "trace";
+    case cloud::MessageType::kUpdate: return "update";
   }
   return "unknown";
 }
@@ -322,6 +323,89 @@ cloud::FetchFilesResponse ClusterCoordinator::do_fetch_files(
   return resp;
 }
 
+cloud::UpdateResponse ClusterCoordinator::do_update(BytesView payload,
+                                                    const Deadline& deadline,
+                                                    obs::TraceRecorder* trace,
+                                                    std::uint64_t parent_span_id) {
+  const auto req = cloud::UpdateRequest::deserialize(payload);
+  detail::require(req.delta.op_count > 0, "cluster: empty update delta");
+
+  // Split the delta along the routing maps. Rows follow the keyword
+  // shard; file blobs follow the file shard; tombstones go everywhere
+  // (any shard may hold postings of the removed file). op_count is
+  // preserved verbatim so each shard assigns the same relative sequence
+  // offsets — per-shard absolute counters may diverge, which is harmless
+  // because sequence comparisons never cross shards.
+  std::vector<cloud::UpdateRequest> sub_reqs(shards_.size());
+  for (auto& sub : sub_reqs) {
+    sub.delta_id = req.delta_id;
+    sub.delta.op_count = req.delta.op_count;
+    sub.delta.tombstones = req.delta.tombstones;
+  }
+  for (const seg::RowDelta& row : req.delta.rows)
+    sub_reqs[shard_map_.shard_of_label(row.label)].delta.rows.push_back(row);
+  for (const seg::FilePut& put : req.delta.file_puts)
+    sub_reqs[shard_map_.shard_of_file(put.id)].delta.file_puts.push_back(put);
+
+  struct Sub {
+    std::size_t shard = 0;
+    Bytes request;
+    cloud::UpdateResponse response;
+    std::exception_ptr error;
+  };
+  std::vector<Sub> subs;
+  for (std::size_t shard = 0; shard < sub_reqs.size(); ++shard) {
+    if (sub_reqs[shard].delta.empty()) continue;  // nothing routed here
+    Sub sub;
+    sub.shard = shard;
+    sub.request = sub_reqs[shard].serialize();
+    subs.push_back(std::move(sub));
+  }
+  detail::require(!subs.empty(), "cluster: update delta routed nowhere");
+
+  const auto run_sub = [this, &deadline, trace, parent_span_id](Sub& sub) {
+    try {
+      sub.response = cloud::UpdateResponse::deserialize(
+          shard_call(sub.shard, cloud::MessageType::kUpdate, sub.request, deadline,
+                     trace, parent_span_id));
+    } catch (...) {
+      sub.error = std::current_exception();
+    }
+  };
+  static const auto kScatterStage =
+      obs::Profiler::global().stage("cluster/update_scatter");
+  obs::ProfileScope scatter_profile(kScatterStage);
+  std::vector<std::future<void>> futures;
+  if (subs.size() > 1) futures.reserve(subs.size() - 1);
+  for (std::size_t i = 1; i < subs.size(); ++i)
+    futures.push_back(pool_.submit([&run_sub, &subs, i] { run_sub(subs[i]); }));
+  run_sub(subs[0]);
+  for (auto& future : futures) future.get();
+  scatter_profile.finish();
+
+  // All-or-nothing: a failed shard fails the update. The owner retries
+  // with the same delta_id; shards that already applied replay.
+  for (const Sub& sub : subs)
+    if (sub.error) std::rethrow_exception(sub.error);
+
+  cloud::UpdateResponse merged;
+  merged.replayed = true;  // AND below: replayed only if every shard replayed
+  for (const Sub& sub : subs) {
+    merged.entries_applied += sub.response.entries_applied;
+    // Tombstones are broadcast, so every shard reports the full set;
+    // report the logical count, not the sum of copies.
+    merged.tombstones_applied =
+        std::max(merged.tombstones_applied, sub.response.tombstones_applied);
+    merged.files_stored += sub.response.files_stored;
+    merged.files_erased += sub.response.files_erased;
+    merged.sealed_segments =
+        std::max(merged.sealed_segments, sub.response.sealed_segments);
+    merged.next_seq = std::max(merged.next_seq, sub.response.next_seq);
+    merged.replayed = merged.replayed && sub.response.replayed;
+  }
+  return merged;
+}
+
 Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
                                    const Deadline& deadline,
                                    obs::TraceRecorder* trace,
@@ -375,6 +459,8 @@ Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
                       : metrics_.registry().render_json();
       return resp.serialize();
     }
+    case cloud::MessageType::kUpdate:
+      return do_update(request, deadline, trace, parent_span_id).serialize();
     case cloud::MessageType::kTrace:
       // The coordinator keeps no slow-query log of its own; clients trace
       // cluster queries end to end with their own TraceRecorder, and each

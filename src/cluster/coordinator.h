@@ -22,6 +22,13 @@
 //     single-server semantics exactly).
 //   FetchFiles — ids grouped by file shard, fetched in parallel,
 //     reassembled in request order.
+//   Update — the owner's delta is split by the same maps (rows by
+//     keyword shard, file puts by file shard, tombstones broadcast to
+//     every shard so each can suppress its own rows' postings), applied
+//     in parallel, and the per-shard responses merged. Updates are
+//     all-or-nothing: any shard failure fails the whole update (the
+//     owner retries with the same delta_id; shards that already applied
+//     it replay idempotently).
 //
 // Failure handling: each shard is a ReplicaSet (replica failover with
 // capped exponential backoff). When a whole shard stays down, multi-shard
@@ -122,6 +129,9 @@ class ClusterCoordinator final : public cloud::Transport {
                                            bool* degraded, const Deadline& deadline,
                                            obs::TraceRecorder* trace,
                                            std::uint64_t parent_span_id);
+  cloud::UpdateResponse do_update(BytesView payload, const Deadline& deadline,
+                                  obs::TraceRecorder* trace,
+                                  std::uint64_t parent_span_id);
 
   /// Fills the pointed-at empty blobs by fetching from the owning file
   /// shards in parallel. `skip_shard` marks a shard whose empty answers

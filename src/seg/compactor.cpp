@@ -1,0 +1,87 @@
+#include "seg/compactor.h"
+
+#include "util/stopwatch.h"
+
+namespace rsse::seg {
+
+Compactor::Compactor(SegmentedIndex& index, CompactorOptions options,
+                     obs::MetricsRegistry* registry)
+    : index_(index), options_(options), registry_(registry) {
+  thread_ = std::thread([this] { run(); });
+}
+
+Compactor::~Compactor() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Compactor::notify() {
+  {
+    std::lock_guard lock(mutex_);
+    pending_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Compactor::wait_for_idle() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] {
+    return (!pending_ && !working_) || stop_;
+  });
+}
+
+std::uint64_t Compactor::completed() const {
+  std::lock_guard lock(mutex_);
+  return completed_;
+}
+
+void Compactor::run() {
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return pending_ || stop_; });
+      if (stop_) return;
+      pending_ = false;
+      working_ = true;
+    }
+    // Drain: merge until the trigger no longer holds. compact_once never
+    // blocks readers; each iteration merges the current sealed set.
+    std::uint64_t merges = 0;
+    while (index_.sealed_count() >= options_.trigger_segments) {
+      Stopwatch watch;
+      const auto stats = index_.compact_once();
+      if (!stats) break;  // lost a swap race or nothing left to merge
+      ++merges;
+      if (registry_ != nullptr) {
+        registry_
+            ->counter("rsse_seg_compactions_total",
+                      "Background segment merges completed")
+            .inc();
+        registry_
+            ->counter("rsse_seg_compaction_merged_segments_total",
+                      "Sealed segments consumed by background merges")
+            .inc(stats->segments_merged);
+        registry_
+            ->histogram("rsse_seg_compaction_seconds",
+                        "Wall time of one background segment merge",
+                        obs::log_bounds())
+            .observe(watch.elapsed_seconds());
+      }
+    }
+    if (registry_ != nullptr && merges > 0) {
+      export_update_leakage_gauges(index_.leakage(), *registry_);
+    }
+    {
+      std::lock_guard lock(mutex_);
+      completed_ += merges;
+      working_ = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace rsse::seg

@@ -1,0 +1,70 @@
+// Background compaction: a single worker thread that merges sealed
+// segments whenever the index accumulates enough of them, without ever
+// blocking queries (SegmentedIndex::compact_once does its merge outside
+// the index lock).
+//
+// Deterministic by construction — no timers, no sleeps. The thread only
+// wakes on notify() (the server calls it after each applied update) and
+// drains until the trigger no longer holds; tests synchronize with
+// wait_for_idle() instead of polling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "seg/segmented_index.h"
+
+namespace rsse::seg {
+
+struct CompactorOptions {
+  /// Compact whenever at least this many sealed segments exist.
+  std::size_t trigger_segments = 2;
+};
+
+/// Owns the compaction thread for one SegmentedIndex. Construction starts
+/// the thread; destruction stops and joins it.
+class Compactor {
+ public:
+  /// `registry`, when non-null, receives rsse_seg_compactions_total,
+  /// rsse_seg_compaction_merged_segments and the update-leakage gauges
+  /// refreshed after every completed merge.
+  explicit Compactor(SegmentedIndex& index, CompactorOptions options = {},
+                     obs::MetricsRegistry* registry = nullptr);
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  ~Compactor();
+
+  /// Signals that sealed segments may have appeared. Cheap; safe from any
+  /// thread.
+  void notify();
+
+  /// Blocks until the worker has drained every pending notification and
+  /// the trigger condition no longer holds.
+  void wait_for_idle();
+
+  /// Completed merges (monotonic).
+  [[nodiscard]] std::uint64_t completed() const;
+
+ private:
+  void run();
+
+  SegmentedIndex& index_;
+  CompactorOptions options_;
+  obs::MetricsRegistry* registry_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool pending_ = false;
+  bool working_ = false;
+  bool stop_ = false;
+  std::uint64_t completed_ = 0;
+
+  std::thread thread_;  // last: starts in the ctor after state is ready
+};
+
+}  // namespace rsse::seg

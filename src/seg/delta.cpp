@@ -1,0 +1,98 @@
+#include "seg/delta.h"
+
+#include "util/errors.h"
+
+namespace rsse::seg {
+
+namespace {
+
+void expect_exhausted(const ByteReader& reader, const char* what) {
+  if (!reader.exhausted()) throw ParseError(std::string(what) + ": trailing bytes");
+}
+
+void check_op(std::uint64_t op, std::uint64_t op_count, const char* what) {
+  if (op >= op_count)
+    throw ParseError(std::string(what) + ": op index past op_count");
+}
+
+}  // namespace
+
+std::size_t UpdateDelta::entry_count() const {
+  std::size_t n = 0;
+  for (const RowDelta& row : rows) n += row.entries.size();
+  return n;
+}
+
+Bytes UpdateDelta::serialize() const {
+  Bytes out;
+  append_u64(out, op_count);
+  append_u64(out, rows.size());
+  for (const RowDelta& row : rows) {
+    append_lp(out, row.label);
+    append_u64(out, row.entries.size());
+    for (const DeltaEntry& e : row.entries) {
+      append_lp(out, e.ciphertext);
+      append_u64(out, e.op);
+    }
+  }
+  append_u64(out, tombstones.size());
+  for (const Tombstone& t : tombstones) {
+    append_u64(out, t.file_id);
+    append_u64(out, t.op);
+  }
+  append_u64(out, file_puts.size());
+  for (const FilePut& p : file_puts) {
+    append_u64(out, p.id);
+    append_u64(out, p.op);
+    append_lp(out, p.blob);
+  }
+  return out;
+}
+
+UpdateDelta UpdateDelta::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  UpdateDelta delta;
+  delta.op_count = reader.read_u64();
+  const std::uint64_t num_rows = reader.read_count(12);  // LP label + entry count
+  delta.rows.reserve(num_rows);
+  for (std::uint64_t i = 0; i < num_rows; ++i) {
+    RowDelta row;
+    row.label = reader.read_lp();
+    if (row.label.empty()) throw ParseError("UpdateDelta: empty row label");
+    const std::uint64_t num_entries = reader.read_count(12);  // LP entry + op
+    if (num_entries == 0) throw ParseError("UpdateDelta: row without entries");
+    row.entries.reserve(num_entries);
+    for (std::uint64_t j = 0; j < num_entries; ++j) {
+      DeltaEntry e;
+      e.ciphertext = reader.read_lp();
+      if (e.ciphertext.empty()) throw ParseError("UpdateDelta: empty entry");
+      e.op = reader.read_u64();
+      check_op(e.op, delta.op_count, "UpdateDelta entry");
+      row.entries.push_back(std::move(e));
+    }
+    delta.rows.push_back(std::move(row));
+  }
+  const std::uint64_t num_tombstones = reader.read_count(16);  // id + op
+  delta.tombstones.reserve(num_tombstones);
+  for (std::uint64_t i = 0; i < num_tombstones; ++i) {
+    Tombstone t;
+    t.file_id = reader.read_u64();
+    t.op = reader.read_u64();
+    check_op(t.op, delta.op_count, "UpdateDelta tombstone");
+    delta.tombstones.push_back(t);
+  }
+  const std::uint64_t num_puts = reader.read_count(20);  // id + op + LP blob
+  delta.file_puts.reserve(num_puts);
+  for (std::uint64_t i = 0; i < num_puts; ++i) {
+    FilePut p;
+    p.id = reader.read_u64();
+    p.op = reader.read_u64();
+    check_op(p.op, delta.op_count, "UpdateDelta file put");
+    p.blob = reader.read_lp();
+    delta.file_puts.push_back(std::move(p));
+  }
+  expect_exhausted(reader, "UpdateDelta");
+  return delta;
+}
+
+}  // namespace rsse::seg

@@ -1,0 +1,85 @@
+// The owner->server update delta: the wire unit of the dynamic index.
+//
+// A delta is an ordered batch of logical operations (document adds and
+// removes). Adds carry pre-encrypted posting entries grouped by row label
+// plus the encrypted file blob; removes carry only the plaintext file id
+// — the server already stores blobs under plaintext ids, so a tombstone
+// reveals nothing a direct file deletion would not. Every element is
+// tagged with its operation index `op` (< op_count); the receiving server
+// maps op indices onto its own monotonic sequence counter, so later
+// operations always supersede earlier ones at query time no matter which
+// segment they land in.
+//
+// The owner never sends padding entries in a delta (padding would not
+// hide anything: the delta's row labels already reveal exactly which
+// keywords the update touched). DESIGN.md Sec. 10 states this leakage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rsse::seg {
+
+/// One encrypted posting entry tagged with its operation index.
+struct DeltaEntry {
+  Bytes ciphertext;      ///< sse::encrypt_entry output (opaque to the server)
+  std::uint64_t op = 0;  ///< operation index within the delta
+
+  friend bool operator==(const DeltaEntry&, const DeltaEntry&) = default;
+};
+
+/// All new entries of one index row.
+struct RowDelta {
+  Bytes label;  ///< pi_x(w): the row the entries extend
+  std::vector<DeltaEntry> entries;
+
+  friend bool operator==(const RowDelta&, const RowDelta&) = default;
+};
+
+/// A document removal: suppresses every posting of `file_id` written by
+/// an operation earlier than `op`, and deletes the stored blob.
+struct Tombstone {
+  std::uint64_t file_id = 0;
+  std::uint64_t op = 0;
+
+  friend bool operator==(const Tombstone&, const Tombstone&) = default;
+};
+
+/// An encrypted file blob upload (one per added document).
+struct FilePut {
+  std::uint64_t id = 0;
+  std::uint64_t op = 0;
+  Bytes blob;
+
+  friend bool operator==(const FilePut&, const FilePut&) = default;
+};
+
+/// One streamed update batch. `op_count` is the number of logical
+/// operations; every op field must be < op_count (enforced on parse).
+struct UpdateDelta {
+  std::uint64_t op_count = 0;
+  std::vector<RowDelta> rows;
+  std::vector<Tombstone> tombstones;
+  std::vector<FilePut> file_puts;
+
+  /// Total posting entries across all rows.
+  [[nodiscard]] std::size_t entry_count() const;
+
+  /// True when the delta carries no operations at all.
+  [[nodiscard]] bool empty() const {
+    return rows.empty() && tombstones.empty() && file_puts.empty();
+  }
+
+  /// Wire encoding (owner -> server, kUpdate payload component).
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Inverse of serialize(). Throws ParseError on malformed input: op
+  /// indices >= op_count, empty labels/ciphertexts, or trailing bytes.
+  static UpdateDelta deserialize(BytesView blob);
+
+  friend bool operator==(const UpdateDelta&, const UpdateDelta&) = default;
+};
+
+}  // namespace rsse::seg

@@ -1,0 +1,54 @@
+#include "seg/delta_builder.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ir/scoring.h"
+#include "util/errors.h"
+
+namespace rsse::seg {
+
+DeltaBuilder::DeltaBuilder(const sse::RsseScheme& scheme, opse::ScoreQuantizer quantizer)
+    : scheme_(scheme), quantizer_(std::move(quantizer)) {}
+
+void DeltaBuilder::add_document(const ir::Document& doc, Bytes encrypted_blob) {
+  const std::vector<std::string> terms = scheme_.analyzer().analyze(doc.text);
+  detail::require(!terms.empty(), "DeltaBuilder::add_document: document has no terms");
+  const auto doc_length = static_cast<std::uint32_t>(terms.size());
+  std::unordered_map<std::string, std::uint32_t> tf;
+  for (const std::string& t : terms) ++tf[t];
+
+  const std::uint64_t op = delta_.op_count++;
+  for (const auto& [term, count] : tf) {
+    const double score = ir::score_single_keyword(count, doc_length);
+    DeltaEntry entry;
+    entry.ciphertext = scheme_.make_entry(term, doc.id, score, quantizer_);
+    entry.op = op;
+    Bytes label = scheme_.row_label(term);
+    const auto [it, inserted] = row_index_.emplace(std::move(label), delta_.rows.size());
+    if (inserted) {
+      RowDelta row;
+      row.label = it->first;
+      delta_.rows.push_back(std::move(row));
+    }
+    delta_.rows[it->second].entries.push_back(std::move(entry));
+  }
+  delta_.file_puts.push_back(
+      FilePut{ir::value(doc.id), op, std::move(encrypted_blob)});
+}
+
+void DeltaBuilder::remove_document(sse::FileId id) {
+  const std::uint64_t op = delta_.op_count++;
+  delta_.tombstones.push_back(Tombstone{ir::value(id), op});
+}
+
+UpdateDelta DeltaBuilder::take() {
+  UpdateDelta out = std::move(delta_);
+  delta_ = UpdateDelta{};
+  row_index_.clear();
+  return out;
+}
+
+}  // namespace rsse::seg

@@ -1,0 +1,53 @@
+// Owner-side construction of wire-streamable update deltas.
+//
+// Where sse::IndexUpdater rewrites the outsourced base index in place
+// (fetch row, overwrite a padding slot, push back), the DeltaBuilder
+// never touches the server's state: it batches encrypted add entries and
+// file tombstones into one seg::UpdateDelta the owner streams over
+// kUpdate. Scores reuse the quantizer fixed at build time, and the
+// one-to-many OPM's key-only bucket descent (Sec. VII) guarantees the
+// new entries rank consistently against everything already outsourced.
+//
+// Ops are relative: the builder numbers adds/removes 0..op_count-1 in
+// call order; the server maps them onto its global sequence counter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "ir/document.h"
+#include "opse/quantizer.h"
+#include "seg/delta.h"
+#include "sse/rsse_scheme.h"
+
+namespace rsse::seg {
+
+/// Accumulates one UpdateDelta. Not thread-safe; one builder per batch.
+class DeltaBuilder {
+ public:
+  /// Binds to the owner's scheme and the build-time quantizer.
+  DeltaBuilder(const sse::RsseScheme& scheme, opse::ScoreQuantizer quantizer);
+
+  /// Adds a document: one op covering a posting entry per distinct term
+  /// plus the encrypted file blob. Throws InvalidArgument when the
+  /// document analyzes to no terms.
+  void add_document(const ir::Document& doc, Bytes encrypted_blob);
+
+  /// Removes a file: one tombstone op. The server suppresses every
+  /// posting of the file written at an earlier sequence, base included.
+  void remove_document(sse::FileId id);
+
+  /// Ops batched so far.
+  [[nodiscard]] std::uint64_t pending_ops() const { return delta_.op_count; }
+
+  /// Returns the batch and resets the builder for the next one.
+  [[nodiscard]] UpdateDelta take();
+
+ private:
+  const sse::RsseScheme& scheme_;
+  opse::ScoreQuantizer quantizer_;
+  UpdateDelta delta_;
+  std::map<Bytes, std::size_t> row_index_;  // label -> index into delta_.rows
+};
+
+}  // namespace rsse::seg

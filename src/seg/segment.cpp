@@ -1,0 +1,133 @@
+#include "seg/segment.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace rsse::seg {
+
+namespace {
+
+void expect_exhausted(const ByteReader& reader, const char* what) {
+  if (!reader.exhausted()) throw ParseError(std::string(what) + ": trailing bytes");
+}
+
+}  // namespace
+
+void Segment::add_entries(const Bytes& label, std::vector<SeqEntry> entries) {
+  detail::require(!label.empty(), "Segment::add_entries: empty label");
+  if (entries.empty()) return;
+  entry_count_ += entries.size();
+  std::vector<SeqEntry>& row = rows_[label];
+  if (row.empty()) {
+    row = std::move(entries);
+  } else {
+    row.insert(row.end(), std::make_move_iterator(entries.begin()),
+               std::make_move_iterator(entries.end()));
+  }
+}
+
+void Segment::add_tombstone(std::uint64_t file_id, std::uint64_t seq) {
+  std::uint64_t& stored = tombstones_[file_id];
+  stored = std::max(stored, seq);
+}
+
+const std::vector<SeqEntry>* Segment::row(BytesView label) const {
+  const auto it = rows_.find(Bytes(label.begin(), label.end()));
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Segment::byte_size() const {
+  std::uint64_t total = 0;
+  for (const auto& [label, entries] : rows_) {
+    total += label.size();
+    for (const SeqEntry& e : entries) total += e.ciphertext.size() + 8;
+  }
+  total += 16 * tombstones_.size();
+  return total;
+}
+
+Bytes Segment::serialize() const {
+  Bytes out;
+  append_u64(out, rows_.size());
+  for (const auto& [label, entries] : rows_) {
+    append_lp(out, label);
+    append_u64(out, entries.size());
+    for (const SeqEntry& e : entries) {
+      append_lp(out, e.ciphertext);
+      append_u64(out, e.seq);
+    }
+  }
+  append_u64(out, tombstones_.size());
+  for (const auto& [file_id, seq] : tombstones_) {
+    append_u64(out, file_id);
+    append_u64(out, seq);
+  }
+  return out;
+}
+
+Segment Segment::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  Segment segment;
+  const std::uint64_t num_rows = reader.read_count(12);  // LP label + entry count
+  Bytes previous_label;
+  for (std::uint64_t i = 0; i < num_rows; ++i) {
+    Bytes label = reader.read_lp();
+    if (label.empty()) throw ParseError("Segment: empty row label");
+    // Strictly ascending labels keep deserialize(serialize(x)) == x: a
+    // duplicate or out-of-order label would be silently reordered by the
+    // backing map, breaking the canonical-form contract.
+    if (i > 0 && label <= previous_label)
+      throw ParseError("Segment: rows out of canonical order");
+    const std::uint64_t num_entries = reader.read_count(12);  // LP entry + seq
+    if (num_entries == 0) throw ParseError("Segment: row without entries");
+    std::vector<SeqEntry> entries;
+    entries.reserve(num_entries);
+    for (std::uint64_t j = 0; j < num_entries; ++j) {
+      SeqEntry e;
+      e.ciphertext = reader.read_lp();
+      if (e.ciphertext.empty()) throw ParseError("Segment: empty entry");
+      e.seq = reader.read_u64();
+      entries.push_back(std::move(e));
+    }
+    segment.entry_count_ += entries.size();
+    segment.rows_.emplace(label, std::move(entries));
+    previous_label = std::move(label);
+  }
+  const std::uint64_t num_tombstones = reader.read_count(16);  // id + seq
+  std::uint64_t previous_id = 0;
+  for (std::uint64_t i = 0; i < num_tombstones; ++i) {
+    const std::uint64_t file_id = reader.read_u64();
+    if (i > 0 && file_id <= previous_id)
+      throw ParseError("Segment: tombstones out of canonical order");
+    segment.tombstones_.emplace(file_id, reader.read_u64());
+    previous_id = file_id;
+  }
+  expect_exhausted(reader, "Segment");
+  return segment;
+}
+
+Bytes SegmentManifest::serialize() const {
+  Bytes out;
+  append_u32(out, version);
+  append_u64(out, next_seq);
+  append_u64(out, num_segments);
+  return out;
+}
+
+SegmentManifest SegmentManifest::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  SegmentManifest manifest;
+  manifest.version = reader.read_u32();
+  if (manifest.version != 1)
+    throw ParseError("SegmentManifest: unknown version " +
+                     std::to_string(manifest.version));
+  manifest.next_seq = reader.read_u64();
+  if (manifest.next_seq == 0)
+    throw ParseError("SegmentManifest: next_seq 0 is reserved for the base index");
+  manifest.num_segments = reader.read_u64();
+  expect_exhausted(reader, "SegmentManifest");
+  return manifest;
+}
+
+}  // namespace rsse::seg

@@ -1,0 +1,94 @@
+// An immutable sealed segment of the dynamic index, plus the manifest
+// describing a persisted segment set.
+//
+// A segment is the frozen form of a memtable: per-label lists of
+// sequence-tagged encrypted posting entries, plus the file tombstones
+// absorbed while the memtable was live. The server cannot decrypt
+// entries (row keys arrive only inside trapdoors), so segments compose
+// structurally: compaction concatenates rows and unions tombstones by
+// max sequence — entry-level garbage is purged only at query time, after
+// decryption, or by an owner-driven rebuild (DESIGN.md Sec. 10).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rsse::seg {
+
+/// One encrypted posting entry tagged with the server-assigned global
+/// update sequence it was written at.
+struct SeqEntry {
+  Bytes ciphertext;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const SeqEntry&, const SeqEntry&) = default;
+};
+
+/// An immutable sealed segment.
+class Segment {
+ public:
+  /// Appends entries to a row (builder path; keeps per-row write order).
+  void add_entries(const Bytes& label, std::vector<SeqEntry> entries);
+
+  /// Records a file tombstone, keeping the largest sequence per file.
+  void add_tombstone(std::uint64_t file_id, std::uint64_t seq);
+
+  /// The rows, sorted by label (canonical order).
+  [[nodiscard]] const std::map<Bytes, std::vector<SeqEntry>>& rows() const {
+    return rows_;
+  }
+
+  /// file id -> largest tombstone sequence.
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& tombstones() const {
+    return tombstones_;
+  }
+
+  /// One row's entries; nullptr when the label is absent.
+  [[nodiscard]] const std::vector<SeqEntry>* row(BytesView label) const;
+
+  /// Total posting entries across all rows.
+  [[nodiscard]] std::size_t entry_count() const { return entry_count_; }
+
+  [[nodiscard]] bool empty() const { return rows_.empty() && tombstones_.empty(); }
+
+  /// Serialized payload size (labels + entries + tombstones).
+  [[nodiscard]] std::uint64_t byte_size() const;
+
+  /// Canonical wire/persistence encoding.
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Inverse of serialize(). Throws ParseError on malformed input —
+  /// including rows or tombstones out of canonical (strictly ascending)
+  /// order, so serialize() is a fixed point of deserialize().
+  static Segment deserialize(BytesView blob);
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+
+ private:
+  std::map<Bytes, std::vector<SeqEntry>> rows_;
+  std::map<std::uint64_t, std::uint64_t> tombstones_;
+  std::size_t entry_count_ = 0;
+};
+
+/// The persisted description of a deployment's segment set: how many
+/// sealed segment artifacts to load and where the server's sequence
+/// counter resumes. Version gates the wire format.
+struct SegmentManifest {
+  std::uint32_t version = 1;
+  std::uint64_t next_seq = 1;
+  std::uint64_t num_segments = 0;
+
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Inverse of serialize(). Throws ParseError on malformed input, an
+  /// unknown version, or next_seq == 0 (sequence 0 is reserved for the
+  /// base index).
+  static SegmentManifest deserialize(BytesView blob);
+
+  friend bool operator==(const SegmentManifest&, const SegmentManifest&) = default;
+};
+
+}  // namespace rsse::seg

@@ -1,0 +1,296 @@
+#include "seg/segmented_index.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "sse/entry_codec.h"
+#include "util/errors.h"
+
+namespace rsse::seg {
+
+namespace {
+
+/// The scheme-wide ranking order: OPM value descending, file id ascending.
+bool ranked_less(const sse::RankedSearchEntry& a, const sse::RankedSearchEntry& b) {
+  if (a.opm_score != b.opm_score) return a.opm_score > b.opm_score;
+  return ir::value(a.file) < ir::value(b.file);
+}
+
+}  // namespace
+
+void SegmentedIndex::set_policy(SegPolicy policy) {
+  std::unique_lock lock(mutex_);
+  policy_ = policy;
+}
+
+ApplyStats SegmentedIndex::apply(const UpdateDelta& delta) {
+  std::unique_lock lock(mutex_);
+  ApplyStats stats;
+  // The owner speaks in relative op indices; the server owns the global
+  // sequence counter, so replicated/sharded appliers stay consistent as
+  // long as they see the same delta stream.
+  const std::uint64_t base_seq = next_seq_;
+  stats.first_seq = base_seq;
+  for (const RowDelta& row : delta.rows) {
+    std::vector<SeqEntry> entries;
+    entries.reserve(row.entries.size());
+    for (const DeltaEntry& e : row.entries) {
+      entries.push_back(SeqEntry{e.ciphertext, base_seq + e.op});
+    }
+    stats.entries_applied += entries.size();
+    std::vector<SeqEntry>& mem_row = mem_.rows[row.label];
+    mem_row.insert(mem_row.end(), std::make_move_iterator(entries.begin()),
+                   std::make_move_iterator(entries.end()));
+  }
+  mem_.entries += stats.entries_applied;
+  for (const Tombstone& t : delta.tombstones) {
+    std::uint64_t& stored = mem_.tombstones[t.file_id];
+    stored = std::max(stored, base_seq + t.op);
+    ++stats.tombstones_applied;
+  }
+  next_seq_ += delta.op_count;
+
+  ++leakage_.updates;
+  leakage_.keywords_touched_total += delta.rows.size();
+  leakage_.keywords_touched_max =
+      std::max<std::uint64_t>(leakage_.keywords_touched_max, delta.rows.size());
+  leakage_.entries_total += stats.entries_applied;
+  leakage_.tombstones_total += stats.tombstones_applied;
+
+  if (mem_.entries + mem_.tombstones.size() >= policy_.memtable_max_entries) {
+    stats.sealed = seal_locked();
+  }
+  return stats;
+}
+
+bool SegmentedIndex::seal() {
+  std::unique_lock lock(mutex_);
+  return seal_locked();
+}
+
+bool SegmentedIndex::seal_locked() {
+  if (mem_.rows.empty() && mem_.tombstones.empty()) return false;
+  auto segment = std::make_shared<Segment>();
+  for (auto& [label, entries] : mem_.rows) {
+    segment->add_entries(label, std::move(entries));
+  }
+  for (const auto& [file_id, seq] : mem_.tombstones) {
+    segment->add_tombstone(file_id, seq);
+  }
+  sealed_.push_back(std::move(segment));
+  mem_ = Memtable{};
+  return true;
+}
+
+std::optional<CompactionStats> SegmentedIndex::compact_once() {
+  // Snapshot the sealed list under the shared lock; merge outside any
+  // lock; swap back in only if the snapshotted prefix is still intact.
+  std::vector<std::shared_ptr<const Segment>> sources;
+  {
+    std::shared_lock lock(mutex_);
+    if (sealed_.size() < 2) return std::nullopt;
+    sources = sealed_;
+  }
+
+  CompactionStats stats;
+  stats.segments_merged = sources.size();
+  auto merged = std::make_shared<Segment>();
+  std::map<Bytes, std::uint64_t> label_sources;
+  for (const auto& source : sources) {
+    for (const auto& [label, entries] : source->rows()) {
+      merged->add_entries(label, std::vector<SeqEntry>(entries));
+      ++label_sources[label];
+    }
+    for (const auto& [file_id, seq] : source->tombstones()) {
+      merged->add_tombstone(file_id, seq);
+    }
+  }
+  for (const auto& [label, count] : label_sources) {
+    if (count >= 2) {
+      ++stats.cooccurrence_groups;
+      stats.rows_coalesced += count;
+    }
+  }
+  stats.rows_out = merged->rows().size();
+  stats.entries_out = merged->entry_count();
+  stats.tombstones_out = merged->tombstones().size();
+
+  {
+    std::unique_lock lock(mutex_);
+    // Seals only append at the back, so a surviving snapshot is exactly a
+    // prefix of the current list. Verify by pointer identity; bail if
+    // another compaction already replaced part of it.
+    if (sealed_.size() < sources.size()) return std::nullopt;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (sealed_[i] != sources[i]) return std::nullopt;
+    }
+    std::vector<std::shared_ptr<const Segment>> next;
+    next.reserve(sealed_.size() - sources.size() + 1);
+    next.push_back(std::move(merged));
+    next.insert(next.end(), sealed_.begin() + static_cast<std::ptrdiff_t>(sources.size()),
+                sealed_.end());
+    sealed_ = std::move(next);
+    ++compactions_;
+    ++leakage_.compactions;
+    leakage_.compaction_cooccurrence_groups += stats.cooccurrence_groups;
+    leakage_.compaction_rows_coalesced += stats.rows_coalesced;
+  }
+  return stats;
+}
+
+std::vector<sse::RankedSearchEntry> SegmentedIndex::search(
+    const sse::Trapdoor& trapdoor, std::vector<sse::RankedSearchEntry> base,
+    std::size_t top_k) const {
+  // Candidates carry their sequence so tombstone filtering and per-file
+  // supersession can run after all layers are collected.
+  struct Candidate {
+    sse::RankedSearchEntry entry;
+    std::uint64_t seq = 0;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(base.size());
+  for (sse::RankedSearchEntry& e : base) {
+    candidates.push_back(Candidate{e, 0});
+  }
+
+  std::map<std::uint64_t, std::uint64_t> tombstones;
+  const auto absorb_tombstones =
+      [&tombstones](const std::map<std::uint64_t, std::uint64_t>& source) {
+        for (const auto& [file_id, seq] : source) {
+          std::uint64_t& stored = tombstones[file_id];
+          stored = std::max(stored, seq);
+        }
+      };
+  const auto absorb_row = [&](const std::vector<SeqEntry>& row) {
+    for (const SeqEntry& e : row) {
+      const auto posting = sse::decrypt_entry(trapdoor.list_key, e.ciphertext,
+                                              sse::kRsseScoreFieldSize);
+      if (!posting) continue;  // padding or foreign-row ciphertext
+      ByteReader reader(posting->score_field);
+      candidates.push_back(
+          Candidate{sse::RankedSearchEntry{posting->file, reader.read_u64()}, e.seq});
+    }
+  };
+
+  {
+    std::shared_lock lock(mutex_);
+    for (const auto& segment : sealed_) {
+      if (const std::vector<SeqEntry>* row = segment->row(trapdoor.label)) {
+        absorb_row(*row);
+      }
+      absorb_tombstones(segment->tombstones());
+    }
+    if (const auto it = mem_.rows.find(trapdoor.label); it != mem_.rows.end()) {
+      absorb_row(it->second);
+    }
+    absorb_tombstones(mem_.tombstones);
+  }
+
+  // Per file: drop candidates superseded by a later re-add, then apply the
+  // tombstone rule (suppressed iff tombstone seq strictly exceeds the
+  // surviving entry's seq — add and remove never share a sequence).
+  std::map<std::uint64_t, Candidate> latest;
+  for (Candidate& c : candidates) {
+    const std::uint64_t file = ir::value(c.entry.file);
+    const auto [it, inserted] = latest.emplace(file, c);
+    if (!inserted && c.seq > it->second.seq) it->second = c;
+  }
+  std::vector<sse::RankedSearchEntry> out;
+  out.reserve(latest.size());
+  for (const auto& [file, c] : latest) {
+    const auto tomb = tombstones.find(file);
+    if (tomb != tombstones.end() && tomb->second > c.seq) continue;
+    out.push_back(c.entry);
+  }
+  std::sort(out.begin(), out.end(), ranked_less);
+  if (top_k != 0 && out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+bool SegmentedIndex::empty() const {
+  std::shared_lock lock(mutex_);
+  return sealed_.empty() && mem_.rows.empty() && mem_.tombstones.empty();
+}
+
+std::size_t SegmentedIndex::sealed_count() const {
+  std::shared_lock lock(mutex_);
+  return sealed_.size();
+}
+
+std::size_t SegmentedIndex::memtable_entries() const {
+  std::shared_lock lock(mutex_);
+  return mem_.entries;
+}
+
+std::size_t SegmentedIndex::tombstone_count() const {
+  std::shared_lock lock(mutex_);
+  std::set<std::uint64_t> files;
+  for (const auto& segment : sealed_) {
+    for (const auto& [file_id, seq] : segment->tombstones()) files.insert(file_id);
+  }
+  for (const auto& [file_id, seq] : mem_.tombstones) files.insert(file_id);
+  return files.size();
+}
+
+std::uint64_t SegmentedIndex::byte_size() const {
+  std::shared_lock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& segment : sealed_) total += segment->byte_size();
+  for (const auto& [label, entries] : mem_.rows) {
+    total += label.size();
+    for (const SeqEntry& e : entries) total += e.ciphertext.size() + 8;
+  }
+  total += 16 * mem_.tombstones.size();
+  return total;
+}
+
+std::uint64_t SegmentedIndex::next_seq() const {
+  std::shared_lock lock(mutex_);
+  return next_seq_;
+}
+
+std::uint64_t SegmentedIndex::compactions() const {
+  std::shared_lock lock(mutex_);
+  return compactions_;
+}
+
+UpdateLeakage SegmentedIndex::leakage() const {
+  std::shared_lock lock(mutex_);
+  return leakage_;
+}
+
+std::vector<Segment> SegmentedIndex::snapshot_segments() const {
+  std::shared_lock lock(mutex_);
+  std::vector<Segment> out;
+  out.reserve(sealed_.size() + 1);
+  for (const auto& segment : sealed_) out.push_back(*segment);
+  if (!mem_.rows.empty() || !mem_.tombstones.empty()) {
+    Segment frozen;
+    for (const auto& [label, entries] : mem_.rows) {
+      frozen.add_entries(label, std::vector<SeqEntry>(entries));
+    }
+    for (const auto& [file_id, seq] : mem_.tombstones) {
+      frozen.add_tombstone(file_id, seq);
+    }
+    out.push_back(std::move(frozen));
+  }
+  return out;
+}
+
+void SegmentedIndex::restore(std::vector<Segment> segments, std::uint64_t next_seq) {
+  detail::require(next_seq >= 1, "SegmentedIndex::restore: next_seq 0 is the base index");
+  std::unique_lock lock(mutex_);
+  sealed_.clear();
+  sealed_.reserve(segments.size());
+  for (Segment& segment : segments) {
+    if (segment.empty()) continue;
+    sealed_.push_back(std::make_shared<Segment>(std::move(segment)));
+  }
+  mem_ = Memtable{};
+  next_seq_ = next_seq;
+}
+
+}  // namespace rsse::seg

@@ -1,0 +1,140 @@
+// The segmented dynamic index: an in-memory delta (memtable) absorbing
+// owner-streamed updates plus immutable sealed segments, layered over the
+// outsourced base SecureIndex (which plays the role of segment zero, all
+// of whose entries carry sequence 0).
+//
+// Query surface: search() implements the same rank-on-OPM-ciphertext
+// contract as RsseScheme::search — decrypt the trapdoor's row across
+// every layer, order by (OPM value descending, file id ascending), keep
+// the top-k — with two dynamic-index twists resolved at the merge:
+//   * tombstones: an entry is suppressed iff a tombstone for its file
+//     carries a larger sequence (strictly: add and remove never share a
+//     sequence, and base entries sit at sequence 0);
+//   * supersession: when one file appears in a row at several sequences
+//     (remove + re-add), only the largest sequence survives.
+// Because tombstones and duplicates can suppress arbitrarily many
+// candidates, per-layer top-k truncation is unsound; every layer is
+// ranked in full and the cut happens after filtering. When the overlay is
+// empty the caller can (and CloudServer does) fall back to the static
+// RsseScheme::search fast path, which this class refines conservatively.
+//
+// Concurrency: one internal shared_mutex. Readers (search, gauges) take
+// it shared; apply/seal/restore take it exclusively. Compaction does its
+// merge work on shared_ptr segment snapshots OUTSIDE the lock and only
+// swaps the sealed list under the exclusive lock — queries are never
+// blocked behind a merge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "seg/delta.h"
+#include "seg/segment.h"
+#include "seg/update_leakage.h"
+#include "sse/rsse_scheme.h"
+#include "sse/types.h"
+
+namespace rsse::seg {
+
+/// Lifecycle knobs.
+struct SegPolicy {
+  /// Seal the memtable into a segment once it holds this many entries +
+  /// tombstones (applies after each delta; a single delta can overshoot).
+  std::size_t memtable_max_entries = 1024;
+};
+
+/// What one apply() did.
+struct ApplyStats {
+  std::uint64_t entries_applied = 0;
+  std::uint64_t tombstones_applied = 0;
+  std::uint64_t first_seq = 0;  ///< sequences [first_seq, first_seq + op_count)
+  bool sealed = false;          ///< the apply tripped the seal threshold
+};
+
+/// What one compaction did.
+struct CompactionStats {
+  std::uint64_t segments_merged = 0;
+  std::uint64_t rows_out = 0;
+  std::uint64_t entries_out = 0;
+  std::uint64_t tombstones_out = 0;
+  /// Labels merged from >= 2 source segments / their (label, segment)
+  /// pairs — the co-occurrence exposure fed into UpdateLeakage.
+  std::uint64_t cooccurrence_groups = 0;
+  std::uint64_t rows_coalesced = 0;
+};
+
+/// The dynamic overlay. One instance per CloudServer.
+class SegmentedIndex {
+ public:
+  explicit SegmentedIndex(SegPolicy policy = {}) : policy_(policy) {}
+
+  void set_policy(SegPolicy policy);
+
+  /// Applies one delta: assigns the server-side sequence range, appends
+  /// entries and tombstones to the memtable, seals per policy. File blob
+  /// mutations are the caller's job (the index never sees blobs).
+  ApplyStats apply(const UpdateDelta& delta);
+
+  /// Seals the memtable into an immutable segment; false when empty.
+  bool seal();
+
+  /// Merges every currently sealed segment into one (structural: rows
+  /// concatenate keeping sequence tags, tombstones union by max
+  /// sequence). Runs without blocking readers; nullopt when fewer than
+  /// two segments exist or a concurrent compaction won the swap.
+  std::optional<CompactionStats> compact_once();
+
+  /// Ranks one row across base + segments + memtable. `base` must be the
+  /// FULL (top_k = 0) static ranking of the trapdoor's base row — its
+  /// entries are treated as sequence 0.
+  [[nodiscard]] std::vector<sse::RankedSearchEntry> search(
+      const sse::Trapdoor& trapdoor, std::vector<sse::RankedSearchEntry> base,
+      std::size_t top_k) const;
+
+  /// True when the overlay holds nothing: the static fast path is exact.
+  [[nodiscard]] bool empty() const;
+
+  [[nodiscard]] std::size_t sealed_count() const;
+  [[nodiscard]] std::size_t memtable_entries() const;
+
+  /// Distinct tombstoned files across memtable + sealed segments.
+  [[nodiscard]] std::size_t tombstone_count() const;
+
+  [[nodiscard]] std::uint64_t byte_size() const;
+  [[nodiscard]] std::uint64_t next_seq() const;
+  [[nodiscard]] std::uint64_t compactions() const;
+
+  /// The accumulated server-observable update leakage.
+  [[nodiscard]] UpdateLeakage leakage() const;
+
+  /// Deep copy of the segment set for persistence: sealed segments oldest
+  /// first, then the memtable frozen as a final segment (omitted when
+  /// empty). Pair with next_seq() for the manifest.
+  [[nodiscard]] std::vector<Segment> snapshot_segments() const;
+
+  /// Replaces the whole overlay from persisted state (load path). Resets
+  /// the memtable; `next_seq` must exceed every restored sequence.
+  void restore(std::vector<Segment> segments, std::uint64_t next_seq);
+
+ private:
+  struct Memtable {
+    std::map<Bytes, std::vector<SeqEntry>> rows;
+    std::map<std::uint64_t, std::uint64_t> tombstones;  // file -> max seq
+    std::size_t entries = 0;
+  };
+
+  bool seal_locked();
+
+  mutable std::shared_mutex mutex_;
+  SegPolicy policy_;
+  std::vector<std::shared_ptr<const Segment>> sealed_;  // oldest first
+  Memtable mem_;
+  std::uint64_t next_seq_ = 1;  // 0 is the base index
+  std::uint64_t compactions_ = 0;
+  UpdateLeakage leakage_;
+};
+
+}  // namespace rsse::seg

@@ -1,0 +1,31 @@
+#include "seg/update_leakage.h"
+
+namespace rsse::seg {
+
+void export_update_leakage_gauges(const UpdateLeakage& leakage,
+                                  obs::MetricsRegistry& registry) {
+  const auto set = [&registry](const char* name, const char* help,
+                               std::uint64_t value) {
+    registry.gauge(name, help).set(static_cast<std::int64_t>(value));
+  };
+  set("rsse_leakage_update_observed",
+      "Update deltas the server has applied", leakage.updates);
+  set("rsse_leakage_update_keywords_touched_total",
+      "Distinct rows touched, summed over all applied deltas",
+      leakage.keywords_touched_total);
+  set("rsse_leakage_update_keywords_touched_max",
+      "Rows touched by the widest single delta", leakage.keywords_touched_max);
+  set("rsse_leakage_update_entries_total",
+      "Encrypted posting entries received across all deltas",
+      leakage.entries_total);
+  set("rsse_leakage_update_tombstones_total",
+      "File tombstones received across all deltas", leakage.tombstones_total);
+  set("rsse_leakage_update_compaction_cooccurrence_groups",
+      "Labels whose rows compaction merged from two or more segments",
+      leakage.compaction_cooccurrence_groups);
+  set("rsse_leakage_update_compaction_rows_coalesced",
+      "(label, source segment) pairs compaction folded into shared rows",
+      leakage.compaction_rows_coalesced);
+}
+
+}  // namespace rsse::seg

@@ -1,0 +1,51 @@
+// Update-transcript leakage accounting — the dynamic-index counterpart
+// of sse::LeakageAudit (which covers the static build).
+//
+// Unlike the build-time audit, every quantity here is computed from what
+// the honest-but-curious SERVER observes while applying deltas: which
+// rows an update touched (and how many), how many entries and tombstones
+// it carried, and how compaction coalesces rows from different update
+// epochs into shared segments — the co-occurrence signal Damie et al.'s
+// query-recovery line of attacks feeds on. The accumulator makes that
+// leakage measurable instead of hand-waved: a serving deployment exports
+// it as live rsse_leakage_update_* gauges, and DESIGN.md Sec. 10 states
+// what each number means relative to the static scheme.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace rsse::seg {
+
+/// Server-observable update leakage, accumulated over a serving session.
+struct UpdateLeakage {
+  std::uint64_t updates = 0;                   ///< deltas applied
+  std::uint64_t keywords_touched_total = 0;    ///< sum of per-delta row counts
+  std::uint64_t keywords_touched_max = 0;      ///< widest single delta
+  std::uint64_t entries_total = 0;             ///< postings across all deltas
+  std::uint64_t tombstones_total = 0;          ///< tombstone volume
+  std::uint64_t compactions = 0;
+  /// Labels whose rows were merged from >= 2 source segments — each such
+  /// label newly co-locates entries from different update epochs.
+  std::uint64_t compaction_cooccurrence_groups = 0;
+  /// (label, source segment) pairs folded into shared rows: the total
+  /// cross-epoch co-occurrence exposure compaction has created.
+  std::uint64_t compaction_rows_coalesced = 0;
+
+  friend bool operator==(const UpdateLeakage&, const UpdateLeakage&) = default;
+};
+
+/// Exports the accumulator as gauges on `registry`:
+///   rsse_leakage_update_observed                    deltas applied
+///   rsse_leakage_update_keywords_touched_total      sum of row counts
+///   rsse_leakage_update_keywords_touched_max        widest delta
+///   rsse_leakage_update_entries_total               posting volume
+///   rsse_leakage_update_tombstones_total            tombstone volume
+///   rsse_leakage_update_compaction_cooccurrence_groups
+///   rsse_leakage_update_compaction_rows_coalesced
+/// Idempotent: re-exporting updates the same series.
+void export_update_leakage_gauges(const UpdateLeakage& leakage,
+                                  obs::MetricsRegistry& registry);
+
+}  // namespace rsse::seg

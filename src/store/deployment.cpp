@@ -120,6 +120,22 @@ void save_deployment(const cloud::CloudServer& server, const std::string& dir) {
   std::error_code ec;
   fs::remove_all(staging, ec);  // a previous save died mid-stage
   save_parts(server.index(), server.files(), staging);
+  // The dynamic overlay rides the same atomic-swap path: segments/ is
+  // fully written in staging before the commit renames, so a crash never
+  // leaves a deployment with a torn segment set. The memtable is frozen
+  // into the final segment, so nothing in flight is lost.
+  const std::vector<seg::Segment> segments = server.segment_snapshot();
+  if (!segments.empty()) {
+    const fs::path seg_dir = staging / "segments";
+    fs::create_directories(seg_dir);
+    seg::SegmentManifest manifest;
+    manifest.next_seq = server.segment_next_seq();
+    manifest.num_segments = segments.size();
+    write_file(seg_dir / "manifest.bin", manifest.serialize());
+    for (std::size_t i = 0; i < segments.size(); ++i)
+      write_file(seg_dir / ("seg" + std::to_string(i) + ".bin"),
+                 segments[i].serialize());
+  }
   commit_dir(staging, root);
 }
 
@@ -141,6 +157,25 @@ void load_deployment(const std::string& dir, cloud::CloudServer& server) {
     }
   }
   server.store(std::move(index), std::move(files));
+
+  // Restore the dynamic overlay when this deployment has one. Every
+  // segment artifact is checksummed like the rest; a count mismatch
+  // against the manifest is a hard integrity error, not a silent skip.
+  const fs::path seg_dir = root / "segments";
+  if (fs::is_directory(seg_dir)) {
+    const seg::SegmentManifest manifest =
+        seg::SegmentManifest::deserialize(read_file(seg_dir / "manifest.bin"));
+    std::vector<seg::Segment> segments;
+    segments.reserve(manifest.num_segments);
+    for (std::uint64_t i = 0; i < manifest.num_segments; ++i) {
+      const fs::path path = seg_dir / ("seg" + std::to_string(i) + ".bin");
+      if (!fs::is_regular_file(path))
+        throw IntegrityError("load_deployment: missing segment artifact: " +
+                             path.string());
+      segments.push_back(seg::Segment::deserialize(read_file(path)));
+    }
+    server.restore_segments(std::move(segments), manifest.next_seq);
+  }
 }
 
 void save_cluster_deployment(const cloud::CloudServer& server, std::uint32_t num_shards,

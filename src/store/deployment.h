@@ -5,6 +5,14 @@
 //   <dir>/index.bin        SecureIndex::serialize() + integrity footer
 //   <dir>/files/<id>.bin   one AES-GCM blob per file id (decimal name)
 //
+// Dynamic-overlay layout (present only when the server has absorbed
+// kUpdate deltas; src/seg):
+//
+//   <dir>/segments/manifest.bin   SegmentManifest (next_seq, count) + footer
+//   <dir>/segments/seg<i>.bin     one sealed segment per artifact, oldest
+//                                 first; the live memtable is frozen into
+//                                 the final segment at save time
+//
 // Everything stored is ciphertext; the directory is exactly what a real
 // storage provider would hold.
 //

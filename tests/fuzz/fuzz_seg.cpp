@@ -1,0 +1,55 @@
+// Structure-aware fuzz target for the dynamic-index surface (src/seg):
+// kUpdate frame parsing (UpdateRequest/UpdateResponse) and the segment
+// persistence formats (Segment, SegmentManifest, UpdateDelta).
+//
+// Input layout: data[0] selects the parser, the rest is the blob. The
+// contract matches fuzz_protocol: malformed input must raise a typed
+// rsse::Error and nothing else; accepted input must be a serialize()
+// fixed point (canonical wire form) — the validators these parsers run
+// (op < op_count, strictly ascending segment rows/tombstones, non-empty
+// labels and ciphertexts, manifest version pinning) are exactly what the
+// server trusts before applying owner deltas.
+#include <cstdio>
+#include <cstdlib>
+
+#include "cloud/protocol.h"
+#include "fuzz_target.h"
+#include "seg/delta.h"
+#include "seg/segment.h"
+#include "util/errors.h"
+
+namespace {
+
+using rsse::Bytes;
+using rsse::BytesView;
+
+template <typename Message>
+void round_trip(BytesView blob) {
+  Message message;
+  try {
+    message = Message::deserialize(blob);
+  } catch (const rsse::Error&) {
+    return;  // typed rejection is the contract for malformed input
+  }
+  const Bytes wire = message.serialize();
+  const Bytes again = Message::deserialize(wire).serialize();
+  if (wire != again) {
+    std::fprintf(stderr, "fuzz_seg: serialize not canonical\n");
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const BytesView blob(data + 1, size - 1);
+  switch (data[0] % 5) {
+    case 0: round_trip<rsse::cloud::UpdateRequest>(blob); break;
+    case 1: round_trip<rsse::cloud::UpdateResponse>(blob); break;
+    case 2: round_trip<rsse::seg::UpdateDelta>(blob); break;
+    case 3: round_trip<rsse::seg::Segment>(blob); break;
+    default: round_trip<rsse::seg::SegmentManifest>(blob); break;
+  }
+  return 0;
+}

@@ -19,6 +19,8 @@
 #include "ext/conjunctive.h"
 #include "obs/trace.h"
 #include "opse/quantizer.h"
+#include "seg/delta.h"
+#include "seg/segment.h"
 #include "sse/entry_codec.h"
 #include "sse/types.h"
 #include "store/deployment.h"
@@ -203,6 +205,72 @@ void opm_corpus(const fs::path& dir) {
   write(dir, "opm_descent", descent);
 }
 
+// Selector-prefixed dynamic-index inputs (see fuzz_seg.cpp).
+void seg_corpus(const fs::path& dir) {
+  seg::UpdateDelta delta;
+  delta.op_count = 3;
+  delta.rows.push_back(seg::RowDelta{
+      patterned(16, 4),
+      {seg::DeltaEntry{patterned(40, 8), 0}, seg::DeltaEntry{patterned(40, 9), 1}}});
+  delta.rows.push_back(
+      seg::RowDelta{patterned(16, 90), {seg::DeltaEntry{patterned(40, 10), 1}}});
+  delta.tombstones.push_back(seg::Tombstone{42, 2});
+  delta.file_puts.push_back(seg::FilePut{7, 0, patterned(24, 33)});
+  write(dir, "update_delta", sel(2, delta.serialize()));
+
+  cloud::UpdateRequest request;
+  request.delta_id = 9;
+  request.delta = delta;
+  write(dir, "update_request", sel(0, request.serialize()));
+
+  cloud::UpdateResponse response;
+  response.entries_applied = 3;
+  response.tombstones_applied = 1;
+  response.files_stored = 1;
+  response.files_erased = 1;
+  response.sealed_segments = 2;
+  response.next_seq = 4;
+  response.replayed = true;
+  write(dir, "update_response", sel(1, response.serialize()));
+
+  seg::Segment segment;
+  segment.add_entries(patterned(16, 4), {seg::SeqEntry{patterned(40, 8), 5}});
+  segment.add_entries(patterned(16, 90), {seg::SeqEntry{patterned(40, 10), 6},
+                                          seg::SeqEntry{patterned(40, 11), 7}});
+  segment.add_tombstone(3, 9);
+  segment.add_tombstone(11, 2);
+  write(dir, "segment", sel(3, segment.serialize()));
+
+  seg::SegmentManifest manifest;
+  manifest.next_seq = 8;
+  manifest.num_segments = 2;
+  write(dir, "manifest", sel(4, manifest.serialize()));
+
+  // Regression: an op index >= op_count must be a typed ParseError — the
+  // server would otherwise assign it a sequence outside the delta's range.
+  seg::UpdateDelta bad_op = delta;
+  bad_op.tombstones[0].op = bad_op.op_count;
+  write(dir, "update_delta_op_out_of_range", sel(2, bad_op.serialize()));
+
+  // Regression: rows out of canonical (ascending-label) order must be
+  // rejected, so serialize stays a fixed point.
+  seg::Segment only_b;
+  only_b.add_entries(patterned(16, 90), {seg::SeqEntry{patterned(40, 10), 6}});
+  seg::Segment only_a;
+  only_a.add_entries(patterned(16, 4), {seg::SeqEntry{patterned(40, 8), 5}});
+  const Bytes b_blob = only_b.serialize();
+  const Bytes a_blob = only_a.serialize();
+  Bytes reversed;
+  append_u64(reversed, 2);
+  reversed.insert(reversed.end(), b_blob.begin() + 8, b_blob.end() - 8);
+  reversed.insert(reversed.end(), a_blob.begin() + 8, a_blob.end() - 8);
+  append_u64(reversed, 0);
+  write(dir, "segment_rows_out_of_order", sel(3, reversed));
+
+  write(dir, "manifest_zero_seq", sel(4, Bytes(24, 0)));
+  write(dir, "empty_blob", sel(0, Bytes{}));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,6 +283,7 @@ int main(int argc, char** argv) {
   entry_codec_corpus(root / "entry_codec");
   store_corpus(root / "store");
   opm_corpus(root / "opm");
+  seg_corpus(root / "seg");
   std::printf("gen_corpus: corpora written under %s\n", root.string().c_str());
   return 0;
 }

@@ -68,13 +68,16 @@ using namespace rsse;
                "  rsse search --owner FILE --passphrase P --deploy DIR --keyword W"
                " [--top-k K] [--timeout-ms N]\n"
                "  rsse add    --owner FILE --passphrase P --deploy DIR --file PATH\n"
+               "  rsse update --owner FILE --passphrase P --port N"
+               " [--file PATH --id N] [--remove ID]\n"
                "  rsse stats  --deploy DIR | --port N [--format prom|json]\n"
                "  rsse trace  --port N [--max N]\n"
                "  rsse trace  --owner FILE --passphrase P --deploy DIR --keyword W"
                " [--top-k K] [--chaos R]\n"
                "  rsse audit  --deploy DIR\n"
                "  rsse serve  --deploy DIR [--port N] [--cache on] [--shard I]"
-               " [--repair-from PORT] [--metrics-port N] [--slow-ms N]\n"
+               " [--repair-from PORT] [--metrics-port N] [--slow-ms N]"
+               " [--compaction off]\n"
                "  (search accepts --port N to query a running serve instance and\n"
                "   --timeout-ms N to bound every RPC (fails with a deadline error\n"
                "   instead of hanging); build --cluster N shards the deployment,\n"
@@ -89,7 +92,13 @@ using namespace rsse;
                "   width/score entropy), serve --metrics-port exposes GET\n"
                "   /metrics, /metrics.json and /healthz over HTTP — including\n"
                "   per-stage profile histograms and the live leakage gauges —\n"
-               "   and --slow-ms sets the slow-query log threshold)\n");
+               "   and --slow-ms sets the slow-query log threshold;\n"
+               "   update streams an encrypted dynamic-index delta to a live\n"
+               "   serve instance over kUpdate — --file/--id adds one document\n"
+               "   under the given fresh id, --remove tombstones one id, and the\n"
+               "   server folds the delta into its segment overlay without a\n"
+               "   restart; serve compacts segments in the background unless\n"
+               "   --compaction off)\n");
   std::exit(2);
 }
 
@@ -254,6 +263,11 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
     store::load_deployment(need(flags, "deploy"), server);
   }
   if (optional_flag(flags, "cache", "off") == "on") server.set_rank_cache_enabled(true);
+  // A serving process accepts kUpdate deltas (rsse update); the background
+  // compactor keeps the resulting segment backlog — and thus per-query
+  // overlay work — bounded without blocking readers.
+  if (optional_flag(flags, "compaction", "on") != "off")
+    server.enable_background_compaction();
   const auto slow_ms = std::stod(optional_flag(flags, "slow-ms", "0"));
   if (slow_ms > 0) server.set_slow_query_threshold_ms(slow_ms);
 
@@ -358,6 +372,61 @@ int cmd_add(const std::map<std::string, std::string>& flags) {
   std::printf("added %s as id %llu (%zu keywords touched, %zu new rows)\n",
               doc.name.c_str(), static_cast<unsigned long long>(next_id),
               stats.keywords_touched, stats.new_rows);
+  return 0;
+}
+
+// Streams one encrypted update delta to a live serve instance over
+// kUpdate: adds become pre-encrypted posting rows + file blobs, removes
+// become tombstones. The server folds the delta into its segment
+// overlay; nothing is rebuilt and no restart is needed. The owner never
+// ships plaintext — entries are encrypted locally with the restored
+// keys, exactly like the initial outsourcing.
+int cmd_update(const std::map<std::string, std::string>& flags) {
+  cloud::DataOwner owner = restore_owner(flags);
+  // Delta ids are per-DataOwner idempotency tokens; a fresh CLI process
+  // must draw a random range or the server dedups its first delta
+  // against the previous invocation's.
+  std::uint64_t delta_seed = 0;
+  for (const auto byte : crypto::random_bytes(8))
+    delta_seed = (delta_seed << 8) | static_cast<std::uint64_t>(byte);
+  owner.seed_delta_ids(delta_seed | 1);  // never the 0 sentinel
+  std::vector<ir::Document> adds;
+  if (flags.contains("file")) {
+    const std::string path = flags.at("file");
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    // The owner is stateless about stored ids, so a fresh id must be
+    // supplied explicitly (reusing a live id silently supersedes it).
+    adds.push_back(ir::Document{ir::file_id(std::stoull(need(flags, "id"))),
+                                std::filesystem::path(path).filename().string(),
+                                content.str()});
+  }
+  std::vector<sse::FileId> removes;
+  if (flags.contains("remove"))
+    removes.push_back(ir::file_id(std::stoull(flags.at("remove"))));
+  if (adds.empty() && removes.empty()) {
+    std::fprintf(stderr, "update needs --file PATH --id N and/or --remove ID\n");
+    return 1;
+  }
+  const auto port = static_cast<std::uint16_t>(std::stoul(need(flags, "port")));
+  net::RemoteChannel channel(port);
+  const auto timeout_ms = std::stol(optional_flag(flags, "timeout-ms", "0"));
+  if (timeout_ms > 0) channel.set_call_timeout(std::chrono::milliseconds(timeout_ms));
+  const cloud::UpdateResponse resp = owner.stream_update(channel, adds, removes);
+  std::printf("update applied%s: %llu entries, %llu tombstones, %llu blobs"
+              " stored, %llu erased (server seq %llu, %llu sealed segments)\n",
+              resp.replayed ? " (idempotent replay)" : "",
+              static_cast<unsigned long long>(resp.entries_applied),
+              static_cast<unsigned long long>(resp.tombstones_applied),
+              static_cast<unsigned long long>(resp.files_stored),
+              static_cast<unsigned long long>(resp.files_erased),
+              static_cast<unsigned long long>(resp.next_seq),
+              static_cast<unsigned long long>(resp.sealed_segments));
   return 0;
 }
 
@@ -560,6 +629,7 @@ int main(int argc, char** argv) {
     if (command == "build") return cmd_build(flags);
     if (command == "search") return cmd_search(flags);
     if (command == "add") return cmd_add(flags);
+    if (command == "update") return cmd_update(flags);
     if (command == "stats") return cmd_stats(flags);
     if (command == "trace") return cmd_trace(flags);
     if (command == "audit") return cmd_audit(flags);
