@@ -179,11 +179,21 @@ RankedSearchResponse CloudServer::multi_search(const MultiSearchRequest& req) co
 }
 
 SnapshotResponse CloudServer::snapshot() const {
-  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  // Excluding appliers (update_mutex_ before state_mutex_, the same
+  // order apply_update takes) makes files and overlay a consistent cut:
+  // a peer repaired from this snapshot serves exactly the deltas this
+  // server had applied, no torn half-delta.
+  const std::lock_guard<std::mutex> update_lock(update_mutex_);
   SnapshotResponse resp;
-  resp.index = index_.serialize();
-  resp.files.reserve(files_.size());
-  for (const auto& [id, blob] : files_) resp.files.emplace_back(id, blob);
+  {
+    const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    resp.index = index_.serialize();
+    resp.files.reserve(files_.size());
+    for (const auto& [id, blob] : files_) resp.files.emplace_back(id, blob);
+  }
+  for (const seg::Segment& segment : overlay_.snapshot_segments())
+    resp.segments.push_back(segment.serialize());
+  resp.next_seq = overlay_.next_seq();
   return resp;
 }
 
@@ -191,12 +201,19 @@ UpdateResponse CloudServer::apply_update(const UpdateRequest& req) const {
   // Serialize appliers: sequence assignment, file mutations and the
   // idempotency cache must agree on one order of deltas.
   const std::lock_guard<std::mutex> update_lock(update_mutex_);
-  if (req.delta_id != 0 && req.delta_id == last_delta_id_) {
+  if (req.delta_id != 0) {
     // Transport-level retry of a delta already applied: replay the cached
-    // response instead of double-applying.
-    UpdateResponse replay = last_update_response_;
-    replay.replayed = true;
-    return replay;
+    // response instead of double-applying. The window is a bounded ring,
+    // so a retry survives other deltas landing in between (a second
+    // client, coordinator retry interleaving) up to kUpdateReplayWindow
+    // intervening applies.
+    for (const auto& [id, response] : recent_updates_) {
+      if (id == req.delta_id) {
+        UpdateResponse replay = response;
+        replay.replayed = true;
+        return replay;
+      }
+    }
   }
 
   const seg::ApplyStats stats = overlay_.apply(req.delta);
@@ -240,8 +257,12 @@ UpdateResponse CloudServer::apply_update(const UpdateRequest& req) const {
   refresh_segment_gauges();
   seg::export_update_leakage_gauges(overlay_.leakage(), metrics_.registry());
   if (req.delta_id != 0) {
-    last_delta_id_ = req.delta_id;
-    last_update_response_ = resp;
+    if (recent_updates_.size() < kUpdateReplayWindow) {
+      recent_updates_.emplace_back(req.delta_id, resp);
+    } else {
+      recent_updates_[recent_updates_cursor_] = {req.delta_id, resp};
+      recent_updates_cursor_ = (recent_updates_cursor_ + 1) % kUpdateReplayWindow;
+    }
   }
   if (compactor_) compactor_->notify();
   return resp;

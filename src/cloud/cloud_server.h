@@ -124,17 +124,26 @@ class CloudServer {
   /// opm_score field.
   [[nodiscard]] RankedSearchResponse multi_search(const MultiSearchRequest& req) const;
 
-  /// Repair: the full shard state (serialized index + every file blob),
-  /// for rebuilding a peer replica whose storage failed its integrity
-  /// check. All ciphertext — reveals nothing a replica doesn't hold.
-  /// Covers the base index and files only; the dynamic overlay is
-  /// persisted via store::save_deployment, not snapshot repair.
+  /// Repair: the full shard state (serialized index, every file blob,
+  /// and the dynamic overlay's segments + sequence counter), for
+  /// rebuilding a peer replica whose storage failed its integrity check.
+  /// All ciphertext — reveals nothing a replica doesn't hold. Taken
+  /// under the update lock, so the files and the overlay are a
+  /// consistent cut with respect to concurrent kUpdate appliers.
   [[nodiscard]] SnapshotResponse snapshot() const;
 
   /// Dynamics: applies one owner-streamed delta to the segmented overlay
-  /// and the file store. Idempotent per non-zero delta_id (a replay
-  /// returns the cached response with replayed = true).
+  /// and the file store. Idempotent per non-zero delta_id within the
+  /// last kUpdateReplayWindow applied deltas (a replay returns the
+  /// cached response with replayed = true), so a transport retry is safe
+  /// even when other deltas land between the apply and the retry.
   [[nodiscard]] UpdateResponse apply_update(const UpdateRequest& req) const;
+
+  /// Depth of the kUpdate idempotency window (recent delta_id ->
+  /// response pairs retained for replay). A retry older than this many
+  /// intervening deltas would re-apply; owners must not pipeline more
+  /// unacknowledged deltas than the window holds.
+  static constexpr std::size_t kUpdateReplayWindow = 64;
 
   // ----- dynamic-overlay lifecycle -----
 
@@ -204,12 +213,12 @@ class CloudServer {
 
   // The dynamic overlay. SegmentedIndex has its own internal lock (never
   // held together with state_mutex_); update_mutex_ serializes appliers
-  // and guards the idempotency cache.
+  // and guards the idempotency window (a bounded ring of recent
+  // delta_id -> response pairs, newest overwriting oldest).
   mutable seg::SegmentedIndex overlay_;
-  mutable std::unique_ptr<seg::Compactor> compactor_;
   mutable std::mutex update_mutex_;
-  mutable std::uint64_t last_delta_id_ = 0;
-  mutable UpdateResponse last_update_response_;
+  mutable std::vector<std::pair<std::uint64_t, UpdateResponse>> recent_updates_;
+  mutable std::size_t recent_updates_cursor_ = 0;
 
   // Rank cache: label -> fully ranked row. Mutable + mutex because
   // lookups happen inside const request handlers.
@@ -219,6 +228,11 @@ class CloudServer {
   mutable ServerMetrics metrics_;
   mutable obs::SlowQueryLog slow_log_;
   std::string node_name_ = "server";
+
+  // Declared LAST: ~Compactor joins a worker thread that dereferences
+  // overlay_ and metrics_'s registry mid-merge, so the compactor must be
+  // destroyed before every member it points into.
+  mutable std::unique_ptr<seg::Compactor> compactor_;
 };
 
 }  // namespace rsse::cloud

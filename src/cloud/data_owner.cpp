@@ -90,8 +90,17 @@ seg::UpdateDelta DataOwner::build_update(const std::vector<ir::Document>& adds,
   seg::DeltaBuilder builder(rsse_, *quantizer_);
   // Adds before removes: a document both added and removed in one batch
   // ends up removed (the tombstone's later op wins at the server).
-  for (const ir::Document& doc : adds)
+  // Every add is preceded by a guard tombstone for its own id: the owner
+  // is stateless about stored ids, and without it a re-add of a live id
+  // would supersede only the rows the two versions share — postings for
+  // keywords exclusive to the old version would survive and keep
+  // matching. The guard (earlier op than the add, so the add's own
+  // entries win) suppresses every older posting, base included, making
+  // an add an upsert. For a genuinely fresh id it suppresses nothing.
+  for (const ir::Document& doc : adds) {
+    builder.remove_document(doc.id);
     builder.add_document(doc, crypter_.encrypt(doc));
+  }
   for (const sse::FileId id : removes) builder.remove_document(id);
   return builder.take();
 }

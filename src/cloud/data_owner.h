@@ -65,8 +65,11 @@ class DataOwner {
 
   /// Builds one wire-streamable update delta (dynamic-index path): adds
   /// become pre-encrypted posting rows + blob puts, removes become
-  /// tombstones, ordered adds-then-removes. Requires a prior
-  /// outsource_rsse (or a restored quantizer).
+  /// tombstones, ordered adds-then-removes. Each add carries a guard
+  /// tombstone at the preceding op, so adding an id that is already
+  /// live fully supersedes the old version (old-only keywords stop
+  /// matching) — an add is an upsert. Requires a prior outsource_rsse
+  /// (or a restored quantizer).
   [[nodiscard]] seg::UpdateDelta build_update(
       const std::vector<ir::Document>& adds,
       const std::vector<sse::FileId>& removes) const;

@@ -176,6 +176,9 @@ Bytes SnapshotResponse::serialize() const {
     append_u64(out, id);
     append_lp(out, blob);
   }
+  append_u64(out, segments.size());
+  for (const Bytes& segment : segments) append_lp(out, segment);
+  append_u64(out, next_seq);
   return out;
 }
 
@@ -189,6 +192,16 @@ SnapshotResponse SnapshotResponse::deserialize(BytesView blob) {
     const std::uint64_t id = reader.read_u64();
     resp.files.emplace_back(id, reader.read_lp());
   }
+  const std::uint64_t num_segments = reader.read_count(4);  // LP header each
+  resp.segments.reserve(num_segments);
+  for (std::uint64_t i = 0; i < num_segments; ++i) {
+    Bytes segment = reader.read_lp();
+    if (segment.empty()) throw ParseError("SnapshotResponse: empty segment");
+    resp.segments.push_back(std::move(segment));
+  }
+  resp.next_seq = reader.read_u64();
+  if (resp.next_seq == 0)
+    throw ParseError("SnapshotResponse: next_seq 0 is the base index epoch");
   expect_exhausted(reader, "SnapshotResponse");
   return resp;
 }

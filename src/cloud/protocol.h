@@ -9,10 +9,10 @@
 //   * FetchFiles        — Basic Scheme two-round, round 2: ids -> files.
 //   * BasicFiles        — Basic Scheme one-round: trapdoor -> ALL matching
 //                         files with their encrypted scores.
-//   * Snapshot          — replica repair: full shard state (index + file
-//                         blobs) from a healthy replica, used to rebuild a
-//                         peer whose on-disk artifacts failed their
-//                         integrity check.
+//   * Snapshot          — replica repair: full shard state (index, file
+//                         blobs, dynamic-overlay segments) from a healthy
+//                         replica, used to rebuild a peer whose on-disk
+//                         artifacts failed their integrity check.
 //   * Stats             — observability: the node's metrics registry as
 //                         Prometheus text or a JSON snapshot.
 //   * Trace             — observability: the node's retained slow-query
@@ -153,12 +153,15 @@ struct SnapshotRequest {
   static SnapshotRequest deserialize(BytesView blob);
 };
 
-/// Repair response: the serialized secure index plus every encrypted file
-/// blob the replica holds — enough to rebuild a peer's deployment from
-/// scratch.
+/// Repair response: the serialized secure index, every encrypted file
+/// blob, and the dynamic overlay's sealed segments (memtable frozen
+/// last) — enough to rebuild a peer's deployment from scratch WITHOUT
+/// dropping applied deltas. All ciphertext the peer already holds.
 struct SnapshotResponse {
   Bytes index;  ///< sse::SecureIndex::serialize() bytes
   std::vector<std::pair<std::uint64_t, Bytes>> files;  ///< (file id, blob)
+  std::vector<Bytes> segments;  ///< seg::Segment::serialize() bytes, oldest first
+  std::uint64_t next_seq = 1;   ///< overlay sequence counter (1 = empty overlay)
 
   [[nodiscard]] Bytes serialize() const;
   static SnapshotResponse deserialize(BytesView blob);

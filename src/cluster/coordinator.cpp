@@ -330,6 +330,12 @@ cloud::UpdateResponse ClusterCoordinator::do_update(BytesView payload,
   const auto req = cloud::UpdateRequest::deserialize(payload);
   detail::require(req.delta.op_count > 0, "cluster: empty update delta");
 
+  // One delta at a time: concurrent updates scattered in parallel could
+  // be applied in different orders on different shards, letting their
+  // per-shard sequence assignments diverge. Held across the whole
+  // scatter so every shard observes the same delta order.
+  const std::lock_guard<std::mutex> update_lock(update_mutex_);
+
   // Split the delta along the routing maps. Rows follow the keyword
   // shard; file blobs follow the file shard; tombstones go everywhere
   // (any shard may hold postings of the removed file). op_count is

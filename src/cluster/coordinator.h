@@ -28,7 +28,9 @@
 //     in parallel, and the per-shard responses merged. Updates are
 //     all-or-nothing: any shard failure fails the whole update (the
 //     owner retries with the same delta_id; shards that already applied
-//     it replay idempotently).
+//     it replay idempotently). Concurrent updates serialize coordinator-
+//     side — one delta scatters at a time — so every shard applies
+//     overlapping deltas in the same order.
 //
 // Failure handling: each shard is a ReplicaSet (replica failover with
 // capped exponential backoff). When a whole shard stays down, multi-shard
@@ -39,6 +41,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cluster/metrics.h"
@@ -147,6 +150,12 @@ class ClusterCoordinator final : public cloud::Transport {
   CoordinatorOptions options_;
   ThreadPool pool_;
   ClusterMetrics metrics_;
+  // Serializes do_update: two overlapping deltas scattered concurrently
+  // could reach shards in different orders, diverging per-shard sequence
+  // assignment (a cross-delta tombstone/add pair for one file suppressed
+  // on one shard, visible on another). Updates are rare; a mutex is
+  // cheap insurance that every shard applies deltas in one order.
+  std::mutex update_mutex_;
   // Cluster-wide transport counters in the same registry.
   obs::Counter* deadline_expiries_ = nullptr;
   obs::Counter* bytes_up_total_ = nullptr;

@@ -54,6 +54,22 @@ void save_parts(const sse::SecureIndex& index,
     write_file(files_dir / (std::to_string(id) + ".bin"), blob);
 }
 
+/// Writes the dynamic overlay's segment artifacts + manifest under
+/// `root/segments` (no-op for an empty overlay). `segments` holds
+/// serialized seg::Segment payloads, oldest first.
+void save_segment_artifacts(const std::vector<Bytes>& segments,
+                            std::uint64_t next_seq, const fs::path& root) {
+  if (segments.empty()) return;
+  const fs::path seg_dir = root / "segments";
+  fs::create_directories(seg_dir);
+  seg::SegmentManifest manifest;
+  manifest.next_seq = next_seq;
+  manifest.num_segments = segments.size();
+  write_file(seg_dir / "manifest.bin", manifest.serialize());
+  for (std::size_t i = 0; i < segments.size(); ++i)
+    write_file(seg_dir / ("seg" + std::to_string(i) + ".bin"), segments[i]);
+}
+
 fs::path staging_of(const fs::path& dir) { return dir.string() + ".saving"; }
 fs::path parked_of(const fs::path& dir) { return dir.string() + ".old"; }
 
@@ -124,18 +140,10 @@ void save_deployment(const cloud::CloudServer& server, const std::string& dir) {
   // fully written in staging before the commit renames, so a crash never
   // leaves a deployment with a torn segment set. The memtable is frozen
   // into the final segment, so nothing in flight is lost.
-  const std::vector<seg::Segment> segments = server.segment_snapshot();
-  if (!segments.empty()) {
-    const fs::path seg_dir = staging / "segments";
-    fs::create_directories(seg_dir);
-    seg::SegmentManifest manifest;
-    manifest.next_seq = server.segment_next_seq();
-    manifest.num_segments = segments.size();
-    write_file(seg_dir / "manifest.bin", manifest.serialize());
-    for (std::size_t i = 0; i < segments.size(); ++i)
-      write_file(seg_dir / ("seg" + std::to_string(i) + ".bin"),
-                 segments[i].serialize());
-  }
+  std::vector<Bytes> segments;
+  for (const seg::Segment& segment : server.segment_snapshot())
+    segments.push_back(segment.serialize());
+  save_segment_artifacts(segments, server.segment_next_seq(), staging);
   commit_dir(staging, root);
 }
 
@@ -240,12 +248,18 @@ void repair_cluster_shard(const std::string& dir, std::uint32_t shard,
   sse::SecureIndex index = sse::SecureIndex::deserialize(snapshot.index);
   std::map<std::uint64_t, Bytes> files;
   for (const auto& [id, blob] : snapshot.files) files.emplace(id, blob);
+  // Validate the overlay segments BEFORE quarantining anything: a
+  // malformed snapshot must fail the repair loudly, not stage a shard
+  // that the subsequent load rejects.
+  for (const Bytes& segment : snapshot.segments)
+    (void)seg::Segment::deserialize(segment);
 
   quarantine(shard_dir);
   const fs::path staging = staging_of(shard_dir);
   std::error_code ec;
   fs::remove_all(staging, ec);
   save_parts(index, files, staging);
+  save_segment_artifacts(snapshot.segments, snapshot.next_seq, staging);
   commit_dir(staging, shard_dir);
 }
 

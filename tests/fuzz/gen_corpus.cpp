@@ -94,7 +94,18 @@ void protocol_corpus(const fs::path& dir) {
   cloud::SnapshotResponse snapshot;
   snapshot.index = patterned(40, 9);
   snapshot.files.emplace_back(12, patterned(20, 13));
+  seg::Segment overlay_segment;
+  overlay_segment.add_entries(patterned(16, 21), {seg::SeqEntry{patterned(40, 22), 1}});
+  overlay_segment.add_tombstone(5, 2);
+  snapshot.segments.push_back(overlay_segment.serialize());
+  snapshot.next_seq = 3;
   write(dir, "snapshot_response", sel(9, snapshot.serialize()));
+
+  // Regression: a snapshot claiming overlay sequence 0 (the base epoch)
+  // must be a typed ParseError, not a restorable state.
+  cloud::SnapshotResponse zero_seq = snapshot;
+  zero_seq.next_seq = 0;
+  write(dir, "snapshot_response_zero_seq", sel(9, zero_seq.serialize()));
 
   write(dir, "stats_request", sel(10, cloud::StatsRequest{}.serialize()));
   write(dir, "stats_response",

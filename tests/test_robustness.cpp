@@ -393,5 +393,48 @@ TEST_F(StorageRobustness, CorruptedShardIsQuarantinedAndRepairedFromReplica) {
   store::load_cluster_shard(dir_, 1, other);
 }
 
+TEST_F(StorageRobustness, RepairFromReplicaCarriesTheDynamicOverlay) {
+  store::save_cluster_deployment(server_, 2, dir_);
+
+  // The healthy replica keeps serving updates after the save: its live
+  // state is base + overlay, and a repaired peer must match that, not
+  // just the base the save captured.
+  cloud::CloudServer healthy;
+  store::load_cluster_shard(dir_, 0, healthy);
+  cloud::Channel healthy_channel(healthy);
+  const ir::Document extra{ir::file_id(60001), "x.txt", "durable durable appended"};
+  const auto victim = ir::file_id(healthy.files().begin()->first);
+  (void)owner_->stream_update(healthy_channel, {extra}, {victim});
+  ASSERT_FALSE(healthy.segments().empty());
+
+  // Bit rot inside shard 0's index forces a repair from the replica.
+  const fs::path shard_index = fs::path(dir_) / "shard0" / "index.bin";
+  Bytes raw = read_raw(shard_index);
+  raw[raw.size() / 2] ^= 0x10;
+  write_raw(shard_index, raw);
+
+  cloud::CloudServer repaired;
+  store::load_cluster_shard_or_repair(dir_, 0, repaired, &healthy_channel);
+
+  // The overlay survived the snapshot round trip: same sequence cursor,
+  // and a ranked search over the updated keyword answers byte-identically
+  // (the added doc present, the tombstoned one gone).
+  EXPECT_FALSE(repaired.segments().empty());
+  EXPECT_EQ(repaired.segment_next_seq(), healthy.segment_next_seq());
+  cloud::RankedSearchRequest query;
+  query.trapdoor = owner_->rsse().trapdoor("durable");
+  query.top_k = 0;
+  EXPECT_EQ(repaired.ranked_search(query).serialize(),
+            healthy.ranked_search(query).serialize());
+
+  // The repaired shard is durable: a later restart loads the overlay
+  // from its own disk, no replica needed.
+  cloud::CloudServer restarted;
+  store::load_cluster_shard(dir_, 0, restarted);
+  EXPECT_EQ(restarted.segment_next_seq(), healthy.segment_next_seq());
+  EXPECT_EQ(restarted.ranked_search(query).serialize(),
+            healthy.ranked_search(query).serialize());
+}
+
 }  // namespace
 }  // namespace rsse

@@ -393,9 +393,11 @@ TEST(SegCloudServer, UpdateOverWireAndIdempotentReplay) {
       channel.call(cloud::MessageType::kUpdate, payload));
   EXPECT_FALSE(resp.replayed);
   EXPECT_GT(resp.entries_applied, 0u);
-  EXPECT_EQ(resp.tombstones_applied, 1u);
+  // Two tombstones: the explicit remove plus the add's guard tombstone
+  // (every add is an upsert — see DataOwner::build_update).
+  EXPECT_EQ(resp.tombstones_applied, 2u);
   EXPECT_EQ(resp.files_stored, 1u);
-  EXPECT_EQ(resp.files_erased, 1u);
+  EXPECT_EQ(resp.files_erased, 1u);  // the guard erases nothing (fresh id)
 
   // A transport-level retry of the same delta replays, never re-applies.
   const auto replay = cloud::UpdateResponse::deserialize(
@@ -417,6 +419,119 @@ TEST(SegCloudServer, UpdateOverWireAndIdempotentReplay) {
       EXPECT_EQ(hit.document.text, fresh.text);
     }
   }
+}
+
+TEST(SegCloudServer, ReAddingALiveIdSupersedesOldOnlyKeywords) {
+  const ir::Corpus corpus = small_corpus(707);
+  cloud::DataOwner owner;
+  cloud::CloudServer server;
+  owner.outsource_rsse(corpus, server);
+
+  const Bytes user_key = crypto::random_bytes(32);
+  auto credentials =
+      cloud::AuthorizationService::open(user_key, "u", owner.enroll_user(user_key, "u"));
+  cloud::Channel channel(server);
+  cloud::DataUser user(credentials, channel);
+
+  // Version 1 of document 9100 matches both "mango" and "papaya".
+  const ir::Document v1{ir::file_id(9100), "v1.txt", "mango papaya mango"};
+  (void)owner.stream_update(channel, {v1}, {});
+  auto ids = [&](const std::string& term) {
+    std::set<std::uint64_t> out;
+    for (const auto& hit : user.ranked_search(term, 0))
+      out.insert(ir::value(hit.document.id));
+    return out;
+  };
+  EXPECT_TRUE(ids("mango").contains(9100u));
+  EXPECT_TRUE(ids("papaya").contains(9100u));
+
+  // Version 2 reuses the id but dropped "mango". The add's guard
+  // tombstone must suppress v1's postings even on rows v2 never touches
+  // — without it, "mango" (old-only keyword) would keep matching.
+  const ir::Document v2{ir::file_id(9100), "v2.txt", "papaya papaya"};
+  (void)owner.stream_update(channel, {v2}, {});
+  EXPECT_FALSE(ids("mango").contains(9100u));
+  EXPECT_TRUE(ids("papaya").contains(9100u));
+  for (const auto& hit : user.ranked_search("papaya", 0)) {
+    if (ir::value(hit.document.id) == 9100u) EXPECT_EQ(hit.document.text, v2.text);
+  }
+}
+
+TEST(SegCloudServer, ReplayWindowSurvivesInterveningDeltas) {
+  const ir::Corpus corpus = small_corpus(808);
+  cloud::DataOwner owner;
+  cloud::CloudServer server;
+  owner.outsource_rsse(corpus, server);
+  cloud::Channel channel(server);
+
+  // Three deltas, serialized once so retries are byte-identical.
+  std::vector<Bytes> payloads;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    cloud::UpdateRequest req;
+    req.delta_id = i + 1;
+    req.delta = owner.build_update(
+        {ir::Document{ir::file_id(9200 + i), "d.txt", "oracle windowed"}}, {});
+    payloads.push_back(req.serialize());
+  }
+
+  const auto first = cloud::UpdateResponse::deserialize(
+      channel.call(cloud::MessageType::kUpdate, payloads[0]));
+  for (std::size_t i = 1; i < payloads.size(); ++i)
+    (void)channel.call(cloud::MessageType::kUpdate, payloads[i]);
+
+  // A transport retry of delta 1 after deltas 2 and 3 landed (a second
+  // client interleaving, a coordinator retry) must still replay from the
+  // idempotency window, not silently double-apply.
+  const auto replay = cloud::UpdateResponse::deserialize(
+      channel.call(cloud::MessageType::kUpdate, payloads[0]));
+  EXPECT_TRUE(replay.replayed);
+  EXPECT_EQ(replay.entries_applied, first.entries_applied);
+  EXPECT_EQ(replay.tombstones_applied, first.tombstones_applied);
+  EXPECT_EQ(server.metrics().snapshot().updates, 3u);
+}
+
+TEST(SegCloudServer, SnapshotCarriesTheDynamicOverlay) {
+  const ir::Corpus corpus = small_corpus(909);
+  cloud::DataOwner owner;
+  cloud::CloudServer server;
+  owner.outsource_rsse(corpus, server);
+  cloud::Channel channel(server);
+
+  const ir::Document extra{ir::file_id(9300), "x.txt", "oracle snapshotted"};
+  const std::uint64_t victim = ir::value(corpus.documents().front().id);
+  (void)owner.stream_update(channel, {extra}, {ir::file_id(victim)});
+
+  const cloud::SnapshotResponse snap = cloud::SnapshotResponse::deserialize(
+      channel.call(cloud::MessageType::kSnapshot,
+                   cloud::SnapshotRequest{}.serialize()));
+  ASSERT_FALSE(snap.segments.empty());
+  EXPECT_EQ(snap.next_seq, server.segment_next_seq());
+
+  // A peer rebuilt from the snapshot serves the deltas, not just the
+  // base: the tombstoned document stays gone, the added one is present.
+  cloud::CloudServer peer;
+  peer.store(sse::SecureIndex::deserialize(snap.index), {});
+  for (const auto& [id, blob] : snap.files) peer.store_file(id, blob);
+  std::vector<seg::Segment> segments;
+  for (const Bytes& blob : snap.segments)
+    segments.push_back(seg::Segment::deserialize(blob));
+  peer.restore_segments(std::move(segments), snap.next_seq);
+
+  const Bytes user_key = crypto::random_bytes(32);
+  auto credentials =
+      cloud::AuthorizationService::open(user_key, "u", owner.enroll_user(user_key, "u"));
+  cloud::Channel peer_channel(peer);
+  cloud::DataUser peer_user(credentials, peer_channel);
+  cloud::DataUser source_user(credentials, channel);
+  std::set<std::uint64_t> peer_ids;
+  std::set<std::uint64_t> source_ids;
+  for (const auto& hit : peer_user.ranked_search("oracle", 0))
+    peer_ids.insert(ir::value(hit.document.id));
+  for (const auto& hit : source_user.ranked_search("oracle", 0))
+    source_ids.insert(ir::value(hit.document.id));
+  EXPECT_EQ(peer_ids, source_ids);
+  EXPECT_TRUE(peer_ids.contains(9300u));
+  EXPECT_FALSE(peer_ids.contains(victim));
 }
 
 TEST(SegStore, DeploymentPersistsSegments) {

@@ -400,8 +400,10 @@ int cmd_update(const std::map<std::string, std::string>& flags) {
     }
     std::ostringstream content;
     content << in.rdbuf();
-    // The owner is stateless about stored ids, so a fresh id must be
-    // supplied explicitly (reusing a live id silently supersedes it).
+    // The owner is stateless about stored ids, so the id is supplied
+    // explicitly. Reusing a live id replaces that document wholesale:
+    // build_update guards every add with a tombstone, so postings of the
+    // old version stop matching even for keywords the new one lacks.
     adds.push_back(ir::Document{ir::file_id(std::stoull(need(flags, "id"))),
                                 std::filesystem::path(path).filename().string(),
                                 content.str()});
