@@ -1,0 +1,267 @@
+// Update-durability bench (ISSUE 7): the cost of losing — and repairing —
+// a replica in the middle of a durable update storm. One shard is served
+// by three WAL-backed replica servers behind the deterministic SimNet;
+// updates commit on a 2-of-3 write quorum. Mid-storm one replica dies,
+// later crash-restarts from its WAL sidecar, and the anti-entropy worker
+// backfills the suffix it missed while ranked searches keep flowing.
+//
+// Reported, per phase (healthy / stale window / catch-up / converged):
+// ranked-search latency quantiles — plus the durability numbers the
+// phases pivot on: WAL recovery time and records replayed on restart,
+// catch-up convergence time, and backfill records/bytes from the
+// coordinator's own rsse_cluster_* counters. Emits the usual JSON
+// document so CI can track drift in recovery cost.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cloud/cloud_server.h"
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "cloud/protocol.h"
+#include "cluster/coordinator.h"
+#include "crypto/csprng.h"
+#include "sim/sim_net.h"
+#include "store/deployment.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+struct Phase {
+  const char* name = "";
+  std::size_t queries = 0;
+  rsse::bench::LatencySummary latency;
+};
+
+rsse::bench::Json phase_json(const Phase& p) {
+  auto j = rsse::bench::Json::object();
+  j.set("phase", p.name);
+  j.set("queries", p.queries);
+  j.set("latency", rsse::bench::latency_json(p.latency));
+  return j;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rsse;
+  bench::banner(
+      "Update durability — replica kill, WAL restart and backfill repair");
+
+  // A mid-sized corpus: big enough that snapshots would dwarf WAL
+  // backfills (making the suffix repair worth measuring), small enough
+  // that three full replicas load quickly.
+  auto opts = bench::fig4_corpus_options(150);
+  opts.num_documents = bench::scaled<std::size_t>(400, 120);
+  opts.max_tokens = 600;
+  opts.injected[0].document_count = opts.num_documents;
+  const ir::Corpus corpus = ir::generate_corpus(opts);
+
+  cloud::DataOwner owner;
+  cloud::CloudServer template_server;
+  bench::human("building index (%zu files)...\n", corpus.size());
+  owner.outsource_rsse(corpus, template_server);
+  const Bytes user_key = crypto::random_bytes(32);
+  const cloud::UserCredentials credentials = cloud::AuthorizationService::open(
+      user_key, "bench", owner.enroll_user(user_key, "bench"));
+
+  const std::size_t storm = bench::scaled<std::size_t>(600, 192);
+  const std::size_t kill_at = storm / 3;
+  constexpr std::size_t kReplicas = 3;
+  constexpr std::uint32_t kWriteQuorum = 2;
+
+  // Pre-build every update delta (one small add each, every document
+  // carrying the probe keyword) so serialization cost stays out of the
+  // measured phases.
+  std::vector<Bytes> payloads;
+  payloads.reserve(storm);
+  for (std::size_t i = 0; i < storm; ++i) {
+    std::string text = std::string(bench::kKeyword) + " durability doc" +
+                       std::to_string(i % 17);
+    std::vector<ir::Document> adds = {
+        ir::Document{ir::file_id(700000 + i), "storm.txt", std::move(text)}};
+    cloud::UpdateRequest req;
+    req.delta_id = i + 1;
+    req.delta = owner.build_update(adds, {});
+    payloads.push_back(req.serialize());
+  }
+
+  // One durable deployment, copied per replica so each server owns its
+  // own directory and WAL sidecar — exactly the production layout the
+  // store module persists.
+  const std::string root =
+      (fs::temp_directory_path() / "rsse_bench_update_durability").string();
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const std::string base_dir = root + "/base";
+  store::save_deployment(template_server, base_dir);
+
+  std::vector<std::string> dirs;
+  std::vector<std::unique_ptr<cloud::CloudServer>> servers;
+  for (std::size_t r = 0; r < kReplicas; ++r) {
+    dirs.push_back(root + "/replica" + std::to_string(r));
+    fs::copy(base_dir, dirs.back(), fs::copy_options::recursive);
+    servers.push_back(std::make_unique<cloud::CloudServer>());
+    store::load_deployment(dirs.back(), *servers.back());
+    servers.back()->set_segment_policy(seg::SegPolicy{64});
+  }
+
+  sim::SimOptions sim_options;
+  sim_options.seed = 0xD07ABLL;
+  sim::SimNet net(sim_options);
+  std::vector<sim::SimTransport*> handles;
+  auto set = std::make_unique<cluster::ReplicaSet>();
+  for (std::size_t r = 0; r < kReplicas; ++r) {
+    auto transport = net.connect(*servers[r]);
+    handles.push_back(transport.get());
+    set->add_replica(std::move(transport));
+  }
+  std::vector<std::unique_ptr<cluster::ReplicaSet>> sets;
+  sets.push_back(std::move(set));
+
+  cluster::ClusterManifest manifest;
+  manifest.num_shards = 1;
+  manifest.replicas = kReplicas;
+  manifest.total_rows = template_server.index().num_rows();
+  manifest.total_files = template_server.num_files();
+  cluster::CoordinatorOptions coptions;
+  coptions.retry.max_attempts = 3;
+  coptions.retry.base_backoff = 0ms;
+  coptions.retry.max_backoff = 0ms;
+  coptions.retry.down_cooldown = std::chrono::minutes(10);
+  coptions.retry.write_quorum = kWriteQuorum;
+  cluster::ClusterCoordinator coordinator(manifest, std::move(sets), coptions);
+  cloud::DataUser user(credentials, coordinator);
+
+  bench::human("workload: %zu updates (kill replica 2 at %zu), %zu replicas,"
+               " write quorum %u\n\n",
+               storm, kill_at, kReplicas, kWriteQuorum);
+
+  const Bytes query = cloud::RankedSearchRequest{
+      sse::Trapdoor{owner.rsse().row_label(bench::kKeyword),
+                    owner.rsse().row_key(bench::kKeyword)},
+      10}.serialize();
+  std::vector<double> healthy_ms, stale_ms, catch_up_ms, converged_ms;
+  const auto probe = [&](std::vector<double>& sink) {
+    const Stopwatch watch;
+    (void)coordinator.call(cloud::MessageType::kRankedSearch, query);
+    sink.push_back(watch.elapsed_ms());
+  };
+
+  // Phase 1+2 — the storm: quorum fan-out with a ranked search every
+  // fourth update. The kill splits the sample into the healthy baseline
+  // and the stale window (2-of-3 commits routing reads around the dead
+  // replica).
+  for (std::size_t i = 0; i < storm; ++i) {
+    if (i == kill_at) handles[2]->set_down(true);
+    (void)coordinator.call(cloud::MessageType::kUpdate, payloads[i]);
+    if (i % 4 == 3) probe(i < kill_at ? healthy_ms : stale_ms);
+  }
+  const std::uint64_t seq_gap =
+      servers[0]->segment_next_seq() - servers[2]->segment_next_seq();
+  bench::human("replica 2 dead: %llu seqs behind, %zu stale replicas\n",
+               static_cast<unsigned long long>(seq_gap),
+               coordinator.shard(0).stale_replicas());
+
+  // Phase 3 — crash-restart: the replica's process state is discarded and
+  // a fresh server recovers everything it ever ACKED from its WAL sidecar.
+  Stopwatch recovery_watch;
+  servers[2] = std::make_unique<cloud::CloudServer>();
+  store::load_deployment(dirs[2], *servers[2]);
+  const double recovery_s = recovery_watch.elapsed_seconds();
+  servers[2]->set_segment_policy(seg::SegPolicy{64});
+  const std::uint64_t wal_replayed = servers[2]->wal_tail_records();
+  handles[2]->rebind(*servers[2]);
+  handles[2]->set_down(false);
+  bench::human("WAL restart: %llu records replayed in %.3f ms\n",
+               static_cast<unsigned long long>(wal_replayed),
+               recovery_s * 1e3);
+
+  // Phase 4 — anti-entropy: the background worker drains the donor's WAL
+  // suffix into the laggard while the foreground keeps issuing ranked
+  // searches — the "query p99 during catch-up" number.
+  cluster::CatchUpOptions cu;
+  cu.batch_records = 64;
+  cu.install_snapshot = [&servers](std::size_t, std::size_t replica,
+                                   const cloud::SnapshotResponse& snapshot) {
+    servers[replica]->install_snapshot(snapshot);
+    return true;
+  };
+  coordinator.enable_catch_up(std::move(cu));
+  Stopwatch catch_up_watch;
+  coordinator.notify_catch_up();
+  while (coordinator.shard(0).stale_replicas() > 0 &&
+         catch_up_ms.size() < 100000)
+    probe(catch_up_ms);
+  coordinator.wait_for_catch_up_idle();
+  const double catch_up_s = catch_up_watch.elapsed_seconds();
+
+  const std::uint64_t backfill_records =
+      coordinator.registry()
+          .counter("rsse_cluster_backfill_records_total", "")
+          .value();
+  const std::uint64_t backfill_bytes =
+      coordinator.registry()
+          .counter("rsse_cluster_backfill_bytes_total", "")
+          .value();
+  bench::human("catch-up: converged in %.3f ms (%llu backfill batches,"
+               " %llu records, %llu bytes, %llu snapshot repairs)\n",
+               catch_up_s * 1e3,
+               static_cast<unsigned long long>(coordinator.backfills_completed()),
+               static_cast<unsigned long long>(backfill_records),
+               static_cast<unsigned long long>(backfill_bytes),
+               static_cast<unsigned long long>(
+                   coordinator.snapshot_repairs_completed()));
+
+  // Phase 5 — converged baseline again, all three replicas serving.
+  for (std::size_t i = 0; i < 32; ++i) probe(converged_ms);
+  (void)user;  // credentials exercised via the coordinator transport above
+
+  const Phase phases[] = {
+      {"healthy", healthy_ms.size(), bench::summarize_latencies(healthy_ms)},
+      {"stale_window", stale_ms.size(), bench::summarize_latencies(stale_ms)},
+      {"catch_up", catch_up_ms.size(), bench::summarize_latencies(catch_up_ms)},
+      {"converged", converged_ms.size(),
+       bench::summarize_latencies(converged_ms)},
+  };
+  for (const Phase& p : phases)
+    bench::human("%-12s %5zu queries   p50 %7.3f ms   p95 %7.3f ms"
+                 "   p99 %7.3f ms\n",
+                 p.name, p.queries, p.latency.p50, p.latency.p95,
+                 p.latency.p99);
+
+  auto json_phases = bench::Json::array();
+  for (const Phase& p : phases) json_phases.push(phase_json(p));
+  auto results = bench::Json::object();
+  results.set("updates", storm);
+  results.set("kill_at", kill_at);
+  results.set("replicas", kReplicas);
+  results.set("write_quorum", kWriteQuorum);
+  results.set("replica_seq_gap", seq_gap);
+  results.set("wal_records_replayed", wal_replayed);
+  results.set("wal_recovery_ms", recovery_s * 1e3);
+  results.set("catch_up_ms", catch_up_s * 1e3);
+  results.set("backfills_completed", coordinator.backfills_completed());
+  results.set("backfill_records", backfill_records);
+  results.set("backfill_bytes", backfill_bytes);
+  results.set("snapshot_repairs", coordinator.snapshot_repairs_completed());
+  results.set("quorum_failures",
+              coordinator.registry()
+                  .counter("rsse_cluster_update_quorum_failures_total", "")
+                  .value());
+  results.set("phases", std::move(json_phases));
+  bench::emit(bench::doc("update_durability", "Update durability")
+                  .set("results", std::move(results))
+                  .set("counters", bench::counters_json()));
+
+  fs::remove_all(root);
+  return 0;
+}

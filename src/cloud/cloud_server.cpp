@@ -23,6 +23,7 @@ const char* message_name(MessageType type) {
     case MessageType::kStats: return "stats";
     case MessageType::kTrace: return "trace";
     case MessageType::kUpdate: return "update";
+    case MessageType::kDeltaBackfill: return "delta_backfill";
   }
   return "unknown";
 }
@@ -201,6 +202,12 @@ UpdateResponse CloudServer::apply_update(const UpdateRequest& req) const {
   // Serialize appliers: sequence assignment, file mutations and the
   // idempotency cache must agree on one order of deltas.
   const std::lock_guard<std::mutex> update_lock(update_mutex_);
+  return apply_update_locked(req, nullptr, /*log=*/true);
+}
+
+UpdateResponse CloudServer::apply_update_locked(const UpdateRequest& req,
+                                                const Bytes* delta_bytes,
+                                                bool log) const {
   if (req.delta_id != 0) {
     // Transport-level retry of a delta already applied: replay the cached
     // response instead of double-applying. The window is a bounded ring,
@@ -251,6 +258,17 @@ UpdateResponse CloudServer::apply_update(const UpdateRequest& req) const {
   clear_rank_cache();
   refresh_storage_gauges();
 
+  // Durability: log the applied delta BEFORE the ack can leave. A failed
+  // append throws without caching the response, so the owner's retry
+  // re-applies — an add is an upsert (guard tombstone per add), so the
+  // at-least-once outcome stays correct.
+  seg::WalRecord record;
+  record.delta_id = req.delta_id;
+  record.first_seq = stats.first_seq;
+  record.delta = delta_bytes != nullptr ? *delta_bytes : req.delta.serialize();
+  if (log && wal_.attached()) wal_.append(record);
+  wal_tail_.push_back(std::move(record));
+
   resp.sealed_segments = overlay_.sealed_count();
   resp.next_seq = overlay_.next_seq();
   metrics_.record_update(resp.entries_applied, resp.tombstones_applied);
@@ -292,9 +310,110 @@ std::uint64_t CloudServer::compactions_completed() const {
 
 void CloudServer::restore_segments(std::vector<seg::Segment> segments,
                                    std::uint64_t next_seq) {
+  const std::lock_guard<std::mutex> update_lock(update_mutex_);
+  restore_segments_locked(std::move(segments), next_seq);
+}
+
+void CloudServer::restore_segments_locked(std::vector<seg::Segment> segments,
+                                          std::uint64_t next_seq) {
   overlay_.restore(std::move(segments), next_seq);
+  // A restored overlay invalidates everything keyed to the previous
+  // sequence history: the replay ring and the retained WAL tail.
+  recent_updates_.clear();
+  recent_updates_cursor_ = 0;
+  wal_tail_.clear();
+  if (wal_.attached()) wal_.rewrite(wal_tail_);
   clear_rank_cache();
   refresh_segment_gauges();
+}
+
+DeltaBackfillResponse CloudServer::delta_backfill(const DeltaBackfillRequest& req) const {
+  const std::lock_guard<std::mutex> update_lock(update_mutex_);
+  DeltaBackfillResponse resp;
+  resp.next_seq = overlay_.next_seq();
+  if (req.from_seq >= resp.next_seq) return resp;  // current (or a probe)
+  // The suffix must start exactly at from_seq: the requester replays
+  // records in order against its own sequence counter, so a gap — the
+  // tail was checkpointed past from_seq — means only a snapshot helps.
+  bool found = false;
+  for (const seg::WalRecord& record : wal_tail_) {
+    if (!found) {
+      if (record.first_seq == req.from_seq) {
+        found = true;
+      } else if (record.first_seq > req.from_seq) {
+        break;
+      } else {
+        continue;
+      }
+    }
+    resp.records.push_back(record.serialize());
+    if (req.max_records != 0 && resp.records.size() >= req.max_records) break;
+  }
+  if (!found) {
+    resp.truncated = true;
+    resp.records.clear();
+  }
+  return resp;
+}
+
+std::size_t CloudServer::attach_wal(const std::string& path) {
+  const std::lock_guard<std::mutex> update_lock(update_mutex_);
+  const seg::WalScan scan = seg::WriteAheadLog::scan_file(path);
+  std::size_t replayed = 0;
+  for (const seg::WalRecord& record : scan.records) {
+    const std::uint64_t next = overlay_.next_seq();
+    if (record.first_seq < next) continue;  // a persisted save covers it
+    if (record.first_seq != next)
+      throw IntegrityError("attach_wal: log does not continue the overlay (record seq " +
+                           std::to_string(record.first_seq) + ", overlay at " +
+                           std::to_string(next) + "): " + path);
+    UpdateRequest req;
+    req.delta_id = record.delta_id;
+    req.delta = seg::UpdateDelta::deserialize(record.delta);
+    (void)apply_update_locked(req, &record.delta, /*log=*/false);
+    ++replayed;
+  }
+  wal_.open(path);
+  // Compact the file when replay dropped anything (snapshot-covered
+  // records, a torn tail) or in-memory applies predate the attach; a
+  // clean fully-replayed log is left byte-identical, appends continue.
+  if (scan.torn_tail || wal_tail_.size() != scan.records.size())
+    wal_.rewrite(wal_tail_);
+  return replayed;
+}
+
+void CloudServer::checkpoint_wal(std::uint64_t persisted_next_seq) const {
+  const std::lock_guard<std::mutex> update_lock(update_mutex_);
+  const std::size_t before = wal_tail_.size();
+  while (!wal_tail_.empty() && wal_tail_.front().first_seq < persisted_next_seq)
+    wal_tail_.pop_front();
+  if (wal_.attached() && before != wal_tail_.size()) wal_.rewrite(wal_tail_);
+}
+
+std::size_t CloudServer::wal_tail_records() const {
+  const std::lock_guard<std::mutex> update_lock(update_mutex_);
+  return wal_tail_.size();
+}
+
+void CloudServer::install_snapshot(const SnapshotResponse& snap) {
+  // Parse outside the locks; a malformed snapshot must not leave a
+  // half-replaced server.
+  sse::SecureIndex index = sse::SecureIndex::deserialize(snap.index);
+  std::vector<seg::Segment> segments;
+  segments.reserve(snap.segments.size());
+  for (const Bytes& blob : snap.segments)
+    segments.push_back(seg::Segment::deserialize(blob));
+  std::map<std::uint64_t, Bytes> files;
+  for (const auto& [id, blob] : snap.files) files[id] = blob;
+
+  const std::lock_guard<std::mutex> update_lock(update_mutex_);
+  {
+    const std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    index_ = std::move(index);
+    files_ = std::move(files);
+  }
+  restore_segments_locked(std::move(segments), snap.next_seq);
+  refresh_storage_gauges();
 }
 
 void CloudServer::refresh_segment_gauges() const {
@@ -456,6 +575,10 @@ Bytes CloudServer::handle_impl(MessageType type, BytesView payload,
         metrics_.record_latency(ServerMetrics::RequestKind::kUpdate,
                                 watch.elapsed_seconds());
         return out;
+      }
+      case MessageType::kDeltaBackfill: {
+        const auto req = DeltaBackfillRequest::deserialize(payload);
+        return delta_backfill(req).serialize();
       }
       case MessageType::kTrace: {
         const auto req = TraceRequest::deserialize(payload);

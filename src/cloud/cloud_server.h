@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -29,6 +30,7 @@
 #include "obs/trace.h"
 #include "seg/compactor.h"
 #include "seg/segmented_index.h"
+#include "seg/wal.h"
 #include "sse/secure_index.h"
 
 namespace rsse::cloud {
@@ -145,6 +147,45 @@ class CloudServer {
   /// unacknowledged deltas than the window holds.
   static constexpr std::size_t kUpdateReplayWindow = 64;
 
+  /// Anti-entropy: the retained WAL suffix from `req.from_seq` on, for a
+  /// lagging replica catching up. Empty with truncated = false when the
+  /// requester is already current (so a from_seq of ~0 is the extended
+  /// health probe: it just reports this server's next_seq); truncated =
+  /// true when a checkpoint dropped the requested range and only a full
+  /// kSnapshot can repair the requester.
+  [[nodiscard]] DeltaBackfillResponse delta_backfill(const DeltaBackfillRequest& req) const;
+
+  // ----- durability (write-ahead log) -----
+
+  /// Binds this server to the append-only WAL at `path` and replays any
+  /// records already there into the overlay — recovering the memtable
+  /// entries, the delta_id idempotency ring, and the backfill tail that
+  /// died with the previous process. Records a persisted snapshot
+  /// already covers (first_seq below the restored next_seq) are skipped;
+  /// a torn tail record (crash mid-append, never acked) is discarded. From
+  /// here on every applied delta is flushed to the WAL before its ack.
+  /// Call after restore_segments and before serving traffic (store's
+  /// load_deployment does both). Returns the number of records replayed.
+  /// Throws IntegrityError when the log does not continue the restored
+  /// overlay (a record sequence gap).
+  std::size_t attach_wal(const std::string& path);
+
+  /// Drops WAL records a persisted snapshot now covers (first_seq <
+  /// persisted_next_seq) from the retained tail and the attached file —
+  /// store's save_deployment calls this after its atomic swap commits.
+  /// Const for the same reason the kUpdate path is: the WAL is mutable
+  /// durability bookkeeping on a server whose RPC surface is const.
+  void checkpoint_wal(std::uint64_t persisted_next_seq) const;
+
+  /// Records retained for kDeltaBackfill (tests/observability).
+  [[nodiscard]] std::size_t wal_tail_records() const;
+
+  /// Anti-entropy fallback installer: replaces the full server state
+  /// (index, files, overlay segments + sequence counter) from a healthy
+  /// peer's snapshot, resetting the idempotency ring and the WAL — the
+  /// in-process equivalent of store::repair_cluster_shard.
+  void install_snapshot(const SnapshotResponse& snap);
+
   // ----- dynamic-overlay lifecycle -----
 
   /// Memtable/compaction thresholds. Set before serving updates.
@@ -195,6 +236,17 @@ class CloudServer {
   [[nodiscard]] Bytes blob_of(std::uint64_t id) const;
   [[nodiscard]] std::vector<sse::RankedSearchEntry> ranked_entries(
       const sse::Trapdoor& trapdoor, std::size_t top_k) const;
+  /// apply_update with update_mutex_ already held. `delta_bytes`, when
+  /// non-null, is the caller's serialized copy of req.delta (WAL replay
+  /// reuses the logged bytes instead of re-serializing); `log` is false
+  /// on replay so records are not re-appended to the file.
+  [[nodiscard]] UpdateResponse apply_update_locked(const UpdateRequest& req,
+                                                   const Bytes* delta_bytes,
+                                                   bool log) const;
+  /// restore_segments with update_mutex_ already held: resets the
+  /// overlay, the idempotency ring and the WAL tail together.
+  void restore_segments_locked(std::vector<seg::Segment> segments,
+                               std::uint64_t next_seq);
   [[nodiscard]] Bytes handle_impl(MessageType type, BytesView payload,
                                   obs::TraceRecorder* trace,
                                   std::uint64_t parent_span_id) const;
@@ -219,6 +271,13 @@ class CloudServer {
   mutable std::mutex update_mutex_;
   mutable std::vector<std::pair<std::uint64_t, UpdateResponse>> recent_updates_;
   mutable std::size_t recent_updates_cursor_ = 0;
+
+  // Durability + anti-entropy, both guarded by update_mutex_: the WAL
+  // records applied since the last checkpoint (save_deployment), in
+  // sequence order. wal_tail_ serves kDeltaBackfill whether or not a
+  // file is attached; like the memtable it grows until the next save.
+  mutable std::deque<seg::WalRecord> wal_tail_;
+  mutable seg::WriteAheadLog wal_;
 
   // Rank cache: label -> fully ranked row. Mutable + mutex because
   // lookups happen inside const request handlers.

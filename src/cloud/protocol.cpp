@@ -360,4 +360,53 @@ UpdateResponse UpdateResponse::deserialize(BytesView blob) {
   return resp;
 }
 
+Bytes DeltaBackfillRequest::serialize() const {
+  Bytes out;
+  append_u64(out, from_seq);
+  append_u64(out, max_records);
+  return out;
+}
+
+DeltaBackfillRequest DeltaBackfillRequest::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  DeltaBackfillRequest req;
+  req.from_seq = reader.read_u64();
+  req.max_records = reader.read_u64();
+  expect_exhausted(reader, "DeltaBackfillRequest");
+  return req;
+}
+
+Bytes DeltaBackfillResponse::serialize() const {
+  Bytes out;
+  out.push_back(truncated ? 1 : 0);
+  append_u64(out, next_seq);
+  append_u64(out, records.size());
+  for (const Bytes& record : records) append_lp(out, record);
+  return out;
+}
+
+DeltaBackfillResponse DeltaBackfillResponse::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  DeltaBackfillResponse resp;
+  const Bytes truncated = reader.read(1);
+  if (truncated[0] > 1)
+    throw ParseError("DeltaBackfillResponse: bad truncated flag");
+  resp.truncated = truncated[0] == 1;
+  resp.next_seq = reader.read_u64();
+  // A sequence cursor below 1 never occurs on a live server (1 is the
+  // empty overlay) — reject it like SnapshotResponse does.
+  if (resp.next_seq == 0)
+    throw ParseError("DeltaBackfillResponse: zero next_seq");
+  const std::uint64_t n = reader.read_count(4);  // one LP header each
+  resp.records.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Bytes record = reader.read_lp();
+    if (record.empty())
+      throw ParseError("DeltaBackfillResponse: empty backfill record");
+    resp.records.push_back(std::move(record));
+  }
+  expect_exhausted(reader, "DeltaBackfillResponse");
+  return resp;
+}
+
 }  // namespace rsse::cloud

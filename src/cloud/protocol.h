@@ -20,6 +20,12 @@
 //   * Update            — dynamics: the owner streams an encrypted
 //                         add/delete delta (seg::UpdateDelta) into the
 //                         server's segmented overlay.
+//   * DeltaBackfill     — anti-entropy: a lagging replica (or the
+//                         coordinator's catch-up worker on its behalf)
+//                         fetches the WAL suffix after its own sequence
+//                         cursor from a healthy peer; doubles as the
+//                         extended health probe (empty request reports
+//                         the responder's next_seq).
 #pragma once
 
 #include <cstdint>
@@ -47,6 +53,7 @@ enum class MessageType : std::uint8_t {
   kStats = 7,
   kTrace = 8,
   kUpdate = 9,
+  kDeltaBackfill = 10,
 };
 
 /// Boolean connective of a multi-keyword search.
@@ -237,6 +244,34 @@ struct UpdateResponse {
 
   [[nodiscard]] Bytes serialize() const;
   static UpdateResponse deserialize(BytesView blob);
+};
+
+/// Anti-entropy request: the WAL records covering [from_seq, ...) from a
+/// peer's retained tail. A from_seq at or past the responder's own
+/// next_seq yields an empty reply — which makes
+/// DeltaBackfillRequest{~0ull} a cheap "what is your sequence cursor"
+/// health probe (ReplicaSet::probe uses exactly that).
+struct DeltaBackfillRequest {
+  std::uint64_t from_seq = 0;     ///< requester's overlay next_seq
+  std::uint64_t max_records = 0;  ///< response batch cap (0 = all retained)
+
+  [[nodiscard]] Bytes serialize() const;
+  static DeltaBackfillRequest deserialize(BytesView blob);
+};
+
+/// Anti-entropy response: contiguous WAL records starting exactly at
+/// from_seq, oldest first, each a seg::WalRecord::serialize() payload the
+/// requester replays through its own kUpdate path. `truncated` means the
+/// responder's retained tail no longer reaches back to from_seq (a
+/// checkpoint dropped those records) — the requester must fall back to a
+/// full kSnapshot repair.
+struct DeltaBackfillResponse {
+  bool truncated = false;
+  std::uint64_t next_seq = 0;  ///< responder's overlay sequence cursor
+  std::vector<Bytes> records;  ///< seg::WalRecord payloads, ascending seq
+
+  [[nodiscard]] Bytes serialize() const;
+  static DeltaBackfillResponse deserialize(BytesView blob);
 };
 
 }  // namespace rsse::cloud

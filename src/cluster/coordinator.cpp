@@ -6,6 +6,7 @@
 #include <map>
 
 #include "obs/profiler.h"
+#include "seg/wal.h"
 #include "util/errors.h"
 #include "util/stopwatch.h"
 
@@ -39,6 +40,7 @@ const char* message_name(cloud::MessageType type) {
     case cloud::MessageType::kStats: return "stats";
     case cloud::MessageType::kTrace: return "trace";
     case cloud::MessageType::kUpdate: return "update";
+    case cloud::MessageType::kDeltaBackfill: return "delta_backfill";
   }
   return "unknown";
 }
@@ -70,6 +72,27 @@ ClusterCoordinator::ClusterCoordinator(ClusterManifest manifest,
   bytes_down_total_ = &metrics_.registry().counter(
       "rsse_cluster_bytes_down_total",
       "Serialized response bytes leaving the cluster");
+  quorum_failures_ = &metrics_.registry().counter(
+      "rsse_cluster_update_quorum_failures_total",
+      "Updates rejected because fewer replicas acked than the write quorum");
+  backfill_records_counter_ = &metrics_.registry().counter(
+      "rsse_cluster_backfill_records_total",
+      "WAL records replayed to lagging replicas by anti-entropy");
+  backfill_bytes_counter_ = &metrics_.registry().counter(
+      "rsse_cluster_backfill_bytes_total",
+      "Serialized delta bytes replayed to lagging replicas by anti-entropy");
+  snapshot_repairs_counter_ = &metrics_.registry().counter(
+      "rsse_cluster_snapshot_repairs_total",
+      "Lagging replicas rebuilt from a full snapshot (WAL suffix gone)");
+}
+
+ClusterCoordinator::~ClusterCoordinator() {
+  {
+    const std::lock_guard<std::mutex> lock(cu_mutex_);
+    cu_stop_ = true;
+  }
+  cu_cv_.notify_all();
+  if (catch_up_thread_.joinable()) catch_up_thread_.join();
 }
 
 std::size_t ClusterCoordinator::probe_shards() {
@@ -369,11 +392,76 @@ cloud::UpdateResponse ClusterCoordinator::do_update(BytesView payload,
   }
   detail::require(!subs.empty(), "cluster: update delta routed nowhere");
 
-  const auto run_sub = [this, &deadline, trace, parent_span_id](Sub& sub) {
+  // Deltas carrying an idempotency id fan out to every replica and
+  // commit on the write quorum; a replica that misses the commit is
+  // marked stale and handed to anti-entropy. A zero delta_id cannot be
+  // deduplicated (a duplicate apply would double-count), so those keep
+  // the legacy pick-one path with failover.
+  const bool replicate = req.delta_id != 0;
+  std::atomic<bool> any_missed{false};
+  const auto run_sub = [this, replicate, &any_missed, &deadline, trace,
+                        parent_span_id](Sub& sub) {
     try {
-      sub.response = cloud::UpdateResponse::deserialize(
-          shard_call(sub.shard, cloud::MessageType::kUpdate, sub.request, deadline,
-                     trace, parent_span_id));
+      if (!replicate) {
+        sub.response = cloud::UpdateResponse::deserialize(
+            shard_call(sub.shard, cloud::MessageType::kUpdate, sub.request, deadline,
+                       trace, parent_span_id));
+        return;
+      }
+      ReplicaSet& set = *shards_[sub.shard];
+      const Stopwatch watch;
+      const auto outcomes = set.call_all(cloud::MessageType::kUpdate, sub.request,
+                                         options_.retry, deadline, trace,
+                                         parent_span_id);
+      metrics_.record_request(sub.shard, watch.elapsed_seconds());
+      std::size_t targeted = 0;
+      std::size_t acks = 0;
+      bool first_ack = true;
+      std::exception_ptr first_error;
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].skipped) continue;  // stale: anti-entropy owns it
+        ++targeted;
+        if (outcomes[i].error) {
+          if (!first_error) first_error = outcomes[i].error;
+          continue;
+        }
+        try {
+          auto ack = cloud::UpdateResponse::deserialize(outcomes[i].response);
+          set.note_applied(i, ack.next_seq);
+          if (first_ack) {
+            sub.response = std::move(ack);
+            first_ack = false;
+          } else {
+            sub.response.replayed = sub.response.replayed && ack.replayed;
+          }
+          ++acks;
+        } catch (const Error&) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      // Quorum 0 means every replica the delta was fanned to — replicas
+      // already stale are excluded up front (anti-entropy owns them), so
+      // a replica that dies mid-stream stalls writes for one failed
+      // update before staleness routes around it.
+      const std::size_t quorum = std::max<std::size_t>(
+          options_.retry.write_quorum == 0
+              ? targeted
+              : std::min<std::size_t>(options_.retry.write_quorum, set.size()),
+          1);
+      if (acks < quorum) {
+        metrics_.record_error(sub.shard);
+        quorum_failures_->inc();
+        sub.error = first_error
+                        ? first_error
+                        : std::make_exception_ptr(ProtocolError(
+                              "cluster: update quorum not met on " + set.node_name()));
+        return;
+      }
+      // Committed. Replicas that missed it are now behind: exclude them
+      // from reads and live fan-out until anti-entropy replays the gap.
+      for (std::size_t i = 0; i < outcomes.size(); ++i)
+        if (outcomes[i].error) set.mark_stale(i);
+      if (acks < outcomes.size()) any_missed.store(true);
     } catch (...) {
       sub.error = std::current_exception();
     }
@@ -388,6 +476,7 @@ cloud::UpdateResponse ClusterCoordinator::do_update(BytesView payload,
   run_sub(subs[0]);
   for (auto& future : futures) future.get();
   scatter_profile.finish();
+  if (any_missed.load()) notify_catch_up();
 
   // All-or-nothing: a failed shard fails the update. The owner retries
   // with the same delta_id; shards that already applied replay.
@@ -410,6 +499,159 @@ cloud::UpdateResponse ClusterCoordinator::do_update(BytesView payload,
     merged.replayed = merged.replayed && sub.response.replayed;
   }
   return merged;
+}
+
+void ClusterCoordinator::enable_catch_up(CatchUpOptions options) {
+  detail::require(!catch_up_thread_.joinable(),
+                  "ClusterCoordinator: catch-up already enabled");
+  catch_up_options_ = std::move(options);
+  catch_up_thread_ = std::thread([this] { catch_up_run(); });
+}
+
+void ClusterCoordinator::notify_catch_up() {
+  if (!catch_up_thread_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(cu_mutex_);
+    cu_pending_ = true;
+  }
+  cu_cv_.notify_all();
+}
+
+void ClusterCoordinator::wait_for_catch_up_idle() {
+  std::unique_lock<std::mutex> lock(cu_mutex_);
+  cu_cv_.wait(lock, [this] { return (!cu_pending_ && !cu_working_) || cu_stop_; });
+}
+
+void ClusterCoordinator::catch_up_run() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(cu_mutex_);
+      cu_cv_.wait(lock, [this] { return cu_pending_ || cu_stop_; });
+      if (cu_stop_) return;
+      cu_pending_ = false;
+      cu_working_ = true;
+    }
+    for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+      try {
+        // A shard that cannot fully converge (replica still down, no
+        // donor) is left for the next notification — every further
+        // quorum miss renotifies, so the worker never polls a corpse.
+        catch_up_shard(shard);
+      } catch (const Error&) {
+        // Donor or laggard vanished mid-repair: same policy.
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(cu_mutex_);
+      cu_working_ = false;
+    }
+    cu_cv_.notify_all();
+  }
+}
+
+bool ClusterCoordinator::catch_up_shard(std::size_t shard) {
+  ReplicaSet& set = *shards_[shard];
+  if (set.stale_replicas() == 0) return true;
+  const auto statuses = set.probe_detailed(options_.retry);
+  // Donor: the freshest live replica. (It may itself be stale relative
+  // to a dead-but-ahead peer; replaying to its level is still progress,
+  // and refresh keeps everyone stale until the true maximum is reached.)
+  std::size_t donor = statuses.size();
+  std::uint64_t donor_seq = 0;
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    if (!statuses[i].alive) continue;
+    if (donor == statuses.size() || statuses[i].next_seq > donor_seq) {
+      donor = i;
+      donor_seq = statuses[i].next_seq;
+    }
+  }
+  if (donor == statuses.size()) return false;  // nobody to copy from
+  bool converged = true;
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    if (i == donor || !statuses[i].stale) continue;
+    if (!statuses[i].alive) {
+      converged = false;  // still down: wait for the next notification
+      continue;
+    }
+    if (!catch_up_replica(set, shard, donor, i, statuses[i].next_seq))
+      converged = false;
+  }
+  return converged;
+}
+
+bool ClusterCoordinator::catch_up_replica(ReplicaSet& set, std::size_t shard,
+                                          std::size_t donor, std::size_t laggard,
+                                          std::uint64_t cursor) {
+  // Bulk replay runs OFF the update path: a stale replica receives no
+  // live fan-out, so nothing races the copy. Only the final drain — the
+  // step that flips the replica fresh — serializes with do_update.
+  std::uint64_t drained = replay_backfill(set, donor, laggard, cursor);
+  if (drained == 0) {
+    // The donor's retained WAL no longer reaches back: full rebuild,
+    // then replay whatever landed on the donor while the snapshot moved.
+    if (!snapshot_repair(set, shard, donor, laggard)) return false;
+    cloud::DeltaBackfillRequest ping;
+    ping.from_seq = ~std::uint64_t{0};  // status probe: sequence only
+    const auto pong = cloud::DeltaBackfillResponse::deserialize(
+        set.call_replica(laggard, cloud::MessageType::kDeltaBackfill,
+                         ping.serialize(), options_.retry));
+    drained = replay_backfill(set, donor, laggard, pong.next_seq);
+    if (drained == 0) return false;  // checkpoint raced the rebuild: retry later
+  }
+  {
+    // Final drain: with do_update excluded, the donor cannot advance, so
+    // one more round empties the gap and the laggard's fresh transition
+    // linearizes with the update stream.
+    const std::lock_guard<std::mutex> update_lock(update_mutex_);
+    drained = replay_backfill(set, donor, laggard, drained);
+    if (drained == 0) return false;
+    set.note_applied(laggard, drained);
+  }
+  return !set.is_stale(laggard);
+}
+
+std::uint64_t ClusterCoordinator::replay_backfill(ReplicaSet& set, std::size_t donor,
+                                                  std::size_t laggard,
+                                                  std::uint64_t cursor) {
+  for (;;) {
+    cloud::DeltaBackfillRequest breq;
+    breq.from_seq = cursor;
+    breq.max_records = catch_up_options_.batch_records;
+    const auto bresp = cloud::DeltaBackfillResponse::deserialize(
+        set.call_replica(donor, cloud::MessageType::kDeltaBackfill, breq.serialize(),
+                         options_.retry));
+    if (bresp.truncated) return 0;
+    if (bresp.records.empty()) return cursor;  // caught up to the donor
+    for (const Bytes& raw : bresp.records) {
+      const seg::WalRecord record = seg::WalRecord::deserialize(raw);
+      if (record.first_seq != cursor)
+        throw ProtocolError("catch-up: donor backfill out of order (record seq " +
+                            std::to_string(record.first_seq) + ", cursor " +
+                            std::to_string(cursor) + ")");
+      cloud::UpdateRequest replay;
+      replay.delta_id = record.delta_id;
+      replay.delta = seg::UpdateDelta::deserialize(record.delta);
+      const auto ack = cloud::UpdateResponse::deserialize(
+          set.call_replica(laggard, cloud::MessageType::kUpdate, replay.serialize(),
+                           options_.retry));
+      backfill_records_counter_->inc();
+      backfill_bytes_counter_->inc(record.delta.size());
+      backfills_completed_.fetch_add(1);
+      cursor = ack.next_seq;
+    }
+  }
+}
+
+bool ClusterCoordinator::snapshot_repair(ReplicaSet& set, std::size_t shard,
+                                         std::size_t donor, std::size_t laggard) {
+  if (!catch_up_options_.install_snapshot) return false;
+  const auto snapshot = cloud::SnapshotResponse::deserialize(
+      set.call_replica(donor, cloud::MessageType::kSnapshot,
+                       cloud::SnapshotRequest{}.serialize(), options_.retry));
+  if (!catch_up_options_.install_snapshot(shard, laggard, snapshot)) return false;
+  snapshot_repairs_counter_->inc();
+  snapshot_repairs_.fetch_add(1);
+  return true;
 }
 
 Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
@@ -476,6 +718,10 @@ Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
       // Snapshots are a replica-to-replica repair primitive; a cluster-wide
       // snapshot has no single owner to answer it.
       throw ProtocolError("ClusterCoordinator: snapshot is replica-direct");
+    case cloud::MessageType::kDeltaBackfill:
+      // Backfill addresses one replica's WAL tail; the coordinator runs it
+      // itself (anti-entropy) but cannot answer it for the cluster.
+      throw ProtocolError("ClusterCoordinator: delta backfill is replica-direct");
   }
   throw ProtocolError("ClusterCoordinator: unknown message type");
 }

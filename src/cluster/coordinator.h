@@ -32,6 +32,18 @@
 //     side — one delta scatters at a time — so every shard applies
 //     overlapping deltas in the same order.
 //
+// Durable replication (deltas with a non-zero delta_id): each shard's
+// sub-delta fans out to EVERY replica of the shard (ReplicaSet::call_all)
+// and commits once RetryPolicy::write_quorum replicas ack (default: all
+// the replicas targeted). A replica that misses a committed delta is
+// marked stale — excluded from read routing and further live fan-out —
+// and is repaired by the anti-entropy catch-up worker (enable_catch_up):
+// a kDeltaBackfill WAL-suffix replay from the freshest live replica, or
+// a full kSnapshot rebuild when the donor's retained log no longer
+// reaches back (CatchUpOptions::install_snapshot). Deltas WITHOUT a
+// delta_id cannot be deduplicated, so they keep the legacy pick-one
+// path with failover.
+//
 // Failure handling: each shard is a ReplicaSet (replica failover with
 // capped exponential backoff). When a whole shard stays down, multi-shard
 // queries degrade gracefully — the merged response is returned with its
@@ -39,9 +51,13 @@
 // queries have no sound fallback and surface the error.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "cluster/metrics.h"
@@ -67,6 +83,23 @@ struct CoordinatorOptions {
   std::chrono::milliseconds query_timeout{0};
 };
 
+/// Anti-entropy knobs (ClusterCoordinator::enable_catch_up).
+struct CatchUpOptions {
+  /// kDeltaBackfill page size: WAL records fetched from the donor per
+  /// round trip (0 = the donor's whole retained tail at once).
+  std::uint64_t batch_records = 0;
+  /// Fallback when the donor's retained WAL no longer reaches back to
+  /// the lagging replica (the suffix was checkpointed away): invoked
+  /// with the donor's full kSnapshot so the embedder can rebuild the
+  /// replica's state — e.g. CloudServer::install_snapshot on the
+  /// in-process server, or save + restart for an out-of-process one.
+  /// Return true once installed; false (or an unset callback) leaves
+  /// the replica stale until the next catch-up round.
+  std::function<bool(std::size_t shard, std::size_t replica,
+                     const cloud::SnapshotResponse& snapshot)>
+      install_snapshot;
+};
+
 /// The cluster-aware Transport implementation.
 class ClusterCoordinator final : public cloud::Transport {
  public:
@@ -75,6 +108,9 @@ class ClusterCoordinator final : public cloud::Transport {
   ClusterCoordinator(ClusterManifest manifest,
                      std::vector<std::unique_ptr<ReplicaSet>> shards,
                      CoordinatorOptions options = {});
+
+  /// Joins the anti-entropy worker (if enable_catch_up ran).
+  ~ClusterCoordinator() override;
 
   /// One logical RPC against the cluster (Transport contract). The
   /// effective budget is the tighter of `deadline` and
@@ -98,6 +134,39 @@ class ClusterCoordinator final : public cloud::Transport {
   /// Health-checks every replica of every shard; returns the number of
   /// shards with at least one live replica.
   std::size_t probe_shards();
+
+  /// Starts the background anti-entropy worker (modeled on
+  /// seg::Compactor): every notify_catch_up() wakes it to probe each
+  /// shard, pick the freshest live replica as donor, and replay the
+  /// donor's WAL suffix (kDeltaBackfill → kUpdate, in sequence order) to
+  /// every stale-but-alive replica, falling back to a full kSnapshot
+  /// rebuild when the suffix was checkpointed away. The bulk copy runs
+  /// off the update path; only the final drain — the step that flips a
+  /// replica fresh — serializes with do_update, so live traffic never
+  /// interleaves with a replica's replay. Call at most once; quorum
+  /// misses notify the worker automatically.
+  void enable_catch_up(CatchUpOptions options = {});
+
+  /// Wakes the catch-up worker for a repair pass (no-op before
+  /// enable_catch_up). Also call after restarting a dead replica — a
+  /// replica that stays unreachable is left for the next notification
+  /// rather than polled in a loop.
+  void notify_catch_up();
+
+  /// Blocks until the catch-up worker has no queued or running pass —
+  /// the test/bench barrier for "replication has converged as far as it
+  /// can".
+  void wait_for_catch_up_idle();
+
+  /// WAL records replayed to lagging replicas so far (anti-entropy).
+  [[nodiscard]] std::uint64_t backfills_completed() const {
+    return backfills_completed_.load();
+  }
+
+  /// Lagging replicas rebuilt from a full snapshot so far.
+  [[nodiscard]] std::uint64_t snapshot_repairs_completed() const {
+    return snapshot_repairs_.load();
+  }
 
   /// Per-shard observability.
   [[nodiscard]] ClusterMetricsSnapshot metrics() const { return metrics_.snapshot(); }
@@ -136,6 +205,24 @@ class ClusterCoordinator final : public cloud::Transport {
                                   obs::TraceRecorder* trace,
                                   std::uint64_t parent_span_id);
 
+  /// Anti-entropy worker loop: waits for notify_catch_up, repairs every
+  /// shard, publishes idleness.
+  void catch_up_run();
+  /// One repair pass over one shard; true when no replica is left stale.
+  bool catch_up_shard(std::size_t shard);
+  /// Replays donor WAL records to the laggard and flips it fresh under
+  /// update_mutex_; true when the laggard fully converged.
+  bool catch_up_replica(ReplicaSet& set, std::size_t shard, std::size_t donor,
+                        std::size_t laggard, std::uint64_t cursor);
+  /// One backfill drain: donor records from `cursor` replayed to the
+  /// laggard in order. Returns the laggard's new sequence cursor, or 0
+  /// when the donor's retained log no longer reaches back to `cursor`.
+  std::uint64_t replay_backfill(ReplicaSet& set, std::size_t donor,
+                                std::size_t laggard, std::uint64_t cursor);
+  /// Full-snapshot fallback via CatchUpOptions::install_snapshot.
+  bool snapshot_repair(ReplicaSet& set, std::size_t shard, std::size_t donor,
+                       std::size_t laggard);
+
   /// Fills the pointed-at empty blobs by fetching from the owning file
   /// shards in parallel. `skip_shard` marks a shard whose empty answers
   /// are genuine absences (the responder itself) — pass num_shards to
@@ -160,6 +247,21 @@ class ClusterCoordinator final : public cloud::Transport {
   obs::Counter* deadline_expiries_ = nullptr;
   obs::Counter* bytes_up_total_ = nullptr;
   obs::Counter* bytes_down_total_ = nullptr;
+  obs::Counter* quorum_failures_ = nullptr;
+  obs::Counter* backfill_records_counter_ = nullptr;
+  obs::Counter* backfill_bytes_counter_ = nullptr;
+  obs::Counter* snapshot_repairs_counter_ = nullptr;
+  // Anti-entropy worker state (enable_catch_up), seg::Compactor-style.
+  CatchUpOptions catch_up_options_;
+  std::mutex cu_mutex_;
+  std::condition_variable cu_cv_;
+  bool cu_pending_ = false;  // a notification not yet picked up
+  bool cu_working_ = false;  // a pass currently running
+  bool cu_stop_ = false;
+  std::atomic<std::uint64_t> backfills_completed_{0};
+  std::atomic<std::uint64_t> snapshot_repairs_{0};
+  // Last member: joins in the destructor before anything above dies.
+  std::thread catch_up_thread_;
 };
 
 /// An in-process cluster: N CloudServer shards behind one coordinator

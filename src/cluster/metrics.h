@@ -14,8 +14,12 @@
 //   rsse_cluster_scatter_gathers_total                    counter
 //   rsse_cluster_partial_responses_total                  counter
 // (cluster/replica.h adds rsse_cluster_failovers_total /
-// failed_attempts_total / deadline_failures_total per shard to the same
-// registry via ReplicaSet::bind_metrics.)
+// failed_attempts_total / deadline_failures_total plus a
+// rsse_cluster_replica_lag{shard,replica} gauge per replica to the same
+// registry via ReplicaSet::bind_metrics, and cluster/coordinator.h adds
+// rsse_cluster_update_quorum_failures_total and the anti-entropy
+// rsse_cluster_backfill_records_total / backfill_bytes_total /
+// snapshot_repairs_total.)
 #pragma once
 
 #include <cstdint>

@@ -31,11 +31,71 @@ void ReplicaSet::mark_down(Replica& replica, const RetryPolicy& policy) {
           .count());
 }
 
+bool ReplicaSet::routable(const Replica& replica) const {
+  return !is_down(replica) && !replica.stale.load(std::memory_order_relaxed);
+}
+
 std::size_t ReplicaSet::healthy_replicas() const {
   std::size_t healthy = 0;
   for (const auto& replica : replicas_)
     if (!is_down(*replica)) ++healthy;
   return healthy;
+}
+
+std::size_t ReplicaSet::stale_replicas() const {
+  std::size_t stale = 0;
+  for (const auto& replica : replicas_)
+    if (replica->stale.load(std::memory_order_relaxed)) ++stale;
+  return stale;
+}
+
+bool ReplicaSet::is_stale(std::size_t index) const {
+  detail::require(index < replicas_.size(), "ReplicaSet::is_stale: bad index");
+  return replicas_[index]->stale.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ReplicaSet::target_seq() const {
+  std::uint64_t max_seq = 0;
+  for (const auto& replica : replicas_)
+    max_seq = std::max(max_seq,
+                       replica->applied_next_seq.load(std::memory_order_relaxed));
+  return max_seq;
+}
+
+std::uint64_t ReplicaSet::applied_seq(std::size_t index) const {
+  detail::require(index < replicas_.size(), "ReplicaSet::applied_seq: bad index");
+  return replicas_[index]->applied_next_seq.load(std::memory_order_relaxed);
+}
+
+void ReplicaSet::note_applied(std::size_t index, std::uint64_t next_seq) {
+  detail::require(index < replicas_.size(), "ReplicaSet::note_applied: bad index");
+  // Monotonic max: a late probe result must not roll back a newer ack.
+  auto& applied = replicas_[index]->applied_next_seq;
+  std::uint64_t seen = applied.load(std::memory_order_relaxed);
+  while (seen < next_seq &&
+         !applied.compare_exchange_weak(seen, next_seq, std::memory_order_relaxed)) {
+  }
+  refresh_staleness();
+}
+
+void ReplicaSet::mark_stale(std::size_t index) {
+  detail::require(index < replicas_.size(), "ReplicaSet::mark_stale: bad index");
+  replicas_[index]->stale.store(true, std::memory_order_relaxed);
+}
+
+void ReplicaSet::refresh_staleness() {
+  const std::uint64_t max_seq = target_seq();
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const std::uint64_t applied =
+        replicas_[i]->applied_next_seq.load(std::memory_order_relaxed);
+    // A replica that never reported (0) keeps its current flag: an
+    // unprobed read-only cluster must not route around itself.
+    if (applied != 0)
+      replicas_[i]->stale.store(applied < max_seq, std::memory_order_relaxed);
+    if (i < lag_gauges_.size() && lag_gauges_[i] != nullptr)
+      lag_gauges_[i]->set(
+          applied == 0 ? 0 : static_cast<std::int64_t>(max_seq - applied));
+  }
 }
 
 void ReplicaSet::bind_metrics(obs::MetricsRegistry& registry, const obs::Labels& labels) {
@@ -50,6 +110,16 @@ void ReplicaSet::bind_metrics(obs::MetricsRegistry& registry, const obs::Labels&
   deadline_failures_counter_ = &registry.counter(
       "rsse_cluster_deadline_failures_total",
       "Replica attempts that exhausted their time budget", labels);
+  lag_gauges_.clear();
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    obs::Labels replica_labels = labels;
+    replica_labels.emplace_back("replica", std::to_string(i));
+    lag_gauges_.push_back(&registry.gauge(
+        "rsse_cluster_replica_lag",
+        "Update sequences this replica lags behind the most current replica "
+        "of its shard",
+        replica_labels));
+  }
 }
 
 void ReplicaSet::bump_failover() {
@@ -93,12 +163,22 @@ Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
       throw;
     }
     // Candidate order: preferred first, then round-robin. A replica in
-    // failure cooldown is skipped unless every replica is down (then we
-    // try anyway — a request beats a guaranteed failure).
+    // failure cooldown or marked stale (behind on acked updates — it
+    // would serve wrong results) is skipped while an alternative exists;
+    // when every replica is excluded we fall back to cooldown-only
+    // skipping, and past that try the original candidate anyway — a
+    // request beats a guaranteed failure.
     std::size_t index = (preferred + attempt) % replicas_.size();
-    if (is_down(*replicas_[index])) {
-      const bool all_down = healthy_replicas() == 0;
-      if (!all_down) {
+    if (!routable(*replicas_[index])) {
+      bool diverted = false;
+      for (std::size_t step = 0; step < replicas_.size() && !diverted; ++step) {
+        const std::size_t candidate = (index + step) % replicas_.size();
+        if (routable(*replicas_[candidate])) {
+          index = candidate;
+          diverted = true;
+        }
+      }
+      if (!diverted && healthy_replicas() > 0) {
         for (std::size_t step = 0; step < replicas_.size(); ++step) {
           const std::size_t candidate = (index + step) % replicas_.size();
           if (!is_down(*replicas_[candidate])) {
@@ -126,7 +206,7 @@ Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
         if (!lock.try_lock()) {
           for (std::size_t step = 1; step < replicas_.size(); ++step) {
             const std::size_t candidate = (index + step) % replicas_.size();
-            if (is_down(*replicas_[candidate])) continue;
+            if (!routable(*replicas_[candidate])) continue;
             std::unique_lock<std::mutex> other(replicas_[candidate]->mutex,
                                                std::try_to_lock);
             if (other.owns_lock()) {
@@ -192,26 +272,158 @@ Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
   std::rethrow_exception(last_error);
 }
 
-std::size_t ReplicaSet::probe(const RetryPolicy& policy) {
-  // An empty fetch is the cheapest request a server answers; any reply at
-  // all proves liveness.
-  const Bytes ping = cloud::FetchFilesRequest{}.serialize();
-  const Deadline deadline = Deadline().tightened(policy.attempt_timeout);
-  std::size_t alive = 0;
-  for (auto& replica : replicas_) {
-    try {
-      {
-        const std::lock_guard<std::mutex> lock(replica->mutex);
-        (void)replica->transport->call(cloud::MessageType::kFetchFiles, ping, deadline);
-      }
-      replica->down_until_ns.store(0);
-      ++alive;
-    } catch (const Error&) {
-      ++failed_attempts_;
-      mark_down(*replica, policy);
+std::vector<ReplicaSet::ReplicaOutcome> ReplicaSet::call_all(
+    cloud::MessageType type, BytesView request, const RetryPolicy& policy,
+    const Deadline& deadline, obs::TraceRecorder* trace,
+    std::uint64_t parent_span_id) {
+  detail::require(!replicas_.empty(), "ReplicaSet::call_all: no replicas");
+  obs::SpanScope span(trace, "replica.call_all", node_name_, parent_span_id);
+  deadline.check("ReplicaSet::call_all");
+
+  std::vector<ReplicaOutcome> outcomes(replicas_.size());
+  // Stale replicas are skipped outright: a live delta applied out of
+  // order would be assigned the wrong sequence range; anti-entropy
+  // replays it to them in order instead.
+  std::vector<std::size_t> pending;
+  pending.reserve(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i]->stale.load(std::memory_order_relaxed)) {
+      outcomes[i].skipped = true;
+      span.event("skipped_stale", "replica " + std::to_string(i));
+    } else {
+      pending.push_back(i);
     }
   }
+
+  const auto run_one = [&](std::size_t i) {
+    Replica& replica = *replicas_[i];
+    outcomes[i] = ReplicaOutcome{};  // a retry clears the previous error
+    const Deadline attempt_deadline = deadline.tightened(policy.attempt_timeout);
+    obs::SpanScope attempt_span(trace, "replica.attempt",
+                                node_name_ + "/replica" + std::to_string(i),
+                                span.span_id());
+    try {
+      {
+        const std::lock_guard<std::mutex> lock(replica.mutex);
+        outcomes[i].response = replica.transport->call(
+            type, request, attempt_deadline, trace, attempt_span.span_id());
+      }
+      replica.down_until_ns.store(0);
+    } catch (const DeadlineExceeded&) {
+      attempt_span.set_status("deadline_exceeded");
+      outcomes[i].error = std::current_exception();
+      bump_failed_attempt();
+      bump_deadline_failure();
+      mark_down(replica, policy);
+    } catch (const Error&) {
+      attempt_span.set_status("error");
+      outcomes[i].error = std::current_exception();
+      bump_failed_attempt();
+      mark_down(replica, policy);
+    }
+  };
+
+  // Up to max_attempts parallel rounds: every round re-sends only to the
+  // replicas still failing (the calling thread takes the first, a thread
+  // each for the rest), with the same capped exponential backoff between
+  // rounds as call(). Replicas that already acked are not re-sent — with
+  // a non-zero delta_id a duplicate would replay anyway, but there is no
+  // reason to spend the traffic.
+  std::chrono::milliseconds backoff = policy.base_backoff;
+  const std::uint32_t rounds = std::max<std::uint32_t>(policy.max_attempts, 1);
+  for (std::uint32_t attempt = 0; attempt < rounds && !pending.empty(); ++attempt) {
+    if (attempt > 0) {
+      span.event("retry", "backoff " + std::to_string(backoff.count()) + "ms, " +
+                              std::to_string(pending.size()) + " replicas pending");
+      std::this_thread::sleep_for(std::min(backoff, deadline.remaining()));
+      backoff = std::min(backoff * 2, policy.max_backoff);
+      if (deadline.expired()) break;
+    }
+    if (policy.ordered_fanout) {
+      for (const std::size_t i : pending) run_one(i);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(pending.size() - 1);
+      for (std::size_t t = 1; t < pending.size(); ++t)
+        workers.emplace_back(run_one, pending[t]);
+      run_one(pending[0]);
+      for (std::thread& worker : workers) worker.join();
+    }
+
+    std::vector<std::size_t> still_failing;
+    for (const std::size_t i : pending)
+      if (outcomes[i].error) still_failing.push_back(i);
+    pending = std::move(still_failing);
+  }
+  return outcomes;
+}
+
+Bytes ReplicaSet::call_replica(std::size_t index, cloud::MessageType type,
+                               BytesView request, const RetryPolicy& policy,
+                               const Deadline& deadline) {
+  detail::require(index < replicas_.size(), "ReplicaSet::call_replica: bad index");
+  const Deadline attempt_deadline = deadline.tightened(policy.attempt_timeout);
+  Replica& replica = *replicas_[index];
+  try {
+    Bytes response;
+    {
+      const std::lock_guard<std::mutex> lock(replica.mutex);
+      response = replica.transport->call(type, request, attempt_deadline);
+    }
+    replica.down_until_ns.store(0);
+    return response;
+  } catch (const Error&) {
+    bump_failed_attempt();
+    mark_down(replica, policy);
+    throw;
+  }
+}
+
+std::size_t ReplicaSet::probe(const RetryPolicy& policy) {
+  std::size_t alive = 0;
+  for (const ProbeStatus& status : probe_detailed(policy))
+    if (status.alive) ++alive;
   return alive;
+}
+
+std::vector<ReplicaSet::ProbeStatus> ReplicaSet::probe_detailed(
+    const RetryPolicy& policy) {
+  // An empty backfill request is the cheapest request a server answers —
+  // any reply proves liveness, and the reply carries the replica's
+  // applied sequence cursor, which is exactly the staleness signal.
+  const Bytes ping =
+      cloud::DeltaBackfillRequest{~std::uint64_t{0}, 0}.serialize();
+  const Deadline deadline = Deadline().tightened(policy.attempt_timeout);
+  std::vector<ProbeStatus> statuses(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    Replica& replica = *replicas_[i];
+    try {
+      Bytes raw;
+      {
+        const std::lock_guard<std::mutex> lock(replica.mutex);
+        raw = replica.transport->call(cloud::MessageType::kDeltaBackfill, ping,
+                                      deadline);
+      }
+      const auto resp = cloud::DeltaBackfillResponse::deserialize(raw);
+      replica.down_until_ns.store(0);
+      std::uint64_t seen = replica.applied_next_seq.load(std::memory_order_relaxed);
+      while (seen < resp.next_seq &&
+             !replica.applied_next_seq.compare_exchange_weak(
+                 seen, resp.next_seq, std::memory_order_relaxed)) {
+      }
+      statuses[i].alive = true;
+    } catch (const Error&) {
+      bump_failed_attempt();
+      mark_down(replica, policy);
+    }
+  }
+  refresh_staleness();
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    statuses[i].next_seq =
+        replicas_[i]->applied_next_seq.load(std::memory_order_relaxed);
+    statuses[i].stale = replicas_[i]->stale.load(std::memory_order_relaxed);
+  }
+  return statuses;
 }
 
 }  // namespace rsse::cluster

@@ -11,6 +11,14 @@
 // (RetryPolicy::attempt_timeout) turns a *hung* replica into a failed
 // attempt too: the slow replica times out and the call fails over
 // instead of blocking the query forever.
+//
+// Writes use the other primitive: call_all fans a kUpdate out to every
+// replica in parallel and reports per-replica outcomes, so the
+// coordinator can commit on a write quorum (RetryPolicy::write_quorum).
+// A replica that misses a committed delta is marked STALE — tracked by
+// its last-applied next_seq, refreshed by the kDeltaBackfill health
+// probe — and sits out read routing and further live updates until the
+// anti-entropy catch-up (cluster/coordinator.h) replays what it missed.
 #pragma once
 
 #include <atomic>
@@ -38,6 +46,21 @@ struct RetryPolicy {
   /// exceeding it counts as a failed attempt and the call fails over,
   /// always within the caller's overall deadline.
   std::chrono::milliseconds attempt_timeout{0};
+  /// Replicas that must acknowledge a fanned-out kUpdate
+  /// (ReplicaSet::call_all via ClusterCoordinator::do_update) before the
+  /// coordinator acks the owner. 0 (the default) means every replica;
+  /// values above the replica count clamp to it. Replicas that missed a
+  /// quorum-committed delta are marked stale and caught up by
+  /// anti-entropy instead of live traffic.
+  std::uint32_t write_quorum = 0;
+  /// Serializes call_all sends in replica-index order instead of
+  /// dispatching them in parallel. Needed for byte-reproducible
+  /// transcripts when several replica endpoints front the SAME server
+  /// (the in-process test wiring): there the parallel applies race for
+  /// the server's update lock, flipping which endpoint observes the
+  /// idempotent replay. Distinct servers per replica are deterministic
+  /// either way.
+  bool ordered_fanout = false;
 };
 
 /// R replicas of one shard behind a single call() with failover.
@@ -77,15 +100,80 @@ class ReplicaSet {
   void set_node_name(std::string name) { node_name_ = std::move(name); }
   [[nodiscard]] const std::string& node_name() const { return node_name_; }
 
+  /// Per-replica outcome of one call_all fan-out.
+  struct ReplicaOutcome {
+    Bytes response;            ///< the replica's reply (error == null)
+    std::exception_ptr error;  ///< why this replica failed, when it did
+    bool skipped = false;      ///< stale replica: deliberately not sent
+  };
+
+  /// The update path's quorum primitive: fans `request` out to EVERY
+  /// non-stale replica in parallel and reports each replica's outcome —
+  /// in contrast to call()'s pick-one failover. Runs up to
+  /// policy.max_attempts rounds, each re-sending only to the replicas
+  /// still failing (each attempt under min(deadline,
+  /// policy.attempt_timeout), capped exponential backoff between
+  /// rounds). Replicas already marked stale are skipped (anti-entropy
+  /// owns them; sending them a live delta would assign it the wrong
+  /// sequence); replicas that fail every round enter cooldown. Quorum
+  /// accounting and staleness marking are the caller's job.
+  std::vector<ReplicaOutcome> call_all(cloud::MessageType type, BytesView request,
+                                       const RetryPolicy& policy,
+                                       const Deadline& deadline = {},
+                                       obs::TraceRecorder* trace = nullptr,
+                                       std::uint64_t parent_span_id = 0);
+
+  /// One RPC to one specific replica, no failover or sibling diversion —
+  /// the anti-entropy primitive for addressing a lagging replica or a
+  /// chosen donor. Failures mark the replica down and rethrow.
+  Bytes call_replica(std::size_t index, cloud::MessageType type, BytesView request,
+                     const RetryPolicy& policy, const Deadline& deadline = {});
+
   /// Mirrors the failure counters into `registry` under
   /// rsse_cluster_failovers_total / failed_attempts_total /
-  /// deadline_failures_total with `labels` (e.g. {{"shard","2"}}). The
-  /// atomic accessors below keep working either way.
+  /// deadline_failures_total, plus one rsse_cluster_replica_lag gauge per
+  /// replica, with `labels` (e.g. {{"shard","2"}}). The atomic accessors
+  /// below keep working either way. Call after the last add_replica.
   void bind_metrics(obs::MetricsRegistry& registry, const obs::Labels& labels);
 
-  /// Health check: pings every replica with a zero-file fetch and updates
-  /// its health state. Returns the number of replicas that answered.
+  /// Extended health check: pings every replica with an empty
+  /// kDeltaBackfill — which reports the replica's applied next_seq
+  /// without moving any records — refreshing health, per-replica applied
+  /// sequence, staleness and the lag gauges. Returns the number of
+  /// replicas that answered.
   std::size_t probe(const RetryPolicy& policy);
+
+  /// What probe() learned, per replica.
+  struct ProbeStatus {
+    bool alive = false;         ///< answered the probe
+    std::uint64_t next_seq = 0; ///< replica's applied sequence cursor (0 = unknown)
+    bool stale = false;         ///< excluded from read routing until caught up
+  };
+
+  /// probe() with the per-replica detail (the catch-up worker's view).
+  std::vector<ProbeStatus> probe_detailed(const RetryPolicy& policy);
+
+  /// Records that replica `index` has applied deltas up to `next_seq`
+  /// (from an UpdateResponse ack or a backfill) and refreshes staleness
+  /// across the set.
+  void note_applied(std::size_t index, std::uint64_t next_seq);
+
+  /// Marks replica `index` stale: excluded from read routing and live
+  /// update fan-out until note_applied / probe shows it caught up.
+  void mark_stale(std::size_t index);
+
+  /// Staleness of one replica (reads route around stale replicas).
+  [[nodiscard]] bool is_stale(std::size_t index) const;
+
+  /// Replicas currently marked stale.
+  [[nodiscard]] std::size_t stale_replicas() const;
+
+  /// Highest applied next_seq any replica of this set has reported
+  /// (0 until an ack or probe has been seen).
+  [[nodiscard]] std::uint64_t target_seq() const;
+
+  /// Last applied next_seq replica `index` reported (0 = unknown).
+  [[nodiscard]] std::uint64_t applied_seq(std::size_t index) const;
 
   /// Replicas currently believed healthy (not in failure cooldown).
   [[nodiscard]] std::size_t healthy_replicas() const;
@@ -108,11 +196,20 @@ class ReplicaSet {
     std::unique_ptr<cloud::Transport> transport;
     std::mutex mutex;                        // serializes use of transport
     std::atomic<std::int64_t> down_until_ns{0};  // steady_clock epoch-ns
+    std::atomic<std::uint64_t> applied_next_seq{0};  // 0 = never reported
+    std::atomic<bool> stale{false};  // behind on acked updates
   };
 
   [[nodiscard]] static std::int64_t now_ns();
   [[nodiscard]] bool is_down(const Replica& replica) const;
+  /// Healthy AND not stale: eligible for read routing.
+  [[nodiscard]] bool routable(const Replica& replica) const;
   void mark_down(Replica& replica, const RetryPolicy& policy);
+  /// Recomputes every replica's stale flag against the set-wide maximum
+  /// applied sequence and refreshes the lag gauges. Replicas that never
+  /// reported a sequence stay as they are (an unprobed read-only cluster
+  /// must not route around itself).
+  void refresh_staleness();
   void bump_failover();
   void bump_failed_attempt();
   void bump_deadline_failure();
@@ -126,6 +223,7 @@ class ReplicaSet {
   obs::Counter* failovers_counter_ = nullptr;
   obs::Counter* failed_attempts_counter_ = nullptr;
   obs::Counter* deadline_failures_counter_ = nullptr;
+  std::vector<obs::Gauge*> lag_gauges_;  // one per replica (bind_metrics)
   std::string node_name_ = "replicas";
 };
 

@@ -1,0 +1,141 @@
+#include "seg/wal.h"
+
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "crypto/sha256.h"
+#include "util/errors.h"
+
+namespace rsse::seg {
+
+namespace {
+
+// Per-record integrity frame, mirroring the store artifact footer
+// (store/deployment.h) but trailing each record instead of the file:
+//   u64 payload length || payload || sha256(payload) (32) || magic (8)
+// The leading length lets a scan skip to the footer; the trailing magic
+// makes "append never finished" and "bytes rotted" equally detectable.
+constexpr char kWalMagic[8] = {'R', 'S', 'S', 'E', 'W', 'A', 'L', '1'};
+constexpr std::size_t kWalOverhead =
+    8 + crypto::kSha256DigestSize + sizeof(kWalMagic);
+
+}  // namespace
+
+Bytes WalRecord::serialize() const {
+  Bytes out;
+  append_u64(out, delta_id);
+  append_u64(out, first_seq);
+  append_lp(out, delta);
+  return out;
+}
+
+WalRecord WalRecord::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  WalRecord record;
+  record.delta_id = reader.read_u64();
+  record.first_seq = reader.read_u64();
+  record.delta = reader.read_lp();
+  if (!reader.exhausted())
+    throw ParseError("WalRecord: trailing bytes after record");
+  if (record.first_seq == 0)
+    throw ParseError("WalRecord: sequence 0 is the base index epoch");
+  if (record.delta.empty()) throw ParseError("WalRecord: empty delta payload");
+  return record;
+}
+
+Bytes encode_wal_frame(const WalRecord& record) {
+  const Bytes payload = record.serialize();
+  Bytes frame;
+  frame.reserve(payload.size() + kWalOverhead);
+  append_u64(frame, payload.size());
+  append(frame, payload);
+  const crypto::Sha256Digest digest = crypto::sha256(payload);
+  frame.insert(frame.end(), digest.begin(), digest.end());
+  frame.insert(frame.end(), kWalMagic, kWalMagic + sizeof(kWalMagic));
+  return frame;
+}
+
+WalScan scan_wal(BytesView raw) {
+  WalScan scan;
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    const std::size_t remaining = raw.size() - pos;
+    if (remaining < 8) break;  // torn length prefix
+    ByteReader length_reader(raw.subspan(pos, 8));
+    const std::uint64_t payload_len = length_reader.read_u64();
+    if (payload_len > remaining || remaining - 8 < payload_len ||
+        remaining - 8 - payload_len < kWalOverhead - 8)
+      break;  // frame extends past the file: torn append
+    const std::uint8_t* payload = raw.data() + pos + 8;
+    const std::uint8_t* footer = payload + payload_len;
+    if (std::memcmp(footer + crypto::kSha256DigestSize, kWalMagic,
+                    sizeof(kWalMagic)) != 0)
+      break;  // magic never landed
+    const crypto::Sha256Digest digest =
+        crypto::sha256(BytesView(payload, payload_len));
+    if (std::memcmp(footer, digest.data(), digest.size()) != 0) break;
+    try {
+      scan.records.push_back(
+          WalRecord::deserialize(BytesView(payload, payload_len)));
+    } catch (const ParseError&) {
+      break;  // checksummed but malformed: treat like any other damage
+    }
+    pos += 8 + payload_len + (kWalOverhead - 8);
+  }
+  scan.torn_tail = pos < raw.size();
+  return scan;
+}
+
+void WriteAheadLog::open(std::string path) {
+  if (out_.is_open()) out_.close();
+  path_ = std::move(path);
+}
+
+std::ofstream& WriteAheadLog::appender() {
+  if (!out_.is_open()) {
+    out_.open(path_, std::ios::binary | std::ios::app);
+    if (!out_) throw Error("WriteAheadLog: cannot open " + path_);
+  }
+  return out_;
+}
+
+void WriteAheadLog::append(const WalRecord& record) {
+  if (path_.empty()) throw Error("WriteAheadLog: append before open");
+  const Bytes frame = encode_wal_frame(record);
+  std::ofstream& out = appender();
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  if (!out) throw Error("WriteAheadLog: append failed for " + path_);
+}
+
+void WriteAheadLog::rewrite(const std::deque<WalRecord>& records) {
+  if (path_.empty()) throw Error("WriteAheadLog: rewrite before open");
+  if (out_.is_open()) out_.close();
+  namespace fs = std::filesystem;
+  if (records.empty() && !fs::exists(path_)) return;  // stay lazy
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("WriteAheadLog: cannot open " + tmp);
+    for (const WalRecord& record : records) {
+      const Bytes frame = encode_wal_frame(record);
+      out.write(reinterpret_cast<const char*>(frame.data()),
+                static_cast<std::streamsize>(frame.size()));
+    }
+    out.flush();
+    if (!out) throw Error("WriteAheadLog: rewrite failed for " + tmp);
+  }
+  fs::rename(tmp, path_);
+}
+
+WalScan WriteAheadLog::scan_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};  // no log: nothing to replay
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return scan_wal(to_bytes(buffer.str()));
+}
+
+}  // namespace rsse::seg

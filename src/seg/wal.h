@@ -1,0 +1,106 @@
+// Write-ahead log for the dynamic overlay (durability of acknowledged
+// kUpdate deltas). The overlay's memtable lives in RAM between saves, so
+// without a log every acknowledged delta since the last atomic-swap save
+// dies with the process. The WAL closes that window: the server appends
+// one record per applied delta BEFORE acking it, and a restart replays
+// the log into the overlay — recovering the memtable entries, the
+// delta_id idempotency ring, and the backfill tail.
+//
+// On-disk format: an append-only sequence of self-framing records,
+//
+//   u64 payload length || payload || SHA-256(payload) (32) || magic (8)
+//
+// — the store artifact footer discipline (store/deployment.h), per
+// record instead of per file so an append never rewrites earlier bytes.
+// A crash mid-append leaves a torn final frame; scan_wal detects it by
+// length/checksum/magic and discards ONLY the tail, never a record that
+// was fully flushed (i.e. never an acked update).
+//
+// The same record bytes travel the wire as kDeltaBackfill payloads, so a
+// lagging replica replays exactly what the healthy peer logged.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rsse::seg {
+
+/// One durably logged update: everything a restarted server needs to
+/// re-apply an acknowledged delta — the delta bytes, the owner's
+/// idempotency token, and the first sequence number the apply assigned
+/// (the delta occupies [first_seq, first_seq + op_count)).
+struct WalRecord {
+  std::uint64_t delta_id = 0;   ///< kUpdate idempotency token (0 = none)
+  std::uint64_t first_seq = 0;  ///< sequence assigned to the delta's op 0
+  Bytes delta;                  ///< seg::UpdateDelta::serialize() payload
+
+  /// Canonical record payload (the bytes that get framed and checksummed;
+  /// also the kDeltaBackfill wire element).
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Inverse of serialize. Throws ParseError on truncation, an empty
+  /// delta, a zero first_seq (sequence 0 is the base index epoch and is
+  /// never assigned to a delta) or trailing bytes.
+  static WalRecord deserialize(BytesView blob);
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+/// Frames one record for the append-only log (length + checksum + magic).
+[[nodiscard]] Bytes encode_wal_frame(const WalRecord& record);
+
+/// Result of scanning a log image.
+struct WalScan {
+  std::vector<WalRecord> records;  ///< every intact record, append order
+  bool torn_tail = false;          ///< trailing bytes were torn or corrupt
+                                   ///< and have been discarded
+};
+
+/// Decodes frames front to back, stopping at the first torn or corrupt
+/// one. Damage never throws — a torn tail is the expected crash artifact,
+/// reported via `torn_tail` so the caller can compact the file.
+[[nodiscard]] WalScan scan_wal(BytesView raw);
+
+/// The file-backed log. Binds lazily: open() only remembers the path; the
+/// file is created on the first append, so a read-only load of a
+/// deployment that never sees an update leaves no WAL behind.
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Binds the log to `path` without touching the filesystem.
+  void open(std::string path);
+
+  [[nodiscard]] bool attached() const { return !path_.empty(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Appends one framed record and flushes it to the OS before
+  /// returning — the record survives a process crash from here on.
+  /// Throws Error on I/O failure.
+  void append(const WalRecord& record);
+
+  /// Atomically replaces the log's contents with exactly `records`
+  /// (written to <path>.tmp, renamed over) — the checkpoint primitive:
+  /// records covered by a persisted snapshot are dropped by rewriting
+  /// the survivors, never by truncating in place. Throws Error on I/O
+  /// failure.
+  void rewrite(const std::deque<WalRecord>& records);
+
+  /// Scans the file at `path`; a missing file is an empty, clean scan.
+  [[nodiscard]] static WalScan scan_file(const std::string& path);
+
+ private:
+  std::ofstream& appender();
+
+  std::string path_;
+  std::ofstream out_;  ///< lazily opened append stream
+};
+
+}  // namespace rsse::seg

@@ -176,7 +176,7 @@ Bytes SimTransport::call(cloud::MessageType type, BytesView request,
 
   Bytes response;
   try {
-    response = server_->handle(type, request);
+    response = server_.load(std::memory_order_acquire)->handle(type, request);
   } catch (const Error&) {
     event.outcome = SimOutcome::kServerError;
     net_->clock_.advance(std::chrono::nanoseconds(event.latency_ns));

@@ -157,6 +157,14 @@ class SimTransport final : public cloud::Transport {
   void set_down(bool down) { down_.store(down, std::memory_order_relaxed); }
   [[nodiscard]] bool is_down() const { return down_.load(std::memory_order_relaxed); }
 
+  /// Re-points the endpoint at a (re)started server instance — "the
+  /// process came back on the same address" move of a recovery drill.
+  /// Fault/latency streams, sequence numbers and the kill switch are
+  /// untouched; the caller keeps the new server alive.
+  void rebind(const cloud::CloudServer& server) {
+    server_.store(&server, std::memory_order_release);
+  }
+
   /// Calls seen so far (including ones failed by the kill switch).
   [[nodiscard]] std::uint64_t calls_seen() const;
 
@@ -171,7 +179,7 @@ class SimTransport final : public cloud::Transport {
 
   SimNet* net_;
   std::shared_ptr<SimNet::Endpoint> endpoint_;
-  const cloud::CloudServer* server_;
+  std::atomic<const cloud::CloudServer*> server_;
   std::atomic<bool> down_{false};
 };
 

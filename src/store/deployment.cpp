@@ -99,6 +99,12 @@ void quarantine(const fs::path& target) {
   std::error_code ec;
   fs::remove_all(parked, ec);
   if (fs::exists(target)) fs::rename(target, parked);
+  // The durability sidecar belongs to the quarantined state: its record
+  // sequences continue the quarantined segments, not the replacement's.
+  const fs::path wal = fs::path(wal_path(target.string()));
+  const fs::path parked_wal = fs::path(parked.string() + ".wal");
+  fs::remove(parked_wal, ec);
+  if (fs::exists(wal)) fs::rename(wal, parked_wal);
 }
 
 }  // namespace
@@ -130,11 +136,19 @@ Bytes decode_artifact(BytesView raw, const std::string& what) {
   return Bytes(raw.begin(), raw.begin() + static_cast<std::ptrdiff_t>(payload_len));
 }
 
+std::string wal_path(const std::string& deployment_dir) {
+  return deployment_dir + ".wal";
+}
+
 void save_deployment(const cloud::CloudServer& server, const std::string& dir) {
   const fs::path root(dir);
   const fs::path staging = staging_of(root);
   std::error_code ec;
   fs::remove_all(staging, ec);  // a previous save died mid-stage
+  // Read the sequence cursor BEFORE snapshotting: deltas applied during
+  // the save stay in the WAL (conservative — everything below this seq
+  // is definitely inside the snapshot about to be staged).
+  const std::uint64_t persisted_next_seq = server.segment_next_seq();
   save_parts(server.index(), server.files(), staging);
   // The dynamic overlay rides the same atomic-swap path: segments/ is
   // fully written in staging before the commit renames, so a crash never
@@ -145,6 +159,10 @@ void save_deployment(const cloud::CloudServer& server, const std::string& dir) {
     segments.push_back(segment.serialize());
   save_segment_artifacts(segments, server.segment_next_seq(), staging);
   commit_dir(staging, root);
+  // Only after the swap is live may the WAL shed records the new
+  // snapshot covers; a crash before this line replays them harmlessly
+  // (load skips records below the restored next_seq).
+  server.checkpoint_wal(persisted_next_seq);
 }
 
 void load_deployment(const std::string& dir, cloud::CloudServer& server) {
@@ -183,7 +201,18 @@ void load_deployment(const std::string& dir, cloud::CloudServer& server) {
       segments.push_back(seg::Segment::deserialize(read_file(path)));
     }
     server.restore_segments(std::move(segments), manifest.next_seq);
+  } else {
+    // "Replacing its state" includes the overlay: a deployment without
+    // segment artifacts restores an empty overlay, not whatever a reused
+    // server object happened to hold.
+    server.restore_segments({}, 1);
   }
+
+  // Replay the durability sidecar: deltas acked after the deployment's
+  // last save (or before a save ever happened) live only in the WAL.
+  // Records the loaded snapshot already covers are skipped by sequence;
+  // a torn tail frame (crash mid-append, never acked) is discarded.
+  server.attach_wal(wal_path(dir));
 }
 
 void save_cluster_deployment(const cloud::CloudServer& server, std::uint32_t num_shards,

@@ -13,6 +13,20 @@
 //                                 first; the live memtable is frozen into
 //                                 the final segment at save time
 //
+// Durability sidecar (src/seg/wal.h):
+//
+//   <dir>.wal              write-ahead log of deltas applied since the
+//                          last save, one checksummed frame per record
+//
+// The WAL is a SIBLING of the deployment directory, not a member: the
+// atomic-swap save replaces <dir> wholesale, and a log inside it would
+// vanish at commit — losing every delta acked during the save window.
+// As a sibling it survives the swap; save_deployment checkpoints it
+// (drops records the new snapshot covers) only AFTER the commit rename,
+// and load_deployment replays whatever is left. Crash at any point
+// loses nothing: records the visible deployment already covers are
+// skipped by sequence number on replay.
+//
 // Everything stored is ciphertext; the directory is exactly what a real
 // storage provider would hold.
 //
@@ -68,6 +82,10 @@ namespace rsse::store {
 /// footer, a length mismatch (truncation / torn write) or a checksum
 /// mismatch; `what` tags the error message (e.g. the file path).
 [[nodiscard]] Bytes decode_artifact(BytesView raw, const std::string& what);
+
+/// The deployment's write-ahead log path: a sibling file `<dir>.wal`
+/// (see the layout comment for why it cannot live inside the directory).
+[[nodiscard]] std::string wal_path(const std::string& deployment_dir);
 
 /// Writes the server's current index + files under `dir` (created if
 /// missing; an existing deployment is replaced atomically — a crash

@@ -282,6 +282,66 @@ void seg_corpus(const fs::path& dir) {
   write(dir, "empty_blob", sel(0, Bytes{}));
 }
 
+// Selector-prefixed durability inputs (see fuzz_wal.cpp).
+void wal_corpus(const fs::path& dir) {
+  seg::UpdateDelta delta;
+  delta.op_count = 2;
+  delta.rows.push_back(seg::RowDelta{
+      patterned(16, 4),
+      {seg::DeltaEntry{patterned(40, 8), 0}, seg::DeltaEntry{patterned(40, 9), 1}}});
+  delta.tombstones.push_back(seg::Tombstone{42, 1});
+
+  seg::WalRecord first;
+  first.delta_id = 5;
+  first.first_seq = 3;
+  first.delta = delta.serialize();
+  write(dir, "record", sel(0, first.serialize()));
+
+  // Regression: sequence 0 is the base epoch; a record claiming it must
+  // be a typed ParseError, not a replayable delta.
+  seg::WalRecord zero_seq = first;
+  zero_seq.first_seq = 0;
+  write(dir, "record_zero_seq", sel(0, zero_seq.serialize()));
+
+  write(dir, "backfill_request",
+        sel(1, cloud::DeltaBackfillRequest{7, 128}.serialize()));
+  // The probe form: from_seq = ~0 asks only for the responder's cursor.
+  write(dir, "backfill_probe",
+        sel(1, cloud::DeltaBackfillRequest{~0ull, 0}.serialize()));
+
+  seg::WalRecord second;
+  second.delta_id = 6;
+  second.first_seq = 5;
+  second.delta = delta.serialize();
+  cloud::DeltaBackfillResponse response;
+  response.truncated = false;
+  response.next_seq = 7;
+  response.records = {first.serialize(), second.serialize()};
+  write(dir, "backfill_response", sel(2, response.serialize()));
+
+  cloud::DeltaBackfillResponse truncated;
+  truncated.truncated = true;
+  truncated.next_seq = 7;
+  write(dir, "backfill_response_truncated", sel(2, truncated.serialize()));
+
+  // Log images for the scan selector: clean, torn mid-frame, corrupt
+  // interior checksum.
+  Bytes image = seg::encode_wal_frame(first);
+  const Bytes frame2 = seg::encode_wal_frame(second);
+  image.insert(image.end(), frame2.begin(), frame2.end());
+  write(dir, "log_clean", sel(3, image));
+
+  Bytes torn = image;
+  torn.resize(image.size() - 11);
+  write(dir, "log_torn_tail", sel(3, torn));
+
+  Bytes corrupt = image;
+  corrupt[12] ^= 0x20;
+  write(dir, "log_corrupt_first_frame", sel(3, corrupt));
+
+  write(dir, "empty_blob", sel(3, Bytes{}));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -295,6 +355,7 @@ int main(int argc, char** argv) {
   store_corpus(root / "store");
   opm_corpus(root / "opm");
   seg_corpus(root / "seg");
+  wal_corpus(root / "wal");
   std::printf("gen_corpus: corpora written under %s\n", root.string().c_str());
   return 0;
 }

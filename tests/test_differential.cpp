@@ -327,6 +327,11 @@ class DifferentialOracle : public ::testing::TestWithParam<std::uint64_t> {
     coordinator_options.retry.base_backoff = 0ms;
     coordinator_options.retry.max_backoff = 0ms;
     coordinator_options.retry.down_cooldown = std::chrono::minutes(10);
+    // Both replica endpoints front the SAME shard server here, so the
+    // replicated update fan-out must send in replica order: racing
+    // applies would flip which endpoint reports the idempotent replay
+    // and break transcript byte-identity.
+    coordinator_options.retry.ordered_fanout = true;
     cluster::ClusterCoordinator coordinator(manifest, std::move(sets),
                                             coordinator_options);
     cloud::DataUser user(credentials_, coordinator);

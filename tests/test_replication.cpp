@@ -1,0 +1,438 @@
+// Durable replicated updates (ISSUE 7 tentpole, parts b+c): quorum
+// fan-out, staleness routing, WAL crash-restart of a replica inside a
+// live cluster, and anti-entropy catch-up — all over the deterministic
+// SimNet, so the flagship storm drill can assert byte-identical
+// transcripts across two same-seed runs.
+//
+// Every test compares the cluster against a reference single server fed
+// the exact same serialized deltas: with one shard the coordinator must
+// answer exactly like that server (same ciphertexts, same OPM order), so
+// "zero wrong results" is full equality, stronger than the tie-aware
+// checks the multi-shard differential oracle needs.
+//
+// Determinism notes (same contract as test_differential.cpp): payloads
+// are built ONCE per fixture (entry IVs are fresh per build); the replica
+// down-cooldown is far longer than the test (down-state is real-clock
+// based); catch-up in the transcript-pinned test is enabled only at a
+// quiesced point, because the background worker's interleaving with live
+// traffic is schedule-dependent (the concurrent variant below exercises
+// exactly that, without transcript asserts).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/channel.h"
+#include "cloud/cloud_server.h"
+#include "cloud/data_owner.h"
+#include "cloud/data_user.h"
+#include "cloud/protocol.h"
+#include "cluster/coordinator.h"
+#include "crypto/csprng.h"
+#include "ir/corpus_gen.h"
+#include "sim/sim_net.h"
+#include "store/deployment.h"
+#include "util/errors.h"
+
+namespace rsse {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+constexpr std::size_t kStormUpdates = 512;   ///< applied before the repair
+constexpr std::size_t kPostRepair = 8;       ///< applied after convergence
+constexpr std::size_t kKillAt = 200;         ///< storm index of the replica kill
+
+std::vector<std::uint64_t> ids_of(const std::vector<cloud::RetrievedFile>& hits) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(hits.size());
+  for (const auto& hit : hits) ids.push_back(ir::value(hit.document.id));
+  return ids;
+}
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             (std::string("rsse_replication_") +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+    base_dir_ = root_ + "/base";
+
+    ir::CorpusGenOptions opts;
+    opts.num_documents = 14;
+    opts.vocabulary_size = 50;
+    opts.injected.push_back(ir::InjectedKeyword{"oracle", 8, 0.4, 25});
+    opts.seed = 20100621;  // the paper's conference year+month, nothing magic
+    corpus_ = ir::generate_corpus(opts);
+
+    owner_ = std::make_unique<cloud::DataOwner>();
+    owner_->outsource_rsse(corpus_, template_server_);
+    const Bytes user_key = crypto::random_bytes(32);
+    credentials_ = cloud::AuthorizationService::open(
+        user_key, "u", owner_->enroll_user(user_key, "u"));
+
+    store::save_deployment(template_server_, base_dir_);
+    build_payloads();
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  /// The fixed update storm: one short add per delta (every document
+  /// carries the injected probe plus rotating filler keywords), every
+  /// sixth delta also tombstones an earlier add. Serialized once — the
+  /// same bytes go to every replica, the reference server, and both runs
+  /// of the determinism drill.
+  void build_payloads() {
+    static const char* kFiller[] = {"alpha",   "bravo",   "charlie", "delta",
+                                    "echo",    "foxtrot", "golfing", "hotel",
+                                    "india",   "juliet",  "kilo",    "lima"};
+    constexpr std::size_t kFillerCount = sizeof(kFiller) / sizeof(kFiller[0]);
+    std::vector<sse::FileId> added;
+    std::size_t next_remove = 0;
+    for (std::size_t i = 0; i < kStormUpdates + kPostRepair; ++i) {
+      const std::uint64_t doc_id = 90000 + i;
+      std::string text = "oracle ";
+      text += kFiller[i % kFillerCount];
+      text += ' ';
+      text += kFiller[(i * 7 + 3) % kFillerCount];
+      std::vector<ir::Document> adds = {
+          ir::Document{ir::file_id(doc_id), "storm.txt", text}};
+      std::vector<sse::FileId> removes;
+      if (i % 6 == 5 && next_remove < added.size())
+        removes.push_back(added[next_remove++]);
+      cloud::UpdateRequest req;
+      req.delta_id = i + 1;
+      req.delta = owner_->build_update(adds, removes);
+      payloads_.push_back(req.serialize());
+      added.push_back(ir::file_id(doc_id));
+    }
+  }
+
+  /// One shard served by R replica servers — each a distinct CloudServer
+  /// loaded from its own copy of the base deployment (so each has its own
+  /// WAL sidecar), fronted by SimNet endpoints — plus the reference
+  /// server. Member order doubles as destruction order: the coordinator
+  /// (and its catch-up worker) dies before the net and the servers it
+  /// calls into.
+  struct Cluster {
+    std::vector<std::string> dirs;
+    std::vector<std::unique_ptr<cloud::CloudServer>> servers;
+    std::unique_ptr<cloud::CloudServer> reference;
+    std::unique_ptr<sim::SimNet> net;
+    std::vector<sim::SimTransport*> handles;  ///< borrowed from the set
+    std::unique_ptr<cluster::ClusterCoordinator> coordinator;
+  };
+
+  [[nodiscard]] Cluster make_cluster(std::size_t replicas,
+                                     std::uint32_t write_quorum,
+                                     const std::string& tag,
+                                     std::uint64_t seed) const {
+    Cluster c;
+    for (std::size_t r = 0; r < replicas; ++r) {
+      c.dirs.push_back(root_ + "/" + tag + "_replica" + std::to_string(r));
+      fs::copy(base_dir_, c.dirs.back(), fs::copy_options::recursive);
+      c.servers.push_back(std::make_unique<cloud::CloudServer>());
+      store::load_deployment(c.dirs.back(), *c.servers.back());
+      c.servers.back()->set_segment_policy(seg::SegPolicy{64});
+    }
+    const std::string ref_dir = root_ + "/" + tag + "_reference";
+    fs::copy(base_dir_, ref_dir, fs::copy_options::recursive);
+    c.reference = std::make_unique<cloud::CloudServer>();
+    store::load_deployment(ref_dir, *c.reference);
+    c.reference->set_segment_policy(seg::SegPolicy{64});
+
+    sim::SimOptions options;
+    options.seed = seed;
+    c.net = std::make_unique<sim::SimNet>(options);
+    auto set = std::make_unique<cluster::ReplicaSet>();
+    for (std::size_t r = 0; r < replicas; ++r) {
+      auto transport = c.net->connect(*c.servers[r]);
+      c.handles.push_back(transport.get());
+      set->add_replica(std::move(transport));
+    }
+    std::vector<std::unique_ptr<cluster::ReplicaSet>> sets;
+    sets.push_back(std::move(set));
+
+    cluster::ClusterManifest manifest;
+    manifest.num_shards = 1;
+    manifest.replicas = static_cast<std::uint32_t>(replicas);
+    manifest.total_rows = template_server_.index().num_rows();
+    manifest.total_files = template_server_.num_files();
+
+    cluster::CoordinatorOptions copts;
+    copts.retry.max_attempts = 3;
+    copts.retry.base_backoff = 0ms;
+    copts.retry.max_backoff = 0ms;
+    // Down-state is real-clock based; a cooldown longer than the test
+    // keeps it stable, which transcript identity depends on.
+    copts.retry.down_cooldown = std::chrono::minutes(10);
+    copts.retry.write_quorum = write_quorum;
+    c.coordinator = std::make_unique<cluster::ClusterCoordinator>(
+        manifest, std::move(sets), copts);
+    return c;
+  }
+
+  /// Applies payload `i` to the cluster AND the reference server (the
+  /// reference sits outside the SimNet, so it never perturbs transcripts).
+  void apply(Cluster& c, std::size_t i) const {
+    (void)c.coordinator->call(cloud::MessageType::kUpdate, payloads_[i]);
+    (void)c.reference->handle(cloud::MessageType::kUpdate, payloads_[i]);
+  }
+
+  /// Runs the probe queries against cluster and reference; asserts full
+  /// equality and returns the cluster's answers (for run-to-run pinning).
+  std::vector<std::vector<std::uint64_t>> expect_queries_match(Cluster& c,
+                                                               const char* where) const {
+    cloud::DataUser user(credentials_, *c.coordinator);
+    cloud::Channel ref_channel(*c.reference);
+    cloud::DataUser ref_user(credentials_, ref_channel);
+    std::vector<std::vector<std::uint64_t>> answers;
+    for (const char* term : {"oracle", "alpha", "foxtrot", "zzznothing"}) {
+      answers.push_back(ids_of(user.ranked_search(term, 5)));
+      EXPECT_EQ(answers.back(), ids_of(ref_user.ranked_search(term, 5)))
+          << where << ": " << term;
+    }
+    return answers;
+  }
+
+  struct StormRun {
+    std::vector<std::vector<std::uint64_t>> results;
+    Bytes transcript;
+    std::uint64_t backfills = 0;
+  };
+
+  /// The flagship drill: replica 2 dies mid-storm, updates keep
+  /// committing on a 2-of-3 quorum with the dead replica marked stale,
+  /// the replica restarts from its WAL, anti-entropy replays what it
+  /// missed, and the cluster converges — then takes live traffic on all
+  /// three replicas again.
+  StormRun run_storm(const std::string& tag) {
+    Cluster c = make_cluster(3, /*write_quorum=*/2, tag, /*seed=*/0xC0FFEE);
+    StormRun run;
+
+    for (std::size_t i = 0; i < kStormUpdates; ++i) {
+      if (i == kKillAt) c.handles[2]->set_down(true);
+      apply(c, i);
+      if (i == kKillAt) {
+        // The first update the dead replica missed marks it stale: reads
+        // and further live fan-out route around it from here on.
+        EXPECT_TRUE(c.coordinator->shard(0).is_stale(2));
+      }
+      if (i % 64 == 63) {
+        auto answers = expect_queries_match(c, "storm");
+        run.results.insert(run.results.end(), answers.begin(), answers.end());
+      }
+    }
+    EXPECT_EQ(c.coordinator->shard(0).stale_replicas(), 1u);
+
+    // Crash-restart: the replica's in-memory overlay dies with the
+    // process; a fresh load must recover every update it ACKED from its
+    // WAL sidecar (it was killed at update kKillAt, so it is behind the
+    // quorum — but not empty).
+    c.servers[2] = std::make_unique<cloud::CloudServer>();
+    store::load_deployment(c.dirs[2], *c.servers[2]);
+    c.servers[2]->set_segment_policy(seg::SegPolicy{64});
+    EXPECT_GT(c.servers[2]->segment_next_seq(), 1u);
+    EXPECT_LT(c.servers[2]->segment_next_seq(), c.servers[0]->segment_next_seq());
+    c.handles[2]->rebind(*c.servers[2]);
+    c.handles[2]->set_down(false);
+
+    // Anti-entropy: replay the donor's WAL suffix until the restarted
+    // replica converges. (Enabled only now, at a quiesced point — see the
+    // determinism note in the file header.)
+    cluster::CatchUpOptions cu;
+    cu.batch_records = 64;  // exercise backfill paging
+    cu.install_snapshot = [&c](std::size_t, std::size_t replica,
+                               const cloud::SnapshotResponse& snapshot) {
+      c.servers[replica]->install_snapshot(snapshot);
+      return true;
+    };
+    c.coordinator->enable_catch_up(std::move(cu));
+    c.coordinator->notify_catch_up();
+    c.coordinator->wait_for_catch_up_idle();
+
+    EXPECT_EQ(c.coordinator->shard(0).stale_replicas(), 0u);
+    EXPECT_EQ(c.servers[2]->segment_next_seq(), c.servers[0]->segment_next_seq());
+    EXPECT_EQ(c.servers[2]->segment_next_seq(), c.reference->segment_next_seq());
+    run.backfills = c.coordinator->backfills_completed();
+    EXPECT_GT(run.backfills, 0u);
+    // The donor never checkpointed mid-storm, so its retained WAL reached
+    // all the way back — no snapshot fallback.
+    EXPECT_EQ(c.coordinator->snapshot_repairs_completed(), 0u);
+
+    // Back in rotation: post-repair updates reach all three replicas.
+    for (std::size_t i = kStormUpdates; i < payloads_.size(); ++i) apply(c, i);
+    const cluster::ReplicaSet& set = c.coordinator->shard(0);
+    EXPECT_EQ(set.applied_seq(0), set.applied_seq(1));
+    EXPECT_EQ(set.applied_seq(1), set.applied_seq(2));
+    EXPECT_EQ(set.applied_seq(0), c.reference->segment_next_seq());
+    auto answers = expect_queries_match(c, "post-repair");
+    run.results.insert(run.results.end(), answers.begin(), answers.end());
+
+    run.transcript = c.net->transcript();
+    return run;
+  }
+
+  std::string root_;
+  std::string base_dir_;
+  ir::Corpus corpus_;
+  std::unique_ptr<cloud::DataOwner> owner_;
+  cloud::CloudServer template_server_;
+  cloud::UserCredentials credentials_;
+  std::vector<Bytes> payloads_;
+};
+
+TEST_F(ReplicationTest, UpdateFanoutReachesEveryReplica) {
+  Cluster c = make_cluster(3, /*write_quorum=*/2, "fanout", 3);
+  const auto ack = cloud::UpdateResponse::deserialize(
+      c.coordinator->call(cloud::MessageType::kUpdate, payloads_[0]));
+  EXPECT_GT(ack.entries_applied, 0u);
+  EXPECT_FALSE(ack.replayed);
+  for (std::size_t r = 0; r < 3; ++r)
+    EXPECT_EQ(c.servers[r]->segment_next_seq(), ack.next_seq) << "replica " << r;
+  const cluster::ReplicaSet& set = c.coordinator->shard(0);
+  EXPECT_EQ(set.stale_replicas(), 0u);
+  for (std::size_t r = 0; r < 3; ++r)
+    EXPECT_EQ(set.applied_seq(r), ack.next_seq) << "replica " << r;
+}
+
+TEST_F(ReplicationTest, QuorumMissFailsTheUpdateAndRetryCommitsWithoutStragglers) {
+  // write_quorum 0 = every targeted replica must ack.
+  Cluster c = make_cluster(3, /*write_quorum=*/0, "quorum", 11);
+  apply(c, 0);
+  c.handles[2]->set_down(true);
+
+  // All-or-nothing is preserved: two acks out of three targeted is a
+  // quorum miss, surfaced to the owner as an error.
+  EXPECT_THROW((void)c.coordinator->call(cloud::MessageType::kUpdate, payloads_[1]),
+               Error);
+  EXPECT_EQ(c.coordinator->registry()
+                .counter("rsse_cluster_update_quorum_failures_total", "")
+                .value(),
+            1u);
+  // The two live replicas acked a sequence the dead one never reported,
+  // so the health bookkeeping already marked it stale.
+  EXPECT_TRUE(c.coordinator->shard(0).is_stale(2));
+
+  // The owner retries the same delta (same delta_id). The straggler now
+  // sits out, the quorum is the two targeted replicas, and both dedup the
+  // replay instead of double-applying.
+  const auto ack = cloud::UpdateResponse::deserialize(
+      c.coordinator->call(cloud::MessageType::kUpdate, payloads_[1]));
+  EXPECT_TRUE(ack.replayed);
+  (void)c.reference->handle(cloud::MessageType::kUpdate, payloads_[1]);
+  expect_queries_match(c, "stale window");
+
+  // Revive, catch up, and verify the straggler is back in the write path.
+  c.handles[2]->set_down(false);
+  c.coordinator->enable_catch_up();
+  c.coordinator->notify_catch_up();
+  c.coordinator->wait_for_catch_up_idle();
+  EXPECT_EQ(c.coordinator->shard(0).stale_replicas(), 0u);
+  EXPECT_GT(c.coordinator->backfills_completed(), 0u);
+
+  apply(c, 2);
+  const cluster::ReplicaSet& set = c.coordinator->shard(0);
+  EXPECT_EQ(set.applied_seq(0), set.applied_seq(2));
+  EXPECT_EQ(set.applied_seq(0), c.reference->segment_next_seq());
+  expect_queries_match(c, "after catch-up");
+}
+
+TEST_F(ReplicationTest, CheckpointedDonorFallsBackToSnapshotRepair) {
+  Cluster c = make_cluster(2, /*write_quorum=*/1, "snapshot", 5);
+  for (std::size_t i = 0; i < 3; ++i) apply(c, i);
+  c.handles[1]->set_down(true);
+  for (std::size_t i = 3; i < 6; ++i) apply(c, i);  // 1-of-2 quorum commits
+  EXPECT_TRUE(c.coordinator->shard(0).is_stale(1));
+
+  // The donor checkpoints: an atomic-swap save truncates its WAL, so its
+  // retained log no longer reaches back to the laggard's cursor and the
+  // WAL-suffix backfill cannot run.
+  store::save_deployment(*c.servers[0], c.dirs[0]);
+  EXPECT_EQ(c.servers[0]->wal_tail_records(), 0u);
+
+  c.handles[1]->set_down(false);
+  cluster::CatchUpOptions cu;
+  cu.install_snapshot = [&c](std::size_t, std::size_t replica,
+                             const cloud::SnapshotResponse& snapshot) {
+    c.servers[replica]->install_snapshot(snapshot);
+    return true;
+  };
+  c.coordinator->enable_catch_up(std::move(cu));
+  c.coordinator->notify_catch_up();
+  c.coordinator->wait_for_catch_up_idle();
+
+  EXPECT_EQ(c.coordinator->snapshot_repairs_completed(), 1u);
+  EXPECT_EQ(c.coordinator->shard(0).stale_replicas(), 0u);
+  EXPECT_EQ(c.servers[1]->segment_next_seq(), c.servers[0]->segment_next_seq());
+  expect_queries_match(c, "after snapshot repair");
+
+  // And the rebuilt replica takes live writes again.
+  apply(c, 6);
+  EXPECT_EQ(c.servers[1]->segment_next_seq(), c.servers[0]->segment_next_seq());
+}
+
+TEST_F(ReplicationTest, StormSurvivesReplicaKillAndReplaysByteIdentically) {
+  const StormRun first = run_storm("run0");
+  if (::testing::Test::HasFailure()) return;  // diagnose one run at a time
+  const StormRun second = run_storm("run1");
+
+  // The determinism contract (DESIGN.md Sec. 9), extended to the write
+  // path: same seed, same payloads, same kill/recovery schedule — the
+  // two runs must agree on every answer, every replayed record, and
+  // every byte of the per-endpoint transcript.
+  EXPECT_EQ(second.results, first.results);
+  EXPECT_EQ(second.backfills, first.backfills);
+  EXPECT_EQ(second.transcript, first.transcript);
+}
+
+TEST_F(ReplicationTest, ConcurrentCatchUpConvergesUnderLiveStorm) {
+  // The TSan-oriented variant: the catch-up worker runs DURING the storm,
+  // racing live quorum fan-outs for the same replicas — kill at 150,
+  // revive at 350, convergence happens while updates keep flowing. No
+  // transcript asserts here (worker interleaving is schedule-dependent);
+  // correctness asserts only.
+  Cluster c = make_cluster(3, /*write_quorum=*/2, "chaos", 77);
+  cluster::CatchUpOptions cu;
+  cu.batch_records = 32;
+  cu.install_snapshot = [&c](std::size_t, std::size_t replica,
+                             const cloud::SnapshotResponse& snapshot) {
+    c.servers[replica]->install_snapshot(snapshot);
+    return true;
+  };
+  c.coordinator->enable_catch_up(std::move(cu));
+
+  for (std::size_t i = 0; i < kStormUpdates; ++i) {
+    if (i == 150) c.handles[2]->set_down(true);
+    if (i == 350) {
+      c.handles[2]->set_down(false);
+      c.coordinator->notify_catch_up();
+    }
+    apply(c, i);
+    if (i % 50 == 49) expect_queries_match(c, "chaos storm");
+  }
+
+  c.coordinator->notify_catch_up();
+  c.coordinator->wait_for_catch_up_idle();
+  EXPECT_EQ(c.coordinator->shard(0).stale_replicas(), 0u);
+  EXPECT_GT(c.coordinator->backfills_completed(), 0u);
+  for (std::size_t r = 0; r < 3; ++r)
+    EXPECT_EQ(c.servers[r]->segment_next_seq(), c.reference->segment_next_seq())
+        << "replica " << r;
+
+  for (std::size_t i = kStormUpdates; i < payloads_.size(); ++i) apply(c, i);
+  const cluster::ReplicaSet& set = c.coordinator->shard(0);
+  EXPECT_EQ(set.applied_seq(0), set.applied_seq(1));
+  EXPECT_EQ(set.applied_seq(1), set.applied_seq(2));
+  expect_queries_match(c, "chaos converged");
+}
+
+}  // namespace
+}  // namespace rsse

@@ -30,8 +30,10 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <csignal>
 
@@ -68,8 +70,8 @@ using namespace rsse;
                "  rsse search --owner FILE --passphrase P --deploy DIR --keyword W"
                " [--top-k K] [--timeout-ms N]\n"
                "  rsse add    --owner FILE --passphrase P --deploy DIR --file PATH\n"
-               "  rsse update --owner FILE --passphrase P --port N"
-               " [--file PATH --id N] [--remove ID]\n"
+               "  rsse update --owner FILE --passphrase P --port N[,N...]"
+               " [--file PATH --id N] [--remove ID] [--write-quorum Q]\n"
                "  rsse stats  --deploy DIR | --port N [--format prom|json]\n"
                "  rsse trace  --port N [--max N]\n"
                "  rsse trace  --owner FILE --passphrase P --deploy DIR --keyword W"
@@ -97,7 +99,10 @@ using namespace rsse;
                "   serve instance over kUpdate — --file/--id adds one document\n"
                "   under the given fresh id, --remove tombstones one id, and the\n"
                "   server folds the delta into its segment overlay without a\n"
-               "   restart; serve compacts segments in the background unless\n"
+               "   restart; update --port accepts a comma-separated replica\n"
+               "   list — the delta fans out to every replica and commits once\n"
+               "   --write-quorum Q of them ack (0 = all, the default); serve\n"
+               "   compacts segments in the background unless\n"
                "   --compaction off)\n");
   std::exit(2);
 }
@@ -415,11 +420,49 @@ int cmd_update(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "update needs --file PATH --id N and/or --remove ID\n");
     return 1;
   }
-  const auto port = static_cast<std::uint16_t>(std::stoul(need(flags, "port")));
-  net::RemoteChannel channel(port);
+  // --port takes a comma-separated replica list; with more than one the
+  // delta fans out to every replica and commits once --write-quorum of
+  // them ack (0 = all). A quorum miss is a typed error, not a partial
+  // write the owner never hears about.
+  std::vector<std::uint16_t> ports;
+  {
+    const std::string list = need(flags, "port");
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const std::size_t comma = list.find(',', start);
+      const std::string tok = list.substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start);
+      if (!tok.empty())
+        ports.push_back(static_cast<std::uint16_t>(std::stoul(tok)));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  if (ports.empty()) usage();
   const auto timeout_ms = std::stol(optional_flag(flags, "timeout-ms", "0"));
-  if (timeout_ms > 0) channel.set_call_timeout(std::chrono::milliseconds(timeout_ms));
-  const cloud::UpdateResponse resp = owner.stream_update(channel, adds, removes);
+  cloud::UpdateResponse resp;
+  if (ports.size() == 1) {
+    net::RemoteChannel channel(ports[0]);
+    if (timeout_ms > 0)
+      channel.set_call_timeout(std::chrono::milliseconds(timeout_ms));
+    resp = owner.stream_update(channel, adds, removes);
+  } else {
+    auto set = std::make_unique<cluster::ReplicaSet>();
+    for (const std::uint16_t port : ports)
+      set->add_replica(std::make_unique<net::RemoteChannel>(port));
+    std::vector<std::unique_ptr<cluster::ReplicaSet>> sets;
+    sets.push_back(std::move(set));
+    cluster::ClusterManifest manifest;
+    manifest.num_shards = 1;
+    manifest.replicas = static_cast<std::uint32_t>(ports.size());
+    cluster::CoordinatorOptions copts;
+    copts.retry.write_quorum = static_cast<std::uint32_t>(
+        std::stoul(optional_flag(flags, "write-quorum", "0")));
+    cluster::ClusterCoordinator coordinator(manifest, std::move(sets), copts);
+    if (timeout_ms > 0)
+      coordinator.set_call_timeout(std::chrono::milliseconds(timeout_ms));
+    resp = owner.stream_update(coordinator, adds, removes);
+  }
   std::printf("update applied%s: %llu entries, %llu tombstones, %llu blobs"
               " stored, %llu erased (server seq %llu, %llu sealed segments)\n",
               resp.replayed ? " (idempotent replay)" : "",
