@@ -1,0 +1,162 @@
+// Tenant-isolation bench: what deficit-weighted-round-robin scheduling
+// buys over a plain FIFO queue when one tenant floods a shared host.
+//
+// Three tenants share one TenantHost with a small worker pool. Two
+// "victim" tenants run a fixed ranked-search workload and record
+// per-query latency; an optional "flood" tenant pushes a much larger
+// fixed batch of identical searches through the same pool. The matrix
+// {fair, fifo} x {0 flooded, 1 flooded} quantifies the isolation: under
+// FIFO the flood's backlog sits in front of the victims' queries, under
+// DWRR the flood only ever delays its own queue.
+//
+// Every scenario issues a FIXED number of requests (never time-boxed),
+// so the crypto-cost counters stay deterministic for the CI drift gate;
+// only the timings vary with the machine.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cloud/data_owner.h"
+#include "tenant/host.h"
+#include "tenant/scoped_transport.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace rsse;
+  bench::banner("Tenant isolation — DWRR vs FIFO under a flooding tenant");
+
+  // One corpus per tenant: same shape, different seeds (distinct keys,
+  // distinct ciphertexts — fully isolated namespaces).
+  const std::vector<std::string> tenants = {"flood", "victim_a", "victim_b"};
+  ir::CorpusGenOptions opts;
+  opts.num_documents = bench::scaled<std::size_t>(150, 60);
+  opts.vocabulary_size = 120;
+  opts.min_tokens = 60;
+  opts.max_tokens = 250;
+  opts.injected.push_back(
+      ir::InjectedKeyword{bench::kKeyword, bench::scaled<std::size_t>(100, 40), 0.3, 60});
+  std::vector<ir::Corpus> corpora;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    opts.seed = 41 + i;
+    corpora.push_back(ir::generate_corpus(opts));
+  }
+
+  const int kVictimQueries = bench::scaled(150, 40);
+  const int kFloodQueries = bench::scaled(1200, 300);
+  constexpr int kFloodThreads = 4;
+
+  struct TenantStats {
+    double qps = 0.0;
+    bench::LatencySummary latency;
+  };
+
+  // Runs one scenario and returns per-tenant stats (victims measured,
+  // flood reported as throughput only).
+  const auto scenario = [&](bool fair, bool flooded) {
+    tenant::TenantHostOptions options;
+    options.scheduler.workers = 2;  // small pool: dispatch order matters
+    options.scheduler.fair = fair;
+    tenant::TenantHost host(options);
+
+    std::vector<Bytes> requests;  // per-tenant serialized ranked search
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      cloud::CloudServer& server =
+          host.add_tenant(tenant::TenantConfig{tenants[i], {}, true});
+      cloud::DataOwner owner;
+      owner.outsource_rsse(corpora[i], server);
+      server.set_rank_cache_enabled(false);  // fixed crypto work per query
+      const sse::Trapdoor trapdoor = owner.rsse().trapdoor(bench::kKeyword);
+      requests.push_back(cloud::RankedSearchRequest{trapdoor, 10}.serialize());
+    }
+
+    std::vector<TenantStats> stats(tenants.size());
+    std::vector<std::vector<double>> latencies(tenants.size());
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    const Stopwatch scenario_watch;
+
+    if (flooded) {
+      for (int t = 0; t < kFloodThreads; ++t) {
+        threads.emplace_back([&] {
+          try {
+            cloud::Channel channel(host);
+            tenant::ScopedTransport transport(channel, tenants[0]);
+            for (int q = 0; q < kFloodQueries / kFloodThreads; ++q)
+              (void)transport.call(cloud::MessageType::kRankedSearch, requests[0]);
+          } catch (const std::exception&) {
+            ++failures;
+          }
+        });
+      }
+    }
+    for (std::size_t i = 1; i < tenants.size(); ++i) {
+      latencies[i].reserve(static_cast<std::size_t>(kVictimQueries));
+      threads.emplace_back([&, i] {
+        try {
+          cloud::Channel channel(host);
+          tenant::ScopedTransport transport(channel, tenants[i]);
+          Stopwatch total;
+          for (int q = 0; q < kVictimQueries; ++q) {
+            Stopwatch one;
+            (void)transport.call(cloud::MessageType::kRankedSearch, requests[i]);
+            latencies[i].push_back(one.elapsed_ms());
+          }
+          stats[i].qps = kVictimQueries / total.elapsed_seconds();
+        } catch (const std::exception&) {
+          ++failures;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (failures.load() != 0) std::abort();
+    if (flooded)
+      stats[0].qps = kFloodQueries / scenario_watch.elapsed_seconds();
+    for (std::size_t i = 1; i < tenants.size(); ++i)
+      stats[i].latency = bench::summarize_latencies(latencies[i]);
+    return stats;
+  };
+
+  auto scenarios = bench::Json::array();
+  bench::human("\n%-18s %-10s %12s %10s %10s %10s\n", "scenario", "tenant",
+               "QPS", "p50 ms", "p95 ms", "p99 ms");
+  for (const bool flooded : {false, true}) {
+    for (const bool fair : {true, false}) {
+      const auto stats = scenario(fair, flooded);
+      const std::string label =
+          std::string(fair ? "fair" : "fifo") + (flooded ? "+flood" : "");
+      auto row = bench::Json::object();
+      row.set("scheduler", fair ? "fair" : "fifo");
+      row.set("flooded", flooded);
+      auto per_tenant = bench::Json::array();
+      for (std::size_t i = 0; i < tenants.size(); ++i) {
+        if (i == 0 && !flooded) continue;  // flood tenant idle this round
+        bench::human("%-18s %-10s %12.0f %10.2f %10.2f %10.2f\n", label.c_str(),
+                     tenants[i].c_str(), stats[i].qps, stats[i].latency.p50,
+                     stats[i].latency.p95, stats[i].latency.p99);
+        auto t = bench::Json::object();
+        t.set("tenant", tenants[i]);
+        t.set("qps", stats[i].qps);
+        if (i != 0) t.set("latency", bench::latency_json(stats[i].latency));
+        per_tenant.push(std::move(t));
+      }
+      row.set("tenants", std::move(per_tenant));
+      scenarios.push(std::move(row));
+    }
+  }
+  bench::human("\n(victims run %d queries each; the flood pushes %d through the\n"
+               " same 2-worker pool — compare victim p95/p99 fair vs fifo)\n",
+               kVictimQueries, kFloodQueries);
+
+  auto results = bench::Json::object();
+  results.set("files_per_tenant", opts.num_documents);
+  results.set("victim_queries", kVictimQueries);
+  results.set("flood_queries", kFloodQueries);
+  results.set("workers", 2);
+  results.set("scenarios", std::move(scenarios));
+  bench::emit(bench::doc("tenant_isolation", "Multi-tenant serving")
+                  .set("results", std::move(results))
+                  .set("counters", bench::counters_json()));
+  return 0;
+}

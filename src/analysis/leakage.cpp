@@ -26,30 +26,36 @@ IndexShape index_shape(const sse::SecureIndex& index) {
 }
 
 void export_leakage_gauges(const sse::LeakageAudit& audit,
-                           obs::MetricsRegistry& registry) {
+                           obs::MetricsRegistry& registry,
+                           const obs::Labels& labels) {
   registry
       .gauge("rsse_opm_ciphertext_duplicates",
              "OPM value collisions across all rows; the one-to-many "
-             "mapping's Fig. 6 guarantee requires 0")
+             "mapping's Fig. 6 guarantee requires 0",
+             labels)
       .set(static_cast<std::int64_t>(audit.opm_ciphertext_duplicates));
   registry
       .gauge("rsse_leakage_audited_postings",
-             "Genuine postings covered by the build-time leakage audit")
+             "Genuine postings covered by the build-time leakage audit",
+             labels)
       .set(static_cast<std::int64_t>(audit.genuine_postings));
   registry
       .double_gauge("rsse_leakage_width_entropy_bits",
                     "Shannon entropy of stored posting-row widths under "
-                    "the padding policy (0 = widths reveal nothing)")
+                    "the padding policy (0 = widths reveal nothing)",
+                    labels)
       .set(audit.stored_width_entropy_bits);
   registry
       .double_gauge("rsse_leakage_level_min_entropy_bits",
                     "Min-entropy of quantized score levels in the widest "
-                    "row (plaintext side of Ablation C)")
+                    "row (plaintext side of Ablation C)",
+                    labels)
       .set(audit.level_min_entropy_bits());
   registry
       .double_gauge("rsse_leakage_opm_min_entropy_bits",
                     "Min-entropy of OPM values in the widest row (after "
-                    "the one-to-many mapping)")
+                    "the one-to-many mapping)",
+                    labels)
       .set(audit.opm_min_entropy_bits());
 }
 

@@ -42,9 +42,12 @@ IndexShape index_shape(const sse::SecureIndex& index);
 ///   rsse_leakage_width_entropy_bits       row-width leakage under padding
 ///   rsse_leakage_level_min_entropy_bits   Ablation C, plaintext side
 ///   rsse_leakage_opm_min_entropy_bits     Ablation C, after the OPM
-/// Idempotent: re-registering updates the same series.
+/// Idempotent: re-registering updates the same series. `labels` scopes
+/// the series (a tenant host passes {tenant=<id>}; single-owner servers
+/// pass nothing and keep the unlabeled series).
 void export_leakage_gauges(const sse::LeakageAudit& audit,
-                           obs::MetricsRegistry& registry);
+                           obs::MetricsRegistry& registry,
+                           const obs::Labels& labels = {});
 
 /// One observed query: the opaque row label it touched and the file ids
 /// it returned (in server-visible order).

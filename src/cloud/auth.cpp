@@ -1,10 +1,25 @@
 #include "cloud/auth.h"
 
+#include "cloud/protocol.h"
 #include "crypto/aes_gcm.h"
 #include "crypto/prf.h"
 #include "util/errors.h"
 
 namespace rsse::cloud {
+
+namespace {
+
+Bytes tenant_aad(std::string_view tenant, std::string_view user_name) {
+  detail::require(valid_tenant_id(std::string(tenant)),
+                  "AuthorizationService: malformed tenant id");
+  Bytes aad = to_bytes(tenant);
+  aad.push_back(0x1f);  // unit separator: outside the tenant-id alphabet
+  const Bytes user = to_bytes(user_name);
+  aad.insert(aad.end(), user.begin(), user.end());
+  return aad;
+}
+
+}  // namespace
 
 Bytes UserCredentials::serialize() const {
   Bytes out;
@@ -54,6 +69,22 @@ Bytes AuthorizationService::issue(BytesView user_key, std::string_view user_name
 UserCredentials AuthorizationService::open(BytesView user_key, std::string_view user_name,
                                            BytesView sealed) {
   const Bytes plain = crypto::aes_gcm_decrypt(user_key, sealed, to_bytes(user_name));
+  return UserCredentials::deserialize(plain);
+}
+
+Bytes AuthorizationService::issue(BytesView user_key, std::string_view tenant,
+                                  std::string_view user_name,
+                                  const UserCredentials& credentials) {
+  return crypto::aes_gcm_encrypt(user_key, credentials.serialize(),
+                                 tenant_aad(tenant, user_name));
+}
+
+UserCredentials AuthorizationService::open(BytesView user_key,
+                                           std::string_view tenant,
+                                           std::string_view user_name,
+                                           BytesView sealed) {
+  const Bytes plain =
+      crypto::aes_gcm_decrypt(user_key, sealed, tenant_aad(tenant, user_name));
   return UserCredentials::deserialize(plain);
 }
 

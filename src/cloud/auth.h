@@ -50,6 +50,21 @@ class AuthorizationService {
   /// a wrong key.
   static UserCredentials open(BytesView user_key, std::string_view user_name,
                               BytesView sealed);
+
+  /// Tenant-scoped sealing: binds the bundle to a (tenant, user) pair —
+  /// AES-GCM associated data is tenant || 0x1f || user name. A tenant id
+  /// is [a-zA-Z0-9_-] only (never 0x1f), so the pair encoding is
+  /// injective: a credential issued inside one tenant's namespace can
+  /// never open as another tenant's, nor as a tenant-less bundle.
+  /// Throws InvalidArgument on a malformed tenant id.
+  static Bytes issue(BytesView user_key, std::string_view tenant,
+                     std::string_view user_name,
+                     const UserCredentials& credentials);
+
+  /// Opens a tenant-scoped bundle. Throws CryptoError on tampering, a
+  /// wrong key, or a tenant/user mismatch.
+  static UserCredentials open(BytesView user_key, std::string_view tenant,
+                              std::string_view user_name, BytesView sealed);
 };
 
 }  // namespace rsse::cloud

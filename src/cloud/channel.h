@@ -11,7 +11,7 @@
 #include <chrono>
 #include <cstdint>
 
-#include "cloud/cloud_server.h"
+#include "cloud/handler.h"
 #include "obs/trace.h"
 #include "util/deadline.h"
 
@@ -114,11 +114,12 @@ class Transport {
   std::atomic<std::int64_t> call_timeout_ms_{0};
 };
 
-/// The in-process transport: directly invokes a CloudServer instance,
-/// counting every byte that would cross the wire.
+/// The in-process transport: directly invokes a serving endpoint (a bare
+/// CloudServer or a tenant::TenantHost), counting every byte that would
+/// cross the wire.
 class Channel final : public Transport {
  public:
-  explicit Channel(const CloudServer& server) : server_(server) {}
+  explicit Channel(const RequestHandler& server) : server_(server) {}
 
   using Transport::call;
   Bytes call(MessageType type, BytesView request, const Deadline& deadline) override;
@@ -126,7 +127,7 @@ class Channel final : public Transport {
              obs::TraceRecorder* trace, std::uint64_t parent_span_id) override;
 
  private:
-  const CloudServer& server_;
+  const RequestHandler& server_;
 };
 
 }  // namespace rsse::cloud

@@ -24,6 +24,7 @@ const char* message_name(MessageType type) {
     case MessageType::kTrace: return "trace";
     case MessageType::kUpdate: return "update";
     case MessageType::kDeltaBackfill: return "delta_backfill";
+    case MessageType::kTenantScoped: return "tenant_scoped";
   }
   return "unknown";
 }
@@ -431,7 +432,8 @@ std::uint64_t CloudServer::stored_bytes() const {
 Bytes CloudServer::handle(MessageType type, BytesView payload) const {
   const Stopwatch watch;
   Bytes out = handle_impl(type, payload, nullptr, 0);
-  if (slow_log_.maybe_record(message_name(type), watch.elapsed_seconds(), {})) {
+  if (slow_log_.maybe_record(message_name(type), watch.elapsed_seconds(), {},
+                             tenant_tag_)) {
     metrics_.record_slow_query();
   }
   return out;
@@ -450,13 +452,14 @@ Bytes CloudServer::handle(MessageType type, BytesView payload,
     out = handle_impl(type, payload, &recorder, ctx.parent_span_id);
   } catch (...) {
     if (slow_log_.maybe_record(message_name(type), watch.elapsed_seconds(),
-                               recorder.spans())) {
+                               recorder.spans(), tenant_tag_)) {
       metrics_.record_slow_query();
     }
     throw;
   }
   *spans = recorder.spans();
-  if (slow_log_.maybe_record(message_name(type), watch.elapsed_seconds(), *spans)) {
+  if (slow_log_.maybe_record(message_name(type), watch.elapsed_seconds(), *spans,
+                             tenant_tag_)) {
     metrics_.record_slow_query();
   }
   return out;
@@ -590,11 +593,17 @@ Bytes CloudServer::handle_impl(MessageType type, BytesView payload,
         TraceResponse resp;
         resp.entries.reserve(entries.size());
         for (auto& e : entries) {
-          resp.entries.push_back(
-              TraceEntry{std::move(e.operation), e.seconds, std::move(e.spans)});
+          resp.entries.push_back(TraceEntry{std::move(e.operation),
+                                            std::move(e.tenant), e.seconds,
+                                            std::move(e.spans)});
         }
         return resp.serialize();
       }
+      case MessageType::kTenantScoped:
+        // A bare CloudServer has no tenant registry or admission control;
+        // only a tenant::TenantHost can unwrap the envelope.
+        throw ProtocolError(
+            "CloudServer: tenant-scoped requests require a tenant host");
     }
     throw ProtocolError("CloudServer: unknown message type");
   } catch (const Error&) {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "cloud/handler.h"
 #include "cloud/metrics.h"
 #include "cloud/protocol.h"
 #include "obs/slow_log.h"
@@ -35,8 +36,11 @@
 
 namespace rsse::cloud {
 
-/// The cloud service endpoint.
-class CloudServer {
+/// The cloud service endpoint. Implements the transport-facing
+/// RequestHandler seam, so every transport (in-process Channel, TCP
+/// NetworkServer, SimNet endpoint) serves either a bare CloudServer or a
+/// multi-tenant tenant::TenantHost without caring which.
+class CloudServer : public RequestHandler {
  public:
   /// Ingests the owner's outsourced data (Setup upload).
   void store(sse::SecureIndex index, std::map<std::uint64_t, Bytes> files);
@@ -83,6 +87,19 @@ class CloudServer {
   void set_node_name(std::string name) { node_name_ = std::move(name); }
   [[nodiscard]] const std::string& node_name() const { return node_name_; }
 
+  /// Attributes this server's slow-query entries and trace spans to a
+  /// tenant (a tenant host tags each per-tenant server with its id).
+  /// Default empty: single-owner servers stay untagged. Set before
+  /// serving traffic.
+  void set_tenant_tag(std::string tenant) { tenant_tag_ = std::move(tenant); }
+  [[nodiscard]] const std::string& tenant_tag() const { return tenant_tag_; }
+
+  /// RequestHandler: the registry behind metrics() — what transports use
+  /// to register their own byte/connection counters.
+  [[nodiscard]] obs::MetricsRegistry& metrics_registry() const override {
+    return metrics_.registry();
+  }
+
   /// Arms the slow-query log: handle() calls slower than `ms` are
   /// retained (with their trace when the request carried one) and served
   /// via kTrace. 0 (default) disables.
@@ -96,7 +113,7 @@ class CloudServer {
   /// Single RPC entry point: parses `payload` according to `type` and
   /// returns the serialized response. Throws ProtocolError for unknown
   /// message types and ParseError for malformed payloads.
-  [[nodiscard]] Bytes handle(MessageType type, BytesView payload) const;
+  [[nodiscard]] Bytes handle(MessageType type, BytesView payload) const override;
 
   /// Traced RPC entry point: like handle(), but when `ctx` carries a live
   /// trace the handler records spans (request root + ranked-search
@@ -104,7 +121,7 @@ class CloudServer {
   /// response frame. With an inactive context this is exactly handle().
   [[nodiscard]] Bytes handle(MessageType type, BytesView payload,
                              const obs::TraceContext& ctx,
-                             std::vector<obs::Span>* spans) const;
+                             std::vector<obs::Span>* spans) const override;
 
   // ----- typed handlers (handle() dispatches to these) -----
 
@@ -287,6 +304,7 @@ class CloudServer {
   mutable ServerMetrics metrics_;
   mutable obs::SlowQueryLog slow_log_;
   std::string node_name_ = "server";
+  std::string tenant_tag_;  // stamps slow-query entries; "" = single-owner
 
   // Declared LAST: ~Compactor joins a worker thread that dereferences
   // overlay_ and metrics_'s registry mid-merge, so the compactor must be

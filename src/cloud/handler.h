@@ -1,0 +1,45 @@
+// The request-handling seam between transports and serving logic.
+//
+// Every transport front end — the in-process Channel, the TCP
+// NetworkServer, the deterministic SimTransport — dispatches requests by
+// invoking this interface, not CloudServer directly. That makes the
+// serving side substitutable: a bare CloudServer (single owner, the
+// paper's model) and a tenant::TenantHost (many owners behind admission
+// control and fair scheduling) plug into the same front ends unchanged.
+#pragma once
+
+#include <vector>
+
+#include "cloud/protocol.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rsse::cloud {
+
+/// Abstract serving endpoint: parses a typed request payload and returns
+/// the serialized response. Implementations are internally synchronized —
+/// transports call handle() from many threads concurrently.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  /// One RPC: parses `payload` according to `type` and returns the
+  /// serialized response. Throws ProtocolError for unknown message
+  /// types, ParseError for malformed payloads, and QuotaExceeded when
+  /// admission control sheds the request before doing any work.
+  [[nodiscard]] virtual Bytes handle(MessageType type, BytesView payload) const = 0;
+
+  /// Traced RPC: like handle(), but when `ctx` carries a live trace the
+  /// handler records spans into `*spans` for the transport to piggyback
+  /// on the response frame. With an inactive context behaves exactly
+  /// like the untraced overload.
+  [[nodiscard]] virtual Bytes handle(MessageType type, BytesView payload,
+                                     const obs::TraceContext& ctx,
+                                     std::vector<obs::Span>* spans) const = 0;
+
+  /// The registry transport front ends contribute their own families to
+  /// (bytes in/out, connection counts) and scrape endpoints render.
+  [[nodiscard]] virtual obs::MetricsRegistry& metrics_registry() const = 0;
+};
+
+}  // namespace rsse::cloud

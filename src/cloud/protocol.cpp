@@ -282,6 +282,7 @@ Bytes TraceResponse::serialize() const {
   append_u64(out, entries.size());
   for (const TraceEntry& e : entries) {
     append_lp(out, to_bytes(e.operation));
+    append_lp(out, to_bytes(e.tenant));
     // Latency as micros keeps the wire format integral (double-free).
     // The cast is UB outside [0, 2^64) and entries can carry wire-derived
     // latencies (snapshot relays), so clamp to the representable range.
@@ -301,11 +302,14 @@ Bytes TraceResponse::serialize() const {
 TraceResponse TraceResponse::deserialize(BytesView blob) {
   ByteReader reader(blob);
   TraceResponse resp;
-  const std::uint64_t n = reader.read_count(16);  // 2 LP headers + u64
+  const std::uint64_t n = reader.read_count(20);  // 3 LP headers + u64
   resp.entries.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     TraceEntry e;
     e.operation = to_string(reader.read_lp());
+    e.tenant = to_string(reader.read_lp());
+    if (!e.tenant.empty() && !valid_tenant_id(e.tenant))
+      throw ParseError("TraceResponse: malformed tenant id");
     e.seconds = static_cast<double>(reader.read_u64()) / 1e6;
     const Bytes spans = reader.read_lp();
     e.spans = obs::deserialize_spans(spans);
@@ -407,6 +411,42 @@ DeltaBackfillResponse DeltaBackfillResponse::deserialize(BytesView blob) {
   }
   expect_exhausted(reader, "DeltaBackfillResponse");
   return resp;
+}
+
+bool valid_tenant_id(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Bytes TenantScopedRequest::serialize() const {
+  Bytes out;
+  append_lp(out, to_bytes(tenant));
+  out.push_back(static_cast<std::uint8_t>(inner_type));
+  append_lp(out, inner_payload);
+  return out;
+}
+
+TenantScopedRequest TenantScopedRequest::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  TenantScopedRequest req;
+  req.tenant = to_string(reader.read_lp());
+  if (!valid_tenant_id(req.tenant))
+    throw ParseError("TenantScopedRequest: malformed tenant id");
+  const Bytes type = reader.read(1);
+  // One layer of tenancy only: a nested envelope (or an out-of-range
+  // discriminator) is malformed, not merely unroutable.
+  if (type[0] < static_cast<std::uint8_t>(MessageType::kRankedSearch) ||
+      type[0] >= static_cast<std::uint8_t>(MessageType::kTenantScoped))
+    throw ParseError("TenantScopedRequest: bad inner message type");
+  req.inner_type = static_cast<MessageType>(type[0]);
+  req.inner_payload = reader.read_lp();
+  expect_exhausted(reader, "TenantScopedRequest");
+  return req;
 }
 
 }  // namespace rsse::cloud

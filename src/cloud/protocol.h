@@ -54,7 +54,15 @@ enum class MessageType : std::uint8_t {
   kTrace = 8,
   kUpdate = 9,
   kDeltaBackfill = 10,
+  kTenantScoped = 11,
 };
+
+/// True when `id` is a well-formed tenant identifier: 1-64 characters
+/// from [a-zA-Z0-9_-]. Enforced at the wire (TenantScopedRequest), in
+/// the tenant registry, and by the CLI, so a tenant id is always safe to
+/// embed in metric labels, file-system paths and AES-GCM associated
+/// data without escaping.
+[[nodiscard]] bool valid_tenant_id(const std::string& id);
 
 /// Boolean connective of a multi-keyword search.
 enum class MultiSearchMode : std::uint8_t {
@@ -205,9 +213,12 @@ struct TraceRequest {
   static TraceRequest deserialize(BytesView blob);
 };
 
-/// One retained slow query on the wire.
+/// One retained slow query on the wire. `tenant` is empty on a
+/// single-owner server; a tenant host's per-tenant servers stamp it so
+/// hot-tenant debugging attributes end to end.
 struct TraceEntry {
   std::string operation;
+  std::string tenant;
   double seconds = 0.0;
   std::vector<obs::Span> spans;
 };
@@ -272,6 +283,21 @@ struct DeltaBackfillResponse {
 
   [[nodiscard]] Bytes serialize() const;
   static DeltaBackfillResponse deserialize(BytesView blob);
+};
+
+/// Multi-tenant envelope: any inner request, tagged with the tenant id
+/// it acts for. A tenant host validates the id and runs admission
+/// control BEFORE parsing `inner_payload` (a shed costs one string
+/// compare, never a row decryption); the response is the inner type's
+/// response, unwrapped. Nesting is rejected at parse time — the
+/// envelope carries exactly one layer of tenancy.
+struct TenantScopedRequest {
+  std::string tenant;
+  MessageType inner_type = MessageType::kRankedSearch;
+  Bytes inner_payload;
+
+  [[nodiscard]] Bytes serialize() const;
+  static TenantScopedRequest deserialize(BytesView blob);
 };
 
 }  // namespace rsse::cloud

@@ -41,8 +41,21 @@ const char* message_name(cloud::MessageType type) {
     case cloud::MessageType::kTrace: return "trace";
     case cloud::MessageType::kUpdate: return "update";
     case cloud::MessageType::kDeltaBackfill: return "delta_backfill";
+    case cloud::MessageType::kTenantScoped: return "tenant_scoped";
   }
   return "unknown";
+}
+
+// Re-wraps an outbound sub-request into the tenant envelope, so a
+// tenant-host shard runs its own validation and admission control on
+// exactly the tenant the client claimed.
+Bytes wrap_for_tenant(const std::string& tenant, cloud::MessageType type,
+                      BytesView request) {
+  cloud::TenantScopedRequest env;
+  env.tenant = tenant;
+  env.inner_type = type;
+  env.inner_payload = Bytes(request.begin(), request.end());
+  return env.serialize();
 }
 
 }  // namespace
@@ -105,8 +118,15 @@ std::size_t ClusterCoordinator::probe_shards() {
 Bytes ClusterCoordinator::shard_call(std::size_t shard, cloud::MessageType type,
                                      BytesView request, const Deadline& deadline,
                                      obs::TraceRecorder* trace,
-                                     std::uint64_t parent_span_id) {
+                                     std::uint64_t parent_span_id,
+                                     const std::string& tenant) {
   const Stopwatch watch;
+  Bytes wrapped;
+  if (!tenant.empty()) {
+    wrapped = wrap_for_tenant(tenant, type, request);
+    type = cloud::MessageType::kTenantScoped;
+    request = wrapped;
+  }
   try {
     Bytes response = shards_[shard]->call(type, request, options_.retry, deadline,
                                           trace, parent_span_id);
@@ -122,7 +142,8 @@ Bytes ClusterCoordinator::shard_call(std::size_t shard, cloud::MessageType type,
 void ClusterCoordinator::fetch_and_fill(
     const std::vector<std::pair<std::uint64_t, Bytes*>>& missing,
     std::size_t skip_shard, bool* degraded, const Deadline& deadline,
-    obs::TraceRecorder* trace, std::uint64_t parent_span_id) {
+    obs::TraceRecorder* trace, std::uint64_t parent_span_id,
+    const std::string& tenant) {
   // Group the wanted ids by their placement shard.
   std::map<std::size_t, std::vector<std::pair<std::uint64_t, Bytes*>>> by_shard;
   for (const auto& [id, slot] : missing) {
@@ -147,11 +168,12 @@ void ClusterCoordinator::fetch_and_fill(
   }
 
   std::atomic<bool> any_down{false};
-  const auto run = [this, &any_down, &deadline, trace, parent_span_id](Fetch& fetch) {
+  const auto run = [this, &any_down, &deadline, trace, parent_span_id,
+                    &tenant](Fetch& fetch) {
     try {
       const auto resp = cloud::FetchFilesResponse::deserialize(
           shard_call(fetch.shard, cloud::MessageType::kFetchFiles, fetch.request,
-                     deadline, trace, parent_span_id));
+                     deadline, trace, parent_span_id, tenant));
       // Response order mirrors request order (protocol contract).
       const std::size_t n = std::min(resp.files.size(), fetch.wanted->size());
       for (std::size_t i = 0; i < n; ++i)
@@ -187,25 +209,25 @@ void ClusterCoordinator::fetch_and_fill(
 
 cloud::RankedSearchResponse ClusterCoordinator::do_ranked_search(
     BytesView payload, const Deadline& deadline, obs::TraceRecorder* trace,
-    std::uint64_t parent_span_id) {
+    std::uint64_t parent_span_id, const std::string& tenant) {
   const auto req = cloud::RankedSearchRequest::deserialize(payload);
   const std::size_t shard = shard_map_.shard_of_label(req.trapdoor.label);
   auto resp = cloud::RankedSearchResponse::deserialize(
       shard_call(shard, cloud::MessageType::kRankedSearch, payload, deadline, trace,
-                 parent_span_id));
+                 parent_span_id, tenant));
 
   std::vector<std::pair<std::uint64_t, Bytes*>> missing;
   for (cloud::RankedFile& f : resp.files)
     if (f.blob.empty()) missing.push_back({ir::value(f.id), &f.blob});
   bool degraded = false;
-  fetch_and_fill(missing, shard, &degraded, deadline, trace, parent_span_id);
+  fetch_and_fill(missing, shard, &degraded, deadline, trace, parent_span_id, tenant);
   if (degraded) resp.partial = true;
   return resp;
 }
 
 cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
     BytesView payload, const Deadline& deadline, obs::TraceRecorder* trace,
-    std::uint64_t parent_span_id) {
+    std::uint64_t parent_span_id, const std::string& tenant) {
   const auto req = cloud::MultiSearchRequest::deserialize(payload);
   detail::require(!req.trapdoor.trapdoors.empty(), "cluster: empty multi-search");
   const bool conjunctive = req.mode == cloud::MultiSearchMode::kConjunctive;
@@ -220,12 +242,12 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
     const std::size_t shard = groups.begin()->first;
     auto resp = cloud::RankedSearchResponse::deserialize(
         shard_call(shard, cloud::MessageType::kMultiSearch, payload, deadline, trace,
-                   parent_span_id));
+                   parent_span_id, tenant));
     std::vector<std::pair<std::uint64_t, Bytes*>> missing;
     for (cloud::RankedFile& f : resp.files)
       if (f.blob.empty()) missing.push_back({ir::value(f.id), &f.blob});
     bool degraded = false;
-    fetch_and_fill(missing, shard, &degraded, deadline, trace, parent_span_id);
+    fetch_and_fill(missing, shard, &degraded, deadline, trace, parent_span_id, tenant);
     if (degraded) resp.partial = true;
     return resp;
   }
@@ -255,11 +277,11 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
     sub.request = sub_req.serialize();
     subs.push_back(std::move(sub));
   }
-  const auto run_sub = [this, &deadline, trace, parent_span_id](Sub& sub) {
+  const auto run_sub = [this, &deadline, trace, parent_span_id, &tenant](Sub& sub) {
     try {
       sub.response = cloud::RankedSearchResponse::deserialize(
           shard_call(sub.shard, cloud::MessageType::kMultiSearch, sub.request,
-                     deadline, trace, parent_span_id));
+                     deadline, trace, parent_span_id, tenant));
       sub.ok = true;
     } catch (const Error&) {
       // Whole shard down after failover: degrade below.
@@ -327,7 +349,8 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
   // No shard to skip.
   static const auto kFetchStage = obs::Profiler::global().stage("cluster/fetch");
   obs::ProfileScope fetch_profile(kFetchStage);
-  fetch_and_fill(missing, shards_.size(), &degraded, deadline, trace, parent_span_id);
+  fetch_and_fill(missing, shards_.size(), &degraded, deadline, trace, parent_span_id,
+                 tenant);
   fetch_profile.finish();
   if (degraded) resp.partial = true;
   return resp;
@@ -335,21 +358,24 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
 
 cloud::FetchFilesResponse ClusterCoordinator::do_fetch_files(
     const cloud::FetchFilesRequest& req, bool* degraded, const Deadline& deadline,
-    obs::TraceRecorder* trace, std::uint64_t parent_span_id) {
+    obs::TraceRecorder* trace, std::uint64_t parent_span_id,
+    const std::string& tenant) {
   cloud::FetchFilesResponse resp;
   resp.files.reserve(req.ids.size());
   for (sse::FileId id : req.ids) resp.files.push_back(cloud::RankedFile{id, 0, {}});
   std::vector<std::pair<std::uint64_t, Bytes*>> wanted;
   wanted.reserve(resp.files.size());
   for (cloud::RankedFile& f : resp.files) wanted.push_back({ir::value(f.id), &f.blob});
-  fetch_and_fill(wanted, shards_.size(), degraded, deadline, trace, parent_span_id);
+  fetch_and_fill(wanted, shards_.size(), degraded, deadline, trace, parent_span_id,
+                 tenant);
   return resp;
 }
 
 cloud::UpdateResponse ClusterCoordinator::do_update(BytesView payload,
                                                     const Deadline& deadline,
                                                     obs::TraceRecorder* trace,
-                                                    std::uint64_t parent_span_id) {
+                                                    std::uint64_t parent_span_id,
+                                                    const std::string& tenant) {
   const auto req = cloud::UpdateRequest::deserialize(payload);
   detail::require(req.delta.op_count > 0, "cluster: empty update delta");
 
@@ -400,17 +426,25 @@ cloud::UpdateResponse ClusterCoordinator::do_update(BytesView payload,
   const bool replicate = req.delta_id != 0;
   std::atomic<bool> any_missed{false};
   const auto run_sub = [this, replicate, &any_missed, &deadline, trace,
-                        parent_span_id](Sub& sub) {
+                        parent_span_id, &tenant](Sub& sub) {
     try {
       if (!replicate) {
         sub.response = cloud::UpdateResponse::deserialize(
             shard_call(sub.shard, cloud::MessageType::kUpdate, sub.request, deadline,
-                       trace, parent_span_id));
+                       trace, parent_span_id, tenant));
         return;
       }
       ReplicaSet& set = *shards_[sub.shard];
       const Stopwatch watch;
-      const auto outcomes = set.call_all(cloud::MessageType::kUpdate, sub.request,
+      cloud::MessageType wire_type = cloud::MessageType::kUpdate;
+      BytesView wire_request = sub.request;
+      Bytes wrapped;
+      if (!tenant.empty()) {
+        wrapped = wrap_for_tenant(tenant, wire_type, wire_request);
+        wire_type = cloud::MessageType::kTenantScoped;
+        wire_request = wrapped;
+      }
+      const auto outcomes = set.call_all(wire_type, wire_request,
                                          options_.retry, deadline, trace,
                                          parent_span_id);
       metrics_.record_request(sub.shard, watch.elapsed_seconds());
@@ -657,15 +691,16 @@ bool ClusterCoordinator::snapshot_repair(ReplicaSet& set, std::size_t shard,
 Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
                                    const Deadline& deadline,
                                    obs::TraceRecorder* trace,
-                                   std::uint64_t parent_span_id) {
+                                   std::uint64_t parent_span_id,
+                                   const std::string& tenant) {
   switch (type) {
     case cloud::MessageType::kRankedSearch: {
-      auto resp = do_ranked_search(request, deadline, trace, parent_span_id);
+      auto resp = do_ranked_search(request, deadline, trace, parent_span_id, tenant);
       if (resp.partial) metrics_.record_partial();
       return resp.serialize();
     }
     case cloud::MessageType::kMultiSearch: {
-      auto resp = do_multi_search(request, deadline, trace, parent_span_id);
+      auto resp = do_multi_search(request, deadline, trace, parent_span_id, tenant);
       if (resp.partial) metrics_.record_partial();
       return resp.serialize();
     }
@@ -673,25 +708,26 @@ Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
       // Row-routed, no blobs to fill: pass the shard's answer through.
       const auto req = cloud::BasicEntriesRequest::deserialize(request);
       return shard_call(shard_map_.shard_of_label(req.trapdoor.label), type, request,
-                        deadline, trace, parent_span_id);
+                        deadline, trace, parent_span_id, tenant);
     }
     case cloud::MessageType::kBasicFiles: {
       const auto req = cloud::BasicEntriesRequest::deserialize(request);
       const std::size_t shard = shard_map_.shard_of_label(req.trapdoor.label);
       auto resp = cloud::BasicFilesResponse::deserialize(
-          shard_call(shard, type, request, deadline, trace, parent_span_id));
+          shard_call(shard, type, request, deadline, trace, parent_span_id, tenant));
       std::vector<std::pair<std::uint64_t, Bytes*>> missing;
       for (cloud::BasicFile& f : resp.files)
         if (f.blob.empty()) missing.push_back({ir::value(f.id), &f.blob});
       bool degraded = false;
-      fetch_and_fill(missing, shard, &degraded, deadline, trace, parent_span_id);
+      fetch_and_fill(missing, shard, &degraded, deadline, trace, parent_span_id,
+                     tenant);
       if (degraded) metrics_.record_partial();
       return resp.serialize();
     }
     case cloud::MessageType::kFetchFiles: {
       bool degraded = false;
       Bytes out = do_fetch_files(cloud::FetchFilesRequest::deserialize(request),
-                                 &degraded, deadline, trace, parent_span_id)
+                                 &degraded, deadline, trace, parent_span_id, tenant)
                       .serialize();
       if (degraded) metrics_.record_partial();
       return out;
@@ -708,7 +744,7 @@ Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
       return resp.serialize();
     }
     case cloud::MessageType::kUpdate:
-      return do_update(request, deadline, trace, parent_span_id).serialize();
+      return do_update(request, deadline, trace, parent_span_id, tenant).serialize();
     case cloud::MessageType::kTrace:
       // The coordinator keeps no slow-query log of its own; clients trace
       // cluster queries end to end with their own TraceRecorder, and each
@@ -722,6 +758,23 @@ Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
       // Backfill addresses one replica's WAL tail; the coordinator runs it
       // itself (anti-entropy) but cannot answer it for the cluster.
       throw ProtocolError("ClusterCoordinator: delta backfill is replica-direct");
+    case cloud::MessageType::kTenantScoped: {
+      // Unwrap for routing only. The parse validates the tenant id and
+      // rejects nested envelopes; the per-tenant attribution counter is
+      // capped by the registry's label-cardinality limit, so a client
+      // inventing tenant ids cannot grow the registry. Quota enforcement
+      // stays with the tenant-host shards, which see the re-wrapped
+      // envelope on every sub-request.
+      if (!tenant.empty())
+        throw ProtocolError("ClusterCoordinator: nested tenant envelope");
+      const auto env = cloud::TenantScopedRequest::deserialize(request);
+      metrics_.registry()
+          .counter("rsse_cluster_tenant_requests_total",
+                   "Requests routed per tenant", {{"tenant", env.tenant}})
+          .inc();
+      return dispatch(env.inner_type, env.inner_payload, deadline, trace,
+                      parent_span_id, env.tenant);
+    }
   }
   throw ProtocolError("ClusterCoordinator: unknown message type");
 }

@@ -60,6 +60,7 @@
 #include <thread>
 #include <vector>
 
+#include "cloud/cloud_server.h"
 #include "cluster/metrics.h"
 #include "cluster/replica.h"
 #include "cluster/shard_map.h"
@@ -180,30 +181,41 @@ class ClusterCoordinator final : public cloud::Transport {
   [[nodiscard]] const ReplicaSet& shard(std::size_t i) const { return *shards_[i]; }
 
  private:
-  /// call() without the traffic accounting.
+  /// call() without the traffic accounting. `tenant` is non-empty when
+  /// the request arrived inside a kTenantScoped envelope: routing uses
+  /// the unwrapped inner request, and every outbound sub-request is
+  /// re-wrapped so tenant-host shards enforce their own admission
+  /// control (the coordinator itself never sheds — quota state lives
+  /// with the shards that do the work).
   Bytes dispatch(cloud::MessageType type, BytesView request, const Deadline& deadline,
-                 obs::TraceRecorder* trace, std::uint64_t parent_span_id);
+                 obs::TraceRecorder* trace, std::uint64_t parent_span_id,
+                 const std::string& tenant = {});
 
   /// One sub-request to a shard, with failover, metrics and timing.
+  /// A non-empty `tenant` re-wraps the request into the envelope.
   Bytes shard_call(std::size_t shard, cloud::MessageType type, BytesView request,
                    const Deadline& deadline, obs::TraceRecorder* trace,
-                   std::uint64_t parent_span_id);
+                   std::uint64_t parent_span_id, const std::string& tenant = {});
 
   cloud::RankedSearchResponse do_ranked_search(BytesView payload,
                                                const Deadline& deadline,
                                                obs::TraceRecorder* trace,
-                                               std::uint64_t parent_span_id);
+                                               std::uint64_t parent_span_id,
+                                               const std::string& tenant);
   cloud::RankedSearchResponse do_multi_search(BytesView payload,
                                               const Deadline& deadline,
                                               obs::TraceRecorder* trace,
-                                              std::uint64_t parent_span_id);
+                                              std::uint64_t parent_span_id,
+                                              const std::string& tenant);
   cloud::FetchFilesResponse do_fetch_files(const cloud::FetchFilesRequest& req,
                                            bool* degraded, const Deadline& deadline,
                                            obs::TraceRecorder* trace,
-                                           std::uint64_t parent_span_id);
+                                           std::uint64_t parent_span_id,
+                                           const std::string& tenant);
   cloud::UpdateResponse do_update(BytesView payload, const Deadline& deadline,
                                   obs::TraceRecorder* trace,
-                                  std::uint64_t parent_span_id);
+                                  std::uint64_t parent_span_id,
+                                  const std::string& tenant);
 
   /// Anti-entropy worker loop: waits for notify_catch_up, repairs every
   /// shard, publishes idleness.
@@ -229,7 +241,8 @@ class ClusterCoordinator final : public cloud::Transport {
   /// fetch everything. Sets *degraded when a file shard was unreachable.
   void fetch_and_fill(const std::vector<std::pair<std::uint64_t, Bytes*>>& missing,
                       std::size_t skip_shard, bool* degraded, const Deadline& deadline,
-                      obs::TraceRecorder* trace, std::uint64_t parent_span_id);
+                      obs::TraceRecorder* trace, std::uint64_t parent_span_id,
+                      const std::string& tenant);
 
   ClusterManifest manifest_;
   ShardMap shard_map_;

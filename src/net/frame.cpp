@@ -118,7 +118,17 @@ TracedResponse recv_response_traced(const Socket& socket, const Deadline& deadli
   if (!recv_framed(socket, tag, payload, deadline))
     throw ProtocolError("response: connection closed");
   if (tag == 0x00) return TracedResponse{std::move(payload), {}};
-  if (tag == 0x01) throw ProtocolError("server error: " + to_string(payload));
+  if (tag == 0x01) {
+    // Admission-control sheds arrive as error frames with a reserved
+    // prefix (net/server.cpp stamps it); surface them as the typed
+    // exception so clients can back off instead of failing the call.
+    std::string message = to_string(payload);
+    constexpr std::string_view kQuotaPrefix = "QuotaExceeded: ";
+    if (message.rfind(kQuotaPrefix, 0) == 0) {
+      throw QuotaExceeded(message.substr(kQuotaPrefix.size()));
+    }
+    throw ProtocolError("server error: " + message);
+  }
   if (tag == 0x02) return parse_traced_body(std::move(payload));
   throw ProtocolError("response: unknown status tag");
 }

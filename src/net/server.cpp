@@ -7,15 +7,15 @@
 
 namespace rsse::net {
 
-NetworkServer::NetworkServer(const cloud::CloudServer& server, std::uint16_t port)
+NetworkServer::NetworkServer(const cloud::RequestHandler& server, std::uint16_t port)
     : server_(server),
-      bytes_in_(server.metrics().registry().counter(
+      bytes_in_(server.metrics_registry().counter(
           "rsse_server_bytes_in_total", "Request payload bytes received")),
-      bytes_out_(server.metrics().registry().counter(
+      bytes_out_(server.metrics_registry().counter(
           "rsse_server_bytes_out_total", "Response payload bytes sent")),
-      connections_total_(server.metrics().registry().counter(
+      connections_total_(server.metrics_registry().counter(
           "rsse_server_connections_total", "Client connections accepted")),
-      active_connections_(server.metrics().registry().gauge(
+      active_connections_(server.metrics_registry().gauge(
           "rsse_server_active_connections", "Currently open client connections")),
       listener_(port) {
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -80,6 +80,11 @@ void NetworkServer::serve_connection(const std::shared_ptr<Socket>& connection) 
           bytes_out_.inc(response.size());
           send_response_ok(*connection, response);
         }
+      } catch (const QuotaExceeded& e) {
+        // Admission-control shed: the "QuotaExceeded: " prefix lets the
+        // client frame layer rethrow the typed exception, so callers can
+        // back off instead of treating the shed as a protocol failure.
+        send_response_error(*connection, std::string("QuotaExceeded: ") + e.what());
       } catch (const Error& e) {
         // Library-level rejection (bad payload, unknown type): report to
         // the client, keep the connection usable.

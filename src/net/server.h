@@ -1,15 +1,16 @@
-// The network front end of a CloudServer: a threaded TCP server speaking
-// the frame protocol. One thread accepts connections; each connection is
-// served by its own worker (connections are long-lived — a user keeps one
-// open across searches). Request handling delegates to
-// CloudServer::handle, so the network layer adds no protocol logic of its
-// own; library errors travel back to the client as error frames.
+// The network front end of a serving endpoint: a threaded TCP server
+// speaking the frame protocol. One thread accepts connections; each
+// connection is served by its own worker (connections are long-lived — a
+// user keeps one open across searches). Request handling delegates to
+// cloud::RequestHandler::handle (a bare CloudServer or a multi-tenant
+// tenant::TenantHost), so the network layer adds no protocol logic of
+// its own; library errors travel back to the client as error frames.
 //
 // Observability: trace-flagged requests dispatch to the traced
-// CloudServer::handle and the recorded spans ride back on a tag-2
+// handle overload and the recorded spans ride back on a tag-2
 // response. The server also contributes transport-level families
 // (rsse_server_bytes_in_total / bytes_out_total / connections_total /
-// active_connections) to the CloudServer's metrics registry, so one
+// active_connections) to the handler's metrics registry, so one
 // scrape shows protocol and transport counters side by side.
 #pragma once
 
@@ -20,18 +21,18 @@
 #include <thread>
 #include <vector>
 
-#include "cloud/cloud_server.h"
+#include "cloud/handler.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
 
 namespace rsse::net {
 
-/// A running TCP endpoint for one CloudServer.
+/// A running TCP endpoint for one serving endpoint.
 class NetworkServer {
  public:
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
-  /// The CloudServer must outlive this object.
-  NetworkServer(const cloud::CloudServer& server, std::uint16_t port = 0);
+  /// The handler must outlive this object.
+  NetworkServer(const cloud::RequestHandler& server, std::uint16_t port = 0);
 
   /// Stops the server (see stop()).
   ~NetworkServer();
@@ -54,10 +55,10 @@ class NetworkServer {
   void accept_loop();
   void serve_connection(const std::shared_ptr<Socket>& connection);
 
-  const cloud::CloudServer& server_;
-  // Transport-level instruments, registered in the CloudServer's registry
+  const cloud::RequestHandler& server_;
+  // Transport-level instruments, registered in the handler's registry
   // (registration is idempotent, so several NetworkServers fronting one
-  // CloudServer share the same counters).
+  // endpoint share the same counters).
   obs::Counter& bytes_in_;
   obs::Counter& bytes_out_;
   obs::Counter& connections_total_;

@@ -190,6 +190,21 @@ MetricsRegistry::Series& MetricsRegistry::series_of(Family& family, const Labels
   for (auto& series : family.series) {
     if (series.labels == labels) return series;
   }
+  // A NEW labeled series past the cardinality cap collapses onto the
+  // family's shared overflow series (all label values "overflow") so an
+  // externally influenced label value (tenant id, peer name) cannot grow
+  // the registry without bound. The overflow series itself may be the
+  // cap-th + 1 entry.
+  if (cardinality_cap_ != 0 && !labels.empty() &&
+      family.series.size() >= cardinality_cap_) {
+    Labels overflow = labels;
+    for (auto& [key, value] : overflow) value = "overflow";
+    for (auto& series : family.series) {
+      if (series.labels == overflow) return series;
+    }
+    family.series.push_back(Series{std::move(overflow), nullptr, nullptr, nullptr, nullptr});
+    return family.series.back();
+  }
   family.series.push_back(Series{labels, nullptr, nullptr, nullptr, nullptr});
   return family.series.back();
 }
@@ -236,6 +251,24 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name,
 std::size_t MetricsRegistry::family_count() const {
   const std::lock_guard lock(mutex_);
   return families_.size();
+}
+
+void MetricsRegistry::set_label_cardinality_cap(std::size_t cap) {
+  const std::lock_guard lock(mutex_);
+  cardinality_cap_ = cap;
+}
+
+std::size_t MetricsRegistry::label_cardinality_cap() const {
+  const std::lock_guard lock(mutex_);
+  return cardinality_cap_;
+}
+
+std::size_t MetricsRegistry::series_count(const std::string& name) const {
+  const std::lock_guard lock(mutex_);
+  for (const auto& family : families_) {
+    if (family.name == name) return family.series.size();
+  }
+  return 0;
 }
 
 std::string MetricsRegistry::render_prometheus(const Labels& extra) const {

@@ -163,6 +163,21 @@ class MetricsRegistry {
   /// Number of registered metric families.
   [[nodiscard]] std::size_t family_count() const;
 
+  /// Caps the number of distinct label sets one family may hold. Once a
+  /// family is at the cap, a NEW label set registers against a single
+  /// shared series whose label values are all "overflow" (created on
+  /// first overflow; label keys are preserved) instead of growing the
+  /// family — so label values fed from external input (tenant ids,
+  /// node names) cannot grow the registry without bound. Existing
+  /// series are never evicted; unlabeled series are exempt. 0 disables
+  /// the cap. Default: 256 per family.
+  void set_label_cardinality_cap(std::size_t cap);
+  [[nodiscard]] std::size_t label_cardinality_cap() const;
+
+  /// The label-set count of family `name` (0 when unregistered) —
+  /// observability for the cap itself.
+  [[nodiscard]] std::size_t series_count(const std::string& name) const;
+
   /// Prometheus text exposition format (version 0.0.4): HELP/TYPE headers
   /// per family, one sample line per series (histograms expand into
   /// _bucket/_sum/_count). `extra` labels are appended to every series —
@@ -198,6 +213,7 @@ class MetricsRegistry {
 
   mutable std::mutex mutex_;  // registration + render; never on record paths
   std::vector<Family> families_;  // registration order = render order
+  std::size_t cardinality_cap_ = 256;  // distinct label sets per family
 };
 
 }  // namespace rsse::obs

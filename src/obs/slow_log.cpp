@@ -3,7 +3,7 @@
 namespace rsse::obs {
 
 bool SlowQueryLog::maybe_record(const std::string& operation, double seconds,
-                                std::vector<Span> spans) {
+                                std::vector<Span> spans, const std::string& tenant) {
   const std::uint64_t threshold = threshold_ns_.load(std::memory_order_relaxed);
   if (threshold == 0) return false;
   if (seconds * 1e9 < static_cast<double>(threshold)) return false;
@@ -11,6 +11,7 @@ bool SlowQueryLog::maybe_record(const std::string& operation, double seconds,
   SlowQueryEntry entry;
   entry.at_ns = now_ns();
   entry.operation = operation;
+  entry.tenant = tenant;
   entry.seconds = seconds;
   entry.spans = std::move(spans);
 

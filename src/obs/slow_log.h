@@ -20,6 +20,7 @@ namespace rsse::obs {
 struct SlowQueryEntry {
   std::uint64_t at_ns = 0;      // steady-clock capture time
   std::string operation;        // e.g. "ranked_search"
+  std::string tenant;           // owning tenant ("" on single-owner servers)
   double seconds = 0.0;         // observed handler latency
   std::vector<Span> spans;      // the request's trace (empty if untraced)
 };
@@ -39,9 +40,10 @@ class SlowQueryLog {
   }
 
   /// Records the request iff the threshold is set and `seconds` exceeds
-  /// it. Returns true when recorded.
+  /// it. Returns true when recorded. `tenant` attributes the entry on
+  /// multi-tenant hosts (empty elsewhere).
   bool maybe_record(const std::string& operation, double seconds,
-                    std::vector<Span> spans);
+                    std::vector<Span> spans, const std::string& tenant = {});
 
   /// The retained entries, oldest first.
   [[nodiscard]] std::vector<SlowQueryEntry> entries() const;

@@ -3,10 +3,11 @@
 namespace rsse::seg {
 
 void export_update_leakage_gauges(const UpdateLeakage& leakage,
-                                  obs::MetricsRegistry& registry) {
-  const auto set = [&registry](const char* name, const char* help,
-                               std::uint64_t value) {
-    registry.gauge(name, help).set(static_cast<std::int64_t>(value));
+                                  obs::MetricsRegistry& registry,
+                                  const obs::Labels& labels) {
+  const auto set = [&registry, &labels](const char* name, const char* help,
+                                        std::uint64_t value) {
+    registry.gauge(name, help, labels).set(static_cast<std::int64_t>(value));
   };
   set("rsse_leakage_update_observed",
       "Update deltas the server has applied", leakage.updates);

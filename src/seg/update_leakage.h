@@ -44,8 +44,11 @@ struct UpdateLeakage {
 ///   rsse_leakage_update_tombstones_total            tombstone volume
 ///   rsse_leakage_update_compaction_cooccurrence_groups
 ///   rsse_leakage_update_compaction_rows_coalesced
-/// Idempotent: re-exporting updates the same series.
+/// Idempotent: re-exporting updates the same series. `labels` scopes the
+/// series (a tenant host passes {tenant=<id>}; single-owner servers pass
+/// nothing and keep the unlabeled series).
 void export_update_leakage_gauges(const UpdateLeakage& leakage,
-                                  obs::MetricsRegistry& registry);
+                                  obs::MetricsRegistry& registry,
+                                  const obs::Labels& labels = {});
 
 }  // namespace rsse::seg

@@ -36,7 +36,7 @@ SimNet::SimNet(SimOptions options) : options_(options) {
   (void)fault::FaultSchedule(options_.faults);
 }
 
-std::unique_ptr<SimTransport> SimNet::connect(const cloud::CloudServer& server) {
+std::unique_ptr<SimTransport> SimNet::connect(const cloud::RequestHandler& server) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t id = endpoints_.size();
   fault::FaultSpec spec = options_.faults;

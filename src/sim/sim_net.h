@@ -1,7 +1,8 @@
 // Deterministic in-process network simulation.
 //
 // SimNet stands in for the whole transport stack: each SimTransport is a
-// cloud::Transport endpoint that invokes a CloudServer directly, charges
+// cloud::Transport endpoint that invokes a serving endpoint (a
+// cloud::RequestHandler) directly, charges
 // latency to a shared *virtual* clock (sim_clock.h) instead of sleeping,
 // and misbehaves per the existing fault::FaultSchedule — so the cluster
 // coordinator, replica failover, deadline and chaos logic all run with
@@ -97,7 +98,7 @@ class SimNet {
   /// Creates the next endpoint (ids are assigned 0, 1, ... in creation
   /// order — creation order is part of the seed contract). The transport
   /// invokes `server` directly; the caller keeps `server` alive.
-  [[nodiscard]] std::unique_ptr<SimTransport> connect(const cloud::CloudServer& server);
+  [[nodiscard]] std::unique_ptr<SimTransport> connect(const cloud::RequestHandler& server);
 
   /// The shared virtual clock.
   [[nodiscard]] SimClock& clock() { return clock_; }
@@ -161,7 +162,7 @@ class SimTransport final : public cloud::Transport {
   /// process came back on the same address" move of a recovery drill.
   /// Fault/latency streams, sequence numbers and the kill switch are
   /// untouched; the caller keeps the new server alive.
-  void rebind(const cloud::CloudServer& server) {
+  void rebind(const cloud::RequestHandler& server) {
     server_.store(&server, std::memory_order_release);
   }
 
@@ -174,12 +175,12 @@ class SimTransport final : public cloud::Transport {
  private:
   friend class SimNet;
   SimTransport(SimNet* net, std::shared_ptr<SimNet::Endpoint> endpoint,
-               const cloud::CloudServer& server)
+               const cloud::RequestHandler& server)
       : net_(net), endpoint_(std::move(endpoint)), server_(&server) {}
 
   SimNet* net_;
   std::shared_ptr<SimNet::Endpoint> endpoint_;
-  std::atomic<const cloud::CloudServer*> server_;
+  std::atomic<const cloud::RequestHandler*> server_;
   std::atomic<bool> down_{false};
 };
 

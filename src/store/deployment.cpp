@@ -292,6 +292,63 @@ void repair_cluster_shard(const std::string& dir, std::uint32_t shard,
   commit_dir(staging, shard_dir);
 }
 
+bool is_tenant_deployment(const std::string& dir) {
+  return fs::is_regular_file(resolve_root(fs::path(dir)) / "tenants.bin");
+}
+
+std::string tenant_dir(const std::string& dir, const std::string& id) {
+  detail::require(cloud::valid_tenant_id(id),
+                  "tenant_dir: malformed tenant id: " + id);
+  return (fs::path(dir) / ("tenant_" + id)).string();
+}
+
+void save_tenant_registry(const tenant::TenantRegistry& registry,
+                          const std::string& dir) {
+  const fs::path root(dir);
+  fs::create_directories(root);
+  // Write-to-temp + rename: the registry is one small artifact, so file
+  // replacement (not the directory swap) is the right atomicity unit —
+  // the tenant namespaces beside it must survive a registry update.
+  const fs::path target = root / "tenants.bin";
+  const fs::path temp = root / "tenants.bin.saving";
+  write_file(temp, registry.serialize());
+  fs::rename(temp, target);
+}
+
+tenant::TenantRegistry load_tenant_registry(const std::string& dir) {
+  return tenant::TenantRegistry::deserialize(
+      read_file(resolve_root(fs::path(dir)) / "tenants.bin"));
+}
+
+void save_tenant_deployment(const tenant::TenantHost& host, const std::string& dir) {
+  const tenant::TenantRegistry registry = host.registry();
+  // Namespaces first, registry last: a crash mid-save leaves tenants.bin
+  // describing only deployments that were already fully committed (each
+  // tenant_<id>/ save is itself atomic).
+  for (const tenant::TenantConfig& config : registry.list()) {
+    const cloud::CloudServer* server = host.find_server(config.id);
+    detail::require(server != nullptr,
+                    "save_tenant_deployment: tenant vanished mid-save: " + config.id);
+    save_deployment(*server, tenant_dir(dir, config.id));
+  }
+  save_tenant_registry(registry, dir);
+}
+
+void load_tenant_deployment(const std::string& dir, tenant::TenantHost& host) {
+  const tenant::TenantRegistry registry = load_tenant_registry(dir);
+  for (const tenant::TenantConfig& config : registry.list()) {
+    cloud::CloudServer& server = host.add_tenant(config);
+    const std::string ns_dir = tenant_dir(dir, config.id);
+    if (fs::is_directory(resolve_root(fs::path(ns_dir)))) {
+      load_deployment(ns_dir, server);
+    } else {
+      // Registered before any save of its namespace: an empty tenant.
+      // Still attach its WAL so deltas acked pre-first-save replay.
+      server.attach_wal(wal_path(ns_dir));
+    }
+  }
+}
+
 void load_cluster_shard_or_repair(const std::string& dir, std::uint32_t shard,
                                   cloud::CloudServer& server,
                                   cloud::Transport* healthy) {

@@ -69,6 +69,8 @@
 #include "cloud/channel.h"
 #include "cluster/shard_map.h"
 #include "sse/rsse_scheme.h"
+#include "tenant/host.h"
+#include "tenant/registry.h"
 
 namespace rsse::store {
 
@@ -147,5 +149,43 @@ void repair_cluster_shard(const std::string& dir, std::uint32_t shard,
 void load_cluster_shard_or_repair(const std::string& dir, std::uint32_t shard,
                                   cloud::CloudServer& server,
                                   cloud::Transport* healthy);
+
+// ----- multi-tenant deployments (src/tenant) -----
+//
+// Layout:
+//   <dir>/tenants.bin          TenantRegistry::serialize() + footer
+//   <dir>/tenant_<id>/         one single-server deployment per tenant
+//   <dir>/tenant_<id>.wal      that tenant's durability sidecar
+//
+// Each tenant_<id>/ is itself a valid single-server deployment written
+// through the same staged atomic-swap path as save_deployment, and its
+// WAL is a sibling for the same reason a single-owner WAL is. tenants.bin
+// is replaced by write-to-temp + rename, so the registry too is either
+// the old or the new version after a crash, never a torn mix.
+
+/// True when `dir` holds a multi-tenant deployment (a tenants.bin
+/// exists). Also recovers a registry parked by a crashed save.
+bool is_tenant_deployment(const std::string& dir);
+
+/// Writes just the registry artifact into `dir` (created if missing) —
+/// the control-plane half of a tenant save, callable on its own after a
+/// quota change.
+void save_tenant_registry(const tenant::TenantRegistry& registry,
+                          const std::string& dir);
+
+/// Reads the registry artifact. Throws Error / IntegrityError /
+/// ParseError.
+tenant::TenantRegistry load_tenant_registry(const std::string& dir);
+
+/// The namespace directory of one tenant inside a tenant deployment.
+[[nodiscard]] std::string tenant_dir(const std::string& dir, const std::string& id);
+
+/// Persists the whole host: the registry plus every tenant's namespace
+/// (index, files, segment overlay), each through the atomic-swap path.
+void save_tenant_deployment(const tenant::TenantHost& host, const std::string& dir);
+
+/// Restores a tenant deployment into an empty host: re-registers every
+/// tenant with its persisted quota and loads its namespace + WAL.
+void load_tenant_deployment(const std::string& dir, tenant::TenantHost& host);
 
 }  // namespace rsse::store

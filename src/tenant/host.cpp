@@ -1,0 +1,189 @@
+#include "tenant/host.h"
+
+#include <utility>
+
+#include "seg/update_leakage.h"
+#include "util/errors.h"
+#include "util/stopwatch.h"
+
+namespace rsse::tenant {
+
+TenantHost::TenantHost(TenantHostOptions options)
+    : options_(std::move(options)),
+      admission_(options_.clock),
+      scheduler_(options_.scheduler) {}
+
+TenantHost::~TenantHost() { scheduler_.stop(); }
+
+cloud::CloudServer& TenantHost::add_tenant(TenantConfig config) {
+  detail::require(cloud::valid_tenant_id(config.id),
+                  "TenantHost: malformed tenant id: " + config.id);
+  if (config.quota.weight == 0) config.quota.weight = 1;
+
+  auto state = std::make_unique<TenantState>();
+  state->config = config;
+  state->server = std::make_unique<cloud::CloudServer>();
+  state->server->set_node_name("tenant/" + config.id);
+  state->server->set_tenant_tag(config.id);
+  if (options_.slow_query_threshold_ms > 0)
+    state->server->set_slow_query_threshold_ms(options_.slow_query_threshold_ms);
+  const obs::Labels labels{{"tenant", config.id}};
+  state->requests =
+      &registry_.counter("rsse_tenant_requests_total",
+                         "Requests served per tenant", labels);
+  state->latency = &registry_.histogram("rsse_tenant_request_seconds",
+                                        "Per-tenant request latency",
+                                        obs::log_bounds(), labels);
+
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  detail::require(!tenants_.contains(config.id),
+                  "TenantHost: duplicate tenant: " + config.id);
+  admission_.configure(config.id, config.quota);
+  cloud::CloudServer& server = *state->server;
+  tenants_.emplace(config.id, std::move(state));
+  return server;
+}
+
+void TenantHost::remove_tenant(const std::string& id) {
+  // The unique lock waits for every in-flight request (each holds the
+  // shared lock for its full duration), so the server dies quiescent.
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto it = tenants_.find(id);
+  detail::require(it != tenants_.end(), "TenantHost: unknown tenant: " + id);
+  tenants_.erase(it);
+  admission_.remove(id);
+}
+
+void TenantHost::set_quota(const std::string& id, TenantQuota quota) {
+  if (quota.weight == 0) quota.weight = 1;
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto it = tenants_.find(id);
+  detail::require(it != tenants_.end(), "TenantHost: unknown tenant: " + id);
+  it->second->config.quota = quota;
+  admission_.configure(id, quota);
+}
+
+void TenantHost::set_enabled(const std::string& id, bool enabled) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto it = tenants_.find(id);
+  detail::require(it != tenants_.end(), "TenantHost: unknown tenant: " + id);
+  it->second->config.enabled = enabled;
+}
+
+cloud::CloudServer* TenantHost::find_server(const std::string& id) {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second->server.get();
+}
+
+const cloud::CloudServer* TenantHost::find_server(const std::string& id) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second->server.get();
+}
+
+TenantRegistry TenantHost::registry() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  TenantRegistry out;
+  for (const auto& [id, state] : tenants_) out.add(state->config);
+  return out;
+}
+
+std::vector<std::string> TenantHost::tenant_ids() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, state] : tenants_) out.push_back(id);
+  return out;
+}
+
+void TenantHost::refresh_leakage_gauges() const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (const auto& [id, state] : tenants_) {
+    seg::export_update_leakage_gauges(state->server->segments().leakage(),
+                                      registry_, {{"tenant", id}});
+  }
+}
+
+std::vector<obs::SlowQueryEntry> TenantHost::slow_queries(
+    const std::string& id) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = tenants_.find(id);
+  detail::require(it != tenants_.end(), "TenantHost: unknown tenant: " + id);
+  return it->second->server->slow_queries();
+}
+
+const TenantHost::TenantState& TenantHost::resolve(
+    const std::string& tenant) const {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end())
+    throw ProtocolError("TenantHost: unknown tenant: " + tenant);
+  if (!it->second->config.enabled)
+    throw ProtocolError("TenantHost: tenant disabled: " + tenant);
+  return *it->second;
+}
+
+Bytes TenantHost::handle(cloud::MessageType type, BytesView payload) const {
+  return handle(type, payload, obs::TraceContext{}, nullptr);
+}
+
+Bytes TenantHost::handle(cloud::MessageType type, BytesView payload,
+                         const obs::TraceContext& ctx,
+                         std::vector<obs::Span>* spans) const {
+  if (type == cloud::MessageType::kStats) {
+    // Operator view: the aggregate host registry, every series labelled
+    // by tenant. Allowed bare — it names no namespace.
+    refresh_leakage_gauges();
+    const auto req = cloud::StatsRequest::deserialize(payload);
+    cloud::StatsResponse resp;
+    resp.text = req.format == cloud::StatsFormat::kPrometheus
+                    ? registry_.render_prometheus()
+                    : registry_.render_json();
+    return resp.serialize();
+  }
+  if (type != cloud::MessageType::kTenantScoped)
+    throw ProtocolError(
+        "TenantHost: tenant id required (wrap the request in a "
+        "TenantScopedRequest)");
+
+  // Parse ONLY the envelope — tenant id + inner type + opaque payload.
+  // The inner payload is not touched until the request is admitted and
+  // scheduled, so a shed costs no crypto or parsing work.
+  const auto env = cloud::TenantScopedRequest::deserialize(payload);
+
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
+  const TenantState& state = resolve(env.tenant);
+
+  const ShedReason reason = admission_.try_admit(env.tenant);
+  if (reason != ShedReason::kNone) {
+    registry_
+        .counter("rsse_tenant_shed_total", "Requests shed per tenant",
+                 {{"tenant", env.tenant}, {"reason", to_string(reason)}})
+        .inc();
+    throw QuotaExceeded("tenant " + env.tenant + " over quota (" +
+                        to_string(reason) + ")");
+  }
+  const ScopedAdmission slot(admission_, env.tenant, reason);
+
+  const Stopwatch watch;
+  Bytes out;
+  try {
+    out = scheduler_.run(
+        env.tenant, state.config.quota.weight, state.config.quota.max_queued,
+        [&] { return state.server->handle(env.inner_type, env.inner_payload,
+                                          ctx, spans); });
+  } catch (const QuotaExceeded&) {
+    // The scheduler's bounded-queue shed (the per-tenant server itself
+    // never throws QuotaExceeded).
+    registry_
+        .counter("rsse_tenant_shed_total", "Requests shed per tenant",
+                 {{"tenant", env.tenant}, {"reason", to_string(ShedReason::kQueue)}})
+        .inc();
+    throw;
+  }
+  state.requests->inc();
+  state.latency->observe(watch.elapsed_seconds());
+  return out;
+}
+
+}  // namespace rsse::tenant

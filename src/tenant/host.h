@@ -1,0 +1,133 @@
+// TenantHost: many data owners behind one serving endpoint.
+//
+// The paper's CloudServer serves a single owner. TenantHost composes a
+// map of them — one fully isolated CloudServer per registered tenant,
+// each with its own secure index, encrypted files, segment overlay and
+// WAL — behind the same cloud::RequestHandler seam every transport
+// (Channel, NetworkServer, SimNet) already speaks. Every data-path
+// request must arrive wrapped in a TenantScopedRequest; the host
+//
+//   1. validates the tenant id against its registry (unknown/disabled
+//      tenants are rejected before the inner payload is even parsed),
+//   2. runs admission control (token bucket + in-flight cap — a shed
+//      costs a map lookup and a counter bump, never a row decryption),
+//   3. dispatches through the deficit-weighted-round-robin scheduler so
+//      a flooding tenant only ever delays its own queue, and
+//   4. attributes the work: per-tenant request counters, latency
+//      histograms, shed counters by reason, slow-query entries and
+//      trace spans tagged with the tenant id, and per-tenant leakage
+//      gauges — all as {tenant="..."} labelled series in one host
+//      registry (bounded by MetricsRegistry's label-cardinality cap).
+//
+// A bare (unwrapped) kStats request renders that host registry — the
+// operator's aggregate /metrics view. Every other bare type is rejected:
+// on a multi-tenant endpoint there is no "default" namespace to serve.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_server.h"
+#include "cloud/handler.h"
+#include "obs/metrics.h"
+#include "tenant/quota.h"
+#include "tenant/registry.h"
+#include "tenant/scheduler.h"
+
+namespace rsse::tenant {
+
+struct TenantHostOptions {
+  SchedulerOptions scheduler;
+  /// Nanosecond clock for token buckets (tests inject a fake; empty =
+  /// steady_clock).
+  AdmissionController::Clock clock;
+  /// Slow-query threshold applied to every per-tenant server (ms; 0 off).
+  double slow_query_threshold_ms = 0;
+};
+
+/// The multi-tenant serving endpoint.
+class TenantHost final : public cloud::RequestHandler {
+ public:
+  explicit TenantHost(TenantHostOptions options = {});
+  ~TenantHost() override;
+
+  TenantHost(const TenantHost&) = delete;
+  TenantHost& operator=(const TenantHost&) = delete;
+
+  // ----- tenant lifecycle (control plane) -----
+
+  /// Registers a tenant and creates its empty namespace (a dedicated
+  /// CloudServer). Returns the server so the caller can load the
+  /// tenant's deployment into it. Throws InvalidArgument on a malformed
+  /// or duplicate id.
+  cloud::CloudServer& add_tenant(TenantConfig config);
+
+  /// Unregisters a tenant and destroys its namespace. Blocks until the
+  /// tenant's in-flight requests drain. Throws InvalidArgument when
+  /// absent.
+  void remove_tenant(const std::string& id);
+
+  /// Replaces a tenant's quota (admission + scheduling take effect on
+  /// the next request). Throws InvalidArgument when absent.
+  void set_quota(const std::string& id, TenantQuota quota);
+
+  /// Suspends/resumes a tenant without touching its data.
+  void set_enabled(const std::string& id, bool enabled);
+
+  /// The tenant's namespace server, or nullptr when unregistered. The
+  /// pointer stays valid until remove_tenant(id).
+  [[nodiscard]] cloud::CloudServer* find_server(const std::string& id);
+  [[nodiscard]] const cloud::CloudServer* find_server(const std::string& id) const;
+
+  /// Snapshot of the control-plane state, for persistence.
+  [[nodiscard]] TenantRegistry registry() const;
+
+  /// Registered tenant ids, sorted.
+  [[nodiscard]] std::vector<std::string> tenant_ids() const;
+
+  // ----- attribution -----
+
+  /// Re-exports every tenant's accumulated update-leakage counters as
+  /// {tenant="..."} gauges on the host registry. Called automatically
+  /// before a bare kStats render; callable directly by scrape loops.
+  void refresh_leakage_gauges() const;
+
+  /// Per-tenant slow queries (each entry's tenant field is set).
+  [[nodiscard]] std::vector<obs::SlowQueryEntry> slow_queries(
+      const std::string& id) const;
+
+  // ----- cloud::RequestHandler -----
+
+  [[nodiscard]] Bytes handle(cloud::MessageType type,
+                             BytesView payload) const override;
+  [[nodiscard]] Bytes handle(cloud::MessageType type, BytesView payload,
+                             const obs::TraceContext& ctx,
+                             std::vector<obs::Span>* spans) const override;
+  [[nodiscard]] obs::MetricsRegistry& metrics_registry() const override {
+    return registry_;
+  }
+
+ private:
+  struct TenantState {
+    TenantConfig config;
+    std::unique_ptr<cloud::CloudServer> server;  // immovable: heap slot
+    obs::Counter* requests = nullptr;            // rsse_tenant_requests_total
+    obs::HistogramMetric* latency = nullptr;     // rsse_tenant_request_seconds
+  };
+
+  /// Looks up + enforces enabled under an already-held shared lock.
+  const TenantState& resolve(const std::string& tenant) const;
+
+  TenantHostOptions options_;
+  mutable obs::MetricsRegistry registry_;  // host-wide, {tenant=} labelled
+  mutable AdmissionController admission_;
+  mutable FairScheduler scheduler_;
+
+  mutable std::shared_mutex mutex_;  // guards tenants_ map shape
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+};
+
+}  // namespace rsse::tenant

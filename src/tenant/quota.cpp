@@ -1,0 +1,128 @@
+#include "tenant/quota.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/errors.h"
+
+namespace rsse::tenant {
+
+TokenBucket::TokenBucket(std::uint64_t rate_per_sec, std::uint64_t capacity,
+                         std::uint64_t now_ns)
+    : rate_(static_cast<double>(rate_per_sec) / 1e9),
+      capacity_(static_cast<double>(std::max<std::uint64_t>(
+          capacity, rate_per_sec == 0 ? 0 : 1))),
+      tokens_(capacity_),
+      last_ns_(now_ns) {}
+
+void TokenBucket::refill(std::uint64_t now_ns) {
+  if (now_ns <= last_ns_) return;  // clock went backwards: hold steady
+  tokens_ = std::min(capacity_,
+                     tokens_ + rate_ * static_cast<double>(now_ns - last_ns_));
+  last_ns_ = now_ns;
+}
+
+bool TokenBucket::try_take(std::uint64_t now_ns) {
+  if (rate_ == 0.0) return true;  // unlimited
+  refill(now_ns);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::peek(std::uint64_t now_ns) {
+  refill(now_ns);
+  return tokens_;
+}
+
+const char* to_string(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone:
+      return "none";
+    case ShedReason::kRate:
+      return "rate";
+    case ShedReason::kInFlight:
+      return "in_flight";
+    case ShedReason::kQueue:
+      return "queue";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(Clock clock)
+    : clock_(clock ? std::move(clock) : Clock(steady_now_ns)) {}
+
+void AdmissionController::configure(const std::string& tenant,
+                                    const TenantQuota& quota) {
+  const std::lock_guard<std::mutex> map_lock(mutex_);
+  auto& state = tenants_[tenant];
+  if (!state) state = std::make_unique<State>();
+  const std::lock_guard<std::mutex> lock(state->mutex);
+  state->quota = quota;
+  state->bucket =
+      quota.rate_per_sec == 0
+          ? nullptr
+          : std::make_unique<TokenBucket>(quota.rate_per_sec, quota.burst,
+                                          clock_());
+}
+
+void AdmissionController::remove(const std::string& tenant) {
+  const std::lock_guard<std::mutex> map_lock(mutex_);
+  tenants_.erase(tenant);
+}
+
+ShedReason AdmissionController::try_admit(const std::string& tenant) {
+  State* state = nullptr;
+  {
+    const std::lock_guard<std::mutex> map_lock(mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) return ShedReason::kNone;  // unconfigured
+    state = it->second.get();
+  }
+  // The State lives as long as the map entry; the host never removes a
+  // tenant with requests in flight (it holds the registry lock), so the
+  // raw pointer stays valid past the map lock.
+  const std::lock_guard<std::mutex> lock(state->mutex);
+  if (state->quota.max_in_flight != 0 &&
+      state->in_flight >= state->quota.max_in_flight)
+    return ShedReason::kInFlight;
+  if (state->bucket && !state->bucket->try_take(clock_()))
+    return ShedReason::kRate;
+  ++state->in_flight;
+  return ShedReason::kNone;
+}
+
+void AdmissionController::release(const std::string& tenant) {
+  State* state = nullptr;
+  {
+    const std::lock_guard<std::mutex> map_lock(mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) return;
+    state = it->second.get();
+  }
+  const std::lock_guard<std::mutex> lock(state->mutex);
+  detail::require(state->in_flight > 0,
+                  "AdmissionController: release without admit");
+  --state->in_flight;
+}
+
+std::uint64_t AdmissionController::in_flight(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> map_lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return 0;
+  const std::lock_guard<std::mutex> lock(it->second->mutex);
+  return it->second->in_flight;
+}
+
+}  // namespace rsse::tenant

@@ -1,0 +1,122 @@
+// Admission control: the cheap gate a request passes BEFORE any crypto,
+// decryption, or ranking work is spent on its behalf.
+//
+// Two mechanisms compose per tenant:
+//   - a token bucket (rate_per_sec / burst) bounds sustained request rate
+//     while letting a quiet tenant spend a burst at once, and
+//   - an in-flight cap (max_in_flight) bounds the concurrency one tenant
+//     can occupy regardless of rate.
+// A request that fails either check is shed with a typed QuotaExceeded
+// before it touches the index — the whole point of admission control is
+// that rejection costs almost nothing, so a flooding tenant cannot
+// convert its excess arrivals into server CPU.
+//
+// The clock is injectable (nanoseconds, monotonic) so tests drive time
+// deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "tenant/registry.h"
+
+namespace rsse::tenant {
+
+/// Classic token bucket over an injected nanosecond clock. Not thread
+/// safe: AdmissionController serializes access per tenant.
+class TokenBucket {
+ public:
+  /// rate = tokens/second refill, capacity = burst size. A zero rate
+  /// disables the bucket (try_take always succeeds).
+  TokenBucket(std::uint64_t rate_per_sec, std::uint64_t capacity,
+              std::uint64_t now_ns);
+
+  /// Refills for elapsed time, then takes one token if available.
+  bool try_take(std::uint64_t now_ns);
+
+  /// Current token count after refilling to `now_ns` (test hook).
+  [[nodiscard]] double peek(std::uint64_t now_ns);
+
+ private:
+  void refill(std::uint64_t now_ns);
+
+  double rate_;      // tokens per nanosecond
+  double capacity_;  // max tokens
+  double tokens_;
+  std::uint64_t last_ns_;
+};
+
+/// Why a request was shed (or kNone when admitted). The label value on
+/// rsse_tenant_shed_total{tenant=...,reason=...}.
+enum class ShedReason : std::uint8_t { kNone, kRate, kInFlight, kQueue };
+
+/// Human-readable reason, for metrics labels and error text.
+[[nodiscard]] const char* to_string(ShedReason reason);
+
+/// Per-tenant admission state shared by every request thread. Thread
+/// safe; one mutex per tenant so tenants never contend with each other.
+class AdmissionController {
+ public:
+  using Clock = std::function<std::uint64_t()>;
+
+  /// Default clock = std::chrono::steady_clock in nanoseconds.
+  explicit AdmissionController(Clock clock = {});
+
+  /// Installs (or replaces) a tenant's quota. Resets its bucket.
+  void configure(const std::string& tenant, const TenantQuota& quota);
+
+  /// Drops a tenant's admission state.
+  void remove(const std::string& tenant);
+
+  /// Attempts to admit one request. On success the tenant's in-flight
+  /// count is incremented and the caller MUST call release() when the
+  /// request finishes (use ScopedAdmission). An unconfigured tenant is
+  /// admitted unconditionally (the host rejects unknown tenants before
+  /// admission, so this only happens for unlimited quotas).
+  [[nodiscard]] ShedReason try_admit(const std::string& tenant);
+
+  /// Releases one in-flight slot taken by a successful try_admit.
+  void release(const std::string& tenant);
+
+  /// Current in-flight count (test hook; 0 for unknown tenants).
+  [[nodiscard]] std::uint64_t in_flight(const std::string& tenant) const;
+
+ private:
+  struct State {
+    std::mutex mutex;
+    TenantQuota quota;
+    std::unique_ptr<TokenBucket> bucket;  // null when rate unlimited
+    std::uint64_t in_flight = 0;
+  };
+
+  Clock clock_;
+  mutable std::mutex mutex_;  // guards the map shape only
+  std::map<std::string, std::unique_ptr<State>> tenants_;
+};
+
+/// RAII in-flight slot: releases on destruction unless admission failed.
+class ScopedAdmission {
+ public:
+  ScopedAdmission(AdmissionController& controller, std::string tenant,
+                  ShedReason reason)
+      : controller_(controller), tenant_(std::move(tenant)), reason_(reason) {}
+  ~ScopedAdmission() {
+    if (reason_ == ShedReason::kNone) controller_.release(tenant_);
+  }
+  ScopedAdmission(const ScopedAdmission&) = delete;
+  ScopedAdmission& operator=(const ScopedAdmission&) = delete;
+
+  [[nodiscard]] ShedReason reason() const { return reason_; }
+  [[nodiscard]] bool admitted() const { return reason_ == ShedReason::kNone; }
+
+ private:
+  AdmissionController& controller_;
+  std::string tenant_;
+  ShedReason reason_;
+};
+
+}  // namespace rsse::tenant

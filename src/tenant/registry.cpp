@@ -1,0 +1,114 @@
+#include "tenant/registry.h"
+
+#include "cloud/protocol.h"
+#include "util/errors.h"
+
+namespace rsse::tenant {
+
+namespace {
+
+void expect_exhausted(const ByteReader& reader, const char* what) {
+  if (!reader.exhausted())
+    throw ParseError(std::string(what) + ": trailing bytes");
+}
+
+}  // namespace
+
+Bytes TenantQuota::serialize() const {
+  Bytes out;
+  append_u64(out, rate_per_sec);
+  append_u64(out, burst);
+  append_u64(out, max_in_flight);
+  append_u64(out, weight);
+  append_u64(out, max_queued);
+  return out;
+}
+
+TenantQuota TenantQuota::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  TenantQuota quota;
+  quota.rate_per_sec = reader.read_u64();
+  quota.burst = reader.read_u64();
+  quota.max_in_flight = reader.read_u64();
+  quota.weight = reader.read_u64();
+  quota.max_queued = reader.read_u64();
+  if (quota.weight == 0) throw ParseError("TenantQuota: zero weight");
+  expect_exhausted(reader, "TenantQuota");
+  return quota;
+}
+
+void TenantRegistry::add(TenantConfig config) {
+  detail::require(cloud::valid_tenant_id(config.id),
+                  "TenantRegistry: malformed tenant id: " + config.id);
+  detail::require(!tenants_.contains(config.id),
+                  "TenantRegistry: duplicate tenant: " + config.id);
+  if (config.quota.weight == 0) config.quota.weight = 1;
+  tenants_.emplace(config.id, std::move(config));
+}
+
+void TenantRegistry::remove(const std::string& id) {
+  detail::require(tenants_.erase(id) > 0, "TenantRegistry: unknown tenant: " + id);
+}
+
+bool TenantRegistry::contains(const std::string& id) const {
+  return tenants_.contains(id);
+}
+
+const TenantConfig* TenantRegistry::find(const std::string& id) const {
+  const auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+void TenantRegistry::set_quota(const std::string& id, TenantQuota quota) {
+  const auto it = tenants_.find(id);
+  detail::require(it != tenants_.end(), "TenantRegistry: unknown tenant: " + id);
+  if (quota.weight == 0) quota.weight = 1;
+  it->second.quota = quota;
+}
+
+void TenantRegistry::set_enabled(const std::string& id, bool enabled) {
+  const auto it = tenants_.find(id);
+  detail::require(it != tenants_.end(), "TenantRegistry: unknown tenant: " + id);
+  it->second.enabled = enabled;
+}
+
+std::vector<TenantConfig> TenantRegistry::list() const {
+  std::vector<TenantConfig> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, config] : tenants_) out.push_back(config);
+  return out;  // map order = sorted by id
+}
+
+Bytes TenantRegistry::serialize() const {
+  Bytes out;
+  append_u64(out, tenants_.size());
+  for (const auto& [id, config] : tenants_) {  // sorted: canonical bytes
+    append_lp(out, to_bytes(id));
+    append_lp(out, config.quota.serialize());
+    out.push_back(config.enabled ? 1 : 0);
+  }
+  return out;
+}
+
+TenantRegistry TenantRegistry::deserialize(BytesView blob) {
+  ByteReader reader(blob);
+  TenantRegistry registry;
+  const std::uint64_t n = reader.read_count(3);  // 2 LP headers + flag byte
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TenantConfig config;
+    config.id = to_string(reader.read_lp());
+    if (!cloud::valid_tenant_id(config.id))
+      throw ParseError("TenantRegistry: malformed tenant id");
+    config.quota = TenantQuota::deserialize(reader.read_lp());
+    const Bytes flag = reader.read(1);
+    if (flag[0] > 1) throw ParseError("TenantRegistry: bad enable flag");
+    config.enabled = flag[0] == 1;
+    if (registry.tenants_.contains(config.id))
+      throw ParseError("TenantRegistry: duplicate tenant");
+    registry.tenants_.emplace(config.id, std::move(config));
+  }
+  expect_exhausted(reader, "TenantRegistry");
+  return registry;
+}
+
+}  // namespace rsse::tenant

@@ -1,0 +1,100 @@
+// Tenant namespace registry: the control-plane record of which owners a
+// multi-tenant deployment serves and under what resource contract.
+//
+// One RSSE deployment can host many mutually distrusting data owners.
+// Each owner gets a NAMESPACE — its own keyspace, index artifacts,
+// segment overlay and WAL, held by a dedicated per-tenant CloudServer
+// inside tenant::TenantHost — and a QUOTA: the admission-control and
+// scheduling parameters the host enforces before any crypto or ranking
+// work happens on the tenant's behalf. The registry is a plain value
+// type (the host synchronizes access); store/deployment persists it
+// alongside the index artifacts through the same checksummed
+// atomic-swap path, so a restart recovers tenants and quotas together
+// with their data.
+//
+// Serialization is canonical: tenants are written sorted by id, so two
+// registries with equal contents produce byte-identical blobs (the
+// property every artifact checksum in src/store relies on).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace rsse::tenant {
+
+/// Per-tenant resource contract. All fields are u64 so the wire format
+/// stays fully canonical (no float rounding).
+struct TenantQuota {
+  /// Token-bucket refill rate, requests per second. 0 = unlimited.
+  std::uint64_t rate_per_sec = 0;
+  /// Token-bucket capacity: the burst a quiet tenant may spend at once.
+  /// Clamped up to at least 1 when rate limiting is on.
+  std::uint64_t burst = 0;
+  /// Concurrent admitted requests. 0 = unlimited.
+  std::uint64_t max_in_flight = 0;
+  /// Deficit-weighted-round-robin scheduling weight (>= 1): a weight-2
+  /// tenant receives twice the service of a weight-1 tenant under
+  /// contention.
+  std::uint64_t weight = 1;
+  /// Requests a tenant may have queued in the scheduler before further
+  /// arrivals shed. 0 = unlimited.
+  std::uint64_t max_queued = 0;
+
+  [[nodiscard]] Bytes serialize() const;
+  static TenantQuota deserialize(BytesView blob);
+
+  friend bool operator==(const TenantQuota&, const TenantQuota&) = default;
+};
+
+/// One registered tenant.
+struct TenantConfig {
+  std::string id;  ///< cloud::valid_tenant_id() constrained
+  TenantQuota quota;
+  /// A disabled tenant keeps its namespace (data survives) but every
+  /// request is rejected — the suspend switch.
+  bool enabled = true;
+
+  friend bool operator==(const TenantConfig&, const TenantConfig&) = default;
+};
+
+/// The registry: id -> config, canonically serializable.
+class TenantRegistry {
+ public:
+  /// Registers a tenant. Throws InvalidArgument on a malformed id or a
+  /// duplicate registration, and normalizes quota.weight up to 1.
+  void add(TenantConfig config);
+
+  /// Unregisters. Throws InvalidArgument when absent.
+  void remove(const std::string& id);
+
+  [[nodiscard]] bool contains(const std::string& id) const;
+
+  /// The tenant's config, or nullptr when unregistered.
+  [[nodiscard]] const TenantConfig* find(const std::string& id) const;
+
+  /// Replaces the tenant's quota. Throws InvalidArgument when absent.
+  void set_quota(const std::string& id, TenantQuota quota);
+
+  /// Flips the tenant's enable switch. Throws InvalidArgument when absent.
+  void set_enabled(const std::string& id, bool enabled);
+
+  /// All configs, sorted by id.
+  [[nodiscard]] std::vector<TenantConfig> list() const;
+
+  [[nodiscard]] std::size_t size() const { return tenants_.size(); }
+
+  /// Canonical bytes: count, then (id, quota, enabled) sorted by id.
+  [[nodiscard]] Bytes serialize() const;
+  static TenantRegistry deserialize(BytesView blob);
+
+  friend bool operator==(const TenantRegistry&, const TenantRegistry&) = default;
+
+ private:
+  std::map<std::string, TenantConfig> tenants_;  // keyed by id (sorted)
+};
+
+}  // namespace rsse::tenant

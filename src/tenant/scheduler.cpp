@@ -1,0 +1,153 @@
+#include "tenant/scheduler.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace rsse::tenant {
+
+FairScheduler::FairScheduler(SchedulerOptions options) : options_(options) {
+  detail::require(options_.workers > 0, "FairScheduler: zero workers");
+  detail::require(options_.quantum > 0, "FairScheduler: zero quantum");
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+FairScheduler::~FairScheduler() { stop(); }
+
+Bytes FairScheduler::run(const std::string& tenant, std::uint64_t weight,
+                         std::uint64_t max_queued, std::function<Bytes()> fn) {
+  Waiter waiter;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw QuotaExceeded("scheduler stopped");
+    if (options_.fair) {
+      TenantQueue& queue = queues_[tenant];
+      if (max_queued != 0 && queue.tasks.size() >= max_queued)
+        throw QuotaExceeded("tenant queue full: " + tenant);
+      queue.weight = std::max<std::uint64_t>(weight, 1);
+      queue.tasks.push_back(Task{std::move(fn), &waiter});
+      if (!queue.active) {
+        queue.active = true;
+        active_.push_back(tenant);
+      }
+    } else {
+      fifo_.push_back(Task{std::move(fn), &waiter});
+    }
+  }
+  work_cv_.notify_one();
+
+  std::unique_lock<std::mutex> wait_lock(waiter.mutex);
+  waiter.cv.wait(wait_lock, [&] { return waiter.done; });
+  if (waiter.error) std::rethrow_exception(waiter.error);
+  return std::move(waiter.result);
+}
+
+std::size_t FairScheduler::queued(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!options_.fair) return fifo_.size();
+  const auto it = queues_.find(tenant);
+  return it == queues_.end() ? 0 : it->second.tasks.size();
+}
+
+bool FairScheduler::next_task(std::unique_lock<std::mutex>& lock, Task& out) {
+  while (true) {
+    if (stopping_) return false;
+    if (!options_.fair) {
+      if (!fifo_.empty()) {
+        out = std::move(fifo_.front());
+        fifo_.pop_front();
+        return true;
+      }
+    } else if (!active_.empty()) {
+      // DWRR: visit the current tenant, crediting quantum * weight when
+      // its deficit cannot cover a task; serve one task per pick so
+      // workers interleave even within one tenant's budget.
+      for (std::size_t scanned = 0; scanned < active_.size(); ++scanned) {
+        if (rr_pos_ >= active_.size()) rr_pos_ = 0;
+        TenantQueue& queue = queues_[active_[rr_pos_]];
+        if (queue.tasks.empty()) {
+          // Drained while we serviced it: retire from the rotation and
+          // reset the deficit so idle tenants never bank credit.
+          queue.active = false;
+          queue.deficit = 0;
+          active_.erase(active_.begin() +
+                        static_cast<std::ptrdiff_t>(rr_pos_));
+          continue;  // rr_pos_ now points at the next tenant
+        }
+        if (queue.deficit == 0) queue.deficit = options_.quantum * queue.weight;
+        out = std::move(queue.tasks.front());
+        queue.tasks.pop_front();
+        --queue.deficit;
+        if (queue.deficit == 0 || queue.tasks.empty()) {
+          // Budget spent (or nothing left): move on next pick.
+          if (queue.tasks.empty()) {
+            queue.active = false;
+            queue.deficit = 0;
+            active_.erase(active_.begin() +
+                          static_cast<std::ptrdiff_t>(rr_pos_));
+          } else {
+            ++rr_pos_;
+          }
+        }
+        return true;
+      }
+    }
+    work_cv_.wait(lock);
+  }
+}
+
+void FairScheduler::worker_loop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!next_task(lock, task)) return;
+    }
+    Bytes result;
+    std::exception_ptr error;
+    try {
+      result = task.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(task.waiter->mutex);
+      task.waiter->result = std::move(result);
+      task.waiter->error = error;
+      task.waiter->done = true;
+    }
+    task.waiter->cv.notify_one();
+  }
+}
+
+void FairScheduler::stop() {
+  std::vector<Task> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (auto& [id, queue] : queues_) {
+      for (Task& task : queue.tasks) orphans.push_back(std::move(task));
+      queue.tasks.clear();
+      queue.active = false;
+      queue.deficit = 0;
+    }
+    active_.clear();
+    for (Task& task : fifo_) orphans.push_back(std::move(task));
+    fifo_.clear();
+  }
+  work_cv_.notify_all();
+  for (Task& task : orphans) {
+    const std::lock_guard<std::mutex> lock(task.waiter->mutex);
+    task.waiter->error =
+        std::make_exception_ptr(QuotaExceeded("scheduler stopped"));
+    task.waiter->done = true;
+    task.waiter->cv.notify_one();
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+}  // namespace rsse::tenant

@@ -1,0 +1,75 @@
+// ScopedTransport: a client-side decorator that pins every call to one
+// tenant's namespace.
+//
+// Existing clients (sse::DataUser, benches, the CLI) speak bare protocol
+// types. Wrapping their transport in a ScopedTransport makes them
+// tenant-aware without touching a line of client code: every outgoing
+// request is enveloped as TenantScopedRequest{tenant, type, payload} and
+// sent as kTenantScoped, which a TenantHost (or a cluster coordinator
+// fronting tenant-aware shards) unwraps, admits and schedules. kStats is
+// forwarded bare — it reads the host-wide registry, not a namespace.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "cloud/channel.h"
+#include "cloud/protocol.h"
+#include "util/errors.h"
+
+namespace rsse::tenant {
+
+/// Transport decorator adding one layer of tenancy to every call.
+class ScopedTransport final : public cloud::Transport {
+ public:
+  /// `inner` must outlive this decorator. Throws InvalidArgument on a
+  /// malformed tenant id.
+  ScopedTransport(cloud::Transport& inner, std::string tenant)
+      : inner_(inner), tenant_(std::move(tenant)) {
+    detail::require(cloud::valid_tenant_id(tenant_),
+                    "ScopedTransport: malformed tenant id: " + tenant_);
+  }
+
+  [[nodiscard]] const std::string& tenant() const { return tenant_; }
+
+  using cloud::Transport::call;
+
+  Bytes call(cloud::MessageType type, BytesView request,
+             const Deadline& deadline) override {
+    if (type == cloud::MessageType::kStats)
+      return inner_.call(type, request, deadline);
+    const Bytes wrapped = wrap(type, request);
+    Bytes response =
+        inner_.call(cloud::MessageType::kTenantScoped, wrapped, deadline);
+    account(wrapped.size() + 1, response.size());
+    return response;
+  }
+
+  Bytes call(cloud::MessageType type, BytesView request,
+             const Deadline& deadline, obs::TraceRecorder* trace,
+             std::uint64_t parent_span_id) override {
+    if (type == cloud::MessageType::kStats)
+      return inner_.call(type, request, deadline, trace, parent_span_id);
+    const Bytes wrapped = wrap(type, request);
+    Bytes response = inner_.call(cloud::MessageType::kTenantScoped, wrapped,
+                                 deadline, trace, parent_span_id);
+    account(wrapped.size() + 1, response.size());
+    return response;
+  }
+
+ private:
+  [[nodiscard]] Bytes wrap(cloud::MessageType type, BytesView request) const {
+    if (type == cloud::MessageType::kTenantScoped)
+      throw InvalidArgument("ScopedTransport: request already tenant-scoped");
+    cloud::TenantScopedRequest env;
+    env.tenant = tenant_;
+    env.inner_type = type;
+    env.inner_payload = Bytes(request.begin(), request.end());
+    return env.serialize();
+  }
+
+  cloud::Transport& inner_;
+  std::string tenant_;
+};
+
+}  // namespace rsse::tenant

@@ -49,6 +49,18 @@ class DeadlineExceeded : public Error {
   using Error::Error;
 };
 
+/// A request was shed by admission control before any crypto/rank work
+/// (per-tenant rate limit or in-flight quota). Deliberately cheap: the
+/// server rejects at the front door instead of burning the caller's
+/// deadline in a queue. Distinct from DeadlineExceeded (retry later is
+/// sensible, failover to a replica is not — every replica enforces the
+/// same tenant quota) and from ProtocolError (the request was well
+/// formed; the tenant is just over its budget).
+class QuotaExceeded : public Error {
+ public:
+  using Error::Error;
+};
+
 /// A stored artifact failed its integrity check (checksum footer missing
 /// or wrong — torn write, truncation, bit rot). Derives from ParseError
 /// because corrupted-artifact call sites historically caught that type.

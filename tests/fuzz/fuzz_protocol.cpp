@@ -52,7 +52,7 @@ void trace_response(BytesView blob) {
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
   if (size == 0) return 0;
   const BytesView blob(data + 1, size - 1);
-  switch (data[0] % 16) {
+  switch (data[0] % 17) {
     case 0: round_trip<rsse::cloud::RankedSearchRequest>(blob); break;
     case 1: round_trip<rsse::cloud::RankedSearchResponse>(blob); break;
     case 2: round_trip<rsse::cloud::BasicEntriesRequest>(blob); break;
@@ -68,7 +68,8 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
     case 12: round_trip<rsse::cloud::TraceRequest>(blob); break;
     case 13: trace_response(blob); break;
     case 14: round_trip<rsse::sse::Trapdoor>(blob); break;
-    default: round_trip<rsse::ext::ConjunctiveTrapdoor>(blob); break;
+    case 15: round_trip<rsse::ext::ConjunctiveTrapdoor>(blob); break;
+    default: round_trip<rsse::cloud::TenantScopedRequest>(blob); break;
   }
   return 0;
 }

@@ -121,7 +121,7 @@ void protocol_corpus(const fs::path& dir) {
   span.start_ns = 100;
   span.end_ns = 900;
   span.events.push_back({150, "fanout", "3 shards"});
-  trace.entries.push_back({"ranked_search", 0.25, {span}});
+  trace.entries.push_back({"ranked_search", "acme", 0.25, {span}});
   write(dir, "trace_response", sel(13, trace.serialize()));
 
   // Regression: a wire latency of 2^64-1 micros round-trips through a
@@ -129,6 +129,7 @@ void protocol_corpus(const fs::path& dir) {
   Bytes huge_latency;
   append_u64(huge_latency, 1);                 // one entry
   append_lp(huge_latency, to_bytes("boom"));   // operation
+  append_lp(huge_latency, to_bytes(""));       // tenant (untagged)
   append_u64(huge_latency, ~0ull);             // micros = 2^64 - 1
   append_lp(huge_latency, obs::serialize_spans({}));
   write(dir, "trace_response_huge_latency", sel(13, huge_latency));
@@ -138,6 +139,7 @@ void protocol_corpus(const fs::path& dir) {
   Bytes lax_spans;
   append_u64(lax_spans, 1);
   append_lp(lax_spans, to_bytes("lax"));
+  append_lp(lax_spans, to_bytes(""));
   append_u64(lax_spans, 1000);
   Bytes span_blob = obs::serialize_spans({});
   span_blob.push_back(0xEE);
@@ -148,6 +150,28 @@ void protocol_corpus(const fs::path& dir) {
   ext::ConjunctiveTrapdoor conjunctive;
   conjunctive.trapdoors = {trapdoor()};
   write(dir, "conjunctive_trapdoor", sel(15, conjunctive.serialize()));
+
+  cloud::TenantScopedRequest scoped;
+  scoped.tenant = "acme-corp_01";
+  scoped.inner_type = cloud::MessageType::kRankedSearch;
+  scoped.inner_payload = cloud::RankedSearchRequest{trapdoor(), 10}.serialize();
+  write(dir, "tenant_scoped_request", sel(16, scoped.serialize()));
+
+  // Regression: a nested envelope (kTenantScoped inside kTenantScoped)
+  // must be a typed ParseError — tenancy is exactly one layer deep.
+  Bytes nested;
+  append_lp(nested, to_bytes("acme"));
+  nested.push_back(static_cast<std::uint8_t>(cloud::MessageType::kTenantScoped));
+  append_lp(nested, scoped.serialize());
+  write(dir, "tenant_scoped_nested", sel(16, nested));
+
+  // Regression: a malformed tenant id is rejected at the envelope, before
+  // the inner payload is parsed.
+  Bytes bad_id;
+  append_lp(bad_id, to_bytes("bad tenant!"));
+  bad_id.push_back(static_cast<std::uint8_t>(cloud::MessageType::kRankedSearch));
+  append_lp(bad_id, scoped.inner_payload);
+  write(dir, "tenant_scoped_bad_id", sel(16, bad_id));
 
   write(dir, "empty_blob", sel(0, Bytes{}));
 }

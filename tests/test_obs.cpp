@@ -135,6 +135,43 @@ TEST(ObsRegistry, PrometheusRenderingIsWellFormed) {
   }
 }
 
+TEST(ObsRegistry, LabelCardinalityCapCollapsesNewSeriesToOverflow) {
+  // Pin the bound the multi-tenant host relies on: label values fed from
+  // external input (tenant ids) cannot grow a family past the cap.
+  obs::MetricsRegistry registry;
+  registry.set_label_cardinality_cap(2);
+  EXPECT_EQ(registry.label_cardinality_cap(), 2u);
+
+  obs::Counter& a = registry.counter("rsse_t_total", "help", {{"tenant", "a"}});
+  obs::Counter& b = registry.counter("rsse_t_total", "help", {{"tenant", "b"}});
+  EXPECT_EQ(registry.series_count("rsse_t_total"), 2u);
+
+  // At the cap, every NEW label set lands on one shared overflow series:
+  // label keys preserved, values replaced by "overflow".
+  obs::Counter& c = registry.counter("rsse_t_total", "help", {{"tenant", "c"}});
+  obs::Counter& d = registry.counter("rsse_t_total", "help", {{"tenant", "d"}});
+  EXPECT_EQ(&c, &d);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(registry.series_count("rsse_t_total"), 3u);  // a, b, overflow
+  c.inc(2);
+  EXPECT_NE(registry.render_prometheus().find("rsse_t_total{tenant=\"overflow\"} 2"),
+            std::string::npos);
+
+  // Existing series keep resolving to their own instruments past the cap.
+  EXPECT_EQ(&registry.counter("rsse_t_total", "help", {{"tenant", "b"}}), &b);
+
+  // Unlabeled series are exempt (they cannot be externally driven).
+  obs::Counter& bare = registry.counter("rsse_bare_total", "help");
+  EXPECT_EQ(&registry.counter("rsse_bare_total", "help"), &bare);
+
+  // Zero disables the cap entirely.
+  obs::MetricsRegistry unbounded;
+  unbounded.set_label_cardinality_cap(0);
+  for (int i = 0; i < 50; ++i)
+    unbounded.counter("rsse_u_total", "help", {{"tenant", std::to_string(i)}});
+  EXPECT_EQ(unbounded.series_count("rsse_u_total"), 50u);
+}
+
 TEST(ObsRegistry, JsonRenderingContainsFamiliesAndQuantiles) {
   obs::MetricsRegistry registry;
   registry.counter("rsse_req_total", "requests").inc(2);

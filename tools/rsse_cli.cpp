@@ -54,6 +54,9 @@
 #include "obs/trace.h"
 #include "store/deployment.h"
 #include "store/owner_state.h"
+#include "tenant/host.h"
+#include "tenant/registry.h"
+#include "tenant/scoped_transport.h"
 #include "util/errors.h"
 #include "util/stopwatch.h"
 
@@ -79,7 +82,12 @@ using namespace rsse;
                "  rsse audit  --deploy DIR\n"
                "  rsse serve  --deploy DIR [--port N] [--cache on] [--shard I]"
                " [--repair-from PORT] [--metrics-port N] [--slow-ms N]"
-               " [--compaction off]\n"
+               " [--compaction off] [--workers N] [--fair off]\n"
+               "  rsse tenant init --deploy DIR\n"
+               "  rsse tenant add  --deploy DIR --tenant ID [--rate N] [--burst N]"
+               " [--max-in-flight N] [--weight N] [--max-queued N]\n"
+               "  rsse tenant rm   --deploy DIR --tenant ID\n"
+               "  rsse tenant ls   --deploy DIR\n"
                "  (search accepts --port N to query a running serve instance and\n"
                "   --timeout-ms N to bound every RPC (fails with a deadline error\n"
                "   instead of hanging); build --cluster N shards the deployment,\n"
@@ -95,6 +103,12 @@ using namespace rsse;
                "   /metrics, /metrics.json and /healthz over HTTP — including\n"
                "   per-stage profile histograms and the live leakage gauges —\n"
                "   and --slow-ms sets the slow-query log threshold;\n"
+               "   tenant init/add/rm/ls manage a multi-tenant deployment:\n"
+               "   build --tenant ID writes into that tenant's namespace,\n"
+               "   search/update --tenant ID scope every request to it, and\n"
+               "   serve detects a tenant deployment and serves all namespaces\n"
+               "   behind per-tenant quotas + weighted-fair scheduling\n"
+               "   (--workers N pool size, --fair off for FIFO);\n"
                "   update streams an encrypted dynamic-index delta to a live\n"
                "   serve instance over kUpdate — --file/--id adds one document\n"
                "   under the given fresh id, --remove tombstones one id, and the\n"
@@ -168,17 +182,37 @@ int cmd_build(const std::map<std::string, std::string>& flags) {
               watch.elapsed_seconds());
   const auto shards = static_cast<std::uint32_t>(
       std::stoul(optional_flag(flags, "cluster", "0")));
-  if (shards > 0) {
+  if (flags.contains("tenant")) {
+    if (shards > 0) {
+      std::fprintf(stderr, "--tenant and --cluster cannot be combined\n");
+      return 1;
+    }
+    // Build INTO one namespace of a multi-tenant deployment: register the
+    // tenant (default quota) when new, then write its directory through
+    // the standard single-server path.
+    const std::string root = need(flags, "deploy");
+    tenant::TenantRegistry registry;
+    if (store::is_tenant_deployment(root))
+      registry = store::load_tenant_registry(root);
+    const std::string id = flags.at("tenant");
+    if (!registry.contains(id)) registry.add(tenant::TenantConfig{id, {}, true});
+    const std::string ns = store::tenant_dir(root, id);
+    store::save_deployment(server, ns);
+    store::save_tenant_registry(registry, root);
+    store::save_leakage_audit(report.rsse_audit, ns);
+    std::printf("tenant %s namespace written to %s\n", id.c_str(), ns.c_str());
+  } else if (shards > 0) {
     store::save_cluster_deployment(server, shards, need(flags, "deploy"));
     std::printf("cluster deployment (%u shards) written to %s\n", shards,
                 need(flags, "deploy").c_str());
+    store::save_leakage_audit(report.rsse_audit, need(flags, "deploy"));
   } else {
     store::save_deployment(server, need(flags, "deploy"));
     std::printf("deployment written to %s\n", need(flags, "deploy").c_str());
+    // The audit rides with the deployment (after the save — saving
+    // replaces the directory wholesale) so serve/audit can surface it.
+    store::save_leakage_audit(report.rsse_audit, need(flags, "deploy"));
   }
-  // The audit rides with the deployment (after the save — saving replaces
-  // the directory wholesale) so serve/audit can surface it later.
-  store::save_leakage_audit(report.rsse_audit, need(flags, "deploy"));
   std::printf("leakage audit: %llu postings, %llu OPM duplicates (want 0), "
               "width entropy %.3f bits\n",
               static_cast<unsigned long long>(report.rsse_audit.genuine_postings),
@@ -239,7 +273,20 @@ int cmd_search(const std::map<std::string, std::string>& flags) {
   if (flags.contains("port")) {
     const auto port = static_cast<std::uint16_t>(std::stoul(flags.at("port")));
     net::RemoteChannel channel(port);
+    if (flags.contains("tenant")) {
+      tenant::ScopedTransport scoped(channel, flags.at("tenant"));
+      return run_search(flags, scoped, owner);
+    }
     return run_search(flags, channel, owner);
+  }
+  if (store::is_tenant_deployment(need(flags, "deploy"))) {
+    // Local multi-tenant query: stand up the whole host (quotas and fair
+    // scheduling included) and pin the user's transport to one namespace.
+    tenant::TenantHost host;
+    store::load_tenant_deployment(need(flags, "deploy"), host);
+    cloud::Channel channel(host);
+    tenant::ScopedTransport scoped(channel, need(flags, "tenant"));
+    return run_search(flags, scoped, owner);
   }
   if (store::is_cluster_deployment(need(flags, "deploy"))) {
     cluster::LocalCluster local = load_cluster(need(flags, "deploy"));
@@ -251,7 +298,71 @@ int cmd_search(const std::map<std::string, std::string>& flags) {
   return run_search(flags, channel, owner);
 }
 
+// Serves every namespace of a multi-tenant deployment behind admission
+// control and DWRR scheduling, with per-tenant {tenant=...} metrics on
+// the host registry.
+int serve_tenant_deployment(const std::map<std::string, std::string>& flags) {
+  const std::string dir = need(flags, "deploy");
+  tenant::TenantHostOptions options;
+  options.scheduler.workers = static_cast<std::size_t>(
+      std::stoul(optional_flag(flags, "workers", "4")));
+  options.scheduler.fair = optional_flag(flags, "fair", "on") != "off";
+  options.slow_query_threshold_ms = std::stod(optional_flag(flags, "slow-ms", "0"));
+  tenant::TenantHost host(options);
+  store::load_tenant_deployment(dir, host);
+
+  const bool compaction = optional_flag(flags, "compaction", "on") != "off";
+  for (const std::string& id : host.tenant_ids()) {
+    cloud::CloudServer* server = host.find_server(id);
+    if (compaction) server->enable_background_compaction();
+    if (optional_flag(flags, "cache", "off") == "on")
+      server->set_rank_cache_enabled(true);
+    // Each namespace's build-time audit exports as {tenant=...} gauges.
+    if (const auto audit = store::load_leakage_audit(store::tenant_dir(dir, id)))
+      analysis::export_leakage_gauges(*audit, host.metrics_registry(),
+                                      {{"tenant", id}});
+  }
+
+  obs::Profiler& profiler = obs::Profiler::global();
+  for (const char* name : {"server/parse", "server/rank", "server/serialize"})
+    profiler.stage(name);
+  profiler.set_enabled(true);
+  obs::register_build_info(profiler.registry());
+
+  const auto port = static_cast<std::uint16_t>(
+      std::stoul(optional_flag(flags, "port", "0")));
+  net::NetworkServer endpoint(host, port);
+  std::unique_ptr<obs::ScrapeEndpoint> scrape;
+  if (flags.contains("metrics-port")) {
+    scrape = std::make_unique<obs::ScrapeEndpoint>(
+        std::vector<obs::ScrapeSource>{
+            {"server", &host.metrics_registry(),
+             [&host] { host.refresh_leakage_gauges(); }},
+            {"profile", &profiler.registry(), {}}},
+        static_cast<std::uint16_t>(std::stoul(flags.at("metrics-port"))));
+    std::printf("metrics on http://127.0.0.1:%u/metrics\n", scrape->port());
+  }
+  std::printf("serving %zu tenants on 127.0.0.1:%u [%s scheduling, %zu workers]"
+              " (SIGINT to stop)\n",
+              host.tenant_ids().size(), endpoint.port(),
+              options.scheduler.fair ? "fair" : "fifo",
+              options.scheduler.workers);
+  std::fflush(stdout);
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  int signal_number = 0;
+  sigwait(&set, &signal_number);
+  std::printf("\nstopping (%llu requests served)\n",
+              static_cast<unsigned long long>(endpoint.requests_served()));
+  return 0;
+}
+
 int cmd_serve(const std::map<std::string, std::string>& flags) {
+  if (store::is_tenant_deployment(need(flags, "deploy")))
+    return serve_tenant_deployment(flags);
   cloud::CloudServer server;
   if (store::is_cluster_deployment(need(flags, "deploy"))) {
     const auto shard = static_cast<std::uint32_t>(std::stoul(need(flags, "shard")));
@@ -440,12 +551,20 @@ int cmd_update(const std::map<std::string, std::string>& flags) {
   }
   if (ports.empty()) usage();
   const auto timeout_ms = std::stol(optional_flag(flags, "timeout-ms", "0"));
+  // --tenant scopes the delta to one namespace of a multi-tenant host:
+  // the transport wraps it in a TenantScopedRequest envelope.
+  const auto scoped_or_bare =
+      [&flags](cloud::Transport& bare) -> std::unique_ptr<cloud::Transport> {
+    if (!flags.contains("tenant")) return nullptr;
+    return std::make_unique<tenant::ScopedTransport>(bare, flags.at("tenant"));
+  };
   cloud::UpdateResponse resp;
   if (ports.size() == 1) {
     net::RemoteChannel channel(ports[0]);
     if (timeout_ms > 0)
       channel.set_call_timeout(std::chrono::milliseconds(timeout_ms));
-    resp = owner.stream_update(channel, adds, removes);
+    const auto scoped = scoped_or_bare(channel);
+    resp = owner.stream_update(scoped ? *scoped : channel, adds, removes);
   } else {
     auto set = std::make_unique<cluster::ReplicaSet>();
     for (const std::uint16_t port : ports)
@@ -461,7 +580,8 @@ int cmd_update(const std::map<std::string, std::string>& flags) {
     cluster::ClusterCoordinator coordinator(manifest, std::move(sets), copts);
     if (timeout_ms > 0)
       coordinator.set_call_timeout(std::chrono::milliseconds(timeout_ms));
-    resp = owner.stream_update(coordinator, adds, removes);
+    const auto scoped = scoped_or_bare(coordinator);
+    resp = owner.stream_update(scoped ? *scoped : coordinator, adds, removes);
   }
   std::printf("update applied%s: %llu entries, %llu tombstones, %llu blobs"
               " stored, %llu erased (server seq %llu, %llu sealed segments)\n",
@@ -488,6 +608,28 @@ int cmd_stats(const std::map<std::string, std::string>& flags) {
     const auto resp = cloud::StatsResponse::deserialize(
         channel.call(cloud::MessageType::kStats, req.serialize()));
     std::fputs(resp.text.c_str(), stdout);
+    return 0;
+  }
+  if (store::is_tenant_deployment(need(flags, "deploy"))) {
+    const std::string dir = need(flags, "deploy");
+    const tenant::TenantRegistry registry = store::load_tenant_registry(dir);
+    std::printf("multi-tenant deployment %s (%zu tenants):\n", dir.c_str(),
+                registry.size());
+    for (const tenant::TenantConfig& config : registry.list()) {
+      cloud::CloudServer server;
+      const std::string ns = store::tenant_dir(dir, config.id);
+      std::size_t rows = 0, files = 0;
+      if (std::filesystem::is_directory(ns)) {
+        store::load_deployment(ns, server);
+        rows = server.index().num_rows();
+        files = server.num_files();
+      }
+      std::printf("  %-20s %s  weight %llu  rate %llu/s  %zu rows, %zu files\n",
+                  config.id.c_str(), config.enabled ? "enabled " : "DISABLED",
+                  static_cast<unsigned long long>(config.quota.weight),
+                  static_cast<unsigned long long>(config.quota.rate_per_sec),
+                  rows, files);
+    }
     return 0;
   }
   if (store::is_cluster_deployment(need(flags, "deploy"))) {
@@ -663,12 +805,81 @@ int cmd_audit(const std::map<std::string, std::string>& flags) {
   return duplicates_ok ? 0 : 1;
 }
 
+// Tenant admin: init/add/rm/ls over the registry artifact of a
+// multi-tenant deployment. Pure control plane — namespace data is only
+// touched by `rm` (which deletes the tenant's directory and WAL).
+int cmd_tenant(const std::string& sub,
+               const std::map<std::string, std::string>& flags) {
+  const std::string dir = need(flags, "deploy");
+  if (sub == "init") {
+    if (store::is_tenant_deployment(dir)) {
+      std::fprintf(stderr, "%s is already a tenant deployment\n", dir.c_str());
+      return 1;
+    }
+    store::save_tenant_registry(tenant::TenantRegistry{}, dir);
+    std::printf("initialized empty tenant deployment at %s\n", dir.c_str());
+    return 0;
+  }
+  tenant::TenantRegistry registry = store::load_tenant_registry(dir);
+  if (sub == "add") {
+    tenant::TenantConfig config;
+    config.id = need(flags, "tenant");
+    config.quota.rate_per_sec = std::stoull(optional_flag(flags, "rate", "0"));
+    config.quota.burst = std::stoull(optional_flag(flags, "burst", "0"));
+    config.quota.max_in_flight =
+        std::stoull(optional_flag(flags, "max-in-flight", "0"));
+    config.quota.weight = std::stoull(optional_flag(flags, "weight", "1"));
+    config.quota.max_queued = std::stoull(optional_flag(flags, "max-queued", "0"));
+    if (registry.contains(config.id)) {
+      // Re-adding updates the quota (the common "tune the contract" op).
+      registry.set_quota(config.id, config.quota);
+      std::printf("updated quota for tenant %s\n", config.id.c_str());
+    } else {
+      registry.add(config);
+      std::printf("registered tenant %s (populate with rsse build --tenant %s)\n",
+                  config.id.c_str(), config.id.c_str());
+    }
+    store::save_tenant_registry(registry, dir);
+    return 0;
+  }
+  if (sub == "rm") {
+    const std::string id = need(flags, "tenant");
+    registry.remove(id);
+    store::save_tenant_registry(registry, dir);
+    const std::string ns = store::tenant_dir(dir, id);
+    std::error_code ec;
+    std::filesystem::remove_all(ns, ec);
+    std::filesystem::remove(store::wal_path(ns), ec);
+    std::printf("removed tenant %s (namespace deleted)\n", id.c_str());
+    return 0;
+  }
+  if (sub == "ls") {
+    for (const tenant::TenantConfig& config : registry.list()) {
+      std::printf("%-20s %s  rate %llu/s burst %llu  in-flight %llu"
+                  "  weight %llu  queue %llu\n",
+                  config.id.c_str(), config.enabled ? "enabled " : "DISABLED",
+                  static_cast<unsigned long long>(config.quota.rate_per_sec),
+                  static_cast<unsigned long long>(config.quota.burst),
+                  static_cast<unsigned long long>(config.quota.max_in_flight),
+                  static_cast<unsigned long long>(config.quota.weight),
+                  static_cast<unsigned long long>(config.quota.max_queued));
+    }
+    if (registry.size() == 0) std::printf("no tenants registered\n");
+    return 0;
+  }
+  usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   try {
+    if (command == "tenant") {
+      if (argc < 3) usage();
+      return cmd_tenant(argv[2], parse_flags(argc, argv, 3));
+    }
     const auto flags = parse_flags(argc, argv, 2);
     if (command == "keygen") return cmd_keygen(flags);
     if (command == "build") return cmd_build(flags);
