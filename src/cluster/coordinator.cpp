@@ -132,6 +132,11 @@ Bytes ClusterCoordinator::shard_call(std::size_t shard, cloud::MessageType type,
                                           trace, parent_span_id);
     metrics_.record_request(shard, watch.elapsed_seconds());
     return response;
+  } catch (const QuotaExceeded&) {
+    // A per-tenant shed is not a shard error: counting it would make one
+    // flooding tenant look like shard unhealthiness on the dashboards.
+    metrics_.record_request(shard, watch.elapsed_seconds());
+    throw;
   } catch (const Error&) {
     metrics_.record_request(shard, watch.elapsed_seconds());
     metrics_.record_error(shard);
@@ -168,8 +173,14 @@ void ClusterCoordinator::fetch_and_fill(
   }
 
   std::atomic<bool> any_down{false};
-  const auto run = [this, &any_down, &deadline, trace, parent_span_id,
-                    &tenant](Fetch& fetch) {
+  // A quota shed must surface as QuotaExceeded to the caller (the tenant
+  // is over ITS budget — "degraded, retry the blobs later" would be a
+  // lie), but only after every in-flight sibling fetch has joined: the
+  // futures borrow `fetches` and `run` by reference.
+  std::mutex shed_mutex;
+  std::exception_ptr shed_error;
+  const auto run = [this, &any_down, &shed_mutex, &shed_error, &deadline, trace,
+                    parent_span_id, &tenant](Fetch& fetch) {
     try {
       const auto resp = cloud::FetchFilesResponse::deserialize(
           shard_call(fetch.shard, cloud::MessageType::kFetchFiles, fetch.request,
@@ -178,6 +189,9 @@ void ClusterCoordinator::fetch_and_fill(
       const std::size_t n = std::min(resp.files.size(), fetch.wanted->size());
       for (std::size_t i = 0; i < n; ++i)
         *(*fetch.wanted)[i].second = resp.files[i].blob;
+    } catch (const QuotaExceeded&) {
+      const std::lock_guard<std::mutex> lock(shed_mutex);
+      if (!shed_error) shed_error = std::current_exception();
     } catch (const Error&) {
       any_down.store(true);  // blobs stay empty: degraded, not failed
     }
@@ -204,6 +218,7 @@ void ClusterCoordinator::fetch_and_fill(
     run(fetches[inline_index]);
     for (auto& future : futures) future.get();
   }
+  if (shed_error) std::rethrow_exception(shed_error);
   if (any_down.load() && degraded != nullptr) *degraded = true;
 }
 
@@ -277,12 +292,21 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
     sub.request = sub_req.serialize();
     subs.push_back(std::move(sub));
   }
-  const auto run_sub = [this, &deadline, trace, parent_span_id, &tenant](Sub& sub) {
+  // Quota sheds rethrow once the scatter has joined (the futures borrow
+  // `subs` by reference) — a shed sub-query is the tenant over budget,
+  // not a shard outage to degrade around.
+  std::mutex shed_mutex;
+  std::exception_ptr shed_error;
+  const auto run_sub = [this, &shed_mutex, &shed_error, &deadline, trace,
+                        parent_span_id, &tenant](Sub& sub) {
     try {
       sub.response = cloud::RankedSearchResponse::deserialize(
           shard_call(sub.shard, cloud::MessageType::kMultiSearch, sub.request,
                      deadline, trace, parent_span_id, tenant));
       sub.ok = true;
+    } catch (const QuotaExceeded&) {
+      const std::lock_guard<std::mutex> lock(shed_mutex);
+      if (!shed_error) shed_error = std::current_exception();
     } catch (const Error&) {
       // Whole shard down after failover: degrade below.
     }
@@ -297,6 +321,7 @@ cloud::RankedSearchResponse ClusterCoordinator::do_multi_search(
   run_sub(subs[0]);
   for (auto& future : futures) future.get();
   scatter_profile.finish();
+  if (shed_error) std::rethrow_exception(shed_error);
 
   std::size_t live = 0;
   for (const Sub& sub : subs)
@@ -736,6 +761,13 @@ Bytes ClusterCoordinator::dispatch(cloud::MessageType type, BytesView request,
       // The coordinator answers from its own registry: per-shard routing
       // counters, replica failovers, latency histograms. The shards'
       // rsse_server_* families are scraped from the shards themselves.
+      // This is an operator view — the cluster registry carries every
+      // tenant's routing counters, so it is never served inside a tenant
+      // envelope (a tenant reads its own stats from its tenant host).
+      if (!tenant.empty())
+        throw ProtocolError(
+            "ClusterCoordinator: cluster stats are operator-only, not "
+            "tenant-scoped");
       const auto req = cloud::StatsRequest::deserialize(request);
       cloud::StatsResponse resp;
       resp.text = req.format == cloud::StatsFormat::kPrometheus

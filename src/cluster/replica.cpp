@@ -226,6 +226,9 @@ Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
         } catch (const DeadlineExceeded&) {
           attempt_span.set_status("deadline_exceeded");
           throw;
+        } catch (const QuotaExceeded&) {
+          attempt_span.set_status("quota_exceeded");
+          throw;
         } catch (const Error&) {
           attempt_span.set_status("error");
           throw;
@@ -253,6 +256,14 @@ Bytes ReplicaSet::call(cloud::MessageType type, BytesView request,
         throw;
       }
       last_error = std::current_exception();
+    } catch (const QuotaExceeded&) {
+      // An admission shed means the TENANT is over its quota, not that
+      // this replica is unhealthy. Every replica enforces the same
+      // quota, so failover would retry a guaranteed rejection, and
+      // mark_down would put a healthy replica into failure cooldown for
+      // every other tenant. Surface the shed untouched.
+      span.set_status("quota_exceeded");
+      throw;
     } catch (const Error&) {
       bump_failed_attempt();
       mark_down(*replicas_[index], policy);
@@ -315,6 +326,15 @@ std::vector<ReplicaSet::ReplicaOutcome> ReplicaSet::call_all(
       bump_failed_attempt();
       bump_deadline_failure();
       mark_down(replica, policy);
+    } catch (const QuotaExceeded&) {
+      // Tenant over quota, replica healthy: the miss counts against the
+      // quorum (the delta was not applied here) but the replica is not
+      // marked down and the round loop below does not re-send — every
+      // replica enforces the same quota, so a retry would only sleep
+      // through backoff while holding the coordinator's update lock.
+      attempt_span.set_status("quota_exceeded");
+      outcomes[i].error = std::current_exception();
+      outcomes[i].shed = true;
     } catch (const Error&) {
       attempt_span.set_status("error");
       outcomes[i].error = std::current_exception();
@@ -352,7 +372,7 @@ std::vector<ReplicaSet::ReplicaOutcome> ReplicaSet::call_all(
 
     std::vector<std::size_t> still_failing;
     for (const std::size_t i : pending)
-      if (outcomes[i].error) still_failing.push_back(i);
+      if (outcomes[i].error && !outcomes[i].shed) still_failing.push_back(i);
     pending = std::move(still_failing);
   }
   return outcomes;
@@ -372,6 +392,8 @@ Bytes ReplicaSet::call_replica(std::size_t index, cloud::MessageType type,
     }
     replica.down_until_ns.store(0);
     return response;
+  } catch (const QuotaExceeded&) {
+    throw;  // tenant over quota: the replica itself is healthy
   } catch (const Error&) {
     bump_failed_attempt();
     mark_down(replica, policy);

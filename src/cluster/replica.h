@@ -84,6 +84,9 @@ class ReplicaSet {
   /// under min(deadline, policy.attempt_timeout). Throws the last replica
   /// error when every attempt failed, DeadlineExceeded when the overall
   /// deadline ran out first, and InvalidArgument on an empty set.
+  /// QuotaExceeded is NOT a replica failure: every replica enforces the
+  /// same per-tenant quota, so a shed rethrows immediately — no
+  /// mark-down, no failover, no backoff.
   Bytes call(cloud::MessageType type, BytesView request, const RetryPolicy& policy,
              const Deadline& deadline = {});
 
@@ -105,6 +108,8 @@ class ReplicaSet {
     Bytes response;            ///< the replica's reply (error == null)
     std::exception_ptr error;  ///< why this replica failed, when it did
     bool skipped = false;      ///< stale replica: deliberately not sent
+    bool shed = false;         ///< error is QuotaExceeded: replica healthy,
+                               ///< not marked down and not re-sent
   };
 
   /// The update path's quorum primitive: fans `request` out to EVERY
@@ -116,7 +121,10 @@ class ReplicaSet {
   /// rounds). Replicas already marked stale are skipped (anti-entropy
   /// owns them; sending them a live delta would assign it the wrong
   /// sequence); replicas that fail every round enter cooldown. Quorum
-  /// accounting and staleness marking are the caller's job.
+  /// accounting and staleness marking are the caller's job. A replica
+  /// that sheds with QuotaExceeded reports the error with shed=true: it
+  /// counts against the quorum but is neither marked down nor re-sent
+  /// (every replica enforces the same per-tenant quota).
   std::vector<ReplicaOutcome> call_all(cloud::MessageType type, BytesView request,
                                        const RetryPolicy& policy,
                                        const Deadline& deadline = {},
@@ -125,7 +133,8 @@ class ReplicaSet {
 
   /// One RPC to one specific replica, no failover or sibling diversion —
   /// the anti-entropy primitive for addressing a lagging replica or a
-  /// chosen donor. Failures mark the replica down and rethrow.
+  /// chosen donor. Failures mark the replica down and rethrow
+  /// (QuotaExceeded excepted: a shed leaves replica health untouched).
   Bytes call_replica(std::size_t index, cloud::MessageType type, BytesView request,
                      const RetryPolicy& policy, const Deadline& deadline = {});
 

@@ -292,8 +292,37 @@ void repair_cluster_shard(const std::string& dir, std::uint32_t shard,
   commit_dir(staging, shard_dir);
 }
 
+namespace {
+
+/// Resolves the registry artifact path, recovering a crashed
+/// save_tenant_registry first: a crash between write and rename leaves
+/// the new registry complete at tenants.bin.saving. When the target is
+/// missing and the temp verifies (checksum footer + parse), the rename
+/// is replayed; any other leftover temp — torn write, or the rename
+/// already happened — is stale and removed.
+fs::path tenant_registry_path(const fs::path& root) {
+  const fs::path target = root / "tenants.bin";
+  const fs::path temp = root / "tenants.bin.saving";
+  if (fs::is_regular_file(temp)) {
+    std::error_code ec;
+    if (fs::is_regular_file(target)) {
+      fs::remove(temp, ec);
+    } else {
+      try {
+        (void)tenant::TenantRegistry::deserialize(read_file(temp));
+        fs::rename(temp, target);
+      } catch (const Error&) {
+        fs::remove(temp, ec);
+      }
+    }
+  }
+  return target;
+}
+
+}  // namespace
+
 bool is_tenant_deployment(const std::string& dir) {
-  return fs::is_regular_file(resolve_root(fs::path(dir)) / "tenants.bin");
+  return fs::is_regular_file(tenant_registry_path(resolve_root(fs::path(dir))));
 }
 
 std::string tenant_dir(const std::string& dir, const std::string& id) {
@@ -317,7 +346,7 @@ void save_tenant_registry(const tenant::TenantRegistry& registry,
 
 tenant::TenantRegistry load_tenant_registry(const std::string& dir) {
   return tenant::TenantRegistry::deserialize(
-      read_file(resolve_root(fs::path(dir)) / "tenants.bin"));
+      read_file(tenant_registry_path(resolve_root(fs::path(dir)))));
 }
 
 void save_tenant_deployment(const tenant::TenantHost& host, const std::string& dir) {

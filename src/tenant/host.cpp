@@ -1,5 +1,6 @@
 #include "tenant/host.h"
 
+#include <optional>
 #include <utility>
 
 #include "seg/update_leakage.h"
@@ -7,6 +8,20 @@
 #include "util/stopwatch.h"
 
 namespace rsse::tenant {
+
+TenantHost::ScopedPin::ScopedPin(const TenantState& state) : state_(state) {
+  const std::lock_guard<std::mutex> lock(state_.pin_mutex);
+  ++state_.pins;
+}
+
+TenantHost::ScopedPin::~ScopedPin() {
+  // Notify under the lock: remove_tenant destroys the state as soon as
+  // its drain wait observes pins == 0, so an unlocked notify could run
+  // on a dead condition_variable.
+  const std::lock_guard<std::mutex> lock(state_.pin_mutex);
+  --state_.pins;
+  if (state_.pins == 0) state_.pin_cv.notify_all();
+}
 
 TenantHost::TenantHost(TenantHostOptions options)
     : options_(std::move(options)),
@@ -45,13 +60,22 @@ cloud::CloudServer& TenantHost::add_tenant(TenantConfig config) {
 }
 
 void TenantHost::remove_tenant(const std::string& id) {
-  // The unique lock waits for every in-flight request (each holds the
-  // shared lock for its full duration), so the server dies quiescent.
-  const std::unique_lock<std::shared_mutex> lock(mutex_);
-  const auto it = tenants_.find(id);
-  detail::require(it != tenants_.end(), "TenantHost: unknown tenant: " + id);
-  tenants_.erase(it);
-  admission_.remove(id);
+  std::unique_ptr<TenantState> victim;
+  {
+    const std::unique_lock<std::shared_mutex> lock(mutex_);
+    const auto it = tenants_.find(id);
+    detail::require(it != tenants_.end(), "TenantHost: unknown tenant: " + id);
+    victim = std::move(it->second);
+    tenants_.erase(it);
+    admission_.remove(id);
+  }
+  // Out of the map, no new request can pin the state; drain the pins
+  // already taken so the server dies quiescent. The wait runs OUTSIDE
+  // the map lock — in-flight requests for other tenants keep flowing
+  // while this tenant's queued work finishes.
+  std::unique_lock<std::mutex> pins(victim->pin_mutex);
+  victim->pin_cv.wait(pins, [&] { return victim->pins == 0; });
+  pins.unlock();
 }
 
 void TenantHost::set_quota(const std::string& id, TenantQuota quota) {
@@ -131,8 +155,16 @@ Bytes TenantHost::handle(cloud::MessageType type, BytesView payload,
                          const obs::TraceContext& ctx,
                          std::vector<obs::Span>* spans) const {
   if (type == cloud::MessageType::kStats) {
-    // Operator view: the aggregate host registry, every series labelled
-    // by tenant. Allowed bare — it names no namespace.
+    // The aggregate host registry — every tenant's {tenant=...} series.
+    // Operator-only: to any other caller this view leaks each tenant's
+    // existence, traffic volume and leakage profile, so it is gated on
+    // expose_host_stats (tenants read their own registry through a
+    // tenant-scoped kStats; in-process scrapers use metrics_registry()).
+    if (!options_.expose_host_stats)
+      throw ProtocolError(
+          "TenantHost: host-wide stats are operator-only (enable "
+          "expose_host_stats on a trusted endpoint, or send kStats "
+          "tenant-scoped for one tenant's own view)");
     refresh_leakage_gauges();
     const auto req = cloud::StatsRequest::deserialize(payload);
     cloud::StatsResponse resp;
@@ -151,8 +183,24 @@ Bytes TenantHost::handle(cloud::MessageType type, BytesView payload,
   // scheduled, so a shed costs no crypto or parsing work.
   const auto env = cloud::TenantScopedRequest::deserialize(payload);
 
-  const std::shared_lock<std::shared_mutex> lock(mutex_);
-  const TenantState& state = resolve(env.tenant);
+  // Resolve + pin under the map lock, then RELEASE it for the blocking
+  // work: were the shared lock held across scheduler_.run, one tenant's
+  // queued work plus any pending control-plane writer (shared_mutex
+  // implementations may prefer writers) would stall every tenant's new
+  // requests. The pin keeps the state alive against remove_tenant; the
+  // quota snapshot keeps set_quota race-free.
+  std::optional<ScopedPin> pin;
+  const TenantState* state = nullptr;
+  std::uint64_t weight = 1;
+  std::uint64_t max_queued = 0;
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    const TenantState& resolved = resolve(env.tenant);
+    pin.emplace(resolved);
+    state = &resolved;
+    weight = resolved.config.quota.weight;
+    max_queued = resolved.config.quota.max_queued;
+  }
 
   const ShedReason reason = admission_.try_admit(env.tenant);
   if (reason != ShedReason::kNone) {
@@ -169,9 +217,9 @@ Bytes TenantHost::handle(cloud::MessageType type, BytesView payload,
   Bytes out;
   try {
     out = scheduler_.run(
-        env.tenant, state.config.quota.weight, state.config.quota.max_queued,
-        [&] { return state.server->handle(env.inner_type, env.inner_payload,
-                                          ctx, spans); });
+        env.tenant, weight, max_queued,
+        [&] { return state->server->handle(env.inner_type, env.inner_payload,
+                                           ctx, spans); });
   } catch (const QuotaExceeded&) {
     // The scheduler's bounded-queue shed (the per-tenant server itself
     // never throws QuotaExceeded).
@@ -181,8 +229,8 @@ Bytes TenantHost::handle(cloud::MessageType type, BytesView payload,
         .inc();
     throw;
   }
-  state.requests->inc();
-  state.latency->observe(watch.elapsed_seconds());
+  state->requests->inc();
+  state->latency->observe(watch.elapsed_seconds());
   return out;
 }
 

@@ -19,13 +19,20 @@
 //      gauges — all as {tenant="..."} labelled series in one host
 //      registry (bounded by MetricsRegistry's label-cardinality cap).
 //
-// A bare (unwrapped) kStats request renders that host registry — the
-// operator's aggregate /metrics view. Every other bare type is rejected:
+// Stats follow the trust boundary: a tenant-scoped kStats renders only
+// that tenant's own server registry, while a bare (unwrapped) kStats —
+// the operator's aggregate view with every {tenant=...} series — is
+// rejected unless expose_host_stats is set (the endpoint then must be
+// operator-only; tenant clients would read each other's traffic and
+// leakage profiles). In-process scrape loops read metrics_registry()
+// directly and need no protocol call. Every other bare type is rejected:
 // on a multi-tenant endpoint there is no "default" namespace to serve.
 #pragma once
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -46,6 +53,13 @@ struct TenantHostOptions {
   AdmissionController::Clock clock;
   /// Slow-query threshold applied to every per-tenant server (ms; 0 off).
   double slow_query_threshold_ms = 0;
+  /// Serve the aggregate host registry (every tenant's {tenant=...}
+  /// series) on a bare kStats request. Off by default: enable ONLY when
+  /// the endpoint is operator-only — to mutually distrusting tenants the
+  /// aggregate view leaks each tenant's existence, traffic volume and
+  /// leakage profile. Tenants always get their own registry via a
+  /// tenant-scoped kStats regardless of this flag.
+  bool expose_host_stats = false;
 };
 
 /// The multi-tenant serving endpoint.
@@ -116,6 +130,30 @@ class TenantHost final : public cloud::RequestHandler {
     std::unique_ptr<cloud::CloudServer> server;  // immovable: heap slot
     obs::Counter* requests = nullptr;            // rsse_tenant_requests_total
     obs::HistogramMetric* latency = nullptr;     // rsse_tenant_request_seconds
+
+    // In-flight pin count. handle() pins the state under the map lock,
+    // then DROPS the map lock for the blocking admission + scheduler
+    // work, so a control-plane writer waiting on mutex_ can never stall
+    // other tenants' new requests behind one tenant's queued work.
+    // remove_tenant() drains pins before destroying the state.
+    mutable std::mutex pin_mutex;
+    mutable std::condition_variable pin_cv;
+    mutable std::size_t pins = 0;
+  };
+
+  /// RAII in-flight pin: keeps one TenantState alive (against
+  /// remove_tenant) without holding the tenants_ map lock. Acquire while
+  /// holding mutex_; release order is pin count down + notify under the
+  /// state's own pin_mutex.
+  class ScopedPin {
+   public:
+    explicit ScopedPin(const TenantState& state);
+    ~ScopedPin();
+    ScopedPin(const ScopedPin&) = delete;
+    ScopedPin& operator=(const ScopedPin&) = delete;
+
+   private:
+    const TenantState& state_;
   };
 
   /// Looks up + enforces enabled under an already-held shared lock.

@@ -67,7 +67,7 @@ void AdmissionController::configure(const std::string& tenant,
                                     const TenantQuota& quota) {
   const std::lock_guard<std::mutex> map_lock(mutex_);
   auto& state = tenants_[tenant];
-  if (!state) state = std::make_unique<State>();
+  if (!state) state = std::make_shared<State>();
   const std::lock_guard<std::mutex> lock(state->mutex);
   state->quota = quota;
   state->bucket =
@@ -83,16 +83,15 @@ void AdmissionController::remove(const std::string& tenant) {
 }
 
 ShedReason AdmissionController::try_admit(const std::string& tenant) {
-  State* state = nullptr;
+  std::shared_ptr<State> state;
   {
     const std::lock_guard<std::mutex> map_lock(mutex_);
     const auto it = tenants_.find(tenant);
     if (it == tenants_.end()) return ShedReason::kNone;  // unconfigured
-    state = it->second.get();
+    state = it->second;
   }
-  // The State lives as long as the map entry; the host never removes a
-  // tenant with requests in flight (it holds the registry lock), so the
-  // raw pointer stays valid past the map lock.
+  // The shared_ptr keeps the State alive past the map lock even when a
+  // concurrent remove() erases the entry mid-request.
   const std::lock_guard<std::mutex> lock(state->mutex);
   if (state->quota.max_in_flight != 0 &&
       state->in_flight >= state->quota.max_in_flight)
@@ -104,12 +103,12 @@ ShedReason AdmissionController::try_admit(const std::string& tenant) {
 }
 
 void AdmissionController::release(const std::string& tenant) {
-  State* state = nullptr;
+  std::shared_ptr<State> state;
   {
     const std::lock_guard<std::mutex> map_lock(mutex_);
     const auto it = tenants_.find(tenant);
-    if (it == tenants_.end()) return;
-    state = it->second.get();
+    if (it == tenants_.end()) return;  // removed with this request in flight
+    state = it->second;
   }
   const std::lock_guard<std::mutex> lock(state->mutex);
   detail::require(state->in_flight > 0,

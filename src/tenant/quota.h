@@ -95,7 +95,11 @@ class AdmissionController {
 
   Clock clock_;
   mutable std::mutex mutex_;  // guards the map shape only
-  std::map<std::string, std::unique_ptr<State>> tenants_;
+  // shared_ptr: try_admit/release take the per-tenant lock OUTSIDE the
+  // map lock (so tenants never contend with each other), and the host
+  // may remove() a tenant while one of its requests is still in flight
+  // — the borrowed State must outlive the erase.
+  std::map<std::string, std::shared_ptr<State>> tenants_;
 };
 
 /// RAII in-flight slot: releases on destruction unless admission failed.

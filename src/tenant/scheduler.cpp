@@ -113,12 +113,16 @@ void FairScheduler::worker_loop() {
       error = std::current_exception();
     }
     {
+      // Notify while still holding the waiter mutex: the Waiter lives on
+      // run()'s stack, and a spurious wakeup between unlock and notify
+      // would let run() observe done, return, and destroy the Waiter
+      // under our notify_one. Matches the stop() orphan path.
       const std::lock_guard<std::mutex> lock(task.waiter->mutex);
       task.waiter->result = std::move(result);
       task.waiter->error = error;
       task.waiter->done = true;
+      task.waiter->cv.notify_one();
     }
-    task.waiter->cv.notify_one();
   }
 }
 

@@ -7,7 +7,9 @@
 // request is enveloped as TenantScopedRequest{tenant, type, payload} and
 // sent as kTenantScoped, which a TenantHost (or a cluster coordinator
 // fronting tenant-aware shards) unwraps, admits and schedules. kStats is
-// forwarded bare — it reads the host-wide registry, not a namespace.
+// wrapped like everything else: the tenant reads ITS OWN server's
+// registry, never the host-wide aggregate (that view — every tenant's
+// traffic and leakage series — is operator-only at the host).
 #pragma once
 
 #include <string>
@@ -36,8 +38,6 @@ class ScopedTransport final : public cloud::Transport {
 
   Bytes call(cloud::MessageType type, BytesView request,
              const Deadline& deadline) override {
-    if (type == cloud::MessageType::kStats)
-      return inner_.call(type, request, deadline);
     const Bytes wrapped = wrap(type, request);
     Bytes response =
         inner_.call(cloud::MessageType::kTenantScoped, wrapped, deadline);
@@ -48,8 +48,6 @@ class ScopedTransport final : public cloud::Transport {
   Bytes call(cloud::MessageType type, BytesView request,
              const Deadline& deadline, obs::TraceRecorder* trace,
              std::uint64_t parent_span_id) override {
-    if (type == cloud::MessageType::kStats)
-      return inner_.call(type, request, deadline, trace, parent_span_id);
     const Bytes wrapped = wrap(type, request);
     Bytes response = inner_.call(cloud::MessageType::kTenantScoped, wrapped,
                                  deadline, trace, parent_span_id);

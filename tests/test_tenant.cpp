@@ -13,6 +13,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -24,6 +25,7 @@
 #include "cloud/data_owner.h"
 #include "cloud/data_user.h"
 #include "cloud/protocol.h"
+#include "cluster/replica.h"
 #include "crypto/csprng.h"
 #include "ir/corpus_gen.h"
 #include "sim/sim_net.h"
@@ -498,9 +500,25 @@ TEST(TenantHostServing, BareAndUnknownRequestsAreRejected) {
   EXPECT_THROW(ScopedTransport(channel, "not a tenant id"), InvalidArgument);
 }
 
-TEST(TenantHostServing, BareStatsRendersTenantLabelledRegistry) {
+TEST(TenantHostServing, BareStatsIsOperatorOnly) {
+  // Default host: the aggregate {tenant=...} view is never served over
+  // the protocol — it would tell every tenant who else exists and how
+  // much traffic they run. In-process scrapes use metrics_registry().
   TenantHost host;
+  (void)provision(host, "acme", "acmeonly", 11);
+  cloud::Channel channel(host);
+  cloud::StatsRequest req;
+  req.format = cloud::StatsFormat::kPrometheus;
+  EXPECT_THROW((void)channel.call(cloud::MessageType::kStats, req.serialize()),
+               ProtocolError);
+}
+
+TEST(TenantHostServing, StatsSplitOperatorAggregateVsTenantScoped) {
+  TenantHostOptions options;
+  options.expose_host_stats = true;  // endpoint declared operator-only
+  TenantHost host(options);
   const auto acme = provision(host, "acme", "acmeonly", 11);
+  (void)provision(host, "globex", "globexonly", 22);
   cloud::Channel channel(host);
   ScopedTransport transport(channel, "acme");
   cloud::DataUser user(acme.credentials, transport);
@@ -508,11 +526,22 @@ TEST(TenantHostServing, BareStatsRendersTenantLabelledRegistry) {
 
   cloud::StatsRequest req;
   req.format = cloud::StatsFormat::kPrometheus;
-  const Bytes raw = channel.call(cloud::MessageType::kStats, req.serialize());
-  const auto resp = cloud::StatsResponse::deserialize(raw);
-  EXPECT_NE(resp.text.find("rsse_tenant_requests_total{tenant=\"acme\"} 1"),
+
+  // Operator view: the host registry, every series labelled by tenant.
+  const auto host_view = cloud::StatsResponse::deserialize(
+      channel.call(cloud::MessageType::kStats, req.serialize()));
+  EXPECT_NE(host_view.text.find("rsse_tenant_requests_total{tenant=\"acme\"} 1"),
             std::string::npos);
-  EXPECT_NE(resp.text.find("rsse_tenant_request_seconds"), std::string::npos);
+  EXPECT_NE(host_view.text.find("rsse_tenant_request_seconds"), std::string::npos);
+
+  // Tenant view: kStats rides the envelope like any data request and
+  // renders ONLY that tenant's own server registry — no aggregate
+  // families, no trace of the neighbor.
+  const auto tenant_view = cloud::StatsResponse::deserialize(
+      transport.call(cloud::MessageType::kStats, req.serialize()));
+  EXPECT_NE(tenant_view.text.find("rsse_server_requests_total"), std::string::npos);
+  EXPECT_EQ(tenant_view.text.find("rsse_tenant_requests_total"), std::string::npos);
+  EXPECT_EQ(tenant_view.text.find("globex"), std::string::npos);
 }
 
 TEST(TenantHostServing, FrozenClockQuotaShedsTypedAndCounted) {
@@ -640,6 +669,36 @@ TEST_F(TenantStoreTest, TenantRegistryArtifactRoundTrips) {
   registry.set_quota("acme", {});
   store::save_tenant_registry(registry, dir_);
   EXPECT_EQ(store::load_tenant_registry(dir_), registry);
+}
+
+TEST_F(TenantStoreTest, CrashedRegistrySaveRecovers) {
+  TenantRegistry registry;
+  registry.add(TenantConfig{"acme", sample_quota(), true});
+  store::save_tenant_registry(registry, dir_);
+
+  // Crash AFTER the temp write, BEFORE the rename: the newer registry
+  // sits complete (checksummed) at tenants.bin.saving. Simulate by
+  // saving the newer version and demoting it back to the temp name.
+  TenantRegistry newer = registry;
+  newer.add(TenantConfig{"globex", {}, true});
+  store::save_tenant_registry(newer, dir_);
+  fs::rename(fs::path(dir_) / "tenants.bin", fs::path(dir_) / "tenants.bin.saving");
+  EXPECT_TRUE(store::is_tenant_deployment(dir_));  // recovery replays the rename
+  EXPECT_EQ(store::load_tenant_registry(dir_), newer);
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / "tenants.bin.saving"));
+
+  // A leftover temp NEXT TO a live registry is stale junk: removed, the
+  // live artifact served.
+  std::ofstream(fs::path(dir_) / "tenants.bin.saving") << "torn";
+  EXPECT_EQ(store::load_tenant_registry(dir_), newer);
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / "tenants.bin.saving"));
+
+  // A torn temp with no target never resurrects: not a tenant
+  // deployment, and the junk is cleaned up.
+  fs::remove(fs::path(dir_) / "tenants.bin");
+  std::ofstream(fs::path(dir_) / "tenants.bin.saving") << "torn";
+  EXPECT_FALSE(store::is_tenant_deployment(dir_));
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / "tenants.bin.saving"));
 }
 
 TEST_F(TenantStoreTest, TenantDirRejectsMalformedIds) {
@@ -775,6 +834,87 @@ TEST(TenantChaos, FloodedTenantCannotStarveOrPolluteNeighbors) {
                          {{"tenant", "flood"}})
                 .value(),
             5u);
+}
+
+// remove_tenant must drain the victim's in-flight work WITHOUT holding
+// the host's map lock: neighbors keep serving while the drain waits,
+// and the drained server is destroyed quiescent (TSan-clean).
+TEST(TenantChaos, RemoveTenantDrainsInFlightWithoutStallingNeighbors) {
+  TenantHostOptions options;
+  options.scheduler.workers = 3;
+  TenantHost host(options);
+  const auto acme = provision(host, "acme", "acmeonly", 41);
+  const auto globex = provision(host, "globex", "globexonly", 42);
+
+  std::atomic<bool> removed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      cloud::Channel channel(host);
+      ScopedTransport transport(channel, "acme");
+      cloud::DataUser user(acme.credentials, transport);
+      try {
+        while (!removed.load())
+          if (user.ranked_search("acmeonly", 2).size() != 2)
+            throw Error("missing hits mid-drain");
+      } catch (const ProtocolError&) {
+        // "unknown tenant": the removal landed between two searches. Any
+        // search the pin admitted before removal must have completed
+        // normally above — never a torn result.
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  host.remove_tenant("acme");  // blocks until all pinned requests drain
+  removed.store(true);
+  EXPECT_EQ(host.find_server("acme"), nullptr);
+
+  // The neighbor serves during and after the drain on a fresh channel.
+  cloud::Channel channel(host);
+  ScopedTransport transport(channel, "globex");
+  cloud::DataUser user(globex.credentials, transport);
+  EXPECT_EQ(user.ranked_search("globexonly", 2).size(), 2u);
+  for (auto& t : threads) t.join();
+}
+
+// A per-tenant quota shed must pass through the replica failover
+// machinery untouched: no failed-attempt bump, no cooldown, no failover
+// — every replica enforces the same quota, so "retry elsewhere" would
+// only let one flooding tenant put healthy replicas into cooldown for
+// everybody (the reviewed regression).
+TEST(TenantClusterQuota, ShedIsNotAReplicaFailure) {
+  TenantHostOptions options;
+  options.clock = [] { return std::uint64_t{0}; };  // bucket never refills
+  TenantHost host(options);
+  TenantQuota quota;
+  quota.rate_per_sec = 1;
+  quota.burst = 2;
+  (void)host.add_tenant(TenantConfig{"acme", quota, true});
+
+  sim::SimNet net;
+  cluster::ReplicaSet set;
+  set.add_replica(net.connect(host));
+  set.add_replica(net.connect(host));
+
+  cluster::RetryPolicy policy;
+  policy.base_backoff = std::chrono::milliseconds(0);
+  policy.max_backoff = std::chrono::milliseconds(1);
+
+  cloud::TenantScopedRequest env;
+  env.tenant = "acme";
+  env.inner_type = cloud::MessageType::kFetchFiles;
+  env.inner_payload = cloud::FetchFilesRequest{}.serialize();
+  const Bytes wrapped = env.serialize();
+
+  for (int i = 0; i < 2; ++i)  // the burst is admitted normally
+    (void)set.call(cloud::MessageType::kTenantScoped, wrapped, policy);
+  EXPECT_THROW(set.call(cloud::MessageType::kTenantScoped, wrapped, policy),
+               QuotaExceeded);
+  // The shed surfaced typed on the FIRST attempt: the replica set saw a
+  // healthy answer, not a failure.
+  EXPECT_EQ(set.failed_attempts(), 0u);
+  EXPECT_EQ(set.failovers(), 0u);
+  EXPECT_EQ(set.healthy_replicas(), 2u);
 }
 
 }  // namespace

@@ -75,14 +75,16 @@ using namespace rsse;
                "  rsse add    --owner FILE --passphrase P --deploy DIR --file PATH\n"
                "  rsse update --owner FILE --passphrase P --port N[,N...]"
                " [--file PATH --id N] [--remove ID] [--write-quorum Q]\n"
-               "  rsse stats  --deploy DIR | --port N [--format prom|json]\n"
+               "  rsse stats  --deploy DIR | --port N [--format prom|json]"
+               " [--tenant ID]\n"
                "  rsse trace  --port N [--max N]\n"
                "  rsse trace  --owner FILE --passphrase P --deploy DIR --keyword W"
                " [--top-k K] [--chaos R]\n"
                "  rsse audit  --deploy DIR\n"
                "  rsse serve  --deploy DIR [--port N] [--cache on] [--shard I]"
                " [--repair-from PORT] [--metrics-port N] [--slow-ms N]"
-               " [--compaction off] [--workers N] [--fair off]\n"
+               " [--compaction off] [--workers N] [--fair off]"
+               " [--operator-stats on]\n"
                "  rsse tenant init --deploy DIR\n"
                "  rsse tenant add  --deploy DIR --tenant ID [--rate N] [--burst N]"
                " [--max-in-flight N] [--weight N] [--max-queued N]\n"
@@ -108,7 +110,10 @@ using namespace rsse;
                "   search/update --tenant ID scope every request to it, and\n"
                "   serve detects a tenant deployment and serves all namespaces\n"
                "   behind per-tenant quotas + weighted-fair scheduling\n"
-               "   (--workers N pool size, --fair off for FIFO);\n"
+               "   (--workers N pool size, --fair off for FIFO; stats --tenant\n"
+               "   reads that tenant's own registry, the aggregate {tenant=...}\n"
+               "   view is on --metrics-port or, with --operator-stats on, bare\n"
+               "   kStats — leave it off unless the port is operator-only);\n"
                "   update streams an encrypted dynamic-index delta to a live\n"
                "   serve instance over kUpdate — --file/--id adds one document\n"
                "   under the given fresh id, --remove tombstones one id, and the\n"
@@ -308,6 +313,11 @@ int serve_tenant_deployment(const std::map<std::string, std::string>& flags) {
       std::stoul(optional_flag(flags, "workers", "4")));
   options.scheduler.fair = optional_flag(flags, "fair", "on") != "off";
   options.slow_query_threshold_ms = std::stod(optional_flag(flags, "slow-ms", "0"));
+  // The aggregate {tenant=...} view is served out-of-band on
+  // --metrics-port (operator channel); --operator-stats additionally
+  // answers bare kStats over the serving port — only sane when every
+  // client of that port is the operator.
+  options.expose_host_stats = optional_flag(flags, "operator-stats", "off") == "on";
   tenant::TenantHost host(options);
   store::load_tenant_deployment(dir, host);
 
@@ -598,15 +608,23 @@ int cmd_update(const std::map<std::string, std::string>& flags) {
 int cmd_stats(const std::map<std::string, std::string>& flags) {
   if (flags.contains("port")) {
     // Live scrape over the protocol: ask the running server to render its
-    // own registry (the same text GET /metrics serves).
+    // own registry (the same text GET /metrics serves). Against a tenant
+    // host, --tenant scopes the scrape to that tenant's own registry;
+    // the bare form needs serve --operator-stats on.
     const auto port = static_cast<std::uint16_t>(std::stoul(flags.at("port")));
     net::RemoteChannel channel(port);
     cloud::StatsRequest req;
     req.format = optional_flag(flags, "format", "prom") == "json"
                      ? cloud::StatsFormat::kJson
                      : cloud::StatsFormat::kPrometheus;
-    const auto resp = cloud::StatsResponse::deserialize(
-        channel.call(cloud::MessageType::kStats, req.serialize()));
+    Bytes raw;
+    if (flags.contains("tenant")) {
+      tenant::ScopedTransport scoped(channel, flags.at("tenant"));
+      raw = scoped.call(cloud::MessageType::kStats, req.serialize());
+    } else {
+      raw = channel.call(cloud::MessageType::kStats, req.serialize());
+    }
+    const auto resp = cloud::StatsResponse::deserialize(raw);
     std::fputs(resp.text.c_str(), stdout);
     return 0;
   }
