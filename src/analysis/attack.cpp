@@ -1,0 +1,313 @@
+#include "analysis/attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "ir/inverted_index.h"
+
+namespace rsse::analysis {
+
+BackgroundKnowledge BackgroundKnowledge::from_corpus(const ir::Corpus& corpus,
+                                                     const Options& options) {
+  const ir::Analyzer analyzer(options.analyzer);
+  const ir::InvertedIndex index = ir::InvertedIndex::build(corpus, analyzer);
+
+  // Candidate selection: df floor, then cap by (df desc, term asc) so the
+  // candidate universe is deterministic and salient-first.
+  std::vector<std::pair<std::uint64_t, std::string>> by_df;
+  for (const std::string& term : index.terms()) {
+    const std::uint64_t df = index.document_frequency(term);
+    if (df >= options.min_document_frequency) by_df.emplace_back(df, term);
+  }
+  std::sort(by_df.begin(), by_df.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (by_df.size() > options.max_keywords) by_df.resize(options.max_keywords);
+
+  BackgroundKnowledge bk;
+  bk.num_documents_ = index.num_documents();
+  const double n_docs = std::max<double>(1.0, static_cast<double>(bk.num_documents_));
+  bk.keywords_.reserve(by_df.size());
+  bk.relative_frequency_.reserve(by_df.size());
+  std::vector<std::vector<std::uint64_t>> top_sets;
+  top_sets.reserve(by_df.size());
+  for (const auto& [df, term] : by_df) {
+    bk.index_of_.emplace(term, bk.keywords_.size());
+    bk.keywords_.push_back(term);
+    bk.relative_frequency_.push_back(static_cast<double>(df) / n_docs);
+    // The candidate's expected result set for a top-k query: the same
+    // Eq. 2 ranking the real scheme serves, computed on public data.
+    auto ranked = index.ranked_postings(term);
+    if (options.top_k > 0 && ranked.size() > options.top_k)
+      ranked.resize(options.top_k);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(ranked.size());
+    for (const auto& posting : ranked) ids.push_back(ir::value(posting.file));
+    std::sort(ids.begin(), ids.end());
+    top_sets.push_back(std::move(ids));
+  }
+
+  const std::size_t n = bk.keywords_.size();
+  bk.cooccurrence_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double c = overlap_coefficient(top_sets[i], top_sets[j]);
+      bk.cooccurrence_[i * n + j] = c;
+      bk.cooccurrence_[j * n + i] = c;
+    }
+  }
+  return bk;
+}
+
+BackgroundKnowledge BackgroundKnowledge::from_corpus(const ir::Corpus& corpus) {
+  return from_corpus(corpus, Options{});
+}
+
+std::optional<std::size_t> BackgroundKnowledge::keyword_index(
+    std::string_view keyword) const {
+  const auto it = index_of_.find(keyword);
+  if (it == index_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+// Best unused candidate for one group plus a margin confidence in [0, 1]:
+// (best - runner-up) / (best - worst). 1.0 when only one candidate is
+// scoreable, 0 when the field is flat (nothing to distinguish guesses).
+struct Scored {
+  std::size_t candidate = 0;
+  double score = 0.0;
+  double confidence = 0.0;
+  bool valid = false;
+};
+
+}  // namespace
+
+AttackResult run_query_recovery(const LeakageLedger& ledger,
+                                const BackgroundKnowledge& background,
+                                const std::vector<KnownQuery>& known,
+                                const AttackOptions& options) {
+  const auto profiles = ledger.query_profiles();
+  const auto observed_cooc = ledger.cooccurrence_matrix();
+  const auto query_hist = ledger.query_frequency_histogram();
+  const std::size_t n_groups = profiles.size();
+  const std::size_t n_candidates = background.num_keywords();
+
+  AttackResult result;
+  result.queries_observed = ledger.num_queries();
+  result.groups = n_groups;
+  if (n_groups == 0 || n_candidates == 0) return result;
+
+  // |C| on the server, for translating public df into an expected stored
+  // row width. The adversary can lower-bound it from the ids it saw.
+  double server_files = static_cast<double>(options.num_server_files);
+  if (options.num_server_files == 0) {
+    std::uint64_t max_id = 0;
+    bool any = false;
+    for (const QueryGroupProfile& p : profiles)
+      for (const std::uint64_t id : p.result_union) {
+        any = true;
+        max_id = std::max(max_id, id);
+      }
+    server_files = any ? static_cast<double>(max_id + 1)
+                       : static_cast<double>(background.num_documents());
+  }
+
+  // The width term only carries signal when the padding policy lets
+  // widths differ; under full-nu padding every row is the same width and
+  // the term is disabled — which is precisely what the padding buys.
+  // When every observed width is a power of two the adversary infers
+  // pow2 bucketing and aligns its predictions to the same buckets, so
+  // bucketed widths still rank candidates (coarser than exact widths:
+  // every df in a bucket scores alike).
+  std::set<std::size_t> distinct_widths;
+  bool all_pow2 = true;
+  for (const QueryGroupProfile& p : profiles) {
+    if (p.row_width == 0) continue;
+    distinct_widths.insert(p.row_width);
+    if ((p.row_width & (p.row_width - 1)) != 0) all_pow2 = false;
+  }
+  const bool widths_informative = distinct_widths.size() > 1;
+  const bool pow2_buckets = widths_informative && all_pow2;
+  result.widths_informative = widths_informative;
+
+  const double total_queries = std::max<double>(1.0, static_cast<double>(
+      ledger.num_queries()));
+  double candidate_freq_sum = 0.0;
+  for (std::size_t c = 0; c < n_candidates; ++c)
+    candidate_freq_sum += background.relative_frequency(c);
+  candidate_freq_sum = std::max(candidate_freq_sum, 1e-12);
+
+  // Assignment state. A candidate anchors at most one group (injective
+  // matching), seeds first.
+  std::vector<std::size_t> assigned(n_groups, SIZE_MAX);
+  std::vector<double> assigned_confidence(n_groups, 0.0);
+  std::vector<char> is_seed(n_groups, 0);
+  std::vector<char> is_refined(n_groups, 0);
+  std::vector<char> candidate_used(n_candidates, 0);
+
+  std::map<Bytes, std::size_t> group_of_label;
+  for (std::size_t g = 0; g < n_groups; ++g)
+    group_of_label.emplace(profiles[g].row_label, g);
+  for (const KnownQuery& kq : known) {
+    const auto git = group_of_label.find(kq.row_label);
+    if (git == group_of_label.end()) continue;
+    const auto candidate = background.keyword_index(kq.keyword);
+    if (!candidate || candidate_used[*candidate]) continue;
+    if (assigned[git->second] != SIZE_MAX) continue;
+    assigned[git->second] = *candidate;
+    assigned_confidence[git->second] = 1.0;
+    is_seed[git->second] = 1;
+    candidate_used[*candidate] = 1;
+  }
+
+  const auto score_pair = [&](std::size_t g, std::size_t c) {
+    double s = 0.0;
+    if (widths_informative && options.width_weight > 0 && profiles[g].row_width > 0) {
+      double predicted =
+          std::max(1.0, background.relative_frequency(c) * server_files);
+      if (pow2_buckets) {
+        std::uint64_t bucket = 1;
+        while (static_cast<double>(bucket) < predicted) bucket <<= 1;
+        predicted = static_cast<double>(bucket);
+      }
+      s -= options.width_weight *
+           std::abs(std::log(static_cast<double>(profiles[g].row_width)) -
+                    std::log(predicted));
+    }
+    if (options.query_frequency_weight > 0) {
+      const double observed =
+          static_cast<double>(query_hist[g]) / total_queries;
+      const double expected = background.relative_frequency(c) / candidate_freq_sum;
+      s -= options.query_frequency_weight *
+           std::abs(std::log(std::max(observed, 1e-9)) -
+                    std::log(std::max(expected, 1e-9)));
+    }
+    if (options.cooccurrence_weight > 0) {
+      double err = 0.0;
+      std::size_t anchors = 0;
+      for (std::size_t g2 = 0; g2 < n_groups; ++g2) {
+        if (g2 == g || assigned[g2] == SIZE_MAX) continue;
+        err += std::abs(observed_cooc[g * n_groups + g2] -
+                        background.cooccurrence(c, assigned[g2]));
+        ++anchors;
+      }
+      if (anchors > 0)
+        s -= options.cooccurrence_weight * (err / static_cast<double>(anchors));
+    }
+    return s;
+  };
+
+  const auto best_for_group = [&](std::size_t g) {
+    Scored best;
+    double runner_up = 0.0;
+    double worst = 0.0;
+    std::size_t scoreable = 0;
+    for (std::size_t c = 0; c < n_candidates; ++c) {
+      if (candidate_used[c]) continue;
+      const double s = score_pair(g, c);
+      ++scoreable;
+      if (scoreable == 1) {
+        best = Scored{c, s, 0.0, true};
+        runner_up = s;
+        worst = s;
+        continue;
+      }
+      // Strict improvement wins; ties keep the earlier (lexicographically
+      // smaller, since candidates are sorted) keyword — deterministic.
+      if (s > best.score) {
+        runner_up = best.score;
+        best.candidate = c;
+        best.score = s;
+      } else if (scoreable == 2 || s > runner_up) {
+        runner_up = s;
+      }
+      worst = std::min(worst, s);
+    }
+    if (!best.valid) return best;
+    if (scoreable == 1) {
+      best.confidence = 1.0;
+    } else {
+      const double range = best.score - worst;
+      best.confidence = range > 0 ? (best.score - runner_up) / range : 0.0;
+    }
+    return best;
+  };
+
+  // Iterative refinement: promote the most confident predictions to
+  // pseudo-known queries so they anchor the co-occurrence term for the
+  // rest, until no prediction clears the confidence bar.
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<std::tuple<double, std::size_t, std::size_t>> pending;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      if (assigned[g] != SIZE_MAX) continue;
+      const Scored guess = best_for_group(g);
+      if (guess.valid && guess.confidence >= options.confidence_threshold)
+        pending.emplace_back(guess.confidence, g, guess.candidate);
+    }
+    if (pending.empty()) break;
+    std::sort(pending.begin(), pending.end(), [](const auto& a, const auto& b) {
+      if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
+      return std::get<1>(a) < std::get<1>(b);
+    });
+    std::size_t promoted = 0;
+    for (const auto& [confidence, g, c] : pending) {
+      if (promoted >= options.refinement_batch) break;
+      if (candidate_used[c]) continue;  // taken earlier this round
+      assigned[g] = c;
+      assigned_confidence[g] = confidence;
+      is_refined[g] = 1;
+      candidate_used[c] = 1;
+      ++promoted;
+    }
+    if (promoted == 0) break;
+    ++result.refinement_rounds;
+  }
+
+  // Final pass: every group gets a verdict; unpromoted groups take their
+  // best remaining candidate with whatever (sub-threshold) confidence.
+  result.guesses.reserve(n_groups);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    QueryGuess guess;
+    guess.group = g;
+    guess.row_label = profiles[g].row_label;
+    if (assigned[g] != SIZE_MAX) {
+      guess.keyword = background.keywords()[assigned[g]];
+      guess.confidence = assigned_confidence[g];
+      guess.seed = is_seed[g] != 0;
+      guess.refined = is_refined[g] != 0;
+    } else {
+      const Scored best = best_for_group(g);
+      if (best.valid) {
+        guess.keyword = background.keywords()[best.candidate];
+        guess.confidence = best.confidence;
+      }
+    }
+    if (!guess.seed && guess.confidence >= options.confidence_threshold)
+      ++result.confident;
+    result.guesses.push_back(std::move(guess));
+  }
+  return result;
+}
+
+double recovery_rate(const AttackResult& result,
+                     const std::map<Bytes, std::string>& truth) {
+  std::size_t eligible = 0;
+  std::size_t correct = 0;
+  for (const QueryGuess& guess : result.guesses) {
+    if (guess.seed) continue;
+    const auto it = truth.find(guess.row_label);
+    if (it == truth.end()) continue;
+    ++eligible;
+    if (!guess.keyword.empty() && guess.keyword == it->second) ++correct;
+  }
+  return eligible == 0 ? 0.0
+                       : static_cast<double>(correct) / static_cast<double>(eligible);
+}
+
+}  // namespace rsse::analysis

@@ -1,0 +1,148 @@
+// Query-recovery attack against this scheme's own leakage, in the style
+// of Damie et al. (PAPERS.md, arXiv 2306.15302): an honest-but-curious
+// server that observed a query transcript (search pattern + access
+// pattern + stored row widths) and holds a statistically similar PUBLIC
+// corpus tries to name the keyword behind each search-pattern group.
+//
+// Signals, matching what the transcript actually leaks:
+//   * width/frequency: the stored row width of a queried keyword is its
+//     document frequency N_i under PaddingMode::kNone, the next power of
+//     two under kPowerOfTwo, and a constant nu under kFullNu — matched
+//     in log space against df(candidate) * |C_server| / |C_public|. When
+//     every observed width is a power of two the attack infers pow2
+//     bucketing and rounds its predictions to the same buckets (coarser
+//     signal: dfs in a bucket become indistinguishable); when every
+//     width is equal (full padding) the term is disabled entirely,
+//     which is exactly what padding buys.
+//   * query frequency: how often each group was queried, matched against
+//     the candidate's relative document frequency (queries follow
+//     corpus salience — the standard frequency-attack assumption).
+//   * co-occurrence: overlap coefficients between the groups' returned
+//     top-k result sets, compared against the same statistic between
+//     candidate keywords' top-k sets on the public corpus, anchored by a
+//     small known-query seed set and iteratively refined by promoting
+//     the most confident predictions to pseudo-known queries.
+//
+// Everything is deterministic: scores are pure arithmetic over the
+// ledger and the background knowledge, ties break lexicographically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/leakage.h"
+#include "ir/analyzer.h"
+#include "ir/document.h"
+#include "util/bytes.h"
+
+namespace rsse::analysis {
+
+/// Statistics the adversary extracts from a similar public corpus: the
+/// candidate keyword universe with relative document frequencies and
+/// pairwise top-k co-occurrence. Built once, reused across evaluations.
+class BackgroundKnowledge {
+ public:
+  struct Options {
+    std::size_t max_keywords = 400;         ///< candidate cap, by df desc
+    std::size_t min_document_frequency = 2; ///< drop near-hapax terms
+    std::size_t top_k = 10;                 ///< mirror the observed query top-k
+    ir::AnalyzerOptions analyzer;           ///< must match the indexing pipeline
+  };
+
+  /// Scans the public corpus, selects candidate keywords and precomputes
+  /// the statistics. Deterministic for a fixed corpus.
+  static BackgroundKnowledge from_corpus(const ir::Corpus& corpus,
+                                         const Options& options);
+  static BackgroundKnowledge from_corpus(const ir::Corpus& corpus);
+
+  [[nodiscard]] std::size_t num_keywords() const { return keywords_.size(); }
+  [[nodiscard]] std::size_t num_documents() const { return num_documents_; }
+
+  /// Candidate keywords (analyzer-normalized), df-descending then
+  /// lexicographic.
+  [[nodiscard]] const std::vector<std::string>& keywords() const { return keywords_; }
+
+  /// df(candidate) / |public corpus|.
+  [[nodiscard]] double relative_frequency(std::size_t candidate) const {
+    return relative_frequency_[candidate];
+  }
+
+  /// Overlap coefficient of candidates' top-k result sets.
+  [[nodiscard]] double cooccurrence(std::size_t a, std::size_t b) const {
+    return cooccurrence_[a * keywords_.size() + b];
+  }
+
+  /// Index of a normalized keyword among the candidates, if selected.
+  [[nodiscard]] std::optional<std::size_t> keyword_index(std::string_view keyword) const;
+
+ private:
+  std::vector<std::string> keywords_;
+  std::vector<double> relative_frequency_;
+  std::vector<double> cooccurrence_;  // n*n, row-major
+  std::map<std::string, std::size_t, std::less<>> index_of_;
+  std::size_t num_documents_ = 0;
+};
+
+/// One seed: the adversary knows (row label -> keyword) for a few
+/// queries — Damie et al.'s known-query bootstrap. Keywords must be in
+/// the analyzer-normalized form the background candidates use.
+struct KnownQuery {
+  Bytes row_label;
+  std::string keyword;
+};
+
+/// Attack knobs. Defaults are what bench_attack_recovery sweeps with:
+/// the width (response-length) term dominates — the count-attack
+/// observation that row widths alone identify most keywords when the
+/// padding lets them through — while co-occurrence refines within width
+/// classes, where its cross-corpus noise cannot override a clear width
+/// match.
+struct AttackOptions {
+  double cooccurrence_weight = 0.5;
+  double width_weight = 2.0;          ///< frequency-from-row-width term
+  double query_frequency_weight = 0.2;
+  /// Guesses with confidence >= this count as "confident" (and are
+  /// eligible for refinement promotion).
+  double confidence_threshold = 0.12;
+  std::size_t refinement_batch = 4;   ///< promotions per refinement round
+  std::size_t max_iterations = 64;
+  /// |C| on the server, for scaling public df to an expected row width.
+  /// 0 = infer as (max observed file id + 1) from the ledger.
+  std::size_t num_server_files = 0;
+};
+
+/// The adversary's verdict on one search-pattern group.
+struct QueryGuess {
+  std::size_t group = 0;       ///< index into ledger.query_profiles()
+  Bytes row_label;
+  std::string keyword;         ///< best candidate ("" = no candidate fit)
+  double confidence = 0.0;     ///< margin-based, in [0, 1]
+  bool seed = false;           ///< was a known query (not a prediction)
+  bool refined = false;        ///< promoted to pseudo-known mid-attack
+};
+
+struct AttackResult {
+  std::vector<QueryGuess> guesses;   ///< one per group, group order
+  std::size_t queries_observed = 0;  ///< ledger queries consumed
+  std::size_t groups = 0;            ///< distinct search-pattern groups
+  std::size_t confident = 0;         ///< non-seed guesses over threshold
+  std::size_t refinement_rounds = 0;
+  bool widths_informative = false;   ///< width term active (padding leaked)
+};
+
+/// Runs the frequency + co-occurrence recovery attack over a ledger.
+[[nodiscard]] AttackResult run_query_recovery(
+    const LeakageLedger& ledger, const BackgroundKnowledge& background,
+    const std::vector<KnownQuery>& known = {}, const AttackOptions& options = {});
+
+/// Fraction of non-seed groups whose guess matches `truth` (row label ->
+/// normalized keyword). Groups without a truth entry are excluded.
+/// Evaluation-side only: a real server never holds `truth`.
+[[nodiscard]] double recovery_rate(const AttackResult& result,
+                                   const std::map<Bytes, std::string>& truth);
+
+}  // namespace rsse::analysis

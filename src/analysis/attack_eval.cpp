@@ -1,0 +1,123 @@
+#include "analysis/attack_eval.h"
+
+#include <utility>
+
+namespace rsse::analysis {
+
+AttackEvaluator::AttackEvaluator(const TranscriptSink& sink,
+                                 BackgroundKnowledge background,
+                                 obs::MetricsRegistry& registry,
+                                 AttackEvaluatorOptions options,
+                                 std::vector<KnownQuery> known,
+                                 std::map<Bytes, std::string> truth)
+    : sink_(sink),
+      background_(std::move(background)),
+      options_(options),
+      known_(std::move(known)),
+      truth_(std::move(truth)),
+      queries_observed_(registry.gauge(
+          "rsse_attack_queries_observed",
+          "Transcript queries the query-recovery adversary has consumed")),
+      distinct_queries_(registry.gauge(
+          "rsse_attack_distinct_queries",
+          "Distinct search-pattern groups in the adversary's transcript")),
+      confident_guesses_(registry.gauge(
+          "rsse_attack_confident_guesses",
+          "Non-seed keyword guesses at or above the confidence threshold")),
+      background_keywords_(registry.gauge(
+          "rsse_attack_background_keywords",
+          "Candidate keywords in the adversary's public background corpus")),
+      recovery_rate_(registry.double_gauge(
+          "rsse_attack_recovery_rate",
+          "Query-recovery success: fraction of non-seed queries whose "
+          "keyword the adversary named correctly (with ground truth), or "
+          "its confident-guess fraction (live, no ground truth)")),
+      evaluations_total_(registry.counter(
+          "rsse_attack_evaluations_total",
+          "Completed background attack evaluations")) {
+  background_keywords_.set(static_cast<std::int64_t>(background_.num_keywords()));
+  thread_ = std::thread([this] { run(); });
+}
+
+AttackEvaluator::~AttackEvaluator() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void AttackEvaluator::notify() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pending_ = true;
+  }
+  cv_.notify_all();
+}
+
+void AttackEvaluator::wait_for_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !pending_ && !working_; });
+}
+
+std::uint64_t AttackEvaluator::evaluations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evaluations_;
+}
+
+AttackResult AttackEvaluator::latest() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return latest_;
+}
+
+void AttackEvaluator::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return pending_ || stop_; });
+    if (stop_) return;
+    pending_ = false;
+    const std::uint64_t total = sink_.total_recorded();
+    const bool due = total > last_evaluated_total_ &&
+                     (total - last_evaluated_total_ >= options_.min_new_queries ||
+                      last_evaluated_total_ == 0);
+    if (!due) {
+      cv_.notify_all();  // wake wait_for_idle(): nothing to do yet
+      continue;
+    }
+    working_ = true;
+    lock.unlock();
+    evaluate_once();
+    lock.lock();
+    working_ = false;
+    last_evaluated_total_ = total;
+    ++evaluations_;
+    cv_.notify_all();
+  }
+}
+
+void AttackEvaluator::evaluate_once() {
+  const LeakageLedger ledger = sink_.ledger();
+  AttackResult result =
+      run_query_recovery(ledger, background_, known_, options_.attack);
+
+  queries_observed_.set(static_cast<std::int64_t>(result.queries_observed));
+  distinct_queries_.set(static_cast<std::int64_t>(result.groups));
+  confident_guesses_.set(static_cast<std::int64_t>(result.confident));
+  if (!truth_.empty()) {
+    recovery_rate_.set(recovery_rate(result, truth_));
+  } else {
+    std::size_t non_seed = 0;
+    for (const QueryGuess& g : result.guesses)
+      if (!g.seed) ++non_seed;
+    recovery_rate_.set(non_seed == 0 ? 0.0
+                                     : static_cast<double>(result.confident) /
+                                           static_cast<double>(non_seed));
+  }
+  evaluations_total_.inc();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  latest_ = std::move(result);
+}
+
+}  // namespace rsse::analysis

@@ -1,0 +1,99 @@
+// Live attack evaluation: a background worker that re-runs the
+// query-recovery adversary (analysis/attack.h) against a server's live
+// transcript and exports the outcome as metrics — `rsse serve
+// --attack-eval` turns the security claim into a dashboard number the
+// operator can watch degrade or hold as traffic accumulates.
+//
+// Deterministic by construction, like seg::Compactor — no timers, no
+// sleeps. The worker only wakes on notify() (wired as the transcript
+// sink's listener) and evaluates when enough new queries arrived; tests
+// synchronize with wait_for_idle() instead of polling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/attack.h"
+#include "analysis/transcript.h"
+#include "obs/metrics.h"
+#include "util/bytes.h"
+
+namespace rsse::analysis {
+
+struct AttackEvaluatorOptions {
+  /// Re-run the attack once at least this many queries arrived since the
+  /// last evaluation (batches the O(groups^2 * candidates) work).
+  std::size_t min_new_queries = 8;
+  AttackOptions attack;
+};
+
+/// Owns the evaluation thread for one TranscriptSink. Construction
+/// registers the rsse_attack_* instruments and starts the thread;
+/// destruction stops and joins it. The caller wires notify() as the
+/// sink's listener (and must clear it before destroying the evaluator).
+class AttackEvaluator {
+ public:
+  /// `truth` (row label -> normalized keyword) is evaluation-side ground
+  /// truth: when non-empty, rsse_attack_recovery_rate reports the true
+  /// recovery rate; when empty (a real deployment — the server cannot
+  /// know it), the gauge reports the confident-guess fraction instead,
+  /// the adversary's own estimate of its success.
+  AttackEvaluator(const TranscriptSink& sink, BackgroundKnowledge background,
+                  obs::MetricsRegistry& registry,
+                  AttackEvaluatorOptions options = {},
+                  std::vector<KnownQuery> known = {},
+                  std::map<Bytes, std::string> truth = {});
+
+  AttackEvaluator(const AttackEvaluator&) = delete;
+  AttackEvaluator& operator=(const AttackEvaluator&) = delete;
+
+  ~AttackEvaluator();
+
+  /// Signals that the transcript may have grown. Cheap; safe from any
+  /// thread (it is called from the serving path via the sink listener).
+  void notify();
+
+  /// Blocks until the worker has drained every pending notification.
+  void wait_for_idle();
+
+  /// Completed evaluations (monotonic).
+  [[nodiscard]] std::uint64_t evaluations() const;
+
+  /// The most recent attack outcome (empty before the first evaluation).
+  [[nodiscard]] AttackResult latest() const;
+
+ private:
+  void run();
+  void evaluate_once();
+
+  const TranscriptSink& sink_;
+  const BackgroundKnowledge background_;
+  const AttackEvaluatorOptions options_;
+  const std::vector<KnownQuery> known_;
+  const std::map<Bytes, std::string> truth_;
+
+  obs::Gauge& queries_observed_;
+  obs::Gauge& distinct_queries_;
+  obs::Gauge& confident_guesses_;
+  obs::Gauge& background_keywords_;
+  obs::DoubleGauge& recovery_rate_;
+  obs::Counter& evaluations_total_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool pending_ = false;
+  bool working_ = false;
+  bool stop_ = false;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t last_evaluated_total_ = 0;
+  AttackResult latest_;
+
+  std::thread thread_;  // last: starts in the ctor after state is ready
+};
+
+}  // namespace rsse::analysis

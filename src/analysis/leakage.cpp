@@ -1,5 +1,6 @@
 #include "analysis/leakage.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace rsse::analysis {
@@ -91,6 +92,73 @@ std::map<std::uint64_t, std::size_t> LeakageLedger::file_frequencies() const {
   for (const QueryObservation& o : observations_)
     for (std::uint64_t id : o.returned_ids) ++counts[id];
   return counts;
+}
+
+std::vector<QueryGroupProfile> LeakageLedger::query_profiles() const {
+  std::vector<QueryGroupProfile> profiles;
+  std::map<Bytes, std::size_t> group_of_label;
+  for (std::size_t q = 0; q < observations_.size(); ++q) {
+    const QueryObservation& o = observations_[q];
+    const auto [it, inserted] = group_of_label.emplace(o.row_label, profiles.size());
+    if (inserted) {
+      profiles.emplace_back();
+      profiles.back().row_label = o.row_label;
+    }
+    QueryGroupProfile& p = profiles[it->second];
+    p.query_indices.push_back(q);
+    p.result_union.insert(p.result_union.end(), o.returned_ids.begin(),
+                          o.returned_ids.end());
+    p.row_width = std::max(p.row_width, o.row_width);
+  }
+  for (QueryGroupProfile& p : profiles) {
+    std::sort(p.result_union.begin(), p.result_union.end());
+    p.result_union.erase(std::unique(p.result_union.begin(), p.result_union.end()),
+                         p.result_union.end());
+  }
+  return profiles;
+}
+
+double overlap_coefficient(const std::vector<std::uint64_t>& a,
+                           const std::vector<std::uint64_t>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::size_t shared = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++shared;
+      ++ia;
+      ++ib;
+    }
+  }
+  return static_cast<double>(shared) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+std::vector<double> LeakageLedger::cooccurrence_matrix() const {
+  const auto profiles = query_profiles();
+  const std::size_t n = profiles.size();
+  std::vector<double> matrix(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double c =
+          overlap_coefficient(profiles[i].result_union, profiles[j].result_union);
+      matrix[i * n + j] = c;
+      matrix[j * n + i] = c;
+    }
+  }
+  return matrix;
+}
+
+std::vector<std::size_t> LeakageLedger::query_frequency_histogram() const {
+  std::vector<std::size_t> histogram;
+  for (const QueryGroupProfile& p : query_profiles())
+    histogram.push_back(p.query_indices.size());
+  return histogram;
 }
 
 }  // namespace rsse::analysis

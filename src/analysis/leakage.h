@@ -50,10 +50,25 @@ void export_leakage_gauges(const sse::LeakageAudit& audit,
                            const obs::Labels& labels = {});
 
 /// One observed query: the opaque row label it touched and the file ids
-/// it returned (in server-visible order).
+/// it returned (in server-visible order). `row_width` is the stored
+/// posting-row width the server saw while answering (padding included;
+/// 0 = not recorded / row absent) — the only frequency signal the
+/// padding policy modulates when queries are top-k truncated.
 struct QueryObservation {
   Bytes row_label;
   std::vector<std::uint64_t> returned_ids;
+  std::size_t row_width = 0;
+};
+
+/// One search-pattern group with everything the adversary correlates:
+/// which queries it covers, the union of file ids they returned, and the
+/// stored row width. Groups are in first-seen order (matching
+/// search_pattern()).
+struct QueryGroupProfile {
+  Bytes row_label;
+  std::vector<std::size_t> query_indices;      ///< into the ledger
+  std::vector<std::uint64_t> result_union;     ///< sorted, distinct
+  std::size_t row_width = 0;                   ///< max observed (0 = unknown)
 };
 
 /// The server's accumulated observations over a session.
@@ -81,8 +96,31 @@ class LeakageLedger {
   /// metadata.
   [[nodiscard]] std::map<std::uint64_t, std::size_t> file_frequencies() const;
 
+  /// Per-group aggregation of everything above: one profile per
+  /// search-pattern group, in first-seen order. This is the canonical
+  /// adversary view — the attack engine and the tests both consume it
+  /// instead of re-deriving the partition.
+  [[nodiscard]] std::vector<QueryGroupProfile> query_profiles() const;
+
+  /// Group-by-group co-occurrence of result sets as the overlap
+  /// coefficient |A ∩ B| / min(|A|, |B|) (0 when either is empty), in
+  /// query_profiles() order, row-major n*n (diagonal = 1 for non-empty
+  /// groups). Scale-free, so an adversary can compare it against the
+  /// same statistic of a public corpus with a different document count.
+  [[nodiscard]] std::vector<double> cooccurrence_matrix() const;
+
+  /// Queries per group in query_profiles() order — the query-frequency
+  /// histogram (the search-pattern side of the frequency attack).
+  [[nodiscard]] std::vector<std::size_t> query_frequency_histogram() const;
+
  private:
   std::vector<QueryObservation> observations_;
 };
+
+/// Overlap coefficient of two sorted id sets: |A ∩ B| / min(|A|, |B|),
+/// 0 when either is empty. Shared by the ledger and the background-
+/// knowledge side of the attack so both sides use one definition.
+[[nodiscard]] double overlap_coefficient(const std::vector<std::uint64_t>& a,
+                                         const std::vector<std::uint64_t>& b);
 
 }  // namespace rsse::analysis

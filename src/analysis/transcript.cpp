@@ -1,0 +1,131 @@
+#include "analysis/transcript.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/errors.h"
+
+namespace rsse::analysis {
+
+TranscriptSink::TranscriptSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void TranscriptSink::record(Bytes row_label, std::size_t row_width,
+                            std::vector<std::uint64_t> returned_ids) {
+  std::function<void()> listener;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TranscriptRecord rec;
+    rec.seq = next_seq_++;
+    rec.row_label = std::move(row_label);
+    rec.row_width = static_cast<std::uint32_t>(row_width);
+    rec.returned_ids = std::move(returned_ids);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(rec));
+    } else {
+      ring_[head_] = std::move(rec);
+      head_ = (head_ + 1) % capacity_;
+    }
+    listener = listener_;
+  }
+  if (listener) listener();
+}
+
+std::vector<TranscriptRecord> TranscriptSink::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TranscriptRecord> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, head_ points at the oldest record.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+LeakageLedger TranscriptSink::ledger() const {
+  return ledger_from_records(snapshot());
+}
+
+std::uint64_t TranscriptSink::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+std::uint64_t TranscriptSink::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ - ring_.size();
+}
+
+std::size_t TranscriptSink::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+void TranscriptSink::set_listener(std::function<void()> listener) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  listener_ = std::move(listener);
+}
+
+void TranscriptSink::load(std::vector<TranscriptRecord> records) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (records.size() > capacity_)
+    records.erase(records.begin(),
+                  records.begin() + static_cast<std::ptrdiff_t>(records.size() - capacity_));
+  ring_ = std::move(records);
+  head_ = 0;
+  next_seq_ = 0;
+  for (const TranscriptRecord& rec : ring_)
+    next_seq_ = std::max(next_seq_, rec.seq + 1);
+}
+
+Bytes TranscriptSink::serialize(const std::vector<TranscriptRecord>& records) {
+  Bytes out;
+  append_u64(out, 1);  // format version
+  append_u64(out, records.size());
+  for (const TranscriptRecord& rec : records) {
+    append_u64(out, rec.seq);
+    append_lp(out, rec.row_label);
+    append_u32(out, rec.row_width);
+    append_u64(out, rec.returned_ids.size());
+    for (const std::uint64_t id : rec.returned_ids) append_u64(out, id);
+  }
+  return out;
+}
+
+std::vector<TranscriptRecord> TranscriptSink::deserialize(BytesView bytes) {
+  ByteReader reader(bytes);
+  const std::uint64_t version = reader.read_u64();
+  if (version != 1) throw ParseError("transcript: unknown format version");
+  // seq + LP header + width + id count.
+  const std::uint64_t count = reader.read_count(8 + 4 + 4 + 8);
+  std::vector<TranscriptRecord> records;
+  records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TranscriptRecord rec;
+    rec.seq = reader.read_u64();
+    rec.row_label = reader.read_lp();
+    rec.row_width = reader.read_u32();
+    const std::uint64_t ids = reader.read_count(8);
+    rec.returned_ids.reserve(ids);
+    for (std::uint64_t j = 0; j < ids; ++j)
+      rec.returned_ids.push_back(reader.read_u64());
+    records.push_back(std::move(rec));
+  }
+  if (!reader.exhausted()) throw ParseError("transcript: trailing bytes");
+  return records;
+}
+
+LeakageLedger ledger_from_records(const std::vector<TranscriptRecord>& records) {
+  LeakageLedger ledger;
+  for (const TranscriptRecord& rec : records) {
+    QueryObservation obs;
+    obs.row_label = rec.row_label;
+    obs.returned_ids = rec.returned_ids;
+    obs.row_width = rec.row_width;
+    ledger.record(std::move(obs));
+  }
+  return ledger;
+}
+
+}  // namespace rsse::analysis

@@ -1,0 +1,102 @@
+// Live transcript capture: the honest-but-curious server's per-query
+// view, recorded on the serving path. Every ranked search the server
+// answers appends one TranscriptRecord — the opaque row label the query
+// touched, the stored row width it saw while answering, and the file ids
+// it returned — into a bounded ring. That is EXACTLY the two objects the
+// paper's Sec. V security argument conditions on (search pattern +
+// access pattern) plus the width side-channel the padding policy
+// modulates; nothing a faithful server couldn't tabulate for itself.
+//
+// The ring feeds analysis::LeakageLedger (ledger()) so the query-
+// recovery attack and the leakage tests consume one canonical view, and
+// serializes to a replayable artifact (store::save_transcript) so an
+// offline `rsse audit --attack` can re-run the adversary against a
+// transcript captured earlier. Canonical byte form: two same-seed SimNet
+// runs produce byte-identical transcripts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "analysis/leakage.h"
+#include "util/bytes.h"
+
+namespace rsse::analysis {
+
+/// One query as the server saw it.
+struct TranscriptRecord {
+  std::uint64_t seq = 0;                    ///< per-sink, monotonic from 0
+  Bytes row_label;                          ///< opaque trapdoor label
+  std::uint32_t row_width = 0;              ///< stored width incl. padding
+  std::vector<std::uint64_t> returned_ids;  ///< access pattern of this query
+
+  friend bool operator==(const TranscriptRecord&, const TranscriptRecord&) = default;
+};
+
+/// Thread-safe bounded ring of TranscriptRecords. CloudServer records
+/// into an attached sink from its (concurrent, const) ranked-search
+/// path; readers snapshot without blocking writers for long. When the
+/// ring is full the oldest record is overwritten — dropped() counts the
+/// overwritten prefix so an analyst knows the transcript is a suffix.
+class TranscriptSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  explicit TranscriptSink(std::size_t capacity = kDefaultCapacity);
+
+  /// Appends one observation (assigns the next seq) and then fires the
+  /// listener, outside the lock. Safe from any thread.
+  void record(Bytes row_label, std::size_t row_width,
+              std::vector<std::uint64_t> returned_ids);
+
+  /// The retained records, oldest first (seq ascending).
+  [[nodiscard]] std::vector<TranscriptRecord> snapshot() const;
+
+  /// The retained records as a LeakageLedger (the attack engine's input).
+  [[nodiscard]] LeakageLedger ledger() const;
+
+  /// Records ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t total_recorded() const;
+
+  /// Records lost to ring overwrite (total_recorded() - retained).
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Currently retained record count.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Registers a callback invoked after every record() (outside the
+  /// sink's lock) — how a background attack evaluator wakes without
+  /// polling. Set before traffic; pass nullptr to clear.
+  void set_listener(std::function<void()> listener);
+
+  /// Replaces the retained records (replay of a persisted transcript).
+  /// Seqs are kept as loaded; subsequent record() calls continue from
+  /// one past the highest loaded seq.
+  void load(std::vector<TranscriptRecord> records);
+
+  /// Canonical byte form of a record sequence (seq order is the caller's
+  /// responsibility; snapshot() already returns it).
+  [[nodiscard]] static Bytes serialize(const std::vector<TranscriptRecord>& records);
+
+  /// Parses serialize() output. Throws ParseError on malformed input.
+  [[nodiscard]] static std::vector<TranscriptRecord> deserialize(BytesView bytes);
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TranscriptRecord> ring_;  // insertion order until full, then rotated
+  std::size_t head_ = 0;                // next overwrite position once full
+  std::uint64_t next_seq_ = 0;
+  std::function<void()> listener_;
+};
+
+/// Builds a ledger from transcript records directly (the offline path:
+/// store::load_transcript -> attack) — same derivation ledger() uses.
+[[nodiscard]] LeakageLedger ledger_from_records(
+    const std::vector<TranscriptRecord>& records);
+
+}  // namespace rsse::analysis

@@ -136,9 +136,24 @@ RankedSearchResponse CloudServer::ranked_search(const RankedSearchRequest& req) 
   const auto ranked = ranked_entries(req.trapdoor, static_cast<std::size_t>(req.top_k));
   RankedSearchResponse resp;
   resp.files.reserve(ranked.size());
-  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
-  for (const sse::RankedSearchEntry& e : ranked)
-    resp.files.push_back(RankedFile{e.file, e.opm_score, blob_of(ir::value(e.file))});
+  std::size_t row_width = 0;
+  {
+    const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    for (const sse::RankedSearchEntry& e : ranked)
+      resp.files.push_back(RankedFile{e.file, e.opm_score, blob_of(ir::value(e.file))});
+    if (transcript_) {
+      const std::vector<Bytes>* row = index_.row(req.trapdoor.label);
+      row_width = row ? row->size() : 0;
+    }
+  }
+  if (transcript_) {
+    // Outside the state lock: the sink has its own lock and may fire a
+    // listener (the attack evaluator's notify()).
+    std::vector<std::uint64_t> ids;
+    ids.reserve(ranked.size());
+    for (const sse::RankedSearchEntry& e : ranked) ids.push_back(ir::value(e.file));
+    transcript_->record(req.trapdoor.label, row_width, std::move(ids));
+  }
   return resp;
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/transcript.h"
 #include "cloud/handler.h"
 #include "cloud/metrics.h"
 #include "cloud/protocol.h"
@@ -93,6 +94,20 @@ class CloudServer : public RequestHandler {
   /// serving traffic.
   void set_tenant_tag(std::string tenant) { tenant_tag_ = std::move(tenant); }
   [[nodiscard]] const std::string& tenant_tag() const { return tenant_tag_; }
+
+  /// Attaches the adversary's-eye transcript: every ranked search this
+  /// server answers records (row label, stored row width, returned file
+  /// ids) into `sink` — the honest-but-curious view the leakage ledger
+  /// and the query-recovery attack consume. Both the wire path (kRanked-
+  /// Search via handle()) and direct typed calls are captured, so SimNet
+  /// shards, cluster members and tenant servers get transcripts by
+  /// composition. Set before serving traffic; nullptr detaches.
+  void set_transcript_sink(std::shared_ptr<analysis::TranscriptSink> sink) {
+    transcript_ = std::move(sink);
+  }
+  [[nodiscard]] const std::shared_ptr<analysis::TranscriptSink>& transcript_sink() const {
+    return transcript_;
+  }
 
   /// RequestHandler: the registry behind metrics() — what transports use
   /// to register their own byte/connection counters.
@@ -305,6 +320,8 @@ class CloudServer : public RequestHandler {
   mutable obs::SlowQueryLog slow_log_;
   std::string node_name_ = "server";
   std::string tenant_tag_;  // stamps slow-query entries; "" = single-owner
+  // Adversary's-eye capture; like node_name_, attached before traffic.
+  std::shared_ptr<analysis::TranscriptSink> transcript_;
 
   // Declared LAST: ~Compactor joins a worker thread that dereferences
   // overlay_ and metrics_'s registry mid-merge, so the compactor must be

@@ -24,7 +24,13 @@ DataOwner::DataOwner(sse::MasterKey key, Bytes file_master,
 
 DataOwner::OutsourceReport DataOwner::outsource_rsse(const ir::Corpus& corpus,
                                                      CloudServer& server) {
-  sse::RsseScheme::BuildResult built = rsse_.build_index(corpus);
+  return outsource_rsse(corpus, server, sse::RsseScheme::BuildOptions{});
+}
+
+DataOwner::OutsourceReport DataOwner::outsource_rsse(
+    const ir::Corpus& corpus, CloudServer& server,
+    const sse::RsseScheme::BuildOptions& options) {
+  sse::RsseScheme::BuildResult built = rsse_.build_index(corpus, options);
   quantizer_ = built.quantizer;
   auto files = encrypt_corpus(crypter_, corpus);
 

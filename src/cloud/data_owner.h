@@ -46,6 +46,12 @@ class DataOwner {
   /// the files, uploads both. Retains the quantizer for future updates.
   OutsourceReport outsource_rsse(const ir::Corpus& corpus, CloudServer& server);
 
+  /// Setup with explicit build options (padding policy, build threads) —
+  /// what `rsse build --padding` drives. The chosen padding mode lands in
+  /// the returned rsse_audit, so a stored audit names the policy.
+  OutsourceReport outsource_rsse(const ir::Corpus& corpus, CloudServer& server,
+                                 const sse::RsseScheme::BuildOptions& options);
+
   /// Setup with the Basic Scheme (baseline path).
   OutsourceReport outsource_basic(const ir::Corpus& corpus, CloudServer& server);
 

@@ -1,9 +1,14 @@
 #include "obs/scrape.h"
 
 #include <sys/socket.h>
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 
 #include "net/socket.h"
 #include "util/deadline.h"
@@ -51,18 +56,65 @@ std::string read_request_head(const net::Socket& socket) {
 }  // namespace
 
 ScrapeEndpoint::ScrapeEndpoint(std::vector<ScrapeSource> sources, std::uint16_t port)
-    : sources_(std::move(sources)) {
+    : started_at_(std::chrono::steady_clock::now()), sources_(std::move(sources)) {
   detail::require(!sources_.empty(), "ScrapeEndpoint: need at least one source");
   for (std::size_t i = 0; i < sources_.size(); ++i) {
     detail::require(sources_[i].registry != nullptr,
                     "ScrapeEndpoint: null registry source");
+    detail::require(sources_[i].name != "process",
+                    "ScrapeEndpoint: source name \"process\" is reserved");
     for (std::size_t j = i + 1; j < sources_.size(); ++j) {
       detail::require(sources_[i].name != sources_[j].name,
                       "ScrapeEndpoint: duplicate source name: " + sources_[i].name);
     }
   }
+  // Pre-register the process gauges so the exposition is stable from the
+  // first scrape, then append the built-in source.
+  process_registry_.double_gauge("rsse_process_uptime_seconds",
+                                 "Seconds since this scrape endpoint started");
+  process_registry_.gauge("rsse_process_resident_memory_bytes",
+                          "Resident set size of this process (0 off-Linux)");
+  process_registry_.gauge("rsse_process_open_fds",
+                          "Open file descriptors of this process (0 off-Linux)");
+  sources_.push_back(ScrapeSource{
+      "process", &process_registry_, [this] { refresh_process_metrics(); }});
   listener_ = std::make_unique<net::TcpListener>(port);
   accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void ScrapeEndpoint::refresh_process_metrics() const {
+  MetricsRegistry& self = process_registry_;
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at_)
+          .count();
+  self.double_gauge("rsse_process_uptime_seconds",
+                    "Seconds since this scrape endpoint started")
+      .set(uptime);
+#ifdef __linux__
+  // statm: size resident shared text lib data dt, all in pages.
+  std::int64_t resident_bytes = 0;
+  if (std::ifstream statm("/proc/self/statm"); statm) {
+    long long size_pages = 0;
+    long long resident_pages = 0;
+    if (statm >> size_pages >> resident_pages)
+      resident_bytes = static_cast<std::int64_t>(resident_pages) *
+                       static_cast<std::int64_t>(sysconf(_SC_PAGESIZE));
+  }
+  self.gauge("rsse_process_resident_memory_bytes",
+             "Resident set size of this process (0 off-Linux)")
+      .set(resident_bytes);
+  std::int64_t open_fds = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd", ec)) {
+    (void)entry;
+    ++open_fds;
+  }
+  if (!ec)
+    self.gauge("rsse_process_open_fds",
+               "Open file descriptors of this process (0 off-Linux)")
+        .set(open_fds);
+#endif
 }
 
 ScrapeEndpoint::ScrapeEndpoint(const MetricsRegistry& registry, std::uint16_t port)

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -43,11 +44,19 @@ struct ScrapeSource {
 
 /// HTTP scrape server. Runs its own accept loop; stop() (or destruction)
 /// shuts it down and joins every worker.
+///
+/// Every endpoint also exposes a built-in "process" source with process-
+/// level health gauges, refreshed on each scrape:
+///   rsse_process_uptime_seconds         seconds since the endpoint started
+///   rsse_process_resident_memory_bytes  RSS from /proc/self/statm (Linux)
+///   rsse_process_open_fds               entries in /proc/self/fd (Linux)
+/// On non-Linux platforms the memory/fd gauges stay 0; uptime always works.
 class ScrapeEndpoint {
  public:
   /// Serves `sources` on 127.0.0.1:`port` (0 = pick an ephemeral port).
   /// Throws ProtocolError when binding fails, InvalidArgument when a
-  /// source is null or names collide.
+  /// source is null, names collide, or a source claims the reserved name
+  /// "process".
   ScrapeEndpoint(std::vector<ScrapeSource> sources, std::uint16_t port = 0);
 
   /// Convenience: a single unnamed source.
@@ -71,6 +80,14 @@ class ScrapeEndpoint {
   void accept_loop();
   void serve_connection(net::Socket socket);
   [[nodiscard]] std::string respond(const std::string& request_line) const;
+
+  void refresh_process_metrics() const;
+
+  // The built-in "process" source's registry; appended to sources_ in the
+  // ctor so every scrape path (text + JSON) carries it automatically.
+  // Mutable: refreshed from const render paths, like any refresh hook.
+  mutable MetricsRegistry process_registry_;
+  std::chrono::steady_clock::time_point started_at_;
 
   std::vector<ScrapeSource> sources_;
   std::unique_ptr<net::TcpListener> listener_;

@@ -74,9 +74,18 @@ double LeakageAudit::opm_min_entropy_bits() const {
   return min_entropy_bits(widest_row_opm_max_duplicates, widest_row_postings);
 }
 
+const char* LeakageAudit::padding_name() const {
+  switch (padding_mode) {
+    case 1: return "full_nu";
+    case 2: return "pow2";
+    case 3: return "none";
+    default: return "unknown";
+  }
+}
+
 Bytes LeakageAudit::serialize() const {
   Bytes out;
-  append_u64(out, 1);  // format version
+  append_u64(out, 2);  // format version (v2 added padding_mode)
   append_u64(out, num_rows);
   append_u64(out, genuine_postings);
   append_u64(out, opm_ciphertext_duplicates);
@@ -84,13 +93,15 @@ Bytes LeakageAudit::serialize() const {
   append_u64(out, widest_row_level_max_duplicates);
   append_u64(out, widest_row_opm_max_duplicates);
   append_u64(out, std::bit_cast<std::uint64_t>(stored_width_entropy_bits));
+  append_u64(out, padding_mode);
   return out;
 }
 
 LeakageAudit LeakageAudit::deserialize(BytesView bytes) {
   ByteReader reader(bytes);
   const std::uint64_t version = reader.read_u64();
-  detail::require(version == 1, "LeakageAudit: unknown format version");
+  detail::require(version == 1 || version == 2,
+                  "LeakageAudit: unknown format version");
   LeakageAudit audit;
   audit.num_rows = reader.read_u64();
   audit.genuine_postings = reader.read_u64();
@@ -99,6 +110,8 @@ LeakageAudit LeakageAudit::deserialize(BytesView bytes) {
   audit.widest_row_level_max_duplicates = reader.read_u64();
   audit.widest_row_opm_max_duplicates = reader.read_u64();
   audit.stored_width_entropy_bits = std::bit_cast<double>(reader.read_u64());
+  // A v1 artifact predates the field; padding_mode stays 0 ("unknown").
+  if (version >= 2) audit.padding_mode = reader.read_u64();
   return audit;
 }
 
@@ -267,6 +280,7 @@ RsseScheme::BuildResult RsseScheme::build_index_internal(
   // Serial audit reduce: totals, plus the widest row's duplicate maxima
   // (Fig. 4 studies exactly the longest posting list; first wins on ties).
   LeakageAudit& audit = result.audit;
+  audit.padding_mode = 1 + static_cast<std::uint64_t>(options.padding);
   audit.num_rows = row_audits.size();
   const RowAudit* widest = nullptr;
   for (const RowAudit& row : row_audits) {

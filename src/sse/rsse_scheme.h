@@ -60,6 +60,20 @@ struct LeakageAudit {
   std::uint64_t widest_row_opm_max_duplicates = 0;
   /// Shannon entropy (bits) of the stored row-width distribution.
   double stored_width_entropy_bits = 0.0;
+  /// Padding policy the index was built under: 0 = unknown (an audit
+  /// persisted before this field existed), otherwise 1 + PaddingMode.
+  /// Recorded so `rsse audit` and the attack bench can tie a measured
+  /// recovery rate back to the policy that produced the widths.
+  std::uint64_t padding_mode = 0;
+
+  /// The recorded PaddingMode, or nullopt for a pre-v2 audit.
+  [[nodiscard]] std::optional<PaddingMode> padding() const {
+    if (padding_mode == 0 || padding_mode > 3) return std::nullopt;
+    return static_cast<PaddingMode>(padding_mode - 1);
+  }
+
+  /// Human-readable padding policy ("full_nu", "pow2", "none", "unknown").
+  [[nodiscard]] const char* padding_name() const;
 
   /// -log2(max level multiplicity / postings) for the widest row: the
   /// plaintext-side min-entropy of Ablation C. 0 when empty.

@@ -250,6 +250,15 @@ std::optional<sse::LeakageAudit> load_leakage_audit(const std::string& dir) {
   return sse::LeakageAudit::deserialize(read_file(path));
 }
 
+void save_transcript(const std::vector<analysis::TranscriptRecord>& records,
+                     const std::string& path) {
+  write_file(fs::path(path), analysis::TranscriptSink::serialize(records));
+}
+
+std::vector<analysis::TranscriptRecord> load_transcript(const std::string& path) {
+  return analysis::TranscriptSink::deserialize(read_file(fs::path(path)));
+}
+
 bool is_cluster_deployment(const std::string& dir) {
   return fs::is_regular_file(resolve_root(fs::path(dir)) / "manifest.bin");
 }

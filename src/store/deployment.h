@@ -120,6 +120,18 @@ void save_leakage_audit(const sse::LeakageAudit& audit, const std::string& dir);
 /// an audit.bin exists but is damaged.
 std::optional<sse::LeakageAudit> load_leakage_audit(const std::string& dir);
 
+/// Writes a captured query transcript (analysis::TranscriptSink records)
+/// to `path` as a checksummed artifact — the replayable adversary's-eye
+/// view `rsse serve --transcript` persists and `rsse audit --attack`
+/// replays. Throws Error on I/O failure.
+void save_transcript(const std::vector<analysis::TranscriptRecord>& records,
+                     const std::string& path);
+
+/// Reads a transcript artifact written by save_transcript. Throws Error
+/// on I/O failure, IntegrityError on a damaged footer and ParseError on
+/// malformed content.
+std::vector<analysis::TranscriptRecord> load_transcript(const std::string& path);
+
 /// True when `dir` holds a cluster deployment (a manifest.bin exists).
 /// Also recovers a deployment parked by a crashed save (see
 /// save_deployment).

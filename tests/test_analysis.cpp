@@ -65,6 +65,50 @@ TEST(LeakageLedger, DerivesSearchAndAccessPatterns) {
   EXPECT_EQ(freq.at(1), 2u);
 }
 
+TEST(LeakageLedger, GroupProfilesAggregateTheAdversaryView) {
+  LeakageLedger ledger;
+  const Bytes label_a(20, 0xaa);
+  const Bytes label_b(20, 0xbb);
+  ledger.record({label_a, {3, 1}, 6});
+  ledger.record({label_b, {2, 3}, 4});
+  ledger.record({label_a, {1, 5}, 6});
+
+  const auto profiles = ledger.query_profiles();
+  ASSERT_EQ(profiles.size(), 2u);  // first-seen order
+  EXPECT_EQ(profiles[0].row_label, label_a);
+  EXPECT_EQ(profiles[0].query_indices, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(profiles[0].result_union, (std::vector<std::uint64_t>{1, 3, 5}));
+  EXPECT_EQ(profiles[0].row_width, 6u);
+  EXPECT_EQ(profiles[1].result_union, (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(profiles[1].row_width, 4u);
+
+  // Histogram follows the same group order.
+  EXPECT_EQ(ledger.query_frequency_histogram(), (std::vector<std::size_t>{2, 1}));
+}
+
+TEST(LeakageLedger, CooccurrenceMatrixUsesOverlapCoefficients) {
+  LeakageLedger ledger;
+  ledger.record({Bytes(20, 0xaa), {1, 2, 3}, 3});
+  ledger.record({Bytes(20, 0xbb), {3, 4}, 2});
+  ledger.record({Bytes(20, 0xcc), {}, 0});  // empty result set
+
+  const auto matrix = ledger.cooccurrence_matrix();
+  ASSERT_EQ(matrix.size(), 9u);
+  EXPECT_DOUBLE_EQ(matrix[0 * 3 + 0], 1.0);            // diagonal, non-empty
+  EXPECT_DOUBLE_EQ(matrix[0 * 3 + 1], 1.0 / 2.0);      // |{3}| / min(3, 2)
+  EXPECT_DOUBLE_EQ(matrix[1 * 3 + 0], matrix[0 * 3 + 1]);  // symmetric
+  EXPECT_DOUBLE_EQ(matrix[2 * 3 + 2], 0.0);            // empty group
+  EXPECT_DOUBLE_EQ(matrix[0 * 3 + 2], 0.0);
+}
+
+TEST(LeakageLedger, OverlapCoefficientDefinition) {
+  EXPECT_DOUBLE_EQ(overlap_coefficient({1, 2, 3}, {2, 3, 4, 5}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(overlap_coefficient({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(overlap_coefficient({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(overlap_coefficient({}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(overlap_coefficient({}, {}), 0.0);
+}
+
 class FingerprintAttack : public ::testing::Test {
  protected:
   void SetUp() override {

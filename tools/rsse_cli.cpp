@@ -26,6 +26,7 @@
 // paper's security claims as numbers: OPM duplicate count, row-width
 // entropy under the padding policy, score min-entropy — Fig. 6 and
 // Ablation C).
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -37,7 +38,10 @@
 
 #include <csignal>
 
+#include "analysis/attack.h"
+#include "analysis/attack_eval.h"
 #include "analysis/leakage.h"
+#include "analysis/transcript.h"
 #include "cloud/channel.h"
 #include "cloud/data_owner.h"
 #include "cloud/data_user.h"
@@ -69,7 +73,7 @@ using namespace rsse;
                "usage:\n"
                "  rsse keygen --owner FILE --passphrase P\n"
                "  rsse build  --owner FILE --passphrase P --docs DIR --deploy DIR"
-               " [--threads N] [--cluster N]\n"
+               " [--threads N] [--cluster N] [--padding full_nu|pow2|none]\n"
                "  rsse search --owner FILE --passphrase P --deploy DIR --keyword W"
                " [--top-k K] [--timeout-ms N]\n"
                "  rsse add    --owner FILE --passphrase P --deploy DIR --file PATH\n"
@@ -80,11 +84,12 @@ using namespace rsse;
                "  rsse trace  --port N [--max N]\n"
                "  rsse trace  --owner FILE --passphrase P --deploy DIR --keyword W"
                " [--top-k K] [--chaos R]\n"
-               "  rsse audit  --deploy DIR\n"
+               "  rsse audit  --deploy DIR | --attack DOCS-DIR --transcript PATH\n"
                "  rsse serve  --deploy DIR [--port N] [--cache on] [--shard I]"
                " [--repair-from PORT] [--metrics-port N] [--slow-ms N]"
                " [--compaction off] [--workers N] [--fair off]"
-               " [--operator-stats on]\n"
+               " [--operator-stats on] [--attack-eval DOCS-DIR]"
+               " [--transcript PATH]\n"
                "  rsse tenant init --deploy DIR\n"
                "  rsse tenant add  --deploy DIR --tenant ID [--rate N] [--burst N]"
                " [--max-in-flight N] [--weight N] [--max-queued N]\n"
@@ -122,7 +127,17 @@ using namespace rsse;
                "   list — the delta fans out to every replica and commits once\n"
                "   --write-quorum Q of them ack (0 = all, the default); serve\n"
                "   compacts segments in the background unless\n"
-               "   --compaction off)\n");
+               "   --compaction off;\n"
+               "   build --padding picks the row-padding policy (full_nu hides\n"
+               "   widths completely, pow2 buckets them, none leaks exact df)\n"
+               "   and records it in the stored audit;\n"
+               "   serve --transcript PATH records the adversary's-eye query\n"
+               "   transcript and persists it on shutdown; --attack-eval DIR\n"
+               "   additionally runs the query-recovery attack (background\n"
+               "   knowledge = the public docs at DIR) live in the background,\n"
+               "   exporting rsse_attack_* gauges; audit --attack DIR\n"
+               "   --transcript PATH replays the attack offline against a\n"
+               "   saved transcript)\n");
   std::exit(2);
 }
 
@@ -147,6 +162,15 @@ std::string optional_flag(const std::map<std::string, std::string>& flags,
                           const std::string& key, const std::string& fallback) {
   const auto it = flags.find(key);
   return it == flags.end() ? fallback : it->second;
+}
+
+sse::PaddingMode parse_padding(const std::string& name) {
+  if (name == "full_nu") return sse::PaddingMode::kFullNu;
+  if (name == "pow2") return sse::PaddingMode::kPowerOfTwo;
+  if (name == "none") return sse::PaddingMode::kNone;
+  std::fprintf(stderr, "unknown --padding %s (full_nu, pow2 or none)\n",
+               name.c_str());
+  usage();
 }
 
 cloud::DataOwner restore_owner(const std::map<std::string, std::string>& flags) {
@@ -180,7 +204,11 @@ int cmd_build(const std::map<std::string, std::string>& flags) {
               static_cast<double>(corpus.total_bytes()) / (1024.0 * 1024.0));
   Stopwatch watch;
   cloud::CloudServer server;
-  const auto report = owner.outsource_rsse(corpus, server);
+  sse::RsseScheme::BuildOptions build_options;
+  build_options.num_threads = std::max<std::size_t>(
+      1, std::stoul(optional_flag(flags, "threads", "1")));
+  build_options.padding = parse_padding(optional_flag(flags, "padding", "full_nu"));
+  const auto report = owner.outsource_rsse(corpus, server, build_options);
   std::printf("built %llu-keyword index (%.2f MB) in %.2f s\n",
               static_cast<unsigned long long>(report.rsse_stats.num_keywords),
               static_cast<double>(report.index_bytes) / (1024.0 * 1024.0),
@@ -219,11 +247,12 @@ int cmd_build(const std::map<std::string, std::string>& flags) {
     store::save_leakage_audit(report.rsse_audit, need(flags, "deploy"));
   }
   std::printf("leakage audit: %llu postings, %llu OPM duplicates (want 0), "
-              "width entropy %.3f bits\n",
+              "width entropy %.3f bits, padding %s\n",
               static_cast<unsigned long long>(report.rsse_audit.genuine_postings),
               static_cast<unsigned long long>(
                   report.rsse_audit.opm_ciphertext_duplicates),
-              report.rsse_audit.stored_width_entropy_bits);
+              report.rsse_audit.stored_width_entropy_bits,
+              report.rsse_audit.padding_name());
   persist_owner(owner, flags);  // retains the quantizer for later adds
   return 0;
 }
@@ -414,6 +443,35 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   if (const auto audit = store::load_leakage_audit(need(flags, "deploy")))
     analysis::export_leakage_gauges(*audit, server.metrics().registry());
 
+  // Adversary's-eye observability. --transcript arms per-query capture
+  // (persisted on shutdown); --attack-eval DIR additionally runs the
+  // query-recovery adversary in the background, with the public docs at
+  // DIR as its statistical background knowledge, exporting rsse_attack_*
+  // gauges through the same registry kStats and --metrics-port serve.
+  // Declared before the endpoint so traffic stops before they die.
+  std::shared_ptr<analysis::TranscriptSink> transcript;
+  std::unique_ptr<analysis::AttackEvaluator> attack_eval;
+  if (flags.contains("transcript") || flags.contains("attack-eval")) {
+    transcript = std::make_shared<analysis::TranscriptSink>();
+    server.set_transcript_sink(transcript);
+  }
+  if (flags.contains("attack-eval")) {
+    const ir::Corpus public_corpus = ir::load_directory(flags.at("attack-eval"));
+    if (public_corpus.size() == 0) {
+      std::fprintf(stderr, "no background docs under %s\n",
+                   flags.at("attack-eval").c_str());
+      return 1;
+    }
+    auto background = analysis::BackgroundKnowledge::from_corpus(public_corpus);
+    std::printf("attack evaluator armed: %zu background keywords from %zu"
+                " public docs\n",
+                background.num_keywords(), background.num_documents());
+    attack_eval = std::make_unique<analysis::AttackEvaluator>(
+        *transcript, std::move(background), server.metrics().registry());
+    analysis::AttackEvaluator* evaluator = attack_eval.get();
+    transcript->set_listener([evaluator] { evaluator->notify(); });
+  }
+
   const auto port = static_cast<std::uint16_t>(
       std::stoul(optional_flag(flags, "port", "0")));
   net::NetworkServer endpoint(server, port);
@@ -463,6 +521,13 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   pthread_sigmask(SIG_BLOCK, &set, nullptr);
   int signal_number = 0;
   sigwait(&set, &signal_number);
+  if (transcript && flags.contains("transcript")) {
+    store::save_transcript(transcript->snapshot(), flags.at("transcript"));
+    std::printf("\ntranscript written to %s (%zu records retained, %llu"
+                " overwritten)\n",
+                flags.at("transcript").c_str(), transcript->size(),
+                static_cast<unsigned long long>(transcript->dropped()));
+  }
   std::printf("\nstopping (%llu requests served)\n",
               static_cast<unsigned long long>(endpoint.requests_served()));
   return 0;
@@ -771,10 +836,52 @@ int cmd_trace(const std::map<std::string, std::string>& flags) {
   return cmd_trace_query(flags);
 }
 
+// Replays the query-recovery adversary offline against a transcript
+// captured by `serve --transcript`: rebuilds the leakage ledger from the
+// persisted records, derives background knowledge from a public docs
+// directory, and prints the unsupervised attack's verdict. Needs no keys
+// — exactly the honest-but-curious server's position.
+int cmd_audit_attack(const std::map<std::string, std::string>& flags) {
+  const auto records = store::load_transcript(need(flags, "transcript"));
+  const analysis::LeakageLedger ledger = analysis::ledger_from_records(records);
+  const ir::Corpus public_corpus = ir::load_directory(flags.at("attack"));
+  if (public_corpus.size() == 0) {
+    std::fprintf(stderr, "no background docs under %s\n",
+                 flags.at("attack").c_str());
+    return 1;
+  }
+  const auto background = analysis::BackgroundKnowledge::from_corpus(public_corpus);
+  const auto result = analysis::run_query_recovery(ledger, background);
+  std::printf("query-recovery attack on %s:\n",
+              need(flags, "transcript").c_str());
+  std::printf("  transcript records:       %zu\n", records.size());
+  std::printf("  distinct queries (groups): %zu\n", result.groups);
+  std::printf("  background keywords:      %zu (from %zu public docs)\n",
+              background.num_keywords(), background.num_documents());
+  std::printf("  row widths informative:   %s  (padding %s)\n",
+              result.widths_informative ? "YES" : "no",
+              result.widths_informative ? "leaks df through stored widths"
+                                        : "hides them");
+  std::printf("  confident guesses:        %zu of %zu (%.1f%%)\n",
+              result.confident, result.groups,
+              result.groups == 0 ? 0.0
+                                 : 100.0 * static_cast<double>(result.confident) /
+                                       static_cast<double>(result.groups));
+  std::printf("  refinement rounds:        %zu\n", result.refinement_rounds);
+  for (const analysis::QueryGuess& guess : result.guesses) {
+    if (guess.confidence < 0.05 || guess.keyword.empty()) continue;
+    std::printf("    group %-4zu -> %-20s confidence %.2f%s\n", guess.group,
+                guess.keyword.c_str(), guess.confidence,
+                guess.refined ? " (refined)" : "");
+  }
+  return 0;
+}
+
 // Prints the build-time leakage audit of a deployment — the paper's
 // security claims as checkable numbers. Needs no keys: the audit holds
 // aggregates only (never a keyword, score, or ciphertext).
 int cmd_audit(const std::map<std::string, std::string>& flags) {
+  if (flags.contains("attack")) return cmd_audit_attack(flags);
   const std::string dir = need(flags, "deploy");
   const auto audit = store::load_leakage_audit(dir);
   if (!audit) {
@@ -794,6 +901,7 @@ int cmd_audit(const std::map<std::string, std::string>& flags) {
               " mapping must not repeat)\n",
               static_cast<unsigned long long>(audit->opm_ciphertext_duplicates),
               duplicates_ok ? "PASS" : "FAIL");
+  std::printf("  padding mode:                 %s\n", audit->padding_name());
   std::printf("  stored width entropy:         %.3f bits  (0 = padding hides"
               " row sizes completely)\n",
               audit->stored_width_entropy_bits);
