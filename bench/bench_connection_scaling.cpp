@@ -1,0 +1,269 @@
+// Connection-scaling bench: the epoll reactor server under 1 → thousands
+// of concurrent client connections, each running a closed loop of ranked
+// top-10 searches over a real TCP socket. Reports per-sweep-point latency
+// quantiles and sustained throughput, plus the saturation throughput
+// (the best point of the sweep). Every response is byte-compared against
+// the expected frame, so the "wrong_results" counter pins correctness
+// under full concurrency — scaling that returns garbage is not scaling.
+//
+// The client side is a single-threaded epoll state machine (non-blocking
+// sockets, one outstanding request per connection), so thousands of
+// concurrent connections cost no client threads and the measured
+// concurrency is real, not thread-pool-limited.
+//
+// Deterministic counters (drift-gated): requests_total is fixed by the
+// sweep, wrong_results and sheds must be 0 (the in-flight cap is off for
+// this bench — it measures capacity, not shedding), plus the usual
+// crypto-work counters which scale with the request count.
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cloud/data_owner.h"
+#include "cloud/protocol.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace rsse;
+
+/// One client connection's closed-loop state.
+struct ClientConn {
+  net::Socket sock;
+  std::size_t sent = 0;        // request bytes written this cycle
+  Bytes in;                    // response bytes read this cycle
+  int cycles_left = 0;
+  bool receiving = false;
+  std::uint32_t interest = 0;
+  std::chrono::steady_clock::time_point cycle_start;
+};
+
+struct SweepRow {
+  std::size_t connections = 0;
+  double qps = 0.0;
+  bench::LatencySummary latency;
+};
+
+/// Raises RLIMIT_NOFILE toward `wanted` descriptors; returns the soft
+/// limit afterwards.
+std::size_t raise_fd_limit(std::size_t wanted) {
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1024;
+  if (rl.rlim_cur < wanted) {
+    rl.rlim_cur = rl.rlim_max == RLIM_INFINITY
+                      ? wanted
+                      : std::min<rlim_t>(rl.rlim_max, wanted);
+    (void)setrlimit(RLIMIT_NOFILE, &rl);
+    (void)getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  return static_cast<std::size_t>(rl.rlim_cur);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Connection scaling — reactor server, concurrent TCP clients");
+
+  auto opts = bench::fig4_corpus_options(150);
+  opts.num_documents = bench::scaled<std::size_t>(300, 120);
+  opts.injected[0].document_count = opts.num_documents;
+  const ir::Corpus corpus = ir::generate_corpus(opts);
+
+  cloud::DataOwner owner;
+  cloud::CloudServer server;
+  bench::human("building index (%zu files)...\n", corpus.size());
+  owner.outsource_rsse(corpus, server);
+
+  // One pre-serialized ranked top-10 request, and its expected response
+  // frame (computed once through the in-process channel — search over a
+  // static index is deterministic, so every reply must match it).
+  const sse::Trapdoor trapdoor{owner.rsse().row_label(bench::kKeyword),
+                               owner.rsse().row_key(bench::kKeyword)};
+  const Bytes request_payload = cloud::RankedSearchRequest{trapdoor, 10}.serialize();
+  Bytes request_frame{
+      static_cast<std::uint8_t>(cloud::MessageType::kRankedSearch)};
+  append_u32(request_frame, static_cast<std::uint32_t>(request_payload.size()));
+  append(request_frame, request_payload);
+  cloud::Channel reference(server);
+  const Bytes expected_frame =
+      net::encode_response_ok(reference.call(cloud::MessageType::kRankedSearch,
+                                             request_payload));
+
+  net::ServerOptions options;
+  options.reactor_threads = 2;
+  options.workers = std::max<std::size_t>(4, std::thread::hardware_concurrency());
+  options.max_in_flight = 0;  // measure capacity, not shedding
+  options.max_connections = 20000;
+  net::NetworkServer endpoint(server, 0, options);
+
+  const std::vector<std::size_t> sweep =
+      bench::quick() ? std::vector<std::size_t>{1, 64, 256}
+                     : std::vector<std::size_t>{1, 64, 512, 2048, 5120};
+  const int cycles = bench::scaled(20, 5);
+
+  // Client + server side of every connection live in this process: ~2 fds
+  // per connection plus headroom.
+  const std::size_t fd_allowance = raise_fd_limit(2 * sweep.back() + 256);
+
+  std::uint64_t requests_total = 0;
+  std::uint64_t wrong_results = 0;
+  std::vector<SweepRow> rows;
+  for (const std::size_t n : sweep) {
+    if (2 * n + 128 > fd_allowance) {
+      // No silent caps: a dropped sweep point is reported, not absorbed
+      // into a smaller (and drift-prone) connection count.
+      bench::human("SKIPPING %zu connections: fd limit %zu is too low\n", n,
+                   fd_allowance);
+      continue;
+    }
+
+    const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd < 0) {
+      bench::human("epoll_create1 failed; aborting sweep\n");
+      return 1;
+    }
+    std::vector<ClientConn> conns(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      conns[i].sock = net::tcp_connect(endpoint.port());
+      conns[i].sock.set_nonblocking(true);
+      conns[i].cycles_left = cycles;
+      epoll_event ev{};
+      ev.events = EPOLLOUT | EPOLLIN;
+      ev.data.u64 = i;
+      ::epoll_ctl(epfd, EPOLL_CTL_ADD, conns[i].sock.fd(), &ev);
+      conns[i].interest = EPOLLOUT | EPOLLIN;
+      conns[i].cycle_start = std::chrono::steady_clock::now();
+    }
+
+    std::vector<double> latencies;
+    latencies.reserve(n * static_cast<std::size_t>(cycles));
+    std::size_t done = 0;
+    const Stopwatch wall;
+    std::vector<epoll_event> events(1024);
+    std::uint8_t chunk[64 * 1024];
+    while (done < n) {
+      const int ready =
+          ::epoll_wait(epfd, events.data(), static_cast<int>(events.size()), 10000);
+      if (ready <= 0) {
+        bench::human("epoll_wait stalled (%d); aborting\n", ready);
+        return 1;
+      }
+      for (int e = 0; e < ready; ++e) {
+        ClientConn& conn = conns[events[static_cast<std::size_t>(e)].data.u64];
+        if (conn.cycles_left == 0) continue;
+        // Write side: push the rest of this cycle's request.
+        while (!conn.receiving && conn.sent < request_frame.size()) {
+          const ssize_t sent =
+              ::send(conn.sock.fd(), request_frame.data() + conn.sent,
+                     request_frame.size() - conn.sent, MSG_NOSIGNAL);
+          if (sent < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            bench::human("client send failed\n");
+            return 1;
+          }
+          conn.sent += static_cast<std::size_t>(sent);
+          if (conn.sent == request_frame.size()) conn.receiving = true;
+        }
+        // Read side: assemble the response frame.
+        while (conn.receiving) {
+          const ssize_t got = ::recv(conn.sock.fd(), chunk, sizeof chunk, 0);
+          if (got < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            bench::human("client recv failed\n");
+            return 1;
+          }
+          if (got == 0) {
+            bench::human("server closed a client mid-bench\n");
+            return 1;
+          }
+          conn.in.insert(conn.in.end(), chunk, chunk + got);
+          if (conn.in.size() < expected_frame.size()) continue;
+          latencies.push_back(
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - conn.cycle_start)
+                  .count());
+          if (conn.in != expected_frame) ++wrong_results;
+          ++requests_total;
+          conn.in.clear();
+          conn.sent = 0;
+          conn.receiving = false;
+          if (--conn.cycles_left == 0) {
+            ++done;
+            ::epoll_ctl(epfd, EPOLL_CTL_DEL, conn.sock.fd(), nullptr);
+            break;
+          }
+          conn.cycle_start = std::chrono::steady_clock::now();
+        }
+        // Keep EPOLLOUT armed only while a request is partially written
+        // (otherwise level-triggered writability busy-loops the driver).
+        const std::uint32_t wanted =
+            conn.cycles_left == 0
+                ? 0
+                : (conn.receiving ? EPOLLIN
+                                  : static_cast<std::uint32_t>(EPOLLIN | EPOLLOUT));
+        if (wanted != 0 && wanted != conn.interest) {
+          epoll_event ev{};
+          ev.events = wanted;
+          ev.data.u64 = events[static_cast<std::size_t>(e)].data.u64;
+          if (::epoll_ctl(epfd, EPOLL_CTL_MOD, conn.sock.fd(), &ev) == 0)
+            conn.interest = wanted;
+        }
+      }
+    }
+    const double seconds = wall.elapsed_seconds();
+    ::close(epfd);
+
+    SweepRow row;
+    row.connections = n;
+    row.qps = static_cast<double>(latencies.size()) / seconds;
+    row.latency = bench::summarize_latencies(latencies);
+    rows.push_back(row);
+    bench::human("%5zu connections: %8.0f QPS   p50 %7.3f ms   p99 %7.3f ms\n",
+                 n, row.qps, row.latency.p50, row.latency.p99);
+    conns.clear();  // closes the client sockets before the next point
+  }
+
+  double saturation_qps = 0.0;
+  for (const SweepRow& row : rows) saturation_qps = std::max(saturation_qps, row.qps);
+
+  auto json_rows = bench::Json::array();
+  for (const SweepRow& row : rows) {
+    auto j = bench::Json::object();
+    j.set("connections", row.connections);
+    j.set("qps", row.qps);
+    j.set("p50_ms", row.latency.p50);
+    j.set("p95_ms", row.latency.p95);
+    j.set("p99_ms", row.latency.p99);
+    json_rows.push(std::move(j));
+  }
+  auto results = bench::Json::object();
+  results.set("cycles_per_connection", cycles);
+  results.set("reactor_threads", options.reactor_threads);
+  results.set("workers", static_cast<std::uint64_t>(options.workers));
+  results.set("max_connections", static_cast<std::uint64_t>(rows.empty() ? 0 : rows.back().connections));
+  results.set("saturation_qps", saturation_qps);
+  results.set("rows", std::move(json_rows));
+
+  // Reactor-side determinism pins from the server's own registry.
+  obs::MetricsRegistry& registry = server.metrics_registry();
+  auto counters = bench::counters_json();
+  counters.set("requests_total", requests_total);
+  counters.set("wrong_results", wrong_results);
+  counters.set("sheds", registry.counter("rsse_net_shed_total", "").value());
+  counters.set("connections_rejected",
+               registry.counter("rsse_net_connections_rejected_total", "").value());
+  bench::emit(bench::doc("connection_scaling", "Connection scaling")
+                  .set("results", std::move(results))
+                  .set("counters", std::move(counters)));
+  return 0;
+}

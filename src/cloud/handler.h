@@ -18,7 +18,10 @@ namespace rsse::cloud {
 
 /// Abstract serving endpoint: parses a typed request payload and returns
 /// the serialized response. Implementations are internally synchronized —
-/// transports call handle() from many threads concurrently.
+/// transports call handle() from many threads concurrently (the epoll
+/// reactor's worker pool in particular runs handle() for pipelined
+/// requests of ONE connection in parallel; response ordering is the
+/// transport's job, not the handler's).
 class RequestHandler {
  public:
   virtual ~RequestHandler() = default;

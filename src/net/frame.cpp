@@ -6,15 +6,19 @@ namespace rsse::net {
 
 namespace {
 
-void send_framed(const Socket& socket, std::uint8_t tag, BytesView payload,
-                 const Deadline& deadline) {
+Bytes encode_framed(std::uint8_t tag, BytesView payload) {
   if (payload.size() > kMaxFrameSize) throw ProtocolError("frame: payload too large");
   Bytes frame;
   frame.reserve(5 + payload.size());
   frame.push_back(tag);
   append_u32(frame, static_cast<std::uint32_t>(payload.size()));
   append(frame, payload);
-  socket.send_all(frame, deadline);
+  return frame;
+}
+
+void send_framed(const Socket& socket, std::uint8_t tag, BytesView payload,
+                 const Deadline& deadline) {
+  socket.send_all(encode_framed(tag, payload), deadline);
 }
 
 // Reads tag + length + payload; false on clean EOF before the tag.
@@ -69,6 +73,23 @@ std::optional<RequestFrame> recv_request(const Socket& socket, const Deadline& d
   return frame;
 }
 
+Bytes encode_response_ok(BytesView payload) { return encode_framed(0x00, payload); }
+
+Bytes encode_response_ok_traced(BytesView payload,
+                                const std::vector<obs::Span>& spans) {
+  const Bytes span_bytes = obs::serialize_spans(spans);
+  Bytes body;
+  body.reserve(4 + span_bytes.size() + payload.size());
+  append_u32(body, static_cast<std::uint32_t>(span_bytes.size()));
+  append(body, span_bytes);
+  append(body, payload);
+  return encode_framed(0x02, body);
+}
+
+Bytes encode_response_error(std::string_view message) {
+  return encode_framed(0x01, to_bytes(message));
+}
+
 void send_response_ok(const Socket& socket, BytesView payload, const Deadline& deadline) {
   send_framed(socket, 0x00, payload, deadline);
 }
@@ -76,13 +97,7 @@ void send_response_ok(const Socket& socket, BytesView payload, const Deadline& d
 void send_response_ok_traced(const Socket& socket, BytesView payload,
                              const std::vector<obs::Span>& spans,
                              const Deadline& deadline) {
-  const Bytes span_bytes = obs::serialize_spans(spans);
-  Bytes body;
-  body.reserve(4 + span_bytes.size() + payload.size());
-  append_u32(body, static_cast<std::uint32_t>(span_bytes.size()));
-  append(body, span_bytes);
-  append(body, payload);
-  send_framed(socket, 0x02, body, deadline);
+  socket.send_all(encode_response_ok_traced(payload, spans), deadline);
 }
 
 void send_response_error(const Socket& socket, std::string_view message,
@@ -126,6 +141,13 @@ TracedResponse recv_response_traced(const Socket& socket, const Deadline& deadli
     constexpr std::string_view kQuotaPrefix = "QuotaExceeded: ";
     if (message.rfind(kQuotaPrefix, 0) == 0) {
       throw QuotaExceeded(message.substr(kQuotaPrefix.size()));
+    }
+    // Reactor backpressure sheds use the same reserved-prefix scheme so
+    // the client sees a typed, retryable Overloaded instead of a generic
+    // protocol failure.
+    constexpr std::string_view kOverloadedPrefix = "Overloaded: ";
+    if (message.rfind(kOverloadedPrefix, 0) == 0) {
+      throw Overloaded(message.substr(kOverloadedPrefix.size()));
     }
     throw ProtocolError("server error: " + message);
   }

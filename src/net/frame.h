@@ -51,6 +51,20 @@ struct TracedResponse {
   std::vector<obs::Span> spans;
 };
 
+/// Serializes a success response into a complete frame (tag + length +
+/// payload) without touching a socket — the buffered-output path of the
+/// reactor server builds frames off the event loop and hands the bytes
+/// to the connection's output queue. Byte-identical to what
+/// send_response_ok writes.
+[[nodiscard]] Bytes encode_response_ok(BytesView payload);
+
+/// Serializes a traced success response (tag 2) into a complete frame.
+[[nodiscard]] Bytes encode_response_ok_traced(BytesView payload,
+                                              const std::vector<obs::Span>& spans);
+
+/// Serializes an error response into a complete frame.
+[[nodiscard]] Bytes encode_response_error(std::string_view message);
+
 /// Writes a request frame. Throws DeadlineExceeded when the budget runs
 /// out mid-write (all helpers; default deadline = unlimited).
 void send_request(const Socket& socket, cloud::MessageType type, BytesView payload,

@@ -1,0 +1,591 @@
+#include "net/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "net/frame.h"
+#include "util/errors.h"
+
+namespace rsse::net {
+
+namespace {
+
+/// One receive chunk. Bigger frames assemble across chunks.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Compact the input/output buffers once this many consumed bytes sit in
+/// front of the unconsumed tail (amortizes the memmove).
+constexpr std::size_t kCompactThreshold = 256 * 1024;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Connection
+
+/// Per-connection state. Only the owning loop thread touches it; workers
+/// hold a shared_ptr purely to keep it alive until their completion is
+/// applied or discarded.
+struct Reactor::Connection {
+  explicit Connection(Socket s) : sock(std::move(s)) {}
+
+  Socket sock;
+
+  // Incremental frame assembly: bytes [in_pos, in.size()) are unparsed.
+  Bytes in;
+  std::size_t in_pos = 0;
+
+  // Ordered response slots — one per admitted request, flushed strictly
+  // in request order so pipelined responses cannot reorder on the wire.
+  struct Slot {
+    std::uint64_t seq = 0;
+    bool done = false;
+    Bytes frame;
+  };
+  std::deque<Slot> slots;
+  std::uint64_t next_seq = 0;
+
+  // Buffered output: bytes [out_pos, out.size()) are unsent.
+  Bytes out;
+  std::size_t out_pos = 0;
+
+  bool peer_closed = false;       ///< EOF seen; flush, then close
+  bool close_after_flush = false; ///< fatal frame error queued; then close
+  bool closed = false;            ///< removed from the loop
+  std::uint32_t interest = 0;     ///< currently registered epoll events
+
+  [[nodiscard]] std::size_t pending_out() const { return out.size() - out_pos; }
+};
+
+// ----------------------------------------------------------------- EventLoop
+
+class Reactor::EventLoop {
+ public:
+  explicit EventLoop(Reactor& reactor) : reactor_(reactor) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) throw ProtocolError("epoll_create1 failed");
+    event_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (event_fd_ < 0) {
+      ::close(epoll_fd_);
+      throw ProtocolError("eventfd failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = event_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~EventLoop() {
+    join();
+    ::close(event_fd_);
+    ::close(epoll_fd_);
+  }
+
+  /// Hands an accepted socket to this loop (acceptor thread).
+  void enqueue_connection(Socket socket) {
+    {
+      const std::lock_guard<std::mutex> lock(inbox_mutex_);
+      pending_sockets_.push_back(std::move(socket));
+    }
+    wake();
+  }
+
+  /// Hands a finished response frame to this loop (worker threads).
+  void post_completion(std::shared_ptr<Connection> conn, std::uint64_t seq,
+                       Bytes frame) {
+    {
+      const std::lock_guard<std::mutex> lock(inbox_mutex_);
+      completions_.push_back({std::move(conn), seq, std::move(frame)});
+    }
+    wake();
+  }
+
+  void request_stop() {
+    {
+      const std::lock_guard<std::mutex> lock(inbox_mutex_);
+      stop_requested_ = true;
+    }
+    wake();
+  }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  struct Completion {
+    std::shared_ptr<Connection> conn;
+    std::uint64_t seq = 0;
+    Bytes frame;
+  };
+
+  void wake() const {
+    const std::uint64_t one = 1;
+    // The fd lives as long as the loop object; a failed write (only
+    // plausible at teardown) just means the loop is already waking up.
+    [[maybe_unused]] const ssize_t n = ::write(event_fd_, &one, sizeof one);
+  }
+
+  void run() {
+    std::vector<epoll_event> events(512);
+    for (;;) {
+      const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                 static_cast<int>(events.size()), -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // epoll fd gone: teardown
+      }
+      // Loop lag = how long one processing pass keeps the loop away from
+      // epoll_wait — the time a freshly ready event may sit unserviced.
+      const auto pass_start = std::chrono::steady_clock::now();
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[static_cast<std::size_t>(i)].data.fd;
+        const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+        if (fd == event_fd_) {
+          drain_eventfd();
+          continue;
+        }
+        const auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;  // closed earlier this pass
+        const std::shared_ptr<Connection> conn = it->second;
+        if (mask & (EPOLLERR | EPOLLHUP)) {
+          close_connection(*conn);
+          continue;
+        }
+        if ((mask & EPOLLIN) && !conn->closed) handle_readable(*conn);
+        if ((mask & EPOLLOUT) && !conn->closed) {
+          try_write(*conn);
+          if (!conn->closed) after_progress(*conn);
+        }
+      }
+      if (drain_inbox()) {
+        for (auto& [fd, conn] : conns_) {
+          conn->closed = true;
+          conn->sock.close();
+          reactor_.open_connections_.fetch_sub(1, std::memory_order_relaxed);
+          reactor_.active_connections_.sub(1);
+        }
+        conns_.clear();
+        return;
+      }
+      reactor_.loop_lag_.observe(seconds_since(pass_start));
+    }
+  }
+
+  void drain_eventfd() const {
+    std::uint64_t buf = 0;
+    while (::read(event_fd_, &buf, sizeof buf) > 0) {
+    }
+  }
+
+  /// Applies queued intake/completions; true when the loop should exit.
+  bool drain_inbox() {
+    std::vector<Socket> sockets;
+    std::vector<Completion> completions;
+    bool stop = false;
+    {
+      const std::lock_guard<std::mutex> lock(inbox_mutex_);
+      sockets.swap(pending_sockets_);
+      completions.swap(completions_);
+      stop = stop_requested_;
+    }
+    for (Socket& s : sockets) register_connection(std::move(s));
+    for (Completion& c : completions) apply_completion(c);
+    return stop;
+  }
+
+  void register_connection(Socket socket) {
+    socket.set_nonblocking(true);
+    auto conn = std::make_shared<Connection>(std::move(socket));
+    const int fd = conn->sock.fd();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      reactor_.open_connections_.fetch_sub(1, std::memory_order_relaxed);
+      reactor_.active_connections_.sub(1);
+      return;  // socket closes via RAII
+    }
+    conn->interest = EPOLLIN;
+    conns_.emplace(fd, std::move(conn));
+  }
+
+  void apply_completion(Completion& c) {
+    Connection& conn = *c.conn;
+    if (conn.closed) return;  // arrived after the connection died
+    for (auto& slot : conn.slots) {
+      if (slot.seq == c.seq) {
+        slot.done = true;
+        slot.frame = std::move(c.frame);
+        break;
+      }
+    }
+    flush_ready(conn);
+    try_write(conn);
+    if (!conn.closed) after_progress(conn);
+  }
+
+  // ---- read side ----
+
+  void handle_readable(Connection& conn) {
+    std::uint8_t chunk[kReadChunk];
+    while (!reading_paused(conn)) {
+      const ssize_t n = ::recv(conn.sock.fd(), chunk, sizeof chunk, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_connection(conn);
+        return;
+      }
+      if (n == 0) {
+        conn.peer_closed = true;
+        break;
+      }
+      conn.in.insert(conn.in.end(), chunk, chunk + n);
+      parse_frames(conn);
+      if (conn.closed) return;
+    }
+    after_progress(conn);
+  }
+
+  [[nodiscard]] bool reading_paused(const Connection& conn) const {
+    return conn.peer_closed || conn.close_after_flush ||
+           conn.slots.size() >= reactor_.options_.max_pipeline ||
+           conn.pending_out() > reactor_.options_.max_output_buffer;
+  }
+
+  /// True when the input buffer holds at least one complete frame.
+  [[nodiscard]] static bool has_complete_frame(const Connection& conn) {
+    const std::size_t avail = conn.in.size() - conn.in_pos;
+    if (avail < 5) return false;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+      len |= static_cast<std::uint32_t>(conn.in[conn.in_pos + 1 +
+                                                static_cast<std::size_t>(i)])
+             << (8 * i);
+    if (len > kMaxFrameSize) return true;  // "complete" enough to reject
+    return avail >= 5 + static_cast<std::size_t>(len);
+  }
+
+  void parse_frames(Connection& conn) {
+    while (!conn.close_after_flush && has_complete_frame(conn) &&
+           conn.slots.size() < reactor_.options_.max_pipeline &&
+           conn.pending_out() <= reactor_.options_.max_output_buffer) {
+      const std::uint8_t tag = conn.in[conn.in_pos];
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(conn.in[conn.in_pos + 1 +
+                                                  static_cast<std::size_t>(i)])
+               << (8 * i);
+      if (len > kMaxFrameSize) {
+        // A corrupted or hostile length: report once, then drop the
+        // connection — the stream cannot be resynchronized.
+        queue_immediate(conn, encode_response_error("frame: length exceeds cap"));
+        conn.close_after_flush = true;
+        break;
+      }
+      const std::size_t start = conn.in_pos + 5;
+      Bytes payload(conn.in.begin() + static_cast<std::ptrdiff_t>(start),
+                    conn.in.begin() + static_cast<std::ptrdiff_t>(start + len));
+      conn.in_pos = start + len;
+      admit(conn, tag, std::move(payload));
+      if (conn.closed) return;
+    }
+    if (conn.in_pos == conn.in.size()) {
+      conn.in.clear();
+      conn.in_pos = 0;
+    } else if (conn.in_pos >= kCompactThreshold) {
+      conn.in.erase(conn.in.begin(),
+                    conn.in.begin() + static_cast<std::ptrdiff_t>(conn.in_pos));
+      conn.in_pos = 0;
+    }
+  }
+
+  /// Takes one parsed frame through admission: shed, reject, or hand to
+  /// the worker pool under an ordered response slot.
+  void admit(Connection& conn, std::uint8_t tag, Bytes payload) {
+    // Malformed trace extension: the stream itself is intact (length was
+    // honoured), so answer with an error frame and keep the connection.
+    if ((tag & kTraceFlag) && payload.size() < obs::TraceContext::kWireSize) {
+      queue_immediate(conn, encode_response_error("request: truncated trace context"));
+      return;
+    }
+    ++reactor_.requests_;
+    const std::size_t trace_bytes =
+        (tag & kTraceFlag) ? obs::TraceContext::kWireSize : 0;
+    reactor_.bytes_in_.inc(payload.size() - trace_bytes);
+    if (!conn.slots.empty()) reactor_.pipelined_.inc();
+
+    if (!reactor_.try_acquire_in_flight()) {
+      reactor_.sheds_.inc();
+      queue_immediate(
+          conn, encode_response_error(
+                    "Overloaded: server over its in-flight request cap; retry"));
+      return;
+    }
+
+    Connection::Slot slot;
+    slot.seq = conn.next_seq++;
+    conn.slots.push_back(std::move(slot));
+    const std::uint64_t seq = conn.slots.back().seq;
+
+    // Workers keep the connection alive via shared_ptr; state stays
+    // loop-owned — the worker only produces bytes.
+    std::shared_ptr<Connection> conn_sp = conns_.at(conn.sock.fd());
+    reactor_.worker_queue_depth_.add(1);
+    (void)reactor_.pool_->submit(
+        [this, conn_sp = std::move(conn_sp), seq, tag,
+         payload = std::move(payload)]() mutable {
+          reactor_.worker_queue_depth_.sub(1);
+          Bytes frame = reactor_.execute(tag, payload);
+          reactor_.release_in_flight();
+          post_completion(std::move(conn_sp), seq, std::move(frame));
+        });
+  }
+
+  /// Queues a loop-generated response (shed / protocol error) under an
+  /// ordered slot that is already complete, preserving response order
+  /// relative to requests still in the workers.
+  void queue_immediate(Connection& conn, Bytes frame) {
+    Connection::Slot slot;
+    slot.seq = conn.next_seq++;
+    slot.done = true;
+    slot.frame = std::move(frame);
+    conn.slots.push_back(std::move(slot));
+    flush_ready(conn);
+    try_write(conn);
+  }
+
+  // ---- write side ----
+
+  /// Moves completed slots, in request order, into the output buffer.
+  void flush_ready(Connection& conn) {
+    while (!conn.slots.empty() && conn.slots.front().done) {
+      Bytes& frame = conn.slots.front().frame;
+      conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+      conn.slots.pop_front();
+    }
+  }
+
+  void try_write(Connection& conn) {
+    while (conn.out_pos < conn.out.size()) {
+      const ssize_t n =
+          ::send(conn.sock.fd(), conn.out.data() + conn.out_pos,
+                 conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_connection(conn);
+        return;
+      }
+      conn.out_pos += static_cast<std::size_t>(n);
+    }
+    if (conn.out_pos == conn.out.size()) {
+      conn.out.clear();
+      conn.out_pos = 0;
+    } else if (conn.out_pos >= kCompactThreshold) {
+      conn.out.erase(conn.out.begin(),
+                     conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_pos));
+      conn.out_pos = 0;
+    }
+  }
+
+  /// After any read/write/completion progress: resume parsing if
+  /// backpressure lifted, retire the connection when fully drained, and
+  /// refresh epoll interest.
+  void after_progress(Connection& conn) {
+    // Buffered frames stay parseable after EOF (a client may pipeline N
+    // requests and half-close); peer_closed only stops SOCKET reads.
+    const bool can_parse =
+        !conn.close_after_flush &&
+        conn.slots.size() < reactor_.options_.max_pipeline &&
+        conn.pending_out() <= reactor_.options_.max_output_buffer;
+    if (can_parse && has_complete_frame(conn)) {
+      parse_frames(conn);
+      if (conn.closed) return;
+      try_write(conn);
+      if (conn.closed) return;
+    }
+    const bool drained = conn.slots.empty() && conn.pending_out() == 0;
+    if (drained && conn.close_after_flush) {
+      close_connection(conn);
+      return;
+    }
+    if (drained && conn.peer_closed && !has_complete_frame(conn)) {
+      close_connection(conn);
+      return;
+    }
+    update_interest(conn);
+  }
+
+  void update_interest(Connection& conn) {
+    std::uint32_t wanted = 0;
+    if (!reading_paused(conn)) wanted |= EPOLLIN;
+    if (conn.pending_out() > 0) wanted |= EPOLLOUT;
+    if (wanted == conn.interest) return;
+    epoll_event ev{};
+    ev.events = wanted;
+    ev.data.fd = conn.sock.fd();
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.sock.fd(), &ev) == 0)
+      conn.interest = wanted;
+  }
+
+  void close_connection(Connection& conn) {
+    if (conn.closed) return;
+    conn.closed = true;
+    const int fd = conn.sock.fd();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    conn.sock.close();
+    conns_.erase(fd);  // may destroy conn unless a worker still holds it
+    reactor_.open_connections_.fetch_sub(1, std::memory_order_relaxed);
+    reactor_.active_connections_.sub(1);
+  }
+
+  Reactor& reactor_;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  std::thread thread_;
+
+  std::mutex inbox_mutex_;
+  std::vector<Socket> pending_sockets_;
+  std::vector<Completion> completions_;
+  bool stop_requested_ = false;
+
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+};
+
+// ------------------------------------------------------------------- Reactor
+
+Reactor::Reactor(const cloud::RequestHandler& handler, ReactorOptions options,
+                 obs::MetricsRegistry& registry,
+                 std::atomic<std::uint64_t>& requests, obs::Counter& bytes_in,
+                 obs::Counter& bytes_out, obs::Gauge& active_connections)
+    : handler_(handler),
+      options_([&options] {
+        options.loop_threads = std::max<std::size_t>(options.loop_threads, 1);
+        options.workers = std::max<std::size_t>(options.workers, 1);
+        options.max_pipeline = std::max<std::size_t>(options.max_pipeline, 1);
+        options.max_output_buffer =
+            std::max<std::size_t>(options.max_output_buffer, 64 * 1024);
+        return options;
+      }()),
+      requests_(requests),
+      bytes_in_(bytes_in),
+      bytes_out_(bytes_out),
+      active_connections_(active_connections),
+      sheds_(registry.counter("rsse_net_shed_total",
+                              "Requests shed by reactor backpressure")),
+      pipelined_(registry.counter(
+          "rsse_net_pipelined_requests_total",
+          "Requests admitted while earlier ones were still unanswered on "
+          "the same connection")),
+      in_flight_gauge_(registry.gauge("rsse_net_in_flight",
+                                      "Admitted requests not yet answered")),
+      in_flight_peak_(registry.gauge(
+          "rsse_net_in_flight_peak",
+          "High-water mark of admitted unanswered requests")),
+      worker_queue_depth_(registry.gauge(
+          "rsse_net_worker_queue_depth",
+          "Requests handed to the worker pool but not yet executing")),
+      loop_lag_(registry.histogram("rsse_net_loop_lag_seconds",
+                                   "Event-loop processing-pass duration",
+                                   obs::log_bounds())) {
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  loops_.reserve(options_.loop_threads);
+  for (std::size_t i = 0; i < options_.loop_threads; ++i)
+    loops_.push_back(std::make_unique<EventLoop>(*this));
+}
+
+Reactor::~Reactor() { stop(); }
+
+void Reactor::add_connection(Socket socket) {
+  if (stopped_.load(std::memory_order_acquire)) return;  // socket closes
+  open_connections_.fetch_add(1, std::memory_order_relaxed);
+  active_connections_.add(1);
+  const std::size_t i =
+      next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+  loops_[i]->enqueue_connection(std::move(socket));
+}
+
+void Reactor::stop() {
+  if (stopped_.exchange(true)) {
+    // A concurrent or repeated stop still waits for the loops to finish.
+    for (auto& loop : loops_) loop->join();
+    return;
+  }
+  // Stop the loops FIRST: once they are joined no connection can admit
+  // another request, so draining the worker pool afterwards touches a
+  // pool no loop thread can still reach (admit() runs only on loop
+  // threads). Responses finished by that drain go nowhere — their
+  // connections are already closed — which matches the legacy engine's
+  // stop semantics: in-flight work at stop is abandoned, not answered.
+  for (auto& loop : loops_) loop->request_stop();
+  for (auto& loop : loops_) loop->join();
+  // Workers may still post completions while draining; the inbox just
+  // accumulates them and the EventLoop destructor discards them.
+  pool_.reset();
+}
+
+Bytes Reactor::execute(std::uint8_t tag, const Bytes& payload) {
+  const auto type = static_cast<cloud::MessageType>(tag & ~kTraceFlag);
+  try {
+    if (tag & kTraceFlag) {
+      ByteReader reader(payload);
+      const obs::TraceContext ctx = obs::TraceContext::decode(reader);
+      const BytesView body(payload.data() + obs::TraceContext::kWireSize,
+                           payload.size() - obs::TraceContext::kWireSize);
+      if (ctx.active()) {
+        std::vector<obs::Span> spans;
+        const Bytes response = handler_.handle(type, body, ctx, &spans);
+        bytes_out_.inc(response.size());
+        return encode_response_ok_traced(response, spans);
+      }
+      const Bytes response = handler_.handle(type, body);
+      bytes_out_.inc(response.size());
+      return encode_response_ok(response);
+    }
+    const Bytes response = handler_.handle(type, payload);
+    bytes_out_.inc(response.size());
+    return encode_response_ok(response);
+  } catch (const QuotaExceeded& e) {
+    // Same reserved prefix the legacy engine stamps, so clients see the
+    // identical typed shed regardless of server engine.
+    return encode_response_error(std::string("QuotaExceeded: ") + e.what());
+  } catch (const Error& e) {
+    return encode_response_error(e.what());
+  }
+}
+
+bool Reactor::try_acquire_in_flight() {
+  const std::size_t cap = options_.max_in_flight;
+  const std::size_t now = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (cap != 0 && now > cap) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  in_flight_gauge_.set(static_cast<std::int64_t>(now));
+  in_flight_peak_.max_with(static_cast<std::int64_t>(now));
+  return true;
+}
+
+void Reactor::release_in_flight() {
+  const std::size_t now = in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  in_flight_gauge_.set(static_cast<std::int64_t>(now));
+}
+
+}  // namespace rsse::net

@@ -1,0 +1,130 @@
+// The epoll reactor behind net::NetworkServer.
+//
+// Architecture (RediSearch-style event-loop / query-thread split):
+//
+//   * One or a few EVENT-LOOP threads, each owning a private epoll set
+//     and a disjoint subset of the connections (accepted sockets are
+//     dealt round-robin). A loop thread does only cheap work:
+//     non-blocking reads, incremental frame assembly, admission,
+//     non-blocking writes from per-connection output buffers. It never
+//     touches crypto or ranking.
+//   * A bounded WORKER pool runs cloud::RequestHandler::handle — the
+//     parse/rank/serialize work — off the loop. Workers hand finished
+//     response frames back to the owning loop through a mutex-guarded
+//     completion queue plus an eventfd wake.
+//   * PIPELINING: a connection may have many requests in flight; every
+//     parsed request takes an ordered slot and responses are flushed in
+//     request order, so the wire stays byte-compatible with the strictly
+//     sequential frame protocol old RemoteChannel clients speak.
+//   * BACKPRESSURE, explicit at three levels:
+//       - global: at most `max_in_flight` admitted-but-unanswered
+//         requests across the endpoint; past the cap a request is shed
+//         immediately with a typed error frame ("Overloaded: ..." —
+//         rsse::Overloaded on the client) instead of queueing until the
+//         caller's deadline blows. rsse_net_shed_total counts sheds.
+//       - per connection: at most `max_pipeline` unanswered requests and
+//         `max_output_buffer` buffered response bytes; past either the
+//         loop simply stops reading that connection (EPOLLIN off), which
+//         turns into TCP pushback on the peer — a slow reader throttles
+//         itself, not the server.
+//       - connections: NetworkServer's acceptor refuses connections past
+//         `max_connections` with the same typed error frame.
+//
+// Thread-safety model (TSan-clean by construction): all per-connection
+// state is touched only by the connection's owning loop thread. The only
+// cross-thread traffic is (a) the completion/intake queues under their
+// mutex, (b) relaxed atomics for the in-flight/connection counts, and
+// (c) the metrics instruments, which are lock-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cloud/handler.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace rsse::net {
+
+/// Tuning knobs of the event-driven engine (NetworkServer fills these
+/// from its ServerOptions).
+struct ReactorOptions {
+  std::size_t loop_threads = 1;    ///< event-loop threads (>= 1)
+  std::size_t workers = 4;         ///< handler worker threads (>= 1)
+  std::size_t max_in_flight = 1024;  ///< global unanswered-request cap (0 = off)
+  std::size_t max_pipeline = 128;    ///< per-connection unanswered requests
+  std::size_t max_output_buffer = 8u << 20;  ///< per-connection buffered bytes
+};
+
+/// The engine: event loops + worker pool. NetworkServer owns one and
+/// feeds it accepted sockets; everything else happens inside.
+class Reactor {
+ public:
+  /// Instruments register in `registry`; `requests` is NetworkServer's
+  /// served-request counter (incremented at admission, like the legacy
+  /// engine counted frames as they were received).
+  Reactor(const cloud::RequestHandler& handler, ReactorOptions options,
+          obs::MetricsRegistry& registry, std::atomic<std::uint64_t>& requests,
+          obs::Counter& bytes_in, obs::Counter& bytes_out,
+          obs::Gauge& active_connections);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Takes ownership of an accepted socket (acceptor thread). The socket
+  /// is switched to non-blocking and dealt to a loop round-robin.
+  void add_connection(Socket socket);
+
+  /// Currently open connections (acceptor-side admission check).
+  [[nodiscard]] std::size_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Closes every connection and joins the loops, then drains the worker
+  /// pool (running handlers finish; their responses are discarded — like
+  /// the legacy engine, in-flight work at stop is abandoned, not
+  /// answered). Idempotent; also done by the destructor.
+  void stop();
+
+ private:
+  friend class ReactorTestPeek;
+  struct Connection;
+  class EventLoop;
+
+  /// Runs the handler and wraps the outcome — ok, traced ok, or error —
+  /// into a complete response frame (worker threads).
+  Bytes execute(std::uint8_t tag, const Bytes& payload);
+
+  bool try_acquire_in_flight();
+  void release_in_flight();
+
+  const cloud::RequestHandler& handler_;
+  const ReactorOptions options_;
+  std::atomic<std::uint64_t>& requests_;
+  obs::Counter& bytes_in_;
+  obs::Counter& bytes_out_;
+  obs::Gauge& active_connections_;
+
+  // Reactor-specific instruments (ISSUE: open connections, loop lag,
+  // queue depths, sheds).
+  obs::Counter& sheds_;
+  obs::Counter& pipelined_;
+  obs::Gauge& in_flight_gauge_;
+  obs::Gauge& in_flight_peak_;
+  obs::Gauge& worker_queue_depth_;
+  obs::HistogramMetric& loop_lag_;
+
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::size_t> open_connections_{0};
+  std::atomic<std::size_t> next_loop_{0};
+  std::atomic<bool> stopped_{false};
+
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace rsse::net

@@ -2,12 +2,16 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
+
 #include "net/frame.h"
+#include "net/reactor.h"
 #include "util/errors.h"
 
 namespace rsse::net {
 
-NetworkServer::NetworkServer(const cloud::RequestHandler& server, std::uint16_t port)
+NetworkServer::NetworkServer(const cloud::RequestHandler& server, std::uint16_t port,
+                             ServerOptions options)
     : server_(server),
       bytes_in_(server.metrics_registry().counter(
           "rsse_server_bytes_in_total", "Request payload bytes received")),
@@ -15,18 +19,43 @@ NetworkServer::NetworkServer(const cloud::RequestHandler& server, std::uint16_t 
           "rsse_server_bytes_out_total", "Response payload bytes sent")),
       connections_total_(server.metrics_registry().counter(
           "rsse_server_connections_total", "Client connections accepted")),
+      connections_rejected_(server.metrics_registry().counter(
+          "rsse_net_connections_rejected_total",
+          "Connections refused at the max_connections cap")),
       active_connections_(server.metrics_registry().gauge(
           "rsse_server_active_connections", "Currently open client connections")),
-      listener_(port) {
+      listener_(port),
+      options_(options) {
+  if (options_.reactor) {
+    ReactorOptions ropts;
+    ropts.loop_threads = options_.reactor_threads;
+    ropts.workers = options_.workers;
+    ropts.max_in_flight = options_.max_in_flight;
+    ropts.max_pipeline = options_.max_pipeline;
+    ropts.max_output_buffer = options_.max_output_buffer;
+    reactor_ = std::make_unique<Reactor>(server, ropts, server.metrics_registry(),
+                                         requests_, bytes_in_, bytes_out_,
+                                         active_connections_);
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
 NetworkServer::~NetworkServer() { stop(); }
 
+std::size_t NetworkServer::open_connections() const {
+  if (reactor_) return reactor_->open_connections();
+  const std::int64_t v = active_connections_.value();
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
 void NetworkServer::stop() {
   const std::lock_guard<std::mutex> stop_lock(stop_mutex_);
   if (!stopping_.exchange(true)) listener_.close();  // unblocks accept()
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Reactor engine: drain workers (accepted requests get answered), then
+  // close every connection and join the loops.
+  if (reactor_) reactor_->stop();
+  // Legacy engine teardown (no-op vectors under the reactor).
   std::vector<std::thread> workers;
   {
     const std::lock_guard<std::mutex> lock(workers_mutex_);
@@ -47,6 +76,24 @@ void NetworkServer::accept_loop() {
   while (!stopping_.load()) {
     Socket accepted = listener_.accept();
     if (!accepted.valid()) break;  // listener closed
+    if (reactor_) {
+      if (reactor_->open_connections() >= options_.max_connections) {
+        connections_rejected_.inc();
+        // Best-effort typed refusal — never let a stalled peer wedge the
+        // acceptor, so the write gets a tiny deadline of its own.
+        try {
+          accepted.send_all(
+              encode_response_error(
+                  "Overloaded: server at its connection limit; retry later"),
+              Deadline::after(std::chrono::milliseconds(100)));
+        } catch (const Error&) {
+        }
+        continue;  // socket closes via RAII
+      }
+      connections_total_.inc();
+      reactor_->add_connection(std::move(accepted));
+      continue;
+    }
     auto connection = std::make_shared<Socket>(std::move(accepted));
     const std::lock_guard<std::mutex> lock(workers_mutex_);
     if (stopping_.load()) break;

@@ -1,17 +1,33 @@
-// The network front end of a serving endpoint: a threaded TCP server
-// speaking the frame protocol. One thread accepts connections; each
-// connection is served by its own worker (connections are long-lived — a
-// user keeps one open across searches). Request handling delegates to
-// cloud::RequestHandler::handle (a bare CloudServer or a multi-tenant
-// tenant::TenantHost), so the network layer adds no protocol logic of
-// its own; library errors travel back to the client as error frames.
+// The network front end of a serving endpoint: a TCP server speaking
+// the frame protocol. Two engines share one wire format and one
+// acceptor:
+//
+//   * REACTOR (default): an epoll event loop core — non-blocking I/O on
+//     a few loop threads, incremental frame assembly, request
+//     pipelining with strictly ordered responses, a bounded worker pool
+//     running the handler, and explicit backpressure (global in-flight
+//     cap shedding with a typed "Overloaded" error, per-connection
+//     pipeline/output-buffer limits that turn into TCP pushback, and a
+//     connection cap enforced at accept). See net/reactor.h for the
+//     full architecture.
+//   * LEGACY (ServerOptions{.reactor = false}): the original
+//     thread-per-connection engine — one blocking worker per client.
+//     Kept as the wire-compat reference: both engines must produce
+//     byte-identical responses for the same request bytes, which the
+//     ReactorWireCompat tests pin.
+//
+// Request handling delegates to cloud::RequestHandler::handle (a bare
+// CloudServer or a multi-tenant tenant::TenantHost), so the network
+// layer adds no protocol logic of its own; library errors travel back
+// to the client as error frames.
 //
 // Observability: trace-flagged requests dispatch to the traced
 // handle overload and the recorded spans ride back on a tag-2
 // response. The server also contributes transport-level families
 // (rsse_server_bytes_in_total / bytes_out_total / connections_total /
-// active_connections) to the handler's metrics registry, so one
-// scrape shows protocol and transport counters side by side.
+// active_connections, plus the reactor's rsse_net_* instruments) to
+// the handler's metrics registry, so one scrape shows protocol and
+// transport counters side by side.
 #pragma once
 
 #include <atomic>
@@ -27,12 +43,35 @@
 
 namespace rsse::net {
 
+class Reactor;
+
+/// Engine selection and tuning for NetworkServer.
+struct ServerOptions {
+  /// Event-driven epoll engine (default) vs the legacy
+  /// thread-per-connection engine kept for wire-compat testing.
+  bool reactor = true;
+  std::size_t reactor_threads = 1;  ///< epoll event-loop threads
+  std::size_t workers = 4;          ///< handler worker threads
+  /// Accept-time connection cap: connections past it are refused with a
+  /// typed "Overloaded" error frame (reactor engine only).
+  std::size_t max_connections = 10000;
+  /// Global admitted-but-unanswered request cap; past it requests shed
+  /// immediately with a typed "Overloaded" error (0 disables).
+  std::size_t max_in_flight = 1024;
+  /// Per-connection unanswered-request cap; past it the loop stops
+  /// reading that connection (TCP pushback, no error).
+  std::size_t max_pipeline = 128;
+  /// Per-connection buffered response bytes before reads pause.
+  std::size_t max_output_buffer = 8u << 20;
+};
+
 /// A running TCP endpoint for one serving endpoint.
 class NetworkServer {
  public:
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
   /// The handler must outlive this object.
-  NetworkServer(const cloud::RequestHandler& server, std::uint16_t port = 0);
+  NetworkServer(const cloud::RequestHandler& server, std::uint16_t port = 0,
+                ServerOptions options = {});
 
   /// Stops the server (see stop()).
   ~NetworkServer();
@@ -43,12 +82,18 @@ class NetworkServer {
   /// The bound port (for clients of an ephemeral bind).
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
 
-  /// Requests served since start (all message types).
+  /// Requests served since start (all message types; includes shed
+  /// requests — they are answered, with an error frame).
   [[nodiscard]] std::uint64_t requests_served() const { return requests_.load(); }
 
+  /// Currently open client connections.
+  [[nodiscard]] std::size_t open_connections() const;
+
   /// Stops accepting, closes the listener and every live connection, and
-  /// joins every worker. Idempotent and safe to call from multiple
-  /// threads concurrently (also done by the destructor).
+  /// joins every worker. In-flight requests are abandoned (their
+  /// handlers run to completion but responses are discarded), the same
+  /// semantics under either engine. Idempotent and safe to call from
+  /// multiple threads concurrently (also done by the destructor).
   void stop();
 
  private:
@@ -62,15 +107,19 @@ class NetworkServer {
   obs::Counter& bytes_in_;
   obs::Counter& bytes_out_;
   obs::Counter& connections_total_;
+  obs::Counter& connections_rejected_;
   obs::Gauge& active_connections_;
   TcpListener listener_;
+  const ServerOptions options_;
   std::atomic<bool> stopping_{false};
   // Serializes concurrent stop() calls: a second caller must wait for the
   // first to finish joining, not race it on the same std::thread objects
   // (concurrent join on one thread is undefined and can hang).
   std::mutex stop_mutex_;
   std::atomic<std::uint64_t> requests_{0};
+  std::unique_ptr<Reactor> reactor_;  // null in legacy mode
   std::thread accept_thread_;
+  // Legacy-engine state (unused by the reactor).
   std::mutex workers_mutex_;
   std::vector<std::thread> workers_;
   // Live connections, so stop() can shut them down and unblock workers

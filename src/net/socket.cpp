@@ -132,6 +132,11 @@ bool Socket::recv_exact(std::span<std::uint8_t> out, const Deadline& deadline) c
   return true;
 }
 
+void Socket::set_nonblocking(bool enable) const {
+  detail::require(valid(), "Socket::set_nonblocking: empty socket");
+  net::set_nonblocking(fd(), enable);
+}
+
 void Socket::shutdown_write() const {
   const int fd = this->fd();
   if (fd >= 0) ::shutdown(fd, SHUT_WR);
@@ -151,7 +156,10 @@ TcpListener::TcpListener(std::uint16_t port) {
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
     throw_errno("bind");
-  if (::listen(fd, 64) < 0) throw_errno("listen");
+  // A deep backlog so connection-scaling workloads (thousands of clients
+  // connecting in a burst) do not stall in SYN retransmits; the kernel
+  // clamps to somaxconn.
+  if (::listen(fd, 1024) < 0) throw_errno("listen");
 
   socklen_t len = sizeof addr;
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)

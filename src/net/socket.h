@@ -55,6 +55,12 @@ class Socket {
   /// Half-closes the write side (signals EOF to the peer).
   void shutdown_write() const;
 
+  /// Switches the descriptor to (or from) O_NONBLOCK persistently — the
+  /// reactor server runs every connection non-blocking for its whole
+  /// lifetime, unlike the scoped per-call toggling deadline-bounded
+  /// blocking I/O uses. Throws ProtocolError on fcntl failure.
+  void set_nonblocking(bool enable) const;
+
  private:
   std::atomic<int> fd_;
 };

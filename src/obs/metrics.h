@@ -54,6 +54,15 @@ class Gauge {
   void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
   void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
   void sub(std::int64_t d) { value_.fetch_sub(d, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is below (lock-free CAS max) — how
+  /// high-water marks (peak in-flight requests, peak queue depth) are
+  /// recorded without a mutex on the hot path.
+  void max_with(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
   [[nodiscard]] std::int64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }

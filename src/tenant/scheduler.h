@@ -17,7 +17,12 @@
 //
 // run() is blocking: the caller thread parks on a stack-allocated
 // waiter until a worker finishes its task (or the scheduler stops), so
-// existing synchronous transports need no changes.
+// existing synchronous transports need no changes. Under the epoll
+// reactor the callers are the reactor's own worker threads, so the two
+// pools compose: the reactor bounds transport-level concurrency
+// (admission, in-flight cap), and DWRR decides execution order across
+// tenants within it — size the reactor's workers at least as large as
+// the scheduler's or the outer pool becomes the fairness bottleneck.
 #pragma once
 
 #include <condition_variable>

@@ -61,6 +61,19 @@ class QuotaExceeded : public Error {
   using Error::Error;
 };
 
+/// The serving endpoint shed the request under load: the reactor's
+/// global in-flight cap (or connection cap) was hit and the server chose
+/// a fast typed rejection over queueing past the caller's deadline.
+/// Distinct from QuotaExceeded — this is endpoint pressure, not a
+/// per-tenant budget, so retrying against a different replica is
+/// sensible. Derives from ProtocolError so existing failover paths treat
+/// it as an ordinary failed attempt while callers that care can still
+/// catch the precise type.
+class Overloaded : public ProtocolError {
+ public:
+  using ProtocolError::ProtocolError;
+};
+
 /// A stored artifact failed its integrity check (checksum footer missing
 /// or wrong — torn write, truncation, bit rot). Derives from ParseError
 /// because corrupted-artifact call sites historically caught that type.

@@ -89,7 +89,8 @@ using namespace rsse;
                " [--repair-from PORT] [--metrics-port N] [--slow-ms N]"
                " [--compaction off] [--workers N] [--fair off]"
                " [--operator-stats on] [--attack-eval DOCS-DIR]"
-               " [--transcript PATH]\n"
+               " [--transcript PATH] [--reactor-threads N] [--net-workers N]"
+               " [--max-connections N] [--max-in-flight N] [--legacy-net on]\n"
                "  rsse tenant init --deploy DIR\n"
                "  rsse tenant add  --deploy DIR --tenant ID [--rate N] [--burst N]"
                " [--max-in-flight N] [--weight N] [--max-queued N]\n"
@@ -137,7 +138,12 @@ using namespace rsse;
                "   knowledge = the public docs at DIR) live in the background,\n"
                "   exporting rsse_attack_* gauges; audit --attack DIR\n"
                "   --transcript PATH replays the attack offline against a\n"
-               "   saved transcript)\n");
+               "   saved transcript;\n"
+               "   serve runs the epoll reactor engine: --reactor-threads N\n"
+               "   event loops, --net-workers N handler threads,\n"
+               "   --max-connections / --max-in-flight backpressure caps\n"
+               "   (past them clients get a typed Overloaded error), and\n"
+               "   --legacy-net on falls back to thread-per-connection)\n");
   std::exit(2);
 }
 
@@ -162,6 +168,19 @@ std::string optional_flag(const std::map<std::string, std::string>& flags,
                           const std::string& key, const std::string& fallback) {
   const auto it = flags.find(key);
   return it == flags.end() ? fallback : it->second;
+}
+
+// Serving-endpoint engine knobs shared by both serve paths (bare and
+// tenant deployments). Defaults match net::ServerOptions.
+net::ServerOptions server_options_from_flags(
+    const std::map<std::string, std::string>& flags) {
+  net::ServerOptions options;
+  options.reactor = optional_flag(flags, "legacy-net", "off") != "on";
+  options.reactor_threads = std::stoul(optional_flag(flags, "reactor-threads", "1"));
+  options.workers = std::stoul(optional_flag(flags, "net-workers", "4"));
+  options.max_connections = std::stoul(optional_flag(flags, "max-connections", "10000"));
+  options.max_in_flight = std::stoul(optional_flag(flags, "max-in-flight", "1024"));
+  return options;
 }
 
 sse::PaddingMode parse_padding(const std::string& name) {
@@ -370,7 +389,7 @@ int serve_tenant_deployment(const std::map<std::string, std::string>& flags) {
 
   const auto port = static_cast<std::uint16_t>(
       std::stoul(optional_flag(flags, "port", "0")));
-  net::NetworkServer endpoint(host, port);
+  net::NetworkServer endpoint(host, port, server_options_from_flags(flags));
   std::unique_ptr<obs::ScrapeEndpoint> scrape;
   if (flags.contains("metrics-port")) {
     scrape = std::make_unique<obs::ScrapeEndpoint>(
@@ -474,7 +493,7 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
 
   const auto port = static_cast<std::uint16_t>(
       std::stoul(optional_flag(flags, "port", "0")));
-  net::NetworkServer endpoint(server, port);
+  net::NetworkServer endpoint(server, port, server_options_from_flags(flags));
   std::unique_ptr<obs::ScrapeEndpoint> scrape;
   if (flags.contains("metrics-port")) {
     // Deterministic crypto cost counters (HMAC calls, HGD samples, bytes
